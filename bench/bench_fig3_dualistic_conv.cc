@@ -1,0 +1,90 @@
+// Regenerates Fig 3: the behaviour of dualistic vs standard convolution.
+//  (a) contribution of a deviation to the peak-convolution output as gamma
+//      grows;
+//  (b) time domain: standard convolution smooths a point anomaly,
+//      dualistic convolution extends it;
+//  (c) frequency domain: the latent-spectrum gap (Definition 1) of normal
+//      (low variance) vs anomalous (high variance) spectra.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/dualistic_conv.h"
+
+int main() {
+  using namespace mace;
+  using core::DualisticConvolve;
+  using core::DualisticMode;
+
+  // -- (a) contribution of the deviation ----------------------------------
+  std::printf(
+      "Fig 3(a) — share of the peak-conv output contributed by a 2.0 "
+      "deviation in a window of 0.2s (kernel 5)\n");
+  std::printf("%8s %14s\n", "gamma", "output");
+  const std::vector<double> window = {0.2, 0.2, 2.0, 0.2, 0.2};
+  for (double gamma : {1.0, 3.0, 5.0, 7.0, 11.0}) {
+    const auto out =
+        DualisticConvolve(window, 5, 1, gamma, 5.0, DualisticMode::kPeak);
+    std::printf("%8.0f %14.4f\n", gamma, out[0]);
+  }
+  std::printf("  (gamma = 1 is the plain average 0.56; larger gamma "
+              "approaches the deviation 2.0)\n\n");
+
+  // -- (b) time domain ------------------------------------------------------
+  std::printf(
+      "Fig 3(b) — a 1-step spike under standard vs dualistic "
+      "convolution (kernel 5)\n");
+  std::vector<double> series(15, 0.1);
+  series[7] = 2.0;
+  const auto standard = core::DualisticAmplify(series, 5, 1.0, 5.0);
+  const auto dualistic = core::DualisticAmplify(series, 5, 11.0, 5.0);
+  std::printf("%4s %10s %10s %10s\n", "t", "input", "standard",
+              "dualistic");
+  for (size_t t = 0; t < series.size(); ++t) {
+    std::printf("%4zu %10.3f %10.3f %10.3f\n", t, series[t], standard[t],
+                dualistic[t]);
+  }
+  int standard_high = 0, dualistic_high = 0;
+  for (size_t t = 0; t < series.size(); ++t) {
+    standard_high += standard[t] > 0.5;
+    dualistic_high += dualistic[t] > 0.5;
+  }
+  std::printf(
+      "  steps above 0.5: input 1, standard %d (smoothed), dualistic %d "
+      "(extended)\n\n",
+      standard_high, dualistic_high);
+
+  // -- (c) frequency domain --------------------------------------------------
+  std::printf(
+      "Fig 3(c) — latent-spectrum gap (Definition 1) for low- vs "
+      "high-variance amplitude spectra (kernel 4, stride 4)\n");
+  Rng rng(7);
+  auto gap_for = [&](double stddev) {
+    double total = 0.0;
+    int count = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<double> amps(16);
+      for (double& a : amps) {
+        a = std::max(0.01, rng.Gaussian(1.0, stddev));
+      }
+      const auto latent =
+          DualisticConvolve(amps, 4, 4, 7.0, 5.0, DualisticMode::kPeak);
+      for (size_t seg = 0; seg < latent.size(); ++seg) {
+        for (int j = 0; j < 4; ++j) {
+          total += std::fabs(latent[seg] - amps[4 * seg + j]);
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+  std::printf("%16s %12s\n", "spectrum stddev", "mean gap");
+  for (double stddev : {0.1, 0.3, 0.6, 1.0}) {
+    std::printf("%16.1f %12.4f\n", stddev, gap_for(stddev));
+  }
+  std::printf(
+      "  (the gap grows with amplitude variance — anomalous spectra are "
+      "harder to reconstruct, Theorem 1)\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Fig 5(c): per-service F1 on SMD when every method trains one
+// unified model for the group — MACE's scores should cluster tightly
+// around a high mean while baselines vary widely across services.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/math_utils.h"
+
+int main() {
+  using namespace mace;
+  const ts::DatasetProfile profile = ts::SmdProfile();
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+  const std::vector<ts::ServiceData> group = ts::ServiceGroup(dataset, 0);
+
+  std::printf(
+      "Fig 5(c) — per-service F1 on SMD with one unified model per "
+      "method\n");
+  std::printf("%-14s", "method");
+  for (size_t s = 0; s < group.size(); ++s) std::printf(" svc%-3zu", s);
+  std::printf("  mean  stddev  min\n");
+
+  std::vector<std::string> methods = baselines::NeuralBaselineNames();
+  methods.push_back("MACE");
+  for (const std::string& method : methods) {
+    auto detector = benchutil::MakeBenchDetector(method, "SMD");
+    std::vector<eval::PrMetrics> per_service;
+    Result<eval::PrMetrics> avg =
+        benchutil::EvaluateUnified(detector.get(), group, &per_service);
+    MACE_CHECK_OK(avg.status());
+    std::printf("%-14s", method.c_str());
+    std::vector<double> f1s;
+    for (const eval::PrMetrics& m : per_service) {
+      std::printf(" %5.3f ", m.f1);
+      f1s.push_back(m.f1);
+    }
+    std::printf(" %5.3f %6.3f %5.3f\n", Mean(f1s), StdDev(f1s),
+                *std::min_element(f1s.begin(), f1s.end()));
+  }
+  std::printf(
+      "\npaper: MACE's per-service F1 centers tightly around a high mean; "
+      "baselines swing across a broad range\n");
+  return 0;
+}

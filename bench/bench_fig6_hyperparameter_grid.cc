@@ -1,0 +1,100 @@
+// Regenerates Fig 6(b)-(f): grid searches over pairs of MACE
+// hyperparameters on a reduced SMD-like workload:
+//  (b) gamma_t x gamma_f   (c) gamma_t x sigma_t   (d) gamma_f x sigma_f
+//  (e) time kernel x gamma_t   (f) #bases x gamma_f
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "core/mace_detector.h"
+
+namespace {
+
+using namespace mace;
+
+ts::Dataset SmallSmd() {
+  ts::DatasetProfile profile = ts::SmdProfile();
+  profile.num_services = 6;
+  profile.train_length = 800;
+  profile.test_length = 480;
+  return ts::GenerateDataset(profile);
+}
+
+double F1For(const core::MaceConfig& config, const ts::Dataset& dataset) {
+  core::MaceDetector detector(config);
+  MACE_CHECK_OK(detector.Fit(dataset.services));
+  std::vector<eval::PrMetrics> metrics;
+  for (size_t s = 0; s < dataset.services.size(); ++s) {
+    auto scores =
+        detector.Score(static_cast<int>(s), dataset.services[s].test);
+    MACE_CHECK_OK(scores.status());
+    auto best = eval::BestF1Threshold(*scores,
+                                      dataset.services[s].test.labels());
+    MACE_CHECK_OK(best.status());
+    metrics.push_back(best->metrics);
+  }
+  return eval::MacroAverage(metrics).f1;
+}
+
+void Grid(const char* title, const ts::Dataset& dataset,
+          const std::vector<double>& rows, const std::vector<double>& cols,
+          const std::function<void(core::MaceConfig*, double, double)>& set) {
+  std::printf("\n%s\n        ", title);
+  for (double c : cols) std::printf(" %6.0f", c);
+  std::printf("\n");
+  for (double r : rows) {
+    std::printf("%7.0f ", r);
+    for (double c : cols) {
+      core::MaceConfig config;
+      config.epochs = 3;
+      set(&config, r, c);
+      std::printf(" %6.3f", F1For(config, dataset));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const ts::Dataset dataset = SmallSmd();
+
+  Grid("Fig 6(b) — F1 for gamma_t (rows) x gamma_f (cols)", dataset,
+       {1, 3, 7, 11}, {1, 3, 7, 11},
+       [](core::MaceConfig* c, double r, double col) {
+         c->gamma_t = r;
+         c->gamma_f = col;
+       });
+  Grid("Fig 6(c) — F1 for gamma_t (rows) x sigma_t (cols)", dataset,
+       {1, 3, 7, 11}, {3, 5, 10},
+       [](core::MaceConfig* c, double r, double col) {
+         c->gamma_t = r;
+         c->sigma_t = col;
+       });
+  Grid("Fig 6(d) — F1 for gamma_f (rows) x sigma_f (cols)", dataset,
+       {1, 3, 7, 11}, {3, 5, 10},
+       [](core::MaceConfig* c, double r, double col) {
+         c->gamma_f = r;
+         c->sigma_f = col;
+       });
+  Grid("Fig 6(e) — F1 for time kernel (rows) x gamma_t (cols)", dataset,
+       {3, 5, 7, 11}, {1, 3, 7},
+       [](core::MaceConfig* c, double r, double col) {
+         c->time_kernel = static_cast<int>(r);
+         c->gamma_t = col;
+       });
+  Grid("Fig 6(f) — F1 for #bases (rows) x gamma_f (cols)", dataset,
+       {4, 8, 12, 16, 20}, {3, 7, 11},
+       [](core::MaceConfig* c, double r, double col) {
+         c->num_bases = static_cast<int>(r);
+         c->gamma_f = col;
+       });
+
+  std::printf(
+      "\npaper trends: gamma = 1 (standard convolution) is the weakest; "
+      "performance is stable in sigma; kernel size and #bases have an "
+      "interior optimum\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks for the hot substrate operations:
+// FFT, context-aware DFT, tensor primitives, dualistic convolution, and
+// one full MACE forward/backward step.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/dualistic_conv.h"
+#include "core/mace_model.h"
+#include "fft/context_aware_dft.h"
+#include "fft/fft.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace mace;
+
+void BM_Radix2Fft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<fft::Complex> data(n);
+  for (auto& c : data) c = fft::Complex(rng.Gaussian(), 0.0);
+  for (auto _ : state) {
+    std::vector<fft::Complex> work = data;
+    fft::Radix2Fft(&work, false);
+    benchmark::DoNotOptimize(work);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Radix2Fft)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BluesteinFft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<fft::Complex> data(n);
+  for (auto& c : data) c = fft::Complex(rng.Gaussian(), 0.0);
+  for (auto _ : state) {
+    std::vector<fft::Complex> work = data;
+    fft::BluesteinFft(&work, false);
+    benchmark::DoNotOptimize(work);
+  }
+}
+BENCHMARK(BM_BluesteinFft)->Arg(40)->Arg(100);
+
+void BM_AmplitudeSpectrum(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> signal(40);
+  for (double& v : signal) v = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft::AmplitudeSpectrum(signal));
+  }
+}
+BENCHMARK(BM_AmplitudeSpectrum);
+
+void BM_ContextAwareProjection(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<int> bases;
+  for (int j = 1; j <= k; ++j) bases.push_back(j);
+  fft::ContextAwareDft dft(40, bases);
+  Rng rng(4);
+  std::vector<double> signal(40);
+  for (double& v : signal) v = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dft.Project(signal));
+  }
+}
+BENCHMARK(BM_ContextAwareProjection)->Arg(4)->Arg(12)->Arg(20);
+
+void BM_TensorMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(5);
+  tensor::Tensor a = tensor::Tensor::RandomGaussian({n, n}, &rng, 0, 1);
+  tensor::Tensor b = tensor::Tensor::RandomGaussian({n, n}, &rng, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_TensorMatMul)->Arg(16)->Arg(64);
+
+void BM_Conv1dForward(benchmark::State& state) {
+  Rng rng(6);
+  tensor::Tensor x = tensor::Tensor::RandomGaussian({1, 6, 40}, &rng, 0, 1);
+  tensor::Tensor w =
+      tensor::Tensor::RandomGaussian({8, 6, 4}, &rng, 0, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv1d(x, w, tensor::Tensor(), 4));
+  }
+}
+BENCHMARK(BM_Conv1dForward);
+
+void BM_DualisticAmplify(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> signal(1024);
+  for (double& v : signal) v = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DualisticAmplify(signal, 5, 7.0, 5.0));
+  }
+  state.SetItemsProcessed(state.iterations() * signal.size());
+}
+BENCHMARK(BM_DualisticAmplify);
+
+void BM_MaceTrainStep(benchmark::State& state) {
+  Rng rng(8);
+  core::MaceConfig config;
+  config.num_bases = 18;
+  std::vector<int> bases;
+  for (int j = 1; j <= 18; ++j) bases.push_back(j);
+  const core::ServiceTransforms transforms =
+      core::MakeServiceTransforms(40, bases);
+  core::MaceModel model(config, 5, 36, &rng);
+  nn::Adam adam(model.Parameters(), 1e-3);
+  tensor::Tensor window =
+      tensor::Tensor::RandomGaussian({5, 40}, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto out = model.Forward(transforms, window, false);
+    adam.ZeroGrad();
+    out.loss.Backward();
+    adam.Step();
+    benchmark::DoNotOptimize(out.loss.item());
+  }
+}
+BENCHMARK(BM_MaceTrainStep);
+
+void BM_MaceInference(benchmark::State& state) {
+  Rng rng(9);
+  core::MaceConfig config;
+  config.num_bases = 18;
+  std::vector<int> bases;
+  for (int j = 1; j <= 18; ++j) bases.push_back(j);
+  const core::ServiceTransforms transforms =
+      core::MakeServiceTransforms(40, bases);
+  core::MaceModel model(config, 5, 36, &rng);
+  tensor::Tensor window =
+      tensor::Tensor::RandomGaussian({5, 40}, &rng, 0.0, 1.0);
+  for (auto _ : state) {
+    auto out = model.Forward(transforms, window, true);
+    benchmark::DoNotOptimize(out.step_errors);
+  }
+}
+BENCHMARK(BM_MaceInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// The paper's S2 efficiency claim in isolation: frequency-domain windows
+// carry no temporal dependency, so MACE inference parallelizes per window.
+// Prints scoring throughput vs worker count (a recurrent model cannot do
+// this across time steps).
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "core/mace_detector.h"
+#include "eval/profiler.h"
+
+int main() {
+  using namespace mace;
+  ts::DatasetProfile profile = ts::SmdProfile();
+  profile.num_services = 4;
+  profile.test_length = 4000;  // long series: plenty of windows
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf(
+      "Parallel scoring — MACE inference throughput vs worker threads "
+      "(%u hardware core%s)\n",
+      cores, cores == 1 ? "" : "s");
+  std::printf("%8s %12s %12s %10s\n", "threads", "seconds", "windows/s",
+              "speedup");
+  double base_seconds = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    core::MaceConfig config;
+    config.epochs = 2;
+    config.score_threads = threads;
+    core::MaceDetector detector(config);
+    MACE_CHECK_OK(detector.Fit(dataset.services));
+    // Warm-up + measure.
+    MACE_CHECK_OK(detector.Score(0, dataset.services[0].test).status());
+    eval::StopWatch watch;
+    size_t windows = 0;
+    for (size_t s = 0; s < dataset.services.size(); ++s) {
+      MACE_CHECK_OK(
+          detector.Score(static_cast<int>(s), dataset.services[s].test)
+              .status());
+      windows += (dataset.services[s].test.length() - config.window) /
+                     config.score_stride +
+                 2;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (threads == 1) base_seconds = seconds;
+    std::printf("%8d %12.3f %12.0f %9.2fx\n", threads, seconds,
+                static_cast<double>(windows) / seconds,
+                base_seconds / seconds);
+  }
+  std::printf(
+      "\npaper: eliminating temporal dependencies enables fine-grained "
+      "parallelism — throughput scales with workers up to the core count "
+      "(on a single-core host the rows only show the thread overhead)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Table II: average spectrum variance of anomalous vs normal
+// windows per dataset — the premise behind the frequency-domain dualistic
+// convolution (anomalies have higher-variance spectra).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fft/fft.h"
+#include "fft/spectrum.h"
+#include "ts/scaler.h"
+
+int main() {
+  using namespace mace;
+  std::printf(
+      "Table II — average spectrum variance (anomalous vs normal windows)\n");
+  std::printf("%-8s %12s %12s %8s\n", "dataset", "anomaly", "normality",
+              "ratio");
+  for (const ts::DatasetProfile& profile : ts::AllProfiles()) {
+    const ts::Dataset dataset = ts::GenerateDataset(profile);
+    std::vector<std::vector<double>> normal, anomalous;
+    for (const ts::ServiceData& svc : dataset.services) {
+      ts::StandardScaler scaler;
+      scaler.Fit(svc.train);
+      const ts::TimeSeries test = scaler.Transform(svc.test);
+      for (size_t start = 0; start + 40 <= test.length(); start += 20) {
+        bool any = false;
+        for (size_t t = start; t < start + 40; ++t) {
+          any |= test.is_anomaly(t);
+        }
+        for (int f = 0; f < test.num_features(); ++f) {
+          std::vector<double> window(40);
+          for (int t = 0; t < 40; ++t) window[t] = test.value(start + t, f);
+          (any ? anomalous : normal)
+              .push_back(fft::AmplitudeSpectrum(window));
+        }
+      }
+    }
+    const auto a = fft::PooledAmplitudeMoments(anomalous);
+    const auto n = fft::PooledAmplitudeMoments(normal);
+    std::printf("%-8s %12.4f %12.4f %8.2f\n", profile.name.c_str(),
+                a.variance, n.variance, a.variance / n.variance);
+  }
+  std::printf(
+      "\npaper (SMD/J-D1/J-D2): anomaly 4.55/12.38/15.64, "
+      "normality 3.36/11.74/14.13 — anomaly variance higher everywhere\n");
+  return 0;
+}

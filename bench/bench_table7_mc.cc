@@ -1,0 +1,39 @@
+// Regenerates Table VII: the MC dataset (cloud-provider monitoring with
+// substantial point anomalies); baselines tailored per service, MACE
+// unified.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace mace;
+  const ts::DatasetProfile profile = ts::McProfile();
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+  const std::vector<ts::ServiceData> group = ts::ServiceGroup(dataset, 0);
+
+  std::printf(
+      "Table VII — MC dataset (tailored baselines vs unified MACE)\n");
+  std::printf("%-14s %10s %10s %10s\n", "method", "precision", "recall",
+              "f1");
+
+  std::vector<std::string> methods = baselines::AllBaselineNames();
+  for (const std::string& method : methods) {
+    Result<eval::PrMetrics> avg = benchutil::EvaluateTailored(
+        [&] { return benchutil::MakeBenchDetector(method, profile.name); },
+        group);
+    MACE_CHECK_OK(avg.status());
+    std::printf("%-14s %10.3f %10.3f %10.3f\n", method.c_str(),
+                avg->precision, avg->recall, avg->f1);
+  }
+  auto mace_detector = benchutil::MakeBenchDetector("MACE", profile.name);
+  Result<eval::PrMetrics> mace_avg =
+      benchutil::EvaluateUnified(mace_detector.get(), group);
+  MACE_CHECK_OK(mace_avg.status());
+  std::printf("%-14s %10.3f %10.3f %10.3f\n", "MACE (unified)",
+              mace_avg->precision, mace_avg->recall, mace_avg->f1);
+  std::printf(
+      "\npaper: MACE 0.941 F1 with a unified model vs tailored baselines "
+      "(best baseline AnomalyTransformer 0.923)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Validates Theorem 1 empirically: for Gaussian amplitude windows, the gap
+// between the dualistic-convolution latent and the original spectrum is
+// (i) below the closed-form upper bound and (ii) increasing in the
+// amplitude standard deviation nu (so anomalous, high-variance spectra are
+// harder to reconstruct).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/math_utils.h"
+#include "core/dualistic_conv.h"
+
+int main() {
+  using namespace mace;
+  const int n = 5;          // kernel length
+  const double gamma = 7.0;
+  const double sigma = 5.0;
+  const double mu = 1.0;
+
+  std::printf(
+      "Theorem 1 — Monte-Carlo gap vs the closed-form upper bound "
+      "(n=%d, gamma=%.0f, mu=%.1f)\n",
+      n, gamma, mu);
+  std::printf("%8s %14s %14s %8s\n", "nu", "measured gap", "upper bound",
+              "holds");
+
+  Rng rng(123);
+  for (double nu : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    // Measured: E sum_j |DualisticConv(A) - A_j| over Gaussian windows.
+    double measured = 0.0;
+    const int trials = 20000;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<double> amps(n);
+      for (double& a : amps) a = rng.Gaussian(mu, nu);
+      const auto latent = core::DualisticConvolve(
+          amps, n, n, gamma, sigma, core::DualisticMode::kPeak);
+      for (int j = 0; j < n; ++j) {
+        measured += std::fabs(latent[0] - amps[j]);
+      }
+    }
+    measured /= trials;
+
+    // Bound: 2^((g-1)/g) * n * (sum_i |alpha_i| (g-1)!! nu^g
+    //        + |alpha_i mu^g|)^(1/g) - sum_j mu_j, alpha_i = 1/(n sigma).
+    const double alpha = 1.0 / (static_cast<double>(n) * sigma);
+    double inner = 0.0;
+    for (int i = 0; i < n; ++i) {
+      inner += alpha * DoubleFactorial(static_cast<int>(gamma) - 1) *
+                   std::pow(nu, gamma) +
+               std::fabs(alpha * std::pow(mu, gamma));
+    }
+    // The sigma scaling cancels through the root as in Eq. 2.
+    const double bound =
+        std::pow(2.0, (gamma - 1.0) / gamma) * n *
+            std::pow(inner * sigma, 1.0 / gamma) -
+        n * mu;
+    std::printf("%8.2f %14.4f %14.4f %8s\n", nu, measured,
+                std::fabs(bound), measured <= std::fabs(bound) ? "yes"
+                                                               : "NO");
+  }
+  std::printf(
+      "\npaper: the bound is governed by nu (amplitude stddev) — the "
+      "measured gap must grow with nu and stay below the bound\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Validates Theorem 2 / Corollary 1: with a context-aware subset of k
+// bases, the KL reconstruction-error gap between anomalies and
+// normalities equals log(sum_k q_N / sum_k q_A) > 0 whenever the kept
+// normal mass exceeds k/n — and collapses to 0 at k = n (vanilla DFT).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fft/spectrum.h"
+
+int main() {
+  using namespace mace;
+  const int n = 20;  // spectrum size
+  Rng rng(7);
+
+  // Normal spectrum: a few strong lines over a weak floor.
+  std::vector<double> normal(n, 0.05);
+  normal[3] = 1.0;
+  normal[7] = 0.7;
+  normal[12] = 0.4;
+
+  std::printf(
+      "Theorem 2 / Corollary 1 — KL error gap between anomaly and "
+      "normality vs subset size k (n=%d)\n",
+      n);
+  std::printf("%4s %12s %12s %12s %10s\n", "k", "KL(normal)", "KL(anomaly)",
+              "gap", "kept mass");
+
+  for (int k : {2, 4, 8, 12, 16, 20}) {
+    // Assumption 1: anomalies add a positive-mean shift to every bin.
+    double gap_sum = 0.0, normal_sum = 0.0, anomaly_sum = 0.0,
+           kept_sum = 0.0;
+    const int trials = 2000;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<double> anomaly(n);
+      for (int i = 0; i < n; ++i) {
+        anomaly[i] = normal[i] + std::max(0.0, rng.Gaussian(0.15, 0.1));
+      }
+      const auto q_normal = fft::NormalizeSpectrum(normal);
+      const auto q_anomaly = fft::NormalizeSpectrum(anomaly);
+      const auto subset = fft::TopKIndices(normal, k, /*skip_dc=*/false);
+      const double kl_normal = fft::SubsetKlError(q_normal, subset);
+      const double kl_anomaly = fft::SubsetKlError(q_anomaly, subset);
+      normal_sum += kl_normal;
+      anomaly_sum += kl_anomaly;
+      gap_sum += kl_anomaly - kl_normal;
+      double kept = 0.0;
+      for (int idx : subset) kept += q_normal[static_cast<size_t>(idx)];
+      kept_sum += kept;
+    }
+    std::printf("%4d %12.4f %12.4f %12.4f %10.3f\n", k,
+                normal_sum / trials, anomaly_sum / trials, gap_sum / trials,
+                kept_sum / trials);
+  }
+  std::printf(
+      "\npaper: the gap is positive for k < n whenever the kept mass "
+      "exceeds k/n, and exactly 0 at k = n — a strict subset of bases "
+      "separates anomalies better than the full spectrum\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#ifndef MACE_BENCH_BENCH_UTIL_H_
+#define MACE_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "common/result.h"
+#include "core/detector.h"
+#include "core/mace_detector.h"
+#include "eval/metrics.h"
+#include "ts/profiles.h"
+
+namespace mace::benchutil {
+
+/// Bench-wide training options: paper hyperparameters with epoch counts
+/// sized so every table regenerates in seconds on a laptop.
+baselines::TrainOptions DefaultOptions();
+
+/// MACE config for a dataset: per-dataset gamma values in the spirit of
+/// the paper's Table IV, on top of DefaultOptions().
+core::MaceConfig MaceConfigFor(const std::string& dataset_name);
+
+/// Builds a detector for `method` ("MACE" uses MaceConfigFor(dataset)).
+std::unique_ptr<core::Detector> MakeBenchDetector(
+    const std::string& method, const std::string& dataset_name);
+
+/// \brief Fits `detector` on the group (unified model) and evaluates every
+/// service's test split with point-adjusted best-F1. Returns the macro
+/// average; per-service metrics optionally via `per_service`.
+Result<eval::PrMetrics> EvaluateUnified(
+    core::Detector* detector, const std::vector<ts::ServiceData>& group,
+    std::vector<eval::PrMetrics>* per_service = nullptr);
+
+/// \brief Tailored protocol: a fresh detector per service (factory is
+/// invoked per service), each fitted and evaluated on that service alone.
+Result<eval::PrMetrics> EvaluateTailored(
+    const std::function<std::unique_ptr<core::Detector>()>& factory,
+    const std::vector<ts::ServiceData>& group,
+    std::vector<eval::PrMetrics>* per_service = nullptr);
+
+/// \brief Transfer protocol (Table VIII): `detector` must already be
+/// fitted (on another group); every service of `test_group` is scored via
+/// ScoreUnseen.
+Result<eval::PrMetrics> EvaluateUnseen(
+    core::Detector* detector, const std::vector<ts::ServiceData>& test_group,
+    std::vector<eval::PrMetrics>* per_service = nullptr);
+
+/// Prints "| method | P R F1 | ... |" rows matching the paper's tables.
+class MetricsTable {
+ public:
+  explicit MetricsTable(std::vector<std::string> dataset_names);
+
+  void AddRow(const std::string& method,
+              const std::vector<eval::PrMetrics>& per_dataset);
+  void Print() const;
+
+ private:
+  std::vector<std::string> datasets_;
+  struct Row {
+    std::string method;
+    std::vector<eval::PrMetrics> metrics;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace mace::benchutil
+
+#endif  // MACE_BENCH_BENCH_UTIL_H_

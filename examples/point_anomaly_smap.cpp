@@ -1,0 +1,70 @@
+// Short-term (point) anomaly detection, the paper's C3/S3: on SMAP-like
+// telemetry with many 1-2 step spikes, the time-domain dualistic
+// convolution extends spikes so they are not overlooked. The example
+// contrasts a single spike's footprint before and after amplification and
+// evaluates MACE with and without stage 1.
+//
+// Run: ./build/examples/point_anomaly_smap
+
+#include <cstdio>
+
+#include "core/dualistic_conv.h"
+#include "core/mace_detector.h"
+#include "eval/metrics.h"
+#include "ts/profiles.h"
+
+int main() {
+  using namespace mace;
+
+  // --- the mechanism on a single spike ------------------------------------
+  std::vector<double> series(17, 0.0);
+  series[8] = 2.5;  // a one-step spike
+  const auto amplified = core::DualisticAmplify(series, 5, 11.0, 5.0);
+  std::printf("one-step spike, before vs after stage-1 amplification:\n");
+  std::printf("  t        : ");
+  for (size_t t = 4; t < 13; ++t) std::printf("%6zu", t);
+  std::printf("\n  input    : ");
+  for (size_t t = 4; t < 13; ++t) std::printf("%6.2f", series[t]);
+  std::printf("\n  amplified: ");
+  for (size_t t = 4; t < 13; ++t) std::printf("%6.2f", amplified[t]);
+  std::printf("\n\n");
+
+  // --- end to end on SMAP-like data ----------------------------------------
+  ts::DatasetProfile profile = ts::SmapProfile();
+  profile.num_services = 6;
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+
+  auto evaluate = [&](bool with_stage1) {
+    core::MaceConfig config;
+    config.epochs = 5;
+    config.use_dualistic_time = with_stage1;
+    core::MaceDetector detector(config);
+    MACE_CHECK_OK(detector.Fit(dataset.services));
+    std::vector<eval::PrMetrics> metrics;
+    for (size_t s = 0; s < dataset.services.size(); ++s) {
+      auto scores =
+          detector.Score(static_cast<int>(s), dataset.services[s].test);
+      MACE_CHECK_OK(scores.status());
+      auto best = eval::BestF1Threshold(*scores,
+                                        dataset.services[s].test.labels());
+      metrics.push_back(best->metrics);
+    }
+    return eval::MacroAverage(metrics);
+  };
+
+  const eval::PrMetrics with = evaluate(true);
+  const eval::PrMetrics without = evaluate(false);
+  std::printf("SMAP-like telemetry (%d services, %.0f%% anomalies, mostly "
+              "point spikes):\n",
+              profile.num_services, 100.0 * profile.anomaly_ratio);
+  std::printf("  MACE with stage-1 amplification : P=%.3f R=%.3f F1=%.3f\n",
+              with.precision, with.recall, with.f1);
+  std::printf("  MACE without stage 1            : P=%.3f R=%.3f F1=%.3f\n",
+              without.precision, without.recall, without.f1);
+  std::printf(
+      "\nnote: stage 1 exists to stop encoder-decoder backbones from\n"
+      "overlooking single points; MACE's projection residual already\n"
+      "preserves them, so on this substrate the amplification mainly\n"
+      "trades background noise for footprint (see EXPERIMENTS.md)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Quickstart: train a unified MACE model on a group of synthetic services
+// and detect anomalies in one service's test split.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/status.h"
+#include "core/mace_detector.h"
+#include "eval/metrics.h"
+#include "ts/profiles.h"
+
+int main() {
+  using namespace mace;
+
+  // 1. Generate a small multi-service workload (SMD-like: diverse normal
+  //    patterns, ~4 % anomalies) and take a group of 10 services.
+  ts::DatasetProfile profile = ts::SmdProfile();
+  profile.num_services = 10;
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+
+  // 2. Train one unified MACE model on all 10 services.
+  core::MaceConfig config;
+  config.epochs = 5;
+  core::MaceDetector detector(config);
+  MACE_CHECK_OK(detector.Fit(dataset.services));
+  std::printf("trained unified MACE on %zu services (%lld parameters)\n",
+              dataset.services.size(),
+              static_cast<long long>(detector.ParameterCount()));
+
+  // 3. Score each service's test split and evaluate with the
+  //    point-adjusted best-F1 protocol.
+  std::vector<eval::PrMetrics> per_service;
+  for (size_t s = 0; s < dataset.services.size(); ++s) {
+    const ts::ServiceData& service = dataset.services[s];
+    Result<std::vector<double>> scores =
+        detector.Score(static_cast<int>(s), service.test);
+    MACE_CHECK_OK(scores.status());
+    Result<eval::ThresholdResult> best =
+        eval::BestF1Threshold(*scores, service.test.labels());
+    MACE_CHECK_OK(best.status());
+    per_service.push_back(best->metrics);
+    std::printf("  %-12s P=%.3f R=%.3f F1=%.3f (threshold %.4f)\n",
+                service.name.c_str(), best->metrics.precision,
+                best->metrics.recall, best->metrics.f1, best->threshold);
+  }
+  const eval::PrMetrics avg = eval::MacroAverage(per_service);
+  std::printf("macro average: P=%.3f R=%.3f F1=%.3f\n", avg.precision,
+              avg.recall, avg.f1);
+  return 0;
+}

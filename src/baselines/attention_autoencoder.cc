@@ -1,0 +1,35 @@
+#include "baselines/attention_autoencoder.h"
+
+namespace mace::baselines {
+
+using tensor::Tensor;
+
+Status AttentionAutoencoder::BuildModel(int num_features, Rng* rng) {
+  embed_ = std::make_shared<nn::Linear>(num_features, dim_, rng);
+  attention_ = std::make_shared<nn::SelfAttention>(dim_, rng);
+  readout_ = std::make_shared<nn::Linear>(dim_, num_features, rng);
+  return Status::OK();
+}
+
+Tensor AttentionAutoencoder::Reconstruct(const Tensor& window) {
+  Tensor sequence = Transpose(window);                 // [T, m]
+  Tensor embedded = Tanh(embed_->Forward(sequence));   // [T, d]
+  Tensor attended = attention_->Forward(embedded);     // [T, d]
+  Tensor mixed = Add(embedded, attended);              // residual
+  return Transpose(readout_->Forward(mixed));          // [m, T]
+}
+
+std::vector<Tensor> AttentionAutoencoder::ModelParameters() const {
+  std::vector<Tensor> params = embed_->Parameters();
+  for (Tensor& p : attention_->Parameters()) params.push_back(std::move(p));
+  for (Tensor& p : readout_->Parameters()) params.push_back(std::move(p));
+  return params;
+}
+
+int64_t AttentionAutoencoder::ActivationEstimate() const {
+  // Attention keeps the [T, T] score matrix plus Q/K/V projections alive.
+  const int64_t t = options_.window;
+  return t * t + 4 * t * dim_;
+}
+
+}  // namespace mace::baselines

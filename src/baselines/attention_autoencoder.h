@@ -1,0 +1,36 @@
+#ifndef MACE_BASELINES_ATTENTION_AUTOENCODER_H_
+#define MACE_BASELINES_ATTENTION_AUTOENCODER_H_
+
+#include <memory>
+
+#include "baselines/reconstruction_detector.h"
+#include "nn/layers.h"
+
+namespace mace::baselines {
+
+/// \brief Transformer-family reconstruction baseline: embedding,
+/// single-head self-attention with a residual connection, and a readout —
+/// the AnomalyTransformer / TranAD family.
+class AttentionAutoencoder : public ReconstructionDetector {
+ public:
+  explicit AttentionAutoencoder(TrainOptions options, int dim = 24)
+      : ReconstructionDetector(options), dim_(dim) {}
+
+  std::string name() const override { return "Attn-AE"; }
+
+ protected:
+  Status BuildModel(int num_features, Rng* rng) override;
+  tensor::Tensor Reconstruct(const tensor::Tensor& window) override;
+  std::vector<tensor::Tensor> ModelParameters() const override;
+  int64_t ActivationEstimate() const override;
+
+ private:
+  int dim_;
+  std::shared_ptr<nn::Linear> embed_;
+  std::shared_ptr<nn::SelfAttention> attention_;
+  std::shared_ptr<nn::Linear> readout_;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_ATTENTION_AUTOENCODER_H_

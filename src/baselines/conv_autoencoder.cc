@@ -1,0 +1,44 @@
+#include "baselines/conv_autoencoder.h"
+
+#include "common/check.h"
+
+namespace mace::baselines {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Status ConvAutoencoder::BuildModel(int num_features, Rng* rng) {
+  constexpr int kKernel1 = 5, kStride1 = 2, kKernel2 = 3, kStride2 = 2;
+  const int len1 = (options_.window - kKernel1) / kStride1 + 1;
+  if (len1 < kKernel2) {
+    return Status::InvalidArgument("window too short for ConvAutoencoder");
+  }
+  const int len2 = (len1 - kKernel2) / kStride2 + 1;
+  conv1_ = std::make_shared<nn::Conv1dLayer>(num_features, channels1_,
+                                             kKernel1, kStride1, rng);
+  conv2_ = std::make_shared<nn::Conv1dLayer>(channels1_, channels2_, kKernel2,
+                                             kStride2, rng);
+  flat_latent_ = channels2_ * len2;
+  decoder_ = std::make_shared<nn::Linear>(
+      flat_latent_, num_features * options_.window, rng);
+  return Status::OK();
+}
+
+Tensor ConvAutoencoder::Reconstruct(const Tensor& window) {
+  const auto m = window.dim(0);
+  const auto t = window.dim(1);
+  Tensor x = Reshape(window, Shape{1, m, t});
+  Tensor h1 = Relu(conv1_->Forward(x));
+  Tensor h2 = Relu(conv2_->Forward(h1));
+  Tensor flat = Reshape(h2, Shape{1, flat_latent_});
+  return Reshape(decoder_->Forward(flat), Shape{m, t});
+}
+
+std::vector<Tensor> ConvAutoencoder::ModelParameters() const {
+  std::vector<Tensor> params = conv1_->Parameters();
+  for (Tensor& p : conv2_->Parameters()) params.push_back(std::move(p));
+  for (Tensor& p : decoder_->Parameters()) params.push_back(std::move(p));
+  return params;
+}
+
+}  // namespace mace::baselines

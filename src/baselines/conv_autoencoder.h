@@ -1,0 +1,40 @@
+#ifndef MACE_BASELINES_CONV_AUTOENCODER_H_
+#define MACE_BASELINES_CONV_AUTOENCODER_H_
+
+#include <memory>
+
+#include "baselines/reconstruction_detector.h"
+#include "nn/layers.h"
+
+namespace mace::baselines {
+
+/// \brief Convolutional autoencoder baseline: strided Conv1d encoder with
+/// a linear decoder — the MSCRED family (convolutional encoder-decoder
+/// over signature representations).
+class ConvAutoencoder : public ReconstructionDetector {
+ public:
+  explicit ConvAutoencoder(TrainOptions options, int channels1 = 12,
+                           int channels2 = 8)
+      : ReconstructionDetector(options),
+        channels1_(channels1),
+        channels2_(channels2) {}
+
+  std::string name() const override { return "Conv-AE"; }
+
+ protected:
+  Status BuildModel(int num_features, Rng* rng) override;
+  tensor::Tensor Reconstruct(const tensor::Tensor& window) override;
+  std::vector<tensor::Tensor> ModelParameters() const override;
+
+ private:
+  int channels1_;
+  int channels2_;
+  int flat_latent_ = 0;
+  std::shared_ptr<nn::Conv1dLayer> conv1_;
+  std::shared_ptr<nn::Conv1dLayer> conv2_;
+  std::shared_ptr<nn::Linear> decoder_;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_CONV_AUTOENCODER_H_

@@ -1,0 +1,29 @@
+#include "baselines/dense_autoencoder.h"
+
+namespace mace::baselines {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Status DenseAutoencoder::BuildModel(int num_features, Rng* rng) {
+  const int flat = num_features * options_.window;
+  encoder_ = std::make_shared<nn::Linear>(flat, hidden_, rng);
+  decoder_ = std::make_shared<nn::Linear>(hidden_, flat, rng);
+  return Status::OK();
+}
+
+Tensor DenseAutoencoder::Reconstruct(const Tensor& window) {
+  const auto m = window.dim(0);
+  const auto t = window.dim(1);
+  Tensor flat = Reshape(window, Shape{1, m * t});
+  Tensor hidden = Tanh(encoder_->Forward(flat));
+  return Reshape(decoder_->Forward(hidden), Shape{m, t});
+}
+
+std::vector<Tensor> DenseAutoencoder::ModelParameters() const {
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (Tensor& p : decoder_->Parameters()) params.push_back(std::move(p));
+  return params;
+}
+
+}  // namespace mace::baselines

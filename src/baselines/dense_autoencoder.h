@@ -1,0 +1,34 @@
+#ifndef MACE_BASELINES_DENSE_AUTOENCODER_H_
+#define MACE_BASELINES_DENSE_AUTOENCODER_H_
+
+#include <memory>
+
+#include "baselines/reconstruction_detector.h"
+#include "nn/layers.h"
+
+namespace mace::baselines {
+
+/// \brief Fully connected autoencoder over flattened windows — the
+/// simplest reconstruction baseline (contrastive/representation methods
+/// like DCdetector reduce to window-representation reconstruction here).
+class DenseAutoencoder : public ReconstructionDetector {
+ public:
+  explicit DenseAutoencoder(TrainOptions options, int hidden = 32)
+      : ReconstructionDetector(options), hidden_(hidden) {}
+
+  std::string name() const override { return "DenseAE"; }
+
+ protected:
+  Status BuildModel(int num_features, Rng* rng) override;
+  tensor::Tensor Reconstruct(const tensor::Tensor& window) override;
+  std::vector<tensor::Tensor> ModelParameters() const override;
+
+ private:
+  int hidden_;
+  std::shared_ptr<nn::Linear> encoder_;
+  std::shared_ptr<nn::Linear> decoder_;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_DENSE_AUTOENCODER_H_

@@ -1,0 +1,32 @@
+#include "baselines/lstm_autoencoder.h"
+
+namespace mace::baselines {
+
+using tensor::Tensor;
+
+Status LstmAutoencoder::BuildModel(int num_features, Rng* rng) {
+  lstm_ = std::make_shared<nn::Lstm>(num_features, hidden_, rng);
+  readout_ = std::make_shared<nn::Linear>(hidden_, num_features, rng);
+  return Status::OK();
+}
+
+Tensor LstmAutoencoder::Reconstruct(const Tensor& window) {
+  // [m, T] -> [T, m] sequence; reconstruct each step from the hidden state.
+  Tensor sequence = Transpose(window);
+  Tensor hidden = lstm_->Forward(sequence);          // [T, H]
+  Tensor rec_sequence = readout_->Forward(hidden);   // [T, m]
+  return Transpose(rec_sequence);
+}
+
+std::vector<Tensor> LstmAutoencoder::ModelParameters() const {
+  std::vector<Tensor> params = lstm_->Parameters();
+  for (Tensor& p : readout_->Parameters()) params.push_back(std::move(p));
+  return params;
+}
+
+int64_t LstmAutoencoder::ActivationEstimate() const {
+  // Recurrent nets keep every step's gates/hidden/cell alive for backprop.
+  return static_cast<int64_t>(options_.window) * hidden_ * 8;
+}
+
+}  // namespace mace::baselines

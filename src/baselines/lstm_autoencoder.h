@@ -1,0 +1,36 @@
+#ifndef MACE_BASELINES_LSTM_AUTOENCODER_H_
+#define MACE_BASELINES_LSTM_AUTOENCODER_H_
+
+#include <memory>
+
+#include "baselines/reconstruction_detector.h"
+#include "nn/layers.h"
+
+namespace mace::baselines {
+
+/// \brief Recurrent reconstruction baseline: an LSTM encoder with a
+/// per-step linear readout — the OmniAnomaly family (stochastic recurrent
+/// reconstruction), and the family whose step-by-step recurrence is the
+/// paper's efficiency foil (C2: no parallelism across time).
+class LstmAutoencoder : public ReconstructionDetector {
+ public:
+  explicit LstmAutoencoder(TrainOptions options, int hidden = 24)
+      : ReconstructionDetector(options), hidden_(hidden) {}
+
+  std::string name() const override { return "LSTM-AE"; }
+
+ protected:
+  Status BuildModel(int num_features, Rng* rng) override;
+  tensor::Tensor Reconstruct(const tensor::Tensor& window) override;
+  std::vector<tensor::Tensor> ModelParameters() const override;
+  int64_t ActivationEstimate() const override;
+
+ private:
+  int hidden_;
+  std::shared_ptr<nn::Lstm> lstm_;
+  std::shared_ptr<nn::Linear> readout_;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_LSTM_AUTOENCODER_H_

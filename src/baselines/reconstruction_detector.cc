@@ -1,0 +1,151 @@
+#include "baselines/reconstruction_detector.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "ts/time_series.h"
+
+namespace mace::baselines {
+
+using tensor::Tensor;
+
+ReconstructionDetector::ReconstructionDetector(TrainOptions options)
+    : options_(options), rng_(options.seed) {
+  MACE_CHECK(options_.window >= 4 && options_.train_stride >= 1 &&
+             options_.score_stride >= 1 && options_.epochs >= 1);
+}
+
+Tensor ReconstructionDetector::TrainLoss(const Tensor& window) {
+  return tensor::MseLoss(Reconstruct(window), window);
+}
+
+Status ReconstructionDetector::Fit(
+    const std::vector<ts::ServiceData>& services) {
+  if (services.empty()) {
+    return Status::InvalidArgument("Fit requires at least one service");
+  }
+  num_features_ = services.front().train.num_features();
+  for (const ts::ServiceData& s : services) {
+    if (s.train.num_features() != num_features_) {
+      return Status::InvalidArgument(
+          "all services must share the feature count");
+    }
+  }
+
+  scalers_.clear();
+  epoch_losses_.clear();
+  std::vector<Tensor> windows;
+  for (const ts::ServiceData& service : services) {
+    ts::StandardScaler scaler;
+    scaler.Fit(service.train);
+    MACE_ASSIGN_OR_RETURN(
+        ts::WindowBatch batch,
+        ts::MakeWindows(scaler.Transform(service.train), options_.window,
+                        options_.train_stride));
+    for (Tensor& w : batch.windows) windows.push_back(std::move(w));
+    scalers_.push_back(std::move(scaler));
+  }
+  if (windows.empty()) {
+    return Status::InvalidArgument("no training windows");
+  }
+
+  MACE_RETURN_IF_ERROR(BuildModel(num_features_, &rng_));
+  nn::Adam optimizer(ModelParameters(), options_.learning_rate);
+
+  std::vector<size_t> order(windows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (size_t idx : order) {
+      Tensor loss = TrainLoss(windows[idx]);
+      epoch_loss += loss.item();
+      optimizer.ZeroGrad();
+      loss.Backward();
+      optimizer.ClipGradNorm(options_.grad_clip);
+      optimizer.Step();
+    }
+    epoch_losses_.push_back(epoch_loss / static_cast<double>(order.size()));
+    MACE_LOG(kDebug) << name() << " epoch " << epoch << " loss "
+                     << epoch_losses_.back();
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> ReconstructionDetector::ScoreScaled(
+    const ts::TimeSeries& scaled_test) {
+  core::ScoreAccumulator accumulator(scaled_test.length());
+  const auto window = static_cast<size_t>(options_.window);
+  std::vector<size_t> starts;
+  for (size_t start = 0; start + window <= scaled_test.length();
+       start += static_cast<size_t>(options_.score_stride)) {
+    starts.push_back(start);
+  }
+  if (scaled_test.length() >= window &&
+      (starts.empty() || starts.back() + window < scaled_test.length())) {
+    starts.push_back(scaled_test.length() - window);
+  }
+  const auto m = static_cast<size_t>(num_features_);
+  for (size_t start : starts) {
+    Tensor w = ts::WindowToTensor(scaled_test, start, options_.window);
+    Tensor rec = Reconstruct(w);
+    MACE_CHECK(rec.dim(0) == w.dim(0) && rec.dim(1) == w.dim(1))
+        << name() << " reconstruction shape mismatch";
+    const std::vector<double>& rv = rec.data();
+    const std::vector<double>& wv = w.data();
+    std::vector<double> errors(window, 0.0);
+    for (size_t t = 0; t < window; ++t) {
+      double acc = 0.0;
+      for (size_t f = 0; f < m; ++f) {
+        const double d = rv[f * window + t] - wv[f * window + t];
+        acc += d * d;
+      }
+      errors[t] = acc / static_cast<double>(m);
+    }
+    accumulator.Add(start, errors);
+  }
+  return accumulator.Finalize();
+}
+
+Result<std::vector<double>> ReconstructionDetector::Score(
+    int service_index, const ts::TimeSeries& test) {
+  if (!fitted_) return Status::FailedPrecondition("Score before Fit");
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= scalers_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  if (test.length() < static_cast<size_t>(options_.window)) {
+    return Status::InvalidArgument("test series shorter than window");
+  }
+  return ScoreScaled(
+      scalers_[static_cast<size_t>(service_index)].Transform(test));
+}
+
+Result<std::vector<double>> ReconstructionDetector::ScoreUnseen(
+    const ts::ServiceData& service) {
+  if (!fitted_) return Status::FailedPrecondition("ScoreUnseen before Fit");
+  if (service.train.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  ts::StandardScaler scaler;
+  scaler.Fit(service.train);
+  return ScoreScaled(scaler.Transform(service.test));
+}
+
+int64_t ReconstructionDetector::ParameterCount() const {
+  int64_t total = 0;
+  for (const Tensor& p : ModelParameters()) total += p.numel();
+  return total;
+}
+
+int64_t ReconstructionDetector::ActivationEstimate() const {
+  return static_cast<int64_t>(num_features_) * options_.window * 8;
+}
+
+int64_t ReconstructionDetector::PeakActivationElements() const {
+  return ActivationEstimate();
+}
+
+}  // namespace mace::baselines

@@ -1,0 +1,75 @@
+#ifndef MACE_BASELINES_RECONSTRUCTION_DETECTOR_H_
+#define MACE_BASELINES_RECONSTRUCTION_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "nn/optimizer.h"
+#include "ts/scaler.h"
+
+namespace mace::baselines {
+
+/// \brief Training hyperparameters shared by all neural baselines.
+struct TrainOptions {
+  int window = 40;
+  int train_stride = 8;
+  int score_stride = 5;
+  int epochs = 8;
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;
+  uint64_t seed = 7;
+};
+
+/// \brief Common scaffolding of reconstruction-based neural baselines:
+/// per-service z-scoring, windowed training with Adam, and per-step
+/// scoring from reconstruction error. Subclasses only define the network.
+class ReconstructionDetector : public core::Detector {
+ public:
+  Status Fit(const std::vector<ts::ServiceData>& services) override;
+  Result<std::vector<double>> Score(int service_index,
+                                    const ts::TimeSeries& test) override;
+  Result<std::vector<double>> ScoreUnseen(
+      const ts::ServiceData& service) override;
+  int64_t ParameterCount() const override;
+  int64_t PeakActivationElements() const override;
+
+  const TrainOptions& options() const { return options_; }
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+ protected:
+  explicit ReconstructionDetector(TrainOptions options);
+
+  /// Creates the network for `num_features` input channels.
+  virtual Status BuildModel(int num_features, Rng* rng) = 0;
+
+  /// Maps one scaled window [m, T] to its reconstruction [m, T]. Called
+  /// both in training (graph is differentiated) and in scoring.
+  virtual tensor::Tensor Reconstruct(const tensor::Tensor& window) = 0;
+
+  /// Training loss for one window; default is the reconstruction MSE.
+  /// Override to add regularizers (e.g. the VAE KL term).
+  virtual tensor::Tensor TrainLoss(const tensor::Tensor& window);
+
+  virtual std::vector<tensor::Tensor> ModelParameters() const = 0;
+
+  /// Number of live activation elements in one forward pass (estimate).
+  virtual int64_t ActivationEstimate() const;
+
+  TrainOptions options_;
+  int num_features_ = 0;
+  Rng rng_;
+
+ private:
+  std::vector<double> ScoreScaled(const ts::TimeSeries& scaled_test);
+
+  std::vector<ts::StandardScaler> scalers_;
+  std::vector<double> epoch_losses_;
+  bool fitted_ = false;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_RECONSTRUCTION_DETECTOR_H_

@@ -1,0 +1,59 @@
+#include "baselines/registry.h"
+
+#include "baselines/attention_autoencoder.h"
+#include "baselines/conv_autoencoder.h"
+#include "baselines/dense_autoencoder.h"
+#include "baselines/lstm_autoencoder.h"
+#include "baselines/signal_reconstructor.h"
+#include "baselines/vae.h"
+#include "core/mace_detector.h"
+
+namespace mace::baselines {
+
+std::vector<std::string> NeuralBaselineNames() {
+  return {"DenseAE", "VAE", "LSTM-AE", "Attn-AE", "Conv-AE", "ProS"};
+}
+
+std::vector<std::string> AllBaselineNames() {
+  std::vector<std::string> names = NeuralBaselineNames();
+  names.push_back("Signal-PCA");
+  return names;
+}
+
+Result<std::unique_ptr<core::Detector>> MakeDetector(
+    const std::string& name, const TrainOptions& options) {
+  std::unique_ptr<core::Detector> detector;
+  if (name == "MACE") {
+    core::MaceConfig config;
+    config.window = options.window;
+    config.train_stride = options.train_stride;
+    config.score_stride = options.score_stride;
+    config.epochs = options.epochs;
+    config.learning_rate = options.learning_rate;
+    config.grad_clip = options.grad_clip;
+    config.seed = options.seed;
+    detector = std::make_unique<core::MaceDetector>(config);
+  } else if (name == "DenseAE") {
+    detector = std::make_unique<DenseAutoencoder>(options);
+  } else if (name == "VAE") {
+    detector = std::make_unique<Vae>(options);
+  } else if (name == "ProS") {
+    // ProS substitution: a zero-shot-oriented VAE with a narrower latent
+    // (the paper's ProS is a VAE with latent domain vectors; see DESIGN.md).
+    detector = std::make_unique<Vae>(options, /*hidden=*/32, /*latent=*/6,
+                                     /*beta=*/5e-3);
+  } else if (name == "LSTM-AE") {
+    detector = std::make_unique<LstmAutoencoder>(options);
+  } else if (name == "Attn-AE") {
+    detector = std::make_unique<AttentionAutoencoder>(options);
+  } else if (name == "Conv-AE") {
+    detector = std::make_unique<ConvAutoencoder>(options);
+  } else if (name == "Signal-PCA") {
+    detector = std::make_unique<SignalReconstructor>(options);
+  } else {
+    return Status::NotFound("unknown detector '" + name + "'");
+  }
+  return detector;
+}
+
+}  // namespace mace::baselines

@@ -1,0 +1,33 @@
+#ifndef MACE_BASELINES_REGISTRY_H_
+#define MACE_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/reconstruction_detector.h"
+#include "common/result.h"
+#include "core/detector.h"
+
+namespace mace::baselines {
+
+/// Names of the neural baselines that support unified multi-service
+/// training (paper families in parentheses; see EXPERIMENTS.md):
+/// DenseAE (DCdetector), VAE (VAE), LSTM-AE (OmniAnomaly), Attn-AE
+/// (AnomalyTransformer/TranAD), Conv-AE (MSCRED/DVGCRN), ProS (ProS).
+std::vector<std::string> NeuralBaselineNames();
+
+/// Neural baselines plus the signal-processing method "Signal-PCA"
+/// (JumpStarter family), which is excluded from unified/unseen tables as
+/// in the paper.
+std::vector<std::string> AllBaselineNames();
+
+/// \brief Constructs a detector by name ("MACE" builds the paper's method
+/// with its defaults; anything from AllBaselineNames() builds that
+/// baseline). Returns NotFound for unknown names.
+Result<std::unique_ptr<core::Detector>> MakeDetector(
+    const std::string& name, const TrainOptions& options);
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_REGISTRY_H_

@@ -1,0 +1,179 @@
+#include "baselines/signal_reconstructor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/detector.h"
+#include "ts/time_series.h"
+
+namespace mace::baselines {
+namespace {
+
+/// Top principal directions of rows via power iteration with deflation on
+/// the (implicitly centered) Gram accumulation. Rows are the centered
+/// flattened windows.
+std::vector<std::vector<double>> TopComponents(
+    const std::vector<std::vector<double>>& centered_rows, int count,
+    int iterations = 120) {
+  const size_t d = centered_rows.front().size();
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& row : centered_rows) {
+    for (size_t i = 0; i < d; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (size_t j = i; j < d; ++j) cov[i][j] += ri * row[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) cov[j][i] = cov[i][j];
+  }
+
+  std::vector<std::vector<double>> components;
+  std::vector<double> v(d), next(d);
+  for (int c = 0; c < count; ++c) {
+    for (size_t i = 0; i < d; ++i) {
+      v[i] = 1.0 + 1e-3 * static_cast<double>((i + c) % 11);
+    }
+    double lambda = 0.0;
+    for (int it = 0; it < iterations; ++it) {
+      for (size_t i = 0; i < d; ++i) {
+        double acc = 0.0;
+        for (size_t j = 0; j < d; ++j) acc += cov[i][j] * v[j];
+        next[i] = acc;
+      }
+      double norm = 0.0;
+      for (double x : next) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) break;
+      for (size_t i = 0; i < d; ++i) v[i] = next[i] / norm;
+      lambda = norm;
+    }
+    components.push_back(v);
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) cov[i][j] -= lambda * v[i] * v[j];
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+Result<SignalReconstructor::Subspace> SignalReconstructor::BuildSubspace(
+    const ts::TimeSeries& scaled_train) const {
+  MACE_ASSIGN_OR_RETURN(
+      ts::WindowBatch batch,
+      ts::MakeWindows(scaled_train, options_.window, options_.train_stride));
+  const size_t d = static_cast<size_t>(scaled_train.num_features()) *
+                   static_cast<size_t>(options_.window);
+  Subspace subspace;
+  subspace.mean.assign(d, 0.0);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(batch.windows.size());
+  for (const tensor::Tensor& w : batch.windows) {
+    rows.push_back(w.data());
+    for (size_t i = 0; i < d; ++i) subspace.mean[i] += rows.back()[i];
+  }
+  if (rows.size() < 2) {
+    return Status::InvalidArgument("too few windows for a shape subspace");
+  }
+  for (double& m : subspace.mean) m /= static_cast<double>(rows.size());
+  for (auto& row : rows) {
+    for (size_t i = 0; i < d; ++i) row[i] -= subspace.mean[i];
+  }
+  const int count =
+      std::min<int>(components_, static_cast<int>(rows.size()) - 1);
+  subspace.components = TopComponents(rows, count);
+  return subspace;
+}
+
+Status SignalReconstructor::Fit(const std::vector<ts::ServiceData>& services) {
+  if (services.empty()) {
+    return Status::InvalidArgument("Fit requires at least one service");
+  }
+  num_features_ = services.front().train.num_features();
+  scalers_.clear();
+  subspaces_.clear();
+  for (const ts::ServiceData& service : services) {
+    if (service.train.num_features() != num_features_) {
+      return Status::InvalidArgument(
+          "all services must share the feature count");
+    }
+    ts::StandardScaler scaler;
+    scaler.Fit(service.train);
+    MACE_ASSIGN_OR_RETURN(Subspace subspace,
+                          BuildSubspace(scaler.Transform(service.train)));
+    scalers_.push_back(std::move(scaler));
+    subspaces_.push_back(std::move(subspace));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> SignalReconstructor::ScoreScaled(
+    const Subspace& subspace, const ts::TimeSeries& scaled_test) const {
+  core::ScoreAccumulator accumulator(scaled_test.length());
+  const auto window = static_cast<size_t>(options_.window);
+  const auto m = static_cast<size_t>(num_features_);
+  std::vector<size_t> starts;
+  for (size_t start = 0; start + window <= scaled_test.length();
+       start += static_cast<size_t>(options_.score_stride)) {
+    starts.push_back(start);
+  }
+  if (scaled_test.length() >= window &&
+      (starts.empty() || starts.back() + window < scaled_test.length())) {
+    starts.push_back(scaled_test.length() - window);
+  }
+  const size_t d = m * window;
+  std::vector<double> centered(d), residual(d);
+  for (size_t start : starts) {
+    const tensor::Tensor w =
+        ts::WindowToTensor(scaled_test, start, options_.window);
+    const std::vector<double>& wv = w.data();
+    for (size_t i = 0; i < d; ++i) centered[i] = wv[i] - subspace.mean[i];
+    residual = centered;
+    for (const auto& component : subspace.components) {
+      double dot = 0.0;
+      for (size_t i = 0; i < d; ++i) dot += centered[i] * component[i];
+      for (size_t i = 0; i < d; ++i) residual[i] -= dot * component[i];
+    }
+    std::vector<double> errors(window, 0.0);
+    for (size_t t = 0; t < window; ++t) {
+      double acc = 0.0;
+      for (size_t f = 0; f < m; ++f) {
+        const double r = residual[f * window + t];
+        acc += r * r;
+      }
+      errors[t] = acc / static_cast<double>(m);
+    }
+    accumulator.Add(start, errors);
+  }
+  return accumulator.Finalize();
+}
+
+Result<std::vector<double>> SignalReconstructor::Score(
+    int service_index, const ts::TimeSeries& test) {
+  if (!fitted_) return Status::FailedPrecondition("Score before Fit");
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= subspaces_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  return ScoreScaled(
+      subspaces_[static_cast<size_t>(service_index)],
+      scalers_[static_cast<size_t>(service_index)].Transform(test));
+}
+
+Result<std::vector<double>> SignalReconstructor::ScoreUnseen(
+    const ts::ServiceData& service) {
+  if (service.train.num_features() != num_features_ && fitted_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  num_features_ = service.train.num_features();
+  ts::StandardScaler scaler;
+  scaler.Fit(service.train);
+  MACE_ASSIGN_OR_RETURN(Subspace subspace,
+                        BuildSubspace(scaler.Transform(service.train)));
+  return ScoreScaled(subspace, scaler.Transform(service.test));
+}
+
+}  // namespace mace::baselines

@@ -1,0 +1,55 @@
+#ifndef MACE_BASELINES_SIGNAL_RECONSTRUCTOR_H_
+#define MACE_BASELINES_SIGNAL_RECONSTRUCTOR_H_
+
+#include <vector>
+
+#include "baselines/reconstruction_detector.h"
+#include "core/detector.h"
+#include "ts/scaler.h"
+
+namespace mace::baselines {
+
+/// \brief Signal-processing baseline (the JumpStarter family): no learned
+/// weights — each service gets a shape subspace of its training windows
+/// (top principal components of flattened windows) and test windows are
+/// scored by their residual against that subspace.
+///
+/// Like JumpStarter, it is inherently per-service: a "unified" fit simply
+/// stores one subspace per service, and transferring the learned state to
+/// unseen services is the identity operation (ScoreUnseen recomputes the
+/// subspace from the new service's train split).
+class SignalReconstructor : public core::Detector {
+ public:
+  explicit SignalReconstructor(TrainOptions options, int components = 10)
+      : options_(options), components_(components) {}
+
+  Status Fit(const std::vector<ts::ServiceData>& services) override;
+  Result<std::vector<double>> Score(int service_index,
+                                    const ts::TimeSeries& test) override;
+  Result<std::vector<double>> ScoreUnseen(
+      const ts::ServiceData& service) override;
+  std::string name() const override { return "Signal-PCA"; }
+
+ private:
+  /// Per-service shape subspace: mean and orthonormal components of
+  /// flattened [m * T] training windows.
+  struct Subspace {
+    std::vector<double> mean;
+    std::vector<std::vector<double>> components;
+  };
+
+  Result<Subspace> BuildSubspace(const ts::TimeSeries& scaled_train) const;
+  std::vector<double> ScoreScaled(const Subspace& subspace,
+                                  const ts::TimeSeries& scaled_test) const;
+
+  TrainOptions options_;
+  int components_;
+  int num_features_ = 0;
+  std::vector<ts::StandardScaler> scalers_;
+  std::vector<Subspace> subspaces_;
+  bool fitted_ = false;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_SIGNAL_RECONSTRUCTOR_H_

@@ -1,0 +1,62 @@
+#include "baselines/vae.h"
+
+namespace mace::baselines {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+Status Vae::BuildModel(int num_features, Rng* rng) {
+  const int flat = num_features * options_.window;
+  encoder_ = std::make_shared<nn::Linear>(flat, hidden_, rng);
+  mu_head_ = std::make_shared<nn::Linear>(hidden_, latent_, rng);
+  logvar_head_ = std::make_shared<nn::Linear>(hidden_, latent_, rng);
+  decoder_hidden_ = std::make_shared<nn::Linear>(latent_, hidden_, rng);
+  decoder_out_ = std::make_shared<nn::Linear>(hidden_, flat, rng);
+  return Status::OK();
+}
+
+void Vae::Encode(const Tensor& window, Tensor* mu, Tensor* logvar) {
+  const Index m = window.dim(0);
+  const Index t = window.dim(1);
+  Tensor hidden =
+      Tanh(encoder_->Forward(Reshape(window, Shape{1, m * t})));
+  *mu = mu_head_->Forward(hidden);
+  *logvar = logvar_head_->Forward(hidden);
+}
+
+Tensor Vae::Decode(const Tensor& z, Index m, Index t) {
+  Tensor hidden = Tanh(decoder_hidden_->Forward(z));
+  return Reshape(decoder_out_->Forward(hidden), Shape{m, t});
+}
+
+Tensor Vae::Reconstruct(const Tensor& window) {
+  Tensor mu, logvar;
+  Encode(window, &mu, &logvar);
+  return Decode(mu, window.dim(0), window.dim(1));
+}
+
+Tensor Vae::TrainLoss(const Tensor& window) {
+  Tensor mu, logvar;
+  Encode(window, &mu, &logvar);
+  Tensor eps = Tensor::RandomGaussian(Shape{1, latent_}, &rng_, 0.0, 1.0);
+  Tensor z = Add(mu, Mul(Exp(MulScalar(logvar, 0.5)), eps));
+  Tensor rec = Decode(z, window.dim(0), window.dim(1));
+  Tensor recon_loss = tensor::MseLoss(rec, window);
+  // KL(q || N(0, I)) = -0.5 mean(1 + logvar - mu^2 - exp(logvar)).
+  Tensor kl = MulScalar(
+      tensor::Mean(Sub(Sub(AddScalar(logvar, 1.0), Square(mu)), Exp(logvar))),
+      -0.5);
+  return Add(recon_loss, MulScalar(kl, beta_));
+}
+
+std::vector<Tensor> Vae::ModelParameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer :
+       {encoder_, mu_head_, logvar_head_, decoder_hidden_, decoder_out_}) {
+    for (Tensor& p : layer->Parameters()) params.push_back(std::move(p));
+  }
+  return params;
+}
+
+}  // namespace mace::baselines

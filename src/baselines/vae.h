@@ -1,0 +1,54 @@
+#ifndef MACE_BASELINES_VAE_H_
+#define MACE_BASELINES_VAE_H_
+
+#include <memory>
+
+#include "baselines/reconstruction_detector.h"
+#include "nn/layers.h"
+
+namespace mace::baselines {
+
+/// \brief Variational autoencoder baseline (Kingma & Welling, 2014) —
+/// the "VAE" row of the paper's tables, and the backbone the paper's ProS
+/// baseline builds on.
+///
+/// Training samples z = mu + exp(logvar / 2) * eps and minimizes
+/// reconstruction MSE + beta * KL(q(z|x) || N(0, I)); scoring uses the
+/// posterior mean (deterministic reconstruction).
+class Vae : public ReconstructionDetector {
+ public:
+  explicit Vae(TrainOptions options, int hidden = 32, int latent = 8,
+               double beta = 1e-3)
+      : ReconstructionDetector(options),
+        hidden_(hidden),
+        latent_(latent),
+        beta_(beta) {}
+
+  std::string name() const override { return "VAE"; }
+
+ protected:
+  Status BuildModel(int num_features, Rng* rng) override;
+  tensor::Tensor Reconstruct(const tensor::Tensor& window) override;
+  tensor::Tensor TrainLoss(const tensor::Tensor& window) override;
+  std::vector<tensor::Tensor> ModelParameters() const override;
+
+ private:
+  /// Encoder trunk -> (mu, logvar).
+  void Encode(const tensor::Tensor& window, tensor::Tensor* mu,
+              tensor::Tensor* logvar);
+  tensor::Tensor Decode(const tensor::Tensor& z, tensor::Index m,
+                        tensor::Index t);
+
+  int hidden_;
+  int latent_;
+  double beta_;
+  std::shared_ptr<nn::Linear> encoder_;
+  std::shared_ptr<nn::Linear> mu_head_;
+  std::shared_ptr<nn::Linear> logvar_head_;
+  std::shared_ptr<nn::Linear> decoder_hidden_;
+  std::shared_ptr<nn::Linear> decoder_out_;
+};
+
+}  // namespace mace::baselines
+
+#endif  // MACE_BASELINES_VAE_H_

@@ -1,0 +1,52 @@
+#ifndef MACE_COMMON_CHECK_H_
+#define MACE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mace {
+namespace internal {
+
+/// Aborts the process after printing the failed condition and message.
+[[noreturn]] inline void CheckFail(const char* condition, const char* file,
+                                   int line, const std::string& message) {
+  std::fprintf(stderr, "%s:%d: check failed: %s%s%s\n", file, line, condition,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+/// Collects a streamed message for MACE_CHECK and aborts on destruction.
+class CheckMessage {
+ public:
+  CheckMessage(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() {
+    CheckFail(condition_, file_, line_, stream_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mace
+
+/// Invariant check for programmer errors (shape mismatches, index bounds).
+/// Aborts with a diagnostic on failure; streams extra context:
+///   MACE_CHECK(a.size() == b.size()) << "a=" << a.size();
+#define MACE_CHECK(condition)                                            \
+  if (condition) {                                                       \
+  } else /* NOLINT */                                                    \
+    ::mace::internal::CheckMessage(#condition, __FILE__, __LINE__)
+
+#endif  // MACE_COMMON_CHECK_H_

@@ -1,0 +1,109 @@
+#include "common/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mace {
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+Result<double> ParseCell(const std::string& cell, size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  if (end == cell.c_str() || errno == ERANGE) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": cannot parse cell '" + cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header) {
+  CsvTable table;
+  std::stringstream ss(text);
+  std::string line;
+  size_t line_no = 0;
+  size_t expected_cols = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line);
+    if (has_header && table.columns.empty() && table.rows.empty()) {
+      table.columns = cells;
+      expected_cols = cells.size();
+      continue;
+    }
+    if (expected_cols == 0) expected_cols = cells.size();
+    if (cells.size() != expected_cols) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(expected_cols) + " cells, got " +
+          std::to_string(cells.size()));
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      MACE_ASSIGN_OR_RETURN(const double value, ParseCell(cell, line_no));
+      row.push_back(value);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+std::string FormatCsv(const CsvTable& table) {
+  std::ostringstream out;
+  out.precision(17);
+  if (!table.columns.empty()) {
+    for (size_t i = 0; i < table.columns.size(); ++i) {
+      if (i > 0) out << ',';
+      out << table.columns[i];
+    }
+    out << '\n';
+  }
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out << FormatCsv(table);
+  if (!out) {
+    return Status::IoError("failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mace

@@ -1,0 +1,39 @@
+#ifndef MACE_COMMON_CSV_H_
+#define MACE_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace {
+
+/// \brief A rectangular table of doubles with optional column names.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_cols() const {
+    return rows.empty() ? columns.size() : rows.front().size();
+  }
+};
+
+/// \brief Parses CSV text. When `has_header` the first line is taken as
+/// column names. All data cells must parse as doubles; rows must be
+/// rectangular.
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header = true);
+
+/// \brief Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true);
+
+/// \brief Serializes a table to CSV text (header emitted when columns
+/// are non-empty).
+std::string FormatCsv(const CsvTable& table);
+
+/// \brief Writes a table to disk, overwriting the file.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+}  // namespace mace
+
+#endif  // MACE_COMMON_CSV_H_

@@ -1,0 +1,55 @@
+#ifndef MACE_COMMON_LOGGING_H_
+#define MACE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mace {
+
+/// \brief Severity of a log record.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; records below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log record; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the record is below the level.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define MACE_LOG_INTERNAL(level)                                    \
+  ::mace::internal::LogMessage(::mace::LogLevel::level, __FILE__, \
+                               __LINE__)                            \
+      .stream()
+
+#define MACE_LOG(level)                                   \
+  (::mace::LogLevel::level < ::mace::GetLogLevel())       \
+      ? (void)0                                           \
+      : ::mace::internal::LogMessageVoidify() &           \
+            MACE_LOG_INTERNAL(level)
+
+}  // namespace mace
+
+#endif  // MACE_COMMON_LOGGING_H_

@@ -1,0 +1,197 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mace {
+
+double DoubleFactorial(int n) {
+  if (n <= 0) return 1.0;
+  double out = 1.0;
+  for (int k = n; k > 1; k -= 2) out *= k;
+  return out;
+}
+
+double SignedPow(double x, double power) {
+  const double magnitude = std::pow(std::fabs(x), power);
+  return x < 0 ? -magnitude : magnitude;
+}
+
+double SignedRoot(double x, double power) {
+  const double magnitude = std::pow(std::fabs(x), 1.0 / power);
+  return x < 0 ? -magnitude : magnitude;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return acc / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = Mean(a);
+  const double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+Result<double> Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Quantile of empty vector");
+  }
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("quantile must be in [0, 1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(pos));
+  const size_t hi = static_cast<size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double GaussianPdf(double x, double mean, double stddev) {
+  const double z = (x - mean) / stddev;
+  return std::exp(-0.5 * z * z) /
+         (stddev * std::sqrt(2.0 * std::numbers::pi));
+}
+
+Result<KernelDensity> KernelDensity::Fit(std::vector<double> samples,
+                                         double bandwidth) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("KernelDensity requires samples");
+  }
+  if (bandwidth <= 0.0) {
+    // Silverman's rule of thumb.
+    const double sigma = StdDev(samples);
+    const double n = static_cast<double>(samples.size());
+    bandwidth = 1.06 * (sigma > 1e-12 ? sigma : 1.0) * std::pow(n, -0.2);
+  }
+  return KernelDensity(std::move(samples), bandwidth);
+}
+
+double KernelDensity::Density(double x) const {
+  double acc = 0.0;
+  for (double s : samples_) acc += GaussianPdf(x, s, bandwidth_);
+  return acc / static_cast<double>(samples_.size());
+}
+
+double KlDivergence(const KernelDensity& p, const KernelDensity& q,
+                    int grid_points) {
+  auto range_of = [](const KernelDensity& kde) {
+    auto [lo, hi] = std::minmax_element(kde.samples().begin(),
+                                        kde.samples().end());
+    return std::pair<double, double>(*lo - 3.0 * kde.bandwidth(),
+                                     *hi + 3.0 * kde.bandwidth());
+  };
+  auto [plo, phi] = range_of(p);
+  auto [qlo, qhi] = range_of(q);
+  const double lo = std::min(plo, qlo);
+  const double hi = std::max(phi, qhi);
+  if (!(hi > lo) || grid_points < 2) return 0.0;
+
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  // Evaluate densities, renormalize on the grid, accumulate p log(p/q).
+  std::vector<double> pd(grid_points), qd(grid_points);
+  double psum = 0.0, qsum = 0.0;
+  for (int i = 0; i < grid_points; ++i) {
+    const double x = lo + step * i;
+    pd[i] = p.Density(x);
+    qd[i] = q.Density(x);
+    psum += pd[i];
+    qsum += qd[i];
+  }
+  double kl = 0.0;
+  for (int i = 0; i < grid_points; ++i) {
+    const double pi = pd[i] / psum;
+    const double qi = std::max(qd[i] / qsum, 1e-12);
+    if (pi > 1e-12) kl += pi * std::log(pi / qi);
+  }
+  return kl;
+}
+
+Result<GpdParams> FitGpd(std::vector<double> exceedances) {
+  if (exceedances.size() < 2) {
+    return Status::InvalidArgument("GPD fit requires >= 2 exceedances");
+  }
+  std::sort(exceedances.begin(), exceedances.end());
+  const size_t n = exceedances.size();
+  // Probability-weighted moments (Hosking & Wallis 1987):
+  //   b0 = mean, b1 = sum_i ((i) / (n-1)) x_(i) / n   with i = 0..n-1.
+  double b0 = 0.0, b1 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    b0 += exceedances[i];
+    b1 += exceedances[i] * static_cast<double>(i) /
+          static_cast<double>(n - 1);
+  }
+  b0 /= static_cast<double>(n);
+  b1 /= static_cast<double>(n);
+  const double denom = b0 - 2.0 * b1;
+  GpdParams params;
+  if (std::fabs(denom) < 1e-12) {
+    // Degenerate: fall back to exponential tail (shape 0).
+    params.shape = 0.0;
+    params.scale = std::max(b0, 1e-12);
+  } else {
+    params.shape = 2.0 - b0 / denom;
+    params.scale = 2.0 * b0 * b1 / denom;
+    if (params.scale <= 1e-12) {
+      params.shape = 0.0;
+      params.scale = std::max(b0, 1e-12);
+    }
+  }
+  return params;
+}
+
+Result<double> PotThreshold(const std::vector<double>& scores, double risk,
+                            double initial_level) {
+  if (scores.size() < 8) {
+    return Status::InvalidArgument("POT requires at least 8 scores");
+  }
+  if (risk <= 0.0 || risk >= 1.0) {
+    return Status::InvalidArgument("risk must be in (0, 1)");
+  }
+  MACE_ASSIGN_OR_RETURN(const double t,
+                        Quantile(scores, initial_level));
+  std::vector<double> exceedances;
+  for (double s : scores) {
+    if (s > t) exceedances.push_back(s - t);
+  }
+  const double n = static_cast<double>(scores.size());
+  if (exceedances.size() < 2) {
+    // Not enough tail mass: the initial level itself is the best estimate.
+    return t;
+  }
+  const double nt = static_cast<double>(exceedances.size());
+  MACE_ASSIGN_OR_RETURN(const GpdParams gpd, FitGpd(std::move(exceedances)));
+  // z_q = t + (sigma/xi) * ((q n / N_t)^(-xi) - 1), xi != 0.
+  const double ratio = risk * n / nt;
+  if (std::fabs(gpd.shape) < 1e-9) {
+    return t - gpd.scale * std::log(ratio);
+  }
+  return t + gpd.scale / gpd.shape * (std::pow(ratio, -gpd.shape) - 1.0);
+}
+
+}  // namespace mace

@@ -1,0 +1,95 @@
+#ifndef MACE_COMMON_MATH_UTILS_H_
+#define MACE_COMMON_MATH_UTILS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace {
+
+/// \brief Double factorial n!! = n (n-2) (n-4) ... (down to 1 or 2).
+/// Defined as 1 for n <= 0 (matching the convention in Theorem 1).
+double DoubleFactorial(int n);
+
+/// \brief Sign-preserving odd power: sign(x) * |x|^power.
+///
+/// For odd integer powers this equals x^power exactly; the sign-preserving
+/// form is what the dualistic convolution needs so that gradients and roots
+/// stay real for negative inputs.
+double SignedPow(double x, double power);
+
+/// \brief Sign-preserving root: sign(x) * |x|^(1/power).
+double SignedRoot(double x, double power);
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(const std::vector<double>& values);
+
+/// Population variance; 0 for fewer than 2 elements.
+double Variance(const std::vector<double>& values);
+
+double StdDev(const std::vector<double>& values);
+
+/// Pearson correlation of two equally sized vectors; 0 when degenerate.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// \brief Quantile with linear interpolation; q in [0, 1].
+/// Returns an error for empty input or q outside [0, 1].
+Result<double> Quantile(std::vector<double> values, double q);
+
+/// Standard normal probability density.
+double GaussianPdf(double x, double mean = 0.0, double stddev = 1.0);
+
+/// \brief Gaussian kernel density estimate over 1-D samples.
+///
+/// Bandwidth defaults to Silverman's rule of thumb when `bandwidth` <= 0.
+class KernelDensity {
+ public:
+  /// Fits the estimator; returns an error for empty samples.
+  static Result<KernelDensity> Fit(std::vector<double> samples,
+                                   double bandwidth = -1.0);
+
+  /// Density at `x` (always > 0 thanks to the Gaussian kernel).
+  double Density(double x) const;
+
+  double bandwidth() const { return bandwidth_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  KernelDensity(std::vector<double> samples, double bandwidth)
+      : samples_(std::move(samples)), bandwidth_(bandwidth) {}
+
+  std::vector<double> samples_;
+  double bandwidth_ = 1.0;
+};
+
+/// \brief KL divergence KL(p || q) between two KDEs, estimated by evaluating
+/// both densities on an evenly spaced grid spanning both sample ranges.
+double KlDivergence(const KernelDensity& p, const KernelDensity& q,
+                    int grid_points = 256);
+
+/// \brief Generalized Pareto distribution parameters fitted to exceedances.
+struct GpdParams {
+  double shape = 0.0;  ///< xi
+  double scale = 1.0;  ///< sigma > 0
+};
+
+/// \brief Fits a GPD to positive exceedances via probability-weighted
+/// moments (Hosking & Wallis). Returns an error for fewer than 2 samples.
+Result<GpdParams> FitGpd(std::vector<double> exceedances);
+
+/// \brief Peaks-over-threshold quantile estimate (the POT method used for
+/// anomaly thresholding, after Siffer et al., KDD'17).
+///
+/// \param scores         raw anomaly scores (calibration set)
+/// \param risk           target exceedance probability (e.g. 1e-3)
+/// \param initial_level  quantile used to pick the initial threshold t
+///                       (e.g. 0.98)
+/// \return the estimated threshold z_q with P(score > z_q) ~= risk
+Result<double> PotThreshold(const std::vector<double>& scores, double risk,
+                            double initial_level = 0.98);
+
+}  // namespace mace
+
+#endif  // MACE_COMMON_MATH_UTILS_H_

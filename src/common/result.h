@@ -1,0 +1,74 @@
+#ifndef MACE_COMMON_RESULT_H_
+#define MACE_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mace {
+
+/// \brief Outcome of an operation that produces a value or fails.
+///
+/// Holds either a value of type T (status is OK) or a non-OK Status.
+/// Accessing the value of an errored Result aborts; callers must check ok().
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from an error Status: `return Status::InvalidArgument(...)`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError(status_, __FILE__, __LINE__);
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError(status_, __FILE__, __LINE__);
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError(status_, __FILE__, __LINE__);
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define MACE_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto MACE_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!MACE_CONCAT_(_res_, __LINE__).ok())                \
+    return MACE_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(MACE_CONCAT_(_res_, __LINE__)).value()
+
+#define MACE_CONCAT_(a, b) MACE_CONCAT_IMPL_(a, b)
+#define MACE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace mace
+
+#endif  // MACE_COMMON_RESULT_H_

@@ -1,0 +1,63 @@
+#ifndef MACE_COMMON_RNG_H_
+#define MACE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mace {
+
+/// \brief Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// A small, fast, reproducible generator used throughout the library for
+/// synthetic workloads, weight initialization and sampling. Not
+/// cryptographically secure.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli trial with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (size_t i = values->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) (count <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mace
+
+#endif  // MACE_COMMON_RNG_H_

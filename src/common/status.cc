@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mace {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kNotImplemented:
+      return "NOT_IMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void AbortIfError(const Status& status, const char* file, int line) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "%s:%d: unexpected error: %s\n", file, line,
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace mace

@@ -1,0 +1,25 @@
+#include "core/detector.h"
+
+namespace mace::core {
+
+std::vector<double> ScoreAccumulator::Finalize() const {
+  std::vector<double> scores(sums_.size(), 0.0);
+  double covered_sum = 0.0;
+  double covered_count = 0.0;
+  for (size_t t = 0; t < sums_.size(); ++t) {
+    if (counts_[t] > 0.0) {
+      scores[t] = reduction_ == ScoreReduction::kMin ? mins_[t]
+                                                     : sums_[t] / counts_[t];
+      covered_sum += scores[t];
+      covered_count += 1.0;
+    }
+  }
+  const double fallback =
+      covered_count > 0.0 ? covered_sum / covered_count : 0.0;
+  for (size_t t = 0; t < sums_.size(); ++t) {
+    if (counts_[t] == 0.0) scores[t] = fallback;
+  }
+  return scores;
+}
+
+}  // namespace mace::core

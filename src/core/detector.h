@@ -1,0 +1,90 @@
+#ifndef MACE_CORE_DETECTOR_H_
+#define MACE_CORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ts/time_series.h"
+
+namespace mace::core {
+
+/// \brief Abstract multivariate time-series anomaly detector.
+///
+/// A detector is trained on the train splits of one or more services.
+/// Training on several services at once is the paper's "unified model"
+/// setting; constructing one detector per service is the "tailored" one —
+/// the same interface serves both.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Trains on the given services' train splits.
+  virtual Status Fit(const std::vector<ts::ServiceData>& services) = 0;
+
+  /// Per-step anomaly scores (higher = more anomalous) for a test series
+  /// belonging to service `service_index` of the fitted set.
+  virtual Result<std::vector<double>> Score(
+      int service_index, const ts::TimeSeries& test) = 0;
+
+  /// Scores a service that was NOT part of Fit: per-service preprocessing
+  /// (scalers, subspaces) may use the service's train split, but learned
+  /// weights stay frozen — the Table VIII transfer protocol.
+  virtual Result<std::vector<double>> ScoreUnseen(
+      const ts::ServiceData& service) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Number of trainable scalars (0 for non-parametric detectors).
+  virtual int64_t ParameterCount() const { return 0; }
+
+  /// Rough upper bound on live activation elements in one forward pass,
+  /// for the Fig 6(a) memory estimate.
+  virtual int64_t PeakActivationElements() const { return 0; }
+};
+
+/// How overlapping windows' errors combine into one per-step score.
+enum class ScoreReduction {
+  kMean,  ///< average over covering windows (pointwise reconstructors)
+  kMin    ///< minimum over covering windows — localizes spectral errors:
+          ///< a normal step near an anomaly is covered by at least one
+          ///< clean window, while a truly anomalous step scores high in
+          ///< every window that contains it
+};
+
+/// \brief Accumulates per-window, per-step errors into a per-step score
+/// series across overlapping windows.
+class ScoreAccumulator {
+ public:
+  explicit ScoreAccumulator(size_t series_length,
+                            ScoreReduction reduction = ScoreReduction::kMean)
+      : reduction_(reduction),
+        sums_(series_length, 0.0),
+        mins_(series_length, 0.0),
+        counts_(series_length, 0.0) {}
+
+  /// Adds `errors` (one per window step) for the window at `start`.
+  void Add(size_t start, const std::vector<double>& errors) {
+    for (size_t t = 0; t < errors.size(); ++t) {
+      if (start + t >= sums_.size()) break;
+      sums_[start + t] += errors[t];
+      if (counts_[start + t] == 0.0 || errors[t] < mins_[start + t]) {
+        mins_[start + t] = errors[t];
+      }
+      counts_[start + t] += 1.0;
+    }
+  }
+
+  /// Final per-step scores; steps never covered get the mean score.
+  std::vector<double> Finalize() const;
+
+ private:
+  ScoreReduction reduction_;
+  std::vector<double> sums_;
+  std::vector<double> mins_;
+  std::vector<double> counts_;
+};
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_DETECTOR_H_

@@ -1,0 +1,123 @@
+#include "core/dualistic_conv.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace mace::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<double> DualisticConvolve(const std::vector<double>& signal,
+                                      int kernel, int stride, double gamma,
+                                      double sigma, DualisticMode mode) {
+  MACE_CHECK(kernel >= 1 && stride >= 1);
+  MACE_CHECK(gamma >= 1.0) << "gamma magnitude must be >= 1";
+  MACE_CHECK(sigma > 0.0);
+  MACE_CHECK(signal.size() >= static_cast<size_t>(kernel));
+  // Peak: the signed power mean, which approaches the dominant (largest
+  // magnitude) element as gamma grows. Valley: the shift-conjugated form
+  // C - Peak(C - x) with C above the data range, which approaches the
+  // minimum — equivalent to the paper's negative gamma (a reciprocal power
+  // mean) but finite for data that crosses zero.
+  double shift = 0.0;
+  if (mode == DualisticMode::kValley) {
+    double max_abs = 0.0;
+    for (double v : signal) max_abs = std::max(max_abs, std::fabs(v));
+    shift = max_abs + 1.0;
+  }
+  const size_t out_len = (signal.size() - kernel) / stride + 1;
+  std::vector<double> out(out_len);
+  const double alpha = 1.0 / static_cast<double>(kernel);
+  for (size_t i = 0; i < out_len; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < kernel; ++j) {
+      acc += alpha * SignedPow(shift - signal[i * stride + j], gamma) / sigma;
+    }
+    const double rooted = SignedRoot(acc * sigma, gamma);
+    // Peak (shift = 0): SignedPow(-x) = -x^gamma for odd gamma, so
+    // shift - rooted = +PowerMean(x). Valley: C - PowerMean(C - x).
+    out[i] = shift - rooted;
+  }
+  return out;
+}
+
+std::vector<double> DualisticAmplify(const std::vector<double>& signal,
+                                     int kernel, double gamma, double sigma) {
+  MACE_CHECK(kernel >= 1 && kernel % 2 == 1)
+      << "amplification kernel must be odd for symmetric padding";
+  const int half = kernel / 2;
+  // Edge-replication padding keeps the output aligned with the input.
+  std::vector<double> padded(signal.size() + 2 * half);
+  for (size_t i = 0; i < padded.size(); ++i) {
+    const int64_t src = static_cast<int64_t>(i) - half;
+    const int64_t clamped =
+        src < 0 ? 0
+                : (src >= static_cast<int64_t>(signal.size())
+                       ? static_cast<int64_t>(signal.size()) - 1
+                       : src);
+    padded[i] = signal[static_cast<size_t>(clamped)];
+  }
+  const std::vector<double> peak = DualisticConvolve(
+      padded, kernel, /*stride=*/1, gamma, sigma, DualisticMode::kPeak);
+  const std::vector<double> valley = DualisticConvolve(
+      padded, kernel, /*stride=*/1, gamma, sigma, DualisticMode::kValley);
+  MACE_CHECK(peak.size() == signal.size());
+  std::vector<double> out(signal.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = 0.5 * (peak[i] + valley[i]);
+  }
+  return out;
+}
+
+DualisticConvLayer::DualisticConvLayer(int in_channels, int out_channels,
+                                       int kernel, int stride, double gamma,
+                                       double sigma, DualisticMode mode,
+                                       Rng* rng)
+    : kernel_(kernel),
+      stride_(stride),
+      gamma_(gamma),
+      sigma_(sigma),
+      mode_(mode) {
+  MACE_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+             stride > 0);
+  MACE_CHECK(gamma >= 1.0 && sigma > 0.0);
+  MACE_CHECK(rng != nullptr);
+  // Near-averaging initialization: the analysis in Theorem 1 assumes a
+  // summation kernel; training then adapts it.
+  const double base = 1.0 / static_cast<double>(in_channels * kernel);
+  std::vector<double> w(static_cast<size_t>(out_channels) * in_channels *
+                        kernel);
+  for (double& v : w) v = base * rng->Uniform(0.8, 1.2);
+  weight_ = Tensor::FromVector(
+      std::move(w), Shape{out_channels, in_channels, kernel},
+      /*requires_grad=*/true);
+}
+
+Tensor DualisticConvLayer::Forward(const Tensor& input) {
+  if (mode_ == DualisticMode::kPeak) {
+    Tensor powered =
+        MulScalar(tensor::SignedPow(input, gamma_), 1.0 / sigma_);
+    Tensor conv = tensor::Conv1d(powered, weight_, Tensor(), stride_);
+    return tensor::SignedRoot(MulScalar(conv, sigma_), gamma_);
+  }
+  // Valley: C - Peak(C - x) with C a per-forward constant above the data
+  // range (detached), a numerically safe soft-min (see DualisticConvolve).
+  double max_abs = 0.0;
+  for (double v : input.data()) max_abs = std::max(max_abs, std::fabs(v));
+  const double shift = max_abs + 1.0;
+  Tensor flipped = AddScalar(Neg(input), shift);  // C - x > 0
+  Tensor powered =
+      MulScalar(tensor::SignedPow(flipped, gamma_), 1.0 / sigma_);
+  Tensor conv = tensor::Conv1d(powered, weight_, Tensor(), stride_);
+  Tensor rooted = tensor::SignedRoot(MulScalar(conv, sigma_), gamma_);
+  return AddScalar(Neg(rooted), shift);
+}
+
+std::vector<Tensor> DualisticConvLayer::Parameters() const {
+  return {weight_};
+}
+
+}  // namespace mace::core

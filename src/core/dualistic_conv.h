@@ -1,0 +1,67 @@
+#ifndef MACE_CORE_DUALISTIC_CONV_H_
+#define MACE_CORE_DUALISTIC_CONV_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mace::core {
+
+/// Which deviation direction a dualistic convolution emphasizes.
+enum class DualisticMode {
+  kPeak,   ///< emphasizes upward deviations (paper: gamma >= 3)
+  kValley  ///< emphasizes downward deviations (paper: gamma <= -3)
+};
+
+/// \brief Fixed-kernel dualistic convolution of a 1-D signal (Eq. 2):
+///
+///   DualisticConv(x) = (Conv(x^gamma / sigma, s))^(1/gamma)
+///
+/// with an averaging kernel alpha_i = 1/kernel. Powers are sign-preserving
+/// (exact for the paper's odd gamma). Valley convolution is realized as
+/// -Peak(-x), which emphasizes downward deviations symmetrically and stays
+/// finite near zero (see DESIGN.md). Output length (n - kernel)/stride + 1.
+std::vector<double> DualisticConvolve(const std::vector<double>& signal,
+                                      int kernel, int stride, double gamma,
+                                      double sigma, DualisticMode mode);
+
+/// \brief Stage-1 anomaly amplification: stride-1 peak and valley
+/// convolutions with edge-replication padding (output length == input
+/// length), averaged elementwise — "amplify anomalies" in the time domain.
+std::vector<double> DualisticAmplify(const std::vector<double>& signal,
+                                     int kernel, double gamma, double sigma);
+
+/// \brief Learnable dualistic convolution layer over [N, C, L] inputs:
+///
+///   y = (Conv1d(sign(x)|x|^gamma / sigma, W, stride))^(1/gamma)
+///
+/// Replaces the vanilla convolution of the autoencoder (stage 3). With
+/// stride == kernel in the frequency domain it acts as the soft max/min
+/// pooling of Fig 4(a). Kernels initialize near the averaging kernel.
+class DualisticConvLayer : public nn::Module {
+ public:
+  DualisticConvLayer(int in_channels, int out_channels, int kernel,
+                     int stride, double gamma, double sigma,
+                     DualisticMode mode, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  std::vector<tensor::Tensor> Parameters() const override;
+  std::string name() const override { return "DualisticConv"; }
+
+  double gamma() const { return gamma_; }
+  DualisticMode mode() const { return mode_; }
+
+ private:
+  int kernel_;
+  int stride_;
+  double gamma_;
+  double sigma_;
+  DualisticMode mode_;
+  tensor::Tensor weight_;  // [out, in, kernel]
+};
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_DUALISTIC_CONV_H_

@@ -1,0 +1,319 @@
+#include "core/mace_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mace::core {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+MaceDetector::MaceDetector(MaceConfig config) : config_(config) {
+  MACE_CHECK(config_.window >= 4);
+  MACE_CHECK(config_.num_bases >= 1 &&
+             config_.num_bases <= config_.window / 2)
+      << "num_bases must be in [1, window/2]";
+}
+
+Result<std::vector<int>> MaceDetector::SelectBases(
+    const ts::TimeSeries& scaled_train) const {
+  const bool context_aware =
+      config_.use_context_aware_dft && config_.use_pattern_extraction;
+  if (!context_aware) {
+    // Vanilla DFT ablation: the full one-sided spectrum (DC excluded, as
+    // z-scored windows carry no level information in training data).
+    std::vector<int> bases;
+    for (int j = 1; j <= config_.window / 2; ++j) bases.push_back(j);
+    return bases;
+  }
+  PatternExtractorOptions options;
+  options.window = config_.window;
+  options.stride = config_.train_stride;
+  options.num_bases = config_.num_bases;
+  options.strongest_per_window = config_.strongest_per_window;
+  MACE_ASSIGN_OR_RETURN(PatternSubspace subspace,
+                        ExtractPattern(scaled_train, options));
+  // Keep base order deterministic for the shared network: sort ascending
+  // so column b always means "b-th lowest selected frequency".
+  std::sort(subspace.bases.begin(), subspace.bases.end());
+  return subspace.bases;
+}
+
+Tensor MaceDetector::AmplifyWindow(const Tensor& window) const {
+  if (!config_.use_dualistic_time) return window;
+  const auto m = static_cast<size_t>(window.dim(0));
+  const auto t_len = static_cast<size_t>(window.dim(1));
+  std::vector<double> out(m * t_len);
+  const std::vector<double>& data = window.data();
+  std::vector<double> row(t_len);
+  for (size_t f = 0; f < m; ++f) {
+    std::copy(data.begin() + f * t_len, data.begin() + (f + 1) * t_len,
+              row.begin());
+    const std::vector<double> amplified = DualisticAmplify(
+        row, config_.time_kernel, config_.gamma_t, config_.sigma_t);
+    std::copy(amplified.begin(), amplified.end(), out.begin() + f * t_len);
+  }
+  return Tensor::FromVector(std::move(out),
+                            Shape{window.dim(0), window.dim(1)});
+}
+
+ts::TimeSeries MaceDetector::AmplifySeries(const ts::TimeSeries& series) const {
+  if (!config_.use_dualistic_time) return series;
+  const int m = series.num_features();
+  std::vector<std::vector<double>> values(series.length(),
+                                          std::vector<double>(m));
+  for (int f = 0; f < m; ++f) {
+    const std::vector<double> amplified = DualisticAmplify(
+        series.Feature(f), config_.time_kernel, config_.gamma_t,
+        config_.sigma_t);
+    for (size_t t = 0; t < series.length(); ++t) {
+      values[t][static_cast<size_t>(f)] = amplified[t];
+    }
+  }
+  return ts::TimeSeries(std::move(values), series.labels());
+}
+
+Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
+  if (services.empty()) {
+    return Status::InvalidArgument("Fit requires at least one service");
+  }
+  num_features_ = services.front().train.num_features();
+  for (const ts::ServiceData& s : services) {
+    if (s.train.num_features() != num_features_) {
+      return Status::InvalidArgument(
+          "all services must share the feature count");
+    }
+    if (s.train.length() < static_cast<size_t>(config_.window)) {
+      return Status::InvalidArgument("service '" + s.name +
+                                     "' train split shorter than window");
+    }
+  }
+
+  scalers_.clear();
+  subspaces_.clear();
+  transforms_.clear();
+  epoch_losses_.clear();
+
+  // Preprocessing: per-service scaling, subspace extraction, transforms,
+  // and stage-1-amplified training windows.
+  std::vector<std::vector<Tensor>> amplified;  // [service][window]
+  int coeff_columns = -1;
+  for (const ts::ServiceData& service : services) {
+    ts::StandardScaler scaler;
+    scaler.Fit(service.train);
+    const ts::TimeSeries scaled = scaler.Transform(service.train);
+    // Bases are selected on the stage-1-amplified signal — the signal the
+    // autoencoder actually reconstructs.
+    MACE_ASSIGN_OR_RETURN(std::vector<int> bases,
+                          SelectBases(AmplifySeries(scaled)));
+    PatternSubspace subspace;
+    subspace.bases = bases;
+    const int columns = 2 * static_cast<int>(bases.size());
+    if (coeff_columns < 0) coeff_columns = columns;
+    if (columns != coeff_columns) {
+      return Status::Internal("inconsistent subspace sizes across services");
+    }
+    transforms_.push_back(MakeServiceTransforms(config_.window, bases));
+    subspaces_.push_back(std::move(subspace));
+    scalers_.push_back(std::move(scaler));
+
+    MACE_ASSIGN_OR_RETURN(
+        ts::WindowBatch batch,
+        ts::MakeWindows(scaled, config_.window, config_.train_stride));
+    std::vector<Tensor> windows;
+    windows.reserve(batch.windows.size());
+    for (const Tensor& w : batch.windows) {
+      windows.push_back(AmplifyWindow(w));
+    }
+    amplified.push_back(std::move(windows));
+  }
+
+  Rng rng(config_.seed);
+  model_ = std::make_unique<MaceModel>(config_, num_features_, coeff_columns,
+                                       &rng);
+  nn::Adam optimizer(model_->Parameters(), config_.learning_rate);
+
+  // Unified training across all services' windows.
+  std::vector<std::pair<size_t, size_t>> order;
+  for (size_t s = 0; s < amplified.size(); ++s) {
+    for (size_t w = 0; w < amplified[s].size(); ++w) order.emplace_back(s, w);
+  }
+  if (order.empty()) {
+    return Status::InvalidArgument("no training windows");
+  }
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (const auto& [s, w] : order) {
+      MaceModel::Output out = model_->Forward(transforms_[s], amplified[s][w],
+                                              /*want_step_errors=*/false);
+      epoch_loss += out.loss.item();
+      optimizer.ZeroGrad();
+      out.loss.Backward();
+      optimizer.ClipGradNorm(config_.grad_clip);
+      optimizer.Step();
+    }
+    epoch_losses_.push_back(epoch_loss / static_cast<double>(order.size()));
+    MACE_LOG(kDebug) << "MACE epoch " << epoch << " loss "
+                     << epoch_losses_.back();
+  }
+  return Status::OK();
+}
+
+std::vector<double> MaceDetector::ScoreScaled(
+    const ServiceTransforms& transforms,
+    const ts::TimeSeries& scaled_test) const {
+  ScoreAccumulator accumulator(scaled_test.length(),
+                               ScoreReduction::kMin);
+  const auto window = static_cast<size_t>(config_.window);
+  std::vector<size_t> starts;
+  for (size_t start = 0; start + window <= scaled_test.length();
+       start += static_cast<size_t>(config_.score_stride)) {
+    starts.push_back(start);
+  }
+  // Cover the tail so every step gets at least one window.
+  if (scaled_test.length() >= window &&
+      (starts.empty() || starts.back() + window < scaled_test.length())) {
+    starts.push_back(scaled_test.length() - window);
+  }
+  // Frequency-domain windows are independent (no recurrence), so scoring
+  // parallelizes per window: each worker runs Forward (read-only on the
+  // learned weights) over a strided share of the windows.
+  const int threads =
+      std::max(1, std::min<int>(config_.score_threads,
+                                static_cast<int>(starts.size())));
+  std::vector<std::vector<std::vector<double>>> errors(
+      static_cast<size_t>(threads));
+  auto worker = [&](int id) {
+    for (size_t i = static_cast<size_t>(id); i < starts.size();
+         i += static_cast<size_t>(threads)) {
+      Tensor w = ts::WindowToTensor(scaled_test, starts[i], config_.window);
+      MaceModel::Output out = model_->Forward(transforms, AmplifyWindow(w),
+                                              /*want_step_errors=*/true);
+      errors[static_cast<size_t>(id)].push_back(
+          std::move(out.step_errors));
+    }
+  };
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+  for (int t = 0; t < threads; ++t) {
+    size_t slot = 0;
+    for (size_t i = static_cast<size_t>(t); i < starts.size();
+         i += static_cast<size_t>(threads), ++slot) {
+      accumulator.Add(starts[i], errors[static_cast<size_t>(t)][slot]);
+    }
+  }
+  return accumulator.Finalize();
+}
+
+Result<std::vector<double>> MaceDetector::ScoreWindow(
+    int service_index,
+    const std::vector<std::vector<double>>& scaled_rows) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("ScoreWindow before Fit");
+  }
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= transforms_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  if (scaled_rows.size() != static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument("window must hold exactly " +
+                                   std::to_string(config_.window) +
+                                   " rows");
+  }
+  const auto m = static_cast<size_t>(num_features_);
+  std::vector<double> data(m * scaled_rows.size());
+  for (size_t t = 0; t < scaled_rows.size(); ++t) {
+    if (scaled_rows[t].size() != m) {
+      return Status::InvalidArgument("row feature count mismatch");
+    }
+    for (size_t f = 0; f < m; ++f) {
+      data[f * scaled_rows.size() + t] = scaled_rows[t][f];
+    }
+  }
+  Tensor window = Tensor::FromVector(
+      std::move(data), Shape{num_features_, config_.window});
+  MaceModel::Output out =
+      model_->Forward(transforms_[static_cast<size_t>(service_index)],
+                      AmplifyWindow(window), /*want_step_errors=*/true);
+  return out.step_errors;
+}
+
+Result<std::vector<double>> MaceDetector::ScaleObservation(
+    int service_index, const std::vector<double>& row) const {
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= scalers_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  const ts::StandardScaler& scaler =
+      scalers_[static_cast<size_t>(service_index)];
+  if (row.size() != scaler.means().size()) {
+    return Status::InvalidArgument("observation feature count mismatch");
+  }
+  std::vector<double> scaled(row.size());
+  for (size_t f = 0; f < row.size(); ++f) {
+    scaled[f] = (row[f] - scaler.means()[f]) / scaler.stddevs()[f];
+  }
+  return scaled;
+}
+
+Result<std::vector<double>> MaceDetector::Score(int service_index,
+                                                const ts::TimeSeries& test) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Score before Fit");
+  }
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= transforms_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  if (test.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument("test series shorter than window");
+  }
+  const ts::TimeSeries scaled =
+      scalers_[static_cast<size_t>(service_index)].Transform(test);
+  return ScoreScaled(transforms_[static_cast<size_t>(service_index)], scaled);
+}
+
+Result<std::vector<double>> MaceDetector::ScoreUnseen(
+    const ts::ServiceData& service) {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("ScoreUnseen before Fit");
+  }
+  if (service.train.num_features() != num_features_) {
+    return Status::InvalidArgument("feature count mismatch");
+  }
+  ts::StandardScaler scaler;
+  scaler.Fit(service.train);
+  const ts::TimeSeries scaled_train = scaler.Transform(service.train);
+  MACE_ASSIGN_OR_RETURN(std::vector<int> bases,
+                        SelectBases(AmplifySeries(scaled_train)));
+  if (2 * static_cast<int>(bases.size()) !=
+      static_cast<int>(transforms_.front().forward_t.dim(1))) {
+    return Status::InvalidArgument(
+        "unseen service subspace size differs from the trained model");
+  }
+  const ServiceTransforms transforms =
+      MakeServiceTransforms(config_.window, bases);
+  return ScoreScaled(transforms, scaler.Transform(service.test));
+}
+
+int64_t MaceDetector::ParameterCount() const {
+  return model_ ? model_->ParameterCount() : 0;
+}
+
+int64_t MaceDetector::PeakActivationElements() const {
+  return model_ ? model_->PeakActivationElements() : 0;
+}
+
+}  // namespace mace::core

@@ -1,0 +1,87 @@
+#ifndef MACE_CORE_MACE_DETECTOR_H_
+#define MACE_CORE_MACE_DETECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/mace_config.h"
+#include "core/mace_model.h"
+#include "core/pattern_extractor.h"
+#include "nn/optimizer.h"
+#include "ts/scaler.h"
+
+namespace mace::core {
+
+/// \brief The MACE anomaly detector: one unified learnable model plus
+/// per-service normal-pattern subspaces.
+///
+/// Fit() extracts a Fourier subspace per service (preprocessing), then
+/// trains the shared network on all services' windows. Score() uses the
+/// service's own subspace; ScoreUnseen() extracts a subspace for a service
+/// that was never trained on — no retraining — which is what gives MACE
+/// its transfer behaviour (Table VIII).
+class MaceDetector : public Detector {
+ public:
+  explicit MaceDetector(MaceConfig config = MaceConfig());
+
+  Status Fit(const std::vector<ts::ServiceData>& services) override;
+  Result<std::vector<double>> Score(int service_index,
+                                    const ts::TimeSeries& test) override;
+  std::string name() const override { return "MACE"; }
+  int64_t ParameterCount() const override;
+  int64_t PeakActivationElements() const override;
+
+  /// Scores a service outside the fitted set: per-service preprocessing
+  /// (scaler + subspace) is computed from its train split, the learned
+  /// network stays frozen.
+  Result<std::vector<double>> ScoreUnseen(
+      const ts::ServiceData& service) override;
+
+  /// Scores one window given as scaled rows [window][features] (streaming
+  /// path; see core/streaming.h): returns the per-step reconstruction
+  /// errors of the stage-4 branch max.
+  Result<std::vector<double>> ScoreWindow(
+      int service_index,
+      const std::vector<std::vector<double>>& scaled_rows) const;
+  /// Applies the service's fitted scaler to one raw observation row.
+  Result<std::vector<double>> ScaleObservation(
+      int service_index, const std::vector<double>& row) const;
+
+  /// Serializes the fitted detector — config, per-service preprocessing
+  /// (scalers + subspaces) and learned weights — to a text file.
+  Status Save(const std::string& path) const;
+  /// Restores a detector saved by Save(); ready to Score immediately.
+  static Result<MaceDetector> Load(const std::string& path);
+
+  const MaceConfig& config() const { return config_; }
+  /// Subspaces extracted by the last Fit (one per service).
+  const std::vector<PatternSubspace>& subspaces() const { return subspaces_; }
+  /// Mean training loss of each epoch of the last Fit.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+ private:
+  /// Selected bases for one service (extracted or full-spectrum ablation).
+  Result<std::vector<int>> SelectBases(const ts::TimeSeries& scaled_train)
+      const;
+  /// Stage 1: per-feature dualistic amplification of a window tensor.
+  tensor::Tensor AmplifyWindow(const tensor::Tensor& window) const;
+  /// Stage 1 applied to a whole series (for pattern extraction, so the
+  /// subspace is selected on the same signal the model reconstructs).
+  ts::TimeSeries AmplifySeries(const ts::TimeSeries& series) const;
+  /// Scores a scaled test series against given transforms.
+  std::vector<double> ScoreScaled(const ServiceTransforms& transforms,
+                                  const ts::TimeSeries& scaled_test) const;
+
+  MaceConfig config_;
+  int num_features_ = 0;
+  std::vector<ts::StandardScaler> scalers_;
+  std::vector<PatternSubspace> subspaces_;
+  std::vector<ServiceTransforms> transforms_;
+  std::unique_ptr<MaceModel> model_;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_MACE_DETECTOR_H_

@@ -1,0 +1,238 @@
+#include "core/mace_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "fft/context_aware_dft.h"
+
+namespace mace::core {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+ServiceTransforms MakeServiceTransforms(int window,
+                                        const std::vector<int>& bases) {
+  fft::ContextAwareDft dft(window, bases);
+  ServiceTransforms transforms;
+  transforms.forward_t = tensor::Transpose(dft.ForwardMatrix()).Detach();
+  transforms.inverse_t = tensor::Transpose(dft.InverseMatrix()).Detach();
+  const int k = dft.num_bases();
+  transforms.marker_sin.resize(static_cast<size_t>(k));
+  transforms.marker_cos.resize(static_cast<size_t>(k));
+  for (int b = 0; b < k; ++b) {
+    const double omega = dft.FrequencyOf(b);
+    transforms.marker_sin[static_cast<size_t>(b)] = std::sin(omega);
+    transforms.marker_cos[static_cast<size_t>(b)] = std::cos(omega);
+  }
+  return transforms;
+}
+
+MaceModel::MaceModel(const MaceConfig& config, int num_features,
+                     int num_coeff_columns, Rng* rng)
+    : config_(config),
+      num_features_(num_features),
+      num_coeff_columns_(num_coeff_columns) {
+  MACE_CHECK(num_features > 0 && num_coeff_columns > 0);
+  MACE_CHECK(num_coeff_columns % 2 == 0) << "coefficient columns must pair";
+  MACE_CHECK(rng != nullptr);
+  MACE_CHECK(num_coeff_columns / 2 >= config.freq_kernel)
+      << "freq_kernel " << config.freq_kernel << " exceeds amplitude "
+      << "columns " << num_coeff_columns / 2;
+
+  const bool use_char = config_.use_freq_characterization &&
+                        config_.use_pattern_extraction;
+  if (use_char) {
+    char_conv1_ = std::make_shared<nn::Conv1dLayer>(
+        3, config_.characterization_channels, /*kernel=*/1, /*stride=*/1,
+        rng);
+    char_conv2_ = std::make_shared<nn::Conv1dLayer>(
+        config_.characterization_channels, 1, /*kernel=*/1, /*stride=*/1,
+        rng);
+  }
+
+  // The autoencoder runs on the k amplitude columns (the paper's analysis
+  // is on amplitude spectra; phases pass through from the input).
+  const int amp_columns = num_coeff_columns / 2;
+  const int kernel = config_.freq_kernel;
+  const int stride = config_.freq_kernel;
+  const int compressed = (amp_columns - kernel) / stride + 1;
+  latent_elements_ = config_.hidden_channels * compressed;
+
+  if (config_.use_dualistic_freq) {
+    encoder_peak_ = std::make_shared<DualisticConvLayer>(
+        num_features, config_.hidden_channels, kernel, stride,
+        config_.gamma_f, config_.sigma_f, DualisticMode::kPeak, rng);
+    encoder_valley_ = std::make_shared<DualisticConvLayer>(
+        num_features, config_.hidden_channels, kernel, stride,
+        config_.gamma_f, config_.sigma_f, DualisticMode::kValley, rng);
+  } else {
+    // Ablation: vanilla convolution (the gamma = 1 degenerate case).
+    encoder_peak_ = std::make_shared<nn::Conv1dLayer>(
+        num_features, config_.hidden_channels, kernel, stride, rng);
+    encoder_valley_ = std::make_shared<nn::Conv1dLayer>(
+        num_features, config_.hidden_channels, kernel, stride, rng);
+  }
+  // Two-layer decoders: reconstructing a service's amplitude template from
+  // the pooled latent is a nonlinear lookup when one model serves many
+  // normal patterns.
+  const int decoder_hidden = 2 * latent_elements_;
+  auto make_decoder = [&](void) {
+    auto seq = std::make_shared<nn::Sequential>();
+    seq->Add(std::make_shared<nn::Linear>(latent_elements_, decoder_hidden,
+                                          rng));
+    seq->Add(std::make_shared<nn::Activation>(nn::ActivationKind::kTanh));
+    seq->Add(std::make_shared<nn::Linear>(decoder_hidden,
+                                          num_features * amp_columns, rng));
+    return seq;
+  };
+  decoder_peak_ = make_decoder();
+  decoder_valley_ = make_decoder();
+}
+
+MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
+                                     const Tensor& amplified_window,
+                                     bool want_step_errors) {
+  MACE_CHECK(amplified_window.ndim() == 2 &&
+             amplified_window.dim(0) == num_features_)
+      << "window must be [m, T]";
+  const Index m = num_features_;
+  const Index cols = num_coeff_columns_;
+  MACE_CHECK(service.forward_t.dim(1) == cols)
+      << "service transform has " << service.forward_t.dim(1)
+      << " columns, model expects " << cols;
+
+  // Stage 2: context-aware DFT.
+  Tensor coeffs = MatMul(amplified_window, service.forward_t);  // [m, 2k]
+  const Index k = cols / 2;
+  Tensor re = Slice(coeffs, /*axis=*/1, 0, k);   // [m, k]
+  Tensor im = Slice(coeffs, /*axis=*/1, k, cols);
+  // Amplitudes (the paper's A_i); epsilon keeps sqrt gradients finite.
+  Tensor amp =
+      Sqrt(AddScalar(Add(Square(re), Square(im)), 1e-8));  // [m, k]
+
+  // Unit phase vectors, detached: the autoencoder reconstructs the
+  // amplitude spectrum, phases pass through from the input (Fig 4).
+  std::vector<double> unit_re(static_cast<size_t>(m * k));
+  std::vector<double> unit_im(static_cast<size_t>(m * k));
+  {
+    const std::vector<double>& cv = coeffs.data();
+    for (Index f = 0; f < m; ++f) {
+      for (Index c = 0; c < k; ++c) {
+        const double r = cv[static_cast<size_t>(f * cols + c)];
+        const double i = cv[static_cast<size_t>(f * cols + k + c)];
+        const double a = std::sqrt(r * r + i * i) + 1e-12;
+        unit_re[static_cast<size_t>(f * k + c)] = r / a;
+        unit_im[static_cast<size_t>(f * k + c)] = i / a;
+      }
+    }
+  }
+  Tensor phase_re =
+      Tensor::FromVector(std::move(unit_re), Shape{m, k});
+  Tensor phase_im =
+      Tensor::FromVector(std::move(unit_im), Shape{m, k});
+
+  // Frequency characterization (residual per-frequency gating).
+  Tensor rep = amp;
+  if (char_conv1_) {
+    const Index flat = m * k;
+    std::vector<double> markers(static_cast<size_t>(2 * flat));
+    for (Index f = 0; f < m; ++f) {
+      for (Index c = 0; c < k; ++c) {
+        markers[static_cast<size_t>(f * k + c)] =
+            service.marker_sin[static_cast<size_t>(c)];
+        markers[static_cast<size_t>(flat + f * k + c)] =
+            service.marker_cos[static_cast<size_t>(c)];
+      }
+    }
+    Tensor marker_tensor =
+        Tensor::FromVector(std::move(markers), Shape{2, flat});
+    Tensor stacked = tensor::Concat(
+        {Reshape(amp, Shape{1, flat}), marker_tensor}, /*axis=*/0);
+    Tensor charted = char_conv2_->Forward(
+        Tanh(char_conv1_->Forward(Reshape(stacked, Shape{1, 3, flat}))));
+    rep = Add(amp, Reshape(charted, Shape{m, k}));
+  }
+
+  // Stage 3: dualistic-convolution autoencoder over amplitudes, two
+  // branches (peak keeps maxima, valley keeps minima — Fig 4(a)).
+  Tensor rep3 = Reshape(rep, Shape{1, m, k});
+  Tensor latent_peak =
+      Reshape(encoder_peak_->Forward(rep3), Shape{1, latent_elements_});
+  Tensor latent_valley =
+      Reshape(encoder_valley_->Forward(rep3), Shape{1, latent_elements_});
+  Tensor amp_peak =
+      Reshape(decoder_peak_->Forward(latent_peak), Shape{m, k});
+  Tensor amp_valley =
+      Reshape(decoder_valley_->Forward(latent_valley), Shape{m, k});
+
+  // Stage 4: reattach phases, context-aware IDFT, per-slot branch max.
+  Tensor rec_peak = tensor::Concat(
+      {Mul(amp_peak, phase_re), Mul(amp_peak, phase_im)}, /*axis=*/1);
+  Tensor rec_valley = tensor::Concat(
+      {Mul(amp_valley, phase_re), Mul(amp_valley, phase_im)}, /*axis=*/1);
+  Tensor time_peak = MatMul(rec_peak, service.inverse_t);      // [m, T]
+  Tensor time_valley = MatMul(rec_valley, service.inverse_t);  // [m, T]
+  Tensor err_peak = Square(Sub(time_peak, amplified_window));
+  Tensor err_valley = Square(Sub(time_valley, amplified_window));
+  Tensor err = Maximum(err_peak, err_valley);  // [m, T]
+
+  Output output;
+  {
+    double sp = 0.0, sv = 0.0;
+    for (double v : err_peak.data()) sp += v;
+    for (double v : err_valley.data()) sv += v;
+    output.mean_err_peak = sp / static_cast<double>(err_peak.numel());
+    output.mean_err_valley = sv / static_cast<double>(err_valley.numel());
+  }
+  // Training drives both branches (each must learn to reconstruct
+  // normality); scoring uses the stage-4 per-slot max below.
+  output.loss =
+      MulScalar(Add(tensor::Mean(err_peak), tensor::Mean(err_valley)), 0.5);
+  if (want_step_errors) {
+    const Index window = amplified_window.dim(1);
+    output.step_errors.assign(static_cast<size_t>(window), 0.0);
+    const std::vector<double>& ev = err.data();
+    for (Index t = 0; t < window; ++t) {
+      double acc = 0.0;
+      for (Index f = 0; f < m; ++f) {
+        acc += ev[static_cast<size_t>(f * window + t)];
+      }
+      output.step_errors[static_cast<size_t>(t)] =
+          acc / static_cast<double>(m);
+    }
+  }
+  return output;
+}
+
+std::vector<Tensor> MaceModel::Parameters() const {
+  std::vector<Tensor> params;
+  auto append = [&params](const std::vector<Tensor>& more) {
+    for (const Tensor& t : more) params.push_back(t);
+  };
+  if (char_conv1_) {
+    append(char_conv1_->Parameters());
+    append(char_conv2_->Parameters());
+  }
+  append(encoder_peak_->Parameters());
+  append(encoder_valley_->Parameters());
+  append(decoder_peak_->Parameters());
+  append(decoder_valley_->Parameters());
+  return params;
+}
+
+int64_t MaceModel::ParameterCount() const {
+  int64_t total = 0;
+  for (const Tensor& p : Parameters()) total += p.numel();
+  return total;
+}
+
+int64_t MaceModel::PeakActivationElements() const {
+  const int64_t coeff = static_cast<int64_t>(num_features_) *
+                        num_coeff_columns_;
+  // coefficients + characterization stack + two branches of latents,
+  // reconstructions and time-domain errors.
+  return 4 * coeff + 2 * latent_elements_ + 4 * coeff;
+}
+
+}  // namespace mace::core

@@ -1,0 +1,89 @@
+#ifndef MACE_CORE_MACE_MODEL_H_
+#define MACE_CORE_MACE_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dualistic_conv.h"
+#include "core/mace_config.h"
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+
+namespace mace::core {
+
+/// \brief Per-service fixed (non-learned) transforms: the context-aware
+/// DFT/IDFT matrices and the frequency markers of the selected bases.
+struct ServiceTransforms {
+  /// F^T, shape [T, 2k]: MatMul(x[m, T], forward_t) -> coefficients [m, 2k].
+  tensor::Tensor forward_t;
+  /// G^T, shape [2k, T]: MatMul(c[m, 2k], inverse_t) -> time series [m, T].
+  tensor::Tensor inverse_t;
+  /// sin/cos of each coefficient column's base frequency, shape [2k].
+  std::vector<double> marker_sin;
+  std::vector<double> marker_cos;
+};
+
+/// \brief The learnable MACE network, shared across all services of a
+/// unified model (stages 2-4 of Fig 2; stage 1 is input preprocessing).
+///
+/// Pipeline per window (already stage-1-amplified) x~ [m, T]:
+///   coefficients  c  = x~ F^T                      (context-aware DFT)
+///   representation r = c + FreqChar(c, markers)    (3-channel conv, residual)
+///   branch b in {peak, valley}:
+///     latent_b  = DualisticConv_b(r)               (stride = kernel)
+///     c^_b      = Decoder_b(latent_b)
+///     x^_b      = c^_b G^T                         (context-aware IDFT)
+///     err_b     = (x^_b - x~)^2                    [m, T]
+///   loss = mean(max(err_peak, err_valley))         (stage-4 max selection)
+class MaceModel {
+ public:
+  /// \param num_features      m, feature channels per window
+  /// \param num_coeff_columns 2k, coefficient columns after the DFT
+  MaceModel(const MaceConfig& config, int num_features,
+            int num_coeff_columns, Rng* rng);
+
+  /// Result of one forward pass.
+  struct Output {
+    tensor::Tensor loss;  ///< scalar, differentiable
+    /// Per-step reconstruction error (feature-mean of the branch max);
+    /// filled when `want_step_errors`.
+    std::vector<double> step_errors;
+    /// Mean error of each branch (diagnostics).
+    double mean_err_peak = 0.0;
+    double mean_err_valley = 0.0;
+  };
+
+  /// Runs stages 2-4 on a stage-1-amplified window [m, T].
+  Output Forward(const ServiceTransforms& service,
+                 const tensor::Tensor& amplified_window,
+                 bool want_step_errors);
+
+  std::vector<tensor::Tensor> Parameters() const;
+  int64_t ParameterCount() const;
+  int64_t PeakActivationElements() const;
+
+ private:
+  MaceConfig config_;
+  int num_features_;
+  int num_coeff_columns_;
+
+  // Frequency characterization: Conv(3 -> C, k=1) -> tanh -> Conv(C -> 1).
+  std::shared_ptr<nn::Conv1dLayer> char_conv1_;
+  std::shared_ptr<nn::Conv1dLayer> char_conv2_;
+
+  // Stage-3 branches.
+  std::shared_ptr<nn::Module> encoder_peak_;
+  std::shared_ptr<nn::Module> encoder_valley_;
+  std::shared_ptr<nn::Sequential> decoder_peak_;
+  std::shared_ptr<nn::Sequential> decoder_valley_;
+  int latent_elements_ = 0;  ///< hidden_channels * compressed length
+};
+
+/// Builds the fixed transforms of one service from its selected bases.
+ServiceTransforms MakeServiceTransforms(int window,
+                                        const std::vector<int>& bases);
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_MACE_MODEL_H_

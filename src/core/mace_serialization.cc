@@ -1,0 +1,149 @@
+// Save/Load of a fitted MaceDetector: a line-oriented text format holding
+// the config, each service's preprocessing state (scaler moments and
+// selected bases) and the learned parameter values in Parameters() order
+// (deterministic given the config).
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "core/mace_detector.h"
+
+namespace mace::core {
+namespace {
+
+constexpr char kMagic[] = "MACEv1";
+
+void WriteVector(std::ostream& out, const std::vector<double>& values) {
+  out << values.size();
+  out.precision(17);
+  for (double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+Result<std::vector<double>> ReadVector(std::istream& in) {
+  size_t count = 0;
+  if (!(in >> count)) {
+    return Status::InvalidArgument("corrupt model file: missing count");
+  }
+  std::vector<double> values(count);
+  for (double& v : values) {
+    if (!(in >> v)) {
+      return Status::InvalidArgument("corrupt model file: short vector");
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+Status MaceDetector::Save(const std::string& path) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("Save before Fit");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "'");
+  out << kMagic << '\n';
+  out.precision(17);
+  out << config_.window << ' ' << config_.train_stride << ' '
+      << config_.score_stride << ' ' << config_.num_bases << ' '
+      << config_.strongest_per_window << ' ' << config_.gamma_t << ' '
+      << config_.sigma_t << ' ' << config_.gamma_f << ' '
+      << config_.sigma_f << ' ' << config_.time_kernel << ' '
+      << config_.freq_kernel << ' ' << config_.hidden_channels << ' '
+      << config_.characterization_channels << ' ' << config_.epochs << ' '
+      << config_.learning_rate << ' ' << config_.grad_clip << ' '
+      << config_.seed << ' ' << config_.use_context_aware_dft << ' '
+      << config_.use_dualistic_freq << ' ' << config_.use_dualistic_time
+      << ' ' << config_.use_freq_characterization << ' '
+      << config_.use_pattern_extraction << '\n';
+  out << num_features_ << ' ' << scalers_.size() << '\n';
+  for (size_t s = 0; s < scalers_.size(); ++s) {
+    WriteVector(out, scalers_[s].means());
+    WriteVector(out, scalers_[s].stddevs());
+    out << subspaces_[s].bases.size();
+    for (int b : subspaces_[s].bases) out << ' ' << b;
+    out << '\n';
+  }
+  const std::vector<tensor::Tensor> params = model_->Parameters();
+  out << params.size() << '\n';
+  for (const tensor::Tensor& p : params) WriteVector(out, p.data());
+  if (!out) return Status::IoError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<MaceDetector> MaceDetector::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a MACE model");
+  }
+  MaceConfig config;
+  in >> config.window >> config.train_stride >> config.score_stride >>
+      config.num_bases >> config.strongest_per_window >> config.gamma_t >>
+      config.sigma_t >> config.gamma_f >> config.sigma_f >>
+      config.time_kernel >> config.freq_kernel >> config.hidden_channels >>
+      config.characterization_channels >> config.epochs >>
+      config.learning_rate >> config.grad_clip >> config.seed >>
+      config.use_context_aware_dft >> config.use_dualistic_freq >>
+      config.use_dualistic_time >> config.use_freq_characterization >>
+      config.use_pattern_extraction;
+  if (!in) return Status::InvalidArgument("corrupt model file: config");
+
+  MaceDetector detector(config);
+  size_t num_services = 0;
+  in >> detector.num_features_ >> num_services;
+  if (!in || detector.num_features_ <= 0) {
+    return Status::InvalidArgument("corrupt model file: header");
+  }
+  int coeff_columns = -1;
+  for (size_t s = 0; s < num_services; ++s) {
+    MACE_ASSIGN_OR_RETURN(std::vector<double> means, ReadVector(in));
+    MACE_ASSIGN_OR_RETURN(std::vector<double> stddevs, ReadVector(in));
+    ts::StandardScaler scaler =
+        ts::StandardScaler::FromMoments(std::move(means),
+                                        std::move(stddevs));
+    size_t num_bases = 0;
+    if (!(in >> num_bases)) {
+      return Status::InvalidArgument("corrupt model file: bases");
+    }
+    PatternSubspace subspace;
+    subspace.bases.resize(num_bases);
+    for (int& b : subspace.bases) {
+      if (!(in >> b)) {
+        return Status::InvalidArgument("corrupt model file: base index");
+      }
+    }
+    coeff_columns = 2 * static_cast<int>(num_bases);
+    detector.transforms_.push_back(
+        MakeServiceTransforms(config.window, subspace.bases));
+    detector.subspaces_.push_back(std::move(subspace));
+    detector.scalers_.push_back(std::move(scaler));
+  }
+  if (coeff_columns <= 0) {
+    return Status::InvalidArgument("model file holds no services");
+  }
+
+  Rng rng(config.seed);
+  detector.model_ = std::make_unique<MaceModel>(
+      config, detector.num_features_, coeff_columns, &rng);
+  std::vector<tensor::Tensor> params = detector.model_->Parameters();
+  size_t param_tensors = 0;
+  if (!(in >> param_tensors) || param_tensors != params.size()) {
+    return Status::InvalidArgument(
+        "corrupt model file: parameter tensor count mismatch");
+  }
+  for (tensor::Tensor& p : params) {
+    MACE_ASSIGN_OR_RETURN(std::vector<double> values, ReadVector(in));
+    if (values.size() != p.data().size()) {
+      return Status::InvalidArgument(
+          "corrupt model file: parameter size mismatch");
+    }
+    p.mutable_data() = std::move(values);
+  }
+  return detector;
+}
+
+}  // namespace mace::core

@@ -1,0 +1,74 @@
+#include "core/pattern_extractor.h"
+
+#include <algorithm>
+
+#include "fft/fft.h"
+#include "fft/spectrum.h"
+
+namespace mace::core {
+
+Result<PatternSubspace> ExtractPattern(
+    const ts::TimeSeries& train, const PatternExtractorOptions& options) {
+  if (options.window < 2 || options.stride < 1 || options.num_bases < 1) {
+    return Status::InvalidArgument("invalid pattern extractor options");
+  }
+  if (train.length() < static_cast<size_t>(options.window)) {
+    return Status::InvalidArgument("training series shorter than window");
+  }
+  const int strongest = options.strongest_per_window > 0
+                            ? options.strongest_per_window
+                            : options.num_bases;
+
+  // incidence[j] counts how often base j is among the `strongest` largest
+  // amplitudes of a (window, feature) spectrum.
+  std::vector<int64_t> incidence(
+      static_cast<size_t>(options.window / 2 + 1), 0);
+  // Tie-break by accumulated amplitude so deterministic inputs produce
+  // deterministic subspaces.
+  std::vector<double> energy(incidence.size(), 0.0);
+
+  const int m = train.num_features();
+  std::vector<double> window_values(static_cast<size_t>(options.window));
+  for (size_t start = 0;
+       start + static_cast<size_t>(options.window) <= train.length();
+       start += static_cast<size_t>(options.stride)) {
+    for (int f = 0; f < m; ++f) {
+      for (int t = 0; t < options.window; ++t) {
+        window_values[static_cast<size_t>(t)] =
+            train.value(start + static_cast<size_t>(t), f);
+      }
+      const std::vector<double> amps =
+          fft::AmplitudeSpectrum(window_values);
+      const std::vector<int> top =
+          fft::TopKIndices(amps, strongest, options.skip_dc);
+      for (int idx : top) {
+        ++incidence[static_cast<size_t>(idx)];
+        energy[static_cast<size_t>(idx)] += amps[static_cast<size_t>(idx)];
+      }
+    }
+  }
+
+  std::vector<int> order;
+  for (size_t j = options.skip_dc ? 1 : 0; j < incidence.size(); ++j) {
+    order.push_back(static_cast<int>(j));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const size_t ia = static_cast<size_t>(a);
+    const size_t ib = static_cast<size_t>(b);
+    if (incidence[ia] != incidence[ib]) return incidence[ia] > incidence[ib];
+    return energy[ia] > energy[ib];
+  });
+  if (static_cast<int>(order.size()) > options.num_bases) {
+    order.resize(static_cast<size_t>(options.num_bases));
+  }
+
+  PatternSubspace subspace;
+  subspace.bases = order;
+  subspace.incidence.reserve(order.size());
+  for (int j : order) {
+    subspace.incidence.push_back(incidence[static_cast<size_t>(j)]);
+  }
+  return subspace;
+}
+
+}  // namespace mace::core

@@ -1,0 +1,41 @@
+#ifndef MACE_CORE_PATTERN_EXTRACTOR_H_
+#define MACE_CORE_PATTERN_EXTRACTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ts/time_series.h"
+
+namespace mace::core {
+
+/// \brief A service's normal-pattern subspace: the selected Fourier base
+/// indices (one-sided, 0..window/2) plus their incidence counts.
+struct PatternSubspace {
+  std::vector<int> bases;
+  std::vector<int64_t> incidence;  ///< top-k appearance counts, same order
+};
+
+/// \brief Options for the preprocessing base selection (Section IV-C).
+struct PatternExtractorOptions {
+  int window = 40;
+  int stride = 8;
+  /// Number of bases kept for the subspace (paper's m).
+  int num_bases = 12;
+  /// How many strongest signals are counted per window (paper's k;
+  /// defaults to num_bases when <= 0).
+  int strongest_per_window = 0;
+  /// Exclude the DC bin: z-scored windows carry no level information and
+  /// leaving DC out lets level-shift anomalies fall outside the subspace.
+  bool skip_dc = true;
+};
+
+/// \brief Extracts the normal-pattern subspace of one service: across all
+/// training windows and features, counts how often each Fourier base ranks
+/// among the strongest signals, then keeps the top `num_bases` by
+/// incidence. Returns an error when the series is shorter than one window.
+Result<PatternSubspace> ExtractPattern(const ts::TimeSeries& train,
+                                       const PatternExtractorOptions& options);
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_PATTERN_EXTRACTOR_H_

@@ -1,0 +1,99 @@
+#include "core/streaming.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace mace::core {
+
+StreamingScorer::StreamingScorer(const MaceDetector* detector,
+                                 int service_index)
+    : detector_(detector),
+      service_index_(service_index),
+      window_(detector->config().window),
+      stride_(detector->config().score_stride) {}
+
+Result<StreamingScorer> StreamingScorer::Create(const MaceDetector* detector,
+                                                int service_index) {
+  if (detector == nullptr) {
+    return Status::InvalidArgument("detector must not be null");
+  }
+  if (detector->ParameterCount() == 0) {
+    return Status::FailedPrecondition("detector is not fitted");
+  }
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= detector->subspaces().size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  return StreamingScorer(detector, service_index);
+}
+
+void StreamingScorer::ScoreTailWindow() {
+  std::vector<std::vector<double>> window(buffer_.begin(), buffer_.end());
+  Result<std::vector<double>> errors =
+      detector_->ScoreWindow(service_index_, window);
+  MACE_CHECK_OK(errors.status());
+  const size_t start = steps_consumed_ - static_cast<size_t>(window_);
+  for (size_t j = 0; j < errors->size(); ++j) {
+    const size_t step = start + j;
+    if (step < next_emit_) continue;  // already emitted (Finish tail only)
+    const size_t offset = step - next_emit_;
+    MACE_CHECK(offset < pending_.size());
+    if (!covered_[offset] || (*errors)[j] < pending_[offset]) {
+      pending_[offset] = (*errors)[j];
+      covered_[offset] = true;
+    }
+  }
+  last_scored_end_ = steps_consumed_;
+}
+
+std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before) {
+  std::vector<double> emitted;
+  while (next_emit_ < safe_before && !pending_.empty()) {
+    emitted.push_back(covered_.front() ? pending_.front() : 0.0);
+    pending_.pop_front();
+    covered_.pop_front();
+    ++next_emit_;
+  }
+  return emitted;
+}
+
+Result<std::vector<double>> StreamingScorer::Push(
+    const std::vector<double>& observation) {
+  MACE_ASSIGN_OR_RETURN(
+      std::vector<double> scaled,
+      detector_->ScaleObservation(service_index_, observation));
+  buffer_.push_back(std::move(scaled));
+  if (buffer_.size() > static_cast<size_t>(window_)) buffer_.pop_front();
+  ++steps_consumed_;
+  pending_.push_back(std::numeric_limits<double>::infinity());
+  covered_.push_back(false);
+
+  if (buffer_.size() == static_cast<size_t>(window_) &&
+      (steps_consumed_ - static_cast<size_t>(window_)) %
+              static_cast<size_t>(stride_) ==
+          0) {
+    ScoreTailWindow();
+  }
+  // A step is final once every window that can contain it has been seen.
+  const size_t safe_before =
+      steps_consumed_ >= static_cast<size_t>(window_)
+          ? steps_consumed_ - static_cast<size_t>(window_) + 1
+          : 0;
+  return EmitFinalized(safe_before);
+}
+
+std::vector<double> StreamingScorer::Finish() {
+  if (buffer_.size() < static_cast<size_t>(window_)) {
+    // Stream shorter than one window: nothing can be scored.
+    pending_.clear();
+    covered_.clear();
+    return {};
+  }
+  if (last_scored_end_ != steps_consumed_) {
+    ScoreTailWindow();  // the batch scorer's tail window
+  }
+  return EmitFinalized(steps_consumed_);
+}
+
+}  // namespace mace::core

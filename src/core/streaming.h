@@ -1,0 +1,69 @@
+#ifndef MACE_CORE_STREAMING_H_
+#define MACE_CORE_STREAMING_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/result.h"
+#include "core/mace_detector.h"
+
+namespace mace::core {
+
+/// \brief Online scoring for one service over a fitted MaceDetector — the
+/// paper's C2 deployment mode (heavy traffic, real time).
+///
+/// Feed one observation per step with Push(); whenever a full window is
+/// available (every `score_stride` steps) the window is scored, and a
+/// step's score is emitted once no future window can still cover it, i.e.
+/// with a fixed latency of `window` steps. Scores combine overlapping
+/// windows with the same min-reduction as offline MaceDetector::Score, so
+/// a long stream converges to the same per-step scores as batch scoring
+/// of its interior.
+class StreamingScorer {
+ public:
+  /// \param detector fitted detector (must outlive the scorer)
+  /// \param service_index service whose scaler/subspace to use
+  static Result<StreamingScorer> Create(const MaceDetector* detector,
+                                        int service_index);
+
+  /// Appends one observation (size = feature count) and returns the scores
+  /// finalized by this step: empty until the pipeline fills, then exactly
+  /// one score per step, `window` steps behind the input.
+  Result<std::vector<double>> Push(const std::vector<double>& observation);
+
+  /// Flushes the tail: scores one final window ending at the last
+  /// observation (if available) and finalizes every remaining step.
+  std::vector<double> Finish();
+
+  /// Steps consumed so far.
+  size_t steps_consumed() const { return steps_consumed_; }
+  /// Index of the next step whose score will be emitted.
+  size_t next_emitted_step() const { return next_emit_; }
+
+ private:
+  StreamingScorer(const MaceDetector* detector, int service_index);
+
+  /// Scores the current buffer tail window and folds the per-step errors
+  /// into the pending min-combine state.
+  void ScoreTailWindow();
+  /// Pops every pending step that can no longer be covered.
+  std::vector<double> EmitFinalized(size_t safe_before);
+
+  const MaceDetector* detector_;
+  int service_index_;
+  int window_ = 0;
+  int stride_ = 0;
+
+  /// Scaled observations of the last `window_` steps.
+  std::deque<std::vector<double>> buffer_;
+  /// Pending per-step minima, front = step `next_emit_`.
+  std::deque<double> pending_;
+  std::deque<bool> covered_;
+  size_t steps_consumed_ = 0;
+  size_t next_emit_ = 0;
+  size_t last_scored_end_ = 0;  ///< end step (exclusive) of the last window
+};
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_STREAMING_H_

@@ -1,0 +1,139 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace mace::eval {
+
+PrMetrics FromConfusion(const Confusion& c) {
+  PrMetrics m;
+  if (c.tp + c.fp > 0) {
+    m.precision =
+        static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fp);
+  }
+  if (c.tp + c.fn > 0) {
+    m.recall = static_cast<double>(c.tp) / static_cast<double>(c.tp + c.fn);
+  }
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+Confusion Confuse(const std::vector<uint8_t>& predictions,
+                  const std::vector<uint8_t>& labels) {
+  MACE_CHECK(predictions.size() == labels.size());
+  Confusion c;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool p = predictions[i] != 0;
+    const bool l = labels[i] != 0;
+    if (p && l) {
+      ++c.tp;
+    } else if (p && !l) {
+      ++c.fp;
+    } else if (!p && l) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+std::vector<uint8_t> PointAdjust(const std::vector<uint8_t>& predictions,
+                                 const std::vector<uint8_t>& labels) {
+  MACE_CHECK(predictions.size() == labels.size());
+  std::vector<uint8_t> adjusted = predictions;
+  const size_t n = labels.size();
+  size_t i = 0;
+  while (i < n) {
+    if (labels[i] == 0) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < n && labels[j] != 0) ++j;
+    bool hit = false;
+    for (size_t t = i; t < j; ++t) {
+      if (predictions[t] != 0) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      for (size_t t = i; t < j; ++t) adjusted[t] = 1;
+    }
+    i = j;
+  }
+  return adjusted;
+}
+
+PrMetrics EvaluateAtThreshold(const std::vector<double>& scores,
+                              const std::vector<uint8_t>& labels,
+                              double threshold, bool point_adjust) {
+  MACE_CHECK(scores.size() == labels.size());
+  std::vector<uint8_t> pred(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    pred[i] = scores[i] > threshold ? 1 : 0;
+  }
+  if (point_adjust) pred = PointAdjust(pred, labels);
+  return FromConfusion(Confuse(pred, labels));
+}
+
+Result<ThresholdResult> BestF1Threshold(const std::vector<double>& scores,
+                                        const std::vector<uint8_t>& labels,
+                                        bool point_adjust,
+                                        int num_candidates) {
+  if (scores.empty() || scores.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "BestF1Threshold needs equal-size non-empty scores/labels");
+  }
+  if (num_candidates < 2) {
+    return Status::InvalidArgument("need >= 2 candidate thresholds");
+  }
+  std::vector<double> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+
+  ThresholdResult best;
+  best.threshold = sorted.back() + 1.0;  // predict-nothing fallback
+  best.metrics = EvaluateAtThreshold(scores, labels, best.threshold,
+                                     point_adjust);
+  for (int i = 0; i < num_candidates; ++i) {
+    const double q =
+        static_cast<double>(i) / static_cast<double>(num_candidates);
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+    // Thresholds sit just below each candidate score so that the candidate
+    // itself is predicted anomalous.
+    const double threshold =
+        sorted[idx] - 1e-12 * (1.0 + std::fabs(sorted[idx]));
+    const PrMetrics m =
+        EvaluateAtThreshold(scores, labels, threshold, point_adjust);
+    if (m.f1 > best.metrics.f1) {
+      best.threshold = threshold;
+      best.metrics = m;
+    }
+  }
+  return best;
+}
+
+PrMetrics MacroAverage(const std::vector<PrMetrics>& per_service) {
+  PrMetrics avg;
+  if (per_service.empty()) return avg;
+  for (const PrMetrics& m : per_service) {
+    avg.precision += m.precision;
+    avg.recall += m.recall;
+    avg.f1 += m.f1;
+  }
+  const double n = static_cast<double>(per_service.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  return avg;
+}
+
+}  // namespace mace::eval

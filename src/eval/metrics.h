@@ -1,0 +1,63 @@
+#ifndef MACE_EVAL_METRICS_H_
+#define MACE_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace::eval {
+
+/// \brief Binary confusion counts.
+struct Confusion {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  int64_t tn = 0;
+};
+
+/// \brief Precision / recall / F1 (Eq. 12-14 of the paper).
+struct PrMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Derives precision/recall/F1 from counts (0 where undefined).
+PrMetrics FromConfusion(const Confusion& confusion);
+
+/// Confusion counts of per-step predictions vs labels (equal sizes).
+Confusion Confuse(const std::vector<uint8_t>& predictions,
+                  const std::vector<uint8_t>& labels);
+
+/// \brief Point-adjust protocol (Xu et al., WWW'18; standard for
+/// SMD/SMAP-style evaluation): when any step inside a contiguous true
+/// anomaly segment is predicted, the whole segment counts as detected.
+std::vector<uint8_t> PointAdjust(const std::vector<uint8_t>& predictions,
+                                 const std::vector<uint8_t>& labels);
+
+/// Metrics of thresholded scores at a fixed threshold.
+PrMetrics EvaluateAtThreshold(const std::vector<double>& scores,
+                              const std::vector<uint8_t>& labels,
+                              double threshold, bool point_adjust = true);
+
+/// \brief Result of a threshold sweep.
+struct ThresholdResult {
+  double threshold = 0.0;
+  PrMetrics metrics;
+};
+
+/// \brief Best-F1 threshold search over score quantiles, the protocol used
+/// by this line of papers for headline tables. `point_adjust` selects the
+/// point-adjusted variant.
+Result<ThresholdResult> BestF1Threshold(const std::vector<double>& scores,
+                                        const std::vector<uint8_t>& labels,
+                                        bool point_adjust = true,
+                                        int num_candidates = 200);
+
+/// Averages metrics across services (macro average, as in Tables V-VIII).
+PrMetrics MacroAverage(const std::vector<PrMetrics>& per_service);
+
+}  // namespace mace::eval
+
+#endif  // MACE_EVAL_METRICS_H_

@@ -1,0 +1,126 @@
+#include "eval/pca.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mace::eval {
+namespace {
+
+/// One power-iteration eigenpair of a symmetric matrix.
+void PowerIteration(const std::vector<std::vector<double>>& matrix,
+                    int max_iterations, std::vector<double>* eigenvector,
+                    double* eigenvalue) {
+  const size_t d = matrix.size();
+  std::vector<double>& v = *eigenvector;
+  v.assign(d, 1.0 / std::sqrt(static_cast<double>(d)));
+  // Deterministic perturbation to avoid starting orthogonal to the top
+  // eigenvector.
+  for (size_t i = 0; i < d; ++i) v[i] += 1e-3 * static_cast<double>(i % 7);
+
+  std::vector<double> next(d);
+  double lambda = 0.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    for (size_t i = 0; i < d; ++i) {
+      double acc = 0.0;
+      for (size_t j = 0; j < d; ++j) acc += matrix[i][j] * v[j];
+      next[i] = acc;
+    }
+    double norm = 0.0;
+    for (double x : next) norm += x * x;
+    norm = std::sqrt(norm);
+    if (norm < 1e-15) {
+      lambda = 0.0;
+      break;
+    }
+    for (size_t i = 0; i < d; ++i) next[i] /= norm;
+    v = next;
+    // Rayleigh quotient.
+    double new_lambda = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      double acc = 0.0;
+      for (size_t j = 0; j < d; ++j) acc += matrix[i][j] * v[j];
+      new_lambda += v[i] * acc;
+    }
+    if (std::fabs(new_lambda - lambda) < 1e-12 * (1.0 + std::fabs(lambda))) {
+      lambda = new_lambda;
+      break;
+    }
+    lambda = new_lambda;
+  }
+  *eigenvalue = lambda;
+}
+
+}  // namespace
+
+Result<PcaProjection> Pca(const std::vector<std::vector<double>>& data,
+                          int components, int max_iterations) {
+  if (data.size() < 2) {
+    return Status::InvalidArgument("PCA needs at least 2 rows");
+  }
+  const size_t d = data.front().size();
+  if (components <= 0 || static_cast<size_t>(components) > d) {
+    return Status::InvalidArgument("invalid component count");
+  }
+  for (const auto& row : data) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("ragged PCA input");
+    }
+  }
+  const size_t n = data.size();
+
+  // Column means.
+  std::vector<double> mean(d, 0.0);
+  for (const auto& row : data) {
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+
+  // Covariance matrix.
+  std::vector<std::vector<double>> cov(d, std::vector<double>(d, 0.0));
+  for (const auto& row : data) {
+    for (size_t i = 0; i < d; ++i) {
+      const double di = row[i] - mean[i];
+      for (size_t j = i; j < d; ++j) {
+        cov[i][j] += di * (row[j] - mean[j]);
+      }
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = i; j < d; ++j) {
+      cov[i][j] /= static_cast<double>(n - 1);
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  PcaProjection projection;
+  projection.points.assign(n, std::vector<double>(
+                                  static_cast<size_t>(components), 0.0));
+  std::vector<std::vector<double>> eigenvectors;
+  for (int c = 0; c < components; ++c) {
+    std::vector<double> v;
+    double lambda = 0.0;
+    PowerIteration(cov, max_iterations, &v, &lambda);
+    projection.explained_variance.push_back(std::max(lambda, 0.0));
+    eigenvectors.push_back(v);
+    // Deflate: cov -= lambda v v^T.
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        cov[i][j] -= lambda * v[i] * v[j];
+      }
+    }
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    for (int c = 0; c < components; ++c) {
+      double acc = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        acc += (data[r][j] - mean[j]) * eigenvectors[static_cast<size_t>(c)][j];
+      }
+      projection.points[r][static_cast<size_t>(c)] = acc;
+    }
+  }
+  return projection;
+}
+
+}  // namespace mace::eval

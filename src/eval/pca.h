@@ -1,0 +1,28 @@
+#ifndef MACE_EVAL_PCA_H_
+#define MACE_EVAL_PCA_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace::eval {
+
+/// \brief Result of a principal-component projection.
+struct PcaProjection {
+  /// Projected points, one row per input row, `components` columns.
+  std::vector<std::vector<double>> points;
+  /// Variance explained by each kept component.
+  std::vector<double> explained_variance;
+};
+
+/// \brief Projects rows of `data` onto the top principal components
+/// (power iteration with deflation on the covariance matrix).
+///
+/// Used for the Fig 1(a) service-scatter visualization. Requires at least
+/// 2 rows and `components` <= feature count.
+Result<PcaProjection> Pca(const std::vector<std::vector<double>>& data,
+                          int components, int max_iterations = 300);
+
+}  // namespace mace::eval
+
+#endif  // MACE_EVAL_PCA_H_

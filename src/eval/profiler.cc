@@ -1,0 +1,35 @@
+#include "eval/profiler.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mace::eval {
+
+int64_t EstimateTrainingMemoryBytes(int64_t parameter_count,
+                                    int64_t peak_activation_elements) {
+  constexpr int64_t kBytesPerScalar = 8;  // double precision
+  // weights + grads + Adam m/v.
+  const int64_t parameter_bytes = 4 * parameter_count * kBytesPerScalar;
+  // forward activations + their gradients.
+  const int64_t activation_bytes =
+      2 * peak_activation_elements * kBytesPerScalar;
+  return parameter_bytes + activation_bytes;
+}
+
+std::string FormatUsageTable(const std::vector<ResourceUsage>& rows) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-22s %12s %12s %10s %12s\n",
+                "method", "train_s", "infer_s", "params", "memory_MB");
+  out << line;
+  for (const ResourceUsage& r : rows) {
+    std::snprintf(line, sizeof(line), "%-22s %12.3f %12.4f %10lld %12.3f\n",
+                  r.method.c_str(), r.train_seconds, r.infer_seconds,
+                  static_cast<long long>(r.parameter_count),
+                  static_cast<double>(r.memory_bytes) / (1024.0 * 1024.0));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace mace::eval

@@ -1,0 +1,47 @@
+#ifndef MACE_EVAL_PROFILER_H_
+#define MACE_EVAL_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mace::eval {
+
+/// \brief Wall-clock stopwatch for training/inference timing (Fig 6a).
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Resource footprint of one detector on one workload.
+struct ResourceUsage {
+  std::string method;
+  double train_seconds = 0.0;
+  double infer_seconds = 0.0;
+  int64_t parameter_count = 0;
+  int64_t memory_bytes = 0;
+};
+
+/// \brief Estimated training memory of a model: parameters, gradients and
+/// Adam moments (4 copies) plus an activation workspace proportional to
+/// the largest activation volume.
+int64_t EstimateTrainingMemoryBytes(int64_t parameter_count,
+                                    int64_t peak_activation_elements);
+
+/// Renders a usage table (method, train s, infer s, params, memory MB).
+std::string FormatUsageTable(const std::vector<ResourceUsage>& rows);
+
+}  // namespace mace::eval
+
+#endif  // MACE_EVAL_PROFILER_H_

@@ -1,0 +1,62 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mace::eval {
+
+Result<RankingQuality> ComputeRanking(const std::vector<double>& scores,
+                                      const std::vector<uint8_t>& labels) {
+  if (scores.empty() || scores.size() != labels.size()) {
+    return Status::InvalidArgument(
+        "ComputeRanking needs equal-size non-empty scores/labels");
+  }
+  int64_t positives = 0;
+  for (uint8_t l : labels) positives += l != 0;
+  const int64_t negatives = static_cast<int64_t>(labels.size()) - positives;
+  if (positives == 0 || negatives == 0) {
+    return Status::InvalidArgument(
+        "ComputeRanking needs both classes present");
+  }
+
+  // Sort indices by descending score; sweep thresholds.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  RankingQuality quality;
+  int64_t tp = 0, fp = 0;
+  double prev_fpr = 0.0, prev_tpr = 0.0, prev_recall = 0.0;
+  double prev_precision = 1.0;
+  size_t i = 0;
+  while (i < order.size()) {
+    // Consume all ties at this score so curve points are well defined.
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    const double tpr = static_cast<double>(tp) / positives;
+    const double fpr = static_cast<double>(fp) / negatives;
+    const double recall = tpr;
+    const double precision =
+        static_cast<double>(tp) / static_cast<double>(tp + fp);
+    quality.auroc += 0.5 * (tpr + prev_tpr) * (fpr - prev_fpr);
+    quality.auprc += 0.5 * (precision + prev_precision) *
+                     (recall - prev_recall);
+    quality.roc.push_back(RocPoint{score, tpr, fpr});
+    prev_tpr = tpr;
+    prev_fpr = fpr;
+    prev_recall = recall;
+    prev_precision = precision;
+  }
+  return quality;
+}
+
+}  // namespace mace::eval

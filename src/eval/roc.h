@@ -1,0 +1,32 @@
+#ifndef MACE_EVAL_ROC_H_
+#define MACE_EVAL_ROC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace::eval {
+
+/// \brief One operating point of a score-ranked classifier.
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;
+  double false_positive_rate = 0.0;
+};
+
+/// \brief Threshold-free ranking quality of anomaly scores.
+struct RankingQuality {
+  double auroc = 0.0;   ///< area under the ROC curve
+  double auprc = 0.0;   ///< area under the precision-recall curve
+  std::vector<RocPoint> roc;  ///< curve points, descending threshold
+};
+
+/// \brief Computes AUROC/AUPRC of per-step scores against 0/1 labels.
+/// Requires at least one positive and one negative label.
+Result<RankingQuality> ComputeRanking(const std::vector<double>& scores,
+                                      const std::vector<uint8_t>& labels);
+
+}  // namespace mace::eval
+
+#endif  // MACE_EVAL_ROC_H_

@@ -1,0 +1,128 @@
+#include "fft/context_aware_dft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mace::fft {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+ContextAwareDft::ContextAwareDft(int window, std::vector<int> bases)
+    : window_(window), bases_(std::move(bases)) {
+  MACE_CHECK(window_ >= 2);
+  for (size_t i = 0; i < bases_.size(); ++i) {
+    MACE_CHECK(bases_[i] >= 0 && bases_[i] <= window_ / 2)
+        << "base index " << bases_[i] << " outside [0, " << window_ / 2
+        << "]";
+    for (size_t j = i + 1; j < bases_.size(); ++j) {
+      MACE_CHECK(bases_[i] != bases_[j])
+          << "duplicate base index " << bases_[i];
+    }
+  }
+  BuildMatrices();
+}
+
+double ContextAwareDft::FrequencyOf(int i) const {
+  MACE_CHECK(i >= 0 && i < num_bases());
+  return 2.0 * std::numbers::pi * bases_[static_cast<size_t>(i)] /
+         static_cast<double>(window_);
+}
+
+void ContextAwareDft::Forward(const std::vector<double>& signal,
+                              std::vector<double>* out_re,
+                              std::vector<double>* out_im) const {
+  MACE_CHECK(static_cast<int>(signal.size()) == window_)
+      << "signal length " << signal.size() << " vs window " << window_;
+  MACE_CHECK(out_re != nullptr && out_im != nullptr);
+  const size_t k = bases_.size();
+  out_re->assign(k, 0.0);
+  out_im->assign(k, 0.0);
+  for (size_t b = 0; b < k; ++b) {
+    const int j = bases_[b];
+    const double omega =
+        2.0 * std::numbers::pi * j / static_cast<double>(window_);
+    const bool edge = (j == 0) || (window_ % 2 == 0 && j == window_ / 2);
+    const double weight =
+        (edge ? 1.0 : 2.0) / static_cast<double>(window_);
+    double re = 0.0, im = 0.0;
+    for (int t = 0; t < window_; ++t) {
+      re += signal[static_cast<size_t>(t)] * std::cos(omega * t);
+      im -= signal[static_cast<size_t>(t)] * std::sin(omega * t);
+    }
+    (*out_re)[b] = weight * re;
+    (*out_im)[b] = weight * im;
+  }
+}
+
+std::vector<double> ContextAwareDft::Inverse(
+    const std::vector<double>& re, const std::vector<double>& im) const {
+  MACE_CHECK(re.size() == bases_.size() && im.size() == bases_.size());
+  std::vector<double> out(static_cast<size_t>(window_), 0.0);
+  for (size_t b = 0; b < bases_.size(); ++b) {
+    const int j = bases_[b];
+    const double omega =
+        2.0 * std::numbers::pi * j / static_cast<double>(window_);
+    // The conjugate-symmetry weight (2/T interior, 1/T edge) is applied by
+    // Forward, so coefficients are amplitude-scale and Inverse is a plain
+    // trigonometric synthesis; Inverse(Forward(x)) is still the projector.
+    for (int t = 0; t < window_; ++t) {
+      out[static_cast<size_t>(t)] +=
+          re[b] * std::cos(omega * t) - im[b] * std::sin(omega * t);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ContextAwareDft::Project(
+    const std::vector<double>& signal) const {
+  std::vector<double> re, im;
+  Forward(signal, &re, &im);
+  return Inverse(re, im);
+}
+
+std::vector<double> ContextAwareDft::Amplitudes(
+    const std::vector<double>& re, const std::vector<double>& im) const {
+  MACE_CHECK(re.size() == bases_.size() && im.size() == bases_.size());
+  std::vector<double> amps(bases_.size());
+  for (size_t b = 0; b < bases_.size(); ++b) {
+    amps[b] = std::hypot(re[b], im[b]);
+  }
+  return amps;
+}
+
+void ContextAwareDft::BuildMatrices() {
+  const Index k = static_cast<Index>(bases_.size());
+  const Index t_len = window_;
+  std::vector<double> fwd(static_cast<size_t>(2 * k * t_len), 0.0);
+  std::vector<double> inv(static_cast<size_t>(t_len * 2 * k), 0.0);
+  for (Index b = 0; b < k; ++b) {
+    const int j = bases_[static_cast<size_t>(b)];
+    const double omega =
+        2.0 * std::numbers::pi * j / static_cast<double>(window_);
+    const bool edge = (j == 0) || (window_ % 2 == 0 && j == window_ / 2);
+    const double weight =
+        (edge ? 1.0 : 2.0) / static_cast<double>(window_);
+    for (Index t = 0; t < t_len; ++t) {
+      const double c = std::cos(omega * static_cast<double>(t));
+      const double s = std::sin(omega * static_cast<double>(t));
+      // Row b: Re coefficients; row k + b: Im coefficients. The
+      // conjugate-symmetry weight lives on the forward map so that
+      // coefficients are amplitude-scale.
+      fwd[static_cast<size_t>(b * t_len + t)] = weight * c;
+      fwd[static_cast<size_t>((k + b) * t_len + t)] = -weight * s;
+      // Column b: contribution of Re_b; column k + b: of Im_b.
+      inv[static_cast<size_t>(t * 2 * k + b)] = c;
+      inv[static_cast<size_t>(t * 2 * k + k + b)] = -s;
+    }
+  }
+  forward_matrix_ =
+      Tensor::FromVector(std::move(fwd), Shape{2 * k, t_len});
+  inverse_matrix_ =
+      Tensor::FromVector(std::move(inv), Shape{t_len, 2 * k});
+}
+
+}  // namespace mace::fft

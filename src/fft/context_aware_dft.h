@@ -1,0 +1,71 @@
+#ifndef MACE_FFT_CONTEXT_AWARE_DFT_H_
+#define MACE_FFT_CONTEXT_AWARE_DFT_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mace::fft {
+
+/// \brief DFT / inverse-DFT restricted to a selected subset of Fourier
+/// bases — the projection onto a service's normal-pattern subspace
+/// (Section IV-C of the paper).
+///
+/// Base index j corresponds to frequency 2*pi*j/window; valid indices are
+/// 0..floor(window/2) (one-sided spectrum of a real signal). Forward
+/// computes the complex DFT coefficients X_j for the selected bases only;
+/// Inverse reconstructs the time series from those coefficients, which is
+/// exactly the orthogonal projection of the input onto the subspace
+/// spanned by the selected sin/cos bases.
+///
+/// Both maps are also exposed as fixed (non-learned) matrices so a model
+/// can apply them with MatMul and stay differentiable w.r.t. the input.
+class ContextAwareDft {
+ public:
+  /// \param window length T of the time windows
+  /// \param bases  distinct base indices in [0, T/2]; order is preserved
+  ContextAwareDft(int window, std::vector<int> bases);
+
+  int window() const { return window_; }
+  int num_bases() const { return static_cast<int>(bases_.size()); }
+  const std::vector<int>& bases() const { return bases_; }
+
+  /// Frequency (radians/step) of the i-th selected base.
+  double FrequencyOf(int i) const;
+
+  /// Complex DFT coefficients of the selected bases: out_re/out_im get
+  /// num_bases() entries each. `signal` must have `window` samples.
+  void Forward(const std::vector<double>& signal, std::vector<double>* out_re,
+               std::vector<double>* out_im) const;
+
+  /// Reconstruction from selected coefficients (the context-aware IDFT).
+  std::vector<double> Inverse(const std::vector<double>& re,
+                              const std::vector<double>& im) const;
+
+  /// Inverse(Forward(x)): the projection of x onto the subspace.
+  std::vector<double> Project(const std::vector<double>& signal) const;
+
+  /// One-sided amplitudes (sinusoid peak scale) of the selected bases.
+  std::vector<double> Amplitudes(const std::vector<double>& re,
+                                 const std::vector<double>& im) const;
+
+  /// Fixed forward matrix, shape [2k, T]; rows are (cos_j, -sin_j) pairs so
+  /// that MatMul(F, x[T, 1]) stacks (Re_0..Re_{k-1}, Im_0..Im_{k-1}).
+  const tensor::Tensor& ForwardMatrix() const { return forward_matrix_; }
+
+  /// Fixed inverse matrix, shape [T, 2k]: MatMul(G, coeffs[2k, 1]) is the
+  /// context-aware IDFT. G * F is the orthogonal projector.
+  const tensor::Tensor& InverseMatrix() const { return inverse_matrix_; }
+
+ private:
+  void BuildMatrices();
+
+  int window_;
+  std::vector<int> bases_;
+  tensor::Tensor forward_matrix_;
+  tensor::Tensor inverse_matrix_;
+};
+
+}  // namespace mace::fft
+
+#endif  // MACE_FFT_CONTEXT_AWARE_DFT_H_

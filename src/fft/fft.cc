@@ -1,0 +1,135 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mace::fft {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void Radix2Fft(std::vector<Complex>* data, bool inverse) {
+  MACE_CHECK(data != nullptr);
+  const size_t n = data->size();
+  MACE_CHECK(IsPowerOfTwo(n)) << "Radix2Fft size " << n;
+  std::vector<Complex>& a = *data;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        const Complex u = a[i + j];
+        const Complex v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (Complex& x : a) x /= static_cast<double>(n);
+  }
+}
+
+void BluesteinFft(std::vector<Complex>* data, bool inverse) {
+  MACE_CHECK(data != nullptr);
+  const size_t n = data->size();
+  if (n == 0) return;
+  if (IsPowerOfTwo(n)) {
+    Radix2Fft(data, inverse);
+    return;
+  }
+  // Chirp-z: X_k = conj(w_k) * sum_j (x_j conj(w_j)) w_{k-j},
+  // with w_j = exp(+- i pi j^2 / n); the convolution runs over a
+  // power-of-two FFT of length >= 2n - 1.
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> chirp(n);
+  for (size_t j = 0; j < n; ++j) {
+    // j^2 mod 2n keeps the argument small for large n.
+    const uintmax_t j2 = (static_cast<uintmax_t>(j) * j) % (2 * n);
+    const double angle =
+        sign * std::numbers::pi * static_cast<double>(j2) /
+        static_cast<double>(n);
+    chirp[j] = Complex(std::cos(angle), std::sin(angle));
+  }
+  const size_t m = NextPowerOfTwo(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (size_t j = 0; j < n; ++j) a[j] = (*data)[j] * chirp[j];
+  b[0] = std::conj(chirp[0]);
+  for (size_t j = 1; j < n; ++j) {
+    b[j] = b[m - j] = std::conj(chirp[j]);
+  }
+  Radix2Fft(&a, /*inverse=*/false);
+  Radix2Fft(&b, /*inverse=*/false);
+  for (size_t j = 0; j < m; ++j) a[j] *= b[j];
+  Radix2Fft(&a, /*inverse=*/true);
+  for (size_t j = 0; j < n; ++j) (*data)[j] = a[j] * chirp[j];
+  if (inverse) {
+    for (Complex& x : *data) x /= static_cast<double>(n);
+  }
+}
+
+void Fft(std::vector<Complex>* data, bool inverse) {
+  if (IsPowerOfTwo(data->size())) {
+    Radix2Fft(data, inverse);
+  } else {
+    BluesteinFft(data, inverse);
+  }
+}
+
+std::vector<Complex> Dft(const std::vector<double>& signal) {
+  std::vector<Complex> out(signal.size());
+  for (size_t i = 0; i < signal.size(); ++i) out[i] = Complex(signal[i], 0.0);
+  Fft(&out, /*inverse=*/false);
+  return out;
+}
+
+std::vector<double> InverseDftReal(const std::vector<Complex>& spectrum) {
+  std::vector<Complex> work = spectrum;
+  Fft(&work, /*inverse=*/true);
+  std::vector<double> out(work.size());
+  for (size_t i = 0; i < work.size(); ++i) out[i] = work[i].real();
+  return out;
+}
+
+std::vector<double> AmplitudeSpectrum(const std::vector<double>& signal) {
+  const size_t n = signal.size();
+  MACE_CHECK(n > 0);
+  const std::vector<Complex> coeffs = Dft(signal);
+  const size_t half = n / 2;
+  std::vector<double> amps(half + 1);
+  for (size_t j = 0; j <= half; ++j) {
+    double scale = 2.0 / static_cast<double>(n);
+    if (j == 0 || (n % 2 == 0 && j == half)) {
+      scale = 1.0 / static_cast<double>(n);
+    }
+    amps[j] = std::abs(coeffs[j]) * scale;
+  }
+  return amps;
+}
+
+}  // namespace mace::fft

@@ -1,0 +1,42 @@
+#ifndef MACE_FFT_FFT_H_
+#define MACE_FFT_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace mace::fft {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (n >= 1).
+bool IsPowerOfTwo(size_t n);
+
+/// \brief In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// `data` size must be a power of two. When `inverse`, computes the inverse
+/// transform including the 1/n scaling.
+void Radix2Fft(std::vector<Complex>* data, bool inverse);
+
+/// \brief Bluestein chirp-z FFT for arbitrary sizes (O(n log n)).
+/// When `inverse`, includes the 1/n scaling.
+void BluesteinFft(std::vector<Complex>* data, bool inverse);
+
+/// \brief Forward DFT of arbitrary-size complex input: dispatches to
+/// radix-2 when possible, Bluestein otherwise.
+void Fft(std::vector<Complex>* data, bool inverse);
+
+/// Forward DFT of a real signal; returns all n complex coefficients.
+std::vector<Complex> Dft(const std::vector<double>& signal);
+
+/// Inverse DFT returning the real part (for spectra of real signals).
+std::vector<double> InverseDftReal(const std::vector<Complex>& spectrum);
+
+/// \brief One-sided amplitude spectrum of a real signal.
+///
+/// Entry j (j = 0..floor(n/2)) is |X_j| / n, doubled for the interior bins
+/// so amplitudes correspond to sinusoid peak amplitudes.
+std::vector<double> AmplitudeSpectrum(const std::vector<double>& signal);
+
+}  // namespace mace::fft
+
+#endif  // MACE_FFT_FFT_H_

@@ -1,0 +1,74 @@
+#include "fft/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mace::fft {
+
+std::vector<int> TopKIndices(const std::vector<double>& amplitudes, int k,
+                             bool skip_dc) {
+  MACE_CHECK(k >= 0);
+  std::vector<int> order;
+  order.reserve(amplitudes.size());
+  for (size_t i = skip_dc ? 1 : 0; i < amplitudes.size(); ++i) {
+    order.push_back(static_cast<int>(i));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return amplitudes[static_cast<size_t>(a)] >
+           amplitudes[static_cast<size_t>(b)];
+  });
+  if (static_cast<size_t>(k) < order.size()) order.resize(k);
+  return order;
+}
+
+std::vector<double> NormalizeSpectrum(const std::vector<double>& amplitudes) {
+  double total = std::accumulate(amplitudes.begin(), amplitudes.end(), 0.0);
+  std::vector<double> out(amplitudes.size());
+  if (total <= 1e-15) {
+    const double uniform = 1.0 / static_cast<double>(amplitudes.size());
+    std::fill(out.begin(), out.end(), uniform);
+    return out;
+  }
+  for (size_t i = 0; i < amplitudes.size(); ++i) {
+    out[i] = amplitudes[i] / total;
+  }
+  return out;
+}
+
+double SubsetKlError(const std::vector<double>& normalized,
+                     const std::vector<int>& subset) {
+  double mass = 0.0;
+  for (int idx : subset) {
+    MACE_CHECK(idx >= 0 && static_cast<size_t>(idx) < normalized.size());
+    mass += normalized[static_cast<size_t>(idx)];
+  }
+  return -std::log(std::max(mass, 1e-15));
+}
+
+AmplitudeMoments PooledAmplitudeMoments(
+    const std::vector<std::vector<double>>& spectra) {
+  AmplitudeMoments moments;
+  size_t count = 0;
+  double sum = 0.0;
+  for (const auto& s : spectra) {
+    for (double a : s) {
+      sum += a;
+      ++count;
+    }
+  }
+  if (count == 0) return moments;
+  moments.mean = sum / static_cast<double>(count);
+  double acc = 0.0;
+  for (const auto& s : spectra) {
+    for (double a : s) {
+      acc += (a - moments.mean) * (a - moments.mean);
+    }
+  }
+  moments.variance = acc / static_cast<double>(count);
+  return moments;
+}
+
+}  // namespace mace::fft

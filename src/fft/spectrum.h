@@ -1,0 +1,38 @@
+#ifndef MACE_FFT_SPECTRUM_H_
+#define MACE_FFT_SPECTRUM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mace::fft {
+
+/// \brief Indices of the k largest amplitudes, descending by amplitude.
+///
+/// When `skip_dc`, bin 0 is excluded (z-scored windows have near-zero DC,
+/// raw windows are dominated by it). Ties break toward the lower index.
+std::vector<int> TopKIndices(const std::vector<double>& amplitudes, int k,
+                             bool skip_dc = true);
+
+/// \brief Normalized spectrum q_i = A_i / sum(A) (Definition 2 of the
+/// paper). Returns a uniform distribution when the spectrum is all zero.
+std::vector<double> NormalizeSpectrum(const std::vector<double>& amplitudes);
+
+/// \brief KL reconstruction error of keeping only `subset` of a normalized
+/// spectrum: KL(q_bar | q) = -log sum_{i in subset} q_i (Eq. 11).
+double SubsetKlError(const std::vector<double>& normalized,
+                     const std::vector<int>& subset);
+
+/// \brief Mean and variance of spectrum amplitudes across windows —
+/// the statistics behind Table II (variance) and Table III (expectation).
+struct AmplitudeMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+/// Moments pooled over a collection of amplitude spectra.
+AmplitudeMoments PooledAmplitudeMoments(
+    const std::vector<std::vector<double>>& spectra);
+
+}  // namespace mace::fft
+
+#endif  // MACE_FFT_SPECTRUM_H_

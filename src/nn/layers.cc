@@ -1,0 +1,168 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mace::nn {
+
+using tensor::Index;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor GlorotUniform(Shape shape, int fan_in, int fan_out, Rng* rng) {
+  MACE_CHECK(rng != nullptr);
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  return Tensor::RandomUniform(std::move(shape), rng, -limit, limit,
+                               /*requires_grad=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  MACE_CHECK(in_features > 0 && out_features > 0);
+  weight_ = GlorotUniform(Shape{in_features, out_features}, in_features,
+                          out_features, rng);
+  if (bias) {
+    bias_ = Tensor::Zeros(Shape{out_features}, /*requires_grad=*/true);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  MACE_CHECK(input.ndim() == 2 && input.dim(1) == in_features_)
+      << "Linear expects [N, " << in_features_ << "], got "
+      << tensor::ShapeToString(input.shape());
+  Tensor out = MatMul(input, weight_);
+  if (bias_.defined()) out = Add(out, bias_);
+  return out;
+}
+
+std::vector<Tensor> Linear::Parameters() const {
+  std::vector<Tensor> params{weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Conv1dLayer
+// ---------------------------------------------------------------------------
+
+Conv1dLayer::Conv1dLayer(int in_channels, int out_channels, int kernel,
+                         int stride, Rng* rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride) {
+  MACE_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+             stride > 0);
+  const int fan_in = in_channels * kernel;
+  const int fan_out = out_channels * kernel;
+  weight_ = GlorotUniform(Shape{out_channels, in_channels, kernel}, fan_in,
+                          fan_out, rng);
+  if (bias) {
+    bias_ = Tensor::Zeros(Shape{out_channels}, /*requires_grad=*/true);
+  }
+}
+
+Tensor Conv1dLayer::Forward(const Tensor& input) {
+  return tensor::Conv1d(input, weight_, bias_, stride_);
+}
+
+std::vector<Tensor> Conv1dLayer::Parameters() const {
+  std::vector<Tensor> params{weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Activation
+// ---------------------------------------------------------------------------
+
+Tensor Activation::Forward(const Tensor& input) {
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      return Relu(input);
+    case ActivationKind::kTanh:
+      return Tanh(input);
+    case ActivationKind::kSigmoid:
+      return Sigmoid(input);
+    case ActivationKind::kIdentity:
+      return input;
+  }
+  MACE_CHECK(false) << "unreachable activation kind";
+  return input;
+}
+
+// ---------------------------------------------------------------------------
+// Lstm
+// ---------------------------------------------------------------------------
+
+Lstm::Lstm(int input_size, int hidden_size, Rng* rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  MACE_CHECK(input_size > 0 && hidden_size > 0);
+  w_ih_ = GlorotUniform(Shape{input_size, 4 * hidden_size}, input_size,
+                        4 * hidden_size, rng);
+  w_hh_ = GlorotUniform(Shape{hidden_size, 4 * hidden_size}, hidden_size,
+                        4 * hidden_size, rng);
+  bias_ = Tensor::Zeros(Shape{4 * hidden_size}, /*requires_grad=*/true);
+}
+
+Tensor Lstm::Forward(const Tensor& sequence) {
+  MACE_CHECK(sequence.ndim() == 2 && sequence.dim(1) == input_size_)
+      << "Lstm expects [T, " << input_size_ << "], got "
+      << tensor::ShapeToString(sequence.shape());
+  const Index steps = sequence.dim(0);
+  const Index hidden = hidden_size_;
+
+  Tensor h = Tensor::Zeros(Shape{1, hidden});
+  Tensor c = Tensor::Zeros(Shape{1, hidden});
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(steps));
+  for (Index t = 0; t < steps; ++t) {
+    Tensor x_t = Slice(sequence, /*axis=*/0, t, t + 1);  // [1, in]
+    Tensor gates = Add(Add(MatMul(x_t, w_ih_), MatMul(h, w_hh_)), bias_);
+    Tensor i_gate = Sigmoid(Slice(gates, 1, 0, hidden));
+    Tensor f_gate = Sigmoid(Slice(gates, 1, hidden, 2 * hidden));
+    Tensor g_gate = Tanh(Slice(gates, 1, 2 * hidden, 3 * hidden));
+    Tensor o_gate = Sigmoid(Slice(gates, 1, 3 * hidden, 4 * hidden));
+    c = Add(Mul(f_gate, c), Mul(i_gate, g_gate));
+    h = Mul(o_gate, Tanh(c));
+    outputs.push_back(h);
+  }
+  return Concat(outputs, /*axis=*/0);  // [T, hidden]
+}
+
+std::vector<Tensor> Lstm::Parameters() const { return {w_ih_, w_hh_, bias_}; }
+
+// ---------------------------------------------------------------------------
+// SelfAttention
+// ---------------------------------------------------------------------------
+
+SelfAttention::SelfAttention(int dim, Rng* rng) : dim_(dim) {
+  MACE_CHECK(dim > 0);
+  w_query_ = GlorotUniform(Shape{dim, dim}, dim, dim, rng);
+  w_key_ = GlorotUniform(Shape{dim, dim}, dim, dim, rng);
+  w_value_ = GlorotUniform(Shape{dim, dim}, dim, dim, rng);
+}
+
+Tensor SelfAttention::Forward(const Tensor& sequence) {
+  MACE_CHECK(sequence.ndim() == 2 && sequence.dim(1) == dim_)
+      << "SelfAttention expects [T, " << dim_ << "], got "
+      << tensor::ShapeToString(sequence.shape());
+  Tensor q = MatMul(sequence, w_query_);
+  Tensor k = MatMul(sequence, w_key_);
+  Tensor v = MatMul(sequence, w_value_);
+  Tensor scores =
+      MulScalar(MatMul(q, Transpose(k)), 1.0 / std::sqrt(double(dim_)));
+  Tensor attn = Softmax(scores);
+  return MatMul(attn, v);
+}
+
+std::vector<Tensor> SelfAttention::Parameters() const {
+  return {w_query_, w_key_, w_value_};
+}
+
+}  // namespace mace::nn

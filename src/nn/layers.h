@@ -1,0 +1,117 @@
+#ifndef MACE_NN_LAYERS_H_
+#define MACE_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mace::nn {
+
+/// Supported pointwise nonlinearities.
+enum class ActivationKind { kRelu, kTanh, kSigmoid, kIdentity };
+
+/// \brief Fully connected layer: y = x W + b, x is [N, in].
+class Linear : public Module {
+ public:
+  /// Glorot-uniform initialization from `rng`.
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  std::vector<tensor::Tensor> Parameters() const override;
+  std::string name() const override { return "Linear"; }
+
+  const tensor::Tensor& weight() const { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  tensor::Tensor weight_;  // [in, out]
+  tensor::Tensor bias_;    // [out] or undefined
+};
+
+/// \brief 1-D convolution layer over [N, C, L] inputs, no padding.
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int in_channels, int out_channels, int kernel, int stride,
+              Rng* rng, bool bias = true);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  std::vector<tensor::Tensor> Parameters() const override;
+  std::string name() const override { return "Conv1d"; }
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  const tensor::Tensor& weight() const { return weight_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int stride_;
+  tensor::Tensor weight_;  // [out, in, kernel]
+  tensor::Tensor bias_;    // [out] or undefined
+};
+
+/// \brief Stateless pointwise activation as a module.
+class Activation : public Module {
+ public:
+  explicit Activation(ActivationKind kind) : kind_(kind) {}
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override;
+  std::string name() const override { return "Activation"; }
+
+ private:
+  ActivationKind kind_;
+};
+
+/// \brief Single-layer LSTM over a [T, in] sequence; outputs [T, hidden].
+///
+/// The recurrent substrate for the OmniAnomaly-family baseline. Gates are
+/// packed (i, f, g, o) in the weight matrices' column blocks.
+class Lstm : public Module {
+ public:
+  Lstm(int input_size, int hidden_size, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& sequence) override;
+  std::vector<tensor::Tensor> Parameters() const override;
+  std::string name() const override { return "Lstm"; }
+
+  int hidden_size() const { return hidden_size_; }
+
+ private:
+  int input_size_;
+  int hidden_size_;
+  tensor::Tensor w_ih_;  // [in, 4H]
+  tensor::Tensor w_hh_;  // [H, 4H]
+  tensor::Tensor bias_;  // [4H]
+};
+
+/// \brief Single-head scaled dot-product self-attention over [T, dim].
+///
+/// The transformer-family substrate (AnomalyTransformer / TranAD stand-in).
+class SelfAttention : public Module {
+ public:
+  SelfAttention(int dim, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& sequence) override;
+  std::vector<tensor::Tensor> Parameters() const override;
+  std::string name() const override { return "SelfAttention"; }
+
+ private:
+  int dim_;
+  tensor::Tensor w_query_;  // [dim, dim]
+  tensor::Tensor w_key_;
+  tensor::Tensor w_value_;
+};
+
+/// Glorot-uniform tensor: U(-limit, limit), limit = sqrt(6 / (fan_in+fan_out)).
+tensor::Tensor GlorotUniform(tensor::Shape shape, int fan_in, int fan_out,
+                             Rng* rng);
+
+}  // namespace mace::nn
+
+#endif  // MACE_NN_LAYERS_H_

@@ -1,0 +1,75 @@
+#ifndef MACE_NN_MODULE_H_
+#define MACE_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mace::nn {
+
+/// \brief Base class for neural-network layers.
+///
+/// A module owns its parameter tensors (leaves with requires_grad = true)
+/// and maps one input tensor to one output tensor, building the autograd
+/// graph as it goes.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Applies the layer.
+  virtual tensor::Tensor Forward(const tensor::Tensor& input) = 0;
+
+  /// All trainable parameters of this module (and its children).
+  virtual std::vector<tensor::Tensor> Parameters() const { return {}; }
+
+  /// Layer name for diagnostics.
+  virtual std::string name() const = 0;
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const {
+    int64_t total = 0;
+    for (const tensor::Tensor& p : Parameters()) total += p.numel();
+    return total;
+  }
+};
+
+using ModulePtr = std::shared_ptr<Module>;
+
+/// \brief Applies child modules in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> layers)
+      : layers_(std::move(layers)) {}
+
+  void Add(ModulePtr layer) { layers_.push_back(std::move(layer)); }
+
+  tensor::Tensor Forward(const tensor::Tensor& input) override {
+    tensor::Tensor x = input;
+    for (const ModulePtr& layer : layers_) x = layer->Forward(x);
+    return x;
+  }
+
+  std::vector<tensor::Tensor> Parameters() const override {
+    std::vector<tensor::Tensor> params;
+    for (const ModulePtr& layer : layers_) {
+      for (tensor::Tensor& p : [&] { return layer->Parameters(); }()) {
+        params.push_back(std::move(p));
+      }
+    }
+    return params;
+  }
+
+  std::string name() const override { return "Sequential"; }
+
+  const std::vector<ModulePtr>& layers() const { return layers_; }
+
+ private:
+  std::vector<ModulePtr> layers_;
+};
+
+}  // namespace mace::nn
+
+#endif  // MACE_NN_MODULE_H_

@@ -1,0 +1,102 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mace::nn {
+
+using tensor::Tensor;
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const Tensor& p : parameters_) {
+    MACE_CHECK(p.defined() && p.requires_grad())
+        << "optimizer parameters must be differentiable leaves";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+void Optimizer::ClipGradNorm(double max_norm) {
+  MACE_CHECK(max_norm > 0.0);
+  double total = 0.0;
+  for (const Tensor& p : parameters_) {
+    for (double g : p.grad()) total += g * g;
+  }
+  const double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (Tensor& p : parameters_) {
+    // Gradients live on the node; scale them through the mutable view.
+    auto& node = *p.node();
+    for (double& g : node.grad) g *= scale;
+  }
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, double learning_rate,
+         double momentum)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    velocity_[i].assign(parameters_[i].data().size(), 0.0);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    std::vector<double>& values = p.mutable_data();
+    const std::vector<double>& grad = p.grad();
+    std::vector<double>& vel = velocity_[i];
+    for (size_t j = 0; j < values.size(); ++j) {
+      if (momentum_ != 0.0) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        values[j] -= learning_rate_ * vel[j];
+      } else {
+        values[j] -= learning_rate_ * grad[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, double learning_rate, double beta1,
+           double beta2, double epsilon)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  first_moment_.resize(parameters_.size());
+  second_moment_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    first_moment_[i].assign(parameters_[i].data().size(), 0.0);
+    second_moment_[i].assign(parameters_[i].data().size(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    std::vector<double>& values = p.mutable_data();
+    const std::vector<double>& grad = p.grad();
+    std::vector<double>& m = first_moment_[i];
+    std::vector<double>& v = second_moment_[i];
+    for (size_t j = 0; j < values.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      values[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace mace::nn

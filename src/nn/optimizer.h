@@ -1,0 +1,73 @@
+#ifndef MACE_NN_OPTIMIZER_H_
+#define MACE_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mace::nn {
+
+/// \brief Base class for first-order optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears the gradient buffers of every parameter.
+  void ZeroGrad();
+
+  /// Clips gradients to a global L2 norm (no-op when already within).
+  void ClipGradNorm(double max_norm);
+
+  const std::vector<tensor::Tensor>& parameters() const {
+    return parameters_;
+  }
+
+ protected:
+  std::vector<tensor::Tensor> parameters_;
+};
+
+/// \brief Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> parameters, double learning_rate,
+      double momentum = 0.0);
+
+  void Step() override;
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// \brief Adam (Kingma & Ba, 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> parameters, double learning_rate,
+       double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8);
+
+  void Step() override;
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<double>> first_moment_;
+  std::vector<std::vector<double>> second_moment_;
+};
+
+}  // namespace mace::nn
+
+#endif  // MACE_NN_OPTIMIZER_H_

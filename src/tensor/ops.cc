@@ -1,0 +1,698 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace mace::tensor {
+
+using internal::Node;
+
+namespace {
+
+constexpr double kLogFloor = 1e-12;
+
+/// Builds an op node over `parents`; `backward` is installed only when some
+/// parent participates in differentiation.
+Tensor MakeOp(const char* name, Shape shape, std::vector<double> values,
+              std::vector<std::shared_ptr<Node>> parents,
+              std::function<void(Node&)> backward) {
+  auto node = std::make_shared<Node>();
+  node->op_name = name;
+  node->shape = std::move(shape);
+  node->values = std::move(values);
+  node->parents = std::move(parents);
+  for (const auto& p : node->parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) {
+    node->backward = std::move(backward);
+    node->EnsureGrad();
+  }
+  return Tensor::FromNode(std::move(node));
+}
+
+/// Generic broadcasting binary elementwise op.
+///
+/// `fwd(x, y)` computes the value; `dfdx(x, y)` / `dfdy(x, y)` the partials.
+template <typename Fwd, typename DfDx, typename DfDy>
+Tensor BinaryElementwise(const char* name, const Tensor& a, const Tensor& b,
+                         Fwd fwd, DfDx dfdx, DfDy dfdy) {
+  MACE_CHECK(a.defined() && b.defined());
+  Shape out_shape;
+  MACE_CHECK(BroadcastShapes(a.shape(), b.shape(), &out_shape))
+      << name << ": cannot broadcast " << ShapeToString(a.shape()) << " and "
+      << ShapeToString(b.shape());
+
+  const std::vector<Index> out_strides = RowMajorStrides(out_shape);
+  const std::vector<Index> a_strides =
+      MakeBroadcastStrides(a.shape(), out_shape);
+  const std::vector<Index> b_strides =
+      MakeBroadcastStrides(b.shape(), out_shape);
+  const Index n = NumElements(out_shape);
+  const bool trivial = SameShape(a.shape(), b.shape());
+
+  std::vector<double> values(static_cast<size_t>(n));
+  const std::vector<double>& av = a.data();
+  const std::vector<double>& bv = b.data();
+  if (trivial) {
+    for (Index i = 0; i < n; ++i) {
+      values[i] = fwd(av[i], bv[i]);
+    }
+  } else {
+    for (Index i = 0; i < n; ++i) {
+      const Index ia = BroadcastOffset(i, out_strides, a_strides, out_shape);
+      const Index ib = BroadcastOffset(i, out_strides, b_strides, out_shape);
+      values[i] = fwd(av[ia], bv[ib]);
+    }
+  }
+
+  auto an = a.node();
+  auto bn = b.node();
+  auto backward = [an, bn, out_strides, a_strides, b_strides, out_shape, n,
+                   trivial, dfdx, dfdy](Node& self) {
+    an->EnsureGrad();
+    bn->EnsureGrad();
+    const std::vector<double>& av = an->values;
+    const std::vector<double>& bv = bn->values;
+    for (Index i = 0; i < n; ++i) {
+      const Index ia =
+          trivial ? i : BroadcastOffset(i, out_strides, a_strides, out_shape);
+      const Index ib =
+          trivial ? i : BroadcastOffset(i, out_strides, b_strides, out_shape);
+      const double g = self.grad[static_cast<size_t>(i)];
+      if (an->requires_grad) {
+        an->grad[static_cast<size_t>(ia)] += g * dfdx(av[ia], bv[ib]);
+      }
+      if (bn->requires_grad) {
+        bn->grad[static_cast<size_t>(ib)] += g * dfdy(av[ia], bv[ib]);
+      }
+    }
+  };
+  return MakeOp(name, std::move(out_shape), std::move(values), {an, bn},
+                std::move(backward));
+}
+
+/// Generic unary elementwise op; partial is a function of the input value.
+template <typename Fwd, typename Df>
+Tensor UnaryElementwise(const char* name, const Tensor& a, Fwd fwd, Df df) {
+  MACE_CHECK(a.defined());
+  const std::vector<double>& av = a.data();
+  std::vector<double> values(av.size());
+  for (size_t i = 0; i < av.size(); ++i) values[i] = fwd(av[i]);
+  auto an = a.node();
+  auto backward = [an, df](Node& self) {
+    an->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      an->grad[i] += self.grad[i] * df(an->values[i]);
+    }
+  };
+  return MakeOp(name, a.shape(), std::move(values), {an},
+                std::move(backward));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Binary elementwise
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      "add", a, b, [](double x, double y) { return x + y; },
+      [](double, double) { return 1.0; }, [](double, double) { return 1.0; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      "sub", a, b, [](double x, double y) { return x - y; },
+      [](double, double) { return 1.0; },
+      [](double, double) { return -1.0; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      "mul", a, b, [](double x, double y) { return x * y; },
+      [](double, double y) { return y; }, [](double x, double) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      "div", a, b, [](double x, double y) { return x / y; },
+      [](double, double y) { return 1.0 / y; },
+      [](double x, double y) { return -x / (y * y); });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      "maximum", a, b, [](double x, double y) { return x >= y ? x : y; },
+      [](double x, double y) { return x >= y ? 1.0 : 0.0; },
+      [](double x, double y) { return x >= y ? 0.0 : 1.0; });
+}
+
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryElementwise(
+      "minimum", a, b, [](double x, double y) { return x <= y ? x : y; },
+      [](double x, double y) { return x <= y ? 1.0 : 0.0; },
+      [](double x, double y) { return x <= y ? 0.0 : 1.0; });
+}
+
+// ---------------------------------------------------------------------------
+// Scalar / unary
+// ---------------------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, double s) {
+  return UnaryElementwise(
+      "add_scalar", a, [s](double x) { return x + s; },
+      [](double) { return 1.0; });
+}
+
+Tensor MulScalar(const Tensor& a, double s) {
+  return UnaryElementwise(
+      "mul_scalar", a, [s](double x) { return x * s; },
+      [s](double) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryElementwise(
+      "relu", a, [](double x) { return x > 0 ? x : 0.0; },
+      [](double x) { return x > 0 ? 1.0 : 0.0; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryElementwise(
+      "tanh", a, [](double x) { return std::tanh(x); },
+      [](double x) {
+        const double t = std::tanh(x);
+        return 1.0 - t * t;
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  auto sig = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  return UnaryElementwise("sigmoid", a, sig, [sig](double x) {
+    const double s = sig(x);
+    return s * (1.0 - s);
+  });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryElementwise(
+      "exp", a, [](double x) { return std::exp(x); },
+      [](double x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryElementwise(
+      "log", a, [](double x) { return std::log(std::max(x, kLogFloor)); },
+      [](double x) { return 1.0 / std::max(x, kLogFloor); });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryElementwise(
+      "sqrt", a, [](double x) { return std::sqrt(std::max(x, 0.0)); },
+      [](double x) { return 0.5 / std::sqrt(std::max(x, kLogFloor)); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryElementwise(
+      "abs", a, [](double x) { return std::fabs(x); },
+      [](double x) { return x >= 0 ? 1.0 : -1.0; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryElementwise(
+      "square", a, [](double x) { return x * x; },
+      [](double x) { return 2.0 * x; });
+}
+
+Tensor Pow(const Tensor& a, double p) {
+  return UnaryElementwise(
+      "pow", a, [p](double x) { return std::pow(x, p); },
+      [p](double x) { return p * std::pow(x, p - 1.0); });
+}
+
+Tensor SignedPow(const Tensor& a, double p) {
+  // d/dx sign(x)|x|^p = p |x|^(p-1); finite at 0 for p >= 1.
+  return UnaryElementwise(
+      "signed_pow", a,
+      [p](double x) {
+        const double m = std::pow(std::fabs(x), p);
+        return x < 0 ? -m : m;
+      },
+      [p](double x) {
+        const double ax = std::fabs(x);
+        if (ax < kLogFloor) return p >= 1.0 ? 0.0 : 0.0;
+        return p * std::pow(ax, p - 1.0);
+      });
+}
+
+Tensor SignedRoot(const Tensor& a, double p) {
+  // sign(x)|x|^(1/p); the true derivative (1/p)|x|^(1/p - 1) diverges at 0,
+  // which would dominate (and after clipping, drown) every other gradient
+  // in a dualistic autoencoder, so it is capped — the standard stabilizer
+  // for fractional-power activations.
+  const double inv = 1.0 / p;
+  const double max_derivative = 10.0;
+  return UnaryElementwise(
+      "signed_root", a,
+      [inv](double x) {
+        const double m = std::pow(std::fabs(x), inv);
+        return x < 0 ? -m : m;
+      },
+      [inv, max_derivative](double x) {
+        const double d = inv * std::pow(std::fabs(x), inv - 1.0);
+        return std::isfinite(d) ? std::min(d, max_derivative)
+                                : max_derivative;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, Shape shape) {
+  MACE_CHECK(a.defined());
+  MACE_CHECK(NumElements(shape) == a.numel())
+      << "reshape " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(shape);
+  auto an = a.node();
+  auto backward = [an](Node& self) {
+    an->EnsureGrad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      an->grad[i] += self.grad[i];
+    }
+  };
+  return MakeOp("reshape", std::move(shape), a.data(), {an},
+                std::move(backward));
+}
+
+Tensor Transpose(const Tensor& a) {
+  MACE_CHECK(a.ndim() == 2) << "Transpose expects rank 2, got "
+                            << ShapeToString(a.shape());
+  const Index rows = a.dim(0);
+  const Index cols = a.dim(1);
+  std::vector<double> values(static_cast<size_t>(rows * cols));
+  const std::vector<double>& av = a.data();
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      values[static_cast<size_t>(c * rows + r)] =
+          av[static_cast<size_t>(r * cols + c)];
+    }
+  }
+  auto an = a.node();
+  auto backward = [an, rows, cols](Node& self) {
+    an->EnsureGrad();
+    for (Index r = 0; r < rows; ++r) {
+      for (Index c = 0; c < cols; ++c) {
+        an->grad[static_cast<size_t>(r * cols + c)] +=
+            self.grad[static_cast<size_t>(c * rows + r)];
+      }
+    }
+  };
+  return MakeOp("transpose", Shape{cols, rows}, std::move(values), {an},
+                std::move(backward));
+}
+
+Tensor Slice(const Tensor& a, int axis, Index start, Index end) {
+  MACE_CHECK(a.defined());
+  const Shape& in_shape = a.shape();
+  if (axis < 0) axis += static_cast<int>(in_shape.size());
+  MACE_CHECK(axis >= 0 && axis < static_cast<int>(in_shape.size()));
+  MACE_CHECK(start >= 0 && start <= end && end <= in_shape[axis])
+      << "slice [" << start << ", " << end << ") on axis " << axis << " of "
+      << ShapeToString(in_shape);
+
+  Shape out_shape = in_shape;
+  out_shape[axis] = end - start;
+
+  // Treat the tensor as [outer, axis_len, inner].
+  Index outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= in_shape[i];
+  for (size_t i = axis + 1; i < in_shape.size(); ++i) inner *= in_shape[i];
+  const Index axis_len = in_shape[axis];
+  const Index out_axis = end - start;
+
+  std::vector<double> values(static_cast<size_t>(outer * out_axis * inner));
+  const std::vector<double>& av = a.data();
+  for (Index o = 0; o < outer; ++o) {
+    for (Index j = 0; j < out_axis; ++j) {
+      const double* src = av.data() + ((o * axis_len + start + j) * inner);
+      double* dst = values.data() + ((o * out_axis + j) * inner);
+      std::copy(src, src + inner, dst);
+    }
+  }
+  auto an = a.node();
+  auto backward = [an, outer, inner, axis_len, out_axis, start](Node& self) {
+    an->EnsureGrad();
+    for (Index o = 0; o < outer; ++o) {
+      for (Index j = 0; j < out_axis; ++j) {
+        const double* g = self.grad.data() + ((o * out_axis + j) * inner);
+        double* dst =
+            an->grad.data() + ((o * axis_len + start + j) * inner);
+        for (Index i = 0; i < inner; ++i) dst[i] += g[i];
+      }
+    }
+  };
+  return MakeOp("slice", std::move(out_shape), std::move(values), {an},
+                std::move(backward));
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  MACE_CHECK(!parts.empty()) << "Concat of zero tensors";
+  const Shape& first = parts[0].shape();
+  int ax = axis < 0 ? axis + static_cast<int>(first.size()) : axis;
+  MACE_CHECK(ax >= 0 && ax < static_cast<int>(first.size()));
+
+  Index total_axis = 0;
+  for (const Tensor& t : parts) {
+    MACE_CHECK(t.ndim() == static_cast<int>(first.size()));
+    for (int i = 0; i < t.ndim(); ++i) {
+      if (i != ax) {
+        MACE_CHECK(t.dim(i) == first[static_cast<size_t>(i)])
+            << "concat shape mismatch on axis " << i;
+      }
+    }
+    total_axis += t.dim(ax);
+  }
+  Shape out_shape = first;
+  out_shape[static_cast<size_t>(ax)] = total_axis;
+
+  Index outer = 1, inner = 1;
+  for (int i = 0; i < ax; ++i) outer *= out_shape[i];
+  for (size_t i = ax + 1; i < out_shape.size(); ++i) inner *= out_shape[i];
+
+  std::vector<double> values(static_cast<size_t>(NumElements(out_shape)));
+  std::vector<std::shared_ptr<Node>> parents;
+  std::vector<Index> part_axis(parts.size());
+  parents.reserve(parts.size());
+  Index written = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    parents.push_back(parts[p].node());
+    const Index pa = parts[p].dim(ax);
+    part_axis[p] = pa;
+    const std::vector<double>& pv = parts[p].data();
+    for (Index o = 0; o < outer; ++o) {
+      const double* src = pv.data() + o * pa * inner;
+      double* dst = values.data() + ((o * total_axis + written) * inner);
+      std::copy(src, src + pa * inner, dst);
+    }
+    written += pa;
+  }
+
+  auto backward = [outer, inner, total_axis, part_axis](Node& self) {
+    Index offset = 0;
+    for (size_t p = 0; p < self.parents.size(); ++p) {
+      Node* parent = self.parents[p].get();
+      const Index pa = part_axis[p];
+      if (parent->requires_grad) {
+        parent->EnsureGrad();
+        for (Index o = 0; o < outer; ++o) {
+          const double* g =
+              self.grad.data() + ((o * total_axis + offset) * inner);
+          double* dst = parent->grad.data() + o * pa * inner;
+          for (Index i = 0; i < pa * inner; ++i) dst[i] += g[i];
+        }
+      }
+      offset += pa;
+    }
+  };
+  return MakeOp("concat", std::move(out_shape), std::move(values),
+                std::move(parents), std::move(backward));
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  MACE_CHECK(a.defined());
+  double total = 0.0;
+  for (double v : a.data()) total += v;
+  auto an = a.node();
+  auto backward = [an](Node& self) {
+    an->EnsureGrad();
+    const double g = self.grad[0];
+    for (double& gv : an->grad) gv += g;
+  };
+  return MakeOp("sum", Shape{}, {total}, {an}, std::move(backward));
+}
+
+Tensor Mean(const Tensor& a) {
+  MACE_CHECK(a.defined());
+  const Index n = a.numel();
+  MACE_CHECK(n > 0);
+  return MulScalar(Sum(a), 1.0 / static_cast<double>(n));
+}
+
+Tensor SumAxis(const Tensor& a, int axis) {
+  MACE_CHECK(a.defined());
+  const Shape& in_shape = a.shape();
+  if (axis < 0) axis += static_cast<int>(in_shape.size());
+  MACE_CHECK(axis >= 0 && axis < static_cast<int>(in_shape.size()));
+
+  Index outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= in_shape[i];
+  for (size_t i = axis + 1; i < in_shape.size(); ++i) inner *= in_shape[i];
+  const Index axis_len = in_shape[axis];
+
+  Shape out_shape;
+  for (size_t i = 0; i < in_shape.size(); ++i) {
+    if (static_cast<int>(i) != axis) out_shape.push_back(in_shape[i]);
+  }
+
+  std::vector<double> values(static_cast<size_t>(outer * inner), 0.0);
+  const std::vector<double>& av = a.data();
+  for (Index o = 0; o < outer; ++o) {
+    for (Index j = 0; j < axis_len; ++j) {
+      const double* src = av.data() + ((o * axis_len + j) * inner);
+      double* dst = values.data() + o * inner;
+      for (Index i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  auto an = a.node();
+  auto backward = [an, outer, inner, axis_len](Node& self) {
+    an->EnsureGrad();
+    for (Index o = 0; o < outer; ++o) {
+      const double* g = self.grad.data() + o * inner;
+      for (Index j = 0; j < axis_len; ++j) {
+        double* dst = an->grad.data() + ((o * axis_len + j) * inner);
+        for (Index i = 0; i < inner; ++i) dst[i] += g[i];
+      }
+    }
+  };
+  return MakeOp("sum_axis", std::move(out_shape), std::move(values), {an},
+                std::move(backward));
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra / NN primitives
+// ---------------------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MACE_CHECK(a.ndim() == 2 && b.ndim() == 2)
+      << "MatMul expects rank-2 operands, got " << ShapeToString(a.shape())
+      << " x " << ShapeToString(b.shape());
+  const Index m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  MACE_CHECK(k == k2) << "MatMul inner dims " << k << " vs " << k2;
+
+  std::vector<double> values(static_cast<size_t>(m * n), 0.0);
+  const std::vector<double>& av = a.data();
+  const std::vector<double>& bv = b.data();
+  for (Index i = 0; i < m; ++i) {
+    for (Index kk = 0; kk < k; ++kk) {
+      const double aik = av[static_cast<size_t>(i * k + kk)];
+      if (aik == 0.0) continue;
+      const double* brow = bv.data() + kk * n;
+      double* orow = values.data() + i * n;
+      for (Index j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  auto an = a.node();
+  auto bn = b.node();
+  auto backward = [an, bn, m, k, n](Node& self) {
+    const std::vector<double>& av = an->values;
+    const std::vector<double>& bv = bn->values;
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      // dA = dC * B^T
+      for (Index i = 0; i < m; ++i) {
+        for (Index j = 0; j < n; ++j) {
+          const double g = self.grad[static_cast<size_t>(i * n + j)];
+          if (g == 0.0) continue;
+          const double* brow = bv.data();  // B[kk][j]
+          for (Index kk = 0; kk < k; ++kk) {
+            an->grad[static_cast<size_t>(i * k + kk)] +=
+                g * brow[kk * n + j];
+          }
+        }
+      }
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      // dB = A^T * dC
+      for (Index kk = 0; kk < k; ++kk) {
+        for (Index i = 0; i < m; ++i) {
+          const double aik = av[static_cast<size_t>(i * k + kk)];
+          if (aik == 0.0) continue;
+          const double* grow = self.grad.data() + i * n;
+          double* brow = bn->grad.data() + kk * n;
+          for (Index j = 0; j < n; ++j) brow[j] += aik * grow[j];
+        }
+      }
+    }
+  };
+  return MakeOp("matmul", Shape{m, n}, std::move(values), {an, bn},
+                std::move(backward));
+}
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              Index stride) {
+  MACE_CHECK(input.ndim() == 3)
+      << "Conv1d input must be [N, C, L], got "
+      << ShapeToString(input.shape());
+  MACE_CHECK(weight.ndim() == 3)
+      << "Conv1d weight must be [F, C, K], got "
+      << ShapeToString(weight.shape());
+  MACE_CHECK(stride >= 1);
+  const Index batch = input.dim(0);
+  const Index channels = input.dim(1);
+  const Index length = input.dim(2);
+  const Index filters = weight.dim(0);
+  const Index kernel = weight.dim(2);
+  MACE_CHECK(weight.dim(1) == channels)
+      << "Conv1d channel mismatch: input " << channels << ", weight "
+      << weight.dim(1);
+  MACE_CHECK(length >= kernel)
+      << "Conv1d input length " << length << " < kernel " << kernel;
+  const Index out_len = (length - kernel) / stride + 1;
+
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    MACE_CHECK(bias.ndim() == 1 && bias.dim(0) == filters)
+        << "Conv1d bias must be [F]";
+  }
+
+  std::vector<double> values(
+      static_cast<size_t>(batch * filters * out_len), 0.0);
+  const std::vector<double>& xv = input.data();
+  const std::vector<double>& wv = weight.data();
+  for (Index b = 0; b < batch; ++b) {
+    for (Index f = 0; f < filters; ++f) {
+      double* out = values.data() + (b * filters + f) * out_len;
+      if (has_bias) {
+        const double bf = bias.data()[static_cast<size_t>(f)];
+        for (Index t = 0; t < out_len; ++t) out[t] = bf;
+      }
+      for (Index c = 0; c < channels; ++c) {
+        const double* x = xv.data() + (b * channels + c) * length;
+        const double* w = wv.data() + (f * channels + c) * kernel;
+        for (Index t = 0; t < out_len; ++t) {
+          const double* xw = x + t * stride;
+          double acc = 0.0;
+          for (Index j = 0; j < kernel; ++j) acc += w[j] * xw[j];
+          out[t] += acc;
+        }
+      }
+    }
+  }
+
+  auto xn = input.node();
+  auto wn = weight.node();
+  std::vector<std::shared_ptr<Node>> parents = {xn, wn};
+  std::shared_ptr<Node> bn = has_bias ? bias.node() : nullptr;
+  if (has_bias) parents.push_back(bn);
+
+  auto backward = [xn, wn, bn, batch, channels, length, filters, kernel,
+                   out_len, stride](Node& self) {
+    const std::vector<double>& xv = xn->values;
+    const std::vector<double>& wv = wn->values;
+    if (xn->requires_grad) xn->EnsureGrad();
+    if (wn->requires_grad) wn->EnsureGrad();
+    if (bn && bn->requires_grad) bn->EnsureGrad();
+    for (Index b = 0; b < batch; ++b) {
+      for (Index f = 0; f < filters; ++f) {
+        const double* g = self.grad.data() + (b * filters + f) * out_len;
+        if (bn && bn->requires_grad) {
+          double acc = 0.0;
+          for (Index t = 0; t < out_len; ++t) acc += g[t];
+          bn->grad[static_cast<size_t>(f)] += acc;
+        }
+        for (Index c = 0; c < channels; ++c) {
+          const double* x = xv.data() + (b * channels + c) * length;
+          const double* w = wv.data() + (f * channels + c) * kernel;
+          double* dx = xn->requires_grad
+                           ? xn->grad.data() + (b * channels + c) * length
+                           : nullptr;
+          double* dw = wn->requires_grad
+                           ? wn->grad.data() + (f * channels + c) * kernel
+                           : nullptr;
+          for (Index t = 0; t < out_len; ++t) {
+            const double gt = g[t];
+            if (gt == 0.0) continue;
+            const Index base = t * stride;
+            for (Index j = 0; j < kernel; ++j) {
+              if (dx) dx[base + j] += gt * w[j];
+              if (dw) dw[j] += gt * x[base + j];
+            }
+          }
+        }
+      }
+    }
+  };
+  return MakeOp("conv1d", Shape{batch, filters, out_len}, std::move(values),
+                std::move(parents), std::move(backward));
+}
+
+Tensor Softmax(const Tensor& a) {
+  MACE_CHECK(a.defined() && a.ndim() >= 1);
+  const Shape& shape = a.shape();
+  const Index cols = shape.back();
+  const Index rows = a.numel() / cols;
+  std::vector<double> values(a.data().size());
+  const std::vector<double>& av = a.data();
+  for (Index r = 0; r < rows; ++r) {
+    const double* x = av.data() + r * cols;
+    double* y = values.data() + r * cols;
+    double max_val = x[0];
+    for (Index c = 1; c < cols; ++c) max_val = std::max(max_val, x[c]);
+    double total = 0.0;
+    for (Index c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - max_val);
+      total += y[c];
+    }
+    for (Index c = 0; c < cols; ++c) y[c] /= total;
+  }
+  auto an = a.node();
+  // Capture the forward output for the backward pass.
+  auto out = values;
+  auto backward = [an, out, rows, cols](Node& self) {
+    an->EnsureGrad();
+    for (Index r = 0; r < rows; ++r) {
+      const double* y = out.data() + r * cols;
+      const double* g = self.grad.data() + r * cols;
+      double dot = 0.0;
+      for (Index c = 0; c < cols; ++c) dot += g[c] * y[c];
+      double* dx = an->grad.data() + r * cols;
+      for (Index c = 0; c < cols; ++c) dx[c] += y[c] * (g[c] - dot);
+    }
+  };
+  return MakeOp("softmax", shape, std::move(values), {an},
+                std::move(backward));
+}
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  MACE_CHECK(SameShape(prediction.shape(), target.shape()))
+      << "MseLoss shapes " << ShapeToString(prediction.shape()) << " vs "
+      << ShapeToString(target.shape());
+  return Mean(Square(Sub(prediction, target)));
+}
+
+}  // namespace mace::tensor

@@ -1,0 +1,76 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mace::tensor {
+
+Index NumElements(const Shape& shape) {
+  Index n = 1;
+  for (Index d : shape) {
+    MACE_CHECK(d >= 0) << "negative dimension in " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<Index> RowMajorStrides(const Shape& shape) {
+  std::vector<Index> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+bool SameShape(const Shape& a, const Shape& b) { return a == b; }
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+bool BroadcastShapes(const Shape& a, const Shape& b, Shape* out) {
+  const size_t rank = a.size() > b.size() ? a.size() : b.size();
+  out->assign(rank, 1);
+  for (size_t i = 0; i < rank; ++i) {
+    const Index da = i < rank - a.size() ? 1 : a[i - (rank - a.size())];
+    const Index db = i < rank - b.size() ? 1 : b[i - (rank - b.size())];
+    if (da == db || da == 1 || db == 1) {
+      (*out)[i] = da > db ? da : db;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Index> MakeBroadcastStrides(const Shape& operand,
+                                        const Shape& out) {
+  const std::vector<Index> own = RowMajorStrides(operand);
+  std::vector<Index> padded(out.size(), 0);
+  const size_t offset = out.size() - operand.size();
+  for (size_t i = 0; i < operand.size(); ++i) {
+    padded[offset + i] = operand[i] == 1 ? 0 : own[i];
+  }
+  return padded;
+}
+
+Index BroadcastOffset(Index flat, const std::vector<Index>& out_strides,
+                      const std::vector<Index>& operand_strides_padded,
+                      const Shape& out_shape) {
+  Index offset = 0;
+  for (size_t i = 0; i < out_shape.size(); ++i) {
+    const Index coord = (flat / out_strides[i]) % out_shape[i];
+    offset += coord * operand_strides_padded[i];
+  }
+  return offset;
+}
+
+}  // namespace mace::tensor

@@ -1,0 +1,52 @@
+#ifndef MACE_TENSOR_SHAPE_H_
+#define MACE_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mace::tensor {
+
+/// Index/extent type for tensor dimensions.
+using Index = int64_t;
+
+/// A tensor shape: the extent of each dimension. Empty shape = scalar.
+using Shape = std::vector<Index>;
+
+/// Total number of elements (1 for a scalar shape).
+Index NumElements(const Shape& shape);
+
+/// Row-major (C-order) strides for a shape.
+std::vector<Index> RowMajorStrides(const Shape& shape);
+
+/// True when the two shapes are identical.
+bool SameShape(const Shape& a, const Shape& b);
+
+/// "[2, 3, 4]" rendering for diagnostics.
+std::string ShapeToString(const Shape& shape);
+
+/// \brief NumPy-style broadcast of two shapes.
+///
+/// Returns true and writes the broadcast shape on success; dimensions are
+/// compatible when equal or when either is 1 (missing leading dimensions
+/// are treated as 1).
+bool BroadcastShapes(const Shape& a, const Shape& b, Shape* out);
+
+/// \brief Maps a flat index in the broadcast output to a flat index in an
+/// operand of shape `shape` (with broadcast dimensions pinned to 0).
+///
+/// `out_strides` are the row-major strides of the broadcast shape and
+/// `operand_strides_padded` must be pre-padded/zeroed to the output rank
+/// (stride 0 on broadcast dimensions) by MakeBroadcastStrides.
+Index BroadcastOffset(Index flat, const std::vector<Index>& out_strides,
+                      const std::vector<Index>& operand_strides_padded,
+                      const Shape& out_shape);
+
+/// \brief Strides of `operand` aligned to the broadcast output rank, with
+/// zero stride on every dimension that the operand broadcasts over.
+std::vector<Index> MakeBroadcastStrides(const Shape& operand,
+                                        const Shape& out);
+
+}  // namespace mace::tensor
+
+#endif  // MACE_TENSOR_SHAPE_H_

@@ -1,0 +1,221 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mace::tensor {
+
+using internal::Node;
+
+namespace {
+
+std::shared_ptr<Node> MakeLeaf(Shape shape, std::vector<double> values,
+                               bool requires_grad) {
+  MACE_CHECK(static_cast<Index>(values.size()) == NumElements(shape))
+      << "values size " << values.size() << " vs shape "
+      << ShapeToString(shape);
+  auto node = std::make_shared<Node>();
+  node->shape = std::move(shape);
+  node->values = std::move(values);
+  node->requires_grad = requires_grad;
+  node->EnsureGrad();
+  return node;
+}
+
+}  // namespace
+
+Tensor Tensor::FromNode(std::shared_ptr<Node> node) {
+  Tensor t;
+  t.node_ = std::move(node);
+  return t;
+}
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  const Index n = NumElements(shape);
+  return FromNode(MakeLeaf(std::move(shape),
+                           std::vector<double>(static_cast<size_t>(n), 0.0),
+                           requires_grad));
+}
+
+Tensor Tensor::Ones(Shape shape, bool requires_grad) {
+  return Full(std::move(shape), 1.0, requires_grad);
+}
+
+Tensor Tensor::Full(Shape shape, double value, bool requires_grad) {
+  const Index n = NumElements(shape);
+  return FromNode(MakeLeaf(std::move(shape),
+                           std::vector<double>(static_cast<size_t>(n), value),
+                           requires_grad));
+}
+
+Tensor Tensor::Scalar(double value, bool requires_grad) {
+  return FromNode(MakeLeaf(Shape{}, std::vector<double>{value},
+                           requires_grad));
+}
+
+Tensor Tensor::FromVector(std::vector<double> values, Shape shape,
+                          bool requires_grad) {
+  return FromNode(MakeLeaf(std::move(shape), std::move(values),
+                           requires_grad));
+}
+
+Tensor Tensor::FromVector(std::vector<double> values, bool requires_grad) {
+  const Index n = static_cast<Index>(values.size());
+  return FromNode(MakeLeaf(Shape{n}, std::move(values), requires_grad));
+}
+
+Tensor Tensor::RandomUniform(Shape shape, Rng* rng, double lo, double hi,
+                             bool requires_grad) {
+  MACE_CHECK(rng != nullptr);
+  const Index n = NumElements(shape);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = rng->Uniform(lo, hi);
+  return FromNode(MakeLeaf(std::move(shape), std::move(values),
+                           requires_grad));
+}
+
+Tensor Tensor::RandomGaussian(Shape shape, Rng* rng, double mean,
+                              double stddev, bool requires_grad) {
+  MACE_CHECK(rng != nullptr);
+  const Index n = NumElements(shape);
+  std::vector<double> values(static_cast<size_t>(n));
+  for (double& v : values) v = rng->Gaussian(mean, stddev);
+  return FromNode(MakeLeaf(std::move(shape), std::move(values),
+                           requires_grad));
+}
+
+const Shape& Tensor::shape() const {
+  MACE_CHECK(defined());
+  return node_->shape;
+}
+
+Index Tensor::dim(int axis) const {
+  const Shape& s = shape();
+  if (axis < 0) axis += static_cast<int>(s.size());
+  MACE_CHECK(axis >= 0 && axis < static_cast<int>(s.size()))
+      << "axis " << axis << " out of range for " << ShapeToString(s);
+  return s[static_cast<size_t>(axis)];
+}
+
+Index Tensor::numel() const { return NumElements(shape()); }
+
+bool Tensor::requires_grad() const {
+  MACE_CHECK(defined());
+  return node_->requires_grad;
+}
+
+const std::vector<double>& Tensor::data() const {
+  MACE_CHECK(defined());
+  return node_->values;
+}
+
+std::vector<double>& Tensor::mutable_data() {
+  MACE_CHECK(defined());
+  return node_->values;
+}
+
+const std::vector<double>& Tensor::grad() const {
+  MACE_CHECK(defined());
+  return node_->grad;
+}
+
+double Tensor::item() const {
+  MACE_CHECK(numel() == 1) << "item() on tensor of " << numel()
+                           << " elements";
+  return node_->values[0];
+}
+
+double Tensor::at(std::initializer_list<Index> indices) const {
+  const Shape& s = shape();
+  MACE_CHECK(indices.size() == s.size())
+      << indices.size() << " indices for rank " << s.size();
+  const std::vector<Index> strides = RowMajorStrides(s);
+  Index flat = 0;
+  size_t i = 0;
+  for (Index idx : indices) {
+    MACE_CHECK(idx >= 0 && idx < s[i])
+        << "index " << idx << " out of range for dim " << i << " of "
+        << ShapeToString(s);
+    flat += idx * strides[i];
+    ++i;
+  }
+  return node_->values[static_cast<size_t>(flat)];
+}
+
+void Tensor::set(std::initializer_list<Index> indices, double value) {
+  const Shape& s = shape();
+  MACE_CHECK(indices.size() == s.size());
+  const std::vector<Index> strides = RowMajorStrides(s);
+  Index flat = 0;
+  size_t i = 0;
+  for (Index idx : indices) {
+    MACE_CHECK(idx >= 0 && idx < s[i]);
+    flat += idx * strides[i];
+    ++i;
+  }
+  node_->values[static_cast<size_t>(flat)] = value;
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape()) << " [";
+  const size_t n = node_->values.size();
+  const size_t shown = std::min<size_t>(n, 8);
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    out << node_->values[i];
+  }
+  if (shown < n) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+Tensor Tensor::Detach() const {
+  MACE_CHECK(defined());
+  return FromNode(MakeLeaf(node_->shape, node_->values, false));
+}
+
+void Tensor::ZeroGrad() {
+  MACE_CHECK(defined());
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0);
+}
+
+void Tensor::Backward() {
+  MACE_CHECK(defined());
+  MACE_CHECK(numel() == 1) << "Backward() requires a scalar output";
+  MACE_CHECK(node_->requires_grad)
+      << "Backward() on a graph with no differentiable leaves";
+
+  // Iterative post-order DFS for a topological ordering.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Node* parent = node->parents[child].get();
+      ++child;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  for (Node* n : order) n->EnsureGrad();
+  node_->grad[0] = 1.0;
+  // `order` is post-order (parents before the output), so walk it backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward(**it);
+  }
+}
+
+}  // namespace mace::tensor

@@ -1,0 +1,198 @@
+#ifndef MACE_TENSOR_TENSOR_H_
+#define MACE_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace mace::tensor {
+
+namespace internal {
+
+/// One node of the autograd graph: a value buffer, an optional gradient
+/// buffer, and the backward closure that scatters this node's gradient
+/// into its parents.
+struct Node {
+  Shape shape;
+  std::vector<double> values;
+  std::vector<double> grad;  // sized iff requires_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward;
+  const char* op_name = "leaf";
+
+  void EnsureGrad() {
+    if (requires_grad && grad.size() != values.size()) {
+      grad.assign(values.size(), 0.0);
+    }
+  }
+};
+
+}  // namespace internal
+
+/// \brief Dense, row-major, double-precision tensor with reverse-mode
+/// automatic differentiation.
+///
+/// Tensor is a cheap shared handle (like torch::Tensor): copies alias the
+/// same storage and graph node. Operations on tensors build an autograd
+/// graph; calling Backward() on a scalar result populates grad() on every
+/// leaf created with requires_grad = true.
+class Tensor {
+ public:
+  /// An undefined tensor; defined() is false.
+  Tensor() = default;
+
+  // -- Factories --------------------------------------------------------
+
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+  static Tensor Ones(Shape shape, bool requires_grad = false);
+  static Tensor Full(Shape shape, double value, bool requires_grad = false);
+  /// A 0-d tensor holding `value`.
+  static Tensor Scalar(double value, bool requires_grad = false);
+  /// Takes ownership of `values`; NumElements(shape) must match.
+  static Tensor FromVector(std::vector<double> values, Shape shape,
+                           bool requires_grad = false);
+  /// 1-D tensor from values.
+  static Tensor FromVector(std::vector<double> values,
+                           bool requires_grad = false);
+  static Tensor RandomUniform(Shape shape, Rng* rng, double lo, double hi,
+                              bool requires_grad = false);
+  static Tensor RandomGaussian(Shape shape, Rng* rng, double mean,
+                               double stddev, bool requires_grad = false);
+
+  // -- Introspection ----------------------------------------------------
+
+  bool defined() const { return node_ != nullptr; }
+  const Shape& shape() const;
+  int ndim() const { return static_cast<int>(shape().size()); }
+  Index dim(int axis) const;
+  Index numel() const;
+  bool requires_grad() const;
+
+  /// Raw row-major value buffer.
+  const std::vector<double>& data() const;
+  std::vector<double>& mutable_data();
+  /// Gradient buffer (empty unless requires_grad and Backward() has run).
+  const std::vector<double>& grad() const;
+
+  /// Value of a 0-d/1-element tensor.
+  double item() const;
+  /// Element access by multi-dimensional index.
+  double at(std::initializer_list<Index> indices) const;
+  void set(std::initializer_list<Index> indices, double value);
+
+  std::string ToString() const;
+
+  // -- Autograd ---------------------------------------------------------
+
+  /// A new leaf tensor sharing no graph history (values are copied).
+  Tensor Detach() const;
+  /// Clears this tensor's gradient buffer to zero.
+  void ZeroGrad();
+  /// Reverse-mode differentiation from this scalar tensor.
+  void Backward();
+
+  /// Internal: the graph node (for op implementations).
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+  static Tensor FromNode(std::shared_ptr<internal::Node> node);
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+// -- Elementwise binary ops (broadcasting) -------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+/// Elementwise max; gradient flows to the larger operand (ties: to `a`).
+Tensor Maximum(const Tensor& a, const Tensor& b);
+/// Elementwise min; gradient flows to the smaller operand (ties: to `a`).
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+
+// -- Scalar ops -----------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, double s);
+Tensor MulScalar(const Tensor& a, double s);
+Tensor Neg(const Tensor& a);
+inline Tensor operator+(const Tensor& a, double s) { return AddScalar(a, s); }
+inline Tensor operator-(const Tensor& a, double s) { return AddScalar(a, -s); }
+inline Tensor operator*(const Tensor& a, double s) { return MulScalar(a, s); }
+inline Tensor operator/(const Tensor& a, double s) {
+  return MulScalar(a, 1.0 / s);
+}
+inline Tensor operator-(const Tensor& a) { return Neg(a); }
+
+// -- Unary ops ------------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs are clamped below at 1e-12 for stability.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+/// Elementwise x^p (x must be >= 0 when p is non-integral).
+Tensor Pow(const Tensor& a, double p);
+/// Sign-preserving power sign(x)|x|^p — equals x^p for odd integer p.
+/// This is the primitive behind the dualistic convolution.
+Tensor SignedPow(const Tensor& a, double p);
+/// Sign-preserving root sign(x)|x|^(1/p).
+Tensor SignedRoot(const Tensor& a, double p);
+
+// -- Shape ops --------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, Shape shape);
+/// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+/// Sub-range [start, end) along `axis` (contiguous copy).
+Tensor Slice(const Tensor& a, int axis, Index start, Index end);
+/// Concatenation along `axis`; all other extents must match.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+// -- Reductions ---------------------------------------------------------------
+
+/// Sum over all elements (0-d result).
+Tensor Sum(const Tensor& a);
+/// Mean over all elements (0-d result).
+Tensor Mean(const Tensor& a);
+/// Sum along one axis (axis removed from the shape).
+Tensor SumAxis(const Tensor& a, int axis);
+
+// -- Linear algebra / NN primitives ----------------------------------------
+
+/// 2-D matrix product: [m, k] x [k, n] -> [m, n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// \brief 1-D convolution (cross-correlation), no padding.
+///
+/// \param input  [N, C_in, L]
+/// \param weight [C_out, C_in, K]
+/// \param bias   [C_out] or an undefined tensor for no bias
+/// \param stride >= 1
+/// \return [N, C_out, (L - K) / stride + 1]
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              Index stride);
+
+/// Softmax along the last axis.
+Tensor Softmax(const Tensor& a);
+
+/// Mean squared error between same-shape tensors (0-d result).
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+
+}  // namespace mace::tensor
+
+#endif  // MACE_TENSOR_TENSOR_H_

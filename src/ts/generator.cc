@@ -1,0 +1,225 @@
+#include "ts/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace mace::ts {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Latent seasonal driver at (continuous) step t for a pattern.
+double LatentValue(const NormalPattern& p, double t) {
+  double value = 0.0;
+  switch (p.kind) {
+    case WaveformKind::kSinusoid: {
+      for (size_t h = 0; h < p.harmonic_weights.size(); ++h) {
+        const double freq = static_cast<double>(h + 1) / p.period;
+        value += p.harmonic_weights[h] * std::sin(kTwoPi * freq * t);
+      }
+      break;
+    }
+    case WaveformKind::kSquare: {
+      // Band-limited square wave: odd harmonics 1/k.
+      for (int k = 1; k <= 7; k += 2) {
+        value += std::sin(kTwoPi * k * t / p.period) / k;
+      }
+      value *= 4.0 / std::numbers::pi;
+      break;
+    }
+    case WaveformKind::kSawtooth: {
+      // Band-limited sawtooth: harmonics (-1)^{k+1}/k.
+      for (int k = 1; k <= 6; ++k) {
+        value += (k % 2 == 1 ? 1.0 : -1.0) *
+                 std::sin(kTwoPi * k * t / p.period) / k;
+      }
+      value *= 2.0 / std::numbers::pi;
+      break;
+    }
+    case WaveformKind::kSpikyPeriodic: {
+      // Narrow periodic bursts: a raised-cosine bump each period.
+      const double phase = std::fmod(t, p.period) / p.period;  // [0, 1)
+      const double width = 0.08;
+      if (phase < width) {
+        value = 0.5 * (1.0 - std::cos(kTwoPi * phase / width));
+      } else {
+        value = 0.0;
+      }
+      value = 2.0 * value - 0.3;  // mostly-low baseline with tall bumps
+      break;
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* WaveformKindName(WaveformKind kind) {
+  switch (kind) {
+    case WaveformKind::kSinusoid:
+      return "sinusoid";
+    case WaveformKind::kSquare:
+      return "square";
+    case WaveformKind::kSawtooth:
+      return "sawtooth";
+    case WaveformKind::kSpikyPeriodic:
+      return "spiky_periodic";
+  }
+  return "?";
+}
+
+const char* AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kPointSpike:
+      return "point_spike";
+    case AnomalyKind::kLevelShift:
+      return "level_shift";
+    case AnomalyKind::kAmplitudeBurst:
+      return "amplitude_burst";
+    case AnomalyKind::kFrequencyShift:
+      return "frequency_shift";
+    case AnomalyKind::kNoiseBurst:
+      return "noise_burst";
+  }
+  return "?";
+}
+
+bool IsPointAnomaly(AnomalyKind kind) {
+  return kind == AnomalyKind::kPointSpike;
+}
+
+TimeSeries GenerateNormal(const NormalPattern& pattern, size_t length,
+                          size_t t0, Rng* rng) {
+  MACE_CHECK(rng != nullptr);
+  MACE_CHECK(!pattern.feature_weights.empty());
+  MACE_CHECK(pattern.feature_weights.size() == pattern.feature_lags.size());
+  MACE_CHECK(pattern.period >= 2.0) << "period too short";
+  const size_t m = pattern.feature_weights.size();
+  const bool has_secondary =
+      pattern.secondary_weights.size() == m && pattern.secondary_period >= 2.0;
+  std::vector<std::vector<double>> values(length, std::vector<double>(m));
+  for (size_t t = 0; t < length; ++t) {
+    const double step = static_cast<double>(t0 + t);
+    const double envelope =
+        1.0 + pattern.am_depth *
+                  std::sin(kTwoPi * step / std::max(pattern.am_period, 4.0));
+    for (size_t f = 0; f < m; ++f) {
+      double latent =
+          pattern.feature_weights[f] *
+          LatentValue(pattern, step - pattern.feature_lags[f]);
+      if (has_secondary) {
+        latent += pattern.secondary_weights[f] *
+                  std::sin(kTwoPi * (step - 2.0 * pattern.feature_lags[f]) /
+                           pattern.secondary_period);
+      }
+      values[t][f] = pattern.level + pattern.amplitude * envelope * latent +
+                     pattern.trend_slope * step +
+                     rng->Gaussian(0.0, pattern.noise_stddev);
+    }
+  }
+  return TimeSeries(std::move(values));
+}
+
+std::vector<AnomalyEvent> InjectAnomalies(
+    const AnomalyInjectionConfig& config, const NormalPattern& pattern,
+    TimeSeries* series, Rng* rng) {
+  MACE_CHECK(series != nullptr && rng != nullptr);
+  MACE_CHECK(config.anomaly_ratio >= 0.0 && config.anomaly_ratio < 1.0);
+  const size_t length = series->length();
+  const size_t m = static_cast<size_t>(series->num_features());
+  if (series->mutable_labels().empty()) {
+    series->mutable_labels().assign(length, 0);
+  }
+  const auto target =
+      static_cast<size_t>(config.anomaly_ratio * static_cast<double>(length));
+
+  std::vector<AnomalyEvent> events;
+  size_t labeled = 0;
+  int attempts = 0;
+  const int max_attempts = 10000;
+  while (labeled < target && attempts++ < max_attempts) {
+    AnomalyEvent event;
+    const bool point = rng->Bernoulli(config.point_fraction);
+    if (point) {
+      event.kind = AnomalyKind::kPointSpike;
+      event.length = 1 + rng->UniformInt(2);  // 1-2 steps
+    } else {
+      const int kinds[] = {1, 2, 3, 4};
+      event.kind = static_cast<AnomalyKind>(
+          kinds[rng->UniformInt(4)]);
+      const size_t span = config.max_segment - config.min_segment + 1;
+      event.length = config.min_segment + rng->UniformInt(span);
+    }
+    event.length = std::min<size_t>(event.length,
+                                    target - labeled + 2);
+    if (event.length == 0 || event.length >= length) continue;
+    event.start = rng->UniformInt(length - event.length);
+    event.magnitude =
+        rng->Uniform(config.min_magnitude, config.max_magnitude);
+    if (event.kind == AnomalyKind::kPointSpike) {
+      event.magnitude *= config.point_boost;
+    }
+    if (rng->Bernoulli(0.5)) event.magnitude = -event.magnitude;
+
+    // Skip events that would touch (or crowd) an existing anomaly, so
+    // ratios stay accurate and events remain separable.
+    const size_t guard_lo =
+        event.start > config.min_gap ? event.start - config.min_gap : 0;
+    const size_t guard_hi = std::min(
+        length, event.start + event.length + config.min_gap);
+    bool overlaps = false;
+    for (size_t t = guard_lo; t < guard_hi; ++t) {
+      if (series->is_anomaly(t)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+
+    auto& values = series->mutable_values();
+    const double scale = pattern.amplitude;
+    const double alien_period =
+        std::max(2.5, pattern.period / rng->Uniform(2.5, 5.0));
+    for (size_t t = event.start; t < event.start + event.length; ++t) {
+      series->mutable_labels()[t] = 1;
+      const double local =
+          static_cast<double>(t - event.start);
+      for (size_t f = 0; f < m; ++f) {
+        switch (event.kind) {
+          case AnomalyKind::kPointSpike:
+          case AnomalyKind::kLevelShift:
+            values[t][f] += event.magnitude * scale;
+            break;
+          case AnomalyKind::kAmplitudeBurst: {
+            // Inflate (or dampen, for negative magnitudes) the seasonal
+            // part by a factor bounded away from 1 so every burst is a
+            // real anomaly.
+            const double factor =
+                event.magnitude > 0
+                    ? 1.0 + 0.6 * event.magnitude
+                    : 1.0 / (1.0 + 0.6 * -event.magnitude);
+            values[t][f] =
+                pattern.level + factor * (values[t][f] - pattern.level);
+            break;
+          }
+          case AnomalyKind::kFrequencyShift:
+            values[t][f] += event.magnitude * scale * 0.8 *
+                            std::sin(kTwoPi * local / alien_period);
+            break;
+          case AnomalyKind::kNoiseBurst:
+            values[t][f] += rng->Gaussian(
+                0.0, std::fabs(event.magnitude) * scale * 0.7);
+            break;
+        }
+      }
+    }
+    labeled += event.length;
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace mace::ts

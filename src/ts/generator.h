@@ -1,0 +1,103 @@
+#ifndef MACE_TS_GENERATOR_H_
+#define MACE_TS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ts/time_series.h"
+
+namespace mace::ts {
+
+/// Waveform family of a service's normal pattern.
+enum class WaveformKind {
+  kSinusoid,     ///< smooth single/multi-harmonic seasonality
+  kSquare,       ///< square-ish wave (odd-harmonic rich)
+  kSawtooth,     ///< ramp/reset (all-harmonic rich)
+  kSpikyPeriodic ///< periodic bursts over a low baseline
+};
+
+/// \brief Parameters of one service's normal pattern.
+///
+/// Features share the latent seasonal drivers with per-feature mixing
+/// weights and phase lags, modelling correlated service metrics (CPU,
+/// memory, QPS, ...).
+struct NormalPattern {
+  WaveformKind kind = WaveformKind::kSinusoid;
+  /// Fundamental period in steps (the dominant Fourier base).
+  double period = 24.0;
+  /// Relative strengths of harmonics 1, 2, 3, ... of the fundamental.
+  std::vector<double> harmonic_weights = {1.0};
+  double level = 0.0;        ///< constant offset
+  double amplitude = 1.0;    ///< overall seasonal amplitude
+  double trend_slope = 0.0;  ///< linear drift per step
+  double noise_stddev = 0.05;
+  /// A second, independent sinusoidal driver (another stable spectral
+  /// line); weight 0 disables it.
+  double secondary_period = 17.0;
+  /// Slow amplitude-modulation envelope 1 + depth * sin(2 pi t / period):
+  /// structured non-stationarity that enlarges the normal manifold without
+  /// moving the dominant Fourier bases.
+  double am_depth = 0.0;
+  double am_period = 400.0;
+  /// Per-feature mixing weight and phase lag (size = feature count).
+  std::vector<double> feature_weights = {1.0};
+  std::vector<double> feature_lags = {0.0};
+  /// Per-feature weight of the secondary driver (empty = all zero).
+  std::vector<double> secondary_weights;
+};
+
+/// Kinds of injected anomalies.
+enum class AnomalyKind {
+  kPointSpike,    ///< 1-2 step spike, up or down
+  kLevelShift,    ///< segment offset by a constant
+  kAmplitudeBurst,///< segment with inflated seasonal amplitude
+  kFrequencyShift,///< segment oscillating at an alien frequency
+  kNoiseBurst     ///< segment with inflated noise
+};
+
+/// \brief One injected anomaly: [start, start + length) of a given kind.
+struct AnomalyEvent {
+  AnomalyKind kind = AnomalyKind::kPointSpike;
+  size_t start = 0;
+  size_t length = 1;
+  double magnitude = 3.0;  ///< in units of pattern amplitude
+};
+
+/// \brief Plan controlling how anomalies are injected into a test split.
+struct AnomalyInjectionConfig {
+  double anomaly_ratio = 0.05;         ///< target fraction of anomalous steps
+  double point_fraction = 0.3;         ///< fraction of events that are point spikes
+  size_t min_segment = 8;              ///< min length of a non-point event
+  size_t max_segment = 40;             ///< max length of a non-point event
+  /// Minimum normal steps kept between two events, so labels stay crisp.
+  size_t min_gap = 12;
+  double min_magnitude = 0.5;
+  double max_magnitude = 1.6;
+  /// Point spikes are scaled by this extra factor (spikes in monitoring
+  /// data are prominent; contextual anomalies are subtle).
+  double point_boost = 2.0;
+};
+
+/// Generates `length` steps of the pure normal pattern (no anomalies),
+/// starting at phase step `t0`.
+TimeSeries GenerateNormal(const NormalPattern& pattern, size_t length,
+                          size_t t0, Rng* rng);
+
+/// \brief Injects anomalies into `series` in place, labelling affected
+/// steps; returns the injected events. The injector draws event kinds,
+/// positions and magnitudes until the target step ratio is reached.
+std::vector<AnomalyEvent> InjectAnomalies(
+    const AnomalyInjectionConfig& config, const NormalPattern& pattern,
+    TimeSeries* series, Rng* rng);
+
+/// Human-readable names for diagnostics and Fig 5(b).
+const char* WaveformKindName(WaveformKind kind);
+const char* AnomalyKindName(AnomalyKind kind);
+
+/// True for the kinds counted as "point anomalies" in Fig 5(b).
+bool IsPointAnomaly(AnomalyKind kind);
+
+}  // namespace mace::ts
+
+#endif  // MACE_TS_GENERATOR_H_

@@ -1,0 +1,98 @@
+#include "ts/io.h"
+
+#include <cmath>
+
+#include "common/csv.h"
+
+namespace mace::ts {
+
+Result<TimeSeries> TimeSeriesFromCsv(const std::string& path,
+                                     int label_column, bool has_header) {
+  MACE_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path, has_header));
+  if (table.rows.empty()) {
+    return Status::InvalidArgument("'" + path + "' holds no data rows");
+  }
+  const int cols = static_cast<int>(table.rows.front().size());
+  if (label_column >= cols) {
+    return Status::InvalidArgument("label column out of range");
+  }
+  const int resolved_label =
+      label_column < 0 ? -1 : (label_column + cols) % cols;
+
+  std::vector<std::vector<double>> values;
+  std::vector<uint8_t> labels;
+  values.reserve(table.rows.size());
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const std::vector<double>& row = table.rows[r];
+    std::vector<double> features;
+    features.reserve(static_cast<size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+      if (c == resolved_label) {
+        const double l = row[static_cast<size_t>(c)];
+        if (l != 0.0 && l != 1.0) {
+          return Status::InvalidArgument(
+              "row " + std::to_string(r) + ": label must be 0 or 1, got " +
+              std::to_string(l));
+        }
+        labels.push_back(static_cast<uint8_t>(l));
+      } else {
+        features.push_back(row[static_cast<size_t>(c)]);
+      }
+    }
+    if (features.empty()) {
+      return Status::InvalidArgument("no feature columns");
+    }
+    values.push_back(std::move(features));
+  }
+  return TimeSeries(std::move(values), std::move(labels));
+}
+
+Status TimeSeriesToCsv(const std::string& path, const TimeSeries& series) {
+  CsvTable table;
+  for (int f = 0; f < series.num_features(); ++f) {
+    table.columns.push_back("f" + std::to_string(f));
+  }
+  if (series.has_labels()) table.columns.push_back("label");
+  table.rows.reserve(series.length());
+  for (size_t t = 0; t < series.length(); ++t) {
+    std::vector<double> row = series.values()[t];
+    if (series.has_labels()) {
+      row.push_back(series.is_anomaly(t) ? 1.0 : 0.0);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, table);
+}
+
+Result<ServiceData> LoadServiceDir(const std::string& dir,
+                                   const std::string& name) {
+  ServiceData service;
+  service.name = name;
+  MACE_ASSIGN_OR_RETURN(service.train,
+                        TimeSeriesFromCsv(dir + "/train.csv"));
+  // test.csv carries the 0/1 label in its last column.
+  MACE_ASSIGN_OR_RETURN(CsvTable header_probe,
+                        ReadCsvFile(dir + "/test.csv", true));
+  if (header_probe.rows.empty()) {
+    return Status::InvalidArgument("'" + dir + "/test.csv' is empty");
+  }
+  const int cols = static_cast<int>(header_probe.rows.front().size());
+  MACE_ASSIGN_OR_RETURN(service.test,
+                        TimeSeriesFromCsv(dir + "/test.csv", cols - 1));
+  if (service.train.num_features() != service.test.num_features()) {
+    return Status::InvalidArgument(
+        "train/test feature counts differ in '" + dir + "'");
+  }
+  return service;
+}
+
+Status SaveServiceDir(const std::string& dir, const ServiceData& service) {
+  MACE_RETURN_IF_ERROR(TimeSeriesToCsv(dir + "/train.csv", service.train));
+  if (!service.test.has_labels()) {
+    return Status::InvalidArgument(
+        "service test split must be labeled for the directory layout");
+  }
+  return TimeSeriesToCsv(dir + "/test.csv", service.test);
+}
+
+}  // namespace mace::ts

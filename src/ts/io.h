@@ -1,0 +1,35 @@
+#ifndef MACE_TS_IO_H_
+#define MACE_TS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ts/time_series.h"
+
+namespace mace::ts {
+
+/// \brief Parses a time series from a CSV table: one row per step, one
+/// column per feature. When `label_column` >= 0 that column holds 0/1
+/// anomaly labels and is split out of the features.
+Result<TimeSeries> TimeSeriesFromCsv(const std::string& path,
+                                     int label_column = -1,
+                                     bool has_header = true);
+
+/// \brief Writes a time series as CSV (features f0..fN, plus a final
+/// `label` column when the series is labeled).
+Status TimeSeriesToCsv(const std::string& path, const TimeSeries& series);
+
+/// \brief Loads one service from a directory laid out as
+///   <dir>/train.csv           unlabeled training split
+///   <dir>/test.csv            test split, last column = 0/1 label
+/// The service name is taken from `name` (e.g., the directory basename).
+Result<ServiceData> LoadServiceDir(const std::string& dir,
+                                   const std::string& name);
+
+/// \brief Saves a service into the LoadServiceDir layout (the directory
+/// must already exist).
+Status SaveServiceDir(const std::string& dir, const ServiceData& service);
+
+}  // namespace mace::ts
+
+#endif  // MACE_TS_IO_H_

@@ -1,0 +1,216 @@
+#include "ts/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mace::ts {
+namespace {
+
+/// Blends a shared "anchor" draw with a per-service draw according to the
+/// diversity knob: low diversity keeps every service near the anchor.
+double Blend(double anchor, double individual, double diversity) {
+  return anchor * (1.0 - diversity) + individual * diversity;
+}
+
+}  // namespace
+
+DatasetProfile SmdProfile() {
+  DatasetProfile p;
+  p.name = "SMD";
+  p.num_services = 20;
+  p.num_features = 5;
+  p.anomaly_ratio = 0.0416;
+  p.point_fraction = 0.25;
+  p.pattern_diversity = 0.95;
+  p.seed = 0xA11CE;
+  return p;
+}
+
+DatasetProfile Jd1Profile() {
+  DatasetProfile p;
+  p.name = "J-D1";
+  p.num_services = 20;
+  p.num_features = 6;
+  p.anomaly_ratio = 0.0525;
+  p.point_fraction = 0.30;
+  p.pattern_diversity = 0.55;
+  p.seed = 0xBEEF1;
+  return p;
+}
+
+DatasetProfile Jd2Profile() {
+  DatasetProfile p;
+  p.name = "J-D2";
+  p.num_services = 20;
+  p.num_features = 6;
+  p.anomaly_ratio = 0.2026;
+  p.point_fraction = 0.20;
+  p.pattern_diversity = 0.10;
+  p.seed = 0xBEEF2;
+  return p;
+}
+
+DatasetProfile SmapProfile() {
+  DatasetProfile p;
+  p.name = "SMAP";
+  p.num_services = 20;
+  p.num_features = 4;
+  p.anomaly_ratio = 0.1313;
+  p.waveform_pool = {WaveformKind::kSinusoid, WaveformKind::kSawtooth,
+                     WaveformKind::kSquare};
+  p.point_fraction = 0.45;
+  p.min_segment = 12;
+  p.max_segment = 48;
+  p.pattern_diversity = 0.60;
+  p.seed = 0x5A7;
+  return p;
+}
+
+DatasetProfile McProfile() {
+  DatasetProfile p;
+  p.name = "MC";
+  p.num_services = 20;
+  p.num_features = 5;
+  p.anomaly_ratio = 0.036;
+  p.waveform_pool = {WaveformKind::kSinusoid, WaveformKind::kSquare,
+                     WaveformKind::kSawtooth};
+  p.point_fraction = 0.80;
+  p.pattern_diversity = 0.50;
+  p.seed = 0xC10D;
+  return p;
+}
+
+std::vector<DatasetProfile> AllProfiles() {
+  return {SmdProfile(), Jd1Profile(), Jd2Profile(), SmapProfile(),
+          McProfile()};
+}
+
+NormalPattern SamplePattern(const DatasetProfile& profile, int service_index,
+                            Rng* rng) {
+  MACE_CHECK(rng != nullptr);
+  const double diversity = profile.pattern_diversity;
+
+  // Anchor draws are deterministic per dataset (not per service) so that
+  // diversity -> 0 collapses all services onto one pattern.
+  Rng anchor_rng(profile.seed * 7919 + 13);
+  const double anchor_cycles = anchor_rng.Uniform(1.5, 4.5);
+  const double anchor_amp = anchor_rng.Uniform(0.8, 1.4);
+  std::vector<WaveformKind> pool = profile.waveform_pool;
+  if (pool.empty()) {
+    pool = {WaveformKind::kSinusoid, WaveformKind::kSquare,
+            WaveformKind::kSawtooth, WaveformKind::kSpikyPeriodic};
+  }
+  const WaveformKind anchor_kind =
+      pool[anchor_rng.UniformInt(pool.size())];
+
+  NormalPattern pattern;
+  // Cycles per 40-step window: the dominant Fourier base index. Diverse
+  // datasets spread services across 1..10 cycles; similar datasets stay
+  // near the anchor. Cycles are snapped near integers (service metrics are
+  // sampled so that windows hold whole periods) with a small drift so each
+  // spectral line concentrates in 1-2 bins.
+  const double individual_cycles = rng->Uniform(1.0, 10.0);
+  const double cycles = std::max(
+      1.0, std::round(Blend(anchor_cycles, individual_cycles, diversity)) +
+               rng->Uniform(-0.06, 0.06));
+  pattern.period = 40.0 / cycles;
+
+  if (rng->Uniform() < diversity) {
+    pattern.kind = pool[rng->UniformInt(pool.size())];
+  } else {
+    pattern.kind = anchor_kind;
+  }
+
+  pattern.amplitude =
+      Blend(anchor_amp, rng->Uniform(0.5, 2.0), diversity);
+  pattern.level = Blend(0.0, rng->Uniform(-1.0, 1.0), diversity);
+  pattern.trend_slope =
+      diversity * rng->Uniform(-1.0, 1.0) * 1e-4;
+  pattern.noise_stddev = profile.noise_stddev;
+
+  // Rich harmonic content for the sinusoid family: real service metrics
+  // carry several stable spectral lines, which is what makes a unified
+  // low-capacity model blur across services.
+  pattern.harmonic_weights = {1.0};
+  if (pattern.kind == WaveformKind::kSinusoid) {
+    const int extra = 1 + static_cast<int>(rng->UniformInt(3));  // 1-3
+    for (int h = 0; h < extra; ++h) {
+      pattern.harmonic_weights.push_back(rng->Uniform(0.15, 0.5));
+    }
+  }
+
+  // A second independent spectral line, blended toward the anchor when the
+  // dataset is homogeneous.
+  const double anchor_secondary_cycles = anchor_rng.Uniform(5.0, 9.0);
+  const double secondary_cycles = std::max(
+      1.0, std::round(Blend(anchor_secondary_cycles,
+                            rng->Uniform(2.0, 14.0), diversity)) +
+               rng->Uniform(-0.06, 0.06));
+  pattern.secondary_period = 40.0 / secondary_cycles;
+
+  // Slow amplitude modulation: structured non-stationarity.
+  pattern.am_depth = rng->Uniform(0.08, 0.18);
+  pattern.am_period = rng->Uniform(4.0, 10.0) * 40.0;
+
+  pattern.feature_weights.assign(
+      static_cast<size_t>(profile.num_features), 1.0);
+  pattern.feature_lags.assign(static_cast<size_t>(profile.num_features),
+                              0.0);
+  pattern.secondary_weights.assign(
+      static_cast<size_t>(profile.num_features), 0.0);
+  for (int f = 0; f < profile.num_features; ++f) {
+    pattern.feature_weights[static_cast<size_t>(f)] =
+        rng->Uniform(0.6, 1.2) * (rng->Bernoulli(0.15) ? -1.0 : 1.0);
+    pattern.feature_lags[static_cast<size_t>(f)] =
+        rng->Uniform(0.0, pattern.period * 0.25);
+    pattern.secondary_weights[static_cast<size_t>(f)] =
+        rng->Uniform(0.3, 0.8) * (rng->Bernoulli(0.3) ? -1.0 : 1.0);
+  }
+  (void)service_index;
+  return pattern;
+}
+
+Dataset GenerateDataset(const DatasetProfile& profile) {
+  MACE_CHECK(profile.num_services > 0 && profile.num_features > 0);
+  Dataset dataset;
+  dataset.name = profile.name;
+  dataset.services.reserve(static_cast<size_t>(profile.num_services));
+
+  AnomalyInjectionConfig inject;
+  inject.anomaly_ratio = profile.anomaly_ratio;
+  inject.point_fraction = profile.point_fraction;
+  inject.min_segment = profile.min_segment;
+  inject.max_segment = profile.max_segment;
+
+  for (int s = 0; s < profile.num_services; ++s) {
+    Rng rng(profile.seed + 1000003ULL * static_cast<uint64_t>(s + 1));
+    const NormalPattern pattern = SamplePattern(profile, s, &rng);
+
+    ServiceData service;
+    service.name = profile.name + "-svc" + std::to_string(s);
+    service.train =
+        GenerateNormal(pattern, profile.train_length, /*t0=*/0, &rng);
+    service.test = GenerateNormal(pattern, profile.test_length,
+                                  /*t0=*/profile.train_length, &rng);
+    InjectAnomalies(inject, pattern, &service.test, &rng);
+    dataset.services.push_back(std::move(service));
+  }
+  return dataset;
+}
+
+std::vector<ServiceData> ServiceGroup(const Dataset& dataset, int group,
+                                      int group_size) {
+  MACE_CHECK(group >= 0 && group_size > 0);
+  const size_t start = static_cast<size_t>(group) * group_size;
+  MACE_CHECK(start < dataset.services.size())
+      << "group " << group << " out of range";
+  const size_t end =
+      std::min(start + static_cast<size_t>(group_size),
+               dataset.services.size());
+  return std::vector<ServiceData>(dataset.services.begin() + start,
+                                  dataset.services.begin() + end);
+}
+
+}  // namespace mace::ts

@@ -1,0 +1,67 @@
+#ifndef MACE_TS_PROFILES_H_
+#define MACE_TS_PROFILES_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "ts/generator.h"
+#include "ts/time_series.h"
+
+namespace mace::ts {
+
+/// \brief Recipe for one synthetic benchmark dataset.
+///
+/// Profiles substitute for the paper's proprietary/unshipped datasets; the
+/// knobs are matched to each dataset's published statistics (anomaly ratio,
+/// normal-pattern diversity per Fig 5(a), point-anomaly share per Fig 5(b)).
+struct DatasetProfile {
+  std::string name;
+  int num_services = 20;
+  int num_features = 5;
+  size_t train_length = 1200;
+  size_t test_length = 800;
+  double anomaly_ratio = 0.05;
+  /// Share of anomaly events injected as point spikes.
+  double point_fraction = 0.3;
+  /// Length bounds of non-point anomaly segments.
+  size_t min_segment = 8;
+  size_t max_segment = 40;
+  /// 0 = all services share one normal pattern; 1 = maximally diverse.
+  double pattern_diversity = 0.5;
+  /// Waveform families services draw from (empty = all four). SMAP-like
+  /// telemetry is smooth; MC-like batch workloads are bursty.
+  std::vector<WaveformKind> waveform_pool;
+  double noise_stddev = 0.05;
+  uint64_t seed = 1;
+};
+
+/// Server Machine Dataset stand-in: most diverse patterns, 4.16 % anomalies.
+DatasetProfile SmdProfile();
+/// JumpStarter J-D1 stand-in: moderately diverse, 5.25 % anomalies.
+DatasetProfile Jd1Profile();
+/// JumpStarter J-D2 stand-in: most similar patterns, 20.26 % anomalies.
+DatasetProfile Jd2Profile();
+/// SMAP stand-in: mostly point anomalies, 13.13 % anomalies.
+DatasetProfile SmapProfile();
+/// MC (cloud-provider) stand-in: substantial point anomalies, 3.6 %.
+DatasetProfile McProfile();
+
+/// All five profiles in paper order.
+std::vector<DatasetProfile> AllProfiles();
+
+/// Samples the normal pattern of service `service_index` under a profile's
+/// diversity setting (deterministic given the profile seed).
+NormalPattern SamplePattern(const DatasetProfile& profile, int service_index,
+                            Rng* rng);
+
+/// Generates the full dataset: per service a normal train split and a
+/// labeled test split with injected anomalies.
+Dataset GenerateDataset(const DatasetProfile& profile);
+
+/// Convenience: services [group * size, (group+1) * size) of a dataset.
+std::vector<ServiceData> ServiceGroup(const Dataset& dataset, int group,
+                                      int group_size = 10);
+
+}  // namespace mace::ts
+
+#endif  // MACE_TS_PROFILES_H_

@@ -1,0 +1,103 @@
+#include "ts/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace mace::ts {
+
+StandardScaler StandardScaler::FromMoments(std::vector<double> means,
+                                           std::vector<double> stddevs) {
+  MACE_CHECK(means.size() == stddevs.size() && !means.empty());
+  for (double sd : stddevs) MACE_CHECK(sd > 0.0) << "stddev must be > 0";
+  StandardScaler scaler;
+  scaler.means_ = std::move(means);
+  scaler.stddevs_ = std::move(stddevs);
+  return scaler;
+}
+
+void StandardScaler::Fit(const TimeSeries& series) {
+  const int m = series.num_features();
+  MACE_CHECK(m > 0 && series.length() > 0);
+  means_.assign(static_cast<size_t>(m), 0.0);
+  stddevs_.assign(static_cast<size_t>(m), 1.0);
+  const double n = static_cast<double>(series.length());
+  for (int f = 0; f < m; ++f) {
+    double sum = 0.0;
+    for (size_t t = 0; t < series.length(); ++t) sum += series.value(t, f);
+    means_[static_cast<size_t>(f)] = sum / n;
+  }
+  for (int f = 0; f < m; ++f) {
+    double acc = 0.0;
+    const double mean = means_[static_cast<size_t>(f)];
+    for (size_t t = 0; t < series.length(); ++t) {
+      const double d = series.value(t, f) - mean;
+      acc += d * d;
+    }
+    const double sd = std::sqrt(acc / n);
+    stddevs_[static_cast<size_t>(f)] = sd > 1e-9 ? sd : 1.0;
+  }
+}
+
+TimeSeries StandardScaler::Transform(const TimeSeries& series) const {
+  MACE_CHECK(fitted());
+  MACE_CHECK(series.num_features() == static_cast<int>(means_.size()));
+  std::vector<std::vector<double>> values = series.values();
+  for (auto& row : values) {
+    for (size_t f = 0; f < row.size(); ++f) {
+      row[f] = (row[f] - means_[f]) / stddevs_[f];
+    }
+  }
+  return TimeSeries(std::move(values), series.labels());
+}
+
+TimeSeries StandardScaler::InverseTransform(const TimeSeries& series) const {
+  MACE_CHECK(fitted());
+  MACE_CHECK(series.num_features() == static_cast<int>(means_.size()));
+  std::vector<std::vector<double>> values = series.values();
+  for (auto& row : values) {
+    for (size_t f = 0; f < row.size(); ++f) {
+      row[f] = row[f] * stddevs_[f] + means_[f];
+    }
+  }
+  return TimeSeries(std::move(values), series.labels());
+}
+
+void MinMaxScaler::Fit(const TimeSeries& series) {
+  const int m = series.num_features();
+  MACE_CHECK(m > 0 && series.length() > 0);
+  mins_.assign(static_cast<size_t>(m),
+               std::numeric_limits<double>::infinity());
+  ranges_.assign(static_cast<size_t>(m), 1.0);
+  std::vector<double> maxs(static_cast<size_t>(m),
+                           -std::numeric_limits<double>::infinity());
+  for (size_t t = 0; t < series.length(); ++t) {
+    for (int f = 0; f < m; ++f) {
+      mins_[static_cast<size_t>(f)] =
+          std::min(mins_[static_cast<size_t>(f)], series.value(t, f));
+      maxs[static_cast<size_t>(f)] =
+          std::max(maxs[static_cast<size_t>(f)], series.value(t, f));
+    }
+  }
+  for (int f = 0; f < m; ++f) {
+    const double range =
+        maxs[static_cast<size_t>(f)] - mins_[static_cast<size_t>(f)];
+    ranges_[static_cast<size_t>(f)] = range > 1e-9 ? range : 1.0;
+  }
+}
+
+TimeSeries MinMaxScaler::Transform(const TimeSeries& series) const {
+  MACE_CHECK(fitted());
+  MACE_CHECK(series.num_features() == static_cast<int>(mins_.size()));
+  std::vector<std::vector<double>> values = series.values();
+  for (auto& row : values) {
+    for (size_t f = 0; f < row.size(); ++f) {
+      row[f] = (row[f] - mins_[f]) / ranges_[f];
+    }
+  }
+  return TimeSeries(std::move(values), series.labels());
+}
+
+}  // namespace mace::ts

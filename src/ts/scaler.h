@@ -1,0 +1,50 @@
+#ifndef MACE_TS_SCALER_H_
+#define MACE_TS_SCALER_H_
+
+#include <vector>
+
+#include "ts/time_series.h"
+
+namespace mace::ts {
+
+/// \brief Per-feature z-score normalization fitted on a training split.
+class StandardScaler {
+ public:
+  /// Fits mean/stddev per feature; degenerate features get stddev 1.
+  void Fit(const TimeSeries& series);
+
+  /// Rebuilds a fitted scaler from stored moments (deserialization).
+  static StandardScaler FromMoments(std::vector<double> means,
+                                    std::vector<double> stddevs);
+
+  /// Applies (x - mean) / stddev; labels pass through unchanged.
+  TimeSeries Transform(const TimeSeries& series) const;
+
+  /// Inverse map stddev * x + mean.
+  TimeSeries InverseTransform(const TimeSeries& series) const;
+
+  bool fitted() const { return !means_.empty(); }
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stddevs() const { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// \brief Per-feature min-max scaling to [0, 1] fitted on a training split.
+class MinMaxScaler {
+ public:
+  void Fit(const TimeSeries& series);
+  TimeSeries Transform(const TimeSeries& series) const;
+
+  bool fitted() const { return !mins_.empty(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> ranges_;
+};
+
+}  // namespace mace::ts
+
+#endif  // MACE_TS_SCALER_H_

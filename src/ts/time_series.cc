@@ -1,0 +1,96 @@
+#include "ts/time_series.h"
+
+#include "common/check.h"
+
+namespace mace::ts {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TimeSeries::TimeSeries(std::vector<std::vector<double>> values,
+                       std::vector<uint8_t> labels)
+    : values_(std::move(values)), labels_(std::move(labels)) {
+  if (!labels_.empty()) {
+    MACE_CHECK(labels_.size() == values_.size())
+        << "labels size " << labels_.size() << " vs values "
+        << values_.size();
+  }
+  for (const auto& row : values_) {
+    MACE_CHECK(row.size() == values_.front().size())
+        << "ragged time series";
+  }
+}
+
+double TimeSeries::AnomalyRatio() const {
+  if (!has_labels() || values_.empty()) return 0.0;
+  size_t count = 0;
+  for (uint8_t l : labels_) count += l != 0;
+  return static_cast<double>(count) / static_cast<double>(labels_.size());
+}
+
+std::vector<double> TimeSeries::Feature(int feature) const {
+  MACE_CHECK(feature >= 0 && feature < num_features());
+  std::vector<double> out(values_.size());
+  for (size_t t = 0; t < values_.size(); ++t) {
+    out[t] = values_[t][static_cast<size_t>(feature)];
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::Slice(size_t start, size_t count) const {
+  MACE_CHECK(start + count <= values_.size())
+      << "slice [" << start << ", " << start + count << ") of series length "
+      << values_.size();
+  std::vector<std::vector<double>> values(values_.begin() + start,
+                                          values_.begin() + start + count);
+  std::vector<uint8_t> labels;
+  if (has_labels()) {
+    labels.assign(labels_.begin() + start, labels_.begin() + start + count);
+  }
+  return TimeSeries(std::move(values), std::move(labels));
+}
+
+Tensor WindowToTensor(const TimeSeries& series, size_t start, int window) {
+  const int m = series.num_features();
+  MACE_CHECK(start + static_cast<size_t>(window) <= series.length());
+  std::vector<double> data(static_cast<size_t>(m) * window);
+  for (int f = 0; f < m; ++f) {
+    for (int t = 0; t < window; ++t) {
+      data[static_cast<size_t>(f) * window + t] =
+          series.value(start + static_cast<size_t>(t), f);
+    }
+  }
+  return Tensor::FromVector(std::move(data), Shape{m, window});
+}
+
+Result<WindowBatch> MakeWindows(const TimeSeries& series, int window,
+                                int stride) {
+  if (window <= 0 || stride <= 0) {
+    return Status::InvalidArgument("window and stride must be positive");
+  }
+  if (series.length() < static_cast<size_t>(window)) {
+    return Status::InvalidArgument(
+        "series of length " + std::to_string(series.length()) +
+        " is shorter than window " + std::to_string(window));
+  }
+  WindowBatch batch;
+  batch.window_length = window;
+  for (size_t start = 0; start + window <= series.length();
+       start += static_cast<size_t>(stride)) {
+    batch.windows.push_back(WindowToTensor(series, start, window));
+    batch.starts.push_back(start);
+    uint8_t any = 0;
+    if (series.has_labels()) {
+      for (int t = 0; t < window; ++t) {
+        if (series.is_anomaly(start + static_cast<size_t>(t))) {
+          any = 1;
+          break;
+        }
+      }
+    }
+    batch.any_anomaly.push_back(any);
+  }
+  return batch;
+}
+
+}  // namespace mace::ts

@@ -1,0 +1,89 @@
+#ifndef MACE_TS_TIME_SERIES_H_
+#define MACE_TS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace mace::ts {
+
+/// \brief A multivariate time series with optional per-step anomaly labels.
+///
+/// values[t][f] is feature f at step t. labels is empty (all-normal) or has
+/// one 0/1 entry per step.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(std::vector<std::vector<double>> values,
+             std::vector<uint8_t> labels = {});
+
+  size_t length() const { return values_.size(); }
+  int num_features() const {
+    return values_.empty() ? 0 : static_cast<int>(values_.front().size());
+  }
+  bool has_labels() const { return !labels_.empty(); }
+
+  const std::vector<std::vector<double>>& values() const { return values_; }
+  std::vector<std::vector<double>>& mutable_values() { return values_; }
+  const std::vector<uint8_t>& labels() const { return labels_; }
+  std::vector<uint8_t>& mutable_labels() { return labels_; }
+
+  double value(size_t t, int feature) const {
+    return values_[t][static_cast<size_t>(feature)];
+  }
+  bool is_anomaly(size_t t) const {
+    return has_labels() && labels_[t] != 0;
+  }
+
+  /// Fraction of labeled-anomalous steps (0 when unlabeled).
+  double AnomalyRatio() const;
+
+  /// One feature as a flat vector.
+  std::vector<double> Feature(int feature) const;
+
+  /// Sub-series [start, start+count).
+  TimeSeries Slice(size_t start, size_t count) const;
+
+ private:
+  std::vector<std::vector<double>> values_;
+  std::vector<uint8_t> labels_;
+};
+
+/// \brief One monitored service: a training split (assumed normal) and a
+/// labeled test split, sharing a normal pattern.
+struct ServiceData {
+  std::string name;
+  TimeSeries train;
+  TimeSeries test;
+};
+
+/// \brief A named collection of services (one of the benchmark datasets).
+struct Dataset {
+  std::string name;
+  std::vector<ServiceData> services;
+};
+
+/// \brief Windows cut from a series, each as a [features, window] tensor
+/// (channels-first, ready for Conv1d), with per-window label metadata.
+struct WindowBatch {
+  std::vector<tensor::Tensor> windows;     ///< each [m, T]
+  std::vector<size_t> starts;              ///< start step of each window
+  std::vector<uint8_t> any_anomaly;        ///< 1 when a window overlaps an anomaly
+  int window_length = 0;
+};
+
+/// \brief Cuts sliding windows of `window` steps every `stride` steps.
+/// Returns an error when the series is shorter than one window.
+Result<WindowBatch> MakeWindows(const TimeSeries& series, int window,
+                                int stride);
+
+/// Converts one window [start, start+window) to a [m, window] tensor.
+tensor::Tensor WindowToTensor(const TimeSeries& series, size_t start,
+                              int window);
+
+}  // namespace mace::ts
+
+#endif  // MACE_TS_TIME_SERIES_H_

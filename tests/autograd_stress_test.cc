@@ -1,0 +1,162 @@
+// Autograd stress properties: deep chains, wide fan-out, graph reuse,
+// mixed-op compositions resembling the MACE forward pass, and linearity
+// checks of the backward pass.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mace::tensor {
+namespace {
+
+TEST(AutogradStressTest, DeepChainOfScalarOps) {
+  // 200 alternating adds/multiplies: f(x) = product form, gradient finite
+  // and matches finite differences.
+  Tensor x = Tensor::FromVector({1.01}, Shape{1}, true);
+  Tensor y = x;
+  for (int i = 0; i < 200; ++i) {
+    y = i % 2 == 0 ? MulScalar(y, 1.001) : AddScalar(y, 0.0005);
+  }
+  Tensor loss = Sum(y);
+  loss.Backward();
+  const double analytic = x.grad()[0];
+  EXPECT_TRUE(std::isfinite(analytic));
+  EXPECT_NEAR(analytic, std::pow(1.001, 100), 1e-9);
+}
+
+TEST(AutogradStressTest, WideFanOutAccumulates) {
+  // One leaf feeding 64 branches; gradient = sum of branch gradients.
+  Tensor x = Tensor::FromVector({2.0}, Shape{1}, true);
+  std::vector<Tensor> branches;
+  for (int i = 0; i < 64; ++i) {
+    branches.push_back(MulScalar(x, static_cast<double>(i)));
+  }
+  Tensor total = branches[0];
+  for (size_t i = 1; i < branches.size(); ++i) {
+    total = Add(total, branches[i]);
+  }
+  Sum(total).Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 63.0 * 64.0 / 2.0);
+}
+
+TEST(AutogradStressTest, DiamondGraph) {
+  // x -> (a, b) -> c uses x twice through different paths.
+  Tensor x = Tensor::FromVector({3.0}, Shape{1}, true);
+  Tensor a = Square(x);          // x^2,  d/dx = 2x = 6
+  Tensor b = MulScalar(x, 4.0);  // 4x,   d/dx = 4
+  Tensor c = Mul(a, b);          // 4x^3, d/dx = 12x^2 = 108
+  Sum(c).Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 108.0);
+}
+
+TEST(AutogradStressTest, BackwardIsLinearInUpstream) {
+  // Backward of (alpha * loss) scales all leaf gradients by alpha.
+  Rng rng(3);
+  std::vector<double> values(12);
+  for (double& v : values) v = rng.Uniform(-1.0, 1.0);
+
+  auto grads_for = [&](double alpha) {
+    Tensor x = Tensor::FromVector(values, Shape{3, 4}, true);
+    Tensor w = Tensor::FromVector({1, -2, 0.5, 1.5, 0.3, -0.7, 2, 1},
+                                  {4, 2});
+    Tensor loss = MulScalar(Sum(Square(Tanh(MatMul(x, w)))), alpha);
+    loss.Backward();
+    return x.grad();
+  };
+  const auto g1 = grads_for(1.0);
+  const auto g3 = grads_for(3.0);
+  for (size_t i = 0; i < g1.size(); ++i) {
+    EXPECT_NEAR(g3[i], 3.0 * g1[i], 1e-9);
+  }
+}
+
+TEST(AutogradStressTest, MacePipelineShapeGradCheck) {
+  // A miniature of the MACE forward: matmul -> slice -> amplitudes ->
+  // signed-pow conv -> root -> matmul -> squared error. Finite-difference
+  // check over every input element.
+  Rng rng(7);
+  const Shape shape{2, 8};
+  std::vector<double> values(16);
+  for (double& v : values) v = rng.Uniform(-1.5, 1.5);
+
+  Tensor fwd = Tensor::RandomGaussian({8, 6}, &rng, 0.0, 0.5);
+  Tensor inv = Tensor::RandomGaussian({6, 8}, &rng, 0.0, 0.5);
+  Tensor kernel = Tensor::RandomUniform({2, 2, 3}, &rng, 0.05, 0.2);
+
+  auto loss_fn = [&](const Tensor& x) {
+    Tensor coeffs = MatMul(x, fwd);                           // [2, 6]
+    Tensor re = Slice(coeffs, 1, 0, 3);
+    Tensor im = Slice(coeffs, 1, 3, 6);
+    Tensor amp = Sqrt(AddScalar(Add(Square(re), Square(im)), 1e-6));
+    Tensor pooled = SignedRoot(
+        Conv1d(Reshape(SignedPow(amp, 5.0), {1, 2, 3}), kernel, Tensor(),
+               3),
+        5.0);                                                  // [1, 2, 1]
+    Tensor rec = MatMul(Reshape(pooled, {1, 2}),
+                        Slice(inv, 0, 0, 2));                  // [1, 8]
+    return MseLoss(rec, Slice(x, 0, 0, 1));
+  };
+
+  Tensor x = Tensor::FromVector(values, shape, true);
+  Tensor loss = loss_fn(x);
+  loss.Backward();
+  const std::vector<double> analytic = x.grad();
+  const double eps = 1e-6;
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::vector<double> plus = values, minus = values;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double fp = loss_fn(Tensor::FromVector(plus, shape)).item();
+    const double fm = loss_fn(Tensor::FromVector(minus, shape)).item();
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric, 1e-4 * (1.0 + std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(AutogradStressTest, RepeatedBackwardOnFreshGraphsIsStable) {
+  // Building and differentiating 500 small graphs neither leaks gradients
+  // across iterations (fresh leaves) nor degrades numerically.
+  Rng rng(11);
+  double first = 0.0;
+  for (int iter = 0; iter < 500; ++iter) {
+    Tensor x = Tensor::FromVector({0.5, -0.25, 1.0}, Shape{3}, true);
+    Tensor loss = Mean(Square(Sigmoid(x)));
+    loss.Backward();
+    if (iter == 0) {
+      first = x.grad()[0];
+    } else {
+      EXPECT_DOUBLE_EQ(x.grad()[0], first);
+    }
+  }
+}
+
+TEST(AutogradStressTest, LargeTensorReductionGradient) {
+  Rng rng(13);
+  Tensor x = Tensor::RandomGaussian({64, 64}, &rng, 0.0, 1.0, true);
+  Tensor loss = Mean(Square(x));
+  loss.Backward();
+  // d mean(x^2)/dx = 2x / n.
+  const double n = 64.0 * 64.0;
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(x.grad()[i], 2.0 * x.data()[i] / n, 1e-12);
+  }
+}
+
+TEST(AutogradStressTest, MaximumSubgradientIsOneSided) {
+  // Where a == b exactly, gradient goes to the first operand only (tie
+  // rule documented in tensor.h).
+  Tensor a = Tensor::FromVector({1.0, 2.0}, Shape{2}, true);
+  Tensor b = Tensor::FromVector({1.0, 3.0}, Shape{2}, true);
+  Sum(Maximum(a, b)).Backward();
+  EXPECT_DOUBLE_EQ(a.grad()[0], 1.0);  // tie -> a
+  EXPECT_DOUBLE_EQ(b.grad()[0], 0.0);
+  EXPECT_DOUBLE_EQ(a.grad()[1], 0.0);
+  EXPECT_DOUBLE_EQ(b.grad()[1], 1.0);
+}
+
+}  // namespace
+}  // namespace mace::tensor

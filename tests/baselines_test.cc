@@ -1,0 +1,167 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "eval/metrics.h"
+#include "ts/generator.h"
+
+namespace mace::baselines {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload(uint64_t seed = 1) {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(seed + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.amplitude = 1.0;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 400, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 240, 400, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    inject.min_segment = 6;
+    inject.max_segment = 16;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+TrainOptions FastOptions() {
+  TrainOptions options;
+  options.epochs = 3;
+  return options;
+}
+
+TEST(RegistryTest, KnownNamesConstruct) {
+  for (const std::string& name : AllBaselineNames()) {
+    auto detector = MakeDetector(name, FastOptions());
+    ASSERT_TRUE(detector.ok()) << name;
+    EXPECT_FALSE((*detector)->name().empty());
+  }
+  EXPECT_TRUE(MakeDetector("MACE", FastOptions()).ok());
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto result = MakeDetector("DoesNotExist", FastOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, NeuralNamesExcludeSignal) {
+  const auto neural = NeuralBaselineNames();
+  for (const std::string& name : neural) {
+    EXPECT_NE(name, "Signal-PCA");
+  }
+  EXPECT_EQ(AllBaselineNames().size(), neural.size() + 1);
+}
+
+class BaselineDetectorTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineDetectorTest, FitScoreAndDetect) {
+  auto detector = MakeDetector(GetParam(), FastOptions());
+  ASSERT_TRUE(detector.ok());
+  const auto services = TinyWorkload();
+  ASSERT_TRUE((*detector)->Fit(services).ok());
+  for (size_t s = 0; s < services.size(); ++s) {
+    auto scores = (*detector)->Score(static_cast<int>(s), services[s].test);
+    ASSERT_TRUE(scores.ok());
+    ASSERT_EQ(scores->size(), services[s].test.length());
+    for (double v : *scores) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+    auto best = eval::BestF1Threshold(*scores, services[s].test.labels());
+    ASSERT_TRUE(best.ok());
+    EXPECT_GT(best->metrics.f1, 0.4) << GetParam() << " on service " << s;
+  }
+}
+
+TEST_P(BaselineDetectorTest, ScoreBeforeFitFails) {
+  auto detector = MakeDetector(GetParam(), FastOptions());
+  ASSERT_TRUE(detector.ok());
+  const auto services = TinyWorkload();
+  EXPECT_FALSE((*detector)->Score(0, services[0].test).ok());
+}
+
+TEST_P(BaselineDetectorTest, ScoreUnseenHandlesNewService) {
+  auto detector = MakeDetector(GetParam(), FastOptions());
+  ASSERT_TRUE(detector.ok());
+  ASSERT_TRUE((*detector)->Fit(TinyWorkload(1)).ok());
+  const auto other = TinyWorkload(123);
+  auto scores = (*detector)->ScoreUnseen(other[0]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), other[0].test.length());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineDetectorTest,
+                         ::testing::ValuesIn(AllBaselineNames()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(ReconstructionDetectorTest, EpochLossesDecreaseForDenseAe) {
+  auto detector = MakeDetector("DenseAE", FastOptions());
+  ASSERT_TRUE(detector.ok());
+  ASSERT_TRUE((*detector)->Fit(TinyWorkload()).ok());
+  auto* recon = dynamic_cast<ReconstructionDetector*>(detector->get());
+  ASSERT_NE(recon, nullptr);
+  const auto& losses = recon->epoch_losses();
+  ASSERT_FALSE(losses.empty());
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(ReconstructionDetectorTest, ParameterCountsDifferAcrossFamilies) {
+  const auto services = TinyWorkload();
+  std::vector<int64_t> counts;
+  for (const std::string& name : NeuralBaselineNames()) {
+    auto detector = MakeDetector(name, FastOptions());
+    ASSERT_TRUE((*detector)->Fit(services).ok());
+    counts.push_back((*detector)->ParameterCount());
+    EXPECT_GT(counts.back(), 0) << name;
+  }
+}
+
+TEST(SignalReconstructorTest, NonParametric) {
+  auto detector = MakeDetector("Signal-PCA", FastOptions());
+  ASSERT_TRUE((*detector)->Fit(TinyWorkload()).ok());
+  EXPECT_EQ((*detector)->ParameterCount(), 0);
+}
+
+TEST(SignalReconstructorTest, CleanSubspaceGivesLowNormalResidual) {
+  auto detector = MakeDetector("Signal-PCA", FastOptions());
+  const auto services = TinyWorkload();
+  ASSERT_TRUE((*detector)->Fit(services).ok());
+  auto scores = (*detector)->Score(0, services[0].test);
+  ASSERT_TRUE(scores.ok());
+  double normal = 0.0, anomalous = 0.0;
+  int nc = 0, ac = 0;
+  for (size_t t = 0; t < scores->size(); ++t) {
+    if (services[0].test.is_anomaly(t)) {
+      anomalous += (*scores)[t];
+      ++ac;
+    } else {
+      normal += (*scores)[t];
+      ++nc;
+    }
+  }
+  EXPECT_GT(anomalous / ac, normal / nc);
+}
+
+}  // namespace
+}  // namespace mace::baselines

@@ -1,0 +1,150 @@
+// Property suite: MACE stays finite and functional across the whole
+// ablation-flag matrix and a sweep of hyperparameter corners.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/mace_detector.h"
+#include "ts/generator.h"
+
+namespace mace::core {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(31 + s);
+    ts::NormalPattern pattern;
+    pattern.kind =
+        s == 0 ? ts::WaveformKind::kSinusoid : ts::WaveformKind::kSquare;
+    pattern.period = s == 0 ? 10.0 : 8.0;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.7};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 280, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 120, 280, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+struct ConfigCase {
+  std::string name;
+  MaceConfig config;
+};
+
+std::vector<ConfigCase> MakeCases() {
+  auto base = [] {
+    MaceConfig c;
+    c.epochs = 2;
+    return c;
+  };
+  std::vector<ConfigCase> cases;
+  {
+    ConfigCase c{"defaults", base()};
+    cases.push_back(c);
+  }
+  // Every ablation flag off, one at a time and all together.
+  const char* names[] = {"no_ctx_dft", "no_dual_freq", "no_dual_time",
+                         "no_freq_char", "no_pattern_extraction"};
+  for (int i = 0; i < 5; ++i) {
+    ConfigCase c{names[i], base()};
+    if (i == 0) c.config.use_context_aware_dft = false;
+    if (i == 1) c.config.use_dualistic_freq = false;
+    if (i == 2) c.config.use_dualistic_time = false;
+    if (i == 3) c.config.use_freq_characterization = false;
+    if (i == 4) c.config.use_pattern_extraction = false;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"all_ablations", base()};
+    c.config.use_context_aware_dft = false;
+    c.config.use_dualistic_freq = false;
+    c.config.use_dualistic_time = false;
+    c.config.use_freq_characterization = false;
+    c.config.use_pattern_extraction = false;
+    cases.push_back(c);
+  }
+  // Hyperparameter corners.
+  {
+    ConfigCase c{"gamma_high", base()};
+    c.config.gamma_t = 13.0;
+    c.config.gamma_f = 13.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"gamma_one", base()};
+    c.config.gamma_t = 1.0;
+    c.config.gamma_f = 1.0;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"few_bases", base()};
+    c.config.num_bases = 4;
+    c.config.freq_kernel = 2;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"all_bases", base()};
+    c.config.num_bases = 20;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"small_window", base()};
+    c.config.window = 16;
+    c.config.num_bases = 8;
+    c.config.freq_kernel = 2;
+    c.config.score_stride = 4;
+    c.config.train_stride = 4;
+    cases.push_back(c);
+  }
+  {
+    ConfigCase c{"big_sigma", base()};
+    c.config.sigma_t = 10.0;
+    c.config.sigma_f = 10.0;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class ConfigMatrixTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigMatrixTest, FitScoreSaveLoadStayFinite) {
+  const auto services = TinyWorkload();
+  MaceDetector detector(GetParam().config);
+  ASSERT_TRUE(detector.Fit(services).ok());
+  for (double loss : detector.epoch_losses()) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+  auto scores = detector.Score(0, services[0].test);
+  ASSERT_TRUE(scores.ok());
+  for (double v : *scores) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+  }
+  // Persistence must work for every configuration.
+  const std::string path =
+      ::testing::TempDir() + "/cfg_" + GetParam().name + ".mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+  auto loaded = MaceDetector::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  auto restored = loaded->Score(0, services[0].test);
+  ASSERT_TRUE(restored.ok());
+  for (size_t t = 0; t < scores->size(); ++t) {
+    EXPECT_NEAR((*scores)[t], (*restored)[t], 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, ConfigMatrixTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mace::core

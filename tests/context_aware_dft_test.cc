@@ -1,0 +1,167 @@
+#include "fft/context_aware_dft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace mace::fft {
+namespace {
+
+std::vector<double> Sinusoid(int n, double cycles, double amp,
+                             double phase = 0.0) {
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    x[t] = amp * std::sin(2.0 * std::numbers::pi * cycles * t / n + phase);
+  }
+  return x;
+}
+
+std::vector<int> AllBases(int window) {
+  std::vector<int> bases;
+  for (int j = 0; j <= window / 2; ++j) bases.push_back(j);
+  return bases;
+}
+
+TEST(ContextAwareDftTest, FullBasisReconstructsExactly) {
+  const int n = 40;
+  Rng rng(3);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  ContextAwareDft dft(n, AllBases(n));
+  const std::vector<double> rec = dft.Project(x);
+  for (int t = 0; t < n; ++t) {
+    EXPECT_NEAR(rec[t], x[t], 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, OddWindowFullBasisReconstructs) {
+  const int n = 39;
+  Rng rng(4);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  ContextAwareDft dft(n, AllBases(n));
+  const std::vector<double> rec = dft.Project(x);
+  for (int t = 0; t < n; ++t) {
+    EXPECT_NEAR(rec[t], x[t], 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, ProjectionIsIdempotent) {
+  const int n = 40;
+  Rng rng(5);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  ContextAwareDft dft(n, {1, 3, 5, 8});
+  const std::vector<double> once = dft.Project(x);
+  const std::vector<double> twice = dft.Project(once);
+  for (int t = 0; t < n; ++t) {
+    EXPECT_NEAR(twice[t], once[t], 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, InBandSinusoidPassesThrough) {
+  const int n = 40;
+  const std::vector<double> x = Sinusoid(n, 5, 2.0, 0.7);
+  ContextAwareDft dft(n, {5});
+  const std::vector<double> rec = dft.Project(x);
+  for (int t = 0; t < n; ++t) {
+    EXPECT_NEAR(rec[t], x[t], 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, OutOfBandSinusoidIsRemoved) {
+  const int n = 40;
+  const std::vector<double> x = Sinusoid(n, 7, 2.0);
+  ContextAwareDft dft(n, {5});
+  const std::vector<double> rec = dft.Project(x);
+  for (int t = 0; t < n; ++t) {
+    EXPECT_NEAR(rec[t], 0.0, 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, AmplitudeOfKnownSinusoid) {
+  const int n = 40;
+  const std::vector<double> x = Sinusoid(n, 3, 1.5);
+  ContextAwareDft dft(n, {3});
+  std::vector<double> re, im;
+  dft.Forward(x, &re, &im);
+  const std::vector<double> amps = dft.Amplitudes(re, im);
+  ASSERT_EQ(amps.size(), 1u);
+  EXPECT_NEAR(amps[0], 1.5, 1e-9);
+}
+
+TEST(ContextAwareDftTest, MatricesMatchDirectComputation) {
+  const int n = 24;
+  Rng rng(7);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<int> bases = {1, 2, 5, 9};
+  ContextAwareDft dft(n, bases);
+
+  std::vector<double> re, im;
+  dft.Forward(x, &re, &im);
+
+  tensor::Tensor xt = tensor::Tensor::FromVector(x, {n, 1});
+  tensor::Tensor coeffs = MatMul(dft.ForwardMatrix(), xt);  // [2k, 1]
+  const int k = dft.num_bases();
+  for (int b = 0; b < k; ++b) {
+    EXPECT_NEAR(coeffs.at({b, 0}), re[static_cast<size_t>(b)], 1e-9);
+    EXPECT_NEAR(coeffs.at({k + b, 0}), im[static_cast<size_t>(b)], 1e-9);
+  }
+
+  tensor::Tensor rec = MatMul(dft.InverseMatrix(), coeffs);  // [n, 1]
+  const std::vector<double> direct = dft.Inverse(re, im);
+  for (int t = 0; t < n; ++t) {
+    EXPECT_NEAR(rec.at({t, 0}), direct[static_cast<size_t>(t)], 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, ProjectionReducesEnergy) {
+  // An orthogonal projector never increases the L2 norm.
+  const int n = 40;
+  Rng rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> x(n);
+    for (double& v : x) v = rng.Gaussian();
+    ContextAwareDft dft(n, {2, 4, 6});
+    const std::vector<double> rec = dft.Project(x);
+    double ex = 0.0, er = 0.0;
+    for (int t = 0; t < n; ++t) {
+      ex += x[t] * x[t];
+      er += rec[t] * rec[t];
+    }
+    EXPECT_LE(er, ex + 1e-9);
+  }
+}
+
+TEST(ContextAwareDftTest, ResidualOrthogonalToProjection) {
+  const int n = 40;
+  Rng rng(13);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  ContextAwareDft dft(n, {1, 4, 9, 16});
+  const std::vector<double> proj = dft.Project(x);
+  double dot = 0.0;
+  for (int t = 0; t < n; ++t) dot += proj[t] * (x[t] - proj[t]);
+  EXPECT_NEAR(dot, 0.0, 1e-8);
+}
+
+TEST(ContextAwareDftTest, FrequencyOfMatchesBaseIndex) {
+  ContextAwareDft dft(40, {0, 5, 20});
+  EXPECT_NEAR(dft.FrequencyOf(0), 0.0, 1e-12);
+  EXPECT_NEAR(dft.FrequencyOf(1), 2.0 * std::numbers::pi * 5 / 40, 1e-12);
+  EXPECT_NEAR(dft.FrequencyOf(2), std::numbers::pi, 1e-12);
+}
+
+TEST(ContextAwareDftDeathTest, RejectsDuplicateAndOutOfRangeBases) {
+  EXPECT_DEATH(ContextAwareDft(40, {1, 1}), "duplicate");
+  EXPECT_DEATH(ContextAwareDft(40, {21}), "outside");
+  EXPECT_DEATH(ContextAwareDft(40, {-1}), "outside");
+}
+
+}  // namespace
+}  // namespace mace::fft

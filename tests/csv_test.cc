@@ -1,0 +1,80 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace mace {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->rows[1][2], 6.0);
+}
+
+TEST(CsvTest, ParsesWithoutHeader) {
+  auto table = ParseCsv("1.5,2.5\n-3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->columns.empty());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->rows[0][0], 1.5);
+  EXPECT_EQ(table->rows[1][0], -3.0);
+}
+
+TEST(CsvTest, HandlesCrLfAndBlankLines) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n\r\n3,4\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n").ok());
+}
+
+TEST(CsvTest, RejectsNonNumericCells) {
+  auto result = ParseCsv("a\nhello\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, ScientificNotationParses) {
+  auto table = ParseCsv("x\n1e-3\n2.5E+2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->rows[0][0], 1e-3);
+  EXPECT_DOUBLE_EQ(table->rows[1][0], 250.0);
+}
+
+TEST(CsvTest, FormatRoundTrips) {
+  CsvTable table;
+  table.columns = {"p", "q"};
+  table.rows = {{0.125, -7.0}, {3.5, 0.0}};
+  auto parsed = ParseCsv(FormatCsv(table));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->columns, table.columns);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mace_csv_test.csv";
+  CsvTable table;
+  table.columns = {"v"};
+  table.rows = {{1.0}, {2.0}, {3.0}};
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, table.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  auto result = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mace

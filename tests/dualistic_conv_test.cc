@@ -1,0 +1,189 @@
+#include "core/dualistic_conv.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mace::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(DualisticConvolveTest, GammaOneIsPlainAveraging) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> out =
+      DualisticConvolve(x, 3, 1, 1.0, 5.0, DualisticMode::kPeak);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NEAR(out[0], 2.0, 1e-9);
+  EXPECT_NEAR(out[1], 3.0, 1e-9);
+  EXPECT_NEAR(out[2], 4.0, 1e-9);
+}
+
+TEST(DualisticConvolveTest, LargeGammaApproachesMax) {
+  const std::vector<double> x = {0.1, 0.2, 3.0, 0.1, 0.2};
+  const std::vector<double> out =
+      DualisticConvolve(x, 5, 1, 21.0, 5.0, DualisticMode::kPeak);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 3.0, 0.3);
+}
+
+TEST(DualisticConvolveTest, ValleyApproachesMin) {
+  const std::vector<double> x = {3.0, 2.9, -1.0, 3.1, 2.8};
+  const std::vector<double> out =
+      DualisticConvolve(x, 5, 1, 21.0, 5.0, DualisticMode::kValley);
+  EXPECT_NEAR(out[0], -1.0, 0.45);
+}
+
+TEST(DualisticConvolveTest, PeakAtLeastValleyOnPositiveData) {
+  Rng rng(5);
+  std::vector<double> x(50);
+  for (double& v : x) v = rng.Uniform(0.2, 2.0);
+  const auto peak = DualisticConvolve(x, 5, 1, 7.0, 5.0,
+                                      DualisticMode::kPeak);
+  const auto valley = DualisticConvolve(x, 5, 1, 7.0, 5.0,
+                                        DualisticMode::kValley);
+  for (size_t i = 0; i < peak.size(); ++i) {
+    EXPECT_GE(peak[i], valley[i] - 1e-9);
+  }
+}
+
+TEST(DualisticConvolveTest, BoundedByWindowExtremes) {
+  // The power mean always lies within [min, max] of the window.
+  Rng rng(7);
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+  const auto out = DualisticConvolve(x, 4, 4, 9.0, 5.0,
+                                     DualisticMode::kPeak);
+  for (size_t i = 0; i < out.size(); ++i) {
+    double lo = x[4 * i], hi = x[4 * i];
+    for (int j = 1; j < 4; ++j) {
+      lo = std::min(lo, x[4 * i + j]);
+      hi = std::max(hi, x[4 * i + j]);
+    }
+    EXPECT_GE(out[i], lo - 1e-9);
+    EXPECT_LE(out[i], hi + 1e-9);
+  }
+}
+
+TEST(DualisticConvolveTest, StrideControlsOutputLength) {
+  const std::vector<double> x(20, 1.0);
+  EXPECT_EQ(DualisticConvolve(x, 4, 4, 3, 5, DualisticMode::kPeak).size(),
+            5u);
+  EXPECT_EQ(DualisticConvolve(x, 4, 1, 3, 5, DualisticMode::kPeak).size(),
+            17u);
+}
+
+TEST(DualisticAmplifyTest, PreservesLength) {
+  const std::vector<double> x(33, 0.5);
+  EXPECT_EQ(DualisticAmplify(x, 5, 7.0, 5.0).size(), 33u);
+}
+
+TEST(DualisticAmplifyTest, ConstantSignalUnchanged) {
+  const std::vector<double> x(20, 2.0);
+  const auto out = DualisticAmplify(x, 5, 7.0, 5.0);
+  for (double v : out) EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(DualisticAmplifyTest, ExtendsPointSpike) {
+  // The paper's S3: a 1-step spike spreads across the kernel footprint.
+  std::vector<double> x(21, 0.0);
+  x[10] = 4.0;
+  const auto out = DualisticAmplify(x, 5, 11.0, 5.0);
+  int elevated = 0;
+  for (double v : out) elevated += v > 0.5;
+  EXPECT_GE(elevated, 4);
+  // Far away from the spike the signal stays near zero.
+  EXPECT_NEAR(out[0], 0.0, 1e-6);
+  EXPECT_NEAR(out[20], 0.0, 1e-6);
+}
+
+TEST(DualisticAmplifyTest, DownwardSpikeAlsoExtended) {
+  std::vector<double> down(21, 0.0);
+  down[10] = -3.0;
+  const auto out = DualisticAmplify(down, 5, 11.0, 5.0);
+  int depressed = 0;
+  for (double v : out) depressed += v < -0.4;
+  EXPECT_GE(depressed, 4);
+  EXPECT_NEAR(out[0], 0.0, 0.05);
+}
+
+TEST(DualisticAmplifyDeathTest, RequiresOddKernel) {
+  const std::vector<double> x(10, 0.0);
+  EXPECT_DEATH(DualisticAmplify(x, 4, 7.0, 5.0), "odd");
+}
+
+TEST(DualisticConvLayerTest, OutputShape) {
+  Rng rng(9);
+  DualisticConvLayer layer(3, 8, /*kernel=*/4, /*stride=*/4, 7.0, 5.0,
+                           DualisticMode::kPeak, &rng);
+  Tensor x = Tensor::Zeros({1, 3, 16});
+  EXPECT_EQ(layer.Forward(x).shape(), (Shape{1, 8, 4}));
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(DualisticConvLayerTest, ValleyApproximatesSegmentMinimum) {
+  // Fig 4(a): the frequency-domain valley convolution picks the minimum of
+  // each kernel-length segment (large gamma, averaging kernel).
+  Rng rng(11);
+  DualisticConvLayer valley(1, 1, 4, 4, 21.0, 5.0, DualisticMode::kValley,
+                            &rng);
+  Tensor x = Tensor::FromVector({0.9, 1.1, 0.2, 1.0, 2.0, 1.9, 0.7, 1.8},
+                                {1, 1, 8});
+  Tensor out = valley.Forward(x);
+  ASSERT_EQ(out.numel(), 2);
+  EXPECT_NEAR(out.data()[0], 0.2, 0.35);
+  EXPECT_NEAR(out.data()[1], 0.7, 0.35);
+}
+
+TEST(DualisticConvLayerTest, PeakApproximatesSegmentMaximum) {
+  Rng rng(12);
+  DualisticConvLayer peak(1, 1, 4, 4, 21.0, 5.0, DualisticMode::kPeak,
+                          &rng);
+  Tensor x = Tensor::FromVector({0.9, 1.1, 0.2, 1.0, 2.0, 1.9, 0.7, 1.8},
+                                {1, 1, 8});
+  Tensor out = peak.Forward(x);
+  EXPECT_NEAR(out.data()[0], 1.1, 0.35);
+  EXPECT_NEAR(out.data()[1], 2.0, 0.35);
+}
+
+TEST(DualisticConvLayerTest, GradientsFlowToKernel) {
+  Rng rng(13);
+  DualisticConvLayer layer(2, 4, 3, 3, 7.0, 5.0, DualisticMode::kPeak,
+                           &rng);
+  Tensor x = Tensor::RandomUniform({1, 2, 9}, &rng, 0.2, 1.5);
+  Sum(Square(layer.Forward(x))).Backward();
+  double norm = 0.0;
+  for (double g : layer.Parameters()[0].grad()) norm += std::fabs(g);
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(DualisticConvLayerTest, HighVarianceInputHarderToRepresent) {
+  // Theorem 1's consequence: the gap between the dualistic-conv latent and
+  // the original values grows with the variance of the window.
+  Rng rng(17);
+  DualisticConvLayer layer(1, 1, 4, 4, 9.0, 5.0, DualisticMode::kPeak,
+                           &rng);
+  auto gap_for = [&](double stddev) {
+    double total = 0.0;
+    for (int trial = 0; trial < 32; ++trial) {
+      std::vector<double> values(8);
+      for (double& v : values) v = rng.Gaussian(1.0, stddev);
+      Tensor x = Tensor::FromVector(values, {1, 1, 8});
+      Tensor latent = layer.Forward(x);  // [1, 1, 2]
+      // Gap: latent value vs. each window element (Definition 1).
+      for (int seg = 0; seg < 2; ++seg) {
+        for (int j = 0; j < 4; ++j) {
+          total += std::fabs(latent.data()[seg] - values[4 * seg + j]);
+        }
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(gap_for(1.0), gap_for(0.1));
+}
+
+}  // namespace
+}  // namespace mace::core

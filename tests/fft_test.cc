@@ -1,0 +1,167 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mace::fft {
+namespace {
+
+/// Reference O(n^2) DFT for validation.
+std::vector<Complex> NaiveDft(const std::vector<Complex>& x, bool inverse) {
+  const size_t n = x.size();
+  std::vector<Complex> out(n, Complex(0, 0));
+  const double sign = inverse ? 1.0 : -1.0;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      out[k] += x[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    if (inverse) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+std::vector<Complex> RandomSignal(size_t n, Rng* rng) {
+  std::vector<Complex> x(n);
+  for (auto& c : x) c = Complex(rng->Gaussian(), rng->Gaussian());
+  return x;
+}
+
+TEST(FftTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(40));
+}
+
+class FftSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  const size_t n = GetParam();
+  Rng rng(n * 31 + 7);
+  const std::vector<Complex> x = RandomSignal(n, &rng);
+  std::vector<Complex> fast = x;
+  Fft(&fast, /*inverse=*/false);
+  const std::vector<Complex> slow = NaiveDft(x, false);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast[i].real(), slow[i].real(), 1e-8 * n);
+    EXPECT_NEAR(fast[i].imag(), slow[i].imag(), 1e-8 * n);
+  }
+}
+
+TEST_P(FftSizeTest, RoundTripsThroughInverse) {
+  const size_t n = GetParam();
+  Rng rng(n * 13 + 1);
+  const std::vector<Complex> x = RandomSignal(n, &rng);
+  std::vector<Complex> work = x;
+  Fft(&work, false);
+  Fft(&work, true);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(work[i].real(), x[i].real(), 1e-9 * n);
+    EXPECT_NEAR(work[i].imag(), x[i].imag(), 1e-9 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 27,
+                                           40, 64, 100, 128, 255),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(FftTest, Radix2RejectsNonPowerSizes) {
+  std::vector<Complex> x(40);
+  EXPECT_DEATH(Radix2Fft(&x, false), "Radix2Fft");
+}
+
+TEST(FftTest, BluesteinMatchesRadix2OnPowers) {
+  Rng rng(77);
+  const std::vector<Complex> x = RandomSignal(64, &rng);
+  std::vector<Complex> a = x, b = x;
+  Radix2Fft(&a, false);
+  BluesteinFft(&b, false);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 1e-8);
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-8);
+  }
+}
+
+TEST(FftTest, DftOfConstantIsDcOnly) {
+  const std::vector<double> x(40, 2.0);
+  const std::vector<Complex> spectrum = Dft(x);
+  EXPECT_NEAR(spectrum[0].real(), 80.0, 1e-9);
+  for (size_t j = 1; j < spectrum.size(); ++j) {
+    EXPECT_NEAR(std::abs(spectrum[j]), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, InverseDftRealRecoversSignal) {
+  Rng rng(5);
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<double> rec = InverseDftReal(Dft(x));
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(rec[i], x[i], 1e-9);
+  }
+}
+
+TEST(AmplitudeSpectrumTest, SinusoidPeaksAtItsBin) {
+  const int n = 40;
+  const int cycles = 5;
+  std::vector<double> x(n);
+  for (int t = 0; t < n; ++t) {
+    x[t] = 3.0 * std::sin(2.0 * std::numbers::pi * cycles * t / n);
+  }
+  const std::vector<double> amps = AmplitudeSpectrum(x);
+  ASSERT_EQ(amps.size(), 21u);
+  EXPECT_NEAR(amps[cycles], 3.0, 1e-9);
+  for (size_t j = 0; j < amps.size(); ++j) {
+    if (j != static_cast<size_t>(cycles)) {
+      EXPECT_NEAR(amps[j], 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(AmplitudeSpectrumTest, DcAmplitudeIsTheMean) {
+  std::vector<double> x(16, 1.25);
+  const std::vector<double> amps = AmplitudeSpectrum(x);
+  EXPECT_NEAR(amps[0], 1.25, 1e-12);
+}
+
+TEST(AmplitudeSpectrumTest, NyquistBinForEvenLength) {
+  // Alternating signal lands entirely in the Nyquist bin.
+  std::vector<double> x(8);
+  for (size_t t = 0; t < x.size(); ++t) x[t] = (t % 2 == 0) ? 1.0 : -1.0;
+  const std::vector<double> amps = AmplitudeSpectrum(x);
+  EXPECT_NEAR(amps[4], 1.0, 1e-12);
+  EXPECT_NEAR(amps[1], 0.0, 1e-12);
+}
+
+TEST(AmplitudeSpectrumTest, ParsevalEnergyConsistency) {
+  // Total signal power equals the sum of squared one-sided amplitudes / 2
+  // (plus DC and Nyquist terms without the half).
+  Rng rng(9);
+  const int n = 64;
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<double> amps = AmplitudeSpectrum(x);
+  double power = 0.0;
+  for (double v : x) power += v * v;
+  power /= n;
+  double spectral = amps[0] * amps[0] + amps[n / 2] * amps[n / 2];
+  for (size_t j = 1; j < amps.size() - 1; ++j) {
+    spectral += amps[j] * amps[j] / 2.0;
+  }
+  EXPECT_NEAR(power, spectral, 1e-9);
+}
+
+}  // namespace
+}  // namespace mace::fft

@@ -1,0 +1,269 @@
+#include "ts/generator.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "fft/fft.h"
+#include "ts/profiles.h"
+
+namespace mace::ts {
+namespace {
+
+NormalPattern SimplePattern(int features = 2) {
+  NormalPattern p;
+  p.kind = WaveformKind::kSinusoid;
+  p.period = 10.0;
+  p.amplitude = 1.0;
+  p.noise_stddev = 0.01;
+  p.feature_weights.assign(features, 1.0);
+  p.feature_lags.assign(features, 0.0);
+  return p;
+}
+
+TEST(GeneratorTest, ShapeAndDeterminism) {
+  Rng rng1(42), rng2(42);
+  const NormalPattern p = SimplePattern();
+  TimeSeries a = GenerateNormal(p, 100, 0, &rng1);
+  TimeSeries b = GenerateNormal(p, 100, 0, &rng2);
+  EXPECT_EQ(a.length(), 100u);
+  EXPECT_EQ(a.num_features(), 2);
+  for (size_t t = 0; t < a.length(); ++t) {
+    EXPECT_DOUBLE_EQ(a.value(t, 0), b.value(t, 0));
+  }
+}
+
+TEST(GeneratorTest, SinusoidHasDominantBaseAtFundamental) {
+  Rng rng(7);
+  NormalPattern p = SimplePattern(1);
+  p.period = 8.0;  // 5 cycles in a 40-step window
+  TimeSeries series = GenerateNormal(p, 40, 0, &rng);
+  const std::vector<double> amps =
+      fft::AmplitudeSpectrum(series.Feature(0));
+  size_t argmax = 1;
+  for (size_t j = 1; j < amps.size(); ++j) {
+    if (amps[j] > amps[argmax]) argmax = j;
+  }
+  EXPECT_EQ(argmax, 5u);
+}
+
+TEST(GeneratorTest, PhaseContinuesAcrossT0) {
+  Rng rng1(3), rng2(3);
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  TimeSeries full = GenerateNormal(p, 60, 0, &rng1);
+  TimeSeries tail = GenerateNormal(p, 30, 30, &rng2);
+  for (size_t t = 0; t < 30; ++t) {
+    EXPECT_NEAR(tail.value(t, 0), full.value(t + 30, 0), 1e-12);
+  }
+}
+
+TEST(GeneratorTest, FeatureLagsShiftPhases) {
+  Rng rng(5);
+  NormalPattern p = SimplePattern(2);
+  p.noise_stddev = 0.0;
+  p.feature_lags = {0.0, 2.5};  // quarter period
+  TimeSeries series = GenerateNormal(p, 40, 0, &rng);
+  // A quarter-period lag makes the features' instantaneous values differ.
+  double diff = 0.0;
+  for (size_t t = 0; t < 40; ++t) {
+    diff += std::fabs(series.value(t, 0) - series.value(t, 1));
+  }
+  EXPECT_GT(diff / 40.0, 0.1);
+}
+
+TEST(GeneratorTest, AmplitudeModulationChangesEnvelope) {
+  Rng rng(9);
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  p.am_depth = 0.5;
+  p.am_period = 400.0;
+  TimeSeries series = GenerateNormal(p, 400, 0, &rng);
+  // RMS of first quarter vs. second quarter differ under modulation.
+  auto rms = [&](size_t start) {
+    double acc = 0.0;
+    for (size_t t = start; t < start + 100; ++t) {
+      acc += series.value(t, 0) * series.value(t, 0);
+    }
+    return std::sqrt(acc / 100.0);
+  };
+  EXPECT_GT(std::fabs(rms(0) - rms(200)), 0.05);
+}
+
+TEST(GeneratorTest, SecondaryDriverAddsSpectralLine) {
+  Rng rng(11);
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  p.period = 8.0;             // base 5
+  p.secondary_period = 4.0;   // base 10
+  p.secondary_weights = {1.0};
+  TimeSeries series = GenerateNormal(p, 40, 0, &rng);
+  const std::vector<double> amps =
+      fft::AmplitudeSpectrum(series.Feature(0));
+  EXPECT_GT(amps[10], 0.5);
+}
+
+TEST(WaveformTest, NamesAreDistinct) {
+  EXPECT_STREQ(WaveformKindName(WaveformKind::kSinusoid), "sinusoid");
+  EXPECT_STREQ(WaveformKindName(WaveformKind::kSquare), "square");
+  EXPECT_STREQ(WaveformKindName(WaveformKind::kSawtooth), "sawtooth");
+  EXPECT_STREQ(WaveformKindName(WaveformKind::kSpikyPeriodic),
+               "spiky_periodic");
+  EXPECT_STREQ(AnomalyKindName(AnomalyKind::kLevelShift), "level_shift");
+  EXPECT_TRUE(IsPointAnomaly(AnomalyKind::kPointSpike));
+  EXPECT_FALSE(IsPointAnomaly(AnomalyKind::kNoiseBurst));
+}
+
+TEST(InjectionTest, ReachesTargetRatioApproximately) {
+  Rng rng(13);
+  const NormalPattern p = SimplePattern();
+  TimeSeries series = GenerateNormal(p, 2000, 0, &rng);
+  AnomalyInjectionConfig config;
+  config.anomaly_ratio = 0.1;
+  InjectAnomalies(config, p, &series, &rng);
+  EXPECT_NEAR(series.AnomalyRatio(), 0.1, 0.03);
+}
+
+TEST(InjectionTest, LabelsMatchModifiedSteps) {
+  Rng rng(17);
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  TimeSeries clean = GenerateNormal(p, 500, 0, &rng);
+  TimeSeries injected = clean;
+  Rng inject_rng(19);
+  AnomalyInjectionConfig config;
+  config.anomaly_ratio = 0.08;
+  const auto events = InjectAnomalies(config, p, &injected, &inject_rng);
+  EXPECT_FALSE(events.empty());
+  for (size_t t = 0; t < injected.length(); ++t) {
+    const bool modified =
+        std::fabs(injected.value(t, 0) - clean.value(t, 0)) > 1e-9;
+    if (modified) {
+      EXPECT_TRUE(injected.is_anomaly(t)) << "unlabeled modification at " << t;
+    }
+  }
+}
+
+TEST(InjectionTest, EventsRespectMinimumGap) {
+  Rng rng(23);
+  const NormalPattern p = SimplePattern();
+  TimeSeries series = GenerateNormal(p, 2000, 0, &rng);
+  AnomalyInjectionConfig config;
+  config.anomaly_ratio = 0.15;
+  config.min_gap = 10;
+  InjectAnomalies(config, p, &series, &rng);
+  // Between any two anomalous runs there must be >= min_gap normal steps.
+  size_t run_end = 0;
+  bool in_run = false;
+  for (size_t t = 0; t < series.length(); ++t) {
+    if (series.is_anomaly(t)) {
+      if (!in_run && run_end > 0) {
+        EXPECT_GE(t - run_end, config.min_gap);
+      }
+      in_run = true;
+    } else {
+      if (in_run) run_end = t;
+      in_run = false;
+    }
+  }
+}
+
+TEST(InjectionTest, ZeroRatioInjectsNothing) {
+  Rng rng(29);
+  const NormalPattern p = SimplePattern();
+  TimeSeries series = GenerateNormal(p, 200, 0, &rng);
+  AnomalyInjectionConfig config;
+  config.anomaly_ratio = 0.0;
+  const auto events = InjectAnomalies(config, p, &series, &rng);
+  EXPECT_TRUE(events.empty());
+  EXPECT_DOUBLE_EQ(series.AnomalyRatio(), 0.0);
+}
+
+TEST(InjectionTest, PointSpikesAreBoosted) {
+  Rng rng(31);
+  const NormalPattern p = SimplePattern();
+  TimeSeries series = GenerateNormal(p, 3000, 0, &rng);
+  AnomalyInjectionConfig config;
+  config.anomaly_ratio = 0.05;
+  config.point_fraction = 1.0;
+  config.point_boost = 2.0;
+  const auto events = InjectAnomalies(config, p, &series, &rng);
+  for (const AnomalyEvent& e : events) {
+    EXPECT_EQ(e.kind, AnomalyKind::kPointSpike);
+    EXPECT_LE(e.length, 2u);
+    EXPECT_GE(std::fabs(e.magnitude), config.min_magnitude * 2.0 - 1e-9);
+  }
+}
+
+class ProfileTest : public ::testing::TestWithParam<DatasetProfile> {};
+
+TEST_P(ProfileTest, GeneratedDatasetMatchesProfile) {
+  DatasetProfile profile = GetParam();
+  profile.num_services = 4;  // keep the test fast
+  const Dataset dataset = GenerateDataset(profile);
+  EXPECT_EQ(dataset.name, profile.name);
+  ASSERT_EQ(dataset.services.size(), 4u);
+  for (const ServiceData& svc : dataset.services) {
+    EXPECT_EQ(svc.train.length(), profile.train_length);
+    EXPECT_EQ(svc.test.length(), profile.test_length);
+    EXPECT_EQ(svc.train.num_features(), profile.num_features);
+    EXPECT_FALSE(svc.train.has_labels());
+    EXPECT_TRUE(svc.test.has_labels());
+    EXPECT_NEAR(svc.test.AnomalyRatio(), profile.anomaly_ratio,
+                0.05 + 0.3 * profile.anomaly_ratio);
+  }
+}
+
+TEST_P(ProfileTest, GenerationIsDeterministic) {
+  DatasetProfile profile = GetParam();
+  profile.num_services = 2;
+  const Dataset a = GenerateDataset(profile);
+  const Dataset b = GenerateDataset(profile);
+  for (size_t s = 0; s < a.services.size(); ++s) {
+    EXPECT_EQ(a.services[s].train.values(), b.services[s].train.values());
+    EXPECT_EQ(a.services[s].test.labels(), b.services[s].test.labels());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileTest,
+                         ::testing::ValuesIn(AllProfiles()),
+                         [](const auto& info) {
+                           std::string name = info.param.name;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ProfilesTest, DiversityOrderingSmdMostDiverse) {
+  // SMD services should spread across waveform kinds; J-D2 should collapse
+  // to (nearly) one.
+  auto count_kinds = [](const DatasetProfile& profile) {
+    std::set<WaveformKind> kinds;
+    for (int s = 0; s < 10; ++s) {
+      Rng rng(profile.seed + 1000003ULL * static_cast<uint64_t>(s + 1));
+      kinds.insert(SamplePattern(profile, s, &rng).kind);
+    }
+    return kinds.size();
+  };
+  EXPECT_GE(count_kinds(SmdProfile()), 3u);
+  EXPECT_EQ(count_kinds(Jd2Profile()), 1u);
+}
+
+TEST(ProfilesTest, ServiceGroupSplitsCorrectly) {
+  DatasetProfile profile = SmdProfile();
+  profile.num_services = 20;
+  profile.train_length = 100;
+  profile.test_length = 60;
+  const Dataset dataset = GenerateDataset(profile);
+  const auto group0 = ServiceGroup(dataset, 0);
+  const auto group1 = ServiceGroup(dataset, 1);
+  EXPECT_EQ(group0.size(), 10u);
+  EXPECT_EQ(group1.size(), 10u);
+  EXPECT_EQ(group0.front().name, dataset.services[0].name);
+  EXPECT_EQ(group1.front().name, dataset.services[10].name);
+}
+
+}  // namespace
+}  // namespace mace::ts

@@ -1,0 +1,213 @@
+// Numerical gradient checking: every differentiable op is verified against
+// central finite differences on random inputs (property-style, via
+// parameterized tests).
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mace::tensor {
+namespace {
+
+using LossFn = std::function<Tensor(const Tensor&)>;
+
+/// Checks autograd of `fn` (scalar-valued) at `x` against central
+/// differences.
+void CheckGradient(const std::vector<double>& values, const Shape& shape,
+                   const LossFn& fn, double eps = 1e-6, double tol = 1e-4) {
+  Tensor x = Tensor::FromVector(values, shape, /*requires_grad=*/true);
+  Tensor loss = fn(x);
+  ASSERT_EQ(loss.numel(), 1);
+  loss.Backward();
+  const std::vector<double> analytic = x.grad();
+
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::vector<double> plus = values, minus = values;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const double fp = fn(Tensor::FromVector(plus, shape)).item();
+    const double fm = fn(Tensor::FromVector(minus, shape)).item();
+    const double numeric = (fp - fm) / (2.0 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tol * (1.0 + std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+struct OpCase {
+  std::string name;
+  LossFn fn;
+  /// Input generator: values away from non-differentiable points.
+  std::function<std::vector<double>(Rng*)> make_input;
+  Shape shape;
+};
+
+std::vector<double> SmoothRandom(Rng* rng, size_t n, double lo, double hi,
+                                 double keep_away_from_zero = 0.0) {
+  std::vector<double> v(n);
+  for (double& x : v) {
+    do {
+      x = rng->Uniform(lo, hi);
+    } while (std::fabs(x) < keep_away_from_zero);
+  }
+  return v;
+}
+
+class GradCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifferences) {
+  const OpCase& op = GetParam();
+  Rng rng(0xFEED);
+  for (int trial = 0; trial < 3; ++trial) {
+    CheckGradient(op.make_input(&rng), op.shape, op.fn);
+  }
+}
+
+std::vector<OpCase> MakeCases() {
+  auto in6 = [](double lo, double hi, double away = 0.0) {
+    return [=](Rng* rng) { return SmoothRandom(rng, 6, lo, hi, away); };
+  };
+  std::vector<OpCase> cases;
+  cases.push_back({"add_self", [](const Tensor& x) {
+                     return Sum(Add(x, MulScalar(x, 2.0)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"mul_shared", [](const Tensor& x) {
+                     return Sum(Mul(x, x));
+                   },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"div_by_const", [](const Tensor& x) {
+                     Tensor denom = Tensor::Full({6}, 2.5);
+                     return Sum(Div(x, denom));
+                   },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"div_as_denominator", [](const Tensor& x) {
+                     Tensor numer = Tensor::Full({6}, 3.0);
+                     return Sum(Div(numer, x));
+                   },
+                   in6(0.5, 2.0), Shape{6}});
+  cases.push_back({"broadcast_add", [](const Tensor& x) {
+                     Tensor row = Tensor::FromVector({1.0, 2.0, 3.0}, Shape{3});
+                     return Sum(Square(Add(x, row)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"maximum_vs_const", [](const Tensor& x) {
+                     Tensor c = Tensor::Full({6}, 0.5);
+                     return Sum(Maximum(x, c));
+                   },
+                   in6(-2, 2, /*away from 0.5 kink*/ 0.0), Shape{6}});
+  cases.push_back({"tanh", [](const Tensor& x) { return Sum(Tanh(x)); },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"sigmoid",
+                   [](const Tensor& x) { return Sum(Sigmoid(x)); },
+                   in6(-3, 3), Shape{6}});
+  cases.push_back({"exp", [](const Tensor& x) { return Sum(Exp(x)); },
+                   in6(-1, 1), Shape{6}});
+  cases.push_back({"log", [](const Tensor& x) { return Sum(Log(x)); },
+                   in6(0.2, 3.0), Shape{6}});
+  cases.push_back({"sqrt", [](const Tensor& x) { return Sum(Sqrt(x)); },
+                   in6(0.3, 3.0), Shape{6}});
+  cases.push_back({"relu", [](const Tensor& x) { return Sum(Relu(x)); },
+                   in6(-2, 2, 0.05), Shape{6}});
+  cases.push_back({"abs", [](const Tensor& x) { return Sum(Abs(x)); },
+                   in6(-2, 2, 0.05), Shape{6}});
+  cases.push_back({"square", [](const Tensor& x) { return Sum(Square(x)); },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"pow", [](const Tensor& x) { return Sum(Pow(x, 2.5)); },
+                   in6(0.3, 2.0), Shape{6}});
+  cases.push_back({"signed_pow",
+                   [](const Tensor& x) { return Sum(SignedPow(x, 5.0)); },
+                   in6(-1.5, 1.5, 0.1), Shape{6}});
+  cases.push_back({"signed_root",
+                   [](const Tensor& x) { return Sum(SignedRoot(x, 5.0)); },
+                   in6(-2.0, 2.0, 0.5), Shape{6}});
+  cases.push_back({"reshape_chain", [](const Tensor& x) {
+                     return Sum(Square(Reshape(x, {3, 2})));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"transpose", [](const Tensor& x) {
+                     Tensor w = Tensor::FromVector({1, 2, 3, 4, 5, 6},
+                                                   {3, 2});
+                     return Sum(Mul(Transpose(x), w));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"slice", [](const Tensor& x) {
+                     return Sum(Square(Slice(x, 1, 1, 3)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"concat", [](const Tensor& x) {
+                     Tensor left = Slice(x, 1, 0, 1);
+                     Tensor right = Slice(x, 1, 1, 3);
+                     return Sum(Square(Concat({right, left}, 1)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"sum_axis", [](const Tensor& x) {
+                     return Sum(Square(SumAxis(x, 0)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"mean", [](const Tensor& x) { return Mean(Square(x)); },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"matmul_left", [](const Tensor& x) {
+                     Tensor w = Tensor::FromVector({1, -1, 2, 0.5, 1, -2},
+                                                   {3, 2});
+                     return Sum(Square(MatMul(x, w)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"matmul_right", [](const Tensor& x) {
+                     Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6},
+                                                   {2, 3});
+                     return Sum(Square(MatMul(a, Reshape(x, {3, 2}))));
+                   },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"softmax", [](const Tensor& x) {
+                     Tensor target = Tensor::FromVector(
+                         {0.1, 0.2, 0.7, 0.3, 0.3, 0.4}, {2, 3});
+                     return Sum(Square(Sub(Softmax(x), target)));
+                   },
+                   in6(-2, 2), Shape{2, 3}});
+  cases.push_back({"conv1d_input", [](const Tensor& x) {
+                     Tensor w = Tensor::FromVector(
+                         {0.5, -0.25, 1.0, 0.75}, {1, 2, 2});
+                     return Sum(Square(
+                         Conv1d(Reshape(x, {1, 2, 3}), w, Tensor(), 1)));
+                   },
+                   in6(-2, 2), Shape{6}});
+  cases.push_back({"conv1d_weight", [](const Tensor& x) {
+                     Tensor input = Tensor::FromVector(
+                         {1, 2, 3, 4, 5, 6, 7, 8}, {1, 2, 4});
+                     Tensor b = Tensor::FromVector({0.5}, {1});
+                     return Sum(Square(Conv1d(
+                         input, Reshape(x, {1, 2, 3}), b, 1)));
+                   },
+                   in6(-1, 1), Shape{6}});
+  cases.push_back({"mse", [](const Tensor& x) {
+                     Tensor target =
+                         Tensor::FromVector({1, 0, -1, 2, 0.5, -0.5}, Shape{6});
+                     return MseLoss(x, target);
+                   },
+                   in6(-2, 2), Shape{6}});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest, ::testing::ValuesIn(MakeCases()),
+    [](const ::testing::TestParamInfo<OpCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GradCheckConvBias, BiasGradientIsOutputCount) {
+  Tensor input = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 4});
+  Tensor w = Tensor::FromVector({1.0, 1.0}, {1, 1, 2});
+  Tensor b = Tensor::FromVector(std::vector<double>{0.0}, {1}, true);
+  Tensor out = Conv1d(input, w, b, 1);
+  Sum(out).Backward();
+  EXPECT_DOUBLE_EQ(b.grad()[0], 3.0);  // three output positions
+}
+
+}  // namespace
+}  // namespace mace::tensor

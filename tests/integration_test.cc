@@ -1,0 +1,193 @@
+// Cross-module integration tests: dataset generation -> unified training ->
+// scoring -> evaluation, plus the paper's headline properties on a small
+// workload (kept light so the suite stays fast).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "common/math_utils.h"
+#include "core/mace_detector.h"
+#include "eval/metrics.h"
+#include "fft/fft.h"
+#include "fft/spectrum.h"
+#include "ts/profiles.h"
+
+namespace mace {
+namespace {
+
+ts::Dataset SmallDataset(ts::DatasetProfile profile, int services = 4) {
+  profile.num_services = services;
+  profile.train_length = 480;
+  profile.test_length = 320;
+  return ts::GenerateDataset(profile);
+}
+
+core::MaceConfig FastMace() {
+  core::MaceConfig config;
+  config.epochs = 3;
+  return config;
+}
+
+TEST(IntegrationTest, UnifiedMaceOnDiverseServices) {
+  const ts::Dataset dataset = SmallDataset(ts::SmdProfile());
+  core::MaceDetector detector(FastMace());
+  ASSERT_TRUE(detector.Fit(dataset.services).ok());
+  std::vector<eval::PrMetrics> metrics;
+  for (size_t s = 0; s < dataset.services.size(); ++s) {
+    auto scores =
+        detector.Score(static_cast<int>(s), dataset.services[s].test);
+    ASSERT_TRUE(scores.ok());
+    auto best = eval::BestF1Threshold(*scores,
+                                      dataset.services[s].test.labels());
+    ASSERT_TRUE(best.ok());
+    metrics.push_back(best->metrics);
+  }
+  EXPECT_GT(eval::MacroAverage(metrics).f1, 0.6);
+}
+
+TEST(IntegrationTest, TransferToUnseenGroupKeepsWorking) {
+  ts::DatasetProfile profile = ts::Jd2Profile();
+  profile.num_services = 8;
+  profile.train_length = 480;
+  profile.test_length = 320;
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+  std::vector<ts::ServiceData> train_group(dataset.services.begin(),
+                                           dataset.services.begin() + 4);
+  core::MaceDetector detector(FastMace());
+  ASSERT_TRUE(detector.Fit(train_group).ok());
+  std::vector<eval::PrMetrics> metrics;
+  for (size_t s = 4; s < 8; ++s) {
+    auto scores = detector.ScoreUnseen(dataset.services[s]);
+    ASSERT_TRUE(scores.ok());
+    auto best = eval::BestF1Threshold(*scores,
+                                      dataset.services[s].test.labels());
+    metrics.push_back(best->metrics);
+  }
+  EXPECT_GT(eval::MacroAverage(metrics).f1, 0.6);
+}
+
+TEST(IntegrationTest, AblationFullSpectrumDoesNotBeatContextAware) {
+  // Theorem 2 / Corollary 1: the selected subset should do at least as
+  // well as the vanilla full spectrum on diverse patterns.
+  const ts::Dataset dataset = SmallDataset(ts::SmdProfile(), 4);
+  auto f1_for = [&](bool context_aware) {
+    core::MaceConfig config = FastMace();
+    config.use_context_aware_dft = context_aware;
+    core::MaceDetector detector(config);
+    MACE_CHECK_OK(detector.Fit(dataset.services));
+    std::vector<eval::PrMetrics> metrics;
+    for (size_t s = 0; s < dataset.services.size(); ++s) {
+      auto scores =
+          detector.Score(static_cast<int>(s), dataset.services[s].test);
+      auto best = eval::BestF1Threshold(*scores,
+                                        dataset.services[s].test.labels());
+      metrics.push_back(best->metrics);
+    }
+    return eval::MacroAverage(metrics).f1;
+  };
+  EXPECT_GE(f1_for(true) + 0.12, f1_for(false));
+}
+
+TEST(IntegrationTest, AnomalousSpectraHaveHigherVariance) {
+  // The Table II premise on our datasets: anomalies raise spectrum
+  // variance.
+  const ts::Dataset dataset = SmallDataset(ts::Jd1Profile(), 4);
+  std::vector<std::vector<double>> normal_spectra, anomalous_spectra;
+  for (const ts::ServiceData& svc : dataset.services) {
+    ts::StandardScaler scaler;
+    scaler.Fit(svc.train);
+    const ts::TimeSeries test = scaler.Transform(svc.test);
+    for (size_t start = 0; start + 40 <= test.length(); start += 40) {
+      bool anomalous = false;
+      for (size_t t = start; t < start + 40; ++t) {
+        anomalous |= test.is_anomaly(t);
+      }
+      for (int f = 0; f < test.num_features(); ++f) {
+        std::vector<double> window(40);
+        for (int t = 0; t < 40; ++t) {
+          window[t] = test.value(start + t, f);
+        }
+        auto& bucket = anomalous ? anomalous_spectra : normal_spectra;
+        bucket.push_back(fft::AmplitudeSpectrum(window));
+      }
+    }
+  }
+  ASSERT_FALSE(normal_spectra.empty());
+  ASSERT_FALSE(anomalous_spectra.empty());
+  const auto normal = fft::PooledAmplitudeMoments(normal_spectra);
+  const auto anomalous = fft::PooledAmplitudeMoments(anomalous_spectra);
+  EXPECT_GT(anomalous.variance, normal.variance);
+  EXPECT_GT(anomalous.mean, normal.mean);  // Table III premise
+}
+
+TEST(IntegrationTest, PotThresholdYieldsReasonablePrecision) {
+  // End-to-end with the production thresholding (POT) instead of best-F1.
+  const ts::Dataset dataset = SmallDataset(ts::Jd2Profile(), 3);
+  core::MaceDetector detector(FastMace());
+  ASSERT_TRUE(detector.Fit(dataset.services).ok());
+  auto scores = detector.Score(0, dataset.services[0].test);
+  ASSERT_TRUE(scores.ok());
+  auto threshold = PotThreshold(*scores, /*risk=*/0.05, 0.8);
+  ASSERT_TRUE(threshold.ok());
+  const eval::PrMetrics m = eval::EvaluateAtThreshold(
+      *scores, dataset.services[0].test.labels(), *threshold);
+  EXPECT_GT(m.f1, 0.3);
+}
+
+TEST(IntegrationTest, SubsetKlGapMatchesCorollary1) {
+  // Corollary 1: when the kept mass of the normal spectrum exceeds k/n,
+  // the anomaly reconstruction error exceeds the normal one.
+  const ts::Dataset dataset = SmallDataset(ts::SmdProfile(), 2);
+  const ts::ServiceData& svc = dataset.services[0];
+  ts::StandardScaler scaler;
+  scaler.Fit(svc.train);
+  const ts::TimeSeries train = scaler.Transform(svc.train);
+  const ts::TimeSeries test = scaler.Transform(svc.test);
+
+  // Normal spectrum: average training-window spectrum.
+  std::vector<double> mean_spectrum(21, 0.0);
+  int count = 0;
+  for (size_t start = 0; start + 40 <= train.length(); start += 40) {
+    std::vector<double> window(40);
+    for (int t = 0; t < 40; ++t) window[t] = train.value(start + t, 0);
+    const auto amps = fft::AmplitudeSpectrum(window);
+    for (size_t j = 0; j < amps.size(); ++j) mean_spectrum[j] += amps[j];
+    ++count;
+  }
+  for (double& v : mean_spectrum) v /= count;
+  const auto q_normal = fft::NormalizeSpectrum(mean_spectrum);
+  const auto subset = fft::TopKIndices(mean_spectrum, 8, true);
+
+  double kept = 0.0;
+  for (int idx : subset) kept += q_normal[static_cast<size_t>(idx)];
+  ASSERT_GT(kept, 8.0 / 21.0);  // Corollary 1's condition holds
+
+  // Anomalous windows should lose more mass outside the subset.
+  double normal_err = 0.0, anomalous_err = 0.0;
+  int nc = 0, ac = 0;
+  for (size_t start = 0; start + 40 <= test.length(); start += 20) {
+    bool anomalous = false;
+    for (size_t t = start; t < start + 40; ++t) {
+      anomalous |= test.is_anomaly(t);
+    }
+    std::vector<double> window(40);
+    for (int t = 0; t < 40; ++t) window[t] = test.value(start + t, 0);
+    const double err = fft::SubsetKlError(
+        fft::NormalizeSpectrum(fft::AmplitudeSpectrum(window)), subset);
+    if (anomalous) {
+      anomalous_err += err;
+      ++ac;
+    } else {
+      normal_err += err;
+      ++nc;
+    }
+  }
+  ASSERT_GT(nc, 0);
+  ASSERT_GT(ac, 0);
+  EXPECT_GT(anomalous_err / ac, normal_err / nc);
+}
+
+}  // namespace
+}  // namespace mace

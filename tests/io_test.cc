@@ -1,0 +1,102 @@
+#include "ts/io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "ts/profiles.h"
+
+namespace mace::ts {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TimeSeriesIoTest, RoundTripUnlabeled) {
+  TimeSeries series({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  const std::string path = TempPath("unlabeled.csv");
+  ASSERT_TRUE(TimeSeriesToCsv(path, series).ok());
+  auto loaded = TimeSeriesFromCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->values(), series.values());
+  EXPECT_FALSE(loaded->has_labels());
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesIoTest, RoundTripLabeled) {
+  TimeSeries series({{1.0}, {2.0}, {3.0}}, {0, 1, 0});
+  const std::string path = TempPath("labeled.csv");
+  ASSERT_TRUE(TimeSeriesToCsv(path, series).ok());
+  // Last column carries the label.
+  auto loaded = TimeSeriesFromCsv(path, /*label_column=*/1);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_features(), 1);
+  EXPECT_EQ(loaded->labels(), series.labels());
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesIoTest, NegativeLabelColumnMeansLast) {
+  TimeSeries series({{1.0, 7.0}, {2.0, 8.0}}, {1, 0});
+  const std::string path = TempPath("neg_label.csv");
+  ASSERT_TRUE(TimeSeriesToCsv(path, series).ok());
+  auto loaded = TimeSeriesFromCsv(path, /*label_column=*/-1);
+  ASSERT_TRUE(loaded.ok());
+  // -1 means "no label column" by contract... the explicit last column:
+  EXPECT_FALSE(loaded->has_labels());
+  auto labeled = TimeSeriesFromCsv(path, 2);
+  ASSERT_TRUE(labeled.ok());
+  EXPECT_EQ(labeled->labels(), series.labels());
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesIoTest, RejectsNonBinaryLabels) {
+  const std::string path = TempPath("badlabel.csv");
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("f0,label\n1.0,2.0\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(TimeSeriesFromCsv(path, 1).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TimeSeriesIoTest, MissingFileIsError) {
+  EXPECT_FALSE(TimeSeriesFromCsv("/no/such/file.csv").ok());
+}
+
+TEST(ServiceDirTest, RoundTrip) {
+  DatasetProfile profile = SmdProfile();
+  profile.num_services = 1;
+  profile.train_length = 120;
+  profile.test_length = 80;
+  const Dataset dataset = GenerateDataset(profile);
+  const ServiceData& service = dataset.services[0];
+
+  const std::string dir = TempPath("svc_dir");
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(SaveServiceDir(dir, service).ok());
+  auto loaded = LoadServiceDir(dir, "restored");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, "restored");
+  EXPECT_EQ(loaded->train.length(), service.train.length());
+  EXPECT_EQ(loaded->test.labels(), service.test.labels());
+  EXPECT_NEAR(loaded->test.value(5, 0), service.test.value(5, 0), 1e-12);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceDirTest, SaveRequiresLabeledTest) {
+  ServiceData service;
+  service.train =
+      TimeSeries(std::vector<std::vector<double>>{{1.0}, {2.0}});
+  service.test = TimeSeries(
+      std::vector<std::vector<double>>{{3.0}, {4.0}});  // unlabeled
+  const std::string dir = TempPath("svc_dir2");
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(SaveServiceDir(dir, service).ok());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mace::ts

@@ -1,0 +1,165 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mace::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LinearTest, OutputShapeAndParams) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  Tensor x = Tensor::Zeros({2, 4});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  EXPECT_EQ(layer.NumParameters(), 4 * 3 + 3);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng, /*bias=*/false);
+  EXPECT_EQ(layer.NumParameters(), 12);
+}
+
+TEST(LinearTest, ComputesAffineMap) {
+  Rng rng(2);
+  Linear layer(2, 1, &rng);
+  // Overwrite weights with known values: y = 2 a - b + 0.5.
+  layer.weight().node()->values = {2.0, -1.0};
+  layer.bias().node()->values = {0.5};
+  Tensor x = Tensor::FromVector({3.0, 4.0}, {1, 2});
+  EXPECT_NEAR(layer.Forward(x).item(), 2.5, 1e-12);
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(3);
+  Linear layer(3, 2, &rng);
+  Tensor x = Tensor::FromVector({1, 2, 3}, {1, 3});
+  Sum(layer.Forward(x)).Backward();
+  // dW[i][j] = x[i] for every output j.
+  const auto& grad = layer.weight().grad();
+  EXPECT_DOUBLE_EQ(grad[0], 1.0);
+  EXPECT_DOUBLE_EQ(grad[2], 2.0);
+  EXPECT_DOUBLE_EQ(grad[4], 3.0);
+  for (double g : layer.bias().grad()) EXPECT_DOUBLE_EQ(g, 1.0);
+}
+
+TEST(Conv1dLayerTest, OutputShape) {
+  Rng rng(4);
+  Conv1dLayer layer(3, 5, /*kernel=*/4, /*stride=*/2, &rng);
+  Tensor x = Tensor::Zeros({2, 3, 10});
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 4}));
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 * 4 + 5);
+}
+
+TEST(ActivationTest, AllKinds) {
+  Tensor x = Tensor::FromVector({-1.0, 2.0}, Shape{2});
+  EXPECT_EQ(Activation(ActivationKind::kRelu).Forward(x).data(),
+            (std::vector<double>{0, 2}));
+  EXPECT_NEAR(Activation(ActivationKind::kTanh).Forward(x).data()[0],
+              std::tanh(-1.0), 1e-12);
+  EXPECT_NEAR(Activation(ActivationKind::kSigmoid).Forward(x).data()[1],
+              1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_EQ(Activation(ActivationKind::kIdentity).Forward(x).data(),
+            x.data());
+}
+
+TEST(SequentialTest, ChainsLayersAndCollectsParams) {
+  Rng rng(5);
+  Sequential seq;
+  seq.Add(std::make_shared<Linear>(4, 8, &rng));
+  seq.Add(std::make_shared<Activation>(ActivationKind::kTanh));
+  seq.Add(std::make_shared<Linear>(8, 2, &rng));
+  Tensor x = Tensor::Zeros({1, 4});
+  EXPECT_EQ(seq.Forward(x).shape(), (Shape{1, 2}));
+  EXPECT_EQ(seq.NumParameters(), (4 * 8 + 8) + (8 * 2 + 2));
+}
+
+TEST(LstmTest, OutputShapeAndParamCount) {
+  Rng rng(6);
+  Lstm lstm(3, 5, &rng);
+  Tensor sequence = Tensor::Zeros({7, 3});
+  Tensor out = lstm.Forward(sequence);
+  EXPECT_EQ(out.shape(), (Shape{7, 5}));
+  EXPECT_EQ(lstm.NumParameters(), 3 * 20 + 5 * 20 + 20);
+}
+
+TEST(LstmTest, ZeroInputZeroWeightsGivesZeroOutput) {
+  Rng rng(7);
+  Lstm lstm(2, 3, &rng);
+  for (Tensor& p : lstm.Parameters()) {
+    std::fill(p.node()->values.begin(), p.node()->values.end(), 0.0);
+  }
+  Tensor out = lstm.Forward(Tensor::Zeros({4, 2}));
+  for (double v : out.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(LstmTest, StatePropagatesAcrossSteps) {
+  // With non-zero weights, a pulse at t=0 influences later outputs.
+  Rng rng(8);
+  Lstm lstm(1, 4, &rng);
+  Tensor pulse = Tensor::FromVector({5.0, 0.0, 0.0, 0.0}, {4, 1});
+  Tensor silent = Tensor::Zeros({4, 1});
+  Tensor out_pulse = lstm.Forward(pulse);
+  Tensor out_silent = lstm.Forward(silent);
+  double diff_late = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    diff_late += std::fabs(out_pulse.at({3, c}) - out_silent.at({3, c}));
+  }
+  EXPECT_GT(diff_late, 1e-6);
+}
+
+TEST(LstmTest, GradientsReachAllParameters) {
+  Rng rng(9);
+  Lstm lstm(2, 3, &rng);
+  Tensor x = Tensor::FromVector({1, -1, 0.5, 0.2, -0.3, 0.9}, {3, 2});
+  Sum(Square(lstm.Forward(x))).Backward();
+  for (const Tensor& p : lstm.Parameters()) {
+    double norm = 0.0;
+    for (double g : p.grad()) norm += std::fabs(g);
+    EXPECT_GT(norm, 0.0) << "parameter with zero gradient";
+  }
+}
+
+TEST(SelfAttentionTest, OutputShape) {
+  Rng rng(10);
+  SelfAttention attn(6, &rng);
+  Tensor x = Tensor::Zeros({5, 6});
+  EXPECT_EQ(attn.Forward(x).shape(), (Shape{5, 6}));
+  EXPECT_EQ(attn.NumParameters(), 3 * 36);
+}
+
+TEST(SelfAttentionTest, UniformInputsGiveUniformMix) {
+  // Identical rows attend equally; output rows must be identical too.
+  Rng rng(11);
+  SelfAttention attn(4, &rng);
+  std::vector<double> row = {0.5, -0.2, 0.8, 0.1};
+  std::vector<double> data;
+  for (int t = 0; t < 3; ++t) data.insert(data.end(), row.begin(), row.end());
+  Tensor out = attn.Forward(Tensor::FromVector(data, {3, 4}));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(out.at({0, c}), out.at({1, c}), 1e-9);
+    EXPECT_NEAR(out.at({1, c}), out.at({2, c}), 1e-9);
+  }
+}
+
+TEST(GlorotTest, BoundsScaleWithFanInOut) {
+  Rng rng(12);
+  Tensor small = GlorotUniform({100}, 1000, 1000, &rng);
+  const double limit = std::sqrt(6.0 / 2000.0);
+  for (double v : small.data()) {
+    EXPECT_LE(std::fabs(v), limit);
+  }
+  EXPECT_TRUE(small.requires_grad());
+}
+
+}  // namespace
+}  // namespace mace::nn

@@ -1,0 +1,144 @@
+#include "core/mace_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+
+namespace mace::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+MaceConfig SmallConfig() {
+  MaceConfig config;
+  config.window = 16;
+  config.num_bases = 6;
+  config.freq_kernel = 3;
+  config.hidden_channels = 4;
+  return config;
+}
+
+ServiceTransforms SmallTransforms() {
+  return MakeServiceTransforms(16, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(ServiceTransformsTest, ShapesMatchBases) {
+  const ServiceTransforms t = SmallTransforms();
+  EXPECT_EQ(t.forward_t.shape(), (Shape{16, 12}));
+  EXPECT_EQ(t.inverse_t.shape(), (Shape{12, 16}));
+  EXPECT_EQ(t.marker_sin.size(), 6u);
+  EXPECT_EQ(t.marker_cos.size(), 6u);
+}
+
+TEST(ServiceTransformsTest, MarkersEncodeFrequencies) {
+  const ServiceTransforms t = MakeServiceTransforms(16, {4});
+  // Base 4 of window 16: omega = pi/2.
+  EXPECT_NEAR(t.marker_sin[0], 1.0, 1e-12);
+  EXPECT_NEAR(t.marker_cos[0], 0.0, 1e-12);
+}
+
+TEST(MaceModelTest, ForwardProducesScalarLossAndStepErrors) {
+  Rng rng(1);
+  MaceModel model(SmallConfig(), /*num_features=*/3,
+                  /*num_coeff_columns=*/12, &rng);
+  const ServiceTransforms transforms = SmallTransforms();
+  Tensor window = Tensor::RandomGaussian({3, 16}, &rng, 0.0, 1.0);
+  auto out = model.Forward(transforms, window, /*want_step_errors=*/true);
+  EXPECT_EQ(out.loss.numel(), 1);
+  EXPECT_GE(out.loss.item(), 0.0);
+  EXPECT_EQ(out.step_errors.size(), 16u);
+  for (double e : out.step_errors) EXPECT_GE(e, 0.0);
+}
+
+TEST(MaceModelTest, StepErrorsSkippedWhenNotRequested) {
+  Rng rng(2);
+  MaceModel model(SmallConfig(), 2, 12, &rng);
+  Tensor window = Tensor::RandomGaussian({2, 16}, &rng, 0.0, 1.0);
+  auto out = model.Forward(SmallTransforms(), window, false);
+  EXPECT_TRUE(out.step_errors.empty());
+}
+
+TEST(MaceModelTest, ParameterCountConsistent) {
+  Rng rng(3);
+  MaceModel model(SmallConfig(), 2, 12, &rng);
+  int64_t total = 0;
+  for (const Tensor& p : model.Parameters()) total += p.numel();
+  EXPECT_EQ(total, model.ParameterCount());
+  EXPECT_GT(model.PeakActivationElements(), 0);
+}
+
+TEST(MaceModelTest, AblationDropsCharacterizationParams) {
+  Rng rng(4);
+  MaceConfig with = SmallConfig();
+  MaceConfig without = SmallConfig();
+  without.use_freq_characterization = false;
+  MaceModel a(with, 2, 12, &rng);
+  Rng rng2(4);
+  MaceModel b(without, 2, 12, &rng2);
+  EXPECT_GT(a.ParameterCount(), b.ParameterCount());
+}
+
+TEST(MaceModelTest, VanillaConvAblationStillRuns) {
+  Rng rng(5);
+  MaceConfig config = SmallConfig();
+  config.use_dualistic_freq = false;
+  MaceModel model(config, 2, 12, &rng);
+  Tensor window = Tensor::RandomGaussian({2, 16}, &rng, 0.0, 1.0);
+  auto out = model.Forward(SmallTransforms(), window, true);
+  EXPECT_TRUE(std::isfinite(out.loss.item()));
+}
+
+TEST(MaceModelTest, TrainingReducesLossOnFixedWindow) {
+  Rng rng(6);
+  MaceConfig config = SmallConfig();
+  MaceModel model(config, 2, 12, &rng);
+  const ServiceTransforms transforms = SmallTransforms();
+  // A pure in-subspace signal: reconstructable in principle.
+  std::vector<double> values(2 * 16);
+  for (int f = 0; f < 2; ++f) {
+    for (int t = 0; t < 16; ++t) {
+      values[f * 16 + t] =
+          std::sin(2.0 * std::numbers::pi * (2 + f) * t / 16.0);
+    }
+  }
+  Tensor window = Tensor::FromVector(values, {2, 16});
+  nn::Adam adam(model.Parameters(), 5e-3);
+  double first = 0.0, last = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    auto out = model.Forward(transforms, window, false);
+    if (step == 0) first = out.loss.item();
+    last = out.loss.item();
+    adam.ZeroGrad();
+    out.loss.Backward();
+    adam.ClipGradNorm(5.0);
+    adam.Step();
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(MaceModelTest, BranchErrorsReported) {
+  Rng rng(7);
+  MaceModel model(SmallConfig(), 2, 12, &rng);
+  Tensor window = Tensor::RandomGaussian({2, 16}, &rng, 0.0, 1.0);
+  auto out = model.Forward(SmallTransforms(), window, false);
+  EXPECT_GE(out.mean_err_peak, 0.0);
+  EXPECT_GE(out.mean_err_valley, 0.0);
+  // Loss is the mean of the two branch means.
+  EXPECT_NEAR(out.loss.item(),
+              0.5 * (out.mean_err_peak + out.mean_err_valley), 1e-9);
+}
+
+TEST(MaceModelDeathTest, RejectsMismatchedTransforms) {
+  Rng rng(8);
+  MaceModel model(SmallConfig(), 2, 12, &rng);
+  const ServiceTransforms wrong = MakeServiceTransforms(16, {1, 2, 3});
+  Tensor window = Tensor::Zeros({2, 16});
+  EXPECT_DEATH(model.Forward(wrong, window, false), "columns");
+}
+
+}  // namespace
+}  // namespace mace::core

@@ -1,0 +1,188 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mace {
+namespace {
+
+TEST(DoubleFactorialTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(DoubleFactorial(-1), 1.0);
+  EXPECT_DOUBLE_EQ(DoubleFactorial(0), 1.0);
+  EXPECT_DOUBLE_EQ(DoubleFactorial(1), 1.0);
+  EXPECT_DOUBLE_EQ(DoubleFactorial(2), 2.0);
+  EXPECT_DOUBLE_EQ(DoubleFactorial(5), 15.0);
+  EXPECT_DOUBLE_EQ(DoubleFactorial(6), 48.0);
+  EXPECT_DOUBLE_EQ(DoubleFactorial(7), 105.0);
+}
+
+TEST(SignedPowTest, OddPowerMatchesPlainPower) {
+  for (double x : {-2.5, -1.0, -0.3, 0.0, 0.7, 3.0}) {
+    EXPECT_NEAR(SignedPow(x, 3.0), x * x * x, 1e-12);
+  }
+}
+
+TEST(SignedPowTest, PreservesSign) {
+  EXPECT_LT(SignedPow(-2.0, 4.0), 0.0);
+  EXPECT_GT(SignedPow(2.0, 4.0), 0.0);
+}
+
+TEST(SignedRootTest, InvertsSignedPow) {
+  for (double x : {-8.0, -1.0, 0.5, 27.0}) {
+    EXPECT_NEAR(SignedRoot(SignedPow(x, 5.0), 5.0), x, 1e-9);
+  }
+}
+
+TEST(MeanVarianceTest, BasicValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+}
+
+TEST(MeanVarianceTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> neg(b.size());
+  for (size_t i = 0; i < b.size(); ++i) neg[i] = -b[i];
+  EXPECT_NEAR(PearsonCorrelation(a, neg), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateReturnsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0).value(), 5.0);
+}
+
+TEST(QuantileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 1.0}, 0.25).value(), 0.25);
+}
+
+TEST(QuantileTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.5).ok());
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+}
+
+TEST(GaussianPdfTest, PeakAtMean) {
+  EXPECT_NEAR(GaussianPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_GT(GaussianPdf(3.0, 3.0, 2.0), GaussianPdf(4.0, 3.0, 2.0));
+}
+
+TEST(KernelDensityTest, FitRequiresSamples) {
+  EXPECT_FALSE(KernelDensity::Fit({}).ok());
+}
+
+TEST(KernelDensityTest, DensityConcentratesAroundSamples) {
+  auto kde = KernelDensity::Fit({0.0, 0.1, -0.1}, 0.5);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->Density(0.0), kde->Density(3.0));
+}
+
+TEST(KernelDensityTest, SilvermanBandwidthPositive) {
+  Rng rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.Gaussian());
+  auto kde = KernelDensity::Fit(samples);
+  ASSERT_TRUE(kde.ok());
+  EXPECT_GT(kde->bandwidth(), 0.0);
+  // Density near the mode of N(0,1) should be near 0.4.
+  EXPECT_NEAR(kde->Density(0.0), 0.4, 0.1);
+}
+
+TEST(KlDivergenceTest, ZeroForIdenticalDistributions) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 300; ++i) samples.push_back(rng.Gaussian());
+  auto p = KernelDensity::Fit(samples, 0.3);
+  auto q = KernelDensity::Fit(samples, 0.3);
+  EXPECT_NEAR(KlDivergence(*p, *q), 0.0, 1e-9);
+}
+
+TEST(KlDivergenceTest, GrowsWithSeparation) {
+  Rng rng(11);
+  std::vector<double> base, near, far;
+  for (int i = 0; i < 300; ++i) {
+    const double g = rng.Gaussian();
+    base.push_back(g);
+    near.push_back(g + 0.5);
+    far.push_back(g + 3.0);
+  }
+  auto p = KernelDensity::Fit(base, 0.3);
+  auto qn = KernelDensity::Fit(near, 0.3);
+  auto qf = KernelDensity::Fit(far, 0.3);
+  const double kl_near = KlDivergence(*p, *qn);
+  const double kl_far = KlDivergence(*p, *qf);
+  EXPECT_GT(kl_near, 0.0);
+  EXPECT_GT(kl_far, kl_near);
+}
+
+TEST(GpdTest, FitRequiresTwoSamples) {
+  EXPECT_FALSE(FitGpd({1.0}).ok());
+}
+
+TEST(GpdTest, ExponentialTailHasSmallShape) {
+  // Exceedances from Exp(1): GPD shape ~ 0, scale ~ 1.
+  Rng rng(13);
+  std::vector<double> exceedances;
+  for (int i = 0; i < 5000; ++i) {
+    exceedances.push_back(-std::log(1.0 - rng.Uniform() + 1e-12));
+  }
+  auto params = FitGpd(exceedances);
+  ASSERT_TRUE(params.ok());
+  EXPECT_NEAR(params->shape, 0.0, 0.1);
+  EXPECT_NEAR(params->scale, 1.0, 0.1);
+}
+
+TEST(PotTest, RequiresEnoughScores) {
+  EXPECT_FALSE(PotThreshold({1, 2, 3}, 1e-3).ok());
+}
+
+TEST(PotTest, RejectsBadRisk) {
+  std::vector<double> scores(100, 1.0);
+  EXPECT_FALSE(PotThreshold(scores, 0.0).ok());
+  EXPECT_FALSE(PotThreshold(scores, 1.0).ok());
+}
+
+TEST(PotTest, ThresholdAboveInitialLevelForSmallRisk) {
+  Rng rng(17);
+  std::vector<double> scores;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(-std::log(1.0 - rng.Uniform() + 1e-12));
+  }
+  auto t98 = Quantile(scores, 0.98);
+  auto threshold = PotThreshold(scores, 1e-4, 0.98);
+  ASSERT_TRUE(threshold.ok());
+  EXPECT_GT(*threshold, *t98);
+}
+
+TEST(PotTest, ExponentialTailQuantileIsAccurate) {
+  // For Exp(1), the q-quantile is -log(risk): POT should land near it.
+  Rng rng(19);
+  std::vector<double> scores;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(-std::log(1.0 - rng.Uniform() + 1e-12));
+  }
+  auto threshold = PotThreshold(scores, 1e-3, 0.98);
+  ASSERT_TRUE(threshold.ok());
+  EXPECT_NEAR(*threshold, -std::log(1e-3), 0.6);
+}
+
+}  // namespace
+}  // namespace mace

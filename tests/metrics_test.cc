@@ -1,0 +1,124 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mace::eval {
+namespace {
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const std::vector<uint8_t> pred = {1, 1, 0, 0, 1};
+  const std::vector<uint8_t> label = {1, 0, 1, 0, 1};
+  const Confusion c = Confuse(pred, label);
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.tn, 1);
+}
+
+TEST(MetricsTest, FromConfusionFormulas) {
+  Confusion c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 4;
+  const PrMetrics m = FromConfusion(c);
+  EXPECT_DOUBLE_EQ(m.precision, 0.8);
+  EXPECT_DOUBLE_EQ(m.recall, 8.0 / 12.0);
+  EXPECT_NEAR(m.f1, 2 * 0.8 * (2.0 / 3.0) / (0.8 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(MetricsTest, DegenerateCountsGiveZeros) {
+  const PrMetrics m = FromConfusion(Confusion{});
+  EXPECT_DOUBLE_EQ(m.precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(PointAdjustTest, ExpandsDetectedSegments) {
+  const std::vector<uint8_t> label = {0, 1, 1, 1, 0, 1, 1, 0};
+  const std::vector<uint8_t> pred = {0, 0, 1, 0, 0, 0, 0, 0};
+  const std::vector<uint8_t> adjusted = PointAdjust(pred, label);
+  EXPECT_EQ(adjusted, (std::vector<uint8_t>{0, 1, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(PointAdjustTest, MissedSegmentsStayMissed) {
+  const std::vector<uint8_t> label = {1, 1, 0, 1, 1};
+  const std::vector<uint8_t> pred = {0, 0, 0, 0, 0};
+  EXPECT_EQ(PointAdjust(pred, label), pred);
+}
+
+TEST(PointAdjustTest, FalsePositivesOutsideSegmentsKept) {
+  const std::vector<uint8_t> label = {0, 0, 1, 1};
+  const std::vector<uint8_t> pred = {1, 0, 0, 1};
+  const std::vector<uint8_t> adjusted = PointAdjust(pred, label);
+  EXPECT_EQ(adjusted, (std::vector<uint8_t>{1, 0, 1, 1}));
+}
+
+TEST(PointAdjustTest, SegmentAtSeriesBoundaries) {
+  const std::vector<uint8_t> label = {1, 1, 0, 0, 1, 1};
+  const std::vector<uint8_t> pred = {1, 0, 0, 0, 0, 1};
+  const std::vector<uint8_t> adjusted = PointAdjust(pred, label);
+  EXPECT_EQ(adjusted, (std::vector<uint8_t>{1, 1, 0, 0, 1, 1}));
+}
+
+TEST(EvaluateAtThresholdTest, ThresholdSeparatesScores) {
+  const std::vector<double> scores = {0.1, 0.9, 0.2, 0.8};
+  const std::vector<uint8_t> labels = {0, 1, 0, 1};
+  const PrMetrics m =
+      EvaluateAtThreshold(scores, labels, 0.5, /*point_adjust=*/false);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(BestF1Test, FindsPerfectThresholdWhenSeparable) {
+  const std::vector<double> scores = {0.1, 0.2, 0.3, 5.0, 6.0, 0.15};
+  const std::vector<uint8_t> labels = {0, 0, 0, 1, 1, 0};
+  auto result = BestF1Threshold(scores, labels, /*point_adjust=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->metrics.f1, 1.0);
+  EXPECT_GT(result->threshold, 0.3);
+  EXPECT_LT(result->threshold, 5.0);
+}
+
+TEST(BestF1Test, PointAdjustImprovesSegmentRecall) {
+  // One hit inside a long segment: point-adjust credits the whole segment.
+  std::vector<double> scores(20, 0.0);
+  std::vector<uint8_t> labels(20, 0);
+  for (int t = 5; t < 15; ++t) labels[t] = 1;
+  scores[7] = 10.0;
+  auto raw = BestF1Threshold(scores, labels, false);
+  auto adjusted = BestF1Threshold(scores, labels, true);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_GT(adjusted->metrics.f1, raw->metrics.f1);
+  EXPECT_DOUBLE_EQ(adjusted->metrics.f1, 1.0);
+}
+
+TEST(BestF1Test, AllNormalLabelsYieldZeroF1) {
+  const std::vector<double> scores = {1.0, 2.0, 3.0};
+  const std::vector<uint8_t> labels = {0, 0, 0};
+  auto result = BestF1Threshold(scores, labels);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->metrics.f1, 0.0);
+}
+
+TEST(BestF1Test, ErrorsOnBadInput) {
+  EXPECT_FALSE(BestF1Threshold({}, {}).ok());
+  EXPECT_FALSE(BestF1Threshold({1.0}, {0, 1}).ok());
+  EXPECT_FALSE(BestF1Threshold({1.0}, {1}, true, 1).ok());
+}
+
+TEST(MacroAverageTest, AveragesComponentwise) {
+  PrMetrics a{1.0, 0.5, 2.0 / 3.0};
+  PrMetrics b{0.5, 1.0, 2.0 / 3.0};
+  const PrMetrics avg = MacroAverage({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.75);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.75);
+  EXPECT_NEAR(avg.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MacroAverageTest, EmptyIsZero) {
+  const PrMetrics avg = MacroAverage({});
+  EXPECT_DOUBLE_EQ(avg.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace mace::eval

@@ -1,0 +1,226 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace mace::tensor {
+namespace {
+
+Tensor Vec(std::vector<double> v, bool rg = false) {
+  return Tensor::FromVector(std::move(v), rg);
+}
+
+TEST(OpsTest, AddSubMulDivElementwise) {
+  Tensor a = Vec({1, 2, 3});
+  Tensor b = Vec({4, 5, 6});
+  EXPECT_EQ(Add(a, b).data(), (std::vector<double>{5, 7, 9}));
+  EXPECT_EQ(Sub(a, b).data(), (std::vector<double>{-3, -3, -3}));
+  EXPECT_EQ(Mul(a, b).data(), (std::vector<double>{4, 10, 18}));
+  EXPECT_EQ(Div(b, a).data(), (std::vector<double>{4, 2.5, 2}));
+}
+
+TEST(OpsTest, OperatorsMatchFunctions) {
+  Tensor a = Vec({2, 4});
+  Tensor b = Vec({1, 2});
+  EXPECT_EQ((a + b).data(), Add(a, b).data());
+  EXPECT_EQ((a - b).data(), Sub(a, b).data());
+  EXPECT_EQ((a * b).data(), Mul(a, b).data());
+  EXPECT_EQ((a / b).data(), Div(a, b).data());
+  EXPECT_EQ((-a).data(), (std::vector<double>{-2, -4}));
+  EXPECT_EQ((a + 1.0).data(), (std::vector<double>{3, 5}));
+  EXPECT_EQ((a * 0.5).data(), (std::vector<double>{1, 2}));
+}
+
+TEST(OpsTest, BroadcastRowVector) {
+  Tensor matrix = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor row = Vec({10, 20, 30});
+  Tensor out = Add(matrix, row);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_EQ(out.data(), (std::vector<double>{11, 22, 33, 14, 25, 36}));
+}
+
+TEST(OpsTest, BroadcastColumnAgainstRow) {
+  Tensor col = Tensor::FromVector({1, 2}, {2, 1});
+  Tensor row = Tensor::FromVector({10, 20, 30}, {1, 3});
+  Tensor out = Mul(col, row);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  EXPECT_EQ(out.data(), (std::vector<double>{10, 20, 30, 20, 40, 60}));
+}
+
+TEST(OpsTest, MaximumMinimum) {
+  Tensor a = Vec({1, 5, 3});
+  Tensor b = Vec({2, 4, 3});
+  EXPECT_EQ(Maximum(a, b).data(), (std::vector<double>{2, 5, 3}));
+  EXPECT_EQ(Minimum(a, b).data(), (std::vector<double>{1, 4, 3}));
+}
+
+TEST(OpsTest, UnaryFunctions) {
+  Tensor x = Vec({-1.0, 0.0, 2.0});
+  EXPECT_EQ(Relu(x).data(), (std::vector<double>{0, 0, 2}));
+  EXPECT_EQ(Abs(x).data(), (std::vector<double>{1, 0, 2}));
+  EXPECT_EQ(Square(x).data(), (std::vector<double>{1, 0, 4}));
+  EXPECT_NEAR(Tanh(x).data()[2], std::tanh(2.0), 1e-12);
+  EXPECT_NEAR(Sigmoid(x).data()[0], 1.0 / (1.0 + std::exp(1.0)), 1e-12);
+  EXPECT_NEAR(Exp(x).data()[2], std::exp(2.0), 1e-12);
+  EXPECT_NEAR(Sqrt(Vec({4.0})).data()[0], 2.0, 1e-12);
+}
+
+TEST(OpsTest, LogClampsNonPositive) {
+  Tensor x = Vec({-1.0, 0.0, 1.0});
+  Tensor y = Log(x);
+  const auto& v = y.data();
+  EXPECT_TRUE(std::isfinite(v[0]));
+  EXPECT_TRUE(std::isfinite(v[1]));
+  EXPECT_DOUBLE_EQ(v[2], 0.0);
+}
+
+TEST(OpsTest, SignedPowMatchesOddPower) {
+  Tensor x = Vec({-2.0, -0.5, 0.0, 1.5});
+  Tensor y = SignedPow(x, 3.0);
+  const auto& v = y.data();
+  EXPECT_NEAR(v[0], -8.0, 1e-12);
+  EXPECT_NEAR(v[1], -0.125, 1e-12);
+  EXPECT_NEAR(v[2], 0.0, 1e-12);
+  EXPECT_NEAR(v[3], 3.375, 1e-12);
+}
+
+TEST(OpsTest, SignedRootInvertsSignedPow) {
+  Tensor x = Vec({-2.0, 0.5, 3.0});
+  Tensor y = SignedRoot(SignedPow(x, 7.0), 7.0);
+  const auto& v = y.data();
+  EXPECT_NEAR(v[0], -2.0, 1e-9);
+  EXPECT_NEAR(v[1], 0.5, 1e-9);
+  EXPECT_NEAR(v[2], 3.0, 1e-9);
+}
+
+TEST(OpsTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor r = Reshape(t, {3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  EXPECT_EQ(r.data(), t.data());
+}
+
+TEST(OpsTest, TransposeTwoD) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor tt = Transpose(t);
+  EXPECT_EQ(tt.shape(), (Shape{3, 2}));
+  EXPECT_EQ(tt.data(), (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(OpsTest, SliceMiddleAxis) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6, 7, 8}, {2, 2, 2});
+  Tensor s = Slice(t, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 1, 2}));
+  EXPECT_EQ(s.data(), (std::vector<double>{3, 4, 7, 8}));
+}
+
+TEST(OpsTest, SliceNegativeAxis) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor s = Slice(t, -1, 0, 1);
+  EXPECT_EQ(s.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s.data(), (std::vector<double>{1, 3}));
+}
+
+TEST(OpsTest, ConcatAxisZeroAndOne) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({3, 4}, {1, 2});
+  Tensor rows = Concat({a, b}, 0);
+  EXPECT_EQ(rows.shape(), (Shape{2, 2}));
+  EXPECT_EQ(rows.data(), (std::vector<double>{1, 2, 3, 4}));
+  Tensor cols = Concat({a, b}, 1);
+  EXPECT_EQ(cols.shape(), (Shape{1, 4}));
+  EXPECT_EQ(cols.data(), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(OpsTest, SumMeanSumAxis) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_DOUBLE_EQ(Sum(t).item(), 21.0);
+  EXPECT_DOUBLE_EQ(Mean(t).item(), 3.5);
+  Tensor s0 = SumAxis(t, 0);
+  EXPECT_EQ(s0.shape(), (Shape{3}));
+  EXPECT_EQ(s0.data(), (std::vector<double>{5, 7, 9}));
+  Tensor s1 = SumAxis(t, 1);
+  EXPECT_EQ(s1.shape(), (Shape{2}));
+  EXPECT_EQ(s1.data(), (std::vector<double>{6, 15}));
+}
+
+TEST(OpsTest, MatMulKnownProduct) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::FromVector({5, 6, 7, 8}, {2, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.data(), (std::vector<double>{19, 22, 43, 50}));
+}
+
+TEST(OpsTest, MatMulRectangular) {
+  Tensor a = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor b = Tensor::FromVector({1, 0, 0, 1, 1, 1}, {3, 2});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c.data(), (std::vector<double>{4, 5, 10, 11}));
+}
+
+TEST(OpsTest, Conv1dIdentityKernel) {
+  // Single channel, kernel [1] -> output equals input.
+  Tensor x = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 4});
+  Tensor w = Tensor::FromVector({1.0}, {1, 1, 1});
+  Tensor y = Conv1d(x, w, Tensor(), 1);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 4}));
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(OpsTest, Conv1dAveragingKernelWithStride) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {1, 1, 6});
+  Tensor w = Tensor::FromVector({0.5, 0.5}, {1, 1, 2});
+  Tensor y = Conv1d(x, w, Tensor(), 2);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 3}));
+  EXPECT_EQ(y.data(), (std::vector<double>{1.5, 3.5, 5.5}));
+}
+
+TEST(OpsTest, Conv1dMultiChannelWithBias) {
+  // Two input channels summed by a kernel of ones, plus bias 10.
+  Tensor x = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {1, 2, 3});
+  Tensor w = Tensor::FromVector({1, 1}, {1, 2, 1});
+  Tensor b = Tensor::FromVector({10.0}, {1});
+  Tensor y = Conv1d(x, w, b, 1);
+  EXPECT_EQ(y.data(), (std::vector<double>{15, 17, 19}));
+}
+
+TEST(OpsTest, Conv1dBatched) {
+  Tensor x = Tensor::FromVector({1, 2, 3, 10, 20, 30}, {2, 1, 3});
+  Tensor w = Tensor::FromVector({1, 1}, {1, 1, 2});
+  Tensor y = Conv1d(x, w, Tensor(), 1);
+  EXPECT_EQ(y.shape(), (Shape{2, 1, 2}));
+  EXPECT_EQ(y.data(), (std::vector<double>{3, 5, 30, 50}));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Tensor x = Tensor::FromVector({1, 2, 3, -1, 0, 1}, {2, 3});
+  Tensor y = Softmax(x);
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) sum += y.at({r, c});
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(y.at({0, 2}), y.at({0, 0}));
+}
+
+TEST(OpsTest, SoftmaxStableForLargeInputs) {
+  Tensor x = Tensor::FromVector({1000.0, 1000.0}, {1, 2});
+  Tensor y = Softmax(x);
+  EXPECT_NEAR(y.data()[0], 0.5, 1e-12);
+}
+
+TEST(OpsTest, MseLossZeroForIdentical) {
+  Tensor a = Vec({1, 2, 3});
+  EXPECT_DOUBLE_EQ(MseLoss(a, a).item(), 0.0);
+}
+
+TEST(OpsTest, MseLossKnownValue) {
+  Tensor a = Vec({0, 0});
+  Tensor b = Vec({3, 4});
+  EXPECT_DOUBLE_EQ(MseLoss(a, b).item(), 12.5);
+}
+
+}  // namespace
+}  // namespace mace::tensor

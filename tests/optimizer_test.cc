@@ -1,0 +1,102 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace mace::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Loss (x - target)^2 summed; minimum at target.
+double RunSteps(Optimizer* optimizer, Tensor x,
+                const std::vector<double>& target, int steps) {
+  Tensor t = Tensor::FromVector(target, Shape{2});
+  double loss_value = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    Tensor loss = Sum(Square(Sub(x, t)));
+    loss_value = loss.item();
+    optimizer->ZeroGrad();
+    loss.Backward();
+    optimizer->Step();
+  }
+  return loss_value;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector({5.0, -3.0}, {2}, true);
+  Sgd sgd({x}, /*learning_rate=*/0.1);
+  const double final_loss = RunSteps(&sgd, x, {1.0, 2.0}, 100);
+  EXPECT_LT(final_loss, 1e-8);
+  EXPECT_NEAR(x.data()[0], 1.0, 1e-4);
+  EXPECT_NEAR(x.data()[1], 2.0, 1e-4);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Tensor a = Tensor::FromVector({5.0, -3.0}, {2}, true);
+  Tensor b = Tensor::FromVector({5.0, -3.0}, {2}, true);
+  Sgd plain({a}, 0.02);
+  Sgd momentum({b}, 0.02, 0.9);
+  const double plain_loss = RunSteps(&plain, a, {0.0, 0.0}, 20);
+  const double momentum_loss = RunSteps(&momentum, b, {0.0, 0.0}, 20);
+  EXPECT_LT(momentum_loss, plain_loss);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector({5.0, -3.0}, {2}, true);
+  Adam adam({x}, /*learning_rate=*/0.2);
+  const double final_loss = RunSteps(&adam, x, {-1.0, 4.0}, 300);
+  EXPECT_LT(final_loss, 1e-4);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Tensor x = Tensor::FromVector({1.0}, {1}, true);
+  Adam adam({x}, 0.1);
+  Tensor loss = Sum(Square(x));
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_NEAR(x.data()[0], 1.0 - 0.1, 1e-6);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Tensor x = Tensor::FromVector({2.0}, {1}, true);
+  Sgd sgd({x}, 0.1);
+  Sum(Square(x)).Backward();
+  EXPECT_NE(x.grad()[0], 0.0);
+  sgd.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0);
+}
+
+TEST(OptimizerTest, ClipGradNormRescales) {
+  Tensor x = Tensor::FromVector({0.0, 0.0}, {2}, true);
+  Sgd sgd({x}, 0.1);
+  // Manually set a gradient of norm 10.
+  x.node()->grad = {6.0, 8.0};
+  sgd.ClipGradNorm(5.0);
+  const double norm = std::hypot(x.grad()[0], x.grad()[1]);
+  EXPECT_NEAR(norm, 5.0, 1e-9);
+  // Direction is preserved.
+  EXPECT_NEAR(x.grad()[0] / x.grad()[1], 0.75, 1e-9);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
+  Tensor x = Tensor::FromVector({0.0}, {1}, true);
+  Sgd sgd({x}, 0.1);
+  x.node()->grad = {0.5};
+  sgd.ClipGradNorm(5.0);
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.5);
+}
+
+TEST(OptimizerDeathTest, RejectsNonDifferentiableParams) {
+  Tensor fixed = Tensor::FromVector({1.0}, {1}, false);
+  EXPECT_DEATH(Sgd({fixed}, 0.1), "differentiable");
+}
+
+}  // namespace
+}  // namespace mace::nn

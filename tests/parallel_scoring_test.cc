@@ -1,0 +1,80 @@
+// Parallel scoring (the paper's S2: frequency-domain windows carry no
+// temporal dependency, so inference parallelizes per window) must be
+// bit-identical to sequential scoring.
+
+#include <gtest/gtest.h>
+
+#include "core/mace_detector.h"
+#include "ts/generator.h"
+
+namespace mace::core {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(7 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 400, 320, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+class ParallelScoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelScoringTest, MatchesSequentialExactly) {
+  const auto services = TinyWorkload();
+  MaceConfig sequential_config;
+  sequential_config.epochs = 2;
+  sequential_config.score_threads = 1;
+  MaceConfig parallel_config = sequential_config;
+  parallel_config.score_threads = GetParam();
+
+  MaceDetector sequential(sequential_config);
+  MaceDetector parallel(parallel_config);
+  ASSERT_TRUE(sequential.Fit(services).ok());
+  ASSERT_TRUE(parallel.Fit(services).ok());
+
+  for (int s = 0; s < 2; ++s) {
+    auto a = sequential.Score(s, services[static_cast<size_t>(s)].test);
+    auto b = parallel.Score(s, services[static_cast<size_t>(s)].test);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t t = 0; t < a->size(); ++t) {
+      EXPECT_DOUBLE_EQ((*a)[t], (*b)[t]) << "step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelScoringTest,
+                         ::testing::Values(2, 4, 7, 64),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelScoringTest, MoreThreadsThanWindowsIsSafe) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 1;
+  config.score_threads = 1000;  // clamped to the window count internally
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(services).ok());
+  auto scores = detector.Score(0, services[0].test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), services[0].test.length());
+}
+
+}  // namespace
+}  // namespace mace::core

@@ -1,0 +1,124 @@
+#include "core/pattern_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ts/generator.h"
+
+namespace mace::core {
+namespace {
+
+ts::TimeSeries Sinusoids(size_t length, const std::vector<double>& cycles,
+                         double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> values(length, std::vector<double>(1));
+  for (size_t t = 0; t < length; ++t) {
+    double v = 0.0;
+    for (size_t i = 0; i < cycles.size(); ++i) {
+      v += (1.0 / (1.0 + i)) *
+           std::sin(2.0 * std::numbers::pi * cycles[i] * t / 40.0);
+    }
+    values[t][0] = v + rng.Gaussian(0.0, noise);
+  }
+  return ts::TimeSeries(std::move(values));
+}
+
+TEST(PatternExtractorTest, FindsDominantBases) {
+  const ts::TimeSeries series = Sinusoids(800, {3.0, 7.0}, 0.02, 1);
+  PatternExtractorOptions options;
+  options.num_bases = 2;
+  auto subspace = ExtractPattern(series, options);
+  ASSERT_TRUE(subspace.ok());
+  std::vector<int> bases = subspace->bases;
+  std::sort(bases.begin(), bases.end());
+  EXPECT_EQ(bases, (std::vector<int>{3, 7}));
+}
+
+TEST(PatternExtractorTest, StrongestFirstByIncidence) {
+  const ts::TimeSeries series = Sinusoids(800, {5.0}, 0.02, 2);
+  PatternExtractorOptions options;
+  options.num_bases = 4;
+  auto subspace = ExtractPattern(series, options);
+  ASSERT_TRUE(subspace.ok());
+  // The fundamental should rank first with full incidence.
+  EXPECT_EQ(subspace->bases.front(), 5);
+  EXPECT_EQ(subspace->incidence.size(), subspace->bases.size());
+  for (size_t i = 1; i < subspace->incidence.size(); ++i) {
+    EXPECT_LE(subspace->incidence[i], subspace->incidence[i - 1]);
+  }
+}
+
+TEST(PatternExtractorTest, SkipDcControlsBinZero) {
+  // A series with a large mean: DC dominates when not skipped.
+  Rng rng(3);
+  std::vector<std::vector<double>> values(400, std::vector<double>(1));
+  for (auto& row : values) row[0] = 50.0 + rng.Gaussian(0.0, 0.1);
+  ts::TimeSeries series(std::move(values));
+  PatternExtractorOptions with_dc;
+  with_dc.num_bases = 1;
+  with_dc.skip_dc = false;
+  EXPECT_EQ(ExtractPattern(series, with_dc)->bases.front(), 0);
+  PatternExtractorOptions no_dc;
+  no_dc.num_bases = 1;
+  no_dc.skip_dc = true;
+  EXPECT_NE(ExtractPattern(series, no_dc)->bases.front(), 0);
+}
+
+TEST(PatternExtractorTest, DeterministicForSameInput) {
+  const ts::TimeSeries series = Sinusoids(600, {2.0, 9.0}, 0.1, 4);
+  PatternExtractorOptions options;
+  options.num_bases = 6;
+  auto a = ExtractPattern(series, options);
+  auto b = ExtractPattern(series, options);
+  EXPECT_EQ(a->bases, b->bases);
+}
+
+TEST(PatternExtractorTest, BasesWithinOneSidedRange) {
+  const ts::TimeSeries series = Sinusoids(600, {4.0}, 0.3, 5);
+  PatternExtractorOptions options;
+  options.num_bases = 20;
+  auto subspace = ExtractPattern(series, options);
+  ASSERT_TRUE(subspace.ok());
+  for (int b : subspace->bases) {
+    EXPECT_GE(b, 1);
+    EXPECT_LE(b, 20);
+  }
+  // All 20 non-DC bins available.
+  EXPECT_EQ(subspace->bases.size(), 20u);
+}
+
+TEST(PatternExtractorTest, ErrorsOnBadOptions) {
+  const ts::TimeSeries series = Sinusoids(100, {3.0}, 0.1, 6);
+  PatternExtractorOptions bad;
+  bad.num_bases = 0;
+  EXPECT_FALSE(ExtractPattern(series, bad).ok());
+  PatternExtractorOptions short_series;
+  short_series.window = 400;
+  EXPECT_FALSE(ExtractPattern(series, short_series).ok());
+}
+
+TEST(PatternExtractorTest, MultiFeatureCountsPooled) {
+  // Two features with different dominant bases: both should surface.
+  Rng rng(7);
+  std::vector<std::vector<double>> values(800, std::vector<double>(2));
+  for (size_t t = 0; t < values.size(); ++t) {
+    values[t][0] = std::sin(2.0 * std::numbers::pi * 3.0 * t / 40.0) +
+                   rng.Gaussian(0, 0.02);
+    values[t][1] = std::sin(2.0 * std::numbers::pi * 8.0 * t / 40.0) +
+                   rng.Gaussian(0, 0.02);
+  }
+  ts::TimeSeries series(std::move(values));
+  PatternExtractorOptions options;
+  options.num_bases = 2;
+  auto subspace = ExtractPattern(series, options);
+  std::vector<int> bases = subspace->bases;
+  std::sort(bases.begin(), bases.end());
+  EXPECT_EQ(bases, (std::vector<int>{3, 8}));
+}
+
+}  // namespace
+}  // namespace mace::core

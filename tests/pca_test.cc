@@ -1,0 +1,112 @@
+#include "eval/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/profiler.h"
+
+namespace mace::eval {
+namespace {
+
+TEST(PcaTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Pca({}, 2).ok());
+  EXPECT_FALSE(Pca({{1.0, 2.0}}, 1).ok());
+  EXPECT_FALSE(Pca({{1.0}, {2.0}}, 2).ok());
+  EXPECT_FALSE(Pca({{1.0, 2.0}, {3.0}}, 1).ok());
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points along the diagonal with small orthogonal noise.
+  Rng rng(3);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.Gaussian(0.0, 3.0);
+    const double noise = rng.Gaussian(0.0, 0.1);
+    data.push_back({t + noise, t - noise});
+  }
+  auto projection = Pca(data, 2);
+  ASSERT_TRUE(projection.ok());
+  // First component captures nearly all variance.
+  EXPECT_GT(projection->explained_variance[0],
+            20.0 * projection->explained_variance[1]);
+}
+
+TEST(PcaTest, ExplainedVarianceIsDecreasing) {
+  Rng rng(7);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({rng.Gaussian(0, 3), rng.Gaussian(0, 2),
+                    rng.Gaussian(0, 1)});
+  }
+  auto projection = Pca(data, 3);
+  ASSERT_TRUE(projection.ok());
+  EXPECT_GE(projection->explained_variance[0],
+            projection->explained_variance[1]);
+  EXPECT_GE(projection->explained_variance[1],
+            projection->explained_variance[2]);
+  // Should roughly match the generating variances 9, 4, 1.
+  EXPECT_NEAR(projection->explained_variance[0], 9.0, 2.5);
+  EXPECT_NEAR(projection->explained_variance[2], 1.0, 0.5);
+}
+
+TEST(PcaTest, ProjectionIsCentered) {
+  std::vector<std::vector<double>> data = {
+      {10.0, 0.0}, {12.0, 1.0}, {14.0, 2.0}, {16.0, 3.0}};
+  auto projection = Pca(data, 1);
+  ASSERT_TRUE(projection.ok());
+  double sum = 0.0;
+  for (const auto& p : projection->points) sum += p[0];
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(PcaTest, SeparatedClustersStaySeparated) {
+  Rng rng(11);
+  std::vector<std::vector<double>> data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({rng.Gaussian(0, 0.2), rng.Gaussian(0, 0.2),
+                    rng.Gaussian(0, 0.2)});
+    data.push_back({rng.Gaussian(5, 0.2), rng.Gaussian(5, 0.2),
+                    rng.Gaussian(5, 0.2)});
+  }
+  auto projection = Pca(data, 2);
+  ASSERT_TRUE(projection.ok());
+  // Even-index points (cluster A) and odd-index (cluster B) separate on PC1.
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < projection->points.size(); i += 2) {
+    mean_a += projection->points[i][0];
+    mean_b += projection->points[i + 1][0];
+  }
+  EXPECT_GT(std::fabs(mean_a - mean_b) / 50.0, 3.0);
+}
+
+TEST(ProfilerTest, StopWatchMeasuresElapsed) {
+  StopWatch watch;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  EXPECT_GE(sink, 0.0);  // keep the loop observable
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  const double before = watch.ElapsedSeconds();
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(ProfilerTest, MemoryEstimateScalesWithParams) {
+  const int64_t small = EstimateTrainingMemoryBytes(1000, 100);
+  const int64_t large = EstimateTrainingMemoryBytes(2000, 100);
+  EXPECT_EQ(large - small, 4 * 1000 * 8);
+}
+
+TEST(ProfilerTest, UsageTableContainsMethods) {
+  ResourceUsage usage;
+  usage.method = "MACE";
+  usage.train_seconds = 1.5;
+  usage.parameter_count = 1234;
+  const std::string table = FormatUsageTable({usage});
+  EXPECT_NE(table.find("MACE"), std::string::npos);
+  EXPECT_NE(table.find("1234"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mace::eval

@@ -1,0 +1,93 @@
+#include "eval/roc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mace::eval {
+namespace {
+
+TEST(RocTest, PerfectSeparationGivesUnitAuc) {
+  const std::vector<double> scores = {0.1, 0.2, 0.9, 0.8};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  auto q = ComputeRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->auroc, 1.0);
+  EXPECT_DOUBLE_EQ(q->auprc, 1.0);
+}
+
+TEST(RocTest, InvertedScoresGiveZeroAuroc) {
+  const std::vector<double> scores = {0.9, 0.8, 0.1, 0.2};
+  const std::vector<uint8_t> labels = {0, 0, 1, 1};
+  auto q = ComputeRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->auroc, 0.0);
+}
+
+TEST(RocTest, RandomScoresGiveHalfAuroc) {
+  Rng rng(3);
+  std::vector<double> scores;
+  std::vector<uint8_t> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.Uniform());
+    labels.push_back(rng.Bernoulli(0.3) ? 1 : 0);
+  }
+  auto q = ComputeRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->auroc, 0.5, 0.03);
+}
+
+TEST(RocTest, TiedScoresHandledAsOnePoint) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<uint8_t> labels = {1, 0, 1, 0};
+  auto q = ComputeRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->roc.size(), 1u);
+  EXPECT_NEAR(q->auroc, 0.5, 1e-12);
+}
+
+TEST(RocTest, CurveEndsAtUnitCorner) {
+  const std::vector<double> scores = {3.0, 1.0, 2.0, 0.5};
+  const std::vector<uint8_t> labels = {1, 0, 0, 1};
+  auto q = ComputeRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->roc.back().true_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(q->roc.back().false_positive_rate, 1.0);
+}
+
+TEST(RocTest, ErrorsWithoutBothClasses) {
+  EXPECT_FALSE(ComputeRanking({1.0, 2.0}, {1, 1}).ok());
+  EXPECT_FALSE(ComputeRanking({1.0, 2.0}, {0, 0}).ok());
+  EXPECT_FALSE(ComputeRanking({}, {}).ok());
+  EXPECT_FALSE(ComputeRanking({1.0}, {1, 0}).ok());
+}
+
+TEST(RocTest, AurocMatchesPairwiseProbability) {
+  // AUROC equals P(score_pos > score_neg) + 0.5 P(tie).
+  Rng rng(7);
+  std::vector<double> scores;
+  std::vector<uint8_t> labels;
+  for (int i = 0; i < 1000; ++i) {
+    const bool positive = rng.Bernoulli(0.25);
+    scores.push_back(rng.Gaussian(positive ? 1.0 : 0.0, 1.0));
+    labels.push_back(positive ? 1 : 0);
+  }
+  auto q = ComputeRanking(scores, labels);
+  ASSERT_TRUE(q.ok());
+  // Brute-force pairwise statistic.
+  double wins = 0.0;
+  int64_t pairs = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] == 0) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] != 0) continue;
+      wins += scores[i] > scores[j] ? 1.0 : (scores[i] == scores[j] ? 0.5
+                                                                    : 0.0);
+      ++pairs;
+    }
+  }
+  EXPECT_NEAR(q->auroc, wins / static_cast<double>(pairs), 1e-9);
+}
+
+}  // namespace
+}  // namespace mace::eval

@@ -1,0 +1,130 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/mace_detector.h"
+#include "ts/generator.h"
+
+namespace mace::core {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(11 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 20.0;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.7};
+    pattern.feature_lags = {0.0, 1.5};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 160, 320, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+TEST(SerializationTest, SaveBeforeFitFails) {
+  MaceDetector detector;
+  EXPECT_EQ(detector.Save("/tmp/never.mace").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SerializationTest, RoundTripPreservesScores) {
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector detector(config);
+  const auto services = TinyWorkload();
+  ASSERT_TRUE(detector.Fit(services).ok());
+
+  const std::string path = ::testing::TempDir() + "/model.mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+
+  auto loaded = MaceDetector::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->config().window, config.window);
+  EXPECT_EQ(loaded->subspaces().size(), 2u);
+  EXPECT_EQ(loaded->subspaces()[0].bases, detector.subspaces()[0].bases);
+  EXPECT_EQ(loaded->ParameterCount(), detector.ParameterCount());
+
+  for (int s = 0; s < 2; ++s) {
+    auto original = detector.Score(s, services[s].test);
+    auto restored = loaded->Score(s, services[s].test);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(original->size(), restored->size());
+    for (size_t t = 0; t < original->size(); ++t) {
+      EXPECT_NEAR((*original)[t], (*restored)[t], 1e-9) << "step " << t;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedDetectorScoresUnseenServices) {
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(TinyWorkload()).ok());
+  const std::string path = ::testing::TempDir() + "/model2.mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+
+  auto loaded = MaceDetector::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  const auto services = TinyWorkload();
+  auto scores = loaded->ScoreUnseen(services[1]);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), services[1].test.length());
+}
+
+TEST(SerializationTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.mace";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("not a model\n", f);
+    fclose(f);
+  }
+  auto loaded = MaceDetector::Load(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileIsIoError) {
+  auto loaded = MaceDetector::Load("/no/such/model.mace");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, TruncatedFileDetected) {
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(TinyWorkload()).ok());
+  const std::string path = ::testing::TempDir() + "/trunc.mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+  // Truncate to the first 200 bytes.
+  {
+    std::string contents;
+    {
+      FILE* f = fopen(path.c_str(), "r");
+      char buffer[200];
+      const size_t n = fread(buffer, 1, sizeof(buffer), f);
+      contents.assign(buffer, n);
+      fclose(f);
+    }
+    FILE* f = fopen(path.c_str(), "w");
+    fwrite(contents.data(), 1, contents.size(), f);
+    fclose(f);
+  }
+  EXPECT_FALSE(MaceDetector::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mace::core

@@ -1,0 +1,75 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace mace::tensor {
+namespace {
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({4}), 4);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0}), 0);
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  EXPECT_EQ(RowMajorStrides({2, 3, 4}), (std::vector<Index>{12, 4, 1}));
+  EXPECT_EQ(RowMajorStrides({7}), (std::vector<Index>{1}));
+  EXPECT_TRUE(RowMajorStrides({}).empty());
+}
+
+TEST(ShapeTest, ShapeToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(BroadcastTest, EqualShapes) {
+  Shape out;
+  ASSERT_TRUE(BroadcastShapes({2, 3}, {2, 3}, &out));
+  EXPECT_EQ(out, (Shape{2, 3}));
+}
+
+TEST(BroadcastTest, ScalarBroadcastsToAnything) {
+  Shape out;
+  ASSERT_TRUE(BroadcastShapes({}, {4, 5}, &out));
+  EXPECT_EQ(out, (Shape{4, 5}));
+}
+
+TEST(BroadcastTest, OnesExpand) {
+  Shape out;
+  ASSERT_TRUE(BroadcastShapes({1, 3}, {2, 1}, &out));
+  EXPECT_EQ(out, (Shape{2, 3}));
+}
+
+TEST(BroadcastTest, MissingLeadingDims) {
+  Shape out;
+  ASSERT_TRUE(BroadcastShapes({3}, {2, 3}, &out));
+  EXPECT_EQ(out, (Shape{2, 3}));
+}
+
+TEST(BroadcastTest, IncompatibleFails) {
+  Shape out;
+  EXPECT_FALSE(BroadcastShapes({2, 3}, {2, 4}, &out));
+}
+
+TEST(BroadcastTest, MakeBroadcastStridesZeroesBroadcastDims) {
+  const Shape operand{1, 3};
+  const Shape out{2, 3};
+  EXPECT_EQ(MakeBroadcastStrides(operand, out),
+            (std::vector<Index>{0, 1}));
+  EXPECT_EQ(MakeBroadcastStrides({3}, out), (std::vector<Index>{0, 1}));
+}
+
+TEST(BroadcastTest, OffsetMapsCorrectly) {
+  // Operand [1, 3] broadcast over output [2, 3]: rows share the operand.
+  const Shape out{2, 3};
+  const auto out_strides = RowMajorStrides(out);
+  const auto op_strides = MakeBroadcastStrides({1, 3}, out);
+  EXPECT_EQ(BroadcastOffset(0, out_strides, op_strides, out), 0);
+  EXPECT_EQ(BroadcastOffset(2, out_strides, op_strides, out), 2);
+  EXPECT_EQ(BroadcastOffset(3, out_strides, op_strides, out), 0);
+  EXPECT_EQ(BroadcastOffset(5, out_strides, op_strides, out), 2);
+}
+
+}  // namespace
+}  // namespace mace::tensor

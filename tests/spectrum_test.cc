@@ -1,0 +1,74 @@
+#include "fft/spectrum.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mace::fft {
+namespace {
+
+TEST(TopKTest, PicksLargest) {
+  const std::vector<double> amps = {9.0, 1.0, 5.0, 7.0, 3.0};
+  EXPECT_EQ(TopKIndices(amps, 2, /*skip_dc=*/false),
+            (std::vector<int>{0, 3}));
+}
+
+TEST(TopKTest, SkipDcExcludesBinZero) {
+  const std::vector<double> amps = {100.0, 1.0, 5.0, 7.0};
+  EXPECT_EQ(TopKIndices(amps, 2, /*skip_dc=*/true),
+            (std::vector<int>{3, 2}));
+}
+
+TEST(TopKTest, KLargerThanSizeReturnsAll) {
+  const std::vector<double> amps = {1.0, 2.0};
+  EXPECT_EQ(TopKIndices(amps, 10, false).size(), 2u);
+}
+
+TEST(TopKTest, StableTieBreakPrefersLowerIndex) {
+  const std::vector<double> amps = {0.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(TopKIndices(amps, 2, true), (std::vector<int>{1, 2}));
+}
+
+TEST(NormalizeTest, SumsToOne) {
+  const std::vector<double> q = NormalizeSpectrum({1.0, 3.0, 6.0});
+  EXPECT_NEAR(q[0] + q[1] + q[2], 1.0, 1e-12);
+  EXPECT_NEAR(q[2], 0.6, 1e-12);
+}
+
+TEST(NormalizeTest, AllZeroBecomesUniform) {
+  const std::vector<double> q = NormalizeSpectrum({0.0, 0.0, 0.0, 0.0});
+  for (double v : q) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(SubsetKlTest, FullSubsetHasZeroError) {
+  const std::vector<double> q = NormalizeSpectrum({1, 2, 3});
+  EXPECT_NEAR(SubsetKlError(q, {0, 1, 2}), 0.0, 1e-12);
+}
+
+TEST(SubsetKlTest, MatchesClosedForm) {
+  // KL(q_bar | q) = -log(sum of kept mass) — Eq. 11 of the paper.
+  const std::vector<double> q = NormalizeSpectrum({1, 2, 3, 4});
+  const double kept = q[2] + q[3];
+  EXPECT_NEAR(SubsetKlError(q, {2, 3}), -std::log(kept), 1e-12);
+}
+
+TEST(SubsetKlTest, SmallerMassMeansLargerError) {
+  const std::vector<double> q = NormalizeSpectrum({10, 5, 1, 1});
+  EXPECT_LT(SubsetKlError(q, {0, 1}), SubsetKlError(q, {2, 3}));
+}
+
+TEST(MomentsTest, PooledMeanAndVariance) {
+  const std::vector<std::vector<double>> spectra = {{1.0, 3.0}, {5.0, 7.0}};
+  const AmplitudeMoments m = PooledAmplitudeMoments(spectra);
+  EXPECT_DOUBLE_EQ(m.mean, 4.0);
+  EXPECT_DOUBLE_EQ(m.variance, 5.0);
+}
+
+TEST(MomentsTest, EmptyInputIsZero) {
+  const AmplitudeMoments m = PooledAmplitudeMoments({});
+  EXPECT_DOUBLE_EQ(m.mean, 0.0);
+  EXPECT_DOUBLE_EQ(m.variance, 0.0);
+}
+
+}  // namespace
+}  // namespace mace::fft

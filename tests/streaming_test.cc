@@ -1,0 +1,152 @@
+#include "core/streaming.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/generator.h"
+
+namespace mace::core {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(3 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 200, 320, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+MaceDetector Fitted() {
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector detector(config);
+  MACE_CHECK_OK(detector.Fit(TinyWorkload()));
+  return detector;
+}
+
+TEST(StreamingScorerTest, CreateValidatesInputs) {
+  EXPECT_FALSE(StreamingScorer::Create(nullptr, 0).ok());
+  MaceConfig config;
+  MaceDetector unfitted(config);
+  EXPECT_FALSE(StreamingScorer::Create(&unfitted, 0).ok());
+  MaceDetector detector = Fitted();
+  EXPECT_FALSE(StreamingScorer::Create(&detector, 5).ok());
+  EXPECT_TRUE(StreamingScorer::Create(&detector, 0).ok());
+}
+
+TEST(StreamingScorerTest, EmitsWithWindowLatency) {
+  MaceDetector detector = Fitted();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  const auto services = TinyWorkload();
+  const ts::TimeSeries& test = services[0].test;
+  const int window = detector.config().window;
+
+  size_t emitted = 0;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = scorer->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    if (t + 1 < static_cast<size_t>(window)) {
+      EXPECT_TRUE(out->empty()) << "premature emission at step " << t;
+    }
+    emitted += out->size();
+    // Latency property: emitted steps always trail input by >= window - 1.
+    EXPECT_LE(emitted + window - 1, t + 1 + window);
+  }
+  const auto tail = scorer->Finish();
+  emitted += tail.size();
+  EXPECT_EQ(emitted, test.length());
+}
+
+TEST(StreamingScorerTest, MatchesBatchScoringExactly) {
+  MaceDetector detector = Fitted();
+  const auto services = TinyWorkload();
+  for (int s = 0; s < 2; ++s) {
+    const ts::TimeSeries& test = services[static_cast<size_t>(s)].test;
+    auto batch = detector.Score(s, test);
+    ASSERT_TRUE(batch.ok());
+
+    auto scorer = StreamingScorer::Create(&detector, s);
+    ASSERT_TRUE(scorer.ok());
+    std::vector<double> streamed;
+    for (size_t t = 0; t < test.length(); ++t) {
+      auto out = scorer->Push(test.values()[t]);
+      ASSERT_TRUE(out.ok());
+      streamed.insert(streamed.end(), out->begin(), out->end());
+    }
+    const auto tail = scorer->Finish();
+    streamed.insert(streamed.end(), tail.begin(), tail.end());
+
+    ASSERT_EQ(streamed.size(), batch->size());
+    for (size_t t = 0; t < streamed.size(); ++t) {
+      EXPECT_NEAR(streamed[t], (*batch)[t], 1e-9) << "step " << t;
+    }
+  }
+}
+
+TEST(StreamingScorerTest, ShortStreamYieldsNothing) {
+  MaceDetector detector = Fitted();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  for (int t = 0; t < detector.config().window - 1; ++t) {
+    auto out = scorer->Push({0.0, 0.0});
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out->empty());
+  }
+  EXPECT_TRUE(scorer->Finish().empty());
+}
+
+TEST(StreamingScorerTest, RejectsWrongFeatureCount) {
+  MaceDetector detector = Fitted();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  EXPECT_FALSE(scorer->Push({1.0}).ok());
+  EXPECT_FALSE(scorer->Push({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(StreamingScorerTest, AnomaliesScoreHighInStream) {
+  MaceDetector detector = Fitted();
+  const auto services = TinyWorkload();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  std::vector<double> streamed;
+  const ts::TimeSeries& test = services[0].test;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = scorer->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    streamed.insert(streamed.end(), out->begin(), out->end());
+  }
+  const auto tail = scorer->Finish();
+  streamed.insert(streamed.end(), tail.begin(), tail.end());
+  double normal = 0.0, anomalous = 0.0;
+  int nc = 0, ac = 0;
+  for (size_t t = 0; t < streamed.size(); ++t) {
+    if (test.is_anomaly(t)) {
+      anomalous += streamed[t];
+      ++ac;
+    } else {
+      normal += streamed[t];
+      ++nc;
+    }
+  }
+  ASSERT_GT(ac, 0);
+  EXPECT_GT(anomalous / ac, normal / nc);
+}
+
+}  // namespace
+}  // namespace mace::core

@@ -1,0 +1,119 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mace::tensor {
+namespace {
+
+TEST(TensorTest, DefaultUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, ZerosOnesFull) {
+  Tensor z = Tensor::Zeros({2, 2});
+  for (double v : z.data()) EXPECT_EQ(v, 0.0);
+  Tensor o = Tensor::Ones({3});
+  for (double v : o.data()) EXPECT_EQ(v, 1.0);
+  Tensor f = Tensor::Full({2}, 7.5);
+  EXPECT_EQ(f.data()[1], 7.5);
+}
+
+TEST(TensorTest, ScalarItem) {
+  Tensor s = Tensor::Scalar(3.25);
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+  EXPECT_EQ(s.item(), 3.25);
+}
+
+TEST(TensorTest, FromVectorAndAccess) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at({0, 0}), 1.0);
+  EXPECT_EQ(t.at({1, 2}), 6.0);
+  t.set({1, 0}, -9.0);
+  EXPECT_EQ(t.at({1, 0}), -9.0);
+}
+
+TEST(TensorTest, OneDimFactory) {
+  Tensor t = Tensor::FromVector({1.0, 2.0});
+  EXPECT_EQ(t.shape(), (Shape{2}));
+}
+
+TEST(TensorTest, DimNegativeAxis) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(TensorTest, RandomFactoriesRespectBounds) {
+  Rng rng(3);
+  Tensor u = Tensor::RandomUniform({100}, &rng, -1.0, 1.0);
+  for (double v : u.data()) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  Tensor g = Tensor::RandomGaussian({1000}, &rng, 5.0, 0.1);
+  double sum = 0.0;
+  for (double v : g.data()) sum += v;
+  EXPECT_NEAR(sum / 1000.0, 5.0, 0.05);
+}
+
+TEST(TensorTest, DetachDropsGraphAndGrad) {
+  Tensor a = Tensor::Ones({2}, /*requires_grad=*/true);
+  Tensor b = MulScalar(a, 3.0);
+  Tensor d = b.Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_EQ(d.data(), b.data());
+}
+
+TEST(TensorTest, BackwardSimpleChain) {
+  // f(x) = sum(3 * x), df/dx_i = 3.
+  Tensor x = Tensor::FromVector({1.0, 2.0, 3.0}, {3}, true);
+  Tensor loss = Sum(MulScalar(x, 3.0));
+  loss.Backward();
+  for (double g : x.grad()) EXPECT_DOUBLE_EQ(g, 3.0);
+}
+
+TEST(TensorTest, BackwardAccumulatesThroughSharedNodes) {
+  // f(x) = sum(x * x) via sharing the same tensor on both sides: df/dx = 2x.
+  Tensor x = Tensor::FromVector({2.0, -3.0}, {2}, true);
+  Tensor loss = Sum(Mul(x, x));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 4.0);
+  EXPECT_DOUBLE_EQ(x.grad()[1], -6.0);
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({1.0}, {1}, true);
+  Sum(Mul(x, x)).Backward();
+  EXPECT_NE(x.grad()[0], 0.0);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwardCalls) {
+  Tensor x = Tensor::FromVector({1.0}, {1}, true);
+  Sum(x).Backward();
+  Sum(x).Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 2.0);
+}
+
+TEST(TensorTest, NoGradLeafStaysGradless) {
+  Tensor x = Tensor::FromVector({1.0, 2.0}, {2}, false);
+  Tensor y = Tensor::FromVector({3.0, 4.0}, {2}, true);
+  Tensor loss = Sum(Mul(x, y));
+  loss.Backward();
+  EXPECT_TRUE(x.grad().empty());
+  EXPECT_DOUBLE_EQ(y.grad()[0], 1.0);
+  EXPECT_DOUBLE_EQ(y.grad()[1], 2.0);
+}
+
+TEST(TensorTest, ToStringShowsShape) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_NE(t.ToString().find("[2, 2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mace::tensor

@@ -1,0 +1,140 @@
+#include "ts/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include "ts/scaler.h"
+
+namespace mace::ts {
+namespace {
+
+TimeSeries MakeSeries(size_t length, int features, double start = 0.0) {
+  std::vector<std::vector<double>> values(length,
+                                          std::vector<double>(features));
+  for (size_t t = 0; t < length; ++t) {
+    for (int f = 0; f < features; ++f) {
+      values[t][f] = start + static_cast<double>(t) + 100.0 * f;
+    }
+  }
+  return TimeSeries(std::move(values));
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries series = MakeSeries(10, 3);
+  EXPECT_EQ(series.length(), 10u);
+  EXPECT_EQ(series.num_features(), 3);
+  EXPECT_FALSE(series.has_labels());
+  EXPECT_DOUBLE_EQ(series.value(4, 2), 204.0);
+  EXPECT_DOUBLE_EQ(series.AnomalyRatio(), 0.0);
+}
+
+TEST(TimeSeriesTest, LabelsAndAnomalyRatio) {
+  TimeSeries series({{1.0}, {2.0}, {3.0}, {4.0}}, {0, 1, 1, 0});
+  EXPECT_TRUE(series.has_labels());
+  EXPECT_TRUE(series.is_anomaly(1));
+  EXPECT_FALSE(series.is_anomaly(3));
+  EXPECT_DOUBLE_EQ(series.AnomalyRatio(), 0.5);
+}
+
+TEST(TimeSeriesTest, FeatureExtraction) {
+  TimeSeries series = MakeSeries(5, 2);
+  const std::vector<double> f1 = series.Feature(1);
+  EXPECT_EQ(f1.size(), 5u);
+  EXPECT_DOUBLE_EQ(f1[3], 103.0);
+}
+
+TEST(TimeSeriesTest, SliceKeepsLabels) {
+  TimeSeries series({{1.0}, {2.0}, {3.0}, {4.0}}, {0, 1, 1, 0});
+  TimeSeries sliced = series.Slice(1, 2);
+  EXPECT_EQ(sliced.length(), 2u);
+  EXPECT_TRUE(sliced.is_anomaly(0));
+  EXPECT_TRUE(sliced.is_anomaly(1));
+  EXPECT_DOUBLE_EQ(sliced.value(0, 0), 2.0);
+}
+
+TEST(WindowTest, WindowToTensorIsChannelsFirst) {
+  TimeSeries series = MakeSeries(6, 2);
+  tensor::Tensor w = WindowToTensor(series, 1, 3);
+  EXPECT_EQ(w.shape(), (tensor::Shape{2, 3}));
+  EXPECT_DOUBLE_EQ(w.at({0, 0}), 1.0);   // feature 0, step 1
+  EXPECT_DOUBLE_EQ(w.at({1, 2}), 103.0); // feature 1, step 3
+}
+
+TEST(WindowTest, MakeWindowsCountAndStarts) {
+  TimeSeries series = MakeSeries(20, 1);
+  auto batch = MakeWindows(series, 8, 4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->windows.size(), 4u);  // starts 0, 4, 8, 12
+  EXPECT_EQ(batch->starts, (std::vector<size_t>{0, 4, 8, 12}));
+}
+
+TEST(WindowTest, MakeWindowsFlagsAnomalousWindows) {
+  std::vector<std::vector<double>> values(12, {0.0});
+  std::vector<uint8_t> labels(12, 0);
+  labels[5] = 1;
+  TimeSeries series(std::move(values), std::move(labels));
+  auto batch = MakeWindows(series, 4, 4);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->any_anomaly, (std::vector<uint8_t>{0, 1, 0}));
+}
+
+TEST(WindowTest, ErrorsOnShortSeriesAndBadArgs) {
+  TimeSeries series = MakeSeries(5, 1);
+  EXPECT_FALSE(MakeWindows(series, 10, 1).ok());
+  EXPECT_FALSE(MakeWindows(series, 0, 1).ok());
+  EXPECT_FALSE(MakeWindows(series, 4, 0).ok());
+}
+
+TEST(ScalerTest, StandardScalerZeroMeanUnitVariance) {
+  TimeSeries series = MakeSeries(100, 2);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  TimeSeries scaled = scaler.Transform(series);
+  for (int f = 0; f < 2; ++f) {
+    double sum = 0.0, sq = 0.0;
+    for (size_t t = 0; t < scaled.length(); ++t) {
+      sum += scaled.value(t, f);
+      sq += scaled.value(t, f) * scaled.value(t, f);
+    }
+    EXPECT_NEAR(sum / 100.0, 0.0, 1e-9);
+    EXPECT_NEAR(sq / 100.0, 1.0, 1e-9);
+  }
+}
+
+TEST(ScalerTest, InverseTransformRoundTrips) {
+  TimeSeries series = MakeSeries(50, 2);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  TimeSeries round = scaler.InverseTransform(scaler.Transform(series));
+  for (size_t t = 0; t < series.length(); ++t) {
+    EXPECT_NEAR(round.value(t, 0), series.value(t, 0), 1e-9);
+  }
+}
+
+TEST(ScalerTest, ConstantFeatureDoesNotBlowUp) {
+  TimeSeries series({{5.0}, {5.0}, {5.0}});
+  StandardScaler scaler;
+  scaler.Fit(series);
+  TimeSeries scaled = scaler.Transform(series);
+  for (size_t t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(scaled.value(t, 0), 0.0);
+  }
+}
+
+TEST(ScalerTest, MinMaxMapsToUnitInterval) {
+  TimeSeries series = MakeSeries(10, 1);
+  MinMaxScaler scaler;
+  scaler.Fit(series);
+  TimeSeries scaled = scaler.Transform(series);
+  EXPECT_DOUBLE_EQ(scaled.value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scaled.value(9, 0), 1.0);
+}
+
+TEST(ScalerTest, TransformPreservesLabels) {
+  TimeSeries series({{1.0}, {2.0}}, {1, 0});
+  StandardScaler scaler;
+  scaler.Fit(series);
+  EXPECT_TRUE(scaler.Transform(series).is_anomaly(0));
+}
+
+}  // namespace
+}  // namespace mace::ts
