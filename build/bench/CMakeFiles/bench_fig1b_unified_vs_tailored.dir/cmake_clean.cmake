@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_unified_vs_tailored.dir/bench_fig1b_unified_vs_tailored.cc.o"
+  "CMakeFiles/bench_fig1b_unified_vs_tailored.dir/bench_fig1b_unified_vs_tailored.cc.o.d"
+  "bench_fig1b_unified_vs_tailored"
+  "bench_fig1b_unified_vs_tailored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_unified_vs_tailored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

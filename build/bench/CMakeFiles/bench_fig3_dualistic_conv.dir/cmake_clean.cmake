@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dualistic_conv.dir/bench_fig3_dualistic_conv.cc.o"
+  "CMakeFiles/bench_fig3_dualistic_conv.dir/bench_fig3_dualistic_conv.cc.o.d"
+  "bench_fig3_dualistic_conv"
+  "bench_fig3_dualistic_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dualistic_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

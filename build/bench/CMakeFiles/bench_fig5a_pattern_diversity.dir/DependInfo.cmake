@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5a_pattern_diversity.cc" "bench/CMakeFiles/bench_fig5a_pattern_diversity.dir/bench_fig5a_pattern_diversity.cc.o" "gcc" "bench/CMakeFiles/bench_fig5a_pattern_diversity.dir/bench_fig5a_pattern_diversity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mace_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/mace_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mace_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/mace_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

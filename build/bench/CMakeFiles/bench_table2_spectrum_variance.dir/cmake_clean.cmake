@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_spectrum_variance.dir/bench_table2_spectrum_variance.cc.o"
+  "CMakeFiles/bench_table2_spectrum_variance.dir/bench_table2_spectrum_variance.cc.o.d"
+  "bench_table2_spectrum_variance"
+  "bench_table2_spectrum_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_spectrum_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_amplitude_expectation.dir/bench_table3_amplitude_expectation.cc.o"
+  "CMakeFiles/bench_table3_amplitude_expectation.dir/bench_table3_amplitude_expectation.cc.o.d"
+  "bench_table3_amplitude_expectation"
+  "bench_table3_amplitude_expectation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_amplitude_expectation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_unified.dir/bench_table5_unified.cc.o"
+  "CMakeFiles/bench_table5_unified.dir/bench_table5_unified.cc.o.d"
+  "bench_table5_unified"
+  "bench_table5_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_tailored.dir/bench_table6_tailored.cc.o"
+  "CMakeFiles/bench_table6_tailored.dir/bench_table6_tailored.cc.o.d"
+  "bench_table6_tailored"
+  "bench_table6_tailored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_tailored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

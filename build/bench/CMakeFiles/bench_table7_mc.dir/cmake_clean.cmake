@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_mc.dir/bench_table7_mc.cc.o"
+  "CMakeFiles/bench_table7_mc.dir/bench_table7_mc.cc.o.d"
+  "bench_table7_mc"
+  "bench_table7_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2_kl_gap.dir/bench_theorem2_kl_gap.cc.o"
+  "CMakeFiles/bench_theorem2_kl_gap.dir/bench_theorem2_kl_gap.cc.o.d"
+  "bench_theorem2_kl_gap"
+  "bench_theorem2_kl_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2_kl_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

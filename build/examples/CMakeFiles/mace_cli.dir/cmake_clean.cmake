@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_cli.dir/mace_cli.cpp.o"
+  "CMakeFiles/mace_cli.dir/mace_cli.cpp.o.d"
+  "mace_cli"
+  "mace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_anomaly_smap.dir/point_anomaly_smap.cpp.o"
+  "CMakeFiles/point_anomaly_smap.dir/point_anomaly_smap.cpp.o.d"
+  "point_anomaly_smap"
+  "point_anomaly_smap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_anomaly_smap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_unseen_services.dir/transfer_unseen_services.cpp.o"
+  "CMakeFiles/transfer_unseen_services.dir/transfer_unseen_services.cpp.o.d"
+  "transfer_unseen_services"
+  "transfer_unseen_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_unseen_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

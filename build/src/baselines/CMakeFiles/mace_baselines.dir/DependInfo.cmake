@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/attention_autoencoder.cc" "src/baselines/CMakeFiles/mace_baselines.dir/attention_autoencoder.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/attention_autoencoder.cc.o.d"
+  "/root/repo/src/baselines/conv_autoencoder.cc" "src/baselines/CMakeFiles/mace_baselines.dir/conv_autoencoder.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/conv_autoencoder.cc.o.d"
+  "/root/repo/src/baselines/dense_autoencoder.cc" "src/baselines/CMakeFiles/mace_baselines.dir/dense_autoencoder.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/dense_autoencoder.cc.o.d"
+  "/root/repo/src/baselines/lstm_autoencoder.cc" "src/baselines/CMakeFiles/mace_baselines.dir/lstm_autoencoder.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/lstm_autoencoder.cc.o.d"
+  "/root/repo/src/baselines/reconstruction_detector.cc" "src/baselines/CMakeFiles/mace_baselines.dir/reconstruction_detector.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/reconstruction_detector.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/mace_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/signal_reconstructor.cc" "src/baselines/CMakeFiles/mace_baselines.dir/signal_reconstructor.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/signal_reconstructor.cc.o.d"
+  "/root/repo/src/baselines/vae.cc" "src/baselines/CMakeFiles/mace_baselines.dir/vae.cc.o" "gcc" "src/baselines/CMakeFiles/mace_baselines.dir/vae.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/mace_ts.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/mace_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_baselines.dir/attention_autoencoder.cc.o"
+  "CMakeFiles/mace_baselines.dir/attention_autoencoder.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/conv_autoencoder.cc.o"
+  "CMakeFiles/mace_baselines.dir/conv_autoencoder.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/dense_autoencoder.cc.o"
+  "CMakeFiles/mace_baselines.dir/dense_autoencoder.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/lstm_autoencoder.cc.o"
+  "CMakeFiles/mace_baselines.dir/lstm_autoencoder.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/reconstruction_detector.cc.o"
+  "CMakeFiles/mace_baselines.dir/reconstruction_detector.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/registry.cc.o"
+  "CMakeFiles/mace_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/signal_reconstructor.cc.o"
+  "CMakeFiles/mace_baselines.dir/signal_reconstructor.cc.o.d"
+  "CMakeFiles/mace_baselines.dir/vae.cc.o"
+  "CMakeFiles/mace_baselines.dir/vae.cc.o.d"
+  "libmace_baselines.a"
+  "libmace_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

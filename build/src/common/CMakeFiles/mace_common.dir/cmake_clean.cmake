@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_common.dir/csv.cc.o"
+  "CMakeFiles/mace_common.dir/csv.cc.o.d"
+  "CMakeFiles/mace_common.dir/logging.cc.o"
+  "CMakeFiles/mace_common.dir/logging.cc.o.d"
+  "CMakeFiles/mace_common.dir/math_utils.cc.o"
+  "CMakeFiles/mace_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/mace_common.dir/rng.cc.o"
+  "CMakeFiles/mace_common.dir/rng.cc.o.d"
+  "CMakeFiles/mace_common.dir/status.cc.o"
+  "CMakeFiles/mace_common.dir/status.cc.o.d"
+  "libmace_common.a"
+  "libmace_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

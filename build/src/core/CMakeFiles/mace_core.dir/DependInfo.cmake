@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cc" "src/core/CMakeFiles/mace_core.dir/detector.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/detector.cc.o.d"
+  "/root/repo/src/core/dualistic_conv.cc" "src/core/CMakeFiles/mace_core.dir/dualistic_conv.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/dualistic_conv.cc.o.d"
+  "/root/repo/src/core/mace_detector.cc" "src/core/CMakeFiles/mace_core.dir/mace_detector.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/mace_detector.cc.o.d"
+  "/root/repo/src/core/mace_model.cc" "src/core/CMakeFiles/mace_core.dir/mace_model.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/mace_model.cc.o.d"
+  "/root/repo/src/core/mace_serialization.cc" "src/core/CMakeFiles/mace_core.dir/mace_serialization.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/mace_serialization.cc.o.d"
+  "/root/repo/src/core/pattern_extractor.cc" "src/core/CMakeFiles/mace_core.dir/pattern_extractor.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/pattern_extractor.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/mace_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/mace_core.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mace_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/mace_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mace_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ts/CMakeFiles/mace_ts.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_core.dir/detector.cc.o"
+  "CMakeFiles/mace_core.dir/detector.cc.o.d"
+  "CMakeFiles/mace_core.dir/dualistic_conv.cc.o"
+  "CMakeFiles/mace_core.dir/dualistic_conv.cc.o.d"
+  "CMakeFiles/mace_core.dir/mace_detector.cc.o"
+  "CMakeFiles/mace_core.dir/mace_detector.cc.o.d"
+  "CMakeFiles/mace_core.dir/mace_model.cc.o"
+  "CMakeFiles/mace_core.dir/mace_model.cc.o.d"
+  "CMakeFiles/mace_core.dir/mace_serialization.cc.o"
+  "CMakeFiles/mace_core.dir/mace_serialization.cc.o.d"
+  "CMakeFiles/mace_core.dir/pattern_extractor.cc.o"
+  "CMakeFiles/mace_core.dir/pattern_extractor.cc.o.d"
+  "CMakeFiles/mace_core.dir/streaming.cc.o"
+  "CMakeFiles/mace_core.dir/streaming.cc.o.d"
+  "libmace_core.a"
+  "libmace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

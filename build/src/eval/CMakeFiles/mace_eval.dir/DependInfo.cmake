@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/mace_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/mace_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/pca.cc" "src/eval/CMakeFiles/mace_eval.dir/pca.cc.o" "gcc" "src/eval/CMakeFiles/mace_eval.dir/pca.cc.o.d"
+  "/root/repo/src/eval/profiler.cc" "src/eval/CMakeFiles/mace_eval.dir/profiler.cc.o" "gcc" "src/eval/CMakeFiles/mace_eval.dir/profiler.cc.o.d"
+  "/root/repo/src/eval/roc.cc" "src/eval/CMakeFiles/mace_eval.dir/roc.cc.o" "gcc" "src/eval/CMakeFiles/mace_eval.dir/roc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mace_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

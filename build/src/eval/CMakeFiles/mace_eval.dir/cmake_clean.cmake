@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_eval.dir/metrics.cc.o"
+  "CMakeFiles/mace_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/mace_eval.dir/pca.cc.o"
+  "CMakeFiles/mace_eval.dir/pca.cc.o.d"
+  "CMakeFiles/mace_eval.dir/profiler.cc.o"
+  "CMakeFiles/mace_eval.dir/profiler.cc.o.d"
+  "CMakeFiles/mace_eval.dir/roc.cc.o"
+  "CMakeFiles/mace_eval.dir/roc.cc.o.d"
+  "libmace_eval.a"
+  "libmace_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

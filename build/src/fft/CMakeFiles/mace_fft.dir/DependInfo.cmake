@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/context_aware_dft.cc" "src/fft/CMakeFiles/mace_fft.dir/context_aware_dft.cc.o" "gcc" "src/fft/CMakeFiles/mace_fft.dir/context_aware_dft.cc.o.d"
+  "/root/repo/src/fft/fft.cc" "src/fft/CMakeFiles/mace_fft.dir/fft.cc.o" "gcc" "src/fft/CMakeFiles/mace_fft.dir/fft.cc.o.d"
+  "/root/repo/src/fft/spectrum.cc" "src/fft/CMakeFiles/mace_fft.dir/spectrum.cc.o" "gcc" "src/fft/CMakeFiles/mace_fft.dir/spectrum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mace_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_fft.dir/context_aware_dft.cc.o"
+  "CMakeFiles/mace_fft.dir/context_aware_dft.cc.o.d"
+  "CMakeFiles/mace_fft.dir/fft.cc.o"
+  "CMakeFiles/mace_fft.dir/fft.cc.o.d"
+  "CMakeFiles/mace_fft.dir/spectrum.cc.o"
+  "CMakeFiles/mace_fft.dir/spectrum.cc.o.d"
+  "libmace_fft.a"
+  "libmace_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

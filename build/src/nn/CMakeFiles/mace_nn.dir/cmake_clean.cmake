@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_nn.dir/layers.cc.o"
+  "CMakeFiles/mace_nn.dir/layers.cc.o.d"
+  "CMakeFiles/mace_nn.dir/optimizer.cc.o"
+  "CMakeFiles/mace_nn.dir/optimizer.cc.o.d"
+  "libmace_nn.a"
+  "libmace_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

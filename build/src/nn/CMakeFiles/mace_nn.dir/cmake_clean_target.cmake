@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmace_nn.a"
+)

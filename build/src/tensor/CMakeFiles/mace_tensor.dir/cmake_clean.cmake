@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_tensor.dir/ops.cc.o"
+  "CMakeFiles/mace_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/mace_tensor.dir/shape.cc.o"
+  "CMakeFiles/mace_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/mace_tensor.dir/tensor.cc.o"
+  "CMakeFiles/mace_tensor.dir/tensor.cc.o.d"
+  "libmace_tensor.a"
+  "libmace_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ts/generator.cc" "src/ts/CMakeFiles/mace_ts.dir/generator.cc.o" "gcc" "src/ts/CMakeFiles/mace_ts.dir/generator.cc.o.d"
+  "/root/repo/src/ts/io.cc" "src/ts/CMakeFiles/mace_ts.dir/io.cc.o" "gcc" "src/ts/CMakeFiles/mace_ts.dir/io.cc.o.d"
+  "/root/repo/src/ts/profiles.cc" "src/ts/CMakeFiles/mace_ts.dir/profiles.cc.o" "gcc" "src/ts/CMakeFiles/mace_ts.dir/profiles.cc.o.d"
+  "/root/repo/src/ts/scaler.cc" "src/ts/CMakeFiles/mace_ts.dir/scaler.cc.o" "gcc" "src/ts/CMakeFiles/mace_ts.dir/scaler.cc.o.d"
+  "/root/repo/src/ts/time_series.cc" "src/ts/CMakeFiles/mace_ts.dir/time_series.cc.o" "gcc" "src/ts/CMakeFiles/mace_ts.dir/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mace_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mace_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

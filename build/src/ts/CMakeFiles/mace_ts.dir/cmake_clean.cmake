@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_ts.dir/generator.cc.o"
+  "CMakeFiles/mace_ts.dir/generator.cc.o.d"
+  "CMakeFiles/mace_ts.dir/io.cc.o"
+  "CMakeFiles/mace_ts.dir/io.cc.o.d"
+  "CMakeFiles/mace_ts.dir/profiles.cc.o"
+  "CMakeFiles/mace_ts.dir/profiles.cc.o.d"
+  "CMakeFiles/mace_ts.dir/scaler.cc.o"
+  "CMakeFiles/mace_ts.dir/scaler.cc.o.d"
+  "CMakeFiles/mace_ts.dir/time_series.cc.o"
+  "CMakeFiles/mace_ts.dir/time_series.cc.o.d"
+  "libmace_ts.a"
+  "libmace_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

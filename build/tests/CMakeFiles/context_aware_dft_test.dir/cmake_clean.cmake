@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/context_aware_dft_test.dir/context_aware_dft_test.cc.o"
+  "CMakeFiles/context_aware_dft_test.dir/context_aware_dft_test.cc.o.d"
+  "context_aware_dft_test"
+  "context_aware_dft_test.pdb"
+  "context_aware_dft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/context_aware_dft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

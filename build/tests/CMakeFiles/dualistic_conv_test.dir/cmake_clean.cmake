@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualistic_conv_test.dir/dualistic_conv_test.cc.o"
+  "CMakeFiles/dualistic_conv_test.dir/dualistic_conv_test.cc.o.d"
+  "dualistic_conv_test"
+  "dualistic_conv_test.pdb"
+  "dualistic_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualistic_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

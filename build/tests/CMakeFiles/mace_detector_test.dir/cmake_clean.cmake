@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_detector_test.dir/mace_detector_test.cc.o"
+  "CMakeFiles/mace_detector_test.dir/mace_detector_test.cc.o.d"
+  "mace_detector_test"
+  "mace_detector_test.pdb"
+  "mace_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mace_model_test.dir/mace_model_test.cc.o"
+  "CMakeFiles/mace_model_test.dir/mace_model_test.cc.o.d"
+  "mace_model_test"
+  "mace_model_test.pdb"
+  "mace_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mace_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

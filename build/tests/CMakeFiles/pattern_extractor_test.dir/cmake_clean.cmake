@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_extractor_test.dir/pattern_extractor_test.cc.o"
+  "CMakeFiles/pattern_extractor_test.dir/pattern_extractor_test.cc.o.d"
+  "pattern_extractor_test"
+  "pattern_extractor_test.pdb"
+  "pattern_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
