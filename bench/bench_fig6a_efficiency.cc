@@ -51,5 +51,8 @@ int main() {
       "\npaper: MACE's training time is competitive with the simplest "
       "methods (VAE/ProS) and ~4x faster than heavy baselines; the "
       "recurrent family is the slowest\n");
+  // Per-stage attribution of MACE's share of the time above; set
+  // MACE_METRICS_JSON=<path> to also get the raw histograms as JSON.
+  benchutil::PrintStageTimingSummary();
   return 0;
 }

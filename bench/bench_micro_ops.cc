@@ -10,6 +10,7 @@
 #include "fft/context_aware_dft.h"
 #include "fft/fft.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/tensor.h"
 
 namespace {
@@ -140,6 +141,41 @@ void BM_MaceInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaceInference);
+
+// -- Observability overhead --------------------------------------------
+// The obs instruments sit on the scoring hot path; these benches put a
+// number on the per-call cost so BM_MaceInference regressions can be
+// separated from instrumentation drift.
+
+void BM_ObsCounterIncrement(benchmark::State& state) {
+  obs::Counter* counter = obs::Metrics().GetCounter(
+      "bench_obs_counter_total", "microbench counter");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+}
+BENCHMARK(BM_ObsCounterIncrement);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram = obs::Metrics().GetHistogram(
+      "bench_obs_histogram_seconds", "microbench histogram");
+  double v = 1e-6;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v = v < 1.0 ? v * 1.01 : 1e-6;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsScopedSpan(benchmark::State& state) {
+  obs::Histogram* histogram = obs::Metrics().GetHistogram(
+      "bench_obs_span_seconds", "microbench span latency");
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench_span", histogram);
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_ObsScopedSpan);
 
 }  // namespace
 

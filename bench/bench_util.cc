@@ -2,7 +2,38 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+
 namespace mace::benchutil {
+
+Status WriteStageTimingJson(const std::string& path) {
+  std::string json_path = path;
+  if (json_path.size() < 5 ||
+      json_path.compare(json_path.size() - 5, 5, ".json") != 0) {
+    json_path += ".json";
+  }
+  return obs::WriteMetricsFile(json_path);
+}
+
+void PrintStageTimingSummary() {
+  for (const obs::FamilySnapshot& family : obs::Metrics().Collect()) {
+    if (family.name != "mace_stage_latency_seconds") continue;
+    for (const obs::InstrumentSnapshot& stage : family.instruments) {
+      if (stage.count == 0) continue;
+      std::string label = "?";
+      for (const auto& [key, value] : stage.labels) {
+        if (key == "stage") label = value;
+      }
+      std::fprintf(stderr,
+                   "[stage] %-22s n=%-8llu mean %8.1f us  total %.3f s\n",
+                   label.c_str(),
+                   static_cast<unsigned long long>(stage.count),
+                   1e6 * stage.sum / static_cast<double>(stage.count),
+                   stage.sum);
+    }
+  }
+}
 
 baselines::TrainOptions DefaultOptions() {
   baselines::TrainOptions options;

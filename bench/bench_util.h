@@ -48,6 +48,18 @@ Result<eval::PrMetrics> EvaluateUnseen(
     core::Detector* detector, const std::vector<ts::ServiceData>& test_group,
     std::vector<eval::PrMetrics>* per_service = nullptr);
 
+/// \brief Writes the obs metrics registry — including the
+/// `mace_stage_latency_seconds` histograms of all 4 pipeline stages — as
+/// JSON to `path`, so BENCH_*.json trajectories can attribute a
+/// regression to a specific stage. Every bench binary also honors the
+/// `MACE_METRICS_JSON` / `MACE_METRICS_PROM` env vars: when set, the
+/// registry is dumped there automatically at process exit.
+Status WriteStageTimingJson(const std::string& path);
+
+/// Prints per-stage mean/total latency of the 4-stage pipeline to stderr
+/// (one line per stage with a recorded sample).
+void PrintStageTimingSummary();
+
 /// Prints "| method | P R F1 | ... |" rows matching the paper's tables.
 class MetricsTable {
  public:

@@ -11,6 +11,14 @@
 //   mace_cli eval  --data <dir> --model <file> [--risk R]
 //       Restores a model and prints best-F1 / AUROC / POT metrics.
 //
+// Observability (train/score/eval):
+//   --metrics-out <file>   write all obs metrics after the run; Prometheus
+//                          text exposition, or JSON when the path ends in
+//                          .json. Also prints a summary table on stderr.
+//   --trace                enable detailed tracing (same as MACE_TRACE=1).
+//   --trace-out <file>     write collected spans as Chrome trace-viewer
+//                          JSON (implies --trace).
+//
 // Example (synthesize a workload first):
 //   mace_cli synth --data /tmp/demo --profile SMD --services 4
 //   mace_cli train --data /tmp/demo --model /tmp/demo/model.mace
@@ -20,6 +28,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 
 #include "common/csv.h"
@@ -27,6 +36,8 @@
 #include "core/mace_detector.h"
 #include "eval/metrics.h"
 #include "eval/roc.h"
+#include "obs/export.h"
+#include "obs/trace.h"
 #include "ts/io.h"
 #include "ts/profiles.h"
 
@@ -35,25 +46,50 @@ namespace {
 using namespace mace;
 namespace fs = std::filesystem;
 
-/// Minimal --key value flag parser; positional args are rejected.
+/// --key value flag parser with boolean "--flag" support; positional
+/// arguments, unknown syntax, and a trailing --key without its value are
+/// rejected with a message naming the offending argument.
 class Flags {
  public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+  Flags(int argc, char** argv, int first,
+        std::set<std::string> boolean_keys = {"trace"})
+      : boolean_keys_(std::move(boolean_keys)) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
-        std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
-        ok_ = false;
+        error_ = "unexpected positional argument '" +
+                 std::string(argv[i]) + "'";
         return;
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string key = argv[i] + 2;
+      if (key.empty()) {
+        error_ = "empty flag '--'";
+        return;
+      }
+      if (boolean_keys_.count(key) > 0) {
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "flag '--" + key + "' is missing its value";
+        return;
+      }
+      if (std::strncmp(argv[i + 1], "--", 2) == 0) {
+        error_ = "flag '--" + key + "' is missing its value (got '" +
+                 std::string(argv[i + 1]) + "')";
+        return;
+      }
+      values_[key] = argv[++i];
     }
-    ok_ = (argc - first) % 2 == 0;
   }
 
-  bool ok() const { return ok_; }
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
+  }
+  bool GetBool(const std::string& key) const {
+    return values_.count(key) > 0;
   }
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
@@ -65,9 +101,43 @@ class Flags {
   }
 
  private:
+  std::set<std::string> boolean_keys_;
   std::map<std::string, std::string> values_;
-  bool ok_ = true;
+  std::string error_;
 };
+
+/// Honors --metrics-out / --trace-out after a command ran: writes the
+/// metrics file (Prometheus or JSON by extension), dumps a human summary
+/// to stderr, and writes the Chrome trace when requested.
+int FinishObservability(const Flags& flags) {
+  const std::string metrics_out = flags.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    const Status status = obs::WriteMetricsFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "\n-- metrics (%s) --\n%s", metrics_out.c_str(),
+                 obs::FormatSummaryTable().c_str());
+  }
+  const std::string trace_out = flags.Get("trace-out", "");
+  if (!trace_out.empty()) {
+    const std::string trace = obs::TraceRecorder::Get().ExportChromeTrace();
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::fwrite(trace.data(), 1, trace.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 obs::TraceRecorder::Get().Events().size(),
+                 trace_out.c_str());
+  }
+  return 0;
+}
 
 Result<std::vector<ts::ServiceData>> LoadServices(const std::string& data) {
   std::vector<ts::ServiceData> services;
@@ -190,9 +260,16 @@ int Eval(const Flags& flags) {
 }
 
 void Usage() {
-  std::fprintf(stderr,
-               "usage: mace_cli <synth|train|score|eval> --data <dir> "
-               "[--model <file>] [--epochs N] [--out <dir>] ...\n");
+  std::fprintf(
+      stderr,
+      "usage: mace_cli <synth|train|score|eval> --data <dir>\n"
+      "  common:  [--model <file>] [--metrics-out <file>] [--trace]\n"
+      "           [--trace-out <file>]\n"
+      "  synth:   [--profile SMD|SMAP|MC|J-D1|J-D2] [--services N]\n"
+      "  train:   [--epochs N] [--gamma-t G] [--gamma-f G] [--bases K]\n"
+      "  score:   [--out <dir>]\n"
+      "  eval:    [--risk R]\n"
+      "Every --key flag (except --trace) takes exactly one value.\n");
 }
 
 }  // namespace
@@ -204,14 +281,32 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
-  if (!flags.ok() || flags.Get("data", "").empty()) {
+  if (!flags.ok()) {
+    std::fprintf(stderr, "argument error: %s\n", flags.error().c_str());
     Usage();
     return 2;
   }
-  if (command == "synth") return Synth(flags);
-  if (command == "train") return Train(flags);
-  if (command == "score") return Score(flags);
-  if (command == "eval") return Eval(flags);
-  Usage();
-  return 2;
+  if (flags.Get("data", "").empty()) {
+    std::fprintf(stderr, "argument error: --data is required\n");
+    Usage();
+    return 2;
+  }
+  if (flags.GetBool("trace") || !flags.Get("trace-out", "").empty()) {
+    obs::TraceRecorder::Get().SetDetailed(true);
+  }
+  int code = 2;
+  if (command == "synth") {
+    code = Synth(flags);
+  } else if (command == "train") {
+    code = Train(flags);
+  } else if (command == "score") {
+    code = Score(flags);
+  } else if (command == "eval") {
+    code = Eval(flags);
+  } else {
+    Usage();
+    return 2;
+  }
+  if (code == 0) code = FinishObservability(flags);
+  return code;
 }

@@ -10,7 +10,42 @@
 #include "common/math_utils.h"
 #include "core/streaming.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "ts/profiles.h"
+
+namespace {
+
+/// Compact live view of the obs registry for one streamed service: a line
+/// every kSnapshotEvery steps with throughput and per-stage mean latency.
+void PrintMetricsSnapshot(size_t step) {
+  using mace::obs::Metrics;
+  auto stage_mean_us = [](const char* stage) {
+    return Metrics()
+               .GetHistogram("mace_stage_latency_seconds", "",
+                             {{"stage", stage}})
+               ->Mean() *
+           1e6;
+  };
+  const double scores_per_sec =
+      Metrics()
+          .GetGauge("mace_stream_scores_per_second", "",
+                    {{"service", "0"}})
+          ->Value();
+  const uint64_t windows =
+      Metrics().GetCounter("mace_windows_scored_total", "",
+                           {{"service", "0"}})
+          ->Value();
+  std::printf(
+      "  [obs] step %-5zu windows %-4llu  %.0f scores/s  stage us: "
+      "amp %.0f dft %.0f char %.0f ae %.0f\n",
+      step, static_cast<unsigned long long>(windows), scores_per_sec,
+      stage_mean_us("dualistic_time"), stage_mean_us("context_dft"),
+      stage_mean_us("freq_characterization"), stage_mean_us("autoencoder"));
+}
+
+constexpr size_t kSnapshotEvery = 400;
+
+}  // namespace
 
 int main() {
   using namespace mace;
@@ -66,6 +101,7 @@ int main() {
     auto finalized = scorer->Push(test.values()[t]);
     MACE_CHECK_OK(finalized.status());
     for (double score : *finalized) consume(score, t);
+    if ((t + 1) % kSnapshotEvery == 0) PrintMetricsSnapshot(t + 1);
   }
   for (double score : scorer->Finish()) {
     consume(score, test.length() - 1);

@@ -1,12 +1,19 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace mace {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<uint64_t> g_records[4] = {};
+/// Serializes the final write so huge records cannot interleave even on
+/// platforms where a single fwrite to an unbuffered stream is not atomic.
+std::mutex g_write_mu;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,14 +29,55 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+/// Applies MACE_LOG_LEVEL exactly once, before the first Get/Set wins.
+void ApplyEnvLevelOnce() {
+  static const bool applied = [] {
+    const char* value = std::getenv("MACE_LOG_LEVEL");
+    LogLevel level;
+    if (value != nullptr && ParseLogLevel(value, &level)) {
+      g_log_level.store(static_cast<int>(level),
+                        std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
 }  // namespace
 
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void SetLogLevel(LogLevel level) {
+  ApplyEnvLevelOnce();
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  ApplyEnvLevelOnce();
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+uint64_t GetLogRecordCount(LogLevel level) {
+  return g_records[static_cast<int>(level)].load(std::memory_order_relaxed);
 }
 
 namespace internal {
@@ -45,7 +93,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  const std::string record = stream_.str();
+  g_records[static_cast<int>(level_)].fetch_add(1,
+                                                std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::fwrite(record.data(), 1, record.size(), stderr);
 }
 
 }  // namespace internal

@@ -1,6 +1,7 @@
 #ifndef MACE_COMMON_LOGGING_H_
 #define MACE_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -10,12 +11,26 @@ namespace mace {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// \brief Process-wide minimum level; records below it are dropped.
+///
+/// The initial level comes from the `MACE_LOG_LEVEL` environment variable
+/// ("debug" | "info" | "warning" | "error", or the numeric 0-3), read once
+/// at first use; SetLogLevel overrides it afterwards.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+/// Parses a level name or digit; returns false on unknown input.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+/// \brief Records emitted (not filtered) so far at `level`. Fed by every
+/// LogMessage destructor; the obs registry exports these as the
+/// `mace_log_records_total` counter family so warning/error rates are
+/// scrapeable.
+uint64_t GetLogRecordCount(LogLevel level);
 
 namespace internal {
 
-/// Stream-style log record; emits to stderr on destruction.
+/// Stream-style log record. The destructor formats the whole record into
+/// one buffer and hands it to stderr as a single serialized write, so
+/// records from concurrent threads never interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -1,17 +1,52 @@
 #include "core/mace_detector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace mace::core {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+/// Stage-1 latency shares the family of the model's inner stages so one
+/// histogram family covers the whole 4-stage pipeline.
+obs::Histogram* Stage1Histogram() {
+  static obs::Histogram* histogram = obs::Metrics().GetHistogram(
+      "mace_stage_latency_seconds",
+      "Wall-clock latency of one pipeline stage over one window",
+      {{"stage", "dualistic_time"}});
+  return histogram;
+}
+
+obs::Counter* WindowsScoredCounter(const std::string& service_label) {
+  return obs::Metrics().GetCounter(
+      "mace_windows_scored_total", "Windows scored, by service",
+      {{"service", service_label}});
+}
+
+/// Registry lookups take a mutex; ScoreWindow runs once per streaming
+/// stride, so its counter is memoized per thread (instrument pointers are
+/// process-stable, and indices are small and dense).
+obs::Counter* CachedWindowsScoredCounter(int service_index) {
+  thread_local std::vector<obs::Counter*> cache;
+  const auto slot = static_cast<size_t>(service_index);
+  if (slot >= cache.size()) cache.resize(slot + 1, nullptr);
+  if (cache[slot] == nullptr) {
+    cache[slot] = WindowsScoredCounter(std::to_string(service_index));
+  }
+  return cache[slot];
+}
+
+}  // namespace
 
 MaceDetector::MaceDetector(MaceConfig config) : config_(config) {
   MACE_CHECK(config_.window >= 4);
@@ -46,6 +81,7 @@ Result<std::vector<int>> MaceDetector::SelectBases(
 
 Tensor MaceDetector::AmplifyWindow(const Tensor& window) const {
   if (!config_.use_dualistic_time) return window;
+  obs::StageTimer stage_timer;
   const auto m = static_cast<size_t>(window.dim(0));
   const auto t_len = static_cast<size_t>(window.dim(1));
   std::vector<double> out(m * t_len);
@@ -58,6 +94,7 @@ Tensor MaceDetector::AmplifyWindow(const Tensor& window) const {
         row, config_.time_kernel, config_.gamma_t, config_.sigma_t);
     std::copy(amplified.begin(), amplified.end(), out.begin() + f * t_len);
   }
+  stage_timer.Mark(Stage1Histogram());
   return Tensor::FromVector(std::move(out),
                             Shape{window.dim(0), window.dim(1)});
 }
@@ -79,6 +116,12 @@ ts::TimeSeries MaceDetector::AmplifySeries(const ts::TimeSeries& series) const {
 }
 
 Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  obs::ScopedSpan fit_span(
+      "MaceDetector::Fit",
+      metrics.GetHistogram("mace_fit_seconds",
+                           "Wall-clock duration of one Fit call"));
+  metrics.GetCounter("mace_fit_total", "Fit calls")->Increment();
   if (services.empty()) {
     return Status::InvalidArgument("Fit requires at least one service");
   }
@@ -103,7 +146,16 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   // and stage-1-amplified training windows.
   std::vector<std::vector<Tensor>> amplified;  // [service][window]
   int coeff_columns = -1;
-  for (const ts::ServiceData& service : services) {
+  for (size_t service_index = 0; service_index < services.size();
+       ++service_index) {
+    const ts::ServiceData& service = services[service_index];
+    obs::ScopedSpan subspace_span(
+        "MaceDetector::SubspaceExtraction",
+        metrics.GetHistogram(
+            "mace_subspace_extraction_seconds",
+            "Per-service preprocessing: scaling, Fourier subspace "
+            "selection and training-window amplification",
+            {{"service", std::to_string(service_index)}}));
     ts::StandardScaler scaler;
     scaler.Fit(service.train);
     const ts::TimeSeries scaled = scaler.Transform(service.train);
@@ -146,7 +198,14 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   if (order.empty()) {
     return Status::InvalidArgument("no training windows");
   }
+  obs::Histogram* epoch_seconds = metrics.GetHistogram(
+      "mace_fit_epoch_seconds", "Wall-clock duration of one training epoch");
+  obs::Gauge* last_loss = metrics.GetGauge(
+      "mace_fit_last_loss", "Mean training loss of the last epoch");
+  obs::Counter* train_windows = metrics.GetCounter(
+      "mace_train_windows_total", "Training windows processed");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("MaceDetector::FitEpoch", epoch_seconds);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     for (const auto& [s, w] : order) {
@@ -159,6 +218,8 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
       optimizer.Step();
     }
     epoch_losses_.push_back(epoch_loss / static_cast<double>(order.size()));
+    train_windows->Increment(order.size());
+    last_loss->Set(epoch_losses_.back());
     MACE_LOG(kDebug) << "MACE epoch " << epoch << " loss "
                      << epoch_losses_.back();
   }
@@ -166,8 +227,13 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
 }
 
 std::vector<double> MaceDetector::ScoreScaled(
-    const ServiceTransforms& transforms,
-    const ts::TimeSeries& scaled_test) const {
+    const ServiceTransforms& transforms, const ts::TimeSeries& scaled_test,
+    const std::string& service_label) const {
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  obs::ScopedSpan score_span(
+      "MaceDetector::Score",
+      metrics.GetHistogram("mace_score_seconds",
+                           "Wall-clock duration of one batch Score call"));
   ScoreAccumulator accumulator(scaled_test.length(),
                                ScoreReduction::kMin);
   const auto window = static_cast<size_t>(config_.window);
@@ -187,9 +253,15 @@ std::vector<double> MaceDetector::ScoreScaled(
   const int threads =
       std::max(1, std::min<int>(config_.score_threads,
                                 static_cast<int>(starts.size())));
+  metrics.GetGauge("mace_score_pool_threads",
+                   "Worker threads used by the last batch Score call")
+      ->Set(threads);
+  WindowsScoredCounter(service_label)->Increment(starts.size());
   std::vector<std::vector<std::vector<double>>> errors(
       static_cast<size_t>(threads));
+  std::vector<double> busy_seconds(static_cast<size_t>(threads), 0.0);
   auto worker = [&](int id) {
+    const auto begin = std::chrono::steady_clock::now();
     for (size_t i = static_cast<size_t>(id); i < starts.size();
          i += static_cast<size_t>(threads)) {
       Tensor w = ts::WindowToTensor(scaled_test, starts[i], config_.window);
@@ -198,7 +270,12 @@ std::vector<double> MaceDetector::ScoreScaled(
       errors[static_cast<size_t>(id)].push_back(
           std::move(out.step_errors));
     }
+    busy_seconds[static_cast<size_t>(id)] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
   };
+  const auto pool_begin = std::chrono::steady_clock::now();
   if (threads == 1) {
     worker(0);
   } else {
@@ -206,6 +283,26 @@ std::vector<double> MaceDetector::ScoreScaled(
     pool.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
+  }
+  // Per-thread utilization of the scoring pool: each worker's busy time
+  // over the pool's wall time; a skewed distribution means stragglers.
+  const double pool_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pool_begin)
+          .count();
+  obs::Histogram* busy_histogram = metrics.GetHistogram(
+      "mace_score_worker_busy_seconds",
+      "Busy time of one scoring worker in one batch Score call");
+  obs::Histogram* utilization_histogram = metrics.GetHistogram(
+      "mace_score_worker_utilization_ratio",
+      "Worker busy time over pool wall time, per worker per Score call",
+      {}, obs::RatioBuckets());
+  for (int t = 0; t < threads; ++t) {
+    busy_histogram->Observe(busy_seconds[static_cast<size_t>(t)]);
+    if (pool_wall > 0) {
+      utilization_histogram->Observe(
+          busy_seconds[static_cast<size_t>(t)] / pool_wall);
+    }
   }
   for (int t = 0; t < threads; ++t) {
     size_t slot = 0;
@@ -242,6 +339,12 @@ Result<std::vector<double>> MaceDetector::ScoreWindow(
       data[f * scaled_rows.size() + t] = scaled_rows[t][f];
     }
   }
+  static obs::Histogram* window_seconds = obs::Metrics().GetHistogram(
+      "mace_score_window_seconds",
+      "Wall-clock latency of one single-window ScoreWindow call "
+      "(streaming path)");
+  obs::ScopedSpan window_span("MaceDetector::ScoreWindow", window_seconds);
+  CachedWindowsScoredCounter(service_index)->Increment();
   Tensor window = Tensor::FromVector(
       std::move(data), Shape{num_features_, config_.window});
   MaceModel::Output out =
@@ -282,7 +385,8 @@ Result<std::vector<double>> MaceDetector::Score(int service_index,
   }
   const ts::TimeSeries scaled =
       scalers_[static_cast<size_t>(service_index)].Transform(test);
-  return ScoreScaled(transforms_[static_cast<size_t>(service_index)], scaled);
+  return ScoreScaled(transforms_[static_cast<size_t>(service_index)], scaled,
+                     std::to_string(service_index));
 }
 
 Result<std::vector<double>> MaceDetector::ScoreUnseen(
@@ -305,7 +409,7 @@ Result<std::vector<double>> MaceDetector::ScoreUnseen(
   }
   const ServiceTransforms transforms =
       MakeServiceTransforms(config_.window, bases);
-  return ScoreScaled(transforms, scaler.Transform(service.test));
+  return ScoreScaled(transforms, scaler.Transform(service.test), "unseen");
 }
 
 int64_t MaceDetector::ParameterCount() const {

@@ -2,6 +2,7 @@
 #define MACE_CORE_MACE_DETECTOR_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/detector.h"
@@ -69,9 +70,11 @@ class MaceDetector : public Detector {
   /// Stage 1 applied to a whole series (for pattern extraction, so the
   /// subspace is selected on the same signal the model reconstructs).
   ts::TimeSeries AmplifySeries(const ts::TimeSeries& series) const;
-  /// Scores a scaled test series against given transforms.
+  /// Scores a scaled test series against given transforms. `service_label`
+  /// tags the obs counters/histograms (service index, or "unseen").
   std::vector<double> ScoreScaled(const ServiceTransforms& transforms,
-                                  const ts::TimeSeries& scaled_test) const;
+                                  const ts::TimeSeries& scaled_test,
+                                  const std::string& service_label) const;
 
   MaceConfig config_;
   int num_features_ = 0;

@@ -4,12 +4,41 @@
 
 #include "common/check.h"
 #include "fft/context_aware_dft.h"
+#include "obs/trace.h"
 
 namespace mace::core {
 
 using tensor::Index;
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+/// Latency histograms of the learnable pipeline stages (stages 2-4 of
+/// Fig 2; stage 1 is timed at its call sites in MaceDetector). Resolved
+/// once — the per-window hot path only touches the cached pointers.
+struct ForwardStageHistograms {
+  obs::Histogram* context_dft;
+  obs::Histogram* freq_characterization;
+  obs::Histogram* autoencoder;
+};
+
+const ForwardStageHistograms& StageHistograms() {
+  static const ForwardStageHistograms histograms = [] {
+    auto h = [](const char* stage) {
+      return obs::Metrics().GetHistogram(
+          "mace_stage_latency_seconds",
+          "Wall-clock latency of one pipeline stage over one window",
+          {{"stage", stage}});
+    };
+    return ForwardStageHistograms{h("context_dft"),
+                                  h("freq_characterization"),
+                                  h("autoencoder")};
+  }();
+  return histograms;
+}
+
+}  // namespace
 
 ServiceTransforms MakeServiceTransforms(int window,
                                         const std::vector<int>& bases) {
@@ -102,6 +131,9 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
       << "service transform has " << service.forward_t.dim(1)
       << " columns, model expects " << cols;
 
+  const ForwardStageHistograms& stages = StageHistograms();
+  obs::StageTimer stage_timer;
+
   // Stage 2: context-aware DFT.
   Tensor coeffs = MatMul(amplified_window, service.forward_t);  // [m, 2k]
   const Index k = cols / 2;
@@ -132,6 +164,8 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
   Tensor phase_im =
       Tensor::FromVector(std::move(unit_im), Shape{m, k});
 
+  stage_timer.Mark(stages.context_dft);
+
   // Frequency characterization (residual per-frequency gating).
   Tensor rep = amp;
   if (char_conv1_) {
@@ -153,6 +187,7 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
         Tanh(char_conv1_->Forward(Reshape(stacked, Shape{1, 3, flat}))));
     rep = Add(amp, Reshape(charted, Shape{m, k}));
   }
+  stage_timer.Mark(stages.freq_characterization);
 
   // Stage 3: dualistic-convolution autoencoder over amplitudes, two
   // branches (peak keeps maxima, valley keeps minima — Fig 4(a)).
@@ -202,6 +237,7 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
           acc / static_cast<double>(m);
     }
   }
+  stage_timer.Mark(stages.autoencoder);
   return output;
 }
 

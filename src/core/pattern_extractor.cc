@@ -4,6 +4,7 @@
 
 #include "fft/fft.h"
 #include "fft/spectrum.h"
+#include "obs/metrics.h"
 
 namespace mace::core {
 
@@ -67,6 +68,33 @@ Result<PatternSubspace> ExtractPattern(
   subspace.incidence.reserve(order.size());
   for (int j : order) {
     subspace.incidence.push_back(incidence[static_cast<size_t>(j)]);
+  }
+
+  // Observability: how many bases the subspace kept and what fraction of
+  // the strongest-signal amplitude mass they retain — low retention means
+  // num_bases is starving the reconstruction.
+  double total_energy = 0.0;
+  double retained_energy = 0.0;
+  for (size_t j = options.skip_dc ? 1 : 0; j < energy.size(); ++j) {
+    total_energy += energy[j];
+  }
+  for (int j : subspace.bases) {
+    retained_energy += energy[static_cast<size_t>(j)];
+  }
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  metrics.GetCounter("mace_pattern_extractions_total",
+                     "Subspace extractions performed")
+      ->Increment();
+  metrics.GetGauge("mace_pattern_bases_selected",
+                   "Bases kept by the last subspace extraction")
+      ->Set(static_cast<double>(subspace.bases.size()));
+  if (total_energy > 0) {
+    metrics
+        .GetHistogram("mace_pattern_energy_retained_ratio",
+                      "Share of strongest-signal amplitude mass retained "
+                      "by the selected bases, per extraction",
+                      {}, obs::RatioBuckets())
+        ->Observe(retained_energy / total_energy);
   }
   return subspace;
 }

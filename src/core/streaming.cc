@@ -1,6 +1,7 @@
 #include "core/streaming.h"
 
 #include <limits>
+#include <string>
 
 #include "common/check.h"
 
@@ -11,7 +12,25 @@ StreamingScorer::StreamingScorer(const MaceDetector* detector,
     : detector_(detector),
       service_index_(service_index),
       window_(detector->config().window),
-      stride_(detector->config().score_stride) {}
+      stride_(detector->config().score_stride),
+      created_at_(std::chrono::steady_clock::now()) {
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  const obs::Labels labels = {{"service", std::to_string(service_index)}};
+  steps_counter_ = metrics.GetCounter(
+      "mace_stream_steps_total", "Observations consumed by Push, by service",
+      labels);
+  emitted_counter_ = metrics.GetCounter(
+      "mace_stream_scores_emitted_total",
+      "Finalized scores emitted by Push/Finish, by service", labels);
+  emit_latency_steps_ = metrics.GetHistogram(
+      "mace_stream_emit_latency_steps",
+      "Steps between an observation arriving and its score being emitted",
+      labels, obs::StepBuckets());
+  scores_per_second_ = metrics.GetGauge(
+      "mace_stream_scores_per_second",
+      "Emitted-score throughput since the scorer was created, by service",
+      labels);
+}
 
 Result<StreamingScorer> StreamingScorer::Create(const MaceDetector* detector,
                                                 int service_index) {
@@ -53,7 +72,21 @@ std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before) {
     emitted.push_back(covered_.front() ? pending_.front() : 0.0);
     pending_.pop_front();
     covered_.pop_front();
+    // Emit latency of this score: its step index vs. the current input.
+    emit_latency_steps_->Observe(
+        static_cast<double>(steps_consumed_ - next_emit_));
     ++next_emit_;
+  }
+  if (!emitted.empty()) {
+    scores_emitted_ += emitted.size();
+    emitted_counter_->Increment(emitted.size());
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - created_at_)
+                               .count();
+    if (elapsed > 0) {
+      scores_per_second_->Set(static_cast<double>(scores_emitted_) /
+                              elapsed);
+    }
   }
   return emitted;
 }
@@ -66,6 +99,7 @@ Result<std::vector<double>> StreamingScorer::Push(
   buffer_.push_back(std::move(scaled));
   if (buffer_.size() > static_cast<size_t>(window_)) buffer_.pop_front();
   ++steps_consumed_;
+  steps_counter_->Increment();
   pending_.push_back(std::numeric_limits<double>::infinity());
   covered_.push_back(false);
 

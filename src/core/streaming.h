@@ -1,11 +1,13 @@
 #ifndef MACE_CORE_STREAMING_H_
 #define MACE_CORE_STREAMING_H_
 
+#include <chrono>
 #include <deque>
 #include <vector>
 
 #include "common/result.h"
 #include "core/mace_detector.h"
+#include "obs/metrics.h"
 
 namespace mace::core {
 
@@ -39,6 +41,8 @@ class StreamingScorer {
   size_t steps_consumed() const { return steps_consumed_; }
   /// Index of the next step whose score will be emitted.
   size_t next_emitted_step() const { return next_emit_; }
+  /// Scores emitted so far (Push and Finish combined).
+  size_t scores_emitted() const { return scores_emitted_; }
 
  private:
   StreamingScorer(const MaceDetector* detector, int service_index);
@@ -62,6 +66,15 @@ class StreamingScorer {
   size_t steps_consumed_ = 0;
   size_t next_emit_ = 0;
   size_t last_scored_end_ = 0;  ///< end step (exclusive) of the last window
+
+  // Observability: instruments are resolved once per scorer (labeled by
+  // service), so the per-step path touches only atomics.
+  size_t scores_emitted_ = 0;
+  std::chrono::steady_clock::time_point created_at_;
+  obs::Counter* steps_counter_ = nullptr;
+  obs::Counter* emitted_counter_ = nullptr;
+  obs::Histogram* emit_latency_steps_ = nullptr;
+  obs::Gauge* scores_per_second_ = nullptr;
 };
 
 }  // namespace mace::core

@@ -1,0 +1,245 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace mace::obs {
+namespace {
+
+/// Renders a double the Prometheus way: integers without a fraction,
+/// +Inf for infinity, shortest round-trip otherwise.
+std::string FormatValue(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<int64_t>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` with `extra` appended last; empty string when no
+/// labels at all.
+std::string RenderLabels(const Labels& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+const char* TypeName(InstrumentType type) {
+  switch (type) {
+    case InstrumentType::kCounter:
+      return "counter";
+    case InstrumentType::kGauge:
+      return "gauge";
+    case InstrumentType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (std::isinf(value)) return value > 0 ? "\"+Inf\"" : "\"-Inf\"";
+  return FormatValue(value);
+}
+
+void RenderJsonLabels(std::ostringstream& out, const Labels& labels) {
+  out << "\"labels\":{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value) << "\"";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const std::vector<FamilySnapshot>& snapshot) {
+  std::ostringstream out;
+  for (const FamilySnapshot& family : snapshot) {
+    out << "# HELP " << family.name << " " << family.help << "\n";
+    out << "# TYPE " << family.name << " " << TypeName(family.type) << "\n";
+    for (const InstrumentSnapshot& instrument : family.instruments) {
+      if (family.type != InstrumentType::kHistogram) {
+        out << family.name << RenderLabels(instrument.labels, "") << " "
+            << FormatValue(instrument.value) << "\n";
+        continue;
+      }
+      uint64_t cumulative = 0;
+      for (size_t b = 0; b < instrument.bucket_counts.size(); ++b) {
+        cumulative += instrument.bucket_counts[b];
+        const double bound = b < instrument.bounds.size()
+                                 ? instrument.bounds[b]
+                                 : std::numeric_limits<double>::infinity();
+        out << family.name << "_bucket"
+            << RenderLabels(instrument.labels,
+                            "le=\"" + FormatValue(bound) + "\"")
+            << " " << cumulative << "\n";
+      }
+      out << family.name << "_sum" << RenderLabels(instrument.labels, "")
+          << " " << FormatValue(instrument.sum) << "\n";
+      out << family.name << "_count" << RenderLabels(instrument.labels, "")
+          << " " << instrument.count << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string ExportPrometheus() {
+  return ExportPrometheus(Metrics().Collect());
+}
+
+std::string ExportJson(const std::vector<FamilySnapshot>& snapshot) {
+  std::ostringstream out;
+  out << "{";
+  bool first_family = true;
+  for (const FamilySnapshot& family : snapshot) {
+    if (!first_family) out << ",";
+    first_family = false;
+    out << "\n  \"" << JsonEscape(family.name) << "\": {\"type\":\""
+        << TypeName(family.type) << "\",\"help\":\""
+        << JsonEscape(family.help) << "\",\"samples\":[";
+    bool first_sample = true;
+    for (const InstrumentSnapshot& instrument : family.instruments) {
+      if (!first_sample) out << ",";
+      first_sample = false;
+      out << "\n    {";
+      RenderJsonLabels(out, instrument.labels);
+      if (family.type != InstrumentType::kHistogram) {
+        out << ",\"value\":" << JsonNumber(instrument.value);
+      } else {
+        out << ",\"count\":" << instrument.count
+            << ",\"sum\":" << JsonNumber(instrument.sum) << ",\"mean\":"
+            << JsonNumber(instrument.count == 0
+                              ? 0.0
+                              : instrument.sum /
+                                    static_cast<double>(instrument.count))
+            << ",\"buckets\":[";
+        for (size_t b = 0; b < instrument.bucket_counts.size(); ++b) {
+          if (b > 0) out << ",";
+          const double bound =
+              b < instrument.bounds.size()
+                  ? instrument.bounds[b]
+                  : std::numeric_limits<double>::infinity();
+          out << "{\"le\":" << JsonNumber(bound)
+              << ",\"count\":" << instrument.bucket_counts[b] << "}";
+        }
+        out << "]";
+      }
+      out << "}";
+    }
+    out << "\n  ]}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string ExportJson() { return ExportJson(Metrics().Collect()); }
+
+std::string FormatSummaryTable(const std::vector<FamilySnapshot>& snapshot) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-44s %-28s %s\n", "metric", "labels",
+                "value");
+  out << line;
+  for (const FamilySnapshot& family : snapshot) {
+    for (const InstrumentSnapshot& instrument : family.instruments) {
+      std::string labels;
+      for (const auto& [key, value] : instrument.labels) {
+        if (!labels.empty()) labels.push_back(',');
+        labels += key + "=" + value;
+      }
+      std::string value;
+      if (family.type == InstrumentType::kHistogram) {
+        if (instrument.count == 0) continue;  // unused instrument, skip
+        const double mean =
+            instrument.sum / static_cast<double>(instrument.count);
+        value = "n=" + std::to_string(instrument.count) +
+                " mean=" + FormatValue(mean) +
+                " total=" + FormatValue(instrument.sum);
+      } else {
+        if (instrument.value == 0.0) continue;
+        value = FormatValue(instrument.value);
+      }
+      std::snprintf(line, sizeof(line), "%-44s %-28s %s\n",
+                    family.name.c_str(), labels.c_str(), value.c_str());
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+std::string FormatSummaryTable() {
+  return FormatSummaryTable(Metrics().Collect());
+}
+
+Status WriteMetricsFile(const std::string& path) {
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string text = json ? ExportJson() : ExportPrometheus();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open metrics file '" + path + "'");
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to metrics file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace mace::obs

@@ -1,0 +1,36 @@
+#ifndef MACE_OBS_EXPORT_H_
+#define MACE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace mace::obs {
+
+/// Prometheus text exposition format (version 0.0.4): `# HELP` / `# TYPE`
+/// header per family, histogram as cumulative `_bucket{le=...}` series
+/// plus `_sum` and `_count`.
+std::string ExportPrometheus(const std::vector<FamilySnapshot>& snapshot);
+/// Same, collected from the global registry.
+std::string ExportPrometheus();
+
+/// JSON object keyed by metric name: counters/gauges as
+/// `{"type","help","samples":[{"labels",...,"value"}]}`, histograms with
+/// per-bucket counts, sum, count and mean.
+std::string ExportJson(const std::vector<FamilySnapshot>& snapshot);
+std::string ExportJson();
+
+/// Human-readable summary: one line per sample, histograms as
+/// `count/mean/total`. Meant for a stderr dump after a CLI run.
+std::string FormatSummaryTable(const std::vector<FamilySnapshot>& snapshot);
+std::string FormatSummaryTable();
+
+/// Writes Prometheus text or JSON to `path` — JSON when the path ends in
+/// ".json", Prometheus exposition otherwise.
+Status WriteMetricsFile(const std::string& path);
+
+}  // namespace mace::obs
+
+#endif  // MACE_OBS_EXPORT_H_

@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace mace::obs {
+
+// Defined in export.cc; used for the exit dump so metrics.cc does not
+// depend on the exporter headers.
+std::string ExportPrometheus();
+std::string ExportJson();
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  MACE_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBuckets() {
+  static const std::vector<double> kBuckets = {
+      1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+      1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+      1.0,  2.5,    5.0,  10.0};
+  return kBuckets;
+}
+
+const std::vector<double>& StepBuckets() {
+  static const std::vector<double> kBuckets = {
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+  return kBuckets;
+}
+
+const std::vector<double>& RatioBuckets() {
+  static const std::vector<double> kBuckets = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                               0.6, 0.7, 0.8, 0.9, 1.0};
+  return kBuckets;
+}
+
+namespace {
+
+Labels Sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+const char* TypeName(InstrumentType type) {
+  switch (type) {
+    case InstrumentType::kCounter:
+      return "counter";
+    case InstrumentType::kGauge:
+      return "gauge";
+    case InstrumentType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Writes the final registry snapshot to $MACE_METRICS_JSON /
+/// $MACE_METRICS_PROM. Registered with atexit by the registry
+/// constructor, so every instrumented binary (benches included) honors
+/// the env vars with no wiring of its own.
+void DumpAtExit() {
+  struct Target {
+    const char* env;
+    std::string (*render)();
+  };
+  const Target targets[] = {{"MACE_METRICS_JSON", &ExportJson},
+                            {"MACE_METRICS_PROM", &ExportPrometheus}};
+  for (const Target& target : targets) {
+    const char* path = std::getenv(target.env);
+    if (path == nullptr || *path == '\0') continue;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      MACE_LOG(kWarning) << "cannot write metrics to " << path;
+      continue;
+    }
+    const std::string text = target.render();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() {
+  if (std::getenv("MACE_METRICS_JSON") != nullptr ||
+      std::getenv("MACE_METRICS_PROM") != nullptr) {
+    std::atexit(&DumpAtExit);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& help, InstrumentType type,
+    const Labels& labels) {
+  const Labels sorted = Sorted(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = families_.try_emplace(name, Family{help, type, {}});
+  Family& family = it->second;
+  MACE_CHECK(family.type == type)
+      << "metric '" << name << "' registered as " << TypeName(family.type)
+      << " and requested as " << TypeName(type);
+  for (Instrument& instrument : family.instruments) {
+    if (instrument.labels == sorted) return &instrument;
+  }
+  family.instruments.push_back(Instrument{sorted, nullptr, nullptr, nullptr});
+  return &family.instruments.back();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  Instrument* instrument =
+      FindOrCreate(name, help, InstrumentType::kCounter, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!instrument->counter) instrument->counter = std::make_unique<Counter>();
+  return instrument->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const Labels& labels) {
+  Instrument* instrument =
+      FindOrCreate(name, help, InstrumentType::kGauge, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!instrument->gauge) instrument->gauge = std::make_unique<Gauge>();
+  return instrument->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         const Labels& labels,
+                                         const std::vector<double>& bounds) {
+  Instrument* instrument =
+      FindOrCreate(name, help, InstrumentType::kHistogram, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!instrument->histogram) {
+    instrument->histogram = std::make_unique<Histogram>(bounds);
+  }
+  return instrument->histogram.get();
+}
+
+std::vector<FamilySnapshot> MetricsRegistry::Collect() const {
+  std::vector<FamilySnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, family] : families_) {
+      FamilySnapshot fs;
+      fs.name = name;
+      fs.help = family.help;
+      fs.type = family.type;
+      for (const Instrument& instrument : family.instruments) {
+        InstrumentSnapshot is;
+        is.labels = instrument.labels;
+        if (instrument.counter) {
+          is.value = static_cast<double>(instrument.counter->Value());
+        } else if (instrument.gauge) {
+          is.value = instrument.gauge->Value();
+        } else if (instrument.histogram) {
+          is.bounds = instrument.histogram->bounds();
+          is.bucket_counts = instrument.histogram->BucketCounts();
+          is.sum = instrument.histogram->Sum();
+          is.count = instrument.histogram->Count();
+        }
+        fs.instruments.push_back(std::move(is));
+      }
+      snapshot.push_back(std::move(fs));
+    }
+  }
+  // Splice in the logging subsystem's per-level record counters so error
+  // rates are scrapeable alongside everything else.
+  FamilySnapshot logs;
+  logs.name = "mace_log_records_total";
+  logs.help = "Log records emitted, by severity";
+  logs.type = InstrumentType::kCounter;
+  const struct {
+    LogLevel level;
+    const char* label;
+  } kLevels[] = {{LogLevel::kDebug, "debug"},
+                 {LogLevel::kInfo, "info"},
+                 {LogLevel::kWarning, "warning"},
+                 {LogLevel::kError, "error"}};
+  for (const auto& entry : kLevels) {
+    InstrumentSnapshot is;
+    is.labels = {{"level", entry.label}};
+    is.value = static_cast<double>(GetLogRecordCount(entry.level));
+    logs.instruments.push_back(std::move(is));
+  }
+  const auto pos = std::lower_bound(
+      snapshot.begin(), snapshot.end(), logs.name,
+      [](const FamilySnapshot& fs, const std::string& name) {
+        return fs.name < name;
+      });
+  snapshot.insert(pos, std::move(logs));
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (Instrument& instrument : family.instruments) {
+      if (instrument.counter) instrument.counter->Reset();
+      if (instrument.gauge) instrument.gauge->Reset();
+      if (instrument.histogram) instrument.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace mace::obs

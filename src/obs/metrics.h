@@ -1,0 +1,158 @@
+#ifndef MACE_OBS_METRICS_H_
+#define MACE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mace::obs {
+
+/// Label set of one instrument, e.g. {{"service", "0"}, {"stage", "dft"}}.
+/// Stored sorted by key so equal label sets compare equal.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Monotonically increasing counter. Increment is one relaxed
+/// atomic add — safe and cheap to call from scoring worker threads.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins floating-point gauge (Set) with a CAS-loop Add
+/// for the rare accumulate case.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram in the Prometheus cumulative-bucket
+/// model: `bounds` are ascending upper bounds; an implicit +Inf bucket
+/// catches the rest. Observe is a bucket scan plus two relaxed atomics,
+/// lock-free on every platform we target.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size bounds()+1, last is +Inf.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean observation, 0 when empty (summary-table convenience).
+  double Mean() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency buckets: 1us .. 10s, roughly log-spaced.
+const std::vector<double>& LatencyBuckets();
+/// Power-of-two buckets 1 .. 4096 for step-count distributions.
+const std::vector<double>& StepBuckets();
+/// Ten linear buckets over [0, 1] for ratios/utilization.
+const std::vector<double>& RatioBuckets();
+
+enum class InstrumentType { kCounter, kGauge, kHistogram };
+
+/// One exported time series (all samples of one instrument).
+struct InstrumentSnapshot {
+  Labels labels;
+  double value = 0.0;                  // counter / gauge
+  std::vector<double> bounds;          // histogram only
+  std::vector<uint64_t> bucket_counts; // histogram only, non-cumulative
+  double sum = 0.0;                    // histogram only
+  uint64_t count = 0;                  // histogram only
+};
+
+/// All instruments sharing one metric name (a Prometheus family).
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  InstrumentType type = InstrumentType::kCounter;
+  std::vector<InstrumentSnapshot> instruments;
+};
+
+/// \brief Process-wide instrument registry. GetX registers on first use
+/// and returns a pointer that stays valid for the life of the process, so
+/// hot paths resolve their instrument once (e.g. into a static) and then
+/// touch only atomics. Registration takes a mutex; updates do not.
+///
+/// If `MACE_METRICS_JSON` (or `MACE_METRICS_PROM`) is set when the
+/// registry first comes alive, a full snapshot is written to that path at
+/// process exit — this is how the bench harness emits machine-readable
+/// per-stage timing without per-bench wiring.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter* GetCounter(const std::string& name, const std::string& help,
+                      const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help,
+                  const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          const Labels& labels = {},
+                          const std::vector<double>& bounds =
+                              LatencyBuckets());
+
+  /// Families sorted by name, instruments in registration order. Includes
+  /// the logging subsystem's per-level record counters (see
+  /// common/logging.h) as `mace_log_records_total`.
+  std::vector<FamilySnapshot> Collect() const;
+
+  /// Zeroes every instrument's value. Pointers stay valid (instruments are
+  /// never destroyed) — meant for tests, not production.
+  void ResetAllForTest();
+
+ private:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+
+  struct Instrument {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    InstrumentType type;
+    std::vector<Instrument> instruments;
+  };
+
+  Instrument* FindOrCreate(const std::string& name, const std::string& help,
+                           InstrumentType type, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// Shorthand for MetricsRegistry::Get().
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Get(); }
+
+}  // namespace mace::obs
+
+#endif  // MACE_OBS_METRICS_H_

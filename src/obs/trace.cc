@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace mace::obs {
+namespace {
+
+/// Nesting depth of live spans on this thread.
+thread_local int t_span_depth = 0;
+
+uint64_t ThisThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+bool EnvDetailed() {
+  const char* value = std::getenv("MACE_TRACE");
+  return value != nullptr && *value != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {
+  detailed_.store(EnvDetailed(), std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::Get() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never dtor'd
+  return *recorder;
+}
+
+double TraceRecorder::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+std::string TraceRecorder::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Events();
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    // Timestamps in microseconds, the trace-viewer convention.
+    out << "\n{\"name\":\"" << event.name << "\",\"ph\":\"X\",\"pid\":1"
+        << ",\"tid\":" << event.thread_id % 100000
+        << ",\"ts\":" << event.start_seconds * 1e6
+        << ",\"dur\":" << event.duration_seconds * 1e6
+        << ",\"args\":{\"depth\":" << event.depth << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency_histogram)
+    : name_(name),
+      histogram_(latency_histogram),
+      start_(std::chrono::steady_clock::now()) {
+  ++t_span_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const auto end = std::chrono::steady_clock::now();
+  --t_span_depth;
+  const double duration =
+      std::chrono::duration<double>(end - start_).count();
+  if (histogram_ != nullptr) histogram_->Observe(duration);
+  TraceRecorder& recorder = TraceRecorder::Get();
+  if (recorder.detailed()) {
+    TraceEvent event;
+    event.name = name_;
+    event.duration_seconds = duration;
+    event.start_seconds = recorder.NowSeconds() - duration;
+    event.depth = t_span_depth;
+    event.thread_id = ThisThreadId();
+    recorder.Record(event);
+  }
+}
+
+}  // namespace mace::obs

@@ -1,0 +1,108 @@
+#ifndef MACE_OBS_TRACE_H_
+#define MACE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mace::obs {
+
+/// One completed span in detailed-trace mode.
+struct TraceEvent {
+  const char* name = "";    ///< static string, owned by the call site
+  double start_seconds = 0; ///< relative to TraceRecorder epoch
+  double duration_seconds = 0;
+  int depth = 0;            ///< nesting depth within the thread
+  uint64_t thread_id = 0;
+};
+
+/// \brief Collects individual span events when detailed mode is on.
+///
+/// Two modes:
+///  - always-on (default): spans only feed their latency histograms in
+///    the MetricsRegistry — two clock reads and a few relaxed atomics per
+///    span, cheap enough to leave in the scoring hot path.
+///  - detailed (`MACE_TRACE=1` at startup, or SetDetailed(true)): spans
+///    additionally append a TraceEvent to a bounded in-memory buffer
+///    which can be drained and exported as Chrome trace-viewer JSON
+///    (chrome://tracing, perfetto).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Get();
+
+  bool detailed() const {
+    return detailed_.load(std::memory_order_relaxed);
+  }
+  void SetDetailed(bool on) {
+    detailed_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent event);
+  /// Events recorded so far (detailed mode only), oldest first.
+  std::vector<TraceEvent> Events() const;
+  /// Removes and returns all buffered events.
+  std::vector<TraceEvent> Drain();
+  size_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Renders events as a Chrome trace-viewer JSON array ("X" phases).
+  std::string ExportChromeTrace() const;
+
+  /// Seconds since the recorder's epoch (process-stable monotonic clock).
+  double NowSeconds() const;
+
+  static constexpr size_t kMaxEvents = 1 << 16;
+
+ private:
+  TraceRecorder();
+
+  std::atomic<bool> detailed_{false};
+  std::atomic<size_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief RAII wall-clock span. Always observes its duration into
+/// `latency_histogram` (when non-null); in detailed mode it also records
+/// a TraceEvent. `name` must outlive the recorder (use string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name,
+                      Histogram* latency_histogram = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Lap timer for consecutive pipeline stages: one clock read per
+/// stage boundary instead of a nested span per stage, for hot loops where
+/// even ScopedSpan's two reads per stage are worth halving.
+class StageTimer {
+ public:
+  StageTimer() : last_(std::chrono::steady_clock::now()) {}
+
+  /// Observes the time since construction/previous Mark into `histogram`
+  /// and starts the next lap.
+  void Mark(Histogram* histogram) {
+    const auto now = std::chrono::steady_clock::now();
+    histogram->Observe(std::chrono::duration<double>(now - last_).count());
+    last_ = now;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace mace::obs
+
+#endif  // MACE_OBS_TRACE_H_

@@ -1,5 +1,8 @@
 #include "common/logging.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace mace {
@@ -45,6 +48,55 @@ TEST(LoggingTest, BelowLevelRecordsAreCheap) {
   EXPECT_EQ(evaluations, 0);
   MACE_LOG(kError) << "boundary case " << expensive();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+TEST(LoggingTest, EmittedRecordsAreCounted) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  const uint64_t warnings = GetLogRecordCount(LogLevel::kWarning);
+  const uint64_t errors = GetLogRecordCount(LogLevel::kError);
+  const uint64_t infos = GetLogRecordCount(LogLevel::kInfo);
+  MACE_LOG(kWarning) << "counted";
+  MACE_LOG(kError) << "counted";
+  MACE_LOG(kInfo) << "filtered, must not count";
+  EXPECT_EQ(GetLogRecordCount(LogLevel::kWarning), warnings + 1);
+  EXPECT_EQ(GetLogRecordCount(LogLevel::kError), errors + 1);
+  EXPECT_EQ(GetLogRecordCount(LogLevel::kInfo), infos);
+}
+
+TEST(LoggingTest, ConcurrentRecordsDoNotInterleave) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);  // keep the test's stderr quiet
+  const uint64_t before = GetLogRecordCount(LogLevel::kError);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        MACE_LOG(kError) << "thread-safety smoke record " << i;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(GetLogRecordCount(LogLevel::kError),
+            before + kThreads * kPerThread);
 }
 
 TEST(LoggingTest, EmittedRecordContainsFileAndMessage) {

@@ -1,0 +1,230 @@
+#include "obs/metrics.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace mace::obs {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.5);
+  gauge.Add(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+  gauge.Set(7.0);  // last write wins over accumulated state
+  EXPECT_DOUBLE_EQ(gauge.Value(), 7.0);
+}
+
+TEST(HistogramTest, BucketSemantics) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // <= 1.0
+  histogram.Observe(1.0);   // boundary lands in its own bucket (le=1.0)
+  histogram.Observe(3.0);   // <= 4.0
+  histogram.Observe(100.0); // +Inf
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 104.5);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 104.5 / 4.0);
+}
+
+TEST(HistogramTest, ConcurrentObserversLoseNothing) {
+  Histogram histogram(LatencyBuckets());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&histogram] {
+      for (int i = 0; i < kPerThread; ++i) histogram.Observe(1e-4);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(histogram.Count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : histogram.BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, histogram.Count());
+}
+
+TEST(RegistryTest, SameNameAndLabelsReturnsSameInstrument) {
+  Counter* a = Metrics().GetCounter("obs_test_counter_total", "help",
+                                    {{"k", "v"}});
+  Counter* b = Metrics().GetCounter("obs_test_counter_total", "help",
+                                    {{"k", "v"}});
+  Counter* c = Metrics().GetCounter("obs_test_counter_total", "help",
+                                    {{"k", "other"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Label order is irrelevant: sorted on registration.
+  Counter* d = Metrics().GetCounter("obs_test_counter_total", "help",
+                                    {{"b", "2"}, {"a", "1"}});
+  Counter* e = Metrics().GetCounter("obs_test_counter_total", "help",
+                                    {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(d, e);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&seen, t] {
+      for (int i = 0; i < 500; ++i) {
+        seen[static_cast<size_t>(t)] = Metrics().GetCounter(
+            "obs_test_race_total", "help", {{"i", std::to_string(i % 7)}});
+        seen[static_cast<size_t>(t)]->Increment();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  uint64_t total = 0;
+  for (const FamilySnapshot& family : Metrics().Collect()) {
+    if (family.name != "obs_test_race_total") continue;
+    EXPECT_EQ(family.instruments.size(), 7u);
+    for (const InstrumentSnapshot& instrument : family.instruments) {
+      total += static_cast<uint64_t>(instrument.value);
+    }
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * 500);
+}
+
+TEST(ExportTest, PrometheusGoldenOutput) {
+  Metrics()
+      .GetCounter("obs_golden_requests_total", "Requests served",
+                  {{"service", "0"}})
+      ->Increment(3);
+  Metrics()
+      .GetGauge("obs_golden_temperature", "Current temperature")
+      ->Set(21.5);
+  Metrics()
+      .GetHistogram("obs_golden_latency_seconds", "Request latency", {},
+                    {0.1, 1.0})
+      ->Observe(0.05);
+  Metrics()
+      .GetHistogram("obs_golden_latency_seconds", "Request latency", {},
+                    {0.1, 1.0})
+      ->Observe(0.5);
+
+  const std::string text = ExportPrometheus();
+  EXPECT_NE(text.find("# HELP obs_golden_requests_total Requests served\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_golden_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_golden_requests_total{service=\"0\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_golden_temperature 21.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_golden_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_golden_latency_seconds_bucket{le=\"0.1\"} 1\n"),
+            std::string::npos);
+  // Buckets are cumulative.
+  EXPECT_NE(text.find("obs_golden_latency_seconds_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_golden_latency_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_golden_latency_seconds_count 2\n"),
+            std::string::npos);
+  // The logging subsystem's counters ride along in every export.
+  EXPECT_NE(text.find("mace_log_records_total{level=\"warning\"}"),
+            std::string::npos);
+}
+
+TEST(ExportTest, JsonContainsHistogramAggregates) {
+  Metrics()
+      .GetHistogram("obs_json_latency_seconds", "Latency", {}, {1.0})
+      ->Observe(0.5);
+  const std::string json = ExportJson();
+  EXPECT_NE(json.find("\"obs_json_latency_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":1,\"count\":1"), std::string::npos);
+}
+
+TEST(ExportTest, LogRecordsAreScrapeable) {
+  const uint64_t warnings_before = GetLogRecordCount(LogLevel::kWarning);
+  MACE_LOG(kWarning) << "obs_test warning record";
+  EXPECT_EQ(GetLogRecordCount(LogLevel::kWarning), warnings_before + 1);
+  bool found = false;
+  for (const FamilySnapshot& family : Metrics().Collect()) {
+    if (family.name != "mace_log_records_total") continue;
+    for (const InstrumentSnapshot& instrument : family.instruments) {
+      for (const auto& [key, value] : instrument.labels) {
+        if (key == "level" && value == "warning") {
+          found = true;
+          EXPECT_GE(static_cast<uint64_t>(instrument.value),
+                    warnings_before + 1);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, DetailedModeRecordsNestedSpans) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  const bool was_detailed = recorder.detailed();
+  recorder.Drain();
+  recorder.SetDetailed(true);
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  recorder.SetDetailed(was_detailed);
+  const std::vector<TraceEvent> events = recorder.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner span closes first and was one level deeper.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].depth, events[1].depth + 1);
+  EXPECT_GE(events[1].duration_seconds, events[0].duration_seconds);
+}
+
+TEST(TraceTest, AlwaysOnModeFeedsHistogramOnly) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  const bool was_detailed = recorder.detailed();
+  recorder.SetDetailed(false);
+  recorder.Drain();
+  Histogram histogram(LatencyBuckets());
+  { ScopedSpan span("quiet", &histogram); }
+  recorder.SetDetailed(was_detailed);
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_TRUE(recorder.Drain().empty());
+}
+
+TEST(TraceTest, ChromeExportIsWellFormedArray) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  const bool was_detailed = recorder.detailed();
+  recorder.Drain();
+  recorder.SetDetailed(true);
+  { ScopedSpan span("export_me"); }
+  const std::string trace = recorder.ExportChromeTrace();
+  recorder.SetDetailed(was_detailed);
+  recorder.Drain();
+  EXPECT_EQ(trace.front(), '[');
+  EXPECT_NE(trace.find("\"name\":\"export_me\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(trace[trace.size() - 2], ']');
+}
+
+}  // namespace
+}  // namespace mace::obs

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "ts/generator.h"
 
 namespace mace::core {
@@ -117,6 +118,47 @@ TEST(StreamingScorerTest, RejectsWrongFeatureCount) {
   ASSERT_TRUE(scorer.ok());
   EXPECT_FALSE(scorer->Push({1.0}).ok());
   EXPECT_FALSE(scorer->Push({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(StreamingScorerTest, MetricsMatchStepsConsumed) {
+  // The obs instruments are process-global and other tests stream through
+  // service 0 too, so assert on deltas across this scorer's lifetime.
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  obs::Counter* steps = metrics.GetCounter(
+      "mace_stream_steps_total", "", {{"service", "0"}});
+  obs::Counter* emitted = metrics.GetCounter(
+      "mace_stream_scores_emitted_total", "", {{"service", "0"}});
+  obs::Histogram* latency = metrics.GetHistogram(
+      "mace_stream_emit_latency_steps", "", {{"service", "0"}},
+      obs::StepBuckets());
+  const uint64_t steps_before = steps->Value();
+  const uint64_t emitted_before = emitted->Value();
+  const uint64_t latency_before = latency->Count();
+
+  MaceDetector detector = Fitted();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  const auto services = TinyWorkload();
+  const ts::TimeSeries& test = services[0].test;
+  size_t streamed = 0;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = scorer->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    streamed += out->size();
+  }
+  streamed += scorer->Finish().size();
+
+  EXPECT_EQ(steps->Value() - steps_before, scorer->steps_consumed());
+  EXPECT_EQ(scorer->steps_consumed(), test.length());
+  EXPECT_EQ(scorer->scores_emitted(), streamed);
+  EXPECT_EQ(emitted->Value() - emitted_before, streamed);
+  // One latency observation per emitted score.
+  EXPECT_EQ(latency->Count() - latency_before, streamed);
+  const double throughput =
+      metrics.GetGauge("mace_stream_scores_per_second", "",
+                       {{"service", "0"}})
+          ->Value();
+  EXPECT_GT(throughput, 0.0);
 }
 
 TEST(StreamingScorerTest, AnomaliesScoreHighInStream) {
