@@ -72,9 +72,10 @@ std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before) {
     emitted.push_back(covered_.front() ? pending_.front() : 0.0);
     pending_.pop_front();
     covered_.pop_front();
-    // Emit latency of this score: its step index vs. the current input.
+    // Emit latency of this score: steps consumed after its own step before
+    // it became final (0 when the consuming Push emits it immediately).
     emit_latency_steps_->Observe(
-        static_cast<double>(steps_consumed_ - next_emit_));
+        static_cast<double>(steps_consumed_ - next_emit_ - 1));
     ++next_emit_;
   }
   if (!emitted.empty()) {

@@ -13,7 +13,8 @@ namespace {
 /// +Inf for infinity, shortest round-trip otherwise.
 std::string FormatValue(double value) {
   if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
-  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+  // Range check first: casting a double outside int64 range is UB.
+  if (std::abs(value) < 1e15 && value == static_cast<int64_t>(value)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRId64,
                   static_cast<int64_t>(value));

@@ -140,7 +140,7 @@ MetricsRegistry& MetricsRegistry::Get() {
 
 MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
     const std::string& name, const std::string& help, InstrumentType type,
-    const Labels& labels) {
+    const Labels& labels, const std::vector<double>* bounds) {
   const Labels sorted = Sorted(labels);
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = families_.try_emplace(name, Family{help, type, {}});
@@ -149,43 +149,54 @@ MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
       << "metric '" << name << "' registered as " << TypeName(family.type)
       << " and requested as " << TypeName(type);
   for (Instrument& instrument : family.instruments) {
-    if (instrument.labels == sorted) return &instrument;
+    if (instrument.labels == sorted) {
+      if (type == InstrumentType::kHistogram) {
+        MACE_CHECK(instrument.histogram->bounds() == *bounds)
+            << "histogram '" << name
+            << "' re-registered with different bucket bounds";
+      }
+      return &instrument;
+    }
   }
+  // Create the instrument here, under the same lock that found the slot:
+  // a second thread registering another label set in this family must not
+  // observe (or race with) a half-built instrument.
   family.instruments.push_back(Instrument{sorted, nullptr, nullptr, nullptr});
-  return &family.instruments.back();
+  Instrument& instrument = family.instruments.back();
+  switch (type) {
+    case InstrumentType::kCounter:
+      instrument.counter = std::make_unique<Counter>();
+      break;
+    case InstrumentType::kGauge:
+      instrument.gauge = std::make_unique<Gauge>();
+      break;
+    case InstrumentType::kHistogram:
+      instrument.histogram = std::make_unique<Histogram>(*bounds);
+      break;
+  }
+  return &instrument;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const Labels& labels) {
-  Instrument* instrument =
-      FindOrCreate(name, help, InstrumentType::kCounter, labels);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!instrument->counter) instrument->counter = std::make_unique<Counter>();
-  return instrument->counter.get();
+  return FindOrCreate(name, help, InstrumentType::kCounter, labels, nullptr)
+      ->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const Labels& labels) {
-  Instrument* instrument =
-      FindOrCreate(name, help, InstrumentType::kGauge, labels);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!instrument->gauge) instrument->gauge = std::make_unique<Gauge>();
-  return instrument->gauge.get();
+  return FindOrCreate(name, help, InstrumentType::kGauge, labels, nullptr)
+      ->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
                                          const Labels& labels,
                                          const std::vector<double>& bounds) {
-  Instrument* instrument =
-      FindOrCreate(name, help, InstrumentType::kHistogram, labels);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!instrument->histogram) {
-    instrument->histogram = std::make_unique<Histogram>(bounds);
-  }
-  return instrument->histogram.get();
+  return FindOrCreate(name, help, InstrumentType::kHistogram, labels, &bounds)
+      ->histogram.get();
 }
 
 std::vector<FamilySnapshot> MetricsRegistry::Collect() const {

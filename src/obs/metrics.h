@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -140,11 +141,14 @@ class MetricsRegistry {
   struct Family {
     std::string help;
     InstrumentType type;
-    std::vector<Instrument> instruments;
+    // Deque, not vector: GetX hands out pointers into this container, so
+    // element addresses must survive later registrations in the family.
+    std::deque<Instrument> instruments;
   };
 
   Instrument* FindOrCreate(const std::string& name, const std::string& help,
-                           InstrumentType type, const Labels& labels);
+                           InstrumentType type, const Labels& labels,
+                           const std::vector<double>* bounds);
 
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;

@@ -75,26 +75,27 @@ TEST(ObsOverheadTest, DisabledTraceScoreWindowOverheadUnderTwoPercent) {
     MACE_CHECK_OK(detector.ScoreWindow(0, rows).status());
   }
 
+  // Minimum over reps, matching SpanUnitSeconds: on a loaded CI machine
+  // scheduler noise only ever inflates a wall-clock sample, so the min is
+  // the stable noise-free estimate on both sides of the ratio. (A median
+  // here was observed to be flaky under contention.)
   constexpr int kReps = 60;
-  std::vector<double> latencies;
-  latencies.reserve(kReps);
+  double min_window = 1.0;
   for (int i = 0; i < kReps; ++i) {
     const double begin = NowSeconds();
     auto errors = detector.ScoreWindow(0, rows);
     ASSERT_TRUE(errors.ok());
-    latencies.push_back(NowSeconds() - begin);
+    min_window = std::min(min_window, NowSeconds() - begin);
   }
-  std::sort(latencies.begin(), latencies.end());
-  const double median_window = latencies[latencies.size() / 2];
 
   // Instrumentation on the path: ScoreWindow span + stage-1 lap + three
   // model-stage laps + one cached counter increment ≈ 5 span units + one
   // counter add (counted as a sixth unit for headroom).
   const double instrumentation = 6.0 * SpanUnitSeconds();
-  ASSERT_GT(median_window, 0.0);
-  EXPECT_LT(instrumentation / median_window, 0.02)
+  ASSERT_GT(min_window, 0.0);
+  EXPECT_LT(instrumentation / min_window, 0.02)
       << "instrumentation " << instrumentation * 1e9 << " ns vs window "
-      << median_window * 1e9 << " ns";
+      << min_window * 1e9 << " ns";
 }
 
 TEST(ObsOverheadTest, NoTraceEventsAccumulateWhenDisabled) {

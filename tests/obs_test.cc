@@ -83,6 +83,30 @@ TEST(RegistryTest, SameNameAndLabelsReturnsSameInstrument) {
   EXPECT_EQ(d, e);
 }
 
+TEST(RegistryTest, InstrumentPointersStableAcrossFamilyGrowth) {
+  // Regression: GetX pointers must survive later registrations in the same
+  // family (instruments live in a deque, so growth never relocates them).
+  Counter* first = Metrics().GetCounter("obs_test_growth_total", "help",
+                                        {{"i", "first"}});
+  first->Increment(5);
+  for (int i = 0; i < 100; ++i) {
+    Metrics()
+        .GetCounter("obs_test_growth_total", "help",
+                    {{"i", std::to_string(i)}})
+        ->Increment();
+  }
+  EXPECT_EQ(first->Value(), 5u);
+  EXPECT_EQ(first, Metrics().GetCounter("obs_test_growth_total", "help",
+                                        {{"i", "first"}}));
+}
+
+TEST(RegistryDeathTest, HistogramBoundsMismatchAborts) {
+  Metrics().GetHistogram("obs_test_bounds_seconds", "help", {}, {1.0, 2.0});
+  EXPECT_DEATH(Metrics().GetHistogram("obs_test_bounds_seconds", "help", {},
+                                      {1.0, 3.0}),
+               "different bucket bounds");
+}
+
 TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
   constexpr int kThreads = 8;
   std::vector<Counter*> seen(kThreads, nullptr);
