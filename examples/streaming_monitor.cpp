@@ -1,23 +1,29 @@
 // Real-time monitoring (the paper's C2): feed observations one step at a
-// time through a StreamingScorer and raise alerts against a POT threshold
-// calibrated on the training split — no batch windowing, no retraining,
-// fixed per-step latency of one window.
+// time through the serving frontend's synchronous path and raise alerts
+// against a threshold calibrated on the first emitted scores — no batch
+// windowing, no retraining, fixed per-step latency of one window.
+//
+// A single-shard ServeFrontend wraps the StreamingScorer here, so the
+// live snapshot is the same ServeStats line the mace_served dashboard
+// prints — one stats path for both the one-stream monitor and the
+// multi-tenant pool.
 //
 // Run: ./build/examples/streaming_monitor
 
 #include <cstdio>
+#include <memory>
 
 #include "common/math_utils.h"
-#include "core/streaming.h"
 #include "eval/metrics.h"
 #include "obs/metrics.h"
+#include "serve/frontend.h"
 #include "ts/profiles.h"
 
 namespace {
 
-/// Compact live view of the obs registry for one streamed service: a line
-/// every kSnapshotEvery steps with throughput and per-stage mean latency.
-void PrintMetricsSnapshot(size_t step) {
+/// Live view for the streamed service: the pool-wide ServeStats line plus
+/// per-stage mean latency from the obs registry.
+void PrintSnapshot(size_t step, const mace::serve::ServeStats& stats) {
   using mace::obs::Metrics;
   auto stage_mean_us = [](const char* stage) {
     return Metrics()
@@ -26,21 +32,12 @@ void PrintMetricsSnapshot(size_t step) {
                ->Mean() *
            1e6;
   };
-  const double scores_per_sec =
-      Metrics()
-          .GetGauge("mace_stream_scores_per_second", "",
-                    {{"service", "0"}})
-          ->Value();
-  const uint64_t windows =
-      Metrics().GetCounter("mace_windows_scored_total", "",
-                           {{"service", "0"}})
-          ->Value();
   std::printf(
-      "  [obs] step %-5zu windows %-4llu  %.0f scores/s  stage us: "
-      "amp %.0f dft %.0f char %.0f ae %.0f\n",
-      step, static_cast<unsigned long long>(windows), scores_per_sec,
-      stage_mean_us("dualistic_time"), stage_mean_us("context_dft"),
-      stage_mean_us("freq_characterization"), stage_mean_us("autoencoder"));
+      "  step %-5zu %s\n"
+      "             stage us: amp %.0f dft %.0f char %.0f ae %.0f\n",
+      step, stats.FormatLine().c_str(), stage_mean_us("dualistic_time"),
+      stage_mean_us("context_dft"), stage_mean_us("freq_characterization"),
+      stage_mean_us("autoencoder"));
 }
 
 constexpr size_t kSnapshotEvery = 400;
@@ -56,17 +53,21 @@ int main() {
 
   core::MaceConfig config;
   config.epochs = 5;
-  core::MaceDetector detector(config);
-  MACE_CHECK_OK(detector.Fit(dataset.services));
+  auto detector = std::make_shared<core::MaceDetector>(config);
+  MACE_CHECK_OK(detector->Fit(dataset.services));
+
+  // One tenant, one shard: the frontend's synchronous path is then an
+  // in-order StreamingScorer with serving stats attached.
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = 1;
+  auto frontend = serve::ServeFrontend::Create(detector, serve_config);
+  MACE_CHECK_OK(frontend.status());
+  const ts::TimeSeries& test = dataset.services[0].test;
 
   // Stream the test split one observation at a time. Following the SPOT
   // protocol, the threshold is calibrated online from the first
   // `kCalibration` emitted scores, then alerts fire on everything after.
   constexpr size_t kCalibration = 240;
-  auto scorer = core::StreamingScorer::Create(&detector, 0);
-  MACE_CHECK_OK(scorer.status());
-  const ts::TimeSeries& test = dataset.services[0].test;
-
   std::vector<double> scores;
   double threshold = 0.0;
   bool calibrated = false;
@@ -98,12 +99,18 @@ int main() {
     alert_count += alert;
   };
   for (size_t t = 0; t < test.length(); ++t) {
-    auto finalized = scorer->Push(test.values()[t]);
-    MACE_CHECK_OK(finalized.status());
-    for (double score : *finalized) consume(score, t);
-    if ((t + 1) % kSnapshotEvery == 0) PrintMetricsSnapshot(t + 1);
+    auto batch = (*frontend)->Score("monitor", 0, test.values()[t]);
+    MACE_CHECK_OK(batch.status());
+    MACE_CHECK_OK(batch->status);
+    for (double score : batch->scores) consume(score, t);
+    if ((t + 1) % kSnapshotEvery == 0) {
+      PrintSnapshot(t + 1, (*frontend)->Stats());
+    }
   }
-  for (double score : scorer->Finish()) {
+  // Close drains the windowed tail the stream still owes.
+  auto tail = (*frontend)->Close("monitor", 0);
+  MACE_CHECK_OK(tail.status());
+  for (double score : *tail) {
     consume(score, test.length() - 1);
   }
 

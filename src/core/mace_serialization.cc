@@ -14,6 +14,14 @@ namespace {
 
 constexpr char kMagic[] = "MACEv1";
 
+/// Every Load failure names the file and the section that broke, so an
+/// operator staring at a failed hot reload knows whether the artifact is
+/// truncated, of a foreign format, or from an incompatible build.
+Status Corrupt(const std::string& path, const std::string& reason) {
+  return Status::InvalidArgument("corrupt model file '" + path +
+                                 "': " + reason);
+}
+
 void WriteVector(std::ostream& out, const std::vector<double>& values) {
   out << values.size();
   out.precision(17);
@@ -21,15 +29,21 @@ void WriteVector(std::ostream& out, const std::vector<double>& values) {
   out << '\n';
 }
 
-Result<std::vector<double>> ReadVector(std::istream& in) {
+Result<std::vector<double>> ReadVector(std::istream& in,
+                                       const std::string& path,
+                                       const std::string& what) {
   size_t count = 0;
   if (!(in >> count)) {
-    return Status::InvalidArgument("corrupt model file: missing count");
+    return Corrupt(path, "missing element count of " + what +
+                             (in.eof() ? " (file truncated)" : ""));
   }
   std::vector<double> values(count);
-  for (double& v : values) {
-    if (!(in >> v)) {
-      return Status::InvalidArgument("corrupt model file: short vector");
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> values[i])) {
+      std::ostringstream reason;
+      reason << what << " holds " << i << " of " << count << " values";
+      if (in.eof()) reason << " (file truncated)";
+      return Corrupt(path, reason.str());
     }
   }
   return values;
@@ -78,7 +92,9 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
   std::string magic;
   in >> magic;
   if (magic != kMagic) {
-    return Status::InvalidArgument("'" + path + "' is not a MACE model");
+    return Status::InvalidArgument(
+        "'" + path + "' is not a MACE model (magic '" + magic +
+        "', expected '" + kMagic + "')");
   }
   MaceConfig config;
   in >> config.window >> config.train_stride >> config.score_stride >>
@@ -90,30 +106,42 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
       config.use_context_aware_dft >> config.use_dualistic_freq >>
       config.use_dualistic_time >> config.use_freq_characterization >>
       config.use_pattern_extraction;
-  if (!in) return Status::InvalidArgument("corrupt model file: config");
+  if (!in) {
+    return Corrupt(path, std::string("unreadable config block") +
+                             (in.eof() ? " (file truncated)" : ""));
+  }
 
   MaceDetector detector(config);
   size_t num_services = 0;
   in >> detector.num_features_ >> num_services;
   if (!in || detector.num_features_ <= 0) {
-    return Status::InvalidArgument("corrupt model file: header");
+    return Corrupt(path, "unreadable feature/service header");
   }
   int coeff_columns = -1;
   for (size_t s = 0; s < num_services; ++s) {
-    MACE_ASSIGN_OR_RETURN(std::vector<double> means, ReadVector(in));
-    MACE_ASSIGN_OR_RETURN(std::vector<double> stddevs, ReadVector(in));
+    const std::string which = "service " + std::to_string(s);
+    MACE_ASSIGN_OR_RETURN(
+        std::vector<double> means,
+        ReadVector(in, path, which + " scaler means"));
+    MACE_ASSIGN_OR_RETURN(
+        std::vector<double> stddevs,
+        ReadVector(in, path, which + " scaler stddevs"));
     ts::StandardScaler scaler =
         ts::StandardScaler::FromMoments(std::move(means),
                                         std::move(stddevs));
     size_t num_bases = 0;
     if (!(in >> num_bases)) {
-      return Status::InvalidArgument("corrupt model file: bases");
+      return Corrupt(path, "missing base count of " + which);
     }
     PatternSubspace subspace;
     subspace.bases.resize(num_bases);
-    for (int& b : subspace.bases) {
-      if (!(in >> b)) {
-        return Status::InvalidArgument("corrupt model file: base index");
+    for (size_t b = 0; b < num_bases; ++b) {
+      if (!(in >> subspace.bases[b])) {
+        std::ostringstream reason;
+        reason << which << " subspace holds " << b << " of " << num_bases
+               << " base indices";
+        if (in.eof()) reason << " (file truncated)";
+        return Corrupt(path, reason.str());
       }
     }
     coeff_columns = 2 * static_cast<int>(num_bases);
@@ -123,7 +151,7 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
     detector.scalers_.push_back(std::move(scaler));
   }
   if (coeff_columns <= 0) {
-    return Status::InvalidArgument("model file holds no services");
+    return Corrupt(path, "holds no services");
   }
 
   Rng rng(config.seed);
@@ -131,17 +159,27 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
       config, detector.num_features_, coeff_columns, &rng);
   std::vector<tensor::Tensor> params = detector.model_->Parameters();
   size_t param_tensors = 0;
-  if (!(in >> param_tensors) || param_tensors != params.size()) {
-    return Status::InvalidArgument(
-        "corrupt model file: parameter tensor count mismatch");
+  if (!(in >> param_tensors)) {
+    return Corrupt(path, std::string("missing parameter tensor count") +
+                             (in.eof() ? " (file truncated)" : ""));
   }
-  for (tensor::Tensor& p : params) {
-    MACE_ASSIGN_OR_RETURN(std::vector<double> values, ReadVector(in));
-    if (values.size() != p.data().size()) {
-      return Status::InvalidArgument(
-          "corrupt model file: parameter size mismatch");
+  if (param_tensors != params.size()) {
+    std::ostringstream reason;
+    reason << "declares " << param_tensors << " parameter tensors, this "
+           << "build's architecture expects " << params.size();
+    return Corrupt(path, reason.str());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    MACE_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        ReadVector(in, path, "parameter tensor " + std::to_string(i)));
+    if (values.size() != params[i].data().size()) {
+      std::ostringstream reason;
+      reason << "parameter tensor " << i << " holds " << values.size()
+             << " values, expected " << params[i].data().size();
+      return Corrupt(path, reason.str());
     }
-    p.mutable_data() = std::move(values);
+    params[i].mutable_data() = std::move(values);
   }
   return detector;
 }

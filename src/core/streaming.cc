@@ -118,6 +118,17 @@ Result<std::vector<double>> StreamingScorer::Push(
   return EmitFinalized(safe_before);
 }
 
+void StreamingScorer::Reset() {
+  buffer_.clear();
+  pending_.clear();
+  covered_.clear();
+  steps_consumed_ = 0;
+  next_emit_ = 0;
+  last_scored_end_ = 0;
+  scores_emitted_ = 0;
+  created_at_ = std::chrono::steady_clock::now();
+}
+
 std::vector<double> StreamingScorer::Finish() {
   if (buffer_.size() < static_cast<size_t>(window_)) {
     // Stream shorter than one window: nothing can be scored.

@@ -37,6 +37,12 @@ class StreamingScorer {
   /// observation (if available) and finalizes every remaining step.
   std::vector<double> Finish();
 
+  /// Reinitializes the pipeline in place — as if freshly Created for the
+  /// same detector and service — so a session registry can recycle a
+  /// scorer for a new stream without reallocating its instruments.
+  /// Pending (un-Finished) tail state is discarded.
+  void Reset();
+
   /// Steps consumed so far.
   size_t steps_consumed() const { return steps_consumed_; }
   /// Index of the next step whose score will be emitted.

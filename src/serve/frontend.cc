@@ -1,0 +1,81 @@
+#include "serve/frontend.h"
+
+#include <utility>
+
+namespace mace::serve {
+
+ServeFrontend::ServeFrontend(ServeConfig config,
+                             std::unique_ptr<ModelProvider> provider)
+    : config_(config), provider_(std::move(provider)) {
+  pool_ = std::make_unique<ShardedWorkerPool>(config_, provider_.get());
+}
+
+ServeFrontend::~ServeFrontend() {
+  if (pool_ != nullptr) pool_->Stop();
+}
+
+Result<std::unique_ptr<ServeFrontend>> ServeFrontend::Create(
+    std::shared_ptr<const core::MaceDetector> model, ServeConfig config) {
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.queue_capacity < 1) {
+    return Status::InvalidArgument("queue_capacity must be >= 1");
+  }
+  if (config.max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  MACE_ASSIGN_OR_RETURN(std::unique_ptr<ModelProvider> provider,
+                        ModelProvider::Create(std::move(model)));
+  return std::unique_ptr<ServeFrontend>(
+      new ServeFrontend(config, std::move(provider)));
+}
+
+Result<std::future<ScoreBatch>> ServeFrontend::Submit(
+    const std::string& tenant, int service,
+    std::vector<double> observation) {
+  const ModelProvider::Handle handle = provider_->Current();
+  if (service < 0 ||
+      static_cast<size_t>(service) >= handle.model->subspaces().size()) {
+    return Status::OutOfRange(
+        "service " + std::to_string(service) + " outside the " +
+        std::to_string(handle.model->subspaces().size()) +
+        " services of model generation " +
+        std::to_string(handle.generation));
+  }
+  return pool_->Submit(SessionKey{tenant, service}, std::move(observation));
+}
+
+Result<ScoreBatch> ServeFrontend::Score(const std::string& tenant,
+                                        int service,
+                                        std::vector<double> observation) {
+  MACE_ASSIGN_OR_RETURN(std::future<ScoreBatch> future,
+                        Submit(tenant, service, std::move(observation)));
+  return future.get();
+}
+
+Result<std::vector<double>> ServeFrontend::Close(const std::string& tenant,
+                                                 int service) {
+  ScoreBatch batch = pool_->Close(SessionKey{tenant, service}).get();
+  if (!batch.status.ok()) return batch.status;
+  return std::move(batch.scores);
+}
+
+Status ServeFrontend::Reload(const std::string& path) {
+  return provider_->Reload(path);
+}
+
+Status ServeFrontend::Swap(
+    std::shared_ptr<const core::MaceDetector> next) {
+  return provider_->Swap(std::move(next));
+}
+
+void ServeFrontend::Flush() { pool_->Flush(); }
+
+ServeStats ServeFrontend::Stats() const {
+  ServeStats stats = pool_->Stats();
+  stats.model_generation = provider_->generation();
+  return stats;
+}
+
+}  // namespace mace::serve

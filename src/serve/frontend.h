@@ -1,0 +1,90 @@
+#ifndef MACE_SERVE_FRONTEND_H_
+#define MACE_SERVE_FRONTEND_H_
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/model_provider.h"
+#include "serve/types.h"
+#include "serve/worker_pool.h"
+
+namespace mace::serve {
+
+/// \brief Embeddable multi-tenant serving facade over a fitted
+/// MaceDetector — the paper's C2 cloud deployment as a subsystem.
+///
+/// One frontend multiplexes any number of (tenant, service) observation
+/// streams onto a sharded worker pool of StreamingScorer sessions:
+///
+///   auto frontend = ServeFrontend::Create(model, config);
+///   std::future<ScoreBatch> f =
+///       (*frontend)->Submit("tenant-a", /*service=*/0, observation);
+///   // ... or the synchronous path:
+///   Result<ScoreBatch> batch = (*frontend)->Score("tenant-a", 0, obs);
+///
+/// Sessions open lazily on first Submit, are pinned to a shard by tenant
+/// hash (per-session scoring is single-threaded and in submission
+/// order), idle out after `session_ttl_ms`, and keep the model they
+/// opened with across Reload/Swap — a hot reload drains old sessions on
+/// the old model while new sessions open on the new one.
+class ServeFrontend {
+ public:
+  /// Validates the model (non-null, fitted) and the config
+  /// (num_shards/queue_capacity/max_batch >= 1) and starts the shard
+  /// workers.
+  static Result<std::unique_ptr<ServeFrontend>> Create(
+      std::shared_ptr<const core::MaceDetector> model,
+      ServeConfig config = ServeConfig());
+
+  ~ServeFrontend();
+  ServeFrontend(const ServeFrontend&) = delete;
+  ServeFrontend& operator=(const ServeFrontend&) = delete;
+
+  /// Asynchronous path: enqueues the observation on its tenant's shard
+  /// under the overload policy. Fails fast (without touching the pool)
+  /// when `service` is outside the current model's fitted services.
+  Result<std::future<ScoreBatch>> Submit(const std::string& tenant,
+                                         int service,
+                                         std::vector<double> observation);
+
+  /// Synchronous path: Submit + wait. Still routed through the shard
+  /// queue, so it composes with concurrent Submits to the same session.
+  Result<ScoreBatch> Score(const std::string& tenant, int service,
+                           std::vector<double> observation);
+
+  /// Finishes the session's pending tail, closes it, and returns the
+  /// tail scores (empty when the session does not exist).
+  Result<std::vector<double>> Close(const std::string& tenant, int service);
+
+  /// Hot reload from disk: on success new sessions open on the loaded
+  /// model; live sessions keep draining on theirs. On failure the live
+  /// model is untouched and the descriptive load error is returned.
+  Status Reload(const std::string& path);
+  /// Same, with an already-fitted in-memory detector.
+  Status Swap(std::shared_ptr<const core::MaceDetector> next);
+
+  /// Barrier: waits until everything submitted before the call is scored.
+  void Flush();
+
+  ServeStats Stats() const;
+  uint64_t model_generation() const { return provider_->generation(); }
+  const ServeConfig& config() const { return config_; }
+
+  /// The pool, for tests that need shard-level control.
+  ShardedWorkerPool& pool_for_test() { return *pool_; }
+
+ private:
+  ServeFrontend(ServeConfig config,
+                std::unique_ptr<ModelProvider> provider);
+
+  ServeConfig config_;
+  std::unique_ptr<ModelProvider> provider_;
+  std::unique_ptr<ShardedWorkerPool> pool_;
+};
+
+}  // namespace mace::serve
+
+#endif  // MACE_SERVE_FRONTEND_H_

@@ -1,0 +1,58 @@
+#include "serve/model_provider.h"
+
+#include <utility>
+
+namespace mace::serve {
+
+ModelProvider::ModelProvider(
+    std::shared_ptr<const core::MaceDetector> initial)
+    : current_(std::move(initial)) {
+  generation_gauge_ = obs::Metrics().GetGauge(
+      "mace_serve_model_generation",
+      "Reload generation of the currently served model (1 = initial)");
+  generation_gauge_->Set(1.0);
+}
+
+Status ModelProvider::Validate(const core::MaceDetector* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("model must not be null");
+  }
+  if (model->ParameterCount() == 0 || model->subspaces().empty()) {
+    return Status::FailedPrecondition("model is not fitted");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ModelProvider>> ModelProvider::Create(
+    std::shared_ptr<const core::MaceDetector> initial) {
+  MACE_RETURN_IF_ERROR(Validate(initial.get()));
+  return std::unique_ptr<ModelProvider>(
+      new ModelProvider(std::move(initial)));
+}
+
+ModelProvider::Handle ModelProvider::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Handle{current_, generation_.load(std::memory_order_relaxed)};
+}
+
+Status ModelProvider::Swap(
+    std::shared_ptr<const core::MaceDetector> next) {
+  MACE_RETURN_IF_ERROR(Validate(next.get()));
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(next);
+    generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  generation_gauge_->Set(static_cast<double>(generation));
+  return Status::OK();
+}
+
+Status ModelProvider::Reload(const std::string& path) {
+  Result<core::MaceDetector> loaded = core::MaceDetector::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  return Swap(std::make_shared<const core::MaceDetector>(
+      std::move(loaded).value()));
+}
+
+}  // namespace mace::serve

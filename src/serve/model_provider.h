@@ -1,0 +1,60 @@
+#ifndef MACE_SERVE_MODEL_PROVIDER_H_
+#define MACE_SERVE_MODEL_PROVIDER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "core/mace_detector.h"
+#include "obs/metrics.h"
+
+namespace mace::serve {
+
+/// \brief Shared handle to the currently-live fitted detector plus its
+/// reload generation — the hot-reload pivot of the serving subsystem.
+///
+/// Sessions capture the shared_ptr when they open, so Swap never
+/// invalidates in-flight sessions: they keep draining on the model they
+/// opened with (their scores stay bit-identical to an uninterrupted
+/// stream) while sessions opened after the swap run on the replacement.
+/// The old model is freed once its last session closes or is evicted.
+class ModelProvider {
+ public:
+  struct Handle {
+    std::shared_ptr<const core::MaceDetector> model;
+    uint64_t generation = 0;
+  };
+
+  /// \param initial fitted detector to serve; must be non-null and fitted.
+  static Result<std::unique_ptr<ModelProvider>> Create(
+      std::shared_ptr<const core::MaceDetector> initial);
+
+  Handle Current() const;
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically replaces the served model (generation += 1). `next` must
+  /// be non-null and fitted.
+  Status Swap(std::shared_ptr<const core::MaceDetector> next);
+
+  /// Hot reload from disk: MaceDetector::Load(path), then Swap. On any
+  /// load error the live model stays untouched and the descriptive load
+  /// Status (path + reason) is returned.
+  Status Reload(const std::string& path);
+
+ private:
+  explicit ModelProvider(std::shared_ptr<const core::MaceDetector> initial);
+
+  static Status Validate(const core::MaceDetector* model);
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const core::MaceDetector> current_;
+  std::atomic<uint64_t> generation_{1};
+  obs::Gauge* generation_gauge_ = nullptr;
+};
+
+}  // namespace mace::serve
+
+#endif  // MACE_SERVE_MODEL_PROVIDER_H_

@@ -1,0 +1,79 @@
+#include "serve/session_registry.h"
+
+namespace mace::serve {
+
+Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
+    const SessionKey& key, const ModelProvider::Handle& handle,
+    Clock::time_point now) {
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) return &it->second;
+
+  // Reuse a pooled scorer bound to the same (model, service).
+  const auto pool_key = std::make_pair(handle.model.get(), key.service);
+  auto pooled = free_pool_.find(pool_key);
+  if (pooled != free_pool_.end() && !pooled->second.empty()) {
+    Session session = std::move(pooled->second.back());
+    pooled->second.pop_back();
+    if (pooled->second.empty()) free_pool_.erase(pooled);
+    session.last_used = now;
+    ++recycled_hits_;
+    auto inserted = sessions_.emplace(key, std::move(session));
+    return &inserted.first->second;
+  }
+
+  Result<core::StreamingScorer> scorer =
+      core::StreamingScorer::Create(handle.model.get(), key.service);
+  if (!scorer.ok()) return scorer.status();
+  auto inserted = sessions_.emplace(
+      key, Session{handle, std::move(scorer).value(), now});
+  return &inserted.first->second;
+}
+
+SessionRegistry::Session* SessionRegistry::Find(const SessionKey& key) {
+  auto it = sessions_.find(key);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+bool SessionRegistry::Recycle(const SessionKey& key,
+                              const core::MaceDetector* current_model) {
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) return false;
+  Session session = std::move(it->second);
+  sessions_.erase(it);
+  if (session.model.model.get() == current_model) {
+    session.scorer.Reset();
+    free_pool_[std::make_pair(session.model.model.get(), key.service)]
+        .push_back(std::move(session));
+  }
+  return true;
+}
+
+size_t SessionRegistry::EvictIdle(Clock::time_point now,
+                                  Clock::duration ttl,
+                                  const core::MaceDetector* current_model) {
+  std::vector<SessionKey> idle;
+  for (const auto& [key, session] : sessions_) {
+    if (now - session.last_used >= ttl) idle.push_back(key);
+  }
+  for (const SessionKey& key : idle) Recycle(key, current_model);
+  return idle.size();
+}
+
+void SessionRegistry::PruneFreePool(
+    const core::MaceDetector* current_model) {
+  for (auto it = free_pool_.begin(); it != free_pool_.end();) {
+    if (it->first.first != current_model) {
+      it = free_pool_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t SessionRegistry::free_pool_size() const {
+  size_t total = 0;
+  for (const auto& [key, pool] : free_pool_) total += pool.size();
+  return total;
+}
+
+}  // namespace mace::serve

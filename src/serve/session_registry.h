@@ -1,0 +1,80 @@
+#ifndef MACE_SERVE_SESSION_REGISTRY_H_
+#define MACE_SERVE_SESSION_REGISTRY_H_
+
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/streaming.h"
+#include "serve/model_provider.h"
+#include "serve/types.h"
+
+namespace mace::serve {
+
+/// \brief Owns the live StreamingScorer sessions of one shard.
+///
+/// NOT thread-safe by design: every registry belongs to exactly one shard
+/// worker thread (sessions are pinned to shards by tenant hash), which
+/// makes per-session scoring single-threaded and lock-free without any
+/// session-level synchronization.
+///
+/// Each session pins the model it opened with (shared_ptr), so a hot
+/// reload leaves it untouched. Recycled scorers go to a free pool keyed
+/// by (model, service) and are reused via StreamingScorer::Reset()
+/// instead of reallocating; pool entries for models that are no longer
+/// current are dropped so retired models don't linger.
+class SessionRegistry {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Session {
+    ModelProvider::Handle model;
+    core::StreamingScorer scorer;
+    Clock::time_point last_used;
+  };
+
+  /// Returns the session for `key`, opening one on `handle.model` if
+  /// absent (recycled from the free pool when possible).
+  Result<Session*> GetOrCreate(const SessionKey& key,
+                               const ModelProvider::Handle& handle,
+                               Clock::time_point now);
+
+  /// Session for `key`, or nullptr.
+  Session* Find(const SessionKey& key);
+
+  /// Removes the session; its scorer is Reset and pooled when the session
+  /// still runs `current_model`, discarded otherwise. Returns true if the
+  /// session existed. Call scorer.Finish() first if the tail matters.
+  bool Recycle(const SessionKey& key,
+               const core::MaceDetector* current_model);
+
+  /// Recycles every session idle since before `now - ttl`; returns the
+  /// number evicted. Their pending (un-Finished) tails are discarded.
+  size_t EvictIdle(Clock::time_point now, Clock::duration ttl,
+                   const core::MaceDetector* current_model);
+
+  /// Drops pooled scorers not bound to `current_model` (called after a
+  /// model swap so the old model's memory can be released).
+  void PruneFreePool(const core::MaceDetector* current_model);
+
+  size_t size() const { return sessions_.size(); }
+  size_t free_pool_size() const;
+  /// Lifetime count of sessions served from the free pool (telemetry).
+  uint64_t recycled_hits() const { return recycled_hits_; }
+
+ private:
+  std::unordered_map<SessionKey, Session, SessionKeyHash> sessions_;
+  /// Reset scorers ready for reuse, keyed by (model, service index) —
+  /// a scorer is bound to both, so reuse must match both. The pooled
+  /// handle keeps the model alive as long as the pool entry exists.
+  std::map<std::pair<const core::MaceDetector*, int>, std::vector<Session>>
+      free_pool_;
+  uint64_t recycled_hits_ = 0;
+};
+
+}  // namespace mace::serve
+
+#endif  // MACE_SERVE_SESSION_REGISTRY_H_

@@ -1,0 +1,57 @@
+#include "serve/types.h"
+
+#include <cstdio>
+
+namespace mace::serve {
+
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock:
+      return "block";
+    case OverloadPolicy::kShed:
+      return "shed";
+    case OverloadPolicy::kLatestOnly:
+      return "latest_only";
+  }
+  return "unknown";
+}
+
+ShardStats ServeStats::Totals() const {
+  ShardStats total;
+  double wait_weighted = 0.0;
+  for (const ShardStats& shard : shards) {
+    total.queue_depth += shard.queue_depth;
+    total.sessions_active += shard.sessions_active;
+    total.submitted += shard.submitted;
+    total.scored_steps += shard.scored_steps;
+    total.emitted += shard.emitted;
+    total.shed += shard.shed;
+    total.sessions_evicted += shard.sessions_evicted;
+    wait_weighted +=
+        shard.mean_queue_wait_us * static_cast<double>(shard.scored_steps);
+  }
+  if (total.scored_steps > 0) {
+    total.mean_queue_wait_us =
+        wait_weighted / static_cast<double>(total.scored_steps);
+  }
+  return total;
+}
+
+std::string ServeStats::FormatLine() const {
+  const ShardStats t = Totals();
+  char line[256];
+  std::snprintf(
+      line, sizeof(line),
+      "serve gen %llu | sessions %zu | q %zu | in %llu scored %llu out "
+      "%llu | shed %llu evicted %llu | wait %.0fus",
+      static_cast<unsigned long long>(model_generation), t.sessions_active,
+      t.queue_depth, static_cast<unsigned long long>(t.submitted),
+      static_cast<unsigned long long>(t.scored_steps),
+      static_cast<unsigned long long>(t.emitted),
+      static_cast<unsigned long long>(t.shed),
+      static_cast<unsigned long long>(t.sessions_evicted),
+      t.mean_queue_wait_us);
+  return line;
+}
+
+}  // namespace mace::serve

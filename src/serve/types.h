@@ -1,0 +1,102 @@
+#ifndef MACE_SERVE_TYPES_H_
+#define MACE_SERVE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mace::serve {
+
+/// \brief Identity of one logical stream in the pool: a tenant (the
+/// isolation domain — team, customer, cluster) monitoring one service
+/// index of the fitted model.
+///
+/// All sessions of a tenant are pinned to one shard (hashed on the tenant
+/// alone), so per-tenant scoring is single-threaded by construction.
+struct SessionKey {
+  std::string tenant;
+  int service = 0;
+
+  bool operator==(const SessionKey& other) const {
+    return service == other.service && tenant == other.tenant;
+  }
+};
+
+struct SessionKeyHash {
+  size_t operator()(const SessionKey& key) const {
+    // The tenant hash alone picks the shard; mixing the service in keeps
+    // map buckets spread within a shard.
+    const size_t h = std::hash<std::string>()(key.tenant);
+    return h ^ (std::hash<int>()(key.service) + 0x9e3779b97f4a7c15ull +
+                (h << 6) + (h >> 2));
+  }
+};
+
+/// \brief What Submit does when the target shard's queue is full.
+enum class OverloadPolicy {
+  kBlock,       ///< producer waits for space — lossless backpressure
+  kShed,        ///< reject the new observation — newest loses
+  kLatestOnly,  ///< drop the oldest queued observation — newest wins
+};
+
+const char* OverloadPolicyName(OverloadPolicy policy);
+
+/// \brief Outcome of one submitted observation: the scores it finalized
+/// (empty while the session's window pipeline fills, one per step once it
+/// flows) or why it produced none.
+///
+/// Under kShed/kLatestOnly a dropped observation never reaches its
+/// session, so the session's step clock skips it — time-contiguity of a
+/// shed stream is the caller's concern.
+struct ScoreBatch {
+  std::vector<double> scores;
+  /// Session step index of scores.front() (valid when scores non-empty).
+  size_t first_step = 0;
+  /// True when the overload policy dropped the observation.
+  bool dropped = false;
+  /// Non-OK when the observation reached its session but scoring failed
+  /// (e.g. wrong feature count, service index gone after a model swap).
+  Status status;
+};
+
+struct ServeConfig {
+  int num_shards = 4;
+  size_t queue_capacity = 1024;  ///< per-shard bound, in observations
+  size_t max_batch = 64;         ///< micro-batch drained per worker wakeup
+  OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+  /// Sessions idle longer than this are evicted and their scorers
+  /// recycled (pending un-Finished tail discarded); <= 0 disables TTL.
+  int64_t session_ttl_ms = 5 * 60 * 1000;
+};
+
+struct ShardStats {
+  size_t queue_depth = 0;
+  size_t sessions_active = 0;
+  uint64_t submitted = 0;      ///< observations accepted into the queue
+  uint64_t scored_steps = 0;   ///< observations consumed by a scorer
+  uint64_t emitted = 0;        ///< finalized scores returned
+  uint64_t shed = 0;           ///< observations dropped by overload policy
+  uint64_t sessions_evicted = 0;
+  double mean_queue_wait_us = 0.0;
+};
+
+/// \brief One coherent snapshot of the whole pool — the single live-stats
+/// path shared by the mace_served dashboard and streaming_monitor.
+struct ServeStats {
+  uint64_t model_generation = 0;
+  std::vector<ShardStats> shards;
+
+  /// Sums the shards (mean wait weighted by scored observations).
+  ShardStats Totals() const;
+  /// One dashboard line, e.g.
+  /// "serve gen 1 | sessions 64 | q 12 | in 8000 scored 7988 out 5440 |
+  ///  shed 0 evicted 0 | wait 113us".
+  std::string FormatLine() const;
+};
+
+}  // namespace mace::serve
+
+#endif  // MACE_SERVE_TYPES_H_

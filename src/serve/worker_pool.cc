@@ -1,0 +1,331 @@
+#include "serve/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mace::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Worker wakeup period when idle: bounds the staleness of TTL eviction
+/// sweeps without costing anything under load (loaded workers never wait).
+Clock::duration SweepInterval(const ServeConfig& config) {
+  if (config.session_ttl_ms <= 0) return std::chrono::seconds(1);
+  const auto quarter =
+      std::chrono::milliseconds(config.session_ttl_ms) / 4;
+  return std::clamp<Clock::duration>(quarter, std::chrono::milliseconds(1),
+                                     std::chrono::seconds(1));
+}
+
+ScoreBatch DroppedBatch() {
+  ScoreBatch batch;
+  batch.dropped = true;
+  return batch;
+}
+
+}  // namespace
+
+ShardedWorkerPool::Shard::Shard(int index, const ServeConfig& config,
+                                ModelProvider* provider)
+    : index_(index), config_(config), provider_(provider) {
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  const obs::Labels labels = {{"shard", std::to_string(index)}};
+  submitted_counter_ = metrics.GetCounter(
+      "mace_serve_submitted_total",
+      "Observations accepted into a shard queue", labels);
+  shed_counter_ = metrics.GetCounter(
+      "mace_serve_shed_total",
+      "Observations dropped by the overload policy", labels);
+  evicted_counter_ = metrics.GetCounter(
+      "mace_serve_sessions_evicted_total",
+      "Sessions evicted by the idle TTL", labels);
+  depth_gauge_ = metrics.GetGauge(
+      "mace_serve_queue_depth", "Current shard queue depth", labels);
+  sessions_gauge_ = metrics.GetGauge(
+      "mace_serve_sessions_active", "Live sessions owned by the shard",
+      labels);
+  queue_wait_hist_ = metrics.GetHistogram(
+      "mace_serve_queue_wait_seconds",
+      "Time an observation spent queued before its shard worker took it",
+      labels, obs::LatencyBuckets());
+  batch_size_hist_ = metrics.GetHistogram(
+      "mace_serve_batch_size",
+      "Observations drained per worker wakeup (micro-batch size)", labels,
+      obs::StepBuckets());
+  worker_ = std::thread([this] { Run(); });
+}
+
+ShardedWorkerPool::Shard::~Shard() { Stop(); }
+
+void ShardedWorkerPool::Shard::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  queue_nonempty_.notify_all();
+  queue_has_space_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::future<ScoreBatch> ShardedWorkerPool::Shard::Enqueue(WorkItem item,
+                                                          bool control) {
+  item.enqueued_at = Clock::now();
+  std::future<ScoreBatch> future = item.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!control && queue_.size() >= config_.queue_capacity) {
+      switch (config_.overload_policy) {
+        case OverloadPolicy::kBlock:
+          queue_has_space_.wait(lock, [this] {
+            return stop_ || queue_.size() < config_.queue_capacity;
+          });
+          break;
+        case OverloadPolicy::kShed: {
+          lock.unlock();
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          shed_counter_->Increment();
+          item.promise.set_value(DroppedBatch());
+          return future;
+        }
+        case OverloadPolicy::kLatestOnly: {
+          // Newest wins: drop the oldest queued *observation* (control
+          // items are never dropped) to make room.
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->kind == WorkItem::Kind::kScore) {
+              it->promise.set_value(DroppedBatch());
+              queue_.erase(it);
+              shed_.fetch_add(1, std::memory_order_relaxed);
+              shed_counter_->Increment();
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (stop_) {
+      lock.unlock();
+      ScoreBatch stopped;
+      stopped.status = Status::FailedPrecondition("serving pool stopped");
+      item.promise.set_value(std::move(stopped));
+      return future;
+    }
+    if (item.kind == WorkItem::Kind::kScore) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      submitted_counter_->Increment();
+    }
+    queue_.push_back(std::move(item));
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+  queue_nonempty_.notify_one();
+  return future;
+}
+
+void ShardedWorkerPool::Shard::Run() {
+  const Clock::duration sweep_interval = SweepInterval(config_);
+  Clock::time_point last_sweep = Clock::now();
+  uint64_t seen_generation = 0;
+  std::vector<WorkItem> batch;
+  batch.reserve(config_.max_batch);
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_nonempty_.wait_for(lock, sweep_interval, [this] {
+        return stop_ || !queue_.empty();
+      });
+      if (stop_ && queue_.empty()) break;
+      const size_t n = std::min(queue_.size(), config_.max_batch);
+      for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+    queue_has_space_.notify_all();
+
+    if (!batch.empty()) {
+      batch_size_hist_->Observe(static_cast<double>(batch.size()));
+      // One provider lookup per micro-batch, not per observation.
+      const ModelProvider::Handle handle = provider_->Current();
+      if (handle.generation != seen_generation) {
+        registry_.PruneFreePool(handle.model.get());
+        seen_generation = handle.generation;
+      }
+      for (WorkItem& item : batch) Process(item, handle);
+      sessions_gauge_->Set(static_cast<double>(registry_.size()));
+    }
+
+    if (config_.session_ttl_ms > 0) {
+      const Clock::time_point now = Clock::now();
+      if (now - last_sweep >= sweep_interval) {
+        const size_t evicted = registry_.EvictIdle(
+            now, std::chrono::milliseconds(config_.session_ttl_ms),
+            provider_->Current().model.get());
+        if (evicted > 0) {
+          evicted_.fetch_add(evicted, std::memory_order_relaxed);
+          evicted_counter_->Increment(evicted);
+          sessions_active_.store(registry_.size(),
+                                 std::memory_order_relaxed);
+          sessions_gauge_->Set(static_cast<double>(registry_.size()));
+        }
+        last_sweep = now;
+      }
+    }
+  }
+}
+
+void ShardedWorkerPool::Shard::Process(WorkItem& item,
+                                       const ModelProvider::Handle& handle) {
+  const Clock::time_point now = Clock::now();
+  switch (item.kind) {
+    case WorkItem::Kind::kFence:
+      item.promise.set_value(ScoreBatch());
+      return;
+    case WorkItem::Kind::kGate:
+      item.promise.set_value(ScoreBatch());
+      if (item.gate.valid()) item.gate.wait();
+      return;
+    case WorkItem::Kind::kClose: {
+      ScoreBatch batch;
+      SessionRegistry::Session* session = registry_.Find(item.key);
+      if (session != nullptr) {
+        batch.first_step = session->scorer.next_emitted_step();
+        batch.scores = session->scorer.Finish();
+        emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
+        registry_.Recycle(item.key, handle.model.get());
+      }
+      // Before the promise resolves, so a caller that waited on it reads
+      // an up-to-date session count from Stats().
+      sessions_active_.store(registry_.size(), std::memory_order_relaxed);
+      item.promise.set_value(std::move(batch));
+      return;
+    }
+    case WorkItem::Kind::kScore: {
+      queue_wait_hist_->Observe(
+          std::chrono::duration<double>(now - item.enqueued_at).count());
+      queue_wait_ns_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  now - item.enqueued_at)
+                  .count()),
+          std::memory_order_relaxed);
+      queue_wait_samples_.fetch_add(1, std::memory_order_relaxed);
+
+      ScoreBatch batch;
+      Result<SessionRegistry::Session*> session =
+          registry_.GetOrCreate(item.key, handle, now);
+      if (!session.ok()) {
+        batch.status = session.status();
+        item.promise.set_value(std::move(batch));
+        return;
+      }
+      (*session)->last_used = now;
+      sessions_active_.store(registry_.size(), std::memory_order_relaxed);
+      batch.first_step = (*session)->scorer.next_emitted_step();
+      Result<std::vector<double>> scores =
+          (*session)->scorer.Push(item.observation);
+      scored_steps_.fetch_add(1, std::memory_order_relaxed);
+      if (!scores.ok()) {
+        batch.status = scores.status();
+      } else {
+        batch.scores = std::move(scores).value();
+        emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
+      }
+      item.promise.set_value(std::move(batch));
+      return;
+    }
+  }
+}
+
+ShardStats ShardedWorkerPool::Shard::Stats() const {
+  ShardStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queue_.size();
+  }
+  stats.sessions_active = sessions_active_.load(std::memory_order_relaxed);
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.scored_steps = scored_steps_.load(std::memory_order_relaxed);
+  stats.emitted = emitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.sessions_evicted = evicted_.load(std::memory_order_relaxed);
+  const uint64_t samples =
+      queue_wait_samples_.load(std::memory_order_relaxed);
+  if (samples > 0) {
+    stats.mean_queue_wait_us =
+        static_cast<double>(queue_wait_ns_.load(std::memory_order_relaxed)) /
+        1e3 / static_cast<double>(samples);
+  }
+  return stats;
+}
+
+ShardedWorkerPool::ShardedWorkerPool(const ServeConfig& config,
+                                     ModelProvider* provider) {
+  shards_.reserve(static_cast<size_t>(config.num_shards));
+  for (int i = 0; i < config.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, config, provider));
+  }
+}
+
+ShardedWorkerPool::~ShardedWorkerPool() { Stop(); }
+
+void ShardedWorkerPool::Stop() {
+  for (auto& shard : shards_) shard->Stop();
+}
+
+int ShardedWorkerPool::ShardOf(const std::string& tenant) const {
+  return static_cast<int>(std::hash<std::string>()(tenant) %
+                          shards_.size());
+}
+
+std::future<ScoreBatch> ShardedWorkerPool::Submit(
+    SessionKey key, std::vector<double> observation) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key.tenant))];
+  WorkItem item;
+  item.kind = WorkItem::Kind::kScore;
+  item.key = std::move(key);
+  item.observation = std::move(observation);
+  return shard.Enqueue(std::move(item), /*control=*/false);
+}
+
+std::future<ScoreBatch> ShardedWorkerPool::Close(SessionKey key) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key.tenant))];
+  WorkItem item;
+  item.kind = WorkItem::Kind::kClose;
+  item.key = std::move(key);
+  return shard.Enqueue(std::move(item), /*control=*/true);
+}
+
+void ShardedWorkerPool::Flush() {
+  std::vector<std::future<ScoreBatch>> fences;
+  fences.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    WorkItem item;
+    item.kind = WorkItem::Kind::kFence;
+    fences.push_back(shard->Enqueue(std::move(item), /*control=*/true));
+  }
+  for (auto& fence : fences) fence.wait();
+}
+
+ServeStats ShardedWorkerPool::Stats() const {
+  ServeStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.shards.push_back(shard->Stats());
+  return stats;
+}
+
+void ShardedWorkerPool::BlockShardUntilForTest(
+    int shard, std::shared_future<void> gate) {
+  WorkItem item;
+  item.kind = WorkItem::Kind::kGate;
+  item.gate = std::move(gate);
+  shards_[static_cast<size_t>(shard)]
+      ->Enqueue(std::move(item), /*control=*/true)
+      .wait();
+}
+
+}  // namespace mace::serve

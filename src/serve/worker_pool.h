@@ -1,0 +1,127 @@
+#ifndef MACE_SERVE_WORKER_POOL_H_
+#define MACE_SERVE_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/model_provider.h"
+#include "serve/session_registry.h"
+#include "serve/types.h"
+
+namespace mace::serve {
+
+/// \brief N shards, each one worker thread plus a bounded MPSC queue.
+///
+/// Sessions are pinned to shards by tenant hash, so all observations of a
+/// tenant are scored by one thread in submission order — per-session
+/// state needs no locks. Workers drain up to `max_batch` queued
+/// observations per wakeup (micro-batching amortizes wakeups and the one
+/// ModelProvider lookup per batch), and a full queue triggers the
+/// configured overload policy. Queue depth, shed counts, micro-batch
+/// sizes and queue-wait latencies are exported per shard through the
+/// obs metrics registry.
+class ShardedWorkerPool {
+ public:
+  /// `provider` must outlive the pool. `config` is assumed validated
+  /// (ServeFrontend::Create is the validating entry point).
+  ShardedWorkerPool(const ServeConfig& config, ModelProvider* provider);
+  ~ShardedWorkerPool();
+
+  /// Enqueues one observation under the overload policy. The future
+  /// resolves when the shard worker scored (or shed) it.
+  std::future<ScoreBatch> Submit(SessionKey key,
+                                 std::vector<double> observation);
+
+  /// Finishes the session's tail, evicts it, and resolves the future with
+  /// the tail scores (empty batch when no such session exists).
+  std::future<ScoreBatch> Close(SessionKey key);
+
+  /// Barrier: returns once every observation queued before the call has
+  /// been processed.
+  void Flush();
+
+  /// Stops accepting work, drains every queue, joins the workers.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  ServeStats Stats() const;
+  int ShardOf(const std::string& tenant) const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Test hook: parks `shard`'s worker until `gate` becomes ready, so
+  /// tests can fill a queue deterministically and observe the overload
+  /// policies. Bypasses the capacity bound.
+  void BlockShardUntilForTest(int shard, std::shared_future<void> gate);
+
+ private:
+  struct WorkItem {
+    enum class Kind { kScore, kClose, kFence, kGate };
+    Kind kind = Kind::kScore;
+    SessionKey key;
+    std::vector<double> observation;
+    std::promise<ScoreBatch> promise;
+    std::shared_future<void> gate;  // kGate only
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  class Shard {
+   public:
+    Shard(int index, const ServeConfig& config, ModelProvider* provider);
+    ~Shard();
+
+    /// `control` items (fences, closes, gates) bypass the capacity bound
+    /// and are never shed.
+    std::future<ScoreBatch> Enqueue(WorkItem item, bool control);
+    void Stop();
+    ShardStats Stats() const;
+
+   private:
+    void Run();
+    void Process(WorkItem& item, const ModelProvider::Handle& handle);
+
+    const int index_;
+    const ServeConfig config_;
+    ModelProvider* const provider_;
+    SessionRegistry registry_;  // worker-thread-only
+
+    mutable std::mutex mu_;
+    std::condition_variable queue_nonempty_;
+    std::condition_variable queue_has_space_;
+    std::deque<WorkItem> queue_;
+    bool stop_ = false;
+
+    // Read by Stats() from arbitrary threads.
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> scored_steps_{0};
+    std::atomic<uint64_t> emitted_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> evicted_{0};
+    std::atomic<size_t> sessions_active_{0};
+    std::atomic<uint64_t> queue_wait_ns_{0};
+    std::atomic<uint64_t> queue_wait_samples_{0};
+
+    obs::Counter* submitted_counter_ = nullptr;
+    obs::Counter* shed_counter_ = nullptr;
+    obs::Counter* evicted_counter_ = nullptr;
+    obs::Gauge* depth_gauge_ = nullptr;
+    obs::Gauge* sessions_gauge_ = nullptr;
+    obs::Histogram* queue_wait_hist_ = nullptr;
+    obs::Histogram* batch_size_hist_ = nullptr;
+
+    std::thread worker_;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mace::serve
+
+#endif  // MACE_SERVE_WORKER_POOL_H_

@@ -1,4 +1,6 @@
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -123,6 +125,79 @@ TEST(SerializationTest, TruncatedFileDetected) {
     fclose(f);
   }
   EXPECT_FALSE(MaceDetector::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileErrorNamesPathAndReason) {
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(TinyWorkload()).ok());
+  const std::string path = ::testing::TempDir() + "/trunc_reason.mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+
+  // Truncate mid-file at several byte counts: every failure must be a
+  // descriptive InvalidArgument naming the file and calling out the
+  // truncation, never a generic error (a failed hot reload surfaces this
+  // message to the operator).
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  // (Truncation points land mid-value; cutting only the final bytes could
+  // still parse as a shorter valid number.)
+  for (const size_t keep : {contents.size() / 8, contents.size() / 2}) {
+    {
+      std::ofstream out(path, std::ios::trunc);
+      out.write(contents.data(), static_cast<std::streamsize>(keep));
+    }
+    auto loaded = MaceDetector::Load(path);
+    ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+        << "message lacks the path: " << loaded.status().message();
+    EXPECT_NE(loaded.status().message().find("truncated"),
+              std::string::npos)
+        << "message lacks the reason: " << loaded.status().message();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, CorruptValueErrorNamesPathAndSection) {
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(TinyWorkload()).ok());
+  const std::string path = ::testing::TempDir() + "/corrupt_reason.mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+
+  // Corrupt (not truncate) the file: replace a numeric token in the last
+  // quarter — inside the parameter block — with garbage text.
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  const size_t pos = contents.find(' ', 3 * contents.size() / 4);
+  ASSERT_NE(pos, std::string::npos);
+  contents.replace(pos + 1, 1, "x");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+  auto loaded = MaceDetector::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(path), std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("parameter tensor"),
+            std::string::npos)
+      << loaded.status().message();
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,455 @@
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "serve/frontend.h"
+#include "ts/generator.h"
+
+namespace mace::serve {
+namespace {
+
+using core::MaceConfig;
+using core::MaceDetector;
+using core::StreamingScorer;
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(7 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 160, 320, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+std::shared_ptr<const MaceDetector> FittedModel(uint64_t seed = 42) {
+  MaceConfig config;
+  config.epochs = 2;
+  config.seed = seed;
+  auto detector = std::make_shared<MaceDetector>(config);
+  MACE_CHECK_OK(detector->Fit(TinyWorkload()));
+  return detector;
+}
+
+/// Streams `series` through a fresh sequential StreamingScorer — the
+/// ground truth the pool must reproduce bit-for-bit.
+std::vector<double> SequentialScores(const MaceDetector& detector,
+                                     int service,
+                                     const ts::TimeSeries& series) {
+  auto scorer = StreamingScorer::Create(&detector, service);
+  MACE_CHECK_OK(scorer.status());
+  std::vector<double> scores;
+  for (size_t t = 0; t < series.length(); ++t) {
+    auto out = scorer->Push(series.values()[t]);
+    MACE_CHECK_OK(out.status());
+    scores.insert(scores.end(), out->begin(), out->end());
+  }
+  const auto tail = scorer->Finish();
+  scores.insert(scores.end(), tail.begin(), tail.end());
+  return scores;
+}
+
+TEST(ServeFrontendTest, CreateValidatesModelAndConfig) {
+  EXPECT_FALSE(ServeFrontend::Create(nullptr).ok());
+  EXPECT_FALSE(
+      ServeFrontend::Create(std::make_shared<MaceDetector>()).ok());
+
+  auto model = FittedModel();
+  ServeConfig bad;
+  bad.num_shards = 0;
+  EXPECT_FALSE(ServeFrontend::Create(model, bad).ok());
+  bad = ServeConfig();
+  bad.queue_capacity = 0;
+  EXPECT_FALSE(ServeFrontend::Create(model, bad).ok());
+  bad = ServeConfig();
+  bad.max_batch = 0;
+  EXPECT_FALSE(ServeFrontend::Create(model, bad).ok());
+
+  EXPECT_TRUE(ServeFrontend::Create(model).ok());
+}
+
+TEST(ServeFrontendTest, SubmitRejectsUnknownService) {
+  auto frontend = ServeFrontend::Create(FittedModel());
+  ASSERT_TRUE(frontend.ok());
+  auto bad = (*frontend)->Submit("t", 9, {0.0, 0.0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE((*frontend)->Submit("t", -1, {0.0, 0.0}).ok());
+}
+
+// The tentpole equivalence property: K tenants x M steps interleaved
+// through the sharded pool produce, per tenant, exactly the sequential
+// StreamingScorer output — bit-identical, because shard pinning keeps
+// every session on one thread and in submission order.
+TEST(ServeFrontendTest, MultiTenantMatchesSequentialExactly) {
+  auto model = FittedModel();
+  const auto services = TinyWorkload();
+
+  ServeConfig config;
+  config.num_shards = 3;
+  config.max_batch = 7;  // force multiple micro-batches
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  constexpr int kTenants = 6;
+  std::vector<std::vector<std::future<ScoreBatch>>> futures(kTenants);
+  const size_t steps = services[0].test.length();
+  // Interleave tenants step by step — the adversarial submission order.
+  for (size_t t = 0; t < steps; ++t) {
+    for (int k = 0; k < kTenants; ++k) {
+      const int service = k % 2;
+      auto f = (*frontend)->Submit("tenant-" + std::to_string(k), service,
+                                   services[service].test.values()[t]);
+      ASSERT_TRUE(f.ok());
+      futures[k].push_back(std::move(*f));
+    }
+  }
+
+  for (int k = 0; k < kTenants; ++k) {
+    const int service = k % 2;
+    std::vector<double> pooled;
+    for (auto& f : futures[k]) {
+      ScoreBatch batch = f.get();
+      ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+      EXPECT_FALSE(batch.dropped);
+      if (!batch.scores.empty()) {
+        EXPECT_EQ(batch.first_step, pooled.size());
+      }
+      pooled.insert(pooled.end(), batch.scores.begin(),
+                    batch.scores.end());
+    }
+    auto tail = (*frontend)->Close("tenant-" + std::to_string(k), service);
+    ASSERT_TRUE(tail.ok());
+    pooled.insert(pooled.end(), tail->begin(), tail->end());
+
+    const std::vector<double> sequential =
+        SequentialScores(*model, service, services[service].test);
+    ASSERT_EQ(pooled.size(), sequential.size()) << "tenant " << k;
+    for (size_t t = 0; t < pooled.size(); ++t) {
+      EXPECT_EQ(pooled[t], sequential[t])
+          << "tenant " << k << " step " << t;
+    }
+  }
+
+  const ShardStats totals = (*frontend)->Stats().Totals();
+  EXPECT_EQ(totals.shed, 0u);
+  EXPECT_EQ(totals.submitted, steps * kTenants);
+  EXPECT_EQ(totals.scored_steps, steps * kTenants);
+}
+
+TEST(ServeFrontendTest, SynchronousPathMatchesSequential) {
+  auto model = FittedModel();
+  const auto services = TinyWorkload();
+  auto frontend = ServeFrontend::Create(model);
+  ASSERT_TRUE(frontend.ok());
+
+  std::vector<double> pooled;
+  for (size_t t = 0; t < services[0].test.length(); ++t) {
+    auto batch = (*frontend)->Score("sync", 0, services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(batch->status.ok());
+    pooled.insert(pooled.end(), batch->scores.begin(),
+                  batch->scores.end());
+  }
+  auto tail = (*frontend)->Close("sync", 0);
+  ASSERT_TRUE(tail.ok());
+  pooled.insert(pooled.end(), tail->begin(), tail->end());
+
+  const std::vector<double> sequential =
+      SequentialScores(*model, 0, services[0].test);
+  ASSERT_EQ(pooled.size(), sequential.size());
+  for (size_t t = 0; t < pooled.size(); ++t) {
+    EXPECT_EQ(pooled[t], sequential[t]) << "step " << t;
+  }
+}
+
+TEST(ServeFrontendTest, ScoringErrorsSurfaceInBatchStatus) {
+  auto frontend = ServeFrontend::Create(FittedModel());
+  ASSERT_TRUE(frontend.ok());
+  auto batch = (*frontend)->Score("bad", 0, {1.0, 2.0, 3.0});  // 3 != 2
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->status.ok());
+  EXPECT_FALSE(batch->dropped);
+}
+
+// Overload policies are exercised deterministically: a gate parks the
+// single shard's worker, the test fills the queue past capacity, then the
+// gate opens.
+TEST(ServeFrontendTest, ShedPolicyDropsNewestWithExactAccounting) {
+  auto model = FittedModel();
+  ServeConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 8;
+  config.overload_policy = OverloadPolicy::kShed;
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  std::promise<void> gate;
+  (*frontend)->pool_for_test().BlockShardUntilForTest(
+      0, std::shared_future<void>(gate.get_future()));
+
+  constexpr size_t kExtra = 5;
+  const auto services = TinyWorkload();
+  std::vector<std::future<ScoreBatch>> futures;
+  for (size_t i = 0; i < config.queue_capacity + kExtra; ++i) {
+    auto f = (*frontend)->Submit("tenant", 0,
+                                 services[0].test.values()[i]);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  gate.set_value();
+  (*frontend)->Flush();
+
+  // Exactly the last kExtra futures were shed, in order.
+  size_t dropped = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ScoreBatch batch = futures[i].get();
+    if (batch.dropped) {
+      ++dropped;
+      EXPECT_GE(i, config.queue_capacity) << "shed an accepted item";
+    }
+  }
+  EXPECT_EQ(dropped, kExtra);
+  const ShardStats totals = (*frontend)->Stats().Totals();
+  EXPECT_EQ(totals.shed, kExtra);
+  EXPECT_EQ(totals.submitted, config.queue_capacity);
+  EXPECT_EQ(totals.scored_steps, config.queue_capacity);
+}
+
+TEST(ServeFrontendTest, LatestOnlyPolicyDropsOldestWithExactAccounting) {
+  auto model = FittedModel();
+  ServeConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 8;
+  config.overload_policy = OverloadPolicy::kLatestOnly;
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  std::promise<void> gate;
+  (*frontend)->pool_for_test().BlockShardUntilForTest(
+      0, std::shared_future<void>(gate.get_future()));
+
+  constexpr size_t kExtra = 5;
+  const auto services = TinyWorkload();
+  std::vector<std::future<ScoreBatch>> futures;
+  for (size_t i = 0; i < config.queue_capacity + kExtra; ++i) {
+    auto f = (*frontend)->Submit("tenant", 0,
+                                 services[0].test.values()[i]);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  gate.set_value();
+  (*frontend)->Flush();
+
+  // Newest wins: exactly the first kExtra futures were dropped.
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const ScoreBatch batch = futures[i].get();
+    EXPECT_EQ(batch.dropped, i < kExtra) << "index " << i;
+  }
+  const ShardStats totals = (*frontend)->Stats().Totals();
+  EXPECT_EQ(totals.shed, kExtra);
+  EXPECT_EQ(totals.scored_steps, config.queue_capacity);
+}
+
+TEST(ServeFrontendTest, BlockPolicyLosesNothing) {
+  auto model = FittedModel();
+  ServeConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 4;  // far smaller than the submission count
+  config.overload_policy = OverloadPolicy::kBlock;
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  std::promise<void> gate;
+  (*frontend)->pool_for_test().BlockShardUntilForTest(
+      0, std::shared_future<void>(gate.get_future()));
+
+  const auto services = TinyWorkload();
+  const size_t steps = services[0].test.length();
+  // The producer must block on the full queue, so run it on its own
+  // thread and release the gate once it is saturated.
+  std::thread producer([&] {
+    for (size_t t = 0; t < steps; ++t) {
+      auto f = (*frontend)->Submit("tenant", 0,
+                                   services[0].test.values()[t]);
+      MACE_CHECK_OK(f.status());
+    }
+  });
+  while ((*frontend)->Stats().Totals().queue_depth <
+         config.queue_capacity) {
+    std::this_thread::yield();
+  }
+  gate.set_value();
+  producer.join();
+  (*frontend)->Flush();
+
+  const ShardStats totals = (*frontend)->Stats().Totals();
+  EXPECT_EQ(totals.shed, 0u);
+  EXPECT_EQ(totals.submitted, steps);
+  EXPECT_EQ(totals.scored_steps, steps);
+}
+
+// Hot reload: sessions opened before the swap drain on the old model with
+// no lost or double-scored steps; sessions opened after run on the new
+// one; the old model is released once its sessions close.
+TEST(ServeFrontendTest, HotReloadLosesNoStepsAndFreesOldModel) {
+  auto model_a = FittedModel(/*seed=*/42);
+  std::weak_ptr<const MaceDetector> weak_a = model_a;
+  const auto services = TinyWorkload();
+  const std::vector<double> sequential =
+      SequentialScores(*model_a, 0, services[0].test);
+
+  ServeConfig config;
+  config.num_shards = 2;
+  auto frontend = ServeFrontend::Create(model_a, config);
+  ASSERT_TRUE(frontend.ok());
+  EXPECT_EQ((*frontend)->model_generation(), 1u);
+
+  const size_t steps = services[0].test.length();
+  const size_t half = steps / 2;
+  std::vector<std::future<ScoreBatch>> futures;
+  for (size_t t = 0; t < half; ++t) {
+    auto f = (*frontend)->Submit("old-tenant", 0,
+                                 services[0].test.values()[t]);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+
+  // Swap to a differently-seeded (different-weights) model mid-stream.
+  auto model_b = FittedModel(/*seed=*/43);
+  ASSERT_TRUE((*frontend)->Swap(model_b).ok());
+  EXPECT_EQ((*frontend)->model_generation(), 2u);
+
+  for (size_t t = half; t < steps; ++t) {
+    auto f = (*frontend)->Submit("old-tenant", 0,
+                                 services[0].test.values()[t]);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+
+  // The pre-swap session drains on model A: every step scored exactly
+  // once, bit-identical to an uninterrupted sequential stream on A.
+  std::vector<double> pooled;
+  for (auto& f : futures) {
+    ScoreBatch batch = f.get();
+    ASSERT_TRUE(batch.status.ok());
+    EXPECT_FALSE(batch.dropped);
+    pooled.insert(pooled.end(), batch.scores.begin(), batch.scores.end());
+  }
+  auto tail = (*frontend)->Close("old-tenant", 0);
+  ASSERT_TRUE(tail.ok());
+  pooled.insert(pooled.end(), tail->begin(), tail->end());
+  ASSERT_EQ(pooled.size(), sequential.size());
+  for (size_t t = 0; t < pooled.size(); ++t) {
+    EXPECT_EQ(pooled[t], sequential[t]) << "step " << t;
+  }
+
+  // A session opened after the swap scores on model B.
+  std::vector<double> fresh;
+  for (size_t t = 0; t < steps; ++t) {
+    auto batch = (*frontend)->Score("new-tenant", 0,
+                                    services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    fresh.insert(fresh.end(), batch->scores.begin(), batch->scores.end());
+  }
+  auto fresh_tail = (*frontend)->Close("new-tenant", 0);
+  ASSERT_TRUE(fresh_tail.ok());
+  fresh.insert(fresh.end(), fresh_tail->begin(), fresh_tail->end());
+  const std::vector<double> sequential_b =
+      SequentialScores(*model_b, 0, services[0].test);
+  ASSERT_EQ(fresh.size(), sequential_b.size());
+  for (size_t t = 0; t < fresh.size(); ++t) {
+    EXPECT_EQ(fresh[t], sequential_b[t]) << "step " << t;
+  }
+
+  // With its last session closed (and the free pool pruned to the new
+  // generation), nothing in the pool still references model A.
+  (*frontend)->Flush();
+  model_a.reset();
+  EXPECT_TRUE(weak_a.expired());
+}
+
+TEST(ServeFrontendTest, ReloadFromDiskAndErrorPathLeaveModelLive) {
+  auto model = FittedModel();
+  auto frontend = ServeFrontend::Create(model);
+  ASSERT_TRUE(frontend.ok());
+
+  // A failed reload names the path and leaves generation untouched.
+  Status bad = (*frontend)->Reload("/no/such/model.mace");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("/no/such/model.mace"), std::string::npos);
+  EXPECT_EQ((*frontend)->model_generation(), 1u);
+
+  const std::string path = ::testing::TempDir() + "/served.mace";
+  ASSERT_TRUE(model->Save(path).ok());
+  ASSERT_TRUE((*frontend)->Reload(path).ok());
+  EXPECT_EQ((*frontend)->model_generation(), 2u);
+
+  // The reloaded model serves new sessions.
+  const auto services = TinyWorkload();
+  auto batch = (*frontend)->Score("t", 0, services[0].test.values()[0]);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->status.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ServeFrontendTest, TtlEvictsIdleSessionsAndRecyclesScorers) {
+  auto model = FittedModel();
+  ServeConfig config;
+  config.num_shards = 1;
+  config.session_ttl_ms = 20;
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  const auto services = TinyWorkload();
+  for (int k = 0; k < 4; ++k) {
+    auto batch = (*frontend)->Score("tenant-" + std::to_string(k), 0,
+                                    services[0].test.values()[0]);
+    ASSERT_TRUE(batch.ok());
+  }
+  EXPECT_EQ((*frontend)->Stats().Totals().sessions_active, 4u);
+
+  // Idle past the TTL: the worker's sweep evicts all four.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((*frontend)->Stats().Totals().sessions_active > 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "TTL eviction never happened";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE((*frontend)->Stats().Totals().sessions_evicted, 4u);
+
+  // A returning tenant gets a fresh stream (recycled scorer, step 0).
+  size_t emitted = 0;
+  for (size_t t = 0; t < services[0].test.length(); ++t) {
+    auto batch = (*frontend)->Score("tenant-0", 0,
+                                    services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(batch->status.ok());
+    if (emitted == 0 && !batch->scores.empty()) {
+      EXPECT_EQ(batch->first_step, 0u) << "recycled scorer kept state";
+    }
+    emitted += batch->scores.size();
+  }
+  EXPECT_GT(emitted, 0u);
+}
+
+}  // namespace
+}  // namespace mace::serve

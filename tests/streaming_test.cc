@@ -161,6 +161,49 @@ TEST(StreamingScorerTest, MetricsMatchStepsConsumed) {
   EXPECT_GT(throughput, 0.0);
 }
 
+TEST(StreamingScorerTest, ResetReplayMatchesFreshScorer) {
+  MaceDetector detector = Fitted();
+  const auto services = TinyWorkload();
+  const ts::TimeSeries& test = services[0].test;
+
+  auto fresh = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(fresh.ok());
+  std::vector<double> expected;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = fresh->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    expected.insert(expected.end(), out->begin(), out->end());
+  }
+  const auto fresh_tail = fresh->Finish();
+  expected.insert(expected.end(), fresh_tail.begin(), fresh_tail.end());
+
+  // Pollute a scorer mid-stream (pending window state, partial buffer),
+  // Reset it, and replay: it must behave exactly like a fresh scorer.
+  auto recycled = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(recycled.ok());
+  for (size_t t = 0; t < 57; ++t) {
+    ASSERT_TRUE(recycled->Push(test.values()[t]).ok());
+  }
+  recycled->Reset();
+  EXPECT_EQ(recycled->steps_consumed(), 0u);
+  EXPECT_EQ(recycled->next_emitted_step(), 0u);
+  EXPECT_EQ(recycled->scores_emitted(), 0u);
+
+  std::vector<double> replayed;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = recycled->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    replayed.insert(replayed.end(), out->begin(), out->end());
+  }
+  const auto tail = recycled->Finish();
+  replayed.insert(replayed.end(), tail.begin(), tail.end());
+
+  ASSERT_EQ(replayed.size(), expected.size());
+  for (size_t t = 0; t < replayed.size(); ++t) {
+    EXPECT_EQ(replayed[t], expected[t]) << "step " << t;
+  }
+}
+
 TEST(StreamingScorerTest, AnomaliesScoreHighInStream) {
   MaceDetector detector = Fitted();
   const auto services = TinyWorkload();
