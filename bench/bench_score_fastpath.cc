@@ -1,0 +1,169 @@
+// Inference fast-path throughput: single-thread ScoreWindow under the
+// graph-building (grad) tensor mode vs the no-grad inference mode, and
+// the batched ScoreWindowBatch path on top. All three run in the same
+// process on the same fitted weights (same seed), so the speedups are
+// apples-to-apples; score equality is cross-checked bit-for-bit before
+// timing. Emits BENCH_score_fastpath.json for trajectory tracking.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "core/mace_detector.h"
+#include "eval/profiler.h"
+#include "ts/profiles.h"
+
+namespace {
+
+/// Deterministic pseudo-scaled windows, distinct per index so caching
+/// could not fake throughput.
+std::vector<std::vector<double>> MakeRows(int window, int features,
+                                          int salt) {
+  std::vector<std::vector<double>> rows(
+      static_cast<size_t>(window),
+      std::vector<double>(static_cast<size_t>(features)));
+  for (int t = 0; t < window; ++t) {
+    for (int f = 0; f < features; ++f) {
+      rows[static_cast<size_t>(t)][static_cast<size_t>(f)] =
+          std::sin(0.37 * (t + 1) * (f + 1) + salt) + 0.01 * (t % 5);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mace;
+
+  constexpr int kWindows = 512;
+  constexpr int kBatch = 8;
+
+  ts::DatasetProfile profile = ts::SmdProfile();
+  profile.num_services = 2;
+  profile.test_length = 256;
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+
+  core::MaceConfig grad_config;
+  grad_config.epochs = 2;
+  grad_config.score_no_grad = false;
+  grad_config.score_batch = 1;
+  core::MaceConfig nograd_config = grad_config;
+  nograd_config.score_no_grad = true;
+
+  // Same seed => identical fitted weights; only the scoring mode differs.
+  core::MaceDetector grad_mode(grad_config);
+  MACE_CHECK_OK(grad_mode.Fit(dataset.services));
+  core::MaceDetector no_grad(nograd_config);
+  MACE_CHECK_OK(no_grad.Fit(dataset.services));
+
+  const int window = grad_config.window;
+  const int features = static_cast<int>(
+      dataset.services[0].test.num_features());
+  std::vector<std::vector<std::vector<double>>> inputs;
+  for (int i = 0; i < kWindows; ++i) {
+    inputs.push_back(MakeRows(window, features, i));
+  }
+
+  // Equality first: a fast path that changes scores is not a fast path.
+  for (int i = 0; i < kWindows; i += 61) {
+    auto a = grad_mode.ScoreWindow(0, inputs[static_cast<size_t>(i)]);
+    auto b = no_grad.ScoreWindow(0, inputs[static_cast<size_t>(i)]);
+    MACE_CHECK_OK(a.status());
+    MACE_CHECK_OK(b.status());
+    for (size_t t = 0; t < a->size(); ++t) {
+      MACE_CHECK((*a)[t] == (*b)[t])
+          << "fast path diverged at window " << i << " step " << t;
+    }
+  }
+
+  // Warm-up covers metric registration and buffer-pool fill.
+  std::vector<std::vector<std::vector<double>>> chunk(
+      inputs.begin(), inputs.begin() + kBatch);
+  for (int i = 0; i < 8; ++i) {
+    MACE_CHECK_OK(
+        grad_mode.ScoreWindow(0, inputs[static_cast<size_t>(i)]).status());
+    MACE_CHECK_OK(
+        no_grad.ScoreWindow(0, inputs[static_cast<size_t>(i)]).status());
+  }
+  MACE_CHECK_OK(no_grad.ScoreWindowBatch(0, chunk).status());
+
+  // The three paths alternate in kSlice-window slices, accumulating
+  // per-path wall time: machine-wide disturbances (noisy neighbours,
+  // clock throttling) then hit every path in the same proportion instead
+  // of silently skewing the reported ratio.
+  constexpr int kSlice = 64;
+  constexpr int kPasses = 3;
+  double grad_sec = 0.0, nograd_sec = 0.0, batched_sec = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (int start = 0; start < kWindows; start += kSlice) {
+      const int stop = std::min(start + kSlice, kWindows);
+      {
+        eval::StopWatch watch;
+        for (int i = start; i < stop; ++i) {
+          MACE_CHECK_OK(
+              grad_mode.ScoreWindow(0, inputs[static_cast<size_t>(i)])
+                  .status());
+        }
+        grad_sec += watch.ElapsedSeconds();
+      }
+      {
+        eval::StopWatch watch;
+        for (int i = start; i < stop; ++i) {
+          MACE_CHECK_OK(
+              no_grad.ScoreWindow(0, inputs[static_cast<size_t>(i)])
+                  .status());
+        }
+        nograd_sec += watch.ElapsedSeconds();
+      }
+      {
+        eval::StopWatch watch;
+        for (int i = start; i < stop; i += kBatch) {
+          chunk.assign(inputs.begin() + i,
+                       inputs.begin() + std::min(i + kBatch, stop));
+          MACE_CHECK_OK(no_grad.ScoreWindowBatch(0, chunk).status());
+        }
+        batched_sec += watch.ElapsedSeconds();
+      }
+    }
+  }
+  const double total = static_cast<double>(kPasses) * kWindows;
+  const double grad_wps = total / grad_sec;
+  const double nograd_wps = total / nograd_sec;
+  const double batched_wps = total / batched_sec;
+
+  const double nograd_speedup = nograd_wps / grad_wps;
+  const double batched_speedup = batched_wps / grad_wps;
+  std::printf(
+      "Score fast path — %d windows of [%d x %d], single thread\n",
+      kWindows, window, features);
+  std::printf("%-28s %14s %10s\n", "path", "windows/s", "speedup");
+  std::printf("%-28s %14.0f %9.2fx\n", "grad-mode ScoreWindow", grad_wps,
+              1.0);
+  std::printf("%-28s %14.0f %9.2fx\n", "no-grad ScoreWindow", nograd_wps,
+              nograd_speedup);
+  std::printf("%-28s %14.0f %9.2fx\n", "no-grad ScoreWindowBatch(8)",
+              batched_wps, batched_speedup);
+
+  {
+    std::ofstream out("BENCH_score_fastpath.json", std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"score_fastpath\",\n"
+        << "  \"windows\": " << kWindows << ",\n"
+        << "  \"window\": " << window << ",\n"
+        << "  \"features\": " << features << ",\n"
+        << "  \"batch\": " << kBatch << ",\n"
+        << "  \"grad_windows_per_sec\": " << grad_wps << ",\n"
+        << "  \"nograd_windows_per_sec\": " << nograd_wps << ",\n"
+        << "  \"batched_windows_per_sec\": " << batched_wps << ",\n"
+        << "  \"nograd_speedup\": " << nograd_speedup << ",\n"
+        << "  \"batched_speedup\": " << batched_speedup << "\n"
+        << "}\n";
+  }
+  std::printf("wrote BENCH_score_fastpath.json\n");
+  return 0;
+}

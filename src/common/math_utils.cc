@@ -14,12 +14,35 @@ double DoubleFactorial(int n) {
 }
 
 double SignedPow(double x, double power) {
-  const double magnitude = std::pow(std::fabs(x), power);
+  const double ax = std::fabs(x);
+  double magnitude;
+  // Small integer exponents (the typical gamma_t / gamma_f range) via
+  // exponentiation by squaring: ~4 multiplies instead of a libm pow call.
+  // Every pipeline path funnels through this one function, so batched /
+  // streaming / per-window scoring all see the same doubles.
+  const int ip = static_cast<int>(power);
+  if (power == static_cast<double>(ip) && ip >= 0 && ip <= 32) {
+    magnitude = 1.0;
+    double base = ax;
+    for (int e = ip; e > 0; e >>= 1) {
+      if (e & 1) magnitude *= base;
+      base *= base;
+    }
+  } else {
+    magnitude = std::pow(ax, power);
+  }
   return x < 0 ? -magnitude : magnitude;
 }
 
 double SignedRoot(double x, double power) {
-  const double magnitude = std::pow(std::fabs(x), 1.0 / power);
+  // cbrt is a dedicated primitive several times cheaper than pow, and
+  // gamma_t defaults to 3 so the stage-1 amplifier root hits this branch
+  // on every element. As with SignedPow, every pipeline path funnels
+  // through this one function, so batched / streaming / per-window
+  // scoring all see the same doubles.
+  const double ax = std::fabs(x);
+  const double magnitude =
+      power == 3.0 ? std::cbrt(ax) : std::pow(ax, 1.0 / power);
   return x < 0 ? -magnitude : magnitude;
 }
 

@@ -1,6 +1,8 @@
 #include "core/dualistic_conv.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.h"
 #include "common/math_utils.h"
@@ -10,13 +12,14 @@ namespace mace::core {
 using tensor::Shape;
 using tensor::Tensor;
 
-std::vector<double> DualisticConvolve(const std::vector<double>& signal,
-                                      int kernel, int stride, double gamma,
-                                      double sigma, DualisticMode mode) {
-  MACE_CHECK(kernel >= 1 && stride >= 1);
-  MACE_CHECK(gamma >= 1.0) << "gamma magnitude must be >= 1";
-  MACE_CHECK(sigma > 0.0);
-  MACE_CHECK(signal.size() >= static_cast<size_t>(kernel));
+namespace {
+
+/// Core of DualisticConvolve writing into caller-provided storage; the
+/// scoring hot loop runs stage 1 through here without touching the
+/// allocator (the `terms` power table is thread-local).
+void ConvolveInto(const double* signal, size_t n, int kernel, int stride,
+                  double gamma, double sigma, DualisticMode mode,
+                  double* out, size_t out_len) {
   // Peak: the signed power mean, which approaches the dominant (largest
   // magnitude) element as gamma grows. Valley: the shift-conjugated form
   // C - Peak(C - x) with C above the data range, which approaches the
@@ -25,50 +28,83 @@ std::vector<double> DualisticConvolve(const std::vector<double>& signal,
   double shift = 0.0;
   if (mode == DualisticMode::kValley) {
     double max_abs = 0.0;
-    for (double v : signal) max_abs = std::max(max_abs, std::fabs(v));
+    for (size_t t = 0; t < n; ++t) {
+      max_abs = std::max(max_abs, std::fabs(signal[t]));
+    }
     shift = max_abs + 1.0;
   }
-  const size_t out_len = (signal.size() - kernel) / stride + 1;
-  std::vector<double> out(out_len);
   const double alpha = 1.0 / static_cast<double>(kernel);
+  // Each signal element appears in up to `kernel` overlapping positions;
+  // hoisting its term out of the sliding loop drops the pow count by that
+  // factor. The per-term value and the left-to-right summation order are
+  // unchanged, so the output is bit-identical to the nested form.
+  thread_local std::vector<double> terms;
+  terms.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    terms[t] = alpha * SignedPow(shift - signal[t], gamma) / sigma;
+  }
   for (size_t i = 0; i < out_len; ++i) {
     double acc = 0.0;
     for (int j = 0; j < kernel; ++j) {
-      acc += alpha * SignedPow(shift - signal[i * stride + j], gamma) / sigma;
+      acc += terms[i * stride + static_cast<size_t>(j)];
     }
     const double rooted = SignedRoot(acc * sigma, gamma);
     // Peak (shift = 0): SignedPow(-x) = -x^gamma for odd gamma, so
     // shift - rooted = +PowerMean(x). Valley: C - PowerMean(C - x).
     out[i] = shift - rooted;
   }
+}
+
+}  // namespace
+
+std::vector<double> DualisticConvolve(const std::vector<double>& signal,
+                                      int kernel, int stride, double gamma,
+                                      double sigma, DualisticMode mode) {
+  MACE_CHECK(kernel >= 1 && stride >= 1);
+  MACE_CHECK(gamma >= 1.0) << "gamma magnitude must be >= 1";
+  MACE_CHECK(sigma > 0.0);
+  MACE_CHECK(signal.size() >= static_cast<size_t>(kernel));
+  const size_t out_len = (signal.size() - kernel) / stride + 1;
+  std::vector<double> out(out_len);
+  ConvolveInto(signal.data(), signal.size(), kernel, stride, gamma, sigma,
+               mode, out.data(), out_len);
   return out;
 }
 
-std::vector<double> DualisticAmplify(const std::vector<double>& signal,
-                                     int kernel, double gamma, double sigma) {
+void DualisticAmplifyInto(const double* signal, size_t n, int kernel,
+                          double gamma, double sigma, double* out) {
   MACE_CHECK(kernel >= 1 && kernel % 2 == 1)
       << "amplification kernel must be odd for symmetric padding";
+  MACE_CHECK(n >= 1);
   const int half = kernel / 2;
   // Edge-replication padding keeps the output aligned with the input.
-  std::vector<double> padded(signal.size() + 2 * half);
+  thread_local std::vector<double> padded, peak, valley;
+  padded.resize(n + 2 * static_cast<size_t>(half));
   for (size_t i = 0; i < padded.size(); ++i) {
     const int64_t src = static_cast<int64_t>(i) - half;
     const int64_t clamped =
         src < 0 ? 0
-                : (src >= static_cast<int64_t>(signal.size())
-                       ? static_cast<int64_t>(signal.size()) - 1
+                : (src >= static_cast<int64_t>(n)
+                       ? static_cast<int64_t>(n) - 1
                        : src);
     padded[i] = signal[static_cast<size_t>(clamped)];
   }
-  const std::vector<double> peak = DualisticConvolve(
-      padded, kernel, /*stride=*/1, gamma, sigma, DualisticMode::kPeak);
-  const std::vector<double> valley = DualisticConvolve(
-      padded, kernel, /*stride=*/1, gamma, sigma, DualisticMode::kValley);
-  MACE_CHECK(peak.size() == signal.size());
-  std::vector<double> out(signal.size());
-  for (size_t i = 0; i < out.size(); ++i) {
+  peak.resize(n);
+  valley.resize(n);
+  ConvolveInto(padded.data(), padded.size(), kernel, /*stride=*/1, gamma,
+               sigma, DualisticMode::kPeak, peak.data(), n);
+  ConvolveInto(padded.data(), padded.size(), kernel, /*stride=*/1, gamma,
+               sigma, DualisticMode::kValley, valley.data(), n);
+  for (size_t i = 0; i < n; ++i) {
     out[i] = 0.5 * (peak[i] + valley[i]);
   }
+}
+
+std::vector<double> DualisticAmplify(const std::vector<double>& signal,
+                                     int kernel, double gamma, double sigma) {
+  std::vector<double> out(signal.size());
+  DualisticAmplifyInto(signal.data(), signal.size(), kernel, gamma, sigma,
+                       out.data());
   return out;
 }
 
@@ -114,6 +150,59 @@ Tensor DualisticConvLayer::Forward(const Tensor& input) {
   Tensor conv = tensor::Conv1d(powered, weight_, Tensor(), stride_);
   Tensor rooted = tensor::SignedRoot(MulScalar(conv, sigma_), gamma_);
   return AddScalar(Neg(rooted), shift);
+}
+
+Tensor DualisticConvLayer::ForwardBatched(const Tensor& input) {
+  MACE_CHECK(input.ndim() == 3) << "ForwardBatched expects [B, C, L]";
+  // Peak mode is already per-entry: every op treats batch entries
+  // independently, so the stacked pass equals B stacked Forward passes.
+  if (mode_ == DualisticMode::kPeak) return Forward(input);
+
+  // Valley: Forward's shift is the max-abs of its whole input, which for
+  // a stacked tensor would couple the entries. Compute it per entry —
+  // the same double each window's own Forward would use — and apply it
+  // through constant tensors: `shift - x` equals `(-x) + shift` exactly
+  // (one rounding of the same IEEE addition), so scores stay
+  // bit-identical to the per-window path.
+  const tensor::Index batch = input.dim(0);
+  const size_t entry = static_cast<size_t>(input.numel()) /
+                       static_cast<size_t>(batch);
+  const std::vector<double>& data = input.data();
+  std::vector<double> shifts(static_cast<size_t>(batch));
+  std::vector<double> shift_in =
+      tensor::AcquireScratchBuffer(data.size());
+  for (tensor::Index b = 0; b < batch; ++b) {
+    double max_abs = 0.0;
+    const double* base = data.data() + static_cast<size_t>(b) * entry;
+    for (size_t i = 0; i < entry; ++i) {
+      max_abs = std::max(max_abs, std::fabs(base[i]));
+    }
+    shifts[static_cast<size_t>(b)] = max_abs + 1.0;
+    std::fill(shift_in.begin() + static_cast<int64_t>(b * entry),
+              shift_in.begin() + static_cast<int64_t>((b + 1) * entry),
+              shifts[static_cast<size_t>(b)]);
+  }
+  Tensor shift_in_t =
+      Tensor::FromVector(std::move(shift_in), input.shape());
+  Tensor flipped = Sub(shift_in_t, input);  // C - x > 0 per entry
+  Tensor powered =
+      MulScalar(tensor::SignedPow(flipped, gamma_), 1.0 / sigma_);
+  Tensor conv = tensor::Conv1d(powered, weight_, Tensor(), stride_);
+  Tensor rooted = tensor::SignedRoot(MulScalar(conv, sigma_), gamma_);
+  const size_t out_entry = static_cast<size_t>(rooted.numel()) /
+                           static_cast<size_t>(batch);
+  std::vector<double> shift_out = tensor::AcquireScratchBuffer(
+      static_cast<size_t>(rooted.numel()));
+  for (tensor::Index b = 0; b < batch; ++b) {
+    std::fill(shift_out.begin() + static_cast<int64_t>(b) *
+                                      static_cast<int64_t>(out_entry),
+              shift_out.begin() + static_cast<int64_t>(b + 1) *
+                                      static_cast<int64_t>(out_entry),
+              shifts[static_cast<size_t>(b)]);
+  }
+  Tensor shift_out_t =
+      Tensor::FromVector(std::move(shift_out), rooted.shape());
+  return Sub(shift_out_t, rooted);  // C - PowerMean(C - x) per entry
 }
 
 std::vector<Tensor> DualisticConvLayer::Parameters() const {

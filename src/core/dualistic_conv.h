@@ -33,6 +33,13 @@ std::vector<double> DualisticConvolve(const std::vector<double>& signal,
 std::vector<double> DualisticAmplify(const std::vector<double>& signal,
                                      int kernel, double gamma, double sigma);
 
+/// Allocation-free form of DualisticAmplify for the scoring hot loop:
+/// amplifies `signal[0..n)` into `out[0..n)` using thread-local scratch.
+/// Same arithmetic in the same order as DualisticAmplify (which wraps it),
+/// so the two are bit-identical.
+void DualisticAmplifyInto(const double* signal, size_t n, int kernel,
+                          double gamma, double sigma, double* out);
+
 /// \brief Learnable dualistic convolution layer over [N, C, L] inputs:
 ///
 ///   y = (Conv1d(sign(x)|x|^gamma / sigma, W, stride))^(1/gamma)
@@ -47,6 +54,15 @@ class DualisticConvLayer : public nn::Module {
                      DualisticMode mode, Rng* rng);
 
   tensor::Tensor Forward(const tensor::Tensor& input) override;
+
+  /// Forward over `[B, C, L]` where each batch entry must see exactly the
+  /// values its own `Forward([1, C, L])` pass would produce. Elementwise
+  /// ops and Conv1d treat batch entries independently, so only the valley
+  /// mode differs from Forward: its shift is computed per entry (not over
+  /// the stacked tensor) and applied via `shift - x`, which is
+  /// bit-identical to Forward's `(-x) + shift`.
+  tensor::Tensor ForwardBatched(const tensor::Tensor& input);
+
   std::vector<tensor::Tensor> Parameters() const override;
   std::string name() const override { return "DualisticConv"; }
 

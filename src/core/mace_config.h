@@ -41,6 +41,11 @@ struct MaceConfig {
   /// temporal dependency (the paper's S2), so inference parallelizes
   /// per window; 1 = sequential.
   int score_threads = 1;
+  /// Windows stacked per scoring forward (the batched DFT/IDFT fast
+  /// path); 1 = per-window forwards. Scores are bit-identical either way.
+  int score_batch = 8;
+  /// Score under tensor::NoGradGuard: same values, no autograd graph.
+  bool score_no_grad = true;
 
   // -- Ablation switches (Table IX) -----------------------------------------
   /// false: replace context-aware DFT/IDFT with the vanilla full spectrum.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <thread>
 
 #include "common/check.h"
@@ -49,10 +50,57 @@ obs::Counter* CachedWindowsScoredCounter(int service_index) {
 }  // namespace
 
 MaceDetector::MaceDetector(MaceConfig config) : config_(config) {
-  MACE_CHECK(config_.window >= 4);
-  MACE_CHECK(config_.num_bases >= 1 &&
-             config_.num_bases <= config_.window / 2)
-      << "num_bases must be in [1, window/2]";
+  const Status valid = ValidateConfig(config_);
+  MACE_CHECK(valid.ok()) << valid.message();
+}
+
+Status MaceDetector::ValidateConfig(const MaceConfig& config) {
+  if (config.window < 4) {
+    return Status::InvalidArgument("window must be >= 4, got " +
+                                   std::to_string(config.window));
+  }
+  if (config.num_bases < 1 || config.num_bases > config.window / 2) {
+    return Status::InvalidArgument(
+        "num_bases must be in [1, window/2] = [1, " +
+        std::to_string(config.window / 2) + "], got " +
+        std::to_string(config.num_bases));
+  }
+  if (config.train_stride < 1) {
+    return Status::InvalidArgument(
+        "train_stride must be >= 1 (a zero stride never advances the "
+        "training window), got " + std::to_string(config.train_stride));
+  }
+  if (config.score_stride < 1) {
+    return Status::InvalidArgument(
+        "score_stride must be >= 1 (a zero stride never advances the "
+        "scoring window), got " + std::to_string(config.score_stride));
+  }
+  if (config.score_stride > config.window) {
+    return Status::InvalidArgument(
+        "score_stride must be <= window so consecutive scoring windows "
+        "leave no step uncovered, got stride " +
+        std::to_string(config.score_stride) + " with window " +
+        std::to_string(config.window));
+  }
+  if (config.time_kernel < 1 || config.time_kernel % 2 == 0) {
+    return Status::InvalidArgument(
+        "time_kernel must be odd and >= 1 (stage-1 amplification centers "
+        "the kernel on each step), got " +
+        std::to_string(config.time_kernel));
+  }
+  if (config.freq_kernel < 1) {
+    return Status::InvalidArgument("freq_kernel must be >= 1, got " +
+                                   std::to_string(config.freq_kernel));
+  }
+  if (config.score_threads < 1) {
+    return Status::InvalidArgument("score_threads must be >= 1, got " +
+                                   std::to_string(config.score_threads));
+  }
+  if (config.score_batch < 1) {
+    return Status::InvalidArgument("score_batch must be >= 1, got " +
+                                   std::to_string(config.score_batch));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<int>> MaceDetector::SelectBases(
@@ -84,15 +132,14 @@ Tensor MaceDetector::AmplifyWindow(const Tensor& window) const {
   obs::StageTimer stage_timer;
   const auto m = static_cast<size_t>(window.dim(0));
   const auto t_len = static_cast<size_t>(window.dim(1));
-  std::vector<double> out(m * t_len);
+  std::vector<double> out = tensor::AcquireScratchBuffer(m * t_len);
   const std::vector<double>& data = window.data();
-  std::vector<double> row(t_len);
+  // Rows of [m, T] are contiguous, so each feature amplifies straight from
+  // the window into the output with no per-feature copies or allocations.
   for (size_t f = 0; f < m; ++f) {
-    std::copy(data.begin() + f * t_len, data.begin() + (f + 1) * t_len,
-              row.begin());
-    const std::vector<double> amplified = DualisticAmplify(
-        row, config_.time_kernel, config_.gamma_t, config_.sigma_t);
-    std::copy(amplified.begin(), amplified.end(), out.begin() + f * t_len);
+    DualisticAmplifyInto(data.data() + f * t_len, t_len, config_.time_kernel,
+                         config_.gamma_t, config_.sigma_t,
+                         out.data() + f * t_len);
   }
   stage_timer.Mark(Stage1Histogram());
   return Tensor::FromVector(std::move(out),
@@ -125,9 +172,9 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   if (services.empty()) {
     return Status::InvalidArgument("Fit requires at least one service");
   }
-  num_features_ = services.front().train.num_features();
+  const int num_features = services.front().train.num_features();
   for (const ts::ServiceData& s : services) {
-    if (s.train.num_features() != num_features_) {
+    if (s.train.num_features() != num_features) {
       return Status::InvalidArgument(
           "all services must share the feature count");
     }
@@ -137,10 +184,13 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
     }
   }
 
-  scalers_.clear();
-  subspaces_.clear();
-  transforms_.clear();
-  epoch_losses_.clear();
+  // All fitted state builds in locals and commits to members only at the
+  // end, so any error return leaves the detector exactly as it was —
+  // previously fitted detectors keep scoring, unfitted ones stay unfitted.
+  std::vector<ts::StandardScaler> scalers;
+  std::vector<PatternSubspace> subspaces;
+  std::vector<ServiceTransforms> transforms;
+  std::vector<double> epoch_losses;
 
   // Preprocessing: per-service scaling, subspace extraction, transforms,
   // and stage-1-amplified training windows.
@@ -170,9 +220,9 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
     if (columns != coeff_columns) {
       return Status::Internal("inconsistent subspace sizes across services");
     }
-    transforms_.push_back(MakeServiceTransforms(config_.window, bases));
-    subspaces_.push_back(std::move(subspace));
-    scalers_.push_back(std::move(scaler));
+    transforms.push_back(MakeServiceTransforms(config_.window, bases));
+    subspaces.push_back(std::move(subspace));
+    scalers.push_back(std::move(scaler));
 
     MACE_ASSIGN_OR_RETURN(
         ts::WindowBatch batch,
@@ -186,9 +236,9 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   }
 
   Rng rng(config_.seed);
-  model_ = std::make_unique<MaceModel>(config_, num_features_, coeff_columns,
-                                       &rng);
-  nn::Adam optimizer(model_->Parameters(), config_.learning_rate);
+  auto model = std::make_unique<MaceModel>(config_, num_features,
+                                           coeff_columns, &rng);
+  nn::Adam optimizer(model->Parameters(), config_.learning_rate);
 
   // Unified training across all services' windows.
   std::vector<std::pair<size_t, size_t>> order;
@@ -209,20 +259,27 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
     for (const auto& [s, w] : order) {
-      MaceModel::Output out = model_->Forward(transforms_[s], amplified[s][w],
-                                              /*want_step_errors=*/false);
+      MaceModel::Output out = model->Forward(transforms[s], amplified[s][w],
+                                             /*want_step_errors=*/false);
       epoch_loss += out.loss.item();
       optimizer.ZeroGrad();
       out.loss.Backward();
       optimizer.ClipGradNorm(config_.grad_clip);
       optimizer.Step();
     }
-    epoch_losses_.push_back(epoch_loss / static_cast<double>(order.size()));
+    epoch_losses.push_back(epoch_loss / static_cast<double>(order.size()));
     train_windows->Increment(order.size());
-    last_loss->Set(epoch_losses_.back());
+    last_loss->Set(epoch_losses.back());
     MACE_LOG(kDebug) << "MACE epoch " << epoch << " loss "
-                     << epoch_losses_.back();
+                     << epoch_losses.back();
   }
+
+  num_features_ = num_features;
+  scalers_ = std::move(scalers);
+  subspaces_ = std::move(subspaces);
+  transforms_ = std::move(transforms);
+  model_ = std::move(model);
+  epoch_losses_ = std::move(epoch_losses);
   return Status::OK();
 }
 
@@ -262,13 +319,42 @@ std::vector<double> MaceDetector::ScoreScaled(
   std::vector<double> busy_seconds(static_cast<size_t>(threads), 0.0);
   auto worker = [&](int id) {
     const auto begin = std::chrono::steady_clock::now();
+    // Inference fast path: no autograd graph, and windows stack into
+    // batched DFT/IDFT matmuls. Either switch is bit-identical to the
+    // per-window grad-mode forward; errors push in stride order so the
+    // accumulation below maps slots the same way regardless of batching.
+    std::optional<tensor::NoGradGuard> no_grad;
+    if (config_.score_no_grad) no_grad.emplace();
+    const size_t batch_size =
+        static_cast<size_t>(std::max(1, config_.score_batch));
+    std::vector<size_t> mine;
     for (size_t i = static_cast<size_t>(id); i < starts.size();
          i += static_cast<size_t>(threads)) {
-      Tensor w = ts::WindowToTensor(scaled_test, starts[i], config_.window);
-      MaceModel::Output out = model_->Forward(transforms, AmplifyWindow(w),
-                                              /*want_step_errors=*/true);
-      errors[static_cast<size_t>(id)].push_back(
-          std::move(out.step_errors));
+      mine.push_back(i);
+    }
+    for (size_t pos = 0; pos < mine.size();) {
+      const size_t count = std::min(batch_size, mine.size() - pos);
+      if (batch_size == 1) {
+        Tensor w =
+            ts::WindowToTensor(scaled_test, starts[mine[pos]], config_.window);
+        MaceModel::Output out = model_->Forward(transforms, AmplifyWindow(w),
+                                                /*want_step_errors=*/true);
+        errors[static_cast<size_t>(id)].push_back(
+            std::move(out.step_errors));
+      } else {
+        std::vector<Tensor> windows;
+        windows.reserve(count);
+        for (size_t j = 0; j < count; ++j) {
+          Tensor w = ts::WindowToTensor(scaled_test, starts[mine[pos + j]],
+                                        config_.window);
+          windows.push_back(AmplifyWindow(w));
+        }
+        MaceModel::BatchOutput out = model_->ForwardBatch(transforms, windows);
+        for (std::vector<double>& step_errors : out.step_errors) {
+          errors[static_cast<size_t>(id)].push_back(std::move(step_errors));
+        }
+      }
+      pos += count;
     }
     busy_seconds[static_cast<size_t>(id)] =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -329,8 +415,11 @@ Result<std::vector<double>> MaceDetector::ScoreWindow(
                                    std::to_string(config_.window) +
                                    " rows");
   }
+  std::optional<tensor::NoGradGuard> no_grad;
+  if (config_.score_no_grad) no_grad.emplace();
   const auto m = static_cast<size_t>(num_features_);
-  std::vector<double> data(m * scaled_rows.size());
+  std::vector<double> data =
+      tensor::AcquireScratchBuffer(m * scaled_rows.size());
   for (size_t t = 0; t < scaled_rows.size(); ++t) {
     if (scaled_rows[t].size() != m) {
       return Status::InvalidArgument("row feature count mismatch");
@@ -351,6 +440,55 @@ Result<std::vector<double>> MaceDetector::ScoreWindow(
       model_->Forward(transforms_[static_cast<size_t>(service_index)],
                       AmplifyWindow(window), /*want_step_errors=*/true);
   return out.step_errors;
+}
+
+Result<std::vector<std::vector<double>>> MaceDetector::ScoreWindowBatch(
+    int service_index,
+    const std::vector<std::vector<std::vector<double>>>& windows) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("ScoreWindowBatch before Fit");
+  }
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= transforms_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  if (windows.empty()) {
+    return std::vector<std::vector<double>>{};
+  }
+  std::optional<tensor::NoGradGuard> no_grad;
+  if (config_.score_no_grad) no_grad.emplace();
+  const auto m = static_cast<size_t>(num_features_);
+  std::vector<Tensor> amplified;
+  amplified.reserve(windows.size());
+  for (const std::vector<std::vector<double>>& scaled_rows : windows) {
+    if (scaled_rows.size() != static_cast<size_t>(config_.window)) {
+      return Status::InvalidArgument("window must hold exactly " +
+                                     std::to_string(config_.window) +
+                                     " rows");
+    }
+    std::vector<double> data =
+        tensor::AcquireScratchBuffer(m * scaled_rows.size());
+    for (size_t t = 0; t < scaled_rows.size(); ++t) {
+      if (scaled_rows[t].size() != m) {
+        return Status::InvalidArgument("row feature count mismatch");
+      }
+      for (size_t f = 0; f < m; ++f) {
+        data[f * scaled_rows.size() + t] = scaled_rows[t][f];
+      }
+    }
+    amplified.push_back(AmplifyWindow(Tensor::FromVector(
+        std::move(data), Shape{num_features_, config_.window})));
+  }
+  static obs::Histogram* batch_seconds = obs::Metrics().GetHistogram(
+      "mace_score_window_batch_seconds",
+      "Wall-clock latency of one ScoreWindowBatch call (batched "
+      "streaming/serving path)");
+  obs::ScopedSpan batch_span("MaceDetector::ScoreWindowBatch",
+                             batch_seconds);
+  CachedWindowsScoredCounter(service_index)->Increment(windows.size());
+  MaceModel::BatchOutput out = model_->ForwardBatch(
+      transforms_[static_cast<size_t>(service_index)], amplified);
+  return std::move(out.step_errors);
 }
 
 Result<std::vector<double>> MaceDetector::ScaleObservation(

@@ -26,6 +26,12 @@ class MaceDetector : public Detector {
  public:
   explicit MaceDetector(MaceConfig config = MaceConfig());
 
+  /// Validates windowing / stride / kernel settings (window >= 4,
+  /// num_bases in [1, window/2], strides >= 1, score_stride <= window,
+  /// time_kernel odd, ...). The constructor CHECK-fails on a violation;
+  /// Load() pre-validates and surfaces the message as a Corrupt status.
+  static Status ValidateConfig(const MaceConfig& config);
+
   Status Fit(const std::vector<ts::ServiceData>& services) override;
   Result<std::vector<double>> Score(int service_index,
                                     const ts::TimeSeries& test) override;
@@ -45,6 +51,12 @@ class MaceDetector : public Detector {
   Result<std::vector<double>> ScoreWindow(
       int service_index,
       const std::vector<std::vector<double>>& scaled_rows) const;
+  /// Scores B windows at once through the batched DFT/IDFT fast path:
+  /// returns one per-step error vector per window, in input order,
+  /// bit-identical to B ScoreWindow calls.
+  Result<std::vector<std::vector<double>>> ScoreWindowBatch(
+      int service_index,
+      const std::vector<std::vector<std::vector<double>>>& windows) const;
   /// Applies the service's fitted scaler to one raw observation row.
   Result<std::vector<double>> ScaleObservation(
       int service_index, const std::vector<double>& row) const;

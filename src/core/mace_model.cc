@@ -140,20 +140,24 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
   Tensor re = Slice(coeffs, /*axis=*/1, 0, k);   // [m, k]
   Tensor im = Slice(coeffs, /*axis=*/1, k, cols);
   // Amplitudes (the paper's A_i); epsilon keeps sqrt gradients finite.
-  Tensor amp =
-      Sqrt(AddScalar(Add(Square(re), Square(im)), 1e-8));  // [m, k]
+  Tensor amp = Sqrt(
+      AddScalar(Add(Square(re), Square(im)), kSpectrumEpsilon));  // [m, k]
 
   // Unit phase vectors, detached: the autoencoder reconstructs the
-  // amplitude spectrum, phases pass through from the input (Fig 4).
-  std::vector<double> unit_re(static_cast<size_t>(m * k));
-  std::vector<double> unit_im(static_cast<size_t>(m * k));
+  // amplitude spectrum, phases pass through from the input (Fig 4). The
+  // denominator is the amplitude itself (same epsilon, same operand
+  // order) so amp * unit_phase == (re, im) to within an ulp.
+  std::vector<double> unit_re =
+      tensor::AcquireScratchBuffer(static_cast<size_t>(m * k));
+  std::vector<double> unit_im =
+      tensor::AcquireScratchBuffer(static_cast<size_t>(m * k));
   {
     const std::vector<double>& cv = coeffs.data();
     for (Index f = 0; f < m; ++f) {
       for (Index c = 0; c < k; ++c) {
         const double r = cv[static_cast<size_t>(f * cols + c)];
         const double i = cv[static_cast<size_t>(f * cols + k + c)];
-        const double a = std::sqrt(r * r + i * i) + 1e-12;
+        const double a = std::sqrt(r * r + i * i + kSpectrumEpsilon);
         unit_re[static_cast<size_t>(f * k + c)] = r / a;
         unit_im[static_cast<size_t>(f * k + c)] = i / a;
       }
@@ -170,7 +174,8 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
   Tensor rep = amp;
   if (char_conv1_) {
     const Index flat = m * k;
-    std::vector<double> markers(static_cast<size_t>(2 * flat));
+    std::vector<double> markers =
+        tensor::AcquireScratchBuffer(static_cast<size_t>(2 * flat));
     for (Index f = 0; f < m; ++f) {
       for (Index c = 0; c < k; ++c) {
         markers[static_cast<size_t>(f * k + c)] =
@@ -235,6 +240,141 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
       }
       output.step_errors[static_cast<size_t>(t)] =
           acc / static_cast<double>(m);
+    }
+  }
+  stage_timer.Mark(stages.autoencoder);
+  return output;
+}
+
+MaceModel::BatchOutput MaceModel::ForwardBatch(
+    const ServiceTransforms& service,
+    const std::vector<Tensor>& amplified_windows) {
+  MACE_CHECK(!amplified_windows.empty()) << "ForwardBatch of zero windows";
+  const Index batch = static_cast<Index>(amplified_windows.size());
+  const Index m = num_features_;
+  const Index cols = num_coeff_columns_;
+  const Index window = amplified_windows.front().dim(1);
+  for (const Tensor& w : amplified_windows) {
+    MACE_CHECK(w.ndim() == 2 && w.dim(0) == m && w.dim(1) == window)
+        << "every window must be [m, T]";
+  }
+  MACE_CHECK(service.forward_t.dim(1) == cols)
+      << "service transform has " << service.forward_t.dim(1)
+      << " columns, model expects " << cols;
+
+  const ForwardStageHistograms& stages = StageHistograms();
+  obs::StageTimer stage_timer;
+
+  // Stage 2, batched: stack to [B*m, T] and run one context-aware DFT.
+  // Each output row depends only on the matching input row, so every
+  // window's coefficients match its per-window MatMul bit for bit.
+  Tensor stacked_windows = tensor::Concat(amplified_windows, /*axis=*/0);
+  Tensor coeffs = MatMul(stacked_windows, service.forward_t);  // [B*m, 2k]
+  const Index k = cols / 2;
+  const Index rows = batch * m;
+  Tensor re = Slice(coeffs, /*axis=*/1, 0, k);  // [B*m, k]
+  Tensor im = Slice(coeffs, /*axis=*/1, k, cols);
+  Tensor amp = Sqrt(
+      AddScalar(Add(Square(re), Square(im)), kSpectrumEpsilon));
+
+  std::vector<double> unit_re =
+      tensor::AcquireScratchBuffer(static_cast<size_t>(rows * k));
+  std::vector<double> unit_im =
+      tensor::AcquireScratchBuffer(static_cast<size_t>(rows * k));
+  {
+    const std::vector<double>& cv = coeffs.data();
+    for (Index f = 0; f < rows; ++f) {
+      for (Index c = 0; c < k; ++c) {
+        const double r = cv[static_cast<size_t>(f * cols + c)];
+        const double i = cv[static_cast<size_t>(f * cols + k + c)];
+        const double a = std::sqrt(r * r + i * i + kSpectrumEpsilon);
+        unit_re[static_cast<size_t>(f * k + c)] = r / a;
+        unit_im[static_cast<size_t>(f * k + c)] = i / a;
+      }
+    }
+  }
+  Tensor phase_re =
+      Tensor::FromVector(std::move(unit_re), Shape{rows, k});
+  Tensor phase_im =
+      Tensor::FromVector(std::move(unit_im), Shape{rows, k});
+
+  stage_timer.Mark(stages.context_dft);
+
+  // Frequency characterization over [B, 3, m*k]: Conv1d treats batch
+  // entries independently, so each window sees the per-window arithmetic.
+  Tensor rep = amp;
+  if (char_conv1_) {
+    const Index flat = m * k;
+    std::vector<double> stacked_channels =
+        tensor::AcquireScratchBuffer(static_cast<size_t>(batch * 3 * flat));
+    const std::vector<double>& ampv = amp.data();
+    for (Index b = 0; b < batch; ++b) {
+      double* base = stacked_channels.data() + b * 3 * flat;
+      const double* amp_b = ampv.data() + b * flat;
+      std::copy(amp_b, amp_b + flat, base);
+      double* sin_ch = base + flat;
+      double* cos_ch = base + 2 * flat;
+      for (Index f = 0; f < m; ++f) {
+        for (Index c = 0; c < k; ++c) {
+          sin_ch[f * k + c] = service.marker_sin[static_cast<size_t>(c)];
+          cos_ch[f * k + c] = service.marker_cos[static_cast<size_t>(c)];
+        }
+      }
+    }
+    Tensor stacked = Tensor::FromVector(std::move(stacked_channels),
+                                        Shape{batch, 3, flat});
+    Tensor charted =
+        char_conv2_->Forward(Tanh(char_conv1_->Forward(stacked)));
+    rep = Add(amp, Reshape(charted, Shape{rows, k}));
+  }
+  stage_timer.Mark(stages.freq_characterization);
+
+  // Stage 3, batched: elementwise ops, Conv1d batch entries, MatMul rows
+  // and the broadcast bias add are all per-entry independent. The one
+  // cross-entry coupling would be the dualistic valley shift (max-abs of
+  // the whole encoder input), which ForwardBatched computes per entry —
+  // each window sees exactly its own Forward pass, bit for bit.
+  Tensor rep3 = Reshape(rep, Shape{batch, m, k});
+  auto encode = [&](nn::Module* encoder) {
+    if (auto* dualistic = dynamic_cast<DualisticConvLayer*>(encoder)) {
+      return dualistic->ForwardBatched(rep3);
+    }
+    return encoder->Forward(rep3);  // plain Conv1d batches natively
+  };
+  Tensor latent_peak = Reshape(encode(encoder_peak_.get()),
+                               Shape{batch, latent_elements_});
+  Tensor latent_valley = Reshape(encode(encoder_valley_.get()),
+                                 Shape{batch, latent_elements_});
+  Tensor amp_peak =
+      Reshape(decoder_peak_->Forward(latent_peak), Shape{rows, k});
+  Tensor amp_valley =
+      Reshape(decoder_valley_->Forward(latent_valley), Shape{rows, k});
+
+  // Stage 4, batched: phase reattach, one IDFT matmul, per-slot max.
+  Tensor rec_peak = tensor::Concat(
+      {Mul(amp_peak, phase_re), Mul(amp_peak, phase_im)}, /*axis=*/1);
+  Tensor rec_valley = tensor::Concat(
+      {Mul(amp_valley, phase_re), Mul(amp_valley, phase_im)}, /*axis=*/1);
+  Tensor time_peak = MatMul(rec_peak, service.inverse_t);      // [B*m, T]
+  Tensor time_valley = MatMul(rec_valley, service.inverse_t);  // [B*m, T]
+  Tensor err_peak = Square(Sub(time_peak, stacked_windows));
+  Tensor err_valley = Square(Sub(time_valley, stacked_windows));
+  Tensor err = Maximum(err_peak, err_valley);  // [B*m, T]
+
+  BatchOutput output;
+  output.step_errors.assign(
+      static_cast<size_t>(batch),
+      std::vector<double>(static_cast<size_t>(window), 0.0));
+  const std::vector<double>& ev = err.data();
+  for (Index b = 0; b < batch; ++b) {
+    std::vector<double>& errors_b =
+        output.step_errors[static_cast<size_t>(b)];
+    for (Index t = 0; t < window; ++t) {
+      double acc = 0.0;
+      for (Index f = 0; f < m; ++f) {
+        acc += ev[static_cast<size_t>((b * m + f) * window + t)];
+      }
+      errors_b[static_cast<size_t>(t)] = acc / static_cast<double>(m);
     }
   }
   stage_timer.Mark(stages.autoencoder);

@@ -43,6 +43,12 @@ class MaceModel {
   MaceModel(const MaceConfig& config, int num_features,
             int num_coeff_columns, Rng* rng);
 
+  /// Epsilon under the sqrt of both the amplitude spectrum and the
+  /// unit-phase denominator. Sharing one epsilon makes the two sqrt
+  /// arguments bit-identical, so amp * unit_phase reconstructs (re, im)
+  /// to within an ulp even for near-zero coefficients (dead bases).
+  static constexpr double kSpectrumEpsilon = 1e-8;
+
   /// Result of one forward pass.
   struct Output {
     tensor::Tensor loss;  ///< scalar, differentiable
@@ -58,6 +64,28 @@ class MaceModel {
   Output Forward(const ServiceTransforms& service,
                  const tensor::Tensor& amplified_window,
                  bool want_step_errors);
+
+  /// Result of a batched forward pass over B windows.
+  struct BatchOutput {
+    /// step_errors[b][t]: feature-mean branch-max error of window b at
+    /// step t — bit-identical to Forward(window_b).step_errors.
+    std::vector<std::vector<double>> step_errors;
+  };
+
+  /// \brief Runs stages 2-4 on B stage-1-amplified windows [m, T] at once.
+  ///
+  /// The context-DFT and IDFT matmuls (stages 2 and 4) run as single
+  /// [B*m, T] x [T, 2k] products over the stacked windows, and the
+  /// stage-3 autoencoder runs stacked as [B, m, k] with the dualistic
+  /// valley shift computed per batch entry
+  /// (DualisticConvLayer::ForwardBatched). Step errors stay bit-identical
+  /// to per-window Forward calls: MatMul rows, Conv1d batch entries and
+  /// pointwise ops are each computed independently per window in the same
+  /// arithmetic order, and the per-entry shift is the same double each
+  /// window's own pass would use.
+  BatchOutput ForwardBatch(
+      const ServiceTransforms& service,
+      const std::vector<tensor::Tensor>& amplified_windows);
 
   std::vector<tensor::Tensor> Parameters() const;
   int64_t ParameterCount() const;

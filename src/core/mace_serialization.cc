@@ -110,6 +110,12 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
     return Corrupt(path, std::string("unreadable config block") +
                              (in.eof() ? " (file truncated)" : ""));
   }
+  // Pre-validate before constructing: the constructor CHECK-aborts on a
+  // bad config, but a corrupt file should surface as a Status.
+  const Status config_valid = MaceDetector::ValidateConfig(config);
+  if (!config_valid.ok()) {
+    return Corrupt(path, "invalid config: " + config_valid.message());
+  }
 
   MaceDetector detector(config);
   size_t num_services = 0;

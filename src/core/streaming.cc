@@ -67,6 +67,11 @@ void StreamingScorer::ScoreTailWindow() {
 }
 
 std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before) {
+  return EmitFinalized(safe_before, steps_consumed_);
+}
+
+std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before,
+                                                   size_t steps_at_emit) {
   std::vector<double> emitted;
   while (next_emit_ < safe_before && !pending_.empty()) {
     emitted.push_back(covered_.front() ? pending_.front() : 0.0);
@@ -75,7 +80,7 @@ std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before) {
     // Emit latency of this score: steps consumed after its own step before
     // it became final (0 when the consuming Push emits it immediately).
     emit_latency_steps_->Observe(
-        static_cast<double>(steps_consumed_ - next_emit_ - 1));
+        static_cast<double>(steps_at_emit - next_emit_ - 1));
     ++next_emit_;
   }
   if (!emitted.empty()) {
@@ -118,6 +123,81 @@ Result<std::vector<double>> StreamingScorer::Push(
   return EmitFinalized(safe_before);
 }
 
+Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
+    const std::vector<std::vector<double>>& observations) {
+  // Validate and scale everything before mutating state, so an invalid
+  // observation fails the whole call with the pipeline untouched (the
+  // caller can then replay per item to locate it).
+  std::vector<std::vector<double>> scaled;
+  scaled.reserve(observations.size());
+  for (const std::vector<double>& observation : observations) {
+    MACE_ASSIGN_OR_RETURN(
+        std::vector<double> row,
+        detector_->ScaleObservation(service_index_, observation));
+    scaled.push_back(std::move(row));
+  }
+
+  // Consume every observation, snapshotting each window that falls due at
+  // a stride boundary for one batched scoring pass.
+  std::vector<std::vector<std::vector<double>>> due_windows;
+  std::vector<size_t> due_starts;
+  for (std::vector<double>& row : scaled) {
+    buffer_.push_back(std::move(row));
+    if (buffer_.size() > static_cast<size_t>(window_)) buffer_.pop_front();
+    ++steps_consumed_;
+    pending_.push_back(std::numeric_limits<double>::infinity());
+    covered_.push_back(false);
+    if (buffer_.size() == static_cast<size_t>(window_) &&
+        (steps_consumed_ - static_cast<size_t>(window_)) %
+                static_cast<size_t>(stride_) ==
+            0) {
+      due_windows.emplace_back(buffer_.begin(), buffer_.end());
+      due_starts.push_back(steps_consumed_ - static_cast<size_t>(window_));
+    }
+  }
+  if (!observations.empty()) steps_counter_->Increment(observations.size());
+
+  // Batched scoring and min-fold. Deferring every fold until after all
+  // pushes is equivalent to the sequential interleaving: a window scored
+  // at push j never covers a step that push i < j already finalized
+  // (its coverage starts past i's safe_before), and the min-fold itself
+  // is order-independent.
+  if (!due_windows.empty()) {
+    Result<std::vector<std::vector<double>>> batch =
+        detector_->ScoreWindowBatch(service_index_, due_windows);
+    MACE_CHECK_OK(batch.status());
+    for (size_t w = 0; w < due_windows.size(); ++w) {
+      const std::vector<double>& errors = (*batch)[w];
+      const size_t start = due_starts[w];
+      for (size_t j = 0; j < errors.size(); ++j) {
+        const size_t step = start + j;
+        if (step < next_emit_) continue;
+        const size_t offset = step - next_emit_;
+        MACE_CHECK(offset < pending_.size());
+        if (!covered_[offset] || errors[j] < pending_[offset]) {
+          pending_[offset] = errors[j];
+          covered_[offset] = true;
+        }
+      }
+    }
+    last_scored_end_ = due_starts.back() + static_cast<size_t>(window_);
+  }
+
+  // Emit per observation with the step count that push saw, so results
+  // and the emit-latency histogram match sequential Push calls.
+  std::vector<std::vector<double>> results(observations.size());
+  const size_t first_steps = steps_consumed_ - observations.size();
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const size_t steps_at_emit = first_steps + i + 1;
+    const size_t safe_before =
+        steps_at_emit >= static_cast<size_t>(window_)
+            ? steps_at_emit - static_cast<size_t>(window_) + 1
+            : 0;
+    results[i] = EmitFinalized(safe_before, steps_at_emit);
+  }
+  return results;
+}
+
 void StreamingScorer::Reset() {
   buffer_.clear();
   pending_.clear();
@@ -127,6 +207,9 @@ void StreamingScorer::Reset() {
   last_scored_end_ = 0;
   scores_emitted_ = 0;
   created_at_ = std::chrono::steady_clock::now();
+  // The throughput gauge is cumulative-per-stream: a recycled session
+  // must not report the previous tenant's rate until its first emit.
+  scores_per_second_->Set(0.0);
 }
 
 std::vector<double> StreamingScorer::Finish() {

@@ -33,6 +33,16 @@ class StreamingScorer {
   /// one score per step, `window` steps behind the input.
   Result<std::vector<double>> Push(const std::vector<double>& observation);
 
+  /// Pushes a run of observations at once, scoring every window that
+  /// falls due through one batched ScoreWindowBatch call (the serve
+  /// micro-batch fast path). Returns the scores each observation would
+  /// have finalized, in order: element i equals what Push(observations[i])
+  /// would have returned, including emit-latency accounting. If any
+  /// observation fails validation the whole call fails and the pipeline
+  /// state is untouched.
+  Result<std::vector<std::vector<double>>> PushMany(
+      const std::vector<std::vector<double>>& observations);
+
   /// Flushes the tail: scores one final window ending at the last
   /// observation (if available) and finalizes every remaining step.
   std::vector<double> Finish();
@@ -58,6 +68,10 @@ class StreamingScorer {
   void ScoreTailWindow();
   /// Pops every pending step that can no longer be covered.
   std::vector<double> EmitFinalized(size_t safe_before);
+  /// Same, but latency accounting uses `steps_at_emit` instead of the
+  /// live step count (PushMany emits retroactively per observation).
+  std::vector<double> EmitFinalized(size_t safe_before,
+                                    size_t steps_at_emit);
 
   const MaceDetector* detector_;
   int service_index_;

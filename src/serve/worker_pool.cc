@@ -155,7 +155,7 @@ void ShardedWorkerPool::Shard::Run() {
         registry_.PruneFreePool(handle.model.get());
         seen_generation = handle.generation;
       }
-      for (WorkItem& item : batch) Process(item, handle);
+      ProcessBatch(batch, handle);
       sessions_gauge_->Set(static_cast<double>(registry_.size()));
     }
 
@@ -175,6 +175,112 @@ void ShardedWorkerPool::Shard::Run() {
         last_sweep = now;
       }
     }
+  }
+}
+
+void ShardedWorkerPool::Shard::ProcessBatch(
+    std::vector<WorkItem>& batch, const ModelProvider::Handle& handle) {
+  // Within a run of score items, observations group by session so each
+  // session takes one batched scoring pass. Control items (close, fence,
+  // gate) end the run and keep their queue position, and same-session
+  // observations keep their relative order; only observations of
+  // *different* sessions may reorder within a run, which no caller can
+  // observe (futures resolve independently, sessions share no state).
+  size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].kind != WorkItem::Kind::kScore) {
+      Process(batch[i], handle);
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < batch.size() && batch[end].kind == WorkItem::Kind::kScore) {
+      ++end;
+    }
+    std::vector<bool> grouped(end - i, false);
+    for (size_t a = i; a < end; ++a) {
+      if (grouped[a - i]) continue;
+      std::vector<WorkItem*> group;
+      group.push_back(&batch[a]);
+      for (size_t b = a + 1; b < end; ++b) {
+        if (!grouped[b - i] && batch[b].key == batch[a].key) {
+          grouped[b - i] = true;
+          group.push_back(&batch[b]);
+        }
+      }
+      if (group.size() == 1) {
+        Process(*group.front(), handle);
+      } else {
+        ProcessScoreGroup(group, handle);
+      }
+    }
+    i = end;
+  }
+}
+
+void ShardedWorkerPool::Shard::ProcessScoreGroup(
+    std::vector<WorkItem*>& group, const ModelProvider::Handle& handle) {
+  const Clock::time_point now = Clock::now();
+  for (const WorkItem* item : group) {
+    queue_wait_hist_->Observe(
+        std::chrono::duration<double>(now - item->enqueued_at).count());
+    queue_wait_ns_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - item->enqueued_at)
+                .count()),
+        std::memory_order_relaxed);
+    queue_wait_samples_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Result<SessionRegistry::Session*> session =
+      registry_.GetOrCreate(group.front()->key, handle, now);
+  if (!session.ok()) {
+    for (WorkItem* item : group) {
+      ScoreBatch batch;
+      batch.status = session.status();
+      item->promise.set_value(std::move(batch));
+    }
+    return;
+  }
+  (*session)->last_used = now;
+  sessions_active_.store(registry_.size(), std::memory_order_relaxed);
+  core::StreamingScorer& scorer = (*session)->scorer;
+
+  std::vector<std::vector<double>> observations;
+  observations.reserve(group.size());
+  for (const WorkItem* item : group) {
+    observations.push_back(item->observation);
+  }
+  size_t next_step = scorer.next_emitted_step();
+  Result<std::vector<std::vector<double>>> results =
+      scorer.PushMany(observations);
+  if (!results.ok()) {
+    // PushMany rejects input without consuming anything; replay per item
+    // so the error lands on the observation that caused it, exactly as
+    // the unbatched path reports it.
+    for (WorkItem* item : group) {
+      ScoreBatch batch;
+      batch.first_step = scorer.next_emitted_step();
+      Result<std::vector<double>> scores = scorer.Push(item->observation);
+      scored_steps_.fetch_add(1, std::memory_order_relaxed);
+      if (!scores.ok()) {
+        batch.status = scores.status();
+      } else {
+        batch.scores = std::move(scores).value();
+        emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
+      }
+      item->promise.set_value(std::move(batch));
+    }
+    return;
+  }
+  scored_steps_.fetch_add(group.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < group.size(); ++i) {
+    ScoreBatch batch;
+    batch.first_step = next_step;
+    batch.scores = std::move((*results)[i]);
+    next_step += batch.scores.size();
+    emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
+    group[i]->promise.set_value(std::move(batch));
   }
 }
 

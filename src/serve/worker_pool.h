@@ -86,6 +86,15 @@ class ShardedWorkerPool {
    private:
     void Run();
     void Process(WorkItem& item, const ModelProvider::Handle& handle);
+    /// Drains one micro-batch: score items between control items are
+    /// grouped by session and pushed through the batched scoring fast
+    /// path; control items stay ordering barriers.
+    void ProcessBatch(std::vector<WorkItem>& batch,
+                      const ModelProvider::Handle& handle);
+    /// Scores >= 2 same-session observations via StreamingScorer::PushMany
+    /// (falls back to per-item Push if the batched call rejects input).
+    void ProcessScoreGroup(std::vector<WorkItem*>& group,
+                           const ModelProvider::Handle& handle);
 
     const int index_;
     const ServeConfig config_;

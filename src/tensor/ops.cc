@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/math_utils.h"
 #include "tensor/tensor.h"
 
 namespace mace::tensor {
@@ -14,8 +15,13 @@ namespace {
 
 constexpr double kLogFloor = 1e-12;
 
+using internal::MakeInferenceNode;
+
 /// Builds an op node over `parents`; `backward` is installed only when some
-/// parent participates in differentiation.
+/// parent participates in differentiation. Callers return through
+/// MakeInferenceNode *before* constructing the backward closure when
+/// GradModeEnabled() is false, so inference pays for neither the closure's
+/// captures nor the parent edges (see NoGradGuard).
 Tensor MakeOp(const char* name, Shape shape, std::vector<double> values,
               std::vector<std::shared_ptr<Node>> parents,
               std::function<void(Node&)> backward) {
@@ -35,6 +41,26 @@ Tensor MakeOp(const char* name, Shape shape, std::vector<double> values,
     node->EnsureGrad();
   }
   return Tensor::FromNode(std::move(node));
+}
+
+/// Returns the element count of `shape` when its elements tile the output
+/// as one contiguous repeating block — i.e. `shape`, right-aligned and with
+/// leading 1s stripped, equals the trailing dims of `out_shape`. The offset
+/// of output element i into such an operand is then simply i mod block, so
+/// the hot broadcast cases (bias rows [N] under [B, N], per-column markers)
+/// skip the per-element BroadcastOffset division chain. Returns 0 when the
+/// shape does not tile.
+Index SuffixTileSize(const Shape& shape, const Shape& out_shape) {
+  size_t lead = 0;
+  while (lead < shape.size() && shape[lead] == 1) ++lead;
+  const size_t rank = shape.size() - lead;
+  if (rank > out_shape.size()) return 0;
+  Index block = 1;
+  for (size_t i = 0; i < rank; ++i) {
+    if (shape[lead + i] != out_shape[out_shape.size() - rank + i]) return 0;
+    block *= shape[lead + i];
+  }
+  return block;
 }
 
 /// Generic broadcasting binary elementwise op.
@@ -57,12 +83,31 @@ Tensor BinaryElementwise(const char* name, const Tensor& a, const Tensor& b,
   const Index n = NumElements(out_shape);
   const bool trivial = SameShape(a.shape(), b.shape());
 
-  std::vector<double> values(static_cast<size_t>(n));
+  std::vector<double> values = AcquireScratchBuffer(static_cast<size_t>(n));
   const std::vector<double>& av = a.data();
   const std::vector<double>& bv = b.data();
   if (trivial) {
     for (Index i = 0; i < n; ++i) {
       values[i] = fwd(av[i], bv[i]);
+    }
+  } else if (SameShape(a.shape(), out_shape) &&
+             SuffixTileSize(b.shape(), out_shape) > 0) {
+    // b tiles the output contiguously: nested loops visit the same output
+    // elements in the same ascending order, so results are bit-identical
+    // to the BroadcastOffset path below.
+    const Index tile = SuffixTileSize(b.shape(), out_shape);
+    for (Index base = 0; base < n; base += tile) {
+      for (Index j = 0; j < tile; ++j) {
+        values[base + j] = fwd(av[base + j], bv[j]);
+      }
+    }
+  } else if (SameShape(b.shape(), out_shape) &&
+             SuffixTileSize(a.shape(), out_shape) > 0) {
+    const Index tile = SuffixTileSize(a.shape(), out_shape);
+    for (Index base = 0; base < n; base += tile) {
+      for (Index j = 0; j < tile; ++j) {
+        values[base + j] = fwd(av[j], bv[base + j]);
+      }
     }
   } else {
     for (Index i = 0; i < n; ++i) {
@@ -70,6 +115,9 @@ Tensor BinaryElementwise(const char* name, const Tensor& a, const Tensor& b,
       const Index ib = BroadcastOffset(i, out_strides, b_strides, out_shape);
       values[i] = fwd(av[ia], bv[ib]);
     }
+  }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode(name, std::move(out_shape), std::move(values));
   }
 
   auto an = a.node();
@@ -103,8 +151,11 @@ template <typename Fwd, typename Df>
 Tensor UnaryElementwise(const char* name, const Tensor& a, Fwd fwd, Df df) {
   MACE_CHECK(a.defined());
   const std::vector<double>& av = a.data();
-  std::vector<double> values(av.size());
+  std::vector<double> values = AcquireScratchBuffer(av.size());
   for (size_t i = 0; i < av.size(); ++i) values[i] = fwd(av[i]);
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode(name, a.shape(), std::move(values));
+  }
   auto an = a.node();
   auto backward = [an, df](Node& self) {
     an->EnsureGrad();
@@ -241,12 +292,11 @@ Tensor Pow(const Tensor& a, double p) {
 
 Tensor SignedPow(const Tensor& a, double p) {
   // d/dx sign(x)|x|^p = p |x|^(p-1); finite at 0 for p >= 1.
+  // Forward delegates to the scalar mace::SignedPow so the tensor op and
+  // the scalar pipeline stages share one definition (and its fast path
+  // for integer exponents).
   return UnaryElementwise(
-      "signed_pow", a,
-      [p](double x) {
-        const double m = std::pow(std::fabs(x), p);
-        return x < 0 ? -m : m;
-      },
+      "signed_pow", a, [p](double x) { return mace::SignedPow(x, p); },
       [p](double x) {
         const double ax = std::fabs(x);
         if (ax < kLogFloor) return p >= 1.0 ? 0.0 : 0.0;
@@ -263,10 +313,7 @@ Tensor SignedRoot(const Tensor& a, double p) {
   const double max_derivative = 10.0;
   return UnaryElementwise(
       "signed_root", a,
-      [inv](double x) {
-        const double m = std::pow(std::fabs(x), inv);
-        return x < 0 ? -m : m;
-      },
+      [p](double x) { return mace::SignedRoot(x, p); },
       [inv, max_derivative](double x) {
         const double d = inv * std::pow(std::fabs(x), inv - 1.0);
         return std::isfinite(d) ? std::min(d, max_derivative)
@@ -283,6 +330,11 @@ Tensor Reshape(const Tensor& a, Shape shape) {
   MACE_CHECK(NumElements(shape) == a.numel())
       << "reshape " << ShapeToString(a.shape()) << " -> "
       << ShapeToString(shape);
+  if (!GradModeEnabled()) {
+    std::vector<double> values = AcquireScratchBuffer(a.data().size());
+    std::copy(a.data().begin(), a.data().end(), values.begin());
+    return MakeInferenceNode("reshape", std::move(shape), std::move(values));
+  }
   auto an = a.node();
   auto backward = [an](Node& self) {
     an->EnsureGrad();
@@ -299,13 +351,18 @@ Tensor Transpose(const Tensor& a) {
                             << ShapeToString(a.shape());
   const Index rows = a.dim(0);
   const Index cols = a.dim(1);
-  std::vector<double> values(static_cast<size_t>(rows * cols));
+  std::vector<double> values =
+      AcquireScratchBuffer(static_cast<size_t>(rows * cols));
   const std::vector<double>& av = a.data();
   for (Index r = 0; r < rows; ++r) {
     for (Index c = 0; c < cols; ++c) {
       values[static_cast<size_t>(c * rows + r)] =
           av[static_cast<size_t>(r * cols + c)];
     }
+  }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("transpose", Shape{cols, rows},
+                             std::move(values));
   }
   auto an = a.node();
   auto backward = [an, rows, cols](Node& self) {
@@ -340,14 +397,28 @@ Tensor Slice(const Tensor& a, int axis, Index start, Index end) {
   const Index axis_len = in_shape[axis];
   const Index out_axis = end - start;
 
-  std::vector<double> values(static_cast<size_t>(outer * out_axis * inner));
+  std::vector<double> values =
+      AcquireScratchBuffer(static_cast<size_t>(outer * out_axis * inner));
   const std::vector<double>& av = a.data();
-  for (Index o = 0; o < outer; ++o) {
-    for (Index j = 0; j < out_axis; ++j) {
-      const double* src = av.data() + ((o * axis_len + start + j) * inner);
-      double* dst = values.data() + ((o * out_axis + j) * inner);
-      std::copy(src, src + inner, dst);
+  if (inner == 1) {
+    // Last-axis slice: the j elements of each outer row are contiguous,
+    // so copy them in one block instead of one element at a time.
+    for (Index o = 0; o < outer; ++o) {
+      const double* src = av.data() + (o * axis_len + start);
+      std::copy(src, src + out_axis, values.data() + o * out_axis);
     }
+  } else {
+    for (Index o = 0; o < outer; ++o) {
+      for (Index j = 0; j < out_axis; ++j) {
+        const double* src = av.data() + ((o * axis_len + start + j) * inner);
+        double* dst = values.data() + ((o * out_axis + j) * inner);
+        std::copy(src, src + inner, dst);
+      }
+    }
+  }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("slice", std::move(out_shape),
+                             std::move(values));
   }
   auto an = a.node();
   auto backward = [an, outer, inner, axis_len, out_axis, start](Node& self) {
@@ -389,13 +460,11 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
   for (int i = 0; i < ax; ++i) outer *= out_shape[i];
   for (size_t i = ax + 1; i < out_shape.size(); ++i) inner *= out_shape[i];
 
-  std::vector<double> values(static_cast<size_t>(NumElements(out_shape)));
-  std::vector<std::shared_ptr<Node>> parents;
+  std::vector<double> values =
+      AcquireScratchBuffer(static_cast<size_t>(NumElements(out_shape)));
   std::vector<Index> part_axis(parts.size());
-  parents.reserve(parts.size());
   Index written = 0;
   for (size_t p = 0; p < parts.size(); ++p) {
-    parents.push_back(parts[p].node());
     const Index pa = parts[p].dim(ax);
     part_axis[p] = pa;
     const std::vector<double>& pv = parts[p].data();
@@ -406,6 +475,13 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     }
     written += pa;
   }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("concat", std::move(out_shape),
+                             std::move(values));
+  }
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  for (const Tensor& part : parts) parents.push_back(part.node());
 
   auto backward = [outer, inner, total_axis, part_axis](Node& self) {
     Index offset = 0;
@@ -436,6 +512,9 @@ Tensor Sum(const Tensor& a) {
   MACE_CHECK(a.defined());
   double total = 0.0;
   for (double v : a.data()) total += v;
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("sum", Shape{}, {total});
+  }
   auto an = a.node();
   auto backward = [an](Node& self) {
     an->EnsureGrad();
@@ -468,7 +547,9 @@ Tensor SumAxis(const Tensor& a, int axis) {
     if (static_cast<int>(i) != axis) out_shape.push_back(in_shape[i]);
   }
 
-  std::vector<double> values(static_cast<size_t>(outer * inner), 0.0);
+  std::vector<double> values =
+      AcquireScratchBuffer(static_cast<size_t>(outer * inner),
+                           /*zero_fill=*/true);
   const std::vector<double>& av = a.data();
   for (Index o = 0; o < outer; ++o) {
     for (Index j = 0; j < axis_len; ++j) {
@@ -476,6 +557,10 @@ Tensor SumAxis(const Tensor& a, int axis) {
       double* dst = values.data() + o * inner;
       for (Index i = 0; i < inner; ++i) dst[i] += src[i];
     }
+  }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("sum_axis", std::move(out_shape),
+                             std::move(values));
   }
   auto an = a.node();
   auto backward = [an, outer, inner, axis_len](Node& self) {
@@ -503,17 +588,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const Index m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
   MACE_CHECK(k == k2) << "MatMul inner dims " << k << " vs " << k2;
 
-  std::vector<double> values(static_cast<size_t>(m * n), 0.0);
+  std::vector<double> values =
+      AcquireScratchBuffer(static_cast<size_t>(m * n), /*zero_fill=*/true);
   const std::vector<double>& av = a.data();
   const std::vector<double>& bv = b.data();
+  // __restrict lets the inner j-loop vectorize without runtime alias
+  // checks; the per-element accumulation order (kk ascending) is
+  // unchanged, so results are bit-identical to the scalar loop.
   for (Index i = 0; i < m; ++i) {
     for (Index kk = 0; kk < k; ++kk) {
       const double aik = av[static_cast<size_t>(i * k + kk)];
       if (aik == 0.0) continue;
-      const double* brow = bv.data() + kk * n;
-      double* orow = values.data() + i * n;
+      const double* __restrict brow = bv.data() + kk * n;
+      double* __restrict orow = values.data() + i * n;
       for (Index j = 0; j < n; ++j) orow[j] += aik * brow[j];
     }
+  }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("matmul", Shape{m, n}, std::move(values));
   }
   auto an = a.node();
   auto bn = b.node();
@@ -580,8 +672,8 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         << "Conv1d bias must be [F]";
   }
 
-  std::vector<double> values(
-      static_cast<size_t>(batch * filters * out_len), 0.0);
+  std::vector<double> values = AcquireScratchBuffer(
+      static_cast<size_t>(batch * filters * out_len), /*zero_fill=*/true);
   const std::vector<double>& xv = input.data();
   const std::vector<double>& wv = weight.data();
   for (Index b = 0; b < batch; ++b) {
@@ -590,6 +682,20 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       if (has_bias) {
         const double bf = bias.data()[static_cast<size_t>(f)];
         for (Index t = 0; t < out_len; ++t) out[t] = bf;
+      }
+      if (kernel == 1 && stride == 1) {
+        // Pointwise conv (the frequency-characterization layers): each
+        // channel contributes w_c * x_c[t]; interchanging the c and t
+        // loops turns the body into vectorizable axpys while keeping the
+        // c-ascending accumulation order of the generic loop below, so
+        // outputs are bit-identical.
+        for (Index c = 0; c < channels; ++c) {
+          const double wc = wv[static_cast<size_t>(f * channels + c)];
+          const double* __restrict x = xv.data() + (b * channels + c) * length;
+          double* __restrict o = out;
+          for (Index t = 0; t < out_len; ++t) o[t] += wc * x[t];
+        }
+        continue;
       }
       for (Index c = 0; c < channels; ++c) {
         const double* x = xv.data() + (b * channels + c) * length;
@@ -604,6 +710,10 @@ Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
     }
   }
 
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("conv1d", Shape{batch, filters, out_len},
+                             std::move(values));
+  }
   auto xn = input.node();
   auto wn = weight.node();
   std::vector<std::shared_ptr<Node>> parents = {xn, wn};
@@ -656,7 +766,7 @@ Tensor Softmax(const Tensor& a) {
   const Shape& shape = a.shape();
   const Index cols = shape.back();
   const Index rows = a.numel() / cols;
-  std::vector<double> values(a.data().size());
+  std::vector<double> values = AcquireScratchBuffer(a.data().size());
   const std::vector<double>& av = a.data();
   for (Index r = 0; r < rows; ++r) {
     const double* x = av.data() + r * cols;
@@ -669,6 +779,9 @@ Tensor Softmax(const Tensor& a) {
       total += y[c];
     }
     for (Index c = 0; c < cols; ++c) y[c] /= total;
+  }
+  if (!GradModeEnabled()) {
+    return MakeInferenceNode("softmax", shape, std::move(values));
   }
   auto an = a.node();
   // Capture the forward output for the backward pass.

@@ -12,11 +12,56 @@ using internal::Node;
 
 namespace {
 
+// -- Inference mode ---------------------------------------------------------
+
+thread_local bool t_grad_enabled = true;
+
+/// Free list of value buffers for inference-mode nodes. `t_buffer_pool`
+/// is a raw pointer registered/unregistered by the pool's own lifetime so
+/// a node destroyed during thread teardown (after the pool's destructor
+/// ran) degrades to a plain free instead of touching a dead object.
+struct BufferPool {
+  /// Bounds pool memory; 64 buffers comfortably covers the deepest
+  /// per-window op chain of MaceModel::Forward.
+  static constexpr size_t kMaxBuffers = 64;
+  std::vector<std::vector<double>> free_buffers;
+
+  BufferPool();
+  ~BufferPool();
+};
+
+thread_local BufferPool* t_buffer_pool = nullptr;
+
+BufferPool::BufferPool() { t_buffer_pool = this; }
+BufferPool::~BufferPool() { t_buffer_pool = nullptr; }
+
+BufferPool* PoolForAcquire() {
+  static thread_local BufferPool pool;
+  return t_buffer_pool;
+}
+
+void ReleaseToPool(std::vector<double>&& buffer) {
+  BufferPool* pool = t_buffer_pool;
+  if (pool != nullptr && pool->free_buffers.size() < BufferPool::kMaxBuffers) {
+    pool->free_buffers.push_back(std::move(buffer));
+  }
+}
+
 std::shared_ptr<Node> MakeLeaf(Shape shape, std::vector<double> values,
                                bool requires_grad) {
   MACE_CHECK(static_cast<Index>(values.size()) == NumElements(shape))
       << "values size " << values.size() << " vs shape "
       << ShapeToString(shape);
+  if (!t_grad_enabled && !requires_grad) {
+    // Inference-mode leaf: its buffer recycles through the pool on death.
+    auto node = std::shared_ptr<Node>(new Node, [](Node* n) {
+      ReleaseToPool(std::move(n->values));
+      delete n;
+    });
+    node->shape = std::move(shape);
+    node->values = std::move(values);
+    return node;
+  }
   auto node = std::make_shared<Node>();
   node->shape = std::move(shape);
   node->values = std::move(values);
@@ -26,6 +71,47 @@ std::shared_ptr<Node> MakeLeaf(Shape shape, std::vector<double> values,
 }
 
 }  // namespace
+
+bool GradModeEnabled() { return t_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
+  t_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
+
+std::vector<double> AcquireScratchBuffer(size_t n, bool zero_fill) {
+  if (!t_grad_enabled) {
+    BufferPool* pool = PoolForAcquire();
+    if (pool != nullptr && !pool->free_buffers.empty()) {
+      std::vector<double> buffer = std::move(pool->free_buffers.back());
+      pool->free_buffers.pop_back();
+      if (zero_fill) {
+        buffer.assign(n, 0.0);
+      } else {
+        buffer.resize(n);
+      }
+      return buffer;
+    }
+  }
+  return zero_fill ? std::vector<double>(n, 0.0) : std::vector<double>(n);
+}
+
+namespace internal {
+
+Tensor MakeInferenceNode(const char* name, Shape shape,
+                         std::vector<double> values) {
+  auto node = std::shared_ptr<Node>(new Node, [](Node* n) {
+    ReleaseToPool(std::move(n->values));
+    delete n;
+  });
+  node->op_name = name;
+  node->shape = std::move(shape);
+  node->values = std::move(values);
+  return Tensor::FromNode(std::move(node));
+}
+
+}  // namespace internal
 
 Tensor Tensor::FromNode(std::shared_ptr<Node> node) {
   Tensor t;

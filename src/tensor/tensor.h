@@ -35,6 +35,44 @@ struct Node {
 
 }  // namespace internal
 
+// -- Inference mode --------------------------------------------------------
+
+/// True when the calling thread records autograd graphs (the default).
+/// Under an active NoGradGuard every op skips node parents, backward
+/// closures and gradient buffers: forward values are bit-identical, but
+/// the result is a detached constant and intermediate buffers recycle
+/// through a thread-local pool instead of being retained by the graph.
+bool GradModeEnabled();
+
+/// \brief RAII scope that disables autograd recording on this thread.
+///
+/// Nests (each guard restores the mode it found) and is strictly
+/// thread-local: guards on one thread never affect another. The standard
+/// wrapper for inference hot paths (scoring, serving):
+///
+///   tensor::NoGradGuard no_grad;
+///   model.Forward(...);  // same values, no graph, pooled buffers
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// \brief A value buffer of size `n` recycled from the calling thread's
+/// inference-mode buffer pool (plain allocation when grad mode is on or
+/// the pool is empty). Contents are unspecified unless `zero_fill`.
+///
+/// Feed the result to Tensor::FromVector / an op: buffers of tensors
+/// built in inference mode return to the pool when the tensor dies, so a
+/// loop that scores one window per iteration does O(1) amortized heap
+/// allocations.
+std::vector<double> AcquireScratchBuffer(size_t n, bool zero_fill = false);
+
 /// \brief Dense, row-major, double-precision tensor with reverse-mode
 /// automatic differentiation.
 ///
@@ -104,6 +142,13 @@ class Tensor {
  private:
   std::shared_ptr<internal::Node> node_;
 };
+
+namespace internal {
+/// Builds a graph-free op result whose buffer recycles through the
+/// inference-mode pool (for op implementations; see NoGradGuard).
+Tensor MakeInferenceNode(const char* name, Shape shape,
+                         std::vector<double> values);
+}  // namespace internal
 
 // -- Elementwise binary ops (broadcasting) -------------------------------
 

@@ -184,5 +184,117 @@ TEST(MaceDetectorTest, AnomalousStepsScoreHigherOnAverage) {
   EXPECT_GT(anomalous / ac, 2.0 * normal / nc);
 }
 
+TEST(MaceDetectorTest, ValidateConfigAcceptsDefaultsAndNamesViolations) {
+  EXPECT_TRUE(MaceDetector::ValidateConfig(MaceConfig()).ok());
+
+  auto message_of = [](MaceConfig config) {
+    const Status status = MaceDetector::ValidateConfig(config);
+    EXPECT_FALSE(status.ok());
+    return status.message();
+  };
+  MaceConfig config;
+  config.score_stride = 0;
+  EXPECT_NE(message_of(config).find("score_stride"), std::string::npos);
+  config = MaceConfig();
+  config.train_stride = 0;
+  EXPECT_NE(message_of(config).find("train_stride"), std::string::npos);
+  config = MaceConfig();
+  config.score_stride = config.window + 1;
+  EXPECT_NE(message_of(config).find("score_stride"), std::string::npos);
+  config = MaceConfig();
+  config.time_kernel = 4;  // even
+  EXPECT_NE(message_of(config).find("time_kernel"), std::string::npos);
+  config = MaceConfig();
+  config.window = 3;
+  EXPECT_NE(message_of(config).find("window"), std::string::npos);
+  config = MaceConfig();
+  config.num_bases = 0;
+  EXPECT_NE(message_of(config).find("num_bases"), std::string::npos);
+  config = MaceConfig();
+  config.score_threads = 0;
+  EXPECT_NE(message_of(config).find("score_threads"), std::string::npos);
+  config = MaceConfig();
+  config.score_batch = 0;
+  EXPECT_NE(message_of(config).find("score_batch"), std::string::npos);
+}
+
+TEST(MaceDetectorDeathTest, ConstructorRejectsZeroScoreStride) {
+  MaceConfig config;
+  config.score_stride = 0;  // would loop ScoreScaled forever
+  EXPECT_DEATH(MaceDetector{config}, "score_stride");
+}
+
+TEST(MaceDetectorDeathTest, ConstructorRejectsZeroTrainStride) {
+  MaceConfig config;
+  config.train_stride = 0;
+  EXPECT_DEATH(MaceDetector{config}, "train_stride");
+}
+
+TEST(MaceDetectorDeathTest, ConstructorRejectsStrideBeyondWindow) {
+  MaceConfig config;
+  config.score_stride = config.window + 1;
+  EXPECT_DEATH(MaceDetector{config}, "score_stride");
+}
+
+TEST(MaceDetectorDeathTest, ConstructorRejectsEvenTimeKernel) {
+  MaceConfig config;
+  config.time_kernel = 2;
+  EXPECT_DEATH(MaceDetector{config}, "time_kernel");
+}
+
+/// Services whose feature counts disagree (front has 3, second has 2):
+/// Fit must reject them *after* it has started looking at the data.
+std::vector<ts::ServiceData> MismatchedWorkload() {
+  auto services = TinyWorkload();
+  Rng rng(99);
+  ts::NormalPattern pattern;
+  pattern.kind = ts::WaveformKind::kSinusoid;
+  pattern.period = 9.0;
+  pattern.feature_weights = {1.0, 0.7, 0.4};
+  pattern.feature_lags = {0.0, 1.0, 2.0};
+  services[0].train = ts::GenerateNormal(pattern, 400, 0, &rng);
+  services[0].test = ts::GenerateNormal(pattern, 240, 400, &rng);
+  return services;
+}
+
+TEST(MaceDetectorTest, FailedRefitLeavesPreviousFittedStateIntact) {
+  MaceDetector detector(FastConfig());
+  const auto services = TinyWorkload();
+  ASSERT_TRUE(detector.Fit(services).ok());
+
+  std::vector<std::vector<double>> rows(
+      static_cast<size_t>(detector.config().window),
+      std::vector<double>(2));
+  for (size_t t = 0; t < rows.size(); ++t) {
+    rows[t][0] = std::sin(0.5 * static_cast<double>(t));
+    rows[t][1] = std::cos(0.3 * static_cast<double>(t));
+  }
+  const auto before = detector.ScoreWindow(0, rows);
+  ASSERT_TRUE(before.ok());
+
+  EXPECT_FALSE(detector.Fit(MismatchedWorkload()).ok());
+
+  // The previous model keeps scoring 2-feature windows with identical
+  // results (the failed refit must not have torn num_features_ or the
+  // per-service preprocessing out from under it).
+  const auto after = detector.ScoreWindow(0, rows);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t t = 0; t < before->size(); ++t) {
+    EXPECT_DOUBLE_EQ((*before)[t], (*after)[t]) << "step " << t;
+  }
+  const auto scores = detector.Score(0, services[0].test);
+  EXPECT_TRUE(scores.ok());
+}
+
+TEST(MaceDetectorTest, FailedFirstFitLeavesDetectorUnfitted) {
+  MaceDetector detector(FastConfig());
+  EXPECT_FALSE(detector.Fit(MismatchedWorkload()).ok());
+  EXPECT_EQ(detector.ParameterCount(), 0);
+  const auto services = TinyWorkload();
+  const auto scores = detector.Score(0, services[0].test);
+  ASSERT_FALSE(scores.ok());  // clean "Score before Fit", not a crash
+}
+
 }  // namespace
 }  // namespace mace::core

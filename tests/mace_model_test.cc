@@ -132,6 +132,58 @@ TEST(MaceModelTest, BranchErrorsReported) {
               0.5 * (out.mean_err_peak + out.mean_err_valley), 1e-9);
 }
 
+TEST(MaceModelTest, AmplitudePhaseReconstructionIdentity) {
+  // The amplitude sqrt(x + eps) and the unit-phase denominator share one
+  // epsilon and operand order, so amp * unit reconstructs (re, im) to an
+  // ulp. With the old mismatched epsilons (sqrt(x + 1e-8) amplitude vs
+  // sqrt(x) + 1e-12 denominator) a dead base with re = 1e-9 reconstructed
+  // to ~1e-4 — five orders of magnitude of bias.
+  for (double r : {0.0, 1e-9, -1e-9, 1e-3, 2.5, -117.0}) {
+    for (double i : {0.0, 1e-10, -0.5, 3.25}) {
+      const double amp =
+          std::sqrt(r * r + i * i + MaceModel::kSpectrumEpsilon);
+      const double denominator =
+          std::sqrt(r * r + i * i + MaceModel::kSpectrumEpsilon);
+      EXPECT_DOUBLE_EQ(amp * (r / denominator), r) << "re " << r << " im "
+                                                   << i;
+      EXPECT_DOUBLE_EQ(amp * (i / denominator), i) << "re " << r << " im "
+                                                   << i;
+    }
+  }
+}
+
+TEST(MaceModelTest, ForwardBatchMatchesPerWindowForwardExactly) {
+  Rng rng(5);
+  MaceModel model(SmallConfig(), /*num_features=*/3,
+                  /*num_coeff_columns=*/12, &rng);
+  const ServiceTransforms transforms = SmallTransforms();
+  Rng data_rng(17);
+  std::vector<Tensor> windows;
+  for (int b = 0; b < 5; ++b) {
+    windows.push_back(Tensor::RandomGaussian({3, 16}, &data_rng, 0.0, 1.0));
+  }
+  MaceModel::BatchOutput batch = model.ForwardBatch(transforms, windows);
+  ASSERT_EQ(batch.step_errors.size(), windows.size());
+  for (size_t b = 0; b < windows.size(); ++b) {
+    const MaceModel::Output single =
+        model.Forward(transforms, windows[b], /*want_step_errors=*/true);
+    ASSERT_EQ(batch.step_errors[b].size(), single.step_errors.size());
+    for (size_t t = 0; t < single.step_errors.size(); ++t) {
+      EXPECT_DOUBLE_EQ(batch.step_errors[b][t], single.step_errors[t])
+          << "window " << b << " step " << t;
+    }
+  }
+  // And under inference mode: same values, no graph.
+  tensor::NoGradGuard no_grad;
+  MaceModel::BatchOutput inference = model.ForwardBatch(transforms, windows);
+  for (size_t b = 0; b < windows.size(); ++b) {
+    for (size_t t = 0; t < inference.step_errors[b].size(); ++t) {
+      EXPECT_DOUBLE_EQ(inference.step_errors[b][t], batch.step_errors[b][t])
+          << "window " << b << " step " << t;
+    }
+  }
+}
+
 TEST(MaceModelDeathTest, RejectsMismatchedTransforms) {
   Rng rng(8);
   MaceModel model(SmallConfig(), 2, 12, &rng);

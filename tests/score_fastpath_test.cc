@@ -1,0 +1,289 @@
+// The inference fast path (tensor no-grad mode + batched multi-window
+// forwards) must change performance only: scores stay bit-identical to
+// the per-window grad-mode pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/mace_detector.h"
+#include "tensor/tensor.h"
+#include "ts/generator.h"
+
+namespace mace::core {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(7 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 400, 320, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+/// A deterministic pseudo-scaled window (ScoreWindow is a pure function
+/// of its rows, so any values exercise the pipeline).
+std::vector<std::vector<double>> MakeRows(int window, int features,
+                                          int salt) {
+  std::vector<std::vector<double>> rows(
+      static_cast<size_t>(window),
+      std::vector<double>(static_cast<size_t>(features)));
+  for (int t = 0; t < window; ++t) {
+    for (int f = 0; f < features; ++f) {
+      rows[static_cast<size_t>(t)][static_cast<size_t>(f)] =
+          std::sin(0.37 * (t + 1) * (f + 1) + salt) +
+          0.01 * (t % 5) * (salt + 1);
+    }
+  }
+  return rows;
+}
+
+MaceDetector FitDetector(MaceConfig config,
+                         const std::vector<ts::ServiceData>& services) {
+  MaceDetector detector(config);
+  EXPECT_TRUE(detector.Fit(services).ok());
+  return detector;
+}
+
+// -- NoGradGuard semantics -------------------------------------------------
+
+TEST(NoGradGuardTest, DisablesAndRestoresGradMode) {
+  EXPECT_TRUE(tensor::GradModeEnabled());
+  {
+    tensor::NoGradGuard guard;
+    EXPECT_FALSE(tensor::GradModeEnabled());
+  }
+  EXPECT_TRUE(tensor::GradModeEnabled());
+}
+
+TEST(NoGradGuardTest, NestsByRestoringTheModeItFound) {
+  tensor::NoGradGuard outer;
+  EXPECT_FALSE(tensor::GradModeEnabled());
+  {
+    tensor::NoGradGuard inner;
+    EXPECT_FALSE(tensor::GradModeEnabled());
+  }
+  // The inner guard restores "disabled", not "enabled".
+  EXPECT_FALSE(tensor::GradModeEnabled());
+}
+
+TEST(NoGradGuardTest, IsThreadLocal) {
+  tensor::NoGradGuard guard;
+  ASSERT_FALSE(tensor::GradModeEnabled());
+  bool other_thread_grad_mode = false;
+  std::thread([&] {
+    other_thread_grad_mode = tensor::GradModeEnabled();
+  }).join();
+  EXPECT_TRUE(other_thread_grad_mode);
+}
+
+TEST(NoGradGuardTest, OpsBuildNoGraphUnderTheGuard) {
+  tensor::Tensor weight =
+      tensor::Tensor::FromVector({1.0, 2.0, 3.0}, /*requires_grad=*/true);
+  tensor::Tensor input = tensor::Tensor::FromVector({4.0, 5.0, 6.0});
+
+  tensor::Tensor grad_result = Mul(weight, input);
+  EXPECT_TRUE(grad_result.requires_grad());
+  EXPECT_EQ(grad_result.node()->parents.size(), 2u);
+
+  tensor::NoGradGuard guard;
+  tensor::Tensor inference_result = Mul(weight, input);
+  EXPECT_FALSE(inference_result.requires_grad());
+  EXPECT_TRUE(inference_result.node()->parents.empty());
+  EXPECT_FALSE(inference_result.node()->backward);
+  // Values are untouched by the mode.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(inference_result.data()[i], grad_result.data()[i]);
+  }
+}
+
+TEST(NoGradGuardTest, GradModeGraphsStillDifferentiateAfterInferenceUse) {
+  {
+    tensor::NoGradGuard guard;
+    tensor::Tensor a = tensor::Tensor::FromVector({1.0, 2.0});
+    tensor::Tensor b = Mul(a, a);
+    (void)b;
+  }
+  tensor::Tensor x =
+      tensor::Tensor::FromVector({3.0, 4.0}, /*requires_grad=*/true);
+  tensor::Tensor loss = tensor::Sum(Mul(x, x));
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 6.0);
+  EXPECT_DOUBLE_EQ(x.grad()[1], 8.0);
+}
+
+// -- Bit-identity: no-grad vs grad -----------------------------------------
+
+TEST(ScoreFastPathTest, NoGradScoresAreBitIdenticalToGradMode) {
+  const auto services = TinyWorkload();
+  MaceConfig grad_config;
+  grad_config.epochs = 2;
+  grad_config.score_no_grad = false;
+  grad_config.score_batch = 1;
+  MaceConfig nograd_config = grad_config;
+  nograd_config.score_no_grad = true;
+
+  MaceDetector grad_mode = FitDetector(grad_config, services);
+  MaceDetector no_grad = FitDetector(nograd_config, services);
+
+  for (int s = 0; s < 2; ++s) {
+    auto a = grad_mode.Score(s, services[static_cast<size_t>(s)].test);
+    auto b = no_grad.Score(s, services[static_cast<size_t>(s)].test);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t t = 0; t < a->size(); ++t) {
+      EXPECT_DOUBLE_EQ((*a)[t], (*b)[t]) << "service " << s << " step " << t;
+    }
+  }
+
+  const auto rows = MakeRows(grad_config.window, 2, /*salt=*/1);
+  auto a = grad_mode.ScoreWindow(0, rows);
+  auto b = no_grad.ScoreWindow(0, rows);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t t = 0; t < a->size(); ++t) {
+    EXPECT_DOUBLE_EQ((*a)[t], (*b)[t]) << "step " << t;
+  }
+}
+
+// -- Bit-identity: batched vs per-window -----------------------------------
+
+class BatchedScoringTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchedScoringTest, MatchesPerWindowScoresExactly) {
+  const auto services = TinyWorkload();
+  MaceConfig unbatched_config;
+  unbatched_config.epochs = 2;
+  unbatched_config.score_batch = 1;
+  MaceConfig batched_config = unbatched_config;
+  batched_config.score_batch = GetParam();
+
+  MaceDetector unbatched = FitDetector(unbatched_config, services);
+  MaceDetector batched = FitDetector(batched_config, services);
+
+  for (int s = 0; s < 2; ++s) {
+    auto a = unbatched.Score(s, services[static_cast<size_t>(s)].test);
+    auto b = batched.Score(s, services[static_cast<size_t>(s)].test);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t t = 0; t < a->size(); ++t) {
+      EXPECT_DOUBLE_EQ((*a)[t], (*b)[t]) << "service " << s << " step " << t;
+    }
+  }
+}
+
+// 3 leaves an odd tail against the 73 windows of the 400-step test split;
+// 1 runs the batched config through the legacy path as a control.
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchedScoringTest,
+                         ::testing::Values(1, 3, 8, 64),
+                         [](const auto& info) {
+                           return "batch" + std::to_string(info.param);
+                         });
+
+TEST(BatchedScoringTest, ScoreWindowBatchMatchesScoreWindowLoop) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector = FitDetector(config, services);
+
+  for (int batch_size : {1, 3, 5}) {
+    std::vector<std::vector<std::vector<double>>> windows;
+    for (int b = 0; b < batch_size; ++b) {
+      windows.push_back(MakeRows(config.window, 2, /*salt=*/b));
+    }
+    auto batch = detector.ScoreWindowBatch(0, windows);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch->size(), windows.size());
+    for (size_t b = 0; b < windows.size(); ++b) {
+      auto single = detector.ScoreWindow(0, windows[b]);
+      ASSERT_TRUE(single.ok());
+      ASSERT_EQ((*batch)[b].size(), single->size());
+      for (size_t t = 0; t < single->size(); ++t) {
+        EXPECT_DOUBLE_EQ((*batch)[b][t], (*single)[t])
+            << "batch_size " << batch_size << " window " << b << " step "
+            << t;
+      }
+    }
+  }
+}
+
+TEST(BatchedScoringTest, ScoreWindowBatchValidatesInput) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector = FitDetector(config, services);
+
+  EXPECT_TRUE(detector.ScoreWindowBatch(0, {}).ok());
+  EXPECT_FALSE(detector.ScoreWindowBatch(99, {MakeRows(config.window, 2, 0)})
+                   .ok());
+  // Wrong row count in the second window.
+  std::vector<std::vector<std::vector<double>>> windows = {
+      MakeRows(config.window, 2, 0), MakeRows(config.window - 1, 2, 1)};
+  EXPECT_FALSE(detector.ScoreWindowBatch(0, windows).ok());
+}
+
+// -- Perf guard -------------------------------------------------------------
+
+TEST(ScoreFastPathTest, NoGradScoreWindowDoesNotRegressPastGradMode) {
+  const auto services = TinyWorkload();
+  MaceConfig grad_config;
+  grad_config.epochs = 1;
+  grad_config.score_no_grad = false;
+  MaceConfig nograd_config = grad_config;
+  nograd_config.score_no_grad = true;
+
+  MaceDetector grad_mode = FitDetector(grad_config, services);
+  MaceDetector no_grad = FitDetector(nograd_config, services);
+  const auto rows = MakeRows(grad_config.window, 2, /*salt=*/3);
+
+  // Warm up both paths (metric registration, buffer pool fill).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(grad_mode.ScoreWindow(0, rows).ok());
+    ASSERT_TRUE(no_grad.ScoreWindow(0, rows).ok());
+  }
+  // Min over repetitions is robust to scheduler noise: the fast path must
+  // at the very least not be slower than the graph-building path.
+  constexpr int kReps = 25;
+  auto min_latency = [&rows](const MaceDetector& detector) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < kReps; ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      auto scores = detector.ScoreWindow(0, rows);
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count();
+      EXPECT_TRUE(scores.ok());
+      best = std::min(best, elapsed);
+    }
+    return best;
+  };
+  const double grad_min = min_latency(grad_mode);
+  const double nograd_min = min_latency(no_grad);
+  // 10% headroom over "no slower" absorbs timer quantization.
+  EXPECT_LE(nograd_min, grad_min * 1.10)
+      << "no-grad ScoreWindow (" << nograd_min
+      << "s) regressed past grad mode (" << grad_min << "s)";
+}
+
+}  // namespace
+}  // namespace mace::core

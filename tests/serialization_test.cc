@@ -201,5 +201,47 @@ TEST(SerializationTest, CorruptValueErrorNamesPathAndSection) {
   std::remove(path.c_str());
 }
 
+TEST(SerializationTest, LoadRejectsInvalidConfigBeforeConstruction) {
+  // A corrupt stride must surface as a Corrupt status, not as the
+  // MACE_CHECK abort the MaceDetector constructor uses for programmer
+  // error. Zero out score_stride (third token of the config line).
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(TinyWorkload()).ok());
+  const std::string path = ::testing::TempDir() + "/bad_stride.mace";
+  ASSERT_TRUE(detector.Save(path).ok());
+
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  const size_t config_line = contents.find('\n') + 1;
+  size_t token = config_line;
+  for (int skip = 0; skip < 2; ++skip) {
+    token = contents.find(' ', token) + 1;
+  }
+  const size_t token_end = contents.find(' ', token);
+  contents.replace(token, token_end - token, "0");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << contents;
+  }
+
+  auto loaded = MaceDetector::Load(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("invalid config"),
+            std::string::npos)
+      << loaded.status().message();
+  EXPECT_NE(loaded.status().message().find("score_stride"),
+            std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace mace::core

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/streaming.h"
+#include "obs/metrics.h"
 #include "serve/frontend.h"
 #include "ts/generator.h"
 
@@ -152,6 +153,53 @@ TEST(ServeFrontendTest, MultiTenantMatchesSequentialExactly) {
   EXPECT_EQ(totals.shed, 0u);
   EXPECT_EQ(totals.submitted, steps * kTenants);
   EXPECT_EQ(totals.scored_steps, steps * kTenants);
+}
+
+// A single tenant bursting its whole series into one shard makes the
+// drain batches runs of same-session score items, which the worker
+// routes through StreamingScorer::PushMany (ProcessScoreGroup). The
+// emitted scores and first_step continuity must be indistinguishable
+// from one-at-a-time processing.
+TEST(ServeFrontendTest, SameSessionBurstMatchesSequentialExactly) {
+  auto model = FittedModel();
+  const auto services = TinyWorkload();
+
+  ServeConfig config;
+  config.num_shards = 1;
+  config.max_batch = 16;
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  const ts::TimeSeries& test = services[0].test;
+  std::vector<std::future<ScoreBatch>> futures;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto f = (*frontend)->Submit("burst", 0, test.values()[t]);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+
+  std::vector<double> pooled;
+  for (auto& f : futures) {
+    ScoreBatch batch = f.get();
+    ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+    EXPECT_FALSE(batch.dropped);
+    if (!batch.scores.empty()) {
+      EXPECT_EQ(batch.first_step, pooled.size())
+          << "batched scoring broke first_step continuity";
+    }
+    pooled.insert(pooled.end(), batch.scores.begin(), batch.scores.end());
+  }
+  auto tail = (*frontend)->Close("burst", 0);
+  ASSERT_TRUE(tail.ok());
+  pooled.insert(pooled.end(), tail->begin(), tail->end());
+
+  const std::vector<double> sequential =
+      SequentialScores(*model, 0, test);
+  ASSERT_EQ(pooled.size(), sequential.size());
+  for (size_t t = 0; t < pooled.size(); ++t) {
+    EXPECT_EQ(pooled[t], sequential[t]) << "step " << t;
+  }
+  EXPECT_EQ((*frontend)->Stats().Totals().scored_steps, test.length());
 }
 
 TEST(ServeFrontendTest, SynchronousPathMatchesSequential) {
@@ -435,6 +483,15 @@ TEST(ServeFrontendTest, TtlEvictsIdleSessionsAndRecyclesScorers) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_GE((*frontend)->Stats().Totals().sessions_evicted, 4u);
+
+  // Eviction pools the scorers via StreamingScorer::Reset, which must
+  // also zero the throughput gauge — a recycled session must not start
+  // life reporting the previous tenant's scores-per-second.
+  EXPECT_EQ(obs::Metrics()
+                .GetGauge("mace_stream_scores_per_second", "",
+                          {{"service", "0"}})
+                ->Value(),
+            0.0);
 
   // A returning tenant gets a fresh stream (recycled scorer, step 0).
   size_t emitted = 0;

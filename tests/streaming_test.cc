@@ -1,6 +1,9 @@
 #include "core/streaming.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <iterator>
 
 #include <gtest/gtest.h>
 
@@ -202,6 +205,96 @@ TEST(StreamingScorerTest, ResetReplayMatchesFreshScorer) {
   for (size_t t = 0; t < replayed.size(); ++t) {
     EXPECT_EQ(replayed[t], expected[t]) << "step " << t;
   }
+}
+
+TEST(StreamingScorerTest, ResetZeroesThroughputGauge) {
+  MaceDetector detector = Fitted();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  const auto services = TinyWorkload();
+  const ts::TimeSeries& test = services[0].test;
+  for (size_t t = 0; t < test.length(); ++t) {
+    ASSERT_TRUE(scorer->Push(test.values()[t]).ok());
+  }
+  obs::Gauge* throughput = obs::Metrics().GetGauge(
+      "mace_stream_scores_per_second", "", {{"service", "0"}});
+  ASSERT_GT(throughput->Value(), 0.0);
+
+  // A recycled session must not report the previous tenant's throughput.
+  scorer->Reset();
+  EXPECT_EQ(throughput->Value(), 0.0);
+}
+
+TEST(StreamingScorerTest, PushManyMatchesSequentialPushes) {
+  MaceDetector detector = Fitted();
+  const auto services = TinyWorkload();
+  const ts::TimeSeries& test = services[0].test;
+
+  auto sequential = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(sequential.ok());
+  std::vector<std::vector<double>> expected;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = sequential->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    expected.push_back(std::move(*out));
+  }
+
+  auto batched = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(batched.ok());
+  // Chunk sizes chosen to land mid-window (partial buffer fills), exactly
+  // on stride boundaries, and across several strides at once.
+  const size_t chunks[] = {1, 3, 17, 64, 2, 128};
+  size_t t = 0, chunk_index = 0;
+  std::vector<std::vector<double>> actual;
+  while (t < test.length()) {
+    const size_t n =
+        std::min(chunks[chunk_index++ % std::size(chunks)],
+                 test.length() - t);
+    std::vector<std::vector<double>> observations(
+        test.values().begin() + static_cast<ptrdiff_t>(t),
+        test.values().begin() + static_cast<ptrdiff_t>(t + n));
+    auto out = batched->PushMany(observations);
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    ASSERT_EQ(out->size(), n);
+    for (auto& per_obs : *out) actual.push_back(std::move(per_obs));
+    t += n;
+  }
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(actual[i].size(), expected[i].size()) << "push " << i;
+    for (size_t j = 0; j < expected[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(actual[i][j], expected[i][j])
+          << "push " << i << " score " << j;
+    }
+  }
+  EXPECT_EQ(batched->steps_consumed(), sequential->steps_consumed());
+  EXPECT_EQ(batched->scores_emitted(), sequential->scores_emitted());
+
+  // The tails agree too.
+  const auto tail_a = sequential->Finish();
+  const auto tail_b = batched->Finish();
+  ASSERT_EQ(tail_a.size(), tail_b.size());
+  for (size_t i = 0; i < tail_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tail_b[i], tail_a[i]) << "tail " << i;
+  }
+}
+
+TEST(StreamingScorerTest, PushManyRejectsBadInputWithoutConsuming) {
+  MaceDetector detector = Fitted();
+  auto scorer = StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  const auto services = TinyWorkload();
+  // Second observation has the wrong feature count: nothing may be
+  // consumed, not even the valid first observation.
+  std::vector<std::vector<double>> observations = {
+      services[0].test.values()[0], {1.0, 2.0, 3.0}};
+  EXPECT_FALSE(scorer->PushMany(observations).ok());
+  EXPECT_EQ(scorer->steps_consumed(), 0u);
+
+  auto empty = scorer->PushMany({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
 }
 
 TEST(StreamingScorerTest, AnomaliesScoreHighInStream) {
