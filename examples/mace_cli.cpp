@@ -1,9 +1,12 @@
 // mace_cli — command-line front end for the library.
 //
 //   mace_cli train --data <dir> --model <file> [--epochs N] [--gamma-t G]
+//       [--fit-threads N] [--batch-size B]
 //       <dir> holds one sub-directory per service, each with train.csv and
 //       test.csv (last column of test.csv = 0/1 label; see ts/io.h).
 //       Trains one unified model over all services and saves it.
+//       --fit-threads/--batch-size select the data-parallel minibatch
+//       trainer; epoch losses are bit-identical for any thread count.
 //
 //   mace_cli score --data <dir> --model <file> [--out <csv>]
 //       Restores a model and writes per-step anomaly scores per service.
@@ -29,6 +32,7 @@
 #include <filesystem>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
 
 #include "common/csv.h"
@@ -98,6 +102,44 @@ class Flags {
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+  /// Strict variants: the whole value must be numeric — "8x", "" or
+  /// overflow records an argument error (first one wins; check via
+  /// `error`) instead of silently truncating or throwing out of main.
+  int GetIntStrict(const std::string& key, int fallback,
+                   std::string* error) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t used = 0;
+      const int value = std::stoi(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return value;
+    } catch (const std::exception&) {
+      if (error->empty()) {
+        *error = "flag '--" + key + "' needs an integer, got '" +
+                 it->second + "'";
+      }
+      return fallback;
+    }
+  }
+  double GetDoubleStrict(const std::string& key, double fallback,
+                         std::string* error) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t used = 0;
+      const double value = std::stod(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return value;
+    } catch (const std::exception&) {
+      if (error->empty()) {
+        *error = "flag '--" + key + "' needs a number, got '" + it->second +
+                 "'";
+      }
+      return fallback;
+    }
   }
 
  private:
@@ -178,13 +220,30 @@ int Synth(const Flags& flags) {
 }
 
 int Train(const Flags& flags) {
+  // Numeric flags parse strictly and the assembled config pre-validates,
+  // so a typo ("--batch-size 8x", "--fit-threads 0") is an argument
+  // error naming the flag, not an uncaught exception or a CHECK abort.
+  std::string error;
+  core::MaceConfig config;
+  config.epochs = flags.GetIntStrict("epochs", 5, &error);
+  config.gamma_t = flags.GetDoubleStrict("gamma-t", config.gamma_t, &error);
+  config.gamma_f = flags.GetDoubleStrict("gamma-f", config.gamma_f, &error);
+  config.num_bases = flags.GetIntStrict("bases", config.num_bases, &error);
+  config.fit_threads =
+      flags.GetIntStrict("fit-threads", config.fit_threads, &error);
+  config.batch_size =
+      flags.GetIntStrict("batch-size", config.batch_size, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "argument error: %s\n", error.c_str());
+    return 2;
+  }
+  const Status valid = core::MaceDetector::ValidateConfig(config);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "argument error: %s\n", valid.message().c_str());
+    return 2;
+  }
   auto services = LoadServices(flags.Get("data", ""));
   MACE_CHECK_OK(services.status());
-  core::MaceConfig config;
-  config.epochs = flags.GetInt("epochs", 5);
-  config.gamma_t = flags.GetDouble("gamma-t", config.gamma_t);
-  config.gamma_f = flags.GetDouble("gamma-f", config.gamma_f);
-  config.num_bases = flags.GetInt("bases", config.num_bases);
   core::MaceDetector detector(config);
   MACE_CHECK_OK(detector.Fit(*services));
   MACE_CHECK_OK(detector.Save(flags.Get("model", "model.mace")));
@@ -267,6 +326,7 @@ void Usage() {
       "           [--trace-out <file>]\n"
       "  synth:   [--profile SMD|SMAP|MC|J-D1|J-D2] [--services N]\n"
       "  train:   [--epochs N] [--gamma-t G] [--gamma-f G] [--bases K]\n"
+      "           [--fit-threads N] [--batch-size B]\n"
       "  score:   [--out <dir>]\n"
       "  eval:    [--risk R]\n"
       "Every --key flag (except --trace) takes exactly one value.\n");

@@ -1,0 +1,96 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mace {
+
+WorkerPool::WorkerPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::RunTasks(int worker) {
+  // Dynamic claiming balances uneven tasks; result determinism comes from
+  // callers writing into task-indexed slots, not from the claim order.
+  while (true) {
+    const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (task >= job_count_) return;
+    (*job_)(task, worker);
+  }
+}
+
+void WorkerPool::WorkerLoop(int worker) {
+  uint64_t seen_round = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || round_ != seen_round; });
+      if (shutdown_) return;
+      seen_round = round_;
+      // Fully staffed round (fewer tasks than workers, or a spurious
+      // wakeup after the notified workers claimed every slot): skip
+      // without touching job_ and park until the next round.
+      if (round_slots_ == 0) continue;
+      --round_slots_;
+    }
+    RunTasks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_in_round_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void WorkerPool::ParallelFor(size_t count,
+                             const std::function<void(size_t, int)>& fn) {
+  if (count == 0) return;
+  if (threads_ == 1 || count == 1) {
+    // Inline fast path: no wakeups, same task -> worker-0 semantics.
+    for (size_t task = 0; task < count; ++task) fn(task, 0);
+    return;
+  }
+  // Waking a worker that cannot possibly claim a task (count - 1 already
+  // cover everything beyond the caller) is pure context-switch overhead,
+  // so rounds are staffed with min(workers, count - 1) participants. The
+  // notify_one calls below wake at most that many; a worker notified for
+  // an earlier round that arrives late simply finds no slot and re-parks,
+  // and the barrier waits only on workers that actually claimed a slot.
+  const int participants = static_cast<int>(
+      std::min(workers_.size(), count - 1));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MACE_CHECK(job_ == nullptr) << "WorkerPool::ParallelFor is not reentrant";
+    job_ = &fn;
+    job_count_ = count;
+    next_task_.store(0, std::memory_order_relaxed);
+    round_slots_ = participants;
+    workers_in_round_ = participants;
+    ++round_;
+  }
+  for (int i = 0; i < participants; ++i) start_cv_.notify_one();
+  RunTasks(/*worker=*/0);
+  {
+    // Every spawned worker must leave the round before the job can be
+    // torn down, even if it woke late and found no tasks left.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_in_round_ == 0; });
+    job_ = nullptr;
+    job_count_ = 0;
+  }
+}
+
+}  // namespace mace

@@ -1,0 +1,76 @@
+#ifndef MACE_COMMON_PARALLEL_H_
+#define MACE_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mace {
+
+/// \brief Persistent pool of worker threads running indexed task loops.
+///
+/// A pool of `threads` workers (the calling thread counts as worker 0;
+/// `threads - 1` are spawned once and parked between calls), built for
+/// the repeated fan-out/barrier shape of training and preprocessing:
+///
+///   WorkerPool pool(config.fit_threads);
+///   pool.ParallelFor(count, [&](size_t task, int worker) { ... });
+///
+/// ParallelFor runs fn(task, worker) for every task in [0, count) and
+/// returns only after all tasks finished (a barrier). Tasks are claimed
+/// dynamically from a shared counter, so WHICH worker runs a task is
+/// scheduling-dependent — determinism is the caller's contract: write
+/// results into task-indexed slots (never append) and keep per-task work
+/// a pure function of the task index. The `worker` id (in [0, threads()))
+/// is for thread-private scratch such as model replicas.
+///
+/// `threads <= 1` spawns nothing and runs every call inline on the
+/// caller. Calls are not reentrant: ParallelFor must not be called from
+/// inside a task, and the pool is driven by one thread at a time. Tasks
+/// must not throw (report failures through task-indexed status slots).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Worker count including the calling thread; always >= 1.
+  int threads() const { return threads_; }
+
+  /// Runs fn(task, worker) for all tasks in [0, count); blocks until done.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t, int)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  /// Claims tasks from next_task_ until the current round is drained.
+  void RunTasks(int worker);
+
+  const int threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, int)>* job_ = nullptr;  // guarded by mutex_
+  size_t job_count_ = 0;
+  std::atomic<size_t> next_task_{0};
+  /// Participation slots left in this round: min(workers, count - 1).
+  /// Rounds with fewer tasks than workers wake (and wait on) only as many
+  /// workers as can possibly claim a task; a spurious waker claims a slot
+  /// if one is left and otherwise skips the round.
+  int round_slots_ = 0;
+  int workers_in_round_ = 0;  ///< slot-holding workers still in this round
+  uint64_t round_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mace
+
+#endif  // MACE_COMMON_PARALLEL_H_

@@ -37,6 +37,19 @@ struct MaceConfig {
   double learning_rate = 1e-3;   ///< paper: 0.001
   double grad_clip = 5.0;
   uint64_t seed = 42;
+  /// Windows per training minibatch: one Adam step per minibatch on the
+  /// mean of the windows' losses. 1 = the per-window SGD loop of earlier
+  /// versions, bit for bit. Larger batches change the gradient-noise
+  /// schedule like in any minibatch trainer, but stay deterministic for a
+  /// fixed seed: windows split into fixed-size shards (a pure function of
+  /// the minibatch, never of fit_threads) whose gradients merge through a
+  /// fixed-pairing tree reduction.
+  int batch_size = 1;
+  /// Worker threads for Fit: minibatch gradient shards and per-service
+  /// preprocessing fan out across one pool; 1 = sequential. Any value
+  /// reproduces fit_threads=1 epoch losses and weights bit for bit under
+  /// the same seed (see DESIGN.md "Parallel training").
+  int fit_threads = 1;
   /// Worker threads for scoring. Frequency-domain windows carry no
   /// temporal dependency (the paper's S2), so inference parallelizes
   /// per window; 1 = sequential.

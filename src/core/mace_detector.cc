@@ -8,7 +8,9 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "nn/grad_reduce.h"
 #include "obs/trace.h"
 
 namespace mace::core {
@@ -46,6 +48,17 @@ obs::Counter* CachedWindowsScoredCounter(int service_index) {
   }
   return cache[slot];
 }
+
+/// Windows per gradient shard. A minibatch splits into ceil(B / 32)
+/// contiguous shards — a pure function of the minibatch, NEVER of
+/// fit_threads — so the shard boundaries, each shard's single-threaded
+/// arithmetic, and the fixed-pairing tree reduction over shard slots are
+/// identical for every thread count: fit_threads=N reproduces
+/// fit_threads=1 bit for bit. 32 balances stacked-forward efficiency
+/// (bigger shards amortize graph and optimizer overhead, see
+/// bench_fit_parallel) against scheduling granularity (a minibatch must
+/// yield at least `fit_threads` shards to occupy every worker).
+constexpr size_t kFitShardWindows = 32;
 
 }  // namespace
 
@@ -99,6 +112,16 @@ Status MaceDetector::ValidateConfig(const MaceConfig& config) {
   if (config.score_batch < 1) {
     return Status::InvalidArgument("score_batch must be >= 1, got " +
                                    std::to_string(config.score_batch));
+  }
+  if (config.fit_threads < 1) {
+    return Status::InvalidArgument(
+        "fit_threads must be >= 1 (the training pool includes the calling "
+        "thread), got " + std::to_string(config.fit_threads));
+  }
+  if (config.batch_size < 1) {
+    return Status::InvalidArgument(
+        "batch_size must be >= 1 (windows per training minibatch; 1 is the "
+        "per-window SGD loop), got " + std::to_string(config.batch_size));
   }
   return Status::OK();
 }
@@ -187,58 +210,78 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   // All fitted state builds in locals and commits to members only at the
   // end, so any error return leaves the detector exactly as it was —
   // previously fitted detectors keep scoring, unfitted ones stay unfitted.
-  std::vector<ts::StandardScaler> scalers;
-  std::vector<PatternSubspace> subspaces;
-  std::vector<ServiceTransforms> transforms;
   std::vector<double> epoch_losses;
 
+  // One pool drives both phases: per-service preprocessing fans out over
+  // services, training fans out over gradient shards.
+  WorkerPool pool(config_.fit_threads);
+  metrics.GetGauge("mace_fit_pool_threads",
+                   "Worker threads of the training pool (fit_threads)")
+      ->Set(pool.threads());
+
   // Preprocessing: per-service scaling, subspace extraction, transforms,
-  // and stage-1-amplified training windows.
-  std::vector<std::vector<Tensor>> amplified;  // [service][window]
-  int coeff_columns = -1;
-  for (size_t service_index = 0; service_index < services.size();
-       ++service_index) {
-    const ts::ServiceData& service = services[service_index];
+  // and stage-1-amplified training windows. Services are independent —
+  // each task writes only its own index — and errors land in per-service
+  // status slots replayed in service order below, so the surfaced error
+  // does not depend on scheduling.
+  const size_t num_services = services.size();
+  std::vector<ts::StandardScaler> scalers(num_services);
+  std::vector<PatternSubspace> subspaces(num_services);
+  std::vector<ServiceTransforms> transforms(num_services);
+  std::vector<std::vector<Tensor>> amplified(num_services);  // [svc][win]
+  std::vector<Status> service_status(num_services, Status::OK());
+  std::vector<int> columns(num_services, -1);
+  pool.ParallelFor(num_services, [&](size_t si, int /*worker*/) {
+    const ts::ServiceData& service = services[si];
     obs::ScopedSpan subspace_span(
         "MaceDetector::SubspaceExtraction",
         metrics.GetHistogram(
             "mace_subspace_extraction_seconds",
             "Per-service preprocessing: scaling, Fourier subspace "
             "selection and training-window amplification",
-            {{"service", std::to_string(service_index)}}));
+            {{"service", std::to_string(si)}}));
     ts::StandardScaler scaler;
     scaler.Fit(service.train);
     const ts::TimeSeries scaled = scaler.Transform(service.train);
     // Bases are selected on the stage-1-amplified signal — the signal the
     // autoencoder actually reconstructs.
-    MACE_ASSIGN_OR_RETURN(std::vector<int> bases,
-                          SelectBases(AmplifySeries(scaled)));
-    PatternSubspace subspace;
-    subspace.bases = bases;
-    const int columns = 2 * static_cast<int>(bases.size());
-    if (coeff_columns < 0) coeff_columns = columns;
-    if (columns != coeff_columns) {
-      return Status::Internal("inconsistent subspace sizes across services");
+    Result<std::vector<int>> bases = SelectBases(AmplifySeries(scaled));
+    if (!bases.ok()) {
+      service_status[si] = bases.status();
+      return;
     }
-    transforms.push_back(MakeServiceTransforms(config_.window, bases));
-    subspaces.push_back(std::move(subspace));
-    scalers.push_back(std::move(scaler));
+    columns[si] = 2 * static_cast<int>(bases->size());
+    transforms[si] = MakeServiceTransforms(config_.window, *bases);
+    subspaces[si].bases = std::move(*bases);
+    scalers[si] = std::move(scaler);
 
-    MACE_ASSIGN_OR_RETURN(
-        ts::WindowBatch batch,
-        ts::MakeWindows(scaled, config_.window, config_.train_stride));
+    Result<ts::WindowBatch> batch =
+        ts::MakeWindows(scaled, config_.window, config_.train_stride);
+    if (!batch.ok()) {
+      service_status[si] = batch.status();
+      return;
+    }
     std::vector<Tensor> windows;
-    windows.reserve(batch.windows.size());
-    for (const Tensor& w : batch.windows) {
+    windows.reserve(batch->windows.size());
+    for (const Tensor& w : batch->windows) {
       windows.push_back(AmplifyWindow(w));
     }
-    amplified.push_back(std::move(windows));
+    amplified[si] = std::move(windows);
+  });
+  int coeff_columns = -1;
+  for (size_t si = 0; si < num_services; ++si) {
+    if (!service_status[si].ok()) return service_status[si];
+    if (coeff_columns < 0) coeff_columns = columns[si];
+    if (columns[si] != coeff_columns) {
+      return Status::Internal("inconsistent subspace sizes across services");
+    }
   }
 
   Rng rng(config_.seed);
   auto model = std::make_unique<MaceModel>(config_, num_features,
                                            coeff_columns, &rng);
   nn::Adam optimizer(model->Parameters(), config_.learning_rate);
+  std::vector<Tensor> master_params = model->Parameters();
 
   // Unified training across all services' windows.
   std::vector<std::pair<size_t, size_t>> order;
@@ -248,28 +291,158 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   if (order.empty()) {
     return Status::InvalidArgument("no training windows");
   }
+
+  // Data-parallel minibatch loop (DESIGN.md "Parallel training"). Each
+  // minibatch splits into fixed kFitShardWindows-window shards; a shard
+  // runs one grad-mode ForwardBatch + Backward on its worker's private
+  // replica, captures the gradients into the shard's slot, and the slots
+  // tree-reduce in fixed pairing order before one Adam step on the
+  // master. batch_size=1 therefore degenerates to exactly the historical
+  // per-window SGD loop (same per-step graph, loss and update, bit for
+  // bit), and any fit_threads value reproduces the same epoch losses.
+  const size_t batch_size =
+      std::min<size_t>(static_cast<size_t>(config_.batch_size), order.size());
+  const size_t max_shards =
+      (batch_size + kFitShardWindows - 1) / kFitShardWindows;
+  const bool sequential = pool.threads() == 1;
+  // Replicas are per worker thread, not per shard: Backward() accumulates
+  // into replica grad buffers, which must be thread-private. A one-thread
+  // pool trains straight on the master model — no replicas, no value
+  // syncs — and still routes gradients through the same capture/reduce
+  // path, so its arithmetic matches the threaded runs exactly.
+  std::vector<std::unique_ptr<MaceModel>> replicas;
+  std::vector<std::vector<Tensor>> replica_params;
+  std::vector<uint64_t> replica_version;
+  uint64_t master_version = 1;
+  if (!sequential) {
+    Rng replica_rng(config_.seed);  // throwaway: values resync from master
+    replicas.resize(static_cast<size_t>(pool.threads()));
+    replica_params.resize(replicas.size());
+    replica_version.assign(replicas.size(), 0);
+    for (size_t t = 0; t < replicas.size(); ++t) {
+      replicas[t] = std::make_unique<MaceModel>(config_, num_features,
+                                                coeff_columns, &replica_rng);
+      replica_params[t] = replicas[t]->Parameters();
+    }
+  }
+  std::vector<nn::GradSlot> shard_slots(max_shards,
+                                        nn::MakeGradSlot(master_params));
+  std::vector<double> shard_losses(max_shards, 0.0);
+  std::vector<double> worker_busy(static_cast<size_t>(pool.threads()), 0.0);
+
   obs::Histogram* epoch_seconds = metrics.GetHistogram(
       "mace_fit_epoch_seconds", "Wall-clock duration of one training epoch");
   obs::Gauge* last_loss = metrics.GetGauge(
       "mace_fit_last_loss", "Mean training loss of the last epoch");
   obs::Counter* train_windows = metrics.GetCounter(
       "mace_train_windows_total", "Training windows processed");
+  obs::Counter* minibatches = metrics.GetCounter(
+      "mace_fit_minibatches_total",
+      "Training minibatches processed (one Adam step each)");
+  obs::Histogram* shard_seconds = metrics.GetHistogram(
+      "mace_fit_shard_seconds",
+      "Forward+backward wall time of one gradient shard");
+  obs::Histogram* reduce_seconds = metrics.GetHistogram(
+      "mace_fit_reduce_seconds",
+      "Tree reduction, gradient load, clip and Adam step wall time of one "
+      "minibatch");
+  obs::Histogram* sync_seconds = metrics.GetHistogram(
+      "mace_fit_sync_seconds",
+      "Replica parameter resynchronization wall time (per replica sync)");
+  obs::Histogram* fit_busy = metrics.GetHistogram(
+      "mace_fit_worker_busy_seconds",
+      "Busy time of one training worker across one epoch");
+  obs::Histogram* fit_utilization = metrics.GetHistogram(
+      "mace_fit_worker_utilization_ratio",
+      "Worker busy time over epoch wall time, per worker per epoch", {},
+      obs::RatioBuckets());
+
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     obs::ScopedSpan epoch_span("MaceDetector::FitEpoch", epoch_seconds);
+    const auto epoch_begin = std::chrono::steady_clock::now();
+    std::fill(worker_busy.begin(), worker_busy.end(), 0.0);
     rng.Shuffle(&order);
     double epoch_loss = 0.0;
-    for (const auto& [s, w] : order) {
-      MaceModel::Output out = model->Forward(transforms[s], amplified[s][w],
-                                             /*want_step_errors=*/false);
-      epoch_loss += out.loss.item();
-      optimizer.ZeroGrad();
-      out.loss.Backward();
-      optimizer.ClipGradNorm(config_.grad_clip);
-      optimizer.Step();
+    for (size_t begin = 0; begin < order.size(); begin += batch_size) {
+      const size_t minibatch = std::min(batch_size, order.size() - begin);
+      const size_t shards =
+          (minibatch + kFitShardWindows - 1) / kFitShardWindows;
+      pool.ParallelFor(shards, [&](size_t shard, int worker) {
+        const auto task_begin = std::chrono::steady_clock::now();
+        MaceModel* shard_model = model.get();
+        std::vector<Tensor>* params = &master_params;
+        if (!sequential) {
+          shard_model = replicas[static_cast<size_t>(worker)].get();
+          params = &replica_params[static_cast<size_t>(worker)];
+          if (replica_version[static_cast<size_t>(worker)] !=
+              master_version) {
+            obs::StageTimer sync_timer;
+            shard_model->CopyParametersFrom(*model);
+            replica_version[static_cast<size_t>(worker)] = master_version;
+            sync_timer.Mark(sync_seconds);
+          }
+        }
+        for (Tensor& p : *params) p.ZeroGrad();
+        const size_t shard_begin = begin + shard * kFitShardWindows;
+        const size_t shard_end =
+            std::min(begin + minibatch, shard_begin + kFitShardWindows);
+        // A shuffled shard can mix services; ForwardBatch stacks windows
+        // sharing one transform, so group by ascending service index with
+        // windows in shard order — a pure function of the shard content,
+        // keeping the backward accumulation order fixed.
+        double shard_loss = 0.0;
+        std::vector<Tensor> group;
+        for (size_t si = 0; si < num_services; ++si) {
+          group.clear();
+          for (size_t i = shard_begin; i < shard_end; ++i) {
+            if (order[i].first == si) {
+              group.push_back(amplified[si][order[i].second]);
+            }
+          }
+          if (group.empty()) continue;
+          MaceModel::BatchOutput out =
+              shard_model->ForwardBatch(transforms[si], group,
+                                        /*want_step_errors=*/false,
+                                        /*want_loss=*/true);
+          shard_loss += out.loss.item();
+          out.loss.Backward();
+        }
+        nn::CaptureGradients(*params, &shard_slots[shard]);
+        shard_losses[shard] = shard_loss;
+        const double busy =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - task_begin)
+                .count();
+        shard_seconds->Observe(busy);
+        worker_busy[static_cast<size_t>(worker)] += busy;
+      });
+      {
+        obs::StageTimer reduce_timer;
+        nn::TreeReduceGradSlots(&shard_slots, shards);
+        // Summed shard losses become the minibatch mean here, in one
+        // place: gradients scale by 1/minibatch before clip + step.
+        optimizer.LoadGradients(shard_slots[0],
+                                1.0 / static_cast<double>(minibatch));
+        optimizer.ClipGradNorm(config_.grad_clip);
+        optimizer.Step();
+        ++master_version;
+        reduce_timer.Mark(reduce_seconds);
+      }
+      // Shard losses sum in ascending shard order — with batch_size=1
+      // this replays the historical one-loss-per-window accumulation.
+      for (size_t shard = 0; shard < shards; ++shard) {
+        epoch_loss += shard_losses[shard];
+      }
+      minibatches->Increment();
     }
     epoch_losses.push_back(epoch_loss / static_cast<double>(order.size()));
     train_windows->Increment(order.size());
     last_loss->Set(epoch_losses.back());
+    obs::RecordPoolUtilization(
+        fit_busy, fit_utilization, worker_busy,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_begin)
+            .count());
     MACE_LOG(kDebug) << "MACE epoch " << epoch << " loss "
                      << epoch_losses.back();
   }
@@ -376,20 +549,15 @@ std::vector<double> MaceDetector::ScoreScaled(
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     pool_begin)
           .count();
-  obs::Histogram* busy_histogram = metrics.GetHistogram(
-      "mace_score_worker_busy_seconds",
-      "Busy time of one scoring worker in one batch Score call");
-  obs::Histogram* utilization_histogram = metrics.GetHistogram(
-      "mace_score_worker_utilization_ratio",
-      "Worker busy time over pool wall time, per worker per Score call",
-      {}, obs::RatioBuckets());
-  for (int t = 0; t < threads; ++t) {
-    busy_histogram->Observe(busy_seconds[static_cast<size_t>(t)]);
-    if (pool_wall > 0) {
-      utilization_histogram->Observe(
-          busy_seconds[static_cast<size_t>(t)] / pool_wall);
-    }
-  }
+  obs::RecordPoolUtilization(
+      metrics.GetHistogram(
+          "mace_score_worker_busy_seconds",
+          "Busy time of one scoring worker in one batch Score call"),
+      metrics.GetHistogram(
+          "mace_score_worker_utilization_ratio",
+          "Worker busy time over pool wall time, per worker per Score call",
+          {}, obs::RatioBuckets()),
+      busy_seconds, pool_wall);
   for (int t = 0; t < threads; ++t) {
     size_t slot = 0;
     for (size_t i = static_cast<size_t>(t); i < starts.size();

@@ -1,5 +1,6 @@
 #include "core/mace_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -248,7 +249,8 @@ MaceModel::Output MaceModel::Forward(const ServiceTransforms& service,
 
 MaceModel::BatchOutput MaceModel::ForwardBatch(
     const ServiceTransforms& service,
-    const std::vector<Tensor>& amplified_windows) {
+    const std::vector<Tensor>& amplified_windows, bool want_step_errors,
+    bool want_loss) {
   MACE_CHECK(!amplified_windows.empty()) << "ForwardBatch of zero windows";
   const Index batch = static_cast<Index>(amplified_windows.size());
   const Index m = num_features_;
@@ -359,26 +361,53 @@ MaceModel::BatchOutput MaceModel::ForwardBatch(
   Tensor time_valley = MatMul(rec_valley, service.inverse_t);  // [B*m, T]
   Tensor err_peak = Square(Sub(time_peak, stacked_windows));
   Tensor err_valley = Square(Sub(time_valley, stacked_windows));
-  Tensor err = Maximum(err_peak, err_valley);  // [B*m, T]
 
   BatchOutput output;
-  output.step_errors.assign(
-      static_cast<size_t>(batch),
-      std::vector<double>(static_cast<size_t>(window), 0.0));
-  const std::vector<double>& ev = err.data();
-  for (Index b = 0; b < batch; ++b) {
-    std::vector<double>& errors_b =
-        output.step_errors[static_cast<size_t>(b)];
-    for (Index t = 0; t < window; ++t) {
-      double acc = 0.0;
-      for (Index f = 0; f < m; ++f) {
-        acc += ev[static_cast<size_t>((b * m + f) * window + t)];
+  if (want_loss) {
+    // Mean over the stacked [B*m, T] error is 1/B of the sum of the B
+    // per-window means (same m*T denominator), so scaling by
+    // 0.5 * B yields the SUM of per-window Forward losses — and for
+    // B = 1 the scalar is exactly 0.5, making the loss (value and
+    // gradient) bit-identical to the per-window path.
+    output.loss = MulScalar(
+        Add(tensor::Mean(err_peak), tensor::Mean(err_valley)),
+        0.5 * static_cast<double>(batch));
+  }
+  if (want_step_errors) {
+    Tensor err = Maximum(err_peak, err_valley);  // [B*m, T]
+    output.step_errors.assign(
+        static_cast<size_t>(batch),
+        std::vector<double>(static_cast<size_t>(window), 0.0));
+    const std::vector<double>& ev = err.data();
+    for (Index b = 0; b < batch; ++b) {
+      std::vector<double>& errors_b =
+          output.step_errors[static_cast<size_t>(b)];
+      for (Index t = 0; t < window; ++t) {
+        double acc = 0.0;
+        for (Index f = 0; f < m; ++f) {
+          acc += ev[static_cast<size_t>((b * m + f) * window + t)];
+        }
+        errors_b[static_cast<size_t>(t)] = acc / static_cast<double>(m);
       }
-      errors_b[static_cast<size_t>(t)] = acc / static_cast<double>(m);
     }
   }
   stage_timer.Mark(stages.autoencoder);
   return output;
+}
+
+void MaceModel::CopyParametersFrom(const MaceModel& other) {
+  std::vector<Tensor> dst = Parameters();
+  const std::vector<Tensor> src = other.Parameters();
+  MACE_CHECK(dst.size() == src.size())
+      << "replica holds " << dst.size() << " parameters, master "
+      << src.size();
+  for (size_t p = 0; p < dst.size(); ++p) {
+    const std::vector<double>& values = src[p].data();
+    std::vector<double>& mine = dst[p].mutable_data();
+    MACE_CHECK(mine.size() == values.size())
+        << "parameter " << p << " shape mismatch between replicas";
+    std::copy(values.begin(), values.end(), mine.begin());
+  }
 }
 
 std::vector<Tensor> MaceModel::Parameters() const {

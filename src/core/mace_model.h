@@ -68,8 +68,15 @@ class MaceModel {
   /// Result of a batched forward pass over B windows.
   struct BatchOutput {
     /// step_errors[b][t]: feature-mean branch-max error of window b at
-    /// step t — bit-identical to Forward(window_b).step_errors.
+    /// step t — bit-identical to Forward(window_b).step_errors. Filled
+    /// when `want_step_errors`.
     std::vector<std::vector<double>> step_errors;
+    /// Differentiable SUM of the B per-window training losses (each
+    /// 0.5 * (mean err_peak + mean err_valley) over that window). A sum,
+    /// not a mean, so a minibatch split into shards reduces by gradient
+    /// addition and the caller rescales once by 1/batch. Filled when
+    /// `want_loss`; for B = 1 it is bit-identical to Forward().loss.
+    tensor::Tensor loss;
   };
 
   /// \brief Runs stages 2-4 on B stage-1-amplified windows [m, T] at once.
@@ -83,13 +90,30 @@ class MaceModel {
   /// pointwise ops are each computed independently per window in the same
   /// arithmetic order, and the per-entry shift is the same double each
   /// window's own pass would use.
+  ///
+  /// In grad mode (no tensor::NoGradGuard) the stacked ops build autograd
+  /// edges like Forward does, so one Backward() on `loss` replaces B
+  /// per-window backward passes — the training fast path. Phases stay
+  /// detached constants in both modes.
   BatchOutput ForwardBatch(
       const ServiceTransforms& service,
-      const std::vector<tensor::Tensor>& amplified_windows);
+      const std::vector<tensor::Tensor>& amplified_windows,
+      bool want_step_errors = true, bool want_loss = false);
 
   std::vector<tensor::Tensor> Parameters() const;
   int64_t ParameterCount() const;
   int64_t PeakActivationElements() const;
+
+  /// \brief Overwrites this model's parameter values with `other`'s
+  /// (gradient buffers and architecture are untouched; the two models
+  /// must share a construction signature).
+  ///
+  /// This is how data-parallel worker replicas resynchronize with the
+  /// master between optimizer steps: replicas are built once with a
+  /// throwaway Rng, then track the master by value copy, so their forward
+  /// passes are bit-identical to the master's while their gradient
+  /// buffers stay thread-private.
+  void CopyParametersFrom(const MaceModel& other);
 
  private:
   MaceConfig config_;

@@ -1,0 +1,48 @@
+#include "nn/grad_reduce.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mace::nn {
+
+GradSlot MakeGradSlot(const std::vector<tensor::Tensor>& parameters) {
+  GradSlot slot(parameters.size());
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    slot[p].assign(static_cast<size_t>(parameters[p].numel()), 0.0);
+  }
+  return slot;
+}
+
+void CaptureGradients(const std::vector<tensor::Tensor>& parameters,
+                      GradSlot* slot) {
+  MACE_CHECK(slot != nullptr && slot->size() == parameters.size());
+  for (size_t p = 0; p < parameters.size(); ++p) {
+    const std::vector<double>& grad = parameters[p].grad();
+    std::vector<double>& dst = (*slot)[p];
+    MACE_CHECK(grad.size() == dst.size())
+        << "gradient buffer of parameter " << p
+        << " does not match its slot (" << grad.size() << " vs "
+        << dst.size() << ")";
+    std::copy(grad.begin(), grad.end(), dst.begin());
+  }
+}
+
+void TreeReduceGradSlots(std::vector<GradSlot>* slots, size_t count) {
+  MACE_CHECK(slots != nullptr && count >= 1 && count <= slots->size());
+  for (size_t stride = 1; stride < count; stride *= 2) {
+    for (size_t i = 0; i + stride < count; i += 2 * stride) {
+      GradSlot& into = (*slots)[i];
+      const GradSlot& from = (*slots)[i + stride];
+      MACE_CHECK(into.size() == from.size());
+      for (size_t p = 0; p < into.size(); ++p) {
+        std::vector<double>& a = into[p];
+        const std::vector<double>& b = from[p];
+        MACE_CHECK(a.size() == b.size());
+        for (size_t j = 0; j < a.size(); ++j) a[j] += b[j];
+      }
+    }
+  }
+}
+
+}  // namespace mace::nn

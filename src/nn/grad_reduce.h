@@ -1,0 +1,44 @@
+#ifndef MACE_NN_GRAD_REDUCE_H_
+#define MACE_NN_GRAD_REDUCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mace::nn {
+
+/// \brief One data-parallel gradient slot: a per-parameter copy of the
+/// gradient buffers of one minibatch shard, aligned with the parameter
+/// order of the optimizer that will consume the reduction.
+///
+/// The data-parallel trainer gives every worker thread a private model
+/// replica (so Backward() never races on shared grad buffers — see
+/// tensor::Tensor::mutable_grad), captures each shard's replica gradients
+/// into the shard's slot, and merges the slots with TreeReduceGradSlots.
+/// Because slots are indexed by shard — a pure function of the minibatch —
+/// and the reduction pairing is fixed, the merged gradient is bit-identical
+/// for any thread count.
+using GradSlot = std::vector<std::vector<double>>;
+
+/// A zero-filled slot shaped like `parameters`' gradient buffers.
+GradSlot MakeGradSlot(const std::vector<tensor::Tensor>& parameters);
+
+/// Copies `parameters`' current gradients into `slot` (shapes must match a
+/// prior MakeGradSlot over the same parameter list).
+void CaptureGradients(const std::vector<tensor::Tensor>& parameters,
+                      GradSlot* slot);
+
+/// \brief Merges slots [0, count) of `slots` into (*slots)[0] by a fixed
+/// stride-doubling binary tree: pass 1 adds slot 1 into 0, 3 into 2, ...;
+/// pass 2 adds slot 2 into 0, 6 into 4, ...; and so on. The pairing —
+/// and therefore every intermediate rounding — depends only on `count`,
+/// never on which thread produced which slot or when, which is what makes
+/// fit_threads=N training reproduce fit_threads=1 bit for bit.
+///
+/// Slots [1, count) are left in an unspecified (partially summed) state.
+void TreeReduceGradSlots(std::vector<GradSlot>* slots, size_t count);
+
+}  // namespace mace::nn
+
+#endif  // MACE_NN_GRAD_REDUCE_H_

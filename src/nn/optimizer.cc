@@ -1,5 +1,6 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -26,13 +27,49 @@ void Optimizer::ClipGradNorm(double max_norm) {
   for (const Tensor& p : parameters_) {
     for (double g : p.grad()) total += g * g;
   }
-  const double norm = std::sqrt(total);
-  if (norm <= max_norm || norm == 0.0) return;
+  double norm = std::sqrt(total);
+  // Covers norm == 0 and denormal norms: nothing to rescale, and skipping
+  // avoids the degenerate max_norm/norm quotient entirely.
+  if (norm <= max_norm) return;
+  if (!std::isfinite(norm)) {
+    // The naive sum of squares overflowed (|g| > ~1e154 squares to inf).
+    // Recompute as max|g| * sqrt(sum (g/max|g|)^2), which stays finite for
+    // any finite gradients; without this the scale below would be
+    // max_norm/inf = 0 and clipping would silently erase the update.
+    double max_abs = 0.0;
+    for (const Tensor& p : parameters_) {
+      for (double g : p.grad()) max_abs = std::max(max_abs, std::fabs(g));
+    }
+    if (!std::isfinite(max_abs) || max_abs == 0.0) {
+      // Inf/NaN gradients: no finite rescale is meaningful, and
+      // multiplying would turn inf into NaN and spread it everywhere.
+      return;
+    }
+    double scaled_total = 0.0;
+    for (const Tensor& p : parameters_) {
+      for (double g : p.grad()) {
+        const double r = g / max_abs;
+        scaled_total += r * r;
+      }
+    }
+    norm = max_abs * std::sqrt(scaled_total);
+    if (!std::isfinite(norm) || norm <= max_norm) return;
+  }
   const double scale = max_norm / norm;
   for (Tensor& p : parameters_) {
-    // Gradients live on the node; scale them through the mutable view.
-    auto& node = *p.node();
-    for (double& g : node.grad) g *= scale;
+    for (double& g : p.mutable_grad()) g *= scale;
+  }
+}
+
+void Optimizer::LoadGradients(const GradSlot& reduced, double scale) {
+  MACE_CHECK(reduced.size() == parameters_.size())
+      << "reduced gradients cover " << reduced.size() << " parameters, "
+      << "optimizer holds " << parameters_.size();
+  for (size_t p = 0; p < parameters_.size(); ++p) {
+    std::vector<double>& grad = parameters_[p].mutable_grad();
+    const std::vector<double>& src = reduced[p];
+    MACE_CHECK(grad.size() == src.size());
+    for (size_t j = 0; j < grad.size(); ++j) grad[j] = scale * src[j];
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "nn/grad_reduce.h"
 #include "tensor/tensor.h"
 
 namespace mace::nn {
@@ -19,8 +20,27 @@ class Optimizer {
   /// Clears the gradient buffers of every parameter.
   void ZeroGrad();
 
-  /// Clips gradients to a global L2 norm (no-op when already within).
+  /// \brief Clips gradients to a global L2 norm (no-op when already
+  /// within).
+  ///
+  /// Robust at the edges: a zero or denormal norm never rescales (so no
+  /// 0/0 or overflowing quotient), gradients large enough to overflow the
+  /// naive sum of squares are clipped through a max-abs-scaled two-pass
+  /// norm instead of being silently zeroed by max_norm/inf, and non-finite
+  /// gradients (inf/NaN from a diverged step) are left untouched — no
+  /// scale factor can make them meaningful, and rescaling would smear NaN
+  /// across every parameter.
   void ClipGradNorm(double max_norm);
+
+  /// \brief Overwrites every parameter's gradient buffer with
+  /// `scale * reduced[p]` (assignment, not accumulation).
+  ///
+  /// The data-parallel trainer's hand-off into the sequential update:
+  /// shard gradients are tree-reduced into one GradSlot, loaded here with
+  /// scale = 1/batch (turning the summed per-window losses into the
+  /// minibatch mean), then ClipGradNorm + Step run exactly as in
+  /// single-threaded training.
+  void LoadGradients(const GradSlot& reduced, double scale);
 
   const std::vector<tensor::Tensor>& parameters() const {
     return parameters_;

@@ -265,4 +265,15 @@ void MetricsRegistry::ResetAllForTest() {
   }
 }
 
+void RecordPoolUtilization(Histogram* busy, Histogram* utilization,
+                           const std::vector<double>& busy_seconds,
+                           double wall_seconds) {
+  for (double seconds : busy_seconds) {
+    if (busy != nullptr) busy->Observe(seconds);
+    if (utilization != nullptr && wall_seconds > 0.0) {
+      utilization->Observe(seconds / wall_seconds);
+    }
+  }
+}
+
 }  // namespace mace::obs

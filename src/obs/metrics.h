@@ -157,6 +157,15 @@ class MetricsRegistry {
 /// Shorthand for MetricsRegistry::Get().
 inline MetricsRegistry& Metrics() { return MetricsRegistry::Get(); }
 
+/// \brief Observes one parallel region's per-worker busy times: one
+/// sample per worker into `busy` (seconds) and, when `wall_seconds` is
+/// positive, one busy/wall ratio per worker into `utilization`
+/// (RatioBuckets). Shared by the scoring and training pools so both
+/// report straggler skew the same way.
+void RecordPoolUtilization(Histogram* busy, Histogram* utilization,
+                           const std::vector<double>& busy_seconds,
+                           double wall_seconds);
+
 }  // namespace mace::obs
 
 #endif  // MACE_OBS_METRICS_H_

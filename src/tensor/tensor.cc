@@ -208,6 +208,14 @@ const std::vector<double>& Tensor::grad() const {
   return node_->grad;
 }
 
+std::vector<double>& Tensor::mutable_grad() {
+  MACE_CHECK(defined());
+  MACE_CHECK(node_->requires_grad)
+      << "mutable_grad() on a tensor that does not require gradients";
+  node_->EnsureGrad();
+  return node_->grad;
+}
+
 double Tensor::item() const {
   MACE_CHECK(numel() == 1) << "item() on tensor of " << numel()
                            << " elements";

@@ -117,6 +117,16 @@ class Tensor {
   std::vector<double>& mutable_data();
   /// Gradient buffer (empty unless requires_grad and Backward() has run).
   const std::vector<double>& grad() const;
+  /// Writable gradient buffer of a requires_grad leaf, sized like data().
+  ///
+  /// This is the hand-off point of the data-parallel trainer: backward
+  /// closures accumulate into this buffer with plain `+=` (no atomics), so
+  /// two threads may never run Backward() over graphs sharing a
+  /// requires_grad leaf. Give each training thread its own parameter
+  /// replica and merge the replicas' buffers afterwards
+  /// (nn::TreeReduceGradSlots) — accumulation stays race-free and the
+  /// merge order stays deterministic.
+  std::vector<double>& mutable_grad();
 
   /// Value of a 0-d/1-element tensor.
   double item() const;

@@ -1,0 +1,370 @@
+// Data-parallel minibatch training (DESIGN.md "Parallel training") is
+// deterministic by construction: minibatches split into fixed-size
+// gradient shards — a pure function of the minibatch, never of
+// fit_threads — and shard gradients merge through a fixed-pairing tree
+// reduction. These tests pin the resulting contracts: any fit_threads
+// value reproduces fit_threads=1 epoch losses and weights bit for bit,
+// repeated runs under one seed are bit-identical, and batch_size=1
+// degenerates to exactly the historical per-window SGD loop.
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/mace_detector.h"
+#include "core/mace_model.h"
+#include "core/pattern_extractor.h"
+#include "nn/optimizer.h"
+#include "ts/generator.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace mace::core {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(7 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 400, 320, &rng);
+    ts::AnomalyInjectionConfig inject;
+    inject.anomaly_ratio = 0.08;
+    ts::InjectAnomalies(inject, pattern, &service.test, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+TEST(WorkerPoolTest, CoversEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(hits.size(), [&](size_t task, int /*worker*/) {
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ZeroTasksRunsNothing) {
+  WorkerPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](size_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(WorkerPoolTest, SingleTaskRunsInlineOnCallingThread) {
+  WorkerPool pool(8);
+  int worker_seen = -1;
+  pool.ParallelFor(1, [&](size_t task, int worker) {
+    EXPECT_EQ(task, 0u);
+    worker_seen = worker;
+  });
+  // The inline fast path executes on the caller, which is worker 0.
+  EXPECT_EQ(worker_seen, 0);
+}
+
+TEST(WorkerPoolTest, ReusableAcrossRounds) {
+  WorkerPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(17);
+    pool.ParallelFor(hits.size(), [&](size_t task, int /*worker*/) {
+      hits[task].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " task " << i;
+    }
+  }
+}
+
+TEST(WorkerPoolTest, MoreThreadsThanTasksIsSafe) {
+  WorkerPool pool(16);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(hits.size(), [&](size_t task, int /*worker*/) {
+    hits[task].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkerPoolTest, ClampsThreadCountToAtLeastOne) {
+  EXPECT_EQ(WorkerPool(0).threads(), 1);
+  EXPECT_EQ(WorkerPool(-3).threads(), 1);
+}
+
+TEST(WorkerPoolTest, WorkerIdsStayInRange) {
+  WorkerPool pool(4);
+  std::atomic<bool> in_range{true};
+  pool.ParallelFor(64, [&](size_t /*task*/, int worker) {
+    if (worker < 0 || worker >= 4) in_range.store(false);
+  });
+  EXPECT_TRUE(in_range.load());
+}
+
+// ---------------------------------------------------------------------------
+// Config validation
+
+TEST(FitParallelConfigTest, RejectsNonPositiveFitThreads) {
+  MaceConfig config;
+  config.fit_threads = 0;
+  const Status status = MaceDetector::ValidateConfig(config);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("fit_threads must be >= 1"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(FitParallelConfigTest, RejectsNonPositiveBatchSize) {
+  MaceConfig config;
+  config.batch_size = -3;
+  const Status status = MaceDetector::ValidateConfig(config);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("batch_size must be >= 1"),
+            std::string::npos)
+      << status.message();
+}
+
+TEST(FitParallelConfigTest, AcceptsParallelTrainingSettings) {
+  MaceConfig config;
+  config.fit_threads = 8;
+  config.batch_size = 64;
+  EXPECT_TRUE(MaceDetector::ValidateConfig(config).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: the acceptance criterion of the parallel
+// trainer. batch_size=20 spans three kFitShardWindows=8 shards, so the
+// tree reduction actually has work to do, and the two-service workload
+// produces shards mixing services.
+
+class FitThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FitThreadsTest, ReproducesSequentialLossesAndScoresExactly) {
+  const auto services = TinyWorkload();
+  MaceConfig sequential_config;
+  sequential_config.epochs = 2;
+  sequential_config.batch_size = 20;
+  sequential_config.fit_threads = 1;
+  MaceConfig parallel_config = sequential_config;
+  parallel_config.fit_threads = GetParam();
+
+  MaceDetector sequential(sequential_config);
+  MaceDetector parallel(parallel_config);
+  ASSERT_TRUE(sequential.Fit(services).ok());
+  ASSERT_TRUE(parallel.Fit(services).ok());
+
+  // Preprocessing fans out per service; the extracted subspaces must not
+  // depend on scheduling.
+  ASSERT_EQ(sequential.subspaces().size(), parallel.subspaces().size());
+  for (size_t s = 0; s < sequential.subspaces().size(); ++s) {
+    EXPECT_EQ(sequential.subspaces()[s].bases, parallel.subspaces()[s].bases);
+  }
+
+  // Epoch losses bit-identical (EXPECT_EQ on double is exact equality).
+  ASSERT_EQ(sequential.epoch_losses().size(), parallel.epoch_losses().size());
+  for (size_t e = 0; e < sequential.epoch_losses().size(); ++e) {
+    EXPECT_EQ(sequential.epoch_losses()[e], parallel.epoch_losses()[e])
+        << "epoch " << e;
+  }
+
+  // Weights bit-identical: identical scores on every test step.
+  for (int s = 0; s < 2; ++s) {
+    auto a = sequential.Score(s, services[static_cast<size_t>(s)].test);
+    auto b = parallel.Score(s, services[static_cast<size_t>(s)].test);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t t = 0; t < a->size(); ++t) {
+      EXPECT_EQ((*a)[t], (*b)[t]) << "service " << s << " step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, FitThreadsTest,
+                         ::testing::Values(2, 3, 8),
+                         [](const auto& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-run determinism: one seed, two Fits — identical shuffle order
+// (pinned through the losses, which depend on every update in sequence)
+// and identical serialized weights.
+
+TEST(FitParallelTest, RepeatedRunsAreBitIdentical) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  config.batch_size = 8;
+  config.fit_threads = 4;
+
+  MaceDetector first(config);
+  MaceDetector second(config);
+  ASSERT_TRUE(first.Fit(services).ok());
+  ASSERT_TRUE(second.Fit(services).ok());
+
+  ASSERT_EQ(first.epoch_losses().size(), second.epoch_losses().size());
+  for (size_t e = 0; e < first.epoch_losses().size(); ++e) {
+    EXPECT_EQ(first.epoch_losses()[e], second.epoch_losses()[e])
+        << "epoch " << e;
+  }
+
+  const std::string path_a = ::testing::TempDir() + "fit_parallel_a.mace";
+  const std::string path_b = ::testing::TempDir() + "fit_parallel_b.mace";
+  ASSERT_TRUE(first.Save(path_a).ok());
+  ASSERT_TRUE(second.Save(path_b).ok());
+  EXPECT_EQ(ReadFile(path_a), ReadFile(path_b));
+}
+
+TEST(FitParallelTest, BatchLargerThanWindowCountIsSafe) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 1;
+  config.batch_size = 100000;  // clamped to the window count internally
+  config.fit_threads = 4;
+  MaceDetector detector(config);
+  ASSERT_TRUE(detector.Fit(services).ok());
+  ASSERT_EQ(detector.epoch_losses().size(), 1u);
+  auto scores = detector.Score(0, services[0].test);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), services[0].test.length());
+}
+
+// ---------------------------------------------------------------------------
+// Reference pin: batch_size=1 must reproduce the historical per-window
+// SGD loop bit for bit — same preprocessing, same Rng consumption, one
+// Forward/Backward/Clip/Step per window in shuffle order. The loop below
+// is that legacy trainer rebuilt from public APIs; if a refactor of Fit
+// perturbs even one double of the batch_size=1 path, the losses diverge.
+
+std::vector<double> ReferencePerWindowSgdLosses(
+    const MaceConfig& config, const std::vector<ts::ServiceData>& services) {
+  const int num_features = services.front().train.num_features();
+  std::vector<ServiceTransforms> transforms;
+  std::vector<std::vector<Tensor>> amplified;
+  int coeff_columns = 0;
+  for (const ts::ServiceData& service : services) {
+    ts::StandardScaler scaler;
+    scaler.Fit(service.train);
+    const ts::TimeSeries scaled = scaler.Transform(service.train);
+    // Bases are selected on the stage-1-amplified signal.
+    std::vector<std::vector<double>> amp_values(
+        scaled.length(), std::vector<double>(num_features));
+    for (int f = 0; f < num_features; ++f) {
+      const std::vector<double> amp =
+          DualisticAmplify(scaled.Feature(f), config.time_kernel,
+                           config.gamma_t, config.sigma_t);
+      for (size_t t = 0; t < scaled.length(); ++t) {
+        amp_values[t][static_cast<size_t>(f)] = amp[t];
+      }
+    }
+    PatternExtractorOptions options;
+    options.window = config.window;
+    options.stride = config.train_stride;
+    options.num_bases = config.num_bases;
+    options.strongest_per_window = config.strongest_per_window;
+    auto subspace = ExtractPattern(
+        ts::TimeSeries(std::move(amp_values), scaled.labels()), options);
+    EXPECT_TRUE(subspace.ok());
+    std::sort(subspace->bases.begin(), subspace->bases.end());
+    coeff_columns = 2 * static_cast<int>(subspace->bases.size());
+    transforms.push_back(MakeServiceTransforms(config.window, subspace->bases));
+
+    auto batch = ts::MakeWindows(scaled, config.window, config.train_stride);
+    EXPECT_TRUE(batch.ok());
+    std::vector<Tensor> windows;
+    for (const Tensor& w : batch->windows) {
+      const auto m = static_cast<size_t>(w.dim(0));
+      const auto t_len = static_cast<size_t>(w.dim(1));
+      std::vector<double> out(m * t_len);
+      for (size_t f = 0; f < m; ++f) {
+        const std::vector<double> row(w.data().begin() + f * t_len,
+                                      w.data().begin() + (f + 1) * t_len);
+        const std::vector<double> amp = DualisticAmplify(
+            row, config.time_kernel, config.gamma_t, config.sigma_t);
+        std::copy(amp.begin(), amp.end(), out.begin() + f * t_len);
+      }
+      windows.push_back(
+          Tensor::FromVector(std::move(out), Shape{w.dim(0), w.dim(1)}));
+    }
+    amplified.push_back(std::move(windows));
+  }
+
+  Rng rng(config.seed);
+  MaceModel model(config, num_features, coeff_columns, &rng);
+  nn::Adam optimizer(model.Parameters(), config.learning_rate);
+  std::vector<std::pair<size_t, size_t>> order;
+  for (size_t s = 0; s < amplified.size(); ++s) {
+    for (size_t w = 0; w < amplified[s].size(); ++w) order.emplace_back(s, w);
+  }
+  std::vector<double> losses;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    for (const auto& [s, w] : order) {
+      optimizer.ZeroGrad();
+      MaceModel::Output out =
+          model.Forward(transforms[s], amplified[s][w],
+                        /*want_step_errors=*/false);
+      epoch_loss += out.loss.item();
+      out.loss.Backward();
+      optimizer.ClipGradNorm(config.grad_clip);
+      optimizer.Step();
+    }
+    losses.push_back(epoch_loss / static_cast<double>(order.size()));
+  }
+  return losses;
+}
+
+TEST(FitParallelTest, BatchSizeOneReproducesPerWindowSgdBitwise) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  config.batch_size = 1;
+
+  const std::vector<double> reference =
+      ReferencePerWindowSgdLosses(config, services);
+
+  for (int threads : {1, 4}) {
+    MaceConfig run = config;
+    run.fit_threads = threads;
+    MaceDetector detector(run);
+    ASSERT_TRUE(detector.Fit(services).ok());
+    ASSERT_EQ(detector.epoch_losses().size(), reference.size());
+    for (size_t e = 0; e < reference.size(); ++e) {
+      EXPECT_EQ(detector.epoch_losses()[e], reference[e])
+          << "fit_threads " << threads << " epoch " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mace::core

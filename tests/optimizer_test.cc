@@ -1,6 +1,7 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,70 @@ TEST(OptimizerTest, ClipGradNormNoOpWhenSmall) {
   x.node()->grad = {0.5};
   sgd.ClipGradNorm(5.0);
   EXPECT_DOUBLE_EQ(x.grad()[0], 0.5);
+}
+
+TEST(OptimizerTest, ClipGradNormNoOpOnZeroGradients) {
+  Tensor x = Tensor::FromVector({1.0, 2.0}, {2}, true);
+  Sgd sgd({x}, 0.1);
+  x.node()->grad = {0.0, 0.0};
+  sgd.ClipGradNorm(5.0);
+  EXPECT_EQ(x.grad()[0], 0.0);
+  EXPECT_EQ(x.grad()[1], 0.0);
+}
+
+TEST(OptimizerTest, ClipGradNormSurvivesSumOfSquaresOverflow) {
+  // |g| = 1e200 squares to 1e400 = inf, so the naive norm is inf and the
+  // naive scale max_norm/inf = 0 would silently zero the update. The
+  // max-abs-scaled two-pass norm must clip to max_norm instead.
+  Tensor x = Tensor::FromVector({0.0, 0.0}, {2}, true);
+  Sgd sgd({x}, 0.1);
+  x.node()->grad = {3e200, 4e200};
+  sgd.ClipGradNorm(5.0);
+  ASSERT_TRUE(std::isfinite(x.grad()[0]));
+  ASSERT_TRUE(std::isfinite(x.grad()[1]));
+  EXPECT_NE(x.grad()[0], 0.0);
+  const double norm = std::hypot(x.grad()[0], x.grad()[1]);
+  EXPECT_NEAR(norm, 5.0, 1e-9);
+  EXPECT_NEAR(x.grad()[0] / x.grad()[1], 0.75, 1e-12);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesInfiniteGradientsUntouched) {
+  // No finite rescale makes an inf gradient meaningful, and 0 * inf would
+  // smear NaN across every parameter.
+  Tensor x = Tensor::FromVector({0.0, 0.0}, {2}, true);
+  Sgd sgd({x}, 0.1);
+  x.node()->grad = {std::numeric_limits<double>::infinity(), 2.0};
+  sgd.ClipGradNorm(5.0);
+  EXPECT_TRUE(std::isinf(x.grad()[0]));
+  EXPECT_DOUBLE_EQ(x.grad()[1], 2.0);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesNanGradientsUntouched) {
+  Tensor x = Tensor::FromVector({0.0, 0.0}, {2}, true);
+  Sgd sgd({x}, 0.1);
+  x.node()->grad = {std::numeric_limits<double>::quiet_NaN(), 2.0};
+  sgd.ClipGradNorm(5.0);
+  EXPECT_TRUE(std::isnan(x.grad()[0]));
+  EXPECT_DOUBLE_EQ(x.grad()[1], 2.0);
+}
+
+TEST(OptimizerTest, LoadGradientsAssignsScaledValues) {
+  Tensor x = Tensor::FromVector({0.0, 0.0}, {2}, true);
+  Sgd sgd({x}, 0.1);
+  x.node()->grad = {100.0, 100.0};  // stale; Load must overwrite, not add
+  sgd.LoadGradients({{3.0, -8.0}}, 0.25);
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.75);
+  EXPECT_DOUBLE_EQ(x.grad()[1], -2.0);
+}
+
+TEST(OptimizerTest, LoadGradientsWithUnitScaleIsExact) {
+  // scale = 1.0 must reproduce the source bits (the batch_size=1 training
+  // path relies on this being the identity).
+  Tensor x = Tensor::FromVector({0.0}, {1}, true);
+  Sgd sgd({x}, 0.1);
+  const double value = 0.1234567891234567;
+  sgd.LoadGradients({{value}}, 1.0);
+  EXPECT_EQ(x.grad()[0], value);
 }
 
 TEST(OptimizerDeathTest, RejectsNonDifferentiableParams) {
