@@ -95,18 +95,11 @@ class Flags {
   bool GetBool(const std::string& key) const {
     return values_.count(key) > 0;
   }
-  double GetDouble(const std::string& key, double fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
-  }
-  int GetInt(const std::string& key, int fallback) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoi(it->second);
-  }
 
-  /// Strict variants: the whole value must be numeric — "8x", "" or
-  /// overflow records an argument error (first one wins; check via
-  /// `error`) instead of silently truncating or throwing out of main.
+  /// Numeric getters parse strictly: the whole value must be numeric —
+  /// "8x", "" or overflow records an argument error (first one wins;
+  /// check via `error`) instead of silently truncating or throwing out
+  /// of main.
   int GetIntStrict(const std::string& key, int fallback,
                    std::string* error) const {
     auto it = values_.find(key);
@@ -181,17 +174,32 @@ int FinishObservability(const Flags& flags) {
   return 0;
 }
 
-Result<std::vector<ts::ServiceData>> LoadServices(const std::string& data) {
+/// Resolves --non-finite (default "reject") to the shared policy enum;
+/// the same value governs CSV ingestion and the detector's own handling.
+Result<ts::NonFinitePolicy> PolicyFlag(const Flags& flags) {
+  return ts::ParseNonFinitePolicy(flags.Get("non-finite", "reject"));
+}
+
+Result<std::vector<ts::ServiceData>> LoadServices(
+    const std::string& data, ts::NonFinitePolicy policy) {
   std::vector<ts::ServiceData> services;
   std::vector<std::string> dirs;
-  for (const auto& entry : fs::directory_iterator(data)) {
-    if (entry.is_directory()) dirs.push_back(entry.path().string());
+  // error_code overload: a missing/unreadable --data must surface as a
+  // Status, not an uncaught filesystem_error.
+  std::error_code ec;
+  for (auto it = fs::directory_iterator(data, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    if (it->is_directory(ec)) dirs.push_back(it->path().string());
+  }
+  if (ec) {
+    return Status::NotFound("cannot list data directory '" + data +
+                            "': " + ec.message());
   }
   std::sort(dirs.begin(), dirs.end());
   for (const std::string& dir : dirs) {
     MACE_ASSIGN_OR_RETURN(
         ts::ServiceData svc,
-        ts::LoadServiceDir(dir, fs::path(dir).filename().string()));
+        ts::LoadServiceDir(dir, fs::path(dir).filename().string(), policy));
     services.push_back(std::move(svc));
   }
   if (services.empty()) {
@@ -207,7 +215,12 @@ int Synth(const Flags& flags) {
   for (const ts::DatasetProfile& p : ts::AllProfiles()) {
     if (p.name == profile_name) profile = p;
   }
-  profile.num_services = flags.GetInt("services", 4);
+  std::string error;
+  profile.num_services = flags.GetIntStrict("services", 4, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "argument error: %s\n", error.c_str());
+    return 2;
+  }
   const ts::Dataset dataset = ts::GenerateDataset(profile);
   for (const ts::ServiceData& svc : dataset.services) {
     const fs::path dir = fs::path(data) / svc.name;
@@ -233,6 +246,13 @@ int Train(const Flags& flags) {
       flags.GetIntStrict("fit-threads", config.fit_threads, &error);
   config.batch_size =
       flags.GetIntStrict("batch-size", config.batch_size, &error);
+  Result<ts::NonFinitePolicy> policy = PolicyFlag(flags);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "argument error: %s\n",
+                 policy.status().message().c_str());
+    return 2;
+  }
+  config.non_finite_policy = *policy;
   if (!error.empty()) {
     std::fprintf(stderr, "argument error: %s\n", error.c_str());
     return 2;
@@ -242,10 +262,19 @@ int Train(const Flags& flags) {
     std::fprintf(stderr, "argument error: %s\n", valid.message().c_str());
     return 2;
   }
-  auto services = LoadServices(flags.Get("data", ""));
-  MACE_CHECK_OK(services.status());
+  auto services = LoadServices(flags.Get("data", ""), *policy);
+  if (!services.ok()) {
+    std::fprintf(stderr, "data error: %s\n",
+                 services.status().ToString().c_str());
+    return 1;
+  }
   core::MaceDetector detector(config);
-  MACE_CHECK_OK(detector.Fit(*services));
+  const Status fitted = detector.Fit(*services);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 fitted.ToString().c_str());
+    return 1;
+  }
   MACE_CHECK_OK(detector.Save(flags.Get("model", "model.mace")));
   std::printf("trained on %zu services (%lld parameters, final loss %.4f); "
               "saved to %s\n",
@@ -257,10 +286,28 @@ int Train(const Flags& flags) {
 }
 
 int Score(const Flags& flags) {
-  auto services = LoadServices(flags.Get("data", ""));
-  MACE_CHECK_OK(services.status());
+  Result<ts::NonFinitePolicy> policy = PolicyFlag(flags);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "argument error: %s\n",
+                 policy.status().message().c_str());
+    return 2;
+  }
+  auto services = LoadServices(flags.Get("data", ""), *policy);
+  if (!services.ok()) {
+    std::fprintf(stderr, "data error: %s\n",
+                 services.status().ToString().c_str());
+    return 1;
+  }
+  // A model file is untrusted input: a corrupt or truncated artifact is a
+  // printed error, never an abort.
   auto detector = core::MaceDetector::Load(flags.Get("model", "model.mace"));
-  MACE_CHECK_OK(detector.status());
+  if (!detector.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 detector.status().ToString().c_str());
+    return 1;
+  }
+  // The policy is runtime state, not serialized — re-arm it after Load.
+  detector->set_non_finite_policy(*policy);
   const std::string out = flags.Get("out", "");
   for (size_t s = 0; s < services->size(); ++s) {
     auto scores =
@@ -285,11 +332,29 @@ int Score(const Flags& flags) {
 }
 
 int Eval(const Flags& flags) {
-  auto services = LoadServices(flags.Get("data", ""));
-  MACE_CHECK_OK(services.status());
+  std::string error;
+  const double risk = flags.GetDoubleStrict("risk", 0.02, &error);
+  Result<ts::NonFinitePolicy> policy = PolicyFlag(flags);
+  if (!policy.ok() && error.empty()) {
+    error = policy.status().message();
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "argument error: %s\n", error.c_str());
+    return 2;
+  }
+  auto services = LoadServices(flags.Get("data", ""), *policy);
+  if (!services.ok()) {
+    std::fprintf(stderr, "data error: %s\n",
+                 services.status().ToString().c_str());
+    return 1;
+  }
   auto detector = core::MaceDetector::Load(flags.Get("model", "model.mace"));
-  MACE_CHECK_OK(detector.status());
-  const double risk = flags.GetDouble("risk", 0.02);
+  if (!detector.ok()) {
+    std::fprintf(stderr, "model load failed: %s\n",
+                 detector.status().ToString().c_str());
+    return 1;
+  }
+  detector->set_non_finite_policy(*policy);
   std::printf("%-16s %8s %8s %8s %8s\n", "service", "bestF1", "AUROC",
               "AUPRC", "POT-F1");
   std::vector<eval::PrMetrics> all;
@@ -324,6 +389,9 @@ void Usage() {
       "usage: mace_cli <synth|train|score|eval> --data <dir>\n"
       "  common:  [--model <file>] [--metrics-out <file>] [--trace]\n"
       "           [--trace-out <file>]\n"
+      "           [--non-finite reject|impute|propagate]  NaN/Inf policy\n"
+      "           for CSV ingestion and scoring (train treats propagate\n"
+      "           as reject); default reject.\n"
       "  synth:   [--profile SMD|SMAP|MC|J-D1|J-D2] [--services N]\n"
       "  train:   [--epochs N] [--gamma-t G] [--gamma-f G] [--bases K]\n"
       "           [--fit-threads N] [--batch-size B]\n"

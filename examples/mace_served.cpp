@@ -9,12 +9,17 @@
 //          --rate 50000 --seconds 6 --policy shed
 //
 // Flags:
-//   --services N   simulated tenants (default 64)
-//   --shards N     worker shards (default 4)
-//   --rate N       target observations/second across all tenants
-//                  (default 20000; 0 = as fast as possible)
-//   --seconds N    replay duration (default 4)
-//   --policy P     block | shed | latest (default block)
+//   --services N     simulated tenants (default 64)
+//   --shards N       worker shards (default 4)
+//   --rate N         target observations/second across all tenants
+//                    (default 20000; 0 = as fast as possible)
+//   --seconds N      replay duration (default 4)
+//   --policy P       block | shed | latest (default block)
+//   --non-finite P   reject | impute | propagate (default reject): what
+//                    sessions do with NaN/Inf observations
+//
+// Numeric flags parse strictly (the whole value must be a number) and
+// argument errors exit with status 2.
 
 #include <chrono>
 #include <cstdio>
@@ -29,6 +34,7 @@
 #include "core/mace_detector.h"
 #include "serve/frontend.h"
 #include "ts/profiles.h"
+#include "ts/sanitize.h"
 
 namespace {
 
@@ -38,24 +44,65 @@ struct Options {
   double rate = 20000.0;
   double seconds = 4.0;
   mace::serve::OverloadPolicy policy = mace::serve::OverloadPolicy::kBlock;
+  mace::ts::NonFinitePolicy non_finite =
+      mace::ts::NonFinitePolicy::kReject;
 };
+
+/// Strict numeric parsers: atoi/atof silently read "8x" as 8 and "x" as
+/// 0, so a typo would quietly reshape the benchmark; here the whole value
+/// must parse or the process exits 2 naming the flag.
+int ParseIntOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const int value = std::stoi(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs an integer, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+double ParseDoubleOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs a number, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
 
 Options ParseArgs(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      MACE_CHECK(i + 1 < argc) << arg << " needs a value";
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
       return argv[++i];
     };
     if (arg == "--services") {
-      options.services = std::atoi(next());
+      options.services = ParseIntOrDie(arg, next());
     } else if (arg == "--shards") {
-      options.shards = std::atoi(next());
+      options.shards = ParseIntOrDie(arg, next());
     } else if (arg == "--rate") {
-      options.rate = std::atof(next());
+      options.rate = ParseDoubleOrDie(arg, next());
     } else if (arg == "--seconds") {
-      options.seconds = std::atof(next());
+      options.seconds = ParseDoubleOrDie(arg, next());
+    } else if (arg == "--non-finite") {
+      auto policy = mace::ts::ParseNonFinitePolicy(next());
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().message().c_str());
+        std::exit(2);
+      }
+      options.non_finite = *policy;
     } else if (arg == "--policy") {
       const std::string policy = next();
       if (policy == "block") {
@@ -112,6 +159,7 @@ int main(int argc, char** argv) {
   serve::ServeConfig serve_config;
   serve_config.num_shards = options.shards;
   serve_config.overload_policy = options.policy;
+  serve_config.non_finite_policy = options.non_finite;
   auto frontend = serve::ServeFrontend::Create(model_v1, serve_config);
   MACE_CHECK_OK(frontend.status());
 
@@ -122,9 +170,10 @@ int main(int argc, char** argv) {
 
   std::printf(
       "replaying %d tenants at %.0f obs/s for %.1fs — %d shards, "
-      "policy=%s\n\n",
+      "policy=%s, non-finite=%s\n\n",
       options.services, options.rate, options.seconds, options.shards,
-      serve::OverloadPolicyName(options.policy));
+      serve::OverloadPolicyName(options.policy),
+      ts::NonFinitePolicyName(options.non_finite));
 
   const auto start = Clock::now();
   const auto deadline =

@@ -21,7 +21,13 @@ Result<double> ParseCell(const std::string& cell, size_t line_no) {
   errno = 0;
   char* end = nullptr;
   const double value = std::strtod(cell.c_str(), &end);
-  if (end == cell.c_str() || errno == ERANGE) {
+  // The full cell must be consumed, modulo trailing whitespace (strtod
+  // already skips leading whitespace): "1.5abc" is an error, not 1.5.
+  // strtod also accepts "nan"/"inf" spellings — those ARE the parsed
+  // value; whether non-finite data is acceptable is the downstream
+  // NonFinitePolicy's decision (ts/sanitize.h), not a parse error.
+  while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+  if (end == cell.c_str() || *end != '\0' || errno == ERANGE) {
     return Status::InvalidArgument("line " + std::to_string(line_no) +
                                    ": cannot parse cell '" + cell + "'");
   }

@@ -20,8 +20,11 @@ struct CsvTable {
 };
 
 /// \brief Parses CSV text. When `has_header` the first line is taken as
-/// column names. All data cells must parse as doubles; rows must be
-/// rectangular.
+/// column names. All data cells must parse as doubles — fully, modulo
+/// surrounding whitespace ("1.5abc" is an error) — and rows must be
+/// rectangular. Literal "nan"/"inf" cells parse as their IEEE values:
+/// they are data, and the caller's NonFinitePolicy (ts/sanitize.h)
+/// decides whether such data is acceptable.
 Result<CsvTable> ParseCsv(const std::string& text, bool has_header = true);
 
 /// \brief Reads and parses a CSV file from disk.

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "ts/sanitize.h"
+
 namespace mace::core {
 
 /// \brief Hyperparameters of MACE (Table IV of the paper plus the ablation
@@ -59,6 +61,14 @@ struct MaceConfig {
   int score_batch = 8;
   /// Score under tensor::NoGradGuard: same values, no autograd graph.
   bool score_no_grad = true;
+  /// What Fit/Score/streaming do with non-finite (NaN/Inf) input values
+  /// (ts/sanitize.h). A runtime knob, not part of the model: it is NOT
+  /// serialized (the MACEv1 format is unchanged) and Load leaves it at
+  /// the default — set it again after Load if a lossy policy is wanted.
+  /// Fit treats kPropagate as kReject: training cannot skip windows
+  /// without changing the minibatch schedule, so contaminated training
+  /// data must be rejected or imputed, never silently propagated.
+  ts::NonFinitePolicy non_finite_policy = ts::NonFinitePolicy::kReject;
 
   // -- Ablation switches (Table IX) -----------------------------------------
   /// false: replace context-aware DFT/IDFT with the vanilla full spectrum.

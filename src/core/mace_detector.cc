@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <thread>
 
@@ -60,6 +61,85 @@ obs::Counter* CachedWindowsScoredCounter(int service_index) {
 /// yield at least `fit_threads` shards to occupy every worker).
 constexpr size_t kFitShardWindows = 32;
 
+/// A series readied for scoring under a non-finite policy: the values the
+/// model sees (always fully finite) plus, under kPropagate, the per-step
+/// contamination mask the scores are NaN-masked with afterwards.
+struct SanitizedSeries {
+  ts::TimeSeries series;
+  std::vector<uint8_t> contaminated;  // empty when clean or not propagating
+};
+
+Result<SanitizedSeries> SanitizeForScoring(const ts::TimeSeries& series,
+                                           ts::NonFinitePolicy policy,
+                                           const std::string& what) {
+  SanitizedSeries out{series, {}};
+  const ts::NonFiniteValue bad = ts::FindNonFinite(series);
+  if (!bad.found) return out;
+  switch (policy) {
+    case ts::NonFinitePolicy::kReject:
+      return Status::InvalidArgument(
+          what + " holds non-finite value " + ts::DescribeNonFinite(bad) +
+          " (non-finite policy 'reject')");
+    case ts::NonFinitePolicy::kImpute: {
+      Result<ts::TimeSeries> imputed =
+          ts::SanitizeSeries(series, ts::NonFinitePolicy::kImpute);
+      if (!imputed.ok()) {
+        return Status::InvalidArgument(what + ": " +
+                                       imputed.status().message());
+      }
+      out.series = std::move(imputed).value();
+      return out;
+    }
+    case ts::NonFinitePolicy::kPropagate: {
+      ts::SanitizeStats stats;
+      Result<ts::TimeSeries> tagged =
+          ts::SanitizeSeries(series, ts::NonFinitePolicy::kPropagate, &stats,
+                             &out.contaminated);
+      if (!tagged.ok()) return tagged.status();
+      // The model itself must never see NaN (a single one poisons whole
+      // DFT columns): score an imputed copy and NaN-mask the steps of
+      // contaminated windows afterwards — bit-identical to skipping those
+      // windows, since the mask discards whatever they computed.
+      Result<ts::TimeSeries> imputed =
+          ts::SanitizeSeries(series, ts::NonFinitePolicy::kImpute);
+      if (imputed.ok()) {
+        out.series = std::move(imputed).value();
+      } else {
+        // A feature with no finite values leaves nothing to impute from;
+        // then every step is contaminated and every score masks to NaN, so
+        // the placeholder values are unobservable — zero-fill just keeps
+        // the arithmetic finite.
+        std::vector<std::vector<double>> values = series.values();
+        for (std::vector<double>& row : values) {
+          for (double& v : row) {
+            if (!std::isfinite(v)) v = 0.0;
+          }
+        }
+        out.series = ts::TimeSeries(std::move(values), series.labels());
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable non-finite policy");
+}
+
+/// kPropagate post-mask: a step's score becomes NaN iff any scheduled
+/// window covering it holds a contaminated step (the sticky-NaN rule the
+/// streaming scorer implements by skipping contaminated windows).
+void MaskPropagatedScores(const std::vector<size_t>& starts, size_t window,
+                          const std::vector<uint8_t>& contaminated,
+                          std::vector<double>* scores) {
+  std::vector<size_t> prefix(contaminated.size() + 1, 0);
+  for (size_t i = 0; i < contaminated.size(); ++i) {
+    prefix[i + 1] = prefix[i] + (contaminated[i] != 0 ? 1 : 0);
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const size_t start : starts) {
+    if (prefix[start + window] - prefix[start] == 0) continue;
+    for (size_t t = start; t < start + window; ++t) (*scores)[t] = nan;
+  }
+}
+
 }  // namespace
 
 MaceDetector::MaceDetector(MaceConfig config) : config_(config) {
@@ -68,8 +148,13 @@ MaceDetector::MaceDetector(MaceConfig config) : config_(config) {
 }
 
 Status MaceDetector::ValidateConfig(const MaceConfig& config) {
-  if (config.window < 4) {
-    return Status::InvalidArgument("window must be >= 4, got " +
+  // The upper bounds below are untrusted-input armor, not tuning advice:
+  // Load() feeds file-supplied configs through this validator, and the
+  // caps keep a corrupt field from driving transform matrices ([2k, T] ~
+  // window^2 doubles per service) or model tensors into multi-gigabyte
+  // allocations before any later consistency check can fire.
+  if (config.window < 4 || config.window > 1024) {
+    return Status::InvalidArgument("window must be in [4, 1024], got " +
                                    std::to_string(config.window));
   }
   if (config.num_bases < 1 || config.num_bases > config.window / 2) {
@@ -101,9 +186,55 @@ Status MaceDetector::ValidateConfig(const MaceConfig& config) {
         "the kernel on each step), got " +
         std::to_string(config.time_kernel));
   }
-  if (config.freq_kernel < 1) {
-    return Status::InvalidArgument("freq_kernel must be >= 1, got " +
-                                   std::to_string(config.freq_kernel));
+  if (config.time_kernel > 2 * config.window + 1) {
+    return Status::InvalidArgument(
+        "time_kernel must be <= 2*window+1 (a longer kernel already "
+        "covers the whole window from every center), got " +
+        std::to_string(config.time_kernel) + " with window " +
+        std::to_string(config.window));
+  }
+  if (config.freq_kernel < 1 || config.freq_kernel > config.window) {
+    return Status::InvalidArgument(
+        "freq_kernel must be in [1, window] (the spectrum holds at most "
+        "window coefficient columns), got " +
+        std::to_string(config.freq_kernel));
+  }
+  if (config.hidden_channels < 1 || config.hidden_channels > 4096) {
+    return Status::InvalidArgument(
+        "hidden_channels must be in [1, 4096], got " +
+        std::to_string(config.hidden_channels));
+  }
+  if (config.characterization_channels < 1 ||
+      config.characterization_channels > 4096) {
+    return Status::InvalidArgument(
+        "characterization_channels must be in [1, 4096], got " +
+        std::to_string(config.characterization_channels));
+  }
+  if (config.epochs < 1 || config.epochs > 1000000) {
+    return Status::InvalidArgument(
+        "epochs must be in [1, 1000000], got " +
+        std::to_string(config.epochs));
+  }
+  if (!std::isfinite(config.learning_rate) || config.learning_rate <= 0.0) {
+    return Status::InvalidArgument(
+        "learning_rate must be finite and > 0, got " +
+        std::to_string(config.learning_rate));
+  }
+  if (!std::isfinite(config.grad_clip) || config.grad_clip < 0.0) {
+    return Status::InvalidArgument(
+        "grad_clip must be finite and >= 0 (0 disables clipping), got " +
+        std::to_string(config.grad_clip));
+  }
+  for (const auto& [name, value] :
+       {std::pair<const char*, double>{"gamma_t", config.gamma_t},
+        {"sigma_t", config.sigma_t},
+        {"gamma_f", config.gamma_f},
+        {"sigma_f", config.sigma_f}}) {
+    if (!std::isfinite(value) || value <= 0.0) {
+      return Status::InvalidArgument(
+          std::string(name) + " must be finite and > 0, got " +
+          std::to_string(value));
+    }
   }
   if (config.score_threads < 1) {
     return Status::InvalidArgument("score_threads must be >= 1, got " +
@@ -207,6 +338,39 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
     }
   }
 
+  // Non-finite gate: one NaN in a train split would poison the scaler
+  // moments, the subspace spectra and every Adam moment with no error
+  // anywhere, so contamination is resolved here — before any state
+  // mutation, preserving the commit-at-end guarantee below. kPropagate
+  // degrades to kReject for training (see MaceConfig::non_finite_policy).
+  std::vector<ts::ServiceData> sanitized_storage;
+  const std::vector<ts::ServiceData>* input = &services;
+  for (size_t si = 0; si < services.size(); ++si) {
+    const ts::NonFiniteValue bad = ts::FindNonFinite(services[si].train);
+    if (!bad.found) continue;
+    if (config_.non_finite_policy == ts::NonFinitePolicy::kImpute) {
+      if (sanitized_storage.empty()) sanitized_storage = services;
+      Result<ts::TimeSeries> imputed = ts::SanitizeSeries(
+          services[si].train, ts::NonFinitePolicy::kImpute);
+      if (!imputed.ok()) {
+        return Status::InvalidArgument("service '" + services[si].name +
+                                       "': " + imputed.status().message());
+      }
+      sanitized_storage[si].train = std::move(imputed).value();
+      input = &sanitized_storage;
+      continue;
+    }
+    const bool propagate =
+        config_.non_finite_policy == ts::NonFinitePolicy::kPropagate;
+    return Status::InvalidArgument(
+        "service '" + services[si].name +
+        "' train split holds non-finite value " + ts::DescribeNonFinite(bad) +
+        (propagate
+             ? " (non-finite policy 'propagate' degrades to 'reject' for "
+               "training: sanitize upstream or use 'impute')"
+             : " (non-finite policy 'reject')"));
+  }
+
   // All fitted state builds in locals and commits to members only at the
   // end, so any error return leaves the detector exactly as it was —
   // previously fitted detectors keep scoring, unfitted ones stay unfitted.
@@ -232,7 +396,7 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   std::vector<Status> service_status(num_services, Status::OK());
   std::vector<int> columns(num_services, -1);
   pool.ParallelFor(num_services, [&](size_t si, int /*worker*/) {
-    const ts::ServiceData& service = services[si];
+    const ts::ServiceData& service = (*input)[si];
     obs::ScopedSpan subspace_span(
         "MaceDetector::SubspaceExtraction",
         metrics.GetHistogram(
@@ -275,6 +439,17 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
     if (columns[si] != coeff_columns) {
       return Status::Internal("inconsistent subspace sizes across services");
     }
+  }
+  if (coeff_columns / 2 < config_.freq_kernel) {
+    // The autoencoder convolves the k amplitude columns (half the
+    // coefficient columns) and Conv1d CHECK-aborts when its input is
+    // shorter than the kernel, so surface the config/subspace mismatch
+    // as a Status here.
+    return Status::InvalidArgument(
+        "freq_kernel " + std::to_string(config_.freq_kernel) +
+        " exceeds the " + std::to_string(coeff_columns / 2) +
+        " amplitude columns of the extracted subspace (lower freq_kernel "
+        "or raise num_bases)");
   }
 
   Rng rng(config_.seed);
@@ -456,6 +631,21 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   return Status::OK();
 }
 
+std::vector<size_t> MaceDetector::ScoreWindowStarts(size_t length) const {
+  const auto window = static_cast<size_t>(config_.window);
+  std::vector<size_t> starts;
+  for (size_t start = 0; start + window <= length;
+       start += static_cast<size_t>(config_.score_stride)) {
+    starts.push_back(start);
+  }
+  // Cover the tail so every step gets at least one window.
+  if (length >= window &&
+      (starts.empty() || starts.back() + window < length)) {
+    starts.push_back(length - window);
+  }
+  return starts;
+}
+
 std::vector<double> MaceDetector::ScoreScaled(
     const ServiceTransforms& transforms, const ts::TimeSeries& scaled_test,
     const std::string& service_label) const {
@@ -466,17 +656,7 @@ std::vector<double> MaceDetector::ScoreScaled(
                            "Wall-clock duration of one batch Score call"));
   ScoreAccumulator accumulator(scaled_test.length(),
                                ScoreReduction::kMin);
-  const auto window = static_cast<size_t>(config_.window);
-  std::vector<size_t> starts;
-  for (size_t start = 0; start + window <= scaled_test.length();
-       start += static_cast<size_t>(config_.score_stride)) {
-    starts.push_back(start);
-  }
-  // Cover the tail so every step gets at least one window.
-  if (scaled_test.length() >= window &&
-      (starts.empty() || starts.back() + window < scaled_test.length())) {
-    starts.push_back(scaled_test.length() - window);
-  }
+  const std::vector<size_t> starts = ScoreWindowStarts(scaled_test.length());
   // Frequency-domain windows are independent (no recurrence), so scoring
   // parallelizes per window: each worker runs Forward (read-only on the
   // learned weights) over a strided share of the windows.
@@ -593,6 +773,12 @@ Result<std::vector<double>> MaceDetector::ScoreWindow(
       return Status::InvalidArgument("row feature count mismatch");
     }
     for (size_t f = 0; f < m; ++f) {
+      if (!std::isfinite(scaled_rows[t][f])) {
+        return Status::InvalidArgument(
+            "window row " + std::to_string(t) + " feature " +
+            std::to_string(f) + " holds non-finite value; sanitize upstream "
+            "(ts/sanitize.h) before ScoreWindow");
+      }
       data[f * scaled_rows.size() + t] = scaled_rows[t][f];
     }
   }
@@ -636,11 +822,19 @@ Result<std::vector<std::vector<double>>> MaceDetector::ScoreWindowBatch(
     }
     std::vector<double> data =
         tensor::AcquireScratchBuffer(m * scaled_rows.size());
+    const size_t wi = amplified.size();
     for (size_t t = 0; t < scaled_rows.size(); ++t) {
       if (scaled_rows[t].size() != m) {
         return Status::InvalidArgument("row feature count mismatch");
       }
       for (size_t f = 0; f < m; ++f) {
+        if (!std::isfinite(scaled_rows[t][f])) {
+          return Status::InvalidArgument(
+              "window " + std::to_string(wi) + " row " + std::to_string(t) +
+              " feature " + std::to_string(f) +
+              " holds non-finite value; sanitize upstream (ts/sanitize.h) "
+              "before ScoreWindowBatch");
+        }
         data[f * scaled_rows.size() + t] = scaled_rows[t][f];
       }
     }
@@ -689,10 +883,20 @@ Result<std::vector<double>> MaceDetector::Score(int service_index,
   if (test.length() < static_cast<size_t>(config_.window)) {
     return Status::InvalidArgument("test series shorter than window");
   }
+  MACE_ASSIGN_OR_RETURN(
+      SanitizedSeries sanitized,
+      SanitizeForScoring(test, config_.non_finite_policy, "test series"));
   const ts::TimeSeries scaled =
-      scalers_[static_cast<size_t>(service_index)].Transform(test);
-  return ScoreScaled(transforms_[static_cast<size_t>(service_index)], scaled,
-                     std::to_string(service_index));
+      scalers_[static_cast<size_t>(service_index)].Transform(sanitized.series);
+  std::vector<double> scores =
+      ScoreScaled(transforms_[static_cast<size_t>(service_index)], scaled,
+                  std::to_string(service_index));
+  if (!sanitized.contaminated.empty()) {
+    MaskPropagatedScores(ScoreWindowStarts(scaled.length()),
+                         static_cast<size_t>(config_.window),
+                         sanitized.contaminated, &scores);
+  }
+  return scores;
 }
 
 Result<std::vector<double>> MaceDetector::ScoreUnseen(
@@ -703,9 +907,35 @@ Result<std::vector<double>> MaceDetector::ScoreUnseen(
   if (service.train.num_features() != num_features_) {
     return Status::InvalidArgument("feature count mismatch");
   }
+  // The train split feeds the scaler moments and the subspace spectra, so
+  // it cannot propagate: kImpute imputes, anything else rejects.
+  std::optional<ts::TimeSeries> imputed_train;
+  const ts::TimeSeries* train = &service.train;
+  const ts::NonFiniteValue bad = ts::FindNonFinite(service.train);
+  if (bad.found) {
+    if (config_.non_finite_policy != ts::NonFinitePolicy::kImpute) {
+      const bool propagate =
+          config_.non_finite_policy == ts::NonFinitePolicy::kPropagate;
+      return Status::InvalidArgument(
+          "unseen service train split holds non-finite value " +
+          ts::DescribeNonFinite(bad) +
+          (propagate
+               ? " (non-finite policy 'propagate' degrades to 'reject' for "
+                 "subspace extraction: sanitize upstream or use 'impute')"
+               : " (non-finite policy 'reject')"));
+    }
+    Result<ts::TimeSeries> imputed =
+        ts::SanitizeSeries(service.train, ts::NonFinitePolicy::kImpute);
+    if (!imputed.ok()) {
+      return Status::InvalidArgument("unseen service train split: " +
+                                     imputed.status().message());
+    }
+    imputed_train = std::move(imputed).value();
+    train = &*imputed_train;
+  }
   ts::StandardScaler scaler;
-  scaler.Fit(service.train);
-  const ts::TimeSeries scaled_train = scaler.Transform(service.train);
+  scaler.Fit(*train);
+  const ts::TimeSeries scaled_train = scaler.Transform(*train);
   MACE_ASSIGN_OR_RETURN(std::vector<int> bases,
                         SelectBases(AmplifySeries(scaled_train)));
   if (2 * static_cast<int>(bases.size()) !=
@@ -715,7 +945,18 @@ Result<std::vector<double>> MaceDetector::ScoreUnseen(
   }
   const ServiceTransforms transforms =
       MakeServiceTransforms(config_.window, bases);
-  return ScoreScaled(transforms, scaler.Transform(service.test), "unseen");
+  MACE_ASSIGN_OR_RETURN(SanitizedSeries sanitized,
+                        SanitizeForScoring(service.test,
+                                           config_.non_finite_policy,
+                                           "unseen service test split"));
+  std::vector<double> scores =
+      ScoreScaled(transforms, scaler.Transform(sanitized.series), "unseen");
+  if (!sanitized.contaminated.empty()) {
+    MaskPropagatedScores(ScoreWindowStarts(service.test.length()),
+                         static_cast<size_t>(config_.window),
+                         sanitized.contaminated, &scores);
+  }
+  return scores;
 }
 
 int64_t MaceDetector::ParameterCount() const {

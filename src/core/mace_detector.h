@@ -26,12 +26,20 @@ class MaceDetector : public Detector {
  public:
   explicit MaceDetector(MaceConfig config = MaceConfig());
 
-  /// Validates windowing / stride / kernel settings (window >= 4,
-  /// num_bases in [1, window/2], strides >= 1, score_stride <= window,
-  /// time_kernel odd, ...). The constructor CHECK-fails on a violation;
-  /// Load() pre-validates and surfaces the message as a Corrupt status.
+  /// Validates windowing / stride / kernel / capacity settings (window in
+  /// [4, 1024], num_bases in [1, window/2], strides >= 1, score_stride <=
+  /// window, time_kernel odd, channel counts in [1, 4096], finite
+  /// positive dualistic parameters, ...). The bounds double as
+  /// untrusted-input armor: Load() pre-validates a file's config against
+  /// them and surfaces violations as a Corrupt status, so a corrupt or
+  /// hostile model file cannot drive allocations or CHECK-aborts from
+  /// absurd dimensions. The constructor CHECK-fails on a violation.
   static Status ValidateConfig(const MaceConfig& config);
 
+  /// Fit rejects non-finite training data under the configured
+  /// non_finite_policy — kReject (and kPropagate, which degrades to
+  /// kReject for training; see MaceConfig) return a descriptive error
+  /// before any state mutation, kImpute trains on the sanitized copy.
   Status Fit(const std::vector<ts::ServiceData>& services) override;
   Result<std::vector<double>> Score(int service_index,
                                     const ts::TimeSeries& test) override;
@@ -47,7 +55,10 @@ class MaceDetector : public Detector {
 
   /// Scores one window given as scaled rows [window][features] (streaming
   /// path; see core/streaming.h): returns the per-step reconstruction
-  /// errors of the stage-4 branch max.
+  /// errors of the stage-4 branch max. Rows must be fully finite — the
+  /// policy-aware surfaces (StreamingScorer, Score) sanitize upstream;
+  /// this low-level entry rejects non-finite input outright so NaN can
+  /// never reach the DFT.
   Result<std::vector<double>> ScoreWindow(
       int service_index,
       const std::vector<std::vector<double>>& scaled_rows) const;
@@ -70,8 +81,26 @@ class MaceDetector : public Detector {
   const MaceConfig& config() const { return config_; }
   /// Subspaces extracted by the last Fit (one per service).
   const std::vector<PatternSubspace>& subspaces() const { return subspaces_; }
+  /// Per-service fitted scalers (means double as the streaming imputation
+  /// fallback: a mean imputes to exactly 0 after z-scoring).
+  const std::vector<ts::StandardScaler>& scalers() const { return scalers_; }
   /// Mean training loss of each epoch of the last Fit.
   const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+  /// Non-finite input policy for subsequent Fit/Score/streaming calls.
+  /// The policy is runtime state, not serialized model state — call this
+  /// after Load() to opt a restored model into a lossy policy.
+  void set_non_finite_policy(ts::NonFinitePolicy policy) {
+    config_.non_finite_policy = policy;
+  }
+  ts::NonFinitePolicy non_finite_policy() const {
+    return config_.non_finite_policy;
+  }
+
+  /// Start offsets of the scoring windows over a series of `length`
+  /// (stride-spaced plus one tail window) — the schedule Score and the
+  /// kPropagate NaN-mask share, exposed for tests.
+  std::vector<size_t> ScoreWindowStarts(size_t length) const;
 
  private:
   /// Selected bases for one service (extracted or full-spectrum ablation).

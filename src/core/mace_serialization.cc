@@ -3,6 +3,7 @@
 // selected bases) and the learned parameter values in Parameters() order
 // (deterministic given the config).
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -13,6 +14,11 @@ namespace mace::core {
 namespace {
 
 constexpr char kMagic[] = "MACEv1";
+
+/// Ceiling on any element count a model file can declare (features,
+/// services, vector lengths). Far above anything a real fit produces, low
+/// enough that a hostile count cannot drive a multi-gigabyte allocation.
+constexpr size_t kMaxFileCount = 1 << 20;
 
 /// Every Load failure names the file and the section that broke, so an
 /// operator staring at a failed hot reload knows whether the artifact is
@@ -37,14 +43,25 @@ Result<std::vector<double>> ReadVector(std::istream& in,
     return Corrupt(path, "missing element count of " + what +
                              (in.eof() ? " (file truncated)" : ""));
   }
-  std::vector<double> values(count);
+  if (count > kMaxFileCount) {
+    // An absurd declared count is an attack or corruption either way;
+    // refuse it before it sizes an allocation.
+    std::ostringstream reason;
+    reason << what << " declares " << count << " values (limit "
+           << kMaxFileCount << ")";
+    return Corrupt(path, reason.str());
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  double v = 0.0;
   for (size_t i = 0; i < count; ++i) {
-    if (!(in >> values[i])) {
+    if (!(in >> v)) {
       std::ostringstream reason;
       reason << what << " holds " << i << " of " << count << " values";
       if (in.eof()) reason << " (file truncated)";
       return Corrupt(path, reason.str());
     }
+    values.push_back(v);
   }
   return values;
 }
@@ -123,6 +140,21 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
   if (!in || detector.num_features_ <= 0) {
     return Corrupt(path, "unreadable feature/service header");
   }
+  // Caps mirror ValidateConfig's untrusted-input armor: a hostile header
+  // must not size allocations or loop bounds.
+  if (detector.num_features_ > 4096) {
+    return Corrupt(path, "declares " +
+                             std::to_string(detector.num_features_) +
+                             " features (limit 4096)");
+  }
+  if (num_services == 0) {
+    return Corrupt(path, "holds no services");
+  }
+  if (num_services > 4096) {
+    return Corrupt(path, "declares " + std::to_string(num_services) +
+                             " services (limit 4096)");
+  }
+  const auto num_features = static_cast<size_t>(detector.num_features_);
   int coeff_columns = -1;
   for (size_t s = 0; s < num_services; ++s) {
     const std::string which = "service " + std::to_string(s);
@@ -132,12 +164,44 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
     MACE_ASSIGN_OR_RETURN(
         std::vector<double> stddevs,
         ReadVector(in, path, which + " scaler stddevs"));
+    // Validate the moments before FromMoments, which CHECK-aborts on what
+    // a Status should report: a fitted scaler always has one finite mean
+    // and one positive finite stddev per feature.
+    if (means.size() != num_features || stddevs.size() != num_features) {
+      std::ostringstream reason;
+      reason << which << " scaler holds " << means.size() << " means and "
+             << stddevs.size() << " stddevs for " << num_features
+             << " features";
+      return Corrupt(path, reason.str());
+    }
+    for (size_t f = 0; f < num_features; ++f) {
+      if (!std::isfinite(means[f]) || !std::isfinite(stddevs[f]) ||
+          stddevs[f] <= 0.0) {
+        return Corrupt(path, which + " scaler moments for feature " +
+                                 std::to_string(f) +
+                                 " are non-finite or non-positive");
+      }
+    }
     ts::StandardScaler scaler =
         ts::StandardScaler::FromMoments(std::move(means),
                                         std::move(stddevs));
     size_t num_bases = 0;
     if (!(in >> num_bases)) {
       return Corrupt(path, "missing base count of " + which);
+    }
+    if (num_bases < 1 ||
+        num_bases > static_cast<size_t>(config.window) / 2) {
+      std::ostringstream reason;
+      reason << which << " declares " << num_bases
+             << " bases, expected [1, window/2] = [1, "
+             << config.window / 2 << "]";
+      return Corrupt(path, reason.str());
+    }
+    if (coeff_columns >= 0 &&
+        coeff_columns != 2 * static_cast<int>(num_bases)) {
+      return Corrupt(path,
+                     which + " subspace size differs from service 0 "
+                     "(all services must share the coefficient width)");
     }
     PatternSubspace subspace;
     subspace.bases.resize(num_bases);
@@ -149,6 +213,13 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
         if (in.eof()) reason << " (file truncated)";
         return Corrupt(path, reason.str());
       }
+      if (subspace.bases[b] < 0 || subspace.bases[b] > config.window / 2) {
+        std::ostringstream reason;
+        reason << which << " base " << b << " is frequency index "
+               << subspace.bases[b] << ", outside [0, window/2] = [0, "
+               << config.window / 2 << "]";
+        return Corrupt(path, reason.str());
+      }
     }
     coeff_columns = 2 * static_cast<int>(num_bases);
     detector.transforms_.push_back(
@@ -156,8 +227,13 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
     detector.subspaces_.push_back(std::move(subspace));
     detector.scalers_.push_back(std::move(scaler));
   }
-  if (coeff_columns <= 0) {
-    return Corrupt(path, "holds no services");
+  if (coeff_columns / 2 < config.freq_kernel) {
+    // The model convolves the amplitude half of the coefficient columns;
+    // Conv1d CHECK-aborts when its input is shorter than the kernel.
+    std::ostringstream reason;
+    reason << "freq_kernel " << config.freq_kernel << " exceeds the "
+           << coeff_columns / 2 << " amplitude columns of the subspace";
+    return Corrupt(path, reason.str());
   }
 
   Rng rng(config.seed);

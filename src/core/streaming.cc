@@ -1,5 +1,6 @@
 #include "core/streaming.h"
 
+#include <cmath>
 #include <limits>
 #include <string>
 
@@ -8,11 +9,18 @@
 namespace mace::core {
 
 StreamingScorer::StreamingScorer(const MaceDetector* detector,
-                                 int service_index)
+                                 int service_index,
+                                 ts::NonFinitePolicy policy)
     : detector_(detector),
       service_index_(service_index),
       window_(detector->config().window),
       stride_(detector->config().score_stride),
+      // The fitted means are the imputation fallback before any finite
+      // observation: a mean z-scores to exactly 0, the series' neutral
+      // level.
+      sanitizer_(policy,
+                 detector->scalers()[static_cast<size_t>(service_index)]
+                     .means()),
       created_at_(std::chrono::steady_clock::now()) {
   obs::MetricsRegistry& metrics = obs::Metrics();
   const obs::Labels labels = {{"service", std::to_string(service_index)}};
@@ -32,8 +40,9 @@ StreamingScorer::StreamingScorer(const MaceDetector* detector,
       labels);
 }
 
-Result<StreamingScorer> StreamingScorer::Create(const MaceDetector* detector,
-                                                int service_index) {
+Result<StreamingScorer> StreamingScorer::Create(
+    const MaceDetector* detector, int service_index,
+    std::optional<ts::NonFinitePolicy> policy) {
   if (detector == nullptr) {
     return Status::InvalidArgument("detector must not be null");
   }
@@ -44,24 +53,48 @@ Result<StreamingScorer> StreamingScorer::Create(const MaceDetector* detector,
       static_cast<size_t>(service_index) >= detector->subspaces().size()) {
     return Status::OutOfRange("unknown service index");
   }
-  return StreamingScorer(detector, service_index);
+  return StreamingScorer(detector, service_index,
+                         policy.value_or(detector->non_finite_policy()));
+}
+
+void StreamingScorer::FoldError(size_t offset, double err) {
+  if (!covered_[offset]) {
+    pending_[offset] = err;
+    covered_[offset] = true;
+    return;
+  }
+  if (std::isnan(pending_[offset])) return;  // sticky: NaN never un-taints
+  if (std::isnan(err) || err < pending_[offset]) pending_[offset] = err;
 }
 
 void StreamingScorer::ScoreTailWindow() {
+  const size_t start = steps_consumed_ - static_cast<size_t>(window_);
+  bool window_contaminated = false;
+  for (const bool c : contaminated_) window_contaminated |= c;
+  if (window_contaminated) {
+    // kPropagate: the window's score is meaningless, so skip the model
+    // and fold NaN for every step it covers.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (size_t j = 0; j < static_cast<size_t>(window_); ++j) {
+      const size_t step = start + j;
+      if (step < next_emit_) continue;
+      const size_t offset = step - next_emit_;
+      MACE_CHECK(offset < pending_.size());
+      FoldError(offset, nan);
+    }
+    last_scored_end_ = steps_consumed_;
+    return;
+  }
   std::vector<std::vector<double>> window(buffer_.begin(), buffer_.end());
   Result<std::vector<double>> errors =
       detector_->ScoreWindow(service_index_, window);
   MACE_CHECK_OK(errors.status());
-  const size_t start = steps_consumed_ - static_cast<size_t>(window_);
   for (size_t j = 0; j < errors->size(); ++j) {
     const size_t step = start + j;
     if (step < next_emit_) continue;  // already emitted (Finish tail only)
     const size_t offset = step - next_emit_;
     MACE_CHECK(offset < pending_.size());
-    if (!covered_[offset] || (*errors)[j] < pending_[offset]) {
-      pending_[offset] = (*errors)[j];
-      covered_[offset] = true;
-    }
+    FoldError(offset, (*errors)[j]);
   }
   last_scored_end_ = steps_consumed_;
 }
@@ -99,11 +132,27 @@ std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before,
 
 Result<std::vector<double>> StreamingScorer::Push(
     const std::vector<double>& observation) {
-  MACE_ASSIGN_OR_RETURN(
-      std::vector<double> scaled,
-      detector_->ScaleObservation(service_index_, observation));
+  // Sanitize before scaling: a kReject failure leaves the pipeline (and
+  // the sanitizer's carry-forward state) untouched, and the other
+  // policies guarantee the scaler and the model only ever see finite
+  // values.
+  std::vector<double> row = observation;
+  MACE_ASSIGN_OR_RETURN(ts::ObservationSanitizer::Outcome outcome,
+                        sanitizer_.Apply(&row));
+  MACE_ASSIGN_OR_RETURN(std::vector<double> scaled,
+                        detector_->ScaleObservation(service_index_, row));
+  if (outcome.contaminated) {
+    ++ingest_stats_.contaminated_steps;
+    ingest_stats_.values_imputed += outcome.values_imputed;
+  }
   buffer_.push_back(std::move(scaled));
-  if (buffer_.size() > static_cast<size_t>(window_)) buffer_.pop_front();
+  contaminated_.push_back(
+      outcome.contaminated &&
+      sanitizer_.policy() == ts::NonFinitePolicy::kPropagate);
+  if (buffer_.size() > static_cast<size_t>(window_)) {
+    buffer_.pop_front();
+    contaminated_.pop_front();
+  }
   ++steps_consumed_;
   steps_counter_->Increment();
   pending_.push_back(std::numeric_limits<double>::infinity());
@@ -125,25 +174,47 @@ Result<std::vector<double>> StreamingScorer::Push(
 
 Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
     const std::vector<std::vector<double>>& observations) {
-  // Validate and scale everything before mutating state, so an invalid
-  // observation fails the whole call with the pipeline untouched (the
-  // caller can then replay per item to locate it).
+  // Sanitize and scale everything on a clone of the sanitizer before
+  // mutating state, so an invalid observation fails the whole call with
+  // the pipeline AND the imputation carry-forward untouched (the caller
+  // can then replay per item to locate it).
+  ts::ObservationSanitizer sanitizer = sanitizer_;
+  IngestStats ingest = ingest_stats_;
   std::vector<std::vector<double>> scaled;
+  std::vector<bool> row_contaminated;
   scaled.reserve(observations.size());
+  row_contaminated.reserve(observations.size());
   for (const std::vector<double>& observation : observations) {
-    MACE_ASSIGN_OR_RETURN(
-        std::vector<double> row,
-        detector_->ScaleObservation(service_index_, observation));
-    scaled.push_back(std::move(row));
+    std::vector<double> row = observation;
+    MACE_ASSIGN_OR_RETURN(ts::ObservationSanitizer::Outcome outcome,
+                          sanitizer.Apply(&row));
+    MACE_ASSIGN_OR_RETURN(std::vector<double> out,
+                          detector_->ScaleObservation(service_index_, row));
+    scaled.push_back(std::move(out));
+    row_contaminated.push_back(
+        outcome.contaminated &&
+        sanitizer.policy() == ts::NonFinitePolicy::kPropagate);
+    if (outcome.contaminated) {
+      ++ingest.contaminated_steps;
+      ingest.values_imputed += outcome.values_imputed;
+    }
   }
+  sanitizer_ = std::move(sanitizer);
+  ingest_stats_ = ingest;
 
-  // Consume every observation, snapshotting each window that falls due at
-  // a stride boundary for one batched scoring pass.
+  // Consume every observation, snapshotting each clean window that falls
+  // due at a stride boundary for one batched scoring pass; contaminated
+  // due windows (kPropagate) skip the model and fold NaN below.
   std::vector<std::vector<std::vector<double>>> due_windows;
   std::vector<size_t> due_starts;
-  for (std::vector<double>& row : scaled) {
-    buffer_.push_back(std::move(row));
-    if (buffer_.size() > static_cast<size_t>(window_)) buffer_.pop_front();
+  std::vector<size_t> nan_starts;
+  for (size_t i = 0; i < scaled.size(); ++i) {
+    buffer_.push_back(std::move(scaled[i]));
+    contaminated_.push_back(row_contaminated[i]);
+    if (buffer_.size() > static_cast<size_t>(window_)) {
+      buffer_.pop_front();
+      contaminated_.pop_front();
+    }
     ++steps_consumed_;
     pending_.push_back(std::numeric_limits<double>::infinity());
     covered_.push_back(false);
@@ -151,17 +222,25 @@ Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
         (steps_consumed_ - static_cast<size_t>(window_)) %
                 static_cast<size_t>(stride_) ==
             0) {
-      due_windows.emplace_back(buffer_.begin(), buffer_.end());
-      due_starts.push_back(steps_consumed_ - static_cast<size_t>(window_));
+      bool window_contaminated = false;
+      for (const bool c : contaminated_) window_contaminated |= c;
+      const size_t start = steps_consumed_ - static_cast<size_t>(window_);
+      if (window_contaminated) {
+        nan_starts.push_back(start);
+      } else {
+        due_windows.emplace_back(buffer_.begin(), buffer_.end());
+        due_starts.push_back(start);
+      }
+      last_scored_end_ = steps_consumed_;
     }
   }
   if (!observations.empty()) steps_counter_->Increment(observations.size());
 
-  // Batched scoring and min-fold. Deferring every fold until after all
+  // Batched scoring and fold. Deferring every fold until after all
   // pushes is equivalent to the sequential interleaving: a window scored
   // at push j never covers a step that push i < j already finalized
-  // (its coverage starts past i's safe_before), and the min-fold itself
-  // is order-independent.
+  // (its coverage starts past i's safe_before), and the sticky-NaN
+  // min-fold itself is order-independent.
   if (!due_windows.empty()) {
     Result<std::vector<std::vector<double>>> batch =
         detector_->ScoreWindowBatch(service_index_, due_windows);
@@ -174,13 +253,21 @@ Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
         if (step < next_emit_) continue;
         const size_t offset = step - next_emit_;
         MACE_CHECK(offset < pending_.size());
-        if (!covered_[offset] || errors[j] < pending_[offset]) {
-          pending_[offset] = errors[j];
-          covered_[offset] = true;
-        }
+        FoldError(offset, errors[j]);
       }
     }
-    last_scored_end_ = due_starts.back() + static_cast<size_t>(window_);
+  }
+  if (!nan_starts.empty()) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (const size_t start : nan_starts) {
+      for (size_t j = 0; j < static_cast<size_t>(window_); ++j) {
+        const size_t step = start + j;
+        if (step < next_emit_) continue;
+        const size_t offset = step - next_emit_;
+        MACE_CHECK(offset < pending_.size());
+        FoldError(offset, nan);
+      }
+    }
   }
 
   // Emit per observation with the step count that push saw, so results
@@ -200,8 +287,11 @@ Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
 
 void StreamingScorer::Reset() {
   buffer_.clear();
+  contaminated_.clear();
   pending_.clear();
   covered_.clear();
+  sanitizer_.Reset();
+  ingest_stats_ = IngestStats{};
   steps_consumed_ = 0;
   next_emit_ = 0;
   last_scored_end_ = 0;

@@ -3,11 +3,13 @@
 
 #include <chrono>
 #include <deque>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "core/mace_detector.h"
 #include "obs/metrics.h"
+#include "ts/sanitize.h"
 
 namespace mace::core {
 
@@ -21,12 +23,29 @@ namespace mace::core {
 /// windows with the same min-reduction as offline MaceDetector::Score, so
 /// a long stream converges to the same per-step scores as batch scoring
 /// of its interior.
+///
+/// Non-finite observations follow a ts::NonFinitePolicy (default: the
+/// detector's): kReject fails the Push with the pipeline untouched;
+/// kImpute replaces each non-finite value with the feature's last finite
+/// observation (or the fitted mean before any) and scores normally;
+/// kPropagate imputes the same way so the model never sees NaN, but every
+/// window holding a contaminated step skips the model and folds NaN — a
+/// step's emitted score is NaN iff any window covering it was contaminated
+/// (sticky through the min-reduction), matching batch Score's kPropagate.
 class StreamingScorer {
  public:
+  /// Per-stream accounting of what the non-finite policy did.
+  struct IngestStats {
+    size_t contaminated_steps = 0;  ///< observations with >= 1 non-finite
+    size_t values_imputed = 0;      ///< individual values replaced
+  };
+
   /// \param detector fitted detector (must outlive the scorer)
   /// \param service_index service whose scaler/subspace to use
-  static Result<StreamingScorer> Create(const MaceDetector* detector,
-                                        int service_index);
+  /// \param policy non-finite handling; defaults to the detector config's
+  static Result<StreamingScorer> Create(
+      const MaceDetector* detector, int service_index,
+      std::optional<ts::NonFinitePolicy> policy = std::nullopt);
 
   /// Appends one observation (size = feature count) and returns the scores
   /// finalized by this step: empty until the pipeline fills, then exactly
@@ -60,11 +79,27 @@ class StreamingScorer {
   /// Scores emitted so far (Push and Finish combined).
   size_t scores_emitted() const { return scores_emitted_; }
 
- private:
-  StreamingScorer(const MaceDetector* detector, int service_index);
+  /// Switches the non-finite policy mid-stream. Resets the imputation
+  /// carry-forward state (not the scoring pipeline).
+  void set_non_finite_policy(ts::NonFinitePolicy policy) {
+    sanitizer_.set_policy(policy);
+  }
+  ts::NonFinitePolicy non_finite_policy() const {
+    return sanitizer_.policy();
+  }
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
 
+ private:
+  StreamingScorer(const MaceDetector* detector, int service_index,
+                  ts::NonFinitePolicy policy);
+
+  /// Folds one window-step error into the pending min-combine state with
+  /// the sticky-NaN rule: an uncovered slot takes the error; a NaN slot
+  /// stays NaN; a NaN error or a smaller error overwrites.
+  void FoldError(size_t offset, double err);
   /// Scores the current buffer tail window and folds the per-step errors
-  /// into the pending min-combine state.
+  /// into the pending min-combine state. A window holding a contaminated
+  /// step (kPropagate) skips the model and folds NaN for every step.
   void ScoreTailWindow();
   /// Pops every pending step that can no longer be covered.
   std::vector<double> EmitFinalized(size_t safe_before);
@@ -80,9 +115,14 @@ class StreamingScorer {
 
   /// Scaled observations of the last `window_` steps.
   std::deque<std::vector<double>> buffer_;
+  /// Parallel to buffer_: whether that step held a non-finite value
+  /// (meaningful under kPropagate, where it NaN-poisons its windows).
+  std::deque<bool> contaminated_;
   /// Pending per-step minima, front = step `next_emit_`.
   std::deque<double> pending_;
   std::deque<bool> covered_;
+  ts::ObservationSanitizer sanitizer_;
+  IngestStats ingest_stats_;
   size_t steps_consumed_ = 0;
   size_t next_emit_ = 0;
   size_t last_scored_end_ = 0;  ///< end step (exclusive) of the last window

@@ -33,7 +33,7 @@ Result<std::unique_ptr<ServeFrontend>> ServeFrontend::Create(
 
 Result<std::future<ScoreBatch>> ServeFrontend::Submit(
     const std::string& tenant, int service,
-    std::vector<double> observation) {
+    std::vector<double> observation, RequestOptions options) {
   const ModelProvider::Handle handle = provider_->Current();
   if (service < 0 ||
       static_cast<size_t>(service) >= handle.model->subspaces().size()) {
@@ -43,14 +43,17 @@ Result<std::future<ScoreBatch>> ServeFrontend::Submit(
         " services of model generation " +
         std::to_string(handle.generation));
   }
-  return pool_->Submit(SessionKey{tenant, service}, std::move(observation));
+  return pool_->Submit(SessionKey{tenant, service}, std::move(observation),
+                       options.non_finite_policy);
 }
 
 Result<ScoreBatch> ServeFrontend::Score(const std::string& tenant,
                                         int service,
-                                        std::vector<double> observation) {
-  MACE_ASSIGN_OR_RETURN(std::future<ScoreBatch> future,
-                        Submit(tenant, service, std::move(observation)));
+                                        std::vector<double> observation,
+                                        RequestOptions options) {
+  MACE_ASSIGN_OR_RETURN(
+      std::future<ScoreBatch> future,
+      Submit(tenant, service, std::move(observation), options));
   return future.get();
 }
 

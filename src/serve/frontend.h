@@ -46,14 +46,18 @@ class ServeFrontend {
   /// Asynchronous path: enqueues the observation on its tenant's shard
   /// under the overload policy. Fails fast (without touching the pool)
   /// when `service` is outside the current model's fitted services.
+  /// `options.non_finite_policy` selects the session's non-finite
+  /// handling at open (default: ServeConfig::non_finite_policy).
   Result<std::future<ScoreBatch>> Submit(const std::string& tenant,
                                          int service,
-                                         std::vector<double> observation);
+                                         std::vector<double> observation,
+                                         RequestOptions options = {});
 
   /// Synchronous path: Submit + wait. Still routed through the shard
   /// queue, so it composes with concurrent Submits to the same session.
   Result<ScoreBatch> Score(const std::string& tenant, int service,
-                           std::vector<double> observation);
+                           std::vector<double> observation,
+                           RequestOptions options = {});
 
   /// Finishes the session's pending tail, closes it, and returns the
   /// tail scores (empty when the session does not exist).

@@ -4,7 +4,7 @@ namespace mace::serve {
 
 Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
     const SessionKey& key, const ModelProvider::Handle& handle,
-    Clock::time_point now) {
+    Clock::time_point now, ts::NonFinitePolicy policy) {
   auto it = sessions_.find(key);
   if (it != sessions_.end()) return &it->second;
 
@@ -16,13 +16,15 @@ Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
     pooled->second.pop_back();
     if (pooled->second.empty()) free_pool_.erase(pooled);
     session.last_used = now;
+    // A recycled scorer may have served a tenant with another policy.
+    session.scorer.set_non_finite_policy(policy);
     ++recycled_hits_;
     auto inserted = sessions_.emplace(key, std::move(session));
     return &inserted.first->second;
   }
 
   Result<core::StreamingScorer> scorer =
-      core::StreamingScorer::Create(handle.model.get(), key.service);
+      core::StreamingScorer::Create(handle.model.get(), key.service, policy);
   if (!scorer.ok()) return scorer.status();
   auto inserted = sessions_.emplace(
       key, Session{handle, std::move(scorer).value(), now});

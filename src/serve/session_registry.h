@@ -37,10 +37,13 @@ class SessionRegistry {
   };
 
   /// Returns the session for `key`, opening one on `handle.model` if
-  /// absent (recycled from the free pool when possible).
+  /// absent (recycled from the free pool when possible). `policy` is the
+  /// non-finite policy a NEW (or recycled) session opens with; an
+  /// existing session keeps its own.
   Result<Session*> GetOrCreate(const SessionKey& key,
                                const ModelProvider::Handle& handle,
-                               Clock::time_point now);
+                               Clock::time_point now,
+                               ts::NonFinitePolicy policy);
 
   /// Session for `key`, or nullptr.
   Session* Find(const SessionKey& key);

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "ts/sanitize.h"
 
 namespace mace::serve {
 
@@ -57,9 +59,24 @@ struct ScoreBatch {
   size_t first_step = 0;
   /// True when the overload policy dropped the observation.
   bool dropped = false;
+  /// True when the observation held non-finite values that a lossy
+  /// non-finite policy absorbed (kImpute replaced them, kPropagate will
+  /// NaN the steps its windows cover). Under kReject a contaminated
+  /// observation surfaces as `status` instead.
+  bool contaminated = false;
   /// Non-OK when the observation reached its session but scoring failed
-  /// (e.g. wrong feature count, service index gone after a model swap).
+  /// (e.g. wrong feature count, non-finite values under the kReject
+  /// policy, service index gone after a model swap).
   Status status;
+};
+
+/// \brief Per-request options of Submit/Score.
+struct RequestOptions {
+  /// Non-finite policy the session opens with; unset = the frontend's
+  /// ServeConfig::non_finite_policy. Applied when the session is created
+  /// (or recycled) — an already-open session keeps the policy it opened
+  /// with until it closes or idles out.
+  std::optional<ts::NonFinitePolicy> non_finite_policy;
 };
 
 struct ServeConfig {
@@ -70,6 +87,10 @@ struct ServeConfig {
   /// Sessions idle longer than this are evicted and their scorers
   /// recycled (pending un-Finished tail discarded); <= 0 disables TTL.
   int64_t session_ttl_ms = 5 * 60 * 1000;
+  /// Default non-finite observation policy for sessions opened without a
+  /// RequestOptions override. Shards export what each policy did through
+  /// the mace_ingest_{dropped,imputed,propagated}_total counters.
+  ts::NonFinitePolicy non_finite_policy = ts::NonFinitePolicy::kReject;
 };
 
 struct ShardStats {

@@ -46,6 +46,17 @@ ShardedWorkerPool::Shard::Shard(int index, const ServeConfig& config,
   sessions_gauge_ = metrics.GetGauge(
       "mace_serve_sessions_active", "Live sessions owned by the shard",
       labels);
+  ingest_dropped_counter_ = metrics.GetCounter(
+      "mace_ingest_dropped_total",
+      "Observations rejected for non-finite values (policy 'reject')",
+      labels);
+  ingest_imputed_counter_ = metrics.GetCounter(
+      "mace_ingest_imputed_total",
+      "Non-finite values replaced by imputation (policy 'impute')", labels);
+  ingest_propagated_counter_ = metrics.GetCounter(
+      "mace_ingest_propagated_total",
+      "Contaminated observations scored as NaN (policy 'propagate')",
+      labels);
   queue_wait_hist_ = metrics.GetHistogram(
       "mace_serve_queue_wait_seconds",
       "Time an observation spent queued before its shard worker took it",
@@ -232,8 +243,9 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
         std::memory_order_relaxed);
     queue_wait_samples_.fetch_add(1, std::memory_order_relaxed);
   }
-  Result<SessionRegistry::Session*> session =
-      registry_.GetOrCreate(group.front()->key, handle, now);
+  Result<SessionRegistry::Session*> session = registry_.GetOrCreate(
+      group.front()->key, handle, now,
+      group.front()->policy.value_or(config_.non_finite_policy));
   if (!session.ok()) {
     for (WorkItem* item : group) {
       ScoreBatch batch;
@@ -245,11 +257,15 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
   (*session)->last_used = now;
   sessions_active_.store(registry_.size(), std::memory_order_relaxed);
   core::StreamingScorer& scorer = (*session)->scorer;
+  const ts::NonFinitePolicy policy = scorer.non_finite_policy();
 
   std::vector<std::vector<double>> observations;
+  std::vector<size_t> bad_values;
   observations.reserve(group.size());
+  bad_values.reserve(group.size());
   for (const WorkItem* item : group) {
     observations.push_back(item->observation);
+    bad_values.push_back(ts::CountNonFinite(item->observation));
   }
   size_t next_step = scorer.next_emitted_step();
   Result<std::vector<std::vector<double>>> results =
@@ -258,7 +274,8 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
     // PushMany rejects input without consuming anything; replay per item
     // so the error lands on the observation that caused it, exactly as
     // the unbatched path reports it.
-    for (WorkItem* item : group) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      WorkItem* item = group[i];
       ScoreBatch batch;
       batch.first_step = scorer.next_emitted_step();
       Result<std::vector<double>> scores = scorer.Push(item->observation);
@@ -269,6 +286,7 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
         batch.scores = std::move(scores).value();
         emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
       }
+      AccountIngest(policy, bad_values[i], &batch);
       item->promise.set_value(std::move(batch));
     }
     return;
@@ -280,7 +298,28 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
     batch.scores = std::move((*results)[i]);
     next_step += batch.scores.size();
     emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
+    AccountIngest(policy, bad_values[i], &batch);
     group[i]->promise.set_value(std::move(batch));
+  }
+}
+
+void ShardedWorkerPool::Shard::AccountIngest(ts::NonFinitePolicy policy,
+                                             size_t bad,
+                                             ScoreBatch* batch) {
+  if (bad == 0) return;
+  switch (policy) {
+    case ts::NonFinitePolicy::kReject:
+      // The Push failed; the observation never entered the pipeline.
+      ingest_dropped_counter_->Increment();
+      return;
+    case ts::NonFinitePolicy::kImpute:
+      ingest_imputed_counter_->Increment(bad);
+      batch->contaminated = true;
+      return;
+    case ts::NonFinitePolicy::kPropagate:
+      ingest_propagated_counter_->Increment();
+      batch->contaminated = true;
+      return;
   }
 }
 
@@ -322,8 +361,9 @@ void ShardedWorkerPool::Shard::Process(WorkItem& item,
       queue_wait_samples_.fetch_add(1, std::memory_order_relaxed);
 
       ScoreBatch batch;
-      Result<SessionRegistry::Session*> session =
-          registry_.GetOrCreate(item.key, handle, now);
+      Result<SessionRegistry::Session*> session = registry_.GetOrCreate(
+          item.key, handle, now,
+          item.policy.value_or(config_.non_finite_policy));
       if (!session.ok()) {
         batch.status = session.status();
         item.promise.set_value(std::move(batch));
@@ -341,6 +381,8 @@ void ShardedWorkerPool::Shard::Process(WorkItem& item,
         batch.scores = std::move(scores).value();
         emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
       }
+      AccountIngest((*session)->scorer.non_finite_policy(),
+                    ts::CountNonFinite(item.observation), &batch);
       item.promise.set_value(std::move(batch));
       return;
     }
@@ -389,12 +431,14 @@ int ShardedWorkerPool::ShardOf(const std::string& tenant) const {
 }
 
 std::future<ScoreBatch> ShardedWorkerPool::Submit(
-    SessionKey key, std::vector<double> observation) {
+    SessionKey key, std::vector<double> observation,
+    std::optional<ts::NonFinitePolicy> policy) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key.tenant))];
   WorkItem item;
   item.kind = WorkItem::Kind::kScore;
   item.key = std::move(key);
   item.observation = std::move(observation);
+  item.policy = policy;
   return shard.Enqueue(std::move(item), /*control=*/false);
 }
 

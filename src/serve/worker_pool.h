@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,9 +37,12 @@ class ShardedWorkerPool {
   ~ShardedWorkerPool();
 
   /// Enqueues one observation under the overload policy. The future
-  /// resolves when the shard worker scored (or shed) it.
-  std::future<ScoreBatch> Submit(SessionKey key,
-                                 std::vector<double> observation);
+  /// resolves when the shard worker scored (or shed) it. `policy`
+  /// overrides the config's non-finite policy for a session this
+  /// observation opens (existing sessions keep theirs).
+  std::future<ScoreBatch> Submit(
+      SessionKey key, std::vector<double> observation,
+      std::optional<ts::NonFinitePolicy> policy = std::nullopt);
 
   /// Finishes the session's tail, evicts it, and resolves the future with
   /// the tail scores (empty batch when no such session exists).
@@ -67,6 +71,8 @@ class ShardedWorkerPool {
     Kind kind = Kind::kScore;
     SessionKey key;
     std::vector<double> observation;
+    /// Session-open non-finite policy override (kScore only).
+    std::optional<ts::NonFinitePolicy> policy;
     std::promise<ScoreBatch> promise;
     std::shared_future<void> gate;  // kGate only
     std::chrono::steady_clock::time_point enqueued_at;
@@ -95,6 +101,10 @@ class ShardedWorkerPool {
     /// (falls back to per-item Push if the batched call rejects input).
     void ProcessScoreGroup(std::vector<WorkItem*>& group,
                            const ModelProvider::Handle& handle);
+    /// Ingest accounting for one observation that held `bad` non-finite
+    /// values, after its Push resolved under the session's policy.
+    void AccountIngest(ts::NonFinitePolicy policy, size_t bad,
+                       ScoreBatch* batch);
 
     const int index_;
     const ServeConfig config_;
@@ -120,6 +130,9 @@ class ShardedWorkerPool {
     obs::Counter* submitted_counter_ = nullptr;
     obs::Counter* shed_counter_ = nullptr;
     obs::Counter* evicted_counter_ = nullptr;
+    obs::Counter* ingest_dropped_counter_ = nullptr;
+    obs::Counter* ingest_imputed_counter_ = nullptr;
+    obs::Counter* ingest_propagated_counter_ = nullptr;
     obs::Gauge* depth_gauge_ = nullptr;
     obs::Gauge* sessions_gauge_ = nullptr;
     obs::Histogram* queue_wait_hist_ = nullptr;

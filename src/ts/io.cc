@@ -7,7 +7,8 @@
 namespace mace::ts {
 
 Result<TimeSeries> TimeSeriesFromCsv(const std::string& path,
-                                     int label_column, bool has_header) {
+                                     int label_column, bool has_header,
+                                     NonFinitePolicy policy) {
   MACE_ASSIGN_OR_RETURN(CsvTable table, ReadCsvFile(path, has_header));
   if (table.rows.empty()) {
     return Status::InvalidArgument("'" + path + "' holds no data rows");
@@ -44,7 +45,14 @@ Result<TimeSeries> TimeSeriesFromCsv(const std::string& path,
     }
     values.push_back(std::move(features));
   }
-  return TimeSeries(std::move(values), std::move(labels));
+  TimeSeries series(std::move(values), std::move(labels));
+  Result<TimeSeries> sanitized = SanitizeSeries(series, policy);
+  if (!sanitized.ok()) {
+    // Prefix the file, so a multi-file load names the split that broke.
+    return Status::InvalidArgument("'" + path +
+                                   "': " + sanitized.status().message());
+  }
+  return std::move(sanitized).value();
 }
 
 Status TimeSeriesToCsv(const std::string& path, const TimeSeries& series) {
@@ -65,11 +73,13 @@ Status TimeSeriesToCsv(const std::string& path, const TimeSeries& series) {
 }
 
 Result<ServiceData> LoadServiceDir(const std::string& dir,
-                                   const std::string& name) {
+                                   const std::string& name,
+                                   NonFinitePolicy policy) {
   ServiceData service;
   service.name = name;
-  MACE_ASSIGN_OR_RETURN(service.train,
-                        TimeSeriesFromCsv(dir + "/train.csv"));
+  MACE_ASSIGN_OR_RETURN(
+      service.train,
+      TimeSeriesFromCsv(dir + "/train.csv", -1, true, policy));
   // test.csv carries the 0/1 label in its last column.
   MACE_ASSIGN_OR_RETURN(CsvTable header_probe,
                         ReadCsvFile(dir + "/test.csv", true));
@@ -77,8 +87,9 @@ Result<ServiceData> LoadServiceDir(const std::string& dir,
     return Status::InvalidArgument("'" + dir + "/test.csv' is empty");
   }
   const int cols = static_cast<int>(header_probe.rows.front().size());
-  MACE_ASSIGN_OR_RETURN(service.test,
-                        TimeSeriesFromCsv(dir + "/test.csv", cols - 1));
+  MACE_ASSIGN_OR_RETURN(
+      service.test,
+      TimeSeriesFromCsv(dir + "/test.csv", cols - 1, true, policy));
   if (service.train.num_features() != service.test.num_features()) {
     return Status::InvalidArgument(
         "train/test feature counts differ in '" + dir + "'");

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "ts/sanitize.h"
 #include "ts/time_series.h"
 
 namespace mace::ts {
@@ -11,9 +12,14 @@ namespace mace::ts {
 /// \brief Parses a time series from a CSV table: one row per step, one
 /// column per feature. When `label_column` >= 0 that column holds 0/1
 /// anomaly labels and is split out of the features.
-Result<TimeSeries> TimeSeriesFromCsv(const std::string& path,
-                                     int label_column = -1,
-                                     bool has_header = true);
+///
+/// `policy` decides what happens to literal nan/inf feature cells (they
+/// parse as data, see common/csv.h): kReject errors naming the first one,
+/// kImpute fills them (ts/sanitize.h), kPropagate loads them verbatim for
+/// the scoring path to flag. Non-finite *label* cells are always an error.
+Result<TimeSeries> TimeSeriesFromCsv(
+    const std::string& path, int label_column = -1, bool has_header = true,
+    NonFinitePolicy policy = NonFinitePolicy::kReject);
 
 /// \brief Writes a time series as CSV (features f0..fN, plus a final
 /// `label` column when the series is labeled).
@@ -23,8 +29,10 @@ Status TimeSeriesToCsv(const std::string& path, const TimeSeries& series);
 ///   <dir>/train.csv           unlabeled training split
 ///   <dir>/test.csv            test split, last column = 0/1 label
 /// The service name is taken from `name` (e.g., the directory basename).
-Result<ServiceData> LoadServiceDir(const std::string& dir,
-                                   const std::string& name);
+/// `policy` applies to both splits' feature cells (see TimeSeriesFromCsv).
+Result<ServiceData> LoadServiceDir(
+    const std::string& dir, const std::string& name,
+    NonFinitePolicy policy = NonFinitePolicy::kReject);
 
 /// \brief Saves a service into the LoadServiceDir layout (the directory
 /// must already exist).

@@ -1,0 +1,182 @@
+#include "ts/sanitize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mace::ts {
+namespace {
+
+/// "nan", "inf", "-inf" or the shortest round-trip decimal — error
+/// messages must name the value without printf's locale quirks.
+std::string FormatValue(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+/// Median of the finite values of one feature column (for leading gaps
+/// that have no value to carry forward). Sorted-copy median: lower-middle
+/// averaged with upper-middle for even counts, deterministic regardless
+/// of input order.
+double FiniteMedian(std::vector<double> finite) {
+  std::sort(finite.begin(), finite.end());
+  const size_t n = finite.size();
+  if (n % 2 == 1) return finite[n / 2];
+  return 0.5 * (finite[n / 2 - 1] + finite[n / 2]);
+}
+
+}  // namespace
+
+const char* NonFinitePolicyName(NonFinitePolicy policy) {
+  switch (policy) {
+    case NonFinitePolicy::kReject:
+      return "reject";
+    case NonFinitePolicy::kImpute:
+      return "impute";
+    case NonFinitePolicy::kPropagate:
+      return "propagate";
+  }
+  return "unknown";
+}
+
+Result<NonFinitePolicy> ParseNonFinitePolicy(const std::string& name) {
+  if (name == "reject") return NonFinitePolicy::kReject;
+  if (name == "impute") return NonFinitePolicy::kImpute;
+  if (name == "propagate") return NonFinitePolicy::kPropagate;
+  return Status::InvalidArgument(
+      "unknown non-finite policy '" + name +
+      "' (expected reject, impute, or propagate)");
+}
+
+NonFiniteValue FindNonFinite(const TimeSeries& series) {
+  NonFiniteValue bad;
+  const auto& values = series.values();
+  for (size_t t = 0; t < values.size(); ++t) {
+    for (size_t f = 0; f < values[t].size(); ++f) {
+      if (!std::isfinite(values[t][f])) {
+        bad.found = true;
+        bad.step = t;
+        bad.feature = static_cast<int>(f);
+        bad.value = values[t][f];
+        return bad;
+      }
+    }
+  }
+  return bad;
+}
+
+size_t CountNonFinite(const std::vector<double>& row) {
+  size_t count = 0;
+  for (double v : row) {
+    if (!std::isfinite(v)) ++count;
+  }
+  return count;
+}
+
+std::string DescribeNonFinite(const NonFiniteValue& bad) {
+  return FormatValue(bad.value) + " at step " + std::to_string(bad.step) +
+         ", feature " + std::to_string(bad.feature);
+}
+
+Result<TimeSeries> SanitizeSeries(const TimeSeries& series,
+                                  NonFinitePolicy policy,
+                                  SanitizeStats* stats,
+                                  std::vector<uint8_t>* contaminated_mask) {
+  SanitizeStats local;
+  std::vector<uint8_t> mask(series.length(), 0);
+  const auto& values = series.values();
+  for (size_t t = 0; t < values.size(); ++t) {
+    if (CountNonFinite(values[t]) > 0) {
+      mask[t] = 1;
+      ++local.contaminated_steps;
+    }
+  }
+
+  if (policy == NonFinitePolicy::kReject && local.contaminated_steps > 0) {
+    return Status::InvalidArgument("series holds non-finite value " +
+                                   DescribeNonFinite(FindNonFinite(series)) +
+                                   " (non-finite policy 'reject')");
+  }
+
+  TimeSeries out = series;
+  if (policy == NonFinitePolicy::kImpute && local.contaminated_steps > 0) {
+    auto& rows = out.mutable_values();
+    const int m = out.num_features();
+    for (int f = 0; f < m; ++f) {
+      const auto fi = static_cast<size_t>(f);
+      std::vector<double> finite;
+      finite.reserve(rows.size());
+      for (const auto& row : rows) {
+        if (std::isfinite(row[fi])) finite.push_back(row[fi]);
+      }
+      if (finite.empty()) {
+        return Status::InvalidArgument(
+            "feature " + std::to_string(f) +
+            " holds no finite values to impute from "
+            "(non-finite policy 'impute')");
+      }
+      if (finite.size() == rows.size()) continue;  // feature is clean
+      // Carry the last finite value forward; leading gaps (nothing to
+      // carry yet) take the feature's finite median.
+      double last = FiniteMedian(std::move(finite));
+      for (auto& row : rows) {
+        if (std::isfinite(row[fi])) {
+          last = row[fi];
+        } else {
+          row[fi] = last;
+          ++local.values_imputed;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  if (contaminated_mask != nullptr) *contaminated_mask = std::move(mask);
+  return out;
+}
+
+ObservationSanitizer::ObservationSanitizer(NonFinitePolicy policy,
+                                           std::vector<double> fallback)
+    : policy_(policy), fallback_(std::move(fallback)) {}
+
+void ObservationSanitizer::Reset() { last_good_.clear(); }
+
+void ObservationSanitizer::set_policy(NonFinitePolicy policy) {
+  policy_ = policy;
+  Reset();
+}
+
+Result<ObservationSanitizer::Outcome> ObservationSanitizer::Apply(
+    std::vector<double>* row) {
+  if (row->size() != fallback_.size()) {
+    return Status::InvalidArgument("observation feature count mismatch");
+  }
+  Outcome outcome;
+  for (size_t f = 0; f < row->size(); ++f) {
+    if (std::isfinite((*row)[f])) continue;
+    outcome.contaminated = true;
+    if (policy_ == NonFinitePolicy::kReject) {
+      NonFiniteValue bad;
+      bad.found = true;
+      bad.feature = static_cast<int>(f);
+      bad.value = (*row)[f];
+      return Status::InvalidArgument(
+          "observation holds non-finite value " + FormatValue(bad.value) +
+          " at feature " + std::to_string(bad.feature) +
+          " (non-finite policy 'reject')");
+    }
+    (*row)[f] =
+        last_good_.empty() ? fallback_[f] : last_good_[f];
+    ++outcome.values_imputed;
+  }
+  // The (now fully finite) row becomes the carry-forward state — also
+  // under kPropagate, so a later kImpute-style fill stays per-stream.
+  last_good_ = *row;
+  return outcome;
+}
+
+}  // namespace mace::ts

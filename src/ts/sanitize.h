@@ -1,0 +1,121 @@
+#ifndef MACE_TS_SANITIZE_H_
+#define MACE_TS_SANITIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ts/time_series.h"
+
+namespace mace::ts {
+
+/// \brief What an ingestion surface does with a non-finite (NaN/Inf)
+/// value — the repo-wide data-integrity contract (DESIGN.md §11).
+///
+/// Untreated, one NaN observation poisons scaler statistics, the DFT and
+/// every downstream score with no detection anywhere, so every path that
+/// accepts external data (CSV ingestion, Fit, streaming Push, the serve
+/// frontend) resolves one of these policies explicitly.
+enum class NonFinitePolicy {
+  /// Fail the call with a descriptive Status; no state is mutated. The
+  /// default everywhere: contamination is an error until a caller opts
+  /// into a lossy treatment.
+  kReject,
+  /// Replace each non-finite value deterministically: last finite value
+  /// of the same feature (carry-forward), or — when the feature has no
+  /// prior finite value — the per-feature median of its finite values
+  /// (batch) / the configured fallback row (streaming).
+  kImpute,
+  /// Keep the model clean but surface the gap: contaminated steps score
+  /// quiet-NaN and are flagged, finite steps score normally. Windows
+  /// covering a contaminated step never reach the model.
+  kPropagate,
+};
+
+/// "reject" / "impute" / "propagate".
+const char* NonFinitePolicyName(NonFinitePolicy policy);
+
+/// Inverse of NonFinitePolicyName; unknown names are InvalidArgument.
+Result<NonFinitePolicy> ParseNonFinitePolicy(const std::string& name);
+
+/// \brief Location of the first non-finite value of a scan (step-major,
+/// then feature) — the coordinates every kReject error message names.
+struct NonFiniteValue {
+  bool found = false;
+  size_t step = 0;
+  int feature = 0;
+  double value = 0.0;
+};
+
+/// First non-finite value in the series, or found == false.
+NonFiniteValue FindNonFinite(const TimeSeries& series);
+
+/// Number of non-finite values in one observation row.
+size_t CountNonFinite(const std::vector<double>& row);
+
+/// "nan at step 12, feature 3" — the fragment kReject errors embed.
+std::string DescribeNonFinite(const NonFiniteValue& bad);
+
+/// Counts reported by SanitizeSeries (all zero on clean input).
+struct SanitizeStats {
+  size_t contaminated_steps = 0;  ///< steps holding >= 1 non-finite value
+  size_t values_imputed = 0;      ///< values replaced (kImpute only)
+};
+
+/// \brief Applies `policy` to a whole series (batch surfaces: CSV
+/// ingestion, Fit, offline Score).
+///
+/// kReject: error naming the first offending value; kImpute: returns a
+/// copy with every non-finite value replaced (carry-forward, per-feature
+/// median for leading gaps; a feature with no finite value at all is an
+/// error); kPropagate: returns the series untouched — the caller owns
+/// NaN-masking its scores. `contaminated_mask`, when non-null, receives
+/// one 0/1 entry per step (1 = the step held a non-finite value) under
+/// every policy that returns; labels always pass through unchanged.
+Result<TimeSeries> SanitizeSeries(
+    const TimeSeries& series, NonFinitePolicy policy,
+    SanitizeStats* stats = nullptr,
+    std::vector<uint8_t>* contaminated_mask = nullptr);
+
+/// \brief Streaming counterpart of SanitizeSeries: applies the policy to
+/// one observation row at a time, carrying last-good state across calls.
+///
+/// The fallback row imputes features that were never observed finite
+/// (streaming has no future to take a median from); StreamingScorer uses
+/// the service's fitted scaler means, which z-score to exactly 0.
+class ObservationSanitizer {
+ public:
+  /// Outcome of one Apply on a row that passed the policy.
+  struct Outcome {
+    bool contaminated = false;  ///< the row held >= 1 non-finite value
+    size_t values_imputed = 0;  ///< values replaced in the row
+  };
+
+  ObservationSanitizer(NonFinitePolicy policy, std::vector<double> fallback);
+
+  /// Applies the policy in place. kReject returns an error on a
+  /// contaminated row (the row and the carry-forward state stay
+  /// untouched); kImpute/kPropagate replace non-finite values so the
+  /// returned row is always fully finite — under kPropagate the caller
+  /// uses `contaminated` to NaN-mask downstream scores. A row of the
+  /// wrong width is an error under every policy.
+  Result<Outcome> Apply(std::vector<double>* row);
+
+  /// Drops the carry-forward state (a recycled session must not impute
+  /// from the previous stream's values).
+  void Reset();
+
+  NonFinitePolicy policy() const { return policy_; }
+  /// Switches the policy and resets the carry-forward state.
+  void set_policy(NonFinitePolicy policy);
+
+ private:
+  NonFinitePolicy policy_;
+  std::vector<double> fallback_;
+  std::vector<double> last_good_;
+};
+
+}  // namespace mace::ts
+
+#endif  // MACE_TS_SANITIZE_H_

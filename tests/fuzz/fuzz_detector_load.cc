@@ -1,0 +1,57 @@
+// Fuzz target: model deserialization. Round-trips the input through a
+// scratch file into MaceDetector::Load (the hot-reload path takes
+// operator-supplied files), then — when the loaded geometry is small —
+// scores a NaN-bearing probe under every non-finite policy, so a file
+// that merely *loads* cannot smuggle state that aborts the first Score.
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/fuzz_env.h"
+#include "ts/sanitize.h"
+#include "ts/time_series.h"
+
+namespace mace::fuzz {
+
+void FuzzDetectorLoad(const uint8_t* data, size_t size) {
+  const std::string path = ScratchPath("model");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  }
+  Result<core::MaceDetector> detector = core::MaceDetector::Load(path);
+  std::remove(path.c_str());
+  if (!detector.ok()) return;
+
+  // Bound the probe to small geometries: a large window/feature count can
+  // be a legitimate model, and scoring it would stall the fuzzer rather
+  // than find anything.
+  const core::MaceConfig& config = detector->config();
+  const size_t num_features = detector->scalers().front().means().size();
+  if (config.window > 32 || num_features > 8) return;
+  const size_t length = static_cast<size_t>(config.window) + 3;
+  std::vector<std::vector<double>> values(
+      length, std::vector<double>(num_features, 0.25));
+  values[1][0] = std::numeric_limits<double>::quiet_NaN();
+  const ts::TimeSeries probe(std::move(values), {});
+  for (const ts::NonFinitePolicy policy :
+       {ts::NonFinitePolicy::kReject, ts::NonFinitePolicy::kImpute,
+        ts::NonFinitePolicy::kPropagate}) {
+    detector->set_non_finite_policy(policy);
+    (void)detector->Score(0, probe);
+  }
+}
+
+}  // namespace mace::fuzz
+
+#ifdef MACE_FUZZ_STANDALONE
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mace::fuzz::FuzzDetectorLoad(data, size);
+  return 0;
+}
+#endif

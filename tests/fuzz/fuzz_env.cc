@@ -1,0 +1,67 @@
+#include "fuzz/fuzz_env.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "ts/time_series.h"
+
+namespace mace::fuzz {
+namespace {
+
+/// Two-feature synthetic service: closed-form sinusoids (no RNG), so the
+/// fitted TinyModel — and every corpus file derived from it — is
+/// bit-reproducible across runs and machines.
+ts::TimeSeries SyntheticSeries(size_t length, double phase, bool labeled) {
+  std::vector<std::vector<double>> values;
+  values.reserve(length);
+  for (size_t t = 0; t < length; ++t) {
+    const double x = static_cast<double>(t);
+    values.push_back({std::sin(0.7 * x + phase),
+                      std::cos(0.3 * x + 2.0 * phase) + 0.01 * x});
+  }
+  std::vector<uint8_t> labels;
+  if (labeled) labels.assign(length, 0);
+  return ts::TimeSeries(std::move(values), std::move(labels));
+}
+
+}  // namespace
+
+std::shared_ptr<const core::MaceDetector> TinyModel() {
+  static const std::shared_ptr<const core::MaceDetector> model = [] {
+    core::MaceConfig config;
+    config.window = 8;
+    config.train_stride = 2;
+    config.score_stride = 4;
+    config.num_bases = 3;
+    config.time_kernel = 3;
+    config.freq_kernel = 3;  // must be <= num_bases (amplitude columns)
+    config.hidden_channels = 4;
+    config.characterization_channels = 2;
+    config.epochs = 1;
+    auto detector = std::make_shared<core::MaceDetector>(config);
+    std::vector<ts::ServiceData> services(2);
+    for (size_t s = 0; s < services.size(); ++s) {
+      services[s].name = "svc" + std::to_string(s);
+      services[s].train =
+          SyntheticSeries(48, 0.5 * static_cast<double>(s + 1), false);
+      services[s].test =
+          SyntheticSeries(24, 0.5 * static_cast<double>(s + 1), true);
+    }
+    MACE_CHECK_OK(detector->Fit(services));
+    return detector;
+  }();
+  return model;
+}
+
+std::string ScratchPath(const std::string& tag) {
+  static const std::string dir =
+      std::filesystem::temp_directory_path().string();
+  return dir + "/mace_fuzz_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+}  // namespace mace::fuzz

@@ -1,0 +1,35 @@
+#ifndef MACE_TESTS_FUZZ_FUZZ_ENV_H_
+#define MACE_TESTS_FUZZ_FUZZ_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/mace_detector.h"
+
+namespace mace::fuzz {
+
+/// One fuzz entry point per untrusted-input surface (DESIGN.md §11).
+/// Each must be total: any byte string returns normally — a Status error
+/// is the expected outcome for bad input; an abort, hang, or sanitizer
+/// report is a finding. The libFuzzer executables (MACE_FUZZ builds) and
+/// the always-on corpus-replay regression test share these entry points,
+/// so every fuzzer-found input becomes a replayable regression.
+void FuzzParseCsv(const uint8_t* data, size_t size);
+void FuzzDetectorLoad(const uint8_t* data, size_t size);
+void FuzzServeRequest(const uint8_t* data, size_t size);
+
+/// A deterministic tiny fitted detector (window 8, 2 services x 2
+/// features, 1 epoch), fitted once per process: the model behind the
+/// serve fuzzer's sessions and the seed-corpus generator's valid file.
+std::shared_ptr<const core::MaceDetector> TinyModel();
+
+/// Per-process scratch file path for targets that must round-trip input
+/// through disk (Load is path-based); `tag` keeps targets from
+/// clobbering each other inside one process.
+std::string ScratchPath(const std::string& tag);
+
+}  // namespace mace::fuzz
+
+#endif  // MACE_TESTS_FUZZ_FUZZ_ENV_H_

@@ -1,0 +1,41 @@
+// Fuzz target: CSV ingestion. Covers ParseCsv (both header modes) and,
+// for inputs that parse, the SanitizeSeries pass every CSV load runs
+// under each non-finite policy — the exact pipeline of
+// ts::TimeSeriesFromCsv minus the file round-trip.
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "fuzz/fuzz_env.h"
+#include "ts/sanitize.h"
+#include "ts/time_series.h"
+
+namespace mace::fuzz {
+
+void FuzzParseCsv(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  for (const bool has_header : {true, false}) {
+    Result<CsvTable> table = ParseCsv(text, has_header);
+    if (!table.ok() || table->rows.empty() || table->rows.front().empty()) {
+      continue;
+    }
+    ts::TimeSeries series(table->rows, {});
+    for (const ts::NonFinitePolicy policy :
+         {ts::NonFinitePolicy::kReject, ts::NonFinitePolicy::kImpute,
+          ts::NonFinitePolicy::kPropagate}) {
+      ts::SanitizeStats stats;
+      std::vector<uint8_t> mask;
+      (void)ts::SanitizeSeries(series, policy, &stats, &mask);
+    }
+  }
+}
+
+}  // namespace mace::fuzz
+
+#ifdef MACE_FUZZ_STANDALONE
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mace::fuzz::FuzzParseCsv(data, size);
+  return 0;
+}
+#endif

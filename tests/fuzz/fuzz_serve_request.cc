@@ -1,0 +1,101 @@
+// Fuzz target: the serve frontend. Decodes the input as a request
+// stream against a fresh ServeFrontend on the shared TinyModel —
+// score/submit ops carry raw 8-byte doubles (so NaN/Inf and every other
+// bit pattern arrive as observations), interleaved with close, flush,
+// stats and hot-swap ops, under fuzzer-chosen shard counts and
+// non-finite policies (both the config default and per-request
+// overrides).
+//
+// Byte format (every prefix decodes; reads past the end yield 0):
+//   [shard byte][config-policy byte] then ops:
+//   [kind][tenant][service] + for score/submit:
+//   [request-policy][n][n * 8 raw double bytes]
+//   kind%6: 0 Score, 1 Submit, 2 Close, 3 Flush, 4 Stats, 5 Swap.
+//   service decodes to -1..2, so both out-of-range sides are exercised
+//   (the model holds services 0..1).
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/fuzz_env.h"
+#include "serve/frontend.h"
+
+namespace mace::fuzz {
+namespace {
+
+struct ByteReader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+  uint8_t Next() { return pos < size ? data[pos++] : 0; }
+  bool Done() const { return pos >= size; }
+  double NextDouble() {
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits = (bits << 8) | Next();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+}  // namespace
+
+void FuzzServeRequest(const uint8_t* data, size_t size) {
+  ByteReader in{data, size};
+  serve::ServeConfig config;
+  config.num_shards = 1 + in.Next() % 2;
+  config.non_finite_policy =
+      static_cast<ts::NonFinitePolicy>(in.Next() % 3);
+  auto frontend = serve::ServeFrontend::Create(TinyModel(), config);
+  if (!frontend.ok()) return;
+
+  int ops = 0;
+  while (!in.Done() && ++ops <= 32) {
+    const uint8_t kind = in.Next() % 6;
+    const std::string tenant = "t" + std::to_string(in.Next() % 4);
+    const int service = static_cast<int>(in.Next() % 4) - 1;
+    switch (kind) {
+      case 0:
+      case 1: {
+        serve::RequestOptions options;
+        const uint8_t p = in.Next() % 4;  // 3 = no override
+        if (p < 3) {
+          options.non_finite_policy = static_cast<ts::NonFinitePolicy>(p);
+        }
+        std::vector<double> observation(in.Next() % 5);
+        for (double& v : observation) v = in.NextDouble();
+        if (kind == 0) {
+          (void)(*frontend)->Score(tenant, service, std::move(observation),
+                                   options);
+        } else {
+          (void)(*frontend)->Submit(tenant, service, std::move(observation),
+                                    options);
+        }
+        break;
+      }
+      case 2:
+        (void)(*frontend)->Close(tenant, service);
+        break;
+      case 3:
+        (*frontend)->Flush();
+        break;
+      case 4:
+        (void)(*frontend)->Stats();
+        break;
+      case 5:
+        (void)(*frontend)->Swap(TinyModel());
+        break;
+    }
+  }
+}
+
+}  // namespace mace::fuzz
+
+#ifdef MACE_FUZZ_STANDALONE
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mace::fuzz::FuzzServeRequest(data, size);
+  return 0;
+}
+#endif

@@ -1,0 +1,255 @@
+// Regenerates tests/fuzz/corpus/ — the committed seed inputs replayed by
+// fuzz_replay_test and used as the libFuzzer starting corpus.
+//
+//   ./build/tests/fuzz/mace_fuzz_seedgen [output_root]
+//
+// Run it after changing the model file format or the serve byte
+// protocol, then commit the outputs. Seeds fall into three groups per
+// target: well-formed inputs (coverage anchors), targeted malformations
+// (one per Load/Parse validation branch), and regression inputs pinning
+// previously fixed parser bugs (e.g. the "1.5abc" trailing-garbage
+// accept in ParseCell).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "fuzz/fuzz_env.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void WriteBytes(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MACE_CHECK(out.good()) << "cannot open " << path.string();
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  MACE_CHECK(out.good()) << "cannot write " << path.string();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+/// Replaces token `index` (space-separated) of `line`.
+std::string EditToken(const std::string& line, size_t index,
+                      const std::string& replacement) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  MACE_CHECK(index < tokens.size())
+      << "token " << index << " of '" << line << "'";
+  tokens[index] = replacement;
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+// -- detector_load ---------------------------------------------------------
+
+/// Model file line layout (see mace_serialization.cc): 0 magic, 1 config,
+/// 2 "features services", then per service [means, stddevs, bases], then
+/// param tensor count and one vector line per tensor. TinyModel has 2
+/// services, so params start at line 9. Config line field 0 is window,
+/// field 10 is freq_kernel.
+void WriteDetectorLoadCorpus(const fs::path& dir) {
+  const std::string model_path = mace::fuzz::ScratchPath("seedgen_model");
+  MACE_CHECK_OK(mace::fuzz::TinyModel()->Save(model_path));
+  std::ifstream in(model_path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string valid = buffer.str();
+  std::remove(model_path.c_str());
+  const std::vector<std::string> lines = SplitLines(valid);
+  MACE_CHECK(lines.size() > 10) << "unexpected model layout";
+
+  auto mutate = [&](size_t line, size_t token, const std::string& value) {
+    std::vector<std::string> copy = lines;
+    copy[line] = EditToken(copy[line], token, value);
+    return JoinLines(copy);
+  };
+
+  WriteBytes(dir / "valid.mace", valid);
+  WriteBytes(dir / "empty.mace", "");
+  WriteBytes(dir / "garbage.mace", "\x7f\x45\x4c\x46\x01\x01\xff\x00 not a model\n");
+  WriteBytes(dir / "bad_magic.mace", mutate(0, 0, "MACEv9"));
+  WriteBytes(dir / "truncated_header.mace", valid.substr(0, 20));
+  WriteBytes(dir / "truncated_params.mace", valid.substr(0, valid.size() / 2));
+  WriteBytes(dir / "huge_window.mace", mutate(1, 0, "99999"));
+  WriteBytes(dir / "negative_window.mace", mutate(1, 0, "-5"));
+  WriteBytes(dir / "freq_kernel_exceeds_subspace.mace", mutate(1, 10, "7"));
+  // Regression: Load once compared freq_kernel against the 2k
+  // coefficient columns instead of the k amplitude columns the model
+  // actually convolves, so freq_kernel = num_bases + 1 passed validation
+  // and CHECK-aborted inside MaceModel.
+  WriteBytes(dir / "freq_kernel_amplitude_regression.mace",
+             mutate(1, 10, "4"));
+  WriteBytes(dir / "zero_services.mace", mutate(2, 1, "0"));
+  WriteBytes(dir / "huge_services.mace", mutate(2, 1, "99999"));
+  WriteBytes(dir / "huge_features.mace", mutate(2, 0, "99999"));
+  WriteBytes(dir / "huge_count.mace", mutate(3, 0, "99999999999"));
+  WriteBytes(dir / "means_size_mismatch.mace", mutate(3, 0, "1"));
+  WriteBytes(dir / "nan_stddev.mace", mutate(4, 1, "nan"));
+  WriteBytes(dir / "zero_stddev.mace", mutate(4, 2, "0"));
+  WriteBytes(dir / "too_many_bases.mace", mutate(5, 0, "7"));
+  WriteBytes(dir / "base_out_of_range.mace", mutate(5, 1, "9999"));
+  // Service 1's bases (line 8) shrunk to 2 indices: coefficient width
+  // differs from service 0 — the cross-service consistency branch.
+  {
+    std::vector<std::string> copy = lines;
+    copy[8] = "2 0 1";
+    WriteBytes(dir / "inconsistent_subspace.mace", JoinLines(copy));
+  }
+  WriteBytes(dir / "param_count_mismatch.mace", mutate(9, 0, "3"));
+  // Loads successfully with a NaN weight: exercises the post-load
+  // scoring probe of the fuzz target.
+  WriteBytes(dir / "nan_param.mace", mutate(10, 2, "nan"));
+}
+
+// -- parse_csv -------------------------------------------------------------
+
+void WriteParseCsvCorpus(const fs::path& dir) {
+  WriteBytes(dir / "basic.csv", "a,b\n1,2\n3,4\n");
+  WriteBytes(dir / "no_header.csv", "1,2\n3,4\n");
+  WriteBytes(dir / "empty.csv", "");
+  WriteBytes(dir / "header_only.csv", "a,b\n");
+  // Regression: ParseCell once accepted trailing garbage after the
+  // number ("1.5abc" parsed as 1.5).
+  WriteBytes(dir / "trailing_garbage.csv", "a,b\n1.5abc,2\n");
+  WriteBytes(dir / "nan_inf.csv", "f0,f1\nnan,1\ninf,-inf\n1,2\n");
+  WriteBytes(dir / "ragged.csv", "a,b\n1\n2,3,4\n");
+  WriteBytes(dir / "empty_cell.csv", "a,b\n1,\n");
+  WriteBytes(dir / "huge_exponent.csv", "a\n1e999\n-1e999\n");
+  WriteBytes(dir / "whitespace.csv", " 1 , 2 \n 3 ,4\n");
+  WriteBytes(dir / "signs.csv", "a,b\n+1,-2.5e-3\n-0,.5\n");
+  WriteBytes(dir / "hex_and_words.csv", "a\n0x10\ninfinity\nNAN\n");
+  WriteBytes(dir / "crlf.csv", "a,b\r\n1,2\r\n");
+  WriteBytes(dir / "all_nan_column.csv", "a,b\nnan,1\nnan,2\nnan,3\n");
+}
+
+// -- serve_request ---------------------------------------------------------
+
+/// Mirrors the ByteReader decode of fuzz_serve_request.cc.
+struct StreamBuilder {
+  std::string bytes;
+  StreamBuilder& Byte(uint8_t b) {
+    bytes += static_cast<char>(b);
+    return *this;
+  }
+  StreamBuilder& Double(uint64_t bits) {
+    for (int i = 7; i >= 0; --i) {
+      bytes += static_cast<char>((bits >> (8 * i)) & 0xff);
+    }
+    return *this;
+  }
+};
+
+constexpr uint64_t kNanBits = 0x7ff8000000000000ull;
+constexpr uint64_t kInfBits = 0x7ff0000000000000ull;
+constexpr uint64_t kOneBits = 0x3ff0000000000000ull;
+
+void WriteServeRequestCorpus(const fs::path& dir) {
+  WriteBytes(dir / "empty.bin", "");
+  // [shard][config policy] then ops [kind][tenant][service]...
+  {
+    StreamBuilder b;
+    b.Byte(0).Byte(0);  // 1 shard, reject
+    b.Byte(0).Byte(0).Byte(2).Byte(3).Byte(2).Double(kNanBits).Double(
+        kOneBits);  // Score t0 svc1, no override, [nan, 1.0]
+    WriteBytes(dir / "nan_score_reject.bin", b.bytes);
+  }
+  {
+    StreamBuilder b;
+    b.Byte(1).Byte(1);  // 2 shards, impute
+    for (int i = 0; i < 6; ++i) {
+      b.Byte(0).Byte(0).Byte(2).Byte(3).Byte(2).Double(kNanBits).Double(
+          kOneBits);
+    }
+    WriteBytes(dir / "nan_score_impute.bin", b.bytes);
+  }
+  {
+    StreamBuilder b;
+    b.Byte(0).Byte(2);  // propagate: fill a window past one NaN row
+    for (int i = 0; i < 10; ++i) {
+      const uint64_t first = i == 3 ? kNanBits : kOneBits;
+      b.Byte(0).Byte(1).Byte(2).Byte(3).Byte(2).Double(first).Double(
+          kOneBits);
+    }
+    WriteBytes(dir / "nan_score_propagate.bin", b.bytes);
+  }
+  {
+    StreamBuilder b;
+    b.Byte(0).Byte(0);  // config reject, request overrides to propagate
+    b.Byte(0).Byte(2).Byte(2).Byte(2).Byte(2).Double(kInfBits).Double(
+        kOneBits);
+    WriteBytes(dir / "override_policy.bin", b.bytes);
+  }
+  {
+    StreamBuilder b;
+    b.Byte(0).Byte(1);
+    b.Byte(1).Byte(0).Byte(2).Byte(3).Byte(4)
+        .Double(kOneBits).Double(kOneBits).Double(kInfBits).Double(kNanBits);
+    WriteBytes(dir / "wrong_width.bin", b.bytes);  // 4 features vs 2
+  }
+  {
+    StreamBuilder b;
+    b.Byte(0).Byte(0);
+    b.Byte(0).Byte(0).Byte(0).Byte(3).Byte(2).Double(kOneBits).Double(
+        kOneBits);  // service byte 0 -> -1: out of range
+    WriteBytes(dir / "out_of_range_service.bin", b.bytes);
+  }
+  {
+    StreamBuilder b;
+    b.Byte(1).Byte(1);
+    b.Byte(0).Byte(0).Byte(2).Byte(3).Byte(2).Double(kOneBits).Double(
+        kOneBits);               // score
+    b.Byte(5).Byte(0).Byte(2);   // swap
+    b.Byte(0).Byte(0).Byte(2).Byte(3).Byte(2).Double(kNanBits).Double(
+        kOneBits);               // score with NaN after swap
+    b.Byte(3).Byte(0).Byte(2);   // flush
+    b.Byte(2).Byte(0).Byte(2);   // close
+    b.Byte(4).Byte(0).Byte(2);   // stats
+    WriteBytes(dir / "mixed_ops.bin", b.bytes);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? argv[1] : "corpus";
+  for (const char* sub : {"parse_csv", "detector_load", "serve_request"}) {
+    fs::create_directories(root / sub);
+  }
+  WriteParseCsvCorpus(root / "parse_csv");
+  WriteDetectorLoadCorpus(root / "detector_load");
+  WriteServeRequestCorpus(root / "serve_request");
+  size_t count = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file()) ++count;
+  }
+  std::printf("wrote %zu seed inputs under %s\n", count,
+              root.string().c_str());
+  return 0;
+}

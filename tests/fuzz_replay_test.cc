@@ -1,0 +1,65 @@
+// Corpus-replay regression harness: every committed seed input under
+// tests/fuzz/corpus/ (including inputs pinning previously fixed parser
+// bugs) runs through its fuzz entry point on every ctest run, compiler
+// permitting or not — the libFuzzer executables need clang, this does
+// not. Passing means each entry point returned normally: no abort, no
+// hang, no sanitizer report (the fuzz label is part of the asan/tsan
+// check filters).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_env.h"
+#include "gtest/gtest.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> CorpusFiles(const std::string& target) {
+  const fs::path dir = fs::path(MACE_FUZZ_CORPUS_DIR) / target;
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (auto it = fs::directory_iterator(dir, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    if (it->is_regular_file()) files.push_back(it->path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<uint8_t> ReadBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void Replay(const std::string& target,
+            void (*entry_point)(const uint8_t*, size_t)) {
+  const std::vector<fs::path> files = CorpusFiles(target);
+  ASSERT_FALSE(files.empty())
+      << "no seed corpus under " << MACE_FUZZ_CORPUS_DIR << "/" << target
+      << " — regenerate with mace_fuzz_seedgen";
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    const std::vector<uint8_t> bytes = ReadBytes(file);
+    entry_point(bytes.data(), bytes.size());
+  }
+}
+
+TEST(FuzzReplay, ParseCsvCorpus) {
+  Replay("parse_csv", mace::fuzz::FuzzParseCsv);
+}
+
+TEST(FuzzReplay, DetectorLoadCorpus) {
+  Replay("detector_load", mace::fuzz::FuzzDetectorLoad);
+}
+
+TEST(FuzzReplay, ServeRequestCorpus) {
+  Replay("serve_request", mace::fuzz::FuzzServeRequest);
+}
+
+}  // namespace

@@ -1,0 +1,587 @@
+// Pins the non-finite data policy end-to-end (DESIGN.md §11): the
+// ts/sanitize primitives, Fit's commit-at-end rejection, batch Score
+// under all three policies, the streaming scorer's sticky-NaN
+// propagation and all-or-nothing PushMany, and the serve frontend's
+// per-request policy override, contaminated flag and ingest counters.
+
+#include "ts/sanitize.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/mace_detector.h"
+#include "core/streaming.h"
+#include "obs/metrics.h"
+#include "serve/frontend.h"
+#include "ts/time_series.h"
+
+namespace mace {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ts::TimeSeries Sinusoids(size_t length, double phase) {
+  std::vector<std::vector<double>> values;
+  values.reserve(length);
+  for (size_t t = 0; t < length; ++t) {
+    const double x = static_cast<double>(t);
+    values.push_back({std::sin(0.7 * x + phase),
+                      std::cos(0.3 * x + 2.0 * phase) + 0.01 * x});
+  }
+  return ts::TimeSeries(std::move(values), {});
+}
+
+core::MaceConfig TinyConfig() {
+  core::MaceConfig config;
+  config.window = 8;
+  config.train_stride = 2;
+  config.score_stride = 4;
+  config.num_bases = 3;
+  config.time_kernel = 3;
+  config.freq_kernel = 3;  // must be <= num_bases (amplitude columns)
+  config.hidden_channels = 4;
+  config.characterization_channels = 2;
+  config.epochs = 1;
+  return config;
+}
+
+std::vector<ts::ServiceData> CleanWorkload() {
+  std::vector<ts::ServiceData> services(2);
+  for (size_t s = 0; s < services.size(); ++s) {
+    services[s].name = "svc" + std::to_string(s);
+    services[s].train = Sinusoids(64, 0.5 * static_cast<double>(s + 1));
+    services[s].test = Sinusoids(40, 0.5 * static_cast<double>(s + 1));
+  }
+  return services;
+}
+
+core::MaceDetector Fitted(core::MaceConfig config = TinyConfig()) {
+  core::MaceDetector detector(config);
+  MACE_CHECK_OK(detector.Fit(CleanWorkload()));
+  return detector;
+}
+
+/// Streams the whole series and returns the per-step scores (Push
+/// outputs concatenated with Finish), like batch Score would emit.
+std::vector<double> StreamAll(core::StreamingScorer* scorer,
+                              const ts::TimeSeries& series) {
+  std::vector<double> scores;
+  for (size_t t = 0; t < series.length(); ++t) {
+    auto out = scorer->Push(series.values()[t]);
+    MACE_CHECK_OK(out.status());
+    scores.insert(scores.end(), out->begin(), out->end());
+  }
+  const std::vector<double> tail = scorer->Finish();
+  scores.insert(scores.end(), tail.begin(), tail.end());
+  return scores;
+}
+
+/// Bitwise equality that treats NaN == NaN (EXPECT_EQ on doubles cannot).
+void ExpectBitwiseEqual(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+        << "index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+std::string FileContents(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Sum of one counter family across all label sets (serve shards).
+double CounterTotal(const std::string& name) {
+  for (const auto& family : obs::Metrics().Collect()) {
+    if (family.name != name) continue;
+    double total = 0.0;
+    for (const auto& instrument : family.instruments) {
+      total += instrument.value;
+    }
+    return total;
+  }
+  return 0.0;
+}
+
+// -- ts/sanitize primitives ------------------------------------------------
+
+TEST(NonFinitePolicyTest, NameParseRoundTrip) {
+  for (const ts::NonFinitePolicy policy :
+       {ts::NonFinitePolicy::kReject, ts::NonFinitePolicy::kImpute,
+        ts::NonFinitePolicy::kPropagate}) {
+    auto parsed = ts::ParseNonFinitePolicy(ts::NonFinitePolicyName(policy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, policy);
+  }
+  auto bad = ts::ParseNonFinitePolicy("drop");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("drop"), std::string::npos);
+}
+
+TEST(SanitizeSeriesTest, RejectNamesTheFirstOffendingValue) {
+  ts::TimeSeries series = Sinusoids(10, 0.0);
+  series.mutable_values()[3][1] = kNaN;
+  series.mutable_values()[7][0] = kInf;
+  auto result = ts::SanitizeSeries(series, ts::NonFinitePolicy::kReject);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nan at step 3, feature 1"),
+            std::string::npos)
+      << result.status().message();
+
+  // Clean input passes through identical under every policy.
+  const ts::TimeSeries clean = Sinusoids(10, 0.0);
+  for (const ts::NonFinitePolicy policy :
+       {ts::NonFinitePolicy::kReject, ts::NonFinitePolicy::kImpute,
+        ts::NonFinitePolicy::kPropagate}) {
+    ts::SanitizeStats stats;
+    auto out = ts::SanitizeSeries(clean, policy, &stats);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->values(), clean.values());
+    EXPECT_EQ(stats.contaminated_steps, 0u);
+    EXPECT_EQ(stats.values_imputed, 0u);
+  }
+}
+
+TEST(SanitizeSeriesTest, ImputeCarriesForwardAndMediansLeadingGaps) {
+  ts::TimeSeries series(
+      {{kNaN, 10.0}, {2.0, kNaN}, {kInf, 30.0}, {4.0, 40.0}}, {});
+  ts::SanitizeStats stats;
+  auto out = ts::SanitizeSeries(series, ts::NonFinitePolicy::kImpute, &stats);
+  ASSERT_TRUE(out.ok());
+  // Feature 0: leading gap takes the finite median of {2, 4} = 3; the
+  // inf at step 2 carries the last finite value (2) forward.
+  EXPECT_EQ(out->values()[0][0], 3.0);
+  EXPECT_EQ(out->values()[2][0], 2.0);
+  // Feature 1: step 1 carries step 0's value forward.
+  EXPECT_EQ(out->values()[1][1], 10.0);
+  EXPECT_EQ(stats.contaminated_steps, 3u);
+  EXPECT_EQ(stats.values_imputed, 3u);
+
+  // A feature with no finite value at all cannot be imputed.
+  ts::TimeSeries hopeless({{kNaN, 1.0}, {kNaN, 2.0}}, {});
+  auto fail = ts::SanitizeSeries(hopeless, ts::NonFinitePolicy::kImpute);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_NE(fail.status().message().find("feature 0"), std::string::npos);
+}
+
+TEST(SanitizeSeriesTest, PropagateReturnsUntouchedValuesWithMask) {
+  ts::TimeSeries series = Sinusoids(6, 0.0);
+  series.mutable_values()[2][0] = kNaN;
+  series.mutable_values()[4][1] = -kInf;
+  ts::SanitizeStats stats;
+  std::vector<uint8_t> mask;
+  auto out = ts::SanitizeSeries(series, ts::NonFinitePolicy::kPropagate,
+                                &stats, &mask);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(std::isnan(out->values()[2][0]));
+  EXPECT_EQ(mask, (std::vector<uint8_t>{0, 0, 1, 0, 1, 0}));
+  EXPECT_EQ(stats.contaminated_steps, 2u);
+  EXPECT_EQ(stats.values_imputed, 0u);
+}
+
+TEST(ObservationSanitizerTest, RejectLeavesRowAndStateUntouched) {
+  ts::ObservationSanitizer sanitizer(ts::NonFinitePolicy::kReject,
+                                     {100.0, 200.0});
+  std::vector<double> clean = {1.0, 2.0};
+  ASSERT_TRUE(sanitizer.Apply(&clean).ok());
+  std::vector<double> bad = {kNaN, 3.0};
+  auto result = sanitizer.Apply(&bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(std::isnan(bad[0])) << "reject must not rewrite the row";
+  // The carry-forward state was not advanced by the rejected row.
+  sanitizer.set_policy(ts::NonFinitePolicy::kImpute);
+  std::vector<double> next = {kNaN, 4.0};
+  ASSERT_TRUE(sanitizer.Apply(&next).ok());
+  EXPECT_EQ(next[0], 100.0) << "set_policy resets carry-forward state";
+}
+
+TEST(ObservationSanitizerTest, ImputeUsesLastGoodThenFallback) {
+  ts::ObservationSanitizer sanitizer(ts::NonFinitePolicy::kImpute,
+                                     {100.0, 200.0});
+  // No finite observation yet: the fallback row imputes.
+  std::vector<double> first = {kNaN, 5.0};
+  auto outcome = sanitizer.Apply(&first);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(first[0], 100.0);
+  EXPECT_TRUE(outcome->contaminated);
+  EXPECT_EQ(outcome->values_imputed, 1u);
+  // Feature 1 now has 5.0 as its last good value.
+  std::vector<double> second = {7.0, kInf};
+  ASSERT_TRUE(sanitizer.Apply(&second).ok());
+  EXPECT_EQ(second[1], 5.0);
+  // Reset drops the stream's carry-forward state.
+  sanitizer.Reset();
+  std::vector<double> third = {kNaN, kNaN};
+  ASSERT_TRUE(sanitizer.Apply(&third).ok());
+  EXPECT_EQ(third[0], 100.0);
+  EXPECT_EQ(third[1], 200.0);
+  // Width mismatches are an error under every policy.
+  std::vector<double> narrow = {1.0};
+  EXPECT_FALSE(sanitizer.Apply(&narrow).ok());
+}
+
+// -- Fit -------------------------------------------------------------------
+
+TEST(FitSanitizeTest, RejectedFitLeavesDetectorBitwiseUntouched) {
+  core::MaceDetector detector = Fitted();
+  const std::string before = testing::TempDir() + "/sanitize_before.mace";
+  const std::string after = testing::TempDir() + "/sanitize_after.mace";
+  ASSERT_TRUE(detector.Save(before).ok());
+
+  std::vector<ts::ServiceData> poisoned = CleanWorkload();
+  poisoned[1].train.mutable_values()[5][0] = kNaN;
+  const Status status = detector.Fit(poisoned);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("svc1"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("nan at step 5, feature 0"),
+            std::string::npos)
+      << status.message();
+
+  ASSERT_TRUE(detector.Save(after).ok());
+  EXPECT_EQ(FileContents(before), FileContents(after))
+      << "failed Fit mutated detector state";
+}
+
+TEST(FitSanitizeTest, PropagateDegradesToRejectForTraining) {
+  core::MaceConfig config = TinyConfig();
+  config.non_finite_policy = ts::NonFinitePolicy::kPropagate;
+  core::MaceDetector detector(config);
+  std::vector<ts::ServiceData> poisoned = CleanWorkload();
+  poisoned[0].train.mutable_values()[0][1] = kInf;
+  const Status status = detector.Fit(poisoned);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("degrades"), std::string::npos)
+      << status.message();
+}
+
+TEST(FitSanitizeTest, ImputeFitMatchesManuallySanitizedFit) {
+  std::vector<ts::ServiceData> poisoned = CleanWorkload();
+  poisoned[0].train.mutable_values()[10][0] = kNaN;
+  poisoned[1].train.mutable_values()[20][1] = kInf;
+
+  core::MaceConfig config = TinyConfig();
+  config.non_finite_policy = ts::NonFinitePolicy::kImpute;
+  core::MaceDetector impute_fit(config);
+  ASSERT_TRUE(impute_fit.Fit(poisoned).ok());
+
+  std::vector<ts::ServiceData> sanitized = poisoned;
+  for (auto& service : sanitized) {
+    auto clean =
+        ts::SanitizeSeries(service.train, ts::NonFinitePolicy::kImpute);
+    ASSERT_TRUE(clean.ok());
+    service.train = *std::move(clean);
+  }
+  core::MaceDetector manual_fit((TinyConfig()));
+  ASSERT_TRUE(manual_fit.Fit(sanitized).ok());
+
+  EXPECT_EQ(impute_fit.epoch_losses(), manual_fit.epoch_losses());
+  const ts::TimeSeries probe = Sinusoids(30, 0.5);
+  auto a = impute_fit.Score(0, probe);
+  auto b = manual_fit.Score(0, probe);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitwiseEqual(*a, *b);
+}
+
+// -- Batch Score -----------------------------------------------------------
+
+TEST(BatchScoreSanitizeTest, PoliciesOnContaminatedTestSeries) {
+  core::MaceDetector detector = Fitted();
+  ts::TimeSeries poisoned = Sinusoids(40, 0.5);
+  const size_t bad_step = 17;
+  poisoned.mutable_values()[bad_step][1] = kNaN;
+
+  // kReject (the default): descriptive error.
+  auto rejected = detector.Score(0, poisoned);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("nan at step 17, feature 1"),
+            std::string::npos)
+      << rejected.status().message();
+
+  // kImpute: identical to scoring the manually imputed series.
+  detector.set_non_finite_policy(ts::NonFinitePolicy::kImpute);
+  auto imputed_scores = detector.Score(0, poisoned);
+  ASSERT_TRUE(imputed_scores.ok());
+  auto manual = ts::SanitizeSeries(poisoned, ts::NonFinitePolicy::kImpute);
+  ASSERT_TRUE(manual.ok());
+  detector.set_non_finite_policy(ts::NonFinitePolicy::kReject);
+  auto manual_scores = detector.Score(0, *manual);
+  ASSERT_TRUE(manual_scores.ok());
+  ExpectBitwiseEqual(*imputed_scores, *manual_scores);
+  for (double s : *imputed_scores) EXPECT_TRUE(std::isfinite(s));
+
+  // kPropagate: NaN exactly on the steps of windows covering the
+  // contaminated step; every other step matches the impute scores.
+  detector.set_non_finite_policy(ts::NonFinitePolicy::kPropagate);
+  auto propagated = detector.Score(0, poisoned);
+  ASSERT_TRUE(propagated.ok());
+  ASSERT_EQ(propagated->size(), poisoned.length());
+  const size_t window = static_cast<size_t>(detector.config().window);
+  std::vector<bool> expect_nan(poisoned.length(), false);
+  for (size_t start : detector.ScoreWindowStarts(poisoned.length())) {
+    if (start <= bad_step && bad_step < start + window) {
+      for (size_t t = start; t < start + window; ++t) expect_nan[t] = true;
+    }
+  }
+  ASSERT_TRUE(expect_nan[bad_step]);
+  for (size_t t = 0; t < propagated->size(); ++t) {
+    EXPECT_EQ(std::isnan((*propagated)[t]), expect_nan[t]) << "step " << t;
+    if (!expect_nan[t]) {
+      EXPECT_EQ((*propagated)[t], (*imputed_scores)[t]) << "step " << t;
+    }
+  }
+
+  // Bit-determinism: the same call twice returns identical bits.
+  auto again = detector.Score(0, poisoned);
+  ASSERT_TRUE(again.ok());
+  ExpectBitwiseEqual(*propagated, *again);
+}
+
+TEST(BatchScoreSanitizeTest, ScoreWindowRejectsNonFiniteRows) {
+  core::MaceDetector detector = Fitted();
+  const size_t window = static_cast<size_t>(detector.config().window);
+  std::vector<std::vector<double>> rows(window, {0.1, 0.2});
+  rows[2][0] = kNaN;
+  auto single = detector.ScoreWindow(0, rows);
+  ASSERT_FALSE(single.ok());
+  EXPECT_NE(single.status().message().find("sanitize upstream"),
+            std::string::npos)
+      << single.status().message();
+  auto batch = detector.ScoreWindowBatch(0, {rows});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_NE(batch.status().message().find("sanitize upstream"),
+            std::string::npos)
+      << batch.status().message();
+}
+
+// -- Streaming -------------------------------------------------------------
+
+TEST(StreamingSanitizeTest, RejectFailsThePushAndKeepsThePipeline) {
+  core::MaceDetector detector = Fitted();
+  auto scorer = core::StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  auto reference = core::StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(reference.ok());
+
+  const ts::TimeSeries clean = Sinusoids(30, 0.5);
+  std::vector<double> scores;
+  std::vector<double> ref_scores;
+  for (size_t t = 0; t < clean.length(); ++t) {
+    if (t == 11) {
+      auto rejected = scorer->Push({kNaN, 1.0});
+      ASSERT_FALSE(rejected.ok());
+      EXPECT_NE(rejected.status().message().find("reject"),
+                std::string::npos)
+          << rejected.status().message();
+    }
+    auto out = scorer->Push(clean.values()[t]);
+    ASSERT_TRUE(out.ok());
+    scores.insert(scores.end(), out->begin(), out->end());
+    auto ref = reference->Push(clean.values()[t]);
+    ASSERT_TRUE(ref.ok());
+    ref_scores.insert(ref_scores.end(), ref->begin(), ref->end());
+  }
+  auto tail = scorer->Finish();
+  scores.insert(scores.end(), tail.begin(), tail.end());
+  auto ref_tail = reference->Finish();
+  ref_scores.insert(ref_scores.end(), ref_tail.begin(), ref_tail.end());
+  ExpectBitwiseEqual(scores, ref_scores);
+  EXPECT_EQ(scorer->ingest_stats().contaminated_steps, 0u)
+      << "a rejected observation was never ingested";
+}
+
+TEST(StreamingSanitizeTest, ImputeMatchesBatchScoreBitwise) {
+  core::MaceDetector detector = Fitted();
+  ts::TimeSeries poisoned = Sinusoids(40, 0.5);
+  poisoned.mutable_values()[17][1] = kNaN;
+
+  auto scorer = core::StreamingScorer::Create(
+      &detector, 0, ts::NonFinitePolicy::kImpute);
+  ASSERT_TRUE(scorer.ok());
+  EXPECT_EQ(scorer->non_finite_policy(), ts::NonFinitePolicy::kImpute);
+  const std::vector<double> streamed = StreamAll(&*scorer, poisoned);
+  EXPECT_EQ(scorer->ingest_stats().contaminated_steps, 1u);
+  EXPECT_EQ(scorer->ingest_stats().values_imputed, 1u);
+
+  detector.set_non_finite_policy(ts::NonFinitePolicy::kImpute);
+  auto batch = detector.Score(0, poisoned);
+  ASSERT_TRUE(batch.ok());
+  ExpectBitwiseEqual(streamed, *batch);
+}
+
+TEST(StreamingSanitizeTest, PropagateMatchesBatchStickyNaN) {
+  core::MaceDetector detector = Fitted();
+  ts::TimeSeries poisoned = Sinusoids(40, 0.5);
+  poisoned.mutable_values()[17][1] = kNaN;
+
+  auto scorer = core::StreamingScorer::Create(
+      &detector, 0, ts::NonFinitePolicy::kPropagate);
+  ASSERT_TRUE(scorer.ok());
+  const std::vector<double> streamed = StreamAll(&*scorer, poisoned);
+
+  detector.set_non_finite_policy(ts::NonFinitePolicy::kPropagate);
+  auto batch = detector.Score(0, poisoned);
+  ASSERT_TRUE(batch.ok());
+  ExpectBitwiseEqual(streamed, *batch);
+  EXPECT_TRUE(std::isnan(streamed[17]));
+  // The contamination stays windowed: steps far enough away score finite.
+  EXPECT_TRUE(std::isfinite(streamed.front()));
+  EXPECT_TRUE(std::isfinite(streamed[2]));
+
+  // Run-twice bit-determinism, NaN positions included.
+  auto rerun = core::StreamingScorer::Create(
+      &detector, 0, ts::NonFinitePolicy::kPropagate);
+  ASSERT_TRUE(rerun.ok());
+  ExpectBitwiseEqual(streamed, StreamAll(&*rerun, poisoned));
+}
+
+TEST(StreamingSanitizeTest, PushManyMatchesSequentialPush) {
+  core::MaceDetector detector = Fitted();
+  ts::TimeSeries poisoned = Sinusoids(40, 0.5);
+  poisoned.mutable_values()[9][0] = kInf;
+  poisoned.mutable_values()[25][1] = kNaN;
+
+  for (const ts::NonFinitePolicy policy :
+       {ts::NonFinitePolicy::kImpute, ts::NonFinitePolicy::kPropagate}) {
+    SCOPED_TRACE(ts::NonFinitePolicyName(policy));
+    auto sequential = core::StreamingScorer::Create(&detector, 0, policy);
+    ASSERT_TRUE(sequential.ok());
+    const std::vector<double> seq_scores =
+        StreamAll(&*sequential, poisoned);
+
+    auto batched = core::StreamingScorer::Create(&detector, 0, policy);
+    ASSERT_TRUE(batched.ok());
+    auto many = batched->PushMany(poisoned.values());
+    ASSERT_TRUE(many.ok());
+    std::vector<double> batch_scores;
+    for (const auto& per_obs : *many) {
+      batch_scores.insert(batch_scores.end(), per_obs.begin(),
+                          per_obs.end());
+    }
+    const std::vector<double> tail = batched->Finish();
+    batch_scores.insert(batch_scores.end(), tail.begin(), tail.end());
+    ExpectBitwiseEqual(seq_scores, batch_scores);
+    EXPECT_EQ(batched->ingest_stats().contaminated_steps,
+              sequential->ingest_stats().contaminated_steps);
+    EXPECT_EQ(batched->ingest_stats().values_imputed,
+              sequential->ingest_stats().values_imputed);
+  }
+}
+
+TEST(StreamingSanitizeTest, PushManyIsAllOrNothingUnderReject) {
+  core::MaceDetector detector = Fitted();
+  const ts::TimeSeries clean = Sinusoids(36, 0.5);
+  const auto& rows = clean.values();
+  const std::vector<std::vector<double>> first(rows.begin(),
+                                               rows.begin() + 12);
+  const std::vector<std::vector<double>> second(rows.begin() + 12,
+                                                rows.end());
+  std::vector<std::vector<double>> poisoned_batch(rows.begin() + 12,
+                                                  rows.begin() + 20);
+  poisoned_batch[3][0] = kNaN;
+
+  auto scorer = core::StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(scorer.ok());
+  auto reference = core::StreamingScorer::Create(&detector, 0);
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_TRUE(scorer->PushMany(first).ok());
+  ASSERT_TRUE(reference->PushMany(first).ok());
+  auto failed = scorer->PushMany(poisoned_batch);
+  ASSERT_FALSE(failed.ok());
+
+  auto rest = scorer->PushMany(second);
+  auto ref_rest = reference->PushMany(second);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_TRUE(ref_rest.ok());
+  std::vector<double> scores;
+  for (const auto& per_obs : *rest) {
+    scores.insert(scores.end(), per_obs.begin(), per_obs.end());
+  }
+  std::vector<double> ref_scores;
+  for (const auto& per_obs : *ref_rest) {
+    ref_scores.insert(ref_scores.end(), per_obs.begin(), per_obs.end());
+  }
+  ExpectBitwiseEqual(scores, ref_scores);
+  const std::vector<double> tail = scorer->Finish();
+  const std::vector<double> ref_tail = reference->Finish();
+  ExpectBitwiseEqual(tail, ref_tail);
+  EXPECT_EQ(scorer->ingest_stats().contaminated_steps, 0u);
+}
+
+// -- Serve frontend --------------------------------------------------------
+
+TEST(ServeSanitizeTest, PoliciesCountersAndContaminatedFlag) {
+  auto model = std::make_shared<core::MaceDetector>(Fitted());
+  serve::ServeConfig config;
+  config.num_shards = 1;
+  auto frontend = serve::ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  const double dropped0 = CounterTotal("mace_ingest_dropped_total");
+  const double imputed0 = CounterTotal("mace_ingest_imputed_total");
+  const double propagated0 = CounterTotal("mace_ingest_propagated_total");
+
+  // Default policy (reject): the NaN observation fails its ScoreBatch.
+  auto rejected = (*frontend)->Score("tenant-r", 0, {kNaN, 1.0});
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected->status.ok());
+  EXPECT_FALSE(rejected->contaminated);
+  EXPECT_EQ(CounterTotal("mace_ingest_dropped_total"), dropped0 + 1);
+
+  // Per-request override opens tenant-i's session under impute.
+  serve::RequestOptions impute;
+  impute.non_finite_policy = ts::NonFinitePolicy::kImpute;
+  auto imputed = (*frontend)->Score("tenant-i", 0, {kNaN, 1.0}, impute);
+  ASSERT_TRUE(imputed.ok());
+  EXPECT_TRUE(imputed->status.ok()) << imputed->status.message();
+  EXPECT_TRUE(imputed->contaminated);
+  EXPECT_EQ(CounterTotal("mace_ingest_imputed_total"), imputed0 + 1);
+  // The session keeps its policy on later requests (no options needed).
+  auto follow_up = (*frontend)->Score("tenant-i", 0, {kInf, kInf});
+  ASSERT_TRUE(follow_up.ok());
+  EXPECT_TRUE(follow_up->status.ok());
+  EXPECT_TRUE(follow_up->contaminated);
+  EXPECT_EQ(CounterTotal("mace_ingest_imputed_total"), imputed0 + 3);
+
+  // Propagate: the batch succeeds, is flagged, and eventually emits NaN
+  // scores for the contaminated window.
+  serve::RequestOptions propagate;
+  propagate.non_finite_policy = ts::NonFinitePolicy::kPropagate;
+  const int window = model->config().window;
+  bool saw_nan_score = false;
+  for (int t = 0; t < 3 * window; ++t) {
+    const bool poison = t == window + 1;
+    std::vector<double> observation = poison
+                                          ? std::vector<double>{kNaN, 1.0}
+                                          : std::vector<double>{0.1, 0.2};
+    auto batch = (*frontend)->Score("tenant-p", 0, std::move(observation),
+                                    propagate);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(batch->status.ok()) << batch->status.message();
+    EXPECT_EQ(batch->contaminated, poison);
+    for (double s : batch->scores) saw_nan_score |= std::isnan(s);
+  }
+  auto tail = (*frontend)->Close("tenant-p", 0);
+  ASSERT_TRUE(tail.ok());
+  for (double s : *tail) saw_nan_score |= std::isnan(s);
+  EXPECT_TRUE(saw_nan_score)
+      << "propagate session never emitted a NaN score";
+  EXPECT_EQ(CounterTotal("mace_ingest_propagated_total"), propagated0 + 1);
+}
+
+}  // namespace
+}  // namespace mace
