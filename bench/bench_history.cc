@@ -1,0 +1,159 @@
+// Anomaly-history subsystem throughput: appends a synthetic fleet of 10k
+// tenants into the HistoryStore, then times the fleet queries (top-K,
+// rate series, correlation) and the snapshot round-trip. Targets: >= 1M
+// appends/s, top-K over 10k tenants < 10 ms. Emits BENCH_history.json.
+//
+// Deterministic workload: tenant i's score at step t follows a fixed
+// formula (no RNG), with a score spike of width ~i%7 so the severity
+// ranking and correlation have real structure to find.
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "eval/profiler.h"
+#include "history/query.h"
+#include "history/snapshot.h"
+#include "history/store.h"
+
+int main() {
+  using namespace mace;
+
+  constexpr size_t kTenants = 10000;
+  constexpr size_t kStepsPerTenant = 200;
+  constexpr size_t kCapacity = 256;
+  constexpr double kThreshold = 3.0;
+  constexpr size_t kTopK = 20;
+  constexpr int kQueryReps = 5;
+
+  history::HistoryStore store(
+      history::HistoryConfig{kCapacity, kThreshold});
+  std::vector<history::HistoryStore::TenantId> ids(kTenants);
+  for (size_t i = 0; i < kTenants; ++i) {
+    ids[i] = store.Intern("tenant-" + std::to_string(i));
+  }
+
+  // Appends: every tenant scores a smooth baseline with a spike whose
+  // height and phase depend on the tenant, so ~1/8 of records are
+  // anomalous and nearby tenant groups spike together.
+  eval::StopWatch append_watch;
+  for (size_t t = 0; t < kStepsPerTenant; ++t) {
+    for (size_t i = 0; i < kTenants; ++i) {
+      const double base =
+          1.0 + std::sin(0.1 * static_cast<double>(t + i % 16));
+      const bool spiking = (t / 8) % 8 == i % 7;
+      const double score =
+          spiking ? 4.0 + 0.05 * static_cast<double>(i % 32) : base;
+      store.Append(ids[i], static_cast<int64_t>(t), score);
+    }
+  }
+  const double append_seconds = append_watch.ElapsedSeconds();
+  const size_t total_appends = kTenants * kStepsPerTenant;
+  const double appends_per_sec =
+      static_cast<double>(total_appends) / append_seconds;
+
+  const int64_t t0 = 0;
+  const int64_t t1 = static_cast<int64_t>(kStepsPerTenant) - 1;
+
+  // Queries: min-of-N so one scheduler hiccup does not set the record.
+  double topk_seconds = 1e30;
+  size_t topk_rows = 0;
+  for (int rep = 0; rep < kQueryReps; ++rep) {
+    eval::StopWatch watch;
+    const auto ranks = history::TopTenants(store, t0, t1, kTopK);
+    topk_seconds = std::min(topk_seconds, watch.ElapsedSeconds());
+    topk_rows = ranks.size();
+    MACE_CHECK(!ranks.empty() && ranks.front().severity > 0)
+        << "top-K found no anomalous tenants";
+  }
+
+  double rate_seconds = 1e30;
+  for (int rep = 0; rep < kQueryReps; ++rep) {
+    eval::StopWatch watch;
+    const auto series =
+        history::AnomalyRateSeries(store, "tenant-0", t0, t1, 8);
+    MACE_CHECK_OK(series.status());
+    rate_seconds = std::min(rate_seconds, watch.ElapsedSeconds());
+  }
+
+  double correlate_seconds = 1e30;
+  size_t correlate_pairs = 0;
+  size_t correlate_clusters = 0;
+  for (int rep = 0; rep < kQueryReps; ++rep) {
+    history::CorrelationOptions options;
+    options.window_width = 8;
+    options.min_jaccard = 0.5;
+    options.max_tenants = 256;
+    eval::StopWatch watch;
+    const auto report = history::CorrelateAnomalies(store, t0, t1, options);
+    MACE_CHECK_OK(report.status());
+    correlate_seconds = std::min(correlate_seconds, watch.ElapsedSeconds());
+    correlate_pairs = report->pairs.size();
+    correlate_clusters = report->clusters.size();
+  }
+
+  // Snapshot round-trip.
+  const std::string snapshot_path = "BENCH_history.snap";
+  eval::StopWatch write_watch;
+  MACE_CHECK_OK(history::WriteSnapshot(store, snapshot_path, kThreshold));
+  const double snapshot_write_seconds = write_watch.ElapsedSeconds();
+  eval::StopWatch open_watch;
+  auto reader = history::SnapshotReader::Open(snapshot_path);
+  MACE_CHECK_OK(reader.status());
+  const double snapshot_open_seconds = open_watch.ElapsedSeconds();
+  MACE_CHECK(reader->NumTenants() == kTenants) << "snapshot lost tenants";
+  double snapshot_topk_seconds = 1e30;
+  for (int rep = 0; rep < kQueryReps; ++rep) {
+    eval::StopWatch watch;
+    const auto ranks = history::TopTenants(*reader, t0, t1, kTopK);
+    snapshot_topk_seconds =
+        std::min(snapshot_topk_seconds, watch.ElapsedSeconds());
+    MACE_CHECK(ranks.size() == topk_rows)
+        << "snapshot top-K disagrees with the live store";
+  }
+  std::remove(snapshot_path.c_str());
+
+  std::printf(
+      "History store — %zu tenants x %zu steps (capacity %zu)\n"
+      "%-28s %12.3f s %14.0f /s (target >= 1M)\n"
+      "%-28s %12.3f ms (target < 10 ms, %zu rows)\n"
+      "%-28s %12.3f ms\n"
+      "%-28s %12.3f ms (%zu pairs, %zu clusters)\n"
+      "%-28s %12.3f ms write, %.3f ms open\n"
+      "%-28s %12.3f ms\n",
+      kTenants, kStepsPerTenant, kCapacity, "appends", append_seconds,
+      appends_per_sec, "top-K (live)", topk_seconds * 1e3, topk_rows,
+      "rate series", rate_seconds * 1e3, "correlate",
+      correlate_seconds * 1e3, correlate_pairs, correlate_clusters,
+      "snapshot", snapshot_write_seconds * 1e3,
+      snapshot_open_seconds * 1e3, "top-K (snapshot)",
+      snapshot_topk_seconds * 1e3);
+
+  {
+    std::ofstream out("BENCH_history.json", std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"history\",\n"
+        << "  \"config\": {\n"
+        << "    \"tenants\": " << kTenants << ",\n"
+        << "    \"steps_per_tenant\": " << kStepsPerTenant << ",\n"
+        << "    \"capacity_per_tenant\": " << kCapacity << ",\n"
+        << "    \"anomaly_threshold\": " << kThreshold << ",\n"
+        << "    \"top_k\": " << kTopK << "\n"
+        << "  },\n"
+        << "  \"appends_per_sec\": " << appends_per_sec << ",\n"
+        << "  \"topk_ms\": " << topk_seconds * 1e3 << ",\n"
+        << "  \"rate_ms\": " << rate_seconds * 1e3 << ",\n"
+        << "  \"correlate_ms\": " << correlate_seconds * 1e3 << ",\n"
+        << "  \"snapshot_write_ms\": " << snapshot_write_seconds * 1e3
+        << ",\n"
+        << "  \"snapshot_open_ms\": " << snapshot_open_seconds * 1e3
+        << ",\n"
+        << "  \"snapshot_topk_ms\": " << snapshot_topk_seconds * 1e3 << "\n"
+        << "}\n";
+  }
+  std::printf("BENCH_history.json written\n");
+  return 0;
+}

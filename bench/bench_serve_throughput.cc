@@ -6,8 +6,12 @@
 // pool output is the exact sequential StreamingScorer output per tenant
 // (pinned sessions), so this measures real scoring, not drops.
 //
-// Emits BENCH_serve.json with the widest-pool row for trajectory
-// tracking.
+// Emits BENCH_serve.json from the pinned canonical configuration (4
+// shards, queue 4096, micro-batch 128, kBlock) so the tracked trajectory
+// compares like with like across runs — the widest-pool "best" row moves
+// with scheduler noise, the canonical row does not. The full shard sweep
+// still prints for context, and the JSON records every knob of the
+// canonical config next to its result.
 
 #include <cstdio>
 #include <fstream>
@@ -59,15 +63,19 @@ int main() {
     tenants.push_back("svc" + std::to_string(k));
   }
 
+  // The canonical configuration whose row BENCH_serve.json records.
+  constexpr int kCanonicalShards = 4;
+  constexpr size_t kQueueCapacity = 4096;
+  constexpr size_t kMaxBatch = 128;
+
   double base_seconds = 0.0;
-  double best_obs_per_sec = 0.0;
-  int best_shards = 0;
-  uint64_t best_shed = 0;
+  double canonical_obs_per_sec = 0.0;
+  uint64_t canonical_shed = 0;
   for (int shards : {1, 2, 4, 8}) {
     serve::ServeConfig serve_config;
     serve_config.num_shards = shards;
-    serve_config.queue_capacity = 4096;
-    serve_config.max_batch = 128;
+    serve_config.queue_capacity = kQueueCapacity;
+    serve_config.max_batch = kMaxBatch;
     serve_config.overload_policy = serve::OverloadPolicy::kBlock;
     auto frontend = serve::ServeFrontend::Create(model, serve_config);
     MACE_CHECK_OK(frontend.status());
@@ -94,10 +102,9 @@ int main() {
         << observations;
     const double obs_per_sec = static_cast<double>(observations) / seconds;
     if (shards == 1) base_seconds = seconds;
-    if (obs_per_sec > best_obs_per_sec) {
-      best_obs_per_sec = obs_per_sec;
-      best_shards = shards;
-      best_shed = totals.shed;
+    if (shards == kCanonicalShards) {
+      canonical_obs_per_sec = obs_per_sec;
+      canonical_shed = totals.shed;
     }
     std::printf("%8d %12.3f %14.0f %9.2fx %8llu\n", shards, seconds,
                 obs_per_sec, base_seconds / seconds,
@@ -108,19 +115,26 @@ int main() {
     std::ofstream out("BENCH_serve.json", std::ios::trunc);
     out << "{\n"
         << "  \"bench\": \"serve_throughput\",\n"
-        << "  \"tenants\": " << kTenants << ",\n"
-        << "  \"steps_per_tenant\": " << kStepsPerTenant << ",\n"
-        << "  \"fitted_services\": " << kFittedServices << ",\n"
-        << "  \"policy\": \"block\",\n"
-        << "  \"shards\": " << best_shards << ",\n"
-        << "  \"obs_per_sec\": " << best_obs_per_sec << ",\n"
-        << "  \"shed\": " << best_shed << "\n"
+        << "  \"config\": {\n"
+        << "    \"tenants\": " << kTenants << ",\n"
+        << "    \"steps_per_tenant\": " << kStepsPerTenant << ",\n"
+        << "    \"fitted_services\": " << kFittedServices << ",\n"
+        << "    \"policy\": \"block\",\n"
+        << "    \"shards\": " << kCanonicalShards << ",\n"
+        << "    \"queue_capacity\": " << kQueueCapacity << ",\n"
+        << "    \"max_batch\": " << kMaxBatch << ",\n"
+        << "    \"epochs\": " << config.epochs << ",\n"
+        << "    \"score_stride\": " << config.score_stride << ",\n"
+        << "    \"num_bases\": " << config.num_bases << "\n"
+        << "  },\n"
+        << "  \"obs_per_sec\": " << canonical_obs_per_sec << ",\n"
+        << "  \"shed\": " << canonical_shed << "\n"
         << "}\n";
   }
   std::printf(
-      "\nbest: %.0f obs/s at %d shards, shed %llu (target: >= 100k obs/s, "
-      "shed 0 under kBlock) — BENCH_serve.json written\n",
-      best_obs_per_sec, best_shards,
-      static_cast<unsigned long long>(best_shed));
+      "\ncanonical (%d shards): %.0f obs/s, shed %llu (target: >= 100k "
+      "obs/s, shed 0 under kBlock) — BENCH_serve.json written\n",
+      kCanonicalShards, canonical_obs_per_sec,
+      static_cast<unsigned long long>(canonical_shed));
   return 0;
 }

@@ -14,6 +14,22 @@
 //   mace_cli eval  --data <dir> --model <file> [--risk R]
 //       Restores a model and prints best-F1 / AUROC / POT metrics.
 //
+//   mace_cli score ... --history-out <file> [--anomaly-threshold T]
+//       [--history-capacity N]
+//       Additionally records every per-step score in an anomaly history
+//       store (tenant = service name, anomaly bit = score > T) and writes
+//       it as an MHSNAPv1 snapshot for the history commands below.
+//
+//   mace_cli history <top|rate|correlate> --snapshot <file>
+//       Fleet observability over a history snapshot (no --data needed):
+//         top        [--top-k K] [--from T0] [--to T1]
+//                    rank tenants by severity (anomaly rate x mean excess)
+//         rate       --tenant NAME [--bucket W] [--from T0] [--to T1]
+//                    windowed anomaly-rate series of one tenant
+//         correlate  [--window W] [--min-corr J] [--max-tenants N]
+//                    tenant pairs whose anomalies co-occur (Jaccard over
+//                    aligned windows), clustered into components
+//
 // Observability (train/score/eval):
 //   --metrics-out <file>   write all obs metrics after the run; Prometheus
 //                          text exposition, or JSON when the path ends in
@@ -27,10 +43,13 @@
 //   mace_cli train --data /tmp/demo --model /tmp/demo/model.mace
 //   mace_cli eval  --data /tmp/demo --model /tmp/demo/model.mace
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <map>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -40,6 +59,9 @@
 #include "core/mace_detector.h"
 #include "eval/metrics.h"
 #include "eval/roc.h"
+#include "history/query.h"
+#include "history/snapshot.h"
+#include "history/store.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "ts/io.h"
@@ -109,6 +131,23 @@ class Flags {
       const int value = std::stoi(it->second, &used);
       if (used != it->second.size()) throw std::invalid_argument(it->second);
       return value;
+    } catch (const std::exception&) {
+      if (error->empty()) {
+        *error = "flag '--" + key + "' needs an integer, got '" +
+                 it->second + "'";
+      }
+      return fallback;
+    }
+  }
+  int64_t GetInt64Strict(const std::string& key, int64_t fallback,
+                         std::string* error) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t used = 0;
+      const long long value = std::stoll(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument(it->second);
+      return static_cast<int64_t>(value);
     } catch (const std::exception&) {
       if (error->empty()) {
         *error = "flag '--" + key + "' needs an integer, got '" +
@@ -292,6 +331,29 @@ int Score(const Flags& flags) {
                  policy.status().message().c_str());
     return 2;
   }
+  std::string error;
+  const std::string history_out = flags.Get("history-out", "");
+  const double anomaly_threshold =
+      flags.GetDoubleStrict("anomaly-threshold", 3.0, &error);
+  const int history_capacity =
+      flags.GetIntStrict("history-capacity", 1024, &error);
+  if (error.empty() &&
+      (!std::isfinite(anomaly_threshold) || anomaly_threshold < 0.0)) {
+    error = "flag '--anomaly-threshold' must be finite and >= 0";
+  }
+  if (error.empty() &&
+      (history_capacity < 1 || history_capacity > (1 << 24))) {
+    error = "flag '--history-capacity' must be in [1, 16777216]";
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "argument error: %s\n", error.c_str());
+    return 2;
+  }
+  std::optional<history::HistoryStore> history;
+  if (!history_out.empty()) {
+    history.emplace(history::HistoryConfig{
+        static_cast<size_t>(history_capacity), anomaly_threshold});
+  }
   auto services = LoadServices(flags.Get("data", ""), *policy);
   if (!services.ok()) {
     std::fprintf(stderr, "data error: %s\n",
@@ -313,6 +375,13 @@ int Score(const Flags& flags) {
     auto scores =
         detector->Score(static_cast<int>(s), (*services)[s].test);
     MACE_CHECK_OK(scores.status());
+    if (history.has_value()) {
+      const history::HistoryStore::TenantId tenant =
+          history->Intern((*services)[s].name);
+      for (size_t step = 0; step < scores->size(); ++step) {
+        history->Append(tenant, static_cast<int64_t>(step), (*scores)[step]);
+      }
+    }
     if (out.empty()) {
       double max_score = 0.0;
       for (double v : *scores) max_score = std::max(max_score, v);
@@ -327,6 +396,17 @@ int Score(const Flags& flags) {
       MACE_CHECK_OK(WriteCsvFile(path, table));
       std::printf("wrote %s\n", path.c_str());
     }
+  }
+  if (history.has_value()) {
+    const Status written =
+        history::WriteSnapshot(*history, history_out, anomaly_threshold);
+    if (!written.ok()) {
+      std::fprintf(stderr, "history snapshot write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote history snapshot %s (%zu tenants)\n",
+                history_out.c_str(), history->NumTenants());
   }
   return 0;
 }
@@ -383,10 +463,157 @@ int Eval(const Flags& flags) {
   return 0;
 }
 
+/// Oldest/newest timestamp across every tenant of `source` — the default
+/// --from/--to range of the history commands. {0, 0} when empty.
+std::pair<int64_t, int64_t> HistoryDataRange(
+    const history::HistorySource& source) {
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  for (size_t i = 0; i < source.NumTenants(); ++i) {
+    source.VisitRange(i, std::numeric_limits<int64_t>::min(),
+                      std::numeric_limits<int64_t>::max(),
+                      [&](history::RecordSpan s) {
+                        lo = std::min(lo, s.data[0].timestamp);
+                        hi = std::max(hi, s.data[s.size - 1].timestamp);
+                      });
+  }
+  if (lo > hi) return {0, 0};
+  return {lo, hi};
+}
+
+int History(const std::string& sub, const Flags& flags) {
+  if (sub != "top" && sub != "rate" && sub != "correlate") {
+    std::fprintf(stderr,
+                 "argument error: unknown history command '%s' (expected "
+                 "top, rate or correlate)\n",
+                 sub.c_str());
+    return 2;
+  }
+  // Validate every flag before touching the snapshot so a typo is always
+  // exit 2, never a data error.
+  std::string error;
+  const std::string snapshot_path = flags.Get("snapshot", "");
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "argument error: --snapshot is required\n");
+    return 2;
+  }
+  const int top_k = flags.GetIntStrict("top-k", 10, &error);
+  const int64_t bucket = flags.GetInt64Strict("bucket", 60, &error);
+  const int64_t window = flags.GetInt64Strict("window", 16, &error);
+  const double min_corr = flags.GetDoubleStrict("min-corr", 0.5, &error);
+  const int max_tenants = flags.GetIntStrict("max-tenants", 256, &error);
+  flags.GetInt64Strict("from", 0, &error);
+  flags.GetInt64Strict("to", 0, &error);
+  if (error.empty() && top_k < 1) {
+    error = "flag '--top-k' must be >= 1";
+  }
+  if (error.empty() && max_tenants < 1) {
+    error = "flag '--max-tenants' must be >= 1";
+  }
+  if (!error.empty()) {
+    std::fprintf(stderr, "argument error: %s\n", error.c_str());
+    return 2;
+  }
+
+  auto reader = history::SnapshotReader::Open(snapshot_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  const auto [data_lo, data_hi] = HistoryDataRange(*reader);
+  const int64_t from = flags.GetInt64Strict("from", data_lo, &error);
+  const int64_t to = flags.GetInt64Strict("to", data_hi, &error);
+
+  if (sub == "top") {
+    const auto ranks = history::TopTenants(
+        *reader, from, to, static_cast<size_t>(top_k));
+    std::printf("%-4s %-24s %10s %8s %10s %9s %9s\n", "#", "tenant",
+                "severity", "rate", "excess", "anomalies", "records");
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      const history::TenantRank& r = ranks[i];
+      std::printf("%-4zu %-24s %10.4f %8.4f %10.4f %9llu %9llu\n", i + 1,
+                  r.tenant.c_str(), r.severity, r.anomaly_rate,
+                  r.mean_excess,
+                  static_cast<unsigned long long>(r.anomalies),
+                  static_cast<unsigned long long>(r.records));
+    }
+    if (ranks.empty()) {
+      std::printf("no records in [%lld, %lld]\n",
+                  static_cast<long long>(from), static_cast<long long>(to));
+    }
+    return 0;
+  }
+
+  if (sub == "rate") {
+    const std::string tenant = flags.Get("tenant", "");
+    if (tenant.empty()) {
+      std::fprintf(stderr,
+                   "argument error: history rate needs --tenant\n");
+      return 2;
+    }
+    const auto series =
+        history::AnomalyRateSeries(*reader, tenant, from, to, bucket);
+    if (!series.ok()) {
+      const bool bad_args =
+          series.status().code() == StatusCode::kInvalidArgument;
+      std::fprintf(stderr, "%s: %s\n",
+                   bad_args ? "argument error" : "query error",
+                   series.status().message().c_str());
+      return bad_args ? 2 : 1;
+    }
+    std::printf("%-12s %9s %9s %7s\n", "bucket", "records", "anomalies",
+                "rate");
+    for (const history::RateBucket& b : *series) {
+      std::printf("%-12lld %9llu %9llu %7.4f\n",
+                  static_cast<long long>(b.start),
+                  static_cast<unsigned long long>(b.records),
+                  static_cast<unsigned long long>(b.anomalies), b.rate);
+    }
+    return 0;
+  }
+
+  // correlate
+  history::CorrelationOptions options;
+  options.window_width = window;
+  options.min_jaccard = min_corr;
+  options.max_tenants = static_cast<size_t>(max_tenants);
+  const auto report =
+      history::CorrelateAnomalies(*reader, from, to, options);
+  if (!report.ok()) {
+    const bool bad_args =
+        report.status().code() == StatusCode::kInvalidArgument;
+    std::fprintf(stderr, "%s: %s\n",
+                 bad_args ? "argument error" : "query error",
+                 report.status().message().c_str());
+    return bad_args ? 2 : 1;
+  }
+  std::printf("%zu tenants with anomalies%s\n", report->tenants_considered,
+              report->truncated ? " (truncated to the most anomalous)" : "");
+  std::printf("%-24s %-24s %8s %6s\n", "tenant a", "tenant b", "jaccard",
+              "co-win");
+  for (const history::CorrelatedPair& p : report->pairs) {
+    std::printf("%-24s %-24s %8.4f %6llu\n", p.a.c_str(), p.b.c_str(),
+                p.jaccard, static_cast<unsigned long long>(p.co_windows));
+  }
+  for (size_t c = 0; c < report->clusters.size(); ++c) {
+    std::printf("cluster %zu:", c + 1);
+    for (const std::string& name : report->clusters[c].tenants) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  if (report->pairs.empty()) {
+    std::printf("no correlated pairs at min jaccard %.2f\n", min_corr);
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
       "usage: mace_cli <synth|train|score|eval> --data <dir>\n"
+      "       mace_cli history <top|rate|correlate> --snapshot <file>\n"
       "  common:  [--model <file>] [--metrics-out <file>] [--trace]\n"
       "           [--trace-out <file>]\n"
       "           [--non-finite reject|impute|propagate]  NaN/Inf policy\n"
@@ -395,8 +622,12 @@ void Usage() {
       "  synth:   [--profile SMD|SMAP|MC|J-D1|J-D2] [--services N]\n"
       "  train:   [--epochs N] [--gamma-t G] [--gamma-f G] [--bases K]\n"
       "           [--fit-threads N] [--batch-size B]\n"
-      "  score:   [--out <dir>]\n"
+      "  score:   [--out <dir>] [--history-out <file>]\n"
+      "           [--anomaly-threshold T] [--history-capacity N]\n"
       "  eval:    [--risk R]\n"
+      "  history: top       [--top-k K] [--from T0] [--to T1]\n"
+      "           rate      --tenant NAME [--bucket W] [--from] [--to]\n"
+      "           correlate [--window W] [--min-corr J] [--max-tenants N]\n"
       "Every --key flag (except --trace) takes exactly one value.\n");
 }
 
@@ -408,6 +639,26 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "history") {
+    // History queries read a snapshot, not --data; the subcommand is the
+    // one positional argument.
+    if (argc < 3) {
+      Usage();
+      return 2;
+    }
+    const Flags flags(argc, argv, 3);
+    if (!flags.ok()) {
+      std::fprintf(stderr, "argument error: %s\n", flags.error().c_str());
+      Usage();
+      return 2;
+    }
+    if (flags.GetBool("trace") || !flags.Get("trace-out", "").empty()) {
+      obs::TraceRecorder::Get().SetDetailed(true);
+    }
+    int code = History(argv[2], flags);
+    if (code == 0) code = FinishObservability(flags);
+    return code;
+  }
   const Flags flags(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "argument error: %s\n", flags.error().c_str());

@@ -3,27 +3,108 @@
 // against a threshold calibrated on the first emitted scores — no batch
 // windowing, no retraining, fixed per-step latency of one window.
 //
-// A single-shard ServeFrontend wraps the StreamingScorer here, so the
+// A single-shard ServeFrontend wraps the StreamingScorers here, so the
 // live snapshot is the same ServeStats line the mace_served dashboard
-// prints — one stats path for both the one-stream monitor and the
-// multi-tenant pool.
+// prints — one stats path for both the monitor and the multi-tenant pool.
+// Every service streams as its own tenant into a shared anomaly
+// HistoryStore, and the periodic snapshot includes a fleet ranking panel
+// (history/query.h TopTenants over the most recent steps).
 //
 // Run: ./build/examples/streaming_monitor
+//        [--anomaly-threshold T]  fixed history threshold; 0 (default)
+//                                 calibrates 2 x P90 per tenant online
+//        [--history-capacity N]   per-tenant history ring, records
+//        [--top-k K]              rows in the ranking panel
 
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "common/math_utils.h"
 #include "eval/metrics.h"
+#include "history/query.h"
+#include "history/store.h"
 #include "obs/metrics.h"
 #include "serve/frontend.h"
 #include "ts/profiles.h"
 
 namespace {
 
-/// Live view for the streamed service: the pool-wide ServeStats line plus
-/// per-stage mean latency from the obs registry.
-void PrintSnapshot(size_t step, const mace::serve::ServeStats& stats) {
+struct Options {
+  double anomaly_threshold = 0.0;  // 0 = calibrate per tenant
+  int history_capacity = 1024;
+  int top_k = 4;
+};
+
+/// Strict numeric parsers (the mace_served convention): the whole value
+/// must parse or the process exits 2 naming the flag.
+int ParseIntOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const int value = std::stoi(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs an integer, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+double ParseDoubleOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs a number, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--anomaly-threshold") {
+      options.anomaly_threshold = ParseDoubleOrDie(arg, next());
+    } else if (arg == "--history-capacity") {
+      options.history_capacity = ParseIntOrDie(arg, next());
+    } else if (arg == "--top-k") {
+      options.top_k = ParseIntOrDie(arg, next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (!(options.anomaly_threshold >= 0.0)) {
+    std::fprintf(stderr, "--anomaly-threshold must be >= 0\n");
+    std::exit(2);
+  }
+  if (options.history_capacity < 1 || options.top_k < 1) {
+    std::fprintf(stderr,
+                 "--history-capacity/--top-k must be positive\n");
+    std::exit(2);
+  }
+  return options;
+}
+
+/// Live view: the pool-wide ServeStats line, per-stage mean latency from
+/// the obs registry, and the fleet ranking panel over the freshest
+/// `window` emitted steps of the history store.
+void PrintSnapshot(size_t step, const mace::serve::ServeStats& stats,
+                   const mace::history::HistoryStore& history,
+                   int64_t newest_step, int64_t window, size_t top_k) {
   using mace::obs::Metrics;
   auto stage_mean_us = [](const char* stage) {
     return Metrics()
@@ -38,93 +119,148 @@ void PrintSnapshot(size_t step, const mace::serve::ServeStats& stats) {
       step, stats.FormatLine().c_str(), stage_mean_us("dualistic_time"),
       stage_mean_us("context_dft"), stage_mean_us("freq_characterization"),
       stage_mean_us("autoencoder"));
+  const auto ranks = mace::history::TopTenants(
+      history, std::max<int64_t>(0, newest_step - window + 1), newest_step,
+      top_k);
+  std::printf("             fleet (last %lld steps):",
+              static_cast<long long>(window));
+  if (ranks.empty()) std::printf(" no scores yet");
+  for (const mace::history::TenantRank& r : ranks) {
+    std::printf("  %s sev %.3f (rate %.2f)", r.tenant.c_str(), r.severity,
+                r.anomaly_rate);
+  }
+  std::printf("\n");
 }
 
 constexpr size_t kSnapshotEvery = 400;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mace;
+
+  const Options options = ParseArgs(argc, argv);
 
   ts::DatasetProfile profile = ts::McProfile();  // point-anomaly heavy
   profile.num_services = 4;
   const ts::Dataset dataset = ts::GenerateDataset(profile);
+  const size_t num_tenants = dataset.services.size();
 
   core::MaceConfig config;
   config.epochs = 5;
   auto detector = std::make_shared<core::MaceDetector>(config);
   MACE_CHECK_OK(detector->Fit(dataset.services));
 
-  // One tenant, one shard: the frontend's synchronous path is then an
-  // in-order StreamingScorer with serving stats attached.
+  // Every emitted score lands in the shared history store; with the
+  // sessions pinned to one shard the synchronous path stays an in-order
+  // StreamingScorer per tenant with serving stats attached.
+  history::HistoryStore history(history::HistoryConfig{
+      static_cast<size_t>(options.history_capacity),
+      options.anomaly_threshold});
   serve::ServeConfig serve_config;
   serve_config.num_shards = 1;
+  serve_config.history = &history;
   auto frontend = serve::ServeFrontend::Create(detector, serve_config);
   MACE_CHECK_OK(frontend.status());
-  const ts::TimeSeries& test = dataset.services[0].test;
 
-  // Stream the test split one observation at a time. Following the SPOT
-  // protocol, the threshold is calibrated online from the first
-  // `kCalibration` emitted scores, then alerts fire on everything after.
+  // Stream every service's test split as its own tenant. Following the
+  // SPOT protocol, each tenant's alert threshold is calibrated online
+  // from its first `kCalibration` emitted scores, then alerts fire on
+  // everything after. The same threshold is installed into the history
+  // store, so later anomaly bits agree with the monitor's alerts.
   constexpr size_t kCalibration = 240;
-  std::vector<double> scores;
-  double threshold = 0.0;
-  bool calibrated = false;
-  std::vector<uint8_t> alerts;
-  size_t alert_count = 0;
-  auto consume = [&](double score, size_t input_step) {
-    scores.push_back(score);
-    if (!calibrated && scores.size() >= kCalibration) {
+  struct TenantState {
+    std::string name;
+    history::HistoryStore::TenantId history_id = 0;
+    std::vector<double> scores;
+    double threshold = 0.0;
+    bool calibrated = false;
+    std::vector<uint8_t> alerts;
+    size_t alert_count = 0;
+  };
+  std::vector<TenantState> tenants(num_tenants);
+  const bool fixed_threshold = options.anomaly_threshold > 0.0;
+  for (size_t s = 0; s < num_tenants; ++s) {
+    tenants[s].name = "svc" + std::to_string(s);
+    // The serve path interns "<tenant>/<service>" on first score; intern
+    // the same key here to install calibrated thresholds later.
+    tenants[s].history_id =
+        history.Intern(tenants[s].name + "/" + std::to_string(s));
+    tenants[s].threshold = options.anomaly_threshold;
+    tenants[s].calibrated = fixed_threshold;
+  }
+
+  auto consume = [&](TenantState& tenant, double score, size_t input_step) {
+    tenant.scores.push_back(score);
+    if (!tenant.calibrated && tenant.scores.size() >= kCalibration) {
       // Contamination-robust rule: anomalies inside the calibration slice
       // inflate extreme-tail estimates, so anchor on a bulk quantile with
       // a safety factor instead of the raw POT tail (POT remains the
       // right tool on clean calibration data; see multi_service_cloud).
-      auto q90 = Quantile(scores, 0.90);
+      auto q90 = Quantile(tenant.scores, 0.90);
       MACE_CHECK_OK(q90.status());
-      threshold = 2.0 * *q90;
-      calibrated = true;
-      std::printf("calibrated threshold after %zu scores: %.4f "
+      tenant.threshold = 2.0 * *q90;
+      tenant.calibrated = true;
+      history.SetThreshold(tenant.history_id, tenant.threshold);
+      std::printf("%s calibrated threshold after %zu scores: %.4f "
                   "(2 x P90)\n",
-                  scores.size(), threshold);
+                  tenant.name.c_str(), tenant.scores.size(),
+                  tenant.threshold);
     }
-    const bool alert = calibrated && score > threshold;
-    alerts.push_back(alert ? 1 : 0);
-    if (alert && alert_count < 8) {
-      std::printf("  ALERT at step %zu (score %.3f, emitted at input "
+    const bool alert = tenant.calibrated && score > tenant.threshold;
+    tenant.alerts.push_back(alert ? 1 : 0);
+    if (alert && tenant.alert_count < 4) {
+      std::printf("  ALERT %s at step %zu (score %.3f, emitted at input "
                   "step %zu — latency %zu)\n",
-                  alerts.size() - 1, score, input_step,
-                  input_step - (alerts.size() - 1));
+                  tenant.name.c_str(), tenant.alerts.size() - 1, score,
+                  input_step, input_step - (tenant.alerts.size() - 1));
     }
-    alert_count += alert;
+    tenant.alert_count += alert;
   };
-  for (size_t t = 0; t < test.length(); ++t) {
-    auto batch = (*frontend)->Score("monitor", 0, test.values()[t]);
-    MACE_CHECK_OK(batch.status());
-    MACE_CHECK_OK(batch->status);
-    for (double score : batch->scores) consume(score, t);
+
+  const size_t length = dataset.services[0].test.length();
+  for (size_t t = 0; t < length; ++t) {
+    for (size_t s = 0; s < num_tenants; ++s) {
+      const ts::TimeSeries& test = dataset.services[s].test;
+      if (t >= test.length()) continue;
+      auto batch = (*frontend)->Score(tenants[s].name, static_cast<int>(s),
+                                      test.values()[t]);
+      MACE_CHECK_OK(batch.status());
+      MACE_CHECK_OK(batch->status);
+      for (double score : batch->scores) consume(tenants[s], score, t);
+    }
     if ((t + 1) % kSnapshotEvery == 0) {
-      PrintSnapshot(t + 1, (*frontend)->Stats());
+      PrintSnapshot(t + 1, (*frontend)->Stats(), history,
+                    static_cast<int64_t>(tenants[0].alerts.size()) - 1,
+                    static_cast<int64_t>(kSnapshotEvery), options.top_k);
     }
   }
-  // Close drains the windowed tail the stream still owes.
-  auto tail = (*frontend)->Close("monitor", 0);
-  MACE_CHECK_OK(tail.status());
-  for (double score : *tail) {
-    consume(score, test.length() - 1);
+  // Close drains the windowed tail each stream still owes.
+  for (size_t s = 0; s < num_tenants; ++s) {
+    auto tail = (*frontend)->Close(tenants[s].name, static_cast<int>(s));
+    MACE_CHECK_OK(tail.status());
+    for (double score : *tail) consume(tenants[s], score, length - 1);
   }
 
-  std::printf("\nstream done: %zu steps, %zu alert steps\n", alerts.size(),
-              alert_count);
-  // Evaluate only past the calibration warm-up.
-  std::vector<uint8_t> eval_alerts(alerts.begin() + kCalibration,
-                                   alerts.end());
-  std::vector<uint8_t> eval_labels(
-      test.labels().begin() + kCalibration,
-      test.labels().begin() + alerts.size());
-  const eval::PrMetrics m = eval::FromConfusion(eval::Confuse(
-      eval::PointAdjust(eval_alerts, eval_labels), eval_labels));
-  std::printf("online detection past warm-up: P=%.3f R=%.3f F1=%.3f\n",
-              m.precision, m.recall, m.f1);
+  std::printf("\nstream done: %zu tenants x %zu steps\n", num_tenants,
+              length);
+  // Evaluate each tenant only past its calibration warm-up.
+  for (const TenantState& tenant : tenants) {
+    const size_t s = &tenant - tenants.data();
+    const ts::TimeSeries& test = dataset.services[s].test;
+    const size_t warmup = fixed_threshold ? 0 : kCalibration;
+    if (tenant.alerts.size() <= warmup) continue;
+    std::vector<uint8_t> eval_alerts(tenant.alerts.begin() + warmup,
+                                     tenant.alerts.end());
+    std::vector<uint8_t> eval_labels(
+        test.labels().begin() + warmup,
+        test.labels().begin() + tenant.alerts.size());
+    const eval::PrMetrics m = eval::FromConfusion(eval::Confuse(
+        eval::PointAdjust(eval_alerts, eval_labels), eval_labels));
+    std::printf("%s online detection past warm-up: P=%.3f R=%.3f F1=%.3f "
+                "(%zu alert steps)\n",
+                tenant.name.c_str(), m.precision, m.recall, m.f1,
+                tenant.alert_count);
+  }
   return 0;
 }

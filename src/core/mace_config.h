@@ -69,6 +69,14 @@ struct MaceConfig {
   /// without changing the minibatch schedule, so contaminated training
   /// data must be rejected or imputed, never silently propagated.
   ts::NonFinitePolicy non_finite_policy = ts::NonFinitePolicy::kReject;
+  /// Anomaly-history defaults for scorers that attach a HistoryStore
+  /// (streaming sessions, the serve frontend, the CLI's --history-out).
+  /// Runtime knobs like non_finite_policy: NOT serialized, Load leaves
+  /// them at the defaults. `anomaly_threshold` sets a record's anomaly
+  /// bit when its score strictly exceeds it (overridable per tenant);
+  /// `history_capacity` is the per-tenant ring size in records.
+  double anomaly_threshold = 3.0;
+  int history_capacity = 1024;
 
   // -- Ablation switches (Table IX) -----------------------------------------
   /// false: replace context-aware DFT/IDFT with the vanilla full spectrum.

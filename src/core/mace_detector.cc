@@ -249,6 +249,19 @@ Status MaceDetector::ValidateConfig(const MaceConfig& config) {
         "fit_threads must be >= 1 (the training pool includes the calling "
         "thread), got " + std::to_string(config.fit_threads));
   }
+  if (!std::isfinite(config.anomaly_threshold) ||
+      config.anomaly_threshold < 0.0) {
+    return Status::InvalidArgument(
+        "anomaly_threshold must be finite and >= 0 (scores are "
+        "non-negative reconstruction errors), got " +
+        std::to_string(config.anomaly_threshold));
+  }
+  if (config.history_capacity < 1 ||
+      config.history_capacity > (1 << 24)) {
+    return Status::InvalidArgument(
+        "history_capacity must be in [1, 16777216] records per tenant, "
+        "got " + std::to_string(config.history_capacity));
+  }
   if (config.batch_size < 1) {
     return Status::InvalidArgument(
         "batch_size must be >= 1 (windows per training minibatch; 1 is the "

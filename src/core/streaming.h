@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/mace_detector.h"
+#include "history/store.h"
 #include "obs/metrics.h"
 #include "ts/sanitize.h"
 
@@ -89,6 +90,19 @@ class StreamingScorer {
   }
   const IngestStats& ingest_stats() const { return ingest_stats_; }
 
+  /// Mirrors every subsequently emitted score into `history` under
+  /// `tenant` (timestamp = the emitted step index), setting the anomaly
+  /// bit against the tenant's live threshold. `history` must outlive the
+  /// scorer or be detached first; Reset() detaches, so a recycled session
+  /// never writes into the previous tenant's history.
+  void AttachHistory(history::HistoryStore* history,
+                     history::HistoryStore::TenantId tenant) {
+    history_ = history;
+    history_tenant_ = tenant;
+  }
+  void DetachHistory() { history_ = nullptr; }
+  bool history_attached() const { return history_ != nullptr; }
+
  private:
   StreamingScorer(const MaceDetector* detector, int service_index,
                   ts::NonFinitePolicy policy);
@@ -126,6 +140,10 @@ class StreamingScorer {
   size_t steps_consumed_ = 0;
   size_t next_emit_ = 0;
   size_t last_scored_end_ = 0;  ///< end step (exclusive) of the last window
+
+  /// Optional anomaly-history sink (not owned); see AttachHistory.
+  history::HistoryStore* history_ = nullptr;
+  history::HistoryStore::TenantId history_tenant_ = 0;
 
   // Observability: instruments are resolved once per scorer (labeled by
   // service), so the per-step path touches only atomics.

@@ -1,0 +1,298 @@
+#include "history/query.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mace::history {
+namespace {
+
+constexpr int64_t kMaxBuckets = int64_t{1} << 20;
+
+/// Query instrumentation: one counter + latency histogram per query kind.
+struct QueryInstruments {
+  obs::Counter* count;
+  obs::Histogram* latency;
+};
+QueryInstruments Instruments(const char* query) {
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  return QueryInstruments{
+      metrics.GetCounter("mace_history_queries_total",
+                         "History queries served, by query kind",
+                         {{"query", query}}),
+      metrics.GetHistogram("mace_history_query_seconds",
+                           "History query latency, by query kind",
+                           {{"query", query}})};
+}
+
+/// Number of windows spanned by [t0, t1] at `width`, or an error when the
+/// range/width is unusable. Shared by the bucketed queries.
+Result<int64_t> WindowCount(int64_t t0, int64_t t1, int64_t width,
+                            const char* what) {
+  if (width <= 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be positive, got " +
+                                   std::to_string(width));
+  }
+  if (t1 < t0) {
+    return Status::InvalidArgument(
+        "time range is inverted: [" + std::to_string(t0) + ", " +
+        std::to_string(t1) + "]");
+  }
+  // (t1 - t0) can overflow int64 when the caller passes the full axis;
+  // compute in unsigned space, and bound-check before the +1 (span/width
+  // can itself be UINT64_MAX, which +1 would wrap to zero windows).
+  const uint64_t span = static_cast<uint64_t>(t1) - static_cast<uint64_t>(t0);
+  const uint64_t full = span / static_cast<uint64_t>(width);
+  if (full >= static_cast<uint64_t>(kMaxBuckets)) {
+    return Status::InvalidArgument(
+        "range spans over " + std::to_string(full) + " windows of width " +
+        std::to_string(width) + "; the limit is " +
+        std::to_string(kMaxBuckets) + " (widen the window or narrow the range)");
+  }
+  return static_cast<int64_t>(full + 1);
+}
+
+uint64_t WindowIndex(int64_t timestamp, int64_t t0, int64_t width) {
+  return (static_cast<uint64_t>(timestamp) - static_cast<uint64_t>(t0)) /
+         static_cast<uint64_t>(width);
+}
+
+struct Bitset {
+  std::vector<uint64_t> words;
+  uint64_t popcount = 0;
+
+  explicit Bitset(size_t bits) : words((bits + 63) / 64, 0) {}
+  void Set(uint64_t i) {
+    uint64_t& w = words[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    if (!(w & mask)) {
+      w |= mask;
+      ++popcount;
+    }
+  }
+};
+
+uint64_t IntersectCount(const Bitset& a, const Bitset& b) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < a.words.size(); ++i) {
+    n += static_cast<uint64_t>(std::popcount(a.words[i] & b.words[i]));
+  }
+  return n;
+}
+
+/// Union-find over tenant slots for clustering correlated pairs.
+size_t FindRoot(std::vector<size_t>& parent, size_t i) {
+  while (parent[i] != i) {
+    parent[i] = parent[parent[i]];
+    i = parent[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+std::vector<TenantRank> TopTenants(const HistorySource& source, int64_t t0,
+                                   int64_t t1, size_t k) {
+  static const QueryInstruments instruments = Instruments("top");
+  obs::ScopedSpan span("history_query_top", instruments.latency);
+  instruments.count->Increment();
+
+  std::vector<TenantRank> ranks;
+  const size_t num_tenants = source.NumTenants();
+  for (size_t i = 0; i < num_tenants; ++i) {
+    const double threshold = source.TenantThreshold(i);
+    TenantRank rank;
+    double excess_sum = 0.0;
+    source.VisitRange(i, t0, t1, [&](RecordSpan s) {
+      rank.records += s.size;
+      for (size_t j = 0; j < s.size; ++j) {
+        if (s.data[j].anomaly) {
+          ++rank.anomalies;
+          // Live stores never hold non-finite scores, but a snapshot is
+          // untrusted bytes — keep one bad float from poisoning the rank.
+          const double excess =
+              static_cast<double>(s.data[j].score) - threshold;
+          if (std::isfinite(excess)) excess_sum += excess;
+        }
+      }
+    });
+    if (rank.records == 0) continue;
+    rank.tenant = source.TenantName(i);
+    rank.anomaly_rate =
+        static_cast<double>(rank.anomalies) / static_cast<double>(rank.records);
+    if (rank.anomalies > 0) {
+      rank.mean_excess =
+          std::max(0.0, excess_sum / static_cast<double>(rank.anomalies));
+    }
+    rank.severity = rank.anomaly_rate * rank.mean_excess;
+    ranks.push_back(std::move(rank));
+  }
+
+  const auto better = [](const TenantRank& a, const TenantRank& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;
+    if (a.anomalies != b.anomalies) return a.anomalies > b.anomalies;
+    return a.tenant < b.tenant;
+  };
+  if (ranks.size() > k) {
+    std::partial_sort(ranks.begin(), ranks.begin() + k, ranks.end(), better);
+    ranks.resize(k);
+  } else {
+    std::sort(ranks.begin(), ranks.end(), better);
+  }
+  return ranks;
+}
+
+Result<std::vector<RateBucket>> AnomalyRateSeries(const HistorySource& source,
+                                                  std::string_view tenant,
+                                                  int64_t t0, int64_t t1,
+                                                  int64_t bucket_width) {
+  static const QueryInstruments instruments = Instruments("rate");
+  obs::ScopedSpan span("history_query_rate", instruments.latency);
+  instruments.count->Increment();
+
+  MACE_ASSIGN_OR_RETURN(const int64_t num_buckets,
+                        WindowCount(t0, t1, bucket_width, "bucket width"));
+  const size_t num_tenants = source.NumTenants();
+  size_t index = num_tenants;
+  for (size_t i = 0; i < num_tenants; ++i) {
+    if (source.TenantName(i) == tenant) {
+      index = i;
+      break;
+    }
+  }
+  if (index == num_tenants) {
+    return Status::NotFound("unknown history tenant '" + std::string(tenant) +
+                            "'");
+  }
+
+  std::vector<RateBucket> buckets(static_cast<size_t>(num_buckets));
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b].start = t0 + static_cast<int64_t>(b) * bucket_width;
+  }
+  source.VisitRange(index, t0, t1, [&](RecordSpan s) {
+    for (size_t j = 0; j < s.size; ++j) {
+      RateBucket& bucket =
+          buckets[WindowIndex(s.data[j].timestamp, t0, bucket_width)];
+      ++bucket.records;
+      if (s.data[j].anomaly) ++bucket.anomalies;
+    }
+  });
+  for (RateBucket& bucket : buckets) {
+    if (bucket.records > 0) {
+      bucket.rate = static_cast<double>(bucket.anomalies) /
+                    static_cast<double>(bucket.records);
+    }
+  }
+  return buckets;
+}
+
+Result<CorrelationReport> CorrelateAnomalies(
+    const HistorySource& source, int64_t t0, int64_t t1,
+    const CorrelationOptions& options) {
+  static const QueryInstruments instruments = Instruments("correlate");
+  obs::ScopedSpan span("history_query_correlate", instruments.latency);
+  instruments.count->Increment();
+
+  MACE_ASSIGN_OR_RETURN(
+      const int64_t num_windows,
+      WindowCount(t0, t1, options.window_width, "window width"));
+  if (options.max_tenants == 0) {
+    return Status::InvalidArgument("max_tenants must be positive");
+  }
+  if (!(options.min_jaccard >= 0.0) || options.min_jaccard > 1.0) {
+    return Status::InvalidArgument("min_jaccard must be in [0, 1], got " +
+                                   std::to_string(options.min_jaccard));
+  }
+
+  // Project every tenant's anomalies onto the shared window axis.
+  struct Participant {
+    size_t source_index;
+    Bitset windows;
+  };
+  std::vector<Participant> participants;
+  const size_t num_tenants = source.NumTenants();
+  for (size_t i = 0; i < num_tenants; ++i) {
+    Bitset bits(static_cast<size_t>(num_windows));
+    source.VisitRange(i, t0, t1, [&](RecordSpan s) {
+      for (size_t j = 0; j < s.size; ++j) {
+        if (s.data[j].anomaly) {
+          bits.Set(WindowIndex(s.data[j].timestamp, t0, options.window_width));
+        }
+      }
+    });
+    if (bits.popcount > 0) {
+      participants.push_back(Participant{i, std::move(bits)});
+    }
+  }
+
+  CorrelationReport report;
+  report.tenants_considered = participants.size();
+  if (participants.size() > options.max_tenants) {
+    report.truncated = true;
+    // Keep the most anomalous tenants (stable on source order for ties).
+    std::stable_sort(participants.begin(), participants.end(),
+                     [](const Participant& a, const Participant& b) {
+                       return a.windows.popcount > b.windows.popcount;
+                     });
+    participants.erase(
+        participants.begin() + static_cast<ptrdiff_t>(options.max_tenants),
+        participants.end());
+  }
+
+  std::vector<std::string> names(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    names[i] = source.TenantName(participants[i].source_index);
+  }
+
+  std::vector<size_t> parent(participants.size());
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  for (size_t i = 0; i < participants.size(); ++i) {
+    for (size_t j = i + 1; j < participants.size(); ++j) {
+      const uint64_t both =
+          IntersectCount(participants[i].windows, participants[j].windows);
+      const uint64_t either = participants[i].windows.popcount +
+                              participants[j].windows.popcount - both;
+      const double jaccard =
+          either == 0 ? 0.0
+                      : static_cast<double>(both) / static_cast<double>(either);
+      if (jaccard >= options.min_jaccard && both > 0) {
+        report.pairs.push_back(CorrelatedPair{names[i], names[j], jaccard,
+                                              both});
+        parent[FindRoot(parent, i)] = FindRoot(parent, j);
+      }
+    }
+  }
+  std::sort(report.pairs.begin(), report.pairs.end(),
+            [](const CorrelatedPair& a, const CorrelatedPair& b) {
+              if (a.jaccard != b.jaccard) return a.jaccard > b.jaccard;
+              if (a.a != b.a) return a.a < b.a;
+              return a.b < b.b;
+            });
+
+  // Components of size >= 2 become clusters.
+  std::vector<std::vector<std::string>> by_root(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    by_root[FindRoot(parent, i)].push_back(names[i]);
+  }
+  for (std::vector<std::string>& members : by_root) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    report.clusters.push_back(CorrelationCluster{std::move(members)});
+  }
+  std::sort(report.clusters.begin(), report.clusters.end(),
+            [](const CorrelationCluster& a, const CorrelationCluster& b) {
+              if (a.tenants.size() != b.tenants.size()) {
+                return a.tenants.size() > b.tenants.size();
+              }
+              return a.tenants.front() < b.tenants.front();
+            });
+  return report;
+}
+
+}  // namespace mace::history

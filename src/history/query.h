@@ -1,0 +1,94 @@
+#ifndef MACE_HISTORY_QUERY_H_
+#define MACE_HISTORY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "history/record.h"
+
+namespace mace::history {
+
+/// \brief One row of a fleet ranking: how anomalous a tenant was over a
+/// time range, with the ingredients of the score exposed so a UI can
+/// explain the ordering.
+struct TenantRank {
+  std::string tenant;
+  /// anomaly_rate * mean_excess — a tenant ranks high when it is both
+  /// frequently anomalous and far over its threshold (the Anomaly
+  /// Advisor shape: rate alone over-ranks noisy tenants, excess alone
+  /// over-ranks single spikes).
+  double severity = 0.0;
+  double anomaly_rate = 0.0;  ///< anomalies / records in range
+  double mean_excess = 0.0;   ///< mean (score - threshold) over anomalies
+  uint64_t records = 0;
+  uint64_t anomalies = 0;
+};
+
+/// Top `k` tenants in [t0, t1] by severity (ties: more anomalies first,
+/// then name). Tenants with no records in range are omitted.
+std::vector<TenantRank> TopTenants(const HistorySource& source, int64_t t0,
+                                   int64_t t1, size_t k);
+
+/// One bucket of a windowed anomaly-rate series.
+struct RateBucket {
+  int64_t start = 0;  ///< inclusive; bucket covers [start, start + width)
+  uint64_t records = 0;
+  uint64_t anomalies = 0;
+  double rate = 0.0;  ///< anomalies / records, 0 for empty buckets
+};
+
+/// Anomaly rate of `tenant` over [t0, t1] in fixed-width buckets.
+/// Returns every bucket (including empty ones) so the series plots with
+/// gaps visible. Errors: unknown tenant (NotFound), non-positive width or
+/// inverted/oversized range (InvalidArgument).
+Result<std::vector<RateBucket>> AnomalyRateSeries(const HistorySource& source,
+                                                  std::string_view tenant,
+                                                  int64_t t0, int64_t t1,
+                                                  int64_t bucket_width);
+
+struct CorrelationOptions {
+  /// Width of the alignment windows: two tenants co-occur when they are
+  /// both anomalous inside the same [t0 + i*w, t0 + (i+1)*w) window.
+  int64_t window_width = 16;
+  /// Minimum Jaccard similarity for a pair to be reported.
+  double min_jaccard = 0.5;
+  /// At most this many tenants participate (the most anomalous ones win;
+  /// pairwise work is quadratic). `truncated` reports when the cap hit.
+  size_t max_tenants = 256;
+};
+
+struct CorrelatedPair {
+  std::string a;
+  std::string b;
+  double jaccard = 0.0;       ///< |A ∩ B| / |A ∪ B| of anomalous windows
+  uint64_t co_windows = 0;    ///< windows where both were anomalous
+};
+
+struct CorrelationCluster {
+  std::vector<std::string> tenants;  ///< sorted by name
+};
+
+struct CorrelationReport {
+  /// Pairs with jaccard >= min_jaccard, strongest first.
+  std::vector<CorrelatedPair> pairs;
+  /// Connected components (>= 2 tenants) of the pair graph, largest
+  /// first — tenants whose anomalies move together, e.g. a shared-cause
+  /// incident across services.
+  std::vector<CorrelationCluster> clusters;
+  size_t tenants_considered = 0;  ///< tenants with >= 1 anomalous window
+  bool truncated = false;         ///< max_tenants cap was applied
+};
+
+/// Cross-tenant anomaly correlation over [t0, t1]: aligns every tenant's
+/// anomaly bits onto shared windows and reports tenant pairs whose
+/// anomalous windows overlap (Jaccard), clustered into components.
+Result<CorrelationReport> CorrelateAnomalies(const HistorySource& source,
+                                             int64_t t0, int64_t t1,
+                                             const CorrelationOptions& options);
+
+}  // namespace mace::history
+
+#endif  // MACE_HISTORY_QUERY_H_

@@ -1,0 +1,60 @@
+#ifndef MACE_HISTORY_RECORD_H_
+#define MACE_HISTORY_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+
+namespace mace::history {
+
+/// \brief One scored step of one tenant: when it was scored, what the
+/// score was, and whether it crossed the tenant's anomaly threshold at
+/// append time (the netdata "anomaly bit" — cheap to rank and correlate
+/// without re-deciding thresholds at query time).
+///
+/// The layout is the on-disk snapshot record layout: 16 bytes, explicit
+/// padding, trivially copyable, so a ring buffer flushes to a snapshot
+/// (and a snapshot maps back) without any per-record re-encoding.
+struct Record {
+  int64_t timestamp = 0;  ///< appender-defined; stream step index here
+  float score = 0.0f;
+  uint8_t anomaly = 0;         ///< 1 iff score > tenant threshold
+  uint8_t reserved[3] = {0, 0, 0};
+};
+static_assert(sizeof(Record) == 16, "snapshot record layout is 16 bytes");
+static_assert(std::is_trivially_copyable_v<Record>,
+              "records memcpy into snapshots");
+
+/// Contiguous run of time-ordered records.
+struct RecordSpan {
+  const Record* data = nullptr;
+  size_t size = 0;
+};
+
+/// \brief Read-side interface over per-tenant anomaly history — the live
+/// HistoryStore and an opened SnapshotReader both implement it, so every
+/// query (top-K, rate series, correlation) runs unchanged against the
+/// in-memory fleet or an offline snapshot file.
+class HistorySource {
+ public:
+  virtual ~HistorySource() = default;
+
+  virtual size_t NumTenants() const = 0;
+  virtual std::string TenantName(size_t index) const = 0;
+  virtual double TenantThreshold(size_t index) const = 0;
+
+  /// Invokes `fn` with at most two spans that together hold every record
+  /// of tenant `index` whose timestamp lies in [t0, t1], oldest first
+  /// (two when a live ring buffer has wrapped). Spans may point into
+  /// storage that is only locked for the duration of the call — consume,
+  /// do not retain.
+  virtual void VisitRange(
+      size_t index, int64_t t0, int64_t t1,
+      const std::function<void(RecordSpan)>& fn) const = 0;
+};
+
+}  // namespace mace::history
+
+#endif  // MACE_HISTORY_RECORD_H_

@@ -1,0 +1,398 @@
+#include "history/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <limits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define MACE_HISTORY_HAS_MMAP 1
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mace::history {
+namespace {
+
+// The format stores native little-endian fields and raw Record structs;
+// the layout asserts make a silent struct change a compile error instead
+// of a corrupt file.
+static_assert(std::endian::native == std::endian::little,
+              "MHSNAPv1 snapshots are little-endian");
+static_assert(offsetof(Record, timestamp) == 0 &&
+                  offsetof(Record, score) == 8 &&
+                  offsetof(Record, anomaly) == 12,
+              "Record layout is the on-disk layout");
+
+constexpr size_t kCrcOffset = 20;  ///< CRC covers [24, end)
+constexpr size_t kCrcCoverStart = 24;
+constexpr uint32_t kMaxTenants = 1u << 24;
+constexpr uint32_t kMaxNameLength = 4096;
+
+void PutBytes(std::vector<uint8_t>* out, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), bytes, bytes + size);
+}
+template <typename T>
+void Put(std::vector<uint8_t>* out, T value) {
+  PutBytes(out, &value, sizeof(value));
+}
+
+template <typename T>
+T Read(const uint8_t* data, size_t offset) {
+  T value;
+  std::memcpy(&value, data + offset, sizeof(value));
+  return value;
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("history snapshot: " + what);
+}
+
+obs::Histogram* SnapshotLatency(const char* op) {
+  return obs::Metrics().GetHistogram(
+      "mace_history_snapshot_seconds",
+      "Latency of history snapshot operations, by op", {{"op", op}});
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Status WriteSnapshot(const HistorySource& source, const std::string& path,
+                     double default_threshold) {
+  obs::ScopedSpan span("history_snapshot_write", SnapshotLatency("write"));
+  const size_t num_tenants = source.NumTenants();
+  if (num_tenants > kMaxTenants) {
+    return Status::InvalidArgument(
+        "history snapshot: too many tenants to snapshot (" +
+        std::to_string(num_tenants) + ")");
+  }
+
+  // Capture every tenant's retained range first, so the index (which
+  // precedes the records on disk) sees final counts even while the live
+  // store keeps appending.
+  std::vector<std::vector<Record>> captured(num_tenants);
+  for (size_t i = 0; i < num_tenants; ++i) {
+    source.VisitRange(i, std::numeric_limits<int64_t>::min(),
+                      std::numeric_limits<int64_t>::max(),
+                      [&](RecordSpan s) {
+                        captured[i].insert(captured[i].end(), s.data,
+                                           s.data + s.size);
+                      });
+  }
+
+  std::vector<uint8_t> index;
+  uint64_t total_records = 0;
+  for (size_t i = 0; i < num_tenants; ++i) {
+    const std::string name = source.TenantName(i);
+    if (name.size() > kMaxNameLength) {
+      return Status::InvalidArgument(
+          "history snapshot: tenant name too long (" +
+          std::to_string(name.size()) + " bytes)");
+    }
+    Put<uint32_t>(&index, static_cast<uint32_t>(name.size()));
+    PutBytes(&index, name.data(), name.size());
+    Put<double>(&index, source.TenantThreshold(i));
+    Put<uint64_t>(&index, captured[i].size());
+    Put<uint64_t>(&index, total_records);
+    total_records += captured[i].size();
+  }
+
+  const size_t records_offset =
+      (kSnapshotHeaderSize + index.size() + 15) & ~size_t{15};
+
+  std::vector<uint8_t> file;
+  file.reserve(records_offset + total_records * sizeof(Record));
+  PutBytes(&file, kSnapshotMagic, sizeof(kSnapshotMagic));
+  Put<uint32_t>(&file, kSnapshotVersion);
+  Put<uint32_t>(&file, static_cast<uint32_t>(sizeof(Record)));
+  Put<uint32_t>(&file, static_cast<uint32_t>(num_tenants));
+  Put<uint32_t>(&file, 0);  // CRC patched below
+  Put<uint64_t>(&file, total_records);
+  Put<uint64_t>(&file, records_offset);
+  Put<double>(&file, default_threshold);
+  file.resize(kSnapshotHeaderSize, 0);  // reserved tail of the header
+  PutBytes(&file, index.data(), index.size());
+  file.resize(records_offset, 0);  // alignment padding
+  for (const std::vector<Record>& records : captured) {
+    PutBytes(&file, records.data(), records.size() * sizeof(Record));
+  }
+  const uint32_t crc =
+      Crc32(file.data() + kCrcCoverStart, file.size() - kCrcCoverStart);
+  std::memcpy(file.data() + kCrcOffset, &crc, sizeof(crc));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out.write(reinterpret_cast<const char*>(file.data()),
+            static_cast<std::streamsize>(file.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  obs::Metrics()
+      .GetCounter("mace_history_snapshot_bytes_total",
+                  "Snapshot bytes written, by op", {{"op", "write"}})
+      ->Increment(file.size());
+  return Status::OK();
+}
+
+SnapshotReader::~SnapshotReader() {
+#ifdef MACE_HISTORY_HAS_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, map_size_);
+#endif
+}
+
+SnapshotReader::SnapshotReader(SnapshotReader&& other) noexcept {
+  *this = std::move(other);
+}
+
+SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
+  if (this == &other) return *this;
+#ifdef MACE_HISTORY_HAS_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, map_size_);
+#endif
+  map_addr_ = other.map_addr_;
+  map_size_ = other.map_size_;
+  other.map_addr_ = nullptr;
+  other.map_size_ = 0;
+  owned_ = std::move(other.owned_);
+  data_ = other.data_;
+  size_ = other.size_;
+  records_ = other.records_;
+  total_records_ = other.total_records_;
+  default_threshold_ = other.default_threshold_;
+  tenants_ = std::move(other.tenants_);
+  return *this;
+}
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
+  obs::ScopedSpan span("history_snapshot_open", SnapshotLatency("open"));
+  SnapshotReader reader;
+#ifdef MACE_HISTORY_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open history snapshot '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat history snapshot '" + path + "'");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      reader.map_addr_ = addr;
+      reader.map_size_ = size;
+      reader.data_ = static_cast<const uint8_t*>(addr);
+      reader.size_ = size;
+    }
+  }
+  ::close(fd);
+#endif
+  if (reader.data_ == nullptr) {
+    // No mmap (or zero-length file): buffered read.
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+      return Status::IoError("cannot open history snapshot '" + path + "'");
+    }
+    reader.owned_.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    reader.data_ = reader.owned_.data();
+    reader.size_ = reader.owned_.size();
+  }
+  MACE_RETURN_IF_ERROR(reader.Parse());
+  obs::Metrics()
+      .GetCounter("mace_history_snapshot_bytes_total",
+                  "Snapshot bytes written, by op", {{"op", "open"}})
+      ->Increment(reader.size_);
+  return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::FromBuffer(
+    std::vector<uint8_t> bytes) {
+  SnapshotReader reader;
+  reader.owned_ = std::move(bytes);
+  reader.data_ = reader.owned_.data();
+  reader.size_ = reader.owned_.size();
+  MACE_RETURN_IF_ERROR(reader.Parse());
+  return reader;
+}
+
+Status SnapshotReader::Parse() {
+  if (size_ < kSnapshotHeaderSize) {
+    return Corrupt("truncated header (" + std::to_string(size_) +
+                   " bytes, need " + std::to_string(kSnapshotHeaderSize) +
+                   ")");
+  }
+  if (std::memcmp(data_, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt("bad magic (not an MHSNAPv1 file)");
+  }
+  const uint32_t version = Read<uint32_t>(data_, 8);
+  if (version != kSnapshotVersion) {
+    return Corrupt("unsupported version " + std::to_string(version) +
+                   " (expected " + std::to_string(kSnapshotVersion) + ")");
+  }
+  const uint32_t record_size = Read<uint32_t>(data_, 12);
+  if (record_size != sizeof(Record)) {
+    return Corrupt("record size " + std::to_string(record_size) +
+                   " does not match the " +
+                   std::to_string(sizeof(Record)) + "-byte format");
+  }
+  const uint32_t tenant_count = Read<uint32_t>(data_, 16);
+  if (tenant_count > kMaxTenants) {
+    return Corrupt("implausible tenant count " +
+                   std::to_string(tenant_count));
+  }
+  const uint32_t stored_crc = Read<uint32_t>(data_, kCrcOffset);
+  const uint32_t computed_crc =
+      Crc32(data_ + kCrcCoverStart, size_ - kCrcCoverStart);
+  if (stored_crc != computed_crc) {
+    return Corrupt("checksum mismatch (stored " +
+                   std::to_string(stored_crc) + ", computed " +
+                   std::to_string(computed_crc) + ")");
+  }
+  total_records_ = Read<uint64_t>(data_, 24);
+  const uint64_t records_offset = Read<uint64_t>(data_, 32);
+  default_threshold_ = Read<double>(data_, 40);
+  if (records_offset < kSnapshotHeaderSize || records_offset > size_ ||
+      records_offset % alignof(Record) != 0) {
+    return Corrupt("invalid records offset " +
+                   std::to_string(records_offset));
+  }
+  if (size_ - records_offset != total_records_ * sizeof(Record)) {
+    return Corrupt(
+        "record section size mismatch (" +
+        std::to_string(size_ - records_offset) + " bytes for " +
+        std::to_string(total_records_) + " declared records)");
+  }
+
+  // Walk the index; every tenant's records must be laid out sequentially.
+  size_t cursor = kSnapshotHeaderSize;
+  uint64_t running_start = 0;
+  tenants_.clear();
+  tenants_.reserve(tenant_count);
+  for (uint32_t i = 0; i < tenant_count; ++i) {
+    const std::string where = "index entry " + std::to_string(i);
+    if (cursor + sizeof(uint32_t) > records_offset) {
+      return Corrupt("truncated " + where);
+    }
+    const uint32_t name_len = Read<uint32_t>(data_, cursor);
+    cursor += sizeof(uint32_t);
+    if (name_len > kMaxNameLength) {
+      return Corrupt(where + ": implausible tenant name length " +
+                     std::to_string(name_len));
+    }
+    if (cursor + name_len + 24 > records_offset) {
+      return Corrupt("truncated " + where);
+    }
+    TenantEntry entry;
+    entry.name.assign(reinterpret_cast<const char*>(data_ + cursor),
+                      name_len);
+    cursor += name_len;
+    entry.threshold = Read<double>(data_, cursor);
+    entry.record_count = Read<uint64_t>(data_, cursor + 8);
+    entry.record_start = Read<uint64_t>(data_, cursor + 16);
+    cursor += 24;
+    if (entry.record_start != running_start) {
+      return Corrupt(where + " ('" + entry.name +
+                     "'): records not laid out sequentially (start " +
+                     std::to_string(entry.record_start) + ", expected " +
+                     std::to_string(running_start) + ")");
+    }
+    if (entry.record_count > total_records_ - running_start) {
+      return Corrupt(where + " ('" + entry.name + "'): record count " +
+                     std::to_string(entry.record_count) +
+                     " exceeds the file's remaining " +
+                     std::to_string(total_records_ - running_start));
+    }
+    running_start += entry.record_count;
+    tenants_.push_back(std::move(entry));
+  }
+  if (running_start != total_records_) {
+    return Corrupt("index covers " + std::to_string(running_start) +
+                   " records but the file declares " +
+                   std::to_string(total_records_));
+  }
+
+  records_ = reinterpret_cast<const Record*>(data_ + records_offset);
+  for (const TenantEntry& entry : tenants_) {
+    const Record* r = records_ + entry.record_start;
+    for (uint64_t j = 1; j < entry.record_count; ++j) {
+      if (r[j].timestamp < r[j - 1].timestamp) {
+        return Corrupt("tenant '" + entry.name +
+                       "': records not time-ordered at position " +
+                       std::to_string(j));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+RecordSpan SnapshotReader::Records(size_t index) const {
+  const TenantEntry& entry = tenants_[index];
+  return RecordSpan{records_ + entry.record_start, entry.record_count};
+}
+
+size_t SnapshotReader::NumTenants() const { return tenants_.size(); }
+
+std::string SnapshotReader::TenantName(size_t index) const {
+  return tenants_[index].name;
+}
+
+double SnapshotReader::TenantThreshold(size_t index) const {
+  return tenants_[index].threshold;
+}
+
+void SnapshotReader::VisitRange(
+    size_t index, int64_t t0, int64_t t1,
+    const std::function<void(RecordSpan)>& fn) const {
+  if (t1 < t0) return;
+  const RecordSpan all = Records(index);
+  const Record* first =
+      std::lower_bound(all.data, all.data + all.size, t0,
+                       [](const Record& r, int64_t t) {
+                         return r.timestamp < t;
+                       });
+  const Record* last =
+      std::upper_bound(first, all.data + all.size, t1,
+                       [](int64_t t, const Record& r) {
+                         return t < r.timestamp;
+                       });
+  if (first < last) {
+    fn(RecordSpan{first, static_cast<size_t>(last - first)});
+  }
+}
+
+}  // namespace mace::history

@@ -1,0 +1,112 @@
+#ifndef MACE_HISTORY_SNAPSHOT_H_
+#define MACE_HISTORY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "history/record.h"
+
+namespace mace::history {
+
+/// CRC-32 (IEEE 802.3, reflected) — the snapshot checksum.
+uint32_t Crc32(const void* data, size_t size);
+
+/// \brief Immutable on-disk anomaly-history snapshot (format MHSNAPv1).
+///
+/// Layout (little-endian, fixed 64-byte header):
+///   [ 0..8)   magic "MHSNAPv1"
+///   [ 8..12)  u32 version (1)
+///   [12..16)  u32 record size (16)
+///   [16..20)  u32 tenant count
+///   [20..24)  u32 CRC-32 of every byte from offset 24 to end of file
+///   [24..32)  u64 total record count
+///   [32..40)  u64 records section offset (16-aligned)
+///   [40..48)  f64 default anomaly threshold
+///   [48..64)  reserved (zero)
+/// Tenant index at 64: per tenant
+///   u32 name length, name bytes, f64 threshold, u64 record count,
+///   u64 record start (record index into the records section).
+/// Records section at the stated offset: per-tenant contiguous,
+/// time-ordered runs of 16-byte Records in index order.
+///
+/// The record layout equals the in-memory history::Record, so snapshots
+/// round-trip bit-identically and an mmap'ed file is queried in place
+/// (no per-record decode).
+inline constexpr char kSnapshotMagic[8] = {'M', 'H', 'S', 'N',
+                                           'A', 'P', 'v', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr size_t kSnapshotHeaderSize = 64;
+
+/// Writes everything `source` currently holds (each tenant's full
+/// retained range) as a snapshot file at `path`. Per-tenant contents are
+/// consistent; tenants appended to concurrently are captured one at a
+/// time.
+Status WriteSnapshot(const HistorySource& source, const std::string& path,
+                     double default_threshold = 0.0);
+
+/// \brief Read-side of the snapshot format: validates the header, CRC,
+/// index, and record ordering, then serves queries directly over the
+/// mapped (or owned) bytes through the HistorySource interface.
+///
+/// Every malformation is a descriptive Status naming what failed — a
+/// corrupt snapshot can never abort the process (fuzzed surface, see
+/// tests/fuzz/fuzz_history_snapshot.cc).
+class SnapshotReader : public HistorySource {
+ public:
+  /// Opens `path` via mmap (falling back to a buffered read when mapping
+  /// fails) and validates it.
+  static Result<SnapshotReader> Open(const std::string& path);
+  /// Validates an in-memory image (fuzzing and tests).
+  static Result<SnapshotReader> FromBuffer(std::vector<uint8_t> bytes);
+
+  SnapshotReader(SnapshotReader&&) noexcept;
+  SnapshotReader& operator=(SnapshotReader&&) noexcept;
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+  ~SnapshotReader() override;
+
+  double default_threshold() const { return default_threshold_; }
+  uint64_t total_records() const { return total_records_; }
+
+  /// All records of tenant `index`, oldest first (zero-copy).
+  RecordSpan Records(size_t index) const;
+
+  // HistorySource:
+  size_t NumTenants() const override;
+  std::string TenantName(size_t index) const override;
+  double TenantThreshold(size_t index) const override;
+  void VisitRange(size_t index, int64_t t0, int64_t t1,
+                  const std::function<void(RecordSpan)>& fn) const override;
+
+ private:
+  struct TenantEntry {
+    std::string name;
+    double threshold = 0.0;
+    uint64_t record_start = 0;
+    uint64_t record_count = 0;
+  };
+
+  SnapshotReader() = default;
+  /// Validates `data_`/`size_` and fills the index.
+  Status Parse();
+
+  /// mmap region when opened from a file (munmap'ed in the destructor);
+  /// empty when the bytes are owned.
+  void* map_addr_ = nullptr;
+  size_t map_size_ = 0;
+  std::vector<uint8_t> owned_;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  const Record* records_ = nullptr;
+  uint64_t total_records_ = 0;
+  double default_threshold_ = 0.0;
+  std::vector<TenantEntry> tenants_;
+};
+
+}  // namespace mace::history
+
+#endif  // MACE_HISTORY_SNAPSHOT_H_

@@ -1,0 +1,185 @@
+#include "history/store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mace::history {
+namespace {
+
+/// First index in [first, last) of `ring` (logical order, starting at
+/// `head`) whose timestamp is >= `t` — lower_bound over the wrapped ring
+/// without materializing it.
+size_t LowerBoundLogical(const std::vector<Record>& ring, size_t head,
+                         size_t count, int64_t t) {
+  size_t lo = 0, hi = count;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const Record& r = ring[(head + mid) % ring.size()];
+    if (r.timestamp < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t UpperBoundLogical(const std::vector<Record>& ring, size_t head,
+                         size_t count, int64_t t) {
+  size_t lo = 0, hi = count;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const Record& r = ring[(head + mid) % ring.size()];
+    if (r.timestamp <= t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+HistoryStore::HistoryStore(HistoryConfig config) : config_(config) {
+  MACE_CHECK(config_.capacity_per_tenant >= 1)
+      << "history capacity_per_tenant must be >= 1";
+  MACE_CHECK(std::isfinite(config_.anomaly_threshold))
+      << "history anomaly_threshold must be finite";
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  appends_counter_ = metrics.GetCounter(
+      "mace_history_appends_total",
+      "Records appended to the anomaly history store");
+  anomalies_counter_ = metrics.GetCounter(
+      "mace_history_anomalies_total",
+      "Appended records whose score exceeded the tenant threshold");
+  evicted_counter_ = metrics.GetCounter(
+      "mace_history_evicted_total",
+      "Records evicted because a tenant ring buffer was full");
+  skipped_counter_ = metrics.GetCounter(
+      "mace_history_skipped_total",
+      "Appends dropped because the score was non-finite");
+  tenants_counter_ = metrics.GetCounter(
+      "mace_history_tenants_total",
+      "Tenants interned into the anomaly history store");
+  append_latency_ = metrics.GetHistogram(
+      "mace_history_append_seconds",
+      "Latency of one history append (ring write under the tenant lock)");
+}
+
+HistoryStore::TenantId HistoryStore::Intern(std::string_view tenant) {
+  const std::string key(tenant);
+  {
+    std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(tenants_mu_);
+  auto it = ids_.find(key);
+  if (it != ids_.end()) return it->second;
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  tenants_.push_back(
+      std::make_unique<Tenant>(key, config_.anomaly_threshold));
+  ids_.emplace(key, id);
+  tenants_counter_->Increment();
+  return id;
+}
+
+HistoryStore::Tenant& HistoryStore::TenantFor(TenantId id) const {
+  std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+  MACE_CHECK(id < tenants_.size()) << "unknown history tenant id " << id;
+  return *tenants_[id];
+}
+
+void HistoryStore::SetThreshold(TenantId id, double threshold) {
+  MACE_CHECK(std::isfinite(threshold))
+      << "history threshold must be finite";
+  Tenant& tenant = TenantFor(id);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  tenant.threshold = threshold;
+}
+
+double HistoryStore::threshold(TenantId id) const {
+  Tenant& tenant = TenantFor(id);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  return tenant.threshold;
+}
+
+uint64_t HistoryStore::appended(TenantId id) const {
+  Tenant& tenant = TenantFor(id);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  return tenant.appended;
+}
+
+void HistoryStore::Append(TenantId id, int64_t timestamp, double score) {
+  if (!std::isfinite(score)) {
+    skipped_counter_->Increment();
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Tenant& tenant = TenantFor(id);
+  bool anomaly;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(tenant.mu);
+    anomaly = score > tenant.threshold;
+    Record record;
+    record.timestamp = timestamp;
+    record.score = static_cast<float>(score);
+    record.anomaly = anomaly ? 1 : 0;
+    if (tenant.ring.size() < config_.capacity_per_tenant) {
+      tenant.ring.push_back(record);
+    } else {
+      tenant.ring[tenant.head] = record;
+      tenant.head = (tenant.head + 1) % tenant.ring.size();
+      evicted = true;
+    }
+    ++tenant.appended;
+  }
+  appends_counter_->Increment();
+  if (anomaly) anomalies_counter_->Increment();
+  if (evicted) evicted_counter_->Increment();
+  append_latency_->Observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+}
+
+size_t HistoryStore::NumTenants() const {
+  std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+  return tenants_.size();
+}
+
+std::string HistoryStore::TenantName(size_t index) const {
+  // Tenant::name is const after construction, so no tenant lock needed.
+  return TenantFor(static_cast<TenantId>(index)).name;
+}
+
+double HistoryStore::TenantThreshold(size_t index) const {
+  return threshold(static_cast<TenantId>(index));
+}
+
+void HistoryStore::VisitRange(
+    size_t index, int64_t t0, int64_t t1,
+    const std::function<void(RecordSpan)>& fn) const {
+  if (t1 < t0) return;
+  Tenant& tenant = TenantFor(static_cast<TenantId>(index));
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  const std::vector<Record>& ring = tenant.ring;
+  const size_t count = ring.size();
+  if (count == 0) return;
+  const size_t head = count < config_.capacity_per_tenant ? 0 : tenant.head;
+  const size_t first = LowerBoundLogical(ring, head, count, t0);
+  const size_t last = UpperBoundLogical(ring, head, count, t1);
+  if (first >= last) return;
+  // Logical range [first, last) maps to one or two physical spans.
+  const size_t begin = (head + first) % count;
+  const size_t n = last - first;
+  const size_t tail = std::min(n, count - begin);
+  fn(RecordSpan{ring.data() + begin, tail});
+  if (tail < n) fn(RecordSpan{ring.data(), n - tail});
+}
+
+}  // namespace mace::history

@@ -1,0 +1,114 @@
+#ifndef MACE_HISTORY_STORE_H_
+#define MACE_HISTORY_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "history/record.h"
+#include "obs/metrics.h"
+
+namespace mace::history {
+
+struct HistoryConfig {
+  /// Ring capacity per tenant, in records (16 bytes each). The newest
+  /// `capacity_per_tenant` records are kept; older ones are evicted.
+  size_t capacity_per_tenant = 1024;
+  /// Default anomaly threshold: a record's anomaly bit is set when its
+  /// score strictly exceeds the tenant's threshold at append time.
+  /// Overridable per tenant via SetThreshold.
+  double anomaly_threshold = 3.0;
+};
+
+/// \brief Fleet-wide anomaly history: one compact ring buffer of
+/// (timestamp, score, anomaly bit) records per tenant, O(1) append.
+///
+/// Written inline by every scoring surface (StreamingScorer sessions,
+/// and through them the serve frontend's score path) and read by the
+/// query engine (history/query.h) — the netdata model of storing an
+/// anomaly bit next to every metric so thousands of tenants can be
+/// ranked and correlated in real time.
+///
+/// Concurrency: Intern/SetThreshold take a registry lock; Append and
+/// VisitRange take only the target tenant's mutex, so appends from
+/// different serve shards never contend with each other. Per-tenant
+/// record order is the append order (serve pins each tenant to one
+/// shard, so that order is the stream order). Timestamps are
+/// appender-defined and must be non-decreasing per tenant — the scoring
+/// surfaces use the emitted step index.
+///
+/// Non-finite scores are never stored (they would poison severity
+/// aggregation); they are counted on mace_history_skipped_total instead.
+class HistoryStore : public HistorySource {
+ public:
+  using TenantId = uint32_t;
+
+  explicit HistoryStore(HistoryConfig config);
+
+  /// Returns the id for `tenant`, registering it (with the default
+  /// threshold) on first use. Ids are dense and stable for the store's
+  /// lifetime.
+  TenantId Intern(std::string_view tenant);
+
+  /// Per-tenant threshold override; applies to subsequent appends only
+  /// (already-stored bits are immutable history).
+  void SetThreshold(TenantId id, double threshold);
+  double threshold(TenantId id) const;
+
+  /// Appends one record; evicts the oldest when the ring is full.
+  void Append(TenantId id, int64_t timestamp, double score);
+
+  const HistoryConfig& config() const { return config_; }
+  /// Records appended to tenant `id` over its lifetime (>= stored count).
+  uint64_t appended(TenantId id) const;
+
+  // HistorySource:
+  size_t NumTenants() const override;
+  std::string TenantName(size_t index) const override;
+  double TenantThreshold(size_t index) const override;
+  void VisitRange(size_t index, int64_t t0, int64_t t1,
+                  const std::function<void(RecordSpan)>& fn) const override;
+
+ private:
+  struct Tenant {
+    explicit Tenant(std::string tenant_name, double tenant_threshold)
+        : name(std::move(tenant_name)), threshold(tenant_threshold) {}
+    const std::string name;
+    mutable std::mutex mu;
+    // All fields below are guarded by mu.
+    double threshold;
+    /// Ring storage: grows to capacity, then wraps. Logical order is
+    /// ring[head], ring[head+1], ... modulo ring.size().
+    std::vector<Record> ring;
+    size_t head = 0;
+    uint64_t appended = 0;
+  };
+
+  /// Tenant for `id`; the returned reference is stable (tenants are
+  /// never destroyed while the store lives).
+  Tenant& TenantFor(TenantId id) const;
+
+  const HistoryConfig config_;
+
+  /// Guards the tenant table itself (growth on Intern); individual
+  /// tenant state is guarded by the per-tenant mutex.
+  mutable std::shared_mutex tenants_mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::unordered_map<std::string, TenantId> ids_;
+
+  obs::Counter* appends_counter_ = nullptr;
+  obs::Counter* anomalies_counter_ = nullptr;
+  obs::Counter* evicted_counter_ = nullptr;
+  obs::Counter* skipped_counter_ = nullptr;
+  obs::Counter* tenants_counter_ = nullptr;
+  obs::Histogram* append_latency_ = nullptr;
+};
+
+}  // namespace mace::history
+
+#endif  // MACE_HISTORY_STORE_H_

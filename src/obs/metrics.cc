@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace mace::obs {
 
@@ -251,6 +252,24 @@ std::vector<FamilySnapshot> MetricsRegistry::Collect() const {
         return fs.name < name;
       });
   snapshot.insert(pos, std::move(logs));
+
+  // Likewise the trace recorder's drop counter: a detailed trace that
+  // silently stopped at kMaxEvents looks identical to a quiet system
+  // unless the drop count is scrapeable.
+  FamilySnapshot trace_drops;
+  trace_drops.name = "mace_trace_dropped_total";
+  trace_drops.help =
+      "Trace events dropped because the detailed-trace buffer was full";
+  trace_drops.type = InstrumentType::kCounter;
+  InstrumentSnapshot drops;
+  drops.value = static_cast<double>(TraceRecorder::Get().dropped());
+  trace_drops.instruments.push_back(std::move(drops));
+  const auto trace_pos = std::lower_bound(
+      snapshot.begin(), snapshot.end(), trace_drops.name,
+      [](const FamilySnapshot& fs, const std::string& name) {
+        return fs.name < name;
+      });
+  snapshot.insert(trace_pos, std::move(trace_drops));
   return snapshot;
 }
 

@@ -1,6 +1,21 @@
 #include "serve/session_registry.h"
 
+#include "history/store.h"
+
 namespace mace::serve {
+namespace {
+
+/// History tenant of one session: the serve tenant qualified by the
+/// service index, so each monitored stream ranks separately.
+void AttachSessionHistory(core::StreamingScorer* scorer,
+                          history::HistoryStore* history,
+                          const SessionKey& key) {
+  if (history == nullptr) return;
+  scorer->AttachHistory(
+      history, history->Intern(key.tenant + "/" + std::to_string(key.service)));
+}
+
+}  // namespace
 
 Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
     const SessionKey& key, const ModelProvider::Handle& handle,
@@ -16,8 +31,10 @@ Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
     pooled->second.pop_back();
     if (pooled->second.empty()) free_pool_.erase(pooled);
     session.last_used = now;
-    // A recycled scorer may have served a tenant with another policy.
+    // A recycled scorer may have served a tenant with another policy, and
+    // Reset() detached the previous tenant's history.
     session.scorer.set_non_finite_policy(policy);
+    AttachSessionHistory(&session.scorer, history_, key);
     ++recycled_hits_;
     auto inserted = sessions_.emplace(key, std::move(session));
     return &inserted.first->second;
@@ -28,6 +45,7 @@ Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
   if (!scorer.ok()) return scorer.status();
   auto inserted = sessions_.emplace(
       key, Session{handle, std::move(scorer).value(), now});
+  AttachSessionHistory(&inserted.first->second.scorer, history_, key);
   return &inserted.first->second;
 }
 

@@ -36,6 +36,11 @@ class SessionRegistry {
     Clock::time_point last_used;
   };
 
+  /// Anomaly-history sink for this shard's sessions (not owned; may be
+  /// null). Every session opened afterwards appends its emitted scores
+  /// under the history tenant "<tenant>/<service>".
+  void set_history(history::HistoryStore* history) { history_ = history; }
+
   /// Returns the session for `key`, opening one on `handle.model` if
   /// absent (recycled from the free pool when possible). `policy` is the
   /// non-finite policy a NEW (or recycled) session opens with; an
@@ -76,6 +81,7 @@ class SessionRegistry {
   std::map<std::pair<const core::MaceDetector*, int>, std::vector<Session>>
       free_pool_;
   uint64_t recycled_hits_ = 0;
+  history::HistoryStore* history_ = nullptr;
 };
 
 }  // namespace mace::serve

@@ -10,6 +10,10 @@
 #include "common/status.h"
 #include "ts/sanitize.h"
 
+namespace mace::history {
+class HistoryStore;
+}
+
 namespace mace::serve {
 
 /// \brief Identity of one logical stream in the pool: a tenant (the
@@ -91,6 +95,11 @@ struct ServeConfig {
   /// RequestOptions override. Shards export what each policy did through
   /// the mace_ingest_{dropped,imputed,propagated}_total counters.
   ts::NonFinitePolicy non_finite_policy = ts::NonFinitePolicy::kReject;
+  /// Optional fleet anomaly-history sink (not owned; must outlive the
+  /// frontend). When set, every session mirrors its emitted scores into
+  /// the store under the tenant name "<tenant>/<service>", which the
+  /// history query engine ranks and correlates across the fleet.
+  history::HistoryStore* history = nullptr;
 };
 
 struct ShardStats {

@@ -1,0 +1,48 @@
+// Fuzz target: history snapshot deserialization. A snapshot file is
+// operator-supplied input to `mace_cli history` (and anything else that
+// opens a fleet snapshot), so SnapshotReader must be total: any byte
+// string either parses or returns a descriptive Status. When the input
+// does parse, every query engine entry point runs over it — a snapshot
+// that merely *opens* cannot smuggle an index that aborts the first
+// top-K or correlation pass.
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz/fuzz_env.h"
+#include "history/query.h"
+#include "history/snapshot.h"
+
+namespace mace::fuzz {
+
+void FuzzHistorySnapshot(const uint8_t* data, size_t size) {
+  Result<history::SnapshotReader> reader =
+      history::SnapshotReader::FromBuffer(
+          std::vector<uint8_t>(data, data + size));
+  if (!reader.ok()) return;
+
+  // Bound the probe: a validly-parsing snapshot can still declare a huge
+  // fleet, and querying it would stall the fuzzer rather than find
+  // anything.
+  if (reader->total_records() > 4096 || reader->NumTenants() > 256) return;
+
+  (void)history::TopTenants(*reader, -64, 1 << 20, 8);
+  if (reader->NumTenants() > 0) {
+    (void)history::AnomalyRateSeries(*reader, reader->TenantName(0), 0,
+                                     1 << 16, 16);
+  }
+  history::CorrelationOptions options;
+  options.window_width = 16;
+  options.min_jaccard = 0.25;
+  options.max_tenants = 64;
+  (void)history::CorrelateAnomalies(*reader, 0, 1 << 16, options);
+}
+
+}  // namespace mace::fuzz
+
+#ifdef MACE_FUZZ_STANDALONE
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mace::fuzz::FuzzHistorySnapshot(data, size);
+  return 0;
+}
+#endif

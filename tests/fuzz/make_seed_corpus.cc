@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -20,6 +21,8 @@
 
 #include "common/check.h"
 #include "fuzz/fuzz_env.h"
+#include "history/snapshot.h"
+#include "history/store.h"
 
 namespace {
 
@@ -235,16 +238,122 @@ void WriteServeRequestCorpus(const fs::path& dir) {
   }
 }
 
+// -- history_snapshot ------------------------------------------------------
+
+/// MHSNAPv1 layout (see history/snapshot.h): 64-byte header with the
+/// CRC-32 of bytes [24, end) at offset 20, tenant index, then 16-byte
+/// records. Targeted malformations re-fix the CRC so they reach the
+/// validation branch they aim at instead of dying on the checksum.
+void WriteHistorySnapshotCorpus(const fs::path& dir) {
+  mace::history::HistoryStore store(
+      mace::history::HistoryConfig{8, 1.0});
+  const auto a = store.Intern("svc-a");
+  const auto b = store.Intern("svc-b");
+  for (int64_t t = 0; t < 12; ++t) {  // 12 > capacity 8: 'a' has wrapped
+    store.Append(a, t, 0.5 + 0.25 * static_cast<double>(t % 4));
+    if (t % 2 == 0) store.Append(b, t, t >= 6 ? 2.5 : 0.25);
+  }
+  const std::string path = mace::fuzz::ScratchPath("seedgen_snapshot");
+  MACE_CHECK_OK(mace::history::WriteSnapshot(store, path, 1.0));
+  std::ifstream in(path, std::ios::binary);
+  std::string valid((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  MACE_CHECK(valid.size() > 64) << "unexpected snapshot layout";
+
+  auto with_patch = [&](size_t offset, std::string bytes) {
+    std::string copy = valid;
+    MACE_CHECK(offset + bytes.size() <= copy.size());
+    copy.replace(offset, bytes.size(), bytes);
+    // Re-fix the checksum so the mutation reaches its validation branch.
+    const uint32_t crc = mace::history::Crc32(copy.data() + 24,
+                                              copy.size() - 24);
+    copy.replace(20, 4,
+                 std::string(reinterpret_cast<const char*>(&crc), 4));
+    return copy;
+  };
+  auto u32 = [](uint32_t v) {
+    return std::string(reinterpret_cast<const char*>(&v), 4);
+  };
+  auto u64 = [](uint64_t v) {
+    return std::string(reinterpret_cast<const char*>(&v), 8);
+  };
+
+  WriteBytes(dir / "valid.snap", valid);
+  WriteBytes(dir / "empty.snap", "");
+  WriteBytes(dir / "truncated_header.snap", valid.substr(0, 40));
+  WriteBytes(dir / "bad_magic.snap", "MHSNAPv9" + valid.substr(8));
+  // Stored CRC left stale on purpose: the checksum branch itself.
+  {
+    std::string copy = valid;
+    copy[valid.size() - 1] = static_cast<char>(copy[valid.size() - 1] ^ 1);
+    WriteBytes(dir / "crc_mismatch.snap", copy);
+  }
+  WriteBytes(dir / "bad_version.snap", with_patch(8, u32(2)));
+  WriteBytes(dir / "bad_record_size.snap", with_patch(12, u32(24)));
+  WriteBytes(dir / "huge_tenant_count.snap",
+             with_patch(16, u32(0xffffffffu)));
+  WriteBytes(dir / "total_records_mismatch.snap", with_patch(24, u64(1)));
+  WriteBytes(dir / "unaligned_records_offset.snap",
+             with_patch(32, u64(65)));
+  WriteBytes(dir / "records_offset_past_end.snap",
+             with_patch(32, u64(valid.size() + 16)));
+  // Index entry 0's name length blown past the index region.
+  WriteBytes(dir / "huge_name_len.snap", with_patch(64, u32(100000)));
+  // Truncated to the middle of the records section (CRC re-fixed so the
+  // size consistency branch fires, not the checksum).
+  {
+    std::string copy = valid.substr(0, valid.size() - 8);
+    const uint32_t crc = mace::history::Crc32(copy.data() + 24,
+                                              copy.size() - 24);
+    copy.replace(20, 4,
+                 std::string(reinterpret_cast<const char*>(&crc), 4));
+    WriteBytes(dir / "truncated_records.snap", copy);
+  }
+  // Out-of-order timestamps inside tenant 0's records: swap the first
+  // two records' timestamp fields (records start right after the index).
+  {
+    const size_t records_offset = [&] {
+      uint64_t v = 0;
+      std::memcpy(&v, valid.data() + 32, 8);
+      return static_cast<size_t>(v);
+    }();
+    std::string copy = valid;
+    std::string first = copy.substr(records_offset, 8);
+    copy.replace(records_offset, 8, copy.substr(records_offset + 16, 8));
+    copy.replace(records_offset + 16, 8, first);
+    const uint32_t crc = mace::history::Crc32(copy.data() + 24,
+                                              copy.size() - 24);
+    copy.replace(20, 4,
+                 std::string(reinterpret_cast<const char*>(&crc), 4));
+    WriteBytes(dir / "unordered_timestamps.snap", copy);
+  }
+  // A parsing snapshot with a NaN score: exercises the post-open query
+  // probe of the fuzz target (severity must stay finite).
+  {
+    const size_t records_offset = [&] {
+      uint64_t v = 0;
+      std::memcpy(&v, valid.data() + 32, 8);
+      return static_cast<size_t>(v);
+    }();
+    const uint32_t nan_bits = 0x7fc00000u;
+    WriteBytes(dir / "nan_score.snap",
+               with_patch(records_offset + 8, u32(nan_bits)));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const fs::path root = argc > 1 ? argv[1] : "corpus";
-  for (const char* sub : {"parse_csv", "detector_load", "serve_request"}) {
+  for (const char* sub :
+       {"parse_csv", "detector_load", "serve_request", "history_snapshot"}) {
     fs::create_directories(root / sub);
   }
   WriteParseCsvCorpus(root / "parse_csv");
   WriteDetectorLoadCorpus(root / "detector_load");
   WriteServeRequestCorpus(root / "serve_request");
+  WriteHistorySnapshotCorpus(root / "history_snapshot");
   size_t count = 0;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
     if (entry.is_regular_file()) ++count;

@@ -62,4 +62,8 @@ TEST(FuzzReplay, ServeRequestCorpus) {
   Replay("serve_request", mace::fuzz::FuzzServeRequest);
 }
 
+TEST(FuzzReplay, HistorySnapshotCorpus) {
+  Replay("history_snapshot", mace::fuzz::FuzzHistorySnapshot);
+}
+
 }  // namespace

@@ -1,0 +1,606 @@
+// Anomaly-history subsystem tests (DESIGN.md §12): the store's ring
+// semantics and concurrency contract, the query engine pinned against
+// brute-force references, the MHSNAPv1 snapshot round-trip, and the
+// rejection of corrupt snapshots with descriptive errors. The
+// concurrent-append tests are the tsan target for the `history` label.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "history/query.h"
+#include "history/record.h"
+#include "history/snapshot.h"
+#include "history/store.h"
+#include "serve/frontend.h"
+#include "ts/generator.h"
+
+namespace mace::history {
+namespace {
+
+std::string ScratchPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("mace_history_test_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+std::vector<Record> AllRecords(const HistorySource& source, size_t index) {
+  std::vector<Record> records;
+  source.VisitRange(index, INT64_MIN, INT64_MAX, [&](RecordSpan s) {
+    records.insert(records.end(), s.data, s.data + s.size);
+  });
+  return records;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---- store ---------------------------------------------------------------
+
+TEST(HistoryStoreTest, AppendSetsAnomalyBitAgainstLiveThreshold) {
+  HistoryStore store(HistoryConfig{16, 1.0});
+  const auto id = store.Intern("svc");
+  store.Append(id, 0, 0.5);   // below
+  store.Append(id, 1, 1.0);   // equal: strictly-greater rule, not anomalous
+  store.Append(id, 2, 1.5);   // above
+  store.SetThreshold(id, 2.0);
+  store.Append(id, 3, 1.5);   // above the old threshold, below the new one
+
+  const auto records = AllRecords(store, 0);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].anomaly, 0);
+  EXPECT_EQ(records[1].anomaly, 0);
+  EXPECT_EQ(records[2].anomaly, 1);
+  EXPECT_EQ(records[3].anomaly, 0);  // new threshold applied going forward
+  EXPECT_EQ(store.threshold(id), 2.0);
+}
+
+TEST(HistoryStoreTest, WraparoundKeepsNewestCapacityRecords) {
+  HistoryStore store(HistoryConfig{4, 10.0});
+  const auto id = store.Intern("svc");
+  for (int64_t t = 0; t < 11; ++t) {
+    store.Append(id, t, static_cast<double>(t));
+  }
+  EXPECT_EQ(store.appended(id), 11u);
+
+  const auto records = AllRecords(store, 0);
+  ASSERT_EQ(records.size(), 4u);  // capacity, not lifetime count
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].timestamp, static_cast<int64_t>(7 + i));
+    EXPECT_FLOAT_EQ(records[i].score, static_cast<float>(7 + i));
+  }
+}
+
+TEST(HistoryStoreTest, VisitRangeFiltersAcrossTheWrapSeam) {
+  HistoryStore store(HistoryConfig{6, 10.0});
+  const auto id = store.Intern("svc");
+  for (int64_t t = 0; t < 10; ++t) {  // retained: 4..9, seam inside the ring
+    store.Append(id, t, 0.0);
+  }
+  std::vector<int64_t> seen;
+  size_t spans = 0;
+  store.VisitRange(0, 5, 8, [&](RecordSpan s) {
+    ++spans;
+    for (size_t j = 0; j < s.size; ++j) seen.push_back(s.data[j].timestamp);
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{5, 6, 7, 8}));
+  EXPECT_LE(spans, 2u);  // at most two physical runs
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(HistoryStoreTest, NonFiniteScoresAreSkippedNotStored) {
+  HistoryStore store(HistoryConfig{8, 1.0});
+  const auto id = store.Intern("svc");
+  store.Append(id, 0, std::nan(""));
+  store.Append(id, 1, std::numeric_limits<double>::infinity());
+  store.Append(id, 2, 0.5);
+  const auto records = AllRecords(store, 0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].timestamp, 2);
+}
+
+TEST(HistoryStoreTest, InternIsIdempotentAndIdsAreDense) {
+  HistoryStore store(HistoryConfig{});
+  const auto a = store.Intern("a");
+  const auto b = store.Intern("b");
+  EXPECT_EQ(store.Intern("a"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.NumTenants(), 2u);
+  EXPECT_EQ(store.TenantName(a), "a");
+  EXPECT_EQ(store.TenantName(b), "b");
+}
+
+// Lossless, ordered appends from concurrent writers: one thread per
+// tenant (the serve model — a tenant is pinned to one shard) plus
+// concurrent Intern traffic on the shared registry. Run under tsan via
+// `ctest -L history` in a -DMACE_SANITIZE=thread build.
+TEST(HistoryStoreTest, ConcurrentAppendsAreLosslessAndOrdered) {
+  constexpr int kThreads = 4;
+  constexpr int64_t kSteps = 5000;
+  HistoryStore store(HistoryConfig{static_cast<size_t>(kSteps), 0.5});
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&store, w] {
+      const auto id = store.Intern("tenant-" + std::to_string(w));
+      for (int64_t t = 0; t < kSteps; ++t) {
+        // Interleave registry reads with appends to stress the
+        // shared_mutex table against the per-tenant mutexes.
+        if (t % 512 == 0) store.Intern("tenant-" + std::to_string(w));
+        store.Append(id, t, t % 7 == 0 ? 1.0 : 0.0);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  ASSERT_EQ(store.NumTenants(), static_cast<size_t>(kThreads));
+  for (int w = 0; w < kThreads; ++w) {
+    const auto id = store.Intern("tenant-" + std::to_string(w));
+    EXPECT_EQ(store.appended(id), static_cast<uint64_t>(kSteps));
+    const auto records = AllRecords(store, id);
+    ASSERT_EQ(records.size(), static_cast<size_t>(kSteps));
+    for (int64_t t = 0; t < kSteps; ++t) {
+      ASSERT_EQ(records[static_cast<size_t>(t)].timestamp, t);
+      ASSERT_EQ(records[static_cast<size_t>(t)].anomaly, t % 7 == 0 ? 1 : 0);
+    }
+  }
+}
+
+// ---- query engine vs. brute force ---------------------------------------
+
+/// Deterministic mixed fleet used by the query-pinning tests, mirrored
+/// into plain vectors as the brute-force reference.
+struct Fleet {
+  HistoryStore store{HistoryConfig{256, 1.0}};
+  std::map<std::string, std::vector<Record>> reference;
+
+  Fleet() {
+    for (int i = 0; i < 12; ++i) {
+      const std::string name = "svc-" + std::to_string(i);
+      const auto id = store.Intern(name);
+      for (int64_t t = 0; t < 200; ++t) {
+        // Tenant i spikes when (t / 10) % 12 == i — distinct per-tenant
+        // anomaly phases with controlled overlap via the modulus.
+        const bool spike = (t / 10) % 12 == i % 6;
+        const double score =
+            spike ? 2.0 + 0.125 * static_cast<double>(i)
+                  : 0.25 + 0.03125 * static_cast<double>((t + i) % 8);
+        store.Append(id, t, score);
+        Record r;
+        r.timestamp = t;
+        r.score = static_cast<float>(score);
+        r.anomaly = score > 1.0 ? 1 : 0;
+        reference[name].push_back(r);
+      }
+    }
+  }
+};
+
+TEST(HistoryQueryTest, TopTenantsMatchesBruteForce) {
+  Fleet fleet;
+  const int64_t t0 = 30, t1 = 170;
+
+  struct Ref {
+    std::string name;
+    double severity;
+    uint64_t records = 0, anomalies = 0;
+  };
+  std::vector<Ref> expected;
+  for (const auto& [name, records] : fleet.reference) {
+    Ref ref{name, 0.0};
+    double excess = 0.0;
+    const double threshold = 1.0;
+    for (const Record& r : records) {
+      if (r.timestamp < t0 || r.timestamp > t1) continue;
+      ++ref.records;
+      if (r.anomaly) {
+        ++ref.anomalies;
+        excess += static_cast<double>(r.score) - threshold;
+      }
+    }
+    const double rate = static_cast<double>(ref.anomalies) /
+                        static_cast<double>(ref.records);
+    const double mean_excess =
+        ref.anomalies > 0 ? excess / static_cast<double>(ref.anomalies) : 0.0;
+    ref.severity = rate * mean_excess;
+    expected.push_back(ref);
+  }
+  std::sort(expected.begin(), expected.end(), [](const Ref& a, const Ref& b) {
+    if (a.severity != b.severity) return a.severity > b.severity;
+    if (a.anomalies != b.anomalies) return a.anomalies > b.anomalies;
+    return a.name < b.name;
+  });
+
+  const auto ranks = TopTenants(fleet.store, t0, t1, 5);
+  ASSERT_EQ(ranks.size(), 5u);
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_EQ(ranks[i].tenant, expected[i].name) << "rank " << i;
+    EXPECT_NEAR(ranks[i].severity, expected[i].severity, 1e-12);
+    EXPECT_EQ(ranks[i].records, expected[i].records);
+    EXPECT_EQ(ranks[i].anomalies, expected[i].anomalies);
+  }
+  // Asking for more than the fleet returns every active tenant, sorted.
+  EXPECT_EQ(TopTenants(fleet.store, t0, t1, 100).size(), 12u);
+  // An empty range ranks nobody.
+  EXPECT_TRUE(TopTenants(fleet.store, 1000, 2000, 5).empty());
+}
+
+TEST(HistoryQueryTest, AnomalyRateSeriesMatchesBruteForce) {
+  Fleet fleet;
+  const int64_t t0 = 0, t1 = 199, width = 25;
+  const auto series = AnomalyRateSeries(fleet.store, "svc-3", t0, t1, width);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->size(), 8u);
+
+  for (size_t b = 0; b < series->size(); ++b) {
+    const int64_t start = t0 + static_cast<int64_t>(b) * width;
+    uint64_t records = 0, anomalies = 0;
+    for (const Record& r : fleet.reference.at("svc-3")) {
+      if (r.timestamp < start || r.timestamp >= start + width) continue;
+      ++records;
+      anomalies += r.anomaly;
+    }
+    EXPECT_EQ((*series)[b].start, start);
+    EXPECT_EQ((*series)[b].records, records) << "bucket " << b;
+    EXPECT_EQ((*series)[b].anomalies, anomalies) << "bucket " << b;
+    const double rate = records == 0 ? 0.0
+                                     : static_cast<double>(anomalies) /
+                                           static_cast<double>(records);
+    EXPECT_NEAR((*series)[b].rate, rate, 1e-12);
+  }
+}
+
+TEST(HistoryQueryTest, AnomalyRateSeriesRejectsBadArguments) {
+  Fleet fleet;
+  auto unknown = AnomalyRateSeries(fleet.store, "nope", 0, 100, 10);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  EXPECT_EQ(AnomalyRateSeries(fleet.store, "svc-0", 0, 100, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      AnomalyRateSeries(fleet.store, "svc-0", 100, 0, 10).status().code(),
+      StatusCode::kInvalidArgument);
+  // Full-axis range at width 1 would need ~2^64 buckets — must error,
+  // not allocate.
+  EXPECT_EQ(AnomalyRateSeries(fleet.store, "svc-0", INT64_MIN, INT64_MAX, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HistoryQueryTest, CorrelateMatchesBruteForceJaccard) {
+  // Hand-built co-occurrence: a and b are anomalous in exactly the same
+  // windows, c overlaps them in half its windows, d never fires.
+  HistoryStore store(HistoryConfig{64, 1.0});
+  const auto a = store.Intern("a");
+  const auto b = store.Intern("b");
+  const auto c = store.Intern("c");
+  store.Intern("d");
+  for (int64_t w = 0; w < 8; ++w) {
+    const int64_t t = w * 10 + 3;  // one record per 10-wide window
+    const bool ab = w < 4;         // a, b anomalous in windows 0..3
+    const bool cc = w >= 2 && w < 6;  // c anomalous in windows 2..5
+    store.Append(a, t, ab ? 2.0 : 0.1);
+    store.Append(b, t, ab ? 3.0 : 0.2);
+    store.Append(c, t, cc ? 2.5 : 0.3);
+  }
+
+  CorrelationOptions options;
+  options.window_width = 10;
+  options.min_jaccard = 0.5;
+  const auto report = CorrelateAnomalies(store, 0, 79, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Jaccards: a-b = 4/4 = 1.0; a-c = b-c = |{2,3}| / |{0..5}| = 2/6.
+  // min_jaccard 0.5 keeps only a-b; d (no anomalies) never participates.
+  EXPECT_EQ(report->tenants_considered, 3u);
+  EXPECT_FALSE(report->truncated);
+  ASSERT_EQ(report->pairs.size(), 1u);
+  EXPECT_EQ(report->pairs[0].a, "a");
+  EXPECT_EQ(report->pairs[0].b, "b");
+  EXPECT_NEAR(report->pairs[0].jaccard, 1.0, 1e-12);
+  EXPECT_EQ(report->pairs[0].co_windows, 4u);
+  ASSERT_EQ(report->clusters.size(), 1u);
+  EXPECT_EQ(report->clusters[0].tenants,
+            (std::vector<std::string>{"a", "b"}));
+
+  // Loosening the cut admits the a-c and b-c edges, merging one cluster.
+  options.min_jaccard = 0.25;
+  const auto loose = CorrelateAnomalies(store, 0, 79, options);
+  ASSERT_TRUE(loose.ok());
+  ASSERT_EQ(loose->pairs.size(), 3u);
+  EXPECT_NEAR(loose->pairs[1].jaccard, 2.0 / 6.0, 1e-12);
+  ASSERT_EQ(loose->clusters.size(), 1u);
+  EXPECT_EQ(loose->clusters[0].tenants,
+            (std::vector<std::string>{"a", "b", "c"}));
+
+  // max_tenants cap: only the most anomalous tenants participate.
+  options.max_tenants = 2;
+  const auto capped = CorrelateAnomalies(store, 0, 79, options);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_TRUE(capped->truncated);
+  EXPECT_EQ(capped->tenants_considered, 3u);
+  ASSERT_EQ(capped->pairs.size(), 1u);  // a-b survive (4 windows each)
+  EXPECT_EQ(capped->pairs[0].a, "a");
+  EXPECT_EQ(capped->pairs[0].b, "b");
+}
+
+TEST(HistoryQueryTest, CorrelateRejectsBadOptions) {
+  HistoryStore store(HistoryConfig{});
+  CorrelationOptions options;
+  options.window_width = 0;
+  EXPECT_EQ(CorrelateAnomalies(store, 0, 10, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = CorrelationOptions();
+  options.max_tenants = 0;
+  EXPECT_EQ(CorrelateAnomalies(store, 0, 10, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = CorrelationOptions();
+  options.min_jaccard = 1.5;
+  EXPECT_EQ(CorrelateAnomalies(store, 0, 10, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- snapshot ------------------------------------------------------------
+
+TEST(HistorySnapshotTest, RoundTripsBitIdentically) {
+  Fleet fleet;
+  const std::string path1 = ScratchPath("rt1.snap");
+  const std::string path2 = ScratchPath("rt2.snap");
+  ASSERT_TRUE(WriteSnapshot(fleet.store, path1, 1.0).ok());
+
+  auto reader = SnapshotReader::Open(path1);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->NumTenants(), fleet.store.NumTenants());
+  EXPECT_EQ(reader->total_records(), 12u * 200u);
+  EXPECT_EQ(reader->default_threshold(), 1.0);
+
+  // Per-tenant contents are byte-equal to the live rings.
+  for (size_t i = 0; i < reader->NumTenants(); ++i) {
+    EXPECT_EQ(reader->TenantName(i), fleet.store.TenantName(i));
+    EXPECT_EQ(reader->TenantThreshold(i), fleet.store.TenantThreshold(i));
+    const auto live = AllRecords(fleet.store, i);
+    const RecordSpan snap = reader->Records(i);
+    ASSERT_EQ(snap.size, live.size());
+    EXPECT_EQ(std::memcmp(snap.data, live.data(), live.size() * sizeof(Record)),
+              0);
+  }
+
+  // A reader is itself a HistorySource: re-snapshotting it reproduces the
+  // file byte for byte (same tenants, thresholds, records, CRC).
+  ASSERT_TRUE(WriteSnapshot(*reader, path2, 1.0).ok());
+  EXPECT_EQ(ReadFile(path1), ReadFile(path2));
+
+  // Queries over the snapshot equal queries over the live store.
+  const auto live_top = TopTenants(fleet.store, 0, 199, 5);
+  const auto snap_top = TopTenants(*reader, 0, 199, 5);
+  ASSERT_EQ(snap_top.size(), live_top.size());
+  for (size_t i = 0; i < live_top.size(); ++i) {
+    EXPECT_EQ(snap_top[i].tenant, live_top[i].tenant);
+    EXPECT_EQ(snap_top[i].severity, live_top[i].severity);
+  }
+
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+}
+
+TEST(HistorySnapshotTest, OpenReportsMissingFile) {
+  auto reader = SnapshotReader::Open(ScratchPath("does_not_exist.snap"));
+  ASSERT_FALSE(reader.ok());
+}
+
+/// Builds a small valid snapshot image in memory for corruption tests.
+std::vector<uint8_t> ValidImage() {
+  HistoryStore store(HistoryConfig{8, 1.0});
+  const auto a = store.Intern("svc-a");
+  const auto b = store.Intern("svc-b");
+  for (int64_t t = 0; t < 6; ++t) {
+    store.Append(a, t, t >= 4 ? 2.0 : 0.5);
+    store.Append(b, t, 0.25);
+  }
+  const std::string path = ScratchPath("corrupt_base.snap");
+  MACE_CHECK_OK(WriteSnapshot(store, path, 1.0));
+  const std::string bytes = ReadFile(path);
+  std::filesystem::remove(path);
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+/// Re-fixes the CRC (offset 20, covering [24, end)) after a mutation so
+/// the image reaches the validation branch under test.
+void FixCrc(std::vector<uint8_t>* image) {
+  const uint32_t crc = Crc32(image->data() + 24, image->size() - 24);
+  std::memcpy(image->data() + 20, &crc, 4);
+}
+
+void ExpectRejected(std::vector<uint8_t> image, const std::string& fragment) {
+  auto reader = SnapshotReader::FromBuffer(std::move(image));
+  ASSERT_FALSE(reader.ok()) << "expected rejection mentioning '" << fragment
+                            << "'";
+  EXPECT_EQ(reader.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reader.status().message().find(fragment), std::string::npos)
+      << "got: " << reader.status().message();
+}
+
+TEST(HistorySnapshotTest, RejectsCorruptImagesWithDescriptiveErrors) {
+  const std::vector<uint8_t> valid = ValidImage();
+  ASSERT_TRUE(SnapshotReader::FromBuffer(valid).ok());
+
+  ExpectRejected({}, "truncated header");
+  ExpectRejected(std::vector<uint8_t>(valid.begin(), valid.begin() + 40),
+                 "truncated header");
+
+  auto image = valid;
+  image[7] = '9';
+  ExpectRejected(image, "magic");
+
+  image = valid;
+  image[8] = 2;  // version
+  FixCrc(&image);
+  ExpectRejected(image, "unsupported version");
+
+  image = valid;
+  image[12] = 24;  // record size
+  FixCrc(&image);
+  ExpectRejected(image, "record size");
+
+  image = valid;
+  std::memset(image.data() + 16, 0xff, 4);  // tenant count
+  FixCrc(&image);
+  ExpectRejected(image, "implausible tenant count");
+
+  image = valid;
+  image.back() ^= 1;  // flip a record byte, CRC left stale
+  ExpectRejected(image, "checksum mismatch");
+
+  image = valid;
+  image[32] = 65;  // records offset: unaligned
+  FixCrc(&image);
+  ExpectRejected(image, "records offset");
+
+  image = valid;
+  image[24] ^= 1;  // total record count no longer matches the section size
+  FixCrc(&image);
+  ExpectRejected(image, "record");
+
+  image = valid;
+  std::memset(image.data() + 64, 0xff, 3);  // tenant 0 name length
+  FixCrc(&image);
+  ExpectRejected(image, "name length");
+
+  // Swap the first two timestamps of tenant 0: per-tenant order violated.
+  image = valid;
+  uint64_t records_offset = 0;
+  std::memcpy(&records_offset, image.data() + 32, 8);
+  std::vector<uint8_t> first(image.begin() + records_offset,
+                             image.begin() + records_offset + 8);
+  std::memcpy(image.data() + records_offset,
+              image.data() + records_offset + 16, 8);
+  std::memcpy(image.data() + records_offset + 16, first.data(), 8);
+  FixCrc(&image);
+  ExpectRejected(image, "not time-ordered");
+}
+
+// ---- scoring-surface integration ----------------------------------------
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  for (int s = 0; s < 2; ++s) {
+    Rng rng(7 + s);
+    ts::NormalPattern pattern;
+    pattern.kind = ts::WaveformKind::kSinusoid;
+    pattern.period = s == 0 ? 8.0 : 13.3;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.8};
+    pattern.feature_lags = {0.0, 1.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 96, 320, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+std::shared_ptr<const core::MaceDetector> FittedModel() {
+  core::MaceConfig config;
+  config.epochs = 1;
+  config.seed = 42;
+  auto detector = std::make_shared<core::MaceDetector>(config);
+  MACE_CHECK_OK(detector->Fit(TinyWorkload()));
+  return detector;
+}
+
+TEST(HistoryIntegrationTest, StreamingScorerMirrorsEmittedScores) {
+  const auto model = FittedModel();
+  const auto services = TinyWorkload();
+  HistoryStore store(HistoryConfig{1024, 0.0});  // threshold 0: bits vary
+
+  auto scorer = core::StreamingScorer::Create(model.get(), 0);
+  ASSERT_TRUE(scorer.ok());
+  scorer->AttachHistory(&store, store.Intern("svc0"));
+  EXPECT_TRUE(scorer->history_attached());
+
+  std::vector<double> emitted;
+  for (size_t t = 0; t < services[0].test.length(); ++t) {
+    auto out = scorer->Push(services[0].test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    emitted.insert(emitted.end(), out->begin(), out->end());
+  }
+  const auto tail = scorer->Finish();
+  emitted.insert(emitted.end(), tail.begin(), tail.end());
+  ASSERT_FALSE(emitted.empty());
+
+  // Every emitted score landed in the store, timestamped by step index.
+  const auto records = AllRecords(store, 0);
+  ASSERT_EQ(records.size(), emitted.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].timestamp, static_cast<int64_t>(i));
+    EXPECT_EQ(records[i].score, static_cast<float>(emitted[i]));
+    EXPECT_EQ(records[i].anomaly, emitted[i] > 0.0 ? 1 : 0);
+  }
+
+  // Reset detaches: a recycled session never writes into the previous
+  // tenant's history.
+  scorer->Reset();
+  EXPECT_FALSE(scorer->history_attached());
+  ASSERT_TRUE(scorer->Push(services[0].test.values()[0]).ok());
+  EXPECT_EQ(store.appended(0), emitted.size());
+}
+
+TEST(HistoryIntegrationTest, ServeFrontendRecordsPerTenantHistory) {
+  const auto model = FittedModel();
+  const auto services = TinyWorkload();
+  HistoryStore store(HistoryConfig{1024, 0.0});
+
+  serve::ServeConfig config;
+  config.num_shards = 2;
+  config.history = &store;
+  auto frontend = serve::ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok()) << frontend.status().ToString();
+
+  constexpr int kTenants = 3;
+  std::vector<size_t> scores(kTenants, 0);
+  for (size_t t = 0; t < services[0].test.length(); ++t) {
+    for (int k = 0; k < kTenants; ++k) {
+      const int service = k % 2;
+      auto out = (*frontend)->Score("tenant-" + std::to_string(k), service,
+                                    services[service].test.values()[t]);
+      ASSERT_TRUE(out.ok());
+      scores[static_cast<size_t>(k)] += out->scores.size();
+    }
+  }
+  for (int k = 0; k < kTenants; ++k) {
+    auto tail = (*frontend)->Close("tenant-" + std::to_string(k), k % 2);
+    ASSERT_TRUE(tail.ok());
+    scores[static_cast<size_t>(k)] += tail->size();
+  }
+
+  // Tenant key is "<tenant>/<service>"; every emitted score is recorded.
+  ASSERT_EQ(store.NumTenants(), static_cast<size_t>(kTenants));
+  for (int k = 0; k < kTenants; ++k) {
+    const std::string key =
+        "tenant-" + std::to_string(k) + "/" + std::to_string(k % 2);
+    const auto id = store.Intern(key);
+    EXPECT_EQ(store.appended(id), scores[static_cast<size_t>(k)]) << key;
+  }
+}
+
+}  // namespace
+}  // namespace mace::history

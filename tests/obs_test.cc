@@ -204,6 +204,42 @@ TEST(ExportTest, LogRecordsAreScrapeable) {
   EXPECT_TRUE(found);
 }
 
+// The trace recorder's drop counter (events discarded because the
+// bounded detailed-trace buffer was full) must be scrapeable — a silent
+// full buffer reads as "no spans happened", which is exactly the failure
+// the counter exists to expose.
+TEST(ExportTest, TraceDropCounterIsExported) {
+  TraceRecorder& recorder = TraceRecorder::Get();
+  recorder.Drain();
+  const size_t dropped_before = recorder.dropped();
+  TraceEvent event;
+  event.name = "obs_test_drop_filler";
+  for (size_t i = 0; i < TraceRecorder::kMaxEvents + 3; ++i) {
+    recorder.Record(event);
+  }
+  EXPECT_GE(recorder.dropped(), dropped_before + 3);
+
+  bool found = false;
+  for (const FamilySnapshot& family : Metrics().Collect()) {
+    if (family.name != "mace_trace_dropped_total") continue;
+    found = true;
+    EXPECT_EQ(family.type, InstrumentType::kCounter);
+    ASSERT_EQ(family.instruments.size(), 1u);
+    EXPECT_GE(family.instruments[0].value,
+              static_cast<double>(dropped_before + 3));
+  }
+  EXPECT_TRUE(found);
+
+  const std::string text = ExportPrometheus();
+  EXPECT_NE(text.find("# TYPE mace_trace_dropped_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nmace_trace_dropped_total "), std::string::npos);
+  const std::string json = ExportJson();
+  EXPECT_NE(json.find("\"mace_trace_dropped_total\""), std::string::npos);
+
+  recorder.Drain();
+}
+
 TEST(TraceTest, DetailedModeRecordsNestedSpans) {
   TraceRecorder& recorder = TraceRecorder::Get();
   const bool was_detailed = recorder.detailed();
