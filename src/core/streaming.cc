@@ -110,7 +110,8 @@ std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before,
     emitted.push_back(covered_.front() ? pending_.front() : 0.0);
     if (history_ != nullptr) {
       history_->Append(history_tenant_,
-                       static_cast<int64_t>(next_emit_), emitted.back());
+                       history_base_ + static_cast<int64_t>(next_emit_),
+                       emitted.back());
     }
     pending_.pop_front();
     covered_.pop_front();
@@ -301,6 +302,7 @@ void StreamingScorer::Reset() {
   last_scored_end_ = 0;
   scores_emitted_ = 0;
   history_ = nullptr;  // the next stream may belong to a different tenant
+  history_base_ = 0;
   created_at_ = std::chrono::steady_clock::now();
   // The throughput gauge is cumulative-per-stream: a recycled session
   // must not report the previous tenant's rate until its first emit.

@@ -91,14 +91,22 @@ class StreamingScorer {
   const IngestStats& ingest_stats() const { return ingest_stats_; }
 
   /// Mirrors every subsequently emitted score into `history` under
-  /// `tenant` (timestamp = the emitted step index), setting the anomaly
-  /// bit against the tenant's live threshold. `history` must outlive the
-  /// scorer or be detached first; Reset() detaches, so a recycled session
-  /// never writes into the previous tenant's history.
+  /// `tenant` (timestamp = `timestamp_base` + the emitted step index),
+  /// setting the anomaly bit against the tenant's live threshold.
+  /// `history` must outlive the scorer or be detached first; Reset()
+  /// detaches, so a recycled session never writes into the previous
+  /// tenant's history. Because the store requires non-decreasing
+  /// timestamps per tenant, a caller re-attaching a tenant that already
+  /// holds records (e.g. a serve session re-created after eviction, whose
+  /// step index restarts at 0) must pass a base at least the tenant's
+  /// newest stored timestamp — `HistoryStore::next_timestamp(tenant)` is
+  /// exactly that plus one.
   void AttachHistory(history::HistoryStore* history,
-                     history::HistoryStore::TenantId tenant) {
+                     history::HistoryStore::TenantId tenant,
+                     int64_t timestamp_base = 0) {
     history_ = history;
     history_tenant_ = tenant;
+    history_base_ = timestamp_base;
   }
   void DetachHistory() { history_ = nullptr; }
   bool history_attached() const { return history_ != nullptr; }
@@ -144,6 +152,7 @@ class StreamingScorer {
   /// Optional anomaly-history sink (not owned); see AttachHistory.
   history::HistoryStore* history_ = nullptr;
   history::HistoryStore::TenantId history_tenant_ = 0;
+  int64_t history_base_ = 0;
 
   // Observability: instruments are resolved once per scorer (labeled by
   // service), so the per-step path touches only atomics.

@@ -173,7 +173,12 @@ Result<std::vector<RateBucket>> AnomalyRateSeries(const HistorySource& source,
 
   std::vector<RateBucket> buckets(static_cast<size_t>(num_buckets));
   for (size_t b = 0; b < buckets.size(); ++b) {
-    buckets[b].start = t0 + static_cast<int64_t>(b) * bucket_width;
+    // Unsigned arithmetic: b * bucket_width (and the add) can exceed
+    // int64 for extreme accepted ranges (e.g. the full time axis at a
+    // 2^62 width), which would be signed-overflow UB.
+    buckets[b].start = static_cast<int64_t>(
+        static_cast<uint64_t>(t0) +
+        static_cast<uint64_t>(b) * static_cast<uint64_t>(bucket_width));
   }
   source.VisitRange(index, t0, t1, [&](RecordSpan s) {
     for (size_t j = 0; j < s.size; ++j) {

@@ -291,11 +291,17 @@ Status SnapshotReader::Parse() {
     return Corrupt("invalid records offset " +
                    std::to_string(records_offset));
   }
-  if (size_ - records_offset != total_records_ * sizeof(Record)) {
+  // Validate the declared count against the section size without
+  // multiplying: `total_records_ * sizeof(Record)` wraps mod 2^64 for a
+  // crafted count (e.g. 2^60 * 16 == 0), which would pass an equality
+  // check and let the ordering walk below run off the mapped buffer.
+  const uint64_t record_bytes = size_ - records_offset;
+  if (record_bytes % sizeof(Record) != 0 ||
+      record_bytes / sizeof(Record) != total_records_) {
     return Corrupt(
-        "record section size mismatch (" +
-        std::to_string(size_ - records_offset) + " bytes for " +
-        std::to_string(total_records_) + " declared records)");
+        "record section size mismatch (" + std::to_string(record_bytes) +
+        " bytes for " + std::to_string(total_records_) +
+        " declared records)");
   }
 
   // Walk the index; every tenant's records must be laid out sequentially.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -112,6 +113,17 @@ uint64_t HistoryStore::appended(TenantId id) const {
   Tenant& tenant = TenantFor(id);
   std::lock_guard<std::mutex> lock(tenant.mu);
   return tenant.appended;
+}
+
+int64_t HistoryStore::next_timestamp(TenantId id) const {
+  Tenant& tenant = TenantFor(id);
+  std::lock_guard<std::mutex> lock(tenant.mu);
+  if (tenant.ring.empty()) return 0;
+  // Timestamps are non-decreasing, so the newest slot holds the maximum.
+  const size_t newest =
+      (tenant.head + tenant.ring.size() - 1) % tenant.ring.size();
+  const int64_t last = tenant.ring[newest].timestamp;
+  return last == std::numeric_limits<int64_t>::max() ? last : last + 1;
 }
 
 void HistoryStore::Append(TenantId id, int64_t timestamp, double score) {

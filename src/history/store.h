@@ -40,7 +40,8 @@ struct HistoryConfig {
 /// record order is the append order (serve pins each tenant to one
 /// shard, so that order is the stream order). Timestamps are
 /// appender-defined and must be non-decreasing per tenant — the scoring
-/// surfaces use the emitted step index.
+/// surfaces use the emitted step index, offset by next_timestamp() at
+/// attach time so a tenant's history stays monotonic across sessions.
 ///
 /// Non-finite scores are never stored (they would poison severity
 /// aggregation); they are counted on mace_history_skipped_total instead.
@@ -66,6 +67,12 @@ class HistoryStore : public HistorySource {
   const HistoryConfig& config() const { return config_; }
   /// Records appended to tenant `id` over its lifetime (>= stored count).
   uint64_t appended(TenantId id) const;
+  /// One past tenant `id`'s newest stored timestamp (0 when empty,
+  /// saturating at INT64_MAX): the smallest base a step-indexed appender
+  /// can use to keep the tenant's timestamps non-decreasing when it
+  /// re-attaches after a session recycle. (`appended()` is not a safe
+  /// base: it undercounts streams whose non-finite scores were skipped.)
+  int64_t next_timestamp(TenantId id) const;
 
   // HistorySource:
   size_t NumTenants() const override;

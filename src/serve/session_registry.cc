@@ -6,13 +6,20 @@ namespace mace::serve {
 namespace {
 
 /// History tenant of one session: the serve tenant qualified by the
-/// service index, so each monitored stream ranks separately.
+/// service index, so each monitored stream ranks separately. The scorer
+/// timestamps records by its emitted step index, which restarts at 0 for
+/// every session — so a session re-created for a key whose tenant already
+/// holds records (after EvictIdle/Recycle) would violate the store's
+/// non-decreasing-timestamp invariant. Seed the timestamp base one past
+/// the tenant's newest stored timestamp, so timestamps stay monotonic
+/// across session generations.
 void AttachSessionHistory(core::StreamingScorer* scorer,
                           history::HistoryStore* history,
                           const SessionKey& key) {
   if (history == nullptr) return;
-  scorer->AttachHistory(
-      history, history->Intern(key.tenant + "/" + std::to_string(key.service)));
+  const history::HistoryStore::TenantId id =
+      history->Intern(key.tenant + "/" + std::to_string(key.service));
+  scorer->AttachHistory(history, id, history->next_timestamp(id));
 }
 
 }  // namespace

@@ -294,6 +294,11 @@ void WriteHistorySnapshotCorpus(const fs::path& dir) {
   WriteBytes(dir / "huge_tenant_count.snap",
              with_patch(16, u32(0xffffffffu)));
   WriteBytes(dir / "total_records_mismatch.snap", with_patch(24, u64(1)));
+  // total_records * sizeof(Record) wraps to 0 mod 2^64 while
+  // records_offset points at the file's end: the section-size check must
+  // reject this by division, not by comparing against the wrapped product.
+  WriteBytes(dir / "total_records_overflow.snap",
+             with_patch(24, u64(uint64_t{1} << 60) + u64(valid.size())));
   WriteBytes(dir / "unaligned_records_offset.snap",
              with_patch(32, u64(65)));
   WriteBytes(dir / "records_offset_past_end.snap",

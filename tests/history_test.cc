@@ -115,6 +115,20 @@ TEST(HistoryStoreTest, NonFiniteScoresAreSkippedNotStored) {
   EXPECT_EQ(records[0].timestamp, 2);
 }
 
+TEST(HistoryStoreTest, NextTimestampIsOnePastNewestStoredRecord) {
+  HistoryStore store(HistoryConfig{4, 1.0});
+  const auto id = store.Intern("svc");
+  EXPECT_EQ(store.next_timestamp(id), 0);
+  store.Append(id, 3, 0.5);
+  EXPECT_EQ(store.next_timestamp(id), 4);
+  // A skipped non-finite score advances nothing — which is why appended()
+  // is not a safe re-attach base.
+  store.Append(id, 9, std::nan(""));
+  EXPECT_EQ(store.next_timestamp(id), 4);
+  for (int64_t t = 10; t < 16; ++t) store.Append(id, t, 0.5);  // wraps
+  EXPECT_EQ(store.next_timestamp(id), 16);
+}
+
 TEST(HistoryStoreTest, InternIsIdempotentAndIdsAreDense) {
   HistoryStore store(HistoryConfig{});
   const auto a = store.Intern("a");
@@ -283,6 +297,28 @@ TEST(HistoryQueryTest, AnomalyRateSeriesRejectsBadArguments) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(HistoryQueryTest, AnomalyRateSeriesSurvivesFullAxisRange) {
+  // The full time axis at a 2^62 width is accepted (4 buckets); the
+  // bucket starts b * width above INT64_MIN exceed int64 intermediate
+  // math and must be computed in unsigned space, not via signed overflow.
+  Fleet fleet;
+  const int64_t width = int64_t{1} << 62;
+  const auto series =
+      AnomalyRateSeries(fleet.store, "svc-0", INT64_MIN, INT64_MAX, width);
+  ASSERT_TRUE(series.ok()) << series.status().ToString();
+  ASSERT_EQ(series->size(), 4u);
+  for (size_t b = 0; b < series->size(); ++b) {
+    EXPECT_EQ((*series)[b].start,
+              static_cast<int64_t>(static_cast<uint64_t>(INT64_MIN) +
+                                   b * static_cast<uint64_t>(width)));
+  }
+  // All of svc-0's records land in the bucket holding [0, 2^62).
+  uint64_t total = 0;
+  for (const auto& bucket : *series) total += bucket.records;
+  EXPECT_EQ(total, fleet.reference.at("svc-0").size());
+  EXPECT_EQ((*series)[2].records, fleet.reference.at("svc-0").size());
 }
 
 TEST(HistoryQueryTest, CorrelateMatchesBruteForceJaccard) {
@@ -479,6 +515,17 @@ TEST(HistorySnapshotTest, RejectsCorruptImagesWithDescriptiveErrors) {
   FixCrc(&image);
   ExpectRejected(image, "record");
 
+  // total_records picked so count * sizeof(Record) wraps to 0 mod 2^64
+  // while records_offset points at the file's end; the section-size check
+  // must reject by division instead of comparing the wrapped product.
+  image = valid;
+  const uint64_t wrap_count = uint64_t{1} << 60;
+  std::memcpy(image.data() + 24, &wrap_count, 8);
+  const uint64_t end_offset = image.size();
+  std::memcpy(image.data() + 32, &end_offset, 8);
+  FixCrc(&image);
+  ExpectRejected(image, "record section size mismatch");
+
   image = valid;
   std::memset(image.data() + 64, 0xff, 3);  // tenant 0 name length
   FixCrc(&image);
@@ -600,6 +647,45 @@ TEST(HistoryIntegrationTest, ServeFrontendRecordsPerTenantHistory) {
     const auto id = store.Intern(key);
     EXPECT_EQ(store.appended(id), scores[static_cast<size_t>(k)]) << key;
   }
+}
+
+TEST(HistoryIntegrationTest, RecreatedSessionsKeepTenantTimestampsMonotonic) {
+  const auto model = FittedModel();
+  const auto services = TinyWorkload();
+  HistoryStore store(HistoryConfig{1024, 0.0});
+
+  serve::ServeConfig config;
+  config.history = &store;
+  auto frontend = serve::ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok()) << frontend.status().ToString();
+
+  // Two generations of the same session key: Close recycles the session,
+  // so the second round of Scores re-creates it and its emitted step
+  // index restarts at 0. The history tenant must keep non-decreasing
+  // timestamps anyway (the registry seeds the base from next_timestamp).
+  for (int generation = 0; generation < 2; ++generation) {
+    for (size_t t = 0; t < services[0].test.length(); ++t) {
+      ASSERT_TRUE(
+          (*frontend)->Score("tenant", 0, services[0].test.values()[t]).ok());
+    }
+    ASSERT_TRUE((*frontend)->Close("tenant", 0).ok());
+  }
+
+  ASSERT_EQ(store.NumTenants(), 1u);
+  const auto records = AllRecords(store, 0);
+  ASSERT_FALSE(records.empty());
+  for (size_t i = 1; i < records.size(); ++i) {
+    ASSERT_GE(records[i].timestamp, records[i - 1].timestamp) << "at " << i;
+  }
+  EXPECT_EQ(store.next_timestamp(store.Intern("tenant/0")),
+            records.back().timestamp + 1);
+
+  // A snapshot spanning both generations must stay writable and readable.
+  const std::string path = ScratchPath("recreated_sessions.snap");
+  ASSERT_TRUE(WriteSnapshot(store, path, 0.0).ok());
+  const auto reader = SnapshotReader::Open(path);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  std::filesystem::remove(path);
 }
 
 }  // namespace
