@@ -1,0 +1,463 @@
+// Online-learning bench: the two numbers the subsystem exists for.
+//
+// 1. Consensus vs frozen on drifting streams — for each gradual-drift
+//    scenario (trend drift, seasonality shift, amplitude decay) a frozen
+//    single model and an OnlineTrainer-backed all-vote ensemble (K=3)
+//    score the same stream; step-level false positives on drifted-normal
+//    steps and recall on injected anomalies are compared. The claim: the
+//    ensemble's refits absorb the drift, so consensus cuts FPs while the
+//    recall give-up stays small (recorded, not hidden).
+//
+// 2. Refit-while-serving interference — sustained serve-pool throughput
+//    with the background refit pump off vs on. Both arms carry one live
+//    ensemble lane (the gate skips every post-warmup promotion), so the
+//    delta isolates the low-priority refit CPU, not consensus fan-out.
+//    Target: the pump costs <= 10% throughput (ratio >= 0.9).
+//
+// Emits BENCH_online.json for trajectory tracking.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+#include "core/mace_detector.h"
+#include "core/streaming.h"
+#include "eval/profiler.h"
+#include "history/store.h"
+#include "online/trainer.h"
+#include "serve/frontend.h"
+#include "ts/generator.h"
+
+namespace {
+
+using namespace mace;
+
+// ------------------------------------------------------------------
+// Part 1: consensus vs frozen on drifting scenarios.
+
+constexpr size_t kTrainLen = 2048;
+constexpr size_t kCalLen = 512;
+constexpr size_t kTestLen = 6000;
+constexpr size_t kDriftOnset = 1500;  // test-relative; drift starts here
+constexpr size_t kDriftRamp = 2000;
+constexpr size_t kEnsembleK = 3;
+
+ts::NormalPattern ScenarioPattern() {
+  ts::NormalPattern pattern;
+  pattern.kind = ts::WaveformKind::kSinusoid;
+  pattern.period = 24.0;
+  pattern.harmonic_weights = {1.0, 0.4};
+  pattern.noise_stddev = 0.05;
+  pattern.feature_weights = {1.0, 0.7};
+  pattern.feature_lags = {0.0, 3.0};
+  pattern.secondary_weights = {0.3, 0.2};
+  return pattern;
+}
+
+core::MaceConfig ScenarioConfig() {
+  core::MaceConfig config;
+  config.window = 32;
+  config.score_stride = 8;
+  config.num_bases = 10;
+  config.epochs = 3;
+  config.batch_size = 4;
+  config.fit_threads = 4;
+  return config;
+}
+
+struct ArmCounts {
+  size_t alerts = 0;
+  size_t false_positives = 0;
+  size_t true_positives = 0;
+  size_t normal_steps = 0;
+  size_t anomaly_steps = 0;
+
+  double fp_rate() const {
+    return normal_steps == 0
+               ? 0.0
+               : static_cast<double>(false_positives) /
+                     static_cast<double>(normal_steps);
+  }
+  double recall() const {
+    return anomaly_steps == 0
+               ? 0.0
+               : static_cast<double>(true_positives) /
+                     static_cast<double>(anomaly_steps);
+  }
+};
+
+ArmCounts Tally(const std::vector<uint8_t>& fired,
+                const ts::TimeSeries& series) {
+  ArmCounts counts;
+  for (size_t step = 0; step < fired.size(); ++step) {
+    const bool label = series.is_anomaly(step);
+    if (label) {
+      ++counts.anomaly_steps;
+    } else {
+      ++counts.normal_steps;
+    }
+    if (fired[step] == 0) continue;
+    ++counts.alerts;
+    if (label) {
+      ++counts.true_positives;
+    } else {
+      ++counts.false_positives;
+    }
+  }
+  return counts;
+}
+
+struct ScenarioResult {
+  const char* name = "";
+  double magnitude = 0.0;
+  ArmCounts frozen;
+  ArmCounts consensus;
+  uint64_t refits = 0;
+  uint64_t promotions = 0;
+  uint64_t drift_alarms = 0;
+};
+
+ScenarioResult RunScenario(ts::DriftKind kind, double magnitude) {
+  const ts::NormalPattern pattern = ScenarioPattern();
+  const core::MaceConfig config = ScenarioConfig();
+  Rng rng(7);
+
+  // One RNG feeds train -> calibration -> test so the stream is one
+  // continuous trajectory with drift switched on mid-test.
+  std::vector<ts::ServiceData> services(1);
+  services[0].name = "svc";
+  services[0].train = ts::GenerateNormal(pattern, kTrainLen, 0, &rng);
+  const ts::TimeSeries calibration =
+      ts::GenerateNormal(pattern, kCalLen, kTrainLen, &rng);
+
+  ts::DriftScenario drift;
+  drift.kind = kind;
+  drift.onset = kTrainLen + kCalLen + kDriftOnset;
+  drift.ramp = kDriftRamp;
+  drift.magnitude = magnitude;
+  ts::TimeSeries test = ts::GenerateDriftingNormal(
+      pattern, kTestLen, kTrainLen + kCalLen, drift, &rng);
+  ts::AnomalyInjectionConfig injection;
+  injection.anomaly_ratio = 0.02;
+  ts::InjectAnomalies(injection, pattern, &test, &rng);
+
+  auto base = std::make_shared<core::MaceDetector>(config);
+  MACE_CHECK_OK(base->Fit(services));
+
+  // Frozen threshold: the monitor's calibration rule (2 x P90 of scores
+  // on a clean held-out stream) via the shared helper.
+  std::vector<double> cal_scores;
+  {
+    auto scorer = core::StreamingScorer::Create(base.get(), 0);
+    MACE_CHECK_OK(scorer.status());
+    for (const auto& row : calibration.values()) {
+      auto emitted = scorer->Push(row);
+      MACE_CHECK_OK(emitted.status());
+      cal_scores.insert(cal_scores.end(), emitted->begin(), emitted->end());
+    }
+  }
+  const Result<double> threshold = CalibratedThreshold(cal_scores);
+  MACE_CHECK_OK(threshold.status());
+
+  ScenarioResult result;
+  result.name = ts::DriftKindName(kind);
+  result.magnitude = magnitude;
+
+  // Frozen arm: the base model and its calibrated threshold, never
+  // updated — what a deploy-once detector does under drift.
+  std::vector<uint8_t> frozen_fired;
+  {
+    auto scorer = core::StreamingScorer::Create(base.get(), 0);
+    MACE_CHECK_OK(scorer.status());
+    for (const auto& row : test.values()) {
+      auto emitted = scorer->Push(row);
+      MACE_CHECK_OK(emitted.status());
+      for (double score : *emitted) {
+        frozen_fired.push_back(score > *threshold ? 1 : 0);
+      }
+    }
+  }
+  result.frozen = Tally(frozen_fired, test);
+
+  // Consensus arm: same base model and threshold, plus the online
+  // trainer — rolling buffer, staggered refits pumped every chunk, K
+  // generations voting. The history store records the consensus bit.
+  online::OnlineConfig online_config;
+  online_config.model = config;
+  online_config.buffer_capacity = 1024;
+  online_config.min_refit_rows = 512;
+  online_config.refit_interval = 512;
+  online_config.ensemble_size = kEnsembleK;
+  online_config.consensus = online::ConsensusKind::kAllVote;
+  // Promote every refit: trend drift moves the level, not the frequency
+  // bases, so the subspace-overlap skip heuristic would keep stale
+  // generations exactly when freshness matters. This arm measures
+  // consensus adaptation; the gate's skip economics are its own knob.
+  online_config.gate.skip_overlap = 1.1;
+  online_config.threshold_scale = 2.0;
+  online_config.threshold_quantile = 0.90;
+  online_config.refit_threads = 2;
+  online::OnlineTrainer trainer(online_config);
+
+  history::HistoryConfig history_config;
+  history_config.capacity_per_tenant = kTestLen;  // keep every emitted step
+  history::HistoryStore store(history_config);
+  const auto tenant = store.Intern("bench/0");
+  store.SetThreshold(tenant, *threshold);  // pre-promotion fallback bit
+
+  core::StreamBinding binding = trainer.Bind("bench/0", 2);
+  auto scorer = core::StreamingScorer::Create(base.get(), 0);
+  MACE_CHECK_OK(scorer.status());
+  scorer->AttachHistory(&store, tenant, 0);
+  scorer->AttachOnline(binding.sink, binding.ensemble.get());
+
+  constexpr size_t kChunk = 256;
+  const auto& rows = test.values();
+  for (size_t start = 0; start < rows.size(); start += kChunk) {
+    const size_t end = std::min(rows.size(), start + kChunk);
+    const std::vector<std::vector<double>> chunk(rows.begin() + start,
+                                                 rows.begin() + end);
+    MACE_CHECK_OK(scorer->PushMany(chunk).status());
+    trainer.PumpRefits();  // deterministic single-threaded pump
+  }
+
+  std::vector<uint8_t> consensus_fired;
+  store.VisitRange(tenant, 0, std::numeric_limits<int64_t>::max(),
+                   [&](history::RecordSpan span) {
+                     for (size_t i = 0; i < span.size; ++i) {
+                       consensus_fired.push_back(span.data[i].anomaly);
+                     }
+                   });
+  MACE_CHECK(consensus_fired.size() == frozen_fired.size())
+      << "arms emitted different step counts: " << consensus_fired.size()
+      << " vs " << frozen_fired.size();
+  result.consensus = Tally(consensus_fired, test);
+
+  const online::OnlineTrainer::Stats stats = trainer.stats();
+  result.refits = stats.refits;
+  result.promotions = stats.promotions;
+  result.drift_alarms = stats.drift_alarms;
+  return result;
+}
+
+// ------------------------------------------------------------------
+// Part 2: refit-while-serving throughput interference.
+
+constexpr int kServeTenants = 16;
+constexpr size_t kWarmupSteps = 192;
+constexpr size_t kTimedSteps = 12000;
+constexpr int kServeShards = 2;
+// Refit duty cycle of the interference arms: one lightweight refit per
+// stream per kRefitInterval rows. This is the deployment's actual knob —
+// background training must be sparse relative to serving for the <= 10%
+// budget to be meaningful (on this box every refit millisecond is a
+// serving millisecond).
+constexpr uint64_t kRefitInterval = 6144;
+
+struct InterferenceArm {
+  double seconds = 0.0;
+  double obs_per_sec = 0.0;
+  uint64_t refits = 0;
+};
+
+// Streams `steps` rows of `series` (offset by `offset`) to every tenant
+// through a fresh frontend wired to a fresh trainer, and times it. When
+// `pump` is true the trainer's background thread refits continuously
+// during the timed phase; either way both arms promote exactly one
+// generation per stream at warmup (ensemble_size=1 and a zero-overlap
+// skip gate make every later candidate a skip), so consensus lane cost
+// is identical and the delta is pure refit interference.
+InterferenceArm RunServeArm(
+    const std::shared_ptr<const core::MaceDetector>& model,
+    const ts::TimeSeries& series, bool pump) {
+  online::OnlineConfig online_config;
+  // Refit models are independent of the serving model: small window,
+  // one epoch, tiny buffer — the background work is real (full Fit +
+  // calibration per refit) but sized for a sparse duty cycle.
+  online_config.model.window = 16;
+  online_config.model.score_stride = 16;
+  online_config.model.num_bases = 4;
+  online_config.model.epochs = 1;
+  online_config.model.batch_size = 4;
+  online_config.buffer_capacity = 96;
+  online_config.min_refit_rows = 96;
+  online_config.refit_interval = kRefitInterval;
+  online_config.ensemble_size = 1;
+  online_config.gate.skip_overlap = 0.0;  // full ensemble => always skip
+  online_config.gate.drift_overlap = 0.0;  // never alarm
+  online_config.refit_threads = 2;
+  online::OnlineTrainer trainer(online_config);
+
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = kServeShards;
+  serve_config.overload_policy = serve::OverloadPolicy::kBlock;
+  serve_config.online = &trainer;
+  auto frontend = serve::ServeFrontend::Create(model, serve_config);
+  MACE_CHECK_OK(frontend.status());
+
+  std::vector<std::string> tenants;
+  for (int k = 0; k < kServeTenants; ++k) {
+    tenants.push_back("svc" + std::to_string(k));
+  }
+
+  // Warmup: fill every rolling buffer past min_refit_rows, then promote
+  // each stream's single generation so both arms serve one live lane.
+  for (size_t t = 0; t < kWarmupSteps; ++t) {
+    for (const std::string& tenant : tenants) {
+      MACE_CHECK_OK(
+          (*frontend)->Submit(tenant, 0, series.values()[t]).status());
+    }
+  }
+  (*frontend)->Flush();
+  trainer.PumpRefits();
+  const uint64_t warm_refits = trainer.stats().refits;
+  MACE_CHECK(trainer.stats().promotions ==
+             static_cast<uint64_t>(kServeTenants))
+      << "warmup should promote exactly one generation per stream";
+
+  if (pump) trainer.Start(std::chrono::milliseconds(2));
+  eval::StopWatch watch;
+  for (size_t t = 0; t < kTimedSteps; ++t) {
+    for (const std::string& tenant : tenants) {
+      MACE_CHECK_OK(
+          (*frontend)
+              ->Submit(tenant, 0, series.values()[kWarmupSteps + t])
+              .status());
+    }
+  }
+  (*frontend)->Flush();
+  InterferenceArm arm;
+  arm.seconds = watch.ElapsedSeconds();
+  if (pump) trainer.Stop();
+
+  const size_t observations = kTimedSteps * kServeTenants;
+  const serve::ShardStats totals = (*frontend)->Stats().Totals();
+  MACE_CHECK(totals.scored_steps ==
+             observations + kWarmupSteps * kServeTenants)
+      << "pool lost observations";
+  arm.obs_per_sec = static_cast<double>(observations) / arm.seconds;
+  arm.refits = trainer.stats().refits - warm_refits;
+  return arm;
+}
+
+void PrintArm(const char* label, const ArmCounts& counts) {
+  std::printf("    %-10s alerts %5zu  fp %5zu (rate %.4f)  recall %.3f\n",
+              label, counts.alerts, counts.false_positives,
+              counts.fp_rate(), counts.recall());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Consensus vs frozen on drifting streams — %zu train / %zu test "
+      "steps, drift onset %zu, all-vote K=%zu\n",
+      kTrainLen, kTestLen, kDriftOnset, kEnsembleK);
+
+  const struct {
+    ts::DriftKind kind;
+    double magnitude;
+  } scenarios[] = {
+      {ts::DriftKind::kTrendDrift, 0.5},
+      {ts::DriftKind::kSeasonalityShift, 0.5},
+      {ts::DriftKind::kAmplitudeDecay, 0.6},
+  };
+  std::vector<ScenarioResult> results;
+  for (const auto& scenario : scenarios) {
+    ScenarioResult result = RunScenario(scenario.kind, scenario.magnitude);
+    std::printf(
+        "  %s (magnitude %.1f): %llu refits, %llu promotions, %llu drift "
+        "alarms\n",
+        result.name, result.magnitude,
+        static_cast<unsigned long long>(result.refits),
+        static_cast<unsigned long long>(result.promotions),
+        static_cast<unsigned long long>(result.drift_alarms));
+    PrintArm("frozen", result.frozen);
+    PrintArm("consensus", result.consensus);
+    results.push_back(result);
+  }
+
+  std::printf(
+      "\nRefit-while-serving interference — %d tenants x %zu steps, %d "
+      "shards, low-priority pump\n",
+      kServeTenants, kTimedSteps, kServeShards);
+  core::MaceConfig serve_model_config;
+  serve_model_config.epochs = 2;
+  serve_model_config.score_stride = serve_model_config.window;
+  serve_model_config.num_bases = 12;
+  serve_model_config.fit_threads = 4;
+  Rng serve_rng(11);
+  const ts::NormalPattern serve_pattern = ScenarioPattern();
+  std::vector<ts::ServiceData> serve_train(1);
+  serve_train[0].name = "svc";
+  serve_train[0].train =
+      ts::GenerateNormal(serve_pattern, kTrainLen, 0, &serve_rng);
+  const ts::TimeSeries serve_stream = ts::GenerateNormal(
+      serve_pattern, kWarmupSteps + kTimedSteps, kTrainLen, &serve_rng);
+  auto serve_model = std::make_shared<core::MaceDetector>(serve_model_config);
+  MACE_CHECK_OK(serve_model->Fit(serve_train));
+
+  const InterferenceArm baseline =
+      RunServeArm(serve_model, serve_stream, /*pump=*/false);
+  const InterferenceArm loaded =
+      RunServeArm(serve_model, serve_stream, /*pump=*/true);
+  const double ratio =
+      baseline.obs_per_sec > 0 ? loaded.obs_per_sec / baseline.obs_per_sec
+                               : 0.0;
+  std::printf("  pump off: %10.0f obs/s (%.3f s, %llu refits)\n",
+              baseline.obs_per_sec, baseline.seconds,
+              static_cast<unsigned long long>(baseline.refits));
+  std::printf("  pump on:  %10.0f obs/s (%.3f s, %llu refits)\n",
+              loaded.obs_per_sec, loaded.seconds,
+              static_cast<unsigned long long>(loaded.refits));
+  std::printf("  throughput ratio %.3f (target >= 0.9)\n", ratio);
+
+  {
+    std::ofstream out("BENCH_online.json", std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"online_refit\",\n"
+        << "  \"consensus\": {\"kind\": \"all\", \"ensemble_size\": "
+        << kEnsembleK << "},\n"
+        << "  \"scenarios\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ScenarioResult& r = results[i];
+      out << "    {\n"
+          << "      \"drift\": \"" << r.name << "\",\n"
+          << "      \"magnitude\": " << r.magnitude << ",\n"
+          << "      \"frozen\": {\"alerts\": " << r.frozen.alerts
+          << ", \"false_positives\": " << r.frozen.false_positives
+          << ", \"fp_rate\": " << r.frozen.fp_rate()
+          << ", \"recall\": " << r.frozen.recall() << "},\n"
+          << "      \"consensus\": {\"alerts\": " << r.consensus.alerts
+          << ", \"false_positives\": " << r.consensus.false_positives
+          << ", \"fp_rate\": " << r.consensus.fp_rate()
+          << ", \"recall\": " << r.consensus.recall() << "},\n"
+          << "      \"recall_delta\": "
+          << r.consensus.recall() - r.frozen.recall() << ",\n"
+          << "      \"refits\": " << r.refits
+          << ", \"promotions\": " << r.promotions
+          << ", \"drift_alarms\": " << r.drift_alarms << "\n"
+          << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"interference\": {\n"
+        << "    \"tenants\": " << kServeTenants << ",\n"
+        << "    \"steps_per_tenant\": " << kTimedSteps << ",\n"
+        << "    \"shards\": " << kServeShards << ",\n"
+        << "    \"baseline_obs_per_sec\": " << baseline.obs_per_sec << ",\n"
+        << "    \"refit_obs_per_sec\": " << loaded.obs_per_sec << ",\n"
+        << "    \"throughput_ratio\": " << ratio << ",\n"
+        << "    \"refits_during_timed\": " << loaded.refits << "\n"
+        << "  }\n"
+        << "}\n";
+  }
+  std::printf("wrote BENCH_online.json\n");
+  return 0;
+}

@@ -15,9 +15,15 @@
 //                                 calibrates 2 x P90 per tenant online
 //        [--history-capacity N]   per-tenant history ring, records
 //        [--top-k K]              rows in the ranking panel
+//        [--online-refit]         attach the online-learning subsystem:
+//                                 rolling buffers, background refits, and
+//                                 a K=3 consensus ensemble whose vote
+//                                 becomes the history anomaly bit
+//        [--consensus NAME]       all (default) | max | quantile
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
@@ -26,6 +32,7 @@
 #include "history/query.h"
 #include "history/store.h"
 #include "obs/metrics.h"
+#include "online/trainer.h"
 #include "serve/frontend.h"
 #include "ts/profiles.h"
 
@@ -35,6 +42,9 @@ struct Options {
   double anomaly_threshold = 0.0;  // 0 = calibrate per tenant
   int history_capacity = 1024;
   int top_k = 4;
+  bool online_refit = false;
+  mace::online::ConsensusKind consensus =
+      mace::online::ConsensusKind::kAllVote;
 };
 
 /// Strict numeric parsers (the mace_served convention): the whole value
@@ -82,6 +92,22 @@ Options ParseArgs(int argc, char** argv) {
       options.history_capacity = ParseIntOrDie(arg, next());
     } else if (arg == "--top-k") {
       options.top_k = ParseIntOrDie(arg, next());
+    } else if (arg == "--online-refit") {
+      options.online_refit = true;
+    } else if (arg == "--consensus") {
+      const std::string name = next();
+      if (name == "all") {
+        options.consensus = mace::online::ConsensusKind::kAllVote;
+      } else if (name == "max") {
+        options.consensus = mace::online::ConsensusKind::kMax;
+      } else if (name == "quantile") {
+        options.consensus = mace::online::ConsensusKind::kQuantile;
+      } else {
+        std::fprintf(stderr,
+                     "--consensus needs all|max|quantile, got '%s'\n",
+                     name.c_str());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       std::exit(2);
@@ -157,9 +183,26 @@ int main(int argc, char** argv) {
   history::HistoryStore history(history::HistoryConfig{
       static_cast<size_t>(options.history_capacity),
       options.anomaly_threshold});
+  // --online-refit: every session additionally feeds a rolling buffer
+  // and fans its emitted steps across a K=3 generation ensemble; the
+  // anomaly bit stored in the history (and hence the fleet panel's
+  // anomaly rates) becomes the consensus vote. The trainer outlives the
+  // frontend — sessions borrow its ensembles.
+  std::optional<online::OnlineTrainer> trainer;
+  if (options.online_refit) {
+    online::OnlineConfig online_config;
+    online_config.model = config;
+    online_config.buffer_capacity = 512;
+    online_config.min_refit_rows = 256;
+    online_config.refit_interval = 256;
+    online_config.ensemble_size = 3;
+    online_config.consensus = options.consensus;
+    trainer.emplace(online_config);
+  }
   serve::ServeConfig serve_config;
   serve_config.num_shards = 1;
   serve_config.history = &history;
+  if (trainer.has_value()) serve_config.online = &*trainer;
   auto frontend = serve::ServeFrontend::Create(detector, serve_config);
   MACE_CHECK_OK(frontend.status());
 
@@ -197,9 +240,11 @@ int main(int argc, char** argv) {
       // inflate extreme-tail estimates, so anchor on a bulk quantile with
       // a safety factor instead of the raw POT tail (POT remains the
       // right tool on clean calibration data; see multi_service_cloud).
-      auto q90 = Quantile(tenant.scores, 0.90);
-      MACE_CHECK_OK(q90.status());
-      tenant.threshold = 2.0 * *q90;
+      // CalibratedThreshold is the same 2 x P90 rule the online trainer
+      // applies per refit generation.
+      auto calibrated = CalibratedThreshold(tenant.scores);
+      MACE_CHECK_OK(calibrated.status());
+      tenant.threshold = *calibrated;
       tenant.calibrated = true;
       history.SetThreshold(tenant.history_id, tenant.threshold);
       std::printf("%s calibrated threshold after %zu scores: %.4f "
@@ -229,10 +274,23 @@ int main(int argc, char** argv) {
       MACE_CHECK_OK(batch->status);
       for (double score : batch->scores) consume(tenants[s], score, t);
     }
+    // Synchronous pump: refits run on this thread between steps (the
+    // deterministic single-threaded flavor; servers use Start()).
+    if (trainer.has_value() && (t + 1) % 128 == 0) trainer->PumpRefits();
     if ((t + 1) % kSnapshotEvery == 0) {
       PrintSnapshot(t + 1, (*frontend)->Stats(), history,
                     static_cast<int64_t>(tenants[0].alerts.size()) - 1,
                     static_cast<int64_t>(kSnapshotEvery), options.top_k);
+      if (trainer.has_value()) {
+        const online::OnlineTrainer::Stats s = trainer->stats();
+        std::printf(
+            "             online: %llu refits %llu promoted %llu skipped "
+            "%llu drift alarms\n",
+            static_cast<unsigned long long>(s.refits),
+            static_cast<unsigned long long>(s.promotions),
+            static_cast<unsigned long long>(s.skips),
+            static_cast<unsigned long long>(s.drift_alarms));
+      }
     }
   }
   // Close drains the windowed tail each stream still owes.
@@ -244,6 +302,21 @@ int main(int argc, char** argv) {
 
   std::printf("\nstream done: %zu tenants x %zu steps\n", num_tenants,
               length);
+  if (trainer.has_value()) {
+    const online::OnlineTrainer::Stats s = trainer->stats();
+    std::printf(
+        "online learning: %llu streams, %llu refits (%llu failed), %llu "
+        "promotions, %llu skips, %llu drift alarms — consensus %s over "
+        "K=%zu generations decided the history anomaly bits\n",
+        static_cast<unsigned long long>(s.streams),
+        static_cast<unsigned long long>(s.refits),
+        static_cast<unsigned long long>(s.refit_failures),
+        static_cast<unsigned long long>(s.promotions),
+        static_cast<unsigned long long>(s.skips),
+        static_cast<unsigned long long>(s.drift_alarms),
+        online::ConsensusKindName(options.consensus),
+        trainer->config().ensemble_size);
+  }
   // Evaluate each tenant only past its calibration warm-up.
   for (const TenantState& tenant : tenants) {
     const size_t s = &tenant - tenants.data();

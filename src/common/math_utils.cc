@@ -95,6 +95,13 @@ Result<double> Quantile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+Result<double> CalibratedThreshold(std::vector<double> scores, double scale,
+                                   double q) {
+  MACE_ASSIGN_OR_RETURN(const double quantile,
+                        Quantile(std::move(scores), q));
+  return scale * quantile;
+}
+
 double GaussianPdf(double x, double mean, double stddev) {
   const double z = (x - mean) / stddev;
   return std::exp(-0.5 * z * z) /

@@ -38,6 +38,17 @@ double PearsonCorrelation(const std::vector<double>& a,
 /// Returns an error for empty input or q outside [0, 1].
 Result<double> Quantile(std::vector<double> values, double q);
 
+/// \brief The fleet's contamination-robust alert threshold rule:
+/// `scale` times the `q` quantile of a calibration score slice (default
+/// 2 x P90). Anomalies inside the calibration slice inflate extreme-tail
+/// estimates, so this anchors on a bulk quantile with a safety factor
+/// instead of the raw POT tail — POT stays the right tool on clean
+/// calibration data. Shared by the streaming monitor's per-tenant
+/// calibration and the online trainer's per-generation consensus
+/// thresholds. Errors for empty scores or q outside [0, 1].
+Result<double> CalibratedThreshold(std::vector<double> scores,
+                                   double scale = 2.0, double q = 0.90);
+
 /// Standard normal probability density.
 double GaussianPdf(double x, double mean = 0.0, double stddev = 1.0);
 

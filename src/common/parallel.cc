@@ -5,6 +5,15 @@
 #include "common/check.h"
 
 namespace mace {
+namespace {
+
+/// Pool whose task the current thread is executing (nullptr outside any
+/// task). Guards against reentrant ParallelFor on the SAME pool — which
+/// would now deadlock on driver_mu_ instead of tripping the old job_
+/// check — while still allowing a task to drive a different pool.
+thread_local const WorkerPool* tls_task_pool = nullptr;
+
+}  // namespace
 
 WorkerPool::WorkerPool(int threads) : threads_(std::max(1, threads)) {
   workers_.reserve(static_cast<size_t>(threads_ - 1));
@@ -22,19 +31,26 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void WorkerPool::RunTasks(int worker) {
+void WorkerPool::RunTasks(int worker, bool low_priority) {
   // Dynamic claiming balances uneven tasks; result determinism comes from
   // callers writing into task-indexed slots, not from the claim order.
+  const WorkerPool* previous = tls_task_pool;
+  tls_task_pool = this;
   while (true) {
     const size_t task = next_task_.fetch_add(1, std::memory_order_relaxed);
-    if (task >= job_count_) return;
+    if (task >= job_count_) break;
     (*job_)(task, worker);
+    // Low priority backs off between claims so same-core scoring threads
+    // get scheduled promptly even when every pool worker has work left.
+    if (low_priority) std::this_thread::yield();
   }
+  tls_task_pool = previous;
 }
 
 void WorkerPool::WorkerLoop(int worker) {
   uint64_t seen_round = 0;
   while (true) {
+    bool low_priority = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] { return shutdown_ || round_ != seen_round; });
@@ -45,8 +61,9 @@ void WorkerPool::WorkerLoop(int worker) {
       // without touching job_ and park until the next round.
       if (round_slots_ == 0) continue;
       --round_slots_;
+      low_priority = job_low_priority_;
     }
-    RunTasks(worker);
+    RunTasks(worker, low_priority);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --workers_in_round_;
@@ -55,34 +72,35 @@ void WorkerPool::WorkerLoop(int worker) {
   }
 }
 
-void WorkerPool::ParallelFor(size_t count,
-                             const std::function<void(size_t, int)>& fn) {
-  if (count == 0) return;
-  if (threads_ == 1 || count == 1) {
-    // Inline fast path: no wakeups, same task -> worker-0 semantics.
-    for (size_t task = 0; task < count; ++task) fn(task, 0);
-    return;
-  }
+void WorkerPool::RunRound(size_t count, TaskPriority priority,
+                          const std::function<void(size_t, int)>& fn) {
   // Waking a worker that cannot possibly claim a task (count - 1 already
   // cover everything beyond the caller) is pure context-switch overhead,
-  // so rounds are staffed with min(workers, count - 1) participants. The
-  // notify_one calls below wake at most that many; a worker notified for
-  // an earlier round that arrives late simply finds no slot and re-parks,
-  // and the barrier waits only on workers that actually claimed a slot.
-  const int participants = static_cast<int>(
-      std::min(workers_.size(), count - 1));
+  // so rounds are staffed with min(staff cap, count - 1) participants. A
+  // low-priority round halves the cap — at most threads()/2 threads ever
+  // run it (caller included) — leaving the other cores to foreground
+  // work. The notify_one calls below wake at most that many; a worker
+  // notified for an earlier round that arrives late simply finds no slot
+  // and re-parks, and the barrier waits only on workers that actually
+  // claimed a slot.
+  const bool low = priority == TaskPriority::kLow;
+  const size_t staff_cap =
+      low ? static_cast<size_t>(std::max(0, threads_ / 2 - 1))
+          : workers_.size();
+  const int participants = static_cast<int>(std::min(staff_cap, count - 1));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    MACE_CHECK(job_ == nullptr) << "WorkerPool::ParallelFor is not reentrant";
+    MACE_CHECK(job_ == nullptr) << "WorkerPool round state torn";
     job_ = &fn;
     job_count_ = count;
+    job_low_priority_ = low;
     next_task_.store(0, std::memory_order_relaxed);
     round_slots_ = participants;
     workers_in_round_ = participants;
     ++round_;
   }
   for (int i = 0; i < participants; ++i) start_cv_.notify_one();
-  RunTasks(/*worker=*/0);
+  RunTasks(/*worker=*/0, low);
   {
     // Every spawned worker must leave the round before the job can be
     // torn down, even if it woke late and found no tasks left.
@@ -91,6 +109,36 @@ void WorkerPool::ParallelFor(size_t count,
     job_ = nullptr;
     job_count_ = 0;
   }
+}
+
+void WorkerPool::ParallelFor(size_t count, TaskPriority priority,
+                             const std::function<void(size_t, int)>& fn) {
+  if (count == 0) return;
+  MACE_CHECK(tls_task_pool != this)
+      << "WorkerPool::ParallelFor is not reentrant";
+  if (threads_ == 1 || count == 1) {
+    // Inline fast path: no wakeups, same task -> worker-0 semantics. No
+    // driver lock either — the round touches no shared pool state.
+    for (size_t task = 0; task < count; ++task) fn(task, 0);
+    return;
+  }
+  std::lock_guard<std::mutex> driver(driver_mu_);
+  RunRound(count, priority, fn);
+}
+
+bool WorkerPool::TryParallelFor(size_t count, TaskPriority priority,
+                                const std::function<void(size_t, int)>& fn) {
+  if (count == 0) return true;
+  MACE_CHECK(tls_task_pool != this)
+      << "WorkerPool::ParallelFor is not reentrant";
+  if (threads_ == 1 || count == 1) {
+    for (size_t task = 0; task < count; ++task) fn(task, 0);
+    return true;
+  }
+  std::unique_lock<std::mutex> driver(driver_mu_, std::try_to_lock);
+  if (!driver.owns_lock()) return false;  // another driver holds the pool
+  RunRound(count, priority, fn);
+  return true;
 }
 
 }  // namespace mace

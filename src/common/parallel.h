@@ -30,11 +30,23 @@ namespace mace {
 /// is for thread-private scratch such as model replicas.
 ///
 /// `threads <= 1` spawns nothing and runs every call inline on the
-/// caller. Calls are not reentrant: ParallelFor must not be called from
-/// inside a task, and the pool is driven by one thread at a time. Tasks
-/// must not throw (report failures through task-indexed status slots).
+/// caller. Calls are not reentrant (ParallelFor must not be called from
+/// inside a task of the same pool), but the pool may be SHARED between
+/// driver threads: concurrent ParallelFor calls serialize on an internal
+/// driver lock, and TryParallelFor lets a background driver (e.g. an
+/// online refit) bail out instead of queueing behind another round.
+/// Tasks must not throw (report failures through task-indexed status
+/// slots).
 class WorkerPool {
  public:
+  /// Scheduling class of one ParallelFor round. Priority never changes
+  /// WHAT is computed (task -> slot determinism is the caller's contract
+  /// either way), only how aggressively the round competes for CPU:
+  /// kLow rounds staff at most half of the pool's threads and yield
+  /// between task claims, so a background refit sharing the machine with
+  /// latency-sensitive scoring threads cannot starve them.
+  enum class TaskPriority { kNormal, kLow };
+
   explicit WorkerPool(int threads);
   ~WorkerPool();
 
@@ -45,22 +57,39 @@ class WorkerPool {
   int threads() const { return threads_; }
 
   /// Runs fn(task, worker) for all tasks in [0, count); blocks until done.
-  void ParallelFor(size_t count,
+  /// When another thread is mid-round, blocks until the pool is free.
+  void ParallelFor(size_t count, const std::function<void(size_t, int)>& fn) {
+    ParallelFor(count, TaskPriority::kNormal, fn);
+  }
+  void ParallelFor(size_t count, TaskPriority priority,
                    const std::function<void(size_t, int)>& fn);
+
+  /// Non-blocking variant for background drivers: returns false without
+  /// running anything when another thread currently drives the pool
+  /// (the try-claim), true after running the round to completion.
+  bool TryParallelFor(size_t count, TaskPriority priority,
+                      const std::function<void(size_t, int)>& fn);
 
  private:
   void WorkerLoop(int worker);
-  /// Claims tasks from next_task_ until the current round is drained.
-  void RunTasks(int worker);
+  /// Claims tasks from next_task_ until the current round is drained;
+  /// low-priority rounds yield between claims.
+  void RunTasks(int worker, bool low_priority);
+  void RunRound(size_t count, TaskPriority priority,
+                const std::function<void(size_t, int)>& fn);
 
   const int threads_;
+  /// Serializes drivers: one ParallelFor round at a time. Held for the
+  /// whole round, so round state below needs no cross-driver hand-off.
+  std::mutex driver_mu_;
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(size_t, int)>* job_ = nullptr;  // guarded by mutex_
   size_t job_count_ = 0;
+  bool job_low_priority_ = false;  // guarded by mutex_
   std::atomic<size_t> next_task_{0};
-  /// Participation slots left in this round: min(workers, count - 1).
+  /// Participation slots left in this round: min(staff cap, count - 1).
   /// Rounds with fewer tasks than workers wake (and wait on) only as many
   /// workers as can possibly claim a task; a spurious waker claims a slot
   /// if one is left and otherwise skips the round.

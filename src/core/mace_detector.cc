@@ -330,6 +330,16 @@ ts::TimeSeries MaceDetector::AmplifySeries(const ts::TimeSeries& series) const {
 }
 
 Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
+  // One private pool drives both phases: per-service preprocessing fans
+  // out over services, training fans out over gradient shards.
+  WorkerPool pool(config_.fit_threads);
+  return Fit(services, &pool, WorkerPool::TaskPriority::kNormal);
+}
+
+Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services,
+                         WorkerPool* pool,
+                         WorkerPool::TaskPriority priority) {
+  MACE_CHECK(pool != nullptr);
   obs::MetricsRegistry& metrics = obs::Metrics();
   obs::ScopedSpan fit_span(
       "MaceDetector::Fit",
@@ -389,12 +399,9 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   // previously fitted detectors keep scoring, unfitted ones stay unfitted.
   std::vector<double> epoch_losses;
 
-  // One pool drives both phases: per-service preprocessing fans out over
-  // services, training fans out over gradient shards.
-  WorkerPool pool(config_.fit_threads);
   metrics.GetGauge("mace_fit_pool_threads",
                    "Worker threads of the training pool (fit_threads)")
-      ->Set(pool.threads());
+      ->Set(pool->threads());
 
   // Preprocessing: per-service scaling, subspace extraction, transforms,
   // and stage-1-amplified training windows. Services are independent —
@@ -408,7 +415,7 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   std::vector<std::vector<Tensor>> amplified(num_services);  // [svc][win]
   std::vector<Status> service_status(num_services, Status::OK());
   std::vector<int> columns(num_services, -1);
-  pool.ParallelFor(num_services, [&](size_t si, int /*worker*/) {
+  pool->ParallelFor(num_services, priority, [&](size_t si, int /*worker*/) {
     const ts::ServiceData& service = (*input)[si];
     obs::ScopedSpan subspace_span(
         "MaceDetector::SubspaceExtraction",
@@ -492,7 +499,7 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
       std::min<size_t>(static_cast<size_t>(config_.batch_size), order.size());
   const size_t max_shards =
       (batch_size + kFitShardWindows - 1) / kFitShardWindows;
-  const bool sequential = pool.threads() == 1;
+  const bool sequential = pool->threads() == 1;
   // Replicas are per worker thread, not per shard: Backward() accumulates
   // into replica grad buffers, which must be thread-private. A one-thread
   // pool trains straight on the master model — no replicas, no value
@@ -504,7 +511,7 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   uint64_t master_version = 1;
   if (!sequential) {
     Rng replica_rng(config_.seed);  // throwaway: values resync from master
-    replicas.resize(static_cast<size_t>(pool.threads()));
+    replicas.resize(static_cast<size_t>(pool->threads()));
     replica_params.resize(replicas.size());
     replica_version.assign(replicas.size(), 0);
     for (size_t t = 0; t < replicas.size(); ++t) {
@@ -516,7 +523,7 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
   std::vector<nn::GradSlot> shard_slots(max_shards,
                                         nn::MakeGradSlot(master_params));
   std::vector<double> shard_losses(max_shards, 0.0);
-  std::vector<double> worker_busy(static_cast<size_t>(pool.threads()), 0.0);
+  std::vector<double> worker_busy(static_cast<size_t>(pool->threads()), 0.0);
 
   obs::Histogram* epoch_seconds = metrics.GetHistogram(
       "mace_fit_epoch_seconds", "Wall-clock duration of one training epoch");
@@ -555,7 +562,7 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services) {
       const size_t minibatch = std::min(batch_size, order.size() - begin);
       const size_t shards =
           (minibatch + kFitShardWindows - 1) / kFitShardWindows;
-      pool.ParallelFor(shards, [&](size_t shard, int worker) {
+      pool->ParallelFor(shards, priority, [&](size_t shard, int worker) {
         const auto task_begin = std::chrono::steady_clock::now();
         MaceModel* shard_model = model.get();
         std::vector<Tensor>* params = &master_params;

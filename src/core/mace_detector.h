@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/detector.h"
 #include "core/mace_config.h"
 #include "core/mace_model.h"
@@ -41,6 +42,16 @@ class MaceDetector : public Detector {
   /// kReject for training; see MaceConfig) return a descriptive error
   /// before any state mutation, kImpute trains on the sanitized copy.
   Status Fit(const std::vector<ts::ServiceData>& services) override;
+  /// Same fit, but fans the parallel phases (per-service preprocessing
+  /// and gradient shards) out on a caller-supplied shared pool at
+  /// `priority` instead of a private pool of `fit_threads` workers — the
+  /// online-refit path, where kLow rounds must not starve the serving
+  /// threads sharing the machine. Results depend on the pool only through
+  /// its thread count (the replica count), exactly as the private-pool
+  /// overload depends on fit_threads: a refit is bit-deterministic for
+  /// fixed inputs, seed and pool size, at either priority.
+  Status Fit(const std::vector<ts::ServiceData>& services, WorkerPool* pool,
+             WorkerPool::TaskPriority priority);
   Result<std::vector<double>> Score(int service_index,
                                     const ts::TimeSeries& test) override;
   std::string name() const override { return "MACE"; }

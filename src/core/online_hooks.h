@@ -1,0 +1,87 @@
+#ifndef MACE_CORE_ONLINE_HOOKS_H_
+#define MACE_CORE_ONLINE_HOOKS_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mace::core {
+
+/// \brief Interfaces the online-learning subsystem (src/online/) plugs
+/// into the scoring surfaces through, mirroring how AttachHistory feeds
+/// the history store: core and serve depend only on these hooks, the
+/// rolling buffers / model ensembles / refit scheduler live behind them.
+
+/// Sink for the raw observations a stream consumes — the feed of a
+/// rolling refit buffer. Rows arrive post-sanitation (always fully
+/// finite: kImpute/kPropagate rows carry the imputed values), with
+/// `contaminated` marking rows whose values a lossy policy repaired, so
+/// the buffer can account for training-data quality per policy. Called
+/// inline from the scorer's step path; implementations must be cheap and,
+/// when snapshotted from another thread (a background refit), internally
+/// synchronized.
+class ObservationSink {
+ public:
+  virtual ~ObservationSink() = default;
+  virtual void OnObservation(const std::vector<double>& row,
+                             bool contaminated) = 0;
+};
+
+/// Consensus verdict of a model ensemble for one emitted step.
+struct StepVerdict {
+  /// True when at least one warmed-up generation scored the step; false
+  /// while the ensemble is empty or every lane is still filling its
+  /// window pipeline (the scorer then falls back to single-model
+  /// semantics for the step).
+  bool voted = false;
+  /// Consensus-combined score in units of the generations' calibrated
+  /// thresholds (> 1 means the consensus rule fires). Diagnostic; the
+  /// history record keeps the base model's score.
+  double score = 0.0;
+  /// The consensus anomaly bit (valid when `voted`).
+  bool anomaly = false;
+};
+
+/// \brief Streaming fan-out across a model ensemble: the scorer forwards
+/// every consumed observation (so generation lanes advance in lockstep
+/// with the base pipeline) and asks for a verdict whenever it emits a
+/// finalized step. Implementations are bound to one session and called
+/// only from that session's thread.
+class StreamEnsemble {
+ public:
+  virtual ~StreamEnsemble() = default;
+  /// One consumed observation (raw, sanitized to finite).
+  virtual void OnObservation(const std::vector<double>& row) = 0;
+  /// Batched variant (the PushMany fast path); default loops.
+  virtual void OnObservations(const std::vector<std::vector<double>>& rows) {
+    for (const std::vector<double>& row : rows) OnObservation(row);
+  }
+  /// Verdict for emitted step `step` whose base-model score is
+  /// `base_score`. Must be called exactly once per emitted step in step
+  /// order — it also drains the per-generation score queues.
+  virtual StepVerdict OnEmit(size_t step, double base_score) = 0;
+};
+
+/// Per-stream online-learning attachments, as handed out by Bind().
+struct StreamBinding {
+  /// Rolling refit buffer (owned by the hooks provider, which outlives
+  /// every session; the same stream re-binds to the same buffer).
+  ObservationSink* sink = nullptr;
+  /// Ensemble fan-out state (owned by the session: lanes hold per-stream
+  /// pipeline state and die with it).
+  std::unique_ptr<StreamEnsemble> ensemble;
+};
+
+/// \brief Factory the serve layer calls when a session opens: one binding
+/// per stream key ("<tenant>/<service>"). Implementations must be
+/// thread-safe — shards bind concurrently.
+class OnlineHooks {
+ public:
+  virtual ~OnlineHooks() = default;
+  virtual StreamBinding Bind(const std::string& key, int num_features) = 0;
+};
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_ONLINE_HOOKS_H_

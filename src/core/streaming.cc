@@ -108,10 +108,25 @@ std::vector<double> StreamingScorer::EmitFinalized(size_t safe_before,
   std::vector<double> emitted;
   while (next_emit_ < safe_before && !pending_.empty()) {
     emitted.push_back(covered_.front() ? pending_.front() : 0.0);
+    // The ensemble is consulted on every emit even without a history
+    // sink: OnEmit also drains the per-generation score queues, which
+    // must stay in lockstep with the base pipeline.
+    StepVerdict verdict;
+    if (ensemble_ != nullptr) {
+      verdict = ensemble_->OnEmit(next_emit_, emitted.back());
+    }
     if (history_ != nullptr) {
-      history_->Append(history_tenant_,
-                       history_base_ + static_cast<int64_t>(next_emit_),
-                       emitted.back());
+      const int64_t timestamp =
+          history_base_ + static_cast<int64_t>(next_emit_);
+      // A voting ensemble supplies the consensus anomaly bit; the stored
+      // score stays the base model's. A NaN base score keeps its
+      // skip-the-record semantics (Append's non-finite guard) either way.
+      if (verdict.voted) {
+        history_->Append(history_tenant_, timestamp, emitted.back(),
+                         verdict.anomaly);
+      } else {
+        history_->Append(history_tenant_, timestamp, emitted.back());
+      }
     }
     pending_.pop_front();
     covered_.pop_front();
@@ -162,6 +177,11 @@ Result<std::vector<double>> StreamingScorer::Push(
   steps_counter_->Increment();
   pending_.push_back(std::numeric_limits<double>::infinity());
   covered_.push_back(false);
+  // Online hooks see the raw sanitized row (finite, pre-scaling): each
+  // model generation scales with its own fitted scaler, and the refit
+  // buffer must train on unscaled data.
+  if (sink_ != nullptr) sink_->OnObservation(row, outcome.contaminated);
+  if (ensemble_ != nullptr) ensemble_->OnObservation(row);
 
   if (buffer_.size() == static_cast<size_t>(window_) &&
       (steps_consumed_ - static_cast<size_t>(window_)) %
@@ -185,10 +205,17 @@ Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
   // can then replay per item to locate it).
   ts::ObservationSanitizer sanitizer = sanitizer_;
   IngestStats ingest = ingest_stats_;
+  const bool keep_raw = sink_ != nullptr || ensemble_ != nullptr;
   std::vector<std::vector<double>> scaled;
   std::vector<bool> row_contaminated;
+  std::vector<std::vector<double>> raw;       // sanitized rows for hooks
+  std::vector<uint8_t> raw_contaminated;      // any-policy contamination
   scaled.reserve(observations.size());
   row_contaminated.reserve(observations.size());
+  if (keep_raw) {
+    raw.reserve(observations.size());
+    raw_contaminated.reserve(observations.size());
+  }
   for (const std::vector<double>& observation : observations) {
     std::vector<double> row = observation;
     MACE_ASSIGN_OR_RETURN(ts::ObservationSanitizer::Outcome outcome,
@@ -203,9 +230,22 @@ Result<std::vector<std::vector<double>>> StreamingScorer::PushMany(
       ++ingest.contaminated_steps;
       ingest.values_imputed += outcome.values_imputed;
     }
+    if (keep_raw) {
+      raw.push_back(std::move(row));
+      raw_contaminated.push_back(outcome.contaminated ? 1 : 0);
+    }
   }
   sanitizer_ = std::move(sanitizer);
   ingest_stats_ = ingest;
+  // Hooks fire only after the all-or-nothing validation above committed,
+  // and before the retroactive emits below so the generation lanes have
+  // consumed every observation a verdict may be asked for.
+  if (sink_ != nullptr) {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      sink_->OnObservation(raw[i], raw_contaminated[i] != 0);
+    }
+  }
+  if (ensemble_ != nullptr) ensemble_->OnObservations(raw);
 
   // Consume every observation, snapshotting each clean window that falls
   // due at a stride boundary for one batched scoring pass; contaminated
@@ -303,6 +343,11 @@ void StreamingScorer::Reset() {
   scores_emitted_ = 0;
   history_ = nullptr;  // the next stream may belong to a different tenant
   history_base_ = 0;
+  // Same contract for the online hooks: a recycled session must neither
+  // feed the previous stream's rolling refit buffer nor vote with its
+  // ensemble (stale rows would leak into the next refit's snapshot).
+  sink_ = nullptr;
+  ensemble_ = nullptr;
   created_at_ = std::chrono::steady_clock::now();
   // The throughput gauge is cumulative-per-stream: a recycled session
   // must not report the previous tenant's rate until its first emit.

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "core/mace_detector.h"
+#include "core/online_hooks.h"
 #include "history/store.h"
 #include "obs/metrics.h"
 #include "ts/sanitize.h"
@@ -111,6 +112,27 @@ class StreamingScorer {
   void DetachHistory() { history_ = nullptr; }
   bool history_attached() const { return history_ != nullptr; }
 
+  /// Attaches the online-learning hooks of this stream (both optional,
+  /// not owned): `sink` receives every consumed observation (raw,
+  /// sanitized — the rolling refit buffer feed), `ensemble` additionally
+  /// gets asked for a consensus verdict per emitted step, and when it
+  /// votes, the anomaly bit written into the attached history store is
+  /// the consensus bit (the stored score stays the base model's; under
+  /// kPropagate a NaN base score keeps its skip-the-record semantics).
+  /// Like AttachHistory, Reset() detaches — a recycled session must never
+  /// feed the previous stream's buffer or vote with its ensemble.
+  void AttachOnline(ObservationSink* sink, StreamEnsemble* ensemble) {
+    sink_ = sink;
+    ensemble_ = ensemble;
+  }
+  void DetachOnline() {
+    sink_ = nullptr;
+    ensemble_ = nullptr;
+  }
+  bool online_attached() const {
+    return sink_ != nullptr || ensemble_ != nullptr;
+  }
+
  private:
   StreamingScorer(const MaceDetector* detector, int service_index,
                   ts::NonFinitePolicy policy);
@@ -153,6 +175,10 @@ class StreamingScorer {
   history::HistoryStore* history_ = nullptr;
   history::HistoryStore::TenantId history_tenant_ = 0;
   int64_t history_base_ = 0;
+
+  /// Optional online-learning hooks (not owned); see AttachOnline.
+  ObservationSink* sink_ = nullptr;
+  StreamEnsemble* ensemble_ = nullptr;
 
   // Observability: instruments are resolved once per scorer (labeled by
   // service), so the per-step path touches only atomics.

@@ -127,6 +127,16 @@ int64_t HistoryStore::next_timestamp(TenantId id) const {
 }
 
 void HistoryStore::Append(TenantId id, int64_t timestamp, double score) {
+  AppendImpl(id, timestamp, score, /*forced_bit=*/nullptr);
+}
+
+void HistoryStore::Append(TenantId id, int64_t timestamp, double score,
+                          bool anomaly) {
+  AppendImpl(id, timestamp, score, &anomaly);
+}
+
+void HistoryStore::AppendImpl(TenantId id, int64_t timestamp, double score,
+                              const bool* forced_bit) {
   if (!std::isfinite(score)) {
     skipped_counter_->Increment();
     return;
@@ -137,7 +147,7 @@ void HistoryStore::Append(TenantId id, int64_t timestamp, double score) {
   bool evicted = false;
   {
     std::lock_guard<std::mutex> lock(tenant.mu);
-    anomaly = score > tenant.threshold;
+    anomaly = forced_bit != nullptr ? *forced_bit : score > tenant.threshold;
     Record record;
     record.timestamp = timestamp;
     record.score = static_cast<float>(score);

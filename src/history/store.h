@@ -61,8 +61,14 @@ class HistoryStore : public HistorySource {
   void SetThreshold(TenantId id, double threshold);
   double threshold(TenantId id) const;
 
-  /// Appends one record; evicts the oldest when the ring is full.
+  /// Appends one record; evicts the oldest when the ring is full. The
+  /// anomaly bit is decided against the tenant's live threshold.
   void Append(TenantId id, int64_t timestamp, double score);
+  /// Same, but the caller supplies the anomaly bit — the online-learning
+  /// path, where the bit is a model-ensemble consensus vote rather than a
+  /// single-threshold comparison (the stored score stays the base model's,
+  /// so severity aggregation remains comparable across tenants).
+  void Append(TenantId id, int64_t timestamp, double score, bool anomaly);
 
   const HistoryConfig& config() const { return config_; }
   /// Records appended to tenant `id` over its lifetime (>= stored count).
@@ -99,6 +105,10 @@ class HistoryStore : public HistorySource {
   /// Tenant for `id`; the returned reference is stable (tenants are
   /// never destroyed while the store lives).
   Tenant& TenantFor(TenantId id) const;
+
+  /// Shared append body; `forced_bit` overrides the threshold comparison.
+  void AppendImpl(TenantId id, int64_t timestamp, double score,
+                  const bool* forced_bit);
 
   const HistoryConfig config_;
 

@@ -81,6 +81,12 @@ const std::vector<double>& RatioBuckets() {
   return kBuckets;
 }
 
+const std::vector<double>& OverlapBuckets() {
+  static const std::vector<double> kBuckets = {
+      0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99, 1.0};
+  return kBuckets;
+}
+
 namespace {
 
 Labels Sorted(Labels labels) {

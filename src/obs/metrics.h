@@ -76,6 +76,9 @@ const std::vector<double>& LatencyBuckets();
 const std::vector<double>& StepBuckets();
 /// Ten linear buckets over [0, 1] for ratios/utilization.
 const std::vector<double>& RatioBuckets();
+/// [0, 1] buckets refined near 1 (0.95/0.98/0.99) for subspace-overlap
+/// distributions, where the online drift gate's skip threshold lives.
+const std::vector<double>& OverlapBuckets();
 
 enum class InstrumentType { kCounter, kGauge, kHistogram };
 

@@ -1,0 +1,124 @@
+#include "online/consensus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace mace::online {
+
+namespace {
+
+/// A generation whose calibrated threshold degenerated to <= 0 cannot
+/// express "how far past normal" — treat any score as maximally past it.
+double Ratio(double score, double threshold) {
+  if (threshold <= 0.0) return std::numeric_limits<double>::infinity();
+  return score / threshold;
+}
+
+std::vector<double> Ratios(const std::vector<double>& scores,
+                           const std::vector<double>& thresholds) {
+  const size_t n = std::min(scores.size(), thresholds.size());
+  std::vector<double> ratios;
+  ratios.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ratios.push_back(Ratio(scores[i], thresholds[i]));
+  }
+  return ratios;
+}
+
+core::StepVerdict VerdictFrom(double combined) {
+  core::StepVerdict verdict;
+  verdict.voted = true;
+  verdict.score = combined;
+  verdict.anomaly = combined > 1.0;
+  return verdict;
+}
+
+class AllVotePolicy : public ConsensusPolicy {
+ public:
+  ConsensusKind kind() const override { return ConsensusKind::kAllVote; }
+  core::StepVerdict Judge(
+      const std::vector<double>& scores,
+      const std::vector<double>& thresholds) const override {
+    const std::vector<double> ratios = Ratios(scores, thresholds);
+    if (ratios.empty()) return {};
+    // min over ratios: > 1 iff every generation is past its threshold.
+    return VerdictFrom(*std::min_element(ratios.begin(), ratios.end()));
+  }
+};
+
+class MaxPolicy : public ConsensusPolicy {
+ public:
+  ConsensusKind kind() const override { return ConsensusKind::kMax; }
+  core::StepVerdict Judge(
+      const std::vector<double>& scores,
+      const std::vector<double>& thresholds) const override {
+    const std::vector<double> ratios = Ratios(scores, thresholds);
+    if (ratios.empty()) return {};
+    return VerdictFrom(*std::max_element(ratios.begin(), ratios.end()));
+  }
+};
+
+class QuantilePolicy : public ConsensusPolicy {
+ public:
+  explicit QuantilePolicy(double q) : q_(std::clamp(q, 0.0, 1.0)) {}
+  ConsensusKind kind() const override { return ConsensusKind::kQuantile; }
+  core::StepVerdict Judge(
+      const std::vector<double>& scores,
+      const std::vector<double>& thresholds) const override {
+    std::vector<double> ratios = Ratios(scores, thresholds);
+    if (ratios.empty()) return {};
+    // Interpolated quantiles choke on infinities; one saturated ratio
+    // should not NaN the verdict, so collapse them to a huge finite value.
+    for (double& r : ratios) {
+      if (!std::isfinite(r)) r = std::numeric_limits<double>::max();
+    }
+    Result<double> combined = Quantile(std::move(ratios), q_);
+    if (!combined.ok()) return {};
+    return VerdictFrom(*combined);
+  }
+
+ private:
+  const double q_;
+};
+
+}  // namespace
+
+const char* ConsensusKindName(ConsensusKind kind) {
+  switch (kind) {
+    case ConsensusKind::kAllVote:
+      return "all";
+    case ConsensusKind::kMax:
+      return "max";
+    case ConsensusKind::kQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+std::unique_ptr<ConsensusPolicy> MakeConsensusPolicy(ConsensusKind kind,
+                                                     double quantile) {
+  switch (kind) {
+    case ConsensusKind::kAllVote:
+      return std::make_unique<AllVotePolicy>();
+    case ConsensusKind::kMax:
+      return std::make_unique<MaxPolicy>();
+    case ConsensusKind::kQuantile:
+      return std::make_unique<QuantilePolicy>(quantile);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ConsensusPolicy> ParseConsensusPolicy(const std::string& name,
+                                                      double quantile) {
+  if (name == "all") return MakeConsensusPolicy(ConsensusKind::kAllVote);
+  if (name == "max") return MakeConsensusPolicy(ConsensusKind::kMax);
+  if (name == "quantile") {
+    return MakeConsensusPolicy(ConsensusKind::kQuantile, quantile);
+  }
+  return nullptr;
+}
+
+}  // namespace mace::online

@@ -1,0 +1,59 @@
+#ifndef MACE_ONLINE_CONSENSUS_H_
+#define MACE_ONLINE_CONSENSUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online_hooks.h"
+
+namespace mace::online {
+
+/// How an ensemble's per-generation scores combine into one verdict.
+enum class ConsensusKind {
+  /// Anomalous only when EVERY generation fires — the netdata-style
+  /// all-vote bit that eliminates single-model false positives.
+  kAllVote,
+  /// Most sensitive combiner: anomalous when ANY generation fires.
+  kMax,
+  /// Anomalous when the q-quantile of per-generation ratios exceeds 1 —
+  /// a tunable midpoint (q=0 ~ kMax over the min, q=1 ~ strictest).
+  kQuantile,
+};
+
+const char* ConsensusKindName(ConsensusKind kind);
+
+/// \brief Combines one emitted step's scores across ensemble generations.
+///
+/// Each generation g contributes a ratio r_g = score_g / threshold_g
+/// (scores from different generations are not directly comparable — each
+/// model reconstructs against its own training regime — but "how far past
+/// my own calibrated threshold" is). The policy folds the ratios into one
+/// combined ratio; the anomaly bit is combined > 1.
+class ConsensusPolicy {
+ public:
+  virtual ~ConsensusPolicy() = default;
+  virtual ConsensusKind kind() const = 0;
+
+  /// `scores` and `thresholds` are parallel (one entry per generation
+  /// that produced a score for this step). Empty input abstains
+  /// (voted=false); a non-positive threshold makes its generation's
+  /// ratio saturate anomalous (defensive — calibration floors thresholds
+  /// above zero).
+  virtual core::StepVerdict Judge(
+      const std::vector<double>& scores,
+      const std::vector<double>& thresholds) const = 0;
+};
+
+/// Factory; `quantile` only affects kQuantile (clamped to [0, 1]).
+std::unique_ptr<ConsensusPolicy> MakeConsensusPolicy(ConsensusKind kind,
+                                                     double quantile = 0.5);
+
+/// Parses "all" / "max" / "quantile" (case-sensitive); nullptr on junk.
+/// CLI-flag convenience for the monitor example and benches.
+std::unique_ptr<ConsensusPolicy> ParseConsensusPolicy(
+    const std::string& name, double quantile = 0.5);
+
+}  // namespace mace::online
+
+#endif  // MACE_ONLINE_CONSENSUS_H_

@@ -1,0 +1,111 @@
+#include "online/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mace::online {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Sampled Fourier columns for one subspace: cos(2 pi b t / window) for
+/// every base b, plus sin for the strictly interior bins. Duplicate or
+/// out-of-range bases are dropped.
+std::vector<std::vector<double>> FourierColumns(
+    const core::PatternSubspace& subspace, int window) {
+  std::vector<std::vector<double>> columns;
+  std::vector<char> seen(static_cast<size_t>(window / 2) + 1, 0);
+  for (int base : subspace.bases) {
+    if (base < 0 || base > window / 2) continue;
+    if (seen[static_cast<size_t>(base)]) continue;
+    seen[static_cast<size_t>(base)] = 1;
+    std::vector<double> cos_col(static_cast<size_t>(window));
+    for (int t = 0; t < window; ++t) {
+      cos_col[static_cast<size_t>(t)] =
+          std::cos(2.0 * kPi * base * t / window);
+    }
+    columns.push_back(std::move(cos_col));
+    if (base == 0 || (window % 2 == 0 && base == window / 2)) continue;
+    std::vector<double> sin_col(static_cast<size_t>(window));
+    for (int t = 0; t < window; ++t) {
+      sin_col[static_cast<size_t>(t)] =
+          std::sin(2.0 * kPi * base * t / window);
+    }
+    columns.push_back(std::move(sin_col));
+  }
+  return columns;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// Modified Gram-Schmidt; near-zero columns (linearly dependent input)
+/// are discarded so the result is a true orthonormal basis.
+std::vector<std::vector<double>> Orthonormalize(
+    std::vector<std::vector<double>> columns) {
+  std::vector<std::vector<double>> q;
+  for (std::vector<double>& col : columns) {
+    for (const std::vector<double>& prev : q) {
+      const double proj = Dot(col, prev);
+      for (size_t i = 0; i < col.size(); ++i) col[i] -= proj * prev[i];
+    }
+    const double norm = std::sqrt(Dot(col, col));
+    if (norm < 1e-9) continue;
+    for (double& v : col) v /= norm;
+    q.push_back(std::move(col));
+  }
+  return q;
+}
+
+}  // namespace
+
+double SubspaceOverlap(const core::PatternSubspace& a,
+                       const core::PatternSubspace& b, int window) {
+  MACE_CHECK(window >= 2) << "overlap needs a real window";
+  const std::vector<std::vector<double>> qa =
+      Orthonormalize(FourierColumns(a, window));
+  const std::vector<std::vector<double>> qb =
+      Orthonormalize(FourierColumns(b, window));
+  if (qa.empty() || qb.empty()) return 0.0;
+  double frob_sq = 0.0;
+  for (const std::vector<double>& ca : qa) {
+    for (const std::vector<double>& cb : qb) {
+      const double g = Dot(ca, cb);
+      frob_sq += g * g;
+    }
+  }
+  const double dim = static_cast<double>(std::min(qa.size(), qb.size()));
+  // frob_sq / dim is the mean cos^2 of the principal angles; clamp the
+  // float fuzz so callers can compare against 1.0 safely.
+  return std::clamp(frob_sq / dim, 0.0, 1.0);
+}
+
+const char* GateDecisionName(GateDecision decision) {
+  switch (decision) {
+    case GateDecision::kPromote:
+      return "promote";
+    case GateDecision::kSkip:
+      return "skip";
+    case GateDecision::kPromoteDrift:
+      return "promote_drift";
+  }
+  return "?";
+}
+
+GateDecision GateCandidate(double overlap, bool ensemble_full,
+                           const DriftGateConfig& config) {
+  if (overlap < config.drift_overlap) return GateDecision::kPromoteDrift;
+  if (ensemble_full && overlap >= config.skip_overlap) {
+    return GateDecision::kSkip;
+  }
+  return GateDecision::kPromote;
+}
+
+}  // namespace mace::online

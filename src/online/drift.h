@@ -1,0 +1,58 @@
+#ifndef MACE_ONLINE_DRIFT_H_
+#define MACE_ONLINE_DRIFT_H_
+
+#include "core/pattern_extractor.h"
+
+namespace mace::online {
+
+/// \brief Mean squared cosine of the principal angles between the Fourier
+/// subspaces spanned by two services' selected bases, in [0, 1].
+///
+/// Each base index b in [0, window/2] contributes its cos column (and,
+/// for 0 < b < window/2, its sin column) over `window` sample points; the
+/// columns are orthonormalized and the overlap is
+/// ||Qa^T Qb||_F^2 / min(dim a, dim b) — exactly the mean cos^2 of the
+/// principal angles, no SVD needed. Identical base sets give 1, disjoint
+/// base sets give 0 (distinct Fourier bins are orthogonal), partial
+/// agreement lands proportionally in between.
+///
+/// This is the drift gate's distance: a candidate model whose freshly
+/// extracted subspace still overlaps the incumbent's was trained on the
+/// same normality (skip-worthy); a low overlap means the stream's normal
+/// pattern moved (drift).
+double SubspaceOverlap(const core::PatternSubspace& a,
+                       const core::PatternSubspace& b, int window);
+
+/// What the drift gate decided to do with a candidate generation.
+enum class GateDecision {
+  /// Rotate the candidate into the ensemble (the steady-state outcome).
+  kPromote,
+  /// Ensemble is full and the candidate is indistinguishable from the
+  /// incumbent — drop it, save the rotation churn.
+  kSkip,
+  /// Candidate diverged hard from the incumbent: promote it AND schedule
+  /// the next refit early, because one generation of a new normality
+  /// cannot outvote K-1 stale ones.
+  kPromoteDrift,
+};
+
+const char* GateDecisionName(GateDecision decision);
+
+/// Thresholds for the overlap-based gate. Defaults: skip when the
+/// ensemble is full and overlap >= 0.98 (candidate ~ incumbent); declare
+/// drift when overlap < 0.5 (less than half the candidate's energy lies
+/// in the incumbent's subspace); promote otherwise.
+struct DriftGateConfig {
+  double skip_overlap = 0.98;
+  double drift_overlap = 0.5;
+};
+
+/// Gate one candidate: `overlap` is SubspaceOverlap(candidate, incumbent)
+/// (pass 1.0 when there is no incumbent yet — first generation always
+/// promotes), `ensemble_full` whether promotion would evict a generation.
+GateDecision GateCandidate(double overlap, bool ensemble_full,
+                           const DriftGateConfig& config);
+
+}  // namespace mace::online
+
+#endif  // MACE_ONLINE_DRIFT_H_

@@ -1,0 +1,151 @@
+#include "online/ensemble.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mace::online {
+
+ModelEnsemble::ModelEnsemble(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      snapshot_(std::make_shared<const std::vector<ModelGeneration>>()) {}
+
+uint64_t ModelEnsemble::Promote(
+    std::shared_ptr<const core::MaceDetector> model, double threshold) {
+  MACE_CHECK(model != nullptr) << "cannot promote a null generation";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelGeneration> next = *snapshot_;
+  ModelGeneration generation;
+  generation.model = std::move(model);
+  generation.threshold = threshold;
+  generation.version = next_version_++;
+  next.push_back(std::move(generation));
+  if (next.size() > capacity_) next.erase(next.begin());
+  snapshot_ =
+      std::make_shared<const std::vector<ModelGeneration>>(std::move(next));
+  return next_version_ - 1;
+}
+
+ModelEnsemble::Snapshot ModelEnsemble::generations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const core::MaceDetector> ModelEnsemble::Newest() const {
+  const Snapshot snapshot = generations();
+  return snapshot->empty() ? nullptr : snapshot->back().model;
+}
+
+uint64_t ModelEnsemble::promotions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_version_ - 1;
+}
+
+EnsembleBinding::EnsembleBinding(const ModelEnsemble* ensemble,
+                                 const ConsensusPolicy* policy)
+    : ensemble_(ensemble), policy_(policy) {
+  MACE_CHECK(ensemble_ != nullptr && policy_ != nullptr);
+}
+
+void EnsembleBinding::SyncLanes() {
+  ModelEnsemble::Snapshot current = ensemble_->generations();
+  if (current == seen_) return;
+  // Drop lanes of evicted generations; their shared_ptr kept the model
+  // alive until exactly here, so no in-flight step ever lost its model.
+  lanes_.erase(std::remove_if(lanes_.begin(), lanes_.end(),
+                              [&](const Lane& lane) {
+                                for (const ModelGeneration& gen : *current) {
+                                  if (gen.version == lane.version) {
+                                    return false;
+                                  }
+                                }
+                                return true;
+                              }),
+               lanes_.end());
+  // Open a lane for every generation we are not scoring yet. It starts at
+  // the current stream step: earlier steps were consumed before this
+  // generation existed here, so the lane abstains on them.
+  for (const ModelGeneration& gen : *current) {
+    bool have = false;
+    for (const Lane& lane : lanes_) {
+      if (lane.version == gen.version) {
+        have = true;
+        break;
+      }
+    }
+    if (have) continue;
+    Result<core::StreamingScorer> scorer =
+        core::StreamingScorer::Create(gen.model.get(), 0);
+    if (!scorer.ok()) continue;  // malformed generation: never vote with it
+    Lane lane;
+    lane.version = gen.version;
+    lane.threshold = gen.threshold;
+    lane.model = gen.model;
+    lane.scorer = std::make_unique<core::StreamingScorer>(
+        std::move(scorer).value());
+    lane.next_step = consumed_;
+    lanes_.push_back(std::move(lane));
+  }
+  seen_ = std::move(current);
+}
+
+void EnsembleBinding::OnObservation(const std::vector<double>& row) {
+  SyncLanes();
+  for (size_t i = 0; i < lanes_.size();) {
+    Lane& lane = lanes_[i];
+    Result<std::vector<double>> emitted = lane.scorer->Push(row);
+    if (!emitted.ok()) {
+      // A lane that cannot ingest the stream (feature-width mismatch with
+      // its generation) can never vote again — drop it.
+      lanes_.erase(lanes_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    for (double score : *emitted) lane.ready.push_back(score);
+    ++i;
+  }
+  ++consumed_;
+}
+
+void EnsembleBinding::OnObservations(
+    const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return;
+  SyncLanes();
+  for (size_t i = 0; i < lanes_.size();) {
+    Lane& lane = lanes_[i];
+    Result<std::vector<std::vector<double>>> emitted =
+        lane.scorer->PushMany(rows);
+    if (!emitted.ok()) {
+      lanes_.erase(lanes_.begin() + static_cast<ptrdiff_t>(i));
+      continue;
+    }
+    for (const std::vector<double>& per_row : *emitted) {
+      for (double score : per_row) lane.ready.push_back(score);
+    }
+    ++i;
+  }
+  consumed_ += rows.size();
+}
+
+core::StepVerdict EnsembleBinding::OnEmit(size_t step, double base_score) {
+  (void)base_score;  // the base score reaches history directly
+  std::vector<double> scores;
+  std::vector<double> thresholds;
+  for (Lane& lane : lanes_) {
+    // In lockstep operation the front of `ready` is exactly `step`;
+    // discard anything older defensively (a lane resumed past a gap).
+    while (!lane.ready.empty() && lane.next_step < step) {
+      lane.ready.pop_front();
+      ++lane.next_step;
+    }
+    if (lane.ready.empty() || lane.next_step != step) continue;
+    scores.push_back(lane.ready.front());
+    thresholds.push_back(lane.threshold);
+    lane.ready.pop_front();
+    ++lane.next_step;
+  }
+  if (scores.empty()) return {};
+  return policy_->Judge(scores, thresholds);
+}
+
+}  // namespace mace::online

@@ -1,0 +1,125 @@
+#ifndef MACE_ONLINE_ENSEMBLE_H_
+#define MACE_ONLINE_ENSEMBLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/mace_detector.h"
+#include "core/online_hooks.h"
+#include "core/streaming.h"
+#include "online/consensus.h"
+
+namespace mace::online {
+
+/// One promoted model generation. The model is a complete fitted
+/// MaceDetector trained on a rolling-buffer snapshot as a single service
+/// (service index 0), `threshold` its calibrated per-generation alert
+/// level (see common/math_utils.h CalibratedThreshold), `version` the
+/// ensemble-assigned monotonic id.
+struct ModelGeneration {
+  std::shared_ptr<const core::MaceDetector> model;
+  double threshold = 0.0;
+  uint64_t version = 0;
+};
+
+/// \brief The K most recent promoted generations of one stream, rotated
+/// copy-on-write: readers grab an immutable shared snapshot with one
+/// mutex-guarded pointer copy, Promote builds a fresh vector and swaps the
+/// pointer — a scoring lane mid-window keeps its generation alive through
+/// its own shared_ptr even after eviction, so promotion is atomic with
+/// zero lost steps on the serving path.
+class ModelEnsemble {
+ public:
+  using Snapshot = std::shared_ptr<const std::vector<ModelGeneration>>;
+
+  explicit ModelEnsemble(size_t capacity);
+
+  /// Rotates in a new generation (evicting the oldest when at capacity)
+  /// and returns its version.
+  uint64_t Promote(std::shared_ptr<const core::MaceDetector> model,
+                   double threshold);
+
+  /// Immutable view of the current generations, oldest -> newest. Never
+  /// null (empty vector before the first promotion). Pointer inequality
+  /// between two snapshots means the membership changed.
+  Snapshot generations() const;
+
+  /// Newest generation's model, or nullptr before the first promotion —
+  /// the drift gate's incumbent.
+  std::shared_ptr<const core::MaceDetector> Newest() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return generations()->size(); }
+  bool full() const { return size() >= capacity_; }
+  /// Versions assigned so far (== the next version minus one).
+  uint64_t promotions() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  Snapshot snapshot_;
+  uint64_t next_version_ = 1;
+};
+
+/// \brief Per-session fan-out of a stream across an ensemble's
+/// generations (the core::StreamEnsemble the serve layer attaches to a
+/// StreamingScorer).
+///
+/// Each generation gets a lane: its own StreamingScorer over the
+/// generation's model, fed every observation the base pipeline consumes.
+/// A lane opened at stream step b emits its score for stream step s >= b
+/// exactly when total consumption reaches s + window — the same condition
+/// under which the base scorer finalizes s — so by the time OnEmit(s) is
+/// called, every lane opened at or before s either has s's score at the
+/// front of its queue or abstains (opened too late / still filling).
+/// Verdicts therefore need no cross-thread waiting: the whole binding
+/// runs on the session's thread, only the snapshot fetch touches the
+/// shared ensemble.
+class EnsembleBinding : public core::StreamEnsemble {
+ public:
+  /// `ensemble` and `policy` are borrowed (the hooks provider outlives
+  /// every session).
+  EnsembleBinding(const ModelEnsemble* ensemble,
+                  const ConsensusPolicy* policy);
+
+  void OnObservation(const std::vector<double>& row) override;
+  void OnObservations(
+      const std::vector<std::vector<double>>& rows) override;
+  core::StepVerdict OnEmit(size_t step, double base_score) override;
+
+  /// Lanes currently scoring (<= ensemble size; for tests/monitoring).
+  size_t active_lanes() const { return lanes_.size(); }
+
+ private:
+  struct Lane {
+    uint64_t version = 0;
+    double threshold = 0.0;
+    /// Keeps the generation's model alive across an eviction while this
+    /// lane still scores against it (promotion must not tear a session).
+    std::shared_ptr<const core::MaceDetector> model;
+    std::unique_ptr<core::StreamingScorer> scorer;
+    /// Stream step the front of `ready` belongs to.
+    size_t next_step = 0;
+    std::deque<double> ready;
+  };
+
+  /// Reconciles lanes with the current ensemble snapshot: drops lanes of
+  /// evicted generations, opens lanes (starting at the current stream
+  /// step) for new ones. Cheap no-op while the snapshot pointer is
+  /// unchanged.
+  void SyncLanes();
+
+  const ModelEnsemble* ensemble_;
+  const ConsensusPolicy* policy_;
+  ModelEnsemble::Snapshot seen_;
+  std::vector<Lane> lanes_;
+  size_t consumed_ = 0;
+};
+
+}  // namespace mace::online
+
+#endif  // MACE_ONLINE_ENSEMBLE_H_

@@ -1,0 +1,62 @@
+#include "online/rolling_buffer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mace::online {
+
+RollingWindowBuffer::RollingWindowBuffer(size_t capacity,
+                                         size_t num_features)
+    : capacity_(std::max<size_t>(1, capacity)),
+      num_features_(num_features) {
+  MACE_CHECK(num_features_ > 0) << "buffer needs at least one feature";
+  ring_.reserve(capacity_);
+}
+
+void RollingWindowBuffer::OnObservation(const std::vector<double>& row,
+                                        bool contaminated) {
+  if (row.size() != num_features_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(row);
+  } else {
+    ring_[head_] = row;
+    head_ = (head_ + 1) % ring_.size();
+  }
+  ++appended_;
+  if (contaminated) ++contaminated_;
+}
+
+ts::TimeSeries RollingWindowBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    rows.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return ts::TimeSeries(std::move(rows));
+}
+
+void RollingWindowBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+}
+
+size_t RollingWindowBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t RollingWindowBuffer::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t RollingWindowBuffer::contaminated_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return contaminated_;
+}
+
+}  // namespace mace::online

@@ -1,0 +1,66 @@
+#ifndef MACE_ONLINE_ROLLING_BUFFER_H_
+#define MACE_ONLINE_ROLLING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/online_hooks.h"
+#include "ts/time_series.h"
+
+namespace mace::online {
+
+/// \brief Bounded ring of a stream's most recent finalized observations —
+/// the training data of the next background refit.
+///
+/// Fed inline by StreamingScorer (via core::ObservationSink, the same way
+/// AttachHistory feeds the history store) with raw sanitized rows: the
+/// non-finite policy has already run, so every stored row is fully finite
+/// (kImpute/kPropagate rows hold the imputed values) and `contaminated`
+/// only needs counting — Snapshot() keeps repaired rows in place so the
+/// refit sees a contiguous series, and contaminated_rows() lets the
+/// trainer judge snapshot quality.
+///
+/// Concurrency: the owning stream's shard thread appends; the background
+/// trainer snapshots. One mutex covers both — appends are O(row copy),
+/// snapshots O(capacity), both brief next to a window score.
+class RollingWindowBuffer : public core::ObservationSink {
+ public:
+  RollingWindowBuffer(size_t capacity, size_t num_features);
+
+  /// Appends one row; rows of a foreign width are dropped (a defensive
+  /// no-op: the scorer feeding this buffer validates widths upstream).
+  void OnObservation(const std::vector<double>& row,
+                     bool contaminated) override;
+
+  /// Copy of the ring, oldest -> newest, as an unlabeled training series.
+  ts::TimeSeries Snapshot() const;
+
+  /// Drops every stored row (lifetime counters keep counting).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t num_features() const { return num_features_; }
+  size_t size() const;
+  /// Rows accepted over the buffer's lifetime (>= size()) — the refit
+  /// scheduler's clock.
+  uint64_t total_appended() const;
+  uint64_t contaminated_rows() const;
+
+ private:
+  const size_t capacity_;
+  const size_t num_features_;
+
+  mutable std::mutex mu_;
+  /// Ring storage: grows to capacity, then wraps. Logical order is
+  /// ring[head], ring[head+1], ... modulo ring.size().
+  std::vector<std::vector<double>> ring_;
+  size_t head_ = 0;
+  uint64_t appended_ = 0;
+  uint64_t contaminated_ = 0;
+};
+
+}  // namespace mace::online
+
+#endif  // MACE_ONLINE_ROLLING_BUFFER_H_

@@ -1,0 +1,264 @@
+#include "online/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace mace::online {
+
+namespace {
+
+/// Thresholds calibrated on a candidate's self-scores can degenerate to
+/// ~0 on a near-perfectly reconstructed buffer; flooring keeps the
+/// consensus ratios finite without changing any realistic calibration.
+constexpr double kThresholdFloor = 1e-9;
+
+}  // namespace
+
+OnlineTrainer::Stream::Stream(std::string key, size_t index, size_t capacity,
+                              size_t num_features, size_t ensemble_size)
+    : key(std::move(key)),
+      index(index),
+      buffer(std::make_unique<RollingWindowBuffer>(capacity, num_features)),
+      ensemble(ensemble_size) {}
+
+OnlineTrainer::OnlineTrainer(OnlineConfig config)
+    : config_(std::move(config)),
+      policy_(MakeConsensusPolicy(config_.consensus,
+                                  config_.consensus_quantile)),
+      pool_(std::max(1, config_.refit_threads)) {
+  MACE_CHECK(core::MaceDetector::ValidateConfig(config_.model).ok())
+      << "online refit model config is invalid";
+  config_.ensemble_size = std::max<size_t>(1, config_.ensemble_size);
+  config_.refit_interval = std::max<uint64_t>(1, config_.refit_interval);
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  refits_total_ = metrics.GetCounter(
+      "mace_online_refits_total", "Background refits completed");
+  refit_failures_total_ = metrics.GetCounter(
+      "mace_online_refit_failures_total",
+      "Background refits that failed to fit or calibrate");
+  promotions_total_ = metrics.GetCounter(
+      "mace_online_promotions_total",
+      "Candidate generations promoted into an ensemble");
+  skips_total_ = metrics.GetCounter(
+      "mace_online_skips_total",
+      "Candidate generations dropped by the drift gate as redundant");
+  drift_total_ = metrics.GetCounter(
+      "mace_online_drift_total",
+      "Drift alarms (candidate subspace diverged from the incumbent)");
+  refit_seconds_ = metrics.GetHistogram(
+      "mace_online_refit_seconds", "Wall time of one background refit", {},
+      obs::LatencyBuckets());
+  overlap_hist_ = metrics.GetHistogram(
+      "mace_online_subspace_overlap",
+      "Candidate-vs-incumbent subspace overlap at the drift gate", {},
+      obs::OverlapBuckets());
+}
+
+OnlineTrainer::~OnlineTrainer() { Stop(); }
+
+OnlineTrainer::Stream* OnlineTrainer::FindOrCreateStream(
+    const std::string& key, int num_features) {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  for (const std::unique_ptr<Stream>& stream : streams_) {
+    if (stream->key == key) return stream.get();
+  }
+  auto stream = std::make_unique<Stream>(
+      key, streams_.size(), config_.buffer_capacity,
+      static_cast<size_t>(std::max(1, num_features)),
+      config_.ensemble_size);
+  // Stagger the first refit by the stream's phase slice so a fleet of
+  // streams bound together never retrains in lockstep: stream i waits an
+  // extra (i mod K) / K of an interval past the warm-up minimum.
+  const uint64_t phase = (stream->index % config_.ensemble_size) *
+                         (config_.refit_interval / config_.ensemble_size);
+  stream->next_due = config_.min_refit_rows + phase;
+  streams_.push_back(std::move(stream));
+  return streams_.back().get();
+}
+
+core::StreamBinding OnlineTrainer::Bind(const std::string& key,
+                                        int num_features) {
+  Stream* stream = FindOrCreateStream(key, num_features);
+  core::StreamBinding binding;
+  binding.sink = stream->buffer.get();
+  binding.ensemble =
+      std::make_unique<EnsembleBinding>(&stream->ensemble, policy_.get());
+  return binding;
+}
+
+size_t OnlineTrainer::PumpRefits() {
+  std::unique_lock<std::mutex> pump(pump_mu_, std::try_to_lock);
+  if (!pump.owns_lock()) return 0;  // a pump is already running
+  std::vector<Stream*> due;
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    for (const std::unique_ptr<Stream>& stream : streams_) {
+      if (stream->buffer->total_appended() >= stream->next_due &&
+          stream->buffer->size() >= config_.min_refit_rows) {
+        due.push_back(stream.get());
+      }
+    }
+  }
+  for (Stream* stream : due) RefitStream(stream);
+  return due.size();
+}
+
+void OnlineTrainer::RefitStream(Stream* stream) {
+  const uint64_t appended = stream->buffer->total_appended();
+  const auto reschedule = [&](double factor) {
+    const auto delay = static_cast<uint64_t>(std::max(
+        1.0, static_cast<double>(config_.refit_interval) * factor));
+    stream->next_due = appended + delay;
+  };
+  const auto fail = [&] {
+    refit_failures_total_->Increment();
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.refit_failures;
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<ts::ServiceData> services(1);
+  services[0].name = stream->key;
+  services[0].train = stream->buffer->Snapshot();
+
+  auto candidate = std::make_shared<core::MaceDetector>(config_.model);
+  const Status fitted =
+      candidate->Fit(services, &pool_, WorkerPool::TaskPriority::kLow);
+  if (!fitted.ok()) {
+    fail();
+    reschedule(1.0);
+    return;
+  }
+
+  // Calibrate the generation's own alert level on its training snapshot
+  // (the same bulk-quantile rule the streaming monitor uses per tenant).
+  Result<std::vector<double>> self_scores =
+      candidate->Score(0, services[0].train);
+  if (!self_scores.ok()) {
+    fail();
+    reschedule(1.0);
+    return;
+  }
+  std::vector<double> finite;
+  finite.reserve(self_scores->size());
+  for (double score : *self_scores) {
+    if (std::isfinite(score)) finite.push_back(score);
+  }
+  Result<double> calibrated = CalibratedThreshold(
+      std::move(finite), config_.threshold_scale, config_.threshold_quantile);
+  if (!calibrated.ok()) {
+    fail();
+    reschedule(1.0);
+    return;
+  }
+  const double threshold = std::max(*calibrated, kThresholdFloor);
+
+  const std::shared_ptr<const core::MaceDetector> incumbent =
+      stream->ensemble.Newest();
+  double overlap = 1.0;
+  if (incumbent != nullptr) {
+    overlap = SubspaceOverlap(candidate->subspaces()[0],
+                              incumbent->subspaces()[0],
+                              config_.model.window);
+  }
+  overlap_hist_->Observe(overlap);
+  const GateDecision decision =
+      incumbent == nullptr
+          ? GateDecision::kPromote
+          : GateCandidate(overlap, stream->ensemble.full(), config_.gate);
+
+  refits_total_->Increment();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+  refit_seconds_->Observe(elapsed.count());
+
+  switch (decision) {
+    case GateDecision::kSkip:
+      skips_total_->Increment();
+      reschedule(1.0);
+      break;
+    case GateDecision::kPromote:
+      stream->ensemble.Promote(std::move(candidate), threshold);
+      promotions_total_->Increment();
+      reschedule(1.0);
+      break;
+    case GateDecision::kPromoteDrift:
+      stream->ensemble.Promote(std::move(candidate), threshold);
+      promotions_total_->Increment();
+      drift_total_->Increment();
+      // One fresh generation cannot outvote K-1 stale ones under
+      // all-vote consensus — bring the next refit forward so the
+      // ensemble converges on the new normality quickly.
+      reschedule(config_.early_refit_factor);
+      break;
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.refits;
+  if (decision == GateDecision::kSkip) {
+    ++stats_.skips;
+  } else {
+    ++stats_.promotions;
+    if (decision == GateDecision::kPromoteDrift) ++stats_.drift_alarms;
+  }
+}
+
+void OnlineTrainer::Start(std::chrono::milliseconds period) {
+  Stop();
+  {
+    std::lock_guard<std::mutex> lock(pump_cv_mu_);
+    stop_requested_ = false;
+  }
+  pump_thread_ = std::thread([this, period] {
+    std::unique_lock<std::mutex> lock(pump_cv_mu_);
+    while (!stop_requested_) {
+      lock.unlock();
+      PumpRefits();
+      lock.lock();
+      pump_cv_.wait_for(lock, period, [this] { return stop_requested_; });
+    }
+  });
+}
+
+void OnlineTrainer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(pump_cv_mu_);
+    stop_requested_ = true;
+  }
+  pump_cv_.notify_all();
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+OnlineTrainer::Stats OnlineTrainer::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  out.streams = streams_.size();
+  return out;
+}
+
+const ModelEnsemble* OnlineTrainer::ensemble(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  for (const std::unique_ptr<Stream>& stream : streams_) {
+    if (stream->key == key) return &stream->ensemble;
+  }
+  return nullptr;
+}
+
+const RollingWindowBuffer* OnlineTrainer::buffer(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  for (const std::unique_ptr<Stream>& stream : streams_) {
+    if (stream->key == key) return stream->buffer.get();
+  }
+  return nullptr;
+}
+
+}  // namespace mace::online

@@ -1,0 +1,177 @@
+#ifndef MACE_ONLINE_TRAINER_H_
+#define MACE_ONLINE_TRAINER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/mace_config.h"
+#include "core/online_hooks.h"
+#include "obs/metrics.h"
+#include "online/consensus.h"
+#include "online/drift.h"
+#include "online/ensemble.h"
+#include "online/rolling_buffer.h"
+
+namespace mace::online {
+
+/// Knobs of the online-learning subsystem (one trainer serves all
+/// streams of a process).
+struct OnlineConfig {
+  /// Hyperparameters of every refit model. non_finite_policy is
+  /// irrelevant here: rolling buffers only ever hold sanitized finite
+  /// rows. fit_threads is ignored — refits run on the trainer's shared
+  /// pool (see refit_threads) at low priority.
+  core::MaceConfig model;
+
+  /// Rolling-buffer rows kept per stream (the refit training horizon).
+  size_t buffer_capacity = 2048;
+  /// A refit is skipped while the buffer holds fewer rows than this
+  /// (must cover several windows to extract a meaningful subspace).
+  size_t min_refit_rows = 256;
+  /// Rows consumed between two refits of the same stream.
+  uint64_t refit_interval = 1024;
+  /// After a drift alarm the next refit comes early, at
+  /// refit_interval * early_refit_factor rows.
+  double early_refit_factor = 0.25;
+
+  /// Generations kept per stream (the paper-exemplar K; >= 3 for the
+  /// consensus FP win). Refits of distinct streams are phase-staggered
+  /// across this many interval slices so the fleet never retrains in
+  /// lockstep.
+  size_t ensemble_size = 3;
+  ConsensusKind consensus = ConsensusKind::kAllVote;
+  double consensus_quantile = 0.5;
+
+  /// Per-generation threshold calibration: CalibratedThreshold(scale, q)
+  /// over the candidate's self-scores on its own training snapshot.
+  double threshold_scale = 2.0;
+  double threshold_quantile = 0.90;
+
+  DriftGateConfig gate;
+
+  /// Workers of the trainer-owned refit pool. Refit rounds run at
+  /// TaskPriority::kLow, which staffs at most half the pool and yields
+  /// between task claims, so serving threads on the same machine keep
+  /// their cores.
+  int refit_threads = 2;
+};
+
+/// \brief The online-learning subsystem: per-stream rolling buffers,
+/// background refits, drift-gated promotion into per-stream ensembles.
+///
+/// Plugs into the scoring layers through core::OnlineHooks — a serve
+/// frontend sets ServeConfig::online to a trainer and every session gets
+/// its buffer feed and consensus ensemble attached automatically.
+///
+/// Threading: Bind() is called from shard threads (thread-safe);
+/// PumpRefits() runs refits on the caller (one pump at a time — a second
+/// concurrent pump returns 0 immediately); Start()/Stop() run the pump
+/// from an internal background thread instead. Scoring never blocks on a
+/// refit: promotion swaps a copy-on-write snapshot that sessions pick up
+/// at their next observation.
+///
+/// Determinism: a refit's resulting weights are a pure function of the
+/// snapshot rows, the model config (seed included) and refit_threads —
+/// the low-priority pool schedule does not leak into results (see
+/// MaceDetector::Fit's pool overload).
+class OnlineTrainer : public core::OnlineHooks {
+ public:
+  struct Stats {
+    uint64_t streams = 0;
+    uint64_t refits = 0;           ///< completed (successful) refits
+    uint64_t refit_failures = 0;   ///< Fit/calibration errors
+    uint64_t promotions = 0;
+    uint64_t skips = 0;
+    uint64_t drift_alarms = 0;
+  };
+
+  explicit OnlineTrainer(OnlineConfig config);
+  ~OnlineTrainer() override;
+
+  OnlineTrainer(const OnlineTrainer&) = delete;
+  OnlineTrainer& operator=(const OnlineTrainer&) = delete;
+
+  /// Returns the stream's buffer sink and a fresh ensemble binding. The
+  /// stream (buffer + ensemble + refit schedule) is created on first
+  /// bind and persists across session recycling, so a returning tenant
+  /// keeps its warmed generations.
+  core::StreamBinding Bind(const std::string& key,
+                           int num_features) override;
+
+  /// Runs every due refit now, on the calling thread (the deterministic
+  /// pump for tests, benches and single-threaded monitors). Returns the
+  /// number of refits executed.
+  size_t PumpRefits();
+
+  /// Starts/stops a background thread that pumps every `period`.
+  void Start(std::chrono::milliseconds period = std::chrono::milliseconds(
+                 100));
+  void Stop();
+
+  Stats stats() const;
+  const OnlineConfig& config() const { return config_; }
+
+  /// The stream's ensemble (nullptr when the key was never bound) — for
+  /// tests and monitors that inspect generations directly.
+  const ModelEnsemble* ensemble(const std::string& key) const;
+  /// The stream's rolling buffer (nullptr when the key was never bound).
+  const RollingWindowBuffer* buffer(const std::string& key) const;
+
+ private:
+  struct Stream {
+    std::string key;
+    size_t index = 0;  ///< bind order, fixes the stagger phase
+    std::unique_ptr<RollingWindowBuffer> buffer;
+    ModelEnsemble ensemble;
+    /// Buffer row count (total_appended) at which the next refit is due.
+    uint64_t next_due = 0;
+
+    Stream(std::string key, size_t index, size_t capacity,
+           size_t num_features, size_t ensemble_size);
+  };
+
+  Stream* FindOrCreateStream(const std::string& key, int num_features);
+  /// One refit of one stream: snapshot -> low-priority Fit -> threshold
+  /// calibration -> drift gate -> promote/skip + reschedule.
+  void RefitStream(Stream* stream);
+
+  OnlineConfig config_;
+  std::unique_ptr<ConsensusPolicy> policy_;
+  WorkerPool pool_;
+
+  mutable std::mutex streams_mu_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+
+  /// Serializes pumps; PumpRefits try-locks so overlapping pumps collapse
+  /// into one instead of queueing refit storms.
+  std::mutex pump_mu_;
+
+  std::thread pump_thread_;
+  std::mutex pump_cv_mu_;
+  std::condition_variable pump_cv_;
+  bool stop_requested_ = false;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+
+  // Fleet-wide instruments, resolved once.
+  obs::Counter* refits_total_;
+  obs::Counter* refit_failures_total_;
+  obs::Counter* promotions_total_;
+  obs::Counter* skips_total_;
+  obs::Counter* drift_total_;
+  obs::Histogram* refit_seconds_;
+  obs::Histogram* overlap_hist_;
+};
+
+}  // namespace mace::online
+
+#endif  // MACE_ONLINE_TRAINER_H_

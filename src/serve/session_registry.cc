@@ -22,6 +22,24 @@ void AttachSessionHistory(core::StreamingScorer* scorer,
   scorer->AttachHistory(history, id, history->next_timestamp(id));
 }
 
+/// Binds a session to its stream's online-learning state under the same
+/// "<tenant>/<service>" key the history store uses. The rolling buffer
+/// (sink) lives in the hooks provider and survives session recycling —
+/// a returning tenant keeps accumulating refit data — while the ensemble
+/// binding is per-session pipeline state owned right here.
+void AttachSessionOnline(SessionRegistry::Session* session,
+                         core::OnlineHooks* online, const SessionKey& key) {
+  if (online == nullptr) return;
+  const int num_features = static_cast<int>(
+      session->model.model->scalers()[static_cast<size_t>(key.service)]
+          .means()
+          .size());
+  core::StreamBinding binding = online->Bind(
+      key.tenant + "/" + std::to_string(key.service), num_features);
+  session->ensemble = std::move(binding.ensemble);
+  session->scorer.AttachOnline(binding.sink, session->ensemble.get());
+}
+
 }  // namespace
 
 Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
@@ -44,6 +62,7 @@ Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
     AttachSessionHistory(&session.scorer, history_, key);
     ++recycled_hits_;
     auto inserted = sessions_.emplace(key, std::move(session));
+    AttachSessionOnline(&inserted.first->second, online_, key);
     return &inserted.first->second;
   }
 
@@ -51,8 +70,9 @@ Result<SessionRegistry::Session*> SessionRegistry::GetOrCreate(
       core::StreamingScorer::Create(handle.model.get(), key.service, policy);
   if (!scorer.ok()) return scorer.status();
   auto inserted = sessions_.emplace(
-      key, Session{handle, std::move(scorer).value(), now});
+      key, Session{handle, std::move(scorer).value(), now, nullptr});
   AttachSessionHistory(&inserted.first->second.scorer, history_, key);
+  AttachSessionOnline(&inserted.first->second, online_, key);
   return &inserted.first->second;
 }
 
@@ -68,7 +88,11 @@ bool SessionRegistry::Recycle(const SessionKey& key,
   Session session = std::move(it->second);
   sessions_.erase(it);
   if (session.model.model.get() == current_model) {
+    // Reset() detaches the online hooks; the ensemble object itself dies
+    // here so a pooled scorer can never vote with a previous stream's
+    // generation lanes.
     session.scorer.Reset();
+    session.ensemble.reset();
     free_pool_[std::make_pair(session.model.model.get(), key.service)]
         .push_back(std::move(session));
   }

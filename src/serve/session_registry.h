@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -34,12 +35,25 @@ class SessionRegistry {
     ModelProvider::Handle model;
     core::StreamingScorer scorer;
     Clock::time_point last_used;
+    /// Online-learning fan-out of this stream (null when the shard has no
+    /// online hooks): per-generation scoring lanes whose consensus vote
+    /// becomes the history anomaly bit. Owned by the session — lanes hold
+    /// per-stream pipeline state — and dropped on recycle, while the
+    /// stream's rolling buffer lives in the hooks provider and survives.
+    std::unique_ptr<core::StreamEnsemble> ensemble;
   };
 
   /// Anomaly-history sink for this shard's sessions (not owned; may be
   /// null). Every session opened afterwards appends its emitted scores
   /// under the history tenant "<tenant>/<service>".
   void set_history(history::HistoryStore* history) { history_ = history; }
+
+  /// Online-learning hooks for this shard's sessions (not owned; may be
+  /// null). Every session opened afterwards is bound under the stream key
+  /// "<tenant>/<service>": its observations feed the stream's rolling
+  /// refit buffer and its emitted steps are voted on by the stream's
+  /// model ensemble.
+  void set_online(core::OnlineHooks* online) { online_ = online; }
 
   /// Returns the session for `key`, opening one on `handle.model` if
   /// absent (recycled from the free pool when possible). `policy` is the
@@ -82,6 +96,7 @@ class SessionRegistry {
       free_pool_;
   uint64_t recycled_hits_ = 0;
   history::HistoryStore* history_ = nullptr;
+  core::OnlineHooks* online_ = nullptr;
 };
 
 }  // namespace mace::serve

@@ -10,6 +10,9 @@
 #include "common/status.h"
 #include "ts/sanitize.h"
 
+namespace mace::core {
+class OnlineHooks;
+}
 namespace mace::history {
 class HistoryStore;
 }
@@ -100,6 +103,13 @@ struct ServeConfig {
   /// the store under the tenant name "<tenant>/<service>", which the
   /// history query engine ranks and correlates across the fleet.
   history::HistoryStore* history = nullptr;
+  /// Optional online-learning hooks (not owned; must outlive the
+  /// frontend) — in practice an online::OnlineTrainer. When set, every
+  /// session feeds its observations into the stream's rolling refit
+  /// buffer and scores through the stream's model ensemble, and the
+  /// anomaly bit mirrored into `history` is the ensemble's consensus
+  /// vote whenever the ensemble is warmed up.
+  core::OnlineHooks* online = nullptr;
 };
 
 struct ShardStats {

@@ -31,6 +31,7 @@ ShardedWorkerPool::Shard::Shard(int index, const ServeConfig& config,
                                 ModelProvider* provider)
     : index_(index), config_(config), provider_(provider) {
   registry_.set_history(config.history);
+  registry_.set_online(config.online);
   obs::MetricsRegistry& metrics = obs::Metrics();
   const obs::Labels labels = {{"shard", std::to_string(index)}};
   submitted_counter_ = metrics.GetCounter(

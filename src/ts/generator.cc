@@ -123,6 +123,81 @@ TimeSeries GenerateNormal(const NormalPattern& pattern, size_t length,
   return TimeSeries(std::move(values));
 }
 
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kNone:
+      return "none";
+    case DriftKind::kTrendDrift:
+      return "trend_drift";
+    case DriftKind::kSeasonalityShift:
+      return "seasonality_shift";
+    case DriftKind::kAmplitudeDecay:
+      return "amplitude_decay";
+  }
+  return "?";
+}
+
+TimeSeries GenerateDriftingNormal(const NormalPattern& pattern, size_t length,
+                                  size_t t0, const DriftScenario& drift,
+                                  Rng* rng) {
+  if (drift.kind == DriftKind::kNone) {
+    return GenerateNormal(pattern, length, t0, rng);
+  }
+  MACE_CHECK(rng != nullptr);
+  MACE_CHECK(!pattern.feature_weights.empty());
+  MACE_CHECK(pattern.feature_weights.size() == pattern.feature_lags.size());
+  MACE_CHECK(pattern.period >= 2.0) << "period too short";
+  MACE_CHECK(drift.magnitude > -1.0) << "drift magnitude must keep period > 0";
+  const size_t m = pattern.feature_weights.size();
+  const bool has_secondary =
+      pattern.secondary_weights.size() == m && pattern.secondary_period >= 2.0;
+  const double ramp = static_cast<double>(std::max<size_t>(1, drift.ramp));
+  // Drifted seasonal clock: advances one nominal step per real step while
+  // the instantaneous period equals the nominal one, proportionally
+  // slower as the period stretches — so the waveform stays
+  // phase-continuous through the onset and only its frequency migrates.
+  double t_eff = static_cast<double>(t0);
+  std::vector<std::vector<double>> values(length, std::vector<double>(m));
+  for (size_t t = 0; t < length; ++t) {
+    const double step = static_cast<double>(t0 + t);
+    const double past =
+        step <= static_cast<double>(drift.onset)
+            ? 0.0
+            : step - static_cast<double>(drift.onset);
+    const double strength = std::min(1.0, past / ramp);
+    const double envelope =
+        1.0 + pattern.am_depth *
+                  std::sin(kTwoPi * step / std::max(pattern.am_period, 4.0));
+    double amplitude = pattern.amplitude;
+    double level_offset = 0.0;
+    if (drift.kind == DriftKind::kAmplitudeDecay) {
+      amplitude *= std::max(0.05, 1.0 - drift.magnitude * strength);
+    } else if (drift.kind == DriftKind::kTrendDrift) {
+      // Uncapped: a trend keeps going. `magnitude` amplitudes per ramp.
+      level_offset = drift.magnitude * pattern.amplitude * (past / ramp);
+    }
+    for (size_t f = 0; f < m; ++f) {
+      double latent = pattern.feature_weights[f] *
+                      LatentValue(pattern, t_eff - pattern.feature_lags[f]);
+      if (has_secondary) {
+        latent += pattern.secondary_weights[f] *
+                  std::sin(kTwoPi * (t_eff - 2.0 * pattern.feature_lags[f]) /
+                           pattern.secondary_period);
+      }
+      values[t][f] = pattern.level + level_offset +
+                     amplitude * envelope * latent +
+                     pattern.trend_slope * step +
+                     rng->Gaussian(0.0, pattern.noise_stddev);
+    }
+    const double period_factor =
+        drift.kind == DriftKind::kSeasonalityShift
+            ? 1.0 + drift.magnitude * strength
+            : 1.0;
+    t_eff += 1.0 / period_factor;
+  }
+  return TimeSeries(std::move(values));
+}
+
 std::vector<AnomalyEvent> InjectAnomalies(
     const AnomalyInjectionConfig& config, const NormalPattern& pattern,
     TimeSeries* series, Rng* rng) {

@@ -84,6 +84,40 @@ struct AnomalyInjectionConfig {
 TimeSeries GenerateNormal(const NormalPattern& pattern, size_t length,
                           size_t t0, Rng* rng);
 
+/// How a stream's normality gradually migrates (concept drift, not
+/// anomalies: every generated step is still labeled normal — a frozen
+/// model trained before the onset sees rising scores, an online model
+/// that keeps refitting should not).
+enum class DriftKind {
+  kNone,              ///< degenerates to GenerateNormal
+  kTrendDrift,        ///< the level ramps away linearly after the onset
+  kSeasonalityShift,  ///< the fundamental period stretches (phase-continuous)
+  kAmplitudeDecay,    ///< the seasonal amplitude fades toward a floor
+};
+
+const char* DriftKindName(DriftKind kind);
+
+/// \brief One gradual drift: nothing happens before `onset`, the effect
+/// ramps linearly to full strength over `ramp` steps, then holds (trend
+/// drift keeps growing — that is what a trend is).
+struct DriftScenario {
+  DriftKind kind = DriftKind::kNone;
+  size_t onset = 0;
+  size_t ramp = 512;
+  /// Full-strength size, relative to the pattern: trend offset per `ramp`
+  /// steps and amplitude change are `magnitude * amplitude`; the period
+  /// stretches to `period * (1 + magnitude)`.
+  double magnitude = 0.3;
+};
+
+/// GenerateNormal with a drift overlaid. The seasonality shift keeps the
+/// waveform phase-continuous by accumulating cycles at the instantaneous
+/// period (no jump at the onset — only the spectral line migrates).
+/// Feature lags and the secondary driver follow the drifted clock.
+TimeSeries GenerateDriftingNormal(const NormalPattern& pattern, size_t length,
+                                  size_t t0, const DriftScenario& drift,
+                                  Rng* rng);
+
 /// \brief Injects anomalies into `series` in place, labelling affected
 /// steps; returns the injected events. The injector draws event kinds,
 /// positions and magnitudes until the target step ratio is reached.

@@ -251,6 +251,123 @@ TEST(ProfilesTest, DiversityOrderingSmdMostDiverse) {
   EXPECT_EQ(count_kinds(Jd2Profile()), 1u);
 }
 
+TEST(DriftTest, NoneMatchesGenerateNormalBitwise) {
+  const NormalPattern p = SimplePattern();
+  Rng rng1(9), rng2(9);
+  const TimeSeries plain = GenerateNormal(p, 120, 0, &rng1);
+  const TimeSeries drifted =
+      GenerateDriftingNormal(p, 120, 0, DriftScenario{}, &rng2);
+  ASSERT_EQ(plain.length(), drifted.length());
+  for (size_t t = 0; t < plain.length(); ++t) {
+    for (int f = 0; f < plain.num_features(); ++f) {
+      EXPECT_EQ(plain.value(t, f), drifted.value(t, f));
+    }
+  }
+}
+
+TEST(DriftTest, PreOnsetPrefixMatchesNormalBitwise) {
+  const NormalPattern p = SimplePattern();
+  DriftScenario drift;
+  drift.kind = DriftKind::kSeasonalityShift;
+  drift.onset = 60;
+  drift.ramp = 40;
+  drift.magnitude = 0.5;
+  Rng rng1(9), rng2(9);
+  const TimeSeries plain = GenerateNormal(p, 200, 0, &rng1);
+  const TimeSeries drifted = GenerateDriftingNormal(p, 200, 0, drift, &rng2);
+  for (size_t t = 0; t <= drift.onset; ++t) {
+    for (int f = 0; f < plain.num_features(); ++f) {
+      EXPECT_EQ(plain.value(t, f), drifted.value(t, f)) << "step " << t;
+    }
+  }
+  // ... and the drift really does change the tail.
+  double max_diff = 0.0;
+  for (size_t t = 150; t < 200; ++t) {
+    max_diff = std::max(max_diff,
+                        std::fabs(plain.value(t, 0) - drifted.value(t, 0)));
+  }
+  EXPECT_GT(max_diff, 0.1);
+}
+
+TEST(DriftTest, TrendDriftRampsTheLevel) {
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  DriftScenario drift;
+  drift.kind = DriftKind::kTrendDrift;
+  drift.onset = 100;
+  drift.ramp = 100;
+  drift.magnitude = 0.5;
+  Rng rng(1);
+  const TimeSeries series = GenerateDriftingNormal(p, 400, 0, drift, &rng);
+  const auto mean_over = [&](size_t lo, size_t hi) {
+    double sum = 0.0;
+    for (size_t t = lo; t < hi; ++t) sum += series.value(t, 0);
+    return sum / static_cast<double>(hi - lo);
+  };
+  EXPECT_NEAR(mean_over(0, 100), 0.0, 0.05);
+  // One full ramp past the onset: offset = magnitude * amplitude. A
+  // trend keeps growing, so two ramps in it has doubled.
+  EXPECT_NEAR(mean_over(190, 210), 0.5, 0.1);
+  EXPECT_NEAR(mean_over(290, 310), 1.0, 0.1);
+}
+
+TEST(DriftTest, AmplitudeDecayShrinksTheSeasonalSwing) {
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  DriftScenario drift;
+  drift.kind = DriftKind::kAmplitudeDecay;
+  drift.onset = 100;
+  drift.ramp = 100;
+  drift.magnitude = 0.6;
+  Rng rng(1);
+  const TimeSeries series = GenerateDriftingNormal(p, 400, 0, drift, &rng);
+  const auto peak_over = [&](size_t lo, size_t hi) {
+    double peak = 0.0;
+    for (size_t t = lo; t < hi; ++t) {
+      peak = std::max(peak, std::fabs(series.value(t, 0)));
+    }
+    return peak;
+  };
+  const double before = peak_over(0, 100);
+  const double after = peak_over(300, 400);
+  EXPECT_NEAR(after / before, 0.4, 0.05);  // 1 - magnitude
+}
+
+TEST(DriftTest, SeasonalityShiftIsPhaseContinuousAndStretches) {
+  NormalPattern p = SimplePattern(1);
+  p.noise_stddev = 0.0;
+  DriftScenario drift;
+  drift.kind = DriftKind::kSeasonalityShift;
+  drift.onset = 200;
+  drift.ramp = 100;
+  drift.magnitude = 0.5;  // period 10 -> 15
+  Rng rng(1);
+  const TimeSeries series = GenerateDriftingNormal(p, 600, 0, drift, &rng);
+  // Phase continuity: no step-to-step jump anywhere exceeds the steepest
+  // slope of the undrifted waveform (with margin).
+  double max_step = 0.0;
+  for (size_t t = 1; t < series.length(); ++t) {
+    max_step = std::max(
+        max_step, std::fabs(series.value(t, 0) - series.value(t - 1, 0)));
+  }
+  EXPECT_LT(max_step, 2.0 * M_PI / p.period * 1.5);
+  // Frequency migration: zero crossings thin out once the period
+  // stretched from 10 to 15.
+  const auto crossings = [&](size_t lo, size_t hi) {
+    int count = 0;
+    for (size_t t = lo + 1; t < hi; ++t) {
+      if ((series.value(t, 0) >= 0.0) != (series.value(t - 1, 0) >= 0.0)) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  const int head = crossings(0, 200);       // ~2 per 10 steps => ~40
+  const int tail = crossings(400, 600);     // ~2 per 15 steps => ~27
+  EXPECT_NEAR(head, 40, 2);
+  EXPECT_NEAR(tail, 27, 3);
+}
+
 TEST(ProfilesTest, ServiceGroupSplitsCorrectly) {
   DatasetProfile profile = SmdProfile();
   profile.num_services = 20;

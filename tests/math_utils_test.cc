@@ -80,6 +80,34 @@ TEST(QuantileTest, ErrorsOnBadInput) {
   EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
 }
 
+// Pin: CalibratedThreshold must reproduce the monitor's original inline
+// rule (2 x P90 of the calibration scores) bit for bit — the helper was
+// hoisted out of examples/streaming_monitor.cpp and is now also the
+// online trainer's per-generation calibration.
+TEST(CalibratedThresholdTest, MatchesInlineMonitorRule) {
+  Rng rng(404);
+  std::vector<double> scores;
+  for (int i = 0; i < 240; ++i) {
+    scores.push_back(std::exp(rng.Gaussian(0.0, 1.0)));
+  }
+  const Result<double> q90 = Quantile(scores, 0.90);
+  ASSERT_TRUE(q90.ok());
+  const double inline_threshold = 2.0 * *q90;
+
+  const Result<double> hoisted = CalibratedThreshold(scores);
+  ASSERT_TRUE(hoisted.ok());
+  EXPECT_EQ(*hoisted, inline_threshold);
+
+  // Non-default scale/quantile follow the same rule.
+  const Result<double> q50 = Quantile(scores, 0.5);
+  const Result<double> custom = CalibratedThreshold(scores, 3.0, 0.5);
+  ASSERT_TRUE(q50.ok() && custom.ok());
+  EXPECT_EQ(*custom, 3.0 * *q50);
+
+  EXPECT_FALSE(CalibratedThreshold({}).ok());
+  EXPECT_FALSE(CalibratedThreshold({1.0}, 2.0, 1.5).ok());
+}
+
 TEST(GaussianPdfTest, PeakAtMean) {
   EXPECT_NEAR(GaussianPdf(0.0), 0.3989422804014327, 1e-12);
   EXPECT_GT(GaussianPdf(3.0, 3.0, 2.0), GaussianPdf(4.0, 3.0, 2.0));

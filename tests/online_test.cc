@@ -1,0 +1,507 @@
+#include "online/trainer.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "history/store.h"
+#include "online/consensus.h"
+#include "online/drift.h"
+#include "online/ensemble.h"
+#include "online/rolling_buffer.h"
+#include "serve/frontend.h"
+#include "ts/generator.h"
+
+namespace mace::online {
+namespace {
+
+core::MaceConfig TinyConfig() {
+  core::MaceConfig config;
+  config.window = 16;
+  config.train_stride = 4;
+  config.score_stride = 4;
+  config.num_bases = 4;
+  config.epochs = 1;
+  config.batch_size = 4;
+  return config;
+}
+
+ts::NormalPattern OnlinePattern() {
+  ts::NormalPattern pattern;
+  pattern.kind = ts::WaveformKind::kSinusoid;
+  pattern.period = 8.0;
+  pattern.noise_stddev = 0.04;
+  return pattern;  // one feature
+}
+
+std::vector<std::vector<double>> NormalRows(size_t n, size_t t0,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  return ts::GenerateNormal(OnlinePattern(), n, t0, &rng).values();
+}
+
+std::shared_ptr<core::MaceDetector> FittedBase() {
+  Rng rng(7);
+  std::vector<ts::ServiceData> services(1);
+  services[0].name = "svc";
+  services[0].train = ts::GenerateNormal(OnlinePattern(), 240, 0, &rng);
+  auto detector = std::make_shared<core::MaceDetector>(TinyConfig());
+  MACE_CHECK_OK(detector->Fit(services));
+  return detector;
+}
+
+OnlineConfig TinyOnlineConfig() {
+  OnlineConfig config;
+  config.model = TinyConfig();
+  config.buffer_capacity = 160;
+  config.min_refit_rows = 64;
+  config.refit_interval = 64;
+  config.ensemble_size = 2;
+  config.refit_threads = 2;
+  return config;
+}
+
+// ---------------------------------------------------------------- buffer
+
+TEST(RollingBufferTest, RingSemanticsAndCounters) {
+  RollingWindowBuffer buffer(4, 2);
+  for (int i = 0; i < 6; ++i) {
+    buffer.OnObservation({static_cast<double>(i), 10.0 + i}, i == 1);
+  }
+  buffer.OnObservation({1.0, 2.0, 3.0}, false);  // wrong width: dropped
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_appended(), 6u);
+  EXPECT_EQ(buffer.contaminated_rows(), 1u);
+  const ts::TimeSeries snapshot = buffer.Snapshot();
+  ASSERT_EQ(snapshot.length(), 4u);
+  // Oldest surviving row is #2 (capacity 4, 6 appended).
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_DOUBLE_EQ(snapshot.value(t, 0), static_cast<double>(t + 2));
+  }
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.total_appended(), 6u);  // lifetime clock keeps counting
+}
+
+// ------------------------------------------------------------- consensus
+
+TEST(ConsensusTest, PoliciesCombineRatios) {
+  const std::vector<double> thresholds = {1.0, 1.0};
+  auto all = MakeConsensusPolicy(ConsensusKind::kAllVote);
+  auto max = MakeConsensusPolicy(ConsensusKind::kMax);
+  auto median = MakeConsensusPolicy(ConsensusKind::kQuantile, 0.5);
+
+  // Both generations past threshold: everybody fires.
+  core::StepVerdict verdict = all->Judge({2.0, 3.0}, thresholds);
+  EXPECT_TRUE(verdict.voted);
+  EXPECT_TRUE(verdict.anomaly);
+  EXPECT_DOUBLE_EQ(verdict.score, 2.0);  // min ratio
+
+  // One dissenter: all-vote vetoes, max fires.
+  verdict = all->Judge({0.5, 3.0}, thresholds);
+  EXPECT_TRUE(verdict.voted);
+  EXPECT_FALSE(verdict.anomaly);
+  verdict = max->Judge({0.5, 3.0}, thresholds);
+  EXPECT_TRUE(verdict.anomaly);
+  EXPECT_DOUBLE_EQ(verdict.score, 3.0);
+
+  // Median of {0.5, 3.0} interpolates to 1.75: fires.
+  verdict = median->Judge({0.5, 3.0}, thresholds);
+  EXPECT_TRUE(verdict.anomaly);
+  EXPECT_DOUBLE_EQ(verdict.score, 1.75);
+
+  // No scores: abstain.
+  EXPECT_FALSE(all->Judge({}, {}).voted);
+
+  // Degenerate threshold saturates its ratio anomalous.
+  verdict = max->Judge({0.1}, {0.0});
+  EXPECT_TRUE(verdict.anomaly);
+  verdict = median->Judge({0.1, 0.1}, {0.0, 0.0});
+  EXPECT_TRUE(verdict.anomaly);
+  EXPECT_TRUE(std::isfinite(verdict.score));
+}
+
+TEST(ConsensusTest, ParseNames) {
+  EXPECT_EQ(ParseConsensusPolicy("all")->kind(), ConsensusKind::kAllVote);
+  EXPECT_EQ(ParseConsensusPolicy("max")->kind(), ConsensusKind::kMax);
+  EXPECT_EQ(ParseConsensusPolicy("quantile")->kind(),
+            ConsensusKind::kQuantile);
+  EXPECT_EQ(ParseConsensusPolicy("bogus"), nullptr);
+}
+
+// ----------------------------------------------------------- drift gate
+
+TEST(DriftTest, SubspaceOverlapPrincipalAngles) {
+  const int window = 16;
+  core::PatternSubspace a, b;
+  a.bases = {1, 2, 3};
+  b.bases = {1, 2, 3};
+  EXPECT_NEAR(SubspaceOverlap(a, b, window), 1.0, 1e-9);
+
+  b.bases = {4, 5, 6};  // distinct Fourier bins are orthogonal
+  EXPECT_NEAR(SubspaceOverlap(a, b, window), 0.0, 1e-9);
+
+  a.bases = {1, 2};
+  b.bases = {1, 3};  // half the (4-dim) energy shared
+  EXPECT_NEAR(SubspaceOverlap(a, b, window), 0.5, 1e-9);
+
+  // DC and Nyquist carry one column each, interior bins two.
+  a.bases = {0};
+  b.bases = {0};
+  EXPECT_NEAR(SubspaceOverlap(a, b, window), 1.0, 1e-9);
+  b.bases = {8};
+  EXPECT_NEAR(SubspaceOverlap(a, b, window), 0.0, 1e-9);
+
+  // Duplicates and out-of-range bases are ignored, not double-counted.
+  a.bases = {1, 1, 99, -3};
+  b.bases = {1};
+  EXPECT_NEAR(SubspaceOverlap(a, b, window), 1.0, 1e-9);
+}
+
+TEST(DriftTest, GateDecisions) {
+  const DriftGateConfig config;
+  EXPECT_EQ(GateCandidate(0.99, true, config), GateDecision::kSkip);
+  EXPECT_EQ(GateCandidate(0.99, false, config), GateDecision::kPromote);
+  EXPECT_EQ(GateCandidate(0.7, true, config), GateDecision::kPromote);
+  EXPECT_EQ(GateCandidate(0.3, true, config),
+            GateDecision::kPromoteDrift);
+  EXPECT_EQ(GateCandidate(0.3, false, config),
+            GateDecision::kPromoteDrift);
+}
+
+// -------------------------------------------------------------- ensemble
+
+TEST(ModelEnsembleTest, CopyOnWriteRotation) {
+  ModelEnsemble ensemble(3);
+  EXPECT_EQ(ensemble.size(), 0u);
+  EXPECT_EQ(ensemble.Newest(), nullptr);
+
+  auto model = std::make_shared<core::MaceDetector>(TinyConfig());
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_EQ(ensemble.Promote(model, static_cast<double>(i)),
+              static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(ensemble.full());
+
+  // A reader's snapshot survives a later promotion untouched.
+  const ModelEnsemble::Snapshot before = ensemble.generations();
+  ensemble.Promote(model, 4.0);
+  ASSERT_EQ(before->size(), 3u);
+  EXPECT_EQ(before->back().version, 3u);
+  const ModelEnsemble::Snapshot after = ensemble.generations();
+  ASSERT_EQ(after->size(), 3u);
+  EXPECT_EQ(after->front().version, 2u);  // oldest evicted
+  EXPECT_EQ(after->back().version, 4u);
+  EXPECT_EQ(ensemble.promotions(), 4u);
+}
+
+// ------------------------------------------ consensus bit into history
+
+std::vector<history::Record> AllRecords(const history::HistoryStore& store,
+                                        size_t tenant_index) {
+  std::vector<history::Record> records;
+  store.VisitRange(tenant_index, 0, std::numeric_limits<int64_t>::max(),
+                   [&](history::RecordSpan span) {
+                     records.insert(records.end(), span.data,
+                                    span.data + span.size);
+                   });
+  return records;
+}
+
+TEST(EnsembleBindingTest, ConsensusBitOverridesThresholdBit) {
+  const std::shared_ptr<core::MaceDetector> base = FittedBase();
+  history::HistoryStore store(history::HistoryConfig{});
+  const auto tenant = store.Intern("t/0");
+  // Base threshold below any score: without consensus every bit is 1.
+  store.SetThreshold(tenant, -1.0);
+
+  // One generation with an unreachable threshold: all-vote consensus
+  // says "normal" on every step.
+  ModelEnsemble ensemble(2);
+  ensemble.Promote(base, 1e12);
+  auto policy = MakeConsensusPolicy(ConsensusKind::kAllVote);
+  EnsembleBinding binding(&ensemble, policy.get());
+
+  auto scorer = core::StreamingScorer::Create(base.get(), 0);
+  ASSERT_TRUE(scorer.ok());
+  scorer->AttachHistory(&store, tenant, 0);
+  scorer->AttachOnline(nullptr, &binding);
+
+  const auto rows = NormalRows(60, 0, 21);
+  for (const auto& row : rows) ASSERT_TRUE(scorer->Push(row).ok());
+
+  const auto records = AllRecords(store, tenant);
+  ASSERT_EQ(records.size(), 60u - 16u + 1);  // emit latency < window steps
+  for (const history::Record& record : records) {
+    EXPECT_EQ(record.anomaly, 0) << "consensus veto lost at timestamp "
+                                 << record.timestamp;
+    EXPECT_GT(record.score, -1.0f);  // stored score stays the base's
+  }
+
+  // Flip the generation threshold to ~0: consensus now fires everywhere.
+  const auto tenant2 = store.Intern("t/1");
+  store.SetThreshold(tenant2, 1e12);  // base bit would be 0
+  ModelEnsemble eager(2);
+  eager.Promote(base, 1e-12);
+  EnsembleBinding eager_binding(&eager, policy.get());
+  auto scorer2 = core::StreamingScorer::Create(base.get(), 0);
+  ASSERT_TRUE(scorer2.ok());
+  scorer2->AttachHistory(&store, tenant2, 0);
+  scorer2->AttachOnline(nullptr, &eager_binding);
+  for (const auto& row : rows) ASSERT_TRUE(scorer2->Push(row).ok());
+  const auto records2 = AllRecords(store, tenant2);
+  ASSERT_EQ(records2.size(), 60u - 16u + 1);
+  for (const history::Record& record : records2) {
+    EXPECT_EQ(record.anomaly, 1);
+  }
+}
+
+// --------------------------------------------------------------- trainer
+
+TEST(OnlineTrainerTest, RefitPromotesGenerations) {
+  OnlineTrainer trainer(TinyOnlineConfig());
+  core::StreamBinding binding = trainer.Bind("t/0", 1);
+  ASSERT_NE(binding.sink, nullptr);
+  ASSERT_NE(binding.ensemble, nullptr);
+
+  const std::shared_ptr<core::MaceDetector> base = FittedBase();
+  auto scorer = core::StreamingScorer::Create(base.get(), 0);
+  ASSERT_TRUE(scorer.ok());
+  scorer->AttachOnline(binding.sink, binding.ensemble.get());
+
+  size_t step = 0;
+  const auto feed = [&](size_t n) {
+    const auto rows = NormalRows(n, step, 33);
+    for (const auto& row : rows) ASSERT_TRUE(scorer->Push(row).ok());
+    step += n;
+  };
+
+  feed(100);
+  EXPECT_EQ(trainer.PumpRefits(), 1u);
+  const ModelEnsemble* ensemble = trainer.ensemble("t/0");
+  ASSERT_NE(ensemble, nullptr);
+  EXPECT_EQ(ensemble->size(), 1u);
+
+  feed(64);
+  EXPECT_EQ(trainer.PumpRefits(), 1u);
+  feed(64);
+  EXPECT_EQ(trainer.PumpRefits(), 1u);
+
+  const OnlineTrainer::Stats stats = trainer.stats();
+  EXPECT_EQ(stats.streams, 1u);
+  EXPECT_EQ(stats.refits, 3u);
+  EXPECT_EQ(stats.refit_failures, 0u);
+  EXPECT_EQ(stats.promotions + stats.skips, 3u);
+  EXPECT_GE(stats.promotions, 2u);  // ensemble had room for two
+  EXPECT_EQ(ensemble->size(), 2u);
+
+  // Nothing due right after a refit.
+  EXPECT_EQ(trainer.PumpRefits(), 0u);
+
+  // The stream keeps scoring (and voting) after promotions.
+  feed(20);
+  EXPECT_GT(scorer->scores_emitted(), 0u);
+}
+
+TEST(OnlineTrainerTest, RefitIsBitDeterministicAcrossPoolSizes) {
+  OnlineConfig narrow = TinyOnlineConfig();
+  narrow.refit_threads = 1;
+  OnlineConfig wide = TinyOnlineConfig();
+  wide.refit_threads = 3;
+
+  OnlineTrainer a(narrow);
+  OnlineTrainer b(wide);
+  core::StreamBinding bind_a = a.Bind("k/0", 1);
+  core::StreamBinding bind_b = b.Bind("k/0", 1);
+
+  const auto rows = NormalRows(128, 0, 11);
+  for (const auto& row : rows) {
+    bind_a.sink->OnObservation(row, false);
+    bind_b.sink->OnObservation(row, false);
+  }
+  ASSERT_EQ(a.PumpRefits(), 1u);
+  ASSERT_EQ(b.PumpRefits(), 1u);
+
+  const auto model_a = a.ensemble("k/0")->Newest();
+  const auto model_b = b.ensemble("k/0")->Newest();
+  ASSERT_NE(model_a, nullptr);
+  ASSERT_NE(model_b, nullptr);
+
+  // Same buffer contents + same seed => bit-identical training run,
+  // regardless of the refit pool width.
+  const std::vector<double>& losses_a = model_a->epoch_losses();
+  const std::vector<double>& losses_b = model_b->epoch_losses();
+  ASSERT_EQ(losses_a.size(), losses_b.size());
+  for (size_t i = 0; i < losses_a.size(); ++i) {
+    EXPECT_EQ(losses_a[i], losses_b[i]);
+  }
+  // And bit-identical scores through the streaming surface.
+  auto scorer_a = core::StreamingScorer::Create(model_a.get(), 0);
+  auto scorer_b = core::StreamingScorer::Create(model_b.get(), 0);
+  ASSERT_TRUE(scorer_a.ok() && scorer_b.ok());
+  const auto probe = NormalRows(48, 500, 99);
+  for (const auto& row : probe) {
+    auto out_a = scorer_a->Push(row);
+    auto out_b = scorer_b->Push(row);
+    ASSERT_TRUE(out_a.ok() && out_b.ok());
+    ASSERT_EQ(out_a->size(), out_b->size());
+    for (size_t i = 0; i < out_a->size(); ++i) {
+      EXPECT_EQ((*out_a)[i], (*out_b)[i]);
+    }
+  }
+}
+
+// Satellite (a): Reset() must detach the rolling buffer and the ensemble
+// binding exactly like it detaches history — a recycled session across
+// two model generations must not leak its stale rows into the next refit.
+TEST(OnlineTrainerTest, ResetDetachesBufferAcrossGenerations) {
+  OnlineTrainer trainer(TinyOnlineConfig());
+  const std::shared_ptr<core::MaceDetector> base = FittedBase();
+
+  // Session 1 feeds 96 rows and triggers generation 1.
+  core::StreamBinding first = trainer.Bind("a/0", 1);
+  auto scorer = core::StreamingScorer::Create(base.get(), 0);
+  ASSERT_TRUE(scorer.ok());
+  scorer->AttachOnline(first.sink, first.ensemble.get());
+  for (const auto& row : NormalRows(96, 0, 5)) {
+    ASSERT_TRUE(scorer->Push(row).ok());
+  }
+  ASSERT_EQ(trainer.PumpRefits(), 1u);
+  const RollingWindowBuffer* buffer = trainer.buffer("a/0");
+  ASSERT_NE(buffer, nullptr);
+  EXPECT_EQ(buffer->total_appended(), 96u);
+
+  // Recycle the session. Rows pushed through the recycled scorer before
+  // it is re-bound are another stream's data and must NOT reach the
+  // buffer.
+  scorer->Reset();
+  EXPECT_FALSE(scorer->online_attached());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(scorer->Push({999.0}).ok());
+  }
+  EXPECT_EQ(buffer->total_appended(), 96u) << "stale session leaked rows";
+
+  // Session 2 re-binds the same stream key and drives generation 2: the
+  // refit sees only legitimately-bound rows.
+  scorer->Reset();
+  core::StreamBinding second = trainer.Bind("a/0", 1);
+  EXPECT_EQ(second.sink, first.sink);  // same stream, same buffer
+  scorer->AttachOnline(second.sink, second.ensemble.get());
+  for (const auto& row : NormalRows(64, 96, 6)) {
+    ASSERT_TRUE(scorer->Push(row).ok());
+  }
+  ASSERT_EQ(trainer.PumpRefits(), 1u);
+  EXPECT_EQ(buffer->total_appended(), 160u);
+  const ts::TimeSeries snapshot = buffer->Snapshot();
+  for (size_t t = 0; t < snapshot.length(); ++t) {
+    EXPECT_LT(std::fabs(snapshot.value(t, 0)), 100.0)
+        << "poison row survived into refit data";
+  }
+  EXPECT_EQ(trainer.ensemble("a/0")->promotions(), 2u);
+}
+
+// Satellite (c): concurrent PushMany against mid-flight generation
+// promotion — the tsan target for the ensemble's copy-on-write snapshot
+// contract. Zero lost steps, no torn reads.
+TEST(OnlineConcurrencyTest, PushManyDuringPromotions) {
+  const std::shared_ptr<core::MaceDetector> base = FittedBase();
+  ModelEnsemble ensemble(3);
+  ensemble.Promote(base, 1.0);
+  auto policy = MakeConsensusPolicy(ConsensusKind::kAllVote);
+  EnsembleBinding binding(&ensemble, policy.get());
+  RollingWindowBuffer buffer(256, 1);
+
+  auto scorer = core::StreamingScorer::Create(base.get(), 0);
+  ASSERT_TRUE(scorer.ok());
+  scorer->AttachOnline(&buffer, &binding);
+
+  std::atomic<bool> stop{false};
+  std::thread promoter([&] {
+    uint64_t spins = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ensemble.Promote(base, 1.0 + static_cast<double>(spins % 7));
+      (void)buffer.Snapshot();  // concurrent reader of the refit feed
+      ++spins;
+      std::this_thread::yield();
+    }
+  });
+
+  size_t emitted = 0;
+  size_t pushed = 0;
+  const auto rows = NormalRows(8, 0, 77);
+  for (int iter = 0; iter < 40; ++iter) {
+    auto batch = scorer->PushMany(rows);
+    ASSERT_TRUE(batch.ok());
+    pushed += rows.size();
+    for (const auto& per_row : *batch) emitted += per_row.size();
+  }
+  stop.store(true);
+  promoter.join();
+
+  EXPECT_EQ(pushed, 320u);
+  EXPECT_EQ(emitted, 320u - 16u + 1) << "promotion lost emitted steps";
+  EXPECT_EQ(buffer.total_appended(), 320u) << "promotion lost buffer rows";
+}
+
+// Serve-level variant: sessions opened through SessionRegistry score
+// under a live background refit pump; every submitted observation must
+// be scored and every expected step emitted.
+TEST(OnlineConcurrencyTest, ServeScoresWhileTrainerPumps) {
+  OnlineConfig online_config = TinyOnlineConfig();
+  OnlineTrainer trainer(online_config);
+  history::HistoryStore store(history::HistoryConfig{});
+
+  serve::ServeConfig config;
+  config.num_shards = 2;
+  config.history = &store;
+  config.online = &trainer;
+
+  const std::shared_ptr<core::MaceDetector> base = FittedBase();
+  auto frontend = serve::ServeFrontend::Create(base, config);
+  ASSERT_TRUE(frontend.ok());
+  trainer.Start(std::chrono::milliseconds(1));
+
+  const std::vector<std::string> tenants = {"alpha", "beta"};
+  constexpr size_t kSteps = 200;
+  std::vector<std::future<serve::ScoreBatch>> futures;
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (const std::string& tenant : tenants) {
+      const auto rows = NormalRows(1, t, 13);
+      auto submitted = (*frontend)->Submit(tenant, 0, rows[0]);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(*submitted));
+    }
+  }
+  size_t emitted = 0;
+  for (auto& future : futures) {
+    const serve::ScoreBatch batch = future.get();
+    ASSERT_TRUE(batch.status.ok());
+    EXPECT_FALSE(batch.dropped);
+    emitted += batch.scores.size();
+  }
+  (*frontend)->Flush();
+  trainer.Stop();
+  trainer.PumpRefits();  // drain anything left due
+
+  // Zero lost steps across both sessions despite concurrent promotions.
+  EXPECT_EQ(emitted, tenants.size() * (kSteps - 16 + 1));
+  const serve::ShardStats totals = (*frontend)->Stats().Totals();
+  EXPECT_EQ(totals.scored_steps, tenants.size() * kSteps);
+  EXPECT_GE(trainer.stats().refits, 1u);
+  // Both streams fed their rolling buffers through the serve path.
+  for (const std::string& tenant : tenants) {
+    const RollingWindowBuffer* buffer = trainer.buffer(tenant + "/0");
+    ASSERT_NE(buffer, nullptr);
+    EXPECT_EQ(buffer->total_appended(), kSteps);
+  }
+}
+
+}  // namespace
+}  // namespace mace::online
