@@ -101,11 +101,14 @@ int main() {
     std::ofstream out("BENCH_fit.json", std::ios::trunc);
     out << "{\n"
         << "  \"bench\": \"fit_parallel\",\n"
-        << "  \"services\": " << profile.num_services << ",\n"
-        << "  \"train_length\": " << profile.train_length << ",\n"
-        << "  \"epochs\": " << kEpochs << ",\n"
-        << "  \"batch_size\": " << kBatch << ",\n"
-        << "  \"fit_threads\": " << kThreads << ",\n"
+        << "  \"config\": {\n"
+        << "    \"services\": " << profile.num_services << ",\n"
+        << "    \"train_length\": " << profile.train_length << ",\n"
+        << "    \"epochs\": " << kEpochs << ",\n"
+        << "    \"batch_size\": " << kBatch << ",\n"
+        << "    \"fit_threads\": " << kThreads << ",\n"
+        << "    \"passes\": " << kPasses << "\n"
+        << "  },\n"
         << "  \"seed_epoch_sec\": " << runs[0].epoch_sec << ",\n"
         << "  \"batched_epoch_sec\": " << runs[1].epoch_sec << ",\n"
         << "  \"threaded_epoch_sec\": " << runs[2].epoch_sec << ",\n"

@@ -1,23 +1,35 @@
 // Inference fast-path throughput: single-thread ScoreWindow under the
-// graph-building (grad) tensor mode vs the no-grad inference mode, and
-// the batched ScoreWindowBatch path on top. All three run in the same
-// process on the same fitted weights (same seed), so the speedups are
-// apples-to-apples; score equality is cross-checked bit-for-bit before
-// timing. Emits BENCH_score_fastpath.json for trajectory tracking.
+// graph-building (grad) tensor mode vs the no-grad inference mode, the
+// batched op-graph ScoreWindowBatch path, and the fused scoring kernel
+// on both of its arms (forced-scalar and SIMD). All paths run in the
+// same process on the same fitted weights (same seed), so the speedups
+// are apples-to-apples; score equality is cross-checked before timing
+// (bit-for-bit for the op-graph paths and the fused scalar arm, within
+// the pinned SIMD tolerance for the vector arm). Emits
+// BENCH_score_fastpath.json (or --json-out <path>) for trajectory
+// tracking, with the pinned canonical config recorded in the JSON.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/check.h"
 #include "core/mace_detector.h"
 #include "eval/profiler.h"
+#include "kernel/fused_kernel.h"
 #include "ts/profiles.h"
 
 namespace {
+
+// SIMD scores may differ from the scalar reference by reassociated
+// rounding only; these bounds are pinned in tests/score_fastpath_test.cc.
+constexpr double kSimdRelTol = 1e-9;
+constexpr double kSimdAbsTol = 1e-11;
 
 /// Deterministic pseudo-scaled windows, distinct per index so caching
 /// could not fake throughput.
@@ -37,8 +49,18 @@ std::vector<std::vector<double>> MakeRows(int window, int features,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mace;
+
+  std::string json_out = "BENCH_score_fastpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
 
   constexpr int kWindows = 512;
   constexpr int kBatch = 8;
@@ -58,9 +80,14 @@ int main() {
   // Same seed => identical fitted weights; only the scoring mode differs.
   core::MaceDetector grad_mode(grad_config);
   MACE_CHECK_OK(grad_mode.Fit(dataset.services));
+  grad_mode.set_score_engine(core::MaceDetector::ScoreEngine::kOpGraph);
   core::MaceDetector no_grad(nograd_config);
   MACE_CHECK_OK(no_grad.Fit(dataset.services));
+  no_grad.set_score_engine(core::MaceDetector::ScoreEngine::kOpGraph);
+  core::MaceDetector fused(nograd_config);
+  MACE_CHECK_OK(fused.Fit(dataset.services));
 
+  const bool simd = kernel::SimdSupported();
   const int window = grad_config.window;
   const int features = static_cast<int>(
       dataset.services[0].test.num_features());
@@ -70,15 +97,58 @@ int main() {
   }
 
   // Equality first: a fast path that changes scores is not a fast path.
-  for (int i = 0; i < kWindows; i += 61) {
+  // The no-grad mode and the fused scalar arm must match the grad-mode
+  // op graph bit for bit; the SIMD arm must stay inside the pinned
+  // tolerance.
+  for (int i = 0; i + kBatch <= kWindows; i += 61) {
+    std::vector<std::vector<std::vector<double>>> group(
+        inputs.begin() + i, inputs.begin() + i + kBatch);
     auto a = grad_mode.ScoreWindow(0, inputs[static_cast<size_t>(i)]);
     auto b = no_grad.ScoreWindow(0, inputs[static_cast<size_t>(i)]);
+    auto ref = no_grad.ScoreWindowBatch(0, group);
     MACE_CHECK_OK(a.status());
     MACE_CHECK_OK(b.status());
+    MACE_CHECK_OK(ref.status());
     for (size_t t = 0; t < a->size(); ++t) {
       MACE_CHECK((*a)[t] == (*b)[t])
-          << "fast path diverged at window " << i << " step " << t;
+          << "no-grad path diverged at window " << i << " step " << t;
+      MACE_CHECK((*a)[t] == (*ref)[0][t])
+          << "op-graph batch diverged at window " << i << " step " << t;
     }
+    fused.set_kernel_backend(kernel::Backend::kScalar);
+    auto scalar = fused.ScoreWindowBatch(0, group);
+    MACE_CHECK_OK(scalar.status());
+    for (size_t w = 0; w < ref->size(); ++w) {
+      for (size_t t = 0; t < (*ref)[w].size(); ++t) {
+        MACE_CHECK((*scalar)[w][t] == (*ref)[w][t])
+            << "fused scalar diverged at window " << (i + w) << " step "
+            << t;
+      }
+    }
+    if (simd) {
+      fused.set_kernel_backend(kernel::Backend::kSimd);
+      auto vec = fused.ScoreWindowBatch(0, group);
+      MACE_CHECK_OK(vec.status());
+      for (size_t w = 0; w < ref->size(); ++w) {
+        for (size_t t = 0; t < (*ref)[w].size(); ++t) {
+          const double bound =
+              kSimdAbsTol + kSimdRelTol * std::abs((*ref)[w][t]);
+          MACE_CHECK(std::abs((*vec)[w][t] - (*ref)[w][t]) <= bound)
+              << "fused SIMD outside tolerance at window " << (i + w)
+              << " step " << t;
+        }
+      }
+    }
+  }
+
+  // Batch groups are assembled once, outside the timed regions: the
+  // bench compares scoring paths, and the deep copy of a window group
+  // is identical work on every batched path (it would only dilute the
+  // reported ratios toward 1).
+  std::vector<std::vector<std::vector<std::vector<double>>>> groups;
+  for (int i = 0; i < kWindows; i += kBatch) {
+    groups.emplace_back(inputs.begin() + i,
+                        inputs.begin() + std::min(i + kBatch, kWindows));
   }
 
   // Warm-up covers metric registration and buffer-pool fill.
@@ -91,14 +161,20 @@ int main() {
         no_grad.ScoreWindow(0, inputs[static_cast<size_t>(i)]).status());
   }
   MACE_CHECK_OK(no_grad.ScoreWindowBatch(0, chunk).status());
+  for (const kernel::Backend backend :
+       {kernel::Backend::kScalar, kernel::Backend::kSimd}) {
+    fused.set_kernel_backend(backend);
+    MACE_CHECK_OK(fused.ScoreWindowBatch(0, chunk).status());
+  }
 
-  // The three paths alternate in kSlice-window slices, accumulating
-  // per-path wall time: machine-wide disturbances (noisy neighbours,
-  // clock throttling) then hit every path in the same proportion instead
-  // of silently skewing the reported ratio.
+  // The paths alternate in kSlice-window slices, accumulating per-path
+  // wall time: machine-wide disturbances (noisy neighbours, clock
+  // throttling) then hit every path in the same proportion instead of
+  // silently skewing the reported ratio.
   constexpr int kSlice = 64;
   constexpr int kPasses = 3;
   double grad_sec = 0.0, nograd_sec = 0.0, batched_sec = 0.0;
+  double fused_scalar_sec = 0.0, fused_simd_sec = 0.0;
   for (int pass = 0; pass < kPasses; ++pass) {
     for (int start = 0; start < kWindows; start += kSlice) {
       const int stop = std::min(start + kSlice, kWindows);
@@ -123,11 +199,34 @@ int main() {
       {
         eval::StopWatch watch;
         for (int i = start; i < stop; i += kBatch) {
-          chunk.assign(inputs.begin() + i,
-                       inputs.begin() + std::min(i + kBatch, stop));
-          MACE_CHECK_OK(no_grad.ScoreWindowBatch(0, chunk).status());
+          MACE_CHECK_OK(
+              no_grad
+                  .ScoreWindowBatch(0, groups[static_cast<size_t>(i / kBatch)])
+                  .status());
         }
         batched_sec += watch.ElapsedSeconds();
+      }
+      {
+        fused.set_kernel_backend(kernel::Backend::kScalar);
+        eval::StopWatch watch;
+        for (int i = start; i < stop; i += kBatch) {
+          MACE_CHECK_OK(
+              fused
+                  .ScoreWindowBatch(0, groups[static_cast<size_t>(i / kBatch)])
+                  .status());
+        }
+        fused_scalar_sec += watch.ElapsedSeconds();
+      }
+      if (simd) {
+        fused.set_kernel_backend(kernel::Backend::kSimd);
+        eval::StopWatch watch;
+        for (int i = start; i < stop; i += kBatch) {
+          MACE_CHECK_OK(
+              fused
+                  .ScoreWindowBatch(0, groups[static_cast<size_t>(i / kBatch)])
+                  .status());
+        }
+        fused_simd_sec += watch.ElapsedSeconds();
       }
     }
   }
@@ -135,35 +234,63 @@ int main() {
   const double grad_wps = total / grad_sec;
   const double nograd_wps = total / nograd_sec;
   const double batched_wps = total / batched_sec;
+  const double fused_scalar_wps = total / fused_scalar_sec;
+  const double fused_simd_wps = simd ? total / fused_simd_sec : 0.0;
+  const double fused_best_wps =
+      simd ? std::max(fused_scalar_wps, fused_simd_wps) : fused_scalar_wps;
 
-  const double nograd_speedup = nograd_wps / grad_wps;
-  const double batched_speedup = batched_wps / grad_wps;
   std::printf(
       "Score fast path — %d windows of [%d x %d], single thread\n",
       kWindows, window, features);
-  std::printf("%-28s %14s %10s\n", "path", "windows/s", "speedup");
-  std::printf("%-28s %14.0f %9.2fx\n", "grad-mode ScoreWindow", grad_wps,
+  std::printf("%-30s %14s %10s\n", "path", "windows/s", "speedup");
+  std::printf("%-30s %14.0f %9.2fx\n", "grad-mode ScoreWindow", grad_wps,
               1.0);
-  std::printf("%-28s %14.0f %9.2fx\n", "no-grad ScoreWindow", nograd_wps,
-              nograd_speedup);
-  std::printf("%-28s %14.0f %9.2fx\n", "no-grad ScoreWindowBatch(8)",
-              batched_wps, batched_speedup);
+  std::printf("%-30s %14.0f %9.2fx\n", "no-grad ScoreWindow", nograd_wps,
+              nograd_wps / grad_wps);
+  std::printf("%-30s %14.0f %9.2fx\n", "op-graph ScoreWindowBatch(8)",
+              batched_wps, batched_wps / grad_wps);
+  std::printf("%-30s %14.0f %9.2fx\n", "fused-scalar batch(8)",
+              fused_scalar_wps, fused_scalar_wps / grad_wps);
+  if (simd) {
+    std::printf("%-30s %14.0f %9.2fx\n", "fused-SIMD batch(8)",
+                fused_simd_wps, fused_simd_wps / grad_wps);
+  } else {
+    std::printf("%-30s %14s\n", "fused-SIMD batch(8)", "unavailable");
+  }
+  std::printf("fused vs op-graph batched: %.2fx\n",
+              fused_best_wps / batched_wps);
 
   {
-    std::ofstream out("BENCH_score_fastpath.json", std::ios::trunc);
+    std::ofstream out(json_out, std::ios::trunc);
     out << "{\n"
         << "  \"bench\": \"score_fastpath\",\n"
-        << "  \"windows\": " << kWindows << ",\n"
-        << "  \"window\": " << window << ",\n"
-        << "  \"features\": " << features << ",\n"
-        << "  \"batch\": " << kBatch << ",\n"
+        << "  \"config\": {\n"
+        << "    \"windows\": " << kWindows << ",\n"
+        << "    \"window\": " << window << ",\n"
+        << "    \"features\": " << features << ",\n"
+        << "    \"batch\": " << kBatch << ",\n"
+        << "    \"epochs\": " << grad_config.epochs << ",\n"
+        << "    \"num_bases\": " << grad_config.num_bases << ",\n"
+        << "    \"fitted_services\": " << profile.num_services << ",\n"
+        << "    \"passes\": " << kPasses << ",\n"
+        << "    \"simd\": " << (simd ? "true" : "false") << "\n"
+        << "  },\n"
         << "  \"grad_windows_per_sec\": " << grad_wps << ",\n"
         << "  \"nograd_windows_per_sec\": " << nograd_wps << ",\n"
         << "  \"batched_windows_per_sec\": " << batched_wps << ",\n"
-        << "  \"nograd_speedup\": " << nograd_speedup << ",\n"
-        << "  \"batched_speedup\": " << batched_speedup << "\n"
+        << "  \"fused_scalar_windows_per_sec\": " << fused_scalar_wps
+        << ",\n"
+        << "  \"fused_simd_windows_per_sec\": " << fused_simd_wps << ",\n"
+        << "  \"nograd_speedup\": " << nograd_wps / grad_wps << ",\n"
+        << "  \"batched_speedup\": " << batched_wps / grad_wps << ",\n"
+        << "  \"fused_scalar_speedup\": " << fused_scalar_wps / grad_wps
+        << ",\n"
+        << "  \"fused_simd_speedup\": " << fused_simd_wps / grad_wps
+        << ",\n"
+        << "  \"fused_vs_opgraph_batched\": " << fused_best_wps / batched_wps
+        << "\n"
         << "}\n";
   }
-  std::printf("wrote BENCH_score_fastpath.json\n");
+  std::printf("wrote %s\n", json_out.c_str());
   return 0;
 }

@@ -1,0 +1,92 @@
+#include "core/fused_plan_builder.h"
+
+#include "common/check.h"
+
+namespace mace::core {
+
+kernel::FusedModelPlan BuildFusedModelPlan(const MaceConfig& config,
+                                           int num_features,
+                                           int num_coeff_columns,
+                                           const MaceModel& model) {
+  kernel::FusedModelPlan plan;
+  plan.features = num_features;
+  plan.window = config.window;
+  MACE_CHECK(num_coeff_columns > 0 && num_coeff_columns % 2 == 0);
+  plan.num_bases = num_coeff_columns / 2;
+
+  plan.amplify = config.use_dualistic_time;
+  plan.time_kernel = config.time_kernel;
+  plan.gamma_t = config.gamma_t;
+  plan.sigma_t = config.sigma_t;
+
+  plan.spectrum_epsilon = MaceModel::kSpectrumEpsilon;
+
+  plan.has_char =
+      config.use_freq_characterization && config.use_pattern_extraction;
+  plan.char_channels = plan.has_char ? config.characterization_channels : 0;
+
+  plan.dualistic_encoders = config.use_dualistic_freq;
+  plan.gamma_f = config.gamma_f;
+  plan.sigma_f = config.sigma_f;
+  plan.inv_sigma_f = 1.0 / config.sigma_f;
+  plan.freq_kernel = config.freq_kernel;
+  plan.freq_stride = config.freq_kernel;
+  plan.hidden_channels = config.hidden_channels;
+  plan.compressed =
+      (plan.num_bases - plan.freq_kernel) / plan.freq_stride + 1;
+  plan.latent = plan.hidden_channels * plan.compressed;
+  plan.decoder_hidden = 2 * plan.latent;
+
+  // Parameters() order is the same contract serialization relies on:
+  // characterization convs (if present), encoders peak/valley, decoders
+  // peak/valley.
+  const std::vector<tensor::Tensor> params = model.Parameters();
+  size_t idx = 0;
+  auto next = [&params, &idx]() -> const std::vector<double>& {
+    MACE_CHECK(idx < params.size())
+        << "fused plan builder ran past the parameter list";
+    return params[idx++].data();
+  };
+  if (plan.has_char) {
+    plan.char_w1 = next();  // [C, 3, 1]
+    plan.char_b1 = next();  // [C]
+    plan.char_w2 = next();  // [1, C, 1]
+    const std::vector<double>& b2 = next();
+    MACE_CHECK(b2.size() == 1);
+    plan.char_b2 = b2[0];
+  }
+  plan.peak.enc_w = next();
+  if (!plan.dualistic_encoders) plan.peak.enc_b = next();
+  plan.valley.enc_w = next();
+  if (!plan.dualistic_encoders) plan.valley.enc_b = next();
+  for (kernel::FusedModelPlan::Branch* branch :
+       {&plan.peak, &plan.valley}) {
+    branch->dec_w1 = next();
+    branch->dec_b1 = next();
+    branch->dec_w2 = next();
+    branch->dec_b2 = next();
+  }
+  MACE_CHECK(idx == params.size())
+      << "fused plan builder consumed " << idx << " of " << params.size()
+      << " parameters";
+
+  kernel::FinalizeModelPlan(&plan);
+  return plan;
+}
+
+kernel::FusedServicePlan BuildFusedServicePlan(
+    const kernel::FusedModelPlan& model_plan,
+    const ServiceTransforms& transforms) {
+  kernel::FusedServicePlan plan;
+  MACE_CHECK(transforms.forward_t.ndim() == 2 &&
+             transforms.forward_t.dim(0) == model_plan.window &&
+             transforms.forward_t.dim(1) == 2 * model_plan.num_bases);
+  plan.forward = transforms.forward_t.data();
+  plan.inverse = transforms.inverse_t.data();
+  plan.marker_sin = transforms.marker_sin;
+  plan.marker_cos = transforms.marker_cos;
+  kernel::FinalizeServicePlan(model_plan, &plan);
+  return plan;
+}
+
+}  // namespace mace::core

@@ -1,0 +1,28 @@
+#ifndef MACE_CORE_FUSED_PLAN_BUILDER_H_
+#define MACE_CORE_FUSED_PLAN_BUILDER_H_
+
+#include "core/mace_config.h"
+#include "core/mace_model.h"
+#include "kernel/fused_plan.h"
+
+namespace mace::core {
+
+/// \brief Packs a fitted model's learned weights (via Parameters(), whose
+/// order is the serialization contract) and config-derived dimensions into
+/// a finalized kernel::FusedModelPlan. Called at model-commit time (Fit,
+/// Load) — never on the scoring hot path.
+kernel::FusedModelPlan BuildFusedModelPlan(const MaceConfig& config,
+                                           int num_features,
+                                           int num_coeff_columns,
+                                           const MaceModel& model);
+
+/// Packs one service's fixed transforms into a finalized
+/// kernel::FusedServicePlan (the DFT/IDFT panels are already row-major —
+/// the copies here only re-pad).
+kernel::FusedServicePlan BuildFusedServicePlan(
+    const kernel::FusedModelPlan& model_plan,
+    const ServiceTransforms& transforms);
+
+}  // namespace mace::core
+
+#endif  // MACE_CORE_FUSED_PLAN_BUILDER_H_

@@ -11,6 +11,8 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "core/fused_plan_builder.h"
+#include "kernel/fused_kernel.h"
 #include "nn/grad_reduce.h"
 #include "obs/trace.h"
 
@@ -648,7 +650,20 @@ Status MaceDetector::Fit(const std::vector<ts::ServiceData>& services,
   transforms_ = std::move(transforms);
   model_ = std::move(model);
   epoch_losses_ = std::move(epoch_losses);
+  RebuildFusedPlans();
   return Status::OK();
+}
+
+void MaceDetector::RebuildFusedPlans() {
+  fused_model_ = kernel::FusedModelPlan();
+  fused_services_.clear();
+  if (model_ == nullptr || transforms_.empty()) return;
+  const int cols = static_cast<int>(transforms_.front().forward_t.dim(1));
+  fused_model_ = BuildFusedModelPlan(config_, num_features_, cols, *model_);
+  fused_services_.reserve(transforms_.size());
+  for (const ServiceTransforms& transforms : transforms_) {
+    fused_services_.push_back(BuildFusedServicePlan(fused_model_, transforms));
+  }
 }
 
 std::vector<size_t> MaceDetector::ScoreWindowStarts(size_t length) const {
@@ -667,7 +682,9 @@ std::vector<size_t> MaceDetector::ScoreWindowStarts(size_t length) const {
 }
 
 std::vector<double> MaceDetector::ScoreScaled(
-    const ServiceTransforms& transforms, const ts::TimeSeries& scaled_test,
+    const ServiceTransforms& transforms,
+    const kernel::FusedServicePlan* fused_service,
+    const ts::TimeSeries& scaled_test,
     const std::string& service_label) const {
   obs::MetricsRegistry& metrics = obs::Metrics();
   obs::ScopedSpan score_span(
@@ -704,6 +721,47 @@ std::vector<double> MaceDetector::ScoreScaled(
     for (size_t i = static_cast<size_t>(id); i < starts.size();
          i += static_cast<size_t>(threads)) {
       mine.push_back(i);
+    }
+    if (fused_service != nullptr) {
+      // Fused kernel path: gather each batch group's scaled windows (the
+      // kernel applies stage 1 itself) into one contiguous feature-major
+      // buffer and run all four stages in a single call per group. The
+      // kernel never builds tensors, so no NoGradGuard is needed.
+      const auto window = static_cast<size_t>(config_.window);
+      const auto m = static_cast<size_t>(num_features_);
+      std::vector<double> buf =
+          tensor::AcquireScratchBuffer(batch_size * m * window);
+      std::vector<double> errs =
+          tensor::AcquireScratchBuffer(batch_size * window);
+      for (size_t pos = 0; pos < mine.size();) {
+        const size_t count = std::min(batch_size, mine.size() - pos);
+        for (size_t j = 0; j < count; ++j) {
+          const size_t start = starts[mine[pos + j]];
+          double* w = buf.data() + j * m * window;
+          for (size_t f = 0; f < m; ++f) {
+            for (size_t t = 0; t < window; ++t) {
+              w[f * window + t] =
+                  scaled_test.value(start + t, static_cast<int>(f));
+            }
+          }
+        }
+        kernel::ScoreWindows(fused_model_, *fused_service, buf.data(),
+                             static_cast<int>(count), errs.data(),
+                             kernel_backend_);
+        for (size_t j = 0; j < count; ++j) {
+          errors[static_cast<size_t>(id)].emplace_back(
+              errs.begin() + static_cast<ptrdiff_t>(j * window),
+              errs.begin() + static_cast<ptrdiff_t>((j + 1) * window));
+        }
+        pos += count;
+      }
+      tensor::ReleaseScratchBuffer(std::move(errs));
+      tensor::ReleaseScratchBuffer(std::move(buf));
+      busy_seconds[static_cast<size_t>(id)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        begin)
+              .count();
+      return;
     }
     for (size_t pos = 0; pos < mine.size();) {
       const size_t count = std::min(batch_size, mine.size() - pos);
@@ -808,6 +866,15 @@ Result<std::vector<double>> MaceDetector::ScoreWindow(
       "(streaming path)");
   obs::ScopedSpan window_span("MaceDetector::ScoreWindow", window_seconds);
   CachedWindowsScoredCounter(service_index)->Increment();
+  if (UseFusedEngine()) {
+    std::vector<double> step_errors(static_cast<size_t>(config_.window));
+    kernel::ScoreWindows(fused_model_,
+                         fused_services_[static_cast<size_t>(service_index)],
+                         data.data(), /*batch=*/1, step_errors.data(),
+                         kernel_backend_);
+    tensor::ReleaseScratchBuffer(std::move(data));
+    return step_errors;
+  }
   Tensor window = Tensor::FromVector(
       std::move(data), Shape{num_features_, config_.window});
   MaceModel::Output out =
@@ -832,10 +899,92 @@ Result<std::vector<std::vector<double>>> MaceDetector::ScoreWindowBatch(
   std::optional<tensor::NoGradGuard> no_grad;
   if (config_.score_no_grad) no_grad.emplace();
   const auto m = static_cast<size_t>(num_features_);
+  const auto window = static_cast<size_t>(config_.window);
+  if (UseFusedEngine()) {
+    // One contiguous [batch][features][window] gather, one kernel call.
+    std::vector<double> data =
+        tensor::AcquireScratchBuffer(windows.size() * m * window);
+    for (size_t wi = 0; wi < windows.size(); ++wi) {
+      const std::vector<std::vector<double>>& scaled_rows = windows[wi];
+      if (scaled_rows.size() != window) {
+        return Status::InvalidArgument("window must hold exactly " +
+                                       std::to_string(config_.window) +
+                                       " rows");
+      }
+      double* w = data.data() + wi * m * window;
+      for (size_t t = 0; t < window; ++t) {
+        if (scaled_rows[t].size() != m) {
+          return Status::InvalidArgument("row feature count mismatch");
+        }
+        const double* row = scaled_rows[t].data();
+        for (size_t f = 0; f < m; ++f) {
+          w[f * window + t] = row[f];
+        }
+      }
+    }
+    // Finite gate over the packed block: a branch-free sum-based sweep on
+    // contiguous memory; the offending (window, row, feature) is only
+    // re-located on the cold rejection path.
+    {
+      // Every term is +/-0.0 for finite inputs and NaN otherwise, so the
+      // four independent accumulator chains (which keep the sweep off the
+      // serial FP-add latency) cannot change the verdict.
+      double p0 = 0.0;
+      double p1 = 0.0;
+      double p2 = 0.0;
+      double p3 = 0.0;
+      const size_t n_total = windows.size() * m * window;
+      size_t i = 0;
+      for (; i + 4 <= n_total; i += 4) {
+        p0 += data[i] * 0.0;
+        p1 += data[i + 1] * 0.0;
+        p2 += data[i + 2] * 0.0;
+        p3 += data[i + 3] * 0.0;
+      }
+      for (; i < n_total; ++i) p0 += data[i] * 0.0;
+      const double probe = p0 + p1 + p2 + p3;
+      if (!(probe == 0.0)) {
+        for (size_t wi = 0; wi < windows.size(); ++wi) {
+          for (size_t f = 0; f < m; ++f) {
+            for (size_t t = 0; t < window; ++t) {
+              if (!std::isfinite(data[wi * m * window + f * window + t])) {
+                return Status::InvalidArgument(
+                    "window " + std::to_string(wi) + " row " +
+                    std::to_string(t) + " feature " + std::to_string(f) +
+                    " holds non-finite value; sanitize upstream "
+                    "(ts/sanitize.h) before ScoreWindowBatch");
+              }
+            }
+          }
+        }
+      }
+    }
+    static obs::Histogram* fused_batch_seconds = obs::Metrics().GetHistogram(
+        "mace_score_window_batch_seconds",
+        "Wall-clock latency of one ScoreWindowBatch call (batched "
+        "streaming/serving path)");
+    obs::ScopedSpan fused_batch_span("MaceDetector::ScoreWindowBatch",
+                                     fused_batch_seconds);
+    CachedWindowsScoredCounter(service_index)->Increment(windows.size());
+    std::vector<double> errs =
+        tensor::AcquireScratchBuffer(windows.size() * window);
+    kernel::ScoreWindows(fused_model_,
+                         fused_services_[static_cast<size_t>(service_index)],
+                         data.data(), static_cast<int>(windows.size()),
+                         errs.data(), kernel_backend_);
+    std::vector<std::vector<double>> out(windows.size());
+    for (size_t wi = 0; wi < windows.size(); ++wi) {
+      out[wi].assign(errs.begin() + static_cast<ptrdiff_t>(wi * window),
+                     errs.begin() + static_cast<ptrdiff_t>((wi + 1) * window));
+    }
+    tensor::ReleaseScratchBuffer(std::move(errs));
+    tensor::ReleaseScratchBuffer(std::move(data));
+    return out;
+  }
   std::vector<Tensor> amplified;
   amplified.reserve(windows.size());
   for (const std::vector<std::vector<double>>& scaled_rows : windows) {
-    if (scaled_rows.size() != static_cast<size_t>(config_.window)) {
+    if (scaled_rows.size() != window) {
       return Status::InvalidArgument("window must hold exactly " +
                                      std::to_string(config_.window) +
                                      " rows");
@@ -908,9 +1057,11 @@ Result<std::vector<double>> MaceDetector::Score(int service_index,
       SanitizeForScoring(test, config_.non_finite_policy, "test series"));
   const ts::TimeSeries scaled =
       scalers_[static_cast<size_t>(service_index)].Transform(sanitized.series);
-  std::vector<double> scores =
-      ScoreScaled(transforms_[static_cast<size_t>(service_index)], scaled,
-                  std::to_string(service_index));
+  std::vector<double> scores = ScoreScaled(
+      transforms_[static_cast<size_t>(service_index)],
+      UseFusedEngine() ? &fused_services_[static_cast<size_t>(service_index)]
+                       : nullptr,
+      scaled, std::to_string(service_index));
   if (!sanitized.contaminated.empty()) {
     MaskPropagatedScores(ScoreWindowStarts(scaled.length()),
                          static_cast<size_t>(config_.window),
@@ -965,12 +1116,19 @@ Result<std::vector<double>> MaceDetector::ScoreUnseen(
   }
   const ServiceTransforms transforms =
       MakeServiceTransforms(config_.window, bases);
+  // The unseen service's transforms are ad hoc, so its fused panels are
+  // packed here rather than at commit time.
+  kernel::FusedServicePlan unseen_plan;
+  if (UseFusedEngine()) {
+    unseen_plan = BuildFusedServicePlan(fused_model_, transforms);
+  }
   MACE_ASSIGN_OR_RETURN(SanitizedSeries sanitized,
                         SanitizeForScoring(service.test,
                                            config_.non_finite_policy,
                                            "unseen service test split"));
   std::vector<double> scores =
-      ScoreScaled(transforms, scaler.Transform(sanitized.series), "unseen");
+      ScoreScaled(transforms, unseen_plan.valid ? &unseen_plan : nullptr,
+                  scaler.Transform(sanitized.series), "unseen");
   if (!sanitized.contaminated.empty()) {
     MaskPropagatedScores(ScoreWindowStarts(service.test.length()),
                          static_cast<size_t>(config_.window),

@@ -10,6 +10,7 @@
 #include "core/mace_config.h"
 #include "core/mace_model.h"
 #include "core/pattern_extractor.h"
+#include "kernel/fused_plan.h"
 #include "nn/optimizer.h"
 #include "ts/scaler.h"
 
@@ -113,6 +114,26 @@ class MaceDetector : public Detector {
   /// kPropagate NaN-mask share, exposed for tests.
   std::vector<size_t> ScoreWindowStarts(size_t length) const;
 
+  /// Which implementation executes inference scoring. Both produce the
+  /// per-step errors of the same pipeline; kFused runs the hand-fused
+  /// per-service kernel (src/kernel/), kOpGraph the original tensor op
+  /// graph — kept as the reference the fused path is pinned against
+  /// (tests/score_fastpath_test.cc) and as an escape hatch. Runtime
+  /// state, not serialized.
+  enum class ScoreEngine {
+    kFused,    ///< fused scalar/SIMD kernel (default)
+    kOpGraph,  ///< tensor op graph reference path
+  };
+  void set_score_engine(ScoreEngine engine) { score_engine_ = engine; }
+  ScoreEngine score_engine() const { return score_engine_; }
+  /// Which arm of the fused kernel runs (ignored under kOpGraph).
+  /// kScalar is bit-identical to the op graph; kAuto/kSimd use AVX2/FMA
+  /// when available (pinned-tolerance equivalent).
+  void set_kernel_backend(kernel::Backend backend) {
+    kernel_backend_ = backend;
+  }
+  kernel::Backend kernel_backend() const { return kernel_backend_; }
+
  private:
   /// Selected bases for one service (extracted or full-spectrum ablation).
   Result<std::vector<int>> SelectBases(const ts::TimeSeries& scaled_train)
@@ -124,9 +145,19 @@ class MaceDetector : public Detector {
   ts::TimeSeries AmplifySeries(const ts::TimeSeries& series) const;
   /// Scores a scaled test series against given transforms. `service_label`
   /// tags the obs counters/histograms (service index, or "unseen").
+  /// `fused_service` is the transforms' fused panel plan, or nullptr to
+  /// force the op-graph path for this call.
   std::vector<double> ScoreScaled(const ServiceTransforms& transforms,
+                                  const kernel::FusedServicePlan* fused_service,
                                   const ts::TimeSeries& scaled_test,
                                   const std::string& service_label) const;
+  /// Rebuilds the fused kernel plans from the committed model_ /
+  /// transforms_ (Fit commit, Load). Clears them when no model is loaded.
+  void RebuildFusedPlans();
+  /// True when fused scoring is selected and the plans are built.
+  bool UseFusedEngine() const {
+    return score_engine_ == ScoreEngine::kFused && fused_model_.valid;
+  }
 
   MaceConfig config_;
   int num_features_ = 0;
@@ -135,6 +166,13 @@ class MaceDetector : public Detector {
   std::vector<ServiceTransforms> transforms_;
   std::unique_ptr<MaceModel> model_;
   std::vector<double> epoch_losses_;
+
+  // Fused-kernel state, derived from model_/transforms_ at commit time
+  // (never serialized; Load rebuilds it).
+  kernel::FusedModelPlan fused_model_;
+  std::vector<kernel::FusedServicePlan> fused_services_;
+  ScoreEngine score_engine_ = ScoreEngine::kFused;
+  kernel::Backend kernel_backend_ = kernel::Backend::kAuto;
 };
 
 }  // namespace mace::core

@@ -45,9 +45,14 @@ ServiceTransforms MakeServiceTransforms(int window,
                                         const std::vector<int>& bases) {
   fft::ContextAwareDft dft(window, bases);
   ServiceTransforms transforms;
-  transforms.forward_t = tensor::Transpose(dft.ForwardMatrix()).Detach();
-  transforms.inverse_t = tensor::Transpose(dft.InverseMatrix()).Detach();
+  // Packed row-major panels straight from the DFT (same doubles the old
+  // Transpose().Detach() produced, without building transpose ops): the
+  // layout MatMul consumes and the fused kernel's panel packing re-pads.
   const int k = dft.num_bases();
+  transforms.forward_t = tensor::Tensor::FromVector(
+      dft.ForwardTransposedPanel(), tensor::Shape{window, 2 * k});
+  transforms.inverse_t = tensor::Tensor::FromVector(
+      dft.InverseTransposedPanel(), tensor::Shape{2 * k, window});
   transforms.marker_sin.resize(static_cast<size_t>(k));
   transforms.marker_cos.resize(static_cast<size_t>(k));
   for (int b = 0; b < k; ++b) {

@@ -263,6 +263,9 @@ Result<MaceDetector> MaceDetector::Load(const std::string& path) {
     }
     params[i].mutable_data() = std::move(values);
   }
+  // Fused kernel plans are derived state, not serialized: repack them from
+  // the restored weights so the loaded detector scores fused immediately.
+  detector.RebuildFusedPlans();
   return detector;
 }
 

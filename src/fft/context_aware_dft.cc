@@ -94,6 +94,32 @@ std::vector<double> ContextAwareDft::Amplitudes(
   return amps;
 }
 
+std::vector<double> ContextAwareDft::ForwardTransposedPanel() const {
+  const size_t k2 = 2 * bases_.size();
+  const size_t t_len = static_cast<size_t>(window_);
+  const std::vector<double>& fwd = forward_matrix_.data();  // [2k, T]
+  std::vector<double> panel(t_len * k2);
+  for (size_t t = 0; t < t_len; ++t) {
+    for (size_t c = 0; c < k2; ++c) {
+      panel[t * k2 + c] = fwd[c * t_len + t];
+    }
+  }
+  return panel;
+}
+
+std::vector<double> ContextAwareDft::InverseTransposedPanel() const {
+  const size_t k2 = 2 * bases_.size();
+  const size_t t_len = static_cast<size_t>(window_);
+  const std::vector<double>& inv = inverse_matrix_.data();  // [T, 2k]
+  std::vector<double> panel(k2 * t_len);
+  for (size_t c = 0; c < k2; ++c) {
+    for (size_t t = 0; t < t_len; ++t) {
+      panel[c * t_len + t] = inv[t * k2 + c];
+    }
+  }
+  return panel;
+}
+
 void ContextAwareDft::BuildMatrices() {
   const Index k = static_cast<Index>(bases_.size());
   const Index t_len = window_;

@@ -57,6 +57,19 @@ class ContextAwareDft {
   /// context-aware IDFT. G * F is the orthogonal projector.
   const tensor::Tensor& InverseMatrix() const { return inverse_matrix_; }
 
+  /// F^T as a packed row-major panel, shape [T, 2k] flattened: row t holds
+  /// the 2k coefficient-column weights of time step t. This is the layout
+  /// batched scoring multiplies by on the right (x[m, T] * F^T), exposed
+  /// as raw doubles so model-load-time consumers (ServiceTransforms, the
+  /// fused scoring kernel's panels) can pack it without building transpose
+  /// ops. Values are the exact doubles of ForwardMatrix(), re-indexed.
+  std::vector<double> ForwardTransposedPanel() const;
+
+  /// G^T as a packed row-major panel, shape [2k, T] flattened: row c holds
+  /// the T time-step weights of coefficient column c. Exact doubles of
+  /// InverseMatrix(), re-indexed.
+  std::vector<double> InverseTransposedPanel() const;
+
  private:
   void BuildMatrices();
 

@@ -1,0 +1,68 @@
+#include "kernel/fused_kernel.h"
+
+#include "common/check.h"
+#include "kernel/kernel_arms.h"
+
+namespace mace::kernel {
+
+bool SimdSupported() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported =
+      internal::Avx2ArmCompiled() && __builtin_cpu_supports("avx2") &&
+      __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Whether the kSimd resolution may take the AVX-512 tier. The 512-bit
+/// arm computes the same bits as the AVX2 arm, so this is purely a
+/// throughput upgrade inside Backend::kSimd, not a distinct backend.
+bool Avx512Supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool supported = internal::Avx512ArmCompiled() &&
+                                __builtin_cpu_supports("avx512f") &&
+                                __builtin_cpu_supports("avx512dq");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+Backend ResolveBackend(Backend requested) {
+  switch (requested) {
+    case Backend::kScalar:
+      return Backend::kScalar;
+    case Backend::kSimd:
+    case Backend::kAuto:
+      return SimdSupported() ? Backend::kSimd : Backend::kScalar;
+  }
+  return Backend::kScalar;
+}
+
+void ScoreWindows(const FusedModelPlan& model, const FusedServicePlan& service,
+                  const double* windows, int batch, double* step_errors,
+                  Backend backend) {
+  MACE_CHECK(model.valid && service.valid)
+      << "ScoreWindows on unfinalized plans";
+  MACE_CHECK(windows != nullptr && step_errors != nullptr);
+  MACE_CHECK(batch >= 1);
+  if (ResolveBackend(backend) == Backend::kSimd) {
+    if (Avx512Supported()) {
+      internal::ScoreWindowsAvx512(model, service, windows, batch,
+                                   step_errors);
+    } else {
+      internal::ScoreWindowsAvx2(model, service, windows, batch,
+                                 step_errors);
+    }
+  } else {
+    internal::ScoreWindowsScalar(model, service, windows, batch, step_errors);
+  }
+}
+
+}  // namespace mace::kernel

@@ -1,0 +1,46 @@
+#ifndef MACE_KERNEL_FUSED_KERNEL_H_
+#define MACE_KERNEL_FUSED_KERNEL_H_
+
+#include "kernel/fused_plan.h"
+
+namespace mace::kernel {
+
+/// True when this build carries a real AVX2/FMA arm and the CPU executes
+/// those instruction sets. Checked once per process.
+bool SimdSupported();
+
+/// Maps a requested backend to the arm that will actually run: kAuto
+/// picks kSimd when SimdSupported(), else kScalar; an explicit kSimd
+/// request degrades to kScalar on machines (or builds) without the arm
+/// rather than faulting.
+Backend ResolveBackend(Backend requested);
+
+/// \brief The fused inference scoring kernel: stages 1-4 of the MACE
+/// pipeline over a batch of scaled windows in one pass per window.
+///
+/// `windows` holds `batch` consecutive scaled (NOT yet stage-1-amplified)
+/// windows of `features * window` doubles each, feature-major
+/// (value of feature f at step t lives at offset f * window + t).
+/// `step_errors` receives `batch` consecutive vectors of `window`
+/// per-step reconstruction errors (the stage-4 branch-max feature mean) —
+/// exactly what MaceModel::Forward's `step_errors` holds for that window.
+///
+/// Every window is processed independently with batch-size-invariant
+/// arithmetic, so a batch call is bit-identical to `batch` single-window
+/// calls on BOTH arms. The scalar arm additionally replicates the tensor
+/// op graph's accumulation orders operation for operation and is
+/// bit-identical to MaceModel::Forward / ForwardBatch; the SIMD arm uses
+/// FMA panels and vector transcendentals and matches to the pinned
+/// tolerance documented in tests/score_fastpath_test.cc.
+///
+/// Scratch comes from the calling thread's inference-mode buffer pool
+/// (one block amortized across the whole batch) and is returned before
+/// the call exits; concurrent calls from different threads are safe.
+/// Plans must be finalized (`valid == true`).
+void ScoreWindows(const FusedModelPlan& model, const FusedServicePlan& service,
+                  const double* windows, int batch, double* step_errors,
+                  Backend backend = Backend::kAuto);
+
+}  // namespace mace::kernel
+
+#endif  // MACE_KERNEL_FUSED_KERNEL_H_

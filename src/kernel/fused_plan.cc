@@ -1,0 +1,150 @@
+#include "kernel/fused_plan.h"
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace mace::kernel {
+
+namespace {
+
+/// Rounds up to the 8-lane (one AVX-512 double vector) multiple. The
+/// AVX2 arm walks the same panels four lanes at a time — 8 is a multiple
+/// of its vector width too — so one padding serves both SIMD arms.
+int PadLanes(int x) { return (x + 7) & ~7; }
+
+/// Copies `rows` rows of `cols` doubles into rows of `cols_pad` doubles,
+/// zero-filling the tail lanes.
+AlignedVec PadRows(const std::vector<double>& src, int rows,
+                            int cols, int cols_pad) {
+  MACE_CHECK(static_cast<int>(src.size()) == rows * cols);
+  AlignedVec out(static_cast<size_t>(rows) * cols_pad, 0.0);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out[static_cast<size_t>(r) * cols_pad + c] =
+          src[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  return out;
+}
+
+void FinalizeBranch(const FusedModelPlan& plan,
+                    FusedModelPlan::Branch* branch) {
+  const int m = plan.features;
+  const int k = plan.num_bases;
+  const int fk = plan.freq_kernel;
+  const int h = plan.hidden_channels;
+  const size_t flat = static_cast<size_t>(m) * k;
+
+  MACE_CHECK(branch->enc_w.size() ==
+             static_cast<size_t>(h) * m * fk);
+  MACE_CHECK(branch->enc_b.empty() ||
+             branch->enc_b.size() == static_cast<size_t>(h));
+  MACE_CHECK(branch->dec_w1.size() ==
+             static_cast<size_t>(plan.latent) * plan.decoder_hidden);
+  MACE_CHECK(branch->dec_b1.size() ==
+             static_cast<size_t>(plan.decoder_hidden));
+  MACE_CHECK(branch->dec_w2.size() ==
+             static_cast<size_t>(plan.decoder_hidden) * flat);
+  MACE_CHECK(branch->dec_b2.size() == flat);
+
+  // Encoder weights re-packed filter-fastest: row (c * fk + j) holds the
+  // h filter weights of input channel c at tap j, so the SIMD arm
+  // broadcasts one input element and FMAs all filters at once.
+  branch->enc_w_packed.assign(
+      static_cast<size_t>(m) * fk * plan.h_pad, 0.0);
+  for (int hc = 0; hc < h; ++hc) {
+    for (int c = 0; c < m; ++c) {
+      for (int j = 0; j < fk; ++j) {
+        branch->enc_w_packed[(static_cast<size_t>(c) * fk + j) * plan.h_pad +
+                             hc] =
+            branch->enc_w[(static_cast<size_t>(hc) * m + c) * fk + j];
+      }
+    }
+  }
+  branch->enc_b_packed.assign(static_cast<size_t>(plan.h_pad), 0.0);
+  for (size_t i = 0; i < branch->enc_b.size(); ++i) {
+    branch->enc_b_packed[i] = branch->enc_b[i];
+  }
+
+  branch->dec_w1_packed = PadRows(branch->dec_w1, plan.latent,
+                                  plan.decoder_hidden, plan.hidden_pad);
+  branch->dec_b1_packed.assign(static_cast<size_t>(plan.hidden_pad), 0.0);
+  for (size_t i = 0; i < branch->dec_b1.size(); ++i) {
+    branch->dec_b1_packed[i] = branch->dec_b1[i];
+  }
+  branch->dec_w2_packed = PadRows(branch->dec_w2, plan.decoder_hidden,
+                                  static_cast<int>(flat), plan.flat_pad);
+  branch->dec_b2_packed.assign(static_cast<size_t>(plan.flat_pad), 0.0);
+  for (size_t i = 0; i < branch->dec_b2.size(); ++i) {
+    branch->dec_b2_packed[i] = branch->dec_b2[i];
+  }
+}
+
+}  // namespace
+
+void FinalizeModelPlan(FusedModelPlan* plan) {
+  MACE_CHECK(plan != nullptr);
+  MACE_CHECK(plan->features > 0 && plan->window > 0 && plan->num_bases > 0);
+  MACE_CHECK(plan->freq_kernel >= 1 && plan->freq_stride >= 1);
+  MACE_CHECK(plan->hidden_channels > 0 && plan->compressed > 0);
+  MACE_CHECK(plan->latent == plan->hidden_channels * plan->compressed);
+  MACE_CHECK(plan->decoder_hidden == 2 * plan->latent);
+  if (plan->amplify) {
+    MACE_CHECK(plan->time_kernel >= 1 && plan->time_kernel % 2 == 1);
+  }
+  if (plan->has_char) {
+    const int c = plan->char_channels;
+    MACE_CHECK(c > 0);
+    MACE_CHECK(plan->char_w1.size() == static_cast<size_t>(c) * 3);
+    MACE_CHECK(plan->char_b1.size() == static_cast<size_t>(c));
+    MACE_CHECK(plan->char_w2.size() == static_cast<size_t>(c));
+  }
+
+  plan->window_pad = PadLanes(plan->window);
+  plan->cols_pad = PadLanes(2 * plan->num_bases);
+  plan->flat_pad = PadLanes(plan->features * plan->num_bases);
+  plan->hidden_pad = PadLanes(plan->decoder_hidden);
+  plan->h_pad = PadLanes(plan->hidden_channels);
+
+  FinalizeBranch(*plan, &plan->peak);
+  FinalizeBranch(*plan, &plan->valley);
+  plan->valid = true;
+}
+
+void FinalizeServicePlan(const FusedModelPlan& model,
+                         FusedServicePlan* plan) {
+  MACE_CHECK(plan != nullptr);
+  MACE_CHECK(model.valid) << "finalize the model plan first";
+  const int t_len = model.window;
+  const int k = model.num_bases;
+  const int cols = 2 * k;
+  MACE_CHECK(plan->forward.size() ==
+             static_cast<size_t>(t_len) * cols);
+  MACE_CHECK(plan->inverse.size() ==
+             static_cast<size_t>(cols) * t_len);
+  MACE_CHECK(plan->marker_sin.size() == static_cast<size_t>(k));
+  MACE_CHECK(plan->marker_cos.size() == static_cast<size_t>(k));
+
+  plan->forward_padded =
+      PadRows(plan->forward, t_len, cols, model.cols_pad);
+  plan->inverse_padded =
+      PadRows(plan->inverse, cols, t_len, model.window_pad);
+
+  // Frequency markers flattened to the [m * k] spectrum layout (value of
+  // column c repeated for every feature row) — the characterization
+  // channels both arms stream over, tail lanes zero.
+  plan->marker_sin_flat.assign(static_cast<size_t>(model.flat_pad), 0.0);
+  plan->marker_cos_flat.assign(static_cast<size_t>(model.flat_pad), 0.0);
+  for (int f = 0; f < model.features; ++f) {
+    for (int c = 0; c < k; ++c) {
+      plan->marker_sin_flat[static_cast<size_t>(f) * k + c] =
+          plan->marker_sin[static_cast<size_t>(c)];
+      plan->marker_cos_flat[static_cast<size_t>(f) * k + c] =
+          plan->marker_cos[static_cast<size_t>(c)];
+    }
+  }
+  plan->valid = true;
+}
+
+}  // namespace mace::kernel

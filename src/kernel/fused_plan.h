@@ -1,0 +1,152 @@
+#ifndef MACE_KERNEL_FUSED_PLAN_H_
+#define MACE_KERNEL_FUSED_PLAN_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace mace::kernel {
+
+/// Minimal 64-byte-aligned allocator for the packed SIMD panels. Panel
+/// rows are padded to 8-lane multiples, so a cache-line-aligned base
+/// keeps every full-vector load inside one line; a plain vector's
+/// 16-byte base makes most 64-byte loads span two lines, which measures
+/// ~1.7x slower on the panel sweeps.
+template <class T>
+struct Aligned64Allocator {
+  using value_type = T;
+  Aligned64Allocator() noexcept = default;
+  template <class U>
+  Aligned64Allocator(const Aligned64Allocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{64}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{64});
+  }
+  template <class U>
+  bool operator==(const Aligned64Allocator<U>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const Aligned64Allocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// Cache-line-aligned double buffer used for every packed panel.
+using AlignedVec = std::vector<double, Aligned64Allocator<double>>;
+
+/// Which arm of the fused scoring kernel executes a call.
+enum class Backend {
+  kAuto,    ///< runtime dispatch: SIMD when the CPU supports it
+  kScalar,  ///< the scalar reference arm (bit-identical to the op graph)
+  kSimd     ///< the AVX2/FMA arm (pinned-tolerance equivalent)
+};
+
+/// \brief Model-wide weights and dimensions of the fused scoring kernel,
+/// packed once at model-load time (Fit commit or deserialization).
+///
+/// Plain data on purpose: the kernel unit sits below core and knows
+/// nothing about tensors, layers or configs — core's plan builder copies
+/// the learned weights in, then FinalizeModelPlan() derives the padded
+/// SIMD panels. Raw fields keep the op-graph layouts so the scalar arm
+/// walks them in the exact arithmetic order of the tensor ops.
+struct FusedModelPlan {
+  // -- Dimensions ---------------------------------------------------------
+  int features = 0;   ///< m, feature rows per window
+  int window = 0;     ///< T, time steps per window
+  int num_bases = 0;  ///< k, amplitude columns (coefficient columns / 2)
+
+  // -- Stage 1: dualistic time amplification ------------------------------
+  bool amplify = false;
+  int time_kernel = 1;
+  double gamma_t = 1.0;
+  double sigma_t = 1.0;
+
+  // -- Stage 2: spectrum ---------------------------------------------------
+  /// MaceModel::kSpectrumEpsilon, copied in by the plan builder so the
+  /// kernel unit needs no core dependency.
+  double spectrum_epsilon = 1e-8;
+
+  // -- Frequency characterization (3-channel pointwise conv, residual) ----
+  bool has_char = false;
+  int char_channels = 0;          ///< C
+  std::vector<double> char_w1;    ///< [C][3] pointwise conv 3 -> C
+  std::vector<double> char_b1;    ///< [C]
+  std::vector<double> char_w2;    ///< [C] pointwise conv C -> 1
+  double char_b2 = 0.0;
+
+  // -- Stage 3: autoencoder ----------------------------------------------
+  bool dualistic_encoders = false;
+  double gamma_f = 1.0;
+  double sigma_f = 1.0;
+  double inv_sigma_f = 1.0;  ///< the exact 1.0 / sigma_f double MulScalar uses
+  int freq_kernel = 1;
+  int freq_stride = 1;
+  int hidden_channels = 0;  ///< h, encoder output channels
+  int compressed = 0;       ///< encoder output length per channel
+  int latent = 0;           ///< h * compressed
+  int decoder_hidden = 0;   ///< 2 * latent
+
+  struct Branch {
+    std::vector<double> enc_w;   ///< [h][m][freq_kernel], conv layout
+    std::vector<double> enc_b;   ///< [h] (plain-conv ablation; else empty)
+    std::vector<double> dec_w1;  ///< [latent][decoder_hidden], row-major
+    std::vector<double> dec_b1;  ///< [decoder_hidden]
+    std::vector<double> dec_w2;  ///< [decoder_hidden][m * k], row-major
+    std::vector<double> dec_b2;  ///< [m * k]
+
+    // SIMD panels (FinalizeModelPlan): rows padded to 4-column multiples,
+    // encoder weights re-packed filter-fastest for broadcast-FMA loops.
+    AlignedVec enc_w_packed;   ///< [m][freq_kernel][h_pad]
+    AlignedVec enc_b_packed;   ///< [h_pad] (zeros when no bias)
+    AlignedVec dec_w1_packed;  ///< [latent][hidden_pad]
+    AlignedVec dec_b1_packed;  ///< [hidden_pad]
+    AlignedVec dec_w2_packed;  ///< [decoder_hidden][flat_pad]
+    AlignedVec dec_b2_packed;  ///< [flat_pad]
+  };
+  Branch peak;
+  Branch valley;
+
+  // -- Padded SIMD dimensions (FinalizeModelPlan). Extents round up to
+  // 8-lane (AVX-512) multiples; the AVX2 arm consumes the same panels
+  // four lanes at a time. -------------------------------------------------
+  int window_pad = 0;  ///< T rounded up to a multiple of 8
+  int cols_pad = 0;    ///< 2k rounded up
+  int flat_pad = 0;    ///< m * k rounded up
+  int hidden_pad = 0;  ///< decoder_hidden rounded up
+  int h_pad = 0;       ///< hidden_channels rounded up
+
+  bool valid = false;
+};
+
+/// \brief Per-service fixed transforms of the fused kernel: the
+/// context-aware DFT/IDFT as packed row-major panels plus the frequency
+/// markers, with lane-padded copies for the SIMD arms.
+struct FusedServicePlan {
+  std::vector<double> forward;     ///< F^T, [T][2k] row-major
+  std::vector<double> inverse;     ///< G^T, [2k][T] row-major
+  std::vector<double> marker_sin;  ///< [k]
+  std::vector<double> marker_cos;  ///< [k]
+
+  // SIMD panels (FinalizeServicePlan).
+  AlignedVec forward_padded;   ///< [T][cols_pad]
+  AlignedVec inverse_padded;   ///< [2k][window_pad]
+  AlignedVec marker_sin_flat;  ///< [flat_pad], repeated per feature
+  AlignedVec marker_cos_flat;  ///< [flat_pad]
+
+  bool valid = false;
+};
+
+/// Derives the padded SIMD panels of a plan whose raw fields are filled,
+/// and marks it valid. Idempotent.
+void FinalizeModelPlan(FusedModelPlan* plan);
+
+/// Same for a service plan; `model` must already be finalized.
+void FinalizeServicePlan(const FusedModelPlan& model, FusedServicePlan* plan);
+
+}  // namespace mace::kernel
+
+#endif  // MACE_KERNEL_FUSED_PLAN_H_

@@ -1,0 +1,50 @@
+#ifndef MACE_KERNEL_KERNEL_ARMS_H_
+#define MACE_KERNEL_KERNEL_ARMS_H_
+
+// Internal seam between the dispatcher and the per-ISA arms of the fused
+// scoring kernel. Not installed API: include only from src/kernel/.
+
+#include "kernel/fused_plan.h"
+
+namespace mace::kernel::internal {
+
+/// The scalar reference arm: replicates the tensor op graph's arithmetic
+/// (accumulation orders, epsilon forms, skip-on-zero matmuls) operation
+/// for operation — bit-identical to MaceModel::Forward. Compiled without
+/// AVX/FMA so the "scalar" in the name survives -march=native builds.
+void ScoreWindowsScalar(const FusedModelPlan& model,
+                        const FusedServicePlan& service,
+                        const double* windows, int batch,
+                        double* step_errors);
+
+/// The AVX2/FMA arm (pinned-tolerance equivalent of the scalar arm).
+/// In builds whose compiler cannot target AVX2 this symbol still exists
+/// and forwards to the scalar arm.
+void ScoreWindowsAvx2(const FusedModelPlan& model,
+                      const FusedServicePlan& service, const double* windows,
+                      int batch, double* step_errors);
+
+/// True when ScoreWindowsAvx2 was actually compiled with AVX2/FMA enabled
+/// (i.e. is not the scalar forwarder).
+bool Avx2ArmCompiled();
+
+/// The AVX-512F/DQ arm: 8-lane, with per-lane arithmetic identical to
+/// the AVX2 arm (same polynomial transcendentals, same per-column
+/// kk-ascending panel accumulation), so it produces the same bits as
+/// the AVX2 arm and inherits its pinned tolerance. Its scheduling is
+/// free to differ — it processes windows in stage-major groups so each
+/// packed panel streams from L2 once per group rather than once per
+/// window — because grouping reorders no per-window accumulation. In
+/// builds whose compiler cannot target AVX-512 this symbol forwards to
+/// ScoreWindowsAvx2.
+void ScoreWindowsAvx512(const FusedModelPlan& model,
+                        const FusedServicePlan& service,
+                        const double* windows, int batch,
+                        double* step_errors);
+
+/// True when ScoreWindowsAvx512 was compiled with AVX-512F/DQ enabled.
+bool Avx512ArmCompiled();
+
+}  // namespace mace::kernel::internal
+
+#endif  // MACE_KERNEL_KERNEL_ARMS_H_

@@ -1,0 +1,809 @@
+// The AVX2/FMA arm of the fused scoring kernel.
+//
+// Same pipeline as the scalar arm, but with 4-lane double vectors, FMA
+// panels over the padded plan layouts, and polynomial vector
+// transcendentals (exp2 / log2 based pow, tanh). Accumulation orders and
+// contraction differ from the op graph, so this arm matches to the
+// pinned tolerance documented in tests/score_fastpath_test.cc rather
+// than bit-identically. Per-window arithmetic never depends on the batch
+// size or on neighbouring windows, so batch calls equal repeated
+// single-window calls bit for bit on this arm too.
+//
+// Tail discipline: every padded buffer comes from one zero-filled
+// scratch block; tail lanes only ever hold zeros or deterministic
+// finite functions of zeros, and no tail value ever feeds a lane that
+// survives to the output. See the per-stage notes.
+//
+// When the compiler cannot target AVX2+FMA this translation unit
+// degrades to a forwarder onto the scalar arm (Avx2ArmCompiled() tells
+// the dispatcher).
+
+#include "kernel/kernel_arms.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mace::kernel::internal {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector math
+// ---------------------------------------------------------------------------
+
+inline __m256d Fma(__m256d a, __m256d b, __m256d c) {
+  return _mm256_fmadd_pd(a, b, c);
+}
+
+/// 2^n for integer-valued n with n + 1023 in [1, 2046], via direct
+/// exponent-bit construction.
+inline __m256d Pow2Int(__m256d n) {
+  const __m128i ni = _mm256_cvtpd_epi32(n);
+  const __m256i wide = _mm256_cvtepi32_epi64(ni);
+  const __m256i bits =
+      _mm256_slli_epi64(_mm256_add_epi64(wide, _mm256_set1_epi64x(1023)), 52);
+  return _mm256_castsi256_pd(bits);
+}
+
+/// 2^y with y clamped to [-1100, 1100]: split off the nearest integer n,
+/// exp(f * ln2) by a 13-term Taylor Horner (|f| <= 0.5 so |z| <= 0.347),
+/// then scale by 2^n in two halves so each half's exponent stays in the
+/// normal range (the second scaling rounds denormal results once).
+inline __m256d Exp2Pd(__m256d y) {
+  y = _mm256_max_pd(_mm256_set1_pd(-1100.0),
+                    _mm256_min_pd(_mm256_set1_pd(1100.0), y));
+  const __m256d n =
+      _mm256_round_pd(y, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256d f = _mm256_sub_pd(y, n);
+  const __m256d z = _mm256_mul_pd(f, _mm256_set1_pd(0.6931471805599453));
+  __m256d p = _mm256_set1_pd(1.0 / 479001600.0);  // 1/12!
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 39916800.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 3628800.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 362880.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 40320.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 5040.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 720.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 120.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 24.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0 / 6.0));
+  p = Fma(p, z, _mm256_set1_pd(0.5));
+  p = Fma(p, z, _mm256_set1_pd(1.0));
+  p = Fma(p, z, _mm256_set1_pd(1.0));
+  const __m256d n1 = _mm256_floor_pd(_mm256_mul_pd(n, _mm256_set1_pd(0.5)));
+  const __m256d n2 = _mm256_sub_pd(n, n1);
+  return _mm256_mul_pd(_mm256_mul_pd(p, Pow2Int(n1)), Pow2Int(n2));
+}
+
+/// log2(x) for finite x > 0 (x == 0 lanes produce a finite garbage value
+/// the callers mask off). Denormals are pre-scaled into the normal range;
+/// the mantissa is reduced to [sqrt(2)/2, sqrt(2)] and log'd via the
+/// atanh series in t = (m-1)/(m+1) up to t^19.
+inline __m256d Log2Pd(__m256d x) {
+  const __m256d tiny = _mm256_cmp_pd(
+      x, _mm256_set1_pd(2.2250738585072014e-308), _CMP_LT_OQ);
+  x = _mm256_blendv_pd(x, _mm256_mul_pd(x, _mm256_set1_pd(0x1p54)), tiny);
+  const __m256d ebias = _mm256_and_pd(tiny, _mm256_set1_pd(54.0));
+
+  const __m256i bits = _mm256_castpd_si256(x);
+  const __m256i expi = _mm256_srli_epi64(bits, 52);
+  // Biased exponent to double via the 2^52 magic-number trick.
+  const __m256i emagic =
+      _mm256_or_si256(expi, _mm256_castpd_si256(_mm256_set1_pd(0x1p52)));
+  __m256d e = _mm256_sub_pd(_mm256_castsi256_pd(emagic),
+                            _mm256_set1_pd(0x1p52 + 1023.0));
+  const __m256i mbits = _mm256_or_si256(
+      _mm256_and_si256(bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFLL)),
+      _mm256_castpd_si256(_mm256_set1_pd(1.0)));
+  __m256d m = _mm256_castsi256_pd(mbits);
+  const __m256d big =
+      _mm256_cmp_pd(m, _mm256_set1_pd(1.4142135623730951), _CMP_GT_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), big);
+  e = _mm256_add_pd(e, _mm256_and_pd(big, _mm256_set1_pd(1.0)));
+
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d t =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d u = _mm256_mul_pd(t, t);
+  __m256d s = _mm256_set1_pd(1.0 / 19.0);
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 17.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 15.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 13.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 11.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 9.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 7.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 5.0));
+  s = Fma(s, u, _mm256_set1_pd(1.0 / 3.0));
+  s = Fma(s, u, one);
+  // log2(m) = 2 * atanh(t) * log2(e)
+  const __m256d log2m = _mm256_mul_pd(
+      _mm256_mul_pd(t, s), _mm256_set1_pd(2.8853900817779268));
+  return _mm256_sub_pd(_mm256_add_pd(e, log2m), ebias);
+}
+
+/// x^p for x >= 0 (p > 0): exp2(log2(x) * p), with x == 0 forced to 0.
+inline __m256d PowPd(__m256d x, __m256d p) {
+  const __m256d r = Exp2Pd(_mm256_mul_pd(Log2Pd(x), p));
+  const __m256d zero = _mm256_cmp_pd(x, _mm256_setzero_pd(), _CMP_EQ_OQ);
+  return _mm256_andnot_pd(zero, r);
+}
+
+/// tanh(x) = sign(x) * (1 - 2 / (exp(2|x|) + 1)); saturates correctly
+/// because Exp2Pd overflows to +inf for large arguments.
+inline __m256d TanhPd(__m256d x) {
+  const __m256d mzero = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, mzero);
+  const __m256d ax = _mm256_andnot_pd(mzero, x);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d e =
+      Exp2Pd(_mm256_mul_pd(ax, _mm256_set1_pd(2.0 * 1.4426950408889634)));
+  const __m256d r = _mm256_sub_pd(
+      one, _mm256_div_pd(_mm256_set1_pd(2.0), _mm256_add_pd(e, one)));
+  return _mm256_or_pd(r, sign);
+}
+
+/// SignedPow exponent, resolved once per call: small integer exponents
+/// run the scalar arm's exact multiply chain per lane (bit-identical
+/// magnitudes), anything else goes through PowPd.
+struct PowSpec {
+  bool is_int;
+  int ip;
+  double power;
+};
+
+inline PowSpec MakePowSpec(double power) {
+  const int ip = static_cast<int>(power);
+  return {power == static_cast<double>(ip) && ip >= 0 && ip <= 32, ip,
+          power};
+}
+
+inline __m256d SignedPowPd(__m256d x, const PowSpec& spec) {
+  const __m256d mzero = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, mzero);
+  const __m256d ax = _mm256_andnot_pd(mzero, x);
+  __m256d mag;
+  if (spec.is_int) {
+    mag = _mm256_set1_pd(1.0);
+    __m256d base = ax;
+    for (int e = spec.ip; e > 0; e >>= 1) {
+      if (e & 1) mag = _mm256_mul_pd(mag, base);
+      base = _mm256_mul_pd(base, base);
+    }
+  } else {
+    mag = PowPd(ax, _mm256_set1_pd(spec.power));
+  }
+  return _mm256_or_pd(mag, sign);
+}
+
+inline __m256d SignedRootPd(__m256d x, __m256d inv_power) {
+  const __m256d mzero = _mm256_set1_pd(-0.0);
+  const __m256d sign = _mm256_and_pd(x, mzero);
+  const __m256d ax = _mm256_andnot_pd(mzero, x);
+  return _mm256_or_pd(PowPd(ax, inv_power), sign);
+}
+
+inline double HorizontalMax(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d mx = _mm_max_pd(lo, hi);
+  mx = _mm_max_sd(mx, _mm_unpackhi_pd(mx, mx));
+  return _mm_cvtsd_f64(mx);
+}
+
+/// Max of |buf[i]| over a 4-padded range whose tail lanes are known
+/// finite (zeros never raise the max since |x| >= 0).
+inline double MaxAbsPadded(const double* buf, int n_pad) {
+  const __m256d mzero = _mm256_set1_pd(-0.0);
+  __m256d mx = _mm256_setzero_pd();
+  for (int i = 0; i < n_pad; i += 4) {
+    mx = _mm256_max_pd(mx,
+                       _mm256_andnot_pd(mzero, _mm256_loadu_pd(buf + i)));
+  }
+  return HorizontalMax(mx);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------------
+
+struct Scratch {
+  double* ampw;        ///< [m][T_pad] amplified window rows
+  double* padded;      ///< [P4(pn) + 4] edge-replicated row, zero tails
+  double* terms;       ///< [P4(pn) + 4] power terms, zero margin
+  double* conv_a;      ///< [T_pad]
+  double* conv_b;      ///< [T_pad]
+  double* coeffs;      ///< [m][cols_pad]
+  double* amp;         ///< [flat_pad]
+  double* phase_re;    ///< [flat_pad]
+  double* phase_im;    ///< [flat_pad]
+  double* rep;         ///< [flat_pad]
+  double* powered;     ///< [flat_pad]
+  double* enc_taps;    ///< [m * freq_kernel] gathered encoder window taps
+  double* enc_taps2;   ///< [m * freq_kernel] taps of the paired position
+  double* latent_acc;  ///< [h_pad] per-position filter accumulator
+  double* latent_acc2;  ///< [h_pad] accumulator of the paired position
+  double* latent;      ///< [P4(latent)]
+  double* hidden;      ///< [hidden_pad]
+  double* amp_dec;     ///< [flat_pad]
+  double* rec;         ///< [m][2k]
+  double* time;        ///< [T_pad]
+  double* err;         ///< [m][T_pad]
+  double* step_acc;    ///< [T_pad]
+};
+
+/// out[0..n_pad) = bias (zeros when null) + sum_kk a[kk] * w[kk][.],
+/// where w is a packed [kn][n_pad] panel. Per-column accumulation stays
+/// kk-ascending (same order as the op-graph MatMul), but the accumulator
+/// vectors live in registers across the whole kk loop — tiled 16, 8,
+/// then 4 columns wide — instead of round-tripping through memory per
+/// step, which is what makes the panel FMA throughput- rather than
+/// store-forward-bound.
+void BroadcastFmaPanelAvx(const double* a, int kn, const double* w,
+                          int n_pad, const double* bias, double* out) {
+  int v = 0;
+  for (; v + 16 <= n_pad; v += 16) {
+    __m256d acc0, acc1, acc2, acc3;
+    if (bias != nullptr) {
+      acc0 = _mm256_loadu_pd(bias + v);
+      acc1 = _mm256_loadu_pd(bias + v + 4);
+      acc2 = _mm256_loadu_pd(bias + v + 8);
+      acc3 = _mm256_loadu_pd(bias + v + 12);
+    } else {
+      acc0 = acc1 = acc2 = acc3 = _mm256_setzero_pd();
+    }
+    const double* wp = w + v;
+    for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+      const __m256d av = _mm256_set1_pd(a[kk]);
+      acc0 = Fma(av, _mm256_loadu_pd(wp), acc0);
+      acc1 = Fma(av, _mm256_loadu_pd(wp + 4), acc1);
+      acc2 = Fma(av, _mm256_loadu_pd(wp + 8), acc2);
+      acc3 = Fma(av, _mm256_loadu_pd(wp + 12), acc3);
+    }
+    _mm256_storeu_pd(out + v, acc0);
+    _mm256_storeu_pd(out + v + 4, acc1);
+    _mm256_storeu_pd(out + v + 8, acc2);
+    _mm256_storeu_pd(out + v + 12, acc3);
+  }
+  if (v + 8 <= n_pad) {
+    __m256d acc0, acc1;
+    if (bias != nullptr) {
+      acc0 = _mm256_loadu_pd(bias + v);
+      acc1 = _mm256_loadu_pd(bias + v + 4);
+    } else {
+      acc0 = acc1 = _mm256_setzero_pd();
+    }
+    const double* wp = w + v;
+    for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+      const __m256d av = _mm256_set1_pd(a[kk]);
+      acc0 = Fma(av, _mm256_loadu_pd(wp), acc0);
+      acc1 = Fma(av, _mm256_loadu_pd(wp + 4), acc1);
+    }
+    _mm256_storeu_pd(out + v, acc0);
+    _mm256_storeu_pd(out + v + 4, acc1);
+    v += 8;
+  }
+  if (v < n_pad) {
+    __m256d acc =
+        bias != nullptr ? _mm256_loadu_pd(bias + v) : _mm256_setzero_pd();
+    const double* wp = w + v;
+    for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+      acc = Fma(_mm256_set1_pd(a[kk]), _mm256_loadu_pd(wp), acc);
+    }
+    _mm256_storeu_pd(out + v, acc);
+  }
+}
+
+/// Two independent activation rows against one weight panel. Each output
+/// keeps the exact per-column kk-ascending accumulation of
+/// BroadcastFmaPanelAvx — the weight row is just loaded once for both
+/// accumulator chains, which matters when n_pad is only a vector or two
+/// and one chain alone would serialize on FMA latency.
+void DualBroadcastFmaPanelAvx(const double* a0, const double* a1, int kn,
+                              const double* w, int n_pad, const double* bias,
+                              double* out0, double* out1) {
+  for (int v = 0; v < n_pad; v += 4) {
+    __m256d acc0 =
+        bias != nullptr ? _mm256_loadu_pd(bias + v) : _mm256_setzero_pd();
+    __m256d acc1 = acc0;
+    const double* wp = w + v;
+    for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+      const __m256d wv = _mm256_loadu_pd(wp);
+      acc0 = Fma(_mm256_set1_pd(a0[kk]), wv, acc0);
+      acc1 = Fma(_mm256_set1_pd(a1[kk]), wv, acc1);
+    }
+    _mm256_storeu_pd(out0 + v, acc0);
+    _mm256_storeu_pd(out1 + v, acc1);
+  }
+}
+
+/// One dualistic convolution pass over the padded row. Vector lanes past
+/// the logical ranges read only the zeroed tails/margin of `padded` /
+/// `terms`, producing finite tail values that the caller's output rows
+/// carry but never reduce over.
+void ConvolveRowAvx(const double* padded, int pn_pad, int kernel,
+                    const PowSpec& gamma_spec, __m256d inv_gamma,
+                    double sigma, bool valley, double* terms, double* out,
+                    int t_pad) {
+  double shift = 0.0;
+  if (valley) {
+    shift = MaxAbsPadded(padded, pn_pad) + 1.0;
+  }
+  const __m256d shiftv = _mm256_set1_pd(shift);
+  // One fused alpha/sigma multiplier instead of a mul + div per vector;
+  // differs from the scalar arm's (alpha * p) / sigma by at most an ulp,
+  // well inside the pinned SIMD tolerance.
+  const __m256d scalev =
+      _mm256_set1_pd(1.0 / (static_cast<double>(kernel) * sigma));
+  const __m256d sigmav = _mm256_set1_pd(sigma);
+  for (int i = 0; i < pn_pad; i += 4) {
+    const __m256d x =
+        _mm256_sub_pd(shiftv, _mm256_loadu_pd(padded + i));
+    const __m256d p = SignedPowPd(x, gamma_spec);
+    _mm256_storeu_pd(terms + i, _mm256_mul_pd(p, scalev));
+  }
+  // Two independent root chains per iteration: the root's long
+  // log2/exp2 dependency chain otherwise leaves the FMA ports idle.
+  // Lane arithmetic is unchanged — this is pure instruction-level
+  // parallelism, not a numeric rewrite.
+  int i = 0;
+  for (; i + 8 <= t_pad; i += 8) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (int j = 0; j < kernel; ++j) {
+      acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(terms + i + j));
+      acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(terms + i + 4 + j));
+    }
+    const __m256d r0 = SignedRootPd(_mm256_mul_pd(acc0, sigmav), inv_gamma);
+    const __m256d r1 = SignedRootPd(_mm256_mul_pd(acc1, sigmav), inv_gamma);
+    _mm256_storeu_pd(out + i, _mm256_sub_pd(shiftv, r0));
+    _mm256_storeu_pd(out + i + 4, _mm256_sub_pd(shiftv, r1));
+  }
+  for (; i < t_pad; i += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int j = 0; j < kernel; ++j) {
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(terms + i + j));
+    }
+    const __m256d rooted =
+        SignedRootPd(_mm256_mul_pd(acc, sigmav), inv_gamma);
+    _mm256_storeu_pd(out + i, _mm256_sub_pd(shiftv, rooted));
+  }
+}
+
+void AmplifyRowAvx(const FusedModelPlan& model, const double* signal, int n,
+                   const PowSpec& gamma_spec, __m256d inv_gamma,
+                   const Scratch& s, double* out, int t_pad) {
+  const int half = model.time_kernel / 2;
+  const int pn = n + 2 * half;
+  const int pn_pad = (pn + 3) & ~3;
+  for (int i = 0; i < pn; ++i) {
+    const std::int64_t src = static_cast<std::int64_t>(i) - half;
+    const std::int64_t clamped =
+        src < 0 ? 0
+                : (src >= static_cast<std::int64_t>(n)
+                       ? static_cast<std::int64_t>(n) - 1
+                       : src);
+    s.padded[i] = signal[static_cast<size_t>(clamped)];
+  }
+  ConvolveRowAvx(s.padded, pn_pad, model.time_kernel, gamma_spec, inv_gamma,
+                 model.sigma_t, /*valley=*/false, s.terms, s.conv_a, t_pad);
+  ConvolveRowAvx(s.padded, pn_pad, model.time_kernel, gamma_spec, inv_gamma,
+                 model.sigma_t, /*valley=*/true, s.terms, s.conv_b, t_pad);
+  const __m256d halfv = _mm256_set1_pd(0.5);
+  for (int i = 0; i < t_pad; i += 4) {
+    _mm256_storeu_pd(
+        out + i,
+        _mm256_mul_pd(halfv, _mm256_add_pd(_mm256_loadu_pd(s.conv_a + i),
+                                           _mm256_loadu_pd(s.conv_b + i))));
+  }
+}
+
+void RunBranchAvx(const FusedModelPlan& model,
+                  const FusedServicePlan& service,
+                  const FusedModelPlan::Branch& branch, bool valley,
+                  const PowSpec& gf_spec, __m256d inv_gamma_f,
+                  const Scratch& s) {
+  const int m = model.features;
+  const int k = model.num_bases;
+  const int t_pad = model.window_pad;
+  const int fk = model.freq_kernel;
+  const int stride = model.freq_stride;
+  const int comp = model.compressed;
+  const int h = model.hidden_channels;
+  const int h_pad = model.h_pad;
+  const int latent_n = model.latent;
+  const int latent_pad = (latent_n + 3) & ~3;
+  const int hidden_n = model.decoder_hidden;
+  const int hidden_pad = model.hidden_pad;
+  const int flat_pad = model.flat_pad;
+
+  // Encode. Valley shift scans rep over flat_pad — rep tails are zeroed
+  // by the caller, so padding never moves the max. Powered tails hold
+  // SignedPow(shift) * inv_sigma: finite, only read back through conv
+  // taps that stay inside each feature row (max index k - 1).
+  double shift = 0.0;
+  const double* enc_in = s.rep;
+  if (model.dualistic_encoders) {
+    if (valley) {
+      shift = MaxAbsPadded(s.rep, flat_pad) + 1.0;
+    }
+    const __m256d shiftv = _mm256_set1_pd(shift);
+    const __m256d isv = _mm256_set1_pd(model.inv_sigma_f);
+    int i = 0;
+    for (; i + 8 <= flat_pad; i += 8) {
+      const __m256d x0 =
+          _mm256_sub_pd(shiftv, _mm256_loadu_pd(s.rep + i));
+      const __m256d x1 =
+          _mm256_sub_pd(shiftv, _mm256_loadu_pd(s.rep + i + 4));
+      _mm256_storeu_pd(s.powered + i,
+                       _mm256_mul_pd(SignedPowPd(x0, gf_spec), isv));
+      _mm256_storeu_pd(s.powered + i + 4,
+                       _mm256_mul_pd(SignedPowPd(x1, gf_spec), isv));
+    }
+    for (; i < flat_pad; i += 4) {
+      const __m256d x =
+          _mm256_sub_pd(shiftv, _mm256_loadu_pd(s.rep + i));
+      _mm256_storeu_pd(s.powered + i,
+                       _mm256_mul_pd(SignedPowPd(x, gf_spec), isv));
+    }
+    enc_in = s.powered;
+  }
+  // enc_w_packed is [(c, j)][h_pad]; gathering the matching window taps
+  // into enc_taps keeps the panel helper's kk order identical to the
+  // original c-major, tap-minor accumulation. Adjacent positions run as
+  // paired accumulator chains (bit-identical per position, the weight
+  // panel is just streamed once for both).
+  int t = 0;
+  for (; t + 2 <= comp; t += 2) {
+    for (int c = 0; c < m; ++c) {
+      const double* x =
+          enc_in + static_cast<size_t>(c) * k + static_cast<size_t>(t) * stride;
+      for (int j = 0; j < fk; ++j) {
+        s.enc_taps[c * fk + j] = x[j];
+        s.enc_taps2[c * fk + j] = x[stride + j];
+      }
+    }
+    DualBroadcastFmaPanelAvx(s.enc_taps, s.enc_taps2, m * fk,
+                             branch.enc_w_packed.data(), h_pad,
+                             branch.enc_b_packed.data(), s.latent_acc,
+                             s.latent_acc2);
+    for (int hc = 0; hc < h; ++hc) {
+      s.latent[static_cast<size_t>(hc) * comp + t] = s.latent_acc[hc];
+      s.latent[static_cast<size_t>(hc) * comp + t + 1] = s.latent_acc2[hc];
+    }
+  }
+  for (; t < comp; ++t) {
+    for (int c = 0; c < m; ++c) {
+      const double* x =
+          enc_in + static_cast<size_t>(c) * k + static_cast<size_t>(t) * stride;
+      for (int j = 0; j < fk; ++j) {
+        s.enc_taps[c * fk + j] = x[j];
+      }
+    }
+    BroadcastFmaPanelAvx(s.enc_taps, m * fk, branch.enc_w_packed.data(),
+                         h_pad, branch.enc_b_packed.data(), s.latent_acc);
+    for (int hc = 0; hc < h; ++hc) {
+      s.latent[static_cast<size_t>(hc) * comp + t] = s.latent_acc[hc];
+    }
+  }
+  if (model.dualistic_encoders) {
+    const __m256d shiftv = _mm256_set1_pd(shift);
+    const __m256d sv = _mm256_set1_pd(model.sigma_f);
+    int i = 0;
+    for (; i + 8 <= latent_pad; i += 8) {
+      const __m256d r0 = SignedRootPd(
+          _mm256_mul_pd(_mm256_loadu_pd(s.latent + i), sv), inv_gamma_f);
+      const __m256d r1 = SignedRootPd(
+          _mm256_mul_pd(_mm256_loadu_pd(s.latent + i + 4), sv), inv_gamma_f);
+      _mm256_storeu_pd(s.latent + i, _mm256_sub_pd(shiftv, r0));
+      _mm256_storeu_pd(s.latent + i + 4, _mm256_sub_pd(shiftv, r1));
+    }
+    for (; i < latent_pad; i += 4) {
+      const __m256d rooted = SignedRootPd(
+          _mm256_mul_pd(_mm256_loadu_pd(s.latent + i), sv), inv_gamma_f);
+      _mm256_storeu_pd(s.latent + i, _mm256_sub_pd(shiftv, rooted));
+    }
+  }
+
+  // Decode: bias-seeded FMA panels (tails zero throughout: packed panel
+  // rows and biases carry zero tails, and tanh(0) = 0).
+  BroadcastFmaPanelAvx(s.latent, latent_n, branch.dec_w1_packed.data(),
+                       hidden_pad, branch.dec_b1_packed.data(), s.hidden);
+  {
+    int v = 0;
+    for (; v + 8 <= hidden_pad; v += 8) {
+      const __m256d t0 = TanhPd(_mm256_loadu_pd(s.hidden + v));
+      const __m256d t1 = TanhPd(_mm256_loadu_pd(s.hidden + v + 4));
+      _mm256_storeu_pd(s.hidden + v, t0);
+      _mm256_storeu_pd(s.hidden + v + 4, t1);
+    }
+    for (; v < hidden_pad; v += 4) {
+      _mm256_storeu_pd(s.hidden + v, TanhPd(_mm256_loadu_pd(s.hidden + v)));
+    }
+  }
+  BroadcastFmaPanelAvx(s.hidden, hidden_n, branch.dec_w2_packed.data(),
+                       flat_pad, branch.dec_b2_packed.data(), s.amp_dec);
+
+  // Stage 4: phase reattach per feature row (vector body + scalar tail so
+  // flat stores never cross row boundaries), broadcast-FMA IDFT, squared
+  // residual with the branch max folded in on the valley pass.
+  for (int f = 0; f < m; ++f) {
+    const double* ad = s.amp_dec + static_cast<size_t>(f) * k;
+    const double* pr = s.phase_re + static_cast<size_t>(f) * k;
+    const double* pi = s.phase_im + static_cast<size_t>(f) * k;
+    double* rec = s.rec + static_cast<size_t>(f) * (2 * k);
+    int c = 0;
+    for (; c + 4 <= k; c += 4) {
+      const __m256d adv = _mm256_loadu_pd(ad + c);
+      _mm256_storeu_pd(rec + c,
+                       _mm256_mul_pd(adv, _mm256_loadu_pd(pr + c)));
+      _mm256_storeu_pd(rec + k + c,
+                       _mm256_mul_pd(adv, _mm256_loadu_pd(pi + c)));
+    }
+    for (; c < k; ++c) {
+      rec[c] = ad[c] * pr[c];
+      rec[k + c] = ad[c] * pi[c];
+    }
+  }
+  for (int f = 0; f < m; ++f) {
+    const double* rec = s.rec + static_cast<size_t>(f) * (2 * k);
+    BroadcastFmaPanelAvx(rec, 2 * k, service.inverse_padded.data(), t_pad,
+                         /*bias=*/nullptr, s.time);
+    const double* xrow = s.ampw + static_cast<size_t>(f) * t_pad;
+    double* erow = s.err + static_cast<size_t>(f) * t_pad;
+    for (int t = 0; t < t_pad; t += 4) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(s.time + t),
+                                      _mm256_loadu_pd(xrow + t));
+      __m256d e = _mm256_mul_pd(d, d);
+      if (valley) e = _mm256_max_pd(_mm256_loadu_pd(erow + t), e);
+      _mm256_storeu_pd(erow + t, e);
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx2ArmCompiled() { return true; }
+
+void ScoreWindowsAvx2(const FusedModelPlan& model,
+                      const FusedServicePlan& service, const double* windows,
+                      int batch, double* step_errors) {
+  const int m = model.features;
+  const int k = model.num_bases;
+  const int t_len = model.window;
+  const int t_pad = model.window_pad;
+  const int cols_pad = model.cols_pad;
+  const int flat_pad = model.flat_pad;
+  const size_t flat = static_cast<size_t>(m) * k;
+  const size_t entry = static_cast<size_t>(m) * t_len;
+  const int half = model.amplify ? model.time_kernel / 2 : 0;
+  const int pn = t_len + 2 * half;
+  const size_t pn_slab = static_cast<size_t>((pn + 3) & ~3) + 4;
+  const int latent_pad = (model.latent + 3) & ~3;
+
+  const PowSpec gt_spec = MakePowSpec(model.gamma_t);
+  const PowSpec gf_spec = MakePowSpec(model.gamma_f);
+  const __m256d inv_gamma_t = _mm256_set1_pd(1.0 / model.gamma_t);
+  const __m256d inv_gamma_f = _mm256_set1_pd(1.0 / model.gamma_f);
+
+  const size_t total =
+      static_cast<size_t>(m) * t_pad + 2 * pn_slab +
+      2 * static_cast<size_t>(t_pad) +
+      static_cast<size_t>(m) * cols_pad + 5 * static_cast<size_t>(flat_pad) +
+      2 * static_cast<size_t>(m) * model.freq_kernel +
+      2 * static_cast<size_t>(model.h_pad) + static_cast<size_t>(latent_pad) +
+      static_cast<size_t>(model.hidden_pad) +
+      static_cast<size_t>(flat_pad) + 2 * flat +
+      static_cast<size_t>(t_pad) + static_cast<size_t>(m) * t_pad +
+      static_cast<size_t>(t_pad);
+  // Round the block base up to a cache line; the slabs are 4-lane
+  // padded, so an aligned base avoids most line-split vector loads.
+  std::vector<double> block =
+      tensor::AcquireScratchBuffer(total + 8, /*zero_fill=*/true);
+  Scratch s;
+  {
+    double* p = reinterpret_cast<double*>(
+        (reinterpret_cast<uintptr_t>(block.data()) + 63) & ~uintptr_t{63});
+    auto take = [&p](size_t n) {
+      double* out = p;
+      p += n;
+      return out;
+    };
+    s.ampw = take(static_cast<size_t>(m) * t_pad);
+    s.padded = take(pn_slab);
+    s.terms = take(pn_slab);
+    s.conv_a = take(static_cast<size_t>(t_pad));
+    s.conv_b = take(static_cast<size_t>(t_pad));
+    s.coeffs = take(static_cast<size_t>(m) * cols_pad);
+    s.amp = take(static_cast<size_t>(flat_pad));
+    s.phase_re = take(static_cast<size_t>(flat_pad));
+    s.phase_im = take(static_cast<size_t>(flat_pad));
+    s.rep = take(static_cast<size_t>(flat_pad));
+    s.powered = take(static_cast<size_t>(flat_pad));
+    s.enc_taps = take(static_cast<size_t>(m) * model.freq_kernel);
+    s.enc_taps2 = take(static_cast<size_t>(m) * model.freq_kernel);
+    s.latent_acc = take(static_cast<size_t>(model.h_pad));
+    s.latent_acc2 = take(static_cast<size_t>(model.h_pad));
+    s.latent = take(static_cast<size_t>(latent_pad));
+    s.hidden = take(static_cast<size_t>(model.hidden_pad));
+    s.amp_dec = take(static_cast<size_t>(flat_pad));
+    s.rec = take(2 * flat);
+    s.time = take(static_cast<size_t>(t_pad));
+    s.err = take(static_cast<size_t>(m) * t_pad);
+    s.step_acc = take(static_cast<size_t>(t_pad));
+  }
+
+  const __m256d zerov = _mm256_setzero_pd();
+  const __m256d epsv = _mm256_set1_pd(model.spectrum_epsilon);
+
+  for (int b = 0; b < batch; ++b) {
+    const double* win = windows + static_cast<size_t>(b) * entry;
+
+    // Stage 1 into [m][T_pad] rows (tails hold deterministic finite
+    // values downstream loops never read past index T - 1 of).
+    if (model.amplify) {
+      for (int f = 0; f < m; ++f) {
+        AmplifyRowAvx(model, win + static_cast<size_t>(f) * t_len, t_len,
+                      gt_spec, inv_gamma_t, s,
+                      s.ampw + static_cast<size_t>(f) * t_pad, t_pad);
+      }
+    } else {
+      for (int f = 0; f < m; ++f) {
+        const double* src = win + static_cast<size_t>(f) * t_len;
+        double* dst = s.ampw + static_cast<size_t>(f) * t_pad;
+        for (int t = 0; t < t_len; ++t) dst[t] = src[t];
+      }
+    }
+
+    // Stage 2: DFT panel FMA. Forward rows carry zero tails, so
+    // coefficient tails stay zero.
+    for (int f = 0; f < m; ++f) {
+      BroadcastFmaPanelAvx(s.ampw + static_cast<size_t>(f) * t_pad, t_len,
+                           service.forward_padded.data(), cols_pad,
+                           /*bias=*/nullptr,
+                           s.coeffs + static_cast<size_t>(f) * cols_pad);
+    }
+
+    // Amplitudes and unit phases, per feature row with scalar tails (k
+    // need not be a lane multiple; amp/phase tails past m*k stay zero).
+    for (int f = 0; f < m; ++f) {
+      const double* crow = s.coeffs + static_cast<size_t>(f) * cols_pad;
+      double* arow = s.amp + static_cast<size_t>(f) * k;
+      double* prrow = s.phase_re + static_cast<size_t>(f) * k;
+      double* pirow = s.phase_im + static_cast<size_t>(f) * k;
+      int c = 0;
+      for (; c + 4 <= k; c += 4) {
+        const __m256d r = _mm256_loadu_pd(crow + c);
+        const __m256d i = _mm256_loadu_pd(crow + k + c);
+        const __m256d a2 = _mm256_add_pd(
+            Fma(i, i, _mm256_mul_pd(r, r)), epsv);
+        const __m256d a = _mm256_sqrt_pd(a2);
+        _mm256_storeu_pd(arow + c, a);
+        _mm256_storeu_pd(prrow + c, _mm256_div_pd(r, a));
+        _mm256_storeu_pd(pirow + c, _mm256_div_pd(i, a));
+      }
+      for (; c < k; ++c) {
+        const double r = crow[c];
+        const double i = crow[k + c];
+        const double a = std::sqrt(r * r + i * i + model.spectrum_epsilon);
+        arow[c] = a;
+        prrow[c] = r / a;
+        pirow[c] = i / a;
+      }
+    }
+
+
+    // Frequency characterization over flat_pad lanes (marker flats carry
+    // zero tails); rep tails re-zeroed so the valley encoder's max-abs
+    // scan stays tail-clean.
+    if (model.has_char) {
+      const __m256d b2v = _mm256_set1_pd(model.char_b2);
+      for (int i = 0; i < flat_pad; i += 4) {
+        _mm256_storeu_pd(s.rep + i, b2v);
+      }
+      for (int ci = 0; ci < model.char_channels; ++ci) {
+        const __m256d b1v =
+            _mm256_set1_pd(model.char_b1[static_cast<size_t>(ci)]);
+        const __m256d w0v =
+            _mm256_set1_pd(model.char_w1[static_cast<size_t>(ci) * 3 + 0]);
+        const __m256d w1v =
+            _mm256_set1_pd(model.char_w1[static_cast<size_t>(ci) * 3 + 1]);
+        const __m256d w2v =
+            _mm256_set1_pd(model.char_w1[static_cast<size_t>(ci) * 3 + 2]);
+        const __m256d wov =
+            _mm256_set1_pd(model.char_w2[static_cast<size_t>(ci)]);
+        const double* sinp = service.marker_sin_flat.data();
+        const double* cosp = service.marker_cos_flat.data();
+        // Paired tanh chains (pure ILP; per-lane arithmetic unchanged).
+        int i = 0;
+        for (; i + 8 <= flat_pad; i += 8) {
+          __m256d row0 = Fma(w0v, _mm256_loadu_pd(s.amp + i), b1v);
+          row0 = Fma(w1v, _mm256_loadu_pd(sinp + i), row0);
+          row0 = Fma(w2v, _mm256_loadu_pd(cosp + i), row0);
+          __m256d row1 = Fma(w0v, _mm256_loadu_pd(s.amp + i + 4), b1v);
+          row1 = Fma(w1v, _mm256_loadu_pd(sinp + i + 4), row1);
+          row1 = Fma(w2v, _mm256_loadu_pd(cosp + i + 4), row1);
+          const __m256d t0 = TanhPd(row0);
+          const __m256d t1 = TanhPd(row1);
+          _mm256_storeu_pd(s.rep + i,
+                           Fma(wov, t0, _mm256_loadu_pd(s.rep + i)));
+          _mm256_storeu_pd(s.rep + i + 4,
+                           Fma(wov, t1, _mm256_loadu_pd(s.rep + i + 4)));
+        }
+        for (; i < flat_pad; i += 4) {
+          __m256d row = Fma(w0v, _mm256_loadu_pd(s.amp + i), b1v);
+          row = Fma(w1v, _mm256_loadu_pd(sinp + i), row);
+          row = Fma(w2v, _mm256_loadu_pd(cosp + i), row);
+          _mm256_storeu_pd(s.rep + i, Fma(wov, TanhPd(row),
+                                          _mm256_loadu_pd(s.rep + i)));
+        }
+      }
+      for (int i = 0; i < flat_pad; i += 4) {
+        _mm256_storeu_pd(s.rep + i,
+                         _mm256_add_pd(_mm256_loadu_pd(s.rep + i),
+                                       _mm256_loadu_pd(s.amp + i)));
+      }
+      for (size_t i = flat; i < static_cast<size_t>(flat_pad); ++i) {
+        s.rep[i] = 0.0;
+      }
+    } else {
+      for (int i = 0; i < flat_pad; i += 4) {
+        _mm256_storeu_pd(s.rep + i, _mm256_loadu_pd(s.amp + i));
+      }
+    }
+
+
+    RunBranchAvx(model, service, model.peak, /*valley=*/false, gf_spec,
+                 inv_gamma_f, s);
+
+    RunBranchAvx(model, service, model.valley, /*valley=*/true, gf_spec,
+                 inv_gamma_f, s);
+
+
+    // Per-step feature mean; only the first T lanes leave the scratch.
+    for (int t = 0; t < t_pad; t += 4) {
+      _mm256_storeu_pd(s.step_acc + t, zerov);
+    }
+    for (int f = 0; f < m; ++f) {
+      const double* erow = s.err + static_cast<size_t>(f) * t_pad;
+      for (int t = 0; t < t_pad; t += 4) {
+        _mm256_storeu_pd(s.step_acc + t,
+                         _mm256_add_pd(_mm256_loadu_pd(s.step_acc + t),
+                                       _mm256_loadu_pd(erow + t)));
+      }
+    }
+    const __m256d mv = _mm256_set1_pd(static_cast<double>(m));
+    for (int t = 0; t < t_pad; t += 4) {
+      _mm256_storeu_pd(s.step_acc + t,
+                       _mm256_div_pd(_mm256_loadu_pd(s.step_acc + t), mv));
+    }
+    double* out = step_errors + static_cast<size_t>(b) * t_len;
+    for (int t = 0; t < t_len; ++t) out[t] = s.step_acc[t];
+  }
+
+  tensor::ReleaseScratchBuffer(std::move(block));
+}
+
+}  // namespace mace::kernel::internal
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace mace::kernel::internal {
+
+bool Avx2ArmCompiled() { return false; }
+
+void ScoreWindowsAvx2(const FusedModelPlan& model,
+                      const FusedServicePlan& service, const double* windows,
+                      int batch, double* step_errors) {
+  ScoreWindowsScalar(model, service, windows, batch, step_errors);
+}
+
+}  // namespace mace::kernel::internal
+
+#endif

@@ -1,0 +1,1133 @@
+// The AVX-512F/DQ arm of the fused scoring kernel.
+//
+// An 8-lane transliteration of kernel_avx2.cc: every lane runs the exact
+// same operation sequence (identical polynomial transcendentals, FMA
+// placement, and per-column kk-ascending panel accumulation), so this
+// arm produces the same bits as the AVX2 arm and inherits its pinned
+// tolerance against the scalar reference — it is a throughput tier
+// inside Backend::kSimd, not a different numeric contract. Keep the two
+// files in lock-step: any arithmetic change must land in both.
+//
+// Tail discipline matches the AVX2 arm: one zero-filled scratch block,
+// plan extents padded to 8-lane multiples by FinalizeModelPlan, and no
+// tail lane ever feeds an output lane.
+//
+// When the compiler cannot target AVX-512F/DQ this translation unit
+// degrades to a forwarder onto the AVX2 arm (Avx512ArmCompiled() tells
+// the dispatcher).
+
+#include "kernel/kernel_arms.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC lowers even unmasked AVX-512 intrinsics (max_pd, min_pd,
+// srli_epi64, ...) through _mm512_undefined_pd(), which trips
+// -Wmaybe-uninitialized on every call site (GCC PR105593). The
+// "uninitialized" lanes are fully overwritten by the builtin.
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace mace::kernel::internal {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector math (see kernel_avx2.cc for the derivations; constants and
+// operation order are identical so lanes match the AVX2 arm bit for bit)
+// ---------------------------------------------------------------------------
+
+inline __m512d Fma(__m512d a, __m512d b, __m512d c) {
+  return _mm512_fmadd_pd(a, b, c);
+}
+
+/// 2^n for integer-valued n with n + 1023 in [1, 2046].
+inline __m512d Pow2Int(__m512d n) {
+  const __m256i ni = _mm512_cvtpd_epi32(n);
+  const __m512i wide = _mm512_cvtepi32_epi64(ni);
+  const __m512i bits =
+      _mm512_slli_epi64(_mm512_add_epi64(wide, _mm512_set1_epi64(1023)), 52);
+  return _mm512_castsi512_pd(bits);
+}
+
+inline __m512d Exp2Pd(__m512d y) {
+  y = _mm512_max_pd(_mm512_set1_pd(-1100.0),
+                    _mm512_min_pd(_mm512_set1_pd(1100.0), y));
+  const __m512d n = _mm512_roundscale_pd(
+      y, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m512d f = _mm512_sub_pd(y, n);
+  const __m512d z = _mm512_mul_pd(f, _mm512_set1_pd(0.6931471805599453));
+  __m512d p = _mm512_set1_pd(1.0 / 479001600.0);  // 1/12!
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 39916800.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 3628800.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 362880.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 40320.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 5040.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 720.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 120.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 24.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0 / 6.0));
+  p = Fma(p, z, _mm512_set1_pd(0.5));
+  p = Fma(p, z, _mm512_set1_pd(1.0));
+  p = Fma(p, z, _mm512_set1_pd(1.0));
+  const __m512d n1 = _mm512_roundscale_pd(
+      _mm512_mul_pd(n, _mm512_set1_pd(0.5)),
+      _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC);
+  const __m512d n2 = _mm512_sub_pd(n, n1);
+  return _mm512_mul_pd(_mm512_mul_pd(p, Pow2Int(n1)), Pow2Int(n2));
+}
+
+inline __m512d Log2Pd(__m512d x) {
+  const __mmask8 tiny = _mm512_cmp_pd_mask(
+      x, _mm512_set1_pd(2.2250738585072014e-308), _CMP_LT_OQ);
+  x = _mm512_mask_mul_pd(x, tiny, x, _mm512_set1_pd(0x1p54));
+  const __m512d ebias =
+      _mm512_maskz_mov_pd(tiny, _mm512_set1_pd(54.0));
+
+  const __m512i bits = _mm512_castpd_si512(x);
+  const __m512i expi = _mm512_srli_epi64(bits, 52);
+  const __m512i emagic =
+      _mm512_or_si512(expi, _mm512_castpd_si512(_mm512_set1_pd(0x1p52)));
+  __m512d e = _mm512_sub_pd(_mm512_castsi512_pd(emagic),
+                            _mm512_set1_pd(0x1p52 + 1023.0));
+  const __m512i mbits = _mm512_or_si512(
+      _mm512_and_si512(bits, _mm512_set1_epi64(0x000FFFFFFFFFFFFFLL)),
+      _mm512_castpd_si512(_mm512_set1_pd(1.0)));
+  __m512d m = _mm512_castsi512_pd(mbits);
+  const __mmask8 big =
+      _mm512_cmp_pd_mask(m, _mm512_set1_pd(1.4142135623730951), _CMP_GT_OQ);
+  m = _mm512_mask_mul_pd(m, big, m, _mm512_set1_pd(0.5));
+  e = _mm512_mask_add_pd(e, big, e, _mm512_set1_pd(1.0));
+
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d t =
+      _mm512_div_pd(_mm512_sub_pd(m, one), _mm512_add_pd(m, one));
+  const __m512d u = _mm512_mul_pd(t, t);
+  __m512d s = _mm512_set1_pd(1.0 / 19.0);
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 17.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 15.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 13.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 11.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 9.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 7.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 5.0));
+  s = Fma(s, u, _mm512_set1_pd(1.0 / 3.0));
+  s = Fma(s, u, one);
+  const __m512d log2m = _mm512_mul_pd(
+      _mm512_mul_pd(t, s), _mm512_set1_pd(2.8853900817779268));
+  return _mm512_sub_pd(_mm512_add_pd(e, log2m), ebias);
+}
+
+inline __m512d PowPd(__m512d x, __m512d p) {
+  const __m512d r = Exp2Pd(_mm512_mul_pd(Log2Pd(x), p));
+  // NEQ_UQ mirrors the AVX2 arm's andnot-of-ordered-equal exactly
+  // (NaN lanes keep r there too).
+  const __mmask8 nz =
+      _mm512_cmp_pd_mask(x, _mm512_setzero_pd(), _CMP_NEQ_UQ);
+  return _mm512_maskz_mov_pd(nz, r);
+}
+
+inline __m512d TanhPd(__m512d x) {
+  const __m512d mzero = _mm512_set1_pd(-0.0);
+  const __m512d sign = _mm512_and_pd(x, mzero);
+  const __m512d ax = _mm512_andnot_pd(mzero, x);
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d e =
+      Exp2Pd(_mm512_mul_pd(ax, _mm512_set1_pd(2.0 * 1.4426950408889634)));
+  const __m512d r = _mm512_sub_pd(
+      one, _mm512_div_pd(_mm512_set1_pd(2.0), _mm512_add_pd(e, one)));
+  return _mm512_or_pd(r, sign);
+}
+
+/// Same exponent resolution as the AVX2 arm's PowSpec.
+struct PowSpec {
+  bool is_int;
+  int ip;
+  double power;
+};
+
+inline PowSpec MakePowSpec(double power) {
+  const int ip = static_cast<int>(power);
+  return {power == static_cast<double>(ip) && ip >= 0 && ip <= 32, ip,
+          power};
+}
+
+inline __m512d SignedPowPd(__m512d x, const PowSpec& spec) {
+  const __m512d mzero = _mm512_set1_pd(-0.0);
+  const __m512d sign = _mm512_and_pd(x, mzero);
+  const __m512d ax = _mm512_andnot_pd(mzero, x);
+  __m512d mag;
+  if (spec.is_int) {
+    mag = _mm512_set1_pd(1.0);
+    __m512d base = ax;
+    for (int e = spec.ip; e > 0; e >>= 1) {
+      if (e & 1) mag = _mm512_mul_pd(mag, base);
+      base = _mm512_mul_pd(base, base);
+    }
+  } else {
+    mag = PowPd(ax, _mm512_set1_pd(spec.power));
+  }
+  return _mm512_or_pd(mag, sign);
+}
+
+inline __m512d SignedRootPd(__m512d x, __m512d inv_power) {
+  const __m512d mzero = _mm512_set1_pd(-0.0);
+  const __m512d sign = _mm512_and_pd(x, mzero);
+  const __m512d ax = _mm512_andnot_pd(mzero, x);
+  return _mm512_or_pd(PowPd(ax, inv_power), sign);
+}
+
+/// Max of |buf[i]| over an 8-padded range whose tail lanes are known
+/// finite (zeros never raise the max since |x| >= 0).
+inline double MaxAbsPadded(const double* buf, int n_pad) {
+  const __m512d mzero = _mm512_set1_pd(-0.0);
+  __m512d mx = _mm512_setzero_pd();
+  for (int i = 0; i < n_pad; i += 8) {
+    mx = _mm512_max_pd(mx,
+                       _mm512_andnot_pd(mzero, _mm512_loadu_pd(buf + i)));
+  }
+  return _mm512_reduce_max_pd(mx);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline stages
+// ---------------------------------------------------------------------------
+
+/// Windows per stage-major group: panel stages (DFT, decoder layers,
+/// IDFT) sweep each packed weight panel once across the whole group, so
+/// panels larger than L1 are streamed from L2 once per kGroup windows
+/// instead of once per window. Per-window arithmetic is untouched by the
+/// grouping — every window's per-column accumulation stays kk-ascending
+/// — so results are bit-identical for any batch split.
+constexpr int kGroup = 8;
+
+struct Scratch {
+  // Shared row buffers (stage 1 runs one row at a time) and the small
+  // encoder gather/accumulate strips.
+  double* padded;      ///< [P8(pn) + 8] edge-replicated row, zero tails
+  double* terms;       ///< [P8(pn) + 8] power terms, zero margin
+  double* terms2;      ///< [P8(pn) + 8] valley-pass power terms
+  double* conv_a;      ///< [T_pad]
+  double* conv_b;      ///< [T_pad]
+  double* enc_taps;    ///< [m * freq_kernel] gathered encoder window taps
+  double* enc_taps2;   ///< [m * freq_kernel] taps of the paired position
+  double* latent_acc;  ///< [h_pad] per-position filter accumulator
+  double* latent_acc2;  ///< [h_pad] accumulator of the paired position
+  double* step_acc;    ///< [T_pad]
+  // Per-window slabs, indexed wi * (slab extent) within the group.
+  double* ampw;        ///< [g][m * T_pad] amplified window rows
+  double* coeffs;      ///< [g][m * cols_pad]
+  double* amp;         ///< [g][flat_pad]
+  double* phase_re;    ///< [g][flat_pad]
+  double* phase_im;    ///< [g][flat_pad]
+  double* rep;         ///< [g][flat_pad]
+  double* powered;     ///< [g][flat_pad]
+  double* latent;      ///< [g][P8(latent)]
+  double* hidden;      ///< [g][hidden_pad]
+  double* amp_dec;     ///< [g][flat_pad]
+  double* rec;         ///< [g][P8(m * 2k)] rows of [m][2k]
+  double* recon;       ///< [g][m * T_pad] IDFT outputs
+  double* err;         ///< [g][m * T_pad]
+};
+
+/// One column tile of NV vectors (8*NV columns) of the broadcast-FMA
+/// panel, starting at column `v`. NV accumulator chains run in parallel;
+/// each output column's accumulation stays kk-ascending, so tiling width
+/// never changes a column's arithmetic. NV >= 8 keeps two FMA ports busy
+/// past the 4-cycle FMA latency without leaning on the reorder window.
+template <int NV>
+void PanelPassAvx512(const double* a, int kn, const double* w, int n_pad,
+                     const double* bias, double* out, int v) {
+  // The u loops must fully unroll so `acc` is scalarized into zmm
+  // registers; without the pragma -O2 leaves the array on the stack and
+  // the kk loop round-trips every accumulator through memory.
+  __m512d acc[NV];
+#pragma GCC unroll 12
+  for (int u = 0; u < NV; ++u) {
+    acc[u] = bias != nullptr ? _mm512_loadu_pd(bias + v + 8 * u)
+                             : _mm512_setzero_pd();
+  }
+  const double* wp = w + v;
+  for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+    const __m512d av = _mm512_set1_pd(a[kk]);
+#pragma GCC unroll 12
+    for (int u = 0; u < NV; ++u) {
+      acc[u] = Fma(av, _mm512_loadu_pd(wp + 8 * u), acc[u]);
+    }
+  }
+#pragma GCC unroll 12
+  for (int u = 0; u < NV; ++u) {
+    _mm512_storeu_pd(out + v + 8 * u, acc[u]);
+  }
+}
+
+/// out[0..n_pad) = bias (zeros when null) + sum_kk a[kk] * w[kk][.] over
+/// a packed [kn][n_pad] panel. Wide panels run 64-column (8-chain)
+/// tiles; the remainder runs as one tile sized to the leftover columns
+/// (up to 12 chains) so narrow shapes like 40 or 96 columns never fall
+/// into a latency-starved 1-2 chain tail.
+void BroadcastFmaPanelAvx512(const double* a, int kn, const double* w,
+                             int n_pad, const double* bias, double* out) {
+  int v = 0;
+  while (n_pad - v > 96) {
+    PanelPassAvx512<8>(a, kn, w, n_pad, bias, out, v);
+    v += 64;
+  }
+  switch ((n_pad - v) / 8) {
+    case 12: PanelPassAvx512<12>(a, kn, w, n_pad, bias, out, v); break;
+    case 11: PanelPassAvx512<11>(a, kn, w, n_pad, bias, out, v); break;
+    case 10: PanelPassAvx512<10>(a, kn, w, n_pad, bias, out, v); break;
+    case 9: PanelPassAvx512<9>(a, kn, w, n_pad, bias, out, v); break;
+    case 8: PanelPassAvx512<8>(a, kn, w, n_pad, bias, out, v); break;
+    case 7: PanelPassAvx512<7>(a, kn, w, n_pad, bias, out, v); break;
+    case 6: PanelPassAvx512<6>(a, kn, w, n_pad, bias, out, v); break;
+    case 5: PanelPassAvx512<5>(a, kn, w, n_pad, bias, out, v); break;
+    case 4: PanelPassAvx512<4>(a, kn, w, n_pad, bias, out, v); break;
+    case 3: PanelPassAvx512<3>(a, kn, w, n_pad, bias, out, v); break;
+    case 2: PanelPassAvx512<2>(a, kn, w, n_pad, bias, out, v); break;
+    case 1: PanelPassAvx512<1>(a, kn, w, n_pad, bias, out, v); break;
+    default: break;
+  }
+}
+
+/// DualBroadcastFmaPanelAvx512's column tile: two activation rows, NV
+/// vectors of columns each, 2*NV accumulator chains sharing one weight
+/// load per column vector. Per-row, per-column arithmetic is exactly
+/// PanelPassAvx512's.
+template <int NV>
+void DualPanelPassAvx512(const double* a0, const double* a1, int kn,
+                         const double* w, int n_pad, const double* bias,
+                         double* out0, double* out1, int v) {
+  // Same register-promotion requirement as PanelPassAvx512's pragmas.
+  __m512d acc0[NV];
+  __m512d acc1[NV];
+#pragma GCC unroll 12
+  for (int u = 0; u < NV; ++u) {
+    acc0[u] = bias != nullptr ? _mm512_loadu_pd(bias + v + 8 * u)
+                              : _mm512_setzero_pd();
+    acc1[u] = acc0[u];
+  }
+  const double* wp = w + v;
+  for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+    const __m512d a0v = _mm512_set1_pd(a0[kk]);
+    const __m512d a1v = _mm512_set1_pd(a1[kk]);
+#pragma GCC unroll 12
+    for (int u = 0; u < NV; ++u) {
+      const __m512d wv = _mm512_loadu_pd(wp + 8 * u);
+      acc0[u] = Fma(a0v, wv, acc0[u]);
+      acc1[u] = Fma(a1v, wv, acc1[u]);
+    }
+  }
+#pragma GCC unroll 12
+  for (int u = 0; u < NV; ++u) {
+    _mm512_storeu_pd(out0 + v + 8 * u, acc0[u]);
+    _mm512_storeu_pd(out1 + v + 8 * u, acc1[u]);
+  }
+}
+
+/// Two independent activation rows against one weight panel. Each output
+/// keeps the exact per-column kk-ascending accumulation of
+/// BroadcastFmaPanelAvx512 — the weight row is just loaded once for both
+/// accumulator chains, which matters when n_pad is a single vector and
+/// one chain alone would serialize on FMA latency.
+void DualBroadcastFmaPanelAvx512(const double* a0, const double* a1, int kn,
+                                 const double* w, int n_pad,
+                                 const double* bias, double* out0,
+                                 double* out1) {
+  int v = 0;
+  while (n_pad - v > 48) {
+    DualPanelPassAvx512<4>(a0, a1, kn, w, n_pad, bias, out0, out1, v);
+    v += 32;
+  }
+  switch ((n_pad - v) / 8) {
+    case 6: DualPanelPassAvx512<6>(a0, a1, kn, w, n_pad, bias, out0, out1, v); break;
+    case 5: DualPanelPassAvx512<5>(a0, a1, kn, w, n_pad, bias, out0, out1, v); break;
+    case 4: DualPanelPassAvx512<4>(a0, a1, kn, w, n_pad, bias, out0, out1, v); break;
+    case 3: DualPanelPassAvx512<3>(a0, a1, kn, w, n_pad, bias, out0, out1, v); break;
+    case 2: DualPanelPassAvx512<2>(a0, a1, kn, w, n_pad, bias, out0, out1, v); break;
+    case 1: DualPanelPassAvx512<1>(a0, a1, kn, w, n_pad, bias, out0, out1, v); break;
+    default: break;
+  }
+}
+
+/// GroupPanelAvx512's tile: W activation rows by C column vectors, W*C
+/// accumulator chains sharing C weight loads per kk. Each (row, column)
+/// accumulation is kk-ascending exactly as in PanelPassAvx512, so the
+/// grouping never changes any window's arithmetic.
+template <int W, int C>
+void GroupPanelTileAvx512(const double* const* acts, double* const* outs,
+                          int kn, const double* w, int n_pad,
+                          const double* bias, int v) {
+  // Hoist the activation row pointers so the kk loop reads registers,
+  // and fully unroll every W/C loop so `acc` scalarizes into zmm
+  // registers (same -O2 stack-spill hazard as PanelPassAvx512).
+  const double* a[W];
+#pragma GCC unroll 4
+  for (int i = 0; i < W; ++i) a[i] = acts[i];
+  __m512d acc[W][C];
+#pragma GCC unroll 4
+  for (int i = 0; i < W; ++i) {
+#pragma GCC unroll 3
+    for (int c = 0; c < C; ++c) {
+      acc[i][c] = bias != nullptr ? _mm512_loadu_pd(bias + v + 8 * c)
+                                  : _mm512_setzero_pd();
+    }
+  }
+  const double* wp = w + v;
+  for (int kk = 0; kk < kn; ++kk, wp += n_pad) {
+    __m512d wv[C];
+#pragma GCC unroll 3
+    for (int c = 0; c < C; ++c) wv[c] = _mm512_loadu_pd(wp + 8 * c);
+#pragma GCC unroll 4
+    for (int i = 0; i < W; ++i) {
+      const __m512d av = _mm512_set1_pd(a[i][kk]);
+#pragma GCC unroll 3
+      for (int c = 0; c < C; ++c) acc[i][c] = Fma(av, wv[c], acc[i][c]);
+    }
+  }
+#pragma GCC unroll 4
+  for (int i = 0; i < W; ++i) {
+#pragma GCC unroll 3
+    for (int c = 0; c < C; ++c) {
+      _mm512_storeu_pd(outs[i] + v + 8 * c, acc[i][c]);
+    }
+  }
+}
+
+/// Column sweep for a fixed group width W: 24-column tiles (W*3 chains)
+/// plus one remainder tile.
+template <int W>
+void GroupPanelColsAvx512(const double* const* acts, double* const* outs,
+                          int kn, const double* w, int n_pad,
+                          const double* bias) {
+  int v = 0;
+  while (n_pad - v > 24) {
+    GroupPanelTileAvx512<W, 3>(acts, outs, kn, w, n_pad, bias, v);
+    v += 24;
+  }
+  switch ((n_pad - v) / 8) {
+    case 3: GroupPanelTileAvx512<W, 3>(acts, outs, kn, w, n_pad, bias, v); break;
+    case 2: GroupPanelTileAvx512<W, 2>(acts, outs, kn, w, n_pad, bias, v); break;
+    case 1: GroupPanelTileAvx512<W, 1>(acts, outs, kn, w, n_pad, bias, v); break;
+    default: break;
+  }
+}
+
+/// One packed [kn][n_pad] panel applied to nw independent activation
+/// rows in one sweep. Windows run four at a time, so the panel's weight
+/// stream — the dominant memory traffic once a panel outgrows L1, as the
+/// decoder panels do — is read once per four windows instead of once per
+/// window, while per-window results stay bit-identical to the
+/// single-activation path for any batch split.
+void GroupPanelAvx512(const double* const* acts, double* const* outs, int nw,
+                      int kn, const double* w, int n_pad,
+                      const double* bias) {
+  int i = 0;
+  for (; i + 4 <= nw; i += 4) {
+    GroupPanelColsAvx512<4>(acts + i, outs + i, kn, w, n_pad, bias);
+  }
+  switch (nw - i) {
+    case 3:
+      GroupPanelColsAvx512<3>(acts + i, outs + i, kn, w, n_pad, bias);
+      break;
+    case 2:
+      DualBroadcastFmaPanelAvx512(acts[i], acts[i + 1], kn, w, n_pad, bias,
+                                  outs[i], outs[i + 1]);
+      break;
+    case 1:
+      BroadcastFmaPanelAvx512(acts[i], kn, w, n_pad, bias, outs[i]);
+      break;
+    default:
+      break;
+  }
+}
+
+/// One tile of ConvolveRowsAvx512's root section: NV vectors of lanes,
+/// both passes, so 2*NV signed-root chains are in flight at once. The
+/// ~40-op log2/exp2 dependency chains are latency-bound below eight
+/// chains, so running a whole 40-lane row as one NV=5 tile (ten chains)
+/// beats an 8-chain block plus a 2-chain tail. Per-lane arithmetic is
+/// identical at any NV.
+template <int NV>
+void RootsPassAvx512(const double* terms_a, const double* terms_b, int kernel,
+                     __m512d sigmav, __m512d inv_gamma, __m512d shiftv,
+                     double* out_a, double* out_b, int i) {
+  const __m512d zero = _mm512_setzero_pd();
+  // Full unrolls keep the accumulator arrays in registers (same -O2
+  // stack-spill hazard as PanelPassAvx512).
+  __m512d aa[NV];
+  __m512d ab[NV];
+#pragma GCC unroll 8
+  for (int u = 0; u < NV; ++u) {
+    aa[u] = _mm512_setzero_pd();
+    ab[u] = _mm512_setzero_pd();
+  }
+  for (int j = 0; j < kernel; ++j) {
+#pragma GCC unroll 8
+    for (int u = 0; u < NV; ++u) {
+      aa[u] = _mm512_add_pd(aa[u], _mm512_loadu_pd(terms_a + i + 8 * u + j));
+      ab[u] = _mm512_add_pd(ab[u], _mm512_loadu_pd(terms_b + i + 8 * u + j));
+    }
+  }
+  __m512d ra[NV];
+  __m512d rb[NV];
+#pragma GCC unroll 8
+  for (int u = 0; u < NV; ++u) {
+    ra[u] = SignedRootPd(_mm512_mul_pd(aa[u], sigmav), inv_gamma);
+    rb[u] = SignedRootPd(_mm512_mul_pd(ab[u], sigmav), inv_gamma);
+  }
+#pragma GCC unroll 8
+  for (int u = 0; u < NV; ++u) {
+    _mm512_storeu_pd(out_a + i + 8 * u, _mm512_sub_pd(zero, ra[u]));
+    _mm512_storeu_pd(out_b + i + 8 * u, _mm512_sub_pd(shiftv, rb[u]));
+  }
+}
+
+/// One dualistic convolution pass; see the AVX2 arm for the tail notes.
+/// Both dualistic convolution passes of one row in a single sweep: the
+/// peak pass (shift 0) and the valley pass (shift = max|row| + 1) share
+/// the padded input, and their root loops interleave into four
+/// independent log2/exp2 chains. Per-lane arithmetic of each pass is
+/// exactly the former one-pass-at-a-time code — this is pure
+/// instruction-level parallelism, not a numeric rewrite.
+void ConvolveRowsAvx512(const double* padded, int pn_pad, int kernel,
+                        const PowSpec& gamma_spec, __m512d inv_gamma,
+                        double sigma, double* terms_a, double* terms_b,
+                        double* out_a, double* out_b, int t_pad) {
+  const double shift = MaxAbsPadded(padded, pn_pad) + 1.0;
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d shiftv = _mm512_set1_pd(shift);
+  const __m512d scalev =
+      _mm512_set1_pd(1.0 / (static_cast<double>(kernel) * sigma));
+  const __m512d sigmav = _mm512_set1_pd(sigma);
+  for (int i = 0; i < pn_pad; i += 8) {
+    const __m512d row = _mm512_loadu_pd(padded + i);
+    const __m512d pa = SignedPowPd(_mm512_sub_pd(zero, row), gamma_spec);
+    const __m512d pb = SignedPowPd(_mm512_sub_pd(shiftv, row), gamma_spec);
+    _mm512_storeu_pd(terms_a + i, _mm512_mul_pd(pa, scalev));
+    _mm512_storeu_pd(terms_b + i, _mm512_mul_pd(pb, scalev));
+  }
+  int i = 0;
+  while (t_pad - i > 40) {
+    RootsPassAvx512<4>(terms_a, terms_b, kernel, sigmav, inv_gamma, shiftv,
+                       out_a, out_b, i);
+    i += 32;
+  }
+  switch ((t_pad - i) / 8) {
+    case 5:
+      RootsPassAvx512<5>(terms_a, terms_b, kernel, sigmav, inv_gamma, shiftv,
+                         out_a, out_b, i);
+      break;
+    case 4:
+      RootsPassAvx512<4>(terms_a, terms_b, kernel, sigmav, inv_gamma, shiftv,
+                         out_a, out_b, i);
+      break;
+    case 3:
+      RootsPassAvx512<3>(terms_a, terms_b, kernel, sigmav, inv_gamma, shiftv,
+                         out_a, out_b, i);
+      break;
+    case 2:
+      RootsPassAvx512<2>(terms_a, terms_b, kernel, sigmav, inv_gamma, shiftv,
+                         out_a, out_b, i);
+      break;
+    case 1:
+      RootsPassAvx512<1>(terms_a, terms_b, kernel, sigmav, inv_gamma, shiftv,
+                         out_a, out_b, i);
+      break;
+    default:
+      break;
+  }
+}
+
+void AmplifyRowAvx512(const FusedModelPlan& model, const double* signal,
+                      int n, const PowSpec& gamma_spec, __m512d inv_gamma,
+                      const Scratch& s, double* out, int t_pad) {
+  const int half = model.time_kernel / 2;
+  const int pn = n + 2 * half;
+  const int pn_pad = (pn + 7) & ~7;
+  // Edge-replicated pad: contiguous interior copy plus replicated rims
+  // (same values the clamped gather produced, without the per-element
+  // clamp).
+  for (int i = 0; i < half; ++i) s.padded[i] = signal[0];
+  std::memcpy(s.padded + half, signal, static_cast<size_t>(n) * sizeof(double));
+  for (int i = half + n; i < pn; ++i) s.padded[i] = signal[n - 1];
+  ConvolveRowsAvx512(s.padded, pn_pad, model.time_kernel, gamma_spec,
+                     inv_gamma, model.sigma_t, s.terms, s.terms2, s.conv_a,
+                     s.conv_b, t_pad);
+  const __m512d halfv = _mm512_set1_pd(0.5);
+  for (int i = 0; i < t_pad; i += 8) {
+    _mm512_storeu_pd(
+        out + i,
+        _mm512_mul_pd(halfv, _mm512_add_pd(_mm512_loadu_pd(s.conv_a + i),
+                                           _mm512_loadu_pd(s.conv_b + i))));
+  }
+}
+
+void RunBranchGroupAvx512(const FusedModelPlan& model,
+                          const FusedServicePlan& service,
+                          const FusedModelPlan::Branch& branch, bool valley,
+                          const PowSpec& gf_spec, __m512d inv_gamma_f,
+                          const Scratch& s, int nw) {
+  const int m = model.features;
+  const int k = model.num_bases;
+  const int t_pad = model.window_pad;
+  const int fk = model.freq_kernel;
+  const int stride = model.freq_stride;
+  const int comp = model.compressed;
+  const int h = model.hidden_channels;
+  const int h_pad = model.h_pad;
+  const int latent_n = model.latent;
+  const int latent_pad = (latent_n + 7) & ~7;
+  const int hidden_n = model.decoder_hidden;
+  const int hidden_pad = model.hidden_pad;
+  const int flat_pad = model.flat_pad;
+  const size_t rec_pad =
+      (2 * static_cast<size_t>(m) * k + 7) & ~static_cast<size_t>(7);
+  const size_t row_slab = static_cast<size_t>(m) * t_pad;
+
+  // Front half per window: dualistic power transform, strided encoder,
+  // latent roots. These stages are transcendental- or gather-bound with
+  // no panel reuse across windows, so they stay window-at-a-time.
+  for (int wi = 0; wi < nw; ++wi) {
+    const double* rep = s.rep + static_cast<size_t>(wi) * flat_pad;
+    double* powered = s.powered + static_cast<size_t>(wi) * flat_pad;
+    double* latent = s.latent + static_cast<size_t>(wi) * latent_pad;
+
+    // Encode (see the AVX2 arm for the valley-shift tail notes).
+    double shift = 0.0;
+    const double* enc_in = rep;
+    if (model.dualistic_encoders) {
+      if (valley) {
+        shift = MaxAbsPadded(rep, flat_pad) + 1.0;
+      }
+      const __m512d shiftv = _mm512_set1_pd(shift);
+      const __m512d isv = _mm512_set1_pd(model.inv_sigma_f);
+      int i = 0;
+      for (; i + 16 <= flat_pad; i += 16) {
+        const __m512d x0 = _mm512_sub_pd(shiftv, _mm512_loadu_pd(rep + i));
+        const __m512d x1 =
+            _mm512_sub_pd(shiftv, _mm512_loadu_pd(rep + i + 8));
+        _mm512_storeu_pd(powered + i,
+                         _mm512_mul_pd(SignedPowPd(x0, gf_spec), isv));
+        _mm512_storeu_pd(powered + i + 8,
+                         _mm512_mul_pd(SignedPowPd(x1, gf_spec), isv));
+      }
+      for (; i < flat_pad; i += 8) {
+        const __m512d x = _mm512_sub_pd(shiftv, _mm512_loadu_pd(rep + i));
+        _mm512_storeu_pd(powered + i,
+                         _mm512_mul_pd(SignedPowPd(x, gf_spec), isv));
+      }
+      enc_in = powered;
+    }
+    // enc_w_packed is [(c, j)][h_pad]; the gathered taps keep kk order
+    // identical to the original c-major, tap-minor accumulation. Adjacent
+    // positions run as paired accumulator chains (bit-identical per
+    // position, the weight panel is just streamed once for both).
+    int t = 0;
+    for (; t + 2 <= comp; t += 2) {
+      for (int c = 0; c < m; ++c) {
+        const double* x = enc_in + static_cast<size_t>(c) * k +
+                          static_cast<size_t>(t) * stride;
+        for (int j = 0; j < fk; ++j) {
+          s.enc_taps[c * fk + j] = x[j];
+          s.enc_taps2[c * fk + j] = x[stride + j];
+        }
+      }
+      DualBroadcastFmaPanelAvx512(s.enc_taps, s.enc_taps2, m * fk,
+                                  branch.enc_w_packed.data(), h_pad,
+                                  branch.enc_b_packed.data(), s.latent_acc,
+                                  s.latent_acc2);
+      for (int hc = 0; hc < h; ++hc) {
+        latent[static_cast<size_t>(hc) * comp + t] = s.latent_acc[hc];
+        latent[static_cast<size_t>(hc) * comp + t + 1] = s.latent_acc2[hc];
+      }
+    }
+    for (; t < comp; ++t) {
+      for (int c = 0; c < m; ++c) {
+        const double* x = enc_in + static_cast<size_t>(c) * k +
+                          static_cast<size_t>(t) * stride;
+        for (int j = 0; j < fk; ++j) {
+          s.enc_taps[c * fk + j] = x[j];
+        }
+      }
+      BroadcastFmaPanelAvx512(s.enc_taps, m * fk, branch.enc_w_packed.data(),
+                              h_pad, branch.enc_b_packed.data(),
+                              s.latent_acc);
+      for (int hc = 0; hc < h; ++hc) {
+        latent[static_cast<size_t>(hc) * comp + t] = s.latent_acc[hc];
+      }
+    }
+    if (model.dualistic_encoders) {
+      const __m512d shiftv = _mm512_set1_pd(shift);
+      const __m512d sv = _mm512_set1_pd(model.sigma_f);
+      int i = 0;
+      // Eight root chains in flight (latency-bound below eight).
+      for (; i + 64 <= latent_pad; i += 64) {
+        const __m512d r0 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i), sv), inv_gamma_f);
+        const __m512d r1 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 8), sv), inv_gamma_f);
+        const __m512d r2 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 16), sv),
+            inv_gamma_f);
+        const __m512d r3 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 24), sv),
+            inv_gamma_f);
+        const __m512d r4 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 32), sv),
+            inv_gamma_f);
+        const __m512d r5 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 40), sv),
+            inv_gamma_f);
+        const __m512d r6 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 48), sv),
+            inv_gamma_f);
+        const __m512d r7 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 56), sv),
+            inv_gamma_f);
+        _mm512_storeu_pd(latent + i, _mm512_sub_pd(shiftv, r0));
+        _mm512_storeu_pd(latent + i + 8, _mm512_sub_pd(shiftv, r1));
+        _mm512_storeu_pd(latent + i + 16, _mm512_sub_pd(shiftv, r2));
+        _mm512_storeu_pd(latent + i + 24, _mm512_sub_pd(shiftv, r3));
+        _mm512_storeu_pd(latent + i + 32, _mm512_sub_pd(shiftv, r4));
+        _mm512_storeu_pd(latent + i + 40, _mm512_sub_pd(shiftv, r5));
+        _mm512_storeu_pd(latent + i + 48, _mm512_sub_pd(shiftv, r6));
+        _mm512_storeu_pd(latent + i + 56, _mm512_sub_pd(shiftv, r7));
+      }
+      for (; i + 32 <= latent_pad; i += 32) {
+        const __m512d r0 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i), sv), inv_gamma_f);
+        const __m512d r1 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 8), sv), inv_gamma_f);
+        const __m512d r2 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 16), sv),
+            inv_gamma_f);
+        const __m512d r3 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 24), sv),
+            inv_gamma_f);
+        _mm512_storeu_pd(latent + i, _mm512_sub_pd(shiftv, r0));
+        _mm512_storeu_pd(latent + i + 8, _mm512_sub_pd(shiftv, r1));
+        _mm512_storeu_pd(latent + i + 16, _mm512_sub_pd(shiftv, r2));
+        _mm512_storeu_pd(latent + i + 24, _mm512_sub_pd(shiftv, r3));
+      }
+      for (; i + 16 <= latent_pad; i += 16) {
+        const __m512d r0 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i), sv), inv_gamma_f);
+        const __m512d r1 = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i + 8), sv), inv_gamma_f);
+        _mm512_storeu_pd(latent + i, _mm512_sub_pd(shiftv, r0));
+        _mm512_storeu_pd(latent + i + 8, _mm512_sub_pd(shiftv, r1));
+      }
+      for (; i < latent_pad; i += 8) {
+        const __m512d rooted = SignedRootPd(
+            _mm512_mul_pd(_mm512_loadu_pd(latent + i), sv), inv_gamma_f);
+        _mm512_storeu_pd(latent + i, _mm512_sub_pd(shiftv, rooted));
+      }
+    }
+  }
+
+  // Decode: bias-seeded FMA panels, each swept once across the whole
+  // group. The decoder panels are the only ones larger than L1, so this
+  // is where the group sweep pays — the weight stream drops from
+  // once-per-window to once-per-four-windows.
+  {
+    const double* acts[kGroup];
+    double* outs[kGroup];
+    for (int wi = 0; wi < nw; ++wi) {
+      acts[wi] = s.latent + static_cast<size_t>(wi) * latent_pad;
+      outs[wi] = s.hidden + static_cast<size_t>(wi) * hidden_pad;
+    }
+    GroupPanelAvx512(acts, outs, nw, latent_n, branch.dec_w1_packed.data(),
+                     hidden_pad, branch.dec_b1_packed.data());
+  }
+  for (int wi = 0; wi < nw; ++wi) {
+    double* hidden = s.hidden + static_cast<size_t>(wi) * hidden_pad;
+    int v = 0;
+    for (; v + 32 <= hidden_pad; v += 32) {
+      const __m512d t0 = TanhPd(_mm512_loadu_pd(hidden + v));
+      const __m512d t1 = TanhPd(_mm512_loadu_pd(hidden + v + 8));
+      const __m512d t2 = TanhPd(_mm512_loadu_pd(hidden + v + 16));
+      const __m512d t3 = TanhPd(_mm512_loadu_pd(hidden + v + 24));
+      _mm512_storeu_pd(hidden + v, t0);
+      _mm512_storeu_pd(hidden + v + 8, t1);
+      _mm512_storeu_pd(hidden + v + 16, t2);
+      _mm512_storeu_pd(hidden + v + 24, t3);
+    }
+    for (; v + 16 <= hidden_pad; v += 16) {
+      const __m512d t0 = TanhPd(_mm512_loadu_pd(hidden + v));
+      const __m512d t1 = TanhPd(_mm512_loadu_pd(hidden + v + 8));
+      _mm512_storeu_pd(hidden + v, t0);
+      _mm512_storeu_pd(hidden + v + 8, t1);
+    }
+    for (; v < hidden_pad; v += 8) {
+      _mm512_storeu_pd(hidden + v, TanhPd(_mm512_loadu_pd(hidden + v)));
+    }
+  }
+  {
+    const double* acts[kGroup];
+    double* outs[kGroup];
+    for (int wi = 0; wi < nw; ++wi) {
+      acts[wi] = s.hidden + static_cast<size_t>(wi) * hidden_pad;
+      outs[wi] = s.amp_dec + static_cast<size_t>(wi) * flat_pad;
+    }
+    GroupPanelAvx512(acts, outs, nw, hidden_n, branch.dec_w2_packed.data(),
+                     flat_pad, branch.dec_b2_packed.data());
+  }
+
+  // Stage 4: phase reattach per window (vector body + scalar tail), then
+  // the IDFT panel swept per feature across the group, then the squared
+  // residual with the branch max folded in on the valley pass.
+  for (int wi = 0; wi < nw; ++wi) {
+    const double* amp_dec = s.amp_dec + static_cast<size_t>(wi) * flat_pad;
+    const double* phase_re = s.phase_re + static_cast<size_t>(wi) * flat_pad;
+    const double* phase_im = s.phase_im + static_cast<size_t>(wi) * flat_pad;
+    double* rec_w = s.rec + static_cast<size_t>(wi) * rec_pad;
+    for (int f = 0; f < m; ++f) {
+      const double* ad = amp_dec + static_cast<size_t>(f) * k;
+      const double* pr = phase_re + static_cast<size_t>(f) * k;
+      const double* pi = phase_im + static_cast<size_t>(f) * k;
+      double* rec = rec_w + static_cast<size_t>(f) * (2 * k);
+      int c = 0;
+      for (; c + 8 <= k; c += 8) {
+        const __m512d adv = _mm512_loadu_pd(ad + c);
+        _mm512_storeu_pd(rec + c,
+                         _mm512_mul_pd(adv, _mm512_loadu_pd(pr + c)));
+        _mm512_storeu_pd(rec + k + c,
+                         _mm512_mul_pd(adv, _mm512_loadu_pd(pi + c)));
+      }
+      for (; c < k; ++c) {
+        rec[c] = ad[c] * pr[c];
+        rec[k + c] = ad[c] * pi[c];
+      }
+    }
+  }
+  for (int f = 0; f < m; ++f) {
+    const double* acts[kGroup];
+    double* outs[kGroup];
+    for (int wi = 0; wi < nw; ++wi) {
+      acts[wi] = s.rec + static_cast<size_t>(wi) * rec_pad +
+                 static_cast<size_t>(f) * (2 * k);
+      outs[wi] = s.recon + static_cast<size_t>(wi) * row_slab +
+                 static_cast<size_t>(f) * t_pad;
+    }
+    GroupPanelAvx512(acts, outs, nw, 2 * k, service.inverse_padded.data(),
+                     t_pad, /*bias=*/nullptr);
+  }
+  for (int wi = 0; wi < nw; ++wi) {
+    const double* recon_w = s.recon + static_cast<size_t>(wi) * row_slab;
+    const double* ampw_w = s.ampw + static_cast<size_t>(wi) * row_slab;
+    double* err_w = s.err + static_cast<size_t>(wi) * row_slab;
+    for (int f = 0; f < m; ++f) {
+      const double* rtime = recon_w + static_cast<size_t>(f) * t_pad;
+      const double* xrow = ampw_w + static_cast<size_t>(f) * t_pad;
+      double* erow = err_w + static_cast<size_t>(f) * t_pad;
+      for (int t = 0; t < t_pad; t += 8) {
+        const __m512d d = _mm512_sub_pd(_mm512_loadu_pd(rtime + t),
+                                        _mm512_loadu_pd(xrow + t));
+        __m512d e = _mm512_mul_pd(d, d);
+        if (valley) e = _mm512_max_pd(_mm512_loadu_pd(erow + t), e);
+        _mm512_storeu_pd(erow + t, e);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool Avx512ArmCompiled() { return true; }
+
+void ScoreWindowsAvx512(const FusedModelPlan& model,
+                        const FusedServicePlan& service,
+                        const double* windows, int batch,
+                        double* step_errors) {
+  const int m = model.features;
+  const int k = model.num_bases;
+  const int t_len = model.window;
+  const int t_pad = model.window_pad;
+  const int cols_pad = model.cols_pad;
+  const int flat_pad = model.flat_pad;
+  const size_t flat = static_cast<size_t>(m) * k;
+  const size_t entry = static_cast<size_t>(m) * t_len;
+  const int half = model.amplify ? model.time_kernel / 2 : 0;
+  const int pn = t_len + 2 * half;
+  const size_t pn_slab = static_cast<size_t>((pn + 7) & ~7) + 8;
+  const int latent_pad = (model.latent + 7) & ~7;
+
+  const PowSpec gt_spec = MakePowSpec(model.gamma_t);
+  const PowSpec gf_spec = MakePowSpec(model.gamma_f);
+  const __m512d inv_gamma_t = _mm512_set1_pd(1.0 / model.gamma_t);
+  const __m512d inv_gamma_f = _mm512_set1_pd(1.0 / model.gamma_f);
+
+  const size_t g_cap =
+      static_cast<size_t>(batch < kGroup ? batch : kGroup);
+  const size_t rec_pad = (2 * flat + 7) & ~static_cast<size_t>(7);
+  const size_t row_slab = static_cast<size_t>(m) * t_pad;
+  const size_t coeff_slab = static_cast<size_t>(m) * cols_pad;
+  const size_t per_win = 3 * row_slab + coeff_slab +
+                         6 * static_cast<size_t>(flat_pad) +
+                         static_cast<size_t>(latent_pad) +
+                         static_cast<size_t>(model.hidden_pad) + rec_pad;
+  const size_t total = 3 * pn_slab + 3 * static_cast<size_t>(t_pad) +
+                       2 * static_cast<size_t>(m) * model.freq_kernel +
+                       2 * static_cast<size_t>(model.h_pad) +
+                       g_cap * per_win;
+  // Every slab below is a multiple of 8 doubles, so rounding the block
+  // base up to a cache line keeps all full-vector scratch loads within
+  // one line (see Aligned64Allocator in fused_plan.h for the penalty).
+  std::vector<double> block =
+      tensor::AcquireScratchBuffer(total + 8, /*zero_fill=*/true);
+  Scratch s;
+  {
+    double* p = reinterpret_cast<double*>(
+        (reinterpret_cast<uintptr_t>(block.data()) + 63) & ~uintptr_t{63});
+    auto take = [&p](size_t n) {
+      double* out = p;
+      p += n;
+      return out;
+    };
+    s.padded = take(pn_slab);
+    s.terms = take(pn_slab);
+    s.terms2 = take(pn_slab);
+    s.conv_a = take(static_cast<size_t>(t_pad));
+    s.conv_b = take(static_cast<size_t>(t_pad));
+    s.enc_taps = take(static_cast<size_t>(m) * model.freq_kernel);
+    s.enc_taps2 = take(static_cast<size_t>(m) * model.freq_kernel);
+    s.latent_acc = take(static_cast<size_t>(model.h_pad));
+    s.latent_acc2 = take(static_cast<size_t>(model.h_pad));
+    s.step_acc = take(static_cast<size_t>(t_pad));
+    s.ampw = take(g_cap * row_slab);
+    s.coeffs = take(g_cap * coeff_slab);
+    s.amp = take(g_cap * static_cast<size_t>(flat_pad));
+    s.phase_re = take(g_cap * static_cast<size_t>(flat_pad));
+    s.phase_im = take(g_cap * static_cast<size_t>(flat_pad));
+    s.rep = take(g_cap * static_cast<size_t>(flat_pad));
+    s.powered = take(g_cap * static_cast<size_t>(flat_pad));
+    s.latent = take(g_cap * static_cast<size_t>(latent_pad));
+    s.hidden = take(g_cap * static_cast<size_t>(model.hidden_pad));
+    s.amp_dec = take(g_cap * static_cast<size_t>(flat_pad));
+    s.rec = take(g_cap * rec_pad);
+    s.recon = take(g_cap * row_slab);
+    s.err = take(g_cap * row_slab);
+  }
+
+  const __m512d zerov = _mm512_setzero_pd();
+  const __m512d epsv = _mm512_set1_pd(model.spectrum_epsilon);
+
+  for (int g0 = 0; g0 < batch; g0 += kGroup) {
+    const int nw = batch - g0 < kGroup ? batch - g0 : kGroup;
+
+    // Stage 1 per window into that window's [m][T_pad] rows.
+    for (int wi = 0; wi < nw; ++wi) {
+      const double* win =
+          windows + static_cast<size_t>(g0 + wi) * entry;
+      double* ampw = s.ampw + static_cast<size_t>(wi) * row_slab;
+      if (model.amplify) {
+        for (int f = 0; f < m; ++f) {
+          AmplifyRowAvx512(model, win + static_cast<size_t>(f) * t_len,
+                           t_len, gt_spec, inv_gamma_t, s,
+                           ampw + static_cast<size_t>(f) * t_pad, t_pad);
+        }
+      } else {
+        for (int f = 0; f < m; ++f) {
+          const double* src = win + static_cast<size_t>(f) * t_len;
+          double* dst = ampw + static_cast<size_t>(f) * t_pad;
+          for (int t = 0; t < t_len; ++t) dst[t] = src[t];
+        }
+      }
+    }
+
+    // Stage 2: DFT panel FMA, per feature across the group.
+    for (int f = 0; f < m; ++f) {
+      const double* acts[kGroup];
+      double* outs[kGroup];
+      for (int wi = 0; wi < nw; ++wi) {
+        acts[wi] = s.ampw + static_cast<size_t>(wi) * row_slab +
+                   static_cast<size_t>(f) * t_pad;
+        outs[wi] = s.coeffs + static_cast<size_t>(wi) * coeff_slab +
+                   static_cast<size_t>(f) * cols_pad;
+      }
+      GroupPanelAvx512(acts, outs, nw, t_len,
+                       service.forward_padded.data(), cols_pad,
+                       /*bias=*/nullptr);
+    }
+
+    for (int wi = 0; wi < nw; ++wi) {
+      const double* coeffs = s.coeffs + static_cast<size_t>(wi) * coeff_slab;
+      double* amp = s.amp + static_cast<size_t>(wi) * flat_pad;
+      double* phase_re = s.phase_re + static_cast<size_t>(wi) * flat_pad;
+      double* phase_im = s.phase_im + static_cast<size_t>(wi) * flat_pad;
+      double* rep = s.rep + static_cast<size_t>(wi) * flat_pad;
+
+      // Amplitudes and unit phases, per feature row with scalar tails.
+      for (int f = 0; f < m; ++f) {
+        const double* crow = coeffs + static_cast<size_t>(f) * cols_pad;
+        double* arow = amp + static_cast<size_t>(f) * k;
+        double* prrow = phase_re + static_cast<size_t>(f) * k;
+        double* pirow = phase_im + static_cast<size_t>(f) * k;
+        int c = 0;
+        for (; c + 8 <= k; c += 8) {
+          const __m512d r = _mm512_loadu_pd(crow + c);
+          const __m512d i = _mm512_loadu_pd(crow + k + c);
+          const __m512d a2 = _mm512_add_pd(
+              Fma(i, i, _mm512_mul_pd(r, r)), epsv);
+          const __m512d a = _mm512_sqrt_pd(a2);
+          _mm512_storeu_pd(arow + c, a);
+          _mm512_storeu_pd(prrow + c, _mm512_div_pd(r, a));
+          _mm512_storeu_pd(pirow + c, _mm512_div_pd(i, a));
+        }
+        for (; c < k; ++c) {
+          const double r = crow[c];
+          const double i = crow[k + c];
+          const double a = std::sqrt(r * r + i * i + model.spectrum_epsilon);
+          arow[c] = a;
+          prrow[c] = r / a;
+          pirow[c] = i / a;
+        }
+      }
+
+      // Frequency characterization (rep tails re-zeroed for the valley
+      // encoder's max-abs scan).
+      if (model.has_char) {
+        const __m512d b2v = _mm512_set1_pd(model.char_b2);
+        for (int i = 0; i < flat_pad; i += 8) {
+          _mm512_storeu_pd(rep + i, b2v);
+        }
+        for (int ci = 0; ci < model.char_channels; ++ci) {
+          const __m512d b1v =
+              _mm512_set1_pd(model.char_b1[static_cast<size_t>(ci)]);
+          const __m512d w0v =
+              _mm512_set1_pd(model.char_w1[static_cast<size_t>(ci) * 3 + 0]);
+          const __m512d w1v =
+              _mm512_set1_pd(model.char_w1[static_cast<size_t>(ci) * 3 + 1]);
+          const __m512d w2v =
+              _mm512_set1_pd(model.char_w1[static_cast<size_t>(ci) * 3 + 2]);
+          const __m512d wov =
+              _mm512_set1_pd(model.char_w2[static_cast<size_t>(ci)]);
+          const double* sinp = service.marker_sin_flat.data();
+          const double* cosp = service.marker_cos_flat.data();
+          // Four tanh chains in flight (pure ILP; per-lane arithmetic
+          // unchanged).
+          int i = 0;
+          for (; i + 32 <= flat_pad; i += 32) {
+            __m512d row0 = Fma(w0v, _mm512_loadu_pd(amp + i), b1v);
+            row0 = Fma(w1v, _mm512_loadu_pd(sinp + i), row0);
+            row0 = Fma(w2v, _mm512_loadu_pd(cosp + i), row0);
+            __m512d row1 = Fma(w0v, _mm512_loadu_pd(amp + i + 8), b1v);
+            row1 = Fma(w1v, _mm512_loadu_pd(sinp + i + 8), row1);
+            row1 = Fma(w2v, _mm512_loadu_pd(cosp + i + 8), row1);
+            __m512d row2 = Fma(w0v, _mm512_loadu_pd(amp + i + 16), b1v);
+            row2 = Fma(w1v, _mm512_loadu_pd(sinp + i + 16), row2);
+            row2 = Fma(w2v, _mm512_loadu_pd(cosp + i + 16), row2);
+            __m512d row3 = Fma(w0v, _mm512_loadu_pd(amp + i + 24), b1v);
+            row3 = Fma(w1v, _mm512_loadu_pd(sinp + i + 24), row3);
+            row3 = Fma(w2v, _mm512_loadu_pd(cosp + i + 24), row3);
+            const __m512d t0 = TanhPd(row0);
+            const __m512d t1 = TanhPd(row1);
+            const __m512d t2 = TanhPd(row2);
+            const __m512d t3 = TanhPd(row3);
+            _mm512_storeu_pd(rep + i,
+                             Fma(wov, t0, _mm512_loadu_pd(rep + i)));
+            _mm512_storeu_pd(rep + i + 8,
+                             Fma(wov, t1, _mm512_loadu_pd(rep + i + 8)));
+            _mm512_storeu_pd(rep + i + 16,
+                             Fma(wov, t2, _mm512_loadu_pd(rep + i + 16)));
+            _mm512_storeu_pd(rep + i + 24,
+                             Fma(wov, t3, _mm512_loadu_pd(rep + i + 24)));
+          }
+          for (; i + 16 <= flat_pad; i += 16) {
+            __m512d row0 = Fma(w0v, _mm512_loadu_pd(amp + i), b1v);
+            row0 = Fma(w1v, _mm512_loadu_pd(sinp + i), row0);
+            row0 = Fma(w2v, _mm512_loadu_pd(cosp + i), row0);
+            __m512d row1 = Fma(w0v, _mm512_loadu_pd(amp + i + 8), b1v);
+            row1 = Fma(w1v, _mm512_loadu_pd(sinp + i + 8), row1);
+            row1 = Fma(w2v, _mm512_loadu_pd(cosp + i + 8), row1);
+            const __m512d t0 = TanhPd(row0);
+            const __m512d t1 = TanhPd(row1);
+            _mm512_storeu_pd(rep + i,
+                             Fma(wov, t0, _mm512_loadu_pd(rep + i)));
+            _mm512_storeu_pd(rep + i + 8,
+                             Fma(wov, t1, _mm512_loadu_pd(rep + i + 8)));
+          }
+          for (; i < flat_pad; i += 8) {
+            __m512d row = Fma(w0v, _mm512_loadu_pd(amp + i), b1v);
+            row = Fma(w1v, _mm512_loadu_pd(sinp + i), row);
+            row = Fma(w2v, _mm512_loadu_pd(cosp + i), row);
+            _mm512_storeu_pd(rep + i, Fma(wov, TanhPd(row),
+                                          _mm512_loadu_pd(rep + i)));
+          }
+        }
+        for (int i = 0; i < flat_pad; i += 8) {
+          _mm512_storeu_pd(rep + i,
+                           _mm512_add_pd(_mm512_loadu_pd(rep + i),
+                                         _mm512_loadu_pd(amp + i)));
+        }
+        for (size_t i = flat; i < static_cast<size_t>(flat_pad); ++i) {
+          rep[i] = 0.0;
+        }
+      } else {
+        for (int i = 0; i < flat_pad; i += 8) {
+          _mm512_storeu_pd(rep + i, _mm512_loadu_pd(amp + i));
+        }
+      }
+    }
+
+    RunBranchGroupAvx512(model, service, model.peak, /*valley=*/false,
+                         gf_spec, inv_gamma_f, s, nw);
+    RunBranchGroupAvx512(model, service, model.valley, /*valley=*/true,
+                         gf_spec, inv_gamma_f, s, nw);
+
+    // Per-step feature mean; only the first T lanes leave the scratch.
+    for (int wi = 0; wi < nw; ++wi) {
+      const double* err_w = s.err + static_cast<size_t>(wi) * row_slab;
+      for (int t = 0; t < t_pad; t += 8) {
+        _mm512_storeu_pd(s.step_acc + t, zerov);
+      }
+      for (int f = 0; f < m; ++f) {
+        const double* erow = err_w + static_cast<size_t>(f) * t_pad;
+        for (int t = 0; t < t_pad; t += 8) {
+          _mm512_storeu_pd(s.step_acc + t,
+                           _mm512_add_pd(_mm512_loadu_pd(s.step_acc + t),
+                                         _mm512_loadu_pd(erow + t)));
+        }
+      }
+      const __m512d mv = _mm512_set1_pd(static_cast<double>(m));
+      for (int t = 0; t < t_pad; t += 8) {
+        _mm512_storeu_pd(s.step_acc + t,
+                         _mm512_div_pd(_mm512_loadu_pd(s.step_acc + t), mv));
+      }
+      double* out = step_errors + static_cast<size_t>(g0 + wi) * t_len;
+      for (int t = 0; t < t_len; ++t) out[t] = s.step_acc[t];
+    }
+  }
+
+  tensor::ReleaseScratchBuffer(std::move(block));
+}
+
+}  // namespace mace::kernel::internal
+
+#else  // !(__AVX512F__ && __AVX512DQ__)
+
+namespace mace::kernel::internal {
+
+bool Avx512ArmCompiled() { return false; }
+
+void ScoreWindowsAvx512(const FusedModelPlan& model,
+                        const FusedServicePlan& service,
+                        const double* windows, int batch,
+                        double* step_errors) {
+  ScoreWindowsAvx2(model, service, windows, batch, step_errors);
+}
+
+}  // namespace mace::kernel::internal
+
+#endif  // __AVX512F__ && __AVX512DQ__

@@ -1,0 +1,370 @@
+// The scalar reference arm of the fused scoring kernel.
+//
+// Replicates the tensor op graph's arithmetic — accumulation orders,
+// epsilon forms, MatMul's skip-on-zero rows, Conv1d's per-(channel, tap)
+// local accumulator — operation for operation, so its outputs are
+// bit-identical to MaceModel::Forward / ForwardBatch. Any change here
+// must preserve that: tests/score_fastpath_test.cc pins equality with
+// ==, not a tolerance.
+//
+// Compiled with AVX/FMA explicitly disabled (see src/kernel/CMakeLists)
+// so the arm stays genuinely scalar even under MACE_NATIVE_ARCH builds;
+// -ffp-contract=off repo-wide already forbids contraction.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+#include "kernel/kernel_arms.h"
+#include "tensor/tensor.h"
+
+namespace mace::kernel::internal {
+
+namespace {
+
+/// Scratch layout of one ScoreWindows call, partitioned out of a single
+/// pooled block and reused across the whole batch.
+struct Scratch {
+  double* ampw;     ///< [m][T] amplified (stage-1 output) window
+  double* padded;   ///< [T + 2 * half] edge-replicated row
+  double* terms;    ///< [T + 2 * half] hoisted power terms
+  double* conv_a;   ///< [T] stage-1 peak row
+  double* conv_b;   ///< [T] stage-1 valley row
+  double* coeffs;   ///< [m][2k]
+  double* amp;      ///< [m * k]
+  double* phase_re; ///< [m * k]
+  double* phase_im; ///< [m * k]
+  double* rep;      ///< [m * k]
+  double* powered;  ///< [m * k] encoder input, powered
+  double* latent;   ///< [latent]
+  double* hidden;   ///< [decoder_hidden]
+  double* amp_dec;  ///< [m * k]
+  double* rec;      ///< [m][2k]
+  double* time;     ///< [T] one reconstructed feature row
+  double* err;      ///< [m][T] branch-max squared error
+};
+
+/// DualisticConvolve's ConvolveInto, verbatim: hoisted power terms,
+/// left-to-right sliding accumulation, shift-conjugated valley.
+void ConvolveRow(const double* signal, size_t n, int kernel, double gamma,
+                 double sigma, bool valley, double* terms, double* out,
+                 size_t out_len) {
+  double shift = 0.0;
+  if (valley) {
+    double max_abs = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      max_abs = std::max(max_abs, std::fabs(signal[t]));
+    }
+    shift = max_abs + 1.0;
+  }
+  const double alpha = 1.0 / static_cast<double>(kernel);
+  for (size_t t = 0; t < n; ++t) {
+    terms[t] = alpha * SignedPow(shift - signal[t], gamma) / sigma;
+  }
+  for (size_t i = 0; i < out_len; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < kernel; ++j) {
+      acc += terms[i + static_cast<size_t>(j)];
+    }
+    out[i] = shift - SignedRoot(acc * sigma, gamma);
+  }
+}
+
+/// Stage 1 for one feature row: DualisticAmplifyInto's edge-replication
+/// pad, both convolution modes, half-sum merge.
+void AmplifyRow(const FusedModelPlan& model, const double* signal, size_t n,
+                const Scratch& s, double* out) {
+  const int half = model.time_kernel / 2;
+  const size_t pn = n + 2 * static_cast<size_t>(half);
+  for (size_t i = 0; i < pn; ++i) {
+    const std::int64_t src = static_cast<std::int64_t>(i) - half;
+    const std::int64_t clamped =
+        src < 0 ? 0
+                : (src >= static_cast<std::int64_t>(n)
+                       ? static_cast<std::int64_t>(n) - 1
+                       : src);
+    s.padded[i] = signal[static_cast<size_t>(clamped)];
+  }
+  ConvolveRow(s.padded, pn, model.time_kernel, model.gamma_t, model.sigma_t,
+              /*valley=*/false, s.terms, s.conv_a, n);
+  ConvolveRow(s.padded, pn, model.time_kernel, model.gamma_t, model.sigma_t,
+              /*valley=*/true, s.terms, s.conv_b, n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = 0.5 * (s.conv_a[i] + s.conv_b[i]);
+  }
+}
+
+/// One autoencoder branch end to end: encode `rep`, decode, reattach
+/// phases, IDFT back to time, square the residual. Peak overwrites
+/// `s.err`; valley folds in through the op graph's Maximum (x >= y ? x : y
+/// with peak as x).
+void RunBranch(const FusedModelPlan& model, const FusedServicePlan& service,
+               const FusedModelPlan::Branch& branch, bool valley,
+               const Scratch& s) {
+  const int m = model.features;
+  const int k = model.num_bases;
+  const int t_len = model.window;
+  const int fk = model.freq_kernel;
+  const int stride = model.freq_stride;
+  const int comp = model.compressed;
+  const int h = model.hidden_channels;
+  const int latent_n = model.latent;
+  const int hidden_n = model.decoder_hidden;
+  const size_t flat = static_cast<size_t>(m) * k;
+
+  // Encode. Dualistic: power -> summation conv (no bias) -> root, with
+  // the valley shift-conjugated around max-abs of the WHOLE encoder input
+  // (DualisticConvLayer::Forward — ForwardBatched computes the same
+  // per-entry shift). Plain-conv ablation: Conv1d with bias, untouched
+  // input.
+  double shift = 0.0;
+  const double* enc_in = s.rep;
+  if (model.dualistic_encoders) {
+    if (valley) {
+      double max_abs = 0.0;
+      for (size_t i = 0; i < flat; ++i) {
+        max_abs = std::max(max_abs, std::fabs(s.rep[i]));
+      }
+      shift = max_abs + 1.0;
+    }
+    for (size_t i = 0; i < flat; ++i) {
+      s.powered[i] =
+          SignedPow(shift - s.rep[i], model.gamma_f) * model.inv_sigma_f;
+    }
+    enc_in = s.powered;
+  }
+  for (int hc = 0; hc < h; ++hc) {
+    double* out = s.latent + static_cast<size_t>(hc) * comp;
+    if (branch.enc_b.empty()) {
+      for (int t = 0; t < comp; ++t) out[t] = 0.0;
+    } else {
+      const double bf = branch.enc_b[static_cast<size_t>(hc)];
+      for (int t = 0; t < comp; ++t) out[t] = bf;
+    }
+    for (int c = 0; c < m; ++c) {
+      const double* x = enc_in + static_cast<size_t>(c) * k;
+      const double* w =
+          branch.enc_w.data() + (static_cast<size_t>(hc) * m + c) * fk;
+      for (int t = 0; t < comp; ++t) {
+        const double* xw = x + static_cast<size_t>(t) * stride;
+        double acc = 0.0;
+        for (int j = 0; j < fk; ++j) acc += w[j] * xw[j];
+        out[t] += acc;
+      }
+    }
+  }
+  if (model.dualistic_encoders) {
+    for (int i = 0; i < latent_n; ++i) {
+      const double rooted =
+          SignedRoot(s.latent[i] * model.sigma_f, model.gamma_f);
+      s.latent[i] = shift - rooted;
+    }
+  }
+
+  // Decode: Linear -> Tanh -> Linear, with MatMul's skip-on-zero rows and
+  // the bias added after the full matmul (tanh(mm + b) folds the
+  // elementwise Add the op graph runs first — same double either way).
+  for (int j = 0; j < hidden_n; ++j) s.hidden[j] = 0.0;
+  for (int kk = 0; kk < latent_n; ++kk) {
+    const double a = s.latent[kk];
+    if (a == 0.0) continue;
+    const double* brow =
+        branch.dec_w1.data() + static_cast<size_t>(kk) * hidden_n;
+    for (int j = 0; j < hidden_n; ++j) s.hidden[j] += a * brow[j];
+  }
+  for (int j = 0; j < hidden_n; ++j) {
+    s.hidden[j] = std::tanh(s.hidden[j] + branch.dec_b1[static_cast<size_t>(j)]);
+  }
+  for (size_t j = 0; j < flat; ++j) s.amp_dec[j] = 0.0;
+  for (int kk = 0; kk < hidden_n; ++kk) {
+    const double a = s.hidden[kk];
+    if (a == 0.0) continue;
+    const double* brow =
+        branch.dec_w2.data() + static_cast<size_t>(kk) * flat;
+    for (size_t j = 0; j < flat; ++j) s.amp_dec[j] += a * brow[j];
+  }
+  for (size_t j = 0; j < flat; ++j) s.amp_dec[j] += branch.dec_b2[j];
+
+  // Stage 4: reattach the detached unit phases, IDFT matmul row by row
+  // (skip-on-zero), square the residual against the amplified window.
+  for (int f = 0; f < m; ++f) {
+    const double* ad = s.amp_dec + static_cast<size_t>(f) * k;
+    const double* pr = s.phase_re + static_cast<size_t>(f) * k;
+    const double* pi = s.phase_im + static_cast<size_t>(f) * k;
+    double* rec = s.rec + static_cast<size_t>(f) * (2 * k);
+    for (int c = 0; c < k; ++c) {
+      rec[c] = ad[c] * pr[c];
+      rec[k + c] = ad[c] * pi[c];
+    }
+  }
+  for (int f = 0; f < m; ++f) {
+    for (int t = 0; t < t_len; ++t) s.time[t] = 0.0;
+    const double* rec = s.rec + static_cast<size_t>(f) * (2 * k);
+    for (int kk = 0; kk < 2 * k; ++kk) {
+      const double a = rec[kk];
+      if (a == 0.0) continue;
+      const double* brow =
+          service.inverse.data() + static_cast<size_t>(kk) * t_len;
+      for (int t = 0; t < t_len; ++t) s.time[t] += a * brow[t];
+    }
+    const double* xw = s.ampw + static_cast<size_t>(f) * t_len;
+    double* err = s.err + static_cast<size_t>(f) * t_len;
+    for (int t = 0; t < t_len; ++t) {
+      const double d = s.time[t] - xw[t];
+      const double e = d * d;
+      if (valley) {
+        err[t] = err[t] >= e ? err[t] : e;  // Maximum(err_peak, err_valley)
+      } else {
+        err[t] = e;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ScoreWindowsScalar(const FusedModelPlan& model,
+                        const FusedServicePlan& service,
+                        const double* windows, int batch,
+                        double* step_errors) {
+  const int m = model.features;
+  const int k = model.num_bases;
+  const int t_len = model.window;
+  const int cols = 2 * k;
+  const size_t flat = static_cast<size_t>(m) * k;
+  const size_t entry = static_cast<size_t>(m) * t_len;
+  const int half = model.amplify ? model.time_kernel / 2 : 0;
+  const size_t pn = static_cast<size_t>(t_len) + 2 * static_cast<size_t>(half);
+
+  // amp/phase_re/phase_im/rep/powered (5) + amp_dec (1) + rec (2) = 8 flats.
+  const size_t total = entry + 2 * pn + 2 * static_cast<size_t>(t_len) +
+                       static_cast<size_t>(m) * cols + 8 * flat +
+                       static_cast<size_t>(model.latent) +
+                       static_cast<size_t>(model.decoder_hidden) +
+                       static_cast<size_t>(t_len) + entry;
+  std::vector<double> block = tensor::AcquireScratchBuffer(total);
+  Scratch s;
+  {
+    double* p = block.data();
+    auto take = [&p](size_t n) {
+      double* out = p;
+      p += n;
+      return out;
+    };
+    s.ampw = take(entry);
+    s.padded = take(pn);
+    s.terms = take(pn);
+    s.conv_a = take(static_cast<size_t>(t_len));
+    s.conv_b = take(static_cast<size_t>(t_len));
+    s.coeffs = take(static_cast<size_t>(m) * cols);
+    s.amp = take(flat);
+    s.phase_re = take(flat);
+    s.phase_im = take(flat);
+    s.rep = take(flat);
+    s.powered = take(flat);
+    s.latent = take(static_cast<size_t>(model.latent));
+    s.hidden = take(static_cast<size_t>(model.decoder_hidden));
+    s.amp_dec = take(flat);
+    s.rec = take(2 * flat);
+    s.time = take(static_cast<size_t>(t_len));
+    s.err = take(entry);
+  }
+
+  for (int b = 0; b < batch; ++b) {
+    const double* win = windows + static_cast<size_t>(b) * entry;
+
+    // Stage 1: dualistic time amplification per feature row (skipped
+    // entirely when use_dualistic_time is off, like AmplifyWindow).
+    const double* xw = win;
+    if (model.amplify) {
+      for (int f = 0; f < m; ++f) {
+        AmplifyRow(model, win + static_cast<size_t>(f) * t_len,
+                   static_cast<size_t>(t_len), s,
+                   s.ampw + static_cast<size_t>(f) * t_len);
+      }
+      xw = s.ampw;
+    } else {
+      for (size_t i = 0; i < entry; ++i) s.ampw[i] = win[i];
+    }
+
+    // Stage 2: context-aware DFT — MatMul([m, T], [T, 2k]) with the op's
+    // kk-ascending, skip-on-zero accumulation.
+    for (size_t i = 0; i < static_cast<size_t>(m) * cols; ++i) {
+      s.coeffs[i] = 0.0;
+    }
+    for (int f = 0; f < m; ++f) {
+      const double* arow = xw + static_cast<size_t>(f) * t_len;
+      double* orow = s.coeffs + static_cast<size_t>(f) * cols;
+      for (int kk = 0; kk < t_len; ++kk) {
+        const double aik = arow[kk];
+        if (aik == 0.0) continue;
+        const double* brow =
+            service.forward.data() + static_cast<size_t>(kk) * cols;
+        for (int j = 0; j < cols; ++j) orow[j] += aik * brow[j];
+      }
+    }
+
+    // Amplitudes and detached unit phases: both use the exact epsilon
+    // association of the op graph — sqrt(((r*r) + (i*i)) + eps).
+    for (int f = 0; f < m; ++f) {
+      const double* crow = s.coeffs + static_cast<size_t>(f) * cols;
+      for (int c = 0; c < k; ++c) {
+        const double r = crow[c];
+        const double i = crow[k + c];
+        const double a2 = (r * r + i * i) + model.spectrum_epsilon;
+        s.amp[static_cast<size_t>(f) * k + c] =
+            std::sqrt(std::max(a2, 0.0));
+        const double a = std::sqrt(r * r + i * i + model.spectrum_epsilon);
+        s.phase_re[static_cast<size_t>(f) * k + c] = r / a;
+        s.phase_im[static_cast<size_t>(f) * k + c] = i / a;
+      }
+    }
+
+    // Frequency characterization: two pointwise convs with a residual
+    // add. Interleaving per output channel keeps Conv1d's input-channel-
+    // ascending accumulation per element.
+    if (model.has_char) {
+      for (size_t t = 0; t < flat; ++t) s.rep[t] = model.char_b2;
+      for (int ci = 0; ci < model.char_channels; ++ci) {
+        const double b1 = model.char_b1[static_cast<size_t>(ci)];
+        const double w0 = model.char_w1[static_cast<size_t>(ci) * 3 + 0];
+        const double w1 = model.char_w1[static_cast<size_t>(ci) * 3 + 1];
+        const double w2 = model.char_w1[static_cast<size_t>(ci) * 3 + 2];
+        const double wo = model.char_w2[static_cast<size_t>(ci)];
+        for (size_t t = 0; t < flat; ++t) {
+          const double row = ((b1 + w0 * s.amp[t]) +
+                              w1 * service.marker_sin_flat[t]) +
+                             w2 * service.marker_cos_flat[t];
+          s.rep[t] += wo * std::tanh(row);
+        }
+      }
+      // rep = Add(amp, charted); IEEE addition is commutative, so
+      // accumulating charted first and adding amp last is bit-identical.
+      for (size_t t = 0; t < flat; ++t) s.rep[t] += s.amp[t];
+    } else {
+      for (size_t t = 0; t < flat; ++t) s.rep[t] = s.amp[t];
+    }
+
+    // Stages 3 + 4, peak then valley (valley folds its error in via max).
+    RunBranch(model, service, model.peak, /*valley=*/false, s);
+    RunBranch(model, service, model.valley, /*valley=*/true, s);
+
+    // Per-step feature mean, f ascending.
+    double* out = step_errors + static_cast<size_t>(b) * t_len;
+    for (int t = 0; t < t_len; ++t) {
+      double acc = 0.0;
+      for (int f = 0; f < m; ++f) {
+        acc += s.err[static_cast<size_t>(f) * t_len + t];
+      }
+      out[t] = acc / static_cast<double>(m);
+    }
+  }
+
+  tensor::ReleaseScratchBuffer(std::move(block));
+}
+
+}  // namespace mace::kernel::internal

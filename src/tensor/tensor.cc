@@ -97,6 +97,10 @@ std::vector<double> AcquireScratchBuffer(size_t n, bool zero_fill) {
   return zero_fill ? std::vector<double>(n, 0.0) : std::vector<double>(n);
 }
 
+void ReleaseScratchBuffer(std::vector<double>&& buffer) {
+  ReleaseToPool(std::move(buffer));
+}
+
 namespace internal {
 
 Tensor MakeInferenceNode(const char* name, Shape shape,

@@ -73,6 +73,13 @@ class NoGradGuard {
 /// allocations.
 std::vector<double> AcquireScratchBuffer(size_t n, bool zero_fill = false);
 
+/// \brief Hands a buffer back to the calling thread's inference-mode pool
+/// without routing it through a tensor (dropped when the pool is full or
+/// torn down). For code that borrows pool buffers as raw scratch — the
+/// fused scoring kernel amortizes one block across a whole window batch
+/// this way — rather than as tensor storage.
+void ReleaseScratchBuffer(std::vector<double>&& buffer);
+
 /// \brief Dense, row-major, double-precision tensor with reverse-mode
 /// automatic differentiation.
 ///

@@ -1,0 +1,227 @@
+// Direct tests of the fused scoring kernel (src/kernel/): plan packing
+// invariants, backend dispatch, batch-size invariance of both arms, and
+// the scalar arm's bit-identity against the tensor op graph at the
+// MaceModel level. Detector-level fused-vs-op-graph equivalence (all
+// scoring surfaces, awkward shapes, denormals) lives in
+// tests/score_fastpath_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fused_plan_builder.h"
+#include "core/mace_config.h"
+#include "core/mace_model.h"
+#include "kernel/fused_kernel.h"
+#include "tensor/tensor.h"
+
+namespace mace::kernel {
+namespace {
+
+using core::MaceConfig;
+using core::MaceModel;
+using core::ServiceTransforms;
+
+/// A config whose stage 1 is a no-op (use_dualistic_time=false), so the
+/// kernel's input windows feed MaceModel::Forward unchanged and the two
+/// are directly comparable without the detector's private amplifier.
+MaceConfig NoAmplifyConfig() {
+  MaceConfig config;
+  config.window = 24;
+  config.num_bases = 9;
+  config.use_dualistic_time = false;
+  return config;
+}
+
+struct Harness {
+  MaceConfig config;
+  std::unique_ptr<MaceModel> model;
+  ServiceTransforms transforms;
+  FusedModelPlan model_plan;
+  FusedServicePlan service_plan;
+};
+
+Harness MakeHarness(MaceConfig config, int features = 3) {
+  Harness h;
+  h.config = config;
+  std::vector<int> bases;
+  for (int b = 1; b <= config.num_bases; ++b) bases.push_back(b);
+  h.transforms = core::MakeServiceTransforms(config.window, bases);
+  Rng rng(123);
+  const int cols = 2 * config.num_bases;
+  h.model = std::make_unique<MaceModel>(config, features, cols, &rng);
+  h.model_plan =
+      core::BuildFusedModelPlan(config, features, cols, *h.model);
+  h.service_plan = core::BuildFusedServicePlan(h.model_plan, h.transforms);
+  return h;
+}
+
+/// `batch` deterministic pseudo-random windows, feature-major per window.
+std::vector<double> MakeWindows(const Harness& h, int batch, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> windows(
+      static_cast<size_t>(batch) * 3 * static_cast<size_t>(h.config.window));
+  for (double& v : windows) v = rng.Uniform(-2.0, 2.0);
+  return windows;
+}
+
+TEST(KernelDispatchTest, ResolveBackendSemantics) {
+  EXPECT_EQ(ResolveBackend(Backend::kScalar), Backend::kScalar);
+  const Backend expected =
+      SimdSupported() ? Backend::kSimd : Backend::kScalar;
+  EXPECT_EQ(ResolveBackend(Backend::kAuto), expected);
+  // An explicit SIMD request degrades rather than faulting when the arm
+  // is unavailable (scalar-only build or pre-AVX2 CPU).
+  EXPECT_EQ(ResolveBackend(Backend::kSimd), expected);
+}
+
+TEST(KernelPlanTest, FinalizedPlansCarryConsistentDimensions) {
+  const Harness h = MakeHarness(NoAmplifyConfig());
+  const FusedModelPlan& plan = h.model_plan;
+  ASSERT_TRUE(plan.valid);
+  ASSERT_TRUE(h.service_plan.valid);
+  EXPECT_EQ(plan.features, 3);
+  EXPECT_EQ(plan.window, h.config.window);
+  EXPECT_EQ(plan.num_bases, h.config.num_bases);
+  EXPECT_EQ(plan.latent, plan.hidden_channels * plan.compressed);
+  EXPECT_EQ(plan.decoder_hidden, 2 * plan.latent);
+  // Padded extents are 8-lane (AVX-512) multiples covering the true
+  // extents; 8 is also a multiple of the AVX2 arm's 4-lane width.
+  for (const auto [padded, real] :
+       {std::pair{plan.window_pad, plan.window},
+        std::pair{plan.cols_pad, 2 * plan.num_bases},
+        std::pair{plan.flat_pad, plan.features * plan.num_bases},
+        std::pair{plan.hidden_pad, plan.decoder_hidden},
+        std::pair{plan.h_pad, plan.hidden_channels}}) {
+    EXPECT_EQ(padded % 8, 0);
+    EXPECT_GE(padded, real);
+    EXPECT_LT(padded - real, 8);
+  }
+}
+
+TEST(KernelScalarTest, MatchesOpGraphForwardBitwise) {
+  const Harness h = MakeHarness(NoAmplifyConfig());
+  const int batch = 3;
+  const std::vector<double> windows = MakeWindows(h, batch, 7);
+  const auto m = static_cast<size_t>(3);
+  const auto T = static_cast<size_t>(h.config.window);
+
+  std::vector<double> errors(static_cast<size_t>(batch) * T);
+  ScoreWindows(h.model_plan, h.service_plan, windows.data(), batch,
+               errors.data(), Backend::kScalar);
+
+  tensor::NoGradGuard no_grad;
+  for (int b = 0; b < batch; ++b) {
+    std::vector<double> data(
+        windows.begin() + static_cast<ptrdiff_t>(b * m * T),
+        windows.begin() + static_cast<ptrdiff_t>((b + 1) * m * T));
+    MaceModel::Output out = h.model->Forward(
+        h.transforms,
+        tensor::Tensor::FromVector(std::move(data),
+                                   tensor::Shape{3, h.config.window}),
+        /*want_step_errors=*/true);
+    ASSERT_EQ(out.step_errors.size(), T);
+    for (size_t t = 0; t < T; ++t) {
+      EXPECT_EQ(out.step_errors[t],
+                errors[static_cast<size_t>(b) * T + t])
+          << "window " << b << " step " << t;
+    }
+  }
+}
+
+class KernelBatchInvarianceTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(KernelBatchInvarianceTest, BatchCallEqualsSingleWindowCalls) {
+  const Backend backend = GetParam();
+  const Harness h = MakeHarness(NoAmplifyConfig());
+  const int batch = 8;
+  const std::vector<double> windows = MakeWindows(h, batch, 11);
+  const auto per_window = static_cast<size_t>(3 * h.config.window);
+  const auto T = static_cast<size_t>(h.config.window);
+
+  std::vector<double> batched(static_cast<size_t>(batch) * T);
+  ScoreWindows(h.model_plan, h.service_plan, windows.data(), batch,
+               batched.data(), backend);
+  for (int b = 0; b < batch; ++b) {
+    std::vector<double> single(T);
+    ScoreWindows(h.model_plan, h.service_plan,
+                 windows.data() + static_cast<size_t>(b) * per_window, 1,
+                 single.data(), backend);
+    for (size_t t = 0; t < T; ++t) {
+      EXPECT_EQ(single[t], batched[static_cast<size_t>(b) * T + t])
+          << "window " << b << " step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Arms, KernelBatchInvarianceTest,
+                         ::testing::Values(Backend::kScalar, Backend::kAuto),
+                         [](const auto& info) {
+                           return info.param == Backend::kScalar ? "scalar"
+                                                                 : "auto";
+                         });
+
+// The per-file compile-flag guarantee (src/kernel/CMakeLists.txt builds
+// kernel_scalar.cc with AVX/FMA explicitly disabled even under
+// MACE_NATIVE_ARCH): a forced-scalar call on a SIMD machine must run the
+// genuinely vector-free object and agree with the dispatched arm within
+// the SIMD tolerance, while the dispatched arm is self-consistent with
+// an explicit kSimd request bit for bit.
+TEST(KernelDispatchTest, ForcedScalarAgreesWithDispatchedArm) {
+  const Harness h = MakeHarness(NoAmplifyConfig());
+  const std::vector<double> windows = MakeWindows(h, 2, 19);
+  const auto T = static_cast<size_t>(h.config.window);
+
+  std::vector<double> scalar(2 * T);
+  std::vector<double> dispatched(2 * T);
+  ScoreWindows(h.model_plan, h.service_plan, windows.data(), 2,
+               scalar.data(), Backend::kScalar);
+  ScoreWindows(h.model_plan, h.service_plan, windows.data(), 2,
+               dispatched.data(), Backend::kAuto);
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    if (SimdSupported()) {
+      EXPECT_NEAR(scalar[i], dispatched[i],
+                  1e-11 + 1e-9 * std::abs(scalar[i]))
+          << "slot " << i;
+    } else {
+      EXPECT_EQ(scalar[i], dispatched[i]) << "slot " << i;
+    }
+  }
+  if (SimdSupported()) {
+    std::vector<double> simd(2 * T);
+    ScoreWindows(h.model_plan, h.service_plan, windows.data(), 2,
+                 simd.data(), Backend::kSimd);
+    for (size_t i = 0; i < simd.size(); ++i) {
+      EXPECT_EQ(simd[i], dispatched[i]) << "slot " << i;
+    }
+  }
+}
+
+// Stage 1 enabled: the kernel's own amplifier must reproduce the full
+// default config end to end on both arms (exercised against the op graph
+// in score_fastpath_test; here we pin arm-vs-arm sanity on finite data).
+TEST(KernelScalarTest, AmplifiedConfigProducesFiniteErrorsOnBothArms) {
+  MaceConfig config;
+  config.window = 20;
+  config.num_bases = 8;
+  const Harness h = MakeHarness(config);
+  const std::vector<double> windows = MakeWindows(h, 4, 23);
+  const auto T = static_cast<size_t>(h.config.window);
+  for (const Backend backend : {Backend::kScalar, Backend::kAuto}) {
+    std::vector<double> errors(4 * T, -1.0);
+    ScoreWindows(h.model_plan, h.service_plan, windows.data(), 4,
+                 errors.data(), backend);
+    for (size_t i = 0; i < errors.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(errors[i])) << "slot " << i;
+      EXPECT_GE(errors[i], 0.0) << "slot " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mace::kernel

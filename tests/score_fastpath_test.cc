@@ -1,17 +1,25 @@
 // The inference fast path (tensor no-grad mode + batched multi-window
-// forwards) must change performance only: scores stay bit-identical to
-// the per-window grad-mode pipeline.
+// forwards, and the fused scoring kernel of src/kernel/) must change
+// performance only: the fused scalar arm stays bit-identical to the
+// per-window grad-mode op-graph pipeline, and the SIMD arm stays within
+// the pinned tolerance (kSimdRelTol/kSimdAbsTol below).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <thread>
 #include <vector>
 
 #include "core/mace_detector.h"
+#include "core/streaming.h"
+#include "kernel/fused_kernel.h"
+#include "online/consensus.h"
+#include "online/ensemble.h"
+#include "serve/frontend.h"
 #include "tensor/tensor.h"
 #include "ts/generator.h"
 
@@ -239,6 +247,380 @@ TEST(BatchedScoringTest, ScoreWindowBatchValidatesInput) {
   std::vector<std::vector<std::vector<double>>> windows = {
       MakeRows(config.window, 2, 0), MakeRows(config.window - 1, 2, 1)};
   EXPECT_FALSE(detector.ScoreWindowBatch(0, windows).ok());
+}
+
+// -- Fused kernel vs op graph ----------------------------------------------
+
+// The SIMD arm replaces scalar transcendentals (pow/tanh/sqrt) with
+// polynomial vector versions and reassociates dot products into 4-lane
+// FMA panels, so it is NOT bit-identical to the op graph; this is the
+// pinned equivalence bound for the per-step errors it produces. The
+// scalar arm pins to exact equality (EXPECT_EQ on the doubles).
+constexpr double kSimdRelTol = 1e-9;
+constexpr double kSimdAbsTol = 1e-11;
+
+void ExpectScoresMatch(const std::vector<double>& reference,
+                       const std::vector<double>& candidate, bool exact,
+                       const std::string& what) {
+  ASSERT_EQ(reference.size(), candidate.size()) << what;
+  for (size_t t = 0; t < reference.size(); ++t) {
+    if (std::isnan(reference[t])) {
+      EXPECT_TRUE(std::isnan(candidate[t])) << what << " step " << t;
+      continue;
+    }
+    if (exact) {
+      EXPECT_EQ(reference[t], candidate[t]) << what << " step " << t;
+    } else {
+      const double tol =
+          kSimdAbsTol + kSimdRelTol * std::abs(reference[t]);
+      EXPECT_NEAR(reference[t], candidate[t], tol) << what << " step " << t;
+    }
+  }
+}
+
+/// Scores every surface of `detector` under its current engine/backend
+/// setting and returns {Score(series), ScoreWindow, ScoreWindowBatch}.
+struct SurfaceScores {
+  std::vector<double> series;
+  std::vector<double> window;
+  std::vector<std::vector<double>> batch;
+};
+
+SurfaceScores ScoreAllSurfaces(MaceDetector& detector,
+                               const ts::TimeSeries& test) {
+  SurfaceScores out;
+  auto series = detector.Score(0, test);
+  EXPECT_TRUE(series.ok());
+  out.series = std::move(series).value();
+  const auto rows = MakeRows(detector.config().window, 2, /*salt=*/5);
+  auto window = detector.ScoreWindow(0, rows);
+  EXPECT_TRUE(window.ok());
+  out.window = std::move(window).value();
+  std::vector<std::vector<std::vector<double>>> windows;
+  for (int b = 0; b < 5; ++b) {
+    windows.push_back(MakeRows(detector.config().window, 2, /*salt=*/b));
+  }
+  auto batch = detector.ScoreWindowBatch(0, windows);
+  EXPECT_TRUE(batch.ok());
+  out.batch = std::move(batch).value();
+  return out;
+}
+
+TEST(FusedKernelTest, ScalarArmIsBitIdenticalToOpGraphOnEverySurface) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector detector = FitDetector(config, services);
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+  const SurfaceScores reference =
+      ScoreAllSurfaces(detector, services[0].test);
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kFused);
+  detector.set_kernel_backend(kernel::Backend::kScalar);
+  const SurfaceScores fused = ScoreAllSurfaces(detector, services[0].test);
+
+  ExpectScoresMatch(reference.series, fused.series, /*exact=*/true,
+                    "Score");
+  ExpectScoresMatch(reference.window, fused.window, /*exact=*/true,
+                    "ScoreWindow");
+  ASSERT_EQ(reference.batch.size(), fused.batch.size());
+  for (size_t b = 0; b < reference.batch.size(); ++b) {
+    ExpectScoresMatch(reference.batch[b], fused.batch[b], /*exact=*/true,
+                      "ScoreWindowBatch[" + std::to_string(b) + "]");
+  }
+}
+
+TEST(FusedKernelTest, SimdArmMatchesOpGraphWithinPinnedTolerance) {
+  if (!kernel::SimdSupported()) {
+    GTEST_SKIP() << "no AVX2/FMA arm on this machine/build";
+  }
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector detector = FitDetector(config, services);
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+  const SurfaceScores reference =
+      ScoreAllSurfaces(detector, services[0].test);
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kFused);
+  detector.set_kernel_backend(kernel::Backend::kSimd);
+  const SurfaceScores fused = ScoreAllSurfaces(detector, services[0].test);
+
+  ExpectScoresMatch(reference.series, fused.series, /*exact=*/false,
+                    "Score");
+  ExpectScoresMatch(reference.window, fused.window, /*exact=*/false,
+                    "ScoreWindow");
+  ASSERT_EQ(reference.batch.size(), fused.batch.size());
+  for (size_t b = 0; b < reference.batch.size(); ++b) {
+    ExpectScoresMatch(reference.batch[b], fused.batch[b], /*exact=*/false,
+                      "ScoreWindowBatch[" + std::to_string(b) + "]");
+  }
+}
+
+TEST(FusedKernelTest, ScoreUnseenMatchesOpGraphThroughAdHocServicePlan) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector detector = FitDetector(
+      config, {services[0]});  // fit on one service, score the other unseen
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+  auto reference = detector.ScoreUnseen(services[1]);
+  ASSERT_TRUE(reference.ok());
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kFused);
+  detector.set_kernel_backend(kernel::Backend::kScalar);
+  auto fused = detector.ScoreUnseen(services[1]);
+  ASSERT_TRUE(fused.ok());
+  ExpectScoresMatch(*reference, *fused, /*exact=*/true, "ScoreUnseen");
+}
+
+// -- Awkward shapes: B=1, odd / non-power-of-two windows, tiny bases -------
+//
+// The SIMD arm pads every row to 4 lanes, so windows that are not a
+// multiple of 4 (tail lanes), tiny num_bases (whole rows narrower than
+// one vector), and B=1 (no batch amortization) are exactly where a tail
+// or indexing bug would hide. Each shape runs both arms against the op
+// graph.
+
+struct AwkwardShape {
+  int window;
+  int num_bases;
+  int freq_kernel;
+};
+
+class AwkwardShapeTest : public ::testing::TestWithParam<AwkwardShape> {};
+
+TEST_P(AwkwardShapeTest, FusedMatchesOpGraphOnBothArms) {
+  const AwkwardShape shape = GetParam();
+  MaceConfig config;
+  config.epochs = 1;
+  config.window = shape.window;
+  config.num_bases = shape.num_bases;
+  config.freq_kernel = shape.freq_kernel;
+  const auto services = TinyWorkload();
+  MaceDetector detector = FitDetector(config, services);
+
+  for (int batch : {1, 3}) {
+    std::vector<std::vector<std::vector<double>>> windows;
+    for (int b = 0; b < batch; ++b) {
+      windows.push_back(MakeRows(config.window, 2, /*salt=*/b + 11));
+    }
+    detector.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+    auto reference = detector.ScoreWindowBatch(0, windows);
+    ASSERT_TRUE(reference.ok());
+
+    detector.set_score_engine(MaceDetector::ScoreEngine::kFused);
+    detector.set_kernel_backend(kernel::Backend::kScalar);
+    auto scalar = detector.ScoreWindowBatch(0, windows);
+    ASSERT_TRUE(scalar.ok());
+    detector.set_kernel_backend(kernel::Backend::kSimd);
+    auto simd = detector.ScoreWindowBatch(0, windows);
+    ASSERT_TRUE(simd.ok());
+
+    for (int b = 0; b < batch; ++b) {
+      const std::string what = "window=" + std::to_string(shape.window) +
+                               " B=" + std::to_string(batch) + " b=" +
+                               std::to_string(b);
+      ExpectScoresMatch((*reference)[static_cast<size_t>(b)],
+                        (*scalar)[static_cast<size_t>(b)], /*exact=*/true,
+                        "scalar " + what);
+      ExpectScoresMatch((*reference)[static_cast<size_t>(b)],
+                        (*simd)[static_cast<size_t>(b)],
+                        /*exact=*/!kernel::SimdSupported(), "simd " + what);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AwkwardShapeTest,
+    ::testing::Values(AwkwardShape{6, 3, 3}, AwkwardShape{7, 3, 3},
+                      AwkwardShape{11, 5, 2}, AwkwardShape{33, 16, 5},
+                      AwkwardShape{41, 20, 4}),
+    [](const auto& info) {
+      return "window" + std::to_string(info.param.window) + "bases" +
+             std::to_string(info.param.num_bases);
+    });
+
+// Denormals and signed zeros flow through SignedPow / the dualistic
+// amplifier's shift arithmetic; the scalar arm must reproduce the op
+// graph bit for bit even there, and the SIMD arm (whose pow handles
+// denormals via a 2^54 pre-scale) must stay within the pinned tolerance.
+TEST(FusedKernelTest, DenormalAndSignedZeroInputsMatch) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 1;
+  MaceDetector detector = FitDetector(config, services);
+
+  auto rows = MakeRows(config.window, 2, /*salt=*/0);
+  rows[0][0] = 0.0;
+  rows[1][0] = -0.0;
+  rows[2][0] = 1e-310;
+  rows[3][0] = -1e-310;
+  rows[4][0] = 5e-324;  // smallest positive denormal
+  rows[5][0] = -5e-324;
+  rows[6][1] = 0.0;
+  rows[7][1] = -0.0;
+  rows[8][1] = 2.2250738585072014e-308;  // DBL_MIN boundary
+  for (size_t t = 9; t < rows.size(); ++t) rows[t][0] = 0.0;
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+  auto reference = detector.ScoreWindow(0, rows);
+  ASSERT_TRUE(reference.ok());
+
+  detector.set_score_engine(MaceDetector::ScoreEngine::kFused);
+  detector.set_kernel_backend(kernel::Backend::kScalar);
+  auto scalar = detector.ScoreWindow(0, rows);
+  ASSERT_TRUE(scalar.ok());
+  ExpectScoresMatch(*reference, *scalar, /*exact=*/true, "scalar denormal");
+
+  detector.set_kernel_backend(kernel::Backend::kSimd);
+  auto simd = detector.ScoreWindow(0, rows);
+  ASSERT_TRUE(simd.ok());
+  ExpectScoresMatch(*reference, *simd, /*exact=*/!kernel::SimdSupported(),
+                    "simd denormal");
+}
+
+// -- Batched consumers: streaming, serve, online ensemble lanes ------------
+//
+// Every batched scoring surface consumes the fused kernel; each one must
+// reproduce the op-graph engine's output (bitwise on the scalar arm).
+
+TEST(FusedConsumersTest, StreamingPushManyMatchesOpGraph) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  MaceDetector fused = FitDetector(config, services);
+  MaceDetector reference = FitDetector(config, services);  // same seed
+  fused.set_kernel_backend(kernel::Backend::kScalar);
+  reference.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+
+  auto fused_scorer = StreamingScorer::Create(&fused, 0);
+  auto reference_scorer = StreamingScorer::Create(&reference, 0);
+  ASSERT_TRUE(fused_scorer.ok() && reference_scorer.ok());
+
+  const ts::TimeSeries& test = services[0].test;
+  std::vector<double> fused_scores;
+  std::vector<double> reference_scores;
+  // Chunked PushMany drives the batched ScoreWindowBatch path with
+  // ragged chunk sizes (including chunks smaller than the window).
+  for (size_t t = 0; t < test.length();) {
+    const size_t chunk = std::min<size_t>(1 + (t % 13), test.length() - t);
+    std::vector<std::vector<double>> observations(
+        test.values().begin() + static_cast<ptrdiff_t>(t),
+        test.values().begin() + static_cast<ptrdiff_t>(t + chunk));
+    auto a = fused_scorer->PushMany(observations);
+    auto b = reference_scorer->PushMany(observations);
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (const auto& per_obs : *a) {
+      fused_scores.insert(fused_scores.end(), per_obs.begin(),
+                          per_obs.end());
+    }
+    for (const auto& per_obs : *b) {
+      reference_scores.insert(reference_scores.end(), per_obs.begin(),
+                              per_obs.end());
+    }
+    t += chunk;
+  }
+  const auto fused_tail = fused_scorer->Finish();
+  const auto reference_tail = reference_scorer->Finish();
+  fused_scores.insert(fused_scores.end(), fused_tail.begin(),
+                      fused_tail.end());
+  reference_scores.insert(reference_scores.end(), reference_tail.begin(),
+                          reference_tail.end());
+  ExpectScoresMatch(reference_scores, fused_scores, /*exact=*/true,
+                    "PushMany stream");
+}
+
+TEST(FusedConsumersTest, ServeScoreGroupsMatchOpGraph) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  auto fused_model = std::make_shared<MaceDetector>(config);
+  ASSERT_TRUE(fused_model->Fit(services).ok());
+  fused_model->set_kernel_backend(kernel::Backend::kScalar);
+  MaceDetector reference = FitDetector(config, services);  // same seed
+  reference.set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = 1;
+  serve_config.max_batch = 16;  // bursts drain as ProcessScoreGroup batches
+  auto frontend = serve::ServeFrontend::Create(fused_model, serve_config);
+  ASSERT_TRUE(frontend.ok());
+
+  const ts::TimeSeries& test = services[0].test;
+  std::vector<std::future<serve::ScoreBatch>> futures;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto f = (*frontend)->Submit("tenant", 0, test.values()[t]);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  std::vector<double> pooled;
+  for (auto& f : futures) {
+    serve::ScoreBatch batch = f.get();
+    ASSERT_TRUE(batch.status.ok()) << batch.status.ToString();
+    pooled.insert(pooled.end(), batch.scores.begin(), batch.scores.end());
+  }
+  auto tail = (*frontend)->Close("tenant", 0);
+  ASSERT_TRUE(tail.ok());
+  pooled.insert(pooled.end(), tail->begin(), tail->end());
+
+  auto reference_scorer = StreamingScorer::Create(&reference, 0);
+  ASSERT_TRUE(reference_scorer.ok());
+  std::vector<double> sequential;
+  for (size_t t = 0; t < test.length(); ++t) {
+    auto out = reference_scorer->Push(test.values()[t]);
+    ASSERT_TRUE(out.ok());
+    sequential.insert(sequential.end(), out->begin(), out->end());
+  }
+  const auto seq_tail = reference_scorer->Finish();
+  sequential.insert(sequential.end(), seq_tail.begin(), seq_tail.end());
+  ExpectScoresMatch(sequential, pooled, /*exact=*/true, "serve groups");
+}
+
+TEST(FusedConsumersTest, OnlineEnsembleLanesMatchOpGraph) {
+  const auto services = TinyWorkload();
+  MaceConfig config;
+  config.epochs = 2;
+  auto fused_model = std::make_shared<MaceDetector>(config);
+  ASSERT_TRUE(fused_model->Fit(services).ok());
+  fused_model->set_kernel_backend(kernel::Backend::kScalar);
+  auto reference_model = std::make_shared<MaceDetector>(config);
+  ASSERT_TRUE(reference_model->Fit(services).ok());  // same seed
+  reference_model->set_score_engine(MaceDetector::ScoreEngine::kOpGraph);
+
+  const auto policy = online::MakeConsensusPolicy(online::ConsensusKind::kMax);
+  online::ModelEnsemble fused_ensemble(2);
+  fused_ensemble.Promote(fused_model, /*threshold=*/0.5);
+  online::ModelEnsemble reference_ensemble(2);
+  reference_ensemble.Promote(reference_model, /*threshold=*/0.5);
+  online::EnsembleBinding fused_binding(&fused_ensemble, policy.get());
+  online::EnsembleBinding reference_binding(&reference_ensemble,
+                                            policy.get());
+
+  // Lanes consume via their own StreamingScorer (the batched PushMany
+  // surface under OnObservations); verdict scores are threshold ratios of
+  // the lane model's emitted step scores, so they must agree bitwise.
+  const ts::TimeSeries& test = services[0].test;
+  std::vector<std::vector<double>> observations(test.values().begin(),
+                                                test.values().end());
+  fused_binding.OnObservations(observations);
+  reference_binding.OnObservations(observations);
+  ASSERT_EQ(fused_binding.active_lanes(), 1u);
+  bool any_vote = false;
+  for (size_t step = 0;
+       step + static_cast<size_t>(config.window) < test.length(); ++step) {
+    const core::StepVerdict a = fused_binding.OnEmit(step, 0.1);
+    const core::StepVerdict b = reference_binding.OnEmit(step, 0.1);
+    ASSERT_EQ(a.voted, b.voted) << "step " << step;
+    if (!a.voted) continue;
+    any_vote = true;
+    EXPECT_EQ(a.score, b.score) << "step " << step;
+    EXPECT_EQ(a.anomaly, b.anomaly) << "step " << step;
+  }
+  EXPECT_TRUE(any_vote);
 }
 
 // -- Perf guard -------------------------------------------------------------

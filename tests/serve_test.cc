@@ -1,4 +1,5 @@
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <memory>
 #include <thread>
@@ -506,6 +507,101 @@ TEST(ServeFrontendTest, TtlEvictsIdleSessionsAndRecyclesScorers) {
     emitted += batch->scores.size();
   }
   EXPECT_GT(emitted, 0u);
+}
+
+// Reject-replay accounting: when a drained same-session group holds a
+// non-finite observation under policy 'reject', PushMany fails without
+// consuming anything and ProcessScoreGroup replays the group one Push at
+// a time. Each observation must then be counted EXACTLY once —
+// scored_steps one per item (no pre-count before the failed PushMany,
+// no double count on replay), the ingest-dropped counter one per
+// rejected observation — and the per-item outcomes must match the
+// unbatched path: the poisoned item alone fails, every other item keeps
+// its scores and step continuity.
+TEST(ServeFrontendTest, RejectReplayCountsEachObservationOnce) {
+  auto model = FittedModel();
+  const auto services = TinyWorkload();
+
+  ServeConfig config;
+  config.num_shards = 1;
+  config.max_batch = 16;
+  config.non_finite_policy = ts::NonFinitePolicy::kReject;
+  auto frontend = ServeFrontend::Create(model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  obs::Counter* dropped = obs::Metrics().GetCounter(
+      "mace_ingest_dropped_total", "", {{"shard", "0"}});
+  const uint64_t dropped_before = dropped->Value();
+
+  // Gate the shard so the whole burst drains as one ProcessScoreGroup
+  // group; poison one mid-group observation.
+  std::promise<void> gate;
+  (*frontend)->pool_for_test().BlockShardUntilForTest(
+      0, std::shared_future<void>(gate.get_future()));
+  constexpr size_t kGroup = 12;
+  constexpr size_t kPoison = 7;
+  std::vector<std::future<ScoreBatch>> futures;
+  for (size_t t = 0; t < kGroup; ++t) {
+    std::vector<double> observation = services[0].test.values()[t];
+    if (t == kPoison) observation[1] = std::nan("");
+    auto f = (*frontend)->Submit("replay-tenant", 0, observation);
+    ASSERT_TRUE(f.ok());
+    futures.push_back(std::move(*f));
+  }
+  gate.set_value();
+  (*frontend)->Flush();
+
+  std::vector<double> pooled;
+  for (size_t t = 0; t < kGroup; ++t) {
+    ScoreBatch batch = futures[t].get();
+    if (t == kPoison) {
+      EXPECT_FALSE(batch.status.ok()) << "poisoned item scored";
+      EXPECT_EQ(batch.status.code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    ASSERT_TRUE(batch.status.ok())
+        << "item " << t << ": " << batch.status.ToString();
+    EXPECT_FALSE(batch.contaminated);
+    pooled.insert(pooled.end(), batch.scores.begin(), batch.scores.end());
+  }
+  auto tail = (*frontend)->Close("replay-tenant", 0);
+  ASSERT_TRUE(tail.ok());
+  pooled.insert(pooled.end(), tail->begin(), tail->end());
+
+  // Exact counter accounting: every observation consumed by the scorer
+  // exactly once, one rejected ingest, emitted == finalized scores.
+  const ShardStats totals = (*frontend)->Stats().Totals();
+  EXPECT_EQ(totals.submitted, kGroup);
+  EXPECT_EQ(totals.scored_steps, kGroup);
+  EXPECT_EQ(dropped->Value() - dropped_before, 1u);
+  // Close's tail emission is already in the totals (Stats read after
+  // Close), so emitted covers everything pooled.
+  EXPECT_EQ(totals.emitted, pooled.size());
+
+  // Outcome parity with the unbatched path: a sequential scorer fed the
+  // same stream (skipping the rejected Push, exactly as replay does)
+  // finalizes the same scores bit for bit.
+  auto scorer = StreamingScorer::Create(model.get(), 0,
+                                        ts::NonFinitePolicy::kReject);
+  ASSERT_TRUE(scorer.ok());
+  std::vector<double> sequential;
+  for (size_t t = 0; t < kGroup; ++t) {
+    std::vector<double> observation = services[0].test.values()[t];
+    if (t == kPoison) observation[1] = std::nan("");
+    auto out = scorer->Push(observation);
+    if (t == kPoison) {
+      EXPECT_FALSE(out.ok());
+      continue;
+    }
+    ASSERT_TRUE(out.ok());
+    sequential.insert(sequential.end(), out->begin(), out->end());
+  }
+  const auto seq_tail = scorer->Finish();
+  sequential.insert(sequential.end(), seq_tail.begin(), seq_tail.end());
+  ASSERT_EQ(pooled.size(), sequential.size());
+  for (size_t t = 0; t < pooled.size(); ++t) {
+    EXPECT_EQ(pooled[t], sequential[t]) << "step " << t;
+  }
 }
 
 }  // namespace
