@@ -1,0 +1,481 @@
+// Scale-out serving under sustained load: spawns real mace_serve_backend
+// processes behind the mace_router fan-in and replays a pipelined
+// multi-tenant workload through loopback sockets — the full MWIREv1 path
+// a remote fleet would exercise (frame encode → router ring lookup →
+// backend epoll front door → sharded pool → response fan-in).
+//
+// Reported per backend count (1 / 2 / 4): sustained obs/s, p50/p99/p999
+// round-trip latency, shed + rejected counts, and a zero-lost /
+// zero-duplicate response check. Alongside: the in-process baseline (the
+// same canonical pool driven without sockets) and the direct-socket
+// single-backend run that isolates router overhead.
+//
+// Two honesty notes, both recorded in BENCH_serve.json:
+//   - hardware_cores: on a single-core host the backend processes time-
+//     slice one CPU, so scale-out throughput cannot exceed the direct
+//     run; the scaling table is still emitted (the topology is real) but
+//     the *hard* acceptance check here is bit-identity, not speedup.
+//   - bit_identical: the same tenant streams scored through
+//     router + socket + backend process and through a ServeFrontend in
+//     this process must match bit for bit (raw IEEE doubles via memcmp).
+//     Every process loads the same saved model file, so any divergence
+//     is a wire or routing bug, and the bench aborts on it.
+//
+// Emits the combined BENCH_serve.json (bench "serve_scaleout"); the
+// in-process-only trajectory lives in bench_serve_throughput --json-out.
+
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "core/mace_detector.h"
+#include "eval/profiler.h"
+#include "net/client.h"
+#include "net/spawn.h"
+#include "serve/frontend.h"
+#include "ts/profiles.h"
+
+#ifndef MACE_BACKEND_BIN
+#error "MACE_BACKEND_BIN must point at the mace_serve_backend binary"
+#endif
+#ifndef MACE_ROUTER_BIN
+#error "MACE_ROUTER_BIN must point at the mace_router binary"
+#endif
+
+namespace {
+
+using mace::net::Subprocess;
+using Clock = std::chrono::steady_clock;
+
+// The pinned canonical configuration; every knob lands in the JSON.
+constexpr int kTenants = 64;
+constexpr size_t kSteps = 400;
+constexpr int kFittedServices = 4;
+constexpr int kBackendShards = 2;
+constexpr int kQueueCapacity = 4096;
+constexpr int kClientConnections = 2;
+constexpr size_t kPipelineWindow = 64;
+constexpr int kSpawnTimeoutMs = 60000;
+// Bit-identity probe: fresh tenants streamed serially through both paths.
+constexpr int kBitTenants = 8;
+constexpr size_t kBitSteps = 160;
+
+const char kModelPath[] = "bench_scaleout_model.tmp";
+
+struct LoadResult {
+  double seconds = 0.0;
+  std::vector<double> latencies_us;
+  uint64_t responses = 0;
+  uint64_t rejected = 0;  ///< QoS / backpressure refusals (flag bit)
+  uint64_t shed = 0;      ///< pool overload drops (flag bit)
+  uint64_t errors = 0;    ///< non-OK responses that are neither of those
+  uint64_t unmatched = 0; ///< response ids never sent, or seen twice
+  uint64_t lost = 0;      ///< requests that never got a response
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(q * sorted.size()));
+  return sorted[idx];
+}
+
+/// One client thread: pipelined score frames over its own connection,
+/// its share of the tenants, bounded outstanding window. Every request
+/// id is tracked until its response returns, so lost and duplicated
+/// responses are counted, not assumed away.
+void ClientThread(uint16_t port, int thread_index,
+                  const mace::ts::Dataset& dataset, LoadResult* total,
+                  std::mutex* mu) {
+  using namespace mace;
+  auto connected = net::WireClient::Connect("127.0.0.1", port);
+  MACE_CHECK_OK(connected.status());
+  auto& client = *connected.value();
+
+  LoadResult local;
+  std::unordered_map<uint64_t, Clock::time_point> outstanding;
+  outstanding.reserve(kPipelineWindow * 2);
+
+  auto drain_one = [&]() {
+    auto frame = client.NextResponse();
+    MACE_CHECK_OK(frame.status());
+    MACE_CHECK(frame->type == wire::FrameType::kScoreResponse)
+        << "unexpected frame type "
+        << static_cast<int>(frame->type);
+    const auto now = Clock::now();
+    auto it = outstanding.find(frame->request_id);
+    if (it == outstanding.end()) {
+      ++local.unmatched;
+    } else {
+      local.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(now - it->second)
+              .count());
+      outstanding.erase(it);
+      ++local.responses;
+    }
+    auto response = wire::DecodeScoreResponse(frame->payload.data(),
+                                              frame->payload.size());
+    MACE_CHECK_OK(response.status());
+    if (response->rejected) {
+      ++local.rejected;
+    } else if (response->dropped) {
+      ++local.shed;
+    } else if (!response->ok()) {
+      ++local.errors;
+    }
+  };
+
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (int k = thread_index; k < kTenants; k += kClientConnections) {
+      const int service = k % kFittedServices;
+      wire::ScoreRequest request;
+      request.tenant = "load-" + std::to_string(k);
+      request.service = service;
+      request.values =
+          dataset.services[static_cast<size_t>(service)].test.values()[t];
+      const auto sent = Clock::now();
+      auto id = client.SendScore(request);
+      MACE_CHECK_OK(id.status());
+      outstanding.emplace(*id, sent);
+      while (outstanding.size() >= kPipelineWindow) drain_one();
+    }
+  }
+  while (!outstanding.empty()) drain_one();
+  local.lost = outstanding.size();
+
+  std::lock_guard<std::mutex> lock(*mu);
+  total->responses += local.responses;
+  total->rejected += local.rejected;
+  total->shed += local.shed;
+  total->errors += local.errors;
+  total->unmatched += local.unmatched;
+  total->lost += local.lost;
+  total->latencies_us.insert(total->latencies_us.end(),
+                             local.latencies_us.begin(),
+                             local.latencies_us.end());
+}
+
+LoadResult RunLoad(uint16_t port, const mace::ts::Dataset& dataset) {
+  LoadResult total;
+  std::mutex mu;
+  mace::eval::StopWatch watch;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClientConnections; ++c) {
+    threads.emplace_back(ClientThread, port, c, std::cref(dataset), &total,
+                         &mu);
+  }
+  for (auto& thread : threads) thread.join();
+  total.seconds = watch.ElapsedSeconds();
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  return total;
+}
+
+std::unique_ptr<Subprocess> SpawnBackend(uint16_t* port) {
+  auto spawned = Subprocess::Spawn(
+      {MACE_BACKEND_BIN, "--model", kModelPath, "--shards",
+       std::to_string(kBackendShards), "--queue",
+       std::to_string(kQueueCapacity), "--policy", "block"});
+  MACE_CHECK_OK(spawned.status());
+  auto listening = spawned.value()->WaitForListeningPort(kSpawnTimeoutMs);
+  MACE_CHECK_OK(listening.status());
+  *port = *listening;
+  return std::move(spawned).value();
+}
+
+struct Topology {
+  std::vector<std::unique_ptr<Subprocess>> backends;
+  std::unique_ptr<Subprocess> router;
+  uint16_t router_port = 0;
+
+  void Teardown() {
+    // Router first so no client-facing socket outlives its backends.
+    if (router) router->KillAndReap();
+    for (auto& backend : backends) backend->KillAndReap();
+    backends.clear();
+    router.reset();
+  }
+};
+
+Topology SpawnTopology(int num_backends) {
+  Topology topo;
+  std::string backend_list;
+  for (int b = 0; b < num_backends; ++b) {
+    uint16_t port = 0;
+    topo.backends.push_back(SpawnBackend(&port));
+    if (b > 0) backend_list += ',';
+    backend_list += "127.0.0.1:" + std::to_string(port);
+  }
+  auto spawned =
+      Subprocess::Spawn({MACE_ROUTER_BIN, "--backends", backend_list});
+  MACE_CHECK_OK(spawned.status());
+  auto listening = spawned.value()->WaitForListeningPort(kSpawnTimeoutMs);
+  MACE_CHECK_OK(listening.status());
+  topo.router_port = *listening;
+  topo.router = std::move(spawned).value();
+  return topo;
+}
+
+/// Streams kBitTenants fresh tenant sessions through `score_step` and
+/// returns each tenant's concatenated score sequence — the common shape
+/// of both sides of the bit-identity check.
+template <typename ScoreStep>
+std::vector<std::vector<double>> CollectScores(
+    const mace::ts::Dataset& dataset, ScoreStep&& score_step) {
+  std::vector<std::vector<double>> per_tenant(
+      static_cast<size_t>(kBitTenants));
+  for (size_t t = 0; t < kBitSteps; ++t) {
+    for (int k = 0; k < kBitTenants; ++k) {
+      const int service = k % kFittedServices;
+      score_step(
+          "bit-" + std::to_string(k), service,
+          dataset.services[static_cast<size_t>(service)].test.values()[t],
+          &per_tenant[static_cast<size_t>(k)]);
+    }
+  }
+  return per_tenant;
+}
+
+bool BitIdentical(const std::vector<std::vector<double>>& a,
+                  const std::vector<std::vector<double>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    if (!a[i].empty() &&
+        std::memcmp(a[i].data(), b[i].data(),
+                    a[i].size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct RunRow {
+  int backends = 0;
+  double obs_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+};
+
+RunRow Summarize(int backends, const LoadResult& result) {
+  const uint64_t expected =
+      static_cast<uint64_t>(kTenants) * static_cast<uint64_t>(kSteps);
+  MACE_CHECK(result.lost == 0 && result.unmatched == 0 &&
+             result.responses == expected)
+      << "response accounting broken: " << result.responses << " of "
+      << expected << " (lost " << result.lost << ", unmatched "
+      << result.unmatched << ")";
+  MACE_CHECK(result.errors == 0)
+      << result.errors << " scoring errors through the wire";
+  RunRow row;
+  row.backends = backends;
+  row.obs_per_sec = static_cast<double>(result.responses) / result.seconds;
+  row.p50_us = Percentile(result.latencies_us, 0.50);
+  row.p99_us = Percentile(result.latencies_us, 0.99);
+  row.p999_us = Percentile(result.latencies_us, 0.999);
+  row.shed = result.shed;
+  row.rejected = result.rejected;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mace;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  ts::DatasetProfile profile = ts::SmdProfile();
+  profile.num_services = kFittedServices;
+  profile.test_length = std::max(kSteps, kBitSteps);
+  const ts::Dataset dataset = ts::GenerateDataset(profile);
+
+  core::MaceConfig config;
+  config.epochs = 2;
+  config.score_stride = config.window;
+  config.num_bases = 12;
+  auto model = std::make_shared<core::MaceDetector>(config);
+  std::printf("fitting the shared model (%d services)...\n",
+              kFittedServices);
+  MACE_CHECK_OK(model->Fit(dataset.services));
+  MACE_CHECK_OK(model->Save(kModelPath));
+
+  std::printf(
+      "Scale-out serving — %d tenants x %zu steps, %d client "
+      "connections, pipeline window %zu, backends x%d shards, "
+      "policy=block (%u hardware core%s)\n\n",
+      kTenants, kSteps, kClientConnections, kPipelineWindow,
+      kBackendShards, cores, cores == 1 ? "" : "s");
+
+  // In-process baseline: the identical pool config without any sockets.
+  double in_process_obs_per_sec = 0.0;
+  {
+    serve::ServeConfig serve_config;
+    serve_config.num_shards = kBackendShards;
+    serve_config.queue_capacity = kQueueCapacity;
+    auto frontend = serve::ServeFrontend::Create(model, serve_config);
+    MACE_CHECK_OK(frontend.status());
+    eval::StopWatch watch;
+    for (size_t t = 0; t < kSteps; ++t) {
+      for (int k = 0; k < kTenants; ++k) {
+        const int service = k % kFittedServices;
+        auto f = (*frontend)->Submit(
+            "load-" + std::to_string(k), service,
+            dataset.services[static_cast<size_t>(service)].test.values()[t]);
+        MACE_CHECK_OK(f.status());
+      }
+    }
+    (*frontend)->Flush();
+    const double seconds = watch.ElapsedSeconds();
+    const serve::ShardStats totals = (*frontend)->Stats().Totals();
+    MACE_CHECK(totals.scored_steps == kSteps * kTenants);
+    in_process_obs_per_sec =
+        static_cast<double>(kSteps * kTenants) / seconds;
+    std::printf("%-22s %10.0f obs/s\n", "in-process baseline:",
+                in_process_obs_per_sec);
+  }
+
+  // Direct socket, one backend, no router: isolates wire + epoll cost;
+  // the router-1 run against it isolates the router hop.
+  RunRow direct;
+  {
+    uint16_t port = 0;
+    auto backend = SpawnBackend(&port);
+    direct = Summarize(1, RunLoad(port, dataset));
+    backend->KillAndReap();
+    std::printf("%-22s %10.0f obs/s   p99 %.0f us\n",
+                "direct socket (1):", direct.obs_per_sec, direct.p99_us);
+  }
+
+  std::printf("\n%8s %12s %10s %10s %10s %8s %8s\n", "backends", "obs/s",
+              "p50_us", "p99_us", "p999_us", "shed", "rejected");
+  std::vector<RunRow> rows;
+  for (int backends : {1, 2, 4}) {
+    Topology topo = SpawnTopology(backends);
+    RunRow row = Summarize(backends, RunLoad(topo.router_port, dataset));
+    topo.Teardown();
+    rows.push_back(row);
+    std::printf("%8d %12.0f %10.0f %10.0f %10.0f %8llu %8llu\n",
+                row.backends, row.obs_per_sec, row.p50_us, row.p99_us,
+                row.p999_us, static_cast<unsigned long long>(row.shed),
+                static_cast<unsigned long long>(row.rejected));
+  }
+
+  const double router_overhead =
+      direct.obs_per_sec > 0.0
+          ? 1.0 - rows[0].obs_per_sec / direct.obs_per_sec
+          : 0.0;
+  const double speedup_4x =
+      rows[0].obs_per_sec > 0.0 ? rows[2].obs_per_sec / rows[0].obs_per_sec
+                                : 0.0;
+
+  // Bit-identity: the hard check. Same tenants, same observations, same
+  // saved model — once through router + socket + backend process, once
+  // through a ServeFrontend here; every score double must match bitwise.
+  std::printf("\nbit-identity probe: %d tenants x %zu steps...\n",
+              kBitTenants, kBitSteps);
+  Topology topo = SpawnTopology(2);
+  auto connected = net::WireClient::Connect("127.0.0.1", topo.router_port);
+  MACE_CHECK_OK(connected.status());
+  auto wire_scores = CollectScores(
+      dataset, [&](const std::string& tenant, int service,
+                   const std::vector<double>& values,
+                   std::vector<double>* out) {
+        wire::ScoreRequest request;
+        request.tenant = tenant;
+        request.service = service;
+        request.values = values;
+        auto response = connected.value()->Score(request);
+        MACE_CHECK_OK(response.status());
+        MACE_CHECK_OK(response->ToStatus());
+        out->insert(out->end(), response->scores.begin(),
+                    response->scores.end());
+      });
+  connected.value().reset();
+  topo.Teardown();
+
+  auto reloaded = core::MaceDetector::Load(kModelPath);
+  MACE_CHECK_OK(reloaded.status());
+  auto direct_model =
+      std::make_shared<core::MaceDetector>(std::move(reloaded).value());
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = kBackendShards;
+  auto frontend = serve::ServeFrontend::Create(direct_model, serve_config);
+  MACE_CHECK_OK(frontend.status());
+  auto direct_scores = CollectScores(
+      dataset, [&](const std::string& tenant, int service,
+                   const std::vector<double>& values,
+                   std::vector<double>* out) {
+        auto f = (*frontend)->Submit(tenant, service, values);
+        MACE_CHECK_OK(f.status());
+        serve::ScoreBatch batch = f->get();
+        MACE_CHECK_OK(batch.status);
+        out->insert(out->end(), batch.scores.begin(), batch.scores.end());
+      });
+  const bool bit_identical = BitIdentical(wire_scores, direct_scores);
+  MACE_CHECK(bit_identical)
+      << "scores through router+socket diverge from direct ServeFrontend";
+  std::printf("bit-identity: OK (every score matches memcmp-exact)\n");
+
+  {
+    std::ofstream out("BENCH_serve.json", std::ios::trunc);
+    out << "{\n"
+        << "  \"bench\": \"serve_scaleout\",\n"
+        << "  \"hardware_cores\": " << cores << ",\n"
+        << "  \"config\": {\n"
+        << "    \"tenants\": " << kTenants << ",\n"
+        << "    \"steps_per_tenant\": " << kSteps << ",\n"
+        << "    \"fitted_services\": " << kFittedServices << ",\n"
+        << "    \"policy\": \"block\",\n"
+        << "    \"backend_shards\": " << kBackendShards << ",\n"
+        << "    \"queue_capacity\": " << kQueueCapacity << ",\n"
+        << "    \"client_connections\": " << kClientConnections << ",\n"
+        << "    \"pipeline_window\": " << kPipelineWindow << ",\n"
+        << "    \"qos\": \"off\",\n"
+        << "    \"epochs\": " << config.epochs << ",\n"
+        << "    \"score_stride\": " << config.score_stride << ",\n"
+        << "    \"num_bases\": " << config.num_bases << "\n"
+        << "  },\n"
+        << "  \"in_process\": { \"obs_per_sec\": " << in_process_obs_per_sec
+        << " },\n"
+        << "  \"direct_socket\": { \"obs_per_sec\": " << direct.obs_per_sec
+        << ", \"p99_us\": " << direct.p99_us << ", \"p999_us\": "
+        << direct.p999_us << " },\n"
+        << "  \"scaleout\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const RunRow& row = rows[i];
+      out << "    { \"backends\": " << row.backends
+          << ", \"obs_per_sec\": " << row.obs_per_sec
+          << ", \"p50_us\": " << row.p50_us
+          << ", \"p99_us\": " << row.p99_us
+          << ", \"p999_us\": " << row.p999_us
+          << ", \"shed\": " << row.shed
+          << ", \"rejected\": " << row.rejected << " }"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"router_overhead_fraction\": " << router_overhead << ",\n"
+        << "  \"speedup_4_vs_1\": " << speedup_4x << ",\n"
+        << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+        << "\n"
+        << "}\n";
+  }
+  std::remove(kModelPath);
+  std::printf(
+      "\nrouter overhead %.1f%%, 4-vs-1 backend speedup %.2fx "
+      "(%u-core host) — BENCH_serve.json written\n",
+      router_overhead * 100.0, speedup_4x, cores);
+  return 0;
+}

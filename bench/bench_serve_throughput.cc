@@ -6,12 +6,13 @@
 // pool output is the exact sequential StreamingScorer output per tenant
 // (pinned sessions), so this measures real scoring, not drops.
 //
-// Emits BENCH_serve.json from the pinned canonical configuration (4
-// shards, queue 4096, micro-batch 128, kBlock) so the tracked trajectory
-// compares like with like across runs — the widest-pool "best" row moves
-// with scheduler noise, the canonical row does not. The full shard sweep
-// still prints for context, and the JSON records every knob of the
-// canonical config next to its result.
+// --json-out <path> writes the pinned canonical configuration's row (4
+// shards, queue 4096, micro-batch 128, kBlock) as JSON so a tracked
+// trajectory compares like with like across runs — the widest-pool
+// "best" row moves with scheduler noise, the canonical row does not.
+// The combined BENCH_serve.json artifact (in-process baseline plus the
+// multi-process scale-out table) is owned by bench_serve_scaleout; this
+// bench stays the in-process shard sweep.
 
 #include <cstdio>
 #include <fstream>
@@ -26,8 +27,19 @@
 #include "serve/frontend.h"
 #include "ts/profiles.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mace;
+
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve_throughput [--json-out <path>]\n");
+      return 2;
+    }
+  }
 
   // Workload: 64 simulated services (tenants), each streaming the test
   // split of one of 4 fitted normal patterns.
@@ -111,8 +123,8 @@ int main() {
                 static_cast<unsigned long long>(totals.shed));
   }
 
-  {
-    std::ofstream out("BENCH_serve.json", std::ios::trunc);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
     out << "{\n"
         << "  \"bench\": \"serve_throughput\",\n"
         << "  \"config\": {\n"
@@ -133,8 +145,10 @@ int main() {
   }
   std::printf(
       "\ncanonical (%d shards): %.0f obs/s, shed %llu (target: >= 100k "
-      "obs/s, shed 0 under kBlock) — BENCH_serve.json written\n",
+      "obs/s, shed 0 under kBlock)%s%s\n",
       kCanonicalShards, canonical_obs_per_sec,
-      static_cast<unsigned long long>(canonical_shed));
+      static_cast<unsigned long long>(canonical_shed),
+      json_out.empty() ? "" : " — JSON written to ",
+      json_out.c_str());
   return 0;
 }

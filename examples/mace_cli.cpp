@@ -20,6 +20,11 @@
 //       store (tenant = service name, anomaly bit = score > T) and writes
 //       it as an MHSNAPv1 snapshot for the history commands below.
 //
+//   mace_cli ping --port N [--host H] [--count N]
+//       Health-probe a running mace_serve_backend / mace_router over the
+//       MWIREv1 wire protocol: RTT min/mean/max plus the peer's stats
+//       line (no --data needed).
+//
 //   mace_cli history <top|rate|correlate> --snapshot <file>
 //       Fleet observability over a history snapshot (no --data needed):
 //         top        [--top-k K] [--from T0] [--to T1]
@@ -43,6 +48,8 @@
 //   mace_cli train --data /tmp/demo --model /tmp/demo/model.mace
 //   mace_cli eval  --data /tmp/demo --model /tmp/demo/model.mace
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -62,6 +69,7 @@
 #include "history/query.h"
 #include "history/snapshot.h"
 #include "history/store.h"
+#include "net/client.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "ts/io.h"
@@ -609,11 +617,67 @@ int History(const std::string& sub, const Flags& flags) {
   return 0;
 }
 
+/// `mace_cli ping`: round-trip MWIREv1 kPing frames against a running
+/// mace_serve_backend / mace_router and print RTTs plus the peer's
+/// stats line — the health probe of the scale-out serving path.
+int Ping(const Flags& flags) {
+  std::string error;
+  const std::string host = flags.Get("host", "127.0.0.1");
+  const int port = flags.GetIntStrict("port", 0, &error);
+  const int count = flags.GetIntStrict("count", 5, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "argument error: %s\n", error.c_str());
+    return 2;
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "ping needs --port (1..65535)\n");
+    return 2;
+  }
+  if (count < 1) {
+    std::fprintf(stderr, "--count must be >= 1\n");
+    return 2;
+  }
+  auto client =
+      net::WireClient::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().message().c_str());
+    return 1;
+  }
+  double min_us = std::numeric_limits<double>::infinity();
+  double max_us = 0.0;
+  double sum_us = 0.0;
+  for (int i = 0; i < count; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const Status status = (*client)->Ping();
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (!status.ok()) {
+      std::fprintf(stderr, "ping %d failed: %s\n", i + 1,
+                   status.message().c_str());
+      return 1;
+    }
+    std::printf("pong from %s:%d — %.0f us\n", host.c_str(), port, us);
+    min_us = std::min(min_us, us);
+    max_us = std::max(max_us, us);
+    sum_us += us;
+  }
+  std::printf("%d pings: min %.0f / mean %.0f / max %.0f us\n", count,
+              min_us, sum_us / count, max_us);
+  auto stats = (*client)->Stats();
+  if (stats.ok()) {
+    std::printf("peer: %s\n", stats->c_str());
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
       "usage: mace_cli <synth|train|score|eval> --data <dir>\n"
       "       mace_cli history <top|rate|correlate> --snapshot <file>\n"
+      "       mace_cli ping --port N [--host H] [--count N]\n"
       "  common:  [--model <file>] [--metrics-out <file>] [--trace]\n"
       "           [--trace-out <file>]\n"
       "           [--non-finite reject|impute|propagate]  NaN/Inf policy\n"
@@ -639,6 +703,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "ping") {
+    // Pings a live serving process; no --data involved.
+    const Flags flags(argc, argv, 2);
+    if (!flags.ok()) {
+      std::fprintf(stderr, "argument error: %s\n", flags.error().c_str());
+      Usage();
+      return 2;
+    }
+    return Ping(flags);
+  }
   if (command == "history") {
     // History queries read a snapshot, not --data; the subcommand is the
     // one positional argument.

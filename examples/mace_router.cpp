@@ -1,0 +1,147 @@
+// The scale-out fan-in router: consistent-hashes tenants across N
+// mace_serve_backend processes (src/net/router.h) and forwards MWIREv1
+// frames without decoding observations.
+//
+// Run: ./build/examples/mace_router --backends 127.0.0.1:7101,127.0.0.1:7102
+//
+// Flags:
+//   --backends LIST  comma-separated host:port backends (required)
+//   --listen-port N  TCP port (default 0 = ephemeral; announced on
+//                    stdout as "MACE_LISTENING port=N")
+//   --vnodes N       virtual nodes per backend on the ring (default 64)
+//   --max-inflight N per-backend in-flight cap before rejecting
+//                    (default 8192)
+//   --qos-rate R     per-tenant admission rate/s (default 0 = QoS off)
+//   --qos-burst B    QoS bucket burst (default 0 = max(rate, 1))
+//
+// Runs until SIGTERM/SIGINT. Numeric flags parse strictly; argument
+// errors exit 2.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "net/router.h"
+#include "net/spawn.h"
+
+namespace {
+
+volatile sig_atomic_t g_shutdown = 0;
+void HandleSignal(int) { g_shutdown = 1; }
+
+int ParseIntOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const int value = std::stoi(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs an integer, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+double ParseDoubleOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs a number, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mace;
+
+  net::RouterOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--backends") {
+      options.backends = SplitCommas(next());
+    } else if (arg == "--listen-port") {
+      options.port = static_cast<uint16_t>(
+          ParseIntOrDie(arg, next()));
+    } else if (arg == "--vnodes") {
+      options.vnodes = static_cast<size_t>(ParseIntOrDie(arg, next()));
+    } else if (arg == "--max-inflight") {
+      options.max_inflight_per_backend =
+          static_cast<size_t>(ParseIntOrDie(arg, next()));
+    } else if (arg == "--qos-rate") {
+      options.qos.rate_per_tenant = ParseDoubleOrDie(arg, next());
+    } else if (arg == "--qos-burst") {
+      options.qos.burst = ParseDoubleOrDie(arg, next());
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (options.backends.empty()) {
+    std::fprintf(stderr, "--backends is required\n");
+    std::exit(2);
+  }
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  auto router = net::Router::Start(options);
+  MACE_CHECK_OK(router.status());
+
+  std::fputs(net::ListeningLine(router.value()->port()).c_str(), stdout);
+  std::fflush(stdout);
+  std::fprintf(stderr, "router pid %d on port %u, %zu backends\n",
+               getpid(), unsigned{router.value()->port()},
+               options.backends.size());
+
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  router.value()->Stop();
+  std::fprintf(stderr,
+               "router pid %d: clean shutdown — forwarded %llu rejected "
+               "%llu backend_errors %llu\n",
+               getpid(),
+               static_cast<unsigned long long>(router.value()->forwarded()),
+               static_cast<unsigned long long>(router.value()->rejected()),
+               static_cast<unsigned long long>(
+                   router.value()->backend_errors()));
+  return 0;
+}

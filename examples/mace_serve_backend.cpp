@@ -1,0 +1,216 @@
+// One scale-out scoring backend: a ServeFrontend behind the MWIREv1
+// epoll front door (src/net/server.h). The router process
+// (mace_router) consistent-hashes tenants across N of these.
+//
+// Run: ./build/examples/mace_serve_backend --model /tmp/model.mace
+//      ./build/examples/mace_serve_backend --services 4 --shards 2
+//
+// Flags:
+//   --listen-port N  TCP port (default 0 = kernel-assigned; the actual
+//                    port is announced on stdout as
+//                    "MACE_LISTENING port=N" once accepting)
+//   --model PATH     load a saved MaceDetector instead of fitting a
+//                    synthetic one (spawning harnesses fit once, save,
+//                    and pass the file to every backend so all processes
+//                    score bit-identically)
+//   --services N     synthetic-fit services when --model is absent
+//                    (default 4)
+//   --shards N       worker shards (default 4)
+//   --queue N        per-shard queue capacity (default 1024)
+//   --policy P       block | shed | latest (default block)
+//   --non-finite P   reject | impute | propagate (default reject)
+//   --qos-rate R     per-tenant admission rate/s (default 0 = QoS off)
+//   --qos-burst B    QoS bucket burst (default 0 = max(rate, 1))
+//
+// Runs until SIGTERM/SIGINT, then shuts the server and pool down
+// cleanly (exit 0). Numeric flags parse strictly; argument errors
+// exit 2.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "core/mace_detector.h"
+#include "net/server.h"
+#include "net/spawn.h"
+#include "serve/frontend.h"
+#include "ts/profiles.h"
+#include "ts/sanitize.h"
+
+namespace {
+
+volatile sig_atomic_t g_shutdown = 0;
+void HandleSignal(int) { g_shutdown = 1; }
+
+struct Options {
+  int listen_port = 0;
+  std::string model_path;
+  int services = 4;
+  int shards = 4;
+  int queue = 1024;
+  mace::serve::OverloadPolicy policy = mace::serve::OverloadPolicy::kBlock;
+  mace::ts::NonFinitePolicy non_finite =
+      mace::ts::NonFinitePolicy::kReject;
+  double qos_rate = 0.0;
+  double qos_burst = 0.0;
+};
+
+int ParseIntOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const int value = std::stoi(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs an integer, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+double ParseDoubleOrDie(const std::string& flag, const char* text) {
+  try {
+    size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (text[used] != '\0') throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s needs a number, got '%s'\n", flag.c_str(),
+                 text);
+    std::exit(2);
+  }
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen-port") {
+      options.listen_port = ParseIntOrDie(arg, next());
+    } else if (arg == "--model") {
+      options.model_path = next();
+    } else if (arg == "--services") {
+      options.services = ParseIntOrDie(arg, next());
+    } else if (arg == "--shards") {
+      options.shards = ParseIntOrDie(arg, next());
+    } else if (arg == "--queue") {
+      options.queue = ParseIntOrDie(arg, next());
+    } else if (arg == "--qos-rate") {
+      options.qos_rate = ParseDoubleOrDie(arg, next());
+    } else if (arg == "--qos-burst") {
+      options.qos_burst = ParseDoubleOrDie(arg, next());
+    } else if (arg == "--non-finite") {
+      auto policy = mace::ts::ParseNonFinitePolicy(next());
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().message().c_str());
+        std::exit(2);
+      }
+      options.non_finite = *policy;
+    } else if (arg == "--policy") {
+      const std::string policy = next();
+      if (policy == "block") {
+        options.policy = mace::serve::OverloadPolicy::kBlock;
+      } else if (policy == "shed") {
+        options.policy = mace::serve::OverloadPolicy::kShed;
+      } else if (policy == "latest") {
+        options.policy = mace::serve::OverloadPolicy::kLatestOnly;
+      } else {
+        std::fprintf(stderr, "unknown --policy %s\n", policy.c_str());
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  MACE_CHECK(options.listen_port >= 0 && options.listen_port <= 65535)
+      << "--listen-port out of range";
+  MACE_CHECK(options.services > 0 && options.shards > 0 &&
+             options.queue > 0)
+      << "--services/--shards/--queue must be positive";
+  return options;
+}
+
+std::shared_ptr<const mace::core::MaceDetector> MakeModel(
+    const Options& options) {
+  if (!options.model_path.empty()) {
+    auto loaded = mace::core::MaceDetector::Load(options.model_path);
+    MACE_CHECK_OK(loaded.status());
+    return std::make_shared<mace::core::MaceDetector>(
+        std::move(loaded).value());
+  }
+  mace::ts::DatasetProfile profile = mace::ts::SmdProfile();
+  profile.num_services = options.services;
+  profile.test_length = 512;
+  const mace::ts::Dataset dataset = mace::ts::GenerateDataset(profile);
+  mace::core::MaceConfig config;
+  config.epochs = 2;
+  config.score_stride = config.window;
+  auto model = std::make_shared<mace::core::MaceDetector>(config);
+  MACE_CHECK_OK(model->Fit(dataset.services));
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mace;
+
+  const Options options = ParseArgs(argc, argv);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::shared_ptr<const core::MaceDetector> model = MakeModel(options);
+
+  serve::ServeConfig serve_config;
+  serve_config.num_shards = options.shards;
+  serve_config.queue_capacity = static_cast<size_t>(options.queue);
+  serve_config.overload_policy = options.policy;
+  serve_config.non_finite_policy = options.non_finite;
+  auto frontend = serve::ServeFrontend::Create(model, serve_config);
+  MACE_CHECK_OK(frontend.status());
+
+  net::ScoreServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(options.listen_port);
+  server_options.qos.rate_per_tenant = options.qos_rate;
+  server_options.qos.burst = options.qos_burst;
+  auto server =
+      net::ScoreServer::Start(frontend.value().get(), server_options);
+  MACE_CHECK_OK(server.status());
+
+  // The handshake line the spawning parent blocks on; stdout is a pipe,
+  // so flush explicitly.
+  std::fputs(net::ListeningLine(server.value()->port()).c_str(), stdout);
+  std::fflush(stdout);
+  std::fprintf(stderr, "backend pid %d serving on port %u\n", getpid(),
+               unsigned{server.value()->port()});
+
+  while (!g_shutdown) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.value()->Stop();
+  std::fprintf(stderr, "backend pid %d: clean shutdown — %s\n", getpid(),
+               frontend.value()->Stats().FormatLine().c_str());
+  return 0;
+}

@@ -1,8 +1,14 @@
 // Multi-tenant serving demo (the paper's C2 at fleet scale): replays
-// observation traffic from many simulated tenants through the src/serve/
-// sharded pool at a target rate, printing a live dashboard line and hot-
-// swapping the model halfway through — in-flight sessions drain on the
-// model they opened with, new sessions open on the new one.
+// observation traffic from many simulated tenants at a target rate,
+// printing a live dashboard line and hot-swapping the model halfway
+// through — in-flight sessions drain on the model they opened with, new
+// sessions open on the new one.
+//
+// By default the traffic goes over the real MWIREv1 wire: the demo
+// starts the epoll front door on a loopback socket and replays through
+// a WireClient, exactly the bytes a remote tenant would send. --in-process
+// skips the socket and submits straight into the sharded pool (the
+// pre-scale-out path, kept for overhead comparison).
 //
 // Run: ./build/examples/mace_served
 //      ./build/examples/mace_served --services 96 --shards 8
@@ -17,6 +23,8 @@
 //   --policy P       block | shed | latest (default block)
 //   --non-finite P   reject | impute | propagate (default reject): what
 //                    sessions do with NaN/Inf observations
+//   --in-process     submit directly to the pool instead of through the
+//                    loopback wire protocol
 //
 // Numeric flags parse strictly (the whole value must be a number) and
 // argument errors exit with status 2.
@@ -32,6 +40,8 @@
 
 #include "common/check.h"
 #include "core/mace_detector.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "serve/frontend.h"
 #include "ts/profiles.h"
 #include "ts/sanitize.h"
@@ -46,6 +56,7 @@ struct Options {
   mace::serve::OverloadPolicy policy = mace::serve::OverloadPolicy::kBlock;
   mace::ts::NonFinitePolicy non_finite =
       mace::ts::NonFinitePolicy::kReject;
+  bool in_process = false;
 };
 
 /// Strict numeric parsers: atoi/atof silently read "8x" as 8 and "x" as
@@ -115,6 +126,8 @@ Options ParseArgs(int argc, char** argv) {
         std::fprintf(stderr, "unknown --policy %s\n", policy.c_str());
         std::exit(2);
       }
+    } else if (arg == "--in-process") {
+      options.in_process = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       std::exit(2);
@@ -163,6 +176,21 @@ int main(int argc, char** argv) {
   auto frontend = serve::ServeFrontend::Create(model_v1, serve_config);
   MACE_CHECK_OK(frontend.status());
 
+  // Default path: real loopback sockets through the MWIREv1 front door.
+  std::unique_ptr<net::ScoreServer> server;
+  std::unique_ptr<net::WireClient> client;
+  if (!options.in_process) {
+    auto started =
+        net::ScoreServer::Start(frontend.value().get(), {});
+    MACE_CHECK_OK(started.status());
+    server = std::move(started).value();
+    auto connected =
+        net::WireClient::Connect("127.0.0.1", server->port());
+    MACE_CHECK_OK(connected.status());
+    client = std::move(connected).value();
+    MACE_CHECK_OK(client->Ping());
+  }
+
   std::vector<std::string> tenants;
   for (int k = 0; k < options.services; ++k) {
     tenants.push_back("tenant-" + std::to_string(k));
@@ -170,10 +198,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "replaying %d tenants at %.0f obs/s for %.1fs — %d shards, "
-      "policy=%s, non-finite=%s\n\n",
+      "policy=%s, non-finite=%s, transport=%s\n\n",
       options.services, options.rate, options.seconds, options.shards,
       serve::OverloadPolicyName(options.policy),
-      ts::NonFinitePolicyName(options.non_finite));
+      ts::NonFinitePolicyName(options.non_finite),
+      options.in_process ? "in-process" : "wire (loopback)");
 
   const auto start = Clock::now();
   const auto deadline =
@@ -193,16 +222,34 @@ int main(int argc, char** argv) {
   const auto swap_at = start + (deadline - start) / 2;
   size_t step = 0;
   while (Clock::now() < deadline) {
-    for (int k = 0; k < options.services; ++k) {
-      const int service = k % static_cast<int>(dataset.services.size());
-      const auto& test =
-          dataset.services[static_cast<size_t>(service)].test;
-      auto f = (*frontend)->Submit(tenants[static_cast<size_t>(k)],
-                                   service,
-                                   test.values()[step % test.length()]);
-      MACE_CHECK_OK(f.status());
-      // Futures are discarded: the dashboard reads aggregate stats, and
-      // under shed policies a dropped observation resolves immediately.
+    if (options.in_process) {
+      for (int k = 0; k < options.services; ++k) {
+        const int service = k % static_cast<int>(dataset.services.size());
+        const auto& test =
+            dataset.services[static_cast<size_t>(service)].test;
+        auto f = (*frontend)->Submit(tenants[static_cast<size_t>(k)],
+                                     service,
+                                     test.values()[step % test.length()]);
+        MACE_CHECK_OK(f.status());
+        // Futures are discarded: the dashboard reads aggregate stats, and
+        // under shed policies a dropped observation resolves immediately.
+      }
+    } else {
+      // One round = one pipelined burst of score frames, then drain the
+      // matching responses — bounded outstanding bytes, real round trips.
+      for (int k = 0; k < options.services; ++k) {
+        const int service = k % static_cast<int>(dataset.services.size());
+        const auto& test =
+            dataset.services[static_cast<size_t>(service)].test;
+        wire::ScoreRequest request;
+        request.tenant = tenants[static_cast<size_t>(k)];
+        request.service = service;
+        request.values = test.values()[step % test.length()];
+        MACE_CHECK_OK(client->SendScore(request).status());
+      }
+      for (int k = 0; k < options.services; ++k) {
+        MACE_CHECK_OK(client->NextResponse().status());
+      }
     }
     ++step;
 

@@ -10,6 +10,13 @@
 // HistoryStore, and the periodic snapshot includes a fleet ranking panel
 // (history/query.h TopTenants over the most recent steps).
 //
+// Observations travel over the real MWIREv1 wire by default: the
+// monitor starts the epoll front door on a loopback socket and scores
+// through a WireClient, so every step exercises the exact byte path a
+// remote agent would use. The dashboard panels keep reading the
+// process-local frontend/history state the server scores into.
+// --in-process restores the direct synchronous path.
+//
 // Run: ./build/examples/streaming_monitor
 //        [--anomaly-threshold T]  fixed history threshold; 0 (default)
 //                                 calibrates 2 x P90 per tenant online
@@ -20,6 +27,8 @@
 //                                 a K=3 consensus ensemble whose vote
 //                                 becomes the history anomaly bit
 //        [--consensus NAME]       all (default) | max | quantile
+//        [--in-process]           score directly instead of through the
+//                                 loopback wire protocol
 
 #include <cstdio>
 #include <memory>
@@ -31,6 +40,8 @@
 #include "eval/metrics.h"
 #include "history/query.h"
 #include "history/store.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "online/trainer.h"
 #include "serve/frontend.h"
@@ -43,6 +54,7 @@ struct Options {
   int history_capacity = 1024;
   int top_k = 4;
   bool online_refit = false;
+  bool in_process = false;
   mace::online::ConsensusKind consensus =
       mace::online::ConsensusKind::kAllVote;
 };
@@ -94,6 +106,8 @@ Options ParseArgs(int argc, char** argv) {
       options.top_k = ParseIntOrDie(arg, next());
     } else if (arg == "--online-refit") {
       options.online_refit = true;
+    } else if (arg == "--in-process") {
+      options.in_process = true;
     } else if (arg == "--consensus") {
       const std::string name = next();
       if (name == "all") {
@@ -206,6 +220,42 @@ int main(int argc, char** argv) {
   auto frontend = serve::ServeFrontend::Create(detector, serve_config);
   MACE_CHECK_OK(frontend.status());
 
+  // Wire transport (default): the same frontend behind a loopback
+  // MWIREv1 socket. History/trainer state stays in this process, so the
+  // panels below read it directly while scoring goes over TCP.
+  std::unique_ptr<net::ScoreServer> server;
+  std::unique_ptr<net::WireClient> client;
+  if (!options.in_process) {
+    auto started = net::ScoreServer::Start(frontend.value().get(), {});
+    MACE_CHECK_OK(started.status());
+    server = std::move(started).value();
+    auto connected = net::WireClient::Connect("127.0.0.1", server->port());
+    MACE_CHECK_OK(connected.status());
+    client = std::move(connected).value();
+    MACE_CHECK_OK(client->Ping());
+    std::printf("wire transport: loopback port %u\n",
+                unsigned{server->port()});
+  }
+
+  // One scoring call, either transport; returns the emitted scores.
+  auto score_step = [&](const std::string& tenant, int service,
+                        const std::vector<double>& values) {
+    if (options.in_process) {
+      auto batch = (*frontend)->Score(tenant, service, values);
+      MACE_CHECK_OK(batch.status());
+      MACE_CHECK_OK(batch->status);
+      return std::move(batch->scores);
+    }
+    wire::ScoreRequest request;
+    request.tenant = tenant;
+    request.service = service;
+    request.values = values;
+    auto response = client->Score(request);
+    MACE_CHECK_OK(response.status());
+    MACE_CHECK_OK(response->ToStatus());
+    return std::move(response->scores);
+  };
+
   // Stream every service's test split as its own tenant. Following the
   // SPOT protocol, each tenant's alert threshold is calibrated online
   // from its first `kCalibration` emitted scores, then alerts fire on
@@ -268,11 +318,9 @@ int main(int argc, char** argv) {
     for (size_t s = 0; s < num_tenants; ++s) {
       const ts::TimeSeries& test = dataset.services[s].test;
       if (t >= test.length()) continue;
-      auto batch = (*frontend)->Score(tenants[s].name, static_cast<int>(s),
-                                      test.values()[t]);
-      MACE_CHECK_OK(batch.status());
-      MACE_CHECK_OK(batch->status);
-      for (double score : batch->scores) consume(tenants[s], score, t);
+      const std::vector<double> scores =
+          score_step(tenants[s].name, static_cast<int>(s), test.values()[t]);
+      for (double score : scores) consume(tenants[s], score, t);
     }
     // Synchronous pump: refits run on this thread between steps (the
     // deterministic single-threaded flavor; servers use Start()).
@@ -295,9 +343,18 @@ int main(int argc, char** argv) {
   }
   // Close drains the windowed tail each stream still owes.
   for (size_t s = 0; s < num_tenants; ++s) {
-    auto tail = (*frontend)->Close(tenants[s].name, static_cast<int>(s));
-    MACE_CHECK_OK(tail.status());
-    for (double score : *tail) consume(tenants[s], score, length - 1);
+    if (options.in_process) {
+      auto tail = (*frontend)->Close(tenants[s].name, static_cast<int>(s));
+      MACE_CHECK_OK(tail.status());
+      for (double score : *tail) consume(tenants[s], score, length - 1);
+    } else {
+      auto tail =
+          client->CloseSession(tenants[s].name, static_cast<int32_t>(s));
+      MACE_CHECK_OK(tail.status());
+      MACE_CHECK_OK(tail->ToStatus());
+      for (double score : tail->scores) consume(tenants[s], score,
+                                                length - 1);
+    }
   }
 
   std::printf("\nstream done: %zu tenants x %zu steps\n", num_tenants,

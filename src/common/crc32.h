@@ -1,0 +1,17 @@
+#ifndef MACE_COMMON_CRC32_H_
+#define MACE_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mace::common {
+
+/// CRC-32 (IEEE 802.3, reflected) — shared by the MHSNAPv1 history
+/// snapshot format and the MWIREv1 serving wire protocol, so both
+/// untrusted-input surfaces validate payload integrity with the same
+/// pinned polynomial.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace mace::common
+
+#endif  // MACE_COMMON_CRC32_H_

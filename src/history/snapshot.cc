@@ -17,6 +17,7 @@
 #define MACE_HISTORY_HAS_MMAP 1
 #endif
 
+#include "common/crc32.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -67,23 +68,7 @@ obs::Histogram* SnapshotLatency(const char* op) {
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t size) {
-  static const auto table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  const uint8_t* bytes = static_cast<const uint8_t*>(data);
-  uint32_t crc = 0xffffffffu;
-  for (size_t i = 0; i < size; ++i) {
-    crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
+  return common::Crc32(data, size);
 }
 
 Status WriteSnapshot(const HistorySource& source, const std::string& path,

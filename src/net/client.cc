@@ -1,0 +1,107 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace mace::net {
+
+Result<std::unique_ptr<WireClient>> WireClient::Connect(
+    const std::string& host, uint16_t port) {
+  MACE_ASSIGN_OR_RETURN(Fd fd, TcpConnect(host, port));
+  return std::unique_ptr<WireClient>(new WireClient(std::move(fd)));
+}
+
+Status WireClient::SendFrame(wire::FrameType type, uint64_t request_id,
+                             const std::vector<uint8_t>& payload) {
+  scratch_.clear();
+  wire::AppendFrame(&scratch_, type, request_id, payload);
+  return SendAll(fd_.get(), scratch_.data(), scratch_.size());
+}
+
+Result<wire::OwnedFrame> WireClient::NextResponse() {
+  for (;;) {
+    MACE_ASSIGN_OR_RETURN(std::optional<wire::OwnedFrame> frame,
+                          decoder_.Next());
+    if (frame.has_value()) return std::move(*frame);
+    uint8_t buffer[64 * 1024];
+    MACE_ASSIGN_OR_RETURN(size_t n,
+                          RecvSome(fd_.get(), buffer, sizeof(buffer)));
+    if (n == 0) {
+      return Status::IoError("connection closed by peer");
+    }
+    decoder_.Append(buffer, n);
+  }
+}
+
+Result<wire::OwnedFrame> WireClient::ExpectFrame(wire::FrameType want,
+                                                 uint64_t request_id) {
+  MACE_ASSIGN_OR_RETURN(wire::OwnedFrame frame, NextResponse());
+  if (frame.type != want) {
+    return Status::IoError(std::string("expected ") +
+                           wire::FrameTypeName(want) + ", got " +
+                           wire::FrameTypeName(frame.type));
+  }
+  if (frame.request_id != request_id) {
+    return Status::IoError("response id " +
+                           std::to_string(frame.request_id) +
+                           " does not match request id " +
+                           std::to_string(request_id));
+  }
+  return frame;
+}
+
+Status WireClient::Ping() {
+  const uint64_t id = next_request_id_++;
+  MACE_RETURN_IF_ERROR(SendFrame(wire::FrameType::kPing, id, {}));
+  return ExpectFrame(wire::FrameType::kPong, id).status();
+}
+
+Result<wire::ScoreResponse> WireClient::Score(
+    const wire::ScoreRequest& request) {
+  MACE_ASSIGN_OR_RETURN(uint64_t id, SendScore(request));
+  MACE_ASSIGN_OR_RETURN(wire::OwnedFrame frame,
+                        ExpectFrame(wire::FrameType::kScoreResponse, id));
+  return wire::DecodeScoreResponse(frame.payload.data(),
+                                   frame.payload.size());
+}
+
+Result<wire::ScoreResponse> WireClient::CloseSession(
+    const std::string& tenant, int32_t service) {
+  MACE_ASSIGN_OR_RETURN(uint64_t id, SendClose(tenant, service));
+  MACE_ASSIGN_OR_RETURN(wire::OwnedFrame frame,
+                        ExpectFrame(wire::FrameType::kCloseResponse, id));
+  return wire::DecodeScoreResponse(frame.payload.data(),
+                                   frame.payload.size());
+}
+
+Result<std::string> WireClient::Stats() {
+  const uint64_t id = next_request_id_++;
+  MACE_RETURN_IF_ERROR(SendFrame(wire::FrameType::kStatsRequest, id, {}));
+  MACE_ASSIGN_OR_RETURN(wire::OwnedFrame frame,
+                        ExpectFrame(wire::FrameType::kStatsResponse, id));
+  return wire::DecodeStatsResponse(frame.payload.data(),
+                                   frame.payload.size());
+}
+
+Result<uint64_t> WireClient::SendScore(const wire::ScoreRequest& request) {
+  std::vector<uint8_t> payload;
+  wire::EncodeScoreRequest(request, &payload);
+  const uint64_t id = next_request_id_++;
+  MACE_RETURN_IF_ERROR(
+      SendFrame(wire::FrameType::kScoreRequest, id, payload));
+  return id;
+}
+
+Result<uint64_t> WireClient::SendClose(const std::string& tenant,
+                                       int32_t service) {
+  wire::CloseRequest request;
+  request.tenant = tenant;
+  request.service = service;
+  std::vector<uint8_t> payload;
+  wire::EncodeCloseRequest(request, &payload);
+  const uint64_t id = next_request_id_++;
+  MACE_RETURN_IF_ERROR(
+      SendFrame(wire::FrameType::kCloseRequest, id, payload));
+  return id;
+}
+
+}  // namespace mace::net

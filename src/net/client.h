@@ -1,0 +1,68 @@
+#ifndef MACE_NET_CLIENT_H_
+#define MACE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+namespace mace::net {
+
+/// \brief Blocking MWIREv1 client: one TCP connection, synchronous
+/// request/response plus a pipelined Send/Next pair for load drivers.
+///
+/// Single-threaded by design — a caller that wants concurrency opens one
+/// WireClient per thread (connections are cheap; the server multiplexes).
+class WireClient {
+ public:
+  static Result<std::unique_ptr<WireClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  /// Round-trips an empty kPing / kPong pair.
+  Status Ping();
+
+  /// Synchronous score: send one kScoreRequest, wait for its response.
+  Result<wire::ScoreResponse> Score(const wire::ScoreRequest& request);
+
+  /// Synchronous close: the response carries the session's tail scores.
+  Result<wire::ScoreResponse> CloseSession(const std::string& tenant,
+                                           int32_t service);
+
+  /// One stats line from the peer (a backend's ServeStats::FormatLine or
+  /// the router's own line).
+  Result<std::string> Stats();
+
+  /// Pipelined path: enqueue a kScoreRequest without waiting and return
+  /// the request id it was sent under. Responses come back in server
+  /// completion order via NextResponse() — match on request_id.
+  Result<uint64_t> SendScore(const wire::ScoreRequest& request);
+  Result<uint64_t> SendClose(const std::string& tenant, int32_t service);
+
+  /// Blocks for the next complete frame (any type). IoError on peer
+  /// close or malformed framing.
+  Result<wire::OwnedFrame> NextResponse();
+
+ private:
+  explicit WireClient(Fd fd) : fd_(std::move(fd)) {}
+
+  Status SendFrame(wire::FrameType type, uint64_t request_id,
+                   const std::vector<uint8_t>& payload);
+  /// Reads until one frame of `want` arrives (frames of other types are
+  /// a protocol violation in the synchronous flows).
+  Result<wire::OwnedFrame> ExpectFrame(wire::FrameType want,
+                                       uint64_t request_id);
+
+  Fd fd_;
+  wire::FrameDecoder decoder_;
+  std::vector<uint8_t> scratch_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace mace::net
+
+#endif  // MACE_NET_CLIENT_H_

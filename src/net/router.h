@@ -1,0 +1,166 @@
+#ifndef MACE_NET_ROUTER_H_
+#define MACE_NET_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "serve/qos.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+namespace mace::net {
+
+struct RouterOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral
+  /// Backend addresses, "host:port". Placement is a consistent-hash ring
+  /// over these strings, so the same list (in any order) yields the same
+  /// tenant → backend map in every process.
+  std::vector<std::string> backends;
+  /// Virtual nodes per backend on the ring.
+  size_t vnodes = 64;
+  /// Requests in flight per backend before new ones are rejected
+  /// (backpressure surfaces to the client as a rejected response, not as
+  /// unbounded router memory).
+  size_t max_inflight_per_backend = 8192;
+  size_t max_connections = 4096;
+  size_t write_buffer_limit = 4u << 20;
+  /// Router-level per-tenant admission control (fleet-wide QoS sits here,
+  /// in front of every backend). rate_per_tenant <= 0 disables.
+  serve::QosConfig qos;
+};
+
+/// \brief MWIREv1 fan-in router: consistent-hashes tenants across N
+/// backend scoring processes.
+///
+/// One epoll loop owns the listening socket, every client connection and
+/// every backend connection, so all state is single-threaded. Score and
+/// close requests are routed on the tenant prefix (PeekScoreRouting) and
+/// the payload bytes are forwarded verbatim — the router never decodes
+/// observations. Request ids are remapped (client ids collide across
+/// connections) through a pending table and restored on the way back.
+///
+/// Sessions are stateful, so a dead backend's tenants are NOT re-hashed:
+/// in-flight requests get error responses and later requests are
+/// rejected until the backend set is restored by a restart.
+class Router {
+ public:
+  static Result<std::unique_ptr<Router>> Start(RouterOptions options);
+
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t rejected() const { return rejected_; }
+  uint64_t backend_errors() const { return backend_errors_; }
+  uint64_t protocol_errors() const { return protocol_errors_; }
+
+  /// The ring's backend index for a tenant — exposed so tests can assert
+  /// placement stability without a live router.
+  static size_t RingPick(const std::vector<std::string>& backends,
+                         size_t vnodes, const std::string& tenant);
+
+ private:
+  struct ClientConn {
+    explicit ClientConn(Fd fd, uint64_t id) : fd(std::move(fd)), id(id) {}
+    Fd fd;
+    uint64_t id;
+    wire::FrameDecoder decoder;
+    std::vector<uint8_t> outbound;
+    size_t sent = 0;
+    bool want_write = false;
+  };
+
+  struct Backend {
+    std::string address;
+    Fd fd;
+    wire::FrameDecoder decoder;
+    std::vector<uint8_t> outbound;
+    size_t sent = 0;
+    bool want_write = false;
+    bool alive = false;
+    size_t inflight = 0;
+  };
+
+  struct Pending {
+    uint64_t client_conn_id = 0;
+    uint64_t client_request_id = 0;
+    size_t backend = 0;
+  };
+
+  explicit Router(RouterOptions options);
+
+  Status Init();
+  void Loop();
+  void Accept();
+  void HandleClientReadable(const std::shared_ptr<ClientConn>& conn);
+  void HandleBackendReadable(size_t backend_index);
+  bool DispatchClientFrame(const std::shared_ptr<ClientConn>& conn,
+                           wire::OwnedFrame frame);
+  void ForwardOrReject(const std::shared_ptr<ClientConn>& conn,
+                       const wire::OwnedFrame& frame,
+                       const std::string& tenant, uint8_t priority);
+  void HandleBackendFrame(size_t backend_index, wire::OwnedFrame frame);
+  /// Fails every pending request on `backend_index` and marks it dead.
+  void FailBackend(size_t backend_index, const std::string& reason);
+  void SendToClient(ClientConn* conn, wire::FrameType type,
+                    uint64_t request_id,
+                    const std::vector<uint8_t>& payload);
+  void SendRejection(ClientConn* conn, wire::FrameType type,
+                     uint64_t request_id, const std::string& message);
+  void FlushClient(const std::shared_ptr<ClientConn>& conn);
+  void FlushBackend(size_t backend_index);
+  void CloseClient(int fd);
+  /// epoll interest update helpers (fd key encodes client vs backend).
+  void UpdateClientEpoll(ClientConn* conn);
+  void UpdateBackendEpoll(size_t backend_index);
+  void WakeLoop();
+  std::string StatsLine() const;
+
+  const RouterOptions options_;
+  serve::QosController qos_;
+  uint16_t port_ = 0;
+
+  Fd listen_fd_;
+  Fd epoll_fd_;
+  Fd wake_fd_;
+  std::vector<Backend> backends_;
+  /// Ring: (hash, backend index), sorted by hash.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+  std::unordered_map<int, std::shared_ptr<ClientConn>> clients_;
+  std::unordered_map<uint64_t, std::shared_ptr<ClientConn>> clients_by_id_;
+  std::unordered_map<int, size_t> backend_by_fd_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  uint64_t next_router_id_ = 1;
+  uint64_t next_client_id_ = 1;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> backend_errors_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+
+  obs::Counter* forwarded_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* backend_errors_counter_ = nullptr;
+  obs::Counter* protocol_errors_counter_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+
+  std::thread loop_;
+};
+
+}  // namespace mace::net
+
+#endif  // MACE_NET_ROUTER_H_

@@ -1,0 +1,149 @@
+#ifndef MACE_NET_SERVER_H_
+#define MACE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "serve/frontend.h"
+#include "serve/qos.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+namespace mace::net {
+
+struct ScoreServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port
+  size_t max_connections = 4096;
+  /// Outbound bytes buffered per connection before the server stops
+  /// *reading* from it (backpressure: a slow reader throttles its own
+  /// request stream instead of growing server memory). Reading resumes
+  /// once the buffer drains below half this limit.
+  size_t write_buffer_limit = 4u << 20;
+  /// Per-tenant admission control; rate_per_tenant <= 0 disables it.
+  serve::QosConfig qos;
+};
+
+/// \brief Non-blocking MWIREv1 front door over a ServeFrontend.
+///
+/// One epoll event-loop thread owns every socket (edge-triggered accept /
+/// read / write, per-connection FrameDecoder reassembly, bounded write
+/// queues). Score and close requests are handed to the frontend's
+/// completion-callback path, so the loop never blocks on scoring: shard
+/// worker threads encode the response into the connection's outbound
+/// buffer and nudge the loop through an eventfd.
+///
+/// Protocol errors (bad magic/version/CRC, unexpected frame type) are
+/// connection-fatal; malformed *payloads* on an intact frame get an
+/// error response and the connection lives on.
+///
+/// `frontend` is borrowed and must outlive the server. Stop() (also run
+/// by the destructor) joins the loop, then flushes the frontend so every
+/// in-flight callback lands before connection state is freed.
+class ScoreServer {
+ public:
+  static Result<std::unique_ptr<ScoreServer>> Start(
+      serve::ServeFrontend* frontend, ScoreServerOptions options);
+
+  ~ScoreServer();
+  ScoreServer(const ScoreServer&) = delete;
+  ScoreServer& operator=(const ScoreServer&) = delete;
+
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  serve::QosController& qos() { return qos_; }
+
+  uint64_t connections_opened() const { return connections_opened_; }
+  uint64_t protocol_errors() const { return protocol_errors_; }
+  uint64_t frames_received() const { return frames_received_; }
+  uint64_t frames_sent() const { return frames_sent_; }
+  uint64_t read_pauses() const { return read_pauses_; }
+
+ private:
+  struct Connection {
+    explicit Connection(Fd fd) : fd(std::move(fd)) {}
+    Fd fd;
+    wire::FrameDecoder decoder;
+    /// Outbound byte queue. Shard-worker callbacks append under `mu`;
+    /// the loop thread drains. `sent` is the flushed prefix.
+    std::mutex mu;
+    std::vector<uint8_t> outbound;
+    size_t sent = 0;
+    bool want_write = false;   ///< EPOLLOUT currently armed (loop only)
+    bool read_paused = false;  ///< EPOLLIN currently disarmed (loop only)
+    bool dead = false;         ///< closed; callbacks drop their output
+  };
+
+  ScoreServer(serve::ServeFrontend* frontend, ScoreServerOptions options);
+
+  Status Init();
+  void Loop();
+  void Accept();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleWritable(const std::shared_ptr<Connection>& conn);
+  /// Dispatches one reassembled frame. Returns false when the frame is a
+  /// protocol violation and the connection must close.
+  bool Dispatch(const std::shared_ptr<Connection>& conn,
+                wire::OwnedFrame frame);
+  void HandleScore(const std::shared_ptr<Connection>& conn,
+                   uint64_t request_id, const wire::OwnedFrame& frame);
+  /// Appends a frame to the connection's outbound queue (any thread).
+  void SendFrame(const std::shared_ptr<Connection>& conn,
+                 wire::FrameType type, uint64_t request_id,
+                 const std::vector<uint8_t>& payload);
+  void SendErrorResponse(const std::shared_ptr<Connection>& conn,
+                         wire::FrameType type, uint64_t request_id,
+                         StatusCode code, const std::string& message,
+                         bool rejected);
+  /// Flushes as much outbound as the socket takes; arms/disarms
+  /// EPOLLOUT and re-arms reading when backpressure clears (loop only).
+  void FlushOutbound(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(int fd);
+  void UpdateEpoll(Connection* conn);
+  void WakeLoop();
+
+  serve::ServeFrontend* const frontend_;
+  const ScoreServerOptions options_;
+  serve::QosController qos_;
+  uint16_t port_ = 0;
+
+  Fd listen_fd_;
+  Fd epoll_fd_;
+  Fd wake_fd_;  ///< eventfd: callbacks nudge the loop after appending
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  /// Connections with freshly appended outbound bytes (callback threads
+  /// push fds here; the loop drains on each eventfd wakeup).
+  std::mutex pending_mu_;
+  std::vector<int> pending_write_fds_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> read_pauses_{0};
+
+  obs::Counter* connections_counter_ = nullptr;
+  obs::Counter* frames_rx_counter_ = nullptr;
+  obs::Counter* frames_tx_counter_ = nullptr;
+  obs::Counter* protocol_errors_counter_ = nullptr;
+  obs::Counter* read_pauses_counter_ = nullptr;
+  obs::Gauge* connections_gauge_ = nullptr;
+
+  std::thread loop_;
+  std::atomic<std::thread::id> loop_tid_{};
+};
+
+}  // namespace mace::net
+
+#endif  // MACE_NET_SERVER_H_

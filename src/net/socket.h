@@ -1,0 +1,72 @@
+#ifndef MACE_NET_SOCKET_H_
+#define MACE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+
+namespace mace::net {
+
+/// \brief RAII file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a TCP listening socket on `host:port` (SO_REUSEADDR, backlog
+/// 512). `port` 0 binds an ephemeral port; `*bound_port` receives the
+/// actual port either way.
+Result<Fd> TcpListen(const std::string& host, uint16_t port,
+                     uint16_t* bound_port);
+
+/// Blocking TCP connect (numeric IPv4 host). TCP_NODELAY is set — this
+/// protocol ships many small frames and Nagle would serialize them
+/// behind ACKs.
+Result<Fd> TcpConnect(const std::string& host, uint16_t port);
+
+/// Splits "host:port". Returns InvalidArgument on a missing or
+/// non-numeric port.
+Result<std::pair<std::string, uint16_t>> SplitHostPort(
+    const std::string& address);
+
+Status SetNonBlocking(int fd);
+Status SetNoDelay(int fd);
+
+/// Blocking write of the whole buffer (retries EINTR and partials).
+Status SendAll(int fd, const uint8_t* data, size_t size);
+
+/// Blocking read of up to `size` bytes. Returns 0 on orderly peer close.
+Result<size_t> RecvSome(int fd, uint8_t* buffer, size_t size);
+
+}  // namespace mace::net
+
+#endif  // MACE_NET_SOCKET_H_

@@ -1,0 +1,163 @@
+#include "net/spawn.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+namespace mace::net {
+
+std::string ListeningLine(uint16_t port) {
+  return std::string(kListeningPrefix) + std::to_string(port) + "\n";
+}
+
+Result<uint16_t> ParseListeningLine(const std::string& line) {
+  const std::string prefix(kListeningPrefix);
+  if (line.compare(0, prefix.size(), prefix) != 0) {
+    return Status::InvalidArgument("not a listening line: " + line);
+  }
+  char* end = nullptr;
+  const long port = std::strtol(line.c_str() + prefix.size(), &end, 10);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in line: " + line);
+  }
+  return static_cast<uint16_t>(port);
+}
+
+Result<std::unique_ptr<Subprocess>> Subprocess::Spawn(
+    std::vector<std::string> argv) {
+  if (argv.empty()) {
+    return Status::InvalidArgument("argv must not be empty");
+  }
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  const int pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::IoError(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe, die with the parent, exec.
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    std::vector<char*> c_argv;
+    c_argv.reserve(argv.size() + 1);
+    for (std::string& arg : argv) c_argv.push_back(arg.data());
+    c_argv.push_back(nullptr);
+    ::execv(c_argv[0], c_argv.data());
+    // Only reached when exec failed.
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  return std::unique_ptr<Subprocess>(
+      new Subprocess(pid, Fd(pipe_fds[0])));
+}
+
+Subprocess::~Subprocess() { KillAndReap(); }
+
+Result<std::string> Subprocess::WaitForLine(const std::string& prefix,
+                                            int timeout_ms) {
+  const auto find_line = [&]() -> std::optional<std::string> {
+    size_t start = 0;
+    for (;;) {
+      const size_t newline = buffered_.find('\n', start);
+      if (newline == std::string::npos) {
+        buffered_.erase(0, start);
+        return std::nullopt;
+      }
+      std::string line = buffered_.substr(start, newline - start);
+      start = newline + 1;
+      if (line.compare(0, prefix.size(), prefix) == 0) {
+        buffered_.erase(0, start);
+        return line;
+      }
+    }
+  };
+  if (std::optional<std::string> line = find_line()) return *line;
+  int remaining_ms = timeout_ms;
+  while (remaining_ms > 0) {
+    pollfd pfd;
+    pfd.fd = stdout_.get();
+    pfd.events = POLLIN;
+    const int step = remaining_ms < 50 ? remaining_ms : 50;
+    const int ready = ::poll(&pfd, 1, step);
+    remaining_ms -= step;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    char buffer[4096];
+    const ssize_t n = ::read(stdout_.get(), buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("child pid " + std::to_string(pid_) +
+                             " closed stdout before printing \"" + prefix +
+                             "\"");
+    }
+    buffered_.append(buffer, static_cast<size_t>(n));
+    if (std::optional<std::string> line = find_line()) return *line;
+  }
+  return Status::IoError("timed out waiting for child pid " +
+                         std::to_string(pid_) + " to print \"" + prefix +
+                         "\"");
+}
+
+Result<uint16_t> Subprocess::WaitForListeningPort(int timeout_ms) {
+  MACE_ASSIGN_OR_RETURN(std::string line,
+                        WaitForLine(kListeningPrefix, timeout_ms));
+  return ParseListeningLine(line);
+}
+
+void Subprocess::RecordExit(int status) {
+  if (WIFEXITED(status)) exit_code_ = WEXITSTATUS(status);
+  pid_ = -1;
+}
+
+bool Subprocess::Running() {
+  if (pid_ < 0) return false;
+  int status = 0;
+  const int reaped = ::waitpid(pid_, &status, WNOHANG);
+  if (reaped == pid_) {
+    RecordExit(status);
+    return false;
+  }
+  return reaped == 0;
+}
+
+void Subprocess::KillAndReap(int grace_ms) {
+  if (pid_ < 0) return;
+  ::kill(pid_, SIGTERM);
+  int waited_ms = 0;
+  while (waited_ms < grace_ms) {
+    int status = 0;
+    const int reaped = ::waitpid(pid_, &status, WNOHANG);
+    if (reaped == pid_) {
+      RecordExit(status);
+      return;
+    }
+    ::usleep(10 * 1000);
+    waited_ms += 10;
+  }
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  RecordExit(status);
+}
+
+}  // namespace mace::net

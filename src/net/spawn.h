@@ -1,0 +1,78 @@
+#ifndef MACE_NET_SPAWN_H_
+#define MACE_NET_SPAWN_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "net/socket.h"
+
+namespace mace::net {
+
+/// The line a serving process prints on stdout once it is accepting
+/// connections, e.g. "MACE_LISTENING port=41234". Parents block on it
+/// instead of polling connect against a racing bind.
+inline constexpr char kListeningPrefix[] = "MACE_LISTENING port=";
+
+/// Formats the announcement for a child to print (newline included).
+std::string ListeningLine(uint16_t port);
+/// Extracts the port from an announcement line.
+Result<uint16_t> ParseListeningLine(const std::string& line);
+
+/// \brief One spawned child process with its stdout captured — the
+/// multi-process test/bench harness primitive.
+///
+/// The child dies with its parent (PR_SET_PDEATHSIG + SIGKILL), and the
+/// destructor kills and reaps it (SIGTERM, short grace, SIGKILL), so a
+/// crashing test never strands router/backend orphans.
+class Subprocess {
+ public:
+  /// fork/execs `argv` (argv[0] is the binary path) with stdout piped
+  /// back to the parent.
+  static Result<std::unique_ptr<Subprocess>> Spawn(
+      std::vector<std::string> argv);
+
+  ~Subprocess();
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Reads child stdout until a line starting with `prefix` appears.
+  /// Lines are also buffered, so interleaved output is not lost.
+  Result<std::string> WaitForLine(const std::string& prefix,
+                                  int timeout_ms);
+
+  /// Convenience: WaitForLine(kListeningPrefix) + ParseListeningLine.
+  Result<uint16_t> WaitForListeningPort(int timeout_ms);
+
+  /// SIGTERM, up to `grace_ms` to exit, then SIGKILL; reaps either way.
+  /// Idempotent.
+  void KillAndReap(int grace_ms = 2000);
+
+  /// True while the child has not been reaped and has not exited.
+  bool Running();
+
+  /// The child's exit code, once it has been reaped after a normal exit
+  /// (so 0 = it handled SIGTERM and shut down cleanly). Empty while the
+  /// child runs or when it died on a signal (e.g. the SIGKILL escalation).
+  std::optional<int> exit_code() const { return exit_code_; }
+
+  int pid() const { return pid_; }
+
+ private:
+  Subprocess(int pid, Fd stdout_fd)
+      : pid_(pid), stdout_(std::move(stdout_fd)) {}
+
+  void RecordExit(int status);
+
+  int pid_ = -1;
+  Fd stdout_;
+  std::string buffered_;
+  std::optional<int> exit_code_;
+};
+
+}  // namespace mace::net
+
+#endif  // MACE_NET_SPAWN_H_

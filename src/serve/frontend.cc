@@ -44,7 +44,26 @@ Result<std::future<ScoreBatch>> ServeFrontend::Submit(
         std::to_string(handle.generation));
   }
   return pool_->Submit(SessionKey{tenant, service}, std::move(observation),
-                       options.non_finite_policy);
+                       options.non_finite_policy, options.priority);
+}
+
+Status ServeFrontend::SubmitAsync(const std::string& tenant, int service,
+                                  std::vector<double> observation,
+                                  RequestOptions options,
+                                  std::function<void(ScoreBatch&&)> done) {
+  const ModelProvider::Handle handle = provider_->Current();
+  if (service < 0 ||
+      static_cast<size_t>(service) >= handle.model->subspaces().size()) {
+    return Status::OutOfRange(
+        "service " + std::to_string(service) + " outside the " +
+        std::to_string(handle.model->subspaces().size()) +
+        " services of model generation " +
+        std::to_string(handle.generation));
+  }
+  pool_->SubmitAsync(SessionKey{tenant, service}, std::move(observation),
+                     options.non_finite_policy, options.priority,
+                     std::move(done));
+  return Status();
 }
 
 Result<ScoreBatch> ServeFrontend::Score(const std::string& tenant,
@@ -62,6 +81,11 @@ Result<std::vector<double>> ServeFrontend::Close(const std::string& tenant,
   ScoreBatch batch = pool_->Close(SessionKey{tenant, service}).get();
   if (!batch.status.ok()) return batch.status;
   return std::move(batch.scores);
+}
+
+void ServeFrontend::CloseAsync(const std::string& tenant, int service,
+                               std::function<void(ScoreBatch&&)> done) {
+  pool_->CloseAsync(SessionKey{tenant, service}, std::move(done));
 }
 
 Status ServeFrontend::Reload(const std::string& path) {

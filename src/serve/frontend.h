@@ -53,6 +53,16 @@ class ServeFrontend {
                                          std::vector<double> observation,
                                          RequestOptions options = {});
 
+  /// Completion-callback path for event-loop callers (the net front
+  /// door): validates like Submit — a non-OK return means `done` will
+  /// never run — then enqueues. `done` runs exactly once, on the shard
+  /// worker thread (or inline when shed/stopped); it must be cheap,
+  /// non-blocking, and must not call back into the frontend.
+  Status SubmitAsync(const std::string& tenant, int service,
+                     std::vector<double> observation,
+                     RequestOptions options,
+                     std::function<void(ScoreBatch&&)> done);
+
   /// Synchronous path: Submit + wait. Still routed through the shard
   /// queue, so it composes with concurrent Submits to the same session.
   Result<ScoreBatch> Score(const std::string& tenant, int service,
@@ -62,6 +72,10 @@ class ServeFrontend {
   /// Finishes the session's pending tail, closes it, and returns the
   /// tail scores (empty when the session does not exist).
   Result<std::vector<double>> Close(const std::string& tenant, int service);
+
+  /// Callback flavor of Close (same `done` contract as SubmitAsync).
+  void CloseAsync(const std::string& tenant, int service,
+                  std::function<void(ScoreBatch&&)> done);
 
   /// Hot reload from disk: on success new sessions open on the loaded
   /// model; live sessions keep draining on theirs. On failure the live

@@ -1,0 +1,114 @@
+#include "serve/qos.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mace::serve {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst > 0.0 ? burst : std::max(rate, 1.0)) {
+  MACE_CHECK(rate_ > 0.0) << "token bucket rate must be positive";
+  tokens_ = burst_;  // a fresh bucket starts full: bursts are allowed
+}
+
+void TokenBucket::Refill(double now_seconds) {
+  if (!started_) {
+    started_ = true;
+    last_ = now_seconds;
+    return;
+  }
+  if (now_seconds > last_) {
+    tokens_ = std::min(burst_, tokens_ + (now_seconds - last_) * rate_);
+    last_ = now_seconds;
+  }
+  // now < last_: a clock hiccup refills nothing and moves no state.
+}
+
+bool TokenBucket::TryAcquire(double now_seconds, double tokens) {
+  Refill(now_seconds);
+  if (tokens_ + 1e-12 < tokens) return false;  // epsilon: refill rounding
+  tokens_ -= tokens;
+  if (tokens_ < 0.0) tokens_ = 0.0;
+  return true;
+}
+
+double TokenBucket::Available(double now_seconds) {
+  Refill(now_seconds);
+  return tokens_;
+}
+
+QosController::QosController(QosConfig config) : config_(config) {
+  obs::MetricsRegistry& metrics = obs::Metrics();
+  for (int c = 0; c < kNumPriorities; ++c) {
+    const obs::Labels labels = {
+        {"class", PriorityName(static_cast<Priority>(c))}};
+    admitted_counters_[c] = metrics.GetCounter(
+        "mace_qos_admitted_total",
+        "Requests admitted by the per-tenant QoS token buckets", labels);
+    rejected_counters_[c] = metrics.GetCounter(
+        "mace_qos_rejected_total",
+        "Requests refused by the per-tenant QoS token buckets", labels);
+  }
+}
+
+bool QosController::Admit(const std::string& tenant, Priority priority,
+                          double now_seconds) {
+  const int c = static_cast<int>(priority);
+  MACE_CHECK(c >= 0 && c < kNumPriorities) << "priority out of range";
+  if (!enabled()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++admitted_[c];
+    admitted_counters_[c]->Increment();
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    // Beyond the tenant cap, newcomers share one overflow bucket so a
+    // hostile stream of fresh tenant names can't grow memory unboundedly
+    // (they then also share its rate, which is the conservative failure).
+    const std::string& key =
+        buckets_.size() >= config_.max_tenants ? std::string("\x01overflow")
+                                               : tenant;
+    it = buckets_.find(key);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(key, TokenBucket(config_.rate_per_tenant,
+                                         config_.burst))
+               .first;
+    }
+  }
+  TokenBucket& bucket = it->second;
+  // Class headroom: class c admits only while more than
+  // burst * reserve_fraction * c tokens remain (on top of its own).
+  const double reserve =
+      bucket.burst() * config_.reserve_fraction * static_cast<double>(c);
+  const bool admit = bucket.Available(now_seconds) > reserve &&
+                     bucket.TryAcquire(now_seconds, 1.0);
+  if (admit) {
+    ++admitted_[c];
+    admitted_counters_[c]->Increment();
+  } else {
+    ++rejected_[c];
+    rejected_counters_[c]->Increment();
+  }
+  return admit;
+}
+
+uint64_t QosController::admitted(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_[static_cast<int>(priority)];
+}
+
+uint64_t QosController::rejected(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_[static_cast<int>(priority)];
+}
+
+size_t QosController::tracked_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace mace::serve

@@ -1,0 +1,92 @@
+#ifndef MACE_SERVE_QOS_H_
+#define MACE_SERVE_QOS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "serve/types.h"
+
+namespace mace::serve {
+
+/// \brief Deterministic token bucket: `rate` tokens/second refill up to
+/// `burst` capacity. Time is an explicit parameter (seconds on any
+/// monotonic axis), so accounting is exactly testable and callers on an
+/// epoll thread pass one clock read per batch of admissions.
+class TokenBucket {
+ public:
+  /// `rate` > 0; `burst` <= 0 defaults to max(rate, 1).
+  TokenBucket(double rate, double burst);
+
+  /// Consumes `tokens` if available after refilling to `now_seconds`.
+  /// Time moving backwards refills nothing (and never goes negative).
+  bool TryAcquire(double now_seconds, double tokens = 1.0);
+
+  /// Tokens available at `now_seconds` (refills as a side effect).
+  double Available(double now_seconds);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill(double now_seconds);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+  bool started_ = false;
+};
+
+/// \brief Per-tenant rate limiting with priority-class headroom.
+struct QosConfig {
+  /// Sustained per-tenant admission rate, requests/second. <= 0 disables
+  /// QoS entirely (every request admitted, no bucket state kept).
+  double rate_per_tenant = 0.0;
+  /// Bucket capacity (burst allowance); <= 0 = max(rate_per_tenant, 1).
+  double burst = 0.0;
+  /// Fraction of the bucket reserved away from each class below kHigh:
+  /// class c is admitted only while the bucket holds more than
+  /// `burst * reserve_fraction * c` tokens (kHigh needs just its own
+  /// token). Under sustained overload the bucket hovers near empty, so
+  /// low drops first, then normal, and high keeps its share — strict
+  /// priority without starving the bucket arithmetic.
+  double reserve_fraction = 0.25;
+  /// Cap on distinct tenant buckets; beyond it, new tenants share one
+  /// overflow bucket (bounds hostile tenant-name cardinality).
+  size_t max_tenants = 1u << 20;
+};
+
+/// \brief Thread-safe per-tenant admission controller. Exports exact
+/// admission accounting as mace_qos_admitted_total{class} /
+/// mace_qos_rejected_total{class}.
+class QosController {
+ public:
+  explicit QosController(QosConfig config);
+
+  /// True = admitted (a token was consumed); false = rate-limited.
+  bool Admit(const std::string& tenant, Priority priority,
+             double now_seconds);
+
+  bool enabled() const { return config_.rate_per_tenant > 0.0; }
+  const QosConfig& config() const { return config_; }
+
+  uint64_t admitted(Priority priority) const;
+  uint64_t rejected(Priority priority) const;
+  size_t tracked_tenants() const;
+
+ private:
+  QosConfig config_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+  obs::Counter* admitted_counters_[kNumPriorities] = {};
+  obs::Counter* rejected_counters_[kNumPriorities] = {};
+  uint64_t admitted_[kNumPriorities] = {};
+  uint64_t rejected_[kNumPriorities] = {};
+};
+
+}  // namespace mace::serve
+
+#endif  // MACE_SERVE_QOS_H_

@@ -4,6 +4,18 @@
 
 namespace mace::serve {
 
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kLow:
+      return "low";
+  }
+  return "unknown";
+}
+
 const char* OverloadPolicyName(OverloadPolicy policy) {
   switch (policy) {
     case OverloadPolicy::kBlock:

@@ -44,6 +44,24 @@ struct SessionKeyHash {
   }
 };
 
+/// \brief Request priority class. Lower numeric value = more important.
+///
+/// Priorities layer on the overload machinery in two places:
+///   - admission (qos.h QosController): when a tenant's token bucket
+///     runs low, lower classes are refused first — each class below
+///     kHigh reserves a slice of the bucket for the classes above it;
+///   - shedding (ShardedWorkerPool): under kShed/kLatestOnly a full
+///     queue victimizes the lowest-priority queued observation, so a
+///     high-priority request is never shed while a lower one is queued.
+enum class Priority : uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+inline constexpr int kNumPriorities = 3;
+
+const char* PriorityName(Priority priority);
+
 /// \brief What Submit does when the target shard's queue is full.
 enum class OverloadPolicy {
   kBlock,       ///< producer waits for space — lossless backpressure
@@ -84,6 +102,9 @@ struct RequestOptions {
   /// (or recycled) — an already-open session keeps the policy it opened
   /// with until it closes or idles out.
   std::optional<ts::NonFinitePolicy> non_finite_policy;
+  /// Priority class: picks shed victims under kShed/kLatestOnly overload
+  /// (lowest class first) and feeds QoS admission where one is attached.
+  Priority priority = Priority::kNormal;
 };
 
 struct ServeConfig {

@@ -86,7 +86,12 @@ void ShardedWorkerPool::Shard::Stop() {
 std::future<ScoreBatch> ShardedWorkerPool::Shard::Enqueue(WorkItem item,
                                                           bool control) {
   item.enqueued_at = Clock::now();
-  std::future<ScoreBatch> future = item.promise.get_future();
+  std::future<ScoreBatch> future;
+  if (!item.callback) future = item.promise.get_future();
+  // A shed victim is resolved after the lock drops: async callbacks run
+  // user code (frame encode + event-loop wakeup) that must not execute
+  // under the shard mutex.
+  std::optional<WorkItem> victim;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!control && queue_.size() >= config_.queue_capacity) {
@@ -97,33 +102,64 @@ std::future<ScoreBatch> ShardedWorkerPool::Shard::Enqueue(WorkItem item,
           });
           break;
         case OverloadPolicy::kShed: {
-          lock.unlock();
-          shed_.fetch_add(1, std::memory_order_relaxed);
-          shed_counter_->Increment();
-          item.promise.set_value(DroppedBatch());
-          return future;
-        }
-        case OverloadPolicy::kLatestOnly: {
-          // Newest wins: drop the oldest queued *observation* (control
-          // items are never dropped) to make room.
+          // Newest loses within its class — but never ahead of queued
+          // lower-priority work. If a strictly lower class is queued, its
+          // newest observation is the victim instead (lowest class
+          // first), so high is never shed while low waits.
+          auto victim_it = queue_.end();
           for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-            if (it->kind == WorkItem::Kind::kScore) {
-              it->promise.set_value(DroppedBatch());
-              queue_.erase(it);
-              shed_.fetch_add(1, std::memory_order_relaxed);
-              shed_counter_->Increment();
-              break;
+            if (it->kind != WorkItem::Kind::kScore) continue;
+            if (it->priority <= item.priority) continue;
+            if (victim_it == queue_.end() ||
+                it->priority >= victim_it->priority) {
+              victim_it = it;
             }
           }
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          shed_counter_->Increment();
+          if (victim_it == queue_.end()) {
+            lock.unlock();
+            item.Resolve(DroppedBatch());
+            return future;
+          }
+          victim = std::move(*victim_it);
+          queue_.erase(victim_it);
+          break;
+        }
+        case OverloadPolicy::kLatestOnly: {
+          // Newest wins within a class: drop the oldest queued
+          // observation of the lowest class at or below the newcomer's
+          // (control items are never dropped). When everything queued
+          // outranks the newcomer, the newcomer is the lowest-priority
+          // work present and loses instead.
+          auto victim_it = queue_.end();
+          for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (it->kind != WorkItem::Kind::kScore) continue;
+            if (it->priority < item.priority) continue;
+            if (victim_it == queue_.end() ||
+                it->priority > victim_it->priority) {
+              victim_it = it;
+            }
+          }
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          shed_counter_->Increment();
+          if (victim_it == queue_.end()) {
+            lock.unlock();
+            item.Resolve(DroppedBatch());
+            return future;
+          }
+          victim = std::move(*victim_it);
+          queue_.erase(victim_it);
           break;
         }
       }
     }
     if (stop_) {
       lock.unlock();
+      if (victim) victim->Resolve(DroppedBatch());
       ScoreBatch stopped;
       stopped.status = Status::FailedPrecondition("serving pool stopped");
-      item.promise.set_value(std::move(stopped));
+      item.Resolve(std::move(stopped));
       return future;
     }
     if (item.kind == WorkItem::Kind::kScore) {
@@ -133,6 +169,7 @@ std::future<ScoreBatch> ShardedWorkerPool::Shard::Enqueue(WorkItem item,
     queue_.push_back(std::move(item));
     depth_gauge_->Set(static_cast<double>(queue_.size()));
   }
+  if (victim) victim->Resolve(DroppedBatch());
   queue_nonempty_.notify_one();
   return future;
 }
@@ -252,7 +289,7 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
     for (WorkItem* item : group) {
       ScoreBatch batch;
       batch.status = session.status();
-      item->promise.set_value(std::move(batch));
+      item->Resolve(std::move(batch));
     }
     return;
   }
@@ -289,7 +326,7 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
         emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
       }
       AccountIngest(policy, bad_values[i], &batch);
-      item->promise.set_value(std::move(batch));
+      item->Resolve(std::move(batch));
     }
     return;
   }
@@ -301,7 +338,7 @@ void ShardedWorkerPool::Shard::ProcessScoreGroup(
     next_step += batch.scores.size();
     emitted_.fetch_add(batch.scores.size(), std::memory_order_relaxed);
     AccountIngest(policy, bad_values[i], &batch);
-    group[i]->promise.set_value(std::move(batch));
+    group[i]->Resolve(std::move(batch));
   }
 }
 
@@ -330,10 +367,10 @@ void ShardedWorkerPool::Shard::Process(WorkItem& item,
   const Clock::time_point now = Clock::now();
   switch (item.kind) {
     case WorkItem::Kind::kFence:
-      item.promise.set_value(ScoreBatch());
+      item.Resolve(ScoreBatch());
       return;
     case WorkItem::Kind::kGate:
-      item.promise.set_value(ScoreBatch());
+      item.Resolve(ScoreBatch());
       if (item.gate.valid()) item.gate.wait();
       return;
     case WorkItem::Kind::kClose: {
@@ -348,7 +385,7 @@ void ShardedWorkerPool::Shard::Process(WorkItem& item,
       // Before the promise resolves, so a caller that waited on it reads
       // an up-to-date session count from Stats().
       sessions_active_.store(registry_.size(), std::memory_order_relaxed);
-      item.promise.set_value(std::move(batch));
+      item.Resolve(std::move(batch));
       return;
     }
     case WorkItem::Kind::kScore: {
@@ -368,7 +405,7 @@ void ShardedWorkerPool::Shard::Process(WorkItem& item,
           item.policy.value_or(config_.non_finite_policy));
       if (!session.ok()) {
         batch.status = session.status();
-        item.promise.set_value(std::move(batch));
+        item.Resolve(std::move(batch));
         return;
       }
       (*session)->last_used = now;
@@ -385,7 +422,7 @@ void ShardedWorkerPool::Shard::Process(WorkItem& item,
       }
       AccountIngest((*session)->scorer.non_finite_policy(),
                     ts::CountNonFinite(item.observation), &batch);
-      item.promise.set_value(std::move(batch));
+      item.Resolve(std::move(batch));
       return;
     }
   }
@@ -434,14 +471,31 @@ int ShardedWorkerPool::ShardOf(const std::string& tenant) const {
 
 std::future<ScoreBatch> ShardedWorkerPool::Submit(
     SessionKey key, std::vector<double> observation,
-    std::optional<ts::NonFinitePolicy> policy) {
+    std::optional<ts::NonFinitePolicy> policy, Priority priority) {
   Shard& shard = *shards_[static_cast<size_t>(ShardOf(key.tenant))];
   WorkItem item;
   item.kind = WorkItem::Kind::kScore;
   item.key = std::move(key);
   item.observation = std::move(observation);
   item.policy = policy;
+  item.priority = priority;
   return shard.Enqueue(std::move(item), /*control=*/false);
+}
+
+void ShardedWorkerPool::SubmitAsync(SessionKey key,
+                                    std::vector<double> observation,
+                                    std::optional<ts::NonFinitePolicy> policy,
+                                    Priority priority,
+                                    std::function<void(ScoreBatch&&)> done) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key.tenant))];
+  WorkItem item;
+  item.kind = WorkItem::Kind::kScore;
+  item.key = std::move(key);
+  item.observation = std::move(observation);
+  item.policy = policy;
+  item.priority = priority;
+  item.callback = std::move(done);
+  shard.Enqueue(std::move(item), /*control=*/false);
 }
 
 std::future<ScoreBatch> ShardedWorkerPool::Close(SessionKey key) {
@@ -450,6 +504,16 @@ std::future<ScoreBatch> ShardedWorkerPool::Close(SessionKey key) {
   item.kind = WorkItem::Kind::kClose;
   item.key = std::move(key);
   return shard.Enqueue(std::move(item), /*control=*/true);
+}
+
+void ShardedWorkerPool::CloseAsync(SessionKey key,
+                                   std::function<void(ScoreBatch&&)> done) {
+  Shard& shard = *shards_[static_cast<size_t>(ShardOf(key.tenant))];
+  WorkItem item;
+  item.kind = WorkItem::Kind::kClose;
+  item.key = std::move(key);
+  item.callback = std::move(done);
+  shard.Enqueue(std::move(item), /*control=*/true);
 }
 
 void ShardedWorkerPool::Flush() {

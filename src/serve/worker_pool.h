@@ -39,14 +39,32 @@ class ShardedWorkerPool {
   /// Enqueues one observation under the overload policy. The future
   /// resolves when the shard worker scored (or shed) it. `policy`
   /// overrides the config's non-finite policy for a session this
-  /// observation opens (existing sessions keep theirs).
+  /// observation opens (existing sessions keep theirs). `priority`
+  /// selects shed victims under kShed/kLatestOnly: a full queue drops
+  /// the lowest class first, so a high-priority observation is never
+  /// shed while a lower-priority one is queued.
   std::future<ScoreBatch> Submit(
       SessionKey key, std::vector<double> observation,
-      std::optional<ts::NonFinitePolicy> policy = std::nullopt);
+      std::optional<ts::NonFinitePolicy> policy = std::nullopt,
+      Priority priority = Priority::kNormal);
+
+  /// Callback flavor of Submit for completion-driven callers (the epoll
+  /// front door): `done` runs exactly once, on the shard worker thread
+  /// (or inline on the submitting thread when the observation is shed or
+  /// the pool is stopped). It must be cheap, non-blocking, and must not
+  /// call back into the pool — it typically encodes a response frame and
+  /// wakes an event loop.
+  void SubmitAsync(SessionKey key, std::vector<double> observation,
+                   std::optional<ts::NonFinitePolicy> policy,
+                   Priority priority,
+                   std::function<void(ScoreBatch&&)> done);
 
   /// Finishes the session's tail, evicts it, and resolves the future with
   /// the tail scores (empty batch when no such session exists).
   std::future<ScoreBatch> Close(SessionKey key);
+
+  /// Callback flavor of Close (same contract as SubmitAsync's `done`).
+  void CloseAsync(SessionKey key, std::function<void(ScoreBatch&&)> done);
 
   /// Barrier: returns once every observation queued before the call has
   /// been processed.
@@ -73,9 +91,21 @@ class ShardedWorkerPool {
     std::vector<double> observation;
     /// Session-open non-finite policy override (kScore only).
     std::optional<ts::NonFinitePolicy> policy;
+    Priority priority = Priority::kNormal;
+    /// Exactly one completion path: `callback` when set (async callers),
+    /// the promise otherwise. Resolve() is the single dispatch point.
     std::promise<ScoreBatch> promise;
+    std::function<void(ScoreBatch&&)> callback;
     std::shared_future<void> gate;  // kGate only
     std::chrono::steady_clock::time_point enqueued_at;
+
+    void Resolve(ScoreBatch&& batch) {
+      if (callback) {
+        callback(std::move(batch));
+      } else {
+        promise.set_value(std::move(batch));
+      }
+    }
   };
 
   class Shard {

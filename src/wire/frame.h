@@ -1,0 +1,102 @@
+#ifndef MACE_WIRE_FRAME_H_
+#define MACE_WIRE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace::wire {
+
+/// \brief MWIREv1 — the versioned, length-prefixed, CRC-framed binary
+/// wire protocol of the scale-out serving path (DESIGN.md §15). It
+/// promotes the serve fuzzer's ad-hoc request byte format into a real
+/// network protocol: every frame is independently validated, every
+/// malformation is a descriptive Status (never an abort), and the
+/// decoder reassembles frames from arbitrary byte chunk boundaries.
+///
+/// Frame layout (little-endian, fixed 24-byte header):
+///   [ 0.. 4)  magic "MWv1"
+///   [ 4.. 5)  u8  version (1)
+///   [ 5.. 6)  u8  frame type (FrameType)
+///   [ 6.. 8)  u16 reserved (must be 0)
+///   [ 8..16)  u64 request id (echoed verbatim in the response)
+///   [16..20)  u32 payload length (<= kMaxPayload)
+///   [20..24)  u32 CRC-32 (IEEE, reflected — common/crc32.h) of payload
+///   [24.. )   payload bytes
+///
+/// The header is validated structurally (magic, version, known type,
+/// zero reserved, bounded length) before any allocation sized from it;
+/// the CRC is checked once the payload is complete. A header that fails
+/// validation or a payload that fails its CRC is a *connection-fatal*
+/// protocol error: framing is lost, so the peer closes the connection
+/// (hostile-input hardening in the MHSNAPv1 mold).
+inline constexpr uint8_t kMagic[4] = {'M', 'W', 'v', '1'};
+inline constexpr uint8_t kVersion = 1;
+inline constexpr size_t kHeaderSize = 24;
+/// Payload cap: bounds per-connection buffering against hostile length
+/// prefixes. 1 MiB fits ~128k raw doubles — far beyond any observation
+/// or score batch this system produces.
+inline constexpr size_t kMaxPayload = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kPing = 1,           ///< health probe, empty payload
+  kPong = 2,           ///< ping reply, empty payload
+  kScoreRequest = 3,   ///< messages.h ScoreRequest
+  kScoreResponse = 4,  ///< messages.h ScoreResponse
+  kCloseRequest = 5,   ///< messages.h CloseRequest
+  kCloseResponse = 6,  ///< messages.h ScoreResponse (the tail scores)
+  kStatsRequest = 7,   ///< empty payload
+  kStatsResponse = 8,  ///< messages.h StatsResponse
+};
+
+const char* FrameTypeName(FrameType type);
+bool IsKnownFrameType(uint8_t type);
+
+/// One reassembled frame, payload owned.
+struct OwnedFrame {
+  FrameType type = FrameType::kPing;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends a complete frame (header + payload) to `out`. Payload size is
+/// the caller's to keep under kMaxPayload (checked; oversize aborts via
+/// MACE_CHECK — encoding oversize frames is a programming error, only
+/// *decoding* treats it as untrusted input).
+void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                 uint64_t request_id, const uint8_t* payload, size_t size);
+inline void AppendFrame(std::vector<uint8_t>* out, FrameType type,
+                        uint64_t request_id,
+                        const std::vector<uint8_t>& payload) {
+  AppendFrame(out, type, request_id, payload.data(), payload.size());
+}
+
+/// \brief Incremental frame reassembler: feed it bytes as they arrive
+/// off a socket, pop complete frames.
+///
+/// Next() returns (in ok Results) a frame when one is complete, or
+/// std::nullopt when more bytes are needed; a non-OK Status means the
+/// stream is unrecoverably malformed (bad magic/version/type/reserved,
+/// oversize length, CRC mismatch) and the connection must be closed —
+/// once framing is wrong there is no resynchronization point.
+class FrameDecoder {
+ public:
+  void Append(const uint8_t* data, size_t size);
+
+  Result<std::optional<OwnedFrame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  bool poisoned_ = false;
+};
+
+}  // namespace mace::wire
+
+#endif  // MACE_WIRE_FRAME_H_

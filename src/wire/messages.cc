@@ -1,0 +1,352 @@
+#include "wire/messages.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mace::wire {
+namespace {
+
+/// Bounded little-endian reader: every Read* checks remaining bytes, so
+/// decoders are a straight-line sequence of reads with one error path.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(data_[pos_] | (uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int i = 3; i >= 0; --i) out = (out << 8) | data_[pos_ + i];
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int i = 7; i >= 0; --i) out = (out << 8) | data_[pos_ + i];
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+  bool ReadString(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool ReadDoubles(size_t n, std::vector<double>* out) {
+    if (remaining() < n * sizeof(double)) return false;
+    out->resize(n);
+    // Raw IEEE bit copy: NaN payloads and infinities round-trip exactly.
+    std::memcpy(out->data(), data_ + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutDoubles(std::vector<uint8_t>* out, const std::vector<double>& v) {
+  const size_t at = out->size();
+  out->resize(at + v.size() * sizeof(double));
+  std::memcpy(out->data() + at, v.data(), v.size() * sizeof(double));
+}
+
+Status Malformed(const char* what, const std::string& detail) {
+  return Status::InvalidArgument(std::string("wire ") + what + ": " +
+                                 detail);
+}
+
+}  // namespace
+
+void EncodeScoreRequest(const ScoreRequest& request,
+                        std::vector<uint8_t>* payload) {
+  payload->clear();
+  payload->push_back(request.policy_override);
+  payload->push_back(request.priority);
+  PutU16(payload, 0);
+  PutU32(payload, static_cast<uint32_t>(request.service));
+  PutU32(payload, static_cast<uint32_t>(request.tenant.size()));
+  PutU32(payload, static_cast<uint32_t>(request.values.size()));
+  payload->insert(payload->end(), request.tenant.begin(),
+                  request.tenant.end());
+  PutDoubles(payload, request.values);
+}
+
+namespace {
+
+/// Shared prefix decode of a score request; stops after the tenant when
+/// `routing_only`, leaving the values untouched.
+Status DecodeScorePrefix(Reader& in, ScoreRequest* out,
+                         uint32_t* value_count) {
+  uint16_t reserved = 0;
+  uint32_t service = 0, tenant_len = 0;
+  if (!in.ReadU8(&out->policy_override) || !in.ReadU8(&out->priority) ||
+      !in.ReadU16(&reserved) || !in.ReadU32(&service) ||
+      !in.ReadU32(&tenant_len) || !in.ReadU32(value_count)) {
+    return Malformed("score request", "truncated fixed prefix");
+  }
+  if (reserved != 0) {
+    return Malformed("score request", "reserved bytes must be zero");
+  }
+  if (out->policy_override != kNoPolicyOverride &&
+      out->policy_override > 2) {
+    return Malformed("score request",
+                     "policy override " +
+                         std::to_string(int{out->policy_override}) +
+                         " outside 0..2 / 0xFF");
+  }
+  if (out->priority >= kNumPriorityClasses) {
+    return Malformed("score request",
+                     "priority class " + std::to_string(int{out->priority}) +
+                         " outside 0..2");
+  }
+  if (tenant_len == 0 || tenant_len > kMaxTenantLen) {
+    return Malformed("score request",
+                     "tenant length " + std::to_string(tenant_len) +
+                         " outside 1.." + std::to_string(kMaxTenantLen));
+  }
+  if (*value_count > kMaxValues) {
+    return Malformed("score request",
+                     "value count " + std::to_string(*value_count) +
+                         " exceeds the " + std::to_string(kMaxValues) +
+                         " cap");
+  }
+  out->service = static_cast<int32_t>(service);
+  if (!in.ReadString(tenant_len, &out->tenant)) {
+    return Malformed("score request", "truncated tenant name");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ScoreRequest> DecodeScoreRequest(const uint8_t* payload,
+                                        size_t size) {
+  Reader in(payload, size);
+  ScoreRequest out;
+  uint32_t value_count = 0;
+  MACE_RETURN_IF_ERROR(DecodeScorePrefix(in, &out, &value_count));
+  if (!in.ReadDoubles(value_count, &out.values)) {
+    return Malformed("score request", "truncated observation values");
+  }
+  if (in.remaining() != 0) {
+    return Malformed("score request",
+                     std::to_string(in.remaining()) +
+                         " trailing bytes after the observation");
+  }
+  return out;
+}
+
+Result<ScoreRouting> PeekScoreRouting(const uint8_t* payload, size_t size) {
+  Reader in(payload, size);
+  ScoreRequest prefix;
+  uint32_t value_count = 0;
+  MACE_RETURN_IF_ERROR(DecodeScorePrefix(in, &prefix, &value_count));
+  // The values themselves stay undecoded, but the declared count must
+  // still match the bytes actually present so the backend can't be fed a
+  // frame the router vouched for and the backend then rejects.
+  if (in.remaining() != value_count * sizeof(double)) {
+    return Malformed("score request",
+                     "value bytes disagree with the declared count");
+  }
+  ScoreRouting routing;
+  routing.tenant = std::move(prefix.tenant);
+  routing.priority = prefix.priority;
+  return routing;
+}
+
+void EncodeScoreResponse(const ScoreResponse& response,
+                         std::vector<uint8_t>* payload) {
+  payload->clear();
+  payload->push_back(static_cast<uint8_t>(response.code));
+  uint8_t flags = 0;
+  if (response.dropped) flags |= kFlagDropped;
+  if (response.contaminated) flags |= kFlagContaminated;
+  if (response.rejected) flags |= kFlagRejected;
+  payload->push_back(flags);
+  PutU16(payload, 0);
+  PutU64(payload, response.first_step);
+  PutU32(payload, static_cast<uint32_t>(response.scores.size()));
+  // Error text is operator-facing; cap it rather than fail the encode.
+  const size_t msg_len =
+      std::min(response.message.size(), kMaxMessageLen);
+  PutU32(payload, static_cast<uint32_t>(msg_len));
+  PutDoubles(payload, response.scores);
+  payload->insert(payload->end(), response.message.begin(),
+                  response.message.begin() + static_cast<ptrdiff_t>(msg_len));
+}
+
+Result<ScoreResponse> DecodeScoreResponse(const uint8_t* payload,
+                                          size_t size) {
+  Reader in(payload, size);
+  ScoreResponse out;
+  uint8_t code = 0, flags = 0;
+  uint16_t reserved = 0;
+  uint32_t score_count = 0, msg_len = 0;
+  if (!in.ReadU8(&code) || !in.ReadU8(&flags) || !in.ReadU16(&reserved) ||
+      !in.ReadU64(&out.first_step) || !in.ReadU32(&score_count) ||
+      !in.ReadU32(&msg_len)) {
+    return Malformed("score response", "truncated fixed prefix");
+  }
+  if (reserved != 0) {
+    return Malformed("score response", "reserved bytes must be zero");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Malformed("score response",
+                     "unknown status code " + std::to_string(int{code}));
+  }
+  if ((flags & ~(kFlagDropped | kFlagContaminated | kFlagRejected)) != 0) {
+    return Malformed("score response",
+                     "unknown flag bits " + std::to_string(int{flags}));
+  }
+  if (score_count > kMaxValues) {
+    return Malformed("score response",
+                     "score count " + std::to_string(score_count) +
+                         " exceeds the " + std::to_string(kMaxValues) +
+                         " cap");
+  }
+  if (msg_len > kMaxMessageLen) {
+    return Malformed("score response",
+                     "message length " + std::to_string(msg_len) +
+                         " exceeds the " + std::to_string(kMaxMessageLen) +
+                         " cap");
+  }
+  out.code = static_cast<StatusCode>(code);
+  out.dropped = (flags & kFlagDropped) != 0;
+  out.contaminated = (flags & kFlagContaminated) != 0;
+  out.rejected = (flags & kFlagRejected) != 0;
+  if (!in.ReadDoubles(score_count, &out.scores)) {
+    return Malformed("score response", "truncated scores");
+  }
+  if (!in.ReadString(msg_len, &out.message)) {
+    return Malformed("score response", "truncated message");
+  }
+  if (in.remaining() != 0) {
+    return Malformed("score response",
+                     std::to_string(in.remaining()) + " trailing bytes");
+  }
+  return out;
+}
+
+void EncodeCloseRequest(const CloseRequest& request,
+                        std::vector<uint8_t>* payload) {
+  payload->clear();
+  PutU32(payload, static_cast<uint32_t>(request.service));
+  PutU32(payload, static_cast<uint32_t>(request.tenant.size()));
+  payload->insert(payload->end(), request.tenant.begin(),
+                  request.tenant.end());
+}
+
+Result<CloseRequest> DecodeCloseRequest(const uint8_t* payload,
+                                        size_t size) {
+  Reader in(payload, size);
+  CloseRequest out;
+  uint32_t service = 0, tenant_len = 0;
+  if (!in.ReadU32(&service) || !in.ReadU32(&tenant_len)) {
+    return Malformed("close request", "truncated fixed prefix");
+  }
+  if (tenant_len == 0 || tenant_len > kMaxTenantLen) {
+    return Malformed("close request",
+                     "tenant length " + std::to_string(tenant_len) +
+                         " outside 1.." + std::to_string(kMaxTenantLen));
+  }
+  out.service = static_cast<int32_t>(service);
+  if (!in.ReadString(tenant_len, &out.tenant)) {
+    return Malformed("close request", "truncated tenant name");
+  }
+  if (in.remaining() != 0) {
+    return Malformed("close request",
+                     std::to_string(in.remaining()) + " trailing bytes");
+  }
+  return out;
+}
+
+void EncodeStatsResponse(const std::string& text,
+                         std::vector<uint8_t>* payload) {
+  payload->clear();
+  const size_t len = std::min(text.size(), kMaxMessageLen);
+  PutU32(payload, static_cast<uint32_t>(len));
+  payload->insert(payload->end(), text.begin(),
+                  text.begin() + static_cast<ptrdiff_t>(len));
+}
+
+Result<std::string> DecodeStatsResponse(const uint8_t* payload,
+                                        size_t size) {
+  Reader in(payload, size);
+  uint32_t len = 0;
+  if (!in.ReadU32(&len)) {
+    return Malformed("stats response", "truncated length");
+  }
+  if (len > kMaxMessageLen) {
+    return Malformed("stats response",
+                     "length " + std::to_string(len) + " exceeds the " +
+                         std::to_string(kMaxMessageLen) + " cap");
+  }
+  std::string text;
+  if (!in.ReadString(len, &text)) {
+    return Malformed("stats response", "truncated text");
+  }
+  if (in.remaining() != 0) {
+    return Malformed("stats response",
+                     std::to_string(in.remaining()) + " trailing bytes");
+  }
+  return text;
+}
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t RingHash64(const void* data, size_t size) {
+  // MurmurHash3 fmix64 over the FNV digest: full-width avalanche, still
+  // byte-for-byte deterministic across processes and platforms.
+  uint64_t h = Fnv1a64(data, size);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace mace::wire

@@ -1,0 +1,137 @@
+#ifndef MACE_WIRE_MESSAGES_H_
+#define MACE_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "wire/frame.h"
+
+namespace mace::wire {
+
+/// Payload-level caps (frame.h caps the raw byte length; these cap the
+/// decoded element counts so a hostile count can't size an allocation
+/// past what the payload itself could hold).
+inline constexpr size_t kMaxTenantLen = 256;
+inline constexpr size_t kMaxValues = 65536;
+inline constexpr size_t kMaxMessageLen = 4096;
+
+/// Raw u8 policy override: 0/1/2 = ts::NonFinitePolicy value, 0xFF = use
+/// the server's configured default. Kept numeric here so mace_wire stays
+/// a leaf library (mace_common only); src/net/ converts to the typed
+/// enum after range-checking.
+inline constexpr uint8_t kNoPolicyOverride = 0xFF;
+/// Raw u8 priority class: 0 high, 1 normal, 2 low (serve::Priority).
+inline constexpr uint8_t kNumPriorityClasses = 3;
+
+/// \brief kScoreRequest payload: one observation of one tenant stream.
+///
+/// Layout (little-endian):
+///   u8  non-finite policy override (0xFF = server default)
+///   u8  priority class (< kNumPriorityClasses)
+///   u16 reserved (0)
+///   i32 service index
+///   u32 tenant length  (<= kMaxTenantLen, > 0)
+///   u32 value count    (<= kMaxValues)
+///   tenant bytes
+///   f64 * value count  (raw IEEE bits — NaN/Inf arrive intact and meet
+///                       the server's non-finite policy, not the wire)
+struct ScoreRequest {
+  std::string tenant;
+  int32_t service = 0;
+  uint8_t priority = 1;                     // normal
+  uint8_t policy_override = kNoPolicyOverride;
+  std::vector<double> values;
+};
+
+void EncodeScoreRequest(const ScoreRequest& request,
+                        std::vector<uint8_t>* payload);
+Result<ScoreRequest> DecodeScoreRequest(const uint8_t* payload,
+                                        size_t size);
+
+/// The routing prefix of a kScoreRequest — tenant + priority — decoded
+/// without touching the observation values. The router shards on this
+/// and forwards the payload bytes verbatim, so a million-tenant fan-in
+/// never deserializes observations it won't score.
+struct ScoreRouting {
+  std::string tenant;
+  uint8_t priority = 1;
+};
+Result<ScoreRouting> PeekScoreRouting(const uint8_t* payload, size_t size);
+
+/// \brief kScoreResponse / kCloseResponse payload.
+///
+/// Layout:
+///   u8  status code (StatusCode numeric value)
+///   u8  flags (kFlagDropped | kFlagContaminated | kFlagRejected)
+///   u16 reserved (0)
+///   u64 first step
+///   u32 score count (<= kMaxValues)
+///   u32 message length (<= kMaxMessageLen)
+///   f64 * score count
+///   message bytes
+struct ScoreResponse {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  uint64_t first_step = 0;
+  bool dropped = false;       ///< overload policy shed it at the pool
+  bool contaminated = false;  ///< lossy non-finite policy absorbed values
+  bool rejected = false;      ///< QoS / backpressure refused it up front
+  std::vector<double> scores;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  Status ToStatus() const {
+    return ok() ? Status::OK() : Status(code, message);
+  }
+};
+
+inline constexpr uint8_t kFlagDropped = 1u << 0;
+inline constexpr uint8_t kFlagContaminated = 1u << 1;
+inline constexpr uint8_t kFlagRejected = 1u << 2;
+
+void EncodeScoreResponse(const ScoreResponse& response,
+                         std::vector<uint8_t>* payload);
+Result<ScoreResponse> DecodeScoreResponse(const uint8_t* payload,
+                                          size_t size);
+
+/// \brief kCloseRequest payload: i32 service, u32 tenant length, tenant.
+struct CloseRequest {
+  std::string tenant;
+  int32_t service = 0;
+};
+void EncodeCloseRequest(const CloseRequest& request,
+                        std::vector<uint8_t>* payload);
+Result<CloseRequest> DecodeCloseRequest(const uint8_t* payload,
+                                        size_t size);
+
+/// \brief kStatsResponse payload: u32 length + UTF-8 stats text (the
+/// ServeStats::FormatLine of a backend, or the router's own line).
+void EncodeStatsResponse(const std::string& text,
+                         std::vector<uint8_t>* payload);
+Result<std::string> DecodeStatsResponse(const uint8_t* payload,
+                                        size_t size);
+
+/// FNV-1a 64-bit. Pinned here (not std::hash) so the router and any
+/// future peer agree on hashes across processes, builds, and standard
+/// libraries. The consistent-hash ring uses RingHash64 below, which
+/// finalizes this digest.
+uint64_t Fnv1a64(const void* data, size_t size);
+inline uint64_t Fnv1a64(const std::string& s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Ring placement hash: Fnv1a64 pushed through a 64-bit avalanche
+/// finalizer (MurmurHash3's fmix64). Raw FNV-1a of short sequential
+/// names ("tenant-0", "tenant-1", ...) differs only in a narrow band of
+/// bits, which collapses a consistent-hash ring onto one arc — every
+/// tenant lands on one backend. The finalizer spreads those inputs over
+/// the full 64-bit space while staying just as pinned and portable.
+uint64_t RingHash64(const void* data, size_t size);
+inline uint64_t RingHash64(const std::string& s) {
+  return RingHash64(s.data(), s.size());
+}
+
+}  // namespace mace::wire
+
+#endif  // MACE_WIRE_MESSAGES_H_

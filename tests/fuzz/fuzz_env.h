@@ -20,6 +20,7 @@ void FuzzParseCsv(const uint8_t* data, size_t size);
 void FuzzDetectorLoad(const uint8_t* data, size_t size);
 void FuzzServeRequest(const uint8_t* data, size_t size);
 void FuzzHistorySnapshot(const uint8_t* data, size_t size);
+void FuzzWireFrame(const uint8_t* data, size_t size);
 
 /// A deterministic tiny fitted detector (window 8, 2 services x 2
 /// features, 1 epoch), fitted once per process: the model behind the

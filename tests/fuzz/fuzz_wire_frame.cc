@@ -1,0 +1,74 @@
+// Fuzz target: the MWIREv1 frame decoder and payload codecs — the bytes
+// a hostile peer can put on a serving socket. The input's first byte
+// picks the chunk size the stream is fed in (1, 7, 64, or all at once),
+// so reassembly across arbitrary chunk boundaries is part of the
+// surface, then every completed frame's payload runs through the decoder
+// matching its type (and the router's routing peek for score requests).
+// Any outcome except an abort/hang/sanitizer report is a pass: malformed
+// framing must surface as a Status, malformed payloads as a Status, and
+// trailing partial frames as "need more bytes".
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/fuzz_env.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+namespace mace::fuzz {
+
+void FuzzWireFrame(const uint8_t* data, size_t size) {
+  if (size == 0) return;
+  constexpr size_t kChunks[] = {1, 7, 64, ~size_t{0}};
+  const size_t chunk = kChunks[data[0] % 4];
+  ++data;
+  --size;
+
+  wire::FrameDecoder decoder;
+  size_t fed = 0;
+  bool dead = false;
+  while (!dead) {
+    auto next = decoder.Next();
+    if (!next.ok()) break;  // connection-fatal framing error: done
+    if (next->has_value()) {
+      const wire::OwnedFrame& frame = **next;
+      const uint8_t* payload = frame.payload.data();
+      const size_t payload_size = frame.payload.size();
+      switch (frame.type) {
+        case wire::FrameType::kScoreRequest:
+          (void)wire::DecodeScoreRequest(payload, payload_size);
+          (void)wire::PeekScoreRouting(payload, payload_size);
+          break;
+        case wire::FrameType::kScoreResponse:
+        case wire::FrameType::kCloseResponse:
+          (void)wire::DecodeScoreResponse(payload, payload_size);
+          break;
+        case wire::FrameType::kCloseRequest:
+          (void)wire::DecodeCloseRequest(payload, payload_size);
+          break;
+        case wire::FrameType::kStatsResponse:
+          (void)wire::DecodeStatsResponse(payload, payload_size);
+          break;
+        case wire::FrameType::kPing:
+        case wire::FrameType::kPong:
+        case wire::FrameType::kStatsRequest:
+          break;
+      }
+      continue;
+    }
+    if (fed >= size) break;  // stream exhausted mid-frame: fine
+    const size_t n = std::min(chunk, size - fed);
+    decoder.Append(data + fed, n);
+    fed += n;
+  }
+}
+
+}  // namespace mace::fuzz
+
+#ifdef MACE_FUZZ_STANDALONE
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mace::fuzz::FuzzWireFrame(data, size);
+  return 0;
+}
+#endif

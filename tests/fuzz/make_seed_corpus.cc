@@ -23,6 +23,8 @@
 #include "fuzz/fuzz_env.h"
 #include "history/snapshot.h"
 #include "history/store.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
 
 namespace {
 
@@ -347,18 +349,117 @@ void WriteHistorySnapshotCorpus(const fs::path& dir) {
   }
 }
 
+// -- wire_frame ------------------------------------------------------------
+
+/// MWIREv1 seeds (see wire/frame.h): the first corpus byte picks the
+/// fuzz target's chunking, then framed bytes follow. Well-formed frames
+/// anchor coverage; the malformations hit each header/CRC validation
+/// branch and the payload decoders behind valid framing.
+void WriteWireFrameCorpus(const fs::path& dir) {
+  auto framed = [](mace::wire::FrameType type, uint64_t request_id,
+                   const std::vector<uint8_t>& payload) {
+    std::vector<uint8_t> out;
+    mace::wire::AppendFrame(&out, type, request_id, payload);
+    return std::string(out.begin(), out.end());
+  };
+  auto with_chunking = [](uint8_t chunk_selector, const std::string& body) {
+    return std::string(1, static_cast<char>(chunk_selector)) + body;
+  };
+
+  std::vector<uint8_t> score_payload;
+  {
+    mace::wire::ScoreRequest request;
+    request.tenant = "tenant-a";
+    request.service = 1;
+    request.values = {1.0, 2.0};
+    mace::wire::EncodeScoreRequest(request, &score_payload);
+  }
+  std::vector<uint8_t> response_payload;
+  {
+    mace::wire::ScoreResponse response;
+    response.scores = {0.25, 0.75};
+    response.first_step = 40;
+    mace::wire::EncodeScoreResponse(response, &response_payload);
+  }
+  std::vector<uint8_t> close_payload;
+  {
+    mace::wire::CloseRequest request;
+    request.tenant = "tenant-a";
+    request.service = 1;
+    mace::wire::EncodeCloseRequest(request, &close_payload);
+  }
+  std::vector<uint8_t> stats_payload;
+  mace::wire::EncodeStatsResponse("serve gen 1 | q 0", &stats_payload);
+
+  WriteBytes(dir / "empty.bin", "");
+  WriteBytes(dir / "ping.bin",
+             with_chunking(3, framed(mace::wire::FrameType::kPing, 7, {})));
+  // Byte-at-a-time chunking across a multi-frame stream: reassembly.
+  WriteBytes(
+      dir / "pipelined_chunked.bin",
+      with_chunking(
+          0, framed(mace::wire::FrameType::kScoreRequest, 1, score_payload) +
+                 framed(mace::wire::FrameType::kScoreRequest, 2,
+                        score_payload) +
+                 framed(mace::wire::FrameType::kCloseRequest, 3,
+                        close_payload)));
+  WriteBytes(dir / "score_response.bin",
+             with_chunking(2, framed(mace::wire::FrameType::kScoreResponse,
+                                     9, response_payload)));
+  WriteBytes(dir / "stats_response.bin",
+             with_chunking(1, framed(mace::wire::FrameType::kStatsResponse,
+                                     4, stats_payload)));
+
+  const std::string valid =
+      framed(mace::wire::FrameType::kScoreRequest, 11, score_payload);
+  auto mutated = [&](size_t offset, uint8_t byte) {
+    std::string copy = valid;
+    copy[offset] = static_cast<char>(byte);
+    return copy;
+  };
+  WriteBytes(dir / "bad_magic.bin", with_chunking(3, mutated(0, 'X')));
+  WriteBytes(dir / "bad_version.bin", with_chunking(3, mutated(4, 9)));
+  WriteBytes(dir / "bad_type.bin", with_chunking(3, mutated(5, 0xee)));
+  WriteBytes(dir / "nonzero_reserved.bin",
+             with_chunking(3, mutated(6, 1)));
+  // Payload length pushed past kMaxPayload: must be rejected before any
+  // allocation sized from it.
+  WriteBytes(dir / "oversize_length.bin",
+             with_chunking(3, mutated(19, 0xff)));
+  WriteBytes(dir / "crc_mismatch.bin",
+             with_chunking(3, mutated(valid.size() - 1,
+                                      static_cast<uint8_t>(valid.back()) ^
+                                          0x01)));
+  WriteBytes(dir / "truncated_header.bin",
+             with_chunking(3, valid.substr(0, 10)));
+  WriteBytes(dir / "truncated_payload.bin",
+             with_chunking(3, valid.substr(0, valid.size() - 3)));
+  // Valid framing, hostile payload: a score request whose value count
+  // claims more doubles than the payload holds.
+  {
+    std::vector<uint8_t> payload = score_payload;
+    payload[12] = 0xff;  // value count low byte (after policy/prio/rsvd/svc/tlen)
+    std::vector<uint8_t> out;
+    mace::wire::AppendFrame(&out, mace::wire::FrameType::kScoreRequest, 5,
+                            payload);
+    WriteBytes(dir / "payload_count_lies.bin",
+               with_chunking(3, std::string(out.begin(), out.end())));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const fs::path root = argc > 1 ? argv[1] : "corpus";
-  for (const char* sub :
-       {"parse_csv", "detector_load", "serve_request", "history_snapshot"}) {
+  for (const char* sub : {"parse_csv", "detector_load", "serve_request",
+                          "history_snapshot", "wire_frame"}) {
     fs::create_directories(root / sub);
   }
   WriteParseCsvCorpus(root / "parse_csv");
   WriteDetectorLoadCorpus(root / "detector_load");
   WriteServeRequestCorpus(root / "serve_request");
   WriteHistorySnapshotCorpus(root / "history_snapshot");
+  WriteWireFrameCorpus(root / "wire_frame");
   size_t count = 0;
   for (const auto& entry : fs::recursive_directory_iterator(root)) {
     if (entry.is_regular_file()) ++count;

@@ -66,4 +66,8 @@ TEST(FuzzReplay, HistorySnapshotCorpus) {
   Replay("history_snapshot", mace::fuzz::FuzzHistorySnapshot);
 }
 
+TEST(FuzzReplay, WireFrameCorpus) {
+  Replay("wire_frame", mace::fuzz::FuzzWireFrame);
+}
+
 }  // namespace

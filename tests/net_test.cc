@@ -1,0 +1,360 @@
+// In-process socket tests for the scale-out serving path (src/net/):
+// the epoll ScoreServer front door over a real loopback TCP connection,
+// the error-handling split (payload malformation answers and keeps the
+// connection; frame malformation closes it), QoS rejection surfacing,
+// and the Router fanning one client across two live backends — with
+// bit-identical scores against the direct in-process ServeFrontend as
+// the hard equivalence check.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "serve/frontend.h"
+#include "ts/generator.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+namespace mace::net {
+namespace {
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  Rng rng(11);
+  for (int s = 0; s < 2; ++s) {
+    ts::NormalPattern pattern;
+    pattern.kind =
+        s == 0 ? ts::WaveformKind::kSinusoid : ts::WaveformKind::kSquare;
+    pattern.period = 8.0 + 4.0 * s;
+    pattern.noise_stddev = 0.05;
+    pattern.feature_weights = {1.0, 0.7};
+    pattern.feature_lags = {0.0, 2.0};
+    ts::ServiceData service;
+    service.name = "svc" + std::to_string(s);
+    service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+    service.test = ts::GenerateNormal(pattern, 160, 320, &rng);
+    services.push_back(std::move(service));
+  }
+  return services;
+}
+
+std::shared_ptr<const core::MaceDetector> FittedModel() {
+  static const std::shared_ptr<const core::MaceDetector> model = [] {
+    core::MaceConfig config;
+    config.epochs = 1;
+    auto detector = std::make_shared<core::MaceDetector>(config);
+    MACE_CHECK_OK(detector->Fit(TinyWorkload()));
+    return detector;
+  }();
+  return model;
+}
+
+std::unique_ptr<serve::ServeFrontend> MakeFrontend(size_t shards = 2) {
+  serve::ServeConfig config;
+  config.num_shards = shards;
+  auto created = serve::ServeFrontend::Create(FittedModel(), config);
+  MACE_CHECK_OK(created.status());
+  return std::move(created).value();
+}
+
+std::unique_ptr<WireClient> Connect(uint16_t port) {
+  auto client = WireClient::Connect("127.0.0.1", port);
+  MACE_CHECK_OK(client.status());
+  return std::move(client).value();
+}
+
+/// Streams observations through one tenant session over the wire and
+/// concatenates every score batch the server returns.
+std::vector<double> SocketScores(
+    WireClient* client, const std::string& tenant, int32_t service,
+    const std::vector<std::vector<double>>& observations) {
+  std::vector<double> scores;
+  for (const std::vector<double>& observation : observations) {
+    wire::ScoreRequest request;
+    request.tenant = tenant;
+    request.service = service;
+    request.values = observation;
+    auto response = client->Score(request);
+    MACE_CHECK_OK(response.status());
+    MACE_CHECK(response->ok()) << response->message;
+    scores.insert(scores.end(), response->scores.begin(),
+                  response->scores.end());
+  }
+  return scores;
+}
+
+/// The same stream through the in-process frontend — the ground truth
+/// the socket path must match bit for bit.
+std::vector<double> DirectScores(
+    serve::ServeFrontend* frontend, const std::string& tenant,
+    int32_t service, const std::vector<std::vector<double>>& observations) {
+  std::vector<double> scores;
+  for (const std::vector<double>& observation : observations) {
+    auto submitted = frontend->Submit(tenant, service, observation);
+    MACE_CHECK_OK(submitted.status());
+    serve::ScoreBatch batch = submitted->get();
+    MACE_CHECK_OK(batch.status);
+    scores.insert(scores.end(), batch.scores.begin(), batch.scores.end());
+  }
+  return scores;
+}
+
+bool BitIdentical(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(ScoreServerTest, PingStatsAndCleanStop) {
+  auto frontend = MakeFrontend();
+  auto server = ScoreServer::Start(frontend.get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  ASSERT_NE((*server)->port(), 0);
+
+  auto client = Connect((*server)->port());
+  MACE_CHECK_OK(client->Ping());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->empty());
+  EXPECT_EQ((*server)->connections_opened(), 1u);
+  EXPECT_GE((*server)->frames_received(), 2u);
+}
+
+TEST(ScoreServerTest, ScoresBitIdenticalToDirectFrontend) {
+  auto frontend = MakeFrontend();
+  auto server = ScoreServer::Start(frontend.get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = Connect((*server)->port());
+
+  const auto workload = TinyWorkload();
+  for (int service = 0; service < 2; ++service) {
+    const std::vector<std::vector<double>>& values =
+        workload[service].test.values();
+    const auto socket_scores =
+        SocketScores(client.get(), "wire-tenant", service, values);
+    const auto direct_scores =
+        DirectScores(frontend.get(), "direct-tenant", service, values);
+    EXPECT_FALSE(socket_scores.empty());
+    EXPECT_TRUE(BitIdentical(socket_scores, direct_scores))
+        << "service " << service << " diverged across the socket";
+  }
+
+  // Close returns the session tail; both paths must agree there too.
+  auto closed = client->CloseSession("wire-tenant", 0);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->ok());
+}
+
+TEST(ScoreServerTest, MalformedPayloadAnswersAndKeepsConnection) {
+  auto frontend = MakeFrontend();
+  auto server = ScoreServer::Start(frontend.get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = Connect((*server)->port());
+
+  // A structurally valid frame whose ScoreRequest payload is garbage:
+  // the server must answer with an error response, not drop the link.
+  const std::vector<uint8_t> junk = {0xde, 0xad, 0xbe};
+  auto fd = TcpConnect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> bytes;
+  wire::AppendFrame(&bytes, wire::FrameType::kScoreRequest, 77, junk);
+  MACE_CHECK_OK(SendAll(fd->get(), bytes.data(), bytes.size()));
+
+  wire::FrameDecoder decoder;
+  uint8_t buffer[512];
+  wire::OwnedFrame frame;
+  for (;;) {
+    auto n = RecvSome(fd->get(), buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0u) << "server closed instead of answering";
+    decoder.Append(buffer, *n);
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    if (next->has_value()) {
+      frame = std::move(**next);
+      break;
+    }
+  }
+  EXPECT_EQ(frame.type, wire::FrameType::kScoreResponse);
+  EXPECT_EQ(frame.request_id, 77u);
+  auto response =
+      wire::DecodeScoreResponse(frame.payload.data(), frame.payload.size());
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->ok()) << "garbage payload must not score";
+
+  // The same connection still serves well-formed traffic.
+  bytes.clear();
+  wire::AppendFrame(&bytes, wire::FrameType::kPing, 78, nullptr, 0);
+  MACE_CHECK_OK(SendAll(fd->get(), bytes.data(), bytes.size()));
+  for (;;) {
+    auto n = RecvSome(fd->get(), buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok());
+    ASSERT_GT(*n, 0u);
+    decoder.Append(buffer, *n);
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok());
+    if (next->has_value()) {
+      EXPECT_EQ((*next)->type, wire::FrameType::kPong);
+      break;
+    }
+  }
+  (void)client;
+}
+
+TEST(ScoreServerTest, FrameErrorClosesConnection) {
+  auto frontend = MakeFrontend();
+  auto server = ScoreServer::Start(frontend.get(), {});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+
+  auto fd = TcpConnect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> bytes;
+  wire::AppendFrame(&bytes, wire::FrameType::kPing, 1, nullptr, 0);
+  bytes[0] = 'X';  // corrupt the magic: framing is unrecoverable
+  MACE_CHECK_OK(SendAll(fd->get(), bytes.data(), bytes.size()));
+
+  // The server must hang up; a blocking read drains to orderly EOF.
+  uint8_t buffer[64];
+  for (;;) {
+    auto n = RecvSome(fd->get(), buffer, sizeof(buffer));
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+  }
+  EXPECT_GE((*server)->protocol_errors(), 1u);
+}
+
+TEST(ScoreServerTest, QosRefusalSetsRejectedFlagAndKeepsConnection) {
+  auto frontend = MakeFrontend();
+  ScoreServerOptions options;
+  options.qos.rate_per_tenant = 0.001;  // effectively no refill in-test
+  options.qos.burst = 2.0;
+  options.qos.reserve_fraction = 0.0;
+  auto server = ScoreServer::Start(frontend.get(), options);
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  auto client = Connect((*server)->port());
+
+  wire::ScoreRequest request;
+  request.tenant = "throttled";
+  request.service = 0;
+  request.values = TinyWorkload()[0].test.values()[0];
+  for (int i = 0; i < 2; ++i) {
+    auto response = client->Score(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response->ok()) << "burst token " << i << " refused";
+    EXPECT_FALSE(response->rejected);
+  }
+  auto refused = client->Score(request);
+  ASSERT_TRUE(refused.ok()) << "QoS refusal must be a response, not a hangup";
+  EXPECT_FALSE(refused->ok());
+  EXPECT_TRUE(refused->rejected);
+  EXPECT_GE((*server)->qos().rejected(serve::Priority::kNormal), 1u);
+  MACE_CHECK_OK(client->Ping());
+}
+
+// -- router ----------------------------------------------------------------
+
+struct TwoBackendTopology {
+  std::unique_ptr<serve::ServeFrontend> frontend_a;
+  std::unique_ptr<serve::ServeFrontend> frontend_b;
+  std::unique_ptr<ScoreServer> backend_a;
+  std::unique_ptr<ScoreServer> backend_b;
+  std::unique_ptr<Router> router;
+
+  TwoBackendTopology() {
+    frontend_a = MakeFrontend(1);
+    frontend_b = MakeFrontend(1);
+    auto a = ScoreServer::Start(frontend_a.get(), {});
+    auto b = ScoreServer::Start(frontend_b.get(), {});
+    MACE_CHECK_OK(a.status());
+    MACE_CHECK_OK(b.status());
+    backend_a = std::move(*a);
+    backend_b = std::move(*b);
+    RouterOptions options;
+    options.backends = {
+        "127.0.0.1:" + std::to_string(backend_a->port()),
+        "127.0.0.1:" + std::to_string(backend_b->port())};
+    auto started = Router::Start(options);
+    MACE_CHECK_OK(started.status());
+    router = std::move(*started);
+  }
+};
+
+TEST(RouterTest, BitIdenticalThroughRouterAndBothBackendsUsed) {
+  TwoBackendTopology topology;
+  auto client = Connect(topology.router->port());
+  auto reference = MakeFrontend(1);
+
+  const auto values = TinyWorkload()[0].test.values();
+  const std::vector<std::vector<double>> steps(values.begin(),
+                                               values.begin() + 48);
+  for (int k = 0; k < 12; ++k) {
+    const std::string tenant = "tenant-" + std::to_string(k);
+    const auto routed = SocketScores(client.get(), tenant, 0, steps);
+    const auto direct = DirectScores(reference.get(), tenant, 0, steps);
+    EXPECT_FALSE(routed.empty());
+    EXPECT_TRUE(BitIdentical(routed, direct))
+        << tenant << " diverged through the router";
+  }
+
+  // The ring hash must actually spread these tenants: both backends see
+  // traffic (the regression pin for the FNV clustering bug is in
+  // wire_test; this is the end-to-end counterpart).
+  EXPECT_GT(topology.backend_a->frames_received(), 0u);
+  EXPECT_GT(topology.backend_b->frames_received(), 0u);
+  EXPECT_EQ(topology.router->forwarded(),
+            topology.backend_a->frames_received() +
+                topology.backend_b->frames_received());
+  EXPECT_EQ(topology.router->backend_errors(), 0u);
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("router"), std::string::npos) << *stats;
+}
+
+TEST(RouterTest, PlacementIsStableAcrossBackendListOrder) {
+  const std::vector<std::string> forward = {"10.0.0.1:7000", "10.0.0.2:7000",
+                                            "10.0.0.3:7000"};
+  const std::vector<std::string> shuffled = {"10.0.0.3:7000", "10.0.0.1:7000",
+                                             "10.0.0.2:7000"};
+  int moved = 0;
+  for (int k = 0; k < 32; ++k) {
+    const std::string tenant = "tenant-" + std::to_string(k);
+    const size_t a = Router::RingPick(forward, 64, tenant);
+    const size_t b = Router::RingPick(shuffled, 64, tenant);
+    // Map indices back to addresses: placement must follow the address,
+    // not the list position.
+    if (forward[a] != shuffled[b]) ++moved;
+  }
+  EXPECT_EQ(moved, 0) << "ring placement depends on backend list order";
+}
+
+TEST(RouterTest, StartFailsWhenBackendUnreachable) {
+  RouterOptions options;
+  options.backends = {"127.0.0.1:1"};  // nothing listens on port 1
+  auto started = Router::Start(options);
+  EXPECT_FALSE(started.ok());
+}
+
+TEST(RouterTest, CloseSessionRoundTripsThroughRouter) {
+  TwoBackendTopology topology;
+  auto client = Connect(topology.router->port());
+  const auto values = TinyWorkload()[0].test.values();
+  const std::vector<std::vector<double>> steps(values.begin(),
+                                               values.begin() + 32);
+  (void)SocketScores(client.get(), "close-me", 0, steps);
+  auto closed = client->CloseSession("close-me", 0);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->ok()) << closed->message;
+}
+
+}  // namespace
+}  // namespace mace::net

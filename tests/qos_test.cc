@@ -1,0 +1,234 @@
+// QoS admission and priority-class semantics (serve/qos.h + the
+// priority-aware shed paths of the sharded pool): exact token-bucket
+// accounting under burst on an explicit clock, the per-class reserve
+// ordering (low refused first, high last), the overflow-bucket tenant
+// cap, and — at the pool level — the "high is never shed while a lower
+// class is queued" contract under both kShed and kLatestOnly.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/frontend.h"
+#include "serve/qos.h"
+#include "ts/generator.h"
+
+namespace mace::serve {
+namespace {
+
+TEST(TokenBucketTest, ExactAccountingUnderBurst) {
+  TokenBucket bucket(10.0, 5.0);  // 10/s refill, burst 5, starts full
+  EXPECT_DOUBLE_EQ(bucket.Available(0.0), 5.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(0.0)) << "burst token " << i;
+  }
+  EXPECT_FALSE(bucket.TryAcquire(0.0)) << "burst must stop at capacity";
+
+  // 0.35s refills exactly 3.5 tokens: three whole acquisitions fit.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(0.35)) << "refilled token " << i;
+  }
+  EXPECT_FALSE(bucket.TryAcquire(0.35));
+  EXPECT_DOUBLE_EQ(bucket.Available(0.35), 0.5);
+
+  // A long idle caps at burst, never beyond it.
+  EXPECT_DOUBLE_EQ(bucket.Available(100.0), 5.0);
+}
+
+TEST(TokenBucketTest, ClockMovingBackwardsMintsNothing) {
+  TokenBucket bucket(1.0, 2.0);
+  EXPECT_TRUE(bucket.TryAcquire(10.0));
+  EXPECT_TRUE(bucket.TryAcquire(10.0));
+  EXPECT_FALSE(bucket.TryAcquire(10.0));
+  // A clock hiccup to t=3 must not refill (and must not corrupt state:
+  // the next forward second still refills exactly one token).
+  EXPECT_FALSE(bucket.TryAcquire(3.0));
+  EXPECT_TRUE(bucket.TryAcquire(11.0));
+  EXPECT_FALSE(bucket.TryAcquire(11.0));
+}
+
+TEST(QosControllerTest, DisabledAdmitsEverythingStateless) {
+  QosController qos(QosConfig{});  // rate_per_tenant 0 = off
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(qos.Admit("t" + std::to_string(i), Priority::kLow,
+                          static_cast<double>(i)));
+  }
+  EXPECT_EQ(qos.tracked_tenants(), 0u) << "disabled QoS keeps no buckets";
+  EXPECT_EQ(qos.admitted(Priority::kLow), 100u);
+}
+
+TEST(QosControllerTest, ReserveRefusesLowClassesFirst) {
+  QosConfig config;
+  config.rate_per_tenant = 1.0;
+  config.burst = 4.0;
+  config.reserve_fraction = 0.25;  // reserve: high 0, normal 1, low 2
+  QosController qos(config);
+
+  // Bucket starts with 4 tokens. Low drains only down to its reserve of
+  // 2; normal down to 1; the last token is high's alone.
+  EXPECT_TRUE(qos.Admit("tenant", Priority::kLow, 0.0));   // 4 -> 3
+  EXPECT_TRUE(qos.Admit("tenant", Priority::kLow, 0.0));   // 3 -> 2
+  EXPECT_FALSE(qos.Admit("tenant", Priority::kLow, 0.0));  // 2 !> 2
+  EXPECT_TRUE(qos.Admit("tenant", Priority::kNormal, 0.0));   // 2 -> 1
+  EXPECT_FALSE(qos.Admit("tenant", Priority::kNormal, 0.0));  // 1 !> 1
+  EXPECT_TRUE(qos.Admit("tenant", Priority::kHigh, 0.0));   // 1 -> 0
+  EXPECT_FALSE(qos.Admit("tenant", Priority::kHigh, 0.0));  // empty
+
+  EXPECT_EQ(qos.admitted(Priority::kLow), 2u);
+  EXPECT_EQ(qos.admitted(Priority::kNormal), 1u);
+  EXPECT_EQ(qos.admitted(Priority::kHigh), 1u);
+  EXPECT_EQ(qos.rejected(Priority::kLow), 1u);
+  EXPECT_EQ(qos.rejected(Priority::kNormal), 1u);
+  EXPECT_EQ(qos.rejected(Priority::kHigh), 1u);
+
+  // Tenants are isolated: a fresh tenant's bucket is untouched.
+  EXPECT_TRUE(qos.Admit("other", Priority::kLow, 0.0));
+}
+
+TEST(QosControllerTest, TenantCapSharesOneOverflowBucket) {
+  QosConfig config;
+  config.rate_per_tenant = 1.0;
+  config.burst = 2.0;
+  config.max_tenants = 1;
+  QosController qos(config);
+
+  EXPECT_TRUE(qos.Admit("first", Priority::kHigh, 0.0));
+  // Every later tenant shares the single overflow bucket: two tokens
+  // between them, however many names arrive.
+  EXPECT_TRUE(qos.Admit("second", Priority::kHigh, 0.0));
+  EXPECT_TRUE(qos.Admit("third", Priority::kHigh, 0.0));
+  EXPECT_FALSE(qos.Admit("fourth", Priority::kHigh, 0.0));
+  EXPECT_EQ(qos.tracked_tenants(), 2u);  // "first" + the overflow bucket
+  // "first" still has its own tokens.
+  EXPECT_TRUE(qos.Admit("first", Priority::kHigh, 0.0));
+}
+
+// -- pool-level priority ordering ------------------------------------------
+
+std::vector<ts::ServiceData> TinyWorkload() {
+  std::vector<ts::ServiceData> services;
+  Rng rng(7);
+  ts::NormalPattern pattern;
+  pattern.kind = ts::WaveformKind::kSinusoid;
+  pattern.period = 8.0;
+  pattern.noise_stddev = 0.05;
+  pattern.feature_weights = {1.0, 0.8};
+  pattern.feature_lags = {0.0, 1.0};
+  ts::ServiceData service;
+  service.name = "svc0";
+  service.train = ts::GenerateNormal(pattern, 320, 0, &rng);
+  service.test = ts::GenerateNormal(pattern, 160, 320, &rng);
+  services.push_back(std::move(service));
+  return services;
+}
+
+std::shared_ptr<const core::MaceDetector> FittedModel() {
+  static const std::shared_ptr<const core::MaceDetector> model = [] {
+    core::MaceConfig config;
+    config.epochs = 1;
+    auto detector = std::make_shared<core::MaceDetector>(config);
+    MACE_CHECK_OK(detector->Fit(TinyWorkload()));
+    return detector;
+  }();
+  return model;
+}
+
+struct GatedPool {
+  std::unique_ptr<ServeFrontend> frontend;
+  std::promise<void> gate;
+  std::vector<std::vector<double>> values;
+
+  explicit GatedPool(OverloadPolicy policy, size_t capacity) {
+    ServeConfig config;
+    config.num_shards = 1;
+    config.queue_capacity = capacity;
+    config.overload_policy = policy;
+    auto created = ServeFrontend::Create(FittedModel(), config);
+    MACE_CHECK_OK(created.status());
+    frontend = std::move(created).value();
+    frontend->pool_for_test().BlockShardUntilForTest(
+        0, std::shared_future<void>(gate.get_future()));
+    values = TinyWorkload()[0].test.values();
+  }
+
+  std::future<ScoreBatch> Submit(size_t step, Priority priority) {
+    RequestOptions options;
+    options.priority = priority;
+    auto f = frontend->Submit("tenant", 0, values[step], options);
+    MACE_CHECK_OK(f.status());
+    return std::move(*f);
+  }
+};
+
+TEST(PriorityShedTest, ShedVictimizesQueuedLowBeforeIncomingHigh) {
+  GatedPool pool(OverloadPolicy::kShed, 4);
+  std::vector<std::future<ScoreBatch>> low;
+  for (size_t i = 0; i < 4; ++i) {
+    low.push_back(pool.Submit(i, Priority::kLow));
+  }
+  // Queue full of low: an incoming high must displace the newest low,
+  // never be shed itself.
+  auto high = pool.Submit(4, Priority::kHigh);
+  pool.gate.set_value();
+  pool.frontend->Flush();
+
+  EXPECT_FALSE(high.get().dropped) << "high shed while low was queued";
+  EXPECT_FALSE(low[0].get().dropped);
+  EXPECT_FALSE(low[1].get().dropped);
+  EXPECT_FALSE(low[2].get().dropped);
+  EXPECT_TRUE(low[3].get().dropped) << "newest low is the kShed victim";
+  EXPECT_EQ(pool.frontend->Stats().Totals().shed, 1u);
+}
+
+TEST(PriorityShedTest, ShedDropsIncomingWhenNothingLowerIsQueued) {
+  GatedPool pool(OverloadPolicy::kShed, 4);
+  std::vector<std::future<ScoreBatch>> high;
+  for (size_t i = 0; i < 4; ++i) {
+    high.push_back(pool.Submit(i, Priority::kHigh));
+  }
+  auto low = pool.Submit(4, Priority::kLow);
+  pool.gate.set_value();
+  pool.frontend->Flush();
+
+  EXPECT_TRUE(low.get().dropped) << "incoming low loses to queued high";
+  for (auto& f : high) EXPECT_FALSE(f.get().dropped);
+}
+
+TEST(PriorityShedTest, LatestOnlyVictimizesOldestOfLowestClass) {
+  GatedPool pool(OverloadPolicy::kLatestOnly, 4);
+  auto low_old = pool.Submit(0, Priority::kLow);
+  auto high_old = pool.Submit(1, Priority::kHigh);
+  auto low_new = pool.Submit(2, Priority::kLow);
+  auto high_new = pool.Submit(3, Priority::kHigh);
+  // Incoming normal: the oldest queued item of the lowest class at or
+  // below normal's rank is the victim — low_old, not either high.
+  auto normal = pool.Submit(4, Priority::kNormal);
+  pool.gate.set_value();
+  pool.frontend->Flush();
+
+  EXPECT_TRUE(low_old.get().dropped);
+  EXPECT_FALSE(low_new.get().dropped);
+  EXPECT_FALSE(high_old.get().dropped);
+  EXPECT_FALSE(high_new.get().dropped);
+  EXPECT_FALSE(normal.get().dropped);
+}
+
+TEST(PriorityShedTest, LatestOnlyDropsIncomingWhenEverythingOutranksIt) {
+  GatedPool pool(OverloadPolicy::kLatestOnly, 4);
+  std::vector<std::future<ScoreBatch>> high;
+  for (size_t i = 0; i < 4; ++i) {
+    high.push_back(pool.Submit(i, Priority::kHigh));
+  }
+  auto low = pool.Submit(4, Priority::kLow);
+  pool.gate.set_value();
+  pool.frontend->Flush();
+
+  EXPECT_TRUE(low.get().dropped);
+  for (auto& f : high) EXPECT_FALSE(f.get().dropped);
+}
+
+}  // namespace
+}  // namespace mace::serve

@@ -1,0 +1,223 @@
+// Multi-process smoke test for the scale-out serving topology: spawn a
+// real mace_router in front of two real mace_serve_backend processes
+// (paths injected by CMake), drive pipelined load over loopback, and
+// assert the end-to-end contract — every request answered exactly once
+// (zero lost, zero duplicated), both backends doing work, and a clean
+// SIGTERM teardown with no orphaned processes.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/mace_detector.h"
+#include "net/client.h"
+#include "net/spawn.h"
+#include "ts/time_series.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+#ifndef MACE_BACKEND_BIN
+#error "MACE_BACKEND_BIN must point at the mace_serve_backend binary"
+#endif
+#ifndef MACE_ROUTER_BIN
+#error "MACE_ROUTER_BIN must point at the mace_router binary"
+#endif
+
+namespace mace {
+namespace {
+
+using net::Subprocess;
+
+constexpr int kSpawnTimeoutMs = 60000;
+constexpr int kTenants = 8;
+constexpr size_t kSteps = 48;
+constexpr size_t kPipelineWindow = 32;
+
+/// Deterministic two-feature series, the fuzz-harness TinyModel recipe:
+/// small enough that fitting + saving stays in test-suite time.
+ts::TimeSeries SyntheticSeries(size_t length, double phase) {
+  std::vector<std::vector<double>> values;
+  values.reserve(length);
+  for (size_t t = 0; t < length; ++t) {
+    const double x = static_cast<double>(t);
+    values.push_back({std::sin(0.7 * x + phase),
+                      std::cos(0.3 * x + 2.0 * phase) + 0.01 * x});
+  }
+  return ts::TimeSeries(std::move(values), {});
+}
+
+/// Fits the tiny model once and saves it for every backend to load, so
+/// all processes score from identical weights.
+std::string SavedModelPath() {
+  static const std::string path = [] {
+    const std::string file =
+        (std::filesystem::temp_directory_path() /
+         ("mace_scaleout_smoke_" + std::to_string(::getpid()) + ".model"))
+            .string();
+    core::MaceConfig config;
+    config.window = 8;
+    config.train_stride = 2;
+    config.score_stride = 4;
+    config.num_bases = 3;
+    config.time_kernel = 3;
+    config.freq_kernel = 3;
+    config.hidden_channels = 4;
+    config.characterization_channels = 2;
+    config.epochs = 1;
+    core::MaceDetector detector(config);
+    std::vector<ts::ServiceData> services(2);
+    for (size_t s = 0; s < services.size(); ++s) {
+      services[s].name = "svc" + std::to_string(s);
+      services[s].train =
+          SyntheticSeries(48, 0.5 * static_cast<double>(s + 1));
+      services[s].test =
+          SyntheticSeries(24, 0.5 * static_cast<double>(s + 1));
+    }
+    MACE_CHECK_OK(detector.Fit(services));
+    MACE_CHECK_OK(detector.Save(file));
+    return file;
+  }();
+  return path;
+}
+
+/// Removes the shared model file once every test is done with it.
+class ModelFileCleanup : public ::testing::Environment {
+ public:
+  void TearDown() override { std::remove(SavedModelPath().c_str()); }
+};
+const auto* const kCleanup =
+    ::testing::AddGlobalTestEnvironment(new ModelFileCleanup);
+
+std::unique_ptr<Subprocess> SpawnBackend(uint16_t* port) {
+  auto spawned = Subprocess::Spawn({MACE_BACKEND_BIN, "--model",
+                                    SavedModelPath(), "--shards", "1",
+                                    "--queue", "1024"});
+  MACE_CHECK_OK(spawned.status());
+  auto listening = spawned.value()->WaitForListeningPort(kSpawnTimeoutMs);
+  MACE_CHECK_OK(listening.status());
+  *port = *listening;
+  return std::move(spawned).value();
+}
+
+TEST(ScaleoutSmokeTest, RouterWithTwoBackendsEndToEnd) {
+  uint16_t port_a = 0;
+  uint16_t port_b = 0;
+  auto backend_a = SpawnBackend(&port_a);
+  auto backend_b = SpawnBackend(&port_b);
+  auto router = Subprocess::Spawn(
+      {MACE_ROUTER_BIN, "--backends",
+       "127.0.0.1:" + std::to_string(port_a) + ",127.0.0.1:" +
+           std::to_string(port_b)});
+  ASSERT_TRUE(router.ok()) << router.status().message();
+  auto router_port = (*router)->WaitForListeningPort(kSpawnTimeoutMs);
+  ASSERT_TRUE(router_port.ok()) << router_port.status().message();
+
+  auto client = net::WireClient::Connect("127.0.0.1", *router_port);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+  MACE_CHECK_OK((*client)->Ping());
+
+  // Pipelined load: every request id must come back exactly once.
+  const auto observations = SyntheticSeries(kSteps, 0.25).values();
+  std::map<uint64_t, int> outstanding;  // request id -> tenant
+  uint64_t responses = 0;
+  uint64_t duplicated = 0;
+  uint64_t errors = 0;
+  uint64_t scores_seen = 0;
+
+  auto drain_one = [&]() {
+    auto frame = (*client)->NextResponse();
+    MACE_CHECK_OK(frame.status());
+    ASSERT_EQ(frame->type, wire::FrameType::kScoreResponse);
+    const auto erased = outstanding.erase(frame->request_id);
+    if (erased == 0) ++duplicated;
+    auto decoded = wire::DecodeScoreResponse(frame->payload.data(),
+                                             frame->payload.size());
+    MACE_CHECK_OK(decoded.status());
+    if (!decoded->ok()) ++errors;
+    scores_seen += decoded->scores.size();
+    ++responses;
+  };
+
+  for (size_t t = 0; t < kSteps; ++t) {
+    for (int k = 0; k < kTenants; ++k) {
+      wire::ScoreRequest request;
+      request.tenant = "smoke-" + std::to_string(k);
+      request.service = k % 2;
+      request.values = observations[t];
+      auto id = (*client)->SendScore(request);
+      MACE_CHECK_OK(id.status());
+      outstanding.emplace(*id, k);
+      while (outstanding.size() >= kPipelineWindow) drain_one();
+    }
+  }
+  while (!outstanding.empty()) drain_one();
+
+  EXPECT_EQ(responses, kTenants * kSteps);
+  EXPECT_EQ(duplicated, 0u) << "a response id arrived twice";
+  EXPECT_EQ(errors, 0u);
+  EXPECT_GT(scores_seen, 0u) << "no score batch ever completed";
+
+  // The router's stats line confirms both backends stayed alive and the
+  // in-flight table fully drained.
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("backends 2/2"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("inflight 0"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("backend_errors 0"), std::string::npos) << *stats;
+
+  // Clean teardown: SIGTERM within the grace window, exit code 0 (the
+  // processes shut their servers down; nothing needed the SIGKILL
+  // escalation), and nothing left running.
+  router->get()->KillAndReap();
+  backend_a->KillAndReap();
+  backend_b->KillAndReap();
+  EXPECT_FALSE(router->get()->Running());
+  EXPECT_FALSE(backend_a->Running());
+  EXPECT_FALSE(backend_b->Running());
+  ASSERT_TRUE(router->get()->exit_code().has_value())
+      << "router needed SIGKILL — unclean shutdown";
+  EXPECT_EQ(*router->get()->exit_code(), 0);
+  ASSERT_TRUE(backend_a->exit_code().has_value())
+      << "backend needed SIGKILL — unclean shutdown";
+  EXPECT_EQ(*backend_a->exit_code(), 0);
+  ASSERT_TRUE(backend_b->exit_code().has_value());
+  EXPECT_EQ(*backend_b->exit_code(), 0);
+}
+
+TEST(ScaleoutSmokeTest, BackendAloneAnswersDirectClient) {
+  uint16_t port = 0;
+  auto backend = SpawnBackend(&port);
+  auto client = net::WireClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+
+  const auto observations = SyntheticSeries(16, 0.25).values();
+  for (const auto& observation : observations) {
+    wire::ScoreRequest request;
+    request.tenant = "solo";
+    request.service = 0;
+    request.values = observation;
+    auto response = (*client)->Score(request);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    EXPECT_TRUE(response->ok()) << response->message;
+  }
+  auto closed = (*client)->CloseSession("solo", 0);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->ok());
+
+  backend->KillAndReap();
+  ASSERT_TRUE(backend->exit_code().has_value());
+  EXPECT_EQ(*backend->exit_code(), 0);
+}
+
+}  // namespace
+}  // namespace mace

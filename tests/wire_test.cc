@@ -1,0 +1,302 @@
+// MWIREv1 framing and payload codecs (src/wire/): round trips, chunked
+// reassembly across arbitrary byte boundaries, the connection-fatal
+// header/CRC malformations, payload-level validation (which must NOT be
+// connection-fatal — the caller answers with an error response), the
+// router's routing peek, and the pinned ring/tenant hashes.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "wire/frame.h"
+#include "wire/messages.h"
+
+namespace mace::wire {
+namespace {
+
+std::vector<uint8_t> EncodedScoreRequest(
+    const std::string& tenant = "tenant-a", int32_t service = 1,
+    std::vector<double> values = {1.5, -2.25}) {
+  ScoreRequest request;
+  request.tenant = tenant;
+  request.service = service;
+  request.values = std::move(values);
+  std::vector<uint8_t> payload;
+  EncodeScoreRequest(request, &payload);
+  return payload;
+}
+
+OwnedFrame DecodeWhole(const std::vector<uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  auto next = decoder.Next();
+  MACE_CHECK_OK(next.status());
+  MACE_CHECK(next->has_value()) << "expected a complete frame";
+  return std::move(**next);
+}
+
+TEST(FrameTest, AppendThenDecodeRoundTrips) {
+  const std::vector<uint8_t> payload = EncodedScoreRequest();
+  std::vector<uint8_t> bytes;
+  AppendFrame(&bytes, FrameType::kScoreRequest, 42, payload);
+  ASSERT_EQ(bytes.size(), kHeaderSize + payload.size());
+
+  const OwnedFrame frame = DecodeWhole(bytes);
+  EXPECT_EQ(frame.type, FrameType::kScoreRequest);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameTest, EmptyPayloadFramesWork) {
+  std::vector<uint8_t> bytes;
+  AppendFrame(&bytes, FrameType::kPing, 7, nullptr, 0);
+  const OwnedFrame frame = DecodeWhole(bytes);
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameTest, ReassemblesAcrossSingleByteChunks) {
+  std::vector<uint8_t> bytes;
+  AppendFrame(&bytes, FrameType::kScoreRequest, 1, EncodedScoreRequest());
+  AppendFrame(&bytes, FrameType::kPing, 2, nullptr, 0);
+  AppendFrame(&bytes, FrameType::kCloseRequest, 3, EncodedScoreRequest());
+
+  FrameDecoder decoder;
+  std::vector<OwnedFrame> frames;
+  for (const uint8_t byte : bytes) {
+    decoder.Append(&byte, 1);
+    for (;;) {
+      auto next = decoder.Next();
+      ASSERT_TRUE(next.ok()) << next.status().message();
+      if (!next->has_value()) break;
+      frames.push_back(std::move(**next));
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_EQ(frames[1].type, FrameType::kPing);
+  EXPECT_EQ(frames[2].request_id, 3u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, PartialFrameAsksForMoreBytes) {
+  std::vector<uint8_t> bytes;
+  AppendFrame(&bytes, FrameType::kScoreRequest, 9, EncodedScoreRequest());
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size() - 5);
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+// Each header malformation must poison the stream permanently: framing
+// is lost, there is no resynchronization point.
+void ExpectFatal(std::vector<uint8_t> bytes) {
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  auto next = decoder.Next();
+  EXPECT_FALSE(next.ok());
+  // Poisoned: even appending a pristine frame cannot revive the stream.
+  std::vector<uint8_t> good;
+  AppendFrame(&good, FrameType::kPing, 1, nullptr, 0);
+  decoder.Append(good.data(), good.size());
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(FrameTest, HostileHeadersAreConnectionFatal) {
+  std::vector<uint8_t> valid;
+  AppendFrame(&valid, FrameType::kScoreRequest, 11, EncodedScoreRequest());
+
+  auto mutated = [&](size_t offset, uint8_t byte) {
+    std::vector<uint8_t> copy = valid;
+    copy[offset] = byte;
+    return copy;
+  };
+  ExpectFatal(mutated(0, 'X'));     // magic
+  ExpectFatal(mutated(4, 9));       // version
+  ExpectFatal(mutated(5, 0));       // frame type 0: unknown
+  ExpectFatal(mutated(5, 0xee));    // frame type: unknown
+  ExpectFatal(mutated(6, 1));       // reserved must be zero
+  ExpectFatal(mutated(19, 0xff));   // payload length > kMaxPayload
+  ExpectFatal(mutated(valid.size() - 1,
+                      static_cast<uint8_t>(valid.back()) ^ 0x01));  // CRC
+}
+
+TEST(FrameTest, KnownTypePredicateMatchesEnum) {
+  EXPECT_FALSE(IsKnownFrameType(0));
+  for (uint8_t t = 1; t <= 8; ++t) EXPECT_TRUE(IsKnownFrameType(t));
+  EXPECT_FALSE(IsKnownFrameType(9));
+  EXPECT_STREQ(FrameTypeName(FrameType::kScoreRequest), "score_request");
+}
+
+// -- payload codecs --------------------------------------------------------
+
+TEST(MessagesTest, ScoreRequestRoundTripsAllFields) {
+  ScoreRequest request;
+  request.tenant = "team-a/checkout";
+  request.service = 3;
+  request.priority = 2;
+  request.policy_override = 1;
+  request.values = {0.0, -1.0, 1e300, 5e-324};
+  std::vector<uint8_t> payload;
+  EncodeScoreRequest(request, &payload);
+
+  auto decoded = DecodeScoreRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->tenant, request.tenant);
+  EXPECT_EQ(decoded->service, request.service);
+  EXPECT_EQ(decoded->priority, request.priority);
+  EXPECT_EQ(decoded->policy_override, request.policy_override);
+  EXPECT_EQ(decoded->values, request.values);
+}
+
+TEST(MessagesTest, ScoreRequestPreservesNonFiniteBitPatterns) {
+  // NaN/Inf must cross the wire bit-intact: the server's non-finite
+  // policy decides their fate, never the codec.
+  const uint64_t quiet_nan = 0x7ff8000000000001ull;
+  double nan_value = 0.0;
+  std::memcpy(&nan_value, &quiet_nan, sizeof(nan_value));
+  ScoreRequest request;
+  request.tenant = "t";
+  request.values = {nan_value};
+  std::vector<uint8_t> payload;
+  EncodeScoreRequest(request, &payload);
+  auto decoded = DecodeScoreRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  uint64_t bits = 0;
+  std::memcpy(&bits, &decoded->values[0], sizeof(bits));
+  EXPECT_EQ(bits, quiet_nan);
+}
+
+TEST(MessagesTest, ScoreRequestRejectsHostilePayloads) {
+  const std::vector<uint8_t> valid = EncodedScoreRequest();
+  auto decode = [](std::vector<uint8_t> payload) {
+    return DecodeScoreRequest(payload.data(), payload.size());
+  };
+
+  EXPECT_FALSE(decode({}).ok());
+  EXPECT_FALSE(decode({1, 2, 3}).ok());
+
+  std::vector<uint8_t> bad = valid;
+  bad[1] = 3;  // priority class out of range
+  EXPECT_FALSE(decode(bad).ok());
+
+  bad = valid;
+  bad[0] = 5;  // policy override neither 0..2 nor 0xFF
+  EXPECT_FALSE(decode(bad).ok());
+
+  bad = valid;
+  bad[12] = 0xff;  // value count lies about the bytes present
+  EXPECT_FALSE(decode(bad).ok());
+
+  bad = valid;
+  bad[8] = 0;  // tenant length 0
+  EXPECT_FALSE(decode(bad).ok());
+
+  // Trailing garbage after the declared values is also a malformation.
+  bad = valid;
+  bad.push_back(0);
+  EXPECT_FALSE(decode(bad).ok());
+}
+
+TEST(MessagesTest, ScoreResponseRoundTripsFlagsAndScores) {
+  ScoreResponse response;
+  response.code = StatusCode::kFailedPrecondition;
+  response.message = "rate limited by per-tenant QoS";
+  response.first_step = 1234;
+  response.rejected = true;
+  response.contaminated = true;
+  response.scores = {0.5, 2.5};
+  std::vector<uint8_t> payload;
+  EncodeScoreResponse(response, &payload);
+
+  auto decoded = DecodeScoreResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(decoded->message, response.message);
+  EXPECT_EQ(decoded->first_step, 1234u);
+  EXPECT_TRUE(decoded->rejected);
+  EXPECT_TRUE(decoded->contaminated);
+  EXPECT_FALSE(decoded->dropped);
+  EXPECT_EQ(decoded->scores, response.scores);
+  EXPECT_FALSE(decoded->ok());
+  EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MessagesTest, CloseRequestRoundTrips) {
+  CloseRequest request;
+  request.tenant = "tenant-b";
+  request.service = 7;
+  std::vector<uint8_t> payload;
+  EncodeCloseRequest(request, &payload);
+  auto decoded = DecodeCloseRequest(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->tenant, "tenant-b");
+  EXPECT_EQ(decoded->service, 7);
+}
+
+TEST(MessagesTest, StatsResponseRoundTrips) {
+  std::vector<uint8_t> payload;
+  EncodeStatsResponse("serve gen 1 | q 0", &payload);
+  auto decoded = DecodeStatsResponse(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "serve gen 1 | q 0");
+}
+
+TEST(MessagesTest, PeekScoreRoutingMatchesFullDecode) {
+  ScoreRequest request;
+  request.tenant = "tenant-route";
+  request.service = 2;
+  request.priority = 0;
+  request.values = {1.0, 2.0, 3.0};
+  std::vector<uint8_t> payload;
+  EncodeScoreRequest(request, &payload);
+
+  auto routing = PeekScoreRouting(payload.data(), payload.size());
+  ASSERT_TRUE(routing.ok());
+  EXPECT_EQ(routing->tenant, "tenant-route");
+  EXPECT_EQ(routing->priority, 0);
+
+  // The peek still vouches for the value bytes it skips: a count that
+  // disagrees with the bytes present must not be forwarded.
+  std::vector<uint8_t> bad = payload;
+  bad[12] = 0xff;
+  EXPECT_FALSE(PeekScoreRouting(bad.data(), bad.size()).ok());
+}
+
+// -- pinned hashes ---------------------------------------------------------
+
+TEST(HashTest, Fnv1a64MatchesPinnedVectors) {
+  // Standard FNV-1a test vectors: placement must never drift across
+  // builds, platforms, or standard libraries.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64(std::string("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64(std::string("foobar")), 0x85944171f73967e8ull);
+}
+
+TEST(HashTest, RingHash64SpreadsSequentialTenantNames) {
+  // Raw FNV-1a maps "tenant-0".."tenant-63" into one narrow band (the
+  // bug that parked every tenant on one backend); the finalized ring
+  // hash must spread them across the full 64-bit space. Bucket by the
+  // top two bits: all four quadrants must be populated.
+  int quadrant[4] = {0, 0, 0, 0};
+  for (int k = 0; k < 64; ++k) {
+    const uint64_t h = RingHash64("tenant-" + std::to_string(k));
+    ++quadrant[h >> 62];
+  }
+  for (int q = 0; q < 4; ++q) {
+    EXPECT_GT(quadrant[q], 0) << "empty quadrant " << q;
+    EXPECT_LT(quadrant[q], 40) << "clustered quadrant " << q;
+  }
+  // Deterministic: same digest on every call (and pinned derivation).
+  EXPECT_EQ(RingHash64(std::string("tenant-0")),
+            RingHash64(std::string("tenant-0")));
+  EXPECT_NE(RingHash64(std::string("tenant-0")),
+            Fnv1a64(std::string("tenant-0")));
+}
+
+}  // namespace
+}  // namespace mace::wire
