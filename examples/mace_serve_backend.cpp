@@ -9,7 +9,9 @@
 //   --listen-port N  TCP port (default 0 = kernel-assigned; the actual
 //                    port is announced on stdout as
 //                    "MACE_LISTENING port=N" once accepting)
-//   --model PATH     load a saved MaceDetector instead of fitting a
+//   --model PATH     load a saved model (MaceDetector or
+//                    ChannelAwareDetector, sniffed by magic) instead of
+//                    fitting a
 //                    synthetic one (spawning harnesses fit once, save,
 //                    and pass the file to every backend so all processes
 //                    score bit-identically)
@@ -38,6 +40,7 @@
 #include <string>
 #include <thread>
 
+#include "channel/model_io.h"
 #include "common/check.h"
 #include "core/mace_detector.h"
 #include "net/server.h"
@@ -147,13 +150,15 @@ Options ParseArgs(int argc, char** argv) {
   return options;
 }
 
-std::shared_ptr<const mace::core::MaceDetector> MakeModel(
+std::shared_ptr<const mace::core::ServingModel> MakeModel(
     const Options& options) {
   if (!options.model_path.empty()) {
-    auto loaded = mace::core::MaceDetector::Load(options.model_path);
+    // Magic-sniffing loader: accepts a saved MaceDetector (MACEv1) or a
+    // saved ChannelAwareDetector (MCHANv1), so a fleet can serve either
+    // variant from the same binary.
+    auto loaded = mace::channel::LoadServingModel(options.model_path);
     MACE_CHECK_OK(loaded.status());
-    return std::make_shared<mace::core::MaceDetector>(
-        std::move(loaded).value());
+    return std::move(loaded).value();
   }
   mace::ts::DatasetProfile profile = mace::ts::SmdProfile();
   profile.num_services = options.services;
@@ -180,7 +185,7 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &action, nullptr);
   sigaction(SIGINT, &action, nullptr);
 
-  std::shared_ptr<const core::MaceDetector> model = MakeModel(options);
+  std::shared_ptr<const core::ServingModel> model = MakeModel(options);
 
   serve::ServeConfig serve_config;
   serve_config.num_shards = options.shards;

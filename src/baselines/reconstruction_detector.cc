@@ -1,5 +1,6 @@
 #include "baselines/reconstruction_detector.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -127,7 +128,30 @@ Result<std::vector<double>> ReconstructionDetector::ScoreUnseen(
     const ts::ServiceData& service) {
   if (!fitted_) return Status::FailedPrecondition("ScoreUnseen before Fit");
   if (service.train.num_features() != num_features_) {
-    return Status::InvalidArgument("feature count mismatch");
+    return Status::InvalidArgument(
+        "unseen service train split has " +
+        std::to_string(service.train.num_features()) +
+        " feature(s) but the model was fitted on " +
+        std::to_string(num_features_));
+  }
+  if (service.test.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "unseen service test split has " +
+        std::to_string(service.test.num_features()) +
+        " feature(s) but the model was fitted on " +
+        std::to_string(num_features_));
+  }
+  const auto window = static_cast<size_t>(options_.window);
+  if (service.train.length() < window) {
+    return Status::InvalidArgument(
+        "unseen service train split (" +
+        std::to_string(service.train.length()) +
+        " steps) is shorter than the window (" + std::to_string(window) + ")");
+  }
+  if (service.test.length() < window) {
+    return Status::InvalidArgument(
+        "unseen service test split (" + std::to_string(service.test.length()) +
+        " steps) is shorter than the window (" + std::to_string(window) + ")");
   }
   ts::StandardScaler scaler;
   scaler.Fit(service.train);

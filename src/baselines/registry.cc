@@ -6,6 +6,7 @@
 #include "baselines/lstm_autoencoder.h"
 #include "baselines/signal_reconstructor.h"
 #include "baselines/vae.h"
+#include "channel/channel_aware_detector.h"
 #include "core/mace_detector.h"
 
 namespace mace::baselines {
@@ -33,6 +34,13 @@ Result<std::unique_ptr<core::Detector>> MakeDetector(
     config.grad_clip = options.grad_clip;
     config.seed = options.seed;
     detector = std::make_unique<core::MaceDetector>(config);
+  } else if (name == "ChannelAware") {
+    channel::ChannelAwareConfig config;
+    config.window = options.window;
+    config.train_stride = options.train_stride;
+    config.score_stride = options.score_stride;
+    config.seed = options.seed;
+    detector = std::make_unique<channel::ChannelAwareDetector>(config);
   } else if (name == "DenseAE") {
     detector = std::make_unique<DenseAutoencoder>(options);
   } else if (name == "VAE") {

@@ -23,7 +23,8 @@ std::vector<std::string> NeuralBaselineNames();
 std::vector<std::string> AllBaselineNames();
 
 /// \brief Constructs a detector by name ("MACE" builds the paper's method
-/// with its defaults; anything from AllBaselineNames() builds that
+/// with its defaults, "ChannelAware" the channel-aware frequency-patching
+/// variant (src/channel/); anything from AllBaselineNames() builds that
 /// baseline). Returns NotFound for unknown names.
 Result<std::unique_ptr<core::Detector>> MakeDetector(
     const std::string& name, const TrainOptions& options);

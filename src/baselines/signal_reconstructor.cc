@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 #include "core/detector.h"
@@ -158,6 +159,15 @@ Result<std::vector<double>> SignalReconstructor::Score(
       static_cast<size_t>(service_index) >= subspaces_.size()) {
     return Status::OutOfRange("unknown service index");
   }
+  if (test.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "test series has " + std::to_string(test.num_features()) +
+        " feature(s) but the model was fitted on " +
+        std::to_string(num_features_));
+  }
+  if (test.length() < static_cast<size_t>(options_.window)) {
+    return Status::InvalidArgument("test series shorter than window");
+  }
   return ScoreScaled(
       subspaces_[static_cast<size_t>(service_index)],
       scalers_[static_cast<size_t>(service_index)].Transform(test));
@@ -165,10 +175,33 @@ Result<std::vector<double>> SignalReconstructor::Score(
 
 Result<std::vector<double>> SignalReconstructor::ScoreUnseen(
     const ts::ServiceData& service) {
-  if (service.train.num_features() != num_features_ && fitted_) {
-    return Status::InvalidArgument("feature count mismatch");
+  if (!fitted_) return Status::FailedPrecondition("ScoreUnseen before Fit");
+  if (service.train.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "unseen service train split has " +
+        std::to_string(service.train.num_features()) +
+        " feature(s) but the model was fitted on " +
+        std::to_string(num_features_));
   }
-  num_features_ = service.train.num_features();
+  if (service.test.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "unseen service test split has " +
+        std::to_string(service.test.num_features()) +
+        " feature(s) but the model was fitted on " +
+        std::to_string(num_features_));
+  }
+  const auto window = static_cast<size_t>(options_.window);
+  if (service.train.length() < window) {
+    return Status::InvalidArgument(
+        "unseen service train split (" +
+        std::to_string(service.train.length()) +
+        " steps) is shorter than the window (" + std::to_string(window) + ")");
+  }
+  if (service.test.length() < window) {
+    return Status::InvalidArgument(
+        "unseen service test split (" + std::to_string(service.test.length()) +
+        " steps) is shorter than the window (" + std::to_string(window) + ")");
+  }
   ts::StandardScaler scaler;
   scaler.Fit(service.train);
   MACE_ASSIGN_OR_RETURN(Subspace subspace,

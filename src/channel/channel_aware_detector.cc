@@ -1,0 +1,714 @@
+#include "channel/channel_aware_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "core/pattern_extractor.h"
+#include "fft/fft.h"
+
+namespace mace::channel {
+namespace {
+
+/// A series readied for scoring under a non-finite policy, mirroring the
+/// MACE scoring surface: the values the detector sees (always fully
+/// finite) plus, under kPropagate, the per-step contamination mask the
+/// scores are NaN-masked with afterwards.
+struct SanitizedSeries {
+  ts::TimeSeries series;
+  std::vector<uint8_t> contaminated;  // empty when clean or not propagating
+};
+
+Result<SanitizedSeries> SanitizeForScoring(const ts::TimeSeries& series,
+                                           ts::NonFinitePolicy policy,
+                                           const std::string& what) {
+  SanitizedSeries out{series, {}};
+  const ts::NonFiniteValue bad = ts::FindNonFinite(series);
+  if (!bad.found) return out;
+  switch (policy) {
+    case ts::NonFinitePolicy::kReject:
+      return Status::InvalidArgument(
+          what + " holds non-finite value " + ts::DescribeNonFinite(bad) +
+          " (non-finite policy 'reject')");
+    case ts::NonFinitePolicy::kImpute: {
+      Result<ts::TimeSeries> imputed =
+          ts::SanitizeSeries(series, ts::NonFinitePolicy::kImpute);
+      if (!imputed.ok()) {
+        return Status::InvalidArgument(what + ": " +
+                                       imputed.status().message());
+      }
+      out.series = std::move(imputed).value();
+      return out;
+    }
+    case ts::NonFinitePolicy::kPropagate: {
+      ts::SanitizeStats stats;
+      Result<ts::TimeSeries> tagged =
+          ts::SanitizeSeries(series, ts::NonFinitePolicy::kPropagate, &stats,
+                             &out.contaminated);
+      if (!tagged.ok()) return tagged.status();
+      // The DFT must never see NaN: score an imputed copy and NaN-mask
+      // the steps of contaminated windows afterwards — equivalent to
+      // skipping those windows (the mask discards their results).
+      Result<ts::TimeSeries> imputed =
+          ts::SanitizeSeries(series, ts::NonFinitePolicy::kImpute);
+      if (imputed.ok()) {
+        out.series = std::move(imputed).value();
+      } else {
+        // A feature with no finite values leaves nothing to impute from;
+        // then every step masks to NaN anyway, so zero-fill just keeps
+        // the arithmetic finite.
+        std::vector<std::vector<double>> values = series.values();
+        for (std::vector<double>& row : values) {
+          for (double& v : row) {
+            if (!std::isfinite(v)) v = 0.0;
+          }
+        }
+        out.series = ts::TimeSeries(std::move(values), series.labels());
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable non-finite policy");
+}
+
+/// kPropagate post-mask (same rule as MACE and the streaming scorer): a
+/// step's score becomes NaN iff any scheduled window covering it holds a
+/// contaminated step.
+void MaskPropagatedScores(const std::vector<size_t>& starts, size_t window,
+                          const std::vector<uint8_t>& contaminated,
+                          std::vector<double>* scores) {
+  std::vector<size_t> prefix(contaminated.size() + 1, 0);
+  for (size_t i = 0; i < contaminated.size(); ++i) {
+    prefix[i + 1] = prefix[i] + (contaminated[i] != 0 ? 1 : 0);
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const size_t start : starts) {
+    if (prefix[start + window] - prefix[start] == 0) continue;
+    for (size_t t = start; t < start + window; ++t) (*scores)[t] = nan;
+  }
+}
+
+/// Pearson correlation of two equal-length columns; 0 when either is
+/// constant over the window (no direction to correlate).
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    mean_a += a[t];
+    mean_b += b[t];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double da = a[t] - mean_a;
+    const double db = b[t] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+/// Cosine similarity of two spectra patches [lo, hi); 0 when either patch
+/// carries no energy.
+double PatchCosine(const std::vector<double>& a, const std::vector<double>& b,
+                   size_t lo, size_t hi) {
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (size_t i = lo; i < hi; ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+/// One feature of a scaled series as a single-channel TimeSeries (the
+/// shape ExtractPattern takes for the per-channel subspace).
+ts::TimeSeries SingleChannel(const ts::TimeSeries& series, int channel) {
+  std::vector<std::vector<double>> values(series.length());
+  for (size_t t = 0; t < series.length(); ++t) {
+    values[t] = {series.value(t, channel)};
+  }
+  return ts::TimeSeries(std::move(values));
+}
+
+}  // namespace
+
+ChannelAwareDetector::ChannelAwareDetector(ChannelAwareConfig config)
+    : config_(config) {
+  const Status valid = ValidateConfig(config_);
+  MACE_CHECK(valid.ok()) << valid.message();
+}
+
+Status ChannelAwareDetector::ValidateConfig(const ChannelAwareConfig& config) {
+  if (config.window < 4 || config.window > 1024) {
+    return Status::InvalidArgument("window must be in [4, 1024]");
+  }
+  if (config.train_stride < 1 || config.score_stride < 1) {
+    return Status::InvalidArgument("strides must be >= 1");
+  }
+  if (config.score_stride > config.window) {
+    return Status::InvalidArgument("score_stride must be <= window");
+  }
+  if (config.bases_per_channel < 1 ||
+      config.bases_per_channel > config.window / 2) {
+    return Status::InvalidArgument(
+        "bases_per_channel must be in [1, window/2]");
+  }
+  if (config.num_patches < 1 || config.num_patches > config.window / 2) {
+    return Status::InvalidArgument("num_patches must be in [1, window/2]");
+  }
+  if (!std::isfinite(config.fusion_weight) || config.fusion_weight < 0.0) {
+    return Status::InvalidArgument(
+        "fusion_weight must be finite and >= 0");
+  }
+  if (!std::isfinite(config.sigma_floor) || config.sigma_floor <= 0.0) {
+    return Status::InvalidArgument("sigma_floor must be finite and > 0");
+  }
+  if (config.fit_threads < 1 || config.fit_threads > 256) {
+    return Status::InvalidArgument("fit_threads must be in [1, 256]");
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<int, int>> ChannelAwareDetector::FusionPairs(
+    int num_channels) {
+  std::vector<std::pair<int, int>> pairs;
+  if (num_channels < 2) return pairs;
+  if (num_channels <= 16) {
+    for (int i = 0; i < num_channels; ++i) {
+      for (int j = i + 1; j < num_channels; ++j) pairs.emplace_back(i, j);
+    }
+  } else {
+    // Wide deployments: the adjacency ring keeps the feature count linear
+    // while still spanning every channel.
+    for (int i = 0; i < num_channels; ++i) {
+      pairs.emplace_back(i, (i + 1) % num_channels);
+    }
+  }
+  return pairs;
+}
+
+int ChannelAwareDetector::FusionDimension(int num_channels) const {
+  return static_cast<int>(FusionPairs(num_channels).size()) *
+         (1 + config_.num_patches);
+}
+
+std::vector<size_t> ChannelAwareDetector::ScoreWindowStarts(
+    size_t length) const {
+  const auto window = static_cast<size_t>(config_.window);
+  std::vector<size_t> starts;
+  for (size_t start = 0; start + window <= length;
+       start += static_cast<size_t>(config_.score_stride)) {
+    starts.push_back(start);
+  }
+  if (length >= window &&
+      (starts.empty() || starts.back() + window < length)) {
+    starts.push_back(length - window);
+  }
+  return starts;
+}
+
+std::vector<double> ChannelAwareDetector::FusionFeatures(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<std::vector<double>>& amplitudes) const {
+  const int channels = static_cast<int>(columns.size());
+  const std::vector<std::pair<int, int>> pairs = FusionPairs(channels);
+  std::vector<double> features;
+  features.reserve(pairs.size() *
+                   static_cast<size_t>(1 + config_.num_patches));
+  const size_t bins = amplitudes.empty() ? 0 : amplitudes.front().size();
+  const auto patches = static_cast<size_t>(config_.num_patches);
+  for (const auto& [i, j] : pairs) {
+    features.push_back(Pearson(columns[static_cast<size_t>(i)],
+                               columns[static_cast<size_t>(j)]));
+    for (size_t p = 0; p < patches; ++p) {
+      const size_t lo = p * bins / patches;
+      const size_t hi = (p + 1) * bins / patches;
+      features.push_back(PatchCosine(amplitudes[static_cast<size_t>(i)],
+                                     amplitudes[static_cast<size_t>(j)], lo,
+                                     hi));
+    }
+  }
+  return features;
+}
+
+std::vector<double> ChannelAwareDetector::ScoreWindowAgainst(
+    const ChannelServiceState& state,
+    const std::vector<std::vector<double>>& scaled_rows,
+    std::vector<double>* raw_features) const {
+  const auto window = static_cast<size_t>(config_.window);
+  const auto channels = static_cast<size_t>(num_features_);
+  // Transpose into per-channel columns, then per channel: DFT, project
+  // onto the channel's selected bases (+ conjugates + DC), reconstruct,
+  // and accumulate squared residuals.
+  std::vector<std::vector<double>> columns(channels,
+                                           std::vector<double>(window));
+  for (size_t t = 0; t < window; ++t) {
+    for (size_t c = 0; c < channels; ++c) columns[c][t] = scaled_rows[t][c];
+  }
+  std::vector<double> errors(window, 0.0);
+  // One-sided magnitudes |X_b|, b = 1..window/2 (DC excluded: z-scored
+  // windows carry no level information), reused for the fusion patches.
+  std::vector<std::vector<double>> amplitudes(channels);
+  for (size_t c = 0; c < channels; ++c) {
+    const std::vector<fft::Complex> spectrum = fft::Dft(columns[c]);
+    std::vector<fft::Complex> kept(window, fft::Complex(0.0, 0.0));
+    kept[0] = spectrum[0];  // DC: keep the window's level out of the error
+    for (const int base : state.channel_bases[c]) {
+      const auto b = static_cast<size_t>(base);
+      if (b == 0 || b >= window) continue;
+      kept[b] = spectrum[b];
+      kept[window - b] = spectrum[window - b];  // conjugate bin (real input)
+    }
+    const std::vector<double> recon = fft::InverseDftReal(kept);
+    for (size_t t = 0; t < window; ++t) {
+      const double residual = columns[c][t] - recon[t];
+      errors[t] += residual * residual;
+    }
+    amplitudes[c].reserve(window / 2);
+    for (size_t b = 1; b <= window / 2; ++b) {
+      amplitudes[c].push_back(std::abs(spectrum[b]));
+    }
+  }
+  for (double& e : errors) e /= static_cast<double>(channels);
+
+  if (channels < 2) {
+    if (raw_features != nullptr) raw_features->clear();
+    return errors;
+  }
+  const std::vector<double> features = FusionFeatures(columns, amplitudes);
+  if (raw_features != nullptr) *raw_features = features;
+  if (state.fusion_mean.empty()) return errors;  // fit-time marginal pass
+  MACE_CHECK(features.size() == state.fusion_mean.size());
+  double distance = 0.0;
+  for (size_t d = 0; d < features.size(); ++d) {
+    const double z =
+        (features[d] - state.fusion_mean[d]) / state.fusion_sigma[d];
+    distance += z * z;
+  }
+  distance /= static_cast<double>(features.size());
+  for (double& e : errors) e += fusion_gain_ * distance;
+  return errors;
+}
+
+Result<ChannelServiceState> ChannelAwareDetector::BuildServiceState(
+    const ts::TimeSeries& clean_train, double* marginal_sum,
+    size_t* marginal_windows) const {
+  ChannelServiceState state;
+  state.scaler.Fit(clean_train);
+  const ts::TimeSeries scaled = state.scaler.Transform(clean_train);
+  const int channels = scaled.num_features();
+  core::PatternExtractorOptions options;
+  options.window = config_.window;
+  options.stride = config_.train_stride;
+  options.num_bases = config_.bases_per_channel;
+  options.skip_dc = true;
+  state.channel_bases.resize(static_cast<size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    MACE_ASSIGN_OR_RETURN(
+        core::PatternSubspace subspace,
+        core::ExtractPattern(SingleChannel(scaled, c), options));
+    state.channel_bases[static_cast<size_t>(c)] = std::move(subspace.bases);
+  }
+
+  // Fusion statistics and marginal level over the training windows. The
+  // state still has empty fusion moments here, so ScoreWindowAgainst
+  // returns the pure marginal errors plus the raw feature vector.
+  const std::vector<size_t> starts = ScoreWindowStarts(scaled.length());
+  if (starts.empty()) {
+    return Status::InvalidArgument("train split shorter than the window");
+  }
+  const auto window = static_cast<size_t>(config_.window);
+  const int dim = FusionDimension(channels);
+  std::vector<double> sum(static_cast<size_t>(dim), 0.0);
+  std::vector<double> sum_sq(static_cast<size_t>(dim), 0.0);
+  std::vector<double> features;
+  std::vector<std::vector<double>> rows(window);
+  for (const size_t start : starts) {
+    for (size_t t = 0; t < window; ++t) {
+      rows[t] = scaled.values()[start + t];
+    }
+    const std::vector<double> errors =
+        ScoreWindowAgainst(state, rows, &features);
+    double window_mean = 0.0;
+    for (const double e : errors) window_mean += e;
+    *marginal_sum += window_mean / static_cast<double>(window);
+    ++*marginal_windows;
+    for (size_t d = 0; d < features.size(); ++d) {
+      sum[d] += features[d];
+      sum_sq[d] += features[d] * features[d];
+    }
+  }
+  if (dim > 0) {
+    const auto n = static_cast<double>(starts.size());
+    state.fusion_mean.resize(static_cast<size_t>(dim));
+    state.fusion_sigma.resize(static_cast<size_t>(dim));
+    for (size_t d = 0; d < static_cast<size_t>(dim); ++d) {
+      const double mean = sum[d] / n;
+      const double var = std::max(0.0, sum_sq[d] / n - mean * mean);
+      state.fusion_mean[d] = mean;
+      state.fusion_sigma[d] = std::max(config_.sigma_floor, std::sqrt(var));
+    }
+  }
+  return state;
+}
+
+Status ChannelAwareDetector::Fit(const std::vector<ts::ServiceData>& services) {
+  if (services.empty()) {
+    return Status::InvalidArgument("no services to fit");
+  }
+  const int num_features = services.front().train.num_features();
+  if (num_features < 1) {
+    return Status::InvalidArgument("service '" + services.front().name +
+                                   "' train split is empty");
+  }
+  for (const ts::ServiceData& service : services) {
+    if (service.train.num_features() != num_features) {
+      return Status::InvalidArgument(
+          "service '" + service.name + "' has " +
+          std::to_string(service.train.num_features()) +
+          " features, expected " + std::to_string(num_features));
+    }
+    if (service.train.length() < static_cast<size_t>(config_.window)) {
+      return Status::InvalidArgument(
+          "service '" + service.name + "' train split (" +
+          std::to_string(service.train.length()) +
+          " steps) is shorter than the window (" +
+          std::to_string(config_.window) + ")");
+    }
+  }
+  // Same train-split contract as MACE: kImpute imputes, anything else
+  // rejects (statistics cannot propagate NaN).
+  const std::vector<ts::ServiceData>* input = &services;
+  std::vector<ts::ServiceData> sanitized_storage;
+  for (size_t si = 0; si < services.size(); ++si) {
+    const ts::NonFiniteValue bad = ts::FindNonFinite(services[si].train);
+    if (!bad.found) continue;
+    if (config_.non_finite_policy == ts::NonFinitePolicy::kImpute) {
+      if (sanitized_storage.empty()) sanitized_storage = services;
+      Result<ts::TimeSeries> imputed = ts::SanitizeSeries(
+          services[si].train, ts::NonFinitePolicy::kImpute);
+      if (!imputed.ok()) {
+        return Status::InvalidArgument("service '" + services[si].name +
+                                       "': " + imputed.status().message());
+      }
+      sanitized_storage[si].train = std::move(imputed).value();
+      input = &sanitized_storage;
+      continue;
+    }
+    const bool propagate =
+        config_.non_finite_policy == ts::NonFinitePolicy::kPropagate;
+    return Status::InvalidArgument(
+        "service '" + services[si].name +
+        "' train split holds non-finite value " + ts::DescribeNonFinite(bad) +
+        (propagate
+             ? " (non-finite policy 'propagate' degrades to 'reject' for "
+               "training: sanitize upstream or use 'impute')"
+             : " (non-finite policy 'reject')"));
+  }
+
+  // All learned state builds in task-indexed slots and commits only at
+  // the end, so an error leaves the detector exactly as it was, and any
+  // fit_threads value produces bit-identical results (services are
+  // independent; the gain pools per-service sums in service order).
+  const size_t num_services = services.size();
+  std::vector<ChannelServiceState> states(num_services);
+  std::vector<double> marginal_sums(num_services, 0.0);
+  std::vector<size_t> marginal_windows(num_services, 0);
+  std::vector<Status> service_status(num_services, Status::OK());
+  // BuildServiceState must see the committed-to-be num_features_ (it
+  // sizes the transpose); stage it before the parallel phase.
+  const int previous_features = num_features_;
+  num_features_ = num_features;
+  WorkerPool pool(config_.fit_threads);
+  pool.ParallelFor(num_services, [&](size_t si, int /*worker*/) {
+    Result<ChannelServiceState> state = BuildServiceState(
+        (*input)[si].train, &marginal_sums[si], &marginal_windows[si]);
+    if (!state.ok()) {
+      service_status[si] = state.status();
+      return;
+    }
+    states[si] = std::move(state).value();
+  });
+  for (size_t si = 0; si < num_services; ++si) {
+    if (!service_status[si].ok()) {
+      num_features_ = previous_features;
+      return Status::InvalidArgument("service '" + services[si].name +
+                                     "': " + service_status[si].message());
+    }
+  }
+  double marginal_total = 0.0;
+  size_t windows_total = 0;
+  for (size_t si = 0; si < num_services; ++si) {
+    marginal_total += marginal_sums[si];
+    windows_total += marginal_windows[si];
+  }
+  services_ = std::move(states);
+  // The gain ties the (dimensionless) fusion distance to the marginal
+  // error scale of THIS fit; it stays frozen for onboarded services, the
+  // same transfer contract as MACE's frozen network.
+  fusion_gain_ =
+      config_.fusion_weight *
+      (windows_total > 0 ? marginal_total / static_cast<double>(windows_total)
+                         : 0.0);
+  fitted_ = true;
+  return Status::OK();
+}
+
+int64_t ChannelAwareDetector::ParameterCount() const {
+  if (!fitted_) return 0;
+  int64_t count = 1;  // the global fusion gain
+  for (const ChannelServiceState& state : services_) {
+    count += 2 * static_cast<int64_t>(state.fusion_mean.size());
+  }
+  return count;
+}
+
+Result<std::vector<double>> ChannelAwareDetector::ScaleObservation(
+    int service_index, const std::vector<double>& row) const {
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= services_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  const ts::StandardScaler& scaler =
+      services_[static_cast<size_t>(service_index)].scaler;
+  if (row.size() != scaler.means().size()) {
+    return Status::InvalidArgument("observation feature count mismatch");
+  }
+  std::vector<double> scaled(row.size());
+  for (size_t f = 0; f < row.size(); ++f) {
+    scaled[f] = (row[f] - scaler.means()[f]) / scaler.stddevs()[f];
+  }
+  return scaled;
+}
+
+Result<std::vector<double>> ChannelAwareDetector::ScoreWindow(
+    int service_index,
+    const std::vector<std::vector<double>>& scaled_rows) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScoreWindow before Fit");
+  }
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= services_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  if (scaled_rows.size() != static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument("window must hold exactly " +
+                                   std::to_string(config_.window) + " rows");
+  }
+  const auto m = static_cast<size_t>(num_features_);
+  for (size_t t = 0; t < scaled_rows.size(); ++t) {
+    if (scaled_rows[t].size() != m) {
+      return Status::InvalidArgument("row feature count mismatch");
+    }
+    for (size_t f = 0; f < m; ++f) {
+      if (!std::isfinite(scaled_rows[t][f])) {
+        return Status::InvalidArgument(
+            "window row " + std::to_string(t) + " feature " +
+            std::to_string(f) +
+            " holds non-finite value; sanitize upstream (ts/sanitize.h) "
+            "before ScoreWindow");
+      }
+    }
+  }
+  return ScoreWindowAgainst(services_[static_cast<size_t>(service_index)],
+                            scaled_rows, nullptr);
+}
+
+Result<std::vector<std::vector<double>>> ChannelAwareDetector::ScoreWindowBatch(
+    int service_index,
+    const std::vector<std::vector<std::vector<double>>>& windows) const {
+  std::vector<std::vector<double>> results;
+  results.reserve(windows.size());
+  for (const std::vector<std::vector<double>>& window : windows) {
+    MACE_ASSIGN_OR_RETURN(std::vector<double> errors,
+                          ScoreWindow(service_index, window));
+    results.push_back(std::move(errors));
+  }
+  return results;
+}
+
+std::vector<double> ChannelAwareDetector::ScoreScaled(
+    const ChannelServiceState& state, const ts::TimeSeries& scaled) const {
+  const std::vector<size_t> starts = ScoreWindowStarts(scaled.length());
+  const auto window = static_cast<size_t>(config_.window);
+  // Min-reduction, like MACE: a normal step near an anomaly is covered by
+  // at least one clean window; a fusion break raises EVERY window that
+  // contains it.
+  core::ScoreAccumulator accumulator(scaled.length(),
+                                     core::ScoreReduction::kMin);
+  std::vector<std::vector<double>> rows(window);
+  for (const size_t start : starts) {
+    for (size_t t = 0; t < window; ++t) {
+      rows[t] = scaled.values()[start + t];
+    }
+    accumulator.Add(start, ScoreWindowAgainst(state, rows, nullptr));
+  }
+  return accumulator.Finalize();
+}
+
+Result<std::vector<double>> ChannelAwareDetector::Score(
+    int service_index, const ts::TimeSeries& test) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Score before Fit");
+  }
+  if (service_index < 0 ||
+      static_cast<size_t>(service_index) >= services_.size()) {
+    return Status::OutOfRange("unknown service index");
+  }
+  if (test.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "test series has " + std::to_string(test.num_features()) +
+        " features, the fitted model expects " +
+        std::to_string(num_features_));
+  }
+  if (test.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument("test series shorter than window");
+  }
+  MACE_ASSIGN_OR_RETURN(
+      SanitizedSeries sanitized,
+      SanitizeForScoring(test, config_.non_finite_policy, "test series"));
+  const ChannelServiceState& state =
+      services_[static_cast<size_t>(service_index)];
+  std::vector<double> scores =
+      ScoreScaled(state, state.scaler.Transform(sanitized.series));
+  if (!sanitized.contaminated.empty()) {
+    MaskPropagatedScores(ScoreWindowStarts(test.length()),
+                         static_cast<size_t>(config_.window),
+                         sanitized.contaminated, &scores);
+  }
+  return scores;
+}
+
+Result<std::vector<double>> ChannelAwareDetector::ScoreUnseen(
+    const ts::ServiceData& service) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("ScoreUnseen before Fit");
+  }
+  if (service.train.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "unseen service train split has " +
+        std::to_string(service.train.num_features()) +
+        " features, the fitted model expects " +
+        std::to_string(num_features_));
+  }
+  if (service.test.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "unseen service test split has " +
+        std::to_string(service.test.num_features()) +
+        " features, the fitted model expects " +
+        std::to_string(num_features_));
+  }
+  if (service.train.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument(
+        "unseen service train split (" +
+        std::to_string(service.train.length()) +
+        " steps) is shorter than the window (" +
+        std::to_string(config_.window) + ")");
+  }
+  if (service.test.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument(
+        "unseen service test split (" + std::to_string(service.test.length()) +
+        " steps) is shorter than the window (" +
+        std::to_string(config_.window) + ")");
+  }
+  // The train split feeds statistics: kImpute imputes, everything else
+  // rejects (same contract as Fit and MACE's ScoreUnseen).
+  std::optional<ts::TimeSeries> imputed_train;
+  const ts::TimeSeries* train = &service.train;
+  const ts::NonFiniteValue bad = ts::FindNonFinite(service.train);
+  if (bad.found) {
+    if (config_.non_finite_policy != ts::NonFinitePolicy::kImpute) {
+      const bool propagate =
+          config_.non_finite_policy == ts::NonFinitePolicy::kPropagate;
+      return Status::InvalidArgument(
+          "unseen service train split holds non-finite value " +
+          ts::DescribeNonFinite(bad) +
+          (propagate
+               ? " (non-finite policy 'propagate' degrades to 'reject' for "
+                 "subspace extraction: sanitize upstream or use 'impute')"
+               : " (non-finite policy 'reject')"));
+    }
+    Result<ts::TimeSeries> imputed =
+        ts::SanitizeSeries(service.train, ts::NonFinitePolicy::kImpute);
+    if (!imputed.ok()) {
+      return Status::InvalidArgument("unseen service train split: " +
+                                     imputed.status().message());
+    }
+    imputed_train = std::move(imputed).value();
+    train = &*imputed_train;
+  }
+  double marginal_sum = 0.0;
+  size_t marginal_windows = 0;
+  MACE_ASSIGN_OR_RETURN(
+      ChannelServiceState state,
+      BuildServiceState(*train, &marginal_sum, &marginal_windows));
+  MACE_ASSIGN_OR_RETURN(SanitizedSeries sanitized,
+                        SanitizeForScoring(service.test,
+                                           config_.non_finite_policy,
+                                           "unseen service test split"));
+  std::vector<double> scores =
+      ScoreScaled(state, state.scaler.Transform(sanitized.series));
+  if (!sanitized.contaminated.empty()) {
+    MaskPropagatedScores(ScoreWindowStarts(service.test.length()),
+                         static_cast<size_t>(config_.window),
+                         sanitized.contaminated, &scores);
+  }
+  return scores;
+}
+
+Result<std::shared_ptr<const core::ServingModel>>
+ChannelAwareDetector::OnboardService(const ts::TimeSeries& train) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("OnboardService before Fit");
+  }
+  if (train.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "onboarding train split has " + std::to_string(train.num_features()) +
+        " features, the fitted model expects " + std::to_string(num_features_));
+  }
+  if (train.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument(
+        "onboarding train split (" + std::to_string(train.length()) +
+        " steps) is shorter than the window (" + std::to_string(config_.window) +
+        ")");
+  }
+  std::optional<ts::TimeSeries> imputed_train;
+  const ts::TimeSeries* clean = &train;
+  const ts::NonFiniteValue bad = ts::FindNonFinite(train);
+  if (bad.found) {
+    if (config_.non_finite_policy != ts::NonFinitePolicy::kImpute) {
+      return Status::InvalidArgument(
+          "onboarding train split holds non-finite value " +
+          ts::DescribeNonFinite(bad) + " (sanitize upstream or use 'impute')");
+    }
+    Result<ts::TimeSeries> imputed =
+        ts::SanitizeSeries(train, ts::NonFinitePolicy::kImpute);
+    if (!imputed.ok()) {
+      return Status::InvalidArgument("onboarding train split: " +
+                                     imputed.status().message());
+    }
+    imputed_train = std::move(imputed).value();
+    clean = &*imputed_train;
+  }
+  double marginal_sum = 0.0;
+  size_t marginal_windows = 0;
+  MACE_ASSIGN_OR_RETURN(
+      ChannelServiceState state,
+      BuildServiceState(*clean, &marginal_sum, &marginal_windows));
+  // The copy shares everything (including the frozen fusion gain) and
+  // appends the onboarded service; `this` stays untouched so live
+  // sessions drain on the original.
+  auto copy = std::make_shared<ChannelAwareDetector>(*this);
+  copy->services_.push_back(std::move(state));
+  return std::shared_ptr<const core::ServingModel>(std::move(copy));
+}
+
+}  // namespace mace::channel

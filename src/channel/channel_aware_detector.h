@@ -1,0 +1,188 @@
+#ifndef MACE_CHANNEL_CHANNEL_AWARE_DETECTOR_H_
+#define MACE_CHANNEL_CHANNEL_AWARE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/detector.h"
+#include "ts/sanitize.h"
+#include "ts/scaler.h"
+#include "ts/time_series.h"
+
+namespace mace::channel {
+
+/// \brief Configuration of the channel-aware detector (DESIGN.md §16).
+struct ChannelAwareConfig {
+  int window = 40;
+  int train_stride = 8;
+  int score_stride = 8;
+  /// Fourier bases kept per channel (each channel gets its own subspace,
+  /// unlike MACE's one joint subspace over all features).
+  int bases_per_channel = 6;
+  /// Contiguous patches the one-sided amplitude spectrum (bins 1..T/2) is
+  /// split into for the per-pair spectral-shape similarity features.
+  int num_patches = 4;
+  /// Scales the fusion term against the marginal reconstruction error:
+  /// fusion gain = fusion_weight * mean training marginal window error.
+  double fusion_weight = 1.0;
+  /// Floor on each fusion feature's learned stddev, so a feature that is
+  /// near-constant on normal data (e.g. a locked correlation of 0.999...)
+  /// produces a large-but-finite z-score when it breaks.
+  double sigma_floor = 0.05;
+  /// Worker threads of Fit's per-service preprocessing fan-out. Results
+  /// are bit-identical for any value (task-indexed slots).
+  int fit_threads = 1;
+  int seed = 0;
+  ts::NonFinitePolicy non_finite_policy = ts::NonFinitePolicy::kReject;
+};
+
+/// Learned per-service state: everything ScoreWindow needs besides the
+/// globally-frozen fusion gain.
+struct ChannelServiceState {
+  ts::StandardScaler scaler;
+  /// Selected Fourier base indices per channel, [channel][base].
+  std::vector<std::vector<int>> channel_bases;
+  /// Mean / stddev of each fusion feature over the training windows
+  /// (stddev floored at sigma_floor). Dimension = pairs * (1 + patches);
+  /// empty for single-channel services (no pairs, fusion term 0).
+  std::vector<double> fusion_mean;
+  std::vector<double> fusion_sigma;
+};
+
+/// \brief Channel-aware frequency-patching detector (the CATCH-style
+/// complement to MACE; ROADMAP item 3).
+///
+/// MACE models all features in ONE joint spectral subspace, so an anomaly
+/// visible only in cross-channel correlation — each marginal channel keeps
+/// its normal spectrum, but the channels decohere — is invisible to it.
+/// This variant scores two terms per window:
+///
+///   score[t] = marginal[t] + gain * fusion_distance(window)
+///
+/// marginal[t]: per-channel Fourier-subspace reconstruction error (each
+/// channel projected onto its OWN selected bases), averaged over channels
+/// — the per-channel analogue of MACE's spectral residual.
+///
+/// fusion_distance: the window's inter-channel features — per channel
+/// pair, the time-domain Pearson correlation plus the cosine similarity
+/// of each of `num_patches` amplitude-spectrum patches — z-scored against
+/// their fitted normal statistics, mean-squared. A correlation break
+/// leaves every marginal spectrum intact but flips these features many
+/// floored-sigmas away from normal.
+///
+/// Non-neural: "learning" is subspace selection plus feature statistics,
+/// which makes zero-shot onboarding (ScoreUnseen / OnboardService) exact —
+/// an unseen service gets its own subspaces and fusion statistics from its
+/// train split while the global fusion gain stays frozen.
+class ChannelAwareDetector : public core::Detector, public core::ServingModel {
+ public:
+  explicit ChannelAwareDetector(ChannelAwareConfig config = {});
+
+  /// Bounds mirror MaceDetector::ValidateConfig and double as
+  /// untrusted-input armor for Load: window in [4, 1024], strides >= 1,
+  /// score_stride <= window, bases_per_channel in [1, window/2],
+  /// num_patches in [1, window/2], fusion_weight >= 0 finite, sigma_floor
+  /// > 0 finite, fit_threads in [1, 256].
+  static Status ValidateConfig(const ChannelAwareConfig& config);
+
+  // core::Detector.
+  Status Fit(const std::vector<ts::ServiceData>& services) override;
+  Result<std::vector<double>> Score(int service_index,
+                                    const ts::TimeSeries& test) override;
+  Result<std::vector<double>> ScoreUnseen(
+      const ts::ServiceData& service) override;
+  std::string name() const override { return "ChannelAware"; }
+  /// Learned scalars: per-service fusion statistics plus the global gain.
+  int64_t ParameterCount() const override;
+
+  // core::ServingModel.
+  bool fitted() const override { return fitted_; }
+  int window() const override { return config_.window; }
+  int score_stride() const override { return config_.score_stride; }
+  int num_features() const override { return num_features_; }
+  int num_services() const override {
+    return static_cast<int>(services_.size());
+  }
+  ts::NonFinitePolicy non_finite_policy() const override {
+    return config_.non_finite_policy;
+  }
+  std::vector<double> ImputationFallback(int service_index) const override {
+    return services_[static_cast<size_t>(service_index)].scaler.means();
+  }
+  Result<std::vector<double>> ScaleObservation(
+      int service_index, const std::vector<double>& row) const override;
+  Result<std::vector<double>> ScoreWindow(
+      int service_index,
+      const std::vector<std::vector<double>>& scaled_rows) const override;
+  Result<std::vector<std::vector<double>>> ScoreWindowBatch(
+      int service_index,
+      const std::vector<std::vector<std::vector<double>>>& windows)
+      const override;
+  Result<std::shared_ptr<const core::ServingModel>> OnboardService(
+      const ts::TimeSeries& train) const override;
+
+  /// Text format "MCHANv1" (channel_serialization.cc); loadable directly
+  /// or through channel::LoadServingModel's magic dispatch.
+  Status Save(const std::string& path) const override;
+  static Result<ChannelAwareDetector> Load(const std::string& path);
+
+  const ChannelAwareConfig& config() const { return config_; }
+  const std::vector<ChannelServiceState>& services() const {
+    return services_;
+  }
+  /// Frozen global fusion gain (fusion_weight * mean training marginal
+  /// window error of the original Fit).
+  double fusion_gain() const { return fusion_gain_; }
+  void set_non_finite_policy(ts::NonFinitePolicy policy) {
+    config_.non_finite_policy = policy;
+  }
+
+  /// Start offsets of the scoring windows over a series of `length`
+  /// (stride-spaced plus one tail window), same schedule as MACE.
+  std::vector<size_t> ScoreWindowStarts(size_t length) const;
+
+  /// Channel pairs whose fusion features are tracked for `num_channels`
+  /// channels: all pairs up to 16 channels, the adjacency ring above (so
+  /// the feature count stays linear in wide deployments). Exposed for
+  /// tests and serialization.
+  static std::vector<std::pair<int, int>> FusionPairs(int num_channels);
+  /// Fusion feature dimension for `num_channels` channels.
+  int FusionDimension(int num_channels) const;
+
+ private:
+  /// Per-window fusion feature vector (size FusionDimension):
+  /// `columns[c]` are the window's scaled per-channel columns,
+  /// `amplitudes[c]` their one-sided DFT magnitudes (bins 1..window/2,
+  /// reused from the marginal pass).
+  std::vector<double> FusionFeatures(
+      const std::vector<std::vector<double>>& columns,
+      const std::vector<std::vector<double>>& amplitudes) const;
+  /// Per-step errors of one scaled window against one service state, plus
+  /// (optionally) the raw fusion feature vector before z-scoring.
+  std::vector<double> ScoreWindowAgainst(
+      const ChannelServiceState& state,
+      const std::vector<std::vector<double>>& scaled_rows,
+      std::vector<double>* raw_features) const;
+  /// Builds one service's learned state from a clean (finite) train split;
+  /// also returns the sum and count of the train windows' mean marginal
+  /// errors, which Fit pools into the global fusion gain.
+  Result<ChannelServiceState> BuildServiceState(
+      const ts::TimeSeries& clean_train, double* marginal_sum,
+      size_t* marginal_windows) const;
+  /// Shared scoring loop over a scaled series.
+  std::vector<double> ScoreScaled(const ChannelServiceState& state,
+                                  const ts::TimeSeries& scaled) const;
+
+  ChannelAwareConfig config_;
+  bool fitted_ = false;
+  int num_features_ = 0;
+  std::vector<ChannelServiceState> services_;
+  double fusion_gain_ = 0.0;
+};
+
+}  // namespace mace::channel
+
+#endif  // MACE_CHANNEL_CHANNEL_AWARE_DETECTOR_H_

@@ -1,0 +1,195 @@
+// Save/Load of a fitted ChannelAwareDetector: the MCHANv1 line-oriented
+// text format — config, the frozen fusion gain, and each service's
+// preprocessing (scaler moments, per-channel bases, fusion statistics).
+// Built on the same primitives as the MACEv1 format
+// (core/serialization_io.h), so corrupt artifacts fail identically.
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "channel/channel_aware_detector.h"
+#include "core/serialization_io.h"
+
+namespace mace::channel {
+namespace {
+
+constexpr char kMagic[] = "MCHANv1";
+
+using core::io::Corrupt;
+using core::io::ReadVector;
+using core::io::WriteVector;
+
+}  // namespace
+
+Status ChannelAwareDetector::Save(const std::string& path) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Save before Fit");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "'");
+  out << kMagic << '\n';
+  out.precision(17);
+  out << config_.window << ' ' << config_.train_stride << ' '
+      << config_.score_stride << ' ' << config_.bases_per_channel << ' '
+      << config_.num_patches << ' ' << config_.fusion_weight << ' '
+      << config_.sigma_floor << ' ' << config_.fit_threads << ' '
+      << config_.seed << '\n';
+  out << num_features_ << ' ' << services_.size() << '\n';
+  out << fusion_gain_ << '\n';
+  for (const ChannelServiceState& state : services_) {
+    WriteVector(out, state.scaler.means());
+    WriteVector(out, state.scaler.stddevs());
+    for (const std::vector<int>& bases : state.channel_bases) {
+      out << bases.size();
+      for (int b : bases) out << ' ' << b;
+      out << '\n';
+    }
+    WriteVector(out, state.fusion_mean);
+    WriteVector(out, state.fusion_sigma);
+  }
+  if (!out) return Status::IoError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<ChannelAwareDetector> ChannelAwareDetector::Load(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    return Status::InvalidArgument(
+        "'" + path + "' is not a channel-aware model (magic '" + magic +
+        "', expected '" + kMagic + "')");
+  }
+  ChannelAwareConfig config;
+  in >> config.window >> config.train_stride >> config.score_stride >>
+      config.bases_per_channel >> config.num_patches >>
+      config.fusion_weight >> config.sigma_floor >> config.fit_threads >>
+      config.seed;
+  if (!in) {
+    return Corrupt(path, std::string("unreadable config block") +
+                             (in.eof() ? " (file truncated)" : ""));
+  }
+  // Pre-validate before constructing: the constructor CHECK-aborts on a
+  // bad config, but a corrupt file should surface as a Status.
+  const Status config_valid = ValidateConfig(config);
+  if (!config_valid.ok()) {
+    return Corrupt(path, "invalid config: " + config_valid.message());
+  }
+
+  ChannelAwareDetector detector(config);
+  size_t num_services = 0;
+  in >> detector.num_features_ >> num_services;
+  if (!in || detector.num_features_ <= 0) {
+    return Corrupt(path, "unreadable feature/service header");
+  }
+  if (detector.num_features_ > 4096) {
+    return Corrupt(path, "declares " +
+                             std::to_string(detector.num_features_) +
+                             " features (limit 4096)");
+  }
+  if (num_services == 0) {
+    return Corrupt(path, "holds no services");
+  }
+  if (num_services > 4096) {
+    return Corrupt(path, "declares " + std::to_string(num_services) +
+                             " services (limit 4096)");
+  }
+  if (!(in >> detector.fusion_gain_) ||
+      !std::isfinite(detector.fusion_gain_) || detector.fusion_gain_ < 0.0) {
+    return Corrupt(path, "fusion gain is missing or non-finite/negative");
+  }
+  const auto num_features = static_cast<size_t>(detector.num_features_);
+  const size_t fusion_dim = static_cast<size_t>(
+      detector.FusionDimension(detector.num_features_));
+  for (size_t s = 0; s < num_services; ++s) {
+    const std::string which = "service " + std::to_string(s);
+    ChannelServiceState state;
+    MACE_ASSIGN_OR_RETURN(std::vector<double> means,
+                          ReadVector(in, path, which + " scaler means"));
+    MACE_ASSIGN_OR_RETURN(std::vector<double> stddevs,
+                          ReadVector(in, path, which + " scaler stddevs"));
+    if (means.size() != num_features || stddevs.size() != num_features) {
+      std::ostringstream reason;
+      reason << which << " scaler holds " << means.size() << " means and "
+             << stddevs.size() << " stddevs for " << num_features
+             << " features";
+      return Corrupt(path, reason.str());
+    }
+    for (size_t f = 0; f < num_features; ++f) {
+      if (!std::isfinite(means[f]) || !std::isfinite(stddevs[f]) ||
+          stddevs[f] <= 0.0) {
+        return Corrupt(path, which + " scaler moments for feature " +
+                                 std::to_string(f) +
+                                 " are non-finite or non-positive");
+      }
+    }
+    state.scaler =
+        ts::StandardScaler::FromMoments(std::move(means), std::move(stddevs));
+    state.channel_bases.resize(num_features);
+    for (size_t c = 0; c < num_features; ++c) {
+      const std::string channel =
+          which + " channel " + std::to_string(c);
+      size_t num_bases = 0;
+      if (!(in >> num_bases)) {
+        return Corrupt(path, "missing base count of " + channel);
+      }
+      if (num_bases < 1 ||
+          num_bases > static_cast<size_t>(config.window) / 2) {
+        std::ostringstream reason;
+        reason << channel << " declares " << num_bases
+               << " bases, expected [1, window/2] = [1, " << config.window / 2
+               << "]";
+        return Corrupt(path, reason.str());
+      }
+      state.channel_bases[c].resize(num_bases);
+      for (size_t b = 0; b < num_bases; ++b) {
+        if (!(in >> state.channel_bases[c][b])) {
+          std::ostringstream reason;
+          reason << channel << " subspace holds " << b << " of " << num_bases
+                 << " base indices";
+          if (in.eof()) reason << " (file truncated)";
+          return Corrupt(path, reason.str());
+        }
+        if (state.channel_bases[c][b] < 1 ||
+            state.channel_bases[c][b] > config.window / 2) {
+          std::ostringstream reason;
+          reason << channel << " base " << b << " is frequency index "
+                 << state.channel_bases[c][b]
+                 << ", outside [1, window/2] = [1, " << config.window / 2
+                 << "]";
+          return Corrupt(path, reason.str());
+        }
+      }
+    }
+    MACE_ASSIGN_OR_RETURN(state.fusion_mean,
+                          ReadVector(in, path, which + " fusion means"));
+    MACE_ASSIGN_OR_RETURN(state.fusion_sigma,
+                          ReadVector(in, path, which + " fusion sigmas"));
+    if (state.fusion_mean.size() != fusion_dim ||
+        state.fusion_sigma.size() != fusion_dim) {
+      std::ostringstream reason;
+      reason << which << " fusion statistics hold "
+             << state.fusion_mean.size() << " means and "
+             << state.fusion_sigma.size() << " sigmas, expected "
+             << fusion_dim;
+      return Corrupt(path, reason.str());
+    }
+    for (size_t d = 0; d < fusion_dim; ++d) {
+      if (!std::isfinite(state.fusion_mean[d]) ||
+          !std::isfinite(state.fusion_sigma[d]) ||
+          state.fusion_sigma[d] <= 0.0) {
+        return Corrupt(path, which + " fusion statistics for dimension " +
+                                 std::to_string(d) +
+                                 " are non-finite or non-positive");
+      }
+    }
+    detector.services_.push_back(std::move(state));
+  }
+  detector.fitted_ = true;
+  return detector;
+}
+
+}  // namespace mace::channel

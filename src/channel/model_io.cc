@@ -1,0 +1,37 @@
+#include "channel/model_io.h"
+
+#include <fstream>
+#include <utility>
+
+#include "channel/channel_aware_detector.h"
+#include "core/mace_detector.h"
+
+namespace mace::channel {
+
+Result<std::shared_ptr<const core::ServingModel>> LoadServingModel(
+    const std::string& path) {
+  std::string magic;
+  {
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open '" + path + "'");
+    in >> magic;
+  }
+  if (magic == "MACEv1") {
+    Result<core::MaceDetector> loaded = core::MaceDetector::Load(path);
+    if (!loaded.ok()) return loaded.status();
+    return std::shared_ptr<const core::ServingModel>(
+        std::make_shared<const core::MaceDetector>(std::move(loaded).value()));
+  }
+  if (magic == "MCHANv1") {
+    Result<ChannelAwareDetector> loaded = ChannelAwareDetector::Load(path);
+    if (!loaded.ok()) return loaded.status();
+    return std::shared_ptr<const core::ServingModel>(
+        std::make_shared<const ChannelAwareDetector>(
+            std::move(loaded).value()));
+  }
+  return Status::InvalidArgument(
+      "'" + path + "' is not a known model format (magic '" + magic +
+      "'; known: MACEv1, MCHANv1)");
+}
+
+}  // namespace mace::channel

@@ -1,0 +1,24 @@
+#ifndef MACE_CHANNEL_MODEL_IO_H_
+#define MACE_CHANNEL_MODEL_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/detector.h"
+
+namespace mace::channel {
+
+/// \brief Loads a serving model of ANY registered variant from `path`:
+/// sniffs the magic line and dispatches to the variant's own loader
+/// (MACEv1 -> core::MaceDetector::Load, MCHANv1 ->
+/// ChannelAwareDetector::Load). The serve stack's hot-reload entry —
+/// a reload can change the served detector VARIANT, not just its
+/// weights. Unknown magics return a descriptive error naming the known
+/// formats; any variant-loader error passes through untouched.
+Result<std::shared_ptr<const core::ServingModel>> LoadServingModel(
+    const std::string& path);
+
+}  // namespace mace::channel
+
+#endif  // MACE_CHANNEL_MODEL_IO_H_

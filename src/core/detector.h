@@ -1,10 +1,12 @@
 #ifndef MACE_CORE_DETECTOR_H_
 #define MACE_CORE_DETECTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "ts/sanitize.h"
 #include "ts/time_series.h"
 
 namespace mace::core {
@@ -41,6 +43,71 @@ class Detector {
   /// Rough upper bound on live activation elements in one forward pass,
   /// for the Fig 6(a) memory estimate.
   virtual int64_t PeakActivationElements() const { return 0; }
+};
+
+/// \brief The window-level scoring surface the serving stack (streaming
+/// scorer, session registry, model provider, serve frontend, scale-out
+/// backends) is generic over.
+///
+/// A ServingModel is a fitted detector variant able to score one window of
+/// already-scaled rows at a time. MaceDetector implements it directly;
+/// channel::ChannelAwareDetector is the second implementation — the serve
+/// path treats both uniformly, so a hot Swap can change the detector
+/// VARIANT, not just its weights. All services of one model share a
+/// feature count, window and stride (they are one deployment artifact).
+///
+/// Implementations must be usable concurrently from multiple threads once
+/// fitted: every method here is const and must not mutate observable
+/// state.
+class ServingModel {
+ public:
+  virtual ~ServingModel() = default;
+
+  /// Variant name ("MACE", "ChannelAware", ...), for diagnostics.
+  virtual std::string name() const = 0;
+  /// True once the model can score (Fit committed or Load succeeded).
+  virtual bool fitted() const = 0;
+  virtual int window() const = 0;
+  virtual int score_stride() const = 0;
+  /// Feature count shared by every fitted service.
+  virtual int num_features() const = 0;
+  /// Number of services this model can score (valid indices are
+  /// [0, num_services())).
+  virtual int num_services() const = 0;
+  /// Default non-finite policy for sessions opened on this model.
+  virtual ts::NonFinitePolicy non_finite_policy() const = 0;
+  /// Imputation fallback row of one service (typically the fitted means,
+  /// which scale to exactly 0) — what a streaming sanitizer substitutes
+  /// for a feature that was never observed finite.
+  virtual std::vector<double> ImputationFallback(int service_index) const = 0;
+
+  /// Applies the service's fitted scaler to one raw observation row.
+  virtual Result<std::vector<double>> ScaleObservation(
+      int service_index, const std::vector<double>& row) const = 0;
+  /// Scores one window given as scaled rows [window][features]: returns
+  /// the per-step errors. Rows must be fully finite — policy-aware
+  /// surfaces sanitize upstream.
+  virtual Result<std::vector<double>> ScoreWindow(
+      int service_index,
+      const std::vector<std::vector<double>>& scaled_rows) const = 0;
+  /// Scores B windows at once, bit-identical to B ScoreWindow calls.
+  virtual Result<std::vector<std::vector<double>>> ScoreWindowBatch(
+      int service_index,
+      const std::vector<std::vector<std::vector<double>>>& windows) const = 0;
+
+  /// Zero-shot onboarding: returns a COPY of this model extended with one
+  /// more service whose per-service preprocessing (scaler, subspace,
+  /// fusion statistics, ...) is computed from `train` while every learned
+  /// weight stays frozen — the ScoreUnseen transfer protocol turned into
+  /// a servable artifact. The new service's index is the copy's
+  /// num_services() - 1; `this` is untouched, so a serve frontend can
+  /// Swap the copy in while live sessions drain on the original.
+  virtual Result<std::shared_ptr<const ServingModel>> OnboardService(
+      const ts::TimeSeries& train) const = 0;
+
+  /// Serializes the fitted model to `path` in the variant's own format
+  /// (channel::LoadServingModel sniffs the magic to dispatch loads).
+  virtual Status Save(const std::string& path) const = 0;
 };
 
 /// How overlapping windows' errors combine into one per-step score.

@@ -1075,8 +1075,36 @@ Result<std::vector<double>> MaceDetector::ScoreUnseen(
   if (model_ == nullptr) {
     return Status::FailedPrecondition("ScoreUnseen before Fit");
   }
+  // Validate both splits up front: a mismatched-width row would otherwise
+  // index past the scaler moments, and a too-short split would silently
+  // produce an all-mean score vector (no window ever scored).
   if (service.train.num_features() != num_features_) {
-    return Status::InvalidArgument("feature count mismatch");
+    return Status::InvalidArgument(
+        "unseen service train split has " +
+        std::to_string(service.train.num_features()) +
+        " features, the fitted model expects " +
+        std::to_string(num_features_));
+  }
+  if (service.test.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "unseen service test split has " +
+        std::to_string(service.test.num_features()) +
+        " features, the fitted model expects " +
+        std::to_string(num_features_));
+  }
+  if (service.train.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument(
+        "unseen service train split (" +
+        std::to_string(service.train.length()) +
+        " steps) is shorter than the window (" +
+        std::to_string(config_.window) + ")");
+  }
+  if (service.test.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument(
+        "unseen service test split (" +
+        std::to_string(service.test.length()) +
+        " steps) is shorter than the window (" +
+        std::to_string(config_.window) + ")");
   }
   // The train split feeds the scaler moments and the subspace spectra, so
   // it cannot propagate: kImpute imputes, anything else rejects.
@@ -1135,6 +1163,86 @@ Result<std::vector<double>> MaceDetector::ScoreUnseen(
                          sanitized.contaminated, &scores);
   }
   return scores;
+}
+
+Result<std::shared_ptr<const ServingModel>> MaceDetector::OnboardService(
+    const ts::TimeSeries& train) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("OnboardService before Fit");
+  }
+  if (train.num_features() != num_features_) {
+    return Status::InvalidArgument(
+        "onboarding train split has " + std::to_string(train.num_features()) +
+        " features, the fitted model expects " + std::to_string(num_features_));
+  }
+  if (train.length() < static_cast<size_t>(config_.window)) {
+    return Status::InvalidArgument(
+        "onboarding train split (" + std::to_string(train.length()) +
+        " steps) is shorter than the window (" + std::to_string(config_.window) +
+        ")");
+  }
+  // Same contract as ScoreUnseen: the train split feeds scaler moments and
+  // subspace spectra, so non-finite values impute under kImpute and reject
+  // under everything else.
+  std::optional<ts::TimeSeries> imputed_train;
+  const ts::TimeSeries* clean = &train;
+  const ts::NonFiniteValue bad = ts::FindNonFinite(train);
+  if (bad.found) {
+    if (config_.non_finite_policy != ts::NonFinitePolicy::kImpute) {
+      const bool propagate =
+          config_.non_finite_policy == ts::NonFinitePolicy::kPropagate;
+      return Status::InvalidArgument(
+          "onboarding train split holds non-finite value " +
+          ts::DescribeNonFinite(bad) +
+          (propagate
+               ? " (non-finite policy 'propagate' degrades to 'reject' for "
+                 "subspace extraction: sanitize upstream or use 'impute')"
+               : " (non-finite policy 'reject')"));
+    }
+    Result<ts::TimeSeries> imputed =
+        ts::SanitizeSeries(train, ts::NonFinitePolicy::kImpute);
+    if (!imputed.ok()) {
+      return Status::InvalidArgument("onboarding train split: " +
+                                     imputed.status().message());
+    }
+    imputed_train = std::move(imputed).value();
+    clean = &*imputed_train;
+  }
+  ts::StandardScaler scaler;
+  scaler.Fit(*clean);
+  const ts::TimeSeries scaled_train = scaler.Transform(*clean);
+  MACE_ASSIGN_OR_RETURN(std::vector<int> bases,
+                        SelectBases(AmplifySeries(scaled_train)));
+  const int coeff_columns =
+      static_cast<int>(transforms_.front().forward_t.dim(1));
+  if (2 * static_cast<int>(bases.size()) != coeff_columns) {
+    return Status::InvalidArgument(
+        "onboarding service subspace size differs from the trained model");
+  }
+
+  // Deep-copy into a fresh detector and append the new service's
+  // preprocessing. The learned network is cloned weight-for-weight; `this`
+  // is untouched, so live sessions keep scoring on the original while a
+  // frontend swaps the copy in.
+  auto copy = std::make_shared<MaceDetector>(config_);
+  copy->num_features_ = num_features_;
+  copy->scalers_ = scalers_;
+  copy->subspaces_ = subspaces_;
+  copy->transforms_ = transforms_;
+  copy->epoch_losses_ = epoch_losses_;
+  copy->score_engine_ = score_engine_;
+  copy->kernel_backend_ = kernel_backend_;
+  Rng rng(config_.seed);
+  copy->model_ = std::make_unique<MaceModel>(config_, num_features_,
+                                             coeff_columns, &rng);
+  copy->model_->CopyParametersFrom(*model_);
+  copy->scalers_.push_back(std::move(scaler));
+  PatternSubspace subspace;
+  subspace.bases = bases;
+  copy->subspaces_.push_back(std::move(subspace));
+  copy->transforms_.push_back(MakeServiceTransforms(config_.window, bases));
+  copy->RebuildFusedPlans();
+  return std::shared_ptr<const ServingModel>(std::move(copy));
 }
 
 int64_t MaceDetector::ParameterCount() const {

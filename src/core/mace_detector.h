@@ -24,7 +24,7 @@ namespace mace::core {
 /// service's own subspace; ScoreUnseen() extracts a subspace for a service
 /// that was never trained on — no retraining — which is what gives MACE
 /// its transfer behaviour (Table VIII).
-class MaceDetector : public Detector {
+class MaceDetector : public Detector, public ServingModel {
  public:
   explicit MaceDetector(MaceConfig config = MaceConfig());
 
@@ -73,20 +73,39 @@ class MaceDetector : public Detector {
   /// never reach the DFT.
   Result<std::vector<double>> ScoreWindow(
       int service_index,
-      const std::vector<std::vector<double>>& scaled_rows) const;
+      const std::vector<std::vector<double>>& scaled_rows) const override;
   /// Scores B windows at once through the batched DFT/IDFT fast path:
   /// returns one per-step error vector per window, in input order,
   /// bit-identical to B ScoreWindow calls.
   Result<std::vector<std::vector<double>>> ScoreWindowBatch(
       int service_index,
-      const std::vector<std::vector<std::vector<double>>>& windows) const;
+      const std::vector<std::vector<std::vector<double>>>& windows)
+      const override;
   /// Applies the service's fitted scaler to one raw observation row.
   Result<std::vector<double>> ScaleObservation(
-      int service_index, const std::vector<double>& row) const;
+      int service_index, const std::vector<double>& row) const override;
+
+  // ServingModel surface (core/detector.h).
+  bool fitted() const override { return model_ != nullptr; }
+  int window() const override { return config_.window; }
+  int score_stride() const override { return config_.score_stride; }
+  int num_features() const override { return num_features_; }
+  int num_services() const override {
+    return static_cast<int>(subspaces_.size());
+  }
+  std::vector<double> ImputationFallback(int service_index) const override {
+    return scalers_[static_cast<size_t>(service_index)].means();
+  }
+  /// ScoreUnseen's preprocessing (scaler fit + base selection from the
+  /// train split, learned network frozen) captured into a servable copy
+  /// with one more service — zero-shot tenant onboarding for the serve
+  /// frontend.
+  Result<std::shared_ptr<const ServingModel>> OnboardService(
+      const ts::TimeSeries& train) const override;
 
   /// Serializes the fitted detector — config, per-service preprocessing
   /// (scalers + subspaces) and learned weights — to a text file.
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path) const override;
   /// Restores a detector saved by Save(); ready to Score immediately.
   static Result<MaceDetector> Load(const std::string& path);
 
@@ -105,7 +124,7 @@ class MaceDetector : public Detector {
   void set_non_finite_policy(ts::NonFinitePolicy policy) {
     config_.non_finite_policy = policy;
   }
-  ts::NonFinitePolicy non_finite_policy() const {
+  ts::NonFinitePolicy non_finite_policy() const override {
     return config_.non_finite_policy;
   }
 

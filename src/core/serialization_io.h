@@ -1,0 +1,73 @@
+#ifndef MACE_CORE_SERIALIZATION_IO_H_
+#define MACE_CORE_SERIALIZATION_IO_H_
+
+/// Shared primitives of the line-oriented model file formats (MACEv1,
+/// MCHANv1): count-prefixed double vectors written at full precision, read
+/// back under an allocation cap, with every failure naming the file and
+/// the section that broke. Both serializers build on these so a corrupt or
+/// hostile artifact fails the same way regardless of variant.
+
+#include <ostream>
+#include <istream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mace::core::io {
+
+/// Ceiling on any element count a model file can declare (features,
+/// services, vector lengths). Far above anything a real fit produces, low
+/// enough that a hostile count cannot drive a multi-gigabyte allocation.
+inline constexpr size_t kMaxFileCount = 1 << 20;
+
+/// Every Load failure names the file and the section that broke, so an
+/// operator staring at a failed hot reload knows whether the artifact is
+/// truncated, of a foreign format, or from an incompatible build.
+inline Status Corrupt(const std::string& path, const std::string& reason) {
+  return Status::InvalidArgument("corrupt model file '" + path +
+                                 "': " + reason);
+}
+
+inline void WriteVector(std::ostream& out, const std::vector<double>& values) {
+  out << values.size();
+  out.precision(17);
+  for (double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+inline Result<std::vector<double>> ReadVector(std::istream& in,
+                                              const std::string& path,
+                                              const std::string& what) {
+  size_t count = 0;
+  if (!(in >> count)) {
+    return Corrupt(path, "missing element count of " + what +
+                             (in.eof() ? " (file truncated)" : ""));
+  }
+  if (count > kMaxFileCount) {
+    // An absurd declared count is an attack or corruption either way;
+    // refuse it before it sizes an allocation.
+    std::ostringstream reason;
+    reason << what << " declares " << count << " values (limit "
+           << kMaxFileCount << ")";
+    return Corrupt(path, reason.str());
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  double v = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> v)) {
+      std::ostringstream reason;
+      reason << what << " holds " << i << " of " << count << " values";
+      if (in.eof()) reason << " (file truncated)";
+      return Corrupt(path, reason.str());
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace mace::core::io
+
+#endif  // MACE_CORE_SERIALIZATION_IO_H_

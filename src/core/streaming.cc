@@ -8,19 +8,17 @@
 
 namespace mace::core {
 
-StreamingScorer::StreamingScorer(const MaceDetector* detector,
+StreamingScorer::StreamingScorer(const ServingModel* detector,
                                  int service_index,
                                  ts::NonFinitePolicy policy)
     : detector_(detector),
       service_index_(service_index),
-      window_(detector->config().window),
-      stride_(detector->config().score_stride),
+      window_(detector->window()),
+      stride_(detector->score_stride()),
       // The fitted means are the imputation fallback before any finite
       // observation: a mean z-scores to exactly 0, the series' neutral
       // level.
-      sanitizer_(policy,
-                 detector->scalers()[static_cast<size_t>(service_index)]
-                     .means()),
+      sanitizer_(policy, detector->ImputationFallback(service_index)),
       created_at_(std::chrono::steady_clock::now()) {
   obs::MetricsRegistry& metrics = obs::Metrics();
   const obs::Labels labels = {{"service", std::to_string(service_index)}};
@@ -41,16 +39,15 @@ StreamingScorer::StreamingScorer(const MaceDetector* detector,
 }
 
 Result<StreamingScorer> StreamingScorer::Create(
-    const MaceDetector* detector, int service_index,
+    const ServingModel* detector, int service_index,
     std::optional<ts::NonFinitePolicy> policy) {
   if (detector == nullptr) {
     return Status::InvalidArgument("detector must not be null");
   }
-  if (detector->ParameterCount() == 0) {
+  if (!detector->fitted()) {
     return Status::FailedPrecondition("detector is not fitted");
   }
-  if (service_index < 0 ||
-      static_cast<size_t>(service_index) >= detector->subspaces().size()) {
+  if (service_index < 0 || service_index >= detector->num_services()) {
     return Status::OutOfRange("unknown service index");
   }
   return StreamingScorer(detector, service_index,

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
-#include "core/mace_detector.h"
+#include "core/detector.h"
 #include "core/online_hooks.h"
 #include "history/store.h"
 #include "obs/metrics.h"
@@ -15,8 +15,9 @@
 
 namespace mace::core {
 
-/// \brief Online scoring for one service over a fitted MaceDetector — the
-/// paper's C2 deployment mode (heavy traffic, real time).
+/// \brief Online scoring for one service over a fitted ServingModel (any
+/// detector variant) — the paper's C2 deployment mode (heavy traffic,
+/// real time).
 ///
 /// Feed one observation per step with Push(); whenever a full window is
 /// available (every `score_stride` steps) the window is scored, and a
@@ -46,7 +47,7 @@ class StreamingScorer {
   /// \param service_index service whose scaler/subspace to use
   /// \param policy non-finite handling; defaults to the detector config's
   static Result<StreamingScorer> Create(
-      const MaceDetector* detector, int service_index,
+      const ServingModel* detector, int service_index,
       std::optional<ts::NonFinitePolicy> policy = std::nullopt);
 
   /// Appends one observation (size = feature count) and returns the scores
@@ -134,7 +135,7 @@ class StreamingScorer {
   }
 
  private:
-  StreamingScorer(const MaceDetector* detector, int service_index,
+  StreamingScorer(const ServingModel* detector, int service_index,
                   ts::NonFinitePolicy policy);
 
   /// Folds one window-step error into the pending min-combine state with
@@ -152,7 +153,7 @@ class StreamingScorer {
   std::vector<double> EmitFinalized(size_t safe_before,
                                     size_t steps_at_emit);
 
-  const MaceDetector* detector_;
+  const ServingModel* detector_;
   int service_index_;
   int window_ = 0;
   int stride_ = 0;

@@ -59,4 +59,15 @@ Result<RankingQuality> ComputeRanking(const std::vector<double>& scores,
   return quality;
 }
 
+double RecallAtFalsePositiveRate(const RankingQuality& quality,
+                                 double max_fpr) {
+  double best = 0.0;
+  for (const RocPoint& point : quality.roc) {
+    if (point.false_positive_rate <= max_fpr) {
+      best = std::max(best, point.true_positive_rate);
+    }
+  }
+  return best;
+}
+
 }  // namespace mace::eval

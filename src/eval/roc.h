@@ -27,6 +27,14 @@ struct RankingQuality {
 Result<RankingQuality> ComputeRanking(const std::vector<double>& scores,
                                       const std::vector<uint8_t>& labels);
 
+/// \brief Largest recall (TPR) reachable at a false-positive rate of at
+/// most `max_fpr`, read off the ROC curve. 0.0 when no operating point
+/// satisfies the budget (the curve's first point already overshoots it).
+/// Matched-FP-rate comparisons between detectors use this: fix the FP
+/// budget, compare what each detector catches.
+double RecallAtFalsePositiveRate(const RankingQuality& quality,
+                                 double max_fpr);
+
 }  // namespace mace::eval
 
 #endif  // MACE_EVAL_ROC_H_

@@ -15,7 +15,7 @@ ServeFrontend::~ServeFrontend() {
 }
 
 Result<std::unique_ptr<ServeFrontend>> ServeFrontend::Create(
-    std::shared_ptr<const core::MaceDetector> model, ServeConfig config) {
+    std::shared_ptr<const core::ServingModel> model, ServeConfig config) {
   if (config.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -35,11 +35,10 @@ Result<std::future<ScoreBatch>> ServeFrontend::Submit(
     const std::string& tenant, int service,
     std::vector<double> observation, RequestOptions options) {
   const ModelProvider::Handle handle = provider_->Current();
-  if (service < 0 ||
-      static_cast<size_t>(service) >= handle.model->subspaces().size()) {
+  if (service < 0 || service >= handle.model->num_services()) {
     return Status::OutOfRange(
         "service " + std::to_string(service) + " outside the " +
-        std::to_string(handle.model->subspaces().size()) +
+        std::to_string(handle.model->num_services()) +
         " services of model generation " +
         std::to_string(handle.generation));
   }
@@ -52,11 +51,10 @@ Status ServeFrontend::SubmitAsync(const std::string& tenant, int service,
                                   RequestOptions options,
                                   std::function<void(ScoreBatch&&)> done) {
   const ModelProvider::Handle handle = provider_->Current();
-  if (service < 0 ||
-      static_cast<size_t>(service) >= handle.model->subspaces().size()) {
+  if (service < 0 || service >= handle.model->num_services()) {
     return Status::OutOfRange(
         "service " + std::to_string(service) + " outside the " +
-        std::to_string(handle.model->subspaces().size()) +
+        std::to_string(handle.model->num_services()) +
         " services of model generation " +
         std::to_string(handle.generation));
   }
@@ -93,8 +91,16 @@ Status ServeFrontend::Reload(const std::string& path) {
 }
 
 Status ServeFrontend::Swap(
-    std::shared_ptr<const core::MaceDetector> next) {
+    std::shared_ptr<const core::ServingModel> next) {
   return provider_->Swap(std::move(next));
+}
+
+Result<int> ServeFrontend::Onboard(const ts::TimeSeries& train) {
+  const ModelProvider::Handle handle = provider_->Current();
+  MACE_ASSIGN_OR_RETURN(std::shared_ptr<const core::ServingModel> next,
+                        handle.model->OnboardService(train));
+  MACE_RETURN_IF_ERROR(provider_->Swap(next));
+  return next->num_services() - 1;
 }
 
 void ServeFrontend::Flush() { pool_->Flush(); }

@@ -14,7 +14,8 @@
 namespace mace::serve {
 
 /// \brief Embeddable multi-tenant serving facade over a fitted
-/// MaceDetector — the paper's C2 cloud deployment as a subsystem.
+/// core::ServingModel (any detector variant) — the paper's C2 cloud
+/// deployment as a subsystem.
 ///
 /// One frontend multiplexes any number of (tenant, service) observation
 /// streams onto a sharded worker pool of StreamingScorer sessions:
@@ -36,7 +37,7 @@ class ServeFrontend {
   /// (num_shards/queue_capacity/max_batch >= 1) and starts the shard
   /// workers.
   static Result<std::unique_ptr<ServeFrontend>> Create(
-      std::shared_ptr<const core::MaceDetector> model,
+      std::shared_ptr<const core::ServingModel> model,
       ServeConfig config = ServeConfig());
 
   ~ServeFrontend();
@@ -81,8 +82,17 @@ class ServeFrontend {
   /// model; live sessions keep draining on theirs. On failure the live
   /// model is untouched and the descriptive load error is returned.
   Status Reload(const std::string& path);
-  /// Same, with an already-fitted in-memory detector.
-  Status Swap(std::shared_ptr<const core::MaceDetector> next);
+  /// Same, with an already-fitted in-memory model.
+  Status Swap(std::shared_ptr<const core::ServingModel> next);
+
+  /// Zero-shot tenant onboarding: extends the CURRENT model with one more
+  /// service whose preprocessing is computed from `train` (learned
+  /// weights frozen — the ScoreUnseen transfer protocol) and swaps the
+  /// extended copy in. Returns the new service's index; sessions already
+  /// open keep draining on the pre-onboard model. Onboards are serialized
+  /// against each other and against Swap only by the caller — concurrent
+  /// onboarders can race and drop each other's services.
+  Result<int> Onboard(const ts::TimeSeries& train);
 
   /// Barrier: waits until everything submitted before the call is scored.
   void Flush();

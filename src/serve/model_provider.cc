@@ -2,10 +2,12 @@
 
 #include <utility>
 
+#include "channel/model_io.h"
+
 namespace mace::serve {
 
 ModelProvider::ModelProvider(
-    std::shared_ptr<const core::MaceDetector> initial)
+    std::shared_ptr<const core::ServingModel> initial)
     : current_(std::move(initial)) {
   generation_gauge_ = obs::Metrics().GetGauge(
       "mace_serve_model_generation",
@@ -13,18 +15,18 @@ ModelProvider::ModelProvider(
   generation_gauge_->Set(1.0);
 }
 
-Status ModelProvider::Validate(const core::MaceDetector* model) {
+Status ModelProvider::Validate(const core::ServingModel* model) {
   if (model == nullptr) {
     return Status::InvalidArgument("model must not be null");
   }
-  if (model->ParameterCount() == 0 || model->subspaces().empty()) {
+  if (!model->fitted() || model->num_services() == 0) {
     return Status::FailedPrecondition("model is not fitted");
   }
   return Status::OK();
 }
 
 Result<std::unique_ptr<ModelProvider>> ModelProvider::Create(
-    std::shared_ptr<const core::MaceDetector> initial) {
+    std::shared_ptr<const core::ServingModel> initial) {
   MACE_RETURN_IF_ERROR(Validate(initial.get()));
   return std::unique_ptr<ModelProvider>(
       new ModelProvider(std::move(initial)));
@@ -36,7 +38,7 @@ ModelProvider::Handle ModelProvider::Current() const {
 }
 
 Status ModelProvider::Swap(
-    std::shared_ptr<const core::MaceDetector> next) {
+    std::shared_ptr<const core::ServingModel> next) {
   MACE_RETURN_IF_ERROR(Validate(next.get()));
   uint64_t generation = 0;
   {
@@ -49,10 +51,10 @@ Status ModelProvider::Swap(
 }
 
 Status ModelProvider::Reload(const std::string& path) {
-  Result<core::MaceDetector> loaded = core::MaceDetector::Load(path);
+  Result<std::shared_ptr<const core::ServingModel>> loaded =
+      channel::LoadServingModel(path);
   if (!loaded.ok()) return loaded.status();
-  return Swap(std::make_shared<const core::MaceDetector>(
-      std::move(loaded).value()));
+  return Swap(std::move(loaded).value());
 }
 
 }  // namespace mace::serve

@@ -6,29 +6,31 @@
 #include <string>
 
 #include "common/result.h"
-#include "core/mace_detector.h"
+#include "core/detector.h"
 #include "obs/metrics.h"
 
 namespace mace::serve {
 
-/// \brief Shared handle to the currently-live fitted detector plus its
-/// reload generation — the hot-reload pivot of the serving subsystem.
+/// \brief Shared handle to the currently-live fitted serving model plus
+/// its reload generation — the hot-reload pivot of the serving subsystem.
 ///
 /// Sessions capture the shared_ptr when they open, so Swap never
 /// invalidates in-flight sessions: they keep draining on the model they
 /// opened with (their scores stay bit-identical to an uninterrupted
 /// stream) while sessions opened after the swap run on the replacement.
 /// The old model is freed once its last session closes or is evicted.
+/// The provider is variant-agnostic (core::ServingModel): a Swap may
+/// replace the detector VARIANT, not just its weights.
 class ModelProvider {
  public:
   struct Handle {
-    std::shared_ptr<const core::MaceDetector> model;
+    std::shared_ptr<const core::ServingModel> model;
     uint64_t generation = 0;
   };
 
-  /// \param initial fitted detector to serve; must be non-null and fitted.
+  /// \param initial fitted model to serve; must be non-null and fitted.
   static Result<std::unique_ptr<ModelProvider>> Create(
-      std::shared_ptr<const core::MaceDetector> initial);
+      std::shared_ptr<const core::ServingModel> initial);
 
   Handle Current() const;
   uint64_t generation() const {
@@ -37,20 +39,21 @@ class ModelProvider {
 
   /// Atomically replaces the served model (generation += 1). `next` must
   /// be non-null and fitted.
-  Status Swap(std::shared_ptr<const core::MaceDetector> next);
+  Status Swap(std::shared_ptr<const core::ServingModel> next);
 
-  /// Hot reload from disk: MaceDetector::Load(path), then Swap. On any
-  /// load error the live model stays untouched and the descriptive load
-  /// Status (path + reason) is returned.
+  /// Hot reload from disk: channel::LoadServingModel(path) — the magic
+  /// line dispatches to the variant's loader — then Swap. On any load
+  /// error the live model stays untouched and the descriptive load Status
+  /// (path + reason) is returned.
   Status Reload(const std::string& path);
 
  private:
-  explicit ModelProvider(std::shared_ptr<const core::MaceDetector> initial);
+  explicit ModelProvider(std::shared_ptr<const core::ServingModel> initial);
 
-  static Status Validate(const core::MaceDetector* model);
+  static Status Validate(const core::ServingModel* model);
 
   mutable std::mutex mu_;
-  std::shared_ptr<const core::MaceDetector> current_;
+  std::shared_ptr<const core::ServingModel> current_;
   std::atomic<uint64_t> generation_{1};
   obs::Gauge* generation_gauge_ = nullptr;
 };

@@ -30,10 +30,7 @@ void AttachSessionHistory(core::StreamingScorer* scorer,
 void AttachSessionOnline(SessionRegistry::Session* session,
                          core::OnlineHooks* online, const SessionKey& key) {
   if (online == nullptr) return;
-  const int num_features = static_cast<int>(
-      session->model.model->scalers()[static_cast<size_t>(key.service)]
-          .means()
-          .size());
+  const int num_features = session->model.model->num_features();
   core::StreamBinding binding = online->Bind(
       key.tenant + "/" + std::to_string(key.service), num_features);
   session->ensemble = std::move(binding.ensemble);
@@ -82,7 +79,7 @@ SessionRegistry::Session* SessionRegistry::Find(const SessionKey& key) {
 }
 
 bool SessionRegistry::Recycle(const SessionKey& key,
-                              const core::MaceDetector* current_model) {
+                              const core::ServingModel* current_model) {
   auto it = sessions_.find(key);
   if (it == sessions_.end()) return false;
   Session session = std::move(it->second);
@@ -101,7 +98,7 @@ bool SessionRegistry::Recycle(const SessionKey& key,
 
 size_t SessionRegistry::EvictIdle(Clock::time_point now,
                                   Clock::duration ttl,
-                                  const core::MaceDetector* current_model) {
+                                  const core::ServingModel* current_model) {
   std::vector<SessionKey> idle;
   for (const auto& [key, session] : sessions_) {
     if (now - session.last_used >= ttl) idle.push_back(key);
@@ -111,7 +108,7 @@ size_t SessionRegistry::EvictIdle(Clock::time_point now,
 }
 
 void SessionRegistry::PruneFreePool(
-    const core::MaceDetector* current_model) {
+    const core::ServingModel* current_model) {
   for (auto it = free_pool_.begin(); it != free_pool_.end();) {
     if (it->first.first != current_model) {
       it = free_pool_.erase(it);

@@ -70,17 +70,20 @@ class SessionRegistry {
   /// Removes the session; its scorer is Reset and pooled when the session
   /// still runs `current_model`, discarded otherwise. Returns true if the
   /// session existed. Call scorer.Finish() first if the tail matters.
+  /// Pointer identity keys the pool, so a swap that changed the detector
+  /// VARIANT (not just its weights) also retires the old sessions — a
+  /// recycled scorer can never score through a stale variant.
   bool Recycle(const SessionKey& key,
-               const core::MaceDetector* current_model);
+               const core::ServingModel* current_model);
 
   /// Recycles every session idle since before `now - ttl`; returns the
   /// number evicted. Their pending (un-Finished) tails are discarded.
   size_t EvictIdle(Clock::time_point now, Clock::duration ttl,
-                   const core::MaceDetector* current_model);
+                   const core::ServingModel* current_model);
 
   /// Drops pooled scorers not bound to `current_model` (called after a
   /// model swap so the old model's memory can be released).
-  void PruneFreePool(const core::MaceDetector* current_model);
+  void PruneFreePool(const core::ServingModel* current_model);
 
   size_t size() const { return sessions_.size(); }
   size_t free_pool_size() const;
@@ -92,7 +95,7 @@ class SessionRegistry {
   /// Reset scorers ready for reuse, keyed by (model, service index) —
   /// a scorer is bound to both, so reuse must match both. The pooled
   /// handle keeps the model alive as long as the pool entry exists.
-  std::map<std::pair<const core::MaceDetector*, int>, std::vector<Session>>
+  std::map<std::pair<const core::ServingModel*, int>, std::vector<Session>>
       free_pool_;
   uint64_t recycled_hits_ = 0;
   history::HistoryStore* history_ = nullptr;

@@ -41,7 +41,12 @@ double LatentValue(const NormalPattern& p, double t) {
     }
     case WaveformKind::kSpikyPeriodic: {
       // Narrow periodic bursts: a raised-cosine bump each period.
-      const double phase = std::fmod(t, p.period) / p.period;  // [0, 1)
+      // fmod keeps the sign of t, so wrap negative phases (reachable when
+      // a feature lag exceeds t0) back into [0, 1) — otherwise every
+      // negative step fails `phase < width` into the baseline branch one
+      // period early, breaking periodicity across t = 0.
+      double phase = std::fmod(t, p.period) / p.period;
+      if (phase < 0.0) phase += 1.0;
       const double width = 0.08;
       if (phase < width) {
         value = 0.5 * (1.0 - std::cos(kTwoPi * phase / width));
@@ -198,6 +203,74 @@ TimeSeries GenerateDriftingNormal(const NormalPattern& pattern, size_t length,
   return TimeSeries(std::move(values));
 }
 
+namespace {
+
+/// Break strength at (series-relative) step t: 0 outside the break, 1 in
+/// its core, ramping linearly over the edge steps.
+double BreakStrength(size_t t, const ChannelBreakScenario& scenario) {
+  if (scenario.length == 0 || t < scenario.start ||
+      t >= scenario.start + scenario.length) {
+    return 0.0;
+  }
+  const double ramp = static_cast<double>(
+      std::max<size_t>(1, std::min(scenario.ramp, scenario.length / 2)));
+  const double in = static_cast<double>(t - scenario.start) + 1.0;
+  const double out =
+      static_cast<double>(scenario.start + scenario.length - t);
+  return std::min({1.0, in / ramp, out / ramp});
+}
+
+}  // namespace
+
+TimeSeries GenerateCorrelatedChannelBreak(
+    const NormalPattern& pattern, size_t length, size_t t0,
+    const std::vector<ChannelBreakScenario>& breaks, Rng* rng) {
+  MACE_CHECK(rng != nullptr);
+  MACE_CHECK(!pattern.feature_weights.empty());
+  MACE_CHECK(pattern.feature_weights.size() == pattern.feature_lags.size());
+  MACE_CHECK(pattern.period >= 2.0) << "period too short";
+  const size_t m = pattern.feature_weights.size();
+  const bool has_secondary =
+      pattern.secondary_weights.size() == m && pattern.secondary_period >= 2.0;
+  std::vector<std::vector<double>> values(length, std::vector<double>(m));
+  std::vector<uint8_t> labels(length, 0);
+  for (size_t t = 0; t < length; ++t) {
+    const double step = static_cast<double>(t0 + t);
+    // Breaks are positioned in SERIES coordinates (t, not t0 + t), like
+    // anomaly events, so a caller slices train/test phases with t0 while
+    // placing breaks where they appear in the generated split.
+    double shift = 0.0;
+    for (const ChannelBreakScenario& scenario : breaks) {
+      const double strength = BreakStrength(t, scenario);
+      if (strength > 0.0) {
+        labels[t] = 1;
+        shift += strength * scenario.phase_shift * pattern.period;
+      }
+    }
+    const double envelope =
+        1.0 + pattern.am_depth *
+                  std::sin(kTwoPi * step / std::max(pattern.am_period, 4.0));
+    for (size_t f = 0; f < m; ++f) {
+      // Channel 0 stays anchored; the others decohere by `shift` steps.
+      const double clock =
+          f == 0 ? step - pattern.feature_lags[f]
+                 : step - pattern.feature_lags[f] - shift;
+      double latent = pattern.feature_weights[f] * LatentValue(pattern, clock);
+      if (has_secondary) {
+        const double secondary_clock =
+            f == 0 ? step - 2.0 * pattern.feature_lags[f]
+                   : step - 2.0 * pattern.feature_lags[f] - shift;
+        latent += pattern.secondary_weights[f] *
+                  std::sin(kTwoPi * secondary_clock / pattern.secondary_period);
+      }
+      values[t][f] = pattern.level + pattern.amplitude * envelope * latent +
+                     pattern.trend_slope * step +
+                     rng->Gaussian(0.0, pattern.noise_stddev);
+    }
+  }
+  return TimeSeries(std::move(values), std::move(labels));
+}
+
 std::vector<AnomalyEvent> InjectAnomalies(
     const AnomalyInjectionConfig& config, const NormalPattern& pattern,
     TimeSeries* series, Rng* rng) {
@@ -225,7 +298,13 @@ std::vector<AnomalyEvent> InjectAnomalies(
       const int kinds[] = {1, 2, 3, 4};
       event.kind = static_cast<AnomalyKind>(
           kinds[rng->UniformInt(4)]);
-      const size_t span = config.max_segment - config.min_segment + 1;
+      // Guard the size_t subtraction: max_segment < min_segment would
+      // underflow into a near-2^64 span and UniformInt would then draw
+      // absurd segment lengths. Degenerate configs collapse to
+      // min_segment-length events.
+      const size_t span = config.max_segment >= config.min_segment
+                              ? config.max_segment - config.min_segment + 1
+                              : 1;
       event.length = config.min_segment + rng->UniformInt(span);
     }
     event.length = std::min<size_t>(event.length,

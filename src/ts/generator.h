@@ -118,6 +118,34 @@ TimeSeries GenerateDriftingNormal(const NormalPattern& pattern, size_t length,
                                   size_t t0, const DriftScenario& drift,
                                   Rng* rng);
 
+/// \brief One cross-channel correlation break: during
+/// [start, start + length) every channel EXCEPT channel 0 runs its
+/// seasonal drivers at a phase-shifted clock while channel 0 stays
+/// anchored. A time shift leaves each channel's amplitude spectrum
+/// untouched — every marginal channel still looks perfectly normal to a
+/// spectral detector — but the inter-channel correlation flips, which is
+/// exactly the anomaly class the channel-aware variant exists for
+/// (DESIGN.md §16).
+struct ChannelBreakScenario {
+  size_t start = 0;
+  size_t length = 64;
+  /// Phase shift at full strength, in fractions of the fundamental
+  /// period (0.5 = anti-phase, flipping a positive correlation negative).
+  double phase_shift = 0.5;
+  /// Steps over which the shift ramps linearly in and out at the break
+  /// edges, so the transition carries no step discontinuity (no spectral
+  /// splatter a marginal detector could key on). Clamped to length/2.
+  size_t ramp = 4;
+};
+
+/// GenerateNormal with cross-channel correlation breaks overlaid; every
+/// step inside a break is labeled anomalous. Multi-feature patterns only
+/// make sense here (with one feature there is no correlation to break —
+/// the output is then plain GenerateNormal plus labels).
+TimeSeries GenerateCorrelatedChannelBreak(
+    const NormalPattern& pattern, size_t length, size_t t0,
+    const std::vector<ChannelBreakScenario>& breaks, Rng* rng);
+
 /// \brief Injects anomalies into `series` in place, labelling affected
 /// steps; returns the injected events. The injector draws event kinds,
 /// positions and magnitudes until the target step ratio is reached.

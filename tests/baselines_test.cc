@@ -56,6 +56,14 @@ TEST(RegistryTest, UnknownNameIsNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+TEST(RegistryTest, ChannelAwareVariantConstructs) {
+  // Not a paper baseline (absent from AllBaselineNames) but reachable
+  // through the registry for benches and serving.
+  auto detector = MakeDetector("ChannelAware", FastOptions());
+  ASSERT_TRUE(detector.ok());
+  EXPECT_EQ((*detector)->name(), "ChannelAware");
+}
+
 TEST(RegistryTest, NeuralNamesExcludeSignal) {
   const auto neural = NeuralBaselineNames();
   for (const std::string& name : neural) {
@@ -114,6 +122,92 @@ INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineDetectorTest,
                            }
                            return name;
                          });
+
+// Regression: every baseline's ScoreUnseen used to accept malformed
+// splits — Signal-PCA even scored before Fit and silently rewrote its
+// fitted feature width. All of it must fail descriptively now.
+TEST_P(BaselineDetectorTest, ScoreUnseenValidatesSplits) {
+  auto detector = MakeDetector(GetParam(), FastOptions());
+  ASSERT_TRUE(detector.ok());
+  const auto services = TinyWorkload();
+  EXPECT_EQ((*detector)->ScoreUnseen(services[0]).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE((*detector)->Fit(services).ok());
+
+  Rng rng(5);
+  ts::NormalPattern narrow;
+  narrow.feature_weights = {1.0};
+  narrow.feature_lags = {0.0};
+  ts::ServiceData single;
+  single.train = ts::GenerateNormal(narrow, 200, 0, &rng);
+  single.test = ts::GenerateNormal(narrow, 100, 200, &rng);
+  auto mismatch = (*detector)->ScoreUnseen(single);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("1 feature"),
+            std::string::npos)
+      << mismatch.status().message();
+
+  ts::ServiceData short_train;
+  short_train.train = services[0].train.Slice(0, 4);
+  short_train.test = services[0].test;
+  auto too_short = (*detector)->ScoreUnseen(short_train);
+  ASSERT_FALSE(too_short.ok());
+  EXPECT_NE(too_short.status().message().find("4 steps"),
+            std::string::npos)
+      << too_short.status().message();
+  ts::ServiceData short_test;
+  short_test.train = services[0].train;
+  short_test.test = services[0].test.Slice(0, 3);
+  EXPECT_FALSE((*detector)->ScoreUnseen(short_test).ok());
+}
+
+// Regression: Signal-PCA's ScoreUnseen mutated num_features_ before
+// validating, so one malformed call corrupted the fitted model — every
+// later Score on original-width data then failed. A failed ScoreUnseen
+// must leave the model bit-identical.
+TEST(SignalReconstructorTest, FailedScoreUnseenLeavesModelIntact) {
+  auto detector = MakeDetector("Signal-PCA", FastOptions());
+  const auto services = TinyWorkload();
+  ASSERT_TRUE((*detector)->Fit(services).ok());
+  auto before = (*detector)->Score(0, services[0].test);
+  ASSERT_TRUE(before.ok());
+
+  Rng rng(7);
+  ts::NormalPattern narrow;
+  narrow.feature_weights = {1.0};
+  narrow.feature_lags = {0.0};
+  ts::ServiceData single;
+  single.train = ts::GenerateNormal(narrow, 200, 0, &rng);
+  single.test = ts::GenerateNormal(narrow, 100, 200, &rng);
+  ASSERT_FALSE((*detector)->ScoreUnseen(single).ok());
+
+  auto after = (*detector)->Score(0, services[0].test);
+  ASSERT_TRUE(after.ok()) << after.status().message();
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t t = 0; t < after->size(); ++t) {
+    ASSERT_EQ((*after)[t], (*before)[t]) << "step " << t;
+  }
+}
+
+// Regression: Signal-PCA's Score accepted a test series shorter than the
+// window (zero windows cut, garbage finalization) or of the wrong width.
+TEST(SignalReconstructorTest, ScoreValidatesTestSeries) {
+  auto detector = MakeDetector("Signal-PCA", FastOptions());
+  const auto services = TinyWorkload();
+  ASSERT_TRUE((*detector)->Fit(services).ok());
+  auto short_series = (*detector)->Score(0, services[0].test.Slice(0, 3));
+  ASSERT_FALSE(short_series.ok());
+  EXPECT_NE(short_series.status().message().find("shorter than"),
+            std::string::npos)
+      << short_series.status().message();
+  Rng rng(9);
+  ts::NormalPattern narrow;
+  narrow.feature_weights = {1.0};
+  narrow.feature_lags = {0.0};
+  const ts::TimeSeries wrong_width = ts::GenerateNormal(narrow, 100, 0, &rng);
+  EXPECT_FALSE((*detector)->Score(0, wrong_width).ok());
+}
 
 TEST(ReconstructionDetectorTest, EpochLossesDecreaseForDenseAe) {
   auto detector = MakeDetector("DenseAE", FastOptions());

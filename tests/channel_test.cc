@@ -1,0 +1,546 @@
+// Channel-aware detector suite (DESIGN.md §16): the correlation-break
+// detection contract vs MACE, fit_threads bit-determinism, the
+// non-finite-policy surface, MCHANv1 snapshot round-trip, zero-shot
+// onboarding (ScoreUnseen / OnboardService / ServeFrontend::Onboard),
+// streaming-vs-batch equivalence, the magic-dispatch model loader, and
+// the cross-variant hot swap through the serve frontend.
+
+#include "channel/channel_aware_detector.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/model_io.h"
+#include "common/check.h"
+#include "core/mace_detector.h"
+#include "core/streaming.h"
+#include "eval/roc.h"
+#include "serve/frontend.h"
+#include "ts/generator.h"
+
+namespace mace::channel {
+namespace {
+
+constexpr int kChannels = 4;
+constexpr size_t kTrainLength = 512;
+constexpr size_t kTestLength = 384;
+
+ts::NormalPattern BreakPattern(int service) {
+  ts::NormalPattern pattern;
+  pattern.kind = ts::WaveformKind::kSinusoid;
+  pattern.period = service == 0 ? 24.0 : 30.0;
+  pattern.harmonic_weights = {1.0, 0.3};
+  pattern.noise_stddev = 0.05;
+  pattern.feature_weights = {1.0, 0.9, 1.1, 0.8};
+  pattern.feature_lags = {0.0, 3.0, 7.0, 11.0};
+  return pattern;
+}
+
+/// One cross-channel correlation break in the middle of the test split;
+/// every marginal channel keeps its normal spectrum.
+std::vector<ts::ChannelBreakScenario> MidBreak() {
+  ts::ChannelBreakScenario scenario;
+  scenario.start = 128;
+  scenario.length = 128;
+  return {scenario};
+}
+
+ts::ServiceData BreakService(int service, uint64_t seed) {
+  Rng rng(seed);
+  const ts::NormalPattern pattern = BreakPattern(service);
+  ts::ServiceData data;
+  data.name = "svc" + std::to_string(service);
+  data.train = ts::GenerateNormal(pattern, kTrainLength, 0, &rng);
+  data.test = ts::GenerateCorrelatedChannelBreak(pattern, kTestLength,
+                                                 kTrainLength, MidBreak(),
+                                                 &rng);
+  return data;
+}
+
+std::vector<ts::ServiceData> BreakWorkload() {
+  return {BreakService(0, 11), BreakService(1, 12)};
+}
+
+ChannelAwareDetector FittedChannel(int fit_threads = 1) {
+  ChannelAwareConfig config;
+  config.fit_threads = fit_threads;
+  ChannelAwareDetector detector(config);
+  MACE_CHECK_OK(detector.Fit(BreakWorkload()));
+  return detector;
+}
+
+double RecallAtBudget(const std::vector<double>& scores,
+                      const std::vector<uint8_t>& labels) {
+  auto ranking = eval::ComputeRanking(scores, labels);
+  MACE_CHECK_OK(ranking.status());
+  return eval::RecallAtFalsePositiveRate(*ranking, 0.05);
+}
+
+std::vector<double> SequentialScores(const core::ServingModel& model,
+                                     int service,
+                                     const ts::TimeSeries& series) {
+  auto scorer = core::StreamingScorer::Create(&model, service);
+  MACE_CHECK_OK(scorer.status());
+  std::vector<double> scores;
+  for (size_t t = 0; t < series.length(); ++t) {
+    auto out = scorer->Push(series.values()[t]);
+    MACE_CHECK_OK(out.status());
+    scores.insert(scores.end(), out->begin(), out->end());
+  }
+  const auto tail = scorer->Finish();
+  scores.insert(scores.end(), tail.begin(), tail.end());
+  return scores;
+}
+
+TEST(ChannelConfigTest, ValidateConfigBounds) {
+  ChannelAwareConfig config;
+  EXPECT_TRUE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config.window = 2;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config = ChannelAwareConfig();
+  config.bases_per_channel = config.window;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config = ChannelAwareConfig();
+  config.num_patches = 0;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config = ChannelAwareConfig();
+  config.score_stride = config.window + 1;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config = ChannelAwareConfig();
+  config.fusion_weight = -1.0;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config = ChannelAwareConfig();
+  config.sigma_floor = 0.0;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+  config = ChannelAwareConfig();
+  config.fit_threads = 0;
+  EXPECT_FALSE(ChannelAwareDetector::ValidateConfig(config).ok());
+}
+
+TEST(ChannelConfigTest, FusionPairsAllPairsThenRing) {
+  EXPECT_TRUE(ChannelAwareDetector::FusionPairs(1).empty());
+  EXPECT_EQ(ChannelAwareDetector::FusionPairs(4).size(), 6u);
+  EXPECT_EQ(ChannelAwareDetector::FusionPairs(16).size(), 120u);
+  // Above 16 channels the ring keeps the dimension linear.
+  EXPECT_EQ(ChannelAwareDetector::FusionPairs(17).size(), 17u);
+  EXPECT_EQ(ChannelAwareDetector::FusionPairs(64).size(), 64u);
+}
+
+TEST(ChannelDetectorTest, ErrorsAreDescriptiveNotAborts) {
+  ChannelAwareDetector unfitted;
+  const ts::TimeSeries one_row(std::vector<std::vector<double>>{{0.0}});
+  EXPECT_EQ(unfitted.Score(0, one_row).status().code(),
+            StatusCode::kFailedPrecondition);
+  ts::ServiceData service;
+  service.train = one_row;
+  service.test = one_row;
+  EXPECT_EQ(unfitted.ScoreUnseen(service).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(unfitted.ScoreWindow(0, {}).ok());
+  EXPECT_FALSE(unfitted.OnboardService(service.train).ok());
+  EXPECT_FALSE(unfitted.Fit({}).ok());
+
+  ChannelAwareDetector detector = FittedChannel();
+  // Single-channel series into the 4-channel model: descriptive mismatch.
+  Rng rng(3);
+  ts::NormalPattern narrow;
+  narrow.feature_weights = {1.0};
+  narrow.feature_lags = {0.0};
+  ts::ServiceData single;
+  single.train = ts::GenerateNormal(narrow, 128, 0, &rng);
+  single.test = ts::GenerateNormal(narrow, 128, 128, &rng);
+  auto mismatch = detector.ScoreUnseen(single);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("1 features"),
+            std::string::npos)
+      << mismatch.status().message();
+  EXPECT_FALSE(detector.Score(0, single.test).ok());
+
+  // Splits shorter than the window name both lengths.
+  const auto full = BreakWorkload();
+  ts::ServiceData short_train;
+  short_train.train = full[0].train.Slice(0, 10);
+  short_train.test = full[0].test;
+  auto too_short = detector.ScoreUnseen(short_train);
+  ASSERT_FALSE(too_short.ok());
+  EXPECT_NE(too_short.status().message().find("10 steps"),
+            std::string::npos)
+      << too_short.status().message();
+  ts::ServiceData short_test;
+  short_test.train = full[0].train;
+  short_test.test = full[0].test.Slice(0, 5);
+  EXPECT_FALSE(detector.ScoreUnseen(short_test).ok());
+  EXPECT_FALSE(detector.Score(0, short_test.test).ok());
+  EXPECT_FALSE(detector.OnboardService(short_train.train).ok());
+
+  // Out-of-range service indices.
+  EXPECT_EQ(detector.Score(7, full[0].test).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(detector.ScoreWindow(-1, {}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+// The reason this variant exists: a correlation break leaves every
+// marginal spectrum intact (MACE stays blind) but flips the fusion
+// features (the channel-aware variant catches it at the same FP budget).
+TEST(ChannelDetectorTest, CatchesCorrelationBreakMaceMisses) {
+  const auto services = BreakWorkload();
+  ChannelAwareDetector channel_detector = FittedChannel();
+  core::MaceConfig mace_config;
+  mace_config.epochs = 2;
+  core::MaceDetector mace_detector(mace_config);
+  MACE_CHECK_OK(mace_detector.Fit(services));
+
+  for (size_t s = 0; s < services.size(); ++s) {
+    auto channel_scores =
+        channel_detector.Score(static_cast<int>(s), services[s].test);
+    ASSERT_TRUE(channel_scores.ok());
+    auto mace_scores =
+        mace_detector.Score(static_cast<int>(s), services[s].test);
+    ASSERT_TRUE(mace_scores.ok());
+    const auto& labels = services[s].test.labels();
+    const double channel_recall = RecallAtBudget(*channel_scores, labels);
+    const double mace_recall = RecallAtBudget(*mace_scores, labels);
+    EXPECT_GE(channel_recall, 0.7) << "service " << s;
+    EXPECT_LE(mace_recall, 0.35) << "service " << s;
+  }
+}
+
+TEST(ChannelDetectorTest, FitThreadsAreBitDeterministic) {
+  ChannelAwareDetector one = FittedChannel(/*fit_threads=*/1);
+  ChannelAwareDetector four = FittedChannel(/*fit_threads=*/4);
+  EXPECT_EQ(one.fusion_gain(), four.fusion_gain());
+  const auto services = BreakWorkload();
+  for (size_t s = 0; s < services.size(); ++s) {
+    auto a = one.Score(static_cast<int>(s), services[s].test);
+    auto b = four.Score(static_cast<int>(s), services[s].test);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t t = 0; t < a->size(); ++t) {
+      ASSERT_EQ((*a)[t], (*b)[t]) << "step " << t;
+    }
+  }
+}
+
+TEST(ChannelDetectorTest, NonFinitePolicySurface) {
+  const auto services = BreakWorkload();
+  ts::TimeSeries poisoned = services[0].test;
+  std::vector<std::vector<double>> values = poisoned.values();
+  values[50][1] = std::numeric_limits<double>::quiet_NaN();
+  poisoned = ts::TimeSeries(std::move(values), poisoned.labels());
+
+  // kReject (default): descriptive error naming the value.
+  ChannelAwareDetector reject = FittedChannel();
+  auto rejected = reject.Score(0, poisoned);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("non-finite"),
+            std::string::npos);
+
+  // kImpute: finite scores everywhere.
+  ChannelAwareDetector impute = FittedChannel();
+  impute.set_non_finite_policy(ts::NonFinitePolicy::kImpute);
+  auto imputed = impute.Score(0, poisoned);
+  ASSERT_TRUE(imputed.ok());
+  for (size_t t = 0; t < imputed->size(); ++t) {
+    EXPECT_TRUE(std::isfinite((*imputed)[t])) << "step " << t;
+  }
+
+  // kPropagate: NaN exactly on the steps covered by a contaminated
+  // window, finite (and equal to the imputed run) elsewhere.
+  ChannelAwareDetector propagate = FittedChannel();
+  propagate.set_non_finite_policy(ts::NonFinitePolicy::kPropagate);
+  auto propagated = propagate.Score(0, poisoned);
+  ASSERT_TRUE(propagated.ok());
+  const int window = propagate.config().window;
+  size_t nans = 0;
+  for (size_t t = 0; t < propagated->size(); ++t) {
+    if (std::isnan((*propagated)[t])) {
+      ++nans;
+      EXPECT_TRUE(t + static_cast<size_t>(window) > 50 &&
+                  t <= 50 + static_cast<size_t>(window))
+          << "NaN outside the contaminated window range at step " << t;
+    } else {
+      EXPECT_EQ((*propagated)[t], (*imputed)[t]) << "step " << t;
+    }
+  }
+  EXPECT_GT(nans, 0u);
+
+  // Training under kReject refuses a non-finite train split; kImpute
+  // accepts it.
+  auto workload = BreakWorkload();
+  std::vector<std::vector<double>> train_values = workload[0].train.values();
+  train_values[7][0] = std::numeric_limits<double>::infinity();
+  workload[0].train = ts::TimeSeries(std::move(train_values));
+  ChannelAwareDetector refit;
+  EXPECT_FALSE(refit.Fit(workload).ok());
+  ChannelAwareConfig impute_config;
+  impute_config.non_finite_policy = ts::NonFinitePolicy::kImpute;
+  ChannelAwareDetector refit_impute(impute_config);
+  EXPECT_TRUE(refit_impute.Fit(workload).ok());
+}
+
+TEST(ChannelDetectorTest, SnapshotRoundTripIsBitExact) {
+  ChannelAwareDetector detector = FittedChannel();
+  const std::string path = ::testing::TempDir() + "/channel.model";
+  ASSERT_TRUE(detector.Save(path).ok());
+
+  auto loaded = ChannelAwareDetector::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  EXPECT_TRUE(loaded->fitted());
+  EXPECT_EQ(loaded->num_services(), detector.num_services());
+  EXPECT_EQ(loaded->num_features(), detector.num_features());
+  EXPECT_EQ(loaded->fusion_gain(), detector.fusion_gain());
+  EXPECT_EQ(loaded->ParameterCount(), detector.ParameterCount());
+
+  const auto services = BreakWorkload();
+  for (size_t s = 0; s < services.size(); ++s) {
+    auto a = detector.Score(static_cast<int>(s), services[s].test);
+    auto b = loaded->Score(static_cast<int>(s), services[s].test);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t t = 0; t < a->size(); ++t) {
+      ASSERT_EQ((*a)[t], (*b)[t]) << "step " << t;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ChannelDetectorTest, LoadRejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/corrupt.model";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "BOGUS1\n";
+  }
+  auto bad_magic = ChannelAwareDetector::Load(path);
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_NE(bad_magic.status().message().find("MCHANv1"), std::string::npos)
+      << bad_magic.status().message();
+
+  // Truncation after the header must be caught, not crash or zero-fill.
+  ChannelAwareDetector detector = FittedChannel();
+  const std::string full = ::testing::TempDir() + "/full.model";
+  ASSERT_TRUE(detector.Save(full).ok());
+  std::ifstream in(full);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+  EXPECT_FALSE(ChannelAwareDetector::Load(path).ok());
+  std::remove(path.c_str());
+  std::remove(full.c_str());
+}
+
+TEST(ChannelDetectorTest, ScoreUnseenZeroShotDetectsBreak) {
+  ChannelAwareDetector detector = FittedChannel();
+  // A third, never-fitted service with its own period and the same break
+  // class: zero-shot scoring must catch it too.
+  const ts::ServiceData unseen = BreakService(2, 77);
+  auto scores = detector.ScoreUnseen(unseen);
+  ASSERT_TRUE(scores.ok()) << scores.status().message();
+  EXPECT_GE(RecallAtBudget(*scores, unseen.test.labels()), 0.7);
+  // Deterministic: a second call is bit-identical.
+  auto again = detector.ScoreUnseen(unseen);
+  ASSERT_TRUE(again.ok());
+  for (size_t t = 0; t < scores->size(); ++t) {
+    ASSERT_EQ((*scores)[t], (*again)[t]);
+  }
+}
+
+TEST(ChannelDetectorTest, OnboardServiceMatchesScoreUnseen) {
+  ChannelAwareDetector detector = FittedChannel();
+  const ts::ServiceData unseen = BreakService(2, 78);
+  auto onboarded = detector.OnboardService(unseen.train);
+  ASSERT_TRUE(onboarded.ok()) << onboarded.status().message();
+  EXPECT_EQ((*onboarded)->num_services(), detector.num_services() + 1);
+  // The original is untouched (copy-on-onboard).
+  EXPECT_EQ(detector.num_services(), 2);
+
+  // Onboard-then-Score and ScoreUnseen share BuildServiceState and the
+  // frozen gain, so they must agree bit for bit.
+  auto via_unseen = detector.ScoreUnseen(unseen);
+  ASSERT_TRUE(via_unseen.ok());
+  auto channel_copy =
+      dynamic_cast<const ChannelAwareDetector*>(onboarded->get());
+  ASSERT_NE(channel_copy, nullptr);
+  auto via_onboard =
+      const_cast<ChannelAwareDetector*>(channel_copy)
+          ->Score(detector.num_services(), unseen.test);
+  ASSERT_TRUE(via_onboard.ok());
+  ASSERT_EQ(via_onboard->size(), via_unseen->size());
+  for (size_t t = 0; t < via_onboard->size(); ++t) {
+    ASSERT_EQ((*via_onboard)[t], (*via_unseen)[t]) << "step " << t;
+  }
+}
+
+TEST(ChannelStreamingTest, StreamingMatchesBatchExactly) {
+  ChannelAwareDetector detector = FittedChannel();
+  const auto services = BreakWorkload();
+  for (size_t s = 0; s < services.size(); ++s) {
+    auto batch = detector.Score(static_cast<int>(s), services[s].test);
+    ASSERT_TRUE(batch.ok());
+    const std::vector<double> streamed =
+        SequentialScores(detector, static_cast<int>(s), services[s].test);
+    ASSERT_EQ(streamed.size(), batch->size());
+    for (size_t t = 0; t < streamed.size(); ++t) {
+      ASSERT_EQ(streamed[t], (*batch)[t]) << "step " << t;
+    }
+  }
+}
+
+TEST(ChannelModelIoTest, LoadServingModelDispatchesOnMagic) {
+  const std::string channel_path = ::testing::TempDir() + "/disp_chan.model";
+  const std::string mace_path = ::testing::TempDir() + "/disp_mace.model";
+  ChannelAwareDetector channel_detector = FittedChannel();
+  ASSERT_TRUE(channel_detector.Save(channel_path).ok());
+  core::MaceConfig mace_config;
+  mace_config.epochs = 1;
+  core::MaceDetector mace_detector(mace_config);
+  MACE_CHECK_OK(mace_detector.Fit(BreakWorkload()));
+  ASSERT_TRUE(mace_detector.Save(mace_path).ok());
+
+  auto channel_model = LoadServingModel(channel_path);
+  ASSERT_TRUE(channel_model.ok()) << channel_model.status().message();
+  EXPECT_EQ((*channel_model)->name(), "ChannelAware");
+  EXPECT_EQ((*channel_model)->num_services(), 2);
+  auto mace_model = LoadServingModel(mace_path);
+  ASSERT_TRUE(mace_model.ok()) << mace_model.status().message();
+  EXPECT_EQ((*mace_model)->name(), "MACE");
+
+  const std::string garbage = ::testing::TempDir() + "/disp_garbage.model";
+  {
+    std::ofstream out(garbage, std::ios::trunc);
+    out << "not a model\n";
+  }
+  auto unknown = LoadServingModel(garbage);
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().message().find("MACEv1"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("MCHANv1"), std::string::npos);
+  EXPECT_FALSE(LoadServingModel("/no/such/file.model").ok());
+
+  std::remove(channel_path.c_str());
+  std::remove(mace_path.c_str());
+  std::remove(garbage.c_str());
+}
+
+// Zero-shot onboarding end to end through the serve frontend: a tenant
+// whose service was NEVER in the fitted model gets a service slot from
+// Onboard() and scores bit-identically to a sequential scorer on the
+// extended model.
+TEST(ChannelServeTest, FrontendOnboardServesNewTenantEndToEnd) {
+  auto model = std::make_shared<ChannelAwareDetector>(FittedChannel());
+  auto frontend = serve::ServeFrontend::Create(model);
+  ASSERT_TRUE(frontend.ok());
+
+  const ts::ServiceData unseen = BreakService(2, 79);
+  auto service = (*frontend)->Onboard(unseen.train);
+  ASSERT_TRUE(service.ok()) << service.status().message();
+  EXPECT_EQ(*service, 2);
+  EXPECT_EQ((*frontend)->model_generation(), 2u);
+
+  // The frontend's onboarded copy is deterministic, so a locally
+  // onboarded twin is the sequential ground truth.
+  auto twin = model->OnboardService(unseen.train);
+  ASSERT_TRUE(twin.ok());
+  const std::vector<double> sequential =
+      SequentialScores(**twin, *service, unseen.test);
+
+  std::vector<double> served;
+  for (size_t t = 0; t < unseen.test.length(); ++t) {
+    auto batch = (*frontend)->Score("fresh-tenant", *service,
+                                    unseen.test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(batch->status.ok()) << batch->status.message();
+    served.insert(served.end(), batch->scores.begin(), batch->scores.end());
+  }
+  auto tail = (*frontend)->Close("fresh-tenant", *service);
+  ASSERT_TRUE(tail.ok());
+  served.insert(served.end(), tail->begin(), tail->end());
+  ASSERT_EQ(served.size(), sequential.size());
+  for (size_t t = 0; t < served.size(); ++t) {
+    ASSERT_EQ(served[t], sequential[t]) << "step " << t;
+  }
+
+  // Onboarding validates like ScoreUnseen: a too-short or wrong-width
+  // train split is a descriptive error, not a new broken service.
+  EXPECT_FALSE((*frontend)->Onboard(unseen.train.Slice(0, 8)).ok());
+  EXPECT_EQ((*frontend)->model_generation(), 2u);
+}
+
+// Hot-swapping the served VARIANT (MACE -> ChannelAware) mid-stream: new
+// sessions score on the channel model while pre-swap sessions drain on
+// MACE — same contract as the same-variant reload test in serve_test.
+TEST(ChannelServeTest, CrossVariantSwapServesNewSessionsOnNewVariant) {
+  const auto services = BreakWorkload();
+  core::MaceConfig mace_config;
+  mace_config.epochs = 1;
+  auto mace_model = std::make_shared<core::MaceDetector>(mace_config);
+  MACE_CHECK_OK(mace_model->Fit(services));
+  auto channel_model = std::make_shared<ChannelAwareDetector>(FittedChannel());
+
+  auto frontend = serve::ServeFrontend::Create(mace_model);
+  ASSERT_TRUE(frontend.ok());
+  const std::vector<double> mace_sequential =
+      SequentialScores(*mace_model, 0, services[0].test);
+  const std::vector<double> channel_sequential =
+      SequentialScores(*channel_model, 0, services[0].test);
+
+  // Open a session on MACE, swap to the channel variant mid-stream.
+  const size_t half = services[0].test.length() / 2;
+  std::vector<double> old_scores;
+  for (size_t t = 0; t < half; ++t) {
+    auto batch =
+        (*frontend)->Score("old", 0, services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    old_scores.insert(old_scores.end(), batch->scores.begin(),
+                      batch->scores.end());
+  }
+  ASSERT_TRUE((*frontend)->Swap(channel_model).ok());
+
+  // The pre-swap session keeps draining on the MACE model.
+  for (size_t t = half; t < services[0].test.length(); ++t) {
+    auto batch =
+        (*frontend)->Score("old", 0, services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    old_scores.insert(old_scores.end(), batch->scores.begin(),
+                      batch->scores.end());
+  }
+  auto old_tail = (*frontend)->Close("old", 0);
+  ASSERT_TRUE(old_tail.ok());
+  old_scores.insert(old_scores.end(), old_tail->begin(), old_tail->end());
+  ASSERT_EQ(old_scores.size(), mace_sequential.size());
+  for (size_t t = 0; t < old_scores.size(); ++t) {
+    ASSERT_EQ(old_scores[t], mace_sequential[t]) << "step " << t;
+  }
+
+  // A session opened after the swap scores on the channel variant.
+  std::vector<double> new_scores;
+  for (size_t t = 0; t < services[0].test.length(); ++t) {
+    auto batch =
+        (*frontend)->Score("new", 0, services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    new_scores.insert(new_scores.end(), batch->scores.begin(),
+                      batch->scores.end());
+  }
+  auto new_tail = (*frontend)->Close("new", 0);
+  ASSERT_TRUE(new_tail.ok());
+  new_scores.insert(new_scores.end(), new_tail->begin(), new_tail->end());
+  ASSERT_EQ(new_scores.size(), channel_sequential.size());
+  for (size_t t = 0; t < new_scores.size(); ++t) {
+    ASSERT_EQ(new_scores[t], channel_sequential[t]) << "step " << t;
+  }
+}
+
+}  // namespace
+}  // namespace mace::channel

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/mace_detector.h"
 #include "fuzz/fuzz_env.h"
 #include "serve/frontend.h"
 

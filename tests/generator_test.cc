@@ -368,6 +368,161 @@ TEST(DriftTest, SeasonalityShiftIsPhaseContinuousAndStretches) {
   EXPECT_NEAR(tail, 27, 3);
 }
 
+// Regression: fmod keeps the sign of its argument, so a feature lag
+// larger than t0 used to push the burst clock negative and break the
+// burst cadence across t = 0 (the bump fired one period early). The
+// waveform must be exactly periodic across the sign change.
+TEST(GeneratorTest, SpikyPeriodicStaysPeriodicAcrossNegativePhase) {
+  Rng rng(41);
+  NormalPattern p = SimplePattern(1);
+  p.kind = WaveformKind::kSpikyPeriodic;
+  // Period long enough that integer sampling lands inside the burst
+  // (burst width is 8% of the period).
+  p.period = 24.0;
+  p.noise_stddev = 0.0;
+  p.feature_lags = {5.0};  // clock = t - 5 < 0 for the first five steps
+  const TimeSeries series = GenerateNormal(p, 120, 0, &rng);
+  const auto period = static_cast<size_t>(p.period);
+  for (size_t t = 0; t + period < series.length(); ++t) {
+    EXPECT_NEAR(series.value(t, 0), series.value(t + period, 0), 1e-12)
+        << "burst cadence broke at step " << t;
+  }
+  // The bursts really exist (the series is not a flat baseline).
+  double peak = 0.0;
+  for (size_t t = 0; t < series.length(); ++t) {
+    peak = std::max(peak, series.value(t, 0));
+  }
+  EXPECT_GT(peak, 1.0);
+}
+
+// Regression: max_segment < min_segment used to underflow the size_t
+// span and make UniformInt draw astronomically long events. The span now
+// clamps to 1, so every segment event is exactly min_segment steps.
+TEST(InjectionTest, InvertedSegmentBoundsClampToMinSegment) {
+  Rng rng(43);
+  const NormalPattern p = SimplePattern();
+  TimeSeries series = GenerateNormal(p, 800, 0, &rng);
+  AnomalyInjectionConfig config;
+  config.anomaly_ratio = 0.05;
+  config.point_fraction = 0.0;  // segment events only
+  config.min_segment = 20;
+  config.max_segment = 5;  // inverted on purpose
+  const auto events = InjectAnomalies(config, p, &series, &rng);
+  ASSERT_FALSE(events.empty());
+  for (const AnomalyEvent& e : events) {
+    EXPECT_LE(e.length, 20u) << AnomalyKindName(e.kind);
+    EXPECT_GE(e.length, 1u);
+  }
+  EXPECT_GT(series.AnomalyRatio(), 0.0);
+  EXPECT_LT(series.AnomalyRatio(), 0.2);
+}
+
+TEST(ChannelBreakTest, LabelsExactlyInsideBreaks) {
+  Rng rng(47);
+  NormalPattern p = SimplePattern(3);
+  p.feature_lags = {0.0, 2.0, 4.0};
+  ChannelBreakScenario scenario;
+  scenario.start = 100;
+  scenario.length = 40;
+  const TimeSeries series =
+      GenerateCorrelatedChannelBreak(p, 300, 0, {scenario}, &rng);
+  ASSERT_EQ(series.length(), 300u);
+  ASSERT_TRUE(series.has_labels());
+  for (size_t t = 0; t < series.length(); ++t) {
+    const bool inside = t >= 100 && t < 140;
+    EXPECT_EQ(series.is_anomaly(t), inside) << "step " << t;
+  }
+}
+
+// The defining property: inside the break the channels decohere (an
+// anti-phase shift flips their correlation) while each marginal channel
+// keeps its amplitude — the anomaly lives only in the cross-channel
+// structure.
+TEST(ChannelBreakTest, FlipsCorrelationButPreservesMarginals) {
+  Rng rng(53);
+  NormalPattern p = SimplePattern(2);
+  p.period = 12.0;
+  p.noise_stddev = 0.0;
+  ChannelBreakScenario scenario;
+  scenario.start = 120;
+  scenario.length = 96;
+  scenario.phase_shift = 0.5;  // anti-phase at full strength
+  scenario.ramp = 4;
+  const TimeSeries series =
+      GenerateCorrelatedChannelBreak(p, 360, 0, {scenario}, &rng);
+
+  const auto pearson = [&](size_t lo, size_t hi) {
+    double mean0 = 0.0, mean1 = 0.0;
+    const double n = static_cast<double>(hi - lo);
+    for (size_t t = lo; t < hi; ++t) {
+      mean0 += series.value(t, 0);
+      mean1 += series.value(t, 1);
+    }
+    mean0 /= n;
+    mean1 /= n;
+    double cov = 0.0, var0 = 0.0, var1 = 0.0;
+    for (size_t t = lo; t < hi; ++t) {
+      const double a = series.value(t, 0) - mean0;
+      const double b = series.value(t, 1) - mean1;
+      cov += a * b;
+      var0 += a * a;
+      var1 += b * b;
+    }
+    return cov / std::sqrt(var0 * var1);
+  };
+  // Identical lag-free channels: locked in phase outside the break,
+  // anti-phase in its full-strength interior.
+  EXPECT_GT(pearson(0, 120), 0.99);
+  EXPECT_LT(pearson(130, 200), -0.9);
+  EXPECT_GT(pearson(240, 360), 0.99);
+
+  // Marginal amplitude is preserved: the shifted channel's RMS inside
+  // the break matches its RMS outside (a time shift, not an excursion).
+  const auto rms = [&](int f, size_t lo, size_t hi) {
+    double acc = 0.0;
+    for (size_t t = lo; t < hi; ++t) {
+      acc += series.value(t, f) * series.value(t, f);
+    }
+    return std::sqrt(acc / static_cast<double>(hi - lo));
+  };
+  EXPECT_NEAR(rms(1, 130, 202), rms(1, 0, 72), 0.1);
+}
+
+// With one channel there is nothing to decohere: values match
+// GenerateNormal bitwise (same noise draw order) and only labels differ.
+TEST(ChannelBreakTest, SingleChannelDegeneratesToGenerateNormal) {
+  const NormalPattern p = SimplePattern(1);
+  ChannelBreakScenario scenario;
+  scenario.start = 40;
+  scenario.length = 20;
+  Rng rng1(59), rng2(59);
+  const TimeSeries plain = GenerateNormal(p, 200, 7, &rng1);
+  const TimeSeries broken =
+      GenerateCorrelatedChannelBreak(p, 200, 7, {scenario}, &rng2);
+  ASSERT_EQ(plain.length(), broken.length());
+  for (size_t t = 0; t < plain.length(); ++t) {
+    EXPECT_EQ(plain.value(t, 0), broken.value(t, 0)) << "step " << t;
+  }
+  EXPECT_TRUE(broken.has_labels());
+  EXPECT_TRUE(broken.is_anomaly(50));
+  EXPECT_FALSE(broken.is_anomaly(10));
+}
+
+TEST(ChannelBreakTest, GenerationIsDeterministic) {
+  NormalPattern p = SimplePattern(4);
+  p.feature_lags = {0.0, 1.0, 2.0, 3.0};
+  ChannelBreakScenario scenario;
+  scenario.start = 64;
+  scenario.length = 32;
+  Rng rng1(61), rng2(61);
+  const TimeSeries a =
+      GenerateCorrelatedChannelBreak(p, 256, 0, {scenario}, &rng1);
+  const TimeSeries b =
+      GenerateCorrelatedChannelBreak(p, 256, 0, {scenario}, &rng2);
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
 TEST(ProfilesTest, ServiceGroupSplitsCorrectly) {
   DatasetProfile profile = SmdProfile();
   profile.num_services = 20;

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/mace_detector.h"
 #include "core/streaming.h"
 #include "history/query.h"
 #include "history/record.h"

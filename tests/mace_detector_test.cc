@@ -131,6 +131,52 @@ TEST(MaceDetectorTest, ScoreUnseenWorksOnNewService) {
   EXPECT_GT(best->metrics.f1, 0.3);
 }
 
+// Regression: ScoreUnseen used to skip split validation, so a
+// mismatched-width row indexed past the scaler moments and a too-short
+// split silently returned an all-mean score vector. Every malformed
+// split must now fail with a descriptive error.
+TEST(MaceDetectorTest, ScoreUnseenValidatesSplits) {
+  MaceDetector unfitted(FastConfig());
+  const auto services = TinyWorkload();
+  EXPECT_EQ(unfitted.ScoreUnseen(services[0]).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  MaceDetector detector(FastConfig());
+  ASSERT_TRUE(detector.Fit(services).ok());
+
+  // Wrong feature count in either split.
+  Rng rng(3);
+  ts::NormalPattern narrow;
+  narrow.feature_weights = {1.0};
+  narrow.feature_lags = {0.0};
+  ts::ServiceData single;
+  single.train = ts::GenerateNormal(narrow, 200, 0, &rng);
+  single.test = ts::GenerateNormal(narrow, 100, 200, &rng);
+  auto mismatch = detector.ScoreUnseen(single);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("1 features"),
+            std::string::npos)
+      << mismatch.status().message();
+  ts::ServiceData mixed;
+  mixed.train = services[0].train;
+  mixed.test = single.test;
+  EXPECT_FALSE(detector.ScoreUnseen(mixed).ok());
+
+  // Splits shorter than the window name both lengths.
+  ts::ServiceData short_train;
+  short_train.train = services[0].train.Slice(0, 10);
+  short_train.test = services[0].test;
+  auto too_short = detector.ScoreUnseen(short_train);
+  ASSERT_FALSE(too_short.ok());
+  EXPECT_NE(too_short.status().message().find("10 steps"),
+            std::string::npos)
+      << too_short.status().message();
+  ts::ServiceData short_test;
+  short_test.train = services[0].train;
+  short_test.test = services[0].test.Slice(0, 5);
+  EXPECT_FALSE(detector.ScoreUnseen(short_test).ok());
+}
+
 TEST(MaceDetectorTest, ParameterCountPositiveAfterFit) {
   MaceDetector detector(FastConfig());
   EXPECT_EQ(detector.ParameterCount(), 0);

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "core/mace_detector.h"
 #include "net/client.h"
 #include "net/router.h"
 #include "net/server.h"

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/mace_detector.h"
 #include "core/streaming.h"
 #include "history/store.h"
 #include "online/consensus.h"

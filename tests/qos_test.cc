@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/mace_detector.h"
 #include "serve/frontend.h"
 #include "serve/qos.h"
 #include "ts/generator.h"

@@ -18,8 +18,10 @@
 
 #include <gtest/gtest.h>
 
+#include "channel/channel_aware_detector.h"
 #include "common/check.h"
 #include "core/mace_detector.h"
+#include "core/streaming.h"
 #include "net/client.h"
 #include "net/spawn.h"
 #include "ts/time_series.h"
@@ -90,23 +92,61 @@ std::string SavedModelPath() {
   return path;
 }
 
-/// Removes the shared model file once every test is done with it.
+/// Same recipe for the channel-aware variant (MCHANv1 file): the backend
+/// loads it through the same --model flag via the magic-sniffing loader.
+std::string SavedChannelModelPath() {
+  static const std::string path = [] {
+    const std::string file =
+        (std::filesystem::temp_directory_path() /
+         ("mace_scaleout_smoke_chan_" + std::to_string(::getpid()) +
+          ".model"))
+            .string();
+    channel::ChannelAwareConfig config;
+    config.window = 8;
+    config.train_stride = 2;
+    config.score_stride = 4;
+    config.bases_per_channel = 3;
+    config.num_patches = 2;
+    channel::ChannelAwareDetector detector(config);
+    std::vector<ts::ServiceData> services(2);
+    for (size_t s = 0; s < services.size(); ++s) {
+      services[s].name = "svc" + std::to_string(s);
+      services[s].train =
+          SyntheticSeries(48, 0.5 * static_cast<double>(s + 1));
+      services[s].test =
+          SyntheticSeries(24, 0.5 * static_cast<double>(s + 1));
+    }
+    MACE_CHECK_OK(detector.Fit(services));
+    MACE_CHECK_OK(detector.Save(file));
+    return file;
+  }();
+  return path;
+}
+
+/// Removes the shared model files once every test is done with them.
 class ModelFileCleanup : public ::testing::Environment {
  public:
-  void TearDown() override { std::remove(SavedModelPath().c_str()); }
+  void TearDown() override {
+    std::remove(SavedModelPath().c_str());
+    std::remove(SavedChannelModelPath().c_str());
+  }
 };
 const auto* const kCleanup =
     ::testing::AddGlobalTestEnvironment(new ModelFileCleanup);
 
-std::unique_ptr<Subprocess> SpawnBackend(uint16_t* port) {
-  auto spawned = Subprocess::Spawn({MACE_BACKEND_BIN, "--model",
-                                    SavedModelPath(), "--shards", "1",
-                                    "--queue", "1024"});
+std::unique_ptr<Subprocess> SpawnBackendWithModel(const std::string& model,
+                                                  uint16_t* port) {
+  auto spawned = Subprocess::Spawn({MACE_BACKEND_BIN, "--model", model,
+                                    "--shards", "1", "--queue", "1024"});
   MACE_CHECK_OK(spawned.status());
   auto listening = spawned.value()->WaitForListeningPort(kSpawnTimeoutMs);
   MACE_CHECK_OK(listening.status());
   *port = *listening;
   return std::move(spawned).value();
+}
+
+std::unique_ptr<Subprocess> SpawnBackend(uint16_t* port) {
+  return SpawnBackendWithModel(SavedModelPath(), port);
 }
 
 TEST(ScaleoutSmokeTest, RouterWithTwoBackendsEndToEnd) {
@@ -192,6 +232,62 @@ TEST(ScaleoutSmokeTest, RouterWithTwoBackendsEndToEnd) {
   EXPECT_EQ(*backend_a->exit_code(), 0);
   ASSERT_TRUE(backend_b->exit_code().has_value());
   EXPECT_EQ(*backend_b->exit_code(), 0);
+}
+
+// Channel-aware variant through the full process boundary: a backend
+// loading the MCHANv1 file must return, over the socket, exactly the
+// scores an in-process StreamingScorer produces from the same file —
+// the serving stack adds no variant-specific drift.
+TEST(ScaleoutSmokeTest, ChannelModelScoresBitIdenticalAcrossTheWire) {
+  auto loaded = channel::ChannelAwareDetector::Load(SavedChannelModelPath());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const ts::TimeSeries stream = SyntheticSeries(24, 0.25);
+
+  std::vector<double> expected;
+  {
+    auto scorer = core::StreamingScorer::Create(&*loaded, /*service=*/1);
+    ASSERT_TRUE(scorer.ok());
+    for (size_t t = 0; t < stream.length(); ++t) {
+      auto out = scorer->Push(stream.values()[t]);
+      ASSERT_TRUE(out.ok());
+      expected.insert(expected.end(), out->begin(), out->end());
+    }
+    const auto tail = scorer->Finish();
+    expected.insert(expected.end(), tail.begin(), tail.end());
+  }
+  ASSERT_FALSE(expected.empty());
+
+  uint16_t port = 0;
+  auto backend = SpawnBackendWithModel(SavedChannelModelPath(), &port);
+  auto client = net::WireClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+
+  std::vector<double> served;
+  for (size_t t = 0; t < stream.length(); ++t) {
+    wire::ScoreRequest request;
+    request.tenant = "chan";
+    request.service = 1;
+    request.values = stream.values()[t];
+    auto response = (*client)->Score(request);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    ASSERT_TRUE(response->ok()) << response->message;
+    served.insert(served.end(), response->scores.begin(),
+                  response->scores.end());
+  }
+  auto closed = (*client)->CloseSession("chan", 1);
+  ASSERT_TRUE(closed.ok());
+  ASSERT_TRUE(closed->ok()) << closed->message;
+  served.insert(served.end(), closed->scores.begin(),
+                closed->scores.end());
+
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t t = 0; t < served.size(); ++t) {
+    ASSERT_EQ(served[t], expected[t]) << "step " << t;
+  }
+
+  backend->KillAndReap();
+  ASSERT_TRUE(backend->exit_code().has_value());
+  EXPECT_EQ(*backend->exit_code(), 0);
 }
 
 TEST(ScaleoutSmokeTest, BackendAloneAnswersDirectClient) {

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "channel/channel_aware_detector.h"
+#include "core/mace_detector.h"
 #include "core/streaming.h"
 #include "obs/metrics.h"
 #include "serve/frontend.h"
@@ -52,7 +54,7 @@ std::shared_ptr<const MaceDetector> FittedModel(uint64_t seed = 42) {
 
 /// Streams `series` through a fresh sequential StreamingScorer — the
 /// ground truth the pool must reproduce bit-for-bit.
-std::vector<double> SequentialScores(const MaceDetector& detector,
+std::vector<double> SequentialScores(const core::ServingModel& detector,
                                      int service,
                                      const ts::TimeSeries& series) {
   auto scorer = StreamingScorer::Create(&detector, service);
@@ -507,6 +509,71 @@ TEST(ServeFrontendTest, TtlEvictsIdleSessionsAndRecyclesScorers) {
     emitted += batch->scores.size();
   }
   EXPECT_GT(emitted, 0u);
+}
+
+// Cross-variant recycle regression: eviction pools scorers keyed by
+// (model pointer, service). A scorer pooled while the frontend served
+// MACE must NOT be handed to a session opening after a swap to the
+// channel-aware variant — a recycled scorer is bound to the model it was
+// created on, so reusing it across variants would score the returning
+// tenant on the retired model.
+TEST(ServeFrontendTest, EvictedScorersAreNotRecycledAcrossVariants) {
+  auto mace_model = FittedModel();
+  const auto services = TinyWorkload();
+  channel::ChannelAwareConfig channel_config;
+  auto channel_model =
+      std::make_shared<channel::ChannelAwareDetector>(channel_config);
+  MACE_CHECK_OK(channel_model->Fit(services));
+
+  ServeConfig config;
+  config.num_shards = 1;
+  config.session_ttl_ms = 20;
+  auto frontend = ServeFrontend::Create(mace_model, config);
+  ASSERT_TRUE(frontend.ok());
+
+  // Open a session on the MACE model and let the TTL sweep pool it.
+  for (size_t t = 0; t < 8; ++t) {
+    auto batch =
+        (*frontend)->Score("tenant-0", 0, services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(batch->status.ok());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((*frontend)->Stats().Totals().sessions_active > 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "TTL eviction never happened";
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  ASSERT_TRUE((*frontend)->Swap(channel_model).ok());
+
+  // The returning tenant's new session must score on the channel-aware
+  // model, bit-identically to a sequential scorer on it — and from step
+  // 0 (no state leaked from the pooled MACE-era scorer).
+  const std::vector<double> expected =
+      SequentialScores(*channel_model, 0, services[0].test);
+  std::vector<double> served;
+  bool saw_first = false;
+  for (size_t t = 0; t < services[0].test.length(); ++t) {
+    auto batch =
+        (*frontend)->Score("tenant-0", 0, services[0].test.values()[t]);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_TRUE(batch->status.ok()) << batch->status.message();
+    if (!saw_first && !batch->scores.empty()) {
+      EXPECT_EQ(batch->first_step, 0u) << "recycled scorer kept state";
+      saw_first = true;
+    }
+    served.insert(served.end(), batch->scores.begin(),
+                  batch->scores.end());
+  }
+  auto tail = (*frontend)->Close("tenant-0", 0);
+  ASSERT_TRUE(tail.ok());
+  served.insert(served.end(), tail->begin(), tail->end());
+  ASSERT_EQ(served.size(), expected.size());
+  for (size_t t = 0; t < served.size(); ++t) {
+    ASSERT_EQ(served[t], expected[t]) << "step " << t;
+  }
 }
 
 // Reject-replay accounting: when a drained same-session group holds a

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/mace_detector.h"
 #include "obs/metrics.h"
 #include "ts/generator.h"
 
